@@ -1,0 +1,80 @@
+// Shared helpers for the experiment binaries: dataset/scale selection via
+// environment variables and SUT iteration.
+//
+//   JACKPINE_SCALE  dataset scale factor (default 0.25 so the full suite
+//                   finishes in seconds; the paper-shaped runs use 1.0)
+//   JACKPINE_SEED   dataset seed (default 42)
+//   JACKPINE_REPS   measured repetitions per query (default 3)
+
+#ifndef JACKPINE_BENCH_BENCH_COMMON_H_
+#define JACKPINE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "core/loader.h"
+#include "core/runner.h"
+#include "tigergen/tigergen.h"
+
+namespace jackpine::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+inline tigergen::TigerGenOptions DatasetOptions() {
+  tigergen::TigerGenOptions gen;
+  gen.scale = EnvDouble("JACKPINE_SCALE", 0.25);
+  gen.seed = static_cast<uint64_t>(EnvInt("JACKPINE_SEED", 42));
+  return gen;
+}
+
+inline core::RunConfig RunConfigFromEnv() {
+  core::RunConfig config;
+  config.repetitions = EnvInt("JACKPINE_REPS", 3);
+  return config;
+}
+
+// Opens a connection for `sut_name` and loads `dataset` into it; exits the
+// process on failure (bench binaries have no meaningful recovery).
+inline client::Connection ConnectAndLoad(
+    const std::string& sut_name, const tigergen::TigerDataset& dataset,
+    bool build_indexes = true, core::LoadTiming* timing_out = nullptr) {
+  auto sut = client::SutByName(sut_name);
+  if (!sut.ok()) {
+    std::fprintf(stderr, "%s\n", sut.status().ToString().c_str());
+    std::exit(1);
+  }
+  client::Connection conn = client::Connection::Open(*sut);
+  auto timing = core::LoadDataset(dataset, &conn, build_indexes);
+  if (!timing.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 timing.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (timing_out != nullptr) *timing_out = *timing;
+  return conn;
+}
+
+inline void PrintHeader(const char* experiment, const char* what,
+                        const tigergen::TigerDataset& dataset) {
+  std::printf("### %s: %s\n", experiment, what);
+  std::printf("dataset: %zu rows (%zu edges, %zu counties, %zu pointlm, "
+              "%zu arealm, %zu areawater)\n\n",
+              dataset.TotalRows(), dataset.edges.size(),
+              dataset.counties.size(), dataset.pointlm.size(),
+              dataset.arealm.size(), dataset.areawater.size());
+}
+
+}  // namespace jackpine::bench
+
+#endif  // JACKPINE_BENCH_BENCH_COMMON_H_

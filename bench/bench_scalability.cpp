@@ -1,0 +1,59 @@
+// Experiment E5 — scalability with dataset size: representative micro and
+// macro queries across scale factors (paper: dataset-size discussion; the
+// benchmark was designed to stress growing TIGER extracts).
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "core/micro_suite.h"
+#include "core/report.h"
+#include "core/scenarios.h"
+
+int main() {
+  using namespace jackpine;
+  std::printf("### E5: scalability with dataset size (pine-rtree vs "
+              "pine-scan)\n\n");
+  const core::RunConfig config = bench::RunConfigFromEnv();
+  const double scales[] = {0.125, 0.25, 0.5, 1.0};
+
+  std::vector<std::pair<std::string, std::string>> rows;
+  for (double scale : scales) {
+    tigergen::TigerGenOptions gen = bench::DatasetOptions();
+    gen.scale = scale;
+    const tigergen::TigerDataset dataset = tigergen::GenerateTiger(gen);
+
+    // Representative queries: an indexed window filter (T13 line-within-
+    // polygon), a spatial join (T17), and a knn (revgeo first query).
+    const auto topo = core::BuildTopologicalSuite(dataset);
+    const core::Scenario revgeo =
+        core::BuildScenario(dataset, "revgeo", gen.seed);
+    const core::QuerySpec* window_q = nullptr;
+    const core::QuerySpec* join_q = nullptr;
+    for (const auto& q : topo) {
+      if (q.id == "T13") window_q = &q;
+      if (q.id == "T17") join_q = &q;
+    }
+
+    for (const char* sut : {"pine-rtree", "pine-scan"}) {
+      client::Connection conn = bench::ConnectAndLoad(sut, dataset);
+      const core::RunResult w = core::RunQuery(&conn, *window_q, config);
+      const core::RunResult j = core::RunQuery(&conn, *join_q, config);
+      const core::RunResult k =
+          core::RunQuery(&conn, revgeo.queries.front(), config);
+      rows.emplace_back(
+          StrFormat("scale %.3f (%6zu rows) %-10s", scale,
+                    dataset.TotalRows(), sut),
+          StrFormat("window %8.3fms  join %9.3fms  knn %8.3fms",
+                    w.timing.mean_s * 1e3, j.timing.mean_s * 1e3,
+                    k.timing.mean_s * 1e3));
+    }
+  }
+  std::printf("%s\n",
+              core::RenderKeyValueTable("E5: response time vs dataset size",
+                                        rows)
+                  .c_str());
+  std::printf(
+      "expected shape: pine-scan grows linearly (window/knn) to "
+      "quadratically (join) with scale; pine-rtree grows sub-linearly for "
+      "window/knn and near-linearly for the join.\n");
+  return 0;
+}

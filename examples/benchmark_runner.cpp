@@ -1,0 +1,97 @@
+// The full Jackpine benchmark as a command-line tool: loads the dataset into
+// every SUT and runs the micro suites and macro scenarios, printing the
+// paper-style comparison tables.
+//
+//   ./build/examples/benchmark_runner [--scale S] [--seed N] [--reps R]
+//                                     [--suts a,b,c]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/loader.h"
+#include "core/micro_suite.h"
+#include "core/report.h"
+#include "core/runner.h"
+
+using namespace jackpine;  // example code; the library itself never does this
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  uint64_t seed = 42;
+  core::RunConfig config;
+  std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
+                                        "pine-scan"};
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+      config.repetitions = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--suts") && i + 1 < argc) {
+      sut_names = Split(argv[++i], ',');
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  tigergen::TigerGenOptions gen;
+  gen.seed = seed;
+  gen.scale = scale;
+  const tigergen::TigerDataset dataset = tigergen::GenerateTiger(gen);
+  std::printf("dataset: scale %.2f -> %zu rows (%zu edges, %zu counties)\n\n",
+              scale, dataset.TotalRows(), dataset.edges.size(),
+              dataset.counties.size());
+
+  const auto topo_suite = core::BuildTopologicalSuite(dataset);
+  const auto analysis_suite = core::BuildAnalysisSuite(dataset);
+  const auto scenarios = core::BuildScenarios(dataset, seed);
+
+  std::vector<std::vector<core::RunResult>> topo_by_sut, analysis_by_sut;
+  std::vector<std::vector<core::ScenarioResult>> scenarios_by_sut;
+
+  for (const std::string& name : sut_names) {
+    auto sut = client::SutByName(name);
+    if (!sut.ok()) {
+      std::fprintf(stderr, "%s\n", sut.status().ToString().c_str());
+      return 1;
+    }
+    client::Connection conn = client::Connection::Open(*sut);
+    auto load = core::LoadDataset(dataset, &conn);
+    if (!load.ok()) {
+      std::fprintf(stderr, "load into %s failed: %s\n", name.c_str(),
+                   load.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s: insert %.1fms, index %.1fms\n", name.c_str(),
+                load->insert_s * 1e3, load->index_s * 1e3);
+
+    topo_by_sut.push_back(core::RunSuite(&conn, topo_suite, config));
+    analysis_by_sut.push_back(core::RunSuite(&conn, analysis_suite, config));
+    std::vector<core::ScenarioResult> scenario_results;
+    for (const core::Scenario& s : scenarios) {
+      scenario_results.push_back(core::RunScenario(&conn, s, config));
+    }
+    scenarios_by_sut.push_back(std::move(scenario_results));
+  }
+
+  std::printf("\n%s\n",
+              core::RenderComparisonTable(
+                  "E1: DE-9IM topological micro benchmark", topo_by_sut)
+                  .c_str());
+  std::printf("%s\n", core::RenderComparisonTable(
+                          "E2: spatial analysis micro benchmark",
+                          analysis_by_sut)
+                          .c_str());
+  std::printf("%s\n", core::RenderScenarioTable("E3: macro scenarios",
+                                                scenarios_by_sut)
+                          .c_str());
+  return 0;
+}

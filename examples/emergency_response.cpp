@@ -1,0 +1,93 @@
+// Emergency response example: the toxic-spill workflow from the paper's
+// macro scenarios, written as an application against the public API.
+//
+//   ./build/examples/emergency_response [x y radius]
+//
+// Given a spill site, the app reports the affected roads, the landmarks to
+// evacuate, threatened water bodies, the closest hospitals, and the total
+// road mileage to close.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "client/client.h"
+#include "common/string_util.h"
+#include "core/loader.h"
+
+using jackpine::StrFormat;
+using jackpine::client::Connection;
+using jackpine::client::Statement;
+
+int main(int argc, char** argv) {
+  const double x = argc > 1 ? std::atof(argv[1]) : 48.0;
+  const double y = argc > 2 ? std::atof(argv[2]) : 52.0;
+  const double radius = argc > 3 ? std::atof(argv[3]) : 2.5;
+
+  Connection conn =
+      Connection::Open(jackpine::client::StandardSuts().front());
+  jackpine::tigergen::TigerGenOptions gen;
+  gen.seed = 42;
+  gen.scale = 0.5;
+  auto load = jackpine::core::GenerateAndLoad(gen, &conn);
+  if (!load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", load.status().ToString().c_str());
+    return 1;
+  }
+  Statement stmt = conn.CreateStatement();
+  const std::string site = StrFormat("ST_MakePoint(%.4f, %.4f)", x, y);
+  std::printf("== Toxic spill at (%.2f, %.2f), plume radius %.2f ==\n\n", x, y,
+              radius);
+
+  auto count_query = [&](const std::string& sql) -> long long {
+    auto rs = stmt.ExecuteQuery(sql);
+    if (!rs.ok() || !rs->Next()) return -1;
+    return static_cast<long long>(rs->GetInt64(0).value_or(-1));
+  };
+
+  std::printf("roads inside the plume:      %lld\n",
+              count_query(StrFormat(
+                  "SELECT COUNT(*) FROM edges WHERE ST_DWithin(geom, %s, %.4f)",
+                  site.c_str(), radius)));
+  std::printf("water bodies within 2x:      %lld\n",
+              count_query(StrFormat("SELECT COUNT(*) FROM areawater WHERE "
+                                    "ST_DWithin(geom, %s, %.4f)",
+                                    site.c_str(), 2 * radius)));
+
+  auto rs = stmt.ExecuteQuery(
+      StrFormat("SELECT fullname, mtfcc FROM pointlm WHERE "
+                "ST_DWithin(geom, %s, %.4f)",
+                site.c_str(), radius));
+  if (rs.ok()) {
+    std::printf("\nlandmarks to evacuate (%zu):\n", rs->RowCount());
+    while (rs->Next()) {
+      std::printf("  %-28s [%s]\n", rs->GetString(0).value_or("?").c_str(),
+                  rs->GetString(1).value_or("?").c_str());
+    }
+  }
+
+  rs = stmt.ExecuteQuery(StrFormat(
+      "SELECT fullname, ST_Distance(geom, %s) AS d FROM pointlm "
+      "WHERE mtfcc = 'K1231' ORDER BY ST_Distance(geom, %s) LIMIT 3",
+      site.c_str(), site.c_str()));
+  if (rs.ok()) {
+    std::printf("\nclosest hospitals:\n");
+    while (rs->Next()) {
+      std::printf("  %-28s %.3f away\n",
+                  rs->GetString(0).value_or("?").c_str(),
+                  rs->GetDouble(1).value_or(-1));
+    }
+  }
+
+  rs = stmt.ExecuteQuery(StrFormat(
+      "SELECT SUM(ST_Length(ST_Intersection(geom, ST_Buffer(%s, %.4f)))) "
+      "FROM edges WHERE ST_DWithin(geom, %s, %.4f)",
+      site.c_str(), radius, site.c_str(), radius));
+  if (rs.ok() && rs->Next() && !rs->IsNull(0)) {
+    std::printf("\nroad mileage to close: %.3f units\n",
+                rs->GetDouble(0).value_or(0));
+  } else {
+    std::printf("\nroad mileage to close: none\n");
+  }
+  return 0;
+}

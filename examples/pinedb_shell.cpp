@@ -1,0 +1,126 @@
+// pinedb_shell: an interactive SQL shell over a loaded SUT — the
+// "developers poking at their spatial database" use case from the paper's
+// introduction.
+//
+//   ./build/examples/pinedb_shell [sut-name] [--scale S] [--csv DIR]
+//
+// Reads one SQL statement per line (EXPLAIN works too). Meta commands:
+//   \tables          list tables
+//   \stats           engine counters since the last \stats
+//   \timing on|off   toggle per-query timing (default on)
+//   \quit            exit
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "client/client.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/loader.h"
+#include "tigergen/csv_io.h"
+
+using namespace jackpine;  // example code; the library itself never does this
+
+int main(int argc, char** argv) {
+  std::string sut = "pine-rtree";
+  double scale = 0.25;
+  std::string csv_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
+      csv_dir = argv[++i];
+    } else {
+      sut = argv[i];
+    }
+  }
+
+  auto conn_result = client::Connection::Open("jackpine:" + sut);
+  if (!conn_result.ok()) {
+    std::fprintf(stderr, "%s\n", conn_result.status().ToString().c_str());
+    return 1;
+  }
+  client::Connection conn = std::move(conn_result).value();
+
+  if (!csv_dir.empty()) {
+    auto dataset = tigergen::LoadDatasetCsv(csv_dir);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "CSV load failed: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    if (auto t = core::LoadDataset(*dataset, &conn); !t.ok()) {
+      std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %zu rows from %s into %s\n", dataset->TotalRows(),
+                csv_dir.c_str(), sut.c_str());
+  } else {
+    tigergen::TigerGenOptions gen;
+    gen.scale = scale;
+    if (auto t = core::GenerateAndLoad(gen, &conn); !t.ok()) {
+      std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded synthetic dataset (scale %.2f) into %s\n", scale,
+                sut.c_str());
+  }
+  std::printf("tables: county, edges, pointlm, arealm, areawater\n");
+  std::printf("type SQL, or \\tables \\stats \\timing \\quit\n");
+
+  client::Statement stmt = conn.CreateStatement();
+  bool timing = true;
+  std::string line;
+  while (true) {
+    std::printf("%s> ", sut.c_str());
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string input(StripAscii(line));
+    if (input.empty()) continue;
+    if (input == "\\quit" || input == "\\q") break;
+    if (input == "\\tables") {
+      for (const std::string& name : conn.database().catalog().TableNames()) {
+        const engine::Table* table = conn.database().catalog().GetTable(name);
+        std::printf("  %-12s %6zu rows  %s\n", name.c_str(), table->NumRows(),
+                    table->schema().ToString().c_str());
+      }
+      continue;
+    }
+    if (input == "\\stats") {
+      const engine::ExecStats& s = conn.database().stats();
+      std::printf(
+          "  index probes %llu, candidates %llu, refine checks %llu, "
+          "heap rows scanned %llu\n",
+          static_cast<unsigned long long>(s.index_probes),
+          static_cast<unsigned long long>(s.index_candidates),
+          static_cast<unsigned long long>(s.refine_checks),
+          static_cast<unsigned long long>(s.rows_scanned));
+      conn.database().ResetStats();
+      continue;
+    }
+    if (StartsWith(input, "\\timing")) {
+      timing = !EndsWith(input, "off");
+      std::printf("  timing %s\n", timing ? "on" : "off");
+      continue;
+    }
+    if (input[0] == '\\') {
+      std::printf("  unknown meta command\n");
+      continue;
+    }
+
+    Stopwatch watch;
+    auto rs = stmt.ExecuteQuery(input);
+    const double elapsed_ms = watch.ElapsedMillis();
+    if (!rs.ok()) {
+      std::printf("ERROR: %s\n", rs.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", rs->raw().ToString(/*max_rows=*/25).c_str());
+    if (timing) {
+      std::printf("(%zu rows, %.3f ms)\n", rs->RowCount(), elapsed_ms);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "algo/affine.h"
+
+#include <cmath>
+
+namespace jackpine::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeometryType;
+using geom::Ring;
+
+AffineTransform AffineTransform::Translation(double tx, double ty) {
+  AffineTransform t;
+  t.dx = tx;
+  t.dy = ty;
+  return t;
+}
+
+AffineTransform AffineTransform::Scaling(double sx, double sy,
+                                         const Coord& origin) {
+  AffineTransform t;
+  t.a = sx;
+  t.d = sy;
+  t.dx = origin.x * (1.0 - sx);
+  t.dy = origin.y * (1.0 - sy);
+  return t;
+}
+
+AffineTransform AffineTransform::Rotation(double radians,
+                                          const Coord& origin) {
+  const double cs = std::cos(radians);
+  const double sn = std::sin(radians);
+  AffineTransform t;
+  t.a = cs;
+  t.b = -sn;
+  t.c = sn;
+  t.d = cs;
+  t.dx = origin.x - cs * origin.x + sn * origin.y;
+  t.dy = origin.y - sn * origin.x - cs * origin.y;
+  return t;
+}
+
+AffineTransform AffineTransform::Compose(const AffineTransform& o) const {
+  AffineTransform t;
+  t.a = a * o.a + b * o.c;
+  t.b = a * o.b + b * o.d;
+  t.c = c * o.a + d * o.c;
+  t.d = c * o.b + d * o.d;
+  t.dx = a * o.dx + b * o.dy + dx;
+  t.dy = c * o.dx + d * o.dy + dy;
+  return t;
+}
+
+namespace {
+
+std::vector<Coord> TransformPath(const std::vector<Coord>& pts,
+                                 const AffineTransform& t) {
+  std::vector<Coord> out;
+  out.reserve(pts.size());
+  for (const Coord& c : pts) out.push_back(t.Apply(c));
+  return out;
+}
+
+}  // namespace
+
+Geometry Transform(const Geometry& g, const AffineTransform& t) {
+  if (g.IsEmpty()) return g;
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return Geometry::MakePoint(t.Apply(g.AsPoint()));
+    case GeometryType::kLineString: {
+      auto line = Geometry::MakeLineString(TransformPath(g.AsLineString(), t));
+      return line.ok() ? std::move(line).value() : g;
+    }
+    case GeometryType::kPolygon: {
+      const geom::PolygonData& poly = g.AsPolygon();
+      Ring shell = TransformPath(poly.shell, t);
+      std::vector<Ring> holes;
+      for (const Ring& hole : poly.holes) {
+        holes.push_back(TransformPath(hole, t));
+      }
+      // MakePolygon re-normalises ring orientation, which handles
+      // reflections (negative determinant) transparently.
+      auto out = Geometry::MakePolygon(std::move(shell), std::move(holes));
+      return out.ok() ? std::move(out).value() : g;
+    }
+    default: {
+      std::vector<Geometry> parts;
+      for (const Geometry& part : g.Parts()) {
+        parts.push_back(Transform(part, t));
+      }
+      return Geometry::MakeCollectionOfType(g.type(), std::move(parts));
+    }
+  }
+}
+
+Result<double> Azimuth(const Coord& a, const Coord& b) {
+  if (a == b) {
+    return Status::InvalidArgument("azimuth of coincident points");
+  }
+  // atan2 measured from north (positive y), clockwise.
+  double az = std::atan2(b.x - a.x, b.y - a.y);
+  if (az < 0) az += 2.0 * M_PI;
+  return az;
+}
+
+}  // namespace jackpine::algo

@@ -1,0 +1,43 @@
+// Affine transformations of geometries (ST_Translate / ST_Rotate /
+// ST_Scale) and directional measures (ST_Azimuth). Map-rendering scenarios
+// use these for viewport mathematics.
+
+#ifndef JACKPINE_ALGO_AFFINE_H_
+#define JACKPINE_ALGO_AFFINE_H_
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace jackpine::algo {
+
+// A 2-D affine map: p -> (a*x + b*y + dx, c*x + d*y + dy).
+struct AffineTransform {
+  double a = 1.0, b = 0.0, c = 0.0, d = 1.0;
+  double dx = 0.0, dy = 0.0;
+
+  static AffineTransform Translation(double tx, double ty);
+  static AffineTransform Scaling(double sx, double sy,
+                                 const geom::Coord& origin = {0, 0});
+  // Counter-clockwise rotation by `radians` around `origin`.
+  static AffineTransform Rotation(double radians,
+                                  const geom::Coord& origin = {0, 0});
+
+  geom::Coord Apply(const geom::Coord& p) const {
+    return {a * p.x + b * p.y + dx, c * p.x + d * p.y + dy};
+  }
+
+  // Composition: (this * other)(p) == this(other(p)).
+  AffineTransform Compose(const AffineTransform& other) const;
+};
+
+// Applies `t` to every coordinate of `g`. Ring orientation is re-normalised,
+// so reflections (negative-determinant transforms) stay valid polygons.
+geom::Geometry Transform(const geom::Geometry& g, const AffineTransform& t);
+
+// North-based azimuth from `a` to `b` in radians, clockwise, in [0, 2*pi)
+// (the PostGIS convention). Identical points yield an error.
+Result<double> Azimuth(const geom::Coord& a, const geom::Coord& b);
+
+}  // namespace jackpine::algo
+
+#endif  // JACKPINE_ALGO_AFFINE_H_

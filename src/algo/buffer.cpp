@@ -1,0 +1,114 @@
+#include "algo/buffer.h"
+
+#include <cmath>
+#include <vector>
+
+#include "algo/overlay.h"
+
+namespace jackpine::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeometryType;
+using geom::Ring;
+
+namespace {
+
+// A sampled circle as a CCW ring. `phase` rotates the sampling so circles at
+// shared endpoints of adjacent capsules do not produce coincident vertices
+// (which would be degenerate for the union).
+Geometry CirclePolygon(const Coord& center, double radius, int samples,
+                       double phase) {
+  Ring ring;
+  ring.reserve(static_cast<size_t>(samples) + 1);
+  for (int i = 0; i < samples; ++i) {
+    const double t = phase + 2.0 * M_PI * i / samples;
+    ring.push_back(
+        {center.x + radius * std::cos(t), center.y + radius * std::sin(t)});
+  }
+  ring.push_back(ring.front());
+  auto poly = Geometry::MakePolygon(std::move(ring));
+  return poly.ok() ? std::move(poly).value()
+                   : Geometry::MakeEmpty(GeometryType::kPolygon);
+}
+
+// The rectangle swept by a segment offset by +-radius, as a polygon.
+Geometry SegmentRectangle(const Coord& a, const Coord& b, double radius) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len = std::hypot(dx, dy);
+  if (len == 0.0) return Geometry::MakeEmpty(GeometryType::kPolygon);
+  const double nx = -dy / len * radius;
+  const double ny = dx / len * radius;
+  Ring ring = {{a.x + nx, a.y + ny},
+               {b.x + nx, b.y + ny},
+               {b.x - nx, b.y - ny},
+               {a.x - nx, a.y - ny},
+               {a.x + nx, a.y + ny}};
+  auto poly = Geometry::MakePolygon(std::move(ring));
+  return poly.ok() ? std::move(poly).value()
+                   : Geometry::MakeEmpty(GeometryType::kPolygon);
+}
+
+// Appends the capsule pieces covering a path's dilation.
+void AppendPathPieces(const std::vector<Coord>& pts, double radius,
+                      int samples, std::vector<Geometry>* pieces) {
+  for (size_t i = 0; i < pts.size(); ++i) {
+    // Vary the phase per vertex deterministically to avoid coincident
+    // circle vertices where consecutive paths share endpoints.
+    const double phase = 0.37 * static_cast<double>(i % 17);
+    if (i + 1 < pts.size() || pts.size() == 1 || pts[i] != pts.front()) {
+      pieces->push_back(CirclePolygon(pts[i], radius, samples, phase));
+    }
+    if (i + 1 < pts.size()) {
+      Geometry rect = SegmentRectangle(pts[i], pts[i + 1], radius);
+      if (!rect.IsEmpty()) pieces->push_back(std::move(rect));
+    }
+  }
+}
+
+}  // namespace
+
+Result<Geometry> Buffer(const Geometry& g, double radius,
+                        int quadrant_segments) {
+  if (g.IsEmpty()) return Geometry::MakeEmpty(GeometryType::kPolygon);
+  if (radius <= 0.0) {
+    if (g.Dimension() == 2) {
+      return Status::InvalidArgument(
+          "negative/zero polygon buffers (erosion) are not supported");
+    }
+    return Geometry::MakeEmpty(GeometryType::kPolygon);
+  }
+  const int samples = std::max(8, 4 * quadrant_segments);
+
+  std::vector<Geometry> pieces;
+  for (const Geometry& leaf : g.Leaves()) {
+    switch (leaf.type()) {
+      case GeometryType::kPoint:
+        pieces.push_back(CirclePolygon(leaf.AsPoint(), radius, samples, 0.0));
+        break;
+      case GeometryType::kLineString:
+        AppendPathPieces(leaf.AsLineString(), radius, samples, &pieces);
+        break;
+      case GeometryType::kPolygon: {
+        const geom::PolygonData& poly = leaf.AsPolygon();
+        // The body plus dilated boundary covers the buffered polygon.
+        // (Holes shrink under dilation; covering them entirely when the
+        // radius exceeds the hole's inradius is handled by the hole-boundary
+        // capsules overlapping across the hole.)
+        auto body = Geometry::MakePolygon(poly.shell, poly.holes);
+        if (body.ok()) pieces.push_back(std::move(body).value());
+        AppendPathPieces(poly.shell, radius, samples, &pieces);
+        for (const Ring& hole : poly.holes) {
+          AppendPathPieces(hole, radius, samples, &pieces);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return UnionAll(pieces);
+}
+
+}  // namespace jackpine::algo

@@ -1,0 +1,26 @@
+// ST_Buffer: dilation of a geometry by a radius.
+//
+// The buffer is built as the dissolved union of convex pieces: a sampled
+// circle for each vertex/point and a rectangle for each segment (together a
+// "capsule" per segment), plus the polygon body itself for areal inputs.
+// Union robustness relies on the overlay module's perturbation ladder; the
+// arc approximation uses `quadrant_segments` samples per quarter circle
+// (PostGIS default 8).
+
+#ifndef JACKPINE_ALGO_BUFFER_H_
+#define JACKPINE_ALGO_BUFFER_H_
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace jackpine::algo {
+
+// Positive-radius buffer of any geometry. radius <= 0 returns an empty
+// polygon for puntal/lineal inputs; negative buffers of polygons (erosion)
+// are not supported and return InvalidArgument (documented limitation).
+Result<geom::Geometry> Buffer(const geom::Geometry& g, double radius,
+                              int quadrant_segments = 8);
+
+}  // namespace jackpine::algo
+
+#endif  // JACKPINE_ALGO_BUFFER_H_

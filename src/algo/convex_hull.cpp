@@ -1,0 +1,93 @@
+#include "algo/convex_hull.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "algo/orientation.h"
+
+namespace jackpine::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeometryType;
+using geom::Ring;
+
+namespace {
+
+void CollectCoords(const Geometry& g, std::vector<Coord>* out) {
+  if (g.IsEmpty()) return;
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      out->push_back(g.AsPoint());
+      return;
+    case GeometryType::kLineString:
+      out->insert(out->end(), g.AsLineString().begin(), g.AsLineString().end());
+      return;
+    case GeometryType::kPolygon: {
+      const geom::PolygonData& poly = g.AsPolygon();
+      out->insert(out->end(), poly.shell.begin(), poly.shell.end());
+      for (const Ring& hole : poly.holes) {
+        out->insert(out->end(), hole.begin(), hole.end());
+      }
+      return;
+    }
+    default:
+      for (const Geometry& part : g.Parts()) CollectCoords(part, out);
+      return;
+  }
+}
+
+}  // namespace
+
+Ring ConvexHullRing(std::vector<Coord> pts) {
+  std::sort(pts.begin(), pts.end(), [](const Coord& a, const Coord& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const size_t n = pts.size();
+  if (n < 3) {
+    Ring r = pts;
+    return r;
+  }
+  // Lower then upper hull; strict right turns removed, so collinear points
+  // on the hull edge are dropped.
+  Ring hull(2 * n);
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Orientation(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  const size_t lower = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower && Orientation(hull[k - 2], hull[k - 1], pts[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  hull.resize(k);  // closed: last == first
+  return hull;
+}
+
+Geometry ConvexHull(const Geometry& g) {
+  std::vector<Coord> pts;
+  CollectCoords(g, &pts);
+  if (pts.empty()) return Geometry();
+  Ring hull = ConvexHullRing(std::move(pts));
+  if (hull.size() == 1) return Geometry::MakePoint(hull[0]);
+  if (hull.size() == 2) {
+    auto line = Geometry::MakeLineString({hull[0], hull[1]});
+    assert(line.ok());
+    return std::move(line).value();
+  }
+  if (hull.size() == 3 && hull.front() == hull.back()) {
+    // Degenerate closed pair (collinear duplicates collapsed to 2 points).
+    auto line = Geometry::MakeLineString({hull[0], hull[1]});
+    assert(line.ok());
+    return std::move(line).value();
+  }
+  auto poly = Geometry::MakePolygon(std::move(hull));
+  assert(poly.ok());
+  return std::move(poly).value();
+}
+
+}  // namespace jackpine::algo

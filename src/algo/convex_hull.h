@@ -1,0 +1,21 @@
+// Convex hull (Andrew's monotone chain).
+
+#ifndef JACKPINE_ALGO_CONVEX_HULL_H_
+#define JACKPINE_ALGO_CONVEX_HULL_H_
+
+#include "geom/geometry.h"
+
+namespace jackpine::algo {
+
+// Convex hull of all coordinates in `g`. Result type follows PostGIS:
+// POLYGON for >= 3 non-collinear points, LINESTRING for collinear input,
+// POINT for a single point, empty GEOMETRYCOLLECTION for empty input.
+geom::Geometry ConvexHull(const geom::Geometry& g);
+
+// Hull of a raw coordinate set (CCW, closed ring, no repeated last point
+// except the closure). Exposed for tests and the overlay code.
+geom::Ring ConvexHullRing(std::vector<geom::Coord> points);
+
+}  // namespace jackpine::algo
+
+#endif  // JACKPINE_ALGO_CONVEX_HULL_H_

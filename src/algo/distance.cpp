@@ -1,0 +1,126 @@
+#include "algo/distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "algo/point_in_polygon.h"
+#include "algo/segment_intersection.h"
+
+namespace jackpine::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeometryType;
+using geom::Ring;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Collects the boundary paths of a simple geometry: the line itself, or the
+// polygon's rings.
+std::vector<const std::vector<Coord>*> BoundaryPaths(const Geometry& g) {
+  std::vector<const std::vector<Coord>*> paths;
+  if (g.type() == GeometryType::kLineString) {
+    paths.push_back(&g.AsLineString());
+  } else if (g.type() == GeometryType::kPolygon) {
+    const geom::PolygonData& poly = g.AsPolygon();
+    paths.push_back(&poly.shell);
+    for (const Ring& hole : poly.holes) paths.push_back(&hole);
+  }
+  return paths;
+}
+
+double PathToPathDistance(const std::vector<Coord>& a,
+                          const std::vector<Coord>& b) {
+  double best = kInf;
+  for (size_t i = 0; i + 1 < a.size(); ++i) {
+    for (size_t j = 0; j + 1 < b.size(); ++j) {
+      best = std::min(best,
+                      DistanceSegmentToSegment(a[i], a[i + 1], b[j], b[j + 1]));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+double PointToPathDistance(const Coord& p, const std::vector<Coord>& path) {
+  double best = kInf;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    best = std::min(best, DistancePointToSegment(p, path[i], path[i + 1]));
+  }
+  return best;
+}
+
+// Distance between two simple (non-collection) non-empty geometries.
+double SimpleDistance(const Geometry& a, const Geometry& b) {
+  // Point-point / point-anything fast paths.
+  if (a.type() == GeometryType::kPoint && b.type() == GeometryType::kPoint) {
+    return DistanceBetween(a.AsPoint(), b.AsPoint());
+  }
+  if (a.type() == GeometryType::kPoint) {
+    const Coord& p = a.AsPoint();
+    if (b.type() == GeometryType::kPolygon &&
+        LocateInPolygon(p, b.AsPolygon()) != Location::kExterior) {
+      return 0.0;
+    }
+    double best = kInf;
+    for (const auto* path : BoundaryPaths(b)) {
+      best = std::min(best, PointToPathDistance(p, *path));
+    }
+    return best;
+  }
+  if (b.type() == GeometryType::kPoint) return SimpleDistance(b, a);
+
+  // Containment makes the distance zero even without boundary contact.
+  if (a.type() == GeometryType::kPolygon) {
+    for (const auto* path : BoundaryPaths(b)) {
+      if (!path->empty() &&
+          LocateInPolygon(path->front(), a.AsPolygon()) != Location::kExterior) {
+        return 0.0;
+      }
+    }
+  }
+  if (b.type() == GeometryType::kPolygon) {
+    for (const auto* path : BoundaryPaths(a)) {
+      if (!path->empty() &&
+          LocateInPolygon(path->front(), b.AsPolygon()) != Location::kExterior) {
+        return 0.0;
+      }
+    }
+  }
+
+  double best = kInf;
+  for (const auto* pa : BoundaryPaths(a)) {
+    for (const auto* pb : BoundaryPaths(b)) {
+      best = std::min(best, PathToPathDistance(*pa, *pb));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double Distance(const Geometry& a, const Geometry& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return kInf;
+  double best = kInf;
+  for (const Geometry& la : a.Leaves()) {
+    for (const Geometry& lb : b.Leaves()) {
+      // Envelope lower bound prunes component pairs that cannot improve.
+      if (la.envelope().DistanceTo(lb.envelope()) >= best) continue;
+      best = std::min(best, SimpleDistance(la, lb));
+      if (best == 0.0) return 0.0;
+    }
+  }
+  return best;
+}
+
+bool WithinDistance(const Geometry& a, const Geometry& b, double d) {
+  if (a.IsEmpty() || b.IsEmpty()) return false;
+  if (a.envelope().DistanceTo(b.envelope()) > d) return false;
+  return Distance(a, b) <= d;
+}
+
+}  // namespace jackpine::algo

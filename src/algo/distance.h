@@ -1,0 +1,26 @@
+// Geometry-to-geometry Euclidean distance (ST_Distance, ST_DWithin).
+
+#ifndef JACKPINE_ALGO_DISTANCE_H_
+#define JACKPINE_ALGO_DISTANCE_H_
+
+#include "geom/geometry.h"
+
+namespace jackpine::geom {
+class Envelope;
+}  // namespace jackpine::geom
+
+namespace jackpine::algo {
+
+// Minimum distance between the point sets of `a` and `b`; 0 when they
+// intersect. Returns +inf if either geometry is empty (PostGIS returns NULL;
+// the SQL layer maps +inf to NULL).
+double Distance(const geom::Geometry& a, const geom::Geometry& b);
+
+// True if Distance(a, b) <= d, with an envelope short-circuit that makes it
+// the cheap form for index-refined range queries.
+bool WithinDistance(const geom::Geometry& a, const geom::Geometry& b,
+                    double d);
+
+}  // namespace jackpine::algo
+
+#endif  // JACKPINE_ALGO_DISTANCE_H_

@@ -1,0 +1,161 @@
+#include "algo/linear_reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "algo/point_in_polygon.h"
+#include "algo/segment_intersection.h"
+
+namespace jackpine::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeometryType;
+
+namespace {
+
+Status RequireLineString(const Geometry& g) {
+  if (g.type() != GeometryType::kLineString || g.IsEmpty()) {
+    return Status::InvalidArgument("expected a non-empty LINESTRING");
+  }
+  return Status::Ok();
+}
+
+double PathLength(const std::vector<Coord>& pts) {
+  double len = 0.0;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    len += DistanceBetween(pts[i], pts[i + 1]);
+  }
+  return len;
+}
+
+Coord PointAtDistance(const std::vector<Coord>& pts, double target) {
+  double walked = 0.0;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    const double seg = DistanceBetween(pts[i], pts[i + 1]);
+    if (walked + seg >= target && seg > 0.0) {
+      const double t = (target - walked) / seg;
+      return {pts[i].x + t * (pts[i + 1].x - pts[i].x),
+              pts[i].y + t * (pts[i + 1].y - pts[i].y)};
+    }
+    walked += seg;
+  }
+  return pts.back();
+}
+
+}  // namespace
+
+Result<Geometry> LineInterpolatePoint(const Geometry& line, double fraction) {
+  JACKPINE_RETURN_IF_ERROR(RequireLineString(line));
+  const std::vector<Coord>& pts = line.AsLineString();
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  return Geometry::MakePoint(PointAtDistance(pts, f * PathLength(pts)));
+}
+
+Result<double> LineLocatePoint(const Geometry& line, const Coord& p) {
+  JACKPINE_RETURN_IF_ERROR(RequireLineString(line));
+  const std::vector<Coord>& pts = line.AsLineString();
+  const double total = PathLength(pts);
+  if (total == 0.0) return 0.0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  double best_at = 0.0;
+  double walked = 0.0;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    const Coord closest = ClosestPointOnSegment(p, pts[i], pts[i + 1]);
+    const double d = DistanceBetween(p, closest);
+    if (d < best_dist) {
+      best_dist = d;
+      best_at = walked + DistanceBetween(pts[i], closest);
+    }
+    walked += DistanceBetween(pts[i], pts[i + 1]);
+  }
+  return std::clamp(best_at / total, 0.0, 1.0);
+}
+
+Geometry ClosestPoint(const Geometry& g, const Coord& p) {
+  if (g.IsEmpty()) return Geometry::MakeEmpty(GeometryType::kPoint);
+  double best_dist = std::numeric_limits<double>::infinity();
+  Coord best = p;
+  for (const Geometry& leaf : g.Leaves()) {
+    switch (leaf.type()) {
+      case GeometryType::kPoint: {
+        const double d = DistanceBetween(p, leaf.AsPoint());
+        if (d < best_dist) {
+          best_dist = d;
+          best = leaf.AsPoint();
+        }
+        break;
+      }
+      case GeometryType::kLineString: {
+        const std::vector<Coord>& pts = leaf.AsLineString();
+        for (size_t i = 0; i + 1 < pts.size(); ++i) {
+          const Coord c = ClosestPointOnSegment(p, pts[i], pts[i + 1]);
+          const double d = DistanceBetween(p, c);
+          if (d < best_dist) {
+            best_dist = d;
+            best = c;
+          }
+        }
+        break;
+      }
+      case GeometryType::kPolygon: {
+        // Inside the polygon the closest point is p itself.
+        const geom::PolygonData& poly = leaf.AsPolygon();
+        auto scan = [&](const geom::Ring& ring) {
+          for (size_t i = 0; i + 1 < ring.size(); ++i) {
+            const Coord c = ClosestPointOnSegment(p, ring[i], ring[i + 1]);
+            const double d = DistanceBetween(p, c);
+            if (d < best_dist) {
+              best_dist = d;
+              best = c;
+            }
+          }
+        };
+        // Cheap interior test via the winding of the shell only would be
+        // wrong with holes; LocateInPolygon handles both.
+        if (LocateInPolygon(p, poly) != Location::kExterior) {
+          return Geometry::MakePoint(p);
+        }
+        scan(poly.shell);
+        for (const geom::Ring& hole : poly.holes) scan(hole);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Geometry::MakePoint(best);
+}
+
+Result<Geometry> LineSubstring(const Geometry& line, double from, double to) {
+  JACKPINE_RETURN_IF_ERROR(RequireLineString(line));
+  double f0 = std::clamp(from, 0.0, 1.0);
+  double f1 = std::clamp(to, 0.0, 1.0);
+  if (f0 > f1) std::swap(f0, f1);
+  const std::vector<Coord>& pts = line.AsLineString();
+  const double total = PathLength(pts);
+  const double d0 = f0 * total;
+  const double d1 = f1 * total;
+  if (d1 - d0 <= 0.0) {
+    return Geometry::MakePoint(PointAtDistance(pts, d0));
+  }
+  std::vector<Coord> out;
+  out.push_back(PointAtDistance(pts, d0));
+  double walked = 0.0;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    const double seg = DistanceBetween(pts[i], pts[i + 1]);
+    const double end = walked + seg;
+    if (end > d0 && end < d1 && pts[i + 1] != out.back()) {
+      out.push_back(pts[i + 1]);
+    }
+    walked = end;
+    if (walked >= d1) break;
+  }
+  const Coord last = PointAtDistance(pts, d1);
+  if (last != out.back()) out.push_back(last);
+  if (out.size() < 2) return Geometry::MakePoint(out.front());
+  return Geometry::MakeLineString(std::move(out));
+}
+
+}  // namespace jackpine::algo

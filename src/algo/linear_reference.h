@@ -1,0 +1,33 @@
+// Linear referencing along linestrings: the primitives behind the geocoding
+// and reverse-geocoding macro scenarios (address interpolation on TIGER
+// edges) and the SQL functions ST_LineInterpolatePoint / ST_LineLocatePoint /
+// ST_ClosestPoint / ST_LineSubstring.
+
+#ifndef JACKPINE_ALGO_LINEAR_REFERENCE_H_
+#define JACKPINE_ALGO_LINEAR_REFERENCE_H_
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace jackpine::algo {
+
+// Point at `fraction` (clamped to [0,1]) of the line's length from its start.
+Result<geom::Geometry> LineInterpolatePoint(const geom::Geometry& line,
+                                            double fraction);
+
+// Fraction of the line's length at which the point of the line closest to
+// `p` lies.
+Result<double> LineLocatePoint(const geom::Geometry& line,
+                               const geom::Coord& p);
+
+// The point of `g` closest to `p` (works for any geometry type).
+geom::Geometry ClosestPoint(const geom::Geometry& g, const geom::Coord& p);
+
+// The sub-line between fractions `from` and `to` (clamped, from <= to after
+// swapping). Returns a POINT geometry when the range collapses.
+Result<geom::Geometry> LineSubstring(const geom::Geometry& line, double from,
+                                     double to);
+
+}  // namespace jackpine::algo
+
+#endif  // JACKPINE_ALGO_LINEAR_REFERENCE_H_

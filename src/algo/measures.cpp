@@ -1,0 +1,156 @@
+#include "algo/measures.h"
+
+#include <cmath>
+
+namespace jackpine::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeometryType;
+using geom::PolygonData;
+using geom::Ring;
+using geom::SignedRingArea;
+
+double Area(const Geometry& g) {
+  if (g.IsEmpty()) return 0.0;
+  switch (g.type()) {
+    case GeometryType::kPolygon: {
+      const PolygonData& poly = g.AsPolygon();
+      double area = std::abs(SignedRingArea(poly.shell));
+      for (const Ring& hole : poly.holes) {
+        area -= std::abs(SignedRingArea(hole));
+      }
+      return area;
+    }
+    case GeometryType::kMultiPolygon:
+    case GeometryType::kGeometryCollection: {
+      double area = 0.0;
+      for (const Geometry& part : g.Parts()) area += Area(part);
+      return area;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+namespace {
+
+double PathLength(const std::vector<Coord>& pts) {
+  double len = 0.0;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    len += DistanceBetween(pts[i], pts[i + 1]);
+  }
+  return len;
+}
+
+}  // namespace
+
+double Length(const Geometry& g) {
+  if (g.IsEmpty()) return 0.0;
+  switch (g.type()) {
+    case GeometryType::kLineString:
+      return PathLength(g.AsLineString());
+    case GeometryType::kMultiLineString:
+    case GeometryType::kGeometryCollection: {
+      double len = 0.0;
+      for (const Geometry& part : g.Parts()) len += Length(part);
+      return len;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+double Perimeter(const Geometry& g) {
+  if (g.IsEmpty()) return 0.0;
+  switch (g.type()) {
+    case GeometryType::kPolygon: {
+      const PolygonData& poly = g.AsPolygon();
+      double len = PathLength(poly.shell);
+      for (const Ring& hole : poly.holes) len += PathLength(hole);
+      return len;
+    }
+    case GeometryType::kMultiPolygon:
+    case GeometryType::kGeometryCollection: {
+      double len = 0.0;
+      for (const Geometry& part : g.Parts()) len += Perimeter(part);
+      return len;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+namespace {
+
+struct CentroidAccum {
+  double wx = 0.0;
+  double wy = 0.0;
+  double weight = 0.0;
+
+  void Add(const Coord& c, double w) {
+    wx += c.x * w;
+    wy += c.y * w;
+    weight += w;
+  }
+};
+
+// Area-weighted ring centroid contribution (signed, so holes cancel).
+void AccumulateRing(const Ring& ring, CentroidAccum* acc) {
+  for (size_t i = 0; i + 1 < ring.size(); ++i) {
+    const Coord& a = ring[i];
+    const Coord& b = ring[i + 1];
+    const double cross = a.x * b.y - b.x * a.y;
+    acc->Add({(a.x + b.x) / 3.0, (a.y + b.y) / 3.0}, cross / 2.0);
+  }
+}
+
+void AccumulateGeometry(const Geometry& g, int target_dim, CentroidAccum* acc) {
+  if (g.IsEmpty()) return;
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      if (target_dim == 0) acc->Add(g.AsPoint(), 1.0);
+      return;
+    case GeometryType::kLineString:
+      if (target_dim == 1) {
+        const std::vector<Coord>& pts = g.AsLineString();
+        for (size_t i = 0; i + 1 < pts.size(); ++i) {
+          const double w = DistanceBetween(pts[i], pts[i + 1]);
+          acc->Add({(pts[i].x + pts[i + 1].x) / 2.0,
+                    (pts[i].y + pts[i + 1].y) / 2.0},
+                   w);
+        }
+      }
+      return;
+    case GeometryType::kPolygon:
+      if (target_dim == 2) {
+        const PolygonData& poly = g.AsPolygon();
+        AccumulateRing(poly.shell, acc);
+        // Holes are stored clockwise, so their signed contributions subtract.
+        for (const Ring& hole : poly.holes) AccumulateRing(hole, acc);
+      }
+      return;
+    default:
+      for (const Geometry& part : g.Parts()) {
+        AccumulateGeometry(part, target_dim, acc);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+Geometry Centroid(const Geometry& g) {
+  const int dim = g.Dimension();
+  if (dim < 0) return Geometry::MakeEmpty(GeometryType::kPoint);
+  CentroidAccum acc;
+  AccumulateGeometry(g, dim, &acc);
+  if (acc.weight == 0.0) {
+    // Degenerate (e.g. zero-area polygon): fall back to envelope centre.
+    if (g.envelope().IsNull()) return Geometry::MakeEmpty(GeometryType::kPoint);
+    return Geometry::MakePoint(g.envelope().Center());
+  }
+  return Geometry::MakePoint(acc.wx / acc.weight, acc.wy / acc.weight);
+}
+
+}  // namespace jackpine::algo

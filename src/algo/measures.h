@@ -1,0 +1,29 @@
+// Metric measures: area, length, centroid.
+//
+// These back the ST_Area / ST_Length / ST_Perimeter / ST_Centroid SQL
+// functions in pinedb and the spatial-analysis micro benchmark (E2).
+
+#ifndef JACKPINE_ALGO_MEASURES_H_
+#define JACKPINE_ALGO_MEASURES_H_
+
+#include "geom/geometry.h"
+
+namespace jackpine::algo {
+
+// Area of polygonal parts (holes subtracted); 0 for points and lines.
+double Area(const geom::Geometry& g);
+
+// Length of lineal parts; for polygonal parts, 0 (use Perimeter).
+double Length(const geom::Geometry& g);
+
+// Total ring length of polygonal parts (shell + holes); 0 otherwise.
+double Perimeter(const geom::Geometry& g);
+
+// Centroid following the PostGIS convention: computed over the
+// highest-dimension parts (area-weighted for polygons, length-weighted for
+// lines, arithmetic mean for points). Returns an empty POINT for empty input.
+geom::Geometry Centroid(const geom::Geometry& g);
+
+}  // namespace jackpine::algo
+
+#endif  // JACKPINE_ALGO_MEASURES_H_

@@ -1,0 +1,41 @@
+#include "algo/orientation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jackpine::algo {
+
+double Cross(const Coord& a, const Coord& b, const Coord& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+int Orientation(const Coord& a, const Coord& b, const Coord& c) {
+  // Shewchuk-style static filter: if |det| exceeds the worst-case rounding
+  // error of the double computation, the sign is certain.
+  const double detleft = (b.x - a.x) * (c.y - a.y);
+  const double detright = (b.y - a.y) * (c.x - a.x);
+  const double det = detleft - detright;
+  const double detsum = std::abs(detleft) + std::abs(detright);
+  constexpr double kErrBound = 3.3306690738754716e-16;  // ~ 2^-52 * 1.5
+  if (std::abs(det) >= kErrBound * detsum) {
+    return det > 0 ? 1 : (det < 0 ? -1 : 0);
+  }
+  // Uncertain zone: evaluate in quad precision, where the sign is EXACT for
+  // double inputs. Doubles convert exactly; a difference of two doubles and
+  // a product of two such differences (<= 108 mantissa bits) are exact in
+  // the 113-bit __float128 format, and the final subtraction rounds to zero
+  // only when the true value is zero.
+  const __float128 ax = a.x, ay = a.y, bx = b.x, by = b.y, cx = c.x, cy = c.y;
+  const __float128 d = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+  if (d > 0) return 1;
+  if (d < 0) return -1;
+  return 0;
+}
+
+bool PointOnSegment(const Coord& p, const Coord& a, const Coord& b) {
+  if (Orientation(a, b, p) != 0) return false;
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace jackpine::algo

@@ -1,0 +1,37 @@
+// Basic orientation / incidence primitives underlying every other algorithm.
+
+#ifndef JACKPINE_ALGO_ORIENTATION_H_
+#define JACKPINE_ALGO_ORIENTATION_H_
+
+#include "geom/coord.h"
+
+namespace jackpine::algo {
+
+using geom::Coord;
+
+// Where a point lies relative to a geometry's interior/boundary/exterior.
+// This is the OGC point-set "Location" used throughout topo::Relate.
+enum class Location : uint8_t { kInterior, kBoundary, kExterior };
+
+// Sign of the z-component of (b-a) x (c-a):
+//  +1  c is to the left of a->b (counter-clockwise turn)
+//   0  collinear
+//  -1  c is to the right (clockwise turn)
+// Uses an error-bound filter so that results are exact for inputs whose
+// cross product magnitude exceeds the rounding error bound.
+int Orientation(const Coord& a, const Coord& b, const Coord& c);
+
+// Raw double-precision cross product (b-a) x (c-a).
+double Cross(const Coord& a, const Coord& b, const Coord& c);
+
+// True if p lies on the closed segment [a, b].
+bool PointOnSegment(const Coord& p, const Coord& a, const Coord& b);
+
+// True if a, b, c are collinear (per Orientation == 0).
+inline bool Collinear(const Coord& a, const Coord& b, const Coord& c) {
+  return Orientation(a, b, c) == 0;
+}
+
+}  // namespace jackpine::algo
+
+#endif  // JACKPINE_ALGO_ORIENTATION_H_

@@ -1,0 +1,1070 @@
+#include "algo/overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "algo/orientation.h"
+#include "algo/point_in_polygon.h"
+#include "algo/segment_intersection.h"
+#include "common/string_util.h"
+
+namespace jackpine::algo {
+
+using geom::Coord;
+using geom::Envelope;
+using geom::Geometry;
+using geom::GeometryType;
+using geom::PolygonData;
+using geom::Ring;
+
+namespace {
+
+// A polygonal region: a set of interior-disjoint polygons with holes.
+using Region = std::vector<PolygonData>;
+
+Envelope RingEnvelope(const Ring& ring) {
+  Envelope e;
+  for (const Coord& c : ring) e.ExpandToInclude(c);
+  return e;
+}
+
+Envelope PolyEnvelope(const PolygonData& poly) {
+  return RingEnvelope(poly.shell);
+}
+
+// A point in the interior of a simple ring: probe the centroid first, then
+// midpoints of chords through the lowest-leftmost (convex) vertex.
+Coord RingInteriorPoint(const Ring& ring) {
+  // Centroid of the ring polygon.
+  double a2 = 0.0, cx = 0.0, cy = 0.0;
+  for (size_t i = 0; i + 1 < ring.size(); ++i) {
+    const double cr = ring[i].x * ring[i + 1].y - ring[i + 1].x * ring[i].y;
+    a2 += cr;
+    cx += (ring[i].x + ring[i + 1].x) * cr;
+    cy += (ring[i].y + ring[i + 1].y) * cr;
+  }
+  if (a2 != 0.0) {
+    Coord c{cx / (3.0 * a2), cy / (3.0 * a2)};
+    if (LocateInRing(c, ring) == Location::kInterior) return c;
+  }
+  // Fallback: shrink the corner triangle at the lowest-leftmost vertex.
+  size_t vi = 0;
+  for (size_t i = 0; i + 1 < ring.size(); ++i) {
+    if (ring[i].x < ring[vi].x ||
+        (ring[i].x == ring[vi].x && ring[i].y < ring[vi].y)) {
+      vi = i;
+    }
+  }
+  const size_t n = ring.size() - 1;
+  const Coord& v = ring[vi];
+  const Coord& prev = ring[(vi + n - 1) % n];
+  const Coord& next = ring[(vi + 1) % n];
+  double t = 0.5;
+  for (int iter = 0; iter < 40; ++iter) {
+    Coord c{v.x + t * ((prev.x + next.x) / 2.0 - v.x),
+            v.y + t * ((prev.y + next.y) / 2.0 - v.y)};
+    if (LocateInRing(c, ring) == Location::kInterior) return c;
+    t *= 0.5;
+  }
+  return v;  // degenerate ring; caller tolerates a boundary point
+}
+
+// ---------------------------------------------------------------------------
+// Greiner–Hormann clipping on simple (hole-free, closed) rings.
+// ---------------------------------------------------------------------------
+
+struct GhVertex {
+  Coord p;
+  GhVertex* next = nullptr;
+  GhVertex* prev = nullptr;
+  bool intersect = false;
+  GhVertex* neighbor = nullptr;
+  bool entry = false;
+  bool visited = false;
+};
+
+// Owns all vertices of one circular list.
+struct GhList {
+  std::deque<GhVertex> arena;
+  std::vector<GhVertex*> originals;  // original ring vertices in order
+
+  GhVertex* New(const Coord& p) {
+    arena.push_back(GhVertex{p});
+    return &arena.back();
+  }
+
+  // Builds the circular list from a closed ring (closing duplicate dropped).
+  void Build(const Ring& ring) {
+    const size_t n = ring.size() - 1;
+    for (size_t i = 0; i < n; ++i) originals.push_back(New(ring[i]));
+    for (size_t i = 0; i < n; ++i) {
+      originals[i]->next = originals[(i + 1) % n];
+      originals[i]->prev = originals[(i + n - 1) % n];
+    }
+  }
+};
+
+// Inserts `v` into the list between `from` and the next *original* vertex,
+// ordered by alpha among already-inserted intersection vertices.
+void InsertSorted(GhVertex* from, GhVertex* to_orig, GhVertex* v,
+                  double alpha,
+                  std::map<const GhVertex*, double>* alphas) {
+  (*alphas)[v] = alpha;
+  GhVertex* cur = from;
+  while (cur->next != to_orig && (*alphas)[cur->next] < alpha) {
+    cur = cur->next;
+  }
+  v->next = cur->next;
+  v->prev = cur;
+  cur->next->prev = v;
+  cur->next = v;
+}
+
+// Result of one GH run: either rings, or "degenerate, please perturb".
+struct GhOutcome {
+  bool degenerate = false;
+  bool no_intersections = false;
+  std::vector<Ring> rings;
+};
+
+enum class GhMode { kIntersection, kUnion, kDifference };
+
+GhOutcome RunGreinerHormann(const Ring& ring_a, const Ring& ring_b,
+                            GhMode mode) {
+  GhOutcome out;
+  GhList la, lb;
+  la.Build(ring_a);
+  lb.Build(ring_b);
+  std::map<const GhVertex*, double> alpha_a, alpha_b;
+
+  bool any_intersections = false;
+  for (size_t i = 0; i < la.originals.size(); ++i) {
+    GhVertex* a0 = la.originals[i];
+    GhVertex* a1 = la.originals[(i + 1) % la.originals.size()];
+    for (size_t j = 0; j < lb.originals.size(); ++j) {
+      GhVertex* b0 = lb.originals[j];
+      GhVertex* b1 = lb.originals[(j + 1) % lb.originals.size()];
+      const SegSegResult r = IntersectSegments(a0->p, a1->p, b0->p, b1->p);
+      if (r.kind == SegSegKind::kNone) continue;
+      if (r.kind == SegSegKind::kOverlap || !r.proper) {
+        out.degenerate = true;
+        return out;
+      }
+      const double ta = ParamAlongSegment(r.p0, a0->p, a1->p);
+      const double tb = ParamAlongSegment(r.p0, b0->p, b1->p);
+      if (ta <= 0.0 || ta >= 1.0 || tb <= 0.0 || tb >= 1.0) {
+        out.degenerate = true;  // numerically endpoint-grazing
+        return out;
+      }
+      GhVertex* va = la.New(r.p0);
+      GhVertex* vb = lb.New(r.p0);
+      va->intersect = vb->intersect = true;
+      va->neighbor = vb;
+      vb->neighbor = va;
+      InsertSorted(a0, a1, va, ta, &alpha_a);
+      InsertSorted(b0, b1, vb, tb, &alpha_b);
+      any_intersections = true;
+    }
+  }
+
+  if (!any_intersections) {
+    out.no_intersections = true;
+    return out;
+  }
+  // Closed curves cross an even number of times; an odd count means a
+  // crossing was lost to near-parallel coincident edges — degenerate.
+  size_t crossings = 0;
+  for (const GhVertex& v : la.arena) {
+    if (v.intersect) ++crossings;
+  }
+  if (crossings % 2 != 0) {
+    out.degenerate = true;
+    return out;
+  }
+
+  // Phase 2: entry/exit marking.
+  const Location loc_a = LocateInRing(la.originals[0]->p, ring_b);
+  const Location loc_b = LocateInRing(lb.originals[0]->p, ring_a);
+  if (loc_a == Location::kBoundary || loc_b == Location::kBoundary) {
+    out.degenerate = true;
+    return out;
+  }
+  bool status_a = (loc_a == Location::kExterior);
+  bool status_b = (loc_b == Location::kExterior);
+  // Intersection: both normal. Union: both inverted. Difference (a - b):
+  // invert the subject's marking only (Greiner & Hormann, section 5).
+  if (mode == GhMode::kUnion) {
+    status_a = !status_a;
+    status_b = !status_b;
+  } else if (mode == GhMode::kDifference) {
+    status_a = !status_a;
+  }
+  for (GhVertex* v = la.originals[0];;) {
+    if (v->intersect) {
+      v->entry = status_a;
+      status_a = !status_a;
+    }
+    v = v->next;
+    if (v == la.originals[0]) break;
+  }
+  for (GhVertex* v = lb.originals[0];;) {
+    if (v->intersect) {
+      v->entry = status_b;
+      status_b = !status_b;
+    }
+    v = v->next;
+    if (v == lb.originals[0]) break;
+  }
+
+  // Phase 3: trace result rings.
+  for (GhVertex& start : la.arena) {
+    if (!start.intersect || start.visited) continue;
+    Ring ring;
+    GhVertex* v = &start;
+    ring.push_back(v->p);
+    // Bounded by total vertex count to guard against marker inconsistencies
+    // caused by near-degenerate inputs (treated as degenerate => retry).
+    const size_t limit = 4 * (la.arena.size() + lb.arena.size()) + 16;
+    size_t steps = 0;
+    bool failed = false;
+    do {
+      v->visited = true;
+      if (v->neighbor != nullptr) v->neighbor->visited = true;
+      if (v->entry) {
+        do {
+          v = v->next;
+          ring.push_back(v->p);
+        } while (!v->intersect && ++steps < limit);
+      } else {
+        do {
+          v = v->prev;
+          ring.push_back(v->p);
+        } while (!v->intersect && ++steps < limit);
+      }
+      if (++steps >= limit) {
+        failed = true;
+        break;
+      }
+      v = v->neighbor;
+    } while (v != &start && v->neighbor != &start);
+    if (failed) {
+      out.degenerate = true;
+      out.rings.clear();
+      return out;
+    }
+    // Close and clean the ring.
+    if (ring.front() != ring.back()) ring.push_back(ring.front());
+    Ring clean;
+    for (const Coord& c : ring) {
+      if (clean.empty() || clean.back() != c) clean.push_back(c);
+    }
+    if (!clean.empty() && clean.front() != clean.back()) {
+      clean.push_back(clean.front());
+    }
+    if (clean.size() >= 4) out.rings.push_back(std::move(clean));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Ring-set -> Region classification (shells vs holes by nesting parity).
+// ---------------------------------------------------------------------------
+
+Region RingsToRegion(std::vector<Ring> rings) {
+  // Drop effectively-empty rings.
+  std::vector<std::pair<double, Ring>> sized;
+  for (Ring& r : rings) {
+    const double area = std::abs(geom::SignedRingArea(r));
+    if (area > 0.0) sized.emplace_back(area, std::move(r));
+  }
+  std::sort(sized.begin(), sized.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  struct Placed {
+    Ring ring;
+    bool is_shell;
+    size_t poly_index;  // valid when is_shell
+  };
+  std::vector<Placed> placed;
+  Region region;
+  for (auto& [area, ring] : sized) {
+    (void)area;
+    const Coord rep = RingInteriorPoint(ring);
+    int depth = 0;
+    size_t innermost_shell_poly = SIZE_MAX;
+    for (const Placed& p : placed) {
+      if (LocateInRing(rep, p.ring) == Location::kInterior) {
+        ++depth;
+        if (p.is_shell) innermost_shell_poly = p.poly_index;
+      }
+    }
+    if (depth % 2 == 0) {
+      // Shell: orient CCW.
+      if (!geom::IsCcw(ring)) std::reverse(ring.begin(), ring.end());
+      region.push_back(PolygonData{ring, {}});
+      placed.push_back(Placed{std::move(ring), true, region.size() - 1});
+    } else {
+      // Hole: orient CW, attach to the innermost containing shell.
+      if (geom::IsCcw(ring)) std::reverse(ring.begin(), ring.end());
+      if (innermost_shell_poly != SIZE_MAX) {
+        region[innermost_shell_poly].holes.push_back(ring);
+      }
+      placed.push_back(Placed{std::move(ring), false, 0});
+    }
+  }
+  return region;
+}
+
+// ---------------------------------------------------------------------------
+// Robust GH wrapper with the deterministic perturbation ladder.
+// ---------------------------------------------------------------------------
+
+Ring PerturbRing(const Ring& ring, const Envelope& scale_env, int attempt) {
+  const double extent =
+      std::max({scale_env.Width(), scale_env.Height(), 1e-12});
+  const double eps = extent * 1e-9 * std::pow(4.0, attempt);
+  // Golden-angle rotation of the translation direction per attempt so that
+  // successive attempts never share a degeneracy direction.
+  const double theta = 2.399963229728653 * (attempt + 1);
+  const double dx = eps * std::cos(theta);
+  const double dy = eps * std::sin(theta);
+  const Coord center = scale_env.Center();
+  const double s = 1.0 + eps / extent;
+  // A tiny rotation is essential: translation and scaling alone keep edges
+  // parallel, so two polygons sharing a collinear seam would keep producing
+  // parallel (never properly crossing) edge pairs on every attempt.
+  const double rot = eps / extent;  // radians
+  const double cr = std::cos(rot);
+  const double sr = std::sin(rot);
+  Ring out;
+  out.reserve(ring.size());
+  for (const Coord& c : ring) {
+    const double rx = (c.x - center.x) * s;
+    const double ry = (c.y - center.y) * s;
+    out.push_back({center.x + rx * cr - ry * sr + dx,
+                   center.y + rx * sr + ry * cr + dy});
+  }
+  return out;
+}
+
+// GH on two simple rings, retrying with perturbed `ring_b` on degeneracy.
+// On success fills `region` (may be empty). `no_intersections` reports the
+// disjoint/containment case so the caller can resolve it.
+Status GhOp(const Ring& ring_a, const Ring& ring_b, GhMode mode,
+            Region* region, bool* no_intersections) {
+  constexpr int kMaxAttempts = 10;
+  Envelope env = RingEnvelope(ring_a);
+  env.ExpandToInclude(RingEnvelope(ring_b));
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const Ring& b = attempt == 0 ? ring_b : PerturbRing(ring_b, env, attempt);
+    const Ring* b_ptr = attempt == 0 ? &ring_b : &b;
+    GhOutcome out = RunGreinerHormann(ring_a, *b_ptr, mode);
+    if (out.degenerate) continue;
+    if (out.no_intersections) {
+      *no_intersections = true;
+      region->clear();
+      return Status::Ok();
+    }
+    *no_intersections = false;
+    *region = RingsToRegion(std::move(out.rings));
+    return Status::Ok();
+  }
+  return Status::Internal(
+      "overlay: perturbation ladder exhausted on degenerate input");
+}
+
+// Containment of one simple ring in another. Only called when the rings'
+// boundaries do not cross, so every vertex of `inner` lies on one side of
+// `outer`: the first vertex with a definite (non-boundary) location decides.
+bool RingInsideRing(const Ring& inner, const Ring& outer) {
+  for (const Coord& v : inner) {
+    const Location loc = LocateInRing(v, outer);
+    if (loc == Location::kInterior) return true;
+    if (loc == Location::kExterior) return false;
+  }
+  // All vertices on the boundary: coincident rings count as contained.
+  return true;
+}
+
+// a_shell OP b_shell for hole-free rings, resolving the no-intersection case.
+Status SimpleRingOp(const Ring& a, const Ring& b, GhMode mode, Region* out) {
+  bool no_int = false;
+  JACKPINE_RETURN_IF_ERROR(GhOp(a, b, mode, out, &no_int));
+  if (!no_int) return Status::Ok();
+  const bool a_in_b = RingInsideRing(a, b);
+  const bool b_in_a = !a_in_b && RingInsideRing(b, a);
+  out->clear();
+  switch (mode) {
+    case GhMode::kIntersection:
+      if (a_in_b) out->push_back(PolygonData{a, {}});
+      if (b_in_a) out->push_back(PolygonData{b, {}});
+      break;
+    case GhMode::kUnion:
+      if (a_in_b) {
+        out->push_back(PolygonData{b, {}});
+      } else if (b_in_a) {
+        out->push_back(PolygonData{a, {}});
+      } else {
+        out->push_back(PolygonData{a, {}});
+        out->push_back(PolygonData{b, {}});
+      }
+      break;
+    case GhMode::kDifference:
+      if (a_in_b) {
+        // a entirely consumed.
+      } else if (b_in_a) {
+        Ring hole = b;
+        if (geom::IsCcw(hole)) std::reverse(hole.begin(), hole.end());
+        out->push_back(PolygonData{a, {hole}});
+      } else {
+        out->push_back(PolygonData{a, {}});
+      }
+      break;
+  }
+  return Status::Ok();
+}
+
+// Forward declarations of the region algebra.
+Status DiffRegionSimple(const Region& a, const Ring& q, Region* out,
+                        int depth = 0);
+Status IntersectRegionSimple(const Region& a, const Ring& q, Region* out);
+
+// True if the boundaries of the two rings meet at all.
+bool RingsBoundaryIntersect(const Ring& r1, const Ring& r2) {
+  if (!RingEnvelope(r1).Intersects(RingEnvelope(r2))) return false;
+  for (size_t i = 0; i + 1 < r1.size(); ++i) {
+    for (size_t j = 0; j + 1 < r2.size(); ++j) {
+      if (IntersectSegments(r1[i], r1[i + 1], r2[j], r2[j + 1]).kind !=
+          SegSegKind::kNone) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// A - q where q is a simple ring polygon.
+Status DiffRegionSimple(const Region& a, const Ring& q, Region* out,
+                        int depth) {
+  if (depth > 64) {
+    return Status::Internal("overlay: hole-subtraction recursion too deep");
+  }
+  out->clear();
+  const Envelope qenv = RingEnvelope(q);
+  for (const PolygonData& poly : a) {
+    if (!PolyEnvelope(poly).Intersects(qenv)) {
+      out->push_back(poly);
+      continue;
+    }
+    // Exact fast path: when q's boundary meets neither the shell nor any
+    // hole, the subtraction is pure bookkeeping — q becomes a hole, is
+    // swallowed by a hole that contains it, or swallows holes it contains.
+    // Besides being cheap, this path is what terminates hole-vs-hole
+    // subtraction (the general path re-derives polygons hole by hole and
+    // would alternate forever between two disjoint holes).
+    if (!RingsBoundaryIntersect(poly.shell, q)) {
+      if (!RingInsideRing(q, poly.shell)) {
+        if (RingInsideRing(poly.shell, q)) {
+          // q contains the whole shell: the polygon is consumed.
+          continue;
+        }
+        // q outside the shell entirely (envelopes overlapped only).
+        out->push_back(poly);
+        continue;
+      }
+      bool resolved = true;
+      bool noop = false;
+      std::vector<Ring> new_holes;
+      for (const Ring& hole : poly.holes) {
+        if (RingsBoundaryIntersect(hole, q)) {
+          resolved = false;  // q overlaps a hole boundary: general path
+          break;
+        }
+        if (RingInsideRing(q, hole)) {
+          noop = true;  // q inside an existing hole: nothing to subtract
+          break;
+        }
+        if (RingInsideRing(hole, q)) continue;  // hole swallowed by q
+        new_holes.push_back(hole);
+      }
+      if (noop) {
+        out->push_back(poly);
+        continue;
+      }
+      if (resolved) {
+        Ring q_hole = q;
+        if (geom::IsCcw(q_hole)) {
+          std::reverse(q_hole.begin(), q_hole.end());
+        }
+        new_holes.push_back(std::move(q_hole));
+        out->push_back(PolygonData{poly.shell, std::move(new_holes)});
+        continue;
+      }
+    }
+    Region pieces;
+    JACKPINE_RETURN_IF_ERROR(
+        SimpleRingOp(poly.shell, q, GhMode::kDifference, &pieces));
+    // Re-subtract the polygon's own holes from the produced pieces.
+    for (const Ring& hole : poly.holes) {
+      Region next;
+      JACKPINE_RETURN_IF_ERROR(DiffRegionSimple(pieces, hole, &next, depth + 1));
+      pieces = std::move(next);
+    }
+    out->insert(out->end(), pieces.begin(), pieces.end());
+  }
+  return Status::Ok();
+}
+
+// A intersect q where q is a simple ring polygon.
+Status IntersectRegionSimple(const Region& a, const Ring& q, Region* out) {
+  out->clear();
+  const Envelope qenv = RingEnvelope(q);
+  for (const PolygonData& poly : a) {
+    if (!PolyEnvelope(poly).Intersects(qenv)) continue;
+    Region pieces;
+    JACKPINE_RETURN_IF_ERROR(
+        SimpleRingOp(poly.shell, q, GhMode::kIntersection, &pieces));
+    for (const Ring& hole : poly.holes) {
+      Region next;
+      JACKPINE_RETURN_IF_ERROR(DiffRegionSimple(pieces, hole, &next));
+      pieces = std::move(next);
+    }
+    out->insert(out->end(), pieces.begin(), pieces.end());
+  }
+  return Status::Ok();
+}
+
+// A - B for general regions: A - (Sb - holes) = (A - Sb) u (A ∩ holes).
+Status DiffRegion(const Region& a, const Region& b, Region* out) {
+  Region cur = a;
+  for (const PolygonData& bp : b) {
+    Region keep;
+    JACKPINE_RETURN_IF_ERROR(DiffRegionSimple(cur, bp.shell, &keep));
+    for (const Ring& hole : bp.holes) {
+      Region recovered;
+      JACKPINE_RETURN_IF_ERROR(IntersectRegionSimple(cur, hole, &recovered));
+      keep.insert(keep.end(), recovered.begin(), recovered.end());
+    }
+    cur = std::move(keep);
+  }
+  *out = std::move(cur);
+  return Status::Ok();
+}
+
+Status IntersectRegion(const Region& a, const Region& b, Region* out) {
+  out->clear();
+  for (const PolygonData& ap : a) {
+    // A part of `a` clipped against region b = union over b's parts; parts
+    // of b are interior-disjoint, so concatenation is exact.
+    for (const PolygonData& bp : b) {
+      if (!PolyEnvelope(ap).Intersects(PolyEnvelope(bp))) continue;
+      Region pieces;
+      JACKPINE_RETURN_IF_ERROR(
+          SimpleRingOp(ap.shell, bp.shell, GhMode::kIntersection, &pieces));
+      for (const Ring& hole : ap.holes) {
+        Region next;
+        JACKPINE_RETURN_IF_ERROR(DiffRegionSimple(pieces, hole, &next));
+        pieces = std::move(next);
+      }
+      for (const Ring& hole : bp.holes) {
+        Region next;
+        JACKPINE_RETURN_IF_ERROR(DiffRegionSimple(pieces, hole, &next));
+        pieces = std::move(next);
+      }
+      out->insert(out->end(), pieces.begin(), pieces.end());
+    }
+  }
+  return Status::Ok();
+}
+
+// Quick interior-overlap test used to decide whether a union can dissolve.
+bool PolysIntersect(const PolygonData& a, const PolygonData& b) {
+  if (!PolyEnvelope(a).Intersects(PolyEnvelope(b))) return false;
+  for (size_t i = 0; i + 1 < a.shell.size(); ++i) {
+    for (size_t j = 0; j + 1 < b.shell.size(); ++j) {
+      if (IntersectSegments(a.shell[i], a.shell[i + 1], b.shell[j],
+                            b.shell[j + 1])
+              .kind != SegSegKind::kNone) {
+        return true;
+      }
+    }
+  }
+  return LocateInPolygon(RingInteriorPoint(a.shell), b) !=
+             Location::kExterior ||
+         LocateInPolygon(RingInteriorPoint(b.shell), a) != Location::kExterior;
+}
+
+// Dissolved union of two polygons (with holes):
+// (Sa - Ha) u (Sb - Hb) = (Sa u Sb) - (Ha - b) - (Hb - a).
+Status UnionTwoPolys(const PolygonData& a, const PolygonData& b, Region* out) {
+  Region shells;
+  JACKPINE_RETURN_IF_ERROR(
+      SimpleRingOp(a.shell, b.shell, GhMode::kUnion, &shells));
+  Region cur = std::move(shells);
+  for (const Ring& hole : a.holes) {
+    Region hole_minus_b;
+    JACKPINE_RETURN_IF_ERROR(
+        DiffRegion(Region{PolygonData{hole, {}}}, Region{b}, &hole_minus_b));
+    Region next;
+    JACKPINE_RETURN_IF_ERROR(DiffRegion(cur, hole_minus_b, &next));
+    cur = std::move(next);
+  }
+  for (const Ring& hole : b.holes) {
+    Region hole_minus_a;
+    JACKPINE_RETURN_IF_ERROR(
+        DiffRegion(Region{PolygonData{hole, {}}}, Region{a}, &hole_minus_a));
+    Region next;
+    JACKPINE_RETURN_IF_ERROR(DiffRegion(cur, hole_minus_a, &next));
+    cur = std::move(next);
+  }
+  *out = std::move(cur);
+  return Status::Ok();
+}
+
+// Cascaded union of all parts: repeatedly merge intersecting parts.
+Status UnionRegion(const Region& a, const Region& b, Region* out) {
+  std::vector<PolygonData> work = a;
+  work.insert(work.end(), b.begin(), b.end());
+  Region done;
+  while (!work.empty()) {
+    PolygonData cur = std::move(work.back());
+    work.pop_back();
+    bool merged_any = true;
+    while (merged_any) {
+      merged_any = false;
+      for (size_t i = 0; i < work.size(); ++i) {
+        if (!PolysIntersect(cur, work[i])) continue;
+        Region merged;
+        JACKPINE_RETURN_IF_ERROR(UnionTwoPolys(cur, work[i], &merged));
+        if (merged.size() != 1) {
+          // The pair did not dissolve into one polygon: a touching-only
+          // contact that the perturbation ladder resolved as disjoint (or a
+          // genuinely multi-part result). Keep both parts as they are —
+          // re-queueing would retry the same non-merging pair forever. The
+          // union as a point set stays correct; the parts merely share a
+          // boundary seam.
+          continue;
+        }
+        work.erase(work.begin() + static_cast<ptrdiff_t>(i));
+        cur = std::move(merged.front());
+        merged_any = true;
+        break;
+      }
+    }
+    done.push_back(std::move(cur));
+  }
+  *out = std::move(done);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Geometry <-> Region conversion.
+// ---------------------------------------------------------------------------
+
+bool IsPolygonal(const Geometry& g) {
+  return g.type() == GeometryType::kPolygon ||
+         g.type() == GeometryType::kMultiPolygon;
+}
+bool IsLineal(const Geometry& g) {
+  return g.type() == GeometryType::kLineString ||
+         g.type() == GeometryType::kMultiLineString;
+}
+bool IsPuntal(const Geometry& g) {
+  return g.type() == GeometryType::kPoint ||
+         g.type() == GeometryType::kMultiPoint;
+}
+
+Region ToRegion(const Geometry& g) {
+  Region region;
+  for (const Geometry& leaf : g.Leaves()) {
+    if (leaf.type() == GeometryType::kPolygon) {
+      region.push_back(leaf.AsPolygon());
+    }
+  }
+  return region;
+}
+
+Geometry RegionToGeometry(const Region& region) {
+  std::vector<Geometry> polys;
+  for (const PolygonData& p : region) {
+    auto poly = Geometry::MakePolygon(p.shell, p.holes);
+    if (poly.ok() && !poly->IsEmpty()) polys.push_back(std::move(poly).value());
+  }
+  if (polys.empty()) return Geometry::MakeEmpty(GeometryType::kPolygon);
+  if (polys.size() == 1) return polys[0];
+  auto multi = Geometry::MakeMultiPolygon(std::move(polys));
+  return multi.ok() ? std::move(multi).value()
+                    : Geometry::MakeEmpty(GeometryType::kMultiPolygon);
+}
+
+// ---------------------------------------------------------------------------
+// Lineal clipping and line/line overlay.
+// ---------------------------------------------------------------------------
+
+// All boundary segments of a polygonal geometry.
+std::vector<std::pair<Coord, Coord>> AreaBoundarySegments(const Geometry& g) {
+  std::vector<std::pair<Coord, Coord>> segs;
+  for (const Geometry& leaf : g.Leaves()) {
+    if (leaf.type() != GeometryType::kPolygon) continue;
+    const PolygonData& poly = leaf.AsPolygon();
+    auto add = [&segs](const Ring& r) {
+      for (size_t i = 0; i + 1 < r.size(); ++i) {
+        segs.emplace_back(r[i], r[i + 1]);
+      }
+    };
+    add(poly.shell);
+    for (const Ring& hole : poly.holes) add(hole);
+  }
+  return segs;
+}
+
+// All segments of a lineal geometry.
+std::vector<std::pair<Coord, Coord>> LineSegments(const Geometry& g) {
+  std::vector<std::pair<Coord, Coord>> segs;
+  for (const Geometry& leaf : g.Leaves()) {
+    if (leaf.type() != GeometryType::kLineString) continue;
+    const std::vector<Coord>& pts = leaf.AsLineString();
+    for (size_t i = 0; i + 1 < pts.size(); ++i) {
+      segs.emplace_back(pts[i], pts[i + 1]);
+    }
+  }
+  return segs;
+}
+
+// Splits `path` at every intersection with `cut_segs` and returns the kept
+// sub-paths according to `keep(midpoint)`.
+std::vector<std::vector<Coord>> SplitAndFilterPath(
+    const std::vector<Coord>& path,
+    const std::vector<std::pair<Coord, Coord>>& cut_segs,
+    const std::function<bool(const Coord&)>& keep) {
+  std::vector<std::vector<Coord>> kept;
+  std::vector<Coord> current;
+  auto flush = [&]() {
+    if (current.size() >= 2) kept.push_back(current);
+    current.clear();
+  };
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const Coord& a = path[i];
+    const Coord& b = path[i + 1];
+    std::vector<double> cuts = {0.0, 1.0};
+    const Envelope seg_env(a, b);
+    for (const auto& [c0, c1] : cut_segs) {
+      if (!seg_env.Intersects(Envelope(c0, c1))) continue;
+      const SegSegResult r = IntersectSegments(a, b, c0, c1);
+      if (r.kind == SegSegKind::kPoint) {
+        cuts.push_back(ParamAlongSegment(r.p0, a, b));
+      } else if (r.kind == SegSegKind::kOverlap) {
+        cuts.push_back(ParamAlongSegment(r.p0, a, b));
+        cuts.push_back(ParamAlongSegment(r.p1, a, b));
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (size_t k = 0; k + 1 < cuts.size(); ++k) {
+      const double t0 = cuts[k];
+      const double t1 = cuts[k + 1];
+      if (t1 - t0 <= 0.0) continue;
+      const Coord p0{a.x + t0 * (b.x - a.x), a.y + t0 * (b.y - a.y)};
+      const Coord p1{a.x + t1 * (b.x - a.x), a.y + t1 * (b.y - a.y)};
+      const Coord mid{(p0.x + p1.x) / 2.0, (p0.y + p1.y) / 2.0};
+      if (keep(mid)) {
+        if (current.empty()) {
+          current.push_back(p0);
+        } else if (current.back() != p0) {
+          flush();
+          current.push_back(p0);
+        }
+        current.push_back(p1);
+      } else {
+        flush();
+      }
+    }
+  }
+  flush();
+  return kept;
+}
+
+Geometry LinesToGeometry(std::vector<std::vector<Coord>> paths) {
+  std::vector<Geometry> lines;
+  for (std::vector<Coord>& p : paths) {
+    auto line = Geometry::MakeLineString(std::move(p));
+    if (line.ok()) lines.push_back(std::move(line).value());
+  }
+  if (lines.empty()) return Geometry::MakeEmpty(GeometryType::kLineString);
+  if (lines.size() == 1) return lines[0];
+  auto multi = Geometry::MakeMultiLineString(std::move(lines));
+  return multi.ok() ? std::move(multi).value()
+                    : Geometry::MakeEmpty(GeometryType::kMultiLineString);
+}
+
+}  // namespace
+
+Geometry ClipLineToArea(const Geometry& line, const Geometry& area,
+                        bool inside) {
+  const auto cut_segs = AreaBoundarySegments(area);
+  auto keep = [&area, inside](const Coord& mid) {
+    const Location loc = Locate(mid, area);
+    return inside ? loc != Location::kExterior : loc == Location::kExterior;
+  };
+  std::vector<std::vector<Coord>> kept;
+  for (const Geometry& leaf : line.Leaves()) {
+    if (leaf.type() != GeometryType::kLineString) continue;
+    auto parts = SplitAndFilterPath(leaf.AsLineString(), cut_segs, keep);
+    kept.insert(kept.end(), std::make_move_iterator(parts.begin()),
+                std::make_move_iterator(parts.end()));
+  }
+  return LinesToGeometry(std::move(kept));
+}
+
+namespace {
+
+// line OP line.
+Geometry LineLineOverlay(const Geometry& a, const Geometry& b, OverlayOp op) {
+  const auto segs_b = LineSegments(b);
+  const auto segs_a = LineSegments(a);
+  auto on_b = [&b](const Coord& mid) {
+    return Locate(mid, b) != Location::kExterior;
+  };
+  auto off_b = [&b](const Coord& mid) {
+    return Locate(mid, b) == Location::kExterior;
+  };
+  auto off_a = [&a](const Coord& mid) {
+    return Locate(mid, a) == Location::kExterior;
+  };
+
+  switch (op) {
+    case OverlayOp::kIntersection: {
+      // Collinear overlaps as lines plus isolated crossing points.
+      std::vector<std::vector<Coord>> overlap_paths;
+      for (const Geometry& leaf : a.Leaves()) {
+        if (leaf.type() != GeometryType::kLineString) continue;
+        auto parts = SplitAndFilterPath(leaf.AsLineString(), segs_b, on_b);
+        overlap_paths.insert(overlap_paths.end(),
+                             std::make_move_iterator(parts.begin()),
+                             std::make_move_iterator(parts.end()));
+      }
+      Geometry lines = LinesToGeometry(overlap_paths);
+      // Crossing points not covered by the overlap lines.
+      std::vector<Geometry> points;
+      for (const auto& [a0, a1] : segs_a) {
+        for (const auto& [b0, b1] : segs_b) {
+          const SegSegResult r = IntersectSegments(a0, a1, b0, b1);
+          if (r.kind != SegSegKind::kPoint) continue;
+          if (!lines.IsEmpty() && Locate(r.p0, lines) != Location::kExterior) {
+            continue;
+          }
+          bool dup = false;
+          for (const Geometry& p : points) {
+            if (p.AsPoint() == r.p0) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) points.push_back(Geometry::MakePoint(r.p0));
+        }
+      }
+      if (points.empty()) return lines;
+      if (lines.IsEmpty()) {
+        if (points.size() == 1) return points[0];
+        auto mp = Geometry::MakeMultiPoint(std::move(points));
+        return mp.ok() ? std::move(mp).value() : Geometry();
+      }
+      points.push_back(lines);
+      return Geometry::MakeCollection(std::move(points));
+    }
+    case OverlayOp::kDifference: {
+      std::vector<std::vector<Coord>> kept;
+      for (const Geometry& leaf : a.Leaves()) {
+        if (leaf.type() != GeometryType::kLineString) continue;
+        auto parts = SplitAndFilterPath(leaf.AsLineString(), segs_b, off_b);
+        kept.insert(kept.end(), std::make_move_iterator(parts.begin()),
+                    std::make_move_iterator(parts.end()));
+      }
+      return LinesToGeometry(std::move(kept));
+    }
+    case OverlayOp::kUnion: {
+      // a plus the portions of b not already covered by a.
+      std::vector<std::vector<Coord>> extra;
+      for (const Geometry& leaf : b.Leaves()) {
+        if (leaf.type() != GeometryType::kLineString) continue;
+        auto parts = SplitAndFilterPath(leaf.AsLineString(), segs_a, off_a);
+        extra.insert(extra.end(), std::make_move_iterator(parts.begin()),
+                     std::make_move_iterator(parts.end()));
+      }
+      std::vector<Geometry> lines = a.Leaves();
+      Geometry more = LinesToGeometry(std::move(extra));
+      for (Geometry& l : more.Leaves()) lines.push_back(std::move(l));
+      auto multi = Geometry::MakeMultiLineString(std::move(lines));
+      return multi.ok() ? std::move(multi).value() : a;
+    }
+    case OverlayOp::kSymDifference: {
+      Geometry a_minus_b = LineLineOverlay(a, b, OverlayOp::kDifference);
+      Geometry b_minus_a = LineLineOverlay(b, a, OverlayOp::kDifference);
+      std::vector<Geometry> lines = a_minus_b.Leaves();
+      for (Geometry& l : b_minus_a.Leaves()) lines.push_back(std::move(l));
+      if (lines.empty()) return Geometry::MakeEmpty(GeometryType::kLineString);
+      auto multi = Geometry::MakeMultiLineString(std::move(lines));
+      return multi.ok() ? std::move(multi).value() : a_minus_b;
+    }
+  }
+  return Geometry();
+}
+
+// point-set OP any geometry.
+Geometry PointOverlay(const Geometry& points, const Geometry& other,
+                      OverlayOp op, bool keep_covered) {
+  std::vector<Geometry> kept;
+  for (const Geometry& leaf : points.Leaves()) {
+    if (leaf.type() != GeometryType::kPoint) continue;
+    const bool covered = Locate(leaf.AsPoint(), other) != Location::kExterior;
+    if (covered == keep_covered) kept.push_back(leaf);
+  }
+  (void)op;
+  if (kept.empty()) return Geometry::MakeEmpty(GeometryType::kPoint);
+  if (kept.size() == 1) return kept[0];
+  auto mp = Geometry::MakeMultiPoint(std::move(kept));
+  return mp.ok() ? std::move(mp).value() : Geometry();
+}
+
+Geometry StripEmpty(std::vector<Geometry> parts) {
+  std::vector<Geometry> keep;
+  for (Geometry& g : parts) {
+    if (!g.IsEmpty()) keep.push_back(std::move(g));
+  }
+  if (keep.empty()) return Geometry();
+  if (keep.size() == 1) return keep[0];
+  return Geometry::MakeCollection(std::move(keep));
+}
+
+}  // namespace
+
+Result<Geometry> Overlay(const Geometry& a, const Geometry& b, OverlayOp op) {
+  // Empty-operand fast paths.
+  if (a.IsEmpty() || b.IsEmpty()) {
+    switch (op) {
+      case OverlayOp::kIntersection:
+        return Geometry::MakeEmpty(a.type());
+      case OverlayOp::kDifference:
+        return a;
+      case OverlayOp::kUnion:
+      case OverlayOp::kSymDifference:
+        return a.IsEmpty() ? b : a;
+    }
+  }
+  if (a.type() == GeometryType::kGeometryCollection ||
+      b.type() == GeometryType::kGeometryCollection) {
+    return Status::Unimplemented(
+        "overlay on GEOMETRYCOLLECTION operands is not supported");
+  }
+
+  // Same-dimension cases.
+  if (IsPolygonal(a) && IsPolygonal(b)) {
+    const Region ra = ToRegion(a);
+    const Region rb = ToRegion(b);
+    Region out;
+    switch (op) {
+      case OverlayOp::kIntersection:
+        JACKPINE_RETURN_IF_ERROR(IntersectRegion(ra, rb, &out));
+        break;
+      case OverlayOp::kUnion:
+        JACKPINE_RETURN_IF_ERROR(UnionRegion(ra, rb, &out));
+        break;
+      case OverlayOp::kDifference:
+        JACKPINE_RETURN_IF_ERROR(DiffRegion(ra, rb, &out));
+        break;
+      case OverlayOp::kSymDifference: {
+        Region amb, bma;
+        JACKPINE_RETURN_IF_ERROR(DiffRegion(ra, rb, &amb));
+        JACKPINE_RETURN_IF_ERROR(DiffRegion(rb, ra, &bma));
+        // Interior-disjoint by construction; concatenation is exact.
+        out = std::move(amb);
+        out.insert(out.end(), bma.begin(), bma.end());
+        break;
+      }
+    }
+    return RegionToGeometry(out);
+  }
+  if (IsLineal(a) && IsLineal(b)) return LineLineOverlay(a, b, op);
+  if (IsPuntal(a) && IsPuntal(b)) {
+    switch (op) {
+      case OverlayOp::kIntersection:
+        return PointOverlay(a, b, op, /*keep_covered=*/true);
+      case OverlayOp::kDifference:
+        return PointOverlay(a, b, op, /*keep_covered=*/false);
+      case OverlayOp::kUnion: {
+        std::vector<Geometry> pts = a.Leaves();
+        Geometry extra = PointOverlay(b, a, op, /*keep_covered=*/false);
+        for (Geometry& p : extra.Leaves()) pts.push_back(std::move(p));
+        auto mp = Geometry::MakeMultiPoint(std::move(pts));
+        return mp.ok() ? std::move(mp).value() : a;
+      }
+      case OverlayOp::kSymDifference: {
+        Geometry amb = PointOverlay(a, b, op, /*keep_covered=*/false);
+        Geometry bma = PointOverlay(b, a, op, /*keep_covered=*/false);
+        std::vector<Geometry> pts = amb.Leaves();
+        for (Geometry& p : bma.Leaves()) pts.push_back(std::move(p));
+        if (pts.empty()) return Geometry::MakeEmpty(GeometryType::kPoint);
+        auto mp = Geometry::MakeMultiPoint(std::move(pts));
+        return mp.ok() ? std::move(mp).value() : amb;
+      }
+    }
+  }
+
+  // Mixed-dimension cases.
+  const bool a_higher = a.Dimension() > b.Dimension();
+  const Geometry& hi = a_higher ? a : b;
+  const Geometry& lo = a_higher ? b : a;
+  switch (op) {
+    case OverlayOp::kIntersection: {
+      if (IsPuntal(lo)) return PointOverlay(lo, hi, op, /*keep_covered=*/true);
+      // line ∩ polygon.
+      return ClipLineToArea(lo, hi, /*inside=*/true);
+    }
+    case OverlayOp::kDifference: {
+      if (a_higher) return a;  // removing a lower-dim set changes nothing
+      if (IsPuntal(a)) return PointOverlay(a, b, op, /*keep_covered=*/false);
+      return ClipLineToArea(a, b, /*inside=*/false);
+    }
+    case OverlayOp::kUnion:
+    case OverlayOp::kSymDifference: {
+      // Collection of the higher-dim geometry and the uncovered part of the
+      // lower-dim one (the PostGIS convention).
+      Geometry lo_outside;
+      if (IsPuntal(lo)) {
+        lo_outside = PointOverlay(lo, hi, op, /*keep_covered=*/false);
+      } else {
+        lo_outside = ClipLineToArea(lo, hi, /*inside=*/false);
+      }
+      return StripEmpty({hi, lo_outside});
+    }
+  }
+  return Status::Internal("overlay: unhandled case");
+}
+
+Result<Geometry> UnionAll(const std::vector<Geometry>& geometries) {
+  Region region;
+  std::vector<Geometry> non_area;
+  for (const Geometry& g : geometries) {
+    for (const Geometry& leaf : g.Leaves()) {
+      if (leaf.type() == GeometryType::kPolygon) {
+        Region next;
+        JACKPINE_RETURN_IF_ERROR(
+            UnionRegion(region, Region{leaf.AsPolygon()}, &next));
+        region = std::move(next);
+      } else {
+        non_area.push_back(leaf);
+      }
+    }
+  }
+  Geometry area = RegionToGeometry(region);
+  if (non_area.empty()) return area;
+  if (area.IsEmpty() && non_area.size() == 1) return non_area[0];
+  std::vector<Geometry> parts = std::move(non_area);
+  if (!area.IsEmpty()) parts.push_back(area);
+  return Geometry::MakeCollection(std::move(parts));
+}
+
+}  // namespace jackpine::algo

@@ -1,0 +1,109 @@
+#include "algo/point_in_polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/segment_intersection.h"
+#include "geom/coord.h"
+
+namespace jackpine::algo {
+
+using geom::Geometry;
+using geom::GeometryType;
+using geom::PolygonData;
+using geom::Ring;
+
+Location LocateInRing(const Coord& p, const Ring& ring) {
+  // Crossing-number ray cast along +x with exact boundary detection.
+  bool inside = false;
+  for (size_t i = 0; i + 1 < ring.size(); ++i) {
+    const Coord& a = ring[i];
+    const Coord& b = ring[i + 1];
+    if (PointNearSegment(p, a, b)) return Location::kBoundary;
+    // Standard half-open rule avoids double-counting vertices.
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_at =
+          a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (x_at > p.x) inside = !inside;
+    }
+  }
+  return inside ? Location::kInterior : Location::kExterior;
+}
+
+Location LocateInPolygon(const Coord& p, const PolygonData& polygon) {
+  const Location shell = LocateInRing(p, polygon.shell);
+  if (shell != Location::kInterior) return shell;
+  for (const Ring& hole : polygon.holes) {
+    const Location h = LocateInRing(p, hole);
+    if (h == Location::kBoundary) return Location::kBoundary;
+    if (h == Location::kInterior) return Location::kExterior;
+  }
+  return Location::kInterior;
+}
+
+namespace {
+
+// Location against a single linestring: endpoints are boundary candidates,
+// any other covered point is interior.
+Location LocateOnLineString(const Coord& p, const std::vector<Coord>& pts) {
+  if (pts.empty()) return Location::kExterior;
+  bool on_curve = false;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    if (PointNearSegment(p, pts[i], pts[i + 1])) {
+      on_curve = true;
+      break;
+    }
+  }
+  if (!on_curve) return Location::kExterior;
+  const bool closed = pts.front() == pts.back();
+  const double eps =
+      1e-9 * std::max({std::abs(p.x), std::abs(p.y), 1.0});
+  if (!closed && (DistanceBetween(p, pts.front()) <= eps ||
+                  DistanceBetween(p, pts.back()) <= eps)) {
+    return Location::kBoundary;
+  }
+  return Location::kInterior;
+}
+
+}  // namespace
+
+Location Locate(const Coord& p, const Geometry& g) {
+  if (g.IsEmpty()) return Location::kExterior;
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return p == g.AsPoint() ? Location::kInterior : Location::kExterior;
+    case GeometryType::kLineString:
+      return LocateOnLineString(p, g.AsLineString());
+    case GeometryType::kPolygon:
+      return LocateInPolygon(p, g.AsPolygon());
+    case GeometryType::kMultiLineString: {
+      // Mod-2 rule: a shared endpoint of an even number of parts is interior.
+      bool on_any = false;
+      bool interior_any = false;
+      int endpoint_hits = 0;
+      for (const Geometry& part : g.Parts()) {
+        if (part.IsEmpty()) continue;
+        const Location loc = LocateOnLineString(p, part.AsLineString());
+        if (loc == Location::kInterior) interior_any = true;
+        if (loc == Location::kBoundary) ++endpoint_hits;
+        if (loc != Location::kExterior) on_any = true;
+      }
+      if (!on_any) return Location::kExterior;
+      if (interior_any) return Location::kInterior;
+      return (endpoint_hits % 2 == 1) ? Location::kBoundary
+                                      : Location::kInterior;
+    }
+    default: {
+      // MultiPoint, MultiPolygon, GeometryCollection: strongest wins.
+      Location best = Location::kExterior;
+      for (const Geometry& part : g.Parts()) {
+        const Location loc = Locate(p, part);
+        if (loc == Location::kInterior) return Location::kInterior;
+        if (loc == Location::kBoundary) best = Location::kBoundary;
+      }
+      return best;
+    }
+  }
+}
+
+}  // namespace jackpine::algo

@@ -1,0 +1,38 @@
+// Point location against polygonal and lineal geometries.
+
+#ifndef JACKPINE_ALGO_POINT_IN_POLYGON_H_
+#define JACKPINE_ALGO_POINT_IN_POLYGON_H_
+
+#include "algo/orientation.h"
+#include "geom/geometry.h"
+
+namespace jackpine::algo {
+
+// Ray-casting location of `p` against a single closed ring.
+Location LocateInRing(const Coord& p, const geom::Ring& ring);
+
+// Location against a polygon with holes: interior means inside the shell and
+// outside every hole; on any ring is boundary.
+Location LocateInPolygon(const Coord& p, const geom::PolygonData& polygon);
+
+// Location of `p` against an arbitrary geometry's point set, following OGC
+// semantics per type:
+//  - polygonal: as above, unioned over parts;
+//  - lineal: boundary = endpoints (mod-2 over parts), interior = rest of
+//    the curve;
+//  - puntal: each point is interior (points have empty boundary).
+// For mixed collections the strongest location wins
+// (Interior > Boundary > Exterior).
+Location Locate(const Coord& p, const geom::Geometry& g);
+
+// Convenience predicates on top of Locate.
+inline bool CoversPoint(const geom::Geometry& g, const Coord& p) {
+  return Locate(p, g) != Location::kExterior;
+}
+inline bool ContainsPointProperly(const geom::Geometry& g, const Coord& p) {
+  return Locate(p, g) == Location::kInterior;
+}
+
+}  // namespace jackpine::algo
+
+#endif  // JACKPINE_ALGO_POINT_IN_POLYGON_H_

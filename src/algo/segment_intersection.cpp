@@ -1,0 +1,133 @@
+#include "algo/segment_intersection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/orientation.h"
+
+namespace jackpine::algo {
+
+namespace {
+
+// Envelope-style quick rejection for two segments.
+bool BoxesOverlap(const Coord& a0, const Coord& a1, const Coord& b0,
+                  const Coord& b1) {
+  return std::max(b0.x, b1.x) >= std::min(a0.x, a1.x) &&
+         std::min(b0.x, b1.x) <= std::max(a0.x, a1.x) &&
+         std::max(b0.y, b1.y) >= std::min(a0.y, a1.y) &&
+         std::min(b0.y, b1.y) <= std::max(a0.y, a1.y);
+}
+
+}  // namespace
+
+double ParamAlongSegment(const Coord& p, const Coord& a, const Coord& b) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  if (len2 == 0.0) return 0.0;
+  const double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+Coord ClosestPointOnSegment(const Coord& p, const Coord& a, const Coord& b) {
+  const double t = ParamAlongSegment(p, a, b);
+  return {a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+}
+
+double DistancePointToSegment(const Coord& p, const Coord& a, const Coord& b) {
+  return DistanceBetween(p, ClosestPointOnSegment(p, a, b));
+}
+
+bool PointNearSegment(const Coord& p, const Coord& a, const Coord& b,
+                      double relative_eps) {
+  const double scale =
+      std::max({std::abs(a.x), std::abs(a.y), std::abs(b.x), std::abs(b.y),
+                std::abs(p.x), std::abs(p.y), 1.0});
+  const double eps = relative_eps * scale;
+  if (p.x < std::min(a.x, b.x) - eps || p.x > std::max(a.x, b.x) + eps ||
+      p.y < std::min(a.y, b.y) - eps || p.y > std::max(a.y, b.y) + eps) {
+    return false;
+  }
+  return DistancePointToSegment(p, a, b) <= eps;
+}
+
+double DistanceSegmentToSegment(const Coord& a0, const Coord& a1,
+                                const Coord& b0, const Coord& b1) {
+  if (IntersectSegments(a0, a1, b0, b1).kind != SegSegKind::kNone) return 0.0;
+  return std::min(std::min(DistancePointToSegment(a0, b0, b1),
+                           DistancePointToSegment(a1, b0, b1)),
+                  std::min(DistancePointToSegment(b0, a0, a1),
+                           DistancePointToSegment(b1, a0, a1)));
+}
+
+SegSegResult IntersectSegments(const Coord& a0, const Coord& a1,
+                               const Coord& b0, const Coord& b1) {
+  SegSegResult out;
+  if (!BoxesOverlap(a0, a1, b0, b1)) return out;
+
+  const int o1 = Orientation(a0, a1, b0);
+  const int o2 = Orientation(a0, a1, b1);
+  const int o3 = Orientation(b0, b1, a0);
+  const int o4 = Orientation(b0, b1, a1);
+
+  if (o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0) {
+    // Proper crossing: solve the 2x2 linear system for the crossing point.
+    const double dax = a1.x - a0.x;
+    const double day = a1.y - a0.y;
+    const double dbx = b1.x - b0.x;
+    const double dby = b1.y - b0.y;
+    const double denom = dax * dby - day * dbx;
+    // denom != 0 because the orientations certify non-parallel.
+    const double t = ((b0.x - a0.x) * dby - (b0.y - a0.y) * dbx) / denom;
+    out.kind = SegSegKind::kPoint;
+    out.p0 = {a0.x + t * dax, a0.y + t * day};
+    out.proper = true;
+    return out;
+  }
+
+  if (o1 == 0 && o2 == 0 && o3 == 0 && o4 == 0) {
+    // Collinear. Project on the dominant axis to find the shared interval.
+    const bool use_x = std::abs(a1.x - a0.x) >= std::abs(a1.y - a0.y);
+    auto key = [use_x](const Coord& c) { return use_x ? c.x : c.y; };
+    Coord alo = a0, ahi = a1, blo = b0, bhi = b1;
+    if (key(alo) > key(ahi)) std::swap(alo, ahi);
+    if (key(blo) > key(bhi)) std::swap(blo, bhi);
+    const Coord lo = key(alo) >= key(blo) ? alo : blo;
+    const Coord hi = key(ahi) <= key(bhi) ? ahi : bhi;
+    if (key(lo) > key(hi)) return out;  // disjoint collinear
+    if (lo == hi) {
+      out.kind = SegSegKind::kPoint;
+      out.p0 = lo;
+      return out;
+    }
+    out.kind = SegSegKind::kOverlap;
+    out.p0 = lo;
+    out.p1 = hi;
+    return out;
+  }
+
+  // Non-collinear but with an endpoint touching the other segment.
+  if (o1 == 0 && PointOnSegment(b0, a0, a1)) {
+    out.kind = SegSegKind::kPoint;
+    out.p0 = b0;
+    return out;
+  }
+  if (o2 == 0 && PointOnSegment(b1, a0, a1)) {
+    out.kind = SegSegKind::kPoint;
+    out.p0 = b1;
+    return out;
+  }
+  if (o3 == 0 && PointOnSegment(a0, b0, b1)) {
+    out.kind = SegSegKind::kPoint;
+    out.p0 = a0;
+    return out;
+  }
+  if (o4 == 0 && PointOnSegment(a1, b0, b1)) {
+    out.kind = SegSegKind::kPoint;
+    out.p0 = a1;
+    return out;
+  }
+  return out;
+}
+
+}  // namespace jackpine::algo

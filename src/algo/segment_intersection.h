@@ -1,0 +1,55 @@
+// Segment-segment intersection, the workhorse of relate and overlay.
+
+#ifndef JACKPINE_ALGO_SEGMENT_INTERSECTION_H_
+#define JACKPINE_ALGO_SEGMENT_INTERSECTION_H_
+
+#include <optional>
+
+#include "geom/coord.h"
+
+namespace jackpine::algo {
+
+using geom::Coord;
+
+enum class SegSegKind : uint8_t {
+  kNone,     // segments do not meet
+  kPoint,    // single intersection point (crossing or endpoint touch)
+  kOverlap,  // collinear overlap along a sub-segment
+};
+
+struct SegSegResult {
+  SegSegKind kind = SegSegKind::kNone;
+  // kPoint: p0 is the point. kOverlap: [p0, p1] is the shared sub-segment.
+  Coord p0{};
+  Coord p1{};
+  // kPoint only: true when the intersection is interior to both segments
+  // (a proper crossing, touching neither segment's endpoints).
+  bool proper = false;
+};
+
+// Computes how closed segments [a0,a1] and [b0,b1] intersect.
+SegSegResult IntersectSegments(const Coord& a0, const Coord& a1,
+                               const Coord& b0, const Coord& b1);
+
+// Parametric position of p along segment [a, b], clamped to [0, 1].
+// p is assumed (near-)collinear with the segment.
+double ParamAlongSegment(const Coord& p, const Coord& a, const Coord& b);
+
+// Closest point on closed segment [a, b] to p.
+Coord ClosestPointOnSegment(const Coord& p, const Coord& a, const Coord& b);
+
+// Minimum distances involving segments.
+double DistancePointToSegment(const Coord& p, const Coord& a, const Coord& b);
+
+// True if p lies within `relative_eps * coordinate_scale` of the closed
+// segment [a, b]. Point-location on boundaries uses this instead of the
+// exact PointOnSegment because probe points (portion midpoints, interpolated
+// cut points) carry a few ulps of rounding error; see topo/relate.h.
+bool PointNearSegment(const Coord& p, const Coord& a, const Coord& b,
+                      double relative_eps = 1e-9);
+double DistanceSegmentToSegment(const Coord& a0, const Coord& a1,
+                                const Coord& b0, const Coord& b1);
+
+}  // namespace jackpine::algo
+
+#endif  // JACKPINE_ALGO_SEGMENT_INTERSECTION_H_

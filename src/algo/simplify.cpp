@@ -1,0 +1,86 @@
+#include "algo/simplify.h"
+
+#include <vector>
+
+#include "algo/segment_intersection.h"
+
+namespace jackpine::algo {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeometryType;
+using geom::Ring;
+
+namespace {
+
+void DouglasPeucker(const std::vector<Coord>& pts, size_t lo, size_t hi,
+                    double tolerance, std::vector<bool>* keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1.0;
+  size_t worst_idx = lo;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double d = DistancePointToSegment(pts[i], pts[lo], pts[hi]);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > tolerance) {
+    (*keep)[worst_idx] = true;
+    DouglasPeucker(pts, lo, worst_idx, tolerance, keep);
+    DouglasPeucker(pts, worst_idx, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<Coord> SimplifyPath(const std::vector<Coord>& pts,
+                                double tolerance) {
+  if (pts.size() <= 2) return pts;
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeucker(pts, 0, pts.size() - 1, tolerance, &keep);
+  std::vector<Coord> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) out.push_back(pts[i]);
+  }
+  return out;
+}
+
+Geometry Simplify(const Geometry& g, double tolerance) {
+  if (g.IsEmpty()) return g;
+  switch (g.type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kMultiPoint:
+      return g;
+    case GeometryType::kLineString: {
+      std::vector<Coord> out = SimplifyPath(g.AsLineString(), tolerance);
+      if (out.size() < 2) return Geometry::MakeEmpty(GeometryType::kLineString);
+      auto line = Geometry::MakeLineString(std::move(out));
+      return line.ok() ? std::move(line).value() : g;
+    }
+    case GeometryType::kPolygon: {
+      const geom::PolygonData& poly = g.AsPolygon();
+      Ring shell = SimplifyPath(poly.shell, tolerance);
+      if (shell.size() < 4) return Geometry::MakeEmpty(GeometryType::kPolygon);
+      std::vector<Ring> holes;
+      for (const Ring& hole : poly.holes) {
+        Ring h = SimplifyPath(hole, tolerance);
+        if (h.size() >= 4) holes.push_back(std::move(h));
+      }
+      auto out = Geometry::MakePolygon(std::move(shell), std::move(holes));
+      return out.ok() ? std::move(out).value() : g;
+    }
+    default: {
+      std::vector<Geometry> parts;
+      for (const Geometry& part : g.Parts()) {
+        Geometry s = Simplify(part, tolerance);
+        if (!s.IsEmpty()) parts.push_back(std::move(s));
+      }
+      if (parts.empty()) return Geometry::MakeEmpty(g.type());
+      return Geometry::MakeCollectionOfType(g.type(), std::move(parts));
+    }
+  }
+}
+
+}  // namespace jackpine::algo

@@ -1,0 +1,22 @@
+// Douglas–Peucker line simplification (ST_Simplify).
+
+#ifndef JACKPINE_ALGO_SIMPLIFY_H_
+#define JACKPINE_ALGO_SIMPLIFY_H_
+
+#include "geom/geometry.h"
+
+namespace jackpine::algo {
+
+// Simplifies lineal and polygonal geometries with the Douglas–Peucker
+// algorithm at the given distance tolerance. Points pass through unchanged.
+// Polygon rings that collapse below 4 points are dropped (a collapsed shell
+// makes the polygon empty), matching the PostGIS contract.
+geom::Geometry Simplify(const geom::Geometry& g, double tolerance);
+
+// Raw path simplification; keeps first and last points.
+std::vector<geom::Coord> SimplifyPath(const std::vector<geom::Coord>& pts,
+                                      double tolerance);
+
+}  // namespace jackpine::algo
+
+#endif  // JACKPINE_ALGO_SIMPLIFY_H_

@@ -1,0 +1,121 @@
+#include "client/client.h"
+
+#include "common/string_util.h"
+
+namespace jackpine::client {
+
+const std::vector<SutConfig>& StandardSuts() {
+  static const std::vector<SutConfig>& suts = *new std::vector<SutConfig>{
+      {"pine-rtree", index::IndexKind::kRtree, topo::PredicateMode::kExact,
+       false, true,
+       "open-source DBMS with R-tree and exact DE-9IM (PostGIS role)"},
+      {"pine-mbr", index::IndexKind::kRtree, topo::PredicateMode::kMbrOnly,
+       false, true,
+       "open-source DBMS with MBR-only predicates (MySQL-2011 role)"},
+      {"pine-grid", index::IndexKind::kGrid, topo::PredicateMode::kExact,
+       false, true, "commercial DBMS with grid index and exact predicates"},
+      {"pine-scan", index::IndexKind::kNone, topo::PredicateMode::kExact,
+       false, true, "any DBMS with the spatial index disabled (ablation)"},
+  };
+  return suts;
+}
+
+Result<SutConfig> SutByName(std::string_view name) {
+  for (const SutConfig& sut : StandardSuts()) {
+    if (EqualsIgnoreCase(sut.name, name)) return sut;
+  }
+  return Status::NotFound(
+      StrFormat("unknown SUT '%s'", std::string(name).c_str()));
+}
+
+ResultSet::ResultSet(engine::QueryResult result) : result_(std::move(result)) {}
+
+bool ResultSet::Next() {
+  if (cursor_ >= result_.rows.size()) return false;
+  ++cursor_;
+  return true;
+}
+
+namespace {
+
+Status NoRow() { return Status::OutOfRange("ResultSet: no current row"); }
+
+}  // namespace
+
+const engine::Value& ResultSet::GetValue(size_t col) const {
+  static const engine::Value& null_value = *new engine::Value();
+  if (cursor_ == 0 || cursor_ > result_.rows.size() ||
+      col >= result_.rows[cursor_ - 1].size()) {
+    return null_value;
+  }
+  return result_.rows[cursor_ - 1][col];
+}
+
+bool ResultSet::IsNull(size_t col) const { return GetValue(col).is_null(); }
+
+Result<int64_t> ResultSet::GetInt64(size_t col) const {
+  if (cursor_ == 0) return NoRow();
+  return GetValue(col).AsInt64();
+}
+
+Result<double> ResultSet::GetDouble(size_t col) const {
+  if (cursor_ == 0) return NoRow();
+  return GetValue(col).AsDouble();
+}
+
+Result<std::string> ResultSet::GetString(size_t col) const {
+  if (cursor_ == 0) return NoRow();
+  const engine::Value& v = GetValue(col);
+  if (v.type() != engine::DataType::kString) {
+    return Status::InvalidArgument("not a string column");
+  }
+  return v.string_value();
+}
+
+Result<bool> ResultSet::GetBool(size_t col) const {
+  if (cursor_ == 0) return NoRow();
+  return GetValue(col).AsBool();
+}
+
+Result<geom::Geometry> ResultSet::GetGeometry(size_t col) const {
+  if (cursor_ == 0) return NoRow();
+  return GetValue(col).AsGeometry();
+}
+
+Result<ResultSet> Statement::ExecuteQuery(std::string_view sql) {
+  JACKPINE_ASSIGN_OR_RETURN(engine::QueryResult result, db_->Execute(sql));
+  return ResultSet(std::move(result));
+}
+
+Result<int64_t> Statement::ExecuteUpdate(std::string_view sql) {
+  JACKPINE_ASSIGN_OR_RETURN(engine::QueryResult result, db_->Execute(sql));
+  if (result.rows.size() == 1 && result.columns.size() == 1 &&
+      result.columns[0] == "rows_affected") {
+    return result.rows[0][0].AsInt64();
+  }
+  return static_cast<int64_t>(result.rows.size());
+}
+
+Result<Connection> Connection::Open(std::string_view url) {
+  constexpr std::string_view kPrefix = "jackpine:";
+  if (!StartsWith(url, kPrefix)) {
+    return Status::InvalidArgument(
+        StrFormat("bad URL '%s': expected jackpine:<sut-name>",
+                  std::string(url).c_str()));
+  }
+  JACKPINE_ASSIGN_OR_RETURN(SutConfig config,
+                            SutByName(url.substr(kPrefix.size())));
+  return Open(config);
+}
+
+Connection Connection::Open(const SutConfig& config) {
+  engine::DatabaseOptions options;
+  options.name = config.name;
+  options.index_kind = config.index_kind;
+  options.predicate_mode = config.predicate_mode;
+  options.incremental_index_build = config.incremental_index_build;
+  options.fold_constants = config.fold_constants;
+  return Connection(config, std::make_shared<engine::Database>(options));
+}
+
+}  // namespace jackpine::client

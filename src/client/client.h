@@ -1,0 +1,106 @@
+// The JDBC-like client layer.
+//
+// The original Jackpine harness is portable across DBMSs because it speaks
+// only JDBC: Connection -> Statement -> ResultSet. This module reproduces
+// that seam in C++: the benchmark core (src/core) sees only these classes
+// and a connection URL, never the engine underneath, so any engine exposing
+// this interface can be benchmarked.
+
+#ifndef JACKPINE_CLIENT_CLIENT_H_
+#define JACKPINE_CLIENT_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace jackpine::client {
+
+// One system under test: a named engine configuration.
+struct SutConfig {
+  std::string name;
+  index::IndexKind index_kind = index::IndexKind::kRtree;
+  topo::PredicateMode predicate_mode = topo::PredicateMode::kExact;
+  bool incremental_index_build = false;
+  bool fold_constants = true;
+  // Human-readable description of the DBMS role this SUT plays (DESIGN.md).
+  std::string role;
+};
+
+// The four standard SUTs: pine-rtree, pine-mbr, pine-grid, pine-scan.
+const std::vector<SutConfig>& StandardSuts();
+
+// Lookup by name ("pine-rtree", ...).
+Result<SutConfig> SutByName(std::string_view name);
+
+// Cursor over a query result, in the JDBC style: starts before the first
+// row; Next() advances and reports whether a row is available. Column
+// indexes are 0-based (a deliberate departure from JDBC's 1-based columns).
+class ResultSet {
+ public:
+  explicit ResultSet(engine::QueryResult result);
+
+  bool Next();
+  size_t ColumnCount() const { return result_.columns.size(); }
+  const std::string& ColumnName(size_t i) const { return result_.columns[i]; }
+  size_t RowCount() const { return result_.rows.size(); }
+
+  bool IsNull(size_t col) const;
+  Result<int64_t> GetInt64(size_t col) const;
+  Result<double> GetDouble(size_t col) const;
+  Result<std::string> GetString(size_t col) const;
+  Result<bool> GetBool(size_t col) const;
+  Result<geom::Geometry> GetGeometry(size_t col) const;
+  const engine::Value& GetValue(size_t col) const;
+
+  // Order-independent checksum of the whole result (cross-SUT validation).
+  uint64_t Checksum() const { return result_.Checksum(); }
+  const engine::QueryResult& raw() const { return result_; }
+
+ private:
+  engine::QueryResult result_;
+  size_t cursor_ = 0;   // 1-based position of the current row
+};
+
+class Connection;
+
+// Executes SQL on a connection's database.
+class Statement {
+ public:
+  Result<ResultSet> ExecuteQuery(std::string_view sql);
+  // Returns rows_affected for DDL/DML.
+  Result<int64_t> ExecuteUpdate(std::string_view sql);
+
+ private:
+  friend class Connection;
+  explicit Statement(std::shared_ptr<engine::Database> db)
+      : db_(std::move(db)) {}
+  std::shared_ptr<engine::Database> db_;
+};
+
+// A connection to a (freshly created, in-process) pinedb instance.
+class Connection {
+ public:
+  // URL form: "jackpine:<sut-name>", e.g. "jackpine:pine-rtree".
+  static Result<Connection> Open(std::string_view url);
+  static Connection Open(const SutConfig& config);
+
+  Statement CreateStatement() { return Statement(db_); }
+  const SutConfig& config() const { return config_; }
+
+  // Escape hatch for the bulk loader and tests; a real driver would not
+  // expose this.
+  engine::Database& database() { return *db_; }
+
+ private:
+  Connection(SutConfig config, std::shared_ptr<engine::Database> db)
+      : config_(std::move(config)), db_(std::move(db)) {}
+  SutConfig config_;
+  std::shared_ptr<engine::Database> db_;
+};
+
+}  // namespace jackpine::client
+
+#endif  // JACKPINE_CLIENT_CLIENT_H_

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// All synthetic data in jackpine (the TIGER-like generator, property-test
+// fixtures, workload sampling) is derived from Rng so that a (seed, scale)
+// pair fully determines a dataset, making benchmark runs reproducible across
+// machines and runs.
+
+#ifndef JACKPINE_COMMON_RANDOM_H_
+#define JACKPINE_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jackpine {
+
+// xoshiro256** by Blackman & Vigna: fast, high-quality, and — unlike
+// std::mt19937 — guaranteed to produce identical streams on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Standard normal via Box–Muller.
+  double NextGaussian();
+
+  // Bernoulli trial with probability p of returning true.
+  bool NextBool(double p = 0.5);
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  // Weights must be non-negative and not all zero.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  // Forks an independent stream; the child stream is a pure function of this
+  // generator's state, so forking is itself deterministic.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace jackpine
+
+#endif  // JACKPINE_COMMON_RANDOM_H_

@@ -1,0 +1,121 @@
+// Lightweight error-handling primitives used throughout jackpine.
+//
+// The project does not use exceptions (per the style guide): fallible
+// operations return Status, and fallible value-producing operations return
+// Result<T>. Both are cheap to move and carry a human-readable message.
+
+#ifndef JACKPINE_COMMON_STATUS_H_
+#define JACKPINE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace jackpine {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error outcome. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value or an error. Access to value() requires ok().
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  // Returns the contained value or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace jackpine
+
+// Propagates a non-OK Status from an expression that yields Status.
+#define JACKPINE_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::jackpine::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+// Evaluates a Result-yielding expression, propagating errors, else binding
+// the value to `lhs`.
+#define JACKPINE_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto JACKPINE_CONCAT_(_res_, __LINE__) = (expr);          \
+  if (!JACKPINE_CONCAT_(_res_, __LINE__).ok())              \
+    return JACKPINE_CONCAT_(_res_, __LINE__).status();      \
+  lhs = std::move(JACKPINE_CONCAT_(_res_, __LINE__)).value()
+
+#define JACKPINE_CONCAT_INNER_(a, b) a##b
+#define JACKPINE_CONCAT_(a, b) JACKPINE_CONCAT_INNER_(a, b)
+
+#endif  // JACKPINE_COMMON_STATUS_H_

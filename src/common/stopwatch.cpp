@@ -1,0 +1,15 @@
+#include "common/stopwatch.h"
+
+namespace jackpine {
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+int64_t Stopwatch::ElapsedNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start_)
+      .count();
+}
+
+}  // namespace jackpine

@@ -1,0 +1,31 @@
+// Wall-clock timing used by the benchmark harness.
+
+#ifndef JACKPINE_COMMON_STOPWATCH_H_
+#define JACKPINE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace jackpine {
+
+// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time since construction / last Restart().
+  double ElapsedSeconds() const;
+  int64_t ElapsedNanos() const;
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace jackpine
+
+#endif  // JACKPINE_COMMON_STOPWATCH_H_

@@ -1,0 +1,37 @@
+// Small string helpers shared by the SQL front end and the report writer.
+
+#ifndef JACKPINE_COMMON_STRING_UTIL_H_
+#define JACKPINE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jackpine {
+
+// ASCII-only case conversions (SQL identifiers are ASCII).
+std::string ToLowerAscii(std::string_view s);
+std::string ToUpperAscii(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Strips leading and trailing whitespace.
+std::string_view StripAscii(std::string_view s);
+
+// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Joins with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// True if `s` begins with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace jackpine
+
+#endif  // JACKPINE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,33 @@
+// Loads a generated TIGER-like dataset into a SUT (experiment E6 measures
+// exactly this path).
+
+#ifndef JACKPINE_CORE_LOADER_H_
+#define JACKPINE_CORE_LOADER_H_
+
+#include "client/client.h"
+#include "tigergen/tigergen.h"
+
+namespace jackpine::core {
+
+struct LoadTiming {
+  double create_s = 0.0;  // DDL
+  double insert_s = 0.0;  // heap loading
+  double index_s = 0.0;   // spatial index build (all tables)
+  size_t rows = 0;
+};
+
+// Creates the five Jackpine tables (county, edges, pointlm, arealm,
+// areawater), loads all rows, and, when `build_indexes`, issues
+// CREATE SPATIAL INDEX on every geometry column. Returns phase timings.
+Result<LoadTiming> LoadDataset(const tigergen::TigerDataset& dataset,
+                               client::Connection* connection,
+                               bool build_indexes = true);
+
+// Convenience: generate + load in one call.
+Result<LoadTiming> GenerateAndLoad(const tigergen::TigerGenOptions& options,
+                                   client::Connection* connection,
+                                   bool build_indexes = true);
+
+}  // namespace jackpine::core
+
+#endif  // JACKPINE_CORE_LOADER_H_

@@ -1,0 +1,274 @@
+#include "core/micro_suite.h"
+
+#include "common/string_util.h"
+#include "geom/wkt_writer.h"
+
+namespace jackpine::core {
+
+using tigergen::TigerDataset;
+
+namespace {
+
+// Reference constants shared by both suites, derived from the dataset.
+struct SuiteConstants {
+  std::string county_wkt;   // a central county polygon
+  std::string window_wkt;   // ~5% x 5% browse window around an urban centre
+  std::string big_window_wkt;  // ~20% x 20% window
+  std::string point_wkt;    // an urban centre
+  double small_dist = 0.0;  // ~0.5% of the extent
+  double buffer_dist = 0.0;
+};
+
+std::string BoxWkt(const geom::Coord& center, double half) {
+  return StrFormat(
+      "POLYGON ((%.6f %.6f, %.6f %.6f, %.6f %.6f, %.6f %.6f, %.6f %.6f))",
+      center.x - half, center.y - half, center.x + half, center.y - half,
+      center.x + half, center.y + half, center.x - half, center.y + half,
+      center.x - half, center.y - half);
+}
+
+SuiteConstants DeriveConstants(const TigerDataset& ds) {
+  SuiteConstants k;
+  const geom::Coord urban = ds.urban_centers.front();
+  const double extent = ds.extent.Width();
+  k.window_wkt = BoxWkt(urban, extent * 0.025);
+  k.big_window_wkt = BoxWkt(urban, extent * 0.10);
+  k.point_wkt = StrFormat("POINT (%.6f %.6f)", urban.x, urban.y);
+  k.small_dist = extent * 0.005;
+  k.buffer_dist = extent * 0.004;
+  const tigergen::County& county = ds.counties[ds.counties.size() / 2];
+  k.county_wkt = county.geom.ToWkt();
+  return k;
+}
+
+QuerySpec Make(const char* id, const char* name, QueryCategory category,
+               std::string sql, const char* note) {
+  QuerySpec q;
+  q.id = id;
+  q.name = name;
+  q.category = category;
+  q.sql = std::move(sql);
+  q.note = note;
+  return q;
+}
+
+}  // namespace
+
+std::vector<QuerySpec> BuildTopologicalSuite(const TigerDataset& ds) {
+  const SuiteConstants k = DeriveConstants(ds);
+  const auto cat = QueryCategory::kTopoRelation;
+  std::vector<QuerySpec> out;
+
+  // --- point vs point -----------------------------------------------------
+  out.push_back(Make(
+      "T1", "point equals point", cat,
+      StrFormat("SELECT COUNT(*) FROM pointlm WHERE "
+                "ST_Equals(geom, ST_GeomFromText('%s'))",
+                k.point_wkt.c_str()),
+      "0-dim vs 0-dim; constant probe point"));
+  out.push_back(Make(
+      "T2", "point disjoint polygon", cat,
+      StrFormat("SELECT COUNT(*) FROM pointlm WHERE "
+                "ST_Disjoint(geom, ST_GeomFromText('%s'))",
+                k.county_wkt.c_str()),
+      "not index-assisted by design (negation of coverage)"));
+
+  // --- point vs line / polygon ---------------------------------------------
+  out.push_back(Make(
+      "T3", "point within polygon", cat,
+      StrFormat("SELECT COUNT(*) FROM pointlm WHERE "
+                "ST_Within(geom, ST_GeomFromText('%s'))",
+                k.county_wkt.c_str()),
+      "classic point-in-polygon with index window"));
+  out.push_back(Make(
+      "T4", "polygon contains point", cat,
+      StrFormat("SELECT COUNT(*) FROM county WHERE "
+                "ST_Contains(geom, ST_GeomFromText('%s'))",
+                k.point_wkt.c_str()),
+      "reverse direction of T3"));
+  out.push_back(Make(
+      "T5", "point intersects line", cat,
+      "SELECT COUNT(*) FROM pointlm p, edges e "
+      "WHERE e.mtfcc = 'S1100' AND ST_Intersects(p.geom, e.geom)",
+      "expected near-empty: points rarely lie exactly on lines"));
+  out.push_back(Make(
+      "T6", "point near line (dwithin)", cat,
+      StrFormat("SELECT COUNT(*) FROM pointlm p, edges e "
+                "WHERE e.mtfcc = 'S1200' AND "
+                "ST_DWithin(p.geom, e.geom, %.6f)",
+                k.small_dist),
+      "distance-relaxed point/line topological query"));
+
+  // --- line vs line ----------------------------------------------------------
+  out.push_back(Make(
+      "T7", "line intersects line", cat,
+      "SELECT COUNT(*) FROM edges a, edges b WHERE a.mtfcc = 'S1100' AND "
+      "b.mtfcc = 'S1200' AND ST_Intersects(a.geom, b.geom)",
+      "highway x secondary spatial join"));
+  out.push_back(Make(
+      "T8", "line crosses line", cat,
+      "SELECT COUNT(*) FROM edges a, edges b WHERE a.mtfcc = 'S1100' AND "
+      "b.mtfcc = 'S1200' AND ST_Crosses(a.geom, b.geom)",
+      "proper 0-dim interior crossings only"));
+  out.push_back(Make(
+      "T9", "line overlaps line", cat,
+      "SELECT COUNT(*) FROM edges a, edges b WHERE a.mtfcc = 'S1100' AND "
+      "b.mtfcc = 'S1100' AND a.tlid < b.tlid AND "
+      "ST_Overlaps(a.geom, b.geom)",
+      "collinear 1-dim overlap; usually empty on road data"));
+  out.push_back(Make(
+      "T10", "line touches line", cat,
+      "SELECT COUNT(*) FROM edges a, edges b WHERE a.mtfcc = 'S1100' AND "
+      "b.mtfcc = 'S1100' AND a.tlid < b.tlid AND "
+      "ST_Touches(a.geom, b.geom)",
+      "endpoint-only contact"));
+
+  // --- line vs polygon ---------------------------------------------------------
+  out.push_back(Make(
+      "T11", "line intersects polygon", cat,
+      "SELECT COUNT(*) FROM edges e, areawater w "
+      "WHERE ST_Intersects(e.geom, w.geom)",
+      "roads hitting water bodies"));
+  out.push_back(Make(
+      "T12", "line crosses polygon", cat,
+      StrFormat("SELECT COUNT(*) FROM edges WHERE "
+                "ST_Crosses(geom, ST_GeomFromText('%s'))",
+                k.county_wkt.c_str()),
+      "roads crossing a county boundary"));
+  out.push_back(Make(
+      "T13", "line within polygon", cat,
+      StrFormat("SELECT COUNT(*) FROM edges WHERE "
+                "ST_Within(geom, ST_GeomFromText('%s'))",
+                k.county_wkt.c_str()),
+      "roads fully inside one county"));
+  out.push_back(Make(
+      "T14", "line touches polygon", cat,
+      StrFormat("SELECT COUNT(*) FROM edges WHERE "
+                "ST_Touches(geom, ST_GeomFromText('%s'))",
+                k.county_wkt.c_str()),
+      "boundary-only contact; rare by construction"));
+
+  // --- polygon vs polygon -----------------------------------------------------
+  out.push_back(Make(
+      "T15", "polygon equals polygon", cat,
+      StrFormat("SELECT COUNT(*) FROM county WHERE "
+                "ST_Equals(geom, ST_GeomFromText('%s'))",
+                k.county_wkt.c_str()),
+      "exactly one county matches"));
+  out.push_back(Make(
+      "T16", "polygon touches polygon", cat,
+      "SELECT COUNT(*) FROM county a, county b WHERE a.fips < b.fips AND "
+      "ST_Touches(a.geom, b.geom)",
+      "county adjacency; lattice construction guarantees shared edges"));
+  out.push_back(Make(
+      "T17", "polygon intersects polygon", cat,
+      "SELECT COUNT(*) FROM arealm a, areawater w "
+      "WHERE ST_Intersects(a.geom, w.geom)",
+      "parks vs lakes spatial join"));
+  out.push_back(Make(
+      "T18", "polygon overlaps polygon", cat,
+      "SELECT COUNT(*) FROM arealm a, areawater w "
+      "WHERE ST_Overlaps(a.geom, w.geom)",
+      "partial (same-dimension) overlap only"));
+  out.push_back(Make(
+      "T19", "polygon within polygon", cat,
+      StrFormat("SELECT COUNT(*) FROM areawater WHERE "
+                "ST_Within(geom, ST_GeomFromText('%s'))",
+                k.county_wkt.c_str()),
+      "lakes inside a county"));
+  out.push_back(Make(
+      "T20", "polygon contains polygon", cat,
+      "SELECT COUNT(*) FROM county c, arealm a "
+      "WHERE ST_Contains(c.geom, a.geom)",
+      "county containing parks (join form of T19)"));
+  out.push_back(Make(
+      "T21", "polygon coveredby polygon", cat,
+      StrFormat("SELECT COUNT(*) FROM arealm WHERE "
+                "ST_CoveredBy(geom, ST_GeomFromText('%s'))",
+                k.big_window_wkt.c_str()),
+      "covers/coveredby variant (boundary contact allowed)"));
+  out.push_back(Make(
+      "T22", "polygon disjoint polygon", cat,
+      StrFormat("SELECT COUNT(*) FROM arealm WHERE "
+                "ST_Disjoint(geom, ST_GeomFromText('%s'))",
+                k.big_window_wkt.c_str()),
+      "the paper's pathological case: no index help possible"));
+  return out;
+}
+
+std::vector<QuerySpec> BuildAnalysisSuite(const TigerDataset& ds) {
+  const SuiteConstants k = DeriveConstants(ds);
+  const auto cat = QueryCategory::kAnalysis;
+  std::vector<QuerySpec> out;
+
+  out.push_back(Make("A1", "area of polygons", cat,
+                     "SELECT SUM(ST_Area(geom)) FROM arealm",
+                     "full-scan measure over polygons"));
+  out.push_back(Make("A2", "length of lines", cat,
+                     "SELECT SUM(ST_Length(geom)) FROM edges",
+                     "full-scan measure over all roads"));
+  out.push_back(Make("A3", "perimeter of polygons", cat,
+                     "SELECT SUM(ST_Perimeter(geom)) FROM county",
+                     "ring traversal"));
+  out.push_back(Make(
+      "A4", "centroid", cat,
+      "SELECT SUM(ST_X(ST_Centroid(geom))) FROM arealm",
+      "area-weighted centroids, reduced to a scalar for checksumming"));
+  out.push_back(Make(
+      "A5", "envelope", cat,
+      "SELECT SUM(ST_Area(ST_Envelope(geom))) FROM areawater",
+      "MBR extraction"));
+  out.push_back(Make(
+      "A6", "convex hull", cat,
+      "SELECT SUM(ST_NumPoints(ST_ConvexHull(geom))) FROM arealm",
+      "hull per polygon"));
+  out.push_back(Make(
+      "A7", "buffer around points", cat,
+      StrFormat("SELECT SUM(ST_Area(ST_Buffer(geom, %.6f))) FROM pointlm",
+                k.buffer_dist),
+      "point dilation (single disc per row)"));
+  out.push_back(Make(
+      "A8", "buffer around lines", cat,
+      StrFormat("SELECT SUM(ST_Area(ST_Buffer(geom, %.6f))) FROM edges "
+                "WHERE mtfcc = 'S1100' AND zip < 73100",
+                k.buffer_dist),
+      "capsule-union dilation of polylines (restricted subset: expensive)"));
+  out.push_back(Make(
+      "A9", "distance point-to-point", cat,
+      StrFormat("SELECT AVG(ST_Distance(geom, ST_GeomFromText('%s'))) "
+                "FROM pointlm",
+                k.point_wkt.c_str()),
+      "distance to a constant probe point"));
+  out.push_back(Make(
+      "A10", "distance line-to-polygon", cat,
+      StrFormat("SELECT MIN(ST_Distance(geom, ST_GeomFromText('%s'))) "
+                "FROM edges WHERE mtfcc = 'S1100'",
+                k.window_wkt.c_str()),
+      "closest highway to a reference area"));
+  out.push_back(Make(
+      "A11", "intersection area", cat,
+      StrFormat("SELECT SUM(ST_Area(ST_Intersection(geom, "
+                "ST_GeomFromText('%s')))) FROM arealm WHERE "
+                "ST_Intersects(geom, ST_GeomFromText('%s'))",
+                k.big_window_wkt.c_str(), k.big_window_wkt.c_str()),
+      "polygon clipping (Greiner-Hormann) after an indexed filter"));
+  out.push_back(Make(
+      "A12", "union area", cat,
+      StrFormat("SELECT SUM(ST_Area(ST_Union(geom, ST_GeomFromText('%s')))) "
+                "FROM areawater WHERE ST_Intersects(geom, "
+                "ST_GeomFromText('%s'))",
+                k.window_wkt.c_str(), k.big_window_wkt.c_str()),
+      "dissolving union per row"));
+  out.push_back(Make(
+      "A13", "simplification", cat,
+      "SELECT SUM(ST_NumPoints(ST_Simplify(geom, 0.05))) FROM edges",
+      "Douglas-Peucker over every road"));
+  out.push_back(Make(
+      "A14", "geometry metadata scan", cat,
+      "SELECT COUNT(*), SUM(ST_NumPoints(geom)), SUM(ST_Dimension(geom)) "
+      "FROM edges",
+      "cheap accessor functions; measures per-row call overhead"));
+  return out;
+}
+
+}  // namespace jackpine::core

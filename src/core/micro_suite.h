@@ -1,0 +1,32 @@
+// The Jackpine micro benchmark suites.
+//
+// E1 (topological): queries over the DE-9IM predicates, covering the
+// geometry-type pairs point/line/polygon. E2 (analysis): queries over the
+// spatial analysis functions (area, length, distance, buffer, convex hull,
+// envelope, overlay ops, simplification).
+//
+// Query constants (windows, probe points, reference polygons) are derived
+// deterministically from the dataset so that every SUT answers literally the
+// same SQL.
+
+#ifndef JACKPINE_CORE_MICRO_SUITE_H_
+#define JACKPINE_CORE_MICRO_SUITE_H_
+
+#include <vector>
+
+#include "core/query_spec.h"
+#include "tigergen/tigergen.h"
+
+namespace jackpine::core {
+
+// The 22 DE-9IM topological micro queries (ids T1..T22).
+std::vector<QuerySpec> BuildTopologicalSuite(
+    const tigergen::TigerDataset& dataset);
+
+// The 14 spatial-analysis micro queries (ids A1..A14).
+std::vector<QuerySpec> BuildAnalysisSuite(
+    const tigergen::TigerDataset& dataset);
+
+}  // namespace jackpine::core
+
+#endif  // JACKPINE_CORE_MICRO_SUITE_H_

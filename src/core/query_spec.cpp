@@ -1,0 +1,17 @@
+#include "core/query_spec.h"
+
+namespace jackpine::core {
+
+const char* QueryCategoryName(QueryCategory category) {
+  switch (category) {
+    case QueryCategory::kTopoRelation:
+      return "topological";
+    case QueryCategory::kAnalysis:
+      return "analysis";
+    case QueryCategory::kMacro:
+      return "macro";
+  }
+  return "unknown";
+}
+
+}  // namespace jackpine::core

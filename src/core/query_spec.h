@@ -1,0 +1,30 @@
+// A benchmark query: one SQL statement with identity and classification.
+
+#ifndef JACKPINE_CORE_QUERY_SPEC_H_
+#define JACKPINE_CORE_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace jackpine::core {
+
+enum class QueryCategory : uint8_t {
+  kTopoRelation,  // DE-9IM micro benchmark (E1)
+  kAnalysis,      // spatial analysis micro benchmark (E2)
+  kMacro,         // part of a macro scenario (E3)
+};
+
+const char* QueryCategoryName(QueryCategory category);
+
+struct QuerySpec {
+  std::string id;    // "T7", "A3", "geocode.5", ...
+  std::string name;  // human-readable ("line intersects polygon")
+  QueryCategory category = QueryCategory::kTopoRelation;
+  std::string sql;
+  // Free-form note: which geometry types / predicate the query exercises.
+  std::string note;
+};
+
+}  // namespace jackpine::core
+
+#endif  // JACKPINE_CORE_QUERY_SPEC_H_

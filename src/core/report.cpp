@@ -1,0 +1,137 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace jackpine::core {
+
+namespace {
+
+std::string FormatMs(double seconds) { return StrFormat("%.3f", seconds * 1e3); }
+
+// Renders a grid of cells with left-aligned first column and right-aligned
+// data columns.
+std::string RenderGrid(const std::string& title,
+                       const std::vector<std::vector<std::string>>& grid) {
+  std::vector<size_t> widths;
+  for (const auto& row : grid) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  out += "== " + title + " ==\n";
+  for (size_t r = 0; r < grid.size(); ++r) {
+    const auto& row = grid[r];
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c == 0) {
+        out += StrFormat("%-*s", static_cast<int>(widths[c]), row[c].c_str());
+      } else {
+        out += StrFormat("  %*s", static_cast<int>(widths[c]), row[c].c_str());
+      }
+    }
+    out += '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t w : widths) total += w + 2;
+      out += std::string(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderComparisonTable(
+    const std::string& title,
+    const std::vector<std::vector<RunResult>>& runs_by_sut) {
+  std::vector<std::vector<std::string>> grid;
+  std::vector<std::string> header = {"query"};
+  for (const auto& runs : runs_by_sut) {
+    header.push_back(runs.empty() ? "?" : runs.front().sut + " (ms)");
+  }
+  header.push_back("rows");
+  header.push_back("agree");
+  grid.push_back(header);
+
+  const size_t n_queries = runs_by_sut.empty() ? 0 : runs_by_sut[0].size();
+  for (size_t q = 0; q < n_queries; ++q) {
+    std::vector<std::string> row;
+    row.push_back(runs_by_sut[0][q].query_id + " " +
+                  runs_by_sut[0][q].query_name);
+    bool all_ok = true;
+    for (const auto& runs : runs_by_sut) {
+      const RunResult& r = runs[q];
+      if (r.ok) {
+        row.push_back(FormatMs(r.timing.mean_s));
+      } else {
+        row.push_back("ERR");
+        all_ok = false;
+      }
+    }
+    row.push_back(StrFormat("%zu", runs_by_sut[0][q].result_rows));
+    // Checksum agreement across the exact SUTs; pine-mbr legitimately
+    // diverges, so it is compared but flagged with '~' instead of '!'.
+    bool agree = true;
+    bool mbr_only_diff = true;
+    for (const auto& runs : runs_by_sut) {
+      if (!runs[q].ok) continue;
+      if (runs[q].checksum != runs_by_sut[0][q].checksum ||
+          runs[q].result_rows != runs_by_sut[0][q].result_rows) {
+        agree = false;
+        if (runs[q].sut != "pine-mbr" && runs_by_sut[0][q].sut != "pine-mbr") {
+          mbr_only_diff = false;
+        }
+      }
+    }
+    if (!all_ok) {
+      row.push_back("err");
+    } else if (agree) {
+      row.push_back("yes");
+    } else {
+      row.push_back(mbr_only_diff ? "~mbr" : "NO");
+    }
+    grid.push_back(std::move(row));
+  }
+  return RenderGrid(title, grid);
+}
+
+std::string RenderScenarioTable(
+    const std::string& title,
+    const std::vector<std::vector<ScenarioResult>>& scenarios_by_sut) {
+  std::vector<std::vector<std::string>> grid;
+  std::vector<std::string> header = {"scenario"};
+  for (const auto& list : scenarios_by_sut) {
+    header.push_back(list.empty() ? "?" : list.front().sut + " (ms)");
+  }
+  header.push_back("queries");
+  grid.push_back(header);
+  const size_t n = scenarios_by_sut.empty() ? 0 : scenarios_by_sut[0].size();
+  for (size_t s = 0; s < n; ++s) {
+    std::vector<std::string> row;
+    row.push_back(scenarios_by_sut[0][s].scenario_name);
+    for (const auto& list : scenarios_by_sut) {
+      const ScenarioResult& r = list[s];
+      std::string cell = FormatMs(r.total_s);
+      if (r.failed > 0) cell += StrFormat(" (%zu ERR)", r.failed);
+      row.push_back(std::move(cell));
+    }
+    row.push_back(StrFormat("%zu", scenarios_by_sut[0][s].queries.size()));
+    grid.push_back(std::move(row));
+  }
+  return RenderGrid(title, grid);
+}
+
+std::string RenderKeyValueTable(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::vector<std::vector<std::string>> grid;
+  grid.push_back({"metric", "value"});
+  for (const auto& [key, value] : rows) grid.push_back({key, value});
+  return RenderGrid(title, grid);
+}
+
+}  // namespace jackpine::core

@@ -1,0 +1,35 @@
+// Report rendering: the aligned text tables the bench binaries print, shaped
+// like the tables and figures of the paper (rows = queries / scenarios,
+// columns = systems under test).
+
+#ifndef JACKPINE_CORE_REPORT_H_
+#define JACKPINE_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+
+namespace jackpine::core {
+
+// Cross-SUT comparison table for a suite run on several SUTs: one row per
+// query, one time column per SUT, plus the result-row count (from the first
+// SUT) and a marker when SUTs disagree on the checksum.
+// `runs_by_sut[i]` must all cover the same query list in the same order.
+std::string RenderComparisonTable(
+    const std::string& title,
+    const std::vector<std::vector<RunResult>>& runs_by_sut);
+
+// One row per scenario: total time per SUT.
+std::string RenderScenarioTable(
+    const std::string& title,
+    const std::vector<std::vector<ScenarioResult>>& scenarios_by_sut);
+
+// Simple two-column table used by the one-off benches (label, value).
+std::string RenderKeyValueTable(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::string>>& rows);
+
+}  // namespace jackpine::core
+
+#endif  // JACKPINE_CORE_REPORT_H_

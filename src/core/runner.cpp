@@ -1,0 +1,130 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/stopwatch.h"
+
+namespace jackpine::core {
+
+RunResult RunQuery(client::Connection* connection, const QuerySpec& spec,
+                   const RunConfig& config) {
+  RunResult out;
+  out.query_id = spec.id;
+  out.query_name = spec.name;
+  out.category = spec.category;
+  out.sut = connection->config().name;
+
+  client::Statement stmt = connection->CreateStatement();
+  for (int w = 0; w < config.warmup; ++w) {
+    auto rs = stmt.ExecuteQuery(spec.sql);
+    if (!rs.ok()) {
+      out.error = rs.status().ToString();
+      return out;
+    }
+  }
+  std::vector<double> seconds;
+  for (int r = 0; r < config.repetitions; ++r) {
+    Stopwatch watch;
+    auto rs = stmt.ExecuteQuery(spec.sql);
+    const double elapsed = watch.ElapsedSeconds();
+    if (!rs.ok()) {
+      out.error = rs.status().ToString();
+      return out;
+    }
+    seconds.push_back(elapsed);
+    out.result_rows = rs->RowCount();
+    out.checksum = rs->Checksum();
+  }
+  out.timing = Summarize(std::move(seconds));
+  out.ok = true;
+  return out;
+}
+
+std::vector<RunResult> RunSuite(client::Connection* connection,
+                                const std::vector<QuerySpec>& suite,
+                                const RunConfig& config) {
+  std::vector<RunResult> out;
+  out.reserve(suite.size());
+  for (const QuerySpec& spec : suite) {
+    out.push_back(RunQuery(connection, spec, config));
+  }
+  return out;
+}
+
+ThroughputResult RunThroughput(client::Connection* connection,
+                               const std::vector<QuerySpec>& workload,
+                               int rounds) {
+  ThroughputResult out;
+  out.sut = connection->config().name;
+  client::Statement stmt = connection->CreateStatement();
+  Stopwatch watch;
+  for (int round = 0; round < rounds; ++round) {
+    for (const QuerySpec& spec : workload) {
+      auto rs = stmt.ExecuteQuery(spec.sql);
+      if (rs.ok()) {
+        ++out.queries_executed;
+      } else {
+        ++out.errors;
+      }
+    }
+  }
+  out.elapsed_s = watch.ElapsedSeconds();
+  return out;
+}
+
+ThroughputResult RunConcurrentThroughput(client::Connection* connection,
+                                         const std::vector<QuerySpec>& workload,
+                                         int clients, int rounds) {
+  ThroughputResult out;
+  out.sut = connection->config().name;
+  std::atomic<uint64_t> executed{0};
+  std::atomic<uint64_t> errors{0};
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(std::max(clients, 1)));
+  for (int t = 0; t < std::max(clients, 1); ++t) {
+    threads.emplace_back([&, t]() {
+      client::Statement stmt = connection->CreateStatement();
+      for (int round = 0; round < rounds; ++round) {
+        // Stagger start offsets so clients don't run in lockstep.
+        for (size_t q = 0; q < workload.size(); ++q) {
+          const QuerySpec& spec =
+              workload[(q + static_cast<size_t>(t)) % workload.size()];
+          auto rs = stmt.ExecuteQuery(spec.sql);
+          if (rs.ok()) {
+            executed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.elapsed_s = watch.ElapsedSeconds();
+  out.queries_executed = executed.load();
+  out.errors = errors.load();
+  return out;
+}
+
+ScenarioResult RunScenario(client::Connection* connection,
+                           const Scenario& scenario, const RunConfig& config) {
+  ScenarioResult out;
+  out.scenario_id = scenario.id;
+  out.scenario_name = scenario.name;
+  out.sut = connection->config().name;
+  for (const QuerySpec& spec : scenario.queries) {
+    RunResult r = RunQuery(connection, spec, config);
+    if (r.ok) {
+      out.total_s += r.timing.mean_s;
+    } else {
+      ++out.failed;
+    }
+    out.queries.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace jackpine::core

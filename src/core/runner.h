@@ -1,0 +1,85 @@
+// The benchmark runner: executes query specs against SUT connections with a
+// warm-up/repetition protocol and collects timings, result sizes and result
+// checksums for cross-SUT validation.
+
+#ifndef JACKPINE_CORE_RUNNER_H_
+#define JACKPINE_CORE_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "core/query_spec.h"
+#include "core/scenarios.h"
+#include "core/stats.h"
+
+namespace jackpine::core {
+
+struct RunConfig {
+  int warmup = 1;       // unmeasured executions per query
+  int repetitions = 3;  // measured executions per query
+};
+
+struct RunResult {
+  std::string query_id;
+  std::string query_name;
+  QueryCategory category = QueryCategory::kTopoRelation;
+  std::string sut;
+  bool ok = false;
+  std::string error;  // when !ok
+  TimingStats timing;
+  size_t result_rows = 0;
+  uint64_t checksum = 0;
+};
+
+// Runs one query with the protocol; never fails hard (errors are recorded).
+RunResult RunQuery(client::Connection* connection, const QuerySpec& spec,
+                   const RunConfig& config);
+
+// Runs a whole suite in order.
+std::vector<RunResult> RunSuite(client::Connection* connection,
+                                const std::vector<QuerySpec>& suite,
+                                const RunConfig& config);
+
+struct ScenarioResult {
+  std::string scenario_id;
+  std::string scenario_name;
+  std::string sut;
+  double total_s = 0.0;  // sum of per-query means
+  std::vector<RunResult> queries;
+  size_t failed = 0;
+};
+
+// Runs every query of a scenario in sequence.
+ScenarioResult RunScenario(client::Connection* connection,
+                           const Scenario& scenario, const RunConfig& config);
+
+// Throughput mode: round-robins a mixed workload for `rounds` full passes
+// and reports aggregate queries/second, the paper-style summary metric for
+// comparing SUTs on a whole workload rather than a single query.
+struct ThroughputResult {
+  std::string sut;
+  size_t queries_executed = 0;
+  size_t errors = 0;
+  double elapsed_s = 0.0;
+  double QueriesPerSecond() const {
+    return elapsed_s > 0 ? static_cast<double>(queries_executed) / elapsed_s
+                         : 0.0;
+  }
+};
+
+ThroughputResult RunThroughput(client::Connection* connection,
+                               const std::vector<QuerySpec>& workload,
+                               int rounds);
+
+// Multi-client throughput: `clients` threads share the connection's
+// database (each with its own Statement) and round-robin the workload
+// concurrently, the paper's multiuser dimension. queries_executed/errors
+// aggregate across clients; elapsed_s is wall-clock.
+ThroughputResult RunConcurrentThroughput(client::Connection* connection,
+                                         const std::vector<QuerySpec>& workload,
+                                         int clients, int rounds);
+
+}  // namespace jackpine::core
+
+#endif  // JACKPINE_CORE_RUNNER_H_

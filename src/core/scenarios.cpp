@@ -1,0 +1,304 @@
+#include "core/scenarios.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace jackpine::core {
+
+using geom::Coord;
+using tigergen::TigerDataset;
+
+namespace {
+
+std::string BoxWkt(const Coord& c, double half_w, double half_h) {
+  return StrFormat(
+      "POLYGON ((%.6f %.6f, %.6f %.6f, %.6f %.6f, %.6f %.6f, %.6f %.6f))",
+      c.x - half_w, c.y - half_h, c.x + half_w, c.y - half_h, c.x + half_w,
+      c.y + half_h, c.x - half_w, c.y + half_h, c.x - half_w, c.y - half_h);
+}
+
+std::string PointWkt(const Coord& c) {
+  return StrFormat("POINT (%.6f %.6f)", c.x, c.y);
+}
+
+QuerySpec MacroQuery(std::string id, std::string name, std::string sql) {
+  QuerySpec q;
+  q.id = std::move(id);
+  q.name = std::move(name);
+  q.category = QueryCategory::kMacro;
+  q.sql = std::move(sql);
+  return q;
+}
+
+Coord PickUrbanish(const TigerDataset& ds, Rng* rng) {
+  const Coord& u =
+      ds.urban_centers[rng->NextBounded(ds.urban_centers.size())];
+  const double sigma = ds.extent.Width() * 0.03;
+  return {u.x + rng->NextGaussian() * sigma, u.y + rng->NextGaussian() * sigma};
+}
+
+// --- 1. Map search and browsing -------------------------------------------
+// A user finds a landmark by name, the map zooms to it, then pans around:
+// each viewport fetches all four display layers.
+Scenario MapScenario(const TigerDataset& ds, Rng* rng) {
+  Scenario s;
+  s.id = "map";
+  s.name = "Map search and browsing";
+  s.description =
+      "Window queries for four display layers across three zoom levels and "
+      "four pans, after an attribute search for the start landmark.";
+  const double extent = ds.extent.Width();
+
+  const auto& lm = ds.pointlm[rng->NextBounded(ds.pointlm.size())];
+  s.queries.push_back(MacroQuery(
+      "map.search", "find landmark by name",
+      StrFormat("SELECT plid, fullname, geom FROM pointlm WHERE fullname = "
+                "'%s'",
+                lm.fullname.c_str())));
+
+  Coord center = lm.geom.AsPoint();
+  int step = 0;
+  auto add_viewport = [&](double half, const char* what) {
+    const std::string window = BoxWkt(center, half, half * 0.75);
+    for (const char* layer : {"edges", "arealm", "pointlm", "areawater"}) {
+      s.queries.push_back(MacroQuery(
+          StrFormat("map.%d.%s", step, layer),
+          StrFormat("%s layer %s", what, layer),
+          StrFormat("SELECT geom FROM %s WHERE ST_Intersects(geom, "
+                    "ST_GeomFromText('%s'))",
+                    layer, window.c_str())));
+    }
+    ++step;
+  };
+  // Zoom in: state -> metro -> neighbourhood.
+  add_viewport(extent * 0.25, "zoom-1");
+  add_viewport(extent * 0.08, "zoom-2");
+  add_viewport(extent * 0.02, "zoom-3");
+  // Pan at the deepest zoom.
+  for (int pan = 0; pan < 4; ++pan) {
+    center.x += rng->NextDouble(-1.0, 1.0) * extent * 0.02;
+    center.y += rng->NextDouble(-1.0, 1.0) * extent * 0.02;
+    add_viewport(extent * 0.02, "pan");
+  }
+  return s;
+}
+
+// --- 2. Geocoding -----------------------------------------------------------
+// Street address -> coordinates, by locating the road segment whose address
+// range covers the house number and interpolating along it.
+Scenario GeocodeScenario(const TigerDataset& ds, Rng* rng) {
+  Scenario s;
+  s.id = "geocode";
+  s.name = "Geocoding";
+  s.description =
+      "20 addresses resolved by address-range lookup on edges plus linear "
+      "interpolation along the matched segment.";
+  for (int i = 0; i < 20; ++i) {
+    // Sample a real addressable road so most lookups hit.
+    const tigergen::Edge* e = nullptr;
+    for (int tries = 0; tries < 50 && e == nullptr; ++tries) {
+      const auto& cand = ds.edges[rng->NextBounded(ds.edges.size())];
+      if (cand.ltoadd > cand.lfromadd) e = &cand;
+    }
+    if (e == nullptr) break;
+    const int64_t house =
+        e->lfromadd +
+        2 * static_cast<int64_t>(
+                rng->NextBounded(static_cast<uint64_t>(
+                    (e->ltoadd - e->lfromadd) / 2 + 1)));
+    const double frac =
+        static_cast<double>(house - e->lfromadd) /
+        static_cast<double>(std::max<int64_t>(e->ltoadd - e->lfromadd, 1));
+    s.queries.push_back(MacroQuery(
+        StrFormat("geocode.%d", i),
+        StrFormat("geocode %lld %s", static_cast<long long>(house),
+                  e->fullname.c_str()),
+        StrFormat(
+            "SELECT tlid, ST_AsText(ST_LineInterpolatePoint(geom, %.6f)) "
+            "FROM edges WHERE fullname = '%s' AND lfromadd <= %lld AND "
+            "ltoadd >= %lld",
+            frac, e->fullname.c_str(), static_cast<long long>(house),
+            static_cast<long long>(house))));
+  }
+  return s;
+}
+
+// --- 3. Reverse geocoding ---------------------------------------------------
+// Coordinates -> nearest road + interpolated address (the k-NN workload).
+Scenario ReverseGeocodeScenario(const TigerDataset& ds, Rng* rng) {
+  Scenario s;
+  s.id = "revgeo";
+  s.name = "Reverse geocoding";
+  s.description =
+      "20 nearest-road queries (ORDER BY ST_Distance LIMIT 1) with address "
+      "interpolation at the closest point.";
+  for (int i = 0; i < 20; ++i) {
+    const Coord p = PickUrbanish(ds, rng);
+    const std::string pt = PointWkt(p);
+    s.queries.push_back(MacroQuery(
+        StrFormat("revgeo.%d", i), "nearest road to point",
+        StrFormat(
+            "SELECT tlid, fullname, "
+            "lfromadd + (ltoadd - lfromadd) * "
+            "ST_LineLocatePoint(geom, ST_GeomFromText('%s')) AS address "
+            "FROM edges ORDER BY ST_Distance(geom, ST_GeomFromText('%s')), "
+            "tlid LIMIT 1",
+            pt.c_str(), pt.c_str())));
+  }
+  return s;
+}
+
+// --- 4. Flood risk analysis -------------------------------------------------
+Scenario FloodScenario(const TigerDataset& ds, Rng* rng) {
+  Scenario s;
+  s.id = "flood";
+  s.name = "Flood risk analysis";
+  s.description =
+      "Buffer water bodies by a flood margin and measure exposed landmarks, "
+      "roads and road mileage inside the flood zone.";
+  const double extent = ds.extent.Width();
+  const double margin = extent * 0.01;
+  const Coord region_center = PickUrbanish(ds, rng);
+  const std::string region = BoxWkt(region_center, extent * 0.15, extent * 0.15);
+
+  s.queries.push_back(MacroQuery(
+      "flood.landmarks", "landmarks within flood margin of water",
+      StrFormat("SELECT COUNT(*) FROM arealm a, areawater w WHERE "
+                "ST_DWithin(a.geom, w.geom, %.6f)",
+                margin)));
+  s.queries.push_back(MacroQuery(
+      "flood.roads", "roads within flood margin of water",
+      StrFormat("SELECT COUNT(*) FROM edges e, areawater w WHERE "
+                "ST_DWithin(e.geom, w.geom, %.6f)",
+                margin)));
+  s.queries.push_back(MacroQuery(
+      "flood.zone_area", "flood zone area in study region",
+      StrFormat("SELECT SUM(ST_Area(ST_Buffer(geom, %.6f))) FROM areawater "
+                "WHERE ST_Intersects(geom, ST_GeomFromText('%s'))",
+                margin, region.c_str())));
+  s.queries.push_back(MacroQuery(
+      "flood.points", "population-proxy points in region near water",
+      StrFormat("SELECT COUNT(*) FROM pointlm p, areawater w WHERE "
+                "ST_Within(p.geom, ST_GeomFromText('%s')) AND "
+                "ST_DWithin(p.geom, w.geom, %.6f)",
+                region.c_str(), margin)));
+  return s;
+}
+
+// --- 5. Land information management ------------------------------------------
+Scenario LandScenario(const TigerDataset& ds, Rng* rng) {
+  Scenario s;
+  s.id = "land";
+  s.name = "Land information management";
+  s.description =
+      "Parcel-style queries: county adjacency, containment audits, per-county "
+      "inventories and area accounting.";
+  s.queries.push_back(MacroQuery(
+      "land.adjacency", "county adjacency matrix",
+      "SELECT COUNT(*) FROM county a, county b WHERE a.fips < b.fips AND "
+      "ST_Touches(a.geom, b.geom)"));
+  s.queries.push_back(MacroQuery(
+      "land.audit", "landmarks assigned to the wrong county",
+      "SELECT COUNT(*) FROM arealm a, county c WHERE a.county = c.fips AND "
+      "NOT ST_Intersects(a.geom, c.geom)"));
+  s.queries.push_back(MacroQuery(
+      "land.register", "parcel register: per-county area accounting",
+      "SELECT county, COUNT(*), SUM(ST_Area(geom)) FROM arealm "
+      "GROUP BY county ORDER BY county"));
+  // Inventory for 5 random counties.
+  for (int i = 0; i < 5; ++i) {
+    const auto& county = ds.counties[rng->NextBounded(ds.counties.size())];
+    const std::string wkt = county.geom.ToWkt();
+    s.queries.push_back(MacroQuery(
+        StrFormat("land.inventory.%d", i),
+        StrFormat("parcel inventory of %s", county.name.c_str()),
+        StrFormat("SELECT COUNT(*), SUM(ST_Area(geom)) FROM arealm WHERE "
+                  "ST_Within(geom, ST_GeomFromText('%s'))",
+                  wkt.c_str())));
+    s.queries.push_back(MacroQuery(
+        StrFormat("land.splitparcels.%d", i),
+        "parcels straddling the county boundary",
+        StrFormat("SELECT COUNT(*) FROM arealm WHERE "
+                  "ST_Crosses(geom, ST_GeomFromText('%s')) OR "
+                  "ST_Overlaps(geom, ST_GeomFromText('%s'))",
+                  wkt.c_str(), wkt.c_str())));
+  }
+  return s;
+}
+
+// --- 6. Toxic spill analysis ---------------------------------------------------
+Scenario SpillScenario(const TigerDataset& ds, Rng* rng) {
+  Scenario s;
+  s.id = "spill";
+  s.name = "Toxic spill analysis";
+  s.description =
+      "Emergency response around a spill site: affected roads and landmarks "
+      "within the plume, threatened water bodies, closest hospitals, and the "
+      "road mileage needing closure.";
+  const double extent = ds.extent.Width();
+  const Coord spill = PickUrbanish(ds, rng);
+  const std::string pt = PointWkt(spill);
+  const double radius = extent * 0.02;
+  const std::string plume =
+      StrFormat("ST_Buffer(ST_GeomFromText('%s'), %.6f)", pt.c_str(), radius);
+
+  s.queries.push_back(MacroQuery(
+      "spill.roads", "roads inside the plume",
+      StrFormat("SELECT COUNT(*) FROM edges WHERE ST_DWithin(geom, "
+                "ST_GeomFromText('%s'), %.6f)",
+                pt.c_str(), radius)));
+  s.queries.push_back(MacroQuery(
+      "spill.landmarks", "landmarks inside the plume",
+      StrFormat("SELECT fullname FROM pointlm WHERE ST_DWithin(geom, "
+                "ST_GeomFromText('%s'), %.6f)",
+                pt.c_str(), radius)));
+  s.queries.push_back(MacroQuery(
+      "spill.water", "water bodies threatened within 2x radius",
+      StrFormat("SELECT COUNT(*) FROM areawater WHERE ST_DWithin(geom, "
+                "ST_GeomFromText('%s'), %.6f)",
+                pt.c_str(), 2 * radius)));
+  s.queries.push_back(MacroQuery(
+      "spill.hospitals", "three closest hospitals",
+      StrFormat("SELECT fullname FROM pointlm WHERE mtfcc = 'K1231' "
+                "ORDER BY ST_Distance(geom, ST_GeomFromText('%s')), plid "
+                "LIMIT 3",
+                pt.c_str())));
+  s.queries.push_back(MacroQuery(
+      "spill.closures", "road mileage to close",
+      StrFormat("SELECT SUM(ST_Length(ST_Intersection(geom, %s))) FROM edges "
+                "WHERE ST_DWithin(geom, ST_GeomFromText('%s'), %.6f)",
+                plume.c_str(), pt.c_str(), radius)));
+  return s;
+}
+
+}  // namespace
+
+std::vector<Scenario> BuildScenarios(const TigerDataset& ds, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Scenario> out;
+  Rng r1 = rng.Fork();
+  out.push_back(MapScenario(ds, &r1));
+  Rng r2 = rng.Fork();
+  out.push_back(GeocodeScenario(ds, &r2));
+  Rng r3 = rng.Fork();
+  out.push_back(ReverseGeocodeScenario(ds, &r3));
+  Rng r4 = rng.Fork();
+  out.push_back(FloodScenario(ds, &r4));
+  Rng r5 = rng.Fork();
+  out.push_back(LandScenario(ds, &r5));
+  Rng r6 = rng.Fork();
+  out.push_back(SpillScenario(ds, &r6));
+  return out;
+}
+
+Scenario BuildScenario(const TigerDataset& ds, const std::string& id,
+                       uint64_t seed) {
+  for (Scenario& s : BuildScenarios(ds, seed)) {
+    if (s.id == id) return std::move(s);
+  }
+  return Scenario{};
+}
+
+}  // namespace jackpine::core

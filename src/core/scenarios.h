@@ -1,0 +1,39 @@
+// The six Jackpine macro workload scenarios (experiment E3):
+// map search & browsing, geocoding, reverse geocoding, flood risk analysis,
+// land information management, and toxic spill analysis.
+//
+// A scenario is an ordered sequence of SQL queries modelled on how a real
+// spatial application uses the database; the benchmark reports the total
+// and per-query response time for the whole sequence.
+
+#ifndef JACKPINE_CORE_SCENARIOS_H_
+#define JACKPINE_CORE_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query_spec.h"
+#include "tigergen/tigergen.h"
+
+namespace jackpine::core {
+
+struct Scenario {
+  std::string id;    // "map", "geocode", ...
+  std::string name;  // "Map search and browsing"
+  std::string description;
+  std::vector<QuerySpec> queries;
+};
+
+// Builds all six scenarios. `seed` controls the user-behaviour randomness
+// (probe points, addresses) so runs are reproducible and identical SQL is
+// sent to every SUT.
+std::vector<Scenario> BuildScenarios(const tigergen::TigerDataset& dataset,
+                                     uint64_t seed = 7);
+
+// Builds one scenario by id; unknown ids yield an empty scenario.
+Scenario BuildScenario(const tigergen::TigerDataset& dataset,
+                       const std::string& id, uint64_t seed = 7);
+
+}  // namespace jackpine::core
+
+#endif  // JACKPINE_CORE_SCENARIOS_H_

@@ -1,0 +1,39 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace jackpine::core {
+
+TimingStats Summarize(std::vector<double> seconds) {
+  TimingStats s;
+  if (seconds.empty()) return s;
+  std::sort(seconds.begin(), seconds.end());
+  s.count = seconds.size();
+  for (double v : seconds) s.total_s += v;
+  s.mean_s = s.total_s / static_cast<double>(s.count);
+  s.min_s = seconds.front();
+  s.max_s = seconds.back();
+  auto quantile = [&seconds](double q) {
+    const double pos = q * static_cast<double>(seconds.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, seconds.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return seconds[lo] * (1.0 - frac) + seconds[hi] * frac;
+  };
+  s.p50_s = quantile(0.50);
+  s.p95_s = quantile(0.95);
+  double var = 0.0;
+  for (double v : seconds) var += (v - s.mean_s) * (v - s.mean_s);
+  s.stddev_s = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+std::string TimingStats::ToString() const {
+  return StrFormat("mean %.3fms (p50 %.3f, p95 %.3f, n=%zu)", mean_s * 1e3,
+                   p50_s * 1e3, p95_s * 1e3, count);
+}
+
+}  // namespace jackpine::core

@@ -1,0 +1,29 @@
+// Timing statistics for benchmark repetitions.
+
+#ifndef JACKPINE_CORE_STATS_H_
+#define JACKPINE_CORE_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace jackpine::core {
+
+struct TimingStats {
+  size_t count = 0;
+  double total_s = 0.0;
+  double mean_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double stddev_s = 0.0;
+
+  std::string ToString() const;  // "mean 1.23ms (p50 1.1, p95 2.0)"
+};
+
+// Computes stats over raw per-repetition seconds. Empty input yields zeros.
+TimingStats Summarize(std::vector<double> seconds);
+
+}  // namespace jackpine::core
+
+#endif  // JACKPINE_CORE_STATS_H_

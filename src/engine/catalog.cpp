@@ -1,0 +1,43 @@
+#include "engine/catalog.h"
+
+#include "common/string_util.h"
+
+namespace jackpine::engine {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  const std::string key = ToLowerAscii(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists(StrFormat("table '%s'", name.c_str()));
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Table* Catalog::GetTable(std::string_view name) {
+  auto it = tables_.find(ToLowerAscii(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(ToLowerAscii(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  const std::string key = ToLowerAscii(name);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound(
+        StrFormat("table '%s'", std::string(name).c_str()));
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace jackpine::engine

@@ -1,0 +1,35 @@
+// The table catalog of a pinedb database.
+
+#ifndef JACKPINE_ENGINE_CATALOG_H_
+#define JACKPINE_ENGINE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace jackpine::engine {
+
+class Catalog {
+ public:
+  // Fails with AlreadyExists on a duplicate name (case-insensitive).
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  // nullptr when absent.
+  Table* GetTable(std::string_view name);
+  const Table* GetTable(std::string_view name) const;
+
+  Status DropTable(std::string_view name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  // Keyed by lower-cased name.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_CATALOG_H_

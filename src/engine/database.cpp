@@ -1,0 +1,131 @@
+#include "engine/database.h"
+
+#include "common/string_util.h"
+#include "engine/planner.h"
+#include "engine/sql_parser.h"
+
+namespace jackpine::engine {
+
+namespace {
+
+QueryResult AffectedRows(int64_t n) {
+  QueryResult r;
+  r.columns = {"rows_affected"};
+  r.rows.push_back({Value::Int(n)});
+  return r;
+}
+
+}  // namespace
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+Result<QueryResult> Database::Execute(std::string_view sql) {
+  JACKPINE_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  if (auto* s = std::get_if<SelectStatement>(&stmt)) return ExecuteSelect(*s);
+  if (auto* s = std::get_if<ExplainStatement>(&stmt)) {
+    EvalContext ctx;
+    ctx.predicate_mode = options_.predicate_mode;
+    ctx.fold_constants = options_.fold_constants;
+    JACKPINE_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                              PlanSelect(s->select, catalog_, ctx));
+    QueryResult r;
+    r.columns = {"plan"};
+    for (const std::string& line : Split(DescribePlan(plan), '\n')) {
+      r.rows.push_back({Value::Str(line)});
+    }
+    return r;
+  }
+  if (auto* s = std::get_if<CreateTableStatement>(&stmt)) {
+    return ExecuteCreateTable(*s);
+  }
+  if (auto* s = std::get_if<InsertStatement>(&stmt)) return ExecuteInsert(*s);
+  if (auto* s = std::get_if<CreateIndexStatement>(&stmt)) {
+    return ExecuteCreateIndex(*s);
+  }
+  if (auto* s = std::get_if<DropIndexStatement>(&stmt)) {
+    return ExecuteDropIndex(*s);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Database::ExecuteSelect(const SelectStatement& stmt) {
+  EvalContext ctx;
+  ctx.predicate_mode = options_.predicate_mode;
+  ctx.fold_constants = options_.fold_constants;
+  JACKPINE_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                            PlanSelect(stmt, catalog_, ctx));
+  return ExecutePlan(plan, &stats_);
+}
+
+Result<QueryResult> Database::ExecuteCreateTable(
+    const CreateTableStatement& stmt) {
+  std::vector<Column> columns;
+  for (const auto& [name, type_name] : stmt.columns) {
+    JACKPINE_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(type_name));
+    columns.push_back(Column{name, type});
+  }
+  JACKPINE_ASSIGN_OR_RETURN(Table * table,
+                            catalog_.CreateTable(stmt.name, Schema(columns)));
+  (void)table;
+  return AffectedRows(0);
+}
+
+Result<QueryResult> Database::ExecuteInsert(const InsertStatement& stmt) {
+  Table* table = catalog_.GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound(StrFormat("table '%s'", stmt.table.c_str()));
+  }
+  EvalContext ctx;
+  ctx.predicate_mode = options_.predicate_mode;
+  Binder empty_binder({}, {});
+  int64_t inserted = 0;
+  for (const auto& row_exprs : stmt.rows) {
+    Row row;
+    for (const ExprPtr& e : row_exprs) {
+      JACKPINE_ASSIGN_OR_RETURN(
+          BoundExpr bound,
+          BindExpr(*e, empty_binder, ctx, /*allow_aggregates=*/false));
+      RowView no_rows;
+      JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(bound, no_rows, ctx));
+      row.push_back(std::move(v));
+    }
+    JACKPINE_RETURN_IF_ERROR(table->Append(std::move(row)));
+    ++inserted;
+  }
+  return AffectedRows(inserted);
+}
+
+Result<QueryResult> Database::ExecuteCreateIndex(
+    const CreateIndexStatement& stmt) {
+  Table* table = catalog_.GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound(StrFormat("table '%s'", stmt.table.c_str()));
+  }
+  const auto col = table->schema().FindColumn(stmt.column);
+  if (!col.has_value()) {
+    return Status::NotFound(StrFormat("column '%s'", stmt.column.c_str()));
+  }
+  // A SUT configured without an index honours the DDL as a no-op, the same
+  // way the paper ran DBMSs "without spatial index".
+  if (options_.index_kind == index::IndexKind::kNone) {
+    return AffectedRows(0);
+  }
+  JACKPINE_RETURN_IF_ERROR(table->BuildSpatialIndex(
+      *col, options_.index_kind, options_.incremental_index_build));
+  return AffectedRows(static_cast<int64_t>(table->NumRows()));
+}
+
+Result<QueryResult> Database::ExecuteDropIndex(const DropIndexStatement& stmt) {
+  Table* table = catalog_.GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound(StrFormat("table '%s'", stmt.table.c_str()));
+  }
+  const auto col = table->schema().FindColumn(stmt.column);
+  if (!col.has_value()) {
+    return Status::NotFound(StrFormat("column '%s'", stmt.column.c_str()));
+  }
+  table->DropSpatialIndex(*col);
+  return AffectedRows(0);
+}
+
+}  // namespace jackpine::engine

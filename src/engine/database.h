@@ -1,0 +1,60 @@
+// A pinedb database instance: catalog + configuration + SQL entry point.
+//
+// One Database object is one "system under test" in the benchmark: its
+// options fix the spatial index structure and the predicate evaluation
+// semantics, which are the axes along which the paper's three DBMSs differ.
+
+#ifndef JACKPINE_ENGINE_DATABASE_H_
+#define JACKPINE_ENGINE_DATABASE_H_
+
+#include <string>
+#include <string_view>
+
+#include "engine/catalog.h"
+#include "engine/executor.h"
+
+namespace jackpine::engine {
+
+struct DatabaseOptions {
+  std::string name = "pine";
+  index::IndexKind index_kind = index::IndexKind::kRtree;
+  topo::PredicateMode predicate_mode = topo::PredicateMode::kExact;
+  // When true, spatial indexes are built with one-at-a-time insertion
+  // instead of bulk loading (the E6 fill-policy ablation).
+  bool incremental_index_build = false;
+  // When false, constant expressions re-evaluate per row instead of being
+  // folded at bind time (the E9 prepared-literals ablation).
+  bool fold_constants = true;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  const DatabaseOptions& options() const { return options_; }
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  // Parses and executes one statement. DDL/DML return an empty result with a
+  // "rows_affected" column.
+  Result<QueryResult> Execute(std::string_view sql);
+
+  // Statistics accumulated since the last ResetStats().
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+  Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
+  Result<QueryResult> ExecuteCreateIndex(const CreateIndexStatement& stmt);
+  Result<QueryResult> ExecuteDropIndex(const DropIndexStatement& stmt);
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  ExecStats stats_;
+};
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_DATABASE_H_

@@ -1,0 +1,500 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace jackpine::engine {
+
+namespace {
+
+// True when the WHERE (if any) evaluates to TRUE for the rows in view.
+Result<bool> PassesWhere(const PhysicalPlan& plan, const RowView& view,
+                         ExecStats* stats) {
+  if (!plan.where.has_value()) return true;
+  if (stats != nullptr) ++stats->refine_checks;
+  JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(*plan.where, view, plan.ctx));
+  if (v.is_null()) return false;
+  return v.AsBool();
+}
+
+// Materialised match: one row pointer per FROM table.
+using Match = RowView;
+
+Result<std::vector<Match>> GatherSingleTable(const PhysicalPlan& plan,
+                                             ExecStats* stats) {
+  const Table* table = plan.tables[0];
+  std::vector<Match> matches;
+
+  if (plan.use_knn) {
+    // Exact k-NN in two index probes: (1) fetch the k nearest entries by MBR
+    // distance and evaluate the exact ORDER BY key on them; the k-th exact
+    // distance d_k is an upper bound on the answer's distance. (2) A window
+    // query of radius d_k then yields every row that could beat it (MBR
+    // distance lower-bounds exact distance); the ORDER BY phase sorts them
+    // exactly.
+    const index::SpatialIndex* idx = table->GetSpatialIndex(plan.knn_column);
+    const size_t k = static_cast<size_t>(std::max<int64_t>(*plan.limit, 0));
+    std::vector<int64_t> seed_ids;
+    idx->Nearest(plan.knn_center, k, &seed_ids);
+    if (stats != nullptr) ++stats->index_probes;
+    std::vector<double> exact;
+    for (int64_t id : seed_ids) {
+      Match m;
+      m.rows[0] = &table->row(static_cast<size_t>(id));
+      JACKPINE_ASSIGN_OR_RETURN(
+          Value key, EvalBound(plan.order_by[0].expr, m, plan.ctx));
+      const auto d = key.AsDouble();
+      if (d.ok()) exact.push_back(*d);
+    }
+    if (exact.size() < k) {
+      // Not enough indexable rows (NULL geometries etc.): fall back to the
+      // full scan; the sort phase handles ordering.
+      for (size_t i = 0; i < table->NumRows(); ++i) {
+        if (stats != nullptr) ++stats->rows_scanned;
+        Match m;
+        m.rows[0] = &table->row(i);
+        matches.push_back(m);
+      }
+      return matches;
+    }
+    std::sort(exact.begin(), exact.end());
+    const double dk = exact.back();
+    const geom::Envelope window(plan.knn_center.x - dk, plan.knn_center.y - dk,
+                                plan.knn_center.x + dk,
+                                plan.knn_center.y + dk);
+    std::vector<int64_t> ids;
+    idx->Query(window, &ids);
+    if (stats != nullptr) {
+      ++stats->index_probes;
+      stats->index_candidates += ids.size();
+    }
+    for (int64_t id : ids) {
+      Match m;
+      m.rows[0] = &table->row(static_cast<size_t>(id));
+      matches.push_back(m);
+    }
+    return matches;
+  }
+
+  if (plan.use_window) {
+    const index::SpatialIndex* idx = table->GetSpatialIndex(plan.window_column);
+    std::vector<int64_t> ids;
+    idx->Query(plan.window, &ids);
+    if (stats != nullptr) {
+      ++stats->index_probes;
+      stats->index_candidates += ids.size();
+    }
+    for (int64_t id : ids) {
+      Match m;
+      m.rows[0] = &table->row(static_cast<size_t>(id));
+      JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
+      if (keep) matches.push_back(m);
+    }
+    return matches;
+  }
+
+  for (size_t i = 0; i < table->NumRows(); ++i) {
+    if (stats != nullptr) ++stats->rows_scanned;
+    Match m;
+    m.rows[0] = &table->row(i);
+    JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
+    if (keep) matches.push_back(m);
+  }
+  return matches;
+}
+
+Result<std::vector<Match>> GatherJoin(const PhysicalPlan& plan,
+                                      ExecStats* stats) {
+  std::vector<Match> matches;
+
+  if (plan.use_join_index) {
+    const Table* outer = plan.tables[plan.outer_table];
+    const Table* inner = plan.tables[plan.inner_table];
+    const index::SpatialIndex* idx =
+        inner->GetSpatialIndex(plan.inner_geom_column);
+    for (size_t i = 0; i < outer->NumRows(); ++i) {
+      if (stats != nullptr) ++stats->rows_scanned;
+      Match m;
+      m.rows[plan.outer_table] = &outer->row(i);
+      JACKPINE_ASSIGN_OR_RETURN(Value key,
+                                EvalBound(*plan.outer_key, m, plan.ctx));
+      if (key.is_null() || key.type() != DataType::kGeometry) continue;
+      geom::Envelope window = key.geometry_value().envelope();
+      if (window.IsNull()) continue;
+      if (plan.join_expand > 0) window = window.Expanded(plan.join_expand);
+      std::vector<int64_t> ids;
+      idx->Query(window, &ids);
+      if (stats != nullptr) {
+        ++stats->index_probes;
+        stats->index_candidates += ids.size();
+      }
+      for (int64_t id : ids) {
+        m.rows[plan.inner_table] = &inner->row(static_cast<size_t>(id));
+        JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
+        if (keep) matches.push_back(m);
+      }
+    }
+    return matches;
+  }
+
+  // Plain nested loop.
+  const Table* t0 = plan.tables[0];
+  const Table* t1 = plan.tables[1];
+  for (size_t i = 0; i < t0->NumRows(); ++i) {
+    for (size_t j = 0; j < t1->NumRows(); ++j) {
+      if (stats != nullptr) ++stats->rows_scanned;
+      Match m;
+      m.rows[0] = &t0->row(i);
+      m.rows[1] = &t1->row(j);
+      JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
+      if (keep) matches.push_back(m);
+    }
+  }
+  return matches;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates.
+// ---------------------------------------------------------------------------
+
+struct AggState {
+  std::string name;  // COUNT / SUM / AVG / MIN / MAX
+  const BoundExpr* arg = nullptr;
+  bool count_star = false;
+
+  uint64_t count = 0;
+  double sum = 0.0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  Value extreme;  // MIN/MAX
+
+  Result<Value> Finish() const {
+    if (name == "COUNT") return Value::Int(static_cast<int64_t>(count));
+    if (count == 0) return Value::MakeNull();
+    if (name == "SUM") {
+      return sum_is_int ? Value::Int(isum) : Value::Real(sum);
+    }
+    if (name == "AVG") {
+      const double total = sum_is_int ? static_cast<double>(isum) : sum;
+      return Value::Real(total / static_cast<double>(count));
+    }
+    return extreme;  // MIN / MAX
+  }
+};
+
+// Collects aggregate nodes from an output expression tree (in evaluation
+// order, so substitution can walk the same order).
+void CollectAggregates(const BoundExpr& expr, std::vector<const BoundExpr*>* out) {
+  if (expr.IsAggregate()) {
+    out->push_back(&expr);
+    return;
+  }
+  for (const BoundExpr& c : expr.children) CollectAggregates(c, out);
+}
+
+Status AccumulateAggregate(AggState* st, const Match& m,
+                           const EvalContext& ctx) {
+  if (st->count_star) {
+    ++st->count;
+    return Status::Ok();
+  }
+  JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(*st->arg, m, ctx));
+  if (v.is_null()) return Status::Ok();
+  ++st->count;
+  if (st->name == "SUM" || st->name == "AVG") {
+    if (v.type() == DataType::kInt64 && st->sum_is_int) {
+      st->isum += v.int_value();
+    } else {
+      if (st->sum_is_int) {
+        st->sum = static_cast<double>(st->isum);
+        st->sum_is_int = false;
+      }
+      JACKPINE_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      st->sum += d;
+    }
+  } else if (st->name == "MIN" || st->name == "MAX") {
+    if (st->extreme.is_null()) {
+      st->extreme = v;
+    } else {
+      JACKPINE_ASSIGN_OR_RETURN(int cmp, v.Compare(st->extreme));
+      if ((st->name == "MIN" && cmp < 0) || (st->name == "MAX" && cmp > 0)) {
+        st->extreme = v;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Rebuilds `expr` with aggregate nodes replaced by their finished values.
+Result<BoundExpr> SubstituteAggregates(const BoundExpr& expr,
+                                       const std::vector<const BoundExpr*>& nodes,
+                                       const std::vector<Value>& values) {
+  if (expr.IsAggregate()) {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == &expr) {
+        BoundExpr lit;
+        lit.kind = BoundExpr::Kind::kLiteral;
+        lit.literal = values[i];
+        return lit;
+      }
+    }
+    return Status::Internal("aggregate node not found during substitution");
+  }
+  BoundExpr out = expr;
+  out.children.clear();
+  for (const BoundExpr& c : expr.children) {
+    JACKPINE_ASSIGN_OR_RETURN(BoundExpr sc,
+                              SubstituteAggregates(c, nodes, values));
+    out.children.push_back(std::move(sc));
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t QueryResult::Checksum() const {
+  uint64_t sum = 0x9e3779b97f4a7c15ULL * (rows.size() + 1);
+  for (const Row& row : rows) {
+    uint64_t h = 0x517cc1b727220a95ULL;
+    for (const Value& v : row) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    sum += h;  // commutative combine: row order must not matter
+  }
+  return sum;
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  const size_t shown = std::min(rows.size(), max_rows);
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row_cells;
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      std::string cell = rows[r][c].ToDisplayString();
+      if (cell.size() > 48) cell = cell.substr(0, 45) + "...";
+      if (c < widths.size()) widths[c] = std::max(widths[c], cell.size());
+      row_cells.push_back(std::move(cell));
+    }
+    cells.push_back(std::move(row_cells));
+  }
+  std::string out;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out += StrFormat("%-*s  ", static_cast<int>(widths[c]), columns[c].c_str());
+  }
+  out += '\n';
+  for (const auto& row_cells : cells) {
+    for (size_t c = 0; c < row_cells.size(); ++c) {
+      const int w = c < widths.size() ? static_cast<int>(widths[c]) : 0;
+      out += StrFormat("%-*s  ", w, row_cells[c].c_str());
+    }
+    out += '\n';
+  }
+  if (rows.size() > shown) {
+    out += StrFormat("... (%zu rows total)\n", rows.size());
+  }
+  return out;
+}
+
+Result<QueryResult> ExecutePlan(const PhysicalPlan& plan, ExecStats* stats) {
+  QueryResult result;
+  for (const auto& out : plan.outputs) result.columns.push_back(out.name);
+
+  std::vector<Match> matches;
+  if (plan.tables.size() == 1) {
+    JACKPINE_ASSIGN_OR_RETURN(matches, GatherSingleTable(plan, stats));
+  } else {
+    JACKPINE_ASSIGN_OR_RETURN(matches, GatherJoin(plan, stats));
+  }
+
+  if (!plan.group_by.empty()) {
+    // Hash aggregation: one output row per distinct group-key tuple.
+    // Non-aggregate outputs evaluate against the group's first row.
+    std::vector<const BoundExpr*> nodes;
+    for (const auto& out : plan.outputs) CollectAggregates(out.expr, &nodes);
+    for (const auto& order : plan.order_by) {
+      CollectAggregates(order.expr, &nodes);
+    }
+    struct Group {
+      Match representative;
+      std::vector<AggState> states;
+    };
+    std::map<std::string, Group> groups;
+    for (const Match& m : matches) {
+      std::string key;
+      for (const BoundExpr& g : plan.group_by) {
+        JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(g, m, plan.ctx));
+        key += v.ToDisplayString();
+        key += '\x1f';
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.representative = m;
+        it->second.states.resize(nodes.size());
+        for (size_t i = 0; i < nodes.size(); ++i) {
+          it->second.states[i].name = nodes[i]->call_name;
+          const BoundExpr& arg = nodes[i]->children[0];
+          if (arg.kind == BoundExpr::Kind::kStar) {
+            it->second.states[i].count_star = true;
+          } else {
+            it->second.states[i].arg = &arg;
+          }
+        }
+      }
+      for (AggState& st : it->second.states) {
+        JACKPINE_RETURN_IF_ERROR(AccumulateAggregate(&st, m, plan.ctx));
+      }
+    }
+    struct GroupRow {
+      Row row;
+      std::vector<Value> sort_keys;
+    };
+    std::vector<GroupRow> rows;
+    for (auto& [key, group] : groups) {
+      (void)key;
+      std::vector<Value> finished;
+      for (const AggState& st : group.states) {
+        JACKPINE_ASSIGN_OR_RETURN(Value v, st.Finish());
+        finished.push_back(std::move(v));
+      }
+      GroupRow gr;
+      for (const auto& out : plan.outputs) {
+        JACKPINE_ASSIGN_OR_RETURN(
+            BoundExpr substituted,
+            SubstituteAggregates(out.expr, nodes, finished));
+        JACKPINE_ASSIGN_OR_RETURN(
+            Value v, EvalBound(substituted, group.representative, plan.ctx));
+        gr.row.push_back(std::move(v));
+      }
+      for (const auto& order : plan.order_by) {
+        JACKPINE_ASSIGN_OR_RETURN(
+            BoundExpr substituted,
+            SubstituteAggregates(order.expr, nodes, finished));
+        JACKPINE_ASSIGN_OR_RETURN(
+            Value v, EvalBound(substituted, group.representative, plan.ctx));
+        gr.sort_keys.push_back(std::move(v));
+      }
+      rows.push_back(std::move(gr));
+    }
+    if (!plan.order_by.empty()) {
+      Status sort_status;
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const GroupRow& a, const GroupRow& b) {
+                         for (size_t k = 0; k < plan.order_by.size(); ++k) {
+                           const Result<int> cmp =
+                               a.sort_keys[k].Compare(b.sort_keys[k]);
+                           if (!cmp.ok()) {
+                             if (sort_status.ok()) sort_status = cmp.status();
+                             return false;
+                           }
+                           if (*cmp != 0) {
+                             return plan.order_by[k].ascending ? *cmp < 0
+                                                               : *cmp > 0;
+                           }
+                         }
+                         return false;
+                       });
+      JACKPINE_RETURN_IF_ERROR(sort_status);
+    }
+    if (plan.limit.has_value() && *plan.limit >= 0 &&
+        rows.size() > static_cast<size_t>(*plan.limit)) {
+      rows.resize(static_cast<size_t>(*plan.limit));
+    }
+    for (GroupRow& gr : rows) result.rows.push_back(std::move(gr.row));
+    return result;
+  }
+
+  if (plan.has_aggregates) {
+    // Build the aggregate states across all outputs.
+    std::vector<const BoundExpr*> nodes;
+    for (const auto& out : plan.outputs) CollectAggregates(out.expr, &nodes);
+    std::vector<AggState> states(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      states[i].name = nodes[i]->call_name;
+      const BoundExpr& arg = nodes[i]->children[0];
+      if (arg.kind == BoundExpr::Kind::kStar) {
+        states[i].count_star = true;
+      } else {
+        states[i].arg = &arg;
+      }
+    }
+    for (const Match& m : matches) {
+      for (AggState& st : states) {
+        JACKPINE_RETURN_IF_ERROR(AccumulateAggregate(&st, m, plan.ctx));
+      }
+    }
+    std::vector<Value> finished;
+    for (const AggState& st : states) {
+      JACKPINE_ASSIGN_OR_RETURN(Value v, st.Finish());
+      finished.push_back(std::move(v));
+    }
+    Row row;
+    for (const auto& out : plan.outputs) {
+      JACKPINE_ASSIGN_OR_RETURN(
+          BoundExpr substituted,
+          SubstituteAggregates(out.expr, nodes, finished));
+      RowView empty;
+      JACKPINE_ASSIGN_OR_RETURN(Value v,
+                                EvalBound(substituted, empty, plan.ctx));
+      row.push_back(std::move(v));
+    }
+    result.rows.push_back(std::move(row));
+    return result;
+  }
+
+  // ORDER BY: precompute keys, sort match indexes.
+  if (!plan.order_by.empty()) {
+    std::vector<std::vector<Value>> keys(matches.size());
+    for (size_t i = 0; i < matches.size(); ++i) {
+      for (const auto& order : plan.order_by) {
+        JACKPINE_ASSIGN_OR_RETURN(Value v,
+                                  EvalBound(order.expr, matches[i], plan.ctx));
+        keys[i].push_back(std::move(v));
+      }
+    }
+    std::vector<size_t> order_idx(matches.size());
+    for (size_t i = 0; i < order_idx.size(); ++i) order_idx[i] = i;
+    Status sort_status;
+    std::stable_sort(
+        order_idx.begin(), order_idx.end(), [&](size_t a, size_t b) {
+          for (size_t k = 0; k < plan.order_by.size(); ++k) {
+            const Result<int> cmp = keys[a][k].Compare(keys[b][k]);
+            if (!cmp.ok()) {
+              if (sort_status.ok()) sort_status = cmp.status();
+              return false;
+            }
+            if (*cmp != 0) {
+              return plan.order_by[k].ascending ? *cmp < 0 : *cmp > 0;
+            }
+          }
+          return false;
+        });
+    JACKPINE_RETURN_IF_ERROR(sort_status);
+    std::vector<Match> sorted;
+    sorted.reserve(matches.size());
+    for (size_t i : order_idx) sorted.push_back(matches[i]);
+    matches = std::move(sorted);
+  }
+
+  if (plan.limit.has_value() && *plan.limit >= 0 &&
+      matches.size() > static_cast<size_t>(*plan.limit)) {
+    matches.resize(static_cast<size_t>(*plan.limit));
+  }
+
+  for (const Match& m : matches) {
+    Row row;
+    row.reserve(plan.outputs.size());
+    for (const auto& out : plan.outputs) {
+      JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(out.expr, m, plan.ctx));
+      row.push_back(std::move(v));
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace jackpine::engine

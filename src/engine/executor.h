@@ -1,0 +1,32 @@
+// Plan execution: materialises a PhysicalPlan into a QueryResult.
+
+#ifndef JACKPINE_ENGINE_EXECUTOR_H_
+#define JACKPINE_ENGINE_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/planner.h"
+
+namespace jackpine::engine {
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  size_t NumRows() const { return rows.size(); }
+
+  // Order-independent 64-bit checksum of the result set, used to validate
+  // that different SUTs agree (or, for pine-mbr, measurably disagree).
+  uint64_t Checksum() const;
+
+  // Aligned-text rendering of up to `max_rows` rows.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+// Executes `plan`. `stats` may be nullptr.
+Result<QueryResult> ExecutePlan(const PhysicalPlan& plan, ExecStats* stats);
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_EXECUTOR_H_

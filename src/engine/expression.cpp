@@ -1,0 +1,347 @@
+#include "engine/expression.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace jackpine::engine {
+
+Binder::Binder(std::vector<const Table*> tables,
+               std::vector<std::string> aliases)
+    : tables_(std::move(tables)), aliases_(std::move(aliases)) {}
+
+Result<BindingSlot> Binder::ResolveColumn(std::string_view qualifier,
+                                          std::string_view column) const {
+  BindingSlot found;
+  int matches = 0;
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    if (!qualifier.empty() && !EqualsIgnoreCase(qualifier, aliases_[t]) &&
+        !EqualsIgnoreCase(qualifier, tables_[t]->name())) {
+      continue;
+    }
+    const auto col = tables_[t]->schema().FindColumn(column);
+    if (col.has_value()) {
+      found = BindingSlot{t, *col};
+      ++matches;
+    }
+  }
+  if (matches == 0) {
+    return Status::NotFound(StrFormat(
+        "column '%s%s%s'", std::string(qualifier).c_str(),
+        qualifier.empty() ? "" : ".", std::string(column).c_str()));
+  }
+  if (matches > 1) {
+    return Status::InvalidArgument(
+        StrFormat("ambiguous column '%s'", std::string(column).c_str()));
+  }
+  return found;
+}
+
+bool BoundExpr::IsConstant() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return true;
+    case Kind::kColumn:
+    case Kind::kStar:
+      return false;
+    case Kind::kCall:
+      if (fn == nullptr) return false;  // aggregates are not constant
+      [[fallthrough]];
+    case Kind::kBinary:
+    case Kind::kUnary:
+      for (const BoundExpr& c : children) {
+        if (!c.IsConstant()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool BoundExpr::ReferencesTable(size_t table_index) const {
+  if (kind == Kind::kColumn) return slot.table_index == table_index;
+  for (const BoundExpr& c : children) {
+    if (c.ReferencesTable(table_index)) return true;
+  }
+  return false;
+}
+
+bool BoundExpr::ContainsAggregate() const {
+  if (IsAggregate()) return true;
+  for (const BoundExpr& c : children) {
+    if (c.ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+Result<Value> EvalBinary(const BoundExpr& expr, const RowView& rows,
+                         const EvalContext& ctx) {
+  const BinaryOp op = expr.binary_op;
+
+  // AND/OR use SQL three-valued logic with short-circuiting.
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    JACKPINE_ASSIGN_OR_RETURN(Value lv, EvalBound(expr.children[0], rows, ctx));
+    std::optional<bool> l;
+    if (!lv.is_null()) {
+      JACKPINE_ASSIGN_OR_RETURN(bool b, lv.AsBool());
+      l = b;
+    }
+    if (op == BinaryOp::kAnd && l == false) return Value::Bool(false);
+    if (op == BinaryOp::kOr && l == true) return Value::Bool(true);
+    JACKPINE_ASSIGN_OR_RETURN(Value rv, EvalBound(expr.children[1], rows, ctx));
+    std::optional<bool> r;
+    if (!rv.is_null()) {
+      JACKPINE_ASSIGN_OR_RETURN(bool b, rv.AsBool());
+      r = b;
+    }
+    if (op == BinaryOp::kAnd) {
+      if (r == false) return Value::Bool(false);
+      if (l == true && r == true) return Value::Bool(true);
+      return Value::MakeNull();
+    }
+    if (r == true) return Value::Bool(true);
+    if (l == false && r == false) return Value::Bool(false);
+    return Value::MakeNull();
+  }
+
+  JACKPINE_ASSIGN_OR_RETURN(Value lv, EvalBound(expr.children[0], rows, ctx));
+  JACKPINE_ASSIGN_OR_RETURN(Value rv, EvalBound(expr.children[1], rows, ctx));
+  if (lv.is_null() || rv.is_null()) return Value::MakeNull();
+
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe: {
+      bool eq;
+      if (lv.type() == DataType::kGeometry ||
+          rv.type() == DataType::kGeometry) {
+        if (lv.type() != rv.type()) {
+          return Status::InvalidArgument("cannot compare GEOMETRY with scalar");
+        }
+        eq = lv.geometry_value().ExactlyEquals(rv.geometry_value());
+      } else {
+        JACKPINE_ASSIGN_OR_RETURN(int cmp, lv.Compare(rv));
+        eq = cmp == 0;
+      }
+      return Value::Bool(op == BinaryOp::kEq ? eq : !eq);
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      JACKPINE_ASSIGN_OR_RETURN(int cmp, lv.Compare(rv));
+      switch (op) {
+        case BinaryOp::kLt:
+          return Value::Bool(cmp < 0);
+        case BinaryOp::kLe:
+          return Value::Bool(cmp <= 0);
+        case BinaryOp::kGt:
+          return Value::Bool(cmp > 0);
+        default:
+          return Value::Bool(cmp >= 0);
+      }
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul: {
+      if (lv.type() == DataType::kInt64 && rv.type() == DataType::kInt64) {
+        const int64_t a = lv.int_value();
+        const int64_t b = rv.int_value();
+        switch (op) {
+          case BinaryOp::kAdd:
+            return Value::Int(a + b);
+          case BinaryOp::kSub:
+            return Value::Int(a - b);
+          default:
+            return Value::Int(a * b);
+        }
+      }
+      JACKPINE_ASSIGN_OR_RETURN(double a, lv.AsDouble());
+      JACKPINE_ASSIGN_OR_RETURN(double b, rv.AsDouble());
+      switch (op) {
+        case BinaryOp::kAdd:
+          return Value::Real(a + b);
+        case BinaryOp::kSub:
+          return Value::Real(a - b);
+        default:
+          return Value::Real(a * b);
+      }
+    }
+    case BinaryOp::kDiv: {
+      JACKPINE_ASSIGN_OR_RETURN(double a, lv.AsDouble());
+      JACKPINE_ASSIGN_OR_RETURN(double b, rv.AsDouble());
+      if (b == 0.0) return Value::MakeNull();
+      return Value::Real(a / b);
+    }
+    case BinaryOp::kMod: {
+      JACKPINE_ASSIGN_OR_RETURN(int64_t a, lv.AsInt64());
+      JACKPINE_ASSIGN_OR_RETURN(int64_t b, rv.AsInt64());
+      if (b == 0) return Value::MakeNull();
+      return Value::Int(a % b);
+    }
+    default:
+      return Status::Internal("unhandled binary operator");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalBound(const BoundExpr& expr, const RowView& rows,
+                        const EvalContext& ctx) {
+  switch (expr.kind) {
+    case BoundExpr::Kind::kLiteral:
+      return expr.literal;
+    case BoundExpr::Kind::kColumn: {
+      const Row* row = rows.rows[expr.slot.table_index];
+      if (row == nullptr) return Status::Internal("no row bound for table");
+      return (*row)[expr.slot.column_index];
+    }
+    case BoundExpr::Kind::kStar:
+      return Status::Internal("'*' outside COUNT(*)");
+    case BoundExpr::Kind::kCall: {
+      if (expr.fn == nullptr) {
+        return Status::Internal(
+            StrFormat("aggregate %s evaluated as scalar",
+                      expr.call_name.c_str()));
+      }
+      std::vector<Value> args;
+      args.reserve(expr.children.size());
+      for (const BoundExpr& c : expr.children) {
+        JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(c, rows, ctx));
+        args.push_back(std::move(v));
+      }
+      return expr.fn->fn(args, ctx);
+    }
+    case BoundExpr::Kind::kBinary:
+      return EvalBinary(expr, rows, ctx);
+    case BoundExpr::Kind::kUnary: {
+      JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(expr.children[0], rows, ctx));
+      if (expr.unary_op == UnaryOp::kNot) {
+        if (v.is_null()) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(bool b, v.AsBool());
+        return Value::Bool(!b);
+      }
+      // Negation.
+      if (v.is_null()) return Value::MakeNull();
+      if (v.type() == DataType::kInt64) return Value::Int(-v.int_value());
+      JACKPINE_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      return Value::Real(-d);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<BoundExpr> BindExpr(const Expr& expr, const Binder& binder,
+                           const EvalContext& ctx, bool allow_aggregates) {
+  BoundExpr out;
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      out.kind = BoundExpr::Kind::kLiteral;
+      out.literal = expr.literal;
+      return out;
+    case Expr::Kind::kStar:
+      out.kind = BoundExpr::Kind::kStar;
+      return out;
+    case Expr::Kind::kColumnRef: {
+      out.kind = BoundExpr::Kind::kColumn;
+      JACKPINE_ASSIGN_OR_RETURN(
+          out.slot, binder.ResolveColumn(expr.table_qualifier, expr.column));
+      return out;
+    }
+    case Expr::Kind::kFunctionCall: {
+      out.kind = BoundExpr::Kind::kCall;
+      if (IsAggregateFunction(expr.function)) {
+        if (!allow_aggregates) {
+          return Status::InvalidArgument(
+              StrFormat("aggregate %s not allowed here",
+                        expr.function.c_str()));
+        }
+        out.call_name = ToUpperAscii(expr.function);
+        out.fn = nullptr;
+        for (const ExprPtr& child : expr.children) {
+          JACKPINE_ASSIGN_OR_RETURN(
+              BoundExpr bc,
+              BindExpr(*child, binder, ctx, /*allow_aggregates=*/false));
+          out.children.push_back(std::move(bc));
+        }
+        if (out.call_name == "COUNT" && out.children.empty()) {
+          BoundExpr star;
+          star.kind = BoundExpr::Kind::kStar;
+          out.children.push_back(std::move(star));
+        }
+        if (out.children.size() != 1) {
+          return Status::InvalidArgument(
+              StrFormat("%s takes one argument", out.call_name.c_str()));
+        }
+        return out;
+      }
+      const FunctionDef* def = FindFunction(expr.function);
+      if (def == nullptr) {
+        return Status::NotFound(
+            StrFormat("function '%s'", expr.function.c_str()));
+      }
+      const int n = static_cast<int>(expr.children.size());
+      if (n < def->min_args || n > def->max_args) {
+        return Status::InvalidArgument(
+            StrFormat("%s expects %d..%d arguments, got %d",
+                      def->name.c_str(), def->min_args, def->max_args, n));
+      }
+      out.fn = def;
+      out.call_name = def->name;
+      for (const ExprPtr& child : expr.children) {
+        JACKPINE_ASSIGN_OR_RETURN(
+            BoundExpr bc,
+            BindExpr(*child, binder, ctx, /*allow_aggregates=*/false));
+        out.children.push_back(std::move(bc));
+      }
+      break;
+    }
+    case Expr::Kind::kBinary: {
+      out.kind = BoundExpr::Kind::kBinary;
+      out.binary_op = expr.binary_op;
+      JACKPINE_ASSIGN_OR_RETURN(
+          BoundExpr lhs,
+          BindExpr(*expr.children[0], binder, ctx, allow_aggregates));
+      JACKPINE_ASSIGN_OR_RETURN(
+          BoundExpr rhs,
+          BindExpr(*expr.children[1], binder, ctx, allow_aggregates));
+      out.children.push_back(std::move(lhs));
+      out.children.push_back(std::move(rhs));
+      break;
+    }
+    case Expr::Kind::kUnary: {
+      out.kind = BoundExpr::Kind::kUnary;
+      out.unary_op = expr.unary_op;
+      JACKPINE_ASSIGN_OR_RETURN(
+          BoundExpr child,
+          BindExpr(*expr.children[0], binder, ctx, allow_aggregates));
+      out.children.push_back(std::move(child));
+      break;
+    }
+  }
+  // Constant folding: collapse column-free subtrees to literals.
+  if (ctx.fold_constants && out.IsConstant()) {
+    RowView no_rows;
+    JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(out, no_rows, ctx));
+    BoundExpr folded;
+    folded.kind = BoundExpr::Kind::kLiteral;
+    folded.literal = std::move(v);
+    return folded;
+  }
+  return out;
+}
+
+std::string DisplayName(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kColumnRef:
+      return expr.column;
+    case Expr::Kind::kFunctionCall:
+      return ToLowerAscii(expr.function);
+    case Expr::Kind::kLiteral:
+      return expr.literal.ToDisplayString();
+    default:
+      return "expr";
+  }
+}
+
+}  // namespace jackpine::engine

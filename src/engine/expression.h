@@ -1,0 +1,94 @@
+// Bound (name-resolved) expressions and their evaluator.
+//
+// The planner binds each AST expression once per query against the FROM
+// tables: column references become (table, column) slots, function names
+// resolve to registry entries, and constant subtrees are folded eagerly so
+// that e.g. ST_GeomFromText('POLYGON(...)') literals are parsed exactly once
+// per query, not once per row (DESIGN.md decision #3).
+
+#ifndef JACKPINE_ENGINE_EXPRESSION_H_
+#define JACKPINE_ENGINE_EXPRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/functions.h"
+#include "engine/sql_ast.h"
+#include "engine/table.h"
+
+namespace jackpine::engine {
+
+struct BindingSlot {
+  size_t table_index = 0;
+  size_t column_index = 0;
+};
+
+// Resolves column names against the FROM clause.
+class Binder {
+ public:
+  Binder(std::vector<const Table*> tables, std::vector<std::string> aliases);
+
+  Result<BindingSlot> ResolveColumn(std::string_view qualifier,
+                                    std::string_view column) const;
+
+  size_t NumTables() const { return tables_.size(); }
+  const Table* table(size_t i) const { return tables_[i]; }
+  const std::string& alias(size_t i) const { return aliases_[i]; }
+
+ private:
+  std::vector<const Table*> tables_;
+  std::vector<std::string> aliases_;
+};
+
+class BoundExpr {
+ public:
+  enum class Kind : uint8_t {
+    kLiteral,
+    kColumn,
+    kCall,       // fn != nullptr: scalar; fn == nullptr: aggregate
+    kBinary,
+    kUnary,
+    kStar,       // only inside COUNT(*)
+  };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  BindingSlot slot;
+  const FunctionDef* fn = nullptr;
+  std::string call_name;  // canonical name for calls (incl. aggregates)
+  BinaryOp binary_op = BinaryOp::kEq;
+  UnaryOp unary_op = UnaryOp::kNot;
+  std::vector<BoundExpr> children;
+
+  bool IsAggregate() const {
+    return kind == Kind::kCall && fn == nullptr;
+  }
+  // True if the subtree references no columns (and no aggregates).
+  bool IsConstant() const;
+  // True if the subtree references any column of table `table_index`.
+  bool ReferencesTable(size_t table_index) const;
+  // True if any node in the subtree is an aggregate call.
+  bool ContainsAggregate() const;
+};
+
+// One current row per FROM table.
+struct RowView {
+  const Row* rows[2] = {nullptr, nullptr};
+};
+
+// Binds and constant-folds `expr`. Aggregate calls are allowed only when
+// `allow_aggregates` (select list / order by), never inside their own args.
+Result<BoundExpr> BindExpr(const Expr& expr, const Binder& binder,
+                           const EvalContext& ctx, bool allow_aggregates);
+
+// Evaluates a bound expression against the current rows. Aggregate nodes are
+// an error here (the executor computes them separately).
+Result<Value> EvalBound(const BoundExpr& expr, const RowView& rows,
+                        const EvalContext& ctx);
+
+// A display name for an unaliased select item ("st_area", "count", ...).
+std::string DisplayName(const Expr& expr);
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_EXPRESSION_H_

@@ -1,0 +1,495 @@
+#include "engine/functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "algo/affine.h"
+#include "algo/buffer.h"
+#include "algo/convex_hull.h"
+#include "algo/distance.h"
+#include "algo/linear_reference.h"
+#include "algo/measures.h"
+#include "algo/overlay.h"
+#include "algo/simplify.h"
+#include "common/string_util.h"
+#include "geom/geojson.h"
+#include "geom/wkb.h"
+#include "geom/wkt_reader.h"
+#include "topo/relate.h"
+
+namespace jackpine::engine {
+
+namespace {
+
+using geom::Geometry;
+
+Status ArgError(const char* fn, const char* what) {
+  return Status::InvalidArgument(StrFormat("%s: %s", fn, what));
+}
+
+// Any-NULL-argument-in, NULL-out, matching SQL semantics for the ST_ suite.
+bool AnyNull(const std::vector<Value>& args) {
+  for (const Value& v : args) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+Result<Value> GeomFromText(const std::vector<Value>& args, const EvalContext&) {
+  if (args[0].type() != DataType::kString) {
+    return ArgError("ST_GeomFromText", "expects a WKT string");
+  }
+  JACKPINE_ASSIGN_OR_RETURN(Geometry g,
+                            geom::GeometryFromWkt(args[0].string_value()));
+  return Value::Geo(std::move(g));
+}
+
+// Registers the whole function table once.
+std::map<std::string, FunctionDef> BuildRegistry() {
+  std::map<std::string, FunctionDef> reg;
+  auto add = [&reg](const char* name, int min_args, int max_args, ScalarFn fn,
+                    bool indexable = false) {
+    FunctionDef def;
+    def.name = name;
+    def.min_args = min_args;
+    def.max_args = max_args;
+    def.indexable_predicate = indexable;
+    def.fn = std::move(fn);
+    reg[ToLowerAscii(name)] = std::move(def);
+  };
+
+  // --- Construction ---------------------------------------------------
+  add("ST_GeomFromText", 1, 2,
+      [](const std::vector<Value>& args, const EvalContext& ctx) {
+        if (AnyNull(args)) return Result<Value>(Value::MakeNull());
+        return GeomFromText(args, ctx);  // arg 2 (SRID) accepted and ignored
+      });
+  add("ST_MakePoint", 2, 2,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(double x, args[0].AsDouble());
+        JACKPINE_ASSIGN_OR_RETURN(double y, args[1].AsDouble());
+        return Value::Geo(Geometry::MakePoint(x, y));
+      });
+  add("ST_MakeEnvelope", 4, 4,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(double x0, args[0].AsDouble());
+        JACKPINE_ASSIGN_OR_RETURN(double y0, args[1].AsDouble());
+        JACKPINE_ASSIGN_OR_RETURN(double x1, args[2].AsDouble());
+        JACKPINE_ASSIGN_OR_RETURN(double y1, args[3].AsDouble());
+        return Value::Geo(
+            Geometry::MakeRectangle(geom::Envelope(x0, y0, x1, y1)));
+      });
+
+  // --- Output / accessors ----------------------------------------------
+  add("ST_AsText", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Str(g.ToWkt());
+      });
+  add("ST_AsBinary", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Str(geom::ToWkb(g));
+      });
+  add("ST_AsGeoJSON", 1, 2,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        int precision = 9;
+        if (args.size() == 2) {
+          JACKPINE_ASSIGN_OR_RETURN(int64_t p, args[1].AsInt64());
+          precision = static_cast<int>(p);
+        }
+        return Value::Str(geom::ToGeoJson(g, precision));
+      });
+  add("ST_Boundary", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Geo(topo::Boundary(g));
+      });
+  add("ST_NumGeometries", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        if (g.IsEmpty()) return Value::Int(0);
+        return Value::Int(
+            g.IsSimpleType() ? 1 : static_cast<int64_t>(g.Parts().size()));
+      });
+  add("ST_StartPoint", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        if (g.type() != geom::GeometryType::kLineString || g.IsEmpty()) {
+          return Value::MakeNull();
+        }
+        return Value::Geo(Geometry::MakePoint(g.AsLineString().front()));
+      });
+  add("ST_EndPoint", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        if (g.type() != geom::GeometryType::kLineString || g.IsEmpty()) {
+          return Value::MakeNull();
+        }
+        return Value::Geo(Geometry::MakePoint(g.AsLineString().back()));
+      });
+  add("ST_PointN", 2, 2,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(int64_t n, args[1].AsInt64());
+        if (g.type() != geom::GeometryType::kLineString || g.IsEmpty()) {
+          return Value::MakeNull();
+        }
+        const auto& pts = g.AsLineString();
+        if (n < 1 || static_cast<size_t>(n) > pts.size()) {
+          return Value::MakeNull();  // 1-based, PostGIS convention
+        }
+        return Value::Geo(
+            Geometry::MakePoint(pts[static_cast<size_t>(n - 1)]));
+      });
+  add("ST_Reverse", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        if (g.type() != geom::GeometryType::kLineString || g.IsEmpty()) {
+          return Value::Geo(g);  // reversal only affects lines here
+        }
+        std::vector<geom::Coord> pts = g.AsLineString();
+        std::reverse(pts.begin(), pts.end());
+        JACKPINE_ASSIGN_OR_RETURN(Geometry line,
+                                  Geometry::MakeLineString(std::move(pts)));
+        return Value::Geo(std::move(line));
+      });
+  add("ST_GeometryType", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Str(std::string("ST_") +
+                          geom::GeometryTypeName(g.type()));
+      });
+  add("ST_Dimension", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Int(g.Dimension());
+      });
+  add("ST_NumPoints", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Int(static_cast<int64_t>(g.NumPoints()));
+      });
+  add("ST_IsEmpty", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Bool(g.IsEmpty());
+      });
+  add("ST_X", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        if (g.type() != geom::GeometryType::kPoint || g.IsEmpty()) {
+          return ArgError("ST_X", "expects a non-empty POINT");
+        }
+        return Value::Real(g.AsPoint().x);
+      });
+  add("ST_Y", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        if (g.type() != geom::GeometryType::kPoint || g.IsEmpty()) {
+          return ArgError("ST_Y", "expects a non-empty POINT");
+        }
+        return Value::Real(g.AsPoint().y);
+      });
+
+  // --- Measures ---------------------------------------------------------
+  add("ST_Area", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Real(algo::Area(g));
+      });
+  add("ST_Length", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Real(algo::Length(g));
+      });
+  add("ST_Perimeter", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Real(algo::Perimeter(g));
+      });
+  add("ST_Distance", 2, 2,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry a, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(Geometry b, args[1].AsGeometry());
+        const double d = algo::Distance(a, b);
+        if (!std::isfinite(d)) return Value::MakeNull();
+        return Value::Real(d);
+      });
+  add("ST_DWithin", 3, 3,
+      [](const std::vector<Value>& args,
+         const EvalContext& ctx) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry a, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(Geometry b, args[1].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(double d, args[2].AsDouble());
+        if (ctx.predicate_mode == topo::PredicateMode::kMbrOnly) {
+          return Value::Bool(a.envelope().DistanceTo(b.envelope()) <= d);
+        }
+        return Value::Bool(algo::WithinDistance(a, b, d));
+      },
+      /*indexable=*/true);
+
+  // --- Topological predicates -------------------------------------------
+  auto add_predicate = [&add](const char* name, topo::PredicateKind kind) {
+    add(name, 2, 2,
+        [kind](const std::vector<Value>& args,
+               const EvalContext& ctx) -> Result<Value> {
+          if (AnyNull(args)) return Value::MakeNull();
+          JACKPINE_ASSIGN_OR_RETURN(Geometry a, args[0].AsGeometry());
+          JACKPINE_ASSIGN_OR_RETURN(Geometry b, args[1].AsGeometry());
+          return Value::Bool(
+              topo::EvalPredicate(kind, a, b, ctx.predicate_mode));
+        },
+        /*indexable=*/kind != topo::PredicateKind::kDisjoint);
+  };
+  add_predicate("ST_Equals", topo::PredicateKind::kEquals);
+  add_predicate("ST_Disjoint", topo::PredicateKind::kDisjoint);
+  add_predicate("ST_Intersects", topo::PredicateKind::kIntersects);
+  add_predicate("ST_Touches", topo::PredicateKind::kTouches);
+  add_predicate("ST_Crosses", topo::PredicateKind::kCrosses);
+  add_predicate("ST_Within", topo::PredicateKind::kWithin);
+  add_predicate("ST_Contains", topo::PredicateKind::kContains);
+  add_predicate("ST_Overlaps", topo::PredicateKind::kOverlaps);
+  add_predicate("ST_Covers", topo::PredicateKind::kCovers);
+  add_predicate("ST_CoveredBy", topo::PredicateKind::kCoveredBy);
+
+  add("ST_Relate", 3, 3,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry a, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(Geometry b, args[1].AsGeometry());
+        if (args[2].type() != DataType::kString) {
+          return ArgError("ST_Relate", "third argument must be a pattern");
+        }
+        return Value::Bool(
+            topo::RelateMatches(a, b, args[2].string_value()));
+      });
+
+  // --- Spatial analysis ---------------------------------------------------
+  add("ST_Envelope", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Geo(Geometry::MakeRectangle(g.envelope()));
+      });
+  add("ST_Centroid", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Geo(algo::Centroid(g));
+      });
+  add("ST_ConvexHull", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        return Value::Geo(algo::ConvexHull(g));
+      });
+  add("ST_Buffer", 2, 3,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(double r, args[1].AsDouble());
+        int quad_segs = 8;
+        if (args.size() == 3) {
+          JACKPINE_ASSIGN_OR_RETURN(int64_t qs, args[2].AsInt64());
+          quad_segs = static_cast<int>(qs);
+        }
+        JACKPINE_ASSIGN_OR_RETURN(Geometry out,
+                                  algo::Buffer(g, r, quad_segs));
+        return Value::Geo(std::move(out));
+      });
+  add("ST_Simplify", 2, 2,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(double tol, args[1].AsDouble());
+        return Value::Geo(algo::Simplify(g, tol));
+      });
+
+  auto add_overlay = [&add](const char* name, algo::OverlayOp op) {
+    add(name, 2, 2,
+        [op](const std::vector<Value>& args,
+             const EvalContext&) -> Result<Value> {
+          if (AnyNull(args)) return Value::MakeNull();
+          JACKPINE_ASSIGN_OR_RETURN(Geometry a, args[0].AsGeometry());
+          JACKPINE_ASSIGN_OR_RETURN(Geometry b, args[1].AsGeometry());
+          JACKPINE_ASSIGN_OR_RETURN(Geometry out, algo::Overlay(a, b, op));
+          return Value::Geo(std::move(out));
+        });
+  };
+  add_overlay("ST_Intersection", algo::OverlayOp::kIntersection);
+  add_overlay("ST_Union", algo::OverlayOp::kUnion);
+  add_overlay("ST_Difference", algo::OverlayOp::kDifference);
+  add_overlay("ST_SymDifference", algo::OverlayOp::kSymDifference);
+
+  // --- Affine transforms and direction --------------------------------------
+  add("ST_Translate", 3, 3,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(double tx, args[1].AsDouble());
+        JACKPINE_ASSIGN_OR_RETURN(double ty, args[2].AsDouble());
+        return Value::Geo(algo::Transform(
+            g, algo::AffineTransform::Translation(tx, ty)));
+      });
+  add("ST_Scale", 3, 3,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(double sx, args[1].AsDouble());
+        JACKPINE_ASSIGN_OR_RETURN(double sy, args[2].AsDouble());
+        return Value::Geo(
+            algo::Transform(g, algo::AffineTransform::Scaling(sx, sy)));
+      });
+  add("ST_Rotate", 2, 2,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(double radians, args[1].AsDouble());
+        return Value::Geo(
+            algo::Transform(g, algo::AffineTransform::Rotation(radians)));
+      });
+  add("ST_Azimuth", 2, 2,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry a, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(Geometry b, args[1].AsGeometry());
+        if (a.type() != geom::GeometryType::kPoint || a.IsEmpty() ||
+            b.type() != geom::GeometryType::kPoint || b.IsEmpty()) {
+          return ArgError("ST_Azimuth", "expects two non-empty POINTs");
+        }
+        auto az = algo::Azimuth(a.AsPoint(), b.AsPoint());
+        if (!az.ok()) return Value::MakeNull();  // coincident points
+        return Value::Real(*az);
+      });
+
+  // --- Linear referencing -------------------------------------------------
+  add("ST_LineInterpolatePoint", 2, 2,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(double f, args[1].AsDouble());
+        JACKPINE_ASSIGN_OR_RETURN(Geometry out,
+                                  algo::LineInterpolatePoint(g, f));
+        return Value::Geo(std::move(out));
+      });
+  add("ST_LineLocatePoint", 2, 2,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry line, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(Geometry pt, args[1].AsGeometry());
+        if (pt.type() != geom::GeometryType::kPoint || pt.IsEmpty()) {
+          return ArgError("ST_LineLocatePoint", "second arg must be POINT");
+        }
+        JACKPINE_ASSIGN_OR_RETURN(double f,
+                                  algo::LineLocatePoint(line, pt.AsPoint()));
+        return Value::Real(f);
+      });
+  add("ST_ClosestPoint", 2, 2,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(Geometry pt, args[1].AsGeometry());
+        if (pt.type() != geom::GeometryType::kPoint || pt.IsEmpty()) {
+          return ArgError("ST_ClosestPoint", "second arg must be POINT");
+        }
+        return Value::Geo(algo::ClosestPoint(g, pt.AsPoint()));
+      });
+  add("ST_LineSubstring", 3, 3,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(Geometry g, args[0].AsGeometry());
+        JACKPINE_ASSIGN_OR_RETURN(double f0, args[1].AsDouble());
+        JACKPINE_ASSIGN_OR_RETURN(double f1, args[2].AsDouble());
+        JACKPINE_ASSIGN_OR_RETURN(Geometry out,
+                                  algo::LineSubstring(g, f0, f1));
+        return Value::Geo(std::move(out));
+      });
+
+  // --- Generic scalar helpers ---------------------------------------------
+  add("ABS", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        if (args[0].type() == DataType::kInt64) {
+          return Value::Int(std::llabs(args[0].int_value()));
+        }
+        JACKPINE_ASSIGN_OR_RETURN(double d, args[0].AsDouble());
+        return Value::Real(std::abs(d));
+      });
+  add("SQRT", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        JACKPINE_ASSIGN_OR_RETURN(double d, args[0].AsDouble());
+        return Value::Real(std::sqrt(d));
+      });
+  add("LOWER", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        if (args[0].type() != DataType::kString) {
+          return ArgError("LOWER", "expects a string");
+        }
+        return Value::Str(ToLowerAscii(args[0].string_value()));
+      });
+  add("UPPER", 1, 1,
+      [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+        if (AnyNull(args)) return Value::MakeNull();
+        if (args[0].type() != DataType::kString) {
+          return ArgError("UPPER", "expects a string");
+        }
+        return Value::Str(ToUpperAscii(args[0].string_value()));
+      });
+
+  return reg;
+}
+
+const std::map<std::string, FunctionDef>& Registry() {
+  static const std::map<std::string, FunctionDef>& reg =
+      *new std::map<std::string, FunctionDef>(BuildRegistry());
+  return reg;
+}
+
+}  // namespace
+
+const FunctionDef* FindFunction(std::string_view name) {
+  const auto& reg = Registry();
+  auto it = reg.find(ToLowerAscii(name));
+  return it == reg.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> AllFunctionNames() {
+  std::vector<std::string> names;
+  for (const auto& [key, def] : Registry()) names.push_back(def.name);
+  return names;
+}
+
+bool IsAggregateFunction(std::string_view name) {
+  return EqualsIgnoreCase(name, "COUNT") || EqualsIgnoreCase(name, "SUM") ||
+         EqualsIgnoreCase(name, "AVG") || EqualsIgnoreCase(name, "MIN") ||
+         EqualsIgnoreCase(name, "MAX");
+}
+
+}  // namespace jackpine::engine

@@ -1,0 +1,51 @@
+// The scalar function registry: the OGC SQL/MM "ST_*" surface that the
+// Jackpine queries are written against, plus a few generic scalar helpers.
+
+#ifndef JACKPINE_ENGINE_FUNCTIONS_H_
+#define JACKPINE_ENGINE_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/value.h"
+#include "topo/predicates.h"
+
+namespace jackpine::engine {
+
+// Per-query evaluation context threaded into every function call.
+struct EvalContext {
+  // How this SUT evaluates topological predicates (exact vs MBR-only).
+  topo::PredicateMode predicate_mode = topo::PredicateMode::kExact;
+  // When false, the binder skips constant folding, so constant subtrees
+  // (e.g. ST_GeomFromText literals) re-evaluate on every row. Exists only
+  // for the prepared-literals ablation (DESIGN.md decision #3).
+  bool fold_constants = true;
+};
+
+using ScalarFn =
+    std::function<Result<Value>(const std::vector<Value>&, const EvalContext&)>;
+
+struct FunctionDef {
+  std::string name;  // canonical spelling
+  int min_args = 0;
+  int max_args = 0;
+  // True for the DE-9IM predicates that the planner can accelerate with a
+  // spatial index window.
+  bool indexable_predicate = false;
+  ScalarFn fn;
+};
+
+// Case-insensitive lookup; nullptr when unknown.
+const FunctionDef* FindFunction(std::string_view name);
+
+// Names of all registered functions (for documentation and tests).
+std::vector<std::string> AllFunctionNames();
+
+// True for COUNT/SUM/AVG/MIN/MAX (handled by the executor, not FindFunction).
+bool IsAggregateFunction(std::string_view name);
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_FUNCTIONS_H_

@@ -1,0 +1,356 @@
+#include "engine/planner.h"
+
+#include "common/string_util.h"
+
+namespace jackpine::engine {
+
+namespace {
+
+// Splits a bound WHERE into top-level AND conjuncts (non-owning pointers).
+void CollectConjuncts(const BoundExpr& expr,
+                      std::vector<const BoundExpr*>* out) {
+  if (expr.kind == BoundExpr::Kind::kBinary &&
+      expr.binary_op == BinaryOp::kAnd) {
+    CollectConjuncts(expr.children[0], out);
+    CollectConjuncts(expr.children[1], out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+// True when `expr` is a bare geometry column of table `t`; outputs the
+// column index.
+bool IsGeometryColumnOf(const BoundExpr& expr, const Binder& binder, size_t t,
+                        size_t* column) {
+  if (expr.kind != BoundExpr::Kind::kColumn) return false;
+  if (expr.slot.table_index != t) return false;
+  const Table* table = binder.table(t);
+  if (table->schema().column(expr.slot.column_index).type !=
+      DataType::kGeometry) {
+    return false;
+  }
+  *column = expr.slot.column_index;
+  return true;
+}
+
+// True when `expr` is constant and evaluates to a geometry (a folded
+// literal, or — when folding is disabled for the ablation — a constant
+// subtree evaluated once here so access-path selection is unaffected).
+bool IsGeometryLiteral(const BoundExpr& expr, const EvalContext& ctx,
+                       geom::Geometry* out) {
+  if (!expr.IsConstant()) return false;
+  if (expr.kind == BoundExpr::Kind::kLiteral) {
+    if (expr.literal.type() != DataType::kGeometry) return false;
+    *out = expr.literal.geometry_value();
+    return true;
+  }
+  RowView no_rows;
+  const Result<Value> v = EvalBound(expr, no_rows, ctx);
+  if (!v.ok() || v->type() != DataType::kGeometry) return false;
+  *out = v->geometry_value();
+  return true;
+}
+
+// Evaluates a constant numeric argument (for ST_DWithin distances).
+bool TryConstantDouble(const BoundExpr& expr, const EvalContext& ctx,
+                       double* out) {
+  if (!expr.IsConstant()) return false;
+  RowView no_rows;
+  const Result<Value> v = EvalBound(expr, no_rows, ctx);
+  if (!v.ok()) return false;
+  const auto d = v->AsDouble();
+  if (!d.ok()) return false;
+  *out = *d;
+  return true;
+}
+
+// Tries to set up the single-table index window from one conjunct.
+void TryWindowFromConjunct(const BoundExpr& conjunct, const Binder& binder,
+                           const EvalContext& ctx, PhysicalPlan* plan) {
+  if (plan->use_window) return;
+  if (conjunct.kind != BoundExpr::Kind::kCall || conjunct.fn == nullptr ||
+      !conjunct.fn->indexable_predicate) {
+    return;
+  }
+  const auto& args = conjunct.children;
+  if (args.size() < 2) return;
+
+  size_t column = 0;
+  geom::Geometry constant;
+  bool matched = false;
+  if (IsGeometryColumnOf(args[0], binder, 0, &column) &&
+      IsGeometryLiteral(args[1], ctx, &constant)) {
+    matched = true;
+  } else if (IsGeometryColumnOf(args[1], binder, 0, &column) &&
+             IsGeometryLiteral(args[0], ctx, &constant)) {
+    matched = true;
+  }
+  if (!matched || constant.envelope().IsNull()) return;
+
+  geom::Envelope window = constant.envelope();
+  if (EqualsIgnoreCase(conjunct.fn->name, "ST_DWithin")) {
+    double d = 0;
+    if (args.size() != 3 || !TryConstantDouble(args[2], ctx, &d) || d < 0) {
+      return;
+    }
+    window = window.Expanded(d);
+  }
+  if (binder.table(0)->GetSpatialIndex(column) == nullptr) return;
+  plan->use_window = true;
+  plan->window_column = column;
+  plan->window = window;
+}
+
+// Tries to set up the index nested-loop join from one conjunct.
+void TryJoinFromConjunct(const BoundExpr& conjunct, const Binder& binder,
+                         const EvalContext& ctx, PhysicalPlan* plan) {
+  if (plan->use_join_index) return;
+  if (conjunct.kind != BoundExpr::Kind::kCall || conjunct.fn == nullptr ||
+      !conjunct.fn->indexable_predicate) {
+    return;
+  }
+  const auto& args = conjunct.children;
+  if (args.size() < 2) return;
+
+  // Each geometry argument must reference exactly one table.
+  auto side_of = [](const BoundExpr& e) -> int {
+    const bool t0 = e.ReferencesTable(0);
+    const bool t1 = e.ReferencesTable(1);
+    if (t0 && !t1) return 0;
+    if (t1 && !t0) return 1;
+    return -1;
+  };
+  const int s0 = side_of(args[0]);
+  const int s1 = side_of(args[1]);
+  if (s0 < 0 || s1 < 0 || s0 == s1) return;
+
+  double expand = 0.0;
+  if (EqualsIgnoreCase(conjunct.fn->name, "ST_DWithin")) {
+    double d = 0;
+    if (args.size() != 3 || !TryConstantDouble(args[2], ctx, &d) || d < 0) {
+      return;
+    }
+    expand = d;
+  }
+
+  // Prefer the indexed side as inner; when both are bare indexed columns,
+  // pick the larger table as inner (probe it, loop over the smaller).
+  struct Side {
+    size_t table;
+    const BoundExpr* expr;
+    size_t column = 0;
+    bool is_column = false;
+    bool indexed = false;
+  };
+  Side sides[2] = {{static_cast<size_t>(s0), &args[0]},
+                   {static_cast<size_t>(s1), &args[1]}};
+  for (Side& s : sides) {
+    s.is_column = IsGeometryColumnOf(*s.expr, binder, s.table, &s.column);
+    s.indexed = s.is_column &&
+                binder.table(s.table)->GetSpatialIndex(s.column) != nullptr;
+  }
+  int inner = -1;
+  if (sides[0].indexed && sides[1].indexed) {
+    inner = binder.table(sides[0].table)->NumRows() >=
+                    binder.table(sides[1].table)->NumRows()
+                ? 0
+                : 1;
+  } else if (sides[0].indexed) {
+    inner = 0;
+  } else if (sides[1].indexed) {
+    inner = 1;
+  }
+  if (inner < 0) return;
+  const Side& in = sides[inner];
+  const Side& out = sides[1 - inner];
+
+  plan->use_join_index = true;
+  plan->inner_table = in.table;
+  plan->outer_table = out.table;
+  plan->inner_geom_column = in.column;
+  plan->outer_key = *out.expr;  // copy of the bound key expression
+  plan->join_expand = expand;
+}
+
+// Detects ORDER BY ST_Distance(geom_col, POINT-literal) [ASC] LIMIT k.
+void TryKnn(const SelectStatement& stmt, const Binder& binder,
+            const EvalContext& ctx, PhysicalPlan* plan) {
+  if (plan->tables.size() != 1 || plan->has_aggregates) return;
+  if (stmt.where != nullptr) return;  // keep semantics exact
+  // Additional ORDER BY keys after the distance are tie-breakers; the
+  // gathered candidate superset stays correct, so only the first key and
+  // its direction matter here.
+  if (plan->order_by.empty() || !plan->order_by[0].ascending) return;
+  if (!plan->limit.has_value()) return;
+  const BoundExpr& key = plan->order_by[0].expr;
+  if (key.kind != BoundExpr::Kind::kCall || key.fn == nullptr ||
+      !EqualsIgnoreCase(key.fn->name, "ST_Distance")) {
+    return;
+  }
+  size_t column = 0;
+  geom::Geometry constant;
+  bool matched =
+      (IsGeometryColumnOf(key.children[0], binder, 0, &column) &&
+       IsGeometryLiteral(key.children[1], ctx, &constant)) ||
+      (IsGeometryColumnOf(key.children[1], binder, 0, &column) &&
+       IsGeometryLiteral(key.children[0], ctx, &constant));
+  if (!matched) return;
+  if (constant.type() != geom::GeometryType::kPoint || constant.IsEmpty()) {
+    return;
+  }
+  if (binder.table(0)->GetSpatialIndex(column) == nullptr) return;
+  plan->use_knn = true;
+  plan->knn_column = column;
+  plan->knn_center = constant.AsPoint();
+}
+
+}  // namespace
+
+Result<PhysicalPlan> PlanSelect(const SelectStatement& stmt,
+                                const Catalog& catalog,
+                                const EvalContext& ctx) {
+  PhysicalPlan plan;
+  plan.ctx = ctx;
+  if (stmt.from.empty() || stmt.from.size() > 2) {
+    return Status::InvalidArgument(
+        "FROM must reference one or two tables");
+  }
+  for (const TableRef& ref : stmt.from) {
+    const Table* table = catalog.GetTable(ref.table);
+    if (table == nullptr) {
+      return Status::NotFound(StrFormat("table '%s'", ref.table.c_str()));
+    }
+    plan.tables.push_back(table);
+    plan.aliases.push_back(ref.alias);
+  }
+  Binder binder(plan.tables, plan.aliases);
+
+  // Select list: expand '*', bind the rest.
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t t = 0; t < plan.tables.size(); ++t) {
+        const Schema& schema = plan.tables[t]->schema();
+        for (size_t c = 0; c < schema.NumColumns(); ++c) {
+          PhysicalPlan::OutputItem out;
+          out.name = schema.column(c).name;
+          out.expr.kind = BoundExpr::Kind::kColumn;
+          out.expr.slot = BindingSlot{t, c};
+          plan.outputs.push_back(std::move(out));
+        }
+      }
+      continue;
+    }
+    PhysicalPlan::OutputItem out;
+    JACKPINE_ASSIGN_OR_RETURN(
+        out.expr, BindExpr(*item.expr, binder, ctx, /*allow_aggregates=*/true));
+    out.name = item.alias.empty() ? DisplayName(*item.expr) : item.alias;
+    if (out.expr.ContainsAggregate()) plan.has_aggregates = true;
+    plan.outputs.push_back(std::move(out));
+  }
+  for (const ExprPtr& g : stmt.group_by) {
+    JACKPINE_ASSIGN_OR_RETURN(
+        BoundExpr bound,
+        BindExpr(*g, binder, ctx, /*allow_aggregates=*/false));
+    plan.group_by.push_back(std::move(bound));
+  }
+  if (plan.has_aggregates && plan.group_by.empty()) {
+    for (const auto& out : plan.outputs) {
+      if (!out.expr.ContainsAggregate() &&
+          out.expr.kind != BoundExpr::Kind::kLiteral) {
+        return Status::InvalidArgument(
+            "mixing aggregates and per-row columns requires GROUP BY");
+      }
+    }
+  }
+
+  if (stmt.where != nullptr) {
+    JACKPINE_ASSIGN_OR_RETURN(
+        BoundExpr where,
+        BindExpr(*stmt.where, binder, ctx, /*allow_aggregates=*/false));
+    plan.where = std::move(where);
+  }
+  for (const OrderItem& item : stmt.order_by) {
+    PhysicalPlan::BoundOrder order;
+    // ORDER BY may reference aggregates only under GROUP BY (sorted after
+    // the groups are materialised).
+    JACKPINE_ASSIGN_OR_RETURN(
+        order.expr, BindExpr(*item.expr, binder, ctx,
+                             /*allow_aggregates=*/!stmt.group_by.empty()));
+    order.ascending = item.ascending;
+    plan.order_by.push_back(std::move(order));
+  }
+  plan.limit = stmt.limit;
+
+  // Access-path selection.
+  if (plan.where.has_value()) {
+    std::vector<const BoundExpr*> conjuncts;
+    CollectConjuncts(*plan.where, &conjuncts);
+    if (plan.tables.size() == 1) {
+      for (const BoundExpr* c : conjuncts) {
+        TryWindowFromConjunct(*c, binder, ctx, &plan);
+      }
+    } else {
+      for (const BoundExpr* c : conjuncts) {
+        TryJoinFromConjunct(*c, binder, ctx, &plan);
+      }
+    }
+  }
+  TryKnn(stmt, binder, ctx, &plan);
+  return plan;
+}
+
+std::string DescribePlan(const PhysicalPlan& plan) {
+  std::string out;
+  if (plan.tables.size() == 1) {
+    const std::string table = plan.tables[0]->name();
+    if (plan.use_knn) {
+      out += StrFormat("KnnIndexScan %s (column #%zu, center %.6g %.6g)\n",
+                       table.c_str(), plan.knn_column, plan.knn_center.x,
+                       plan.knn_center.y);
+    } else if (plan.use_window) {
+      out += StrFormat("IndexWindowScan %s (column #%zu, window %s)\n",
+                       table.c_str(), plan.window_column,
+                       plan.window.ToString().c_str());
+    } else {
+      out += StrFormat("SeqScan %s (%zu rows)\n", table.c_str(),
+                       plan.tables[0]->NumRows());
+    }
+  } else {
+    if (plan.use_join_index) {
+      out += StrFormat(
+          "IndexNestedLoopJoin outer=%s inner=%s (inner index column #%zu",
+          plan.tables[plan.outer_table]->name().c_str(),
+          plan.tables[plan.inner_table]->name().c_str(),
+          plan.inner_geom_column);
+      if (plan.join_expand > 0) {
+        out += StrFormat(", window expanded by %g", plan.join_expand);
+      }
+      out += ")\n";
+    } else {
+      out += StrFormat("NestedLoopJoin %s x %s (%zu x %zu rows)\n",
+                       plan.tables[0]->name().c_str(),
+                       plan.tables[1]->name().c_str(),
+                       plan.tables[0]->NumRows(), plan.tables[1]->NumRows());
+    }
+  }
+  if (plan.where.has_value()) out += "Filter (refine step)\n";
+  if (!plan.group_by.empty()) {
+    out += StrFormat("GroupBy (%zu keys)\n", plan.group_by.size());
+  }
+  if (plan.has_aggregates) out += "Aggregate\n";
+  if (!plan.order_by.empty()) {
+    out += StrFormat("Sort (%zu keys)\n", plan.order_by.size());
+  }
+  if (plan.limit.has_value()) {
+    out += StrFormat("Limit %lld\n", static_cast<long long>(*plan.limit));
+  }
+  std::string columns;
+  for (const auto& o : plan.outputs) {
+    if (!columns.empty()) columns += ", ";
+    columns += o.name;
+  }
+  out += "Output: " + columns;
+  return out;
+}
+
+}  // namespace jackpine::engine

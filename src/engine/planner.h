@@ -1,0 +1,89 @@
+// Query planning: binds a SELECT against the catalog and chooses the access
+// path (full scan, index window scan, index nested-loop join, or index k-NN).
+
+#ifndef JACKPINE_ENGINE_PLANNER_H_
+#define JACKPINE_ENGINE_PLANNER_H_
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/expression.h"
+
+namespace jackpine::engine {
+
+// Counters surfaced to the benchmark harness and tests: they make the
+// filter-and-refine behaviour of each SUT observable. Counters are relaxed
+// atomics so concurrent read-only queries (the multi-client throughput
+// experiment) can share one Database without data races.
+struct ExecStats {
+  std::atomic<uint64_t> rows_scanned{0};   // heap rows without index help
+  std::atomic<uint64_t> index_probes{0};   // window / k-NN probes issued
+  std::atomic<uint64_t> index_candidates{0};  // ids from the filter step
+  std::atomic<uint64_t> refine_checks{0};  // WHERE evals (the refine step)
+
+  void Reset() {
+    rows_scanned = 0;
+    index_probes = 0;
+    index_candidates = 0;
+    refine_checks = 0;
+  }
+};
+
+struct PhysicalPlan {
+  std::vector<const Table*> tables;
+  std::vector<std::string> aliases;
+  EvalContext ctx;
+
+  // Single-table window acceleration.
+  bool use_window = false;
+  size_t window_column = 0;
+  geom::Envelope window;
+
+  // Two-table index nested-loop join: probe the inner table's index with the
+  // (expanded) envelope of the outer row's key geometry.
+  bool use_join_index = false;
+  size_t outer_table = 0;
+  size_t inner_table = 1;
+  size_t inner_geom_column = 0;
+  std::optional<BoundExpr> outer_key;
+  double join_expand = 0.0;
+
+  // k-NN acceleration: ORDER BY ST_Distance(geom_col, <point>) LIMIT k.
+  bool use_knn = false;
+  size_t knn_column = 0;
+  geom::Coord knn_center{};
+
+  std::optional<BoundExpr> where;
+
+  std::vector<BoundExpr> group_by;
+
+  struct OutputItem {
+    BoundExpr expr;
+    std::string name;
+  };
+  std::vector<OutputItem> outputs;
+  bool has_aggregates = false;
+
+  struct BoundOrder {
+    BoundExpr expr;
+    bool ascending = true;
+  };
+  std::vector<BoundOrder> order_by;
+  std::optional<int64_t> limit;
+};
+
+// Binds and plans `stmt`. `ctx` carries the SUT's predicate mode, which also
+// affects constant folding.
+Result<PhysicalPlan> PlanSelect(const SelectStatement& stmt,
+                                const Catalog& catalog, const EvalContext& ctx);
+
+// Human-readable plan description (the EXPLAIN output): access path, index
+// usage, grouping/ordering and output columns, one property per line.
+std::string DescribePlan(const PhysicalPlan& plan);
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_PLANNER_H_

@@ -1,0 +1,63 @@
+#include "engine/schema.h"
+
+#include "common/string_util.h"
+
+namespace jackpine::engine {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+std::optional<size_t> Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, schema has %zu columns", row.size(),
+                  columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const DataType vt = row[i].type();
+    const DataType ct = columns_[i].type;
+    if (vt == DataType::kNull || vt == ct) continue;
+    if (ct == DataType::kDouble && vt == DataType::kInt64) continue;
+    return Status::InvalidArgument(
+        StrFormat("column '%s' expects %s, got %s", columns_[i].name.c_str(),
+                  DataTypeName(ct), DataTypeName(vt)));
+  }
+  return Status::Ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ' ';
+    out += DataTypeName(columns_[i].type);
+  }
+  out += ')';
+  return out;
+}
+
+Result<DataType> DataTypeFromName(std::string_view name) {
+  const std::string upper = ToUpperAscii(name);
+  if (upper == "BIGINT" || upper == "INT" || upper == "INTEGER") {
+    return DataType::kInt64;
+  }
+  if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL") {
+    return DataType::kDouble;
+  }
+  if (upper == "VARCHAR" || upper == "TEXT" || upper == "STRING") {
+    return DataType::kString;
+  }
+  if (upper == "GEOMETRY") return DataType::kGeometry;
+  if (upper == "BOOL" || upper == "BOOLEAN") return DataType::kBool;
+  return Status::InvalidArgument(StrFormat("unknown type '%s'",
+                                           std::string(name).c_str()));
+}
+
+}  // namespace jackpine::engine

@@ -1,0 +1,48 @@
+// Table schemas.
+
+#ifndef JACKPINE_ENGINE_SCHEMA_H_
+#define JACKPINE_ENGINE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/value.h"
+
+namespace jackpine::engine {
+
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Case-insensitive lookup.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  // Checks that `row` matches the column count and types (NULL always fits;
+  // ints widen to double columns).
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+// Parses "BIGINT" / "DOUBLE" / "VARCHAR" / "GEOMETRY" / "BOOL" (plus common
+// aliases INT, INTEGER, TEXT, FLOAT, REAL).
+Result<DataType> DataTypeFromName(std::string_view name);
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_SCHEMA_H_

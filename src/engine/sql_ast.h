@@ -1,0 +1,135 @@
+// Abstract syntax tree for the pinedb SQL dialect.
+//
+// Supported statements (enough for the full Jackpine workload):
+//   SELECT <items> FROM t1 [alias] [, t2 [alias]] [WHERE expr]
+//          [GROUP BY expr, ...] [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//   EXPLAIN SELECT ...
+//   CREATE TABLE name (col TYPE, ...)
+//   INSERT INTO name VALUES (expr, ...) [, (...)]*
+//   CREATE SPATIAL INDEX ON table (column)
+//   DROP SPATIAL INDEX ON table (column)
+// Aggregates (COUNT/SUM/AVG/MIN/MAX) are allowed with or without GROUP BY;
+// with GROUP BY, non-aggregate outputs are evaluated on an arbitrary row of
+// the group (the traditional MySQL behaviour), so group-key expressions are
+// the only outputs that are deterministic across engines.
+
+#ifndef JACKPINE_ENGINE_SQL_AST_H_
+#define JACKPINE_ENGINE_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "engine/value.h"
+
+namespace jackpine::engine {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp : uint8_t { kNot, kNeg };
+
+const char* BinaryOpName(BinaryOp op);
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kLiteral,
+    kColumnRef,
+    kStar,  // the '*' inside COUNT(*)
+    kFunctionCall,
+    kBinary,
+    kUnary,
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  Value literal;                 // kLiteral
+  std::string table_qualifier;  // kColumnRef, may be empty
+  std::string column;           // kColumnRef
+  std::string function;         // kFunctionCall (original spelling)
+  std::vector<ExprPtr> children;  // call args; binary: [lhs, rhs]; unary: [x]
+  BinaryOp binary_op = BinaryOp::kEq;
+  UnaryOp unary_op = UnaryOp::kNot;
+
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeColumn(std::string qualifier, std::string column);
+  static ExprPtr MakeStar();
+  static ExprPtr MakeCall(std::string function, std::vector<ExprPtr> args);
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeUnary(UnaryOp op, ExprPtr child);
+};
+
+struct SelectItem {
+  bool star = false;  // bare '*' in the select list
+  ExprPtr expr;       // when !star
+  std::string alias;  // may be empty
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+};
+
+struct ExplainStatement {
+  SelectStatement select;
+};
+
+struct CreateTableStatement {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> columns;  // name, type
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+struct CreateIndexStatement {
+  std::string table;
+  std::string column;
+};
+
+struct DropIndexStatement {
+  std::string table;
+  std::string column;
+};
+
+using Statement =
+    std::variant<SelectStatement, ExplainStatement, CreateTableStatement,
+                 InsertStatement, CreateIndexStatement, DropIndexStatement>;
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_SQL_AST_H_

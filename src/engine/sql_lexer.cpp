@@ -1,0 +1,112 @@
+#include "engine/sql_lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace jackpine::engine {
+
+bool Token::IsWord(std::string_view word) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, word);
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      out.push_back(
+          {TokenKind::kIdentifier, std::string(sql.substr(start, i - start)),
+           start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool seen_dot = false;
+      bool seen_exp = false;
+      while (i < n) {
+        const char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !seen_exp) {
+          seen_exp = true;
+          ++i;
+          if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      out.push_back(
+          {TokenKind::kNumber, std::string(sql.substr(start, i - start)),
+           start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      out.push_back({TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const std::string_view two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+          two == "||") {
+        out.push_back({TokenKind::kSymbol, std::string(two), start});
+        i += 2;
+        continue;
+      }
+    }
+    static constexpr std::string_view kSingles = "(),.*=<>+-/;%";
+    if (kSingles.find(c) != std::string_view::npos) {
+      out.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu", c, start));
+  }
+  out.push_back({TokenKind::kEnd, "", n});
+  return out;
+}
+
+}  // namespace jackpine::engine

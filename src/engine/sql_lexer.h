@@ -1,0 +1,39 @@
+// SQL tokenizer for pinedb's SELECT/CREATE/INSERT dialect.
+
+#ifndef JACKPINE_ENGINE_SQL_LEXER_H_
+#define JACKPINE_ENGINE_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jackpine::engine {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // unquoted word (keywords included; parser decides)
+  kNumber,      // integer or decimal literal (text preserved)
+  kString,      // single-quoted string, quotes stripped, '' unescaped
+  kSymbol,      // punctuation / operator, in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool IsSymbol(std::string_view s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+  // Case-insensitive keyword/identifier check.
+  bool IsWord(std::string_view word) const;
+};
+
+// Tokenizes `sql`; the returned vector always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_SQL_LEXER_H_

@@ -1,0 +1,462 @@
+#include "engine/sql_parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "engine/sql_lexer.h"
+
+namespace jackpine::engine {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeColumn(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->table_qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kStar;
+  return e;
+}
+
+ExprPtr Expr::MakeCall(std::string function, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFunctionCall;
+  e->function = std::move(function);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnaryOp op, ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    if (Peek().IsWord("SELECT")) {
+      JACKPINE_ASSIGN_OR_RETURN(SelectStatement s, ParseSelect());
+      JACKPINE_RETURN_IF_ERROR(ExpectEnd());
+      return Statement(std::move(s));
+    }
+    if (Peek().IsWord("EXPLAIN")) {
+      Advance();
+      JACKPINE_ASSIGN_OR_RETURN(SelectStatement s, ParseSelect());
+      JACKPINE_RETURN_IF_ERROR(ExpectEnd());
+      return Statement(ExplainStatement{std::move(s)});
+    }
+    if (Peek().IsWord("CREATE")) {
+      Advance();
+      if (Peek().IsWord("TABLE")) {
+        Advance();
+        JACKPINE_ASSIGN_OR_RETURN(CreateTableStatement s, ParseCreateTable());
+        JACKPINE_RETURN_IF_ERROR(ExpectEnd());
+        return Statement(std::move(s));
+      }
+      if (Peek().IsWord("SPATIAL")) {
+        Advance();
+        JACKPINE_RETURN_IF_ERROR(ExpectWord("INDEX"));
+        JACKPINE_RETURN_IF_ERROR(ExpectWord("ON"));
+        JACKPINE_ASSIGN_OR_RETURN(CreateIndexStatement s, ParseIndexTarget());
+        JACKPINE_RETURN_IF_ERROR(ExpectEnd());
+        return Statement(std::move(s));
+      }
+      return Err("expected TABLE or SPATIAL INDEX after CREATE");
+    }
+    if (Peek().IsWord("DROP")) {
+      Advance();
+      JACKPINE_RETURN_IF_ERROR(ExpectWord("SPATIAL"));
+      JACKPINE_RETURN_IF_ERROR(ExpectWord("INDEX"));
+      JACKPINE_RETURN_IF_ERROR(ExpectWord("ON"));
+      JACKPINE_ASSIGN_OR_RETURN(CreateIndexStatement s, ParseIndexTarget());
+      JACKPINE_RETURN_IF_ERROR(ExpectEnd());
+      return Statement(DropIndexStatement{s.table, s.column});
+    }
+    if (Peek().IsWord("INSERT")) {
+      Advance();
+      JACKPINE_RETURN_IF_ERROR(ExpectWord("INTO"));
+      JACKPINE_ASSIGN_OR_RETURN(InsertStatement s, ParseInsert());
+      JACKPINE_RETURN_IF_ERROR(ExpectEnd());
+      return Statement(std::move(s));
+    }
+    return Err("expected SELECT, CREATE, DROP or INSERT");
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& what) const {
+    return Status::ParseError(
+        StrFormat("SQL at offset %zu (near '%s'): %s", Peek().offset,
+                  Peek().text.c_str(), what.c_str()));
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (Peek().IsWord(word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSymbol(std::string_view sym) {
+    if (Peek().IsSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectWord(std::string_view word) {
+    if (!ConsumeWord(word)) {
+      return Err(StrFormat("expected %s", std::string(word).c_str()));
+    }
+    return Status::Ok();
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!ConsumeSymbol(sym)) {
+      return Err(StrFormat("expected '%s'", std::string(sym).c_str()));
+    }
+    return Status::Ok();
+  }
+  Status ExpectEnd() {
+    ConsumeSymbol(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Err("expected identifier");
+    }
+    return Advance().text;
+  }
+
+  // --- Expressions (precedence climbing) ---------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    JACKPINE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().IsWord("OR")) {
+      Advance();
+      JACKPINE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    JACKPINE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Peek().IsWord("AND")) {
+      Advance();
+      JACKPINE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Peek().IsWord("NOT")) {
+      Advance();
+      JACKPINE_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return Expr::MakeUnary(UnaryOp::kNot, std::move(child));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    JACKPINE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    struct OpMap {
+      const char* sym;
+      BinaryOp op;
+    };
+    static constexpr OpMap kOps[] = {
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<>", BinaryOp::kNe},
+        {"!=", BinaryOp::kNe}, {"=", BinaryOp::kEq},  {"<", BinaryOp::kLt},
+        {">", BinaryOp::kGt},
+    };
+    for (const OpMap& m : kOps) {
+      if (Peek().IsSymbol(m.sym)) {
+        Advance();
+        JACKPINE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return Expr::MakeBinary(m.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    JACKPINE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      const BinaryOp op =
+          Advance().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      JACKPINE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    JACKPINE_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/") ||
+           Peek().IsSymbol("%")) {
+      const std::string sym = Advance().text;
+      const BinaryOp op = sym == "*"   ? BinaryOp::kMul
+                          : sym == "/" ? BinaryOp::kDiv
+                                       : BinaryOp::kMod;
+      JACKPINE_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().IsSymbol("-")) {
+      Advance();
+      JACKPINE_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      return Expr::MakeUnary(UnaryOp::kNeg, std::move(child));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kNumber) {
+      Advance();
+      if (tok.text.find_first_of(".eE") == std::string::npos) {
+        return Expr::MakeLiteral(
+            Value::Int(std::strtoll(tok.text.c_str(), nullptr, 10)));
+      }
+      return Expr::MakeLiteral(
+          Value::Real(std::strtod(tok.text.c_str(), nullptr)));
+    }
+    if (tok.kind == TokenKind::kString) {
+      Advance();
+      return Expr::MakeLiteral(Value::Str(tok.text));
+    }
+    if (tok.IsSymbol("(")) {
+      Advance();
+      JACKPINE_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      JACKPINE_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    if (tok.kind == TokenKind::kIdentifier) {
+      if (tok.IsWord("TRUE")) {
+        Advance();
+        return Expr::MakeLiteral(Value::Bool(true));
+      }
+      if (tok.IsWord("FALSE")) {
+        Advance();
+        return Expr::MakeLiteral(Value::Bool(false));
+      }
+      if (tok.IsWord("NULL")) {
+        Advance();
+        return Expr::MakeLiteral(Value::MakeNull());
+      }
+      const std::string name = Advance().text;
+      if (Peek().IsSymbol("(")) {
+        Advance();
+        std::vector<ExprPtr> args;
+        if (Peek().IsSymbol("*")) {
+          Advance();
+          args.push_back(Expr::MakeStar());
+        } else if (!Peek().IsSymbol(")")) {
+          do {
+            JACKPINE_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+          } while (ConsumeSymbol(","));
+        }
+        JACKPINE_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return Expr::MakeCall(name, std::move(args));
+      }
+      if (Peek().IsSymbol(".")) {
+        Advance();
+        JACKPINE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        return Expr::MakeColumn(name, std::move(col));
+      }
+      return Expr::MakeColumn("", name);
+    }
+    return Err("expected expression");
+  }
+
+  // --- Statements ----------------------------------------------------------
+
+  Result<SelectStatement> ParseSelect() {
+    JACKPINE_RETURN_IF_ERROR(ExpectWord("SELECT"));
+    SelectStatement stmt;
+    do {
+      SelectItem item;
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        item.star = true;
+      } else {
+        JACKPINE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeWord("AS")) {
+          JACKPINE_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        } else if (Peek().kind == TokenKind::kIdentifier &&
+                   !Peek().IsWord("FROM")) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt.items.push_back(std::move(item));
+    } while (ConsumeSymbol(","));
+
+    JACKPINE_RETURN_IF_ERROR(ExpectWord("FROM"));
+    do {
+      TableRef ref;
+      JACKPINE_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier());
+      ref.alias = ref.table;
+      if (ConsumeWord("AS")) {
+        JACKPINE_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+      } else if (Peek().kind == TokenKind::kIdentifier &&
+                 !Peek().IsWord("WHERE") && !Peek().IsWord("GROUP") &&
+                 !Peek().IsWord("ORDER") && !Peek().IsWord("LIMIT")) {
+        ref.alias = Advance().text;
+      }
+      stmt.from.push_back(std::move(ref));
+    } while (ConsumeSymbol(","));
+
+    if (ConsumeWord("WHERE")) {
+      JACKPINE_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (ConsumeWord("GROUP")) {
+      JACKPINE_RETURN_IF_ERROR(ExpectWord("BY"));
+      do {
+        JACKPINE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+      } while (ConsumeSymbol(","));
+    }
+    if (ConsumeWord("ORDER")) {
+      JACKPINE_RETURN_IF_ERROR(ExpectWord("BY"));
+      do {
+        OrderItem item;
+        JACKPINE_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeWord("DESC")) {
+          item.ascending = false;
+        } else {
+          ConsumeWord("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+      } while (ConsumeSymbol(","));
+    }
+    if (ConsumeWord("LIMIT")) {
+      if (Peek().kind != TokenKind::kNumber) return Err("expected LIMIT count");
+      stmt.limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return stmt;
+  }
+
+  Result<CreateTableStatement> ParseCreateTable() {
+    CreateTableStatement stmt;
+    JACKPINE_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+    JACKPINE_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      JACKPINE_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      JACKPINE_ASSIGN_OR_RETURN(std::string type, ExpectIdentifier());
+      stmt.columns.emplace_back(std::move(col), std::move(type));
+    } while (ConsumeSymbol(","));
+    JACKPINE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  Result<InsertStatement> ParseInsert() {
+    InsertStatement stmt;
+    JACKPINE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    JACKPINE_RETURN_IF_ERROR(ExpectWord("VALUES"));
+    do {
+      JACKPINE_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> row;
+      do {
+        JACKPINE_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (ConsumeSymbol(","));
+      JACKPINE_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+    } while (ConsumeSymbol(","));
+    return stmt;
+  }
+
+  Result<CreateIndexStatement> ParseIndexTarget() {
+    CreateIndexStatement stmt;
+    JACKPINE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    JACKPINE_RETURN_IF_ERROR(ExpectSymbol("("));
+    JACKPINE_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier());
+    JACKPINE_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseSql(std::string_view sql) {
+  JACKPINE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).ParseStatement();
+}
+
+}  // namespace jackpine::engine

@@ -1,0 +1,19 @@
+// Recursive-descent parser for the pinedb SQL dialect; see sql_ast.h for the
+// supported grammar.
+
+#ifndef JACKPINE_ENGINE_SQL_PARSER_H_
+#define JACKPINE_ENGINE_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/sql_ast.h"
+
+namespace jackpine::engine {
+
+// Parses exactly one statement (a trailing ';' is allowed).
+Result<Statement> ParseSql(std::string_view sql);
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_SQL_PARSER_H_

@@ -1,0 +1,64 @@
+#include "engine/table.h"
+
+#include "common/string_util.h"
+
+namespace jackpine::engine {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Status Table::Append(Row row) {
+  JACKPINE_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  const auto id = static_cast<int64_t>(rows_.size());
+  for (auto& [col, idx] : indexes_) {
+    const Value& v = row[col];
+    if (!v.is_null() && !v.geometry_value().envelope().IsNull()) {
+      idx->Insert(v.geometry_value().envelope(), id);
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Status Table::BuildSpatialIndex(size_t column, index::IndexKind kind,
+                                bool incremental) {
+  if (column >= schema_.NumColumns()) {
+    return Status::OutOfRange("index column out of range");
+  }
+  if (schema_.column(column).type != DataType::kGeometry) {
+    return Status::InvalidArgument(
+        StrFormat("column '%s' is not GEOMETRY",
+                  schema_.column(column).name.c_str()));
+  }
+  auto idx = index::MakeSpatialIndex(kind);
+  if (incremental) {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Value& v = rows_[i][column];
+      if (!v.is_null() && !v.geometry_value().envelope().IsNull()) {
+        idx->Insert(v.geometry_value().envelope(), static_cast<int64_t>(i));
+      }
+    }
+  } else {
+    std::vector<index::IndexEntry> entries;
+    entries.reserve(rows_.size());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Value& v = rows_[i][column];
+      if (!v.is_null() && !v.geometry_value().envelope().IsNull()) {
+        entries.push_back(index::IndexEntry{v.geometry_value().envelope(),
+                                            static_cast<int64_t>(i)});
+      }
+    }
+    idx->BulkLoad(std::move(entries));
+  }
+  indexes_[column] = std::move(idx);
+  return Status::Ok();
+}
+
+void Table::DropSpatialIndex(size_t column) { indexes_.erase(column); }
+
+const index::SpatialIndex* Table::GetSpatialIndex(size_t column) const {
+  auto it = indexes_.find(column);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace jackpine::engine

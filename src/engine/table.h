@@ -1,0 +1,51 @@
+// In-memory heap table with optional per-geometry-column spatial indexes.
+
+#ifndef JACKPINE_ENGINE_TABLE_H_
+#define JACKPINE_ENGINE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/schema.h"
+#include "index/spatial_index.h"
+
+namespace jackpine::engine {
+
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  // Appends a row after schema validation. Maintains any existing spatial
+  // indexes incrementally.
+  Status Append(Row row);
+
+  // Builds (or rebuilds, bulk-loading) a spatial index on `column`; the
+  // column must be GEOMETRY. `incremental` = true exercises one-at-a-time
+  // insertion instead of bulk load (the E6 fill-policy ablation).
+  Status BuildSpatialIndex(size_t column, index::IndexKind kind,
+                           bool incremental = false);
+
+  void DropSpatialIndex(size_t column);
+
+  // The index on `column`, or nullptr.
+  const index::SpatialIndex* GetSpatialIndex(size_t column) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::map<size_t, std::unique_ptr<index::SpatialIndex>> indexes_;
+};
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_TABLE_H_

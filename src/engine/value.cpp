@@ -1,0 +1,191 @@
+#include "engine/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace jackpine::engine {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "VARCHAR";
+    case DataType::kGeometry:
+      return "GEOMETRY";
+  }
+  return "UNKNOWN";
+}
+
+DataType Value::type() const {
+  switch (payload_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt64;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kString;
+    case 5:
+      return DataType::kGeometry;
+  }
+  return DataType::kNull;
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return static_cast<double>(int_value());
+    case DataType::kDouble:
+      return double_value();
+    default:
+      return Status::InvalidArgument(
+          StrFormat("cannot read %s as DOUBLE", DataTypeName(type())));
+  }
+}
+
+Result<int64_t> Value::AsInt64() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return int_value();
+    case DataType::kDouble:
+      return static_cast<int64_t>(double_value());
+    default:
+      return Status::InvalidArgument(
+          StrFormat("cannot read %s as BIGINT", DataTypeName(type())));
+  }
+}
+
+Result<bool> Value::AsBool() const {
+  switch (type()) {
+    case DataType::kBool:
+      return bool_value();
+    case DataType::kInt64:
+      return int_value() != 0;
+    default:
+      return Status::InvalidArgument(
+          StrFormat("cannot read %s as BOOL", DataTypeName(type())));
+  }
+}
+
+Result<geom::Geometry> Value::AsGeometry() const {
+  if (type() != DataType::kGeometry) {
+    return Status::InvalidArgument(
+        StrFormat("cannot read %s as GEOMETRY", DataTypeName(type())));
+  }
+  return geometry_value();
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  const DataType ta = type();
+  const DataType tb = other.type();
+  if (ta == DataType::kNull || tb == DataType::kNull) {
+    if (ta == tb) return 0;
+    return ta == DataType::kNull ? -1 : 1;
+  }
+  const bool numeric_a = ta == DataType::kInt64 || ta == DataType::kDouble;
+  const bool numeric_b = tb == DataType::kInt64 || tb == DataType::kDouble;
+  if (numeric_a && numeric_b) {
+    if (ta == DataType::kInt64 && tb == DataType::kInt64) {
+      const int64_t a = int_value();
+      const int64_t b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = *AsDouble();
+    const double b = *other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (ta != tb) {
+    return Status::InvalidArgument(StrFormat("cannot compare %s with %s",
+                                             DataTypeName(ta),
+                                             DataTypeName(tb)));
+  }
+  switch (ta) {
+    case DataType::kBool:
+      return static_cast<int>(bool_value()) -
+             static_cast<int>(other.bool_value());
+    case DataType::kString:
+      return string_value().compare(other.string_value());
+    case DataType::kGeometry:
+      return Status::InvalidArgument("GEOMETRY values have no ordering");
+    default:
+      return 0;
+  }
+}
+
+bool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (type() == DataType::kGeometry && other.type() == DataType::kGeometry) {
+    return geometry_value().ExactlyEquals(other.geometry_value());
+  }
+  const Result<int> cmp = Compare(other);
+  return cmp.ok() && *cmp == 0;
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return bool_value() ? "true" : "false";
+    case DataType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(int_value()));
+    case DataType::kDouble:
+      return StrFormat("%.10g", double_value());
+    case DataType::kString:
+      return string_value();
+    case DataType::kGeometry:
+      return geometry_value().ToWkt();
+  }
+  return "?";
+}
+
+uint64_t Value::Hash() const {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h * 0xff51afd7ed558ccdULL;
+  };
+  uint64_t h = mix(0x2545f4914f6cdd1dULL, static_cast<uint64_t>(type()));
+  switch (type()) {
+    case DataType::kNull:
+      return h;
+    case DataType::kBool:
+      return mix(h, bool_value() ? 1 : 0);
+    case DataType::kInt64:
+      return mix(h, static_cast<uint64_t>(int_value()));
+    case DataType::kDouble: {
+      // Hash integral doubles like their int64 counterparts so that
+      // checksums are stable across SUTs that fold constants differently.
+      const double d = double_value();
+      if (d == std::floor(d) && std::abs(d) < 1e18) {
+        return mix(h ^ 0x3, static_cast<uint64_t>(static_cast<int64_t>(d)));
+      }
+      uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return mix(h, bits);
+    }
+    case DataType::kString: {
+      uint64_t sh = 1469598103934665603ULL;
+      for (char c : string_value()) {
+        sh ^= static_cast<unsigned char>(c);
+        sh *= 1099511628211ULL;
+      }
+      return mix(h, sh);
+    }
+    case DataType::kGeometry:
+      return mix(h, geometry_value().Hash());
+  }
+  return h;
+}
+
+}  // namespace jackpine::engine

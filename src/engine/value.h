@@ -1,0 +1,85 @@
+// The runtime value model of pinedb: what a cell, an expression result, or a
+// function argument holds.
+
+#ifndef JACKPINE_ENGINE_VALUE_H_
+#define JACKPINE_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace jackpine::engine {
+
+enum class DataType : uint8_t {
+  kNull,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kGeometry,
+};
+
+const char* DataTypeName(DataType type);
+
+// A dynamically-typed SQL value. Copying is cheap: strings are the only
+// deep-copied payload and geometries share their immutable payload.
+class Value {
+ public:
+  Value() : payload_(Null{}) {}
+
+  static Value MakeNull() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Real(double v) { return Value(Payload(v)); }
+  static Value Str(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Geo(geom::Geometry v) { return Value(Payload(std::move(v))); }
+
+  DataType type() const;
+  bool is_null() const { return type() == DataType::kNull; }
+
+  // Typed accessors; caller must check type() (or use the As* coercions).
+  bool bool_value() const { return std::get<bool>(payload_); }
+  int64_t int_value() const { return std::get<int64_t>(payload_); }
+  double double_value() const { return std::get<double>(payload_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(payload_);
+  }
+  const geom::Geometry& geometry_value() const {
+    return std::get<geom::Geometry>(payload_);
+  }
+
+  // Numeric coercion: int64 and double interchange; anything else errors.
+  Result<double> AsDouble() const;
+  Result<int64_t> AsInt64() const;
+  Result<bool> AsBool() const;
+  Result<geom::Geometry> AsGeometry() const;
+
+  // SQL three-valued comparison for ORDER BY and comparison operators:
+  // returns <0, 0, >0; NULL sorts first; cross-type numeric compares work.
+  // Comparing incompatible types returns an error.
+  Result<int> Compare(const Value& other) const;
+
+  // SQL equality (used by = and result checksums). NULL != anything.
+  bool SqlEquals(const Value& other) const;
+
+  // Human-readable rendering (geometries as WKT).
+  std::string ToDisplayString() const;
+
+  // Structural hash for result checksums.
+  uint64_t Hash() const;
+
+ private:
+  struct Null {};
+  using Payload =
+      std::variant<Null, bool, int64_t, double, std::string, geom::Geometry>;
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+};
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_VALUE_H_

@@ -1,0 +1,55 @@
+// 2-D coordinate type shared by the whole geometry stack.
+//
+// Jackpine's datasets are planar (projected TIGER-like data), so coordinates
+// are plain Cartesian doubles. Geodetic support in the original paper is a
+// per-DBMS feature axis, not something the benchmark queries require; see
+// DESIGN.md.
+
+#ifndef JACKPINE_GEOM_COORD_H_
+#define JACKPINE_GEOM_COORD_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace jackpine::geom {
+
+struct Coord {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Coord& a, const Coord& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Coord& a, const Coord& b) { return !(a == b); }
+};
+
+// Euclidean distance between two coordinates.
+inline double DistanceBetween(const Coord& a, const Coord& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+// Squared Euclidean distance (avoids the sqrt when only comparing).
+inline double DistanceSquared(const Coord& a, const Coord& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+// Mixes the bit patterns of x and y; good enough for dedup sets.
+struct CoordHash {
+  size_t operator()(const Coord& c) const {
+    uint64_t hx, hy;
+    static_assert(sizeof(double) == sizeof(uint64_t));
+    __builtin_memcpy(&hx, &c.x, sizeof(hx));
+    __builtin_memcpy(&hy, &c.y, sizeof(hy));
+    uint64_t h = hx * 0x9e3779b97f4a7c15ULL;
+    h ^= hy + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace jackpine::geom
+
+#endif  // JACKPINE_GEOM_COORD_H_

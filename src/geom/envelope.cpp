@@ -1,0 +1,91 @@
+#include "geom/envelope.h"
+
+#include "common/string_util.h"
+
+namespace jackpine::geom {
+
+void Envelope::ExpandToInclude(const Coord& c) {
+  min_x_ = std::min(min_x_, c.x);
+  min_y_ = std::min(min_y_, c.y);
+  max_x_ = std::max(max_x_, c.x);
+  max_y_ = std::max(max_y_, c.y);
+}
+
+void Envelope::ExpandToInclude(const Envelope& other) {
+  if (other.IsNull()) return;
+  min_x_ = std::min(min_x_, other.min_x_);
+  min_y_ = std::min(min_y_, other.min_y_);
+  max_x_ = std::max(max_x_, other.max_x_);
+  max_y_ = std::max(max_y_, other.max_y_);
+}
+
+Envelope Envelope::Expanded(double margin) const {
+  if (IsNull()) return Envelope();
+  const double nx0 = min_x_ - margin;
+  const double ny0 = min_y_ - margin;
+  const double nx1 = max_x_ + margin;
+  const double ny1 = max_y_ + margin;
+  if (nx0 > nx1 || ny0 > ny1) return Envelope();
+  Envelope e;
+  e.min_x_ = nx0;
+  e.min_y_ = ny0;
+  e.max_x_ = nx1;
+  e.max_y_ = ny1;
+  return e;
+}
+
+bool Envelope::Touches(const Envelope& other) const {
+  if (!Intersects(other)) return false;
+  const bool edge_x = other.min_x_ == max_x_ || other.max_x_ == min_x_;
+  const bool edge_y = other.min_y_ == max_y_ || other.max_y_ == min_y_;
+  return edge_x || edge_y;
+}
+
+Envelope Envelope::Intersection(const Envelope& other) const {
+  if (!Intersects(other)) return Envelope();
+  Envelope e;
+  e.min_x_ = std::max(min_x_, other.min_x_);
+  e.min_y_ = std::max(min_y_, other.min_y_);
+  e.max_x_ = std::min(max_x_, other.max_x_);
+  e.max_y_ = std::min(max_y_, other.max_y_);
+  return e;
+}
+
+Envelope Envelope::Union(const Envelope& other) const {
+  Envelope e = *this;
+  e.ExpandToInclude(other);
+  return e;
+}
+
+double Envelope::EnlargementToInclude(const Envelope& other) const {
+  if (IsNull()) return other.Area();
+  return Union(other).Area() - Area();
+}
+
+double Envelope::DistanceTo(const Envelope& other) const {
+  if (Intersects(other)) return 0.0;
+  double dx = 0.0;
+  if (other.max_x_ < min_x_) {
+    dx = min_x_ - other.max_x_;
+  } else if (other.min_x_ > max_x_) {
+    dx = other.min_x_ - max_x_;
+  }
+  double dy = 0.0;
+  if (other.max_y_ < min_y_) {
+    dy = min_y_ - other.max_y_;
+  } else if (other.min_y_ > max_y_) {
+    dy = other.min_y_ - max_y_;
+  }
+  return std::hypot(dx, dy);
+}
+
+double Envelope::DistanceTo(const Coord& c) const {
+  return DistanceTo(Envelope(c));
+}
+
+std::string Envelope::ToString() const {
+  if (IsNull()) return "Env[null]";
+  return StrFormat("Env[%g..%g, %g..%g]", min_x_, max_x_, min_y_, max_y_);
+}
+
+}  // namespace jackpine::geom

@@ -1,0 +1,104 @@
+// Axis-aligned bounding rectangle (MBR).
+//
+// Envelopes drive the filter step of every spatial predicate, the R-tree and
+// grid indexes, and the MBR-only predicate semantics of the `pine-mbr` SUT.
+
+#ifndef JACKPINE_GEOM_ENVELOPE_H_
+#define JACKPINE_GEOM_ENVELOPE_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geom/coord.h"
+
+namespace jackpine::geom {
+
+// A closed axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+// A default-constructed Envelope is "null" (empty): it contains nothing and
+// expanding it by a point makes it that point.
+class Envelope {
+ public:
+  Envelope() = default;
+  Envelope(double min_x, double min_y, double max_x, double max_y)
+      : min_x_(std::min(min_x, max_x)),
+        min_y_(std::min(min_y, max_y)),
+        max_x_(std::max(min_x, max_x)),
+        max_y_(std::max(min_y, max_y)) {}
+  explicit Envelope(const Coord& c) : Envelope(c.x, c.y, c.x, c.y) {}
+  Envelope(const Coord& a, const Coord& b)
+      : Envelope(std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+                 std::max(a.y, b.y)) {}
+
+  bool IsNull() const { return min_x_ > max_x_; }
+
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+
+  double Width() const { return IsNull() ? 0.0 : max_x_ - min_x_; }
+  double Height() const { return IsNull() ? 0.0 : max_y_ - min_y_; }
+  double Area() const { return Width() * Height(); }
+  double Perimeter() const { return 2.0 * (Width() + Height()); }
+  Coord Center() const {
+    return {(min_x_ + max_x_) / 2.0, (min_y_ + max_y_) / 2.0};
+  }
+
+  // Grows this envelope to cover `c` / `other`.
+  void ExpandToInclude(const Coord& c);
+  void ExpandToInclude(const Envelope& other);
+
+  // Grows by `margin` on every side (negative shrinks; may become null).
+  Envelope Expanded(double margin) const;
+
+  bool Contains(const Coord& c) const {
+    return !IsNull() && c.x >= min_x_ && c.x <= max_x_ && c.y >= min_y_ &&
+           c.y <= max_y_;
+  }
+  // True if `other` lies entirely inside this envelope (boundary allowed).
+  bool Contains(const Envelope& other) const {
+    return !IsNull() && !other.IsNull() && other.min_x_ >= min_x_ &&
+           other.max_x_ <= max_x_ && other.min_y_ >= min_y_ &&
+           other.max_y_ <= max_y_;
+  }
+  bool Intersects(const Envelope& other) const {
+    return !IsNull() && !other.IsNull() && other.min_x_ <= max_x_ &&
+           other.max_x_ >= min_x_ && other.min_y_ <= max_y_ &&
+           other.max_y_ >= min_y_;
+  }
+  // Rectangles share boundary but no interior.
+  bool Touches(const Envelope& other) const;
+
+  // The overlap rectangle; null if disjoint.
+  Envelope Intersection(const Envelope& other) const;
+
+  // Smallest envelope covering both.
+  Envelope Union(const Envelope& other) const;
+
+  // Increase in area if this envelope were expanded to include `other`
+  // (the R-tree's insertion heuristic).
+  double EnlargementToInclude(const Envelope& other) const;
+
+  // Minimum distance between the two rectangles (0 when intersecting).
+  double DistanceTo(const Envelope& other) const;
+  double DistanceTo(const Coord& c) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Envelope& a, const Envelope& b) {
+    if (a.IsNull() && b.IsNull()) return true;
+    return a.min_x_ == b.min_x_ && a.min_y_ == b.min_y_ &&
+           a.max_x_ == b.max_x_ && a.max_y_ == b.max_y_;
+  }
+
+ private:
+  double min_x_ = std::numeric_limits<double>::infinity();
+  double min_y_ = std::numeric_limits<double>::infinity();
+  double max_x_ = -std::numeric_limits<double>::infinity();
+  double max_y_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace jackpine::geom
+
+#endif  // JACKPINE_GEOM_ENVELOPE_H_

@@ -1,0 +1,121 @@
+#include "geom/geojson.h"
+
+#include <cstdio>
+
+namespace jackpine::geom {
+
+namespace {
+
+void AppendNumber(std::string* out, double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  *out += buf;
+}
+
+void AppendCoord(std::string* out, const Coord& c, int precision) {
+  *out += '[';
+  AppendNumber(out, c.x, precision);
+  *out += ',';
+  AppendNumber(out, c.y, precision);
+  *out += ']';
+}
+
+void AppendCoordArray(std::string* out, const std::vector<Coord>& pts,
+                      int precision) {
+  *out += '[';
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) *out += ',';
+    AppendCoord(out, pts[i], precision);
+  }
+  *out += ']';
+}
+
+void AppendPolygonCoords(std::string* out, const PolygonData& poly,
+                         int precision) {
+  *out += '[';
+  AppendCoordArray(out, poly.shell, precision);
+  for (const Ring& hole : poly.holes) {
+    *out += ',';
+    AppendCoordArray(out, hole, precision);
+  }
+  *out += ']';
+}
+
+void AppendGeometry(std::string* out, const Geometry& g, int precision) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      if (g.IsEmpty()) {
+        *out += R"({"type":"GeometryCollection","geometries":[]})";
+        return;
+      }
+      *out += R"({"type":"Point","coordinates":)";
+      AppendCoord(out, g.AsPoint(), precision);
+      *out += '}';
+      return;
+    case GeometryType::kLineString:
+      *out += R"({"type":"LineString","coordinates":)";
+      AppendCoordArray(out, g.IsEmpty() ? std::vector<Coord>{} : g.AsLineString(),
+                       precision);
+      *out += '}';
+      return;
+    case GeometryType::kPolygon:
+      *out += R"({"type":"Polygon","coordinates":)";
+      if (g.IsEmpty()) {
+        *out += "[]";
+      } else {
+        AppendPolygonCoords(out, g.AsPolygon(), precision);
+      }
+      *out += '}';
+      return;
+    case GeometryType::kMultiPoint: {
+      *out += R"({"type":"MultiPoint","coordinates":[)";
+      const auto& parts = g.IsEmpty() ? std::vector<Geometry>{} : g.Parts();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) *out += ',';
+        AppendCoord(out, parts[i].AsPoint(), precision);
+      }
+      *out += "]}";
+      return;
+    }
+    case GeometryType::kMultiLineString: {
+      *out += R"({"type":"MultiLineString","coordinates":[)";
+      const auto& parts = g.IsEmpty() ? std::vector<Geometry>{} : g.Parts();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) *out += ',';
+        AppendCoordArray(out, parts[i].AsLineString(), precision);
+      }
+      *out += "]}";
+      return;
+    }
+    case GeometryType::kMultiPolygon: {
+      *out += R"({"type":"MultiPolygon","coordinates":[)";
+      const auto& parts = g.IsEmpty() ? std::vector<Geometry>{} : g.Parts();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) *out += ',';
+        AppendPolygonCoords(out, parts[i].AsPolygon(), precision);
+      }
+      *out += "]}";
+      return;
+    }
+    case GeometryType::kGeometryCollection: {
+      *out += R"({"type":"GeometryCollection","geometries":[)";
+      const auto& parts = g.IsEmpty() ? std::vector<Geometry>{} : g.Parts();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) *out += ',';
+        AppendGeometry(out, parts[i], precision);
+      }
+      *out += "]}";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToGeoJson(const Geometry& g, int precision) {
+  std::string out;
+  AppendGeometry(&out, g, precision);
+  return out;
+}
+
+}  // namespace jackpine::geom

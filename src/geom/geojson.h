@@ -1,0 +1,24 @@
+// GeoJSON (RFC 7946) serialisation of geometries.
+//
+// The benchmark itself speaks WKT/WKB; GeoJSON output exists because the
+// map-browsing scenario's real-world counterpart feeds web clients, and it
+// backs the ST_AsGeoJSON SQL function.
+
+#ifndef JACKPINE_GEOM_GEOJSON_H_
+#define JACKPINE_GEOM_GEOJSON_H_
+
+#include <string>
+
+#include "geom/geometry.h"
+
+namespace jackpine::geom {
+
+// Renders `g` as a GeoJSON geometry object, e.g.
+// {"type":"Point","coordinates":[1,2]}. Empty geometries render with empty
+// coordinate arrays (an empty point becomes an empty GeometryCollection,
+// since GeoJSON has no empty-point form).
+std::string ToGeoJson(const Geometry& g, int precision = 9);
+
+}  // namespace jackpine::geom
+
+#endif  // JACKPINE_GEOM_GEOJSON_H_

@@ -1,0 +1,446 @@
+#include "geom/geometry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "geom/wkt_writer.h"
+
+namespace jackpine::geom {
+
+namespace {
+
+bool AllFinite(const std::vector<Coord>& pts) {
+  for (const Coord& c : pts) {
+    if (!std::isfinite(c.x) || !std::isfinite(c.y)) return false;
+  }
+  return true;
+}
+
+uint64_t HashMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h * 0xff51afd7ed558ccdULL;
+}
+
+uint64_t HashDouble(double d) {
+  uint64_t bits;
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+uint64_t HashCoords(uint64_t h, const std::vector<Coord>& pts) {
+  for (const Coord& c : pts) {
+    h = HashMix(h, HashDouble(c.x));
+    h = HashMix(h, HashDouble(c.y));
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* GeometryTypeName(GeometryType type) {
+  switch (type) {
+    case GeometryType::kPoint:
+      return "POINT";
+    case GeometryType::kLineString:
+      return "LINESTRING";
+    case GeometryType::kPolygon:
+      return "POLYGON";
+    case GeometryType::kMultiPoint:
+      return "MULTIPOINT";
+    case GeometryType::kMultiLineString:
+      return "MULTILINESTRING";
+    case GeometryType::kMultiPolygon:
+      return "MULTIPOLYGON";
+    case GeometryType::kGeometryCollection:
+      return "GEOMETRYCOLLECTION";
+  }
+  return "UNKNOWN";
+}
+
+double SignedRingArea(const Ring& ring) {
+  // Shoelace formula. Works for closed rings (first == last) and tolerates
+  // unclosed input by wrapping around.
+  if (ring.size() < 3) return 0.0;
+  double area2 = 0.0;
+  for (size_t i = 0; i + 1 < ring.size(); ++i) {
+    area2 += ring[i].x * ring[i + 1].y - ring[i + 1].x * ring[i].y;
+  }
+  if (ring.front() != ring.back()) {
+    area2 += ring.back().x * ring.front().y - ring.front().x * ring.back().y;
+  }
+  return area2 / 2.0;
+}
+
+bool IsCcw(const Ring& ring) { return SignedRingArea(ring) > 0.0; }
+
+struct Geometry::Payload {
+  GeometryType type = GeometryType::kGeometryCollection;
+  bool empty = true;
+  Envelope envelope;
+
+  // Exactly one of these is meaningful, selected by `type`.
+  Coord point{};
+  std::vector<Coord> line;
+  PolygonData polygon;
+  std::vector<Geometry> parts;
+};
+
+Geometry::Geometry() {
+  static const std::shared_ptr<const Payload> kEmpty =
+      std::make_shared<const Payload>();
+  payload_ = kEmpty;
+}
+
+Geometry Geometry::MakePoint(double x, double y) {
+  auto p = std::make_shared<Payload>();
+  p->type = GeometryType::kPoint;
+  p->empty = false;
+  p->point = {x, y};
+  p->envelope = Envelope(p->point);
+  return Geometry(std::move(p));
+}
+
+Geometry Geometry::MakeEmpty(GeometryType type) {
+  auto p = std::make_shared<Payload>();
+  p->type = type;
+  p->empty = true;
+  return Geometry(std::move(p));
+}
+
+Result<Geometry> Geometry::MakeLineString(std::vector<Coord> points) {
+  if (points.size() < 2) {
+    return Status::InvalidArgument(
+        StrFormat("LineString needs >= 2 points, got %zu", points.size()));
+  }
+  if (!AllFinite(points)) {
+    return Status::InvalidArgument("LineString has non-finite coordinate");
+  }
+  auto p = std::make_shared<Payload>();
+  p->type = GeometryType::kLineString;
+  p->empty = false;
+  for (const Coord& c : points) p->envelope.ExpandToInclude(c);
+  p->line = std::move(points);
+  return Geometry(std::move(p));
+}
+
+namespace {
+
+// Closes the ring if needed and enforces minimum size.
+Status NormalizeRing(Ring* ring, bool want_ccw) {
+  if (!AllFinite(*ring)) {
+    return Status::InvalidArgument("ring has non-finite coordinate");
+  }
+  if (!ring->empty() && ring->front() != ring->back()) {
+    ring->push_back(ring->front());
+  }
+  if (ring->size() < 4) {
+    return Status::InvalidArgument(
+        StrFormat("ring needs >= 4 points (closed), got %zu", ring->size()));
+  }
+  if (IsCcw(*ring) != want_ccw) {
+    std::reverse(ring->begin(), ring->end());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Geometry> Geometry::MakePolygon(Ring shell, std::vector<Ring> holes) {
+  JACKPINE_RETURN_IF_ERROR(NormalizeRing(&shell, /*want_ccw=*/true));
+  for (Ring& hole : holes) {
+    JACKPINE_RETURN_IF_ERROR(NormalizeRing(&hole, /*want_ccw=*/false));
+  }
+  auto p = std::make_shared<Payload>();
+  p->type = GeometryType::kPolygon;
+  p->empty = false;
+  for (const Coord& c : shell) p->envelope.ExpandToInclude(c);
+  p->polygon.shell = std::move(shell);
+  p->polygon.holes = std::move(holes);
+  return Geometry(std::move(p));
+}
+
+Geometry Geometry::MakeRectangle(const Envelope& e) {
+  if (e.IsNull()) return MakeEmpty(GeometryType::kPolygon);
+  Ring shell = {{e.min_x(), e.min_y()},
+                {e.max_x(), e.min_y()},
+                {e.max_x(), e.max_y()},
+                {e.min_x(), e.max_y()},
+                {e.min_x(), e.min_y()}};
+  auto result = MakePolygon(std::move(shell));
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+namespace {
+
+Result<Geometry> MakeMulti(GeometryType multi_type, GeometryType element_type,
+                           std::vector<Geometry> parts) {
+  for (const Geometry& g : parts) {
+    if (g.type() != element_type) {
+      return Status::InvalidArgument(
+          StrFormat("%s part must be %s, got %s", GeometryTypeName(multi_type),
+                    GeometryTypeName(element_type), GeometryTypeName(g.type())));
+    }
+  }
+  if (parts.empty()) return Geometry::MakeEmpty(multi_type);
+  return Geometry::MakeCollectionOfType(multi_type, std::move(parts));
+}
+
+}  // namespace
+
+Result<Geometry> Geometry::MakeMultiPoint(std::vector<Geometry> points) {
+  return MakeMulti(GeometryType::kMultiPoint, GeometryType::kPoint,
+                   std::move(points));
+}
+
+Result<Geometry> Geometry::MakeMultiLineString(std::vector<Geometry> lines) {
+  return MakeMulti(GeometryType::kMultiLineString, GeometryType::kLineString,
+                   std::move(lines));
+}
+
+Result<Geometry> Geometry::MakeMultiPolygon(std::vector<Geometry> polygons) {
+  return MakeMulti(GeometryType::kMultiPolygon, GeometryType::kPolygon,
+                   std::move(polygons));
+}
+
+Geometry Geometry::MakeCollection(std::vector<Geometry> parts) {
+  return MakeCollectionOfType(GeometryType::kGeometryCollection,
+                              std::move(parts));
+}
+
+Geometry Geometry::MakeCollectionOfType(GeometryType type,
+                                        std::vector<Geometry> parts) {
+  auto p = std::make_shared<Payload>();
+  p->type = type;
+  p->empty = true;
+  for (const Geometry& g : parts) {
+    if (!g.IsEmpty()) p->empty = false;
+    p->envelope.ExpandToInclude(g.envelope());
+  }
+  p->parts = std::move(parts);
+  return Geometry(std::move(p));
+}
+
+GeometryType Geometry::type() const { return payload_->type; }
+
+bool Geometry::IsEmpty() const { return payload_->empty; }
+
+int Geometry::Dimension() const {
+  if (IsEmpty()) return -1;
+  switch (type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kMultiPoint:
+      return 0;
+    case GeometryType::kLineString:
+    case GeometryType::kMultiLineString:
+      return 1;
+    case GeometryType::kPolygon:
+    case GeometryType::kMultiPolygon:
+      return 2;
+    case GeometryType::kGeometryCollection: {
+      int dim = -1;
+      for (const Geometry& g : payload_->parts) {
+        dim = std::max(dim, g.Dimension());
+      }
+      return dim;
+    }
+  }
+  return -1;
+}
+
+size_t Geometry::NumPoints() const {
+  switch (type()) {
+    case GeometryType::kPoint:
+      return IsEmpty() ? 0 : 1;
+    case GeometryType::kLineString:
+      return payload_->line.size();
+    case GeometryType::kPolygon: {
+      size_t n = payload_->polygon.shell.size();
+      for (const Ring& h : payload_->polygon.holes) n += h.size();
+      return n;
+    }
+    default: {
+      size_t n = 0;
+      for (const Geometry& g : payload_->parts) n += g.NumPoints();
+      return n;
+    }
+  }
+}
+
+const Envelope& Geometry::envelope() const { return payload_->envelope; }
+
+bool Geometry::IsSimpleType() const {
+  switch (type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kLineString:
+    case GeometryType::kPolygon:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Geometry::IsCollectionType() const { return !IsSimpleType(); }
+
+const Coord& Geometry::AsPoint() const {
+  assert(type() == GeometryType::kPoint && !IsEmpty());
+  return payload_->point;
+}
+
+const std::vector<Coord>& Geometry::AsLineString() const {
+  assert(type() == GeometryType::kLineString);
+  return payload_->line;
+}
+
+const PolygonData& Geometry::AsPolygon() const {
+  assert(type() == GeometryType::kPolygon);
+  return payload_->polygon;
+}
+
+const std::vector<Geometry>& Geometry::Parts() const {
+  assert(IsCollectionType());
+  return payload_->parts;
+}
+
+std::vector<Geometry> Geometry::Leaves() const {
+  std::vector<Geometry> out;
+  if (IsSimpleType()) {
+    if (!IsEmpty()) out.push_back(*this);
+    return out;
+  }
+  for (const Geometry& g : payload_->parts) {
+    std::vector<Geometry> sub = g.Leaves();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+bool Geometry::ExactlyEquals(const Geometry& other) const {
+  if (payload_ == other.payload_) return true;
+  if (type() != other.type() || IsEmpty() != other.IsEmpty()) return false;
+  if (IsEmpty()) return true;
+  switch (type()) {
+    case GeometryType::kPoint:
+      return AsPoint() == other.AsPoint();
+    case GeometryType::kLineString:
+      return AsLineString() == other.AsLineString();
+    case GeometryType::kPolygon: {
+      const PolygonData& a = AsPolygon();
+      const PolygonData& b = other.AsPolygon();
+      return a.shell == b.shell && a.holes == b.holes;
+    }
+    default: {
+      const std::vector<Geometry>& a = Parts();
+      const std::vector<Geometry>& b = other.Parts();
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].ExactlyEquals(b[i])) return false;
+      }
+      return true;
+    }
+  }
+}
+
+uint64_t Geometry::Hash() const {
+  uint64_t h = HashMix(0x243f6a8885a308d3ULL, static_cast<uint64_t>(type()));
+  if (IsEmpty()) return h;
+  switch (type()) {
+    case GeometryType::kPoint:
+      h = HashMix(h, HashDouble(payload_->point.x));
+      h = HashMix(h, HashDouble(payload_->point.y));
+      return h;
+    case GeometryType::kLineString:
+      return HashCoords(h, payload_->line);
+    case GeometryType::kPolygon:
+      h = HashCoords(h, payload_->polygon.shell);
+      for (const Ring& hole : payload_->polygon.holes) h = HashCoords(h, hole);
+      return h;
+    default:
+      for (const Geometry& g : payload_->parts) h = HashMix(h, g.Hash());
+      return h;
+  }
+}
+
+namespace {
+
+// Proper (interior) intersection test between segments ab and cd, used for
+// the O(n^2) ring self-intersection check in Validate(). Shared endpoints of
+// adjacent segments are excluded by the caller.
+bool SegmentsCross(const Coord& a, const Coord& b, const Coord& c,
+                   const Coord& d) {
+  auto cross = [](const Coord& o, const Coord& p, const Coord& q) {
+    return (p.x - o.x) * (q.y - o.y) - (p.y - o.y) * (q.x - o.x);
+  };
+  const double d1 = cross(c, d, a);
+  const double d2 = cross(c, d, b);
+  const double d3 = cross(a, b, c);
+  const double d4 = cross(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  return false;
+}
+
+Status ValidateRing(const Ring& ring) {
+  if (ring.size() < 4 || ring.front() != ring.back()) {
+    return Status::InvalidArgument("ring not closed");
+  }
+  const size_t n = ring.size() - 1;  // distinct segments
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      // Adjacent segments (and the first/last wrap pair) share an endpoint.
+      if (j == i + 1 || (i == 0 && j == n - 1)) continue;
+      if (SegmentsCross(ring[i], ring[i + 1], ring[j], ring[j + 1])) {
+        return Status::InvalidArgument("ring self-intersects");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Geometry::Validate() const {
+  if (IsEmpty()) return Status::Ok();
+  switch (type()) {
+    case GeometryType::kPoint:
+      if (!std::isfinite(payload_->point.x) ||
+          !std::isfinite(payload_->point.y)) {
+        return Status::InvalidArgument("point has non-finite coordinate");
+      }
+      return Status::Ok();
+    case GeometryType::kLineString:
+      if (!AllFinite(payload_->line)) {
+        return Status::InvalidArgument("linestring has non-finite coordinate");
+      }
+      return Status::Ok();
+    case GeometryType::kPolygon: {
+      JACKPINE_RETURN_IF_ERROR(ValidateRing(payload_->polygon.shell));
+      Envelope shell_env;
+      for (const Coord& c : payload_->polygon.shell) {
+        shell_env.ExpandToInclude(c);
+      }
+      for (const Ring& hole : payload_->polygon.holes) {
+        JACKPINE_RETURN_IF_ERROR(ValidateRing(hole));
+        Envelope hole_env;
+        for (const Coord& c : hole) hole_env.ExpandToInclude(c);
+        if (!shell_env.Contains(hole_env)) {
+          return Status::InvalidArgument("hole escapes shell envelope");
+        }
+      }
+      return Status::Ok();
+    }
+    default:
+      for (const Geometry& g : payload_->parts) {
+        JACKPINE_RETURN_IF_ERROR(g.Validate());
+      }
+      return Status::Ok();
+  }
+}
+
+std::string Geometry::ToWkt() const { return WktWriter().Write(*this); }
+
+}  // namespace jackpine::geom

@@ -1,0 +1,152 @@
+// The geometry object model: an immutable, cheaply-copyable value type
+// covering the seven OGC Simple Features types used by the benchmark.
+//
+// Design notes:
+//  - A Geometry is a shared pointer to an immutable payload, so copying a
+//    geometry (e.g., through the query engine's Value type) is O(1).
+//  - Polygon rings are stored closed (first coordinate == last coordinate)
+//    with the shell in counter-clockwise orientation and holes clockwise;
+//    the factory functions normalise orientation and closure.
+//  - Multi-part geometries store their parts as Geometry values, making
+//    traversal uniform across MultiX and GeometryCollection.
+//  - Construction that can fail (too few points, unclosed ring, NaN
+//    coordinates) goes through Result-returning factories.
+
+#ifndef JACKPINE_GEOM_GEOMETRY_H_
+#define JACKPINE_GEOM_GEOMETRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/coord.h"
+#include "geom/envelope.h"
+
+namespace jackpine::geom {
+
+enum class GeometryType : uint8_t {
+  kPoint = 1,
+  kLineString = 2,
+  kPolygon = 3,
+  kMultiPoint = 4,
+  kMultiLineString = 5,
+  kMultiPolygon = 6,
+  kGeometryCollection = 7,
+};
+
+// "POINT", "LINESTRING", ... (the WKT tag).
+const char* GeometryTypeName(GeometryType type);
+
+// A closed ring of coordinates. Validity (closure, >= 4 points) is enforced
+// by the Polygon factory.
+using Ring = std::vector<Coord>;
+
+struct PolygonData {
+  Ring shell;
+  std::vector<Ring> holes;
+};
+
+class Geometry {
+ public:
+  // Default-constructed geometry is an empty GeometryCollection.
+  Geometry();
+
+  // --- Factories ------------------------------------------------------
+
+  static Geometry MakePoint(double x, double y);
+  static Geometry MakePoint(const Coord& c) { return MakePoint(c.x, c.y); }
+
+  // An empty geometry of the given type (WKT "POINT EMPTY" etc.).
+  static Geometry MakeEmpty(GeometryType type);
+
+  // Requires >= 2 points, all finite.
+  static Result<Geometry> MakeLineString(std::vector<Coord> points);
+
+  // Shell and holes must each have >= 4 points and be closed (first == last);
+  // a ring whose endpoints differ is closed automatically. Orientation is
+  // normalised (shell CCW, holes CW). Self-intersection is NOT checked here;
+  // see Validate().
+  static Result<Geometry> MakePolygon(Ring shell, std::vector<Ring> holes = {});
+
+  // Convenience: the rectangle of `e` as a polygon (empty polygon if null).
+  static Geometry MakeRectangle(const Envelope& e);
+
+  // Parts must all be of the element type (enforced).
+  static Result<Geometry> MakeMultiPoint(std::vector<Geometry> points);
+  static Result<Geometry> MakeMultiLineString(std::vector<Geometry> lines);
+  static Result<Geometry> MakeMultiPolygon(std::vector<Geometry> polygons);
+  static Geometry MakeCollection(std::vector<Geometry> parts);
+
+  // Builds a collection-typed geometry without element-type checking; used
+  // by the checked MakeMulti* factories and the overlay code.
+  static Geometry MakeCollectionOfType(GeometryType type,
+                                       std::vector<Geometry> parts);
+
+  // --- Inspection -----------------------------------------------------
+
+  GeometryType type() const;
+  bool IsEmpty() const;
+
+  // Topological dimension: 0 points, 1 lines, 2 polygons; for collections the
+  // max over parts; -1 for empty geometries.
+  int Dimension() const;
+
+  // Total number of coordinates (rings count their closing point).
+  size_t NumPoints() const;
+
+  // Cached bounding rectangle; null for empty geometries.
+  const Envelope& envelope() const;
+
+  // True for Point/LineString/Polygon.
+  bool IsSimpleType() const;
+  // True for MultiX / GeometryCollection.
+  bool IsCollectionType() const;
+
+  // --- Typed access (caller must check type()) ------------------------
+
+  // Valid iff type() == kPoint and !IsEmpty().
+  const Coord& AsPoint() const;
+  // Valid iff type() == kLineString.
+  const std::vector<Coord>& AsLineString() const;
+  // Valid iff type() == kPolygon.
+  const PolygonData& AsPolygon() const;
+  // Valid iff IsCollectionType().
+  const std::vector<Geometry>& Parts() const;
+
+  // Flattens collections into their non-empty simple-type leaves. A simple
+  // geometry yields itself (if non-empty).
+  std::vector<Geometry> Leaves() const;
+
+  // --- Semantics ------------------------------------------------------
+
+  // Exact structural equality: same type, same coordinates in same order.
+  // (Topological equality lives in topo::Equals.)
+  bool ExactlyEquals(const Geometry& other) const;
+
+  // Checks structural validity beyond what factories enforce: finite
+  // coordinates, ring self-intersection, holes inside shell.
+  Status Validate() const;
+
+  // 64-bit structural hash (used for cross-SUT result checksums).
+  uint64_t Hash() const;
+
+  // WKT rendering (delegates to WktWriter with default precision).
+  std::string ToWkt() const;
+
+ private:
+  struct Payload;
+  explicit Geometry(std::shared_ptr<const Payload> payload)
+      : payload_(std::move(payload)) {}
+
+  std::shared_ptr<const Payload> payload_;
+};
+
+// Orientation helpers used by the polygon factory and the overlay code.
+// Signed area of a ring: positive when counter-clockwise.
+double SignedRingArea(const Ring& ring);
+bool IsCcw(const Ring& ring);
+
+}  // namespace jackpine::geom
+
+#endif  // JACKPINE_GEOM_GEOMETRY_H_

@@ -1,0 +1,217 @@
+#include "geom/wkb.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace jackpine::geom {
+
+namespace {
+
+constexpr uint8_t kLittleEndianByte = 1;
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendF64(std::string* out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void AppendCoord(std::string* out, const Coord& c) {
+  AppendF64(out, c.x);
+  AppendF64(out, c.y);
+}
+
+void AppendCoordSeq(std::string* out, const std::vector<Coord>& pts) {
+  AppendU32(out, static_cast<uint32_t>(pts.size()));
+  for (const Coord& c : pts) AppendCoord(out, c);
+}
+
+void WriteGeometry(std::string* out, const Geometry& g);
+
+void WriteHeader(std::string* out, GeometryType type) {
+  out->push_back(static_cast<char>(kLittleEndianByte));
+  AppendU32(out, static_cast<uint32_t>(type));
+}
+
+void WriteGeometry(std::string* out, const Geometry& g) {
+  WriteHeader(out, g.type());
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      if (g.IsEmpty()) {
+        AppendF64(out, std::numeric_limits<double>::quiet_NaN());
+        AppendF64(out, std::numeric_limits<double>::quiet_NaN());
+      } else {
+        AppendCoord(out, g.AsPoint());
+      }
+      return;
+    case GeometryType::kLineString:
+      AppendCoordSeq(out, g.IsEmpty() ? std::vector<Coord>{} : g.AsLineString());
+      return;
+    case GeometryType::kPolygon: {
+      if (g.IsEmpty()) {
+        AppendU32(out, 0);
+        return;
+      }
+      const PolygonData& poly = g.AsPolygon();
+      AppendU32(out, static_cast<uint32_t>(1 + poly.holes.size()));
+      AppendCoordSeq(out, poly.shell);
+      for (const Ring& hole : poly.holes) AppendCoordSeq(out, hole);
+      return;
+    }
+    default: {
+      const std::vector<Geometry>& parts = g.Parts();
+      AppendU32(out, static_cast<uint32_t>(parts.size()));
+      for (const Geometry& part : parts) WriteGeometry(out, part);
+      return;
+    }
+  }
+}
+
+// Bounded little/big-endian reader over the WKB byte stream.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Result<Geometry> ReadGeometry() {
+    JACKPINE_ASSIGN_OR_RETURN(uint8_t endian, ReadByte());
+    if (endian > 1) return Err("bad byte-order marker");
+    big_endian_ = (endian == 0);
+    JACKPINE_ASSIGN_OR_RETURN(uint32_t code, ReadU32());
+    // Mask off common SRID/Z flags; 2-D only.
+    code &= 0xff;
+    switch (static_cast<GeometryType>(code)) {
+      case GeometryType::kPoint: {
+        JACKPINE_ASSIGN_OR_RETURN(double x, ReadF64());
+        JACKPINE_ASSIGN_OR_RETURN(double y, ReadF64());
+        if (std::isnan(x) && std::isnan(y)) {
+          return Geometry::MakeEmpty(GeometryType::kPoint);
+        }
+        return Geometry::MakePoint(x, y);
+      }
+      case GeometryType::kLineString: {
+        JACKPINE_ASSIGN_OR_RETURN(std::vector<Coord> pts, ReadCoordSeq());
+        if (pts.empty()) return Geometry::MakeEmpty(GeometryType::kLineString);
+        return Geometry::MakeLineString(std::move(pts));
+      }
+      case GeometryType::kPolygon: {
+        JACKPINE_ASSIGN_OR_RETURN(uint32_t nrings, ReadU32());
+        if (nrings == 0) return Geometry::MakeEmpty(GeometryType::kPolygon);
+        JACKPINE_ASSIGN_OR_RETURN(Ring shell, ReadCoordSeq());
+        std::vector<Ring> holes;
+        for (uint32_t i = 1; i < nrings; ++i) {
+          JACKPINE_ASSIGN_OR_RETURN(Ring hole, ReadCoordSeq());
+          holes.push_back(std::move(hole));
+        }
+        return Geometry::MakePolygon(std::move(shell), std::move(holes));
+      }
+      case GeometryType::kMultiPoint:
+      case GeometryType::kMultiLineString:
+      case GeometryType::kMultiPolygon:
+      case GeometryType::kGeometryCollection: {
+        const auto type = static_cast<GeometryType>(code);
+        JACKPINE_ASSIGN_OR_RETURN(uint32_t nparts, ReadU32());
+        if (nparts > data_.size()) return Err("part count exceeds input size");
+        std::vector<Geometry> parts;
+        parts.reserve(nparts);
+        for (uint32_t i = 0; i < nparts; ++i) {
+          JACKPINE_ASSIGN_OR_RETURN(Geometry part, ReadGeometry());
+          parts.push_back(std::move(part));
+        }
+        if (parts.empty()) return Geometry::MakeEmpty(type);
+        switch (type) {
+          case GeometryType::kMultiPoint:
+            return Geometry::MakeMultiPoint(std::move(parts));
+          case GeometryType::kMultiLineString:
+            return Geometry::MakeMultiLineString(std::move(parts));
+          case GeometryType::kMultiPolygon:
+            return Geometry::MakeMultiPolygon(std::move(parts));
+          default:
+            return Geometry::MakeCollection(std::move(parts));
+        }
+      }
+      default:
+        return Err(StrFormat("unknown WKB geometry code %u", code));
+    }
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t pos() const { return pos_; }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::ParseError(
+        StrFormat("WKB at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  Result<uint8_t> ReadByte() {
+    if (pos_ + 1 > data_.size()) return Err("truncated (byte)");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() {
+    if (pos_ + 4 > data_.size()) return Err("truncated (u32)");
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    if (big_endian_) v = __builtin_bswap32(v);
+    return v;
+  }
+
+  Result<double> ReadF64() {
+    if (pos_ + 8 > data_.size()) return Err("truncated (f64)");
+    uint64_t bits;
+    std::memcpy(&bits, data_.data() + pos_, 8);
+    pos_ += 8;
+    if (big_endian_) bits = __builtin_bswap64(bits);
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  Result<std::vector<Coord>> ReadCoordSeq() {
+    JACKPINE_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (static_cast<uint64_t>(n) * 16 > data_.size() - pos_) {
+      return Err("coordinate count exceeds input size");
+    }
+    std::vector<Coord> pts;
+    pts.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      JACKPINE_ASSIGN_OR_RETURN(double x, ReadF64());
+      JACKPINE_ASSIGN_OR_RETURN(double y, ReadF64());
+      pts.push_back({x, y});
+    }
+    return pts;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool big_endian_ = false;
+};
+
+}  // namespace
+
+std::string ToWkb(const Geometry& geometry) {
+  std::string out;
+  WriteGeometry(&out, geometry);
+  return out;
+}
+
+Result<Geometry> FromWkb(std::string_view wkb) {
+  Reader reader(wkb);
+  JACKPINE_ASSIGN_OR_RETURN(Geometry g, reader.ReadGeometry());
+  if (!reader.AtEnd()) {
+    return Status::ParseError(
+        StrFormat("WKB: %zu trailing bytes", wkb.size() - reader.pos()));
+  }
+  return g;
+}
+
+}  // namespace jackpine::geom

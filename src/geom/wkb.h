@@ -1,0 +1,28 @@
+// Well-Known Binary serialisation (little-endian, 2-D, OGC geometry codes).
+//
+// pinedb's in-memory heap stores parsed Geometry values directly; WKB is the
+// client round-trip format (ST_AsBinary) and the interchange format for
+// external tooling.
+
+#ifndef JACKPINE_GEOM_WKB_H_
+#define JACKPINE_GEOM_WKB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace jackpine::geom {
+
+// Serialises to little-endian WKB. Empty point encodes as NaN coordinates
+// (the PostGIS convention); other empty geometries encode with zero parts.
+std::string ToWkb(const Geometry& geometry);
+
+// Parses WKB produced by ToWkb or any conforming little/big-endian writer.
+Result<Geometry> FromWkb(std::string_view wkb);
+
+}  // namespace jackpine::geom
+
+#endif  // JACKPINE_GEOM_WKB_H_

@@ -1,0 +1,211 @@
+#include "geom/wkt_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace jackpine::geom {
+
+namespace {
+
+// Recursive-descent WKT tokenizer/parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<Geometry> Parse() {
+    JACKPINE_ASSIGN_OR_RETURN(Geometry g, ParseGeometry());
+    SkipSpace();
+    if (pos_ != input_.size()) {
+      return Err("trailing characters after geometry");
+    }
+    return g;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::ParseError(
+        StrFormat("WKT at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // Reads an identifier-like word ([A-Za-z]+), uppercased.
+  std::string ReadWord() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           std::isalpha(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    return ToUpperAscii(input_.substr(start, pos_ - start));
+  }
+
+  // True if the next word is EMPTY (consumes it).
+  bool ConsumeEmpty() {
+    SkipSpace();
+    size_t save = pos_;
+    if (ReadWord() == "EMPTY") return true;
+    pos_ = save;
+    return false;
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    const char* begin = input_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return Status(StatusCode::kParseError, "expected number");
+    pos_ += static_cast<size_t>(end - begin);
+    return v;
+  }
+
+  Result<Coord> ParseCoord() {
+    JACKPINE_ASSIGN_OR_RETURN(double x, ParseNumber());
+    JACKPINE_ASSIGN_OR_RETURN(double y, ParseNumber());
+    return Coord{x, y};
+  }
+
+  // "(c, c, ...)"
+  Result<std::vector<Coord>> ParseCoordSeq() {
+    if (!ConsumeChar('(')) return Err("expected '('");
+    std::vector<Coord> pts;
+    do {
+      JACKPINE_ASSIGN_OR_RETURN(Coord c, ParseCoord());
+      pts.push_back(c);
+    } while (ConsumeChar(','));
+    if (!ConsumeChar(')')) return Err("expected ')'");
+    return pts;
+  }
+
+  Result<Geometry> ParsePointBody() {
+    if (ConsumeEmpty()) return Geometry::MakeEmpty(GeometryType::kPoint);
+    if (!ConsumeChar('(')) return Err("expected '(' after POINT");
+    JACKPINE_ASSIGN_OR_RETURN(Coord c, ParseCoord());
+    if (!ConsumeChar(')')) return Err("expected ')' after POINT coordinates");
+    return Geometry::MakePoint(c);
+  }
+
+  Result<Geometry> ParseLineStringBody() {
+    if (ConsumeEmpty()) return Geometry::MakeEmpty(GeometryType::kLineString);
+    JACKPINE_ASSIGN_OR_RETURN(std::vector<Coord> pts, ParseCoordSeq());
+    return Geometry::MakeLineString(std::move(pts));
+  }
+
+  Result<Geometry> ParsePolygonBody() {
+    if (ConsumeEmpty()) return Geometry::MakeEmpty(GeometryType::kPolygon);
+    if (!ConsumeChar('(')) return Err("expected '(' after POLYGON");
+    std::vector<Ring> rings;
+    do {
+      JACKPINE_ASSIGN_OR_RETURN(std::vector<Coord> ring, ParseCoordSeq());
+      rings.push_back(std::move(ring));
+    } while (ConsumeChar(','));
+    if (!ConsumeChar(')')) return Err("expected ')' after POLYGON rings");
+    Ring shell = std::move(rings.front());
+    rings.erase(rings.begin());
+    return Geometry::MakePolygon(std::move(shell), std::move(rings));
+  }
+
+  Result<Geometry> ParseMultiPointBody() {
+    if (ConsumeEmpty()) return Geometry::MakeEmpty(GeometryType::kMultiPoint);
+    if (!ConsumeChar('(')) return Err("expected '(' after MULTIPOINT");
+    std::vector<Geometry> parts;
+    do {
+      // Accept both "(1 2)" and bare "1 2".
+      if (ConsumeChar('(')) {
+        JACKPINE_ASSIGN_OR_RETURN(Coord c, ParseCoord());
+        if (!ConsumeChar(')')) return Err("expected ')' in MULTIPOINT element");
+        parts.push_back(Geometry::MakePoint(c));
+      } else {
+        JACKPINE_ASSIGN_OR_RETURN(Coord c, ParseCoord());
+        parts.push_back(Geometry::MakePoint(c));
+      }
+    } while (ConsumeChar(','));
+    if (!ConsumeChar(')')) return Err("expected ')' after MULTIPOINT");
+    return Geometry::MakeMultiPoint(std::move(parts));
+  }
+
+  Result<Geometry> ParseMultiLineStringBody() {
+    if (ConsumeEmpty()) {
+      return Geometry::MakeEmpty(GeometryType::kMultiLineString);
+    }
+    if (!ConsumeChar('(')) return Err("expected '(' after MULTILINESTRING");
+    std::vector<Geometry> parts;
+    do {
+      JACKPINE_ASSIGN_OR_RETURN(std::vector<Coord> pts, ParseCoordSeq());
+      JACKPINE_ASSIGN_OR_RETURN(Geometry line,
+                                Geometry::MakeLineString(std::move(pts)));
+      parts.push_back(std::move(line));
+    } while (ConsumeChar(','));
+    if (!ConsumeChar(')')) return Err("expected ')' after MULTILINESTRING");
+    return Geometry::MakeMultiLineString(std::move(parts));
+  }
+
+  Result<Geometry> ParseMultiPolygonBody() {
+    if (ConsumeEmpty()) return Geometry::MakeEmpty(GeometryType::kMultiPolygon);
+    if (!ConsumeChar('(')) return Err("expected '(' after MULTIPOLYGON");
+    std::vector<Geometry> parts;
+    do {
+      JACKPINE_ASSIGN_OR_RETURN(Geometry poly, ParsePolygonBody());
+      parts.push_back(std::move(poly));
+    } while (ConsumeChar(','));
+    if (!ConsumeChar(')')) return Err("expected ')' after MULTIPOLYGON");
+    return Geometry::MakeMultiPolygon(std::move(parts));
+  }
+
+  Result<Geometry> ParseCollectionBody() {
+    if (ConsumeEmpty()) {
+      return Geometry::MakeEmpty(GeometryType::kGeometryCollection);
+    }
+    if (!ConsumeChar('(')) {
+      return Err("expected '(' after GEOMETRYCOLLECTION");
+    }
+    std::vector<Geometry> parts;
+    do {
+      JACKPINE_ASSIGN_OR_RETURN(Geometry g, ParseGeometry());
+      parts.push_back(std::move(g));
+    } while (ConsumeChar(','));
+    if (!ConsumeChar(')')) return Err("expected ')' after GEOMETRYCOLLECTION");
+    return Geometry::MakeCollection(std::move(parts));
+  }
+
+  Result<Geometry> ParseGeometry() {
+    const std::string tag = ReadWord();
+    if (tag == "POINT") return ParsePointBody();
+    if (tag == "LINESTRING") return ParseLineStringBody();
+    if (tag == "POLYGON") return ParsePolygonBody();
+    if (tag == "MULTIPOINT") return ParseMultiPointBody();
+    if (tag == "MULTILINESTRING") return ParseMultiLineStringBody();
+    if (tag == "MULTIPOLYGON") return ParseMultiPolygonBody();
+    if (tag == "GEOMETRYCOLLECTION") return ParseCollectionBody();
+    return Err(StrFormat("unknown geometry tag '%s'", tag.c_str()));
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Geometry> WktReader::Read(std::string_view wkt) const {
+  return Parser(wkt).Parse();
+}
+
+}  // namespace jackpine::geom

@@ -1,0 +1,30 @@
+// Well-Known Text parsing.
+
+#ifndef JACKPINE_GEOM_WKT_READER_H_
+#define JACKPINE_GEOM_WKT_READER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "geom/geometry.h"
+
+namespace jackpine::geom {
+
+// Parses OGC WKT into Geometry values. Accepts EMPTY forms, both
+// "MULTIPOINT ((1 2), (3 4))" and the legacy "MULTIPOINT (1 2, 3 4)"
+// spelling, and arbitrary whitespace. Rejects trailing garbage.
+class WktReader {
+ public:
+  Result<Geometry> Read(std::string_view wkt) const;
+};
+
+// Convenience free function: parse or die is not provided; callers handle
+// the Result. This is used pervasively by the SQL planner to evaluate
+// ST_GeomFromText literals.
+inline Result<Geometry> GeometryFromWkt(std::string_view wkt) {
+  return WktReader().Read(wkt);
+}
+
+}  // namespace jackpine::geom
+
+#endif  // JACKPINE_GEOM_WKT_READER_H_

@@ -1,0 +1,107 @@
+#include "geom/wkt_writer.h"
+
+#include <cstdio>
+
+namespace jackpine::geom {
+
+WktWriter::WktWriter(int precision) : precision_(precision) {}
+
+std::string WktWriter::Write(const Geometry& geometry) const {
+  std::string out;
+  WriteGeometry(geometry, &out);
+  return out;
+}
+
+void WktWriter::WriteCoord(const Coord& c, std::string* out) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g %.*g", precision_, c.x, precision_,
+                c.y);
+  *out += buf;
+}
+
+void WktWriter::WriteCoordSeq(const std::vector<Coord>& pts,
+                              std::string* out) const {
+  *out += '(';
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) *out += ", ";
+    WriteCoord(pts[i], out);
+  }
+  *out += ')';
+}
+
+void WktWriter::WritePolygonBody(const PolygonData& poly,
+                                 std::string* out) const {
+  *out += '(';
+  WriteCoordSeq(poly.shell, out);
+  for (const Ring& hole : poly.holes) {
+    *out += ", ";
+    WriteCoordSeq(hole, out);
+  }
+  *out += ')';
+}
+
+void WktWriter::WriteGeometry(const Geometry& g, std::string* out) const {
+  *out += GeometryTypeName(g.type());
+  if (g.IsEmpty()) {
+    *out += " EMPTY";
+    return;
+  }
+  *out += ' ';
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      *out += '(';
+      WriteCoord(g.AsPoint(), out);
+      *out += ')';
+      return;
+    case GeometryType::kLineString:
+      WriteCoordSeq(g.AsLineString(), out);
+      return;
+    case GeometryType::kPolygon:
+      WritePolygonBody(g.AsPolygon(), out);
+      return;
+    case GeometryType::kMultiPoint: {
+      *out += '(';
+      const std::vector<Geometry>& parts = g.Parts();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += '(';
+        WriteCoord(parts[i].AsPoint(), out);
+        *out += ')';
+      }
+      *out += ')';
+      return;
+    }
+    case GeometryType::kMultiLineString: {
+      *out += '(';
+      const std::vector<Geometry>& parts = g.Parts();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) *out += ", ";
+        WriteCoordSeq(parts[i].AsLineString(), out);
+      }
+      *out += ')';
+      return;
+    }
+    case GeometryType::kMultiPolygon: {
+      *out += '(';
+      const std::vector<Geometry>& parts = g.Parts();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) *out += ", ";
+        WritePolygonBody(parts[i].AsPolygon(), out);
+      }
+      *out += ')';
+      return;
+    }
+    case GeometryType::kGeometryCollection: {
+      *out += '(';
+      const std::vector<Geometry>& parts = g.Parts();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) *out += ", ";
+        WriteGeometry(parts[i], out);
+      }
+      *out += ')';
+      return;
+    }
+  }
+}
+
+}  // namespace jackpine::geom

@@ -1,0 +1,32 @@
+// Well-Known Text serialisation.
+
+#ifndef JACKPINE_GEOM_WKT_WRITER_H_
+#define JACKPINE_GEOM_WKT_WRITER_H_
+
+#include <string>
+
+#include "geom/geometry.h"
+
+namespace jackpine::geom {
+
+// Renders geometries in OGC WKT, e.g. "POLYGON ((0 0, 10 0, 10 10, 0 0))".
+// Numbers use shortest round-trippable formatting at the given precision.
+class WktWriter {
+ public:
+  // `precision` is the maximum number of significant decimal digits.
+  explicit WktWriter(int precision = 17);
+
+  std::string Write(const Geometry& geometry) const;
+
+ private:
+  void WriteGeometry(const Geometry& g, std::string* out) const;
+  void WriteCoord(const Coord& c, std::string* out) const;
+  void WriteCoordSeq(const std::vector<Coord>& pts, std::string* out) const;
+  void WritePolygonBody(const PolygonData& poly, std::string* out) const;
+
+  int precision_;
+};
+
+}  // namespace jackpine::geom
+
+#endif  // JACKPINE_GEOM_WKT_WRITER_H_

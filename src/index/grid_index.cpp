@@ -1,0 +1,122 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jackpine::index {
+
+using geom::Coord;
+using geom::Envelope;
+
+GridIndex::GridIndex(double target_per_cell)
+    : target_per_cell_(std::max(0.5, target_per_cell)) {}
+
+void GridIndex::CellRange(const Envelope& box, size_t* x0, size_t* y0,
+                          size_t* x1, size_t* y1) const {
+  auto clampx = [this](double v) {
+    const double c = std::floor((v - extent_.min_x()) / cell_w_);
+    return static_cast<size_t>(
+        std::clamp(c, 0.0, static_cast<double>(nx_ - 1)));
+  };
+  auto clampy = [this](double v) {
+    const double c = std::floor((v - extent_.min_y()) / cell_h_);
+    return static_cast<size_t>(
+        std::clamp(c, 0.0, static_cast<double>(ny_ - 1)));
+  };
+  *x0 = clampx(box.min_x());
+  *x1 = clampx(box.max_x());
+  *y0 = clampy(box.min_y());
+  *y1 = clampy(box.max_y());
+}
+
+void GridIndex::Register(size_t entry_index) {
+  size_t x0, y0, x1, y1;
+  CellRange(entries_[entry_index].box, &x0, &y0, &x1, &y1);
+  for (size_t y = y0; y <= y1; ++y) {
+    for (size_t x = x0; x <= x1; ++x) {
+      cells_[y * nx_ + x].push_back(static_cast<uint32_t>(entry_index));
+    }
+  }
+}
+
+void GridIndex::Rebuild() {
+  extent_ = Envelope();
+  for (const IndexEntry& e : entries_) extent_.ExpandToInclude(e.box);
+  if (extent_.IsNull()) {
+    nx_ = ny_ = 0;
+    cells_.clear();
+    return;
+  }
+  const double n_cells =
+      std::max(1.0, static_cast<double>(entries_.size()) / target_per_cell_);
+  const double aspect =
+      extent_.Height() > 0 ? extent_.Width() / extent_.Height() : 1.0;
+  nx_ = static_cast<size_t>(
+      std::max(1.0, std::round(std::sqrt(n_cells * std::max(aspect, 1e-6)))));
+  ny_ = static_cast<size_t>(std::max<double>(
+      1.0, std::ceil(n_cells / static_cast<double>(nx_))));
+  cell_w_ = std::max(extent_.Width() / static_cast<double>(nx_), 1e-12);
+  cell_h_ = std::max(extent_.Height() / static_cast<double>(ny_), 1e-12);
+  cells_.assign(nx_ * ny_, {});
+  stamp_.assign(entries_.size(), 0);
+  stamp_gen_ = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) Register(i);
+}
+
+void GridIndex::Insert(const Envelope& box, int64_t id) {
+  entries_.push_back(IndexEntry{box, id});
+  stamp_.push_back(0);
+  if (cells_.empty() || !extent_.Contains(box) ||
+      entries_.size() >
+          static_cast<size_t>(target_per_cell_ * static_cast<double>(
+                                                      cells_.size()) *
+                              4.0)) {
+    Rebuild();
+  } else {
+    Register(entries_.size() - 1);
+  }
+}
+
+void GridIndex::BulkLoad(std::vector<IndexEntry> entries) {
+  entries_ = std::move(entries);
+  Rebuild();
+}
+
+void GridIndex::Query(const Envelope& window, std::vector<int64_t>* out) const {
+  if (cells_.empty()) return;
+  if (!window.Intersects(extent_)) return;
+  size_t x0, y0, x1, y1;
+  CellRange(window, &x0, &y0, &x1, &y1);
+  ++stamp_gen_;
+  for (size_t y = y0; y <= y1; ++y) {
+    for (size_t x = x0; x <= x1; ++x) {
+      for (uint32_t idx : cells_[y * nx_ + x]) {
+        if (stamp_[idx] == stamp_gen_) continue;
+        stamp_[idx] = stamp_gen_;
+        if (entries_[idx].box.Intersects(window)) {
+          out->push_back(entries_[idx].id);
+        }
+      }
+    }
+  }
+}
+
+void GridIndex::Nearest(const Coord& p, size_t k,
+                        std::vector<int64_t>* out) const {
+  if (k == 0 || entries_.empty()) return;
+  // A uniform grid has no hierarchical distance bound, so k-NN degrades to a
+  // scan over the stored MBRs. This is deliberately faithful to the
+  // structure: the R-tree's best-first search is what makes pine-rtree win
+  // the reverse-geocoding scenario (see EXPERIMENTS.md).
+  std::vector<std::pair<double, int64_t>> best;
+  best.reserve(entries_.size());
+  for (const IndexEntry& e : entries_) {
+    best.emplace_back(e.box.DistanceTo(p), e.id);
+  }
+  const size_t take = std::min(best.size(), k);
+  std::partial_sort(best.begin(), best.begin() + static_cast<ptrdiff_t>(take),
+                    best.end());
+  for (size_t i = 0; i < take; ++i) out->push_back(best[i].second);
+}
+
+}  // namespace jackpine::index

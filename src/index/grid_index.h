@@ -1,0 +1,53 @@
+// Uniform grid spatial index (the pine-grid SUT's structure).
+//
+// The extent is fixed at the first BulkLoad (or grows lazily under Insert by
+// rebuilding). Each entry is registered in every cell its MBR overlaps, so
+// query results are deduplicated with a stamp array.
+
+#ifndef JACKPINE_INDEX_GRID_INDEX_H_
+#define JACKPINE_INDEX_GRID_INDEX_H_
+
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace jackpine::index {
+
+class GridIndex final : public SpatialIndex {
+ public:
+  // `target_per_cell` controls the resolution chosen at bulk load.
+  explicit GridIndex(double target_per_cell = 4.0);
+
+  void Insert(const geom::Envelope& box, int64_t id) override;
+  void BulkLoad(std::vector<IndexEntry> entries) override;
+  void Query(const geom::Envelope& window,
+             std::vector<int64_t>* out) const override;
+  void Nearest(const geom::Coord& p, size_t k,
+               std::vector<int64_t>* out) const override;
+  size_t size() const override { return entries_.size(); }
+  std::string Name() const override { return "grid"; }
+
+  size_t CellsX() const { return nx_; }
+  size_t CellsY() const { return ny_; }
+
+ private:
+  void Rebuild();
+  void Register(size_t entry_index);
+  void CellRange(const geom::Envelope& box, size_t* x0, size_t* y0, size_t* x1,
+                 size_t* y1) const;
+
+  double target_per_cell_;
+  geom::Envelope extent_;
+  size_t nx_ = 0;
+  size_t ny_ = 0;
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+  std::vector<IndexEntry> entries_;
+  std::vector<std::vector<uint32_t>> cells_;  // indexes into entries_
+  mutable std::vector<uint32_t> stamp_;
+  mutable uint32_t stamp_gen_ = 0;
+};
+
+}  // namespace jackpine::index
+
+#endif  // JACKPINE_INDEX_GRID_INDEX_H_

@@ -1,0 +1,55 @@
+#include "index/linear_scan.h"
+
+#include <algorithm>
+
+#include "index/grid_index.h"
+#include "index/rtree.h"
+
+namespace jackpine::index {
+
+void LinearScanIndex::Query(const geom::Envelope& window,
+                            std::vector<int64_t>* out) const {
+  for (const IndexEntry& e : entries_) {
+    if (e.box.Intersects(window)) out->push_back(e.id);
+  }
+}
+
+void LinearScanIndex::Nearest(const geom::Coord& p, size_t k,
+                              std::vector<int64_t>* out) const {
+  if (k == 0) return;
+  std::vector<std::pair<double, int64_t>> best;
+  best.reserve(entries_.size());
+  for (const IndexEntry& e : entries_) {
+    best.emplace_back(e.box.DistanceTo(p), e.id);
+  }
+  const size_t take = std::min(best.size(), k);
+  std::partial_sort(best.begin(), best.begin() + static_cast<ptrdiff_t>(take),
+                    best.end());
+  for (size_t i = 0; i < take; ++i) out->push_back(best[i].second);
+}
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kNone:
+      return "none";
+    case IndexKind::kRtree:
+      return "rtree";
+    case IndexKind::kGrid:
+      return "grid";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SpatialIndex> MakeSpatialIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kNone:
+      return std::make_unique<LinearScanIndex>();
+    case IndexKind::kRtree:
+      return std::make_unique<RTree>();
+    case IndexKind::kGrid:
+      return std::make_unique<GridIndex>();
+  }
+  return std::make_unique<LinearScanIndex>();
+}
+
+}  // namespace jackpine::index

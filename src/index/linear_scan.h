@@ -1,0 +1,33 @@
+// The no-index baseline (pine-scan): every query scans all entries.
+
+#ifndef JACKPINE_INDEX_LINEAR_SCAN_H_
+#define JACKPINE_INDEX_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace jackpine::index {
+
+class LinearScanIndex final : public SpatialIndex {
+ public:
+  void Insert(const geom::Envelope& box, int64_t id) override {
+    entries_.push_back(IndexEntry{box, id});
+  }
+  void BulkLoad(std::vector<IndexEntry> entries) override {
+    entries_ = std::move(entries);
+  }
+  void Query(const geom::Envelope& window,
+             std::vector<int64_t>* out) const override;
+  void Nearest(const geom::Coord& p, size_t k,
+               std::vector<int64_t>* out) const override;
+  size_t size() const override { return entries_.size(); }
+  std::string Name() const override { return "scan"; }
+
+ private:
+  std::vector<IndexEntry> entries_;
+};
+
+}  // namespace jackpine::index
+
+#endif  // JACKPINE_INDEX_LINEAR_SCAN_H_

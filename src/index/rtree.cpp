@@ -1,0 +1,347 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace jackpine::index {
+
+using geom::Coord;
+using geom::Envelope;
+
+struct RTree::Node {
+  Envelope box;
+  Node* parent = nullptr;
+  bool leaf = true;
+  // Leaf payload.
+  std::vector<IndexEntry> entries;
+  // Internal payload.
+  std::vector<std::unique_ptr<Node>> children;
+
+  size_t Count() const { return leaf ? entries.size() : children.size(); }
+
+  void Recompute() {
+    box = Envelope();
+    if (leaf) {
+      for (const IndexEntry& e : entries) box.ExpandToInclude(e.box);
+    } else {
+      for (const auto& c : children) box.ExpandToInclude(c->box);
+    }
+  }
+};
+
+RTree::RTree(size_t max_entries)
+    : root_(std::make_unique<Node>()),
+      max_entries_(std::max<size_t>(4, max_entries)),
+      min_entries_(std::max<size_t>(2, max_entries / 3)) {}
+
+RTree::~RTree() = default;
+
+RTree::Node* RTree::ChooseLeaf(Node* node, const Envelope& box) const {
+  while (!node->leaf) {
+    Node* best = nullptr;
+    double best_enlargement = 0.0;
+    double best_area = 0.0;
+    for (const auto& child : node->children) {
+      const double enlargement = child->box.EnlargementToInclude(box);
+      const double area = child->box.Area();
+      if (best == nullptr || enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = child.get();
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+namespace {
+
+// Picks the pair of boxes wasting the most area together (quadratic seeds).
+template <typename GetBox>
+std::pair<size_t, size_t> PickSeeds(size_t n, const GetBox& box_of) {
+  size_t si = 0, sj = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const Envelope combined = box_of(i).Union(box_of(j));
+      const double waste = combined.Area() - box_of(i).Area() - box_of(j).Area();
+      if (waste > worst) {
+        worst = waste;
+        si = i;
+        sj = j;
+      }
+    }
+  }
+  return {si, sj};
+}
+
+}  // namespace
+
+void RTree::SplitNode(Node* node) {
+  // Quadratic split (Guttman 1984) of an overfull node into itself + sibling.
+  Node* parent = node->parent;
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  if (node->leaf) {
+    std::vector<IndexEntry> all = std::move(node->entries);
+    node->entries.clear();
+    auto [si, sj] =
+        PickSeeds(all.size(), [&](size_t i) -> const Envelope& {
+          return all[i].box;
+        });
+    node->entries.push_back(all[si]);
+    sibling->entries.push_back(all[sj]);
+    Envelope box_a(all[si].box), box_b(all[sj].box);
+    std::vector<IndexEntry> rest;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (i != si && i != sj) rest.push_back(all[i]);
+    }
+    for (const IndexEntry& e : rest) {
+      const double da = box_a.EnlargementToInclude(e.box);
+      const double db = box_b.EnlargementToInclude(e.box);
+      const bool to_a =
+          sibling->entries.size() >= max_entries_ - min_entries_ ||
+          (node->entries.size() < max_entries_ - min_entries_ &&
+           (da < db || (da == db && box_a.Area() <= box_b.Area())));
+      if (to_a) {
+        node->entries.push_back(e);
+        box_a.ExpandToInclude(e.box);
+      } else {
+        sibling->entries.push_back(e);
+        box_b.ExpandToInclude(e.box);
+      }
+    }
+  } else {
+    std::vector<std::unique_ptr<Node>> all = std::move(node->children);
+    node->children.clear();
+    auto [si, sj] =
+        PickSeeds(all.size(), [&](size_t i) -> const Envelope& {
+          return all[i]->box;
+        });
+    Envelope box_a(all[si]->box), box_b(all[sj]->box);
+    std::vector<std::unique_ptr<Node>> rest;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (i == si) {
+        node->children.push_back(std::move(all[i]));
+      } else if (i == sj) {
+        sibling->children.push_back(std::move(all[i]));
+      } else {
+        rest.push_back(std::move(all[i]));
+      }
+    }
+    for (auto& c : rest) {
+      const double da = box_a.EnlargementToInclude(c->box);
+      const double db = box_b.EnlargementToInclude(c->box);
+      const bool to_a =
+          sibling->children.size() >= max_entries_ - min_entries_ ||
+          (node->children.size() < max_entries_ - min_entries_ &&
+           (da < db || (da == db && box_a.Area() <= box_b.Area())));
+      if (to_a) {
+        box_a.ExpandToInclude(c->box);
+        node->children.push_back(std::move(c));
+      } else {
+        box_b.ExpandToInclude(c->box);
+        sibling->children.push_back(std::move(c));
+      }
+    }
+    for (auto& c : node->children) c->parent = node;
+    for (auto& c : sibling->children) c->parent = sibling.get();
+  }
+
+  node->Recompute();
+  sibling->Recompute();
+
+  if (parent == nullptr) {
+    // Grow a new root.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    auto old_root = std::move(root_);
+    old_root->parent = new_root.get();
+    sibling->parent = new_root.get();
+    new_root->children.push_back(std::move(old_root));
+    new_root->children.push_back(std::move(sibling));
+    new_root->Recompute();
+    root_ = std::move(new_root);
+  } else {
+    sibling->parent = parent;
+    parent->children.push_back(std::move(sibling));
+    if (parent->Count() > max_entries_) SplitNode(parent);
+  }
+}
+
+void RTree::AdjustUpward(Node* node) {
+  for (Node* n = node; n != nullptr; n = n->parent) n->Recompute();
+}
+
+void RTree::Insert(const Envelope& box, int64_t id) {
+  Node* leaf = ChooseLeaf(root_.get(), box);
+  leaf->entries.push_back(IndexEntry{box, id});
+  ++size_;
+  AdjustUpward(leaf);
+  if (leaf->entries.size() > max_entries_) SplitNode(leaf);
+}
+
+RTree::Node* RTree::BuildStr(std::vector<IndexEntry>* entries, int* height) {
+  // Sort-Tile-Recursive: sort by x, tile into vertical slices, sort each
+  // slice by y, pack leaves, then build upper levels the same way.
+  const size_t n = entries->size();
+  const size_t per_leaf = max_entries_;
+  const auto num_leaves =
+      static_cast<size_t>(std::ceil(static_cast<double>(n) / per_leaf));
+  const auto slices =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+
+  std::sort(entries->begin(), entries->end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              return a.box.Center().x < b.box.Center().x;
+            });
+
+  std::vector<std::unique_ptr<Node>> leaves;
+  const size_t per_slice = (n + slices - 1) / slices;
+  for (size_t s = 0; s * per_slice < n; ++s) {
+    const size_t lo = s * per_slice;
+    const size_t hi = std::min(n, lo + per_slice);
+    std::sort(entries->begin() + static_cast<ptrdiff_t>(lo),
+              entries->begin() + static_cast<ptrdiff_t>(hi),
+              [](const IndexEntry& a, const IndexEntry& b) {
+                return a.box.Center().y < b.box.Center().y;
+              });
+    for (size_t i = lo; i < hi; i += per_leaf) {
+      auto leaf = std::make_unique<Node>();
+      for (size_t j = i; j < std::min(hi, i + per_leaf); ++j) {
+        leaf->entries.push_back((*entries)[j]);
+      }
+      leaf->Recompute();
+      leaves.push_back(std::move(leaf));
+    }
+  }
+
+  *height = 1;
+  while (leaves.size() > 1) {
+    // Pack the current level into parents, STR again on node centres.
+    std::sort(leaves.begin(), leaves.end(),
+              [](const auto& a, const auto& b) {
+                return a->box.Center().x < b->box.Center().x;
+              });
+    const size_t level_n = leaves.size();
+    const auto level_nodes = static_cast<size_t>(
+        std::ceil(static_cast<double>(level_n) / max_entries_));
+    const auto level_slices = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(level_nodes))));
+    const size_t level_per_slice = (level_n + level_slices - 1) / level_slices;
+    std::vector<std::unique_ptr<Node>> parents;
+    for (size_t s = 0; s * level_per_slice < level_n; ++s) {
+      const size_t lo = s * level_per_slice;
+      const size_t hi = std::min(level_n, lo + level_per_slice);
+      std::sort(leaves.begin() + static_cast<ptrdiff_t>(lo),
+                leaves.begin() + static_cast<ptrdiff_t>(hi),
+                [](const auto& a, const auto& b) {
+                  return a->box.Center().y < b->box.Center().y;
+                });
+      for (size_t i = lo; i < hi; i += max_entries_) {
+        auto parent = std::make_unique<Node>();
+        parent->leaf = false;
+        for (size_t j = i; j < std::min(hi, i + max_entries_); ++j) {
+          leaves[j]->parent = parent.get();
+          parent->children.push_back(std::move(leaves[j]));
+        }
+        parent->Recompute();
+        parents.push_back(std::move(parent));
+      }
+    }
+    leaves = std::move(parents);
+    ++*height;
+  }
+  if (leaves.empty()) return nullptr;
+  Node* root = leaves.front().release();
+  return root;
+}
+
+void RTree::BulkLoad(std::vector<IndexEntry> entries) {
+  size_ = entries.size();
+  if (entries.empty()) {
+    root_ = std::make_unique<Node>();
+    return;
+  }
+  int height = 0;
+  Node* root = BuildStr(&entries, &height);
+  root_.reset(root);
+  root_->parent = nullptr;
+}
+
+void RTree::Query(const Envelope& window, std::vector<int64_t>* out) const {
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->box.Intersects(window)) continue;
+    if (node->leaf) {
+      for (const IndexEntry& e : node->entries) {
+        if (e.box.Intersects(window)) out->push_back(e.id);
+      }
+    } else {
+      for (const auto& child : node->children) {
+        if (child->box.Intersects(window)) stack.push_back(child.get());
+      }
+    }
+  }
+}
+
+void RTree::Nearest(const Coord& p, size_t k, std::vector<int64_t>* out) const {
+  if (k == 0 || size_ == 0) return;
+  // Best-first branch and bound over MBR distances.
+  struct QueueItem {
+    double dist;
+    const Node* node;    // nullptr for entry items
+    IndexEntry entry{};  // valid when node == nullptr
+    bool operator>(const QueueItem& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  pq.push({root_->box.DistanceTo(p), root_.get()});
+  while (!pq.empty() && out->size() < k) {
+    const QueueItem item = pq.top();
+    pq.pop();
+    if (item.node == nullptr) {
+      out->push_back(item.entry.id);
+      continue;
+    }
+    if (item.node->leaf) {
+      for (const IndexEntry& e : item.node->entries) {
+        pq.push({e.box.DistanceTo(p), nullptr, e});
+      }
+    } else {
+      for (const auto& child : item.node->children) {
+        pq.push({child->box.DistanceTo(p), child.get()});
+      }
+    }
+  }
+}
+
+int RTree::Height() const {
+  int h = 1;
+  for (const Node* n = root_.get(); !n->leaf; n = n->children.front().get()) {
+    ++h;
+  }
+  return h;
+}
+
+size_t RTree::NodeCount() const {
+  size_t count = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    if (!node->leaf) {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+}  // namespace jackpine::index

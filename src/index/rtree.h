@@ -1,0 +1,51 @@
+// R-tree with quadratic-split insertion and Sort-Tile-Recursive bulk load.
+
+#ifndef JACKPINE_INDEX_RTREE_H_
+#define JACKPINE_INDEX_RTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace jackpine::index {
+
+class RTree final : public SpatialIndex {
+ public:
+  // Node capacities follow Guttman's defaults scaled for cache lines.
+  explicit RTree(size_t max_entries = 16);
+  ~RTree() override;
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  void Insert(const geom::Envelope& box, int64_t id) override;
+  void BulkLoad(std::vector<IndexEntry> entries) override;
+  void Query(const geom::Envelope& window,
+             std::vector<int64_t>* out) const override;
+  void Nearest(const geom::Coord& p, size_t k,
+               std::vector<int64_t>* out) const override;
+  size_t size() const override { return size_; }
+  std::string Name() const override { return "rtree"; }
+
+  // Structural statistics for the index-structure benchmarks (E8).
+  int Height() const;
+  size_t NodeCount() const;
+
+ private:
+  struct Node;
+
+  Node* ChooseLeaf(Node* node, const geom::Envelope& box) const;
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+  Node* BuildStr(std::vector<IndexEntry>* entries, int* height);
+
+  std::unique_ptr<Node> root_;
+  size_t max_entries_;
+  size_t min_entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace jackpine::index
+
+#endif  // JACKPINE_INDEX_RTREE_H_

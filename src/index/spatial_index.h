@@ -1,0 +1,63 @@
+// The spatial index abstraction that differentiates the systems under test:
+// pine-rtree (R-tree), pine-grid (uniform grid), pine-scan (none).
+//
+// Indexes store (MBR, row id) pairs and answer window (range) queries and
+// k-nearest-neighbour queries over the MBRs. Exact geometry refinement is
+// the query executor's job, per the filter-and-refine design decision in
+// DESIGN.md.
+
+#ifndef JACKPINE_INDEX_SPATIAL_INDEX_H_
+#define JACKPINE_INDEX_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/envelope.h"
+
+namespace jackpine::index {
+
+struct IndexEntry {
+  geom::Envelope box;
+  int64_t id = 0;
+};
+
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  // Inserts one entry.
+  virtual void Insert(const geom::Envelope& box, int64_t id) = 0;
+
+  // Replaces the index contents with `entries`, using the structure's bulk
+  // loading strategy where it has one.
+  virtual void BulkLoad(std::vector<IndexEntry> entries) = 0;
+
+  // Appends the ids of all entries whose box intersects `window`.
+  // Order is unspecified.
+  virtual void Query(const geom::Envelope& window,
+                     std::vector<int64_t>* out) const = 0;
+
+  // Appends up to `k` entry ids in ascending order of MBR distance to `p`.
+  virtual void Nearest(const geom::Coord& p, size_t k,
+                       std::vector<int64_t>* out) const = 0;
+
+  virtual size_t size() const = 0;
+
+  // Diagnostic name ("rtree", "grid", "scan").
+  virtual std::string Name() const = 0;
+};
+
+// The kinds the engine can be configured with.
+enum class IndexKind : uint8_t { kNone, kRtree, kGrid };
+
+const char* IndexKindName(IndexKind kind);
+
+// Factory. For kGrid the index sizes its cells from the first BulkLoad (or
+// grows lazily under Insert).
+std::unique_ptr<SpatialIndex> MakeSpatialIndex(IndexKind kind);
+
+}  // namespace jackpine::index
+
+#endif  // JACKPINE_INDEX_SPATIAL_INDEX_H_

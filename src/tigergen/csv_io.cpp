@@ -1,0 +1,281 @@
+#include "tigergen/csv_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "geom/wkt_reader.h"
+
+namespace jackpine::tigergen {
+
+namespace {
+
+std::string CsvQuote(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+// Parses one CSV record (no embedded newlines in quoted fields).
+std::vector<std::string> CsvSplit(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal(StrFormat("cannot open %s", path.c_str()));
+  out << contents;
+  if (!out) return Status::Internal(StrFormat("write failed: %s", path.c_str()));
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path, size_t expected_fields) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    std::vector<std::string> fields = CsvSplit(line);
+    if (fields.size() != expected_fields) {
+      return Status::ParseError(
+          StrFormat("%s: expected %zu fields, got %zu", path.c_str(),
+                    expected_fields, fields.size()));
+    }
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+Result<int64_t> ParseInt(const std::string& s) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str()) {
+    return Status::ParseError(StrFormat("bad integer '%s'", s.c_str()));
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) {
+    return Status::ParseError(StrFormat("bad number '%s'", s.c_str()));
+  }
+  return v;
+}
+
+}  // namespace
+
+Status SaveDatasetCsv(const TigerDataset& dataset,
+                      const std::string& directory) {
+  {
+    std::string out = "fips,name,geom\n";
+    for (const County& c : dataset.counties) {
+      out += StrFormat("%lld,%s,%s\n", static_cast<long long>(c.fips),
+                       CsvQuote(c.name).c_str(),
+                       CsvQuote(c.geom.ToWkt()).c_str());
+    }
+    JACKPINE_RETURN_IF_ERROR(WriteFile(directory + "/county.csv", out));
+  }
+  {
+    std::string out =
+        "tlid,fullname,mtfcc,county,lfromadd,ltoadd,rfromadd,rtoadd,zip,"
+        "geom\n";
+    for (const Edge& e : dataset.edges) {
+      out += StrFormat(
+          "%lld,%s,%s,%lld,%lld,%lld,%lld,%lld,%lld,%s\n",
+          static_cast<long long>(e.tlid), CsvQuote(e.fullname).c_str(),
+          e.mtfcc.c_str(), static_cast<long long>(e.county_fips),
+          static_cast<long long>(e.lfromadd), static_cast<long long>(e.ltoadd),
+          static_cast<long long>(e.rfromadd), static_cast<long long>(e.rtoadd),
+          static_cast<long long>(e.zip), CsvQuote(e.geom.ToWkt()).c_str());
+    }
+    JACKPINE_RETURN_IF_ERROR(WriteFile(directory + "/edges.csv", out));
+  }
+  {
+    std::string out = "plid,fullname,mtfcc,county,geom\n";
+    for (const PointLandmark& p : dataset.pointlm) {
+      out += StrFormat("%lld,%s,%s,%lld,%s\n", static_cast<long long>(p.plid),
+                       CsvQuote(p.fullname).c_str(), p.mtfcc.c_str(),
+                       static_cast<long long>(p.county_fips),
+                       CsvQuote(p.geom.ToWkt()).c_str());
+    }
+    JACKPINE_RETURN_IF_ERROR(WriteFile(directory + "/pointlm.csv", out));
+  }
+  {
+    std::string out = "alid,fullname,mtfcc,county,geom\n";
+    for (const AreaLandmark& a : dataset.arealm) {
+      out += StrFormat("%lld,%s,%s,%lld,%s\n", static_cast<long long>(a.alid),
+                       CsvQuote(a.fullname).c_str(), a.mtfcc.c_str(),
+                       static_cast<long long>(a.county_fips),
+                       CsvQuote(a.geom.ToWkt()).c_str());
+    }
+    JACKPINE_RETURN_IF_ERROR(WriteFile(directory + "/arealm.csv", out));
+  }
+  {
+    std::string out = "awid,fullname,mtfcc,county,areasqm,geom\n";
+    for (const AreaWater& w : dataset.areawater) {
+      out += StrFormat("%lld,%s,%s,%lld,%.10g,%s\n",
+                       static_cast<long long>(w.awid),
+                       CsvQuote(w.fullname).c_str(), w.mtfcc.c_str(),
+                       static_cast<long long>(w.county_fips), w.areasqm,
+                       CsvQuote(w.geom.ToWkt()).c_str());
+    }
+    JACKPINE_RETURN_IF_ERROR(WriteFile(directory + "/areawater.csv", out));
+  }
+  return Status::Ok();
+}
+
+Result<TigerDataset> LoadDatasetCsv(const std::string& directory) {
+  TigerDataset ds;
+
+  JACKPINE_ASSIGN_OR_RETURN(auto county_rows,
+                            ReadCsv(directory + "/county.csv", 3));
+  for (const auto& f : county_rows) {
+    County c;
+    JACKPINE_ASSIGN_OR_RETURN(c.fips, ParseInt(f[0]));
+    c.name = f[1];
+    JACKPINE_ASSIGN_OR_RETURN(c.geom, geom::GeometryFromWkt(f[2]));
+    ds.extent.ExpandToInclude(c.geom.envelope());
+    ds.counties.push_back(std::move(c));
+  }
+
+  JACKPINE_ASSIGN_OR_RETURN(auto edge_rows,
+                            ReadCsv(directory + "/edges.csv", 10));
+  for (const auto& f : edge_rows) {
+    Edge e;
+    JACKPINE_ASSIGN_OR_RETURN(e.tlid, ParseInt(f[0]));
+    e.fullname = f[1];
+    e.mtfcc = f[2];
+    JACKPINE_ASSIGN_OR_RETURN(e.county_fips, ParseInt(f[3]));
+    JACKPINE_ASSIGN_OR_RETURN(e.lfromadd, ParseInt(f[4]));
+    JACKPINE_ASSIGN_OR_RETURN(e.ltoadd, ParseInt(f[5]));
+    JACKPINE_ASSIGN_OR_RETURN(e.rfromadd, ParseInt(f[6]));
+    JACKPINE_ASSIGN_OR_RETURN(e.rtoadd, ParseInt(f[7]));
+    JACKPINE_ASSIGN_OR_RETURN(e.zip, ParseInt(f[8]));
+    JACKPINE_ASSIGN_OR_RETURN(e.geom, geom::GeometryFromWkt(f[9]));
+    ds.extent.ExpandToInclude(e.geom.envelope());
+    ds.edges.push_back(std::move(e));
+  }
+
+  JACKPINE_ASSIGN_OR_RETURN(auto point_rows,
+                            ReadCsv(directory + "/pointlm.csv", 5));
+  for (const auto& f : point_rows) {
+    PointLandmark p;
+    JACKPINE_ASSIGN_OR_RETURN(p.plid, ParseInt(f[0]));
+    p.fullname = f[1];
+    p.mtfcc = f[2];
+    JACKPINE_ASSIGN_OR_RETURN(p.county_fips, ParseInt(f[3]));
+    JACKPINE_ASSIGN_OR_RETURN(p.geom, geom::GeometryFromWkt(f[4]));
+    ds.extent.ExpandToInclude(p.geom.envelope());
+    ds.pointlm.push_back(std::move(p));
+  }
+
+  JACKPINE_ASSIGN_OR_RETURN(auto area_rows,
+                            ReadCsv(directory + "/arealm.csv", 5));
+  for (const auto& f : area_rows) {
+    AreaLandmark a;
+    JACKPINE_ASSIGN_OR_RETURN(a.alid, ParseInt(f[0]));
+    a.fullname = f[1];
+    a.mtfcc = f[2];
+    JACKPINE_ASSIGN_OR_RETURN(a.county_fips, ParseInt(f[3]));
+    JACKPINE_ASSIGN_OR_RETURN(a.geom, geom::GeometryFromWkt(f[4]));
+    ds.extent.ExpandToInclude(a.geom.envelope());
+    ds.arealm.push_back(std::move(a));
+  }
+
+  JACKPINE_ASSIGN_OR_RETURN(auto water_rows,
+                            ReadCsv(directory + "/areawater.csv", 6));
+  for (const auto& f : water_rows) {
+    AreaWater w;
+    JACKPINE_ASSIGN_OR_RETURN(w.awid, ParseInt(f[0]));
+    w.fullname = f[1];
+    w.mtfcc = f[2];
+    JACKPINE_ASSIGN_OR_RETURN(w.county_fips, ParseInt(f[3]));
+    JACKPINE_ASSIGN_OR_RETURN(w.areasqm, ParseDouble(f[4]));
+    JACKPINE_ASSIGN_OR_RETURN(w.geom, geom::GeometryFromWkt(f[5]));
+    ds.extent.ExpandToInclude(w.geom.envelope());
+    ds.areawater.push_back(std::move(w));
+  }
+
+  // Reconstruct urban-centre anchors from point-landmark density on a coarse
+  // grid (scenario probes only need plausible hot spots).
+  if (!ds.pointlm.empty() && !ds.extent.IsNull()) {
+    constexpr int kCells = 8;
+    std::map<int, std::pair<int, geom::Coord>> cells;  // cell -> count, sum
+    for (const PointLandmark& p : ds.pointlm) {
+      const geom::Coord c = p.geom.AsPoint();
+      const int cx = std::min(
+          kCells - 1, static_cast<int>((c.x - ds.extent.min_x()) /
+                                       std::max(ds.extent.Width(), 1e-12) *
+                                       kCells));
+      const int cy = std::min(
+          kCells - 1, static_cast<int>((c.y - ds.extent.min_y()) /
+                                       std::max(ds.extent.Height(), 1e-12) *
+                                       kCells));
+      auto& [count, sum] = cells[cy * kCells + cx];
+      ++count;
+      sum.x += c.x;
+      sum.y += c.y;
+    }
+    std::vector<std::pair<int, geom::Coord>> ranked;
+    for (auto& [cell, entry] : cells) {
+      (void)cell;
+      ranked.emplace_back(entry.first,
+                          geom::Coord{entry.second.x / entry.first,
+                                      entry.second.y / entry.first});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (size_t i = 0; i < std::min<size_t>(4, ranked.size()); ++i) {
+      ds.urban_centers.push_back(ranked[i].second);
+    }
+  }
+  if (ds.urban_centers.empty() && !ds.extent.IsNull()) {
+    ds.urban_centers.push_back(ds.extent.Center());
+  }
+  return ds;
+}
+
+}  // namespace jackpine::tigergen

@@ -1,0 +1,33 @@
+// CSV persistence for TIGER-like datasets.
+//
+// The generator covers the self-contained reproduction; this module is the
+// adoption path for real data: a TIGER/Line extract converted to five CSV
+// files (county, edges, pointlm, arealm, areawater — same columns as the
+// SQL schema, geometry as WKT) round-trips through these functions and then
+// loads into any SUT via core::LoadDataset.
+
+#ifndef JACKPINE_TIGERGEN_CSV_IO_H_
+#define JACKPINE_TIGERGEN_CSV_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tigergen/tigergen.h"
+
+namespace jackpine::tigergen {
+
+// Writes county.csv, edges.csv, pointlm.csv, arealm.csv and areawater.csv
+// into `directory` (which must exist). Each file has a header row; fields
+// containing commas or quotes are double-quoted.
+Status SaveDatasetCsv(const TigerDataset& dataset,
+                      const std::string& directory);
+
+// Reads a dataset previously written by SaveDatasetCsv (or hand-converted
+// real data with the same headers). Extent and urban centres are
+// reconstructed from the data (urban centres approximated by the densest
+// point-landmark cells, which is sufficient for scenario probe placement).
+Result<TigerDataset> LoadDatasetCsv(const std::string& directory);
+
+}  // namespace jackpine::tigergen
+
+#endif  // JACKPINE_TIGERGEN_CSV_IO_H_

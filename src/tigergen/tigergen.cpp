@@ -1,0 +1,341 @@
+#include "tigergen/tigergen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace jackpine::tigergen {
+
+using geom::Coord;
+using geom::Envelope;
+using geom::Geometry;
+using geom::Ring;
+
+namespace {
+
+constexpr const char* kStreetNames[] = {
+    "Oak",    "Main",   "Cedar",  "Elm",     "Pine",    "Maple",
+    "Walnut", "Sunset", "Ridge",  "Lake",    "Hill",    "River",
+    "Park",   "Mill",   "Spring", "Prairie", "Meadow",  "Canyon",
+    "Mesa",   "Bluff",  "Juniper", "Pecan",  "Magnolia", "Laurel"};
+
+constexpr const char* kStreetSuffixes[] = {"St", "Ave", "Rd", "Dr", "Ln",
+                                           "Blvd", "Way", "Ct"};
+
+constexpr const char* kCountyNames[] = {
+    "Travis",  "Harris",   "Bexar",   "Dallas", "Tarrant", "Collin",
+    "Denton",  "Hidalgo",  "El Paso", "Fort Bend", "Montgomery", "Williamson",
+    "Cameron", "Nueces",   "Brazoria", "Bell",  "Galveston", "Lubbock",
+    "Webb",    "Jefferson", "McLennan", "Smith", "Brazos",  "Hays"};
+
+constexpr const char* kLandmarkNames[] = {
+    "Lincoln",   "Washington", "Jefferson", "Roosevelt", "Kennedy",
+    "Riverside", "Hillcrest",  "Northside", "Lakeview",  "Central"};
+
+// Jittered lattice: county corners live on a shared grid so that adjacent
+// counties share boundary vertices exactly.
+struct Lattice {
+  size_t nx, ny;
+  double cell;
+  std::vector<Coord> points;  // (nx+1) * (ny+1)
+
+  const Coord& At(size_t i, size_t j) const { return points[j * (nx + 1) + i]; }
+};
+
+Lattice BuildLattice(size_t nx, size_t ny, double extent, Rng* rng) {
+  Lattice lat;
+  lat.nx = nx;
+  lat.ny = ny;
+  lat.cell = extent / static_cast<double>(nx);
+  const double cy = extent / static_cast<double>(ny);
+  for (size_t j = 0; j <= ny; ++j) {
+    for (size_t i = 0; i <= nx; ++i) {
+      double x = static_cast<double>(i) * lat.cell;
+      double y = static_cast<double>(j) * cy;
+      // Interior lattice points get jitter; the outer frame stays straight.
+      if (i > 0 && i < nx) x += rng->NextDouble(-0.25, 0.25) * lat.cell;
+      if (j > 0 && j < ny) y += rng->NextDouble(-0.25, 0.25) * cy;
+      lat.points.push_back({x, y});
+    }
+  }
+  return lat;
+}
+
+Geometry CountyPolygon(const Lattice& lat, size_t i, size_t j) {
+  Ring ring = {lat.At(i, j), lat.At(i + 1, j), lat.At(i + 1, j + 1),
+               lat.At(i, j + 1), lat.At(i, j)};
+  auto poly = Geometry::MakePolygon(std::move(ring));
+  assert(poly.ok());
+  return std::move(poly).value();
+}
+
+// Picks a location: with probability `urban_bias`, gaussian around an urban
+// centre; otherwise uniform in the county cell.
+Coord PickLocation(const Envelope& cell,
+                   const std::vector<Coord>& urban_centers, double urban_bias,
+                   double urban_sigma, Rng* rng) {
+  if (!urban_centers.empty() && rng->NextBool(urban_bias)) {
+    // Choose the nearest urban centre to this cell (weighted jitter).
+    const Coord center = cell.Center();
+    size_t best = 0;
+    double best_d = 1e300;
+    for (size_t u = 0; u < urban_centers.size(); ++u) {
+      const double d = geom::DistanceSquared(center, urban_centers[u]);
+      if (d < best_d) {
+        best_d = d;
+        best = u;
+      }
+    }
+    const Coord& u = urban_centers[best];
+    Coord c{u.x + rng->NextGaussian() * urban_sigma,
+            u.y + rng->NextGaussian() * urban_sigma};
+    if (cell.Contains(c)) return c;
+    // Fall through to uniform if the gaussian left the county.
+  }
+  return {rng->NextDouble(cell.min_x(), cell.max_x()),
+          rng->NextDouble(cell.min_y(), cell.max_y())};
+}
+
+// A wiggly polyline from `from` towards a random direction.
+std::vector<Coord> RandomRoadPath(const Coord& from, double typical_length,
+                                  const Envelope& clip, Rng* rng) {
+  const int segments = static_cast<int>(rng->NextInt(2, 8));
+  const double heading0 = rng->NextDouble(0.0, 2.0 * M_PI);
+  const double step = typical_length / segments;
+  std::vector<Coord> pts = {from};
+  double heading = heading0;
+  for (int s = 0; s < segments; ++s) {
+    heading += rng->NextDouble(-0.5, 0.5);
+    Coord next{pts.back().x + std::cos(heading) * step * rng->NextDouble(0.6, 1.4),
+               pts.back().y + std::sin(heading) * step * rng->NextDouble(0.6, 1.4)};
+    next.x = std::clamp(next.x, clip.min_x(), clip.max_x());
+    next.y = std::clamp(next.y, clip.min_y(), clip.max_y());
+    if (next != pts.back()) pts.push_back(next);
+  }
+  return pts;
+}
+
+// A blobby polygon: a circle with radial noise.
+Geometry BlobPolygon(const Coord& center, double radius, Rng* rng) {
+  const int n = static_cast<int>(rng->NextInt(8, 16));
+  Ring ring;
+  const double phase = rng->NextDouble(0.0, 2.0 * M_PI);
+  for (int i = 0; i < n; ++i) {
+    const double t = phase + 2.0 * M_PI * i / n;
+    const double r = radius * rng->NextDouble(0.6, 1.3);
+    ring.push_back({center.x + r * std::cos(t), center.y + r * std::sin(t)});
+  }
+  ring.push_back(ring.front());
+  auto poly = Geometry::MakePolygon(std::move(ring));
+  if (!poly.ok()) {
+    // Radial construction is always simple; this is a safety net.
+    return Geometry::MakeRectangle(
+        Envelope(center.x - radius, center.y - radius, center.x + radius,
+                 center.y + radius));
+  }
+  return std::move(poly).value();
+}
+
+std::string PickName(Rng* rng, const char* const* names, size_t count,
+                     const char* const* suffixes, size_t suffix_count) {
+  std::string out = names[rng->NextBounded(count)];
+  if (suffixes != nullptr) {
+    out += ' ';
+    out += suffixes[rng->NextBounded(suffix_count)];
+  }
+  return out;
+}
+
+}  // namespace
+
+TigerDataset GenerateTiger(const TigerGenOptions& options) {
+  TigerDataset ds;
+  Rng rng(options.seed);
+  const double extent = options.extent;
+  ds.extent = Envelope(0, 0, extent, extent);
+
+  // --- Counties: jittered lattice tiling --------------------------------
+  const auto grid_n = static_cast<size_t>(
+      std::max(2.0, std::round(6.0 * std::sqrt(options.scale))));
+  Rng county_rng = rng.Fork();
+  const Lattice lat = BuildLattice(grid_n, grid_n, extent, &county_rng);
+  for (size_t j = 0; j < grid_n; ++j) {
+    for (size_t i = 0; i < grid_n; ++i) {
+      County c;
+      c.fips = 48001 + static_cast<int64_t>(j * grid_n + i) * 2;
+      const size_t name_idx = (j * grid_n + i) % std::size(kCountyNames);
+      c.name = StrFormat("%s %zu", kCountyNames[name_idx], j * grid_n + i);
+      c.geom = CountyPolygon(lat, i, j);
+      ds.counties.push_back(std::move(c));
+    }
+  }
+
+  // --- Urban centres: spatial skew anchors ------------------------------
+  Rng urban_rng = rng.Fork();
+  const auto n_urban = static_cast<size_t>(
+      std::max(2.0, std::round(4.0 * std::sqrt(options.scale))));
+  for (size_t u = 0; u < n_urban; ++u) {
+    ds.urban_centers.push_back({urban_rng.NextDouble(0.1, 0.9) * extent,
+                                urban_rng.NextDouble(0.1, 0.9) * extent});
+  }
+  const double urban_sigma = extent * 0.04;
+
+  // --- Roads (edges) ------------------------------------------------------
+  Rng road_rng = rng.Fork();
+  const auto n_local = static_cast<size_t>(3200.0 * options.scale);
+  const auto n_secondary = static_cast<size_t>(600.0 * options.scale);
+  const auto n_highway = static_cast<size_t>(200.0 * options.scale);
+  int64_t tlid = 100000;
+  int64_t house_number = 100;
+
+  auto county_of = [&](const Coord& c) -> int64_t {
+    // The lattice is regular enough that the cell index is a good first
+    // guess; fall back to scanning neighbours.
+    for (const County& county : ds.counties) {
+      if (county.geom.envelope().Contains(c)) return county.fips;
+    }
+    return ds.counties.front().fips;
+  };
+
+  auto add_road = [&](const char* mtfcc, double typical_length,
+                      double urban_bias) {
+    const Coord anchor =
+        PickLocation(ds.extent, ds.urban_centers, urban_bias, urban_sigma,
+                     &road_rng);
+    std::vector<Coord> path =
+        RandomRoadPath(anchor, typical_length, ds.extent, &road_rng);
+    auto line = Geometry::MakeLineString(std::move(path));
+    if (!line.ok()) return;
+    Edge e;
+    e.tlid = tlid++;
+    e.fullname = PickName(&road_rng, kStreetNames, std::size(kStreetNames),
+                          kStreetSuffixes, std::size(kStreetSuffixes));
+    e.mtfcc = mtfcc;
+    e.geom = std::move(line).value();
+    e.county_fips = county_of(e.geom.envelope().Center());
+    // Even numbers on the left, odd on the right, 100-per-block style.
+    const int64_t block = house_number;
+    house_number += 100;
+    if (house_number > 99000) house_number = 100;
+    e.lfromadd = block;
+    e.ltoadd = block + 98;
+    e.rfromadd = block + 1;
+    e.rtoadd = block + 99;
+    e.zip = 73000 + static_cast<int64_t>(road_rng.NextBounded(999));
+    ds.edges.push_back(std::move(e));
+  };
+
+  for (size_t i = 0; i < n_local; ++i) {
+    add_road("S1400", extent * 0.01, /*urban_bias=*/0.75);
+  }
+  for (size_t i = 0; i < n_secondary; ++i) {
+    add_road("S1200", extent * 0.04, /*urban_bias=*/0.5);
+  }
+  // Highways connect pairs of urban centres.
+  for (size_t i = 0; i < n_highway; ++i) {
+    const size_t a = road_rng.NextBounded(ds.urban_centers.size());
+    size_t b = road_rng.NextBounded(ds.urban_centers.size());
+    if (b == a) b = (b + 1) % ds.urban_centers.size();
+    const Coord& ca = ds.urban_centers[a];
+    const Coord& cb = ds.urban_centers[b];
+    std::vector<Coord> path = {ca};
+    const int hops = 6;
+    for (int h = 1; h < hops; ++h) {
+      const double t = static_cast<double>(h) / hops;
+      path.push_back({ca.x + (cb.x - ca.x) * t +
+                          road_rng.NextGaussian() * extent * 0.005,
+                      ca.y + (cb.y - ca.y) * t +
+                          road_rng.NextGaussian() * extent * 0.005});
+    }
+    path.push_back(cb);
+    auto line = Geometry::MakeLineString(std::move(path));
+    if (!line.ok()) continue;
+    Edge e;
+    e.tlid = tlid++;
+    e.fullname = StrFormat("State Hwy %zu", 1 + i % 180);
+    e.mtfcc = "S1100";
+    e.geom = std::move(line).value();
+    e.county_fips = county_of(e.geom.envelope().Center());
+    e.lfromadd = e.ltoadd = e.rfromadd = e.rtoadd = 0;  // no addressing
+    e.zip = 73000 + static_cast<int64_t>(road_rng.NextBounded(999));
+    ds.edges.push_back(std::move(e));
+  }
+
+  // --- Point landmarks ------------------------------------------------------
+  Rng pt_rng = rng.Fork();
+  const auto n_pointlm = static_cast<size_t>(800.0 * options.scale);
+  constexpr const char* kPointMtfcc[] = {"K2543", "K3544", "K2165", "K1231"};
+  constexpr const char* kPointKinds[] = {"School", "Church", "City Hall",
+                                         "Hospital"};
+  for (size_t i = 0; i < n_pointlm; ++i) {
+    PointLandmark p;
+    p.plid = 500000 + static_cast<int64_t>(i);
+    const size_t kind = pt_rng.NextBounded(std::size(kPointMtfcc));
+    p.mtfcc = kPointMtfcc[kind];
+    p.fullname = StrFormat(
+        "%s %s",
+        kLandmarkNames[pt_rng.NextBounded(std::size(kLandmarkNames))],
+        kPointKinds[kind]);
+    const Coord c = PickLocation(ds.extent, ds.urban_centers,
+                                 /*urban_bias=*/0.7, urban_sigma, &pt_rng);
+    p.geom = Geometry::MakePoint(c);
+    p.county_fips = county_of(c);
+    ds.pointlm.push_back(std::move(p));
+  }
+
+  // --- Area landmarks -------------------------------------------------------
+  Rng area_rng = rng.Fork();
+  const auto n_arealm = static_cast<size_t>(300.0 * options.scale);
+  constexpr const char* kAreaMtfcc[] = {"K2180", "K2540", "K2181"};
+  constexpr const char* kAreaKinds[] = {"Park", "University", "Cemetery"};
+  for (size_t i = 0; i < n_arealm; ++i) {
+    AreaLandmark a;
+    a.alid = 700000 + static_cast<int64_t>(i);
+    const size_t kind = area_rng.NextBounded(std::size(kAreaMtfcc));
+    a.mtfcc = kAreaMtfcc[kind];
+    a.fullname = StrFormat(
+        "%s %s",
+        kLandmarkNames[area_rng.NextBounded(std::size(kLandmarkNames))],
+        kAreaKinds[kind]);
+    const Coord c = PickLocation(ds.extent, ds.urban_centers,
+                                 /*urban_bias=*/0.6, urban_sigma, &area_rng);
+    a.geom = BlobPolygon(c, extent * area_rng.NextDouble(0.003, 0.012),
+                         &area_rng);
+    a.county_fips = county_of(c);
+    ds.arealm.push_back(std::move(a));
+  }
+
+  // --- Hydrography -----------------------------------------------------------
+  Rng water_rng = rng.Fork();
+  const auto n_water = static_cast<size_t>(150.0 * options.scale);
+  for (size_t i = 0; i < n_water; ++i) {
+    AreaWater w;
+    w.awid = 900000 + static_cast<int64_t>(i);
+    const bool lake = water_rng.NextBool(0.8);
+    w.mtfcc = lake ? "H2030" : "H3010";
+    w.fullname = StrFormat(
+        "%s %s",
+        kLandmarkNames[water_rng.NextBounded(std::size(kLandmarkNames))],
+        lake ? "Lake" : "Creek");
+    // Water avoids urban cores: uniform placement.
+    const Coord c{water_rng.NextDouble(0.05, 0.95) * extent,
+                  water_rng.NextDouble(0.05, 0.95) * extent};
+    const double radius = extent * water_rng.NextDouble(0.004, lake ? 0.03 : 0.01);
+    w.geom = BlobPolygon(c, radius, &water_rng);
+    w.areasqm = 0.0;  // filled below from the true area
+    w.county_fips = county_of(c);
+    ds.areawater.push_back(std::move(w));
+  }
+  for (AreaWater& w : ds.areawater) {
+    // Shoelace over the shell (holes are not generated for water).
+    const Ring& shell = w.geom.AsPolygon().shell;
+    w.areasqm = std::abs(geom::SignedRingArea(shell)) * 1e6;
+  }
+
+  return ds;
+}
+
+}  // namespace jackpine::tigergen

@@ -1,0 +1,100 @@
+// Synthetic TIGER/Line-style dataset generator.
+//
+// The paper loads US Census TIGER/Line shapefiles for Texas (counties, all
+// edges/roads, point landmarks, area landmarks, hydrography). Real TIGER
+// data is a download/licensing gate for a self-contained reproduction, so
+// this module generates a dataset with the same table schema and the
+// statistical properties the benchmark queries exercise:
+//   - counties tile the extent and share boundaries exactly (ST_Touches has
+//     non-trivial answers),
+//   - roads cluster around urban centres (spatial skew) and carry address
+//     ranges (geocoding interpolates along them),
+//   - landmarks cluster with the roads, water bodies do not,
+//   - cardinality ratios follow TIGER (edges >> landmarks >> counties).
+// Everything is a pure function of (seed, scale).
+
+#ifndef JACKPINE_TIGERGEN_TIGERGEN_H_
+#define JACKPINE_TIGERGEN_TIGERGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace jackpine::tigergen {
+
+struct TigerGenOptions {
+  uint64_t seed = 42;
+  // Scale 1.0 ~= 4000 road edges; counts grow linearly with scale
+  // (except counties, which grow with sqrt(scale) per axis).
+  double scale = 1.0;
+  // Extent of the synthetic state, in projected units (think km).
+  double extent = 100.0;
+};
+
+struct County {
+  int64_t fips = 0;
+  std::string name;
+  geom::Geometry geom;  // POLYGON
+};
+
+struct Edge {
+  int64_t tlid = 0;
+  std::string fullname;
+  std::string mtfcc;  // S1100 highway / S1200 secondary / S1400 local
+  int64_t county_fips = 0;
+  // TIGER-style address ranges for geocoding (left/right side of the road).
+  int64_t lfromadd = 0;
+  int64_t ltoadd = 0;
+  int64_t rfromadd = 0;
+  int64_t rtoadd = 0;
+  int64_t zip = 0;
+  geom::Geometry geom;  // LINESTRING
+};
+
+struct PointLandmark {
+  int64_t plid = 0;
+  std::string fullname;
+  std::string mtfcc;  // K2543 school / K3544 place of worship / ...
+  int64_t county_fips = 0;
+  geom::Geometry geom;  // POINT
+};
+
+struct AreaLandmark {
+  int64_t alid = 0;
+  std::string fullname;
+  std::string mtfcc;  // K2180 park / K2540 university / ...
+  int64_t county_fips = 0;
+  geom::Geometry geom;  // POLYGON
+};
+
+struct AreaWater {
+  int64_t awid = 0;
+  std::string fullname;
+  std::string mtfcc;  // H2030 lake/pond / H3010 stream
+  int64_t county_fips = 0;
+  double areasqm = 0.0;
+  geom::Geometry geom;  // POLYGON
+};
+
+struct TigerDataset {
+  std::vector<County> counties;
+  std::vector<Edge> edges;
+  std::vector<PointLandmark> pointlm;
+  std::vector<AreaLandmark> arealm;
+  std::vector<AreaWater> areawater;
+  geom::Envelope extent;
+  std::vector<geom::Coord> urban_centers;
+
+  size_t TotalRows() const {
+    return counties.size() + edges.size() + pointlm.size() + arealm.size() +
+           areawater.size();
+  }
+};
+
+TigerDataset GenerateTiger(const TigerGenOptions& options);
+
+}  // namespace jackpine::tigergen
+
+#endif  // JACKPINE_TIGERGEN_TIGERGEN_H_

@@ -1,0 +1,58 @@
+#include "topo/de9im.h"
+
+namespace jackpine::topo {
+
+De9imMatrix De9imMatrix::Transposed() const {
+  De9imMatrix out;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      out.dims_[c][r] = dims_[r][c];
+    }
+  }
+  return out;
+}
+
+bool De9imMatrix::Matches(std::string_view pattern) const {
+  if (pattern.size() != 9) return false;
+  for (int i = 0; i < 9; ++i) {
+    const int dim = dims_[i / 3][i % 3];
+    switch (pattern[static_cast<size_t>(i)]) {
+      case '*':
+        break;
+      case 'T':
+      case 't':
+        if (dim < 0) return false;
+        break;
+      case 'F':
+      case 'f':
+        if (dim >= 0) return false;
+        break;
+      case '0':
+        if (dim != 0) return false;
+        break;
+      case '1':
+        if (dim != 1) return false;
+        break;
+      case '2':
+        if (dim != 2) return false;
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string De9imMatrix::ToString() const {
+  std::string out;
+  out.reserve(9);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const int dim = dims_[r][c];
+      out.push_back(dim < 0 ? 'F' : static_cast<char>('0' + dim));
+    }
+  }
+  return out;
+}
+
+}  // namespace jackpine::topo

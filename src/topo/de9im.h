@@ -1,0 +1,70 @@
+// The Dimensionally Extended 9-Intersection Model matrix.
+//
+// A DE-9IM matrix records, for the interior (I), boundary (B) and exterior
+// (E) of two geometries, the topological dimension of each pairwise
+// intersection: F (empty), 0, 1 or 2. The micro benchmark's topological
+// query suite (experiment E1) is defined entirely in terms of named
+// predicates that are patterns over this matrix.
+
+#ifndef JACKPINE_TOPO_DE9IM_H_
+#define JACKPINE_TOPO_DE9IM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jackpine::topo {
+
+// Row/column index into the matrix.
+enum PointSet : int { kInterior = 0, kBoundary = 1, kExterior = 2 };
+
+class De9imMatrix {
+ public:
+  // All entries start empty (F).
+  De9imMatrix() { Fill(-1); }
+
+  static constexpr int kDimFalse = -1;
+
+  int At(PointSet row, PointSet col) const {
+    return dims_[row][col];
+  }
+  void Set(PointSet row, PointSet col, int dim) { dims_[row][col] = dim; }
+
+  // Raises the entry to at least `dim` (entries only grow during relate).
+  void SetAtLeast(PointSet row, PointSet col, int dim) {
+    if (dim > dims_[row][col]) dims_[row][col] = dim;
+  }
+
+  void Fill(int dim) {
+    for (auto& row : dims_) {
+      for (int8_t& d : row) d = static_cast<int8_t>(dim);
+    }
+  }
+
+  // Swaps rows and columns (Relate(b, a) == Relate(a, b) transposed).
+  De9imMatrix Transposed() const;
+
+  // Matches an OGC pattern string of 9 characters over "012TF*", in row-major
+  // order (II IB IE, BI BB BE, EI EB EE). 'T' matches any non-empty
+  // dimension, 'F' matches empty, '*' matches anything.
+  bool Matches(std::string_view pattern) const;
+
+  // Renders as 9 characters over "012F".
+  std::string ToString() const;
+
+  friend bool operator==(const De9imMatrix& a, const De9imMatrix& b) {
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        if (a.dims_[r][c] != b.dims_[r][c]) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  int8_t dims_[3][3];
+};
+
+}  // namespace jackpine::topo
+
+#endif  // JACKPINE_TOPO_DE9IM_H_

@@ -1,0 +1,189 @@
+#include "topo/predicates.h"
+
+#include "common/string_util.h"
+#include "geom/envelope.h"
+#include "topo/relate.h"
+
+namespace jackpine::topo {
+
+using geom::Envelope;
+using geom::Geometry;
+
+const char* PredicateName(PredicateKind kind) {
+  switch (kind) {
+    case PredicateKind::kEquals:
+      return "ST_Equals";
+    case PredicateKind::kDisjoint:
+      return "ST_Disjoint";
+    case PredicateKind::kIntersects:
+      return "ST_Intersects";
+    case PredicateKind::kTouches:
+      return "ST_Touches";
+    case PredicateKind::kCrosses:
+      return "ST_Crosses";
+    case PredicateKind::kWithin:
+      return "ST_Within";
+    case PredicateKind::kContains:
+      return "ST_Contains";
+    case PredicateKind::kOverlaps:
+      return "ST_Overlaps";
+    case PredicateKind::kCovers:
+      return "ST_Covers";
+    case PredicateKind::kCoveredBy:
+      return "ST_CoveredBy";
+  }
+  return "ST_Unknown";
+}
+
+std::optional<PredicateKind> PredicateFromName(std::string_view name) {
+  std::string lower = ToLowerAscii(name);
+  if (StartsWith(lower, "st_")) lower = lower.substr(3);
+  if (lower == "equals") return PredicateKind::kEquals;
+  if (lower == "disjoint") return PredicateKind::kDisjoint;
+  if (lower == "intersects") return PredicateKind::kIntersects;
+  if (lower == "touches") return PredicateKind::kTouches;
+  if (lower == "crosses") return PredicateKind::kCrosses;
+  if (lower == "within") return PredicateKind::kWithin;
+  if (lower == "contains") return PredicateKind::kContains;
+  if (lower == "overlaps") return PredicateKind::kOverlaps;
+  if (lower == "covers") return PredicateKind::kCovers;
+  if (lower == "coveredby") return PredicateKind::kCoveredBy;
+  return std::nullopt;
+}
+
+namespace {
+
+bool EnvelopesDisjoint(const Geometry& a, const Geometry& b) {
+  return !a.envelope().Intersects(b.envelope());
+}
+
+}  // namespace
+
+bool Equals(const Geometry& a, const Geometry& b) {
+  if (a.IsEmpty() && b.IsEmpty()) return true;
+  if (!(a.envelope() == b.envelope())) return false;
+  if (a.ExactlyEquals(b)) return true;
+  return Relate(a, b).Matches("T*F**FFF*");
+}
+
+bool Disjoint(const Geometry& a, const Geometry& b) {
+  if (EnvelopesDisjoint(a, b)) return true;
+  return Relate(a, b).Matches("FF*FF****");
+}
+
+bool Intersects(const Geometry& a, const Geometry& b) {
+  if (EnvelopesDisjoint(a, b)) return false;
+  const De9imMatrix m = Relate(a, b);
+  return m.At(kInterior, kInterior) >= 0 || m.At(kInterior, kBoundary) >= 0 ||
+         m.At(kBoundary, kInterior) >= 0 || m.At(kBoundary, kBoundary) >= 0;
+}
+
+bool Touches(const Geometry& a, const Geometry& b) {
+  if (EnvelopesDisjoint(a, b)) return false;
+  const De9imMatrix m = Relate(a, b);
+  return m.Matches("FT*******") || m.Matches("F**T*****") ||
+         m.Matches("F***T****");
+}
+
+bool Crosses(const Geometry& a, const Geometry& b) {
+  if (EnvelopesDisjoint(a, b)) return false;
+  const int da = a.Dimension();
+  const int db = b.Dimension();
+  const De9imMatrix m = Relate(a, b);
+  if (da < db) return m.Matches("T*T******");
+  if (da > db) return m.Matches("T*****T**");
+  if (da == 1 && db == 1) return m.Matches("0********");
+  return false;
+}
+
+bool Within(const Geometry& a, const Geometry& b) {
+  if (!b.envelope().Contains(a.envelope())) return false;
+  return Relate(a, b).Matches("T*F**F***");
+}
+
+bool Contains(const Geometry& a, const Geometry& b) { return Within(b, a); }
+
+bool Overlaps(const Geometry& a, const Geometry& b) {
+  if (EnvelopesDisjoint(a, b)) return false;
+  const int da = a.Dimension();
+  const int db = b.Dimension();
+  if (da != db) return false;
+  const De9imMatrix m = Relate(a, b);
+  if (da == 1) return m.Matches("1*T***T**");
+  return m.Matches("T*T***T**");
+}
+
+bool Covers(const Geometry& a, const Geometry& b) {
+  if (!a.envelope().Contains(b.envelope())) return false;
+  const De9imMatrix m = Relate(a, b);
+  return m.Matches("T*****FF*") || m.Matches("*T****FF*") ||
+         m.Matches("**T***FF*") || m.Matches("***T**FF*");
+}
+
+bool CoveredBy(const Geometry& a, const Geometry& b) { return Covers(b, a); }
+
+namespace {
+
+// The MBR-only evaluation family. Each predicate is the corresponding
+// rectangle relation, mirroring MySQL's MBR* function suite.
+bool EvalMbrPredicate(PredicateKind kind, const Envelope& a,
+                      const Envelope& b) {
+  switch (kind) {
+    case PredicateKind::kEquals:
+      return a == b;
+    case PredicateKind::kDisjoint:
+      return !a.Intersects(b);
+    case PredicateKind::kIntersects:
+      return a.Intersects(b);
+    case PredicateKind::kTouches:
+      return a.Touches(b);
+    case PredicateKind::kCrosses:
+      // MBRs cannot "cross"; MySQL mapped Crosses to intersects-but-neither-
+      // contains, which is what a rectangle overlap test reduces to.
+      return a.Intersects(b) && !a.Contains(b) && !b.Contains(a);
+    case PredicateKind::kWithin:
+    case PredicateKind::kCoveredBy:
+      return b.Contains(a);
+    case PredicateKind::kContains:
+    case PredicateKind::kCovers:
+      return a.Contains(b);
+    case PredicateKind::kOverlaps:
+      return a.Intersects(b) && !a.Contains(b) && !b.Contains(a);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvalPredicate(PredicateKind kind, const Geometry& a, const Geometry& b,
+                   PredicateMode mode) {
+  if (mode == PredicateMode::kMbrOnly) {
+    if (a.envelope().IsNull() || b.envelope().IsNull()) return false;
+    return EvalMbrPredicate(kind, a.envelope(), b.envelope());
+  }
+  switch (kind) {
+    case PredicateKind::kEquals:
+      return Equals(a, b);
+    case PredicateKind::kDisjoint:
+      return Disjoint(a, b);
+    case PredicateKind::kIntersects:
+      return Intersects(a, b);
+    case PredicateKind::kTouches:
+      return Touches(a, b);
+    case PredicateKind::kCrosses:
+      return Crosses(a, b);
+    case PredicateKind::kWithin:
+      return Within(a, b);
+    case PredicateKind::kContains:
+      return Contains(a, b);
+    case PredicateKind::kOverlaps:
+      return Overlaps(a, b);
+    case PredicateKind::kCovers:
+      return Covers(a, b);
+    case PredicateKind::kCoveredBy:
+      return CoveredBy(a, b);
+  }
+  return false;
+}
+
+}  // namespace jackpine::topo

@@ -1,0 +1,65 @@
+// The named OGC topological predicates over DE-9IM, plus the MBR-only
+// variants that reproduce the approximate semantics MySQL exposed at the
+// time of the Jackpine paper (experiment E7).
+
+#ifndef JACKPINE_TOPO_PREDICATES_H_
+#define JACKPINE_TOPO_PREDICATES_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geom/geometry.h"
+
+namespace jackpine::topo {
+
+enum class PredicateKind : uint8_t {
+  kEquals,
+  kDisjoint,
+  kIntersects,
+  kTouches,
+  kCrosses,
+  kWithin,
+  kContains,
+  kOverlaps,
+  kCovers,
+  kCoveredBy,
+};
+
+// How a system under test evaluates spatial predicates.
+enum class PredicateMode : uint8_t {
+  kExact,    // full DE-9IM refinement (PostGIS-style)
+  kMbrOnly,  // predicates evaluated on bounding rectangles (MySQL-2011-style)
+};
+
+// "ST_Equals", ... (the SQL function spelled by the benchmark queries).
+const char* PredicateName(PredicateKind kind);
+
+// Parses "equals" / "ST_Equals" / "EQUALS" etc.
+std::optional<PredicateKind> PredicateFromName(std::string_view name);
+
+// --- Exact predicates -----------------------------------------------------
+
+bool Equals(const geom::Geometry& a, const geom::Geometry& b);
+bool Disjoint(const geom::Geometry& a, const geom::Geometry& b);
+bool Intersects(const geom::Geometry& a, const geom::Geometry& b);
+bool Touches(const geom::Geometry& a, const geom::Geometry& b);
+bool Crosses(const geom::Geometry& a, const geom::Geometry& b);
+bool Within(const geom::Geometry& a, const geom::Geometry& b);
+bool Contains(const geom::Geometry& a, const geom::Geometry& b);
+bool Overlaps(const geom::Geometry& a, const geom::Geometry& b);
+bool Covers(const geom::Geometry& a, const geom::Geometry& b);
+bool CoveredBy(const geom::Geometry& a, const geom::Geometry& b);
+
+// --- Dispatch -------------------------------------------------------------
+
+// Evaluates `kind` under the given mode. In kMbrOnly mode every predicate is
+// computed on the geometries' envelopes (so e.g. Intersects degrades to MBR
+// overlap and Contains to MBR containment), reproducing the result-set
+// divergence the paper observed on MySQL.
+bool EvalPredicate(PredicateKind kind, const geom::Geometry& a,
+                   const geom::Geometry& b, PredicateMode mode);
+
+}  // namespace jackpine::topo
+
+#endif  // JACKPINE_TOPO_PREDICATES_H_

@@ -1,0 +1,380 @@
+#include "topo/relate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/orientation.h"
+#include "algo/point_in_polygon.h"
+#include "algo/segment_intersection.h"
+
+namespace jackpine::topo {
+
+using algo::IntersectSegments;
+using algo::Locate;
+using algo::Location;
+using algo::ParamAlongSegment;
+using algo::SegSegKind;
+using algo::SegSegResult;
+using geom::Coord;
+using geom::Envelope;
+using geom::Geometry;
+using geom::GeometryType;
+using geom::Ring;
+
+namespace {
+
+struct Seg {
+  Coord a;
+  Coord b;
+};
+
+// All segments of a geometry (line segments and polygon ring segments).
+// Puntal leaves are emitted as degenerate (p, p) segments so that the probe
+// splits curves at them: a curve portion's midpoint must never coincide with
+// a point of the other geometry, or the portion would be misclassified.
+void CollectSegments(const Geometry& g, std::vector<Seg>* out) {
+  for (const Geometry& leaf : g.Leaves()) {
+    switch (leaf.type()) {
+      case GeometryType::kPoint:
+        out->push_back({leaf.AsPoint(), leaf.AsPoint()});
+        break;
+      case GeometryType::kLineString: {
+        const std::vector<Coord>& pts = leaf.AsLineString();
+        for (size_t i = 0; i + 1 < pts.size(); ++i) {
+          out->push_back({pts[i], pts[i + 1]});
+        }
+        break;
+      }
+      case GeometryType::kPolygon: {
+        const geom::PolygonData& poly = leaf.AsPolygon();
+        auto add = [out](const Ring& r) {
+          for (size_t i = 0; i + 1 < r.size(); ++i) {
+            out->push_back({r[i], r[i + 1]});
+          }
+        };
+        add(poly.shell);
+        for (const Ring& hole : poly.holes) add(hole);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+// Boundary points of a lineal geometry under the OGC mod-2 rule: an endpoint
+// shared by an even number of component curves is not on the boundary.
+std::vector<Coord> LinealBoundaryPoints(const Geometry& g) {
+  std::vector<Coord> endpoints;
+  for (const Geometry& leaf : g.Leaves()) {
+    if (leaf.type() != GeometryType::kLineString) continue;
+    const std::vector<Coord>& pts = leaf.AsLineString();
+    if (pts.size() < 2 || pts.front() == pts.back()) continue;  // closed
+    endpoints.push_back(pts.front());
+    endpoints.push_back(pts.back());
+  }
+  std::vector<Coord> boundary;
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    size_t count = 0;
+    bool first = true;
+    for (size_t j = 0; j < endpoints.size(); ++j) {
+      if (endpoints[j] == endpoints[i]) {
+        ++count;
+        if (j < i) first = false;
+      }
+    }
+    if (first && count % 2 == 1) boundary.push_back(endpoints[i]);
+  }
+  return boundary;
+}
+
+// Dimension of a geometry's boundary: polygonal -> 1, lineal -> 0 (unless
+// all components are closed), puntal -> F.
+int BoundaryDimension(const Geometry& g) {
+  const int dim = g.Dimension();
+  if (dim == 2) return 1;
+  if (dim == 1) return LinealBoundaryPoints(g).empty() ? -1 : 0;
+  return -1;
+}
+
+// Splits `path` at every intersection with `cut_segs`; reports the midpoints
+// of the resulting sub-segments and the distinct split points.
+struct CurveProbe {
+  std::vector<Coord> portion_mids;
+  std::vector<Coord> split_points;
+};
+
+void ProbePath(const std::vector<Coord>& path, const std::vector<Seg>& cuts,
+               CurveProbe* probe) {
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const Coord& a = path[i];
+    const Coord& b = path[i + 1];
+    const Envelope seg_env(a, b);
+    std::vector<double> params = {0.0, 1.0};
+    for (const Seg& s : cuts) {
+      if (!seg_env.Intersects(Envelope(s.a, s.b))) continue;
+      const SegSegResult r = IntersectSegments(a, b, s.a, s.b);
+      if (r.kind == SegSegKind::kPoint) {
+        params.push_back(ParamAlongSegment(r.p0, a, b));
+        probe->split_points.push_back(r.p0);
+      } else if (r.kind == SegSegKind::kOverlap) {
+        params.push_back(ParamAlongSegment(r.p0, a, b));
+        params.push_back(ParamAlongSegment(r.p1, a, b));
+        probe->split_points.push_back(r.p0);
+        probe->split_points.push_back(r.p1);
+      }
+    }
+    std::sort(params.begin(), params.end());
+    params.erase(std::unique(params.begin(), params.end()), params.end());
+    for (size_t k = 0; k + 1 < params.size(); ++k) {
+      const double tm = (params[k] + params[k + 1]) / 2.0;
+      if (params[k + 1] - params[k] <= 0.0) continue;
+      probe->portion_mids.push_back(
+          {a.x + tm * (b.x - a.x), a.y + tm * (b.y - a.y)});
+    }
+  }
+}
+
+// Deduplicates split points (exact coordinate equality).
+void DedupPoints(std::vector<Coord>* pts) {
+  std::sort(pts->begin(), pts->end(), [](const Coord& a, const Coord& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts->erase(std::unique(pts->begin(), pts->end()), pts->end());
+}
+
+// The Interior and Boundary rows of Relate(a, b) (the Exterior row is filled
+// by the transposed opposite half).
+De9imMatrix HalfRelate(const Geometry& a, const Geometry& b) {
+  De9imMatrix m;
+  const int dim_a = a.Dimension();
+  const int dim_b = b.Dimension();
+
+  if (dim_a == 0) {
+    // Puntal interior is the points themselves; boundary empty.
+    for (const Geometry& leaf : a.Leaves()) {
+      if (leaf.type() != GeometryType::kPoint) continue;
+      switch (Locate(leaf.AsPoint(), b)) {
+        case Location::kInterior:
+          m.SetAtLeast(kInterior, kInterior, 0);
+          break;
+        case Location::kBoundary:
+          m.SetAtLeast(kInterior, kBoundary, 0);
+          break;
+        case Location::kExterior:
+          m.SetAtLeast(kInterior, kExterior, 0);
+          break;
+      }
+    }
+    return m;
+  }
+
+  std::vector<Seg> cuts;
+  CollectSegments(b, &cuts);
+
+  if (dim_a == 1) {
+    CurveProbe probe;
+    for (const Geometry& leaf : a.Leaves()) {
+      if (leaf.type() == GeometryType::kLineString) {
+        ProbePath(leaf.AsLineString(), cuts, &probe);
+      }
+    }
+    DedupPoints(&probe.split_points);
+    const std::vector<Coord> boundary = LinealBoundaryPoints(a);
+
+    for (const Coord& mid : probe.portion_mids) {
+      switch (Locate(mid, b)) {
+        case Location::kInterior:
+          m.SetAtLeast(kInterior, kInterior, 1);
+          break;
+        case Location::kBoundary:
+          // A 1-dim portion along b's boundary (b polygonal) or, for a
+          // lineal b, a collinear overlap counted as interior via Locate.
+          m.SetAtLeast(kInterior, kBoundary, 1);
+          break;
+        case Location::kExterior:
+          m.SetAtLeast(kInterior, kExterior, 1);
+          break;
+      }
+    }
+    for (const Coord& q : probe.split_points) {
+      const bool on_a_boundary =
+          std::find(boundary.begin(), boundary.end(), q) != boundary.end();
+      const PointSet row = on_a_boundary ? kBoundary : kInterior;
+      switch (Locate(q, b)) {
+        case Location::kInterior:
+          m.SetAtLeast(row, kInterior, 0);
+          break;
+        case Location::kBoundary:
+          m.SetAtLeast(row, kBoundary, 0);
+          break;
+        case Location::kExterior:
+          break;  // split points lie on b by construction
+      }
+    }
+    for (const Coord& e : boundary) {
+      switch (Locate(e, b)) {
+        case Location::kInterior:
+          m.SetAtLeast(kBoundary, kInterior, 0);
+          break;
+        case Location::kBoundary:
+          m.SetAtLeast(kBoundary, kBoundary, 0);
+          break;
+        case Location::kExterior:
+          m.SetAtLeast(kBoundary, kExterior, 0);
+          break;
+      }
+    }
+    return m;
+  }
+
+  // Polygonal a: probe its rings; the interior row is inferred from the
+  // boundary classification.
+  CurveProbe probe;
+  for (const Geometry& leaf : a.Leaves()) {
+    if (leaf.type() != GeometryType::kPolygon) continue;
+    const geom::PolygonData& poly = leaf.AsPolygon();
+    ProbePath(poly.shell, cuts, &probe);
+    for (const Ring& hole : poly.holes) ProbePath(hole, cuts, &probe);
+  }
+  DedupPoints(&probe.split_points);
+
+  for (const Coord& mid : probe.portion_mids) {
+    switch (Locate(mid, b)) {
+      case Location::kInterior:
+        // The ring portion lies in b's interior. For a lower-dimensional b,
+        // "interior" is a curve or point set and carries no area, so it must
+        // not imply overlapping 2-d interiors.
+        m.SetAtLeast(kBoundary, kInterior, 1);
+        if (dim_b == 2) m.SetAtLeast(kInterior, kInterior, 2);
+        break;
+      case Location::kBoundary:
+        m.SetAtLeast(kBoundary, kBoundary, 1);
+        break;
+      case Location::kExterior:
+        m.SetAtLeast(kBoundary, kExterior, 1);
+        // a's boundary outside b implies a's interior meets b's exterior.
+        m.SetAtLeast(kInterior, kExterior, 2);
+        break;
+    }
+  }
+  for (const Coord& q : probe.split_points) {
+    switch (Locate(q, b)) {
+      case Location::kInterior:
+        m.SetAtLeast(kBoundary, kInterior, 0);
+        if (dim_b == 2) m.SetAtLeast(kInterior, kInterior, 2);
+        break;
+      case Location::kBoundary:
+        m.SetAtLeast(kBoundary, kBoundary, 0);
+        break;
+      case Location::kExterior:
+        break;
+    }
+  }
+  // A polygon's interior always exceeds a lower-dimensional b.
+  if (dim_b < 2) m.SetAtLeast(kInterior, kExterior, 2);
+  return m;
+}
+
+}  // namespace
+
+De9imMatrix Relate(const Geometry& a, const Geometry& b) {
+  De9imMatrix m;
+  m.Set(kExterior, kExterior, 2);
+  const bool a_empty = a.IsEmpty();
+  const bool b_empty = b.IsEmpty();
+  if (a_empty || b_empty) {
+    if (!b_empty) {
+      m.Set(kExterior, kInterior, b.Dimension());
+      m.Set(kExterior, kBoundary, BoundaryDimension(b));
+    }
+    if (!a_empty) {
+      m.Set(kInterior, kExterior, a.Dimension());
+      m.Set(kBoundary, kExterior, BoundaryDimension(a));
+    }
+    return m;
+  }
+
+  const De9imMatrix half_ab = HalfRelate(a, b);
+  const De9imMatrix half_ba = HalfRelate(b, a);
+
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      const auto row = static_cast<PointSet>(r);
+      const auto col = static_cast<PointSet>(c);
+      m.Set(row, col,
+            std::max(half_ab.At(row, col),
+                     half_ba.At(col, row)));
+    }
+  }
+  m.Set(kInterior, kExterior, half_ab.At(kInterior, kExterior));
+  m.Set(kBoundary, kExterior, half_ab.At(kBoundary, kExterior));
+  m.Set(kExterior, kInterior, half_ba.At(kInterior, kExterior));
+  m.Set(kExterior, kBoundary, half_ba.At(kBoundary, kExterior));
+
+  // Area/area special case: if neither boundary strays inside or outside the
+  // other, the regions coincide and the interiors intersect (e.g. exactly
+  // equal polygons, whose probes classify every portion as Boundary).
+  if (a.Dimension() == 2 && b.Dimension() == 2 &&
+      m.At(kInterior, kInterior) < 0 && m.At(kInterior, kExterior) < 0 &&
+      m.At(kExterior, kInterior) < 0) {
+    m.Set(kInterior, kInterior, 2);
+  }
+  return m;
+}
+
+bool RelateMatches(const Geometry& a, const Geometry& b,
+                   std::string_view pattern) {
+  return Relate(a, b).Matches(pattern);
+}
+
+Geometry Boundary(const Geometry& g) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kMultiPoint:
+      return Geometry::MakeCollection({});
+    case GeometryType::kLineString:
+    case GeometryType::kMultiLineString: {
+      const std::vector<Coord> pts = LinealBoundaryPoints(g);
+      if (pts.empty()) return Geometry::MakeEmpty(GeometryType::kMultiPoint);
+      std::vector<Geometry> points;
+      for (const Coord& c : pts) points.push_back(Geometry::MakePoint(c));
+      if (points.size() == 1) return points[0];
+      auto mp = Geometry::MakeMultiPoint(std::move(points));
+      return mp.ok() ? std::move(mp).value()
+                     : Geometry::MakeEmpty(GeometryType::kMultiPoint);
+    }
+    case GeometryType::kPolygon:
+    case GeometryType::kMultiPolygon: {
+      std::vector<Geometry> rings;
+      for (const Geometry& leaf : g.Leaves()) {
+        if (leaf.type() != GeometryType::kPolygon) continue;
+        const geom::PolygonData& poly = leaf.AsPolygon();
+        auto add = [&rings](const Ring& r) {
+          auto line = Geometry::MakeLineString(r);
+          if (line.ok()) rings.push_back(std::move(line).value());
+        };
+        add(poly.shell);
+        for (const Ring& hole : poly.holes) add(hole);
+      }
+      if (rings.empty()) {
+        return Geometry::MakeEmpty(GeometryType::kMultiLineString);
+      }
+      if (rings.size() == 1) return rings[0];
+      auto ml = Geometry::MakeMultiLineString(std::move(rings));
+      return ml.ok() ? std::move(ml).value()
+                     : Geometry::MakeEmpty(GeometryType::kMultiLineString);
+    }
+    case GeometryType::kGeometryCollection: {
+      std::vector<Geometry> parts;
+      for (const Geometry& part : g.Parts()) {
+        Geometry b = Boundary(part);
+        if (!b.IsEmpty()) parts.push_back(std::move(b));
+      }
+      return Geometry::MakeCollection(std::move(parts));
+    }
+  }
+  return Geometry();
+}
+
+}  // namespace jackpine::topo

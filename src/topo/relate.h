@@ -1,0 +1,41 @@
+// Computes the DE-9IM intersection matrix between two geometries.
+//
+// Algorithm (see DESIGN.md): rather than building a full topology graph, the
+// matrix is assembled from two symmetric "half relates". A half relate
+// classifies one geometry's interior and boundary against the other
+// geometry's interior/boundary/exterior by
+//   1. splitting the first geometry's curves (lines, polygon rings) at every
+//      intersection with the second geometry's segments, and
+//   2. locating each resulting portion's midpoint, each split point, and
+//      each boundary point within the second geometry.
+// The exterior row of the full matrix is the transposed exterior column of
+// the opposite half. This yields exact results for geometries in general
+// position and for the standard degenerate contacts (shared edges, vertex
+// touches) because portions and split points are classified independently.
+
+#ifndef JACKPINE_TOPO_RELATE_H_
+#define JACKPINE_TOPO_RELATE_H_
+
+#include <string_view>
+
+#include "geom/geometry.h"
+#include "topo/de9im.h"
+
+namespace jackpine::topo {
+
+// Full DE-9IM matrix of `a` against `b`.
+De9imMatrix Relate(const geom::Geometry& a, const geom::Geometry& b);
+
+// True if Relate(a, b) matches `pattern` (ST_Relate 3-argument form).
+bool RelateMatches(const geom::Geometry& a, const geom::Geometry& b,
+                   std::string_view pattern);
+
+// The OGC combinatorial boundary of a geometry (ST_Boundary):
+// points -> empty; lines -> the mod-2 endpoint set as (Multi)Point;
+// polygons -> the rings as (Multi)LineString; collections -> collection of
+// member boundaries.
+geom::Geometry Boundary(const geom::Geometry& g);
+
+}  // namespace jackpine::topo
+
+#endif  // JACKPINE_TOPO_RELATE_H_

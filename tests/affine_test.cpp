@@ -1,0 +1,123 @@
+// Tests for affine transforms and azimuth, at the algo and SQL levels.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algo/affine.h"
+#include "algo/measures.h"
+#include "engine/database.h"
+#include "geom/wkt_reader.h"
+
+namespace jackpine::algo {
+namespace {
+
+using geom::Coord;
+using geom::Geometry;
+
+Geometry Wkt(const std::string& s) {
+  auto r = geom::GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(AffineTest, Translation) {
+  Geometry p = Transform(Geometry::MakePoint(1, 2),
+                         AffineTransform::Translation(10, -5));
+  EXPECT_EQ(p.AsPoint(), (Coord{11, -3}));
+}
+
+TEST(AffineTest, ScalingAboutOrigin) {
+  Geometry box = Transform(Wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+                           AffineTransform::Scaling(2, 3));
+  EXPECT_DOUBLE_EQ(Area(box), 4.0 * 6.0);
+  EXPECT_EQ(box.envelope(), geom::Envelope(0, 0, 4, 6));
+}
+
+TEST(AffineTest, ScalingAboutCustomOrigin) {
+  Geometry p = Transform(Geometry::MakePoint(3, 3),
+                         AffineTransform::Scaling(2, 2, {1, 1}));
+  EXPECT_EQ(p.AsPoint(), (Coord{5, 5}));
+  // The origin itself is a fixed point.
+  Geometry o = Transform(Geometry::MakePoint(1, 1),
+                         AffineTransform::Scaling(2, 2, {1, 1}));
+  EXPECT_EQ(o.AsPoint(), (Coord{1, 1}));
+}
+
+TEST(AffineTest, RotationQuarterTurn) {
+  Geometry p = Transform(Geometry::MakePoint(1, 0),
+                         AffineTransform::Rotation(M_PI / 2));
+  EXPECT_NEAR(p.AsPoint().x, 0.0, 1e-12);
+  EXPECT_NEAR(p.AsPoint().y, 1.0, 1e-12);
+}
+
+TEST(AffineTest, RotationAboutPointPreservesIt) {
+  const Coord pivot{5, 5};
+  Geometry p = Transform(Geometry::MakePoint(5, 5),
+                         AffineTransform::Rotation(1.234, pivot));
+  EXPECT_NEAR(p.AsPoint().x, 5.0, 1e-12);
+  EXPECT_NEAR(p.AsPoint().y, 5.0, 1e-12);
+}
+
+TEST(AffineTest, RotationPreservesAreaAndLength) {
+  Geometry poly = Wkt("POLYGON ((0 0, 4 0, 4 2, 0 2, 0 0))");
+  Geometry rotated = Transform(poly, AffineTransform::Rotation(0.7, {2, 1}));
+  EXPECT_NEAR(Area(rotated), 8.0, 1e-9);
+  EXPECT_NEAR(Perimeter(rotated), 12.0, 1e-9);
+}
+
+TEST(AffineTest, ReflectionKeepsPolygonsValid) {
+  // Negative-determinant transform (mirror in x).
+  Geometry poly = Wkt("POLYGON ((0 0, 4 0, 4 2, 0 2, 0 0))");
+  Geometry mirrored = Transform(poly, AffineTransform::Scaling(-1, 1));
+  EXPECT_NEAR(Area(mirrored), 8.0, 1e-9);
+  EXPECT_TRUE(geom::IsCcw(mirrored.AsPolygon().shell));
+  EXPECT_TRUE(mirrored.Validate().ok());
+}
+
+TEST(AffineTest, ComposeMatchesSequentialApplication) {
+  const AffineTransform t1 = AffineTransform::Rotation(0.3);
+  const AffineTransform t2 = AffineTransform::Translation(2, 3);
+  const AffineTransform both = t2.Compose(t1);
+  const Coord p{1.5, -0.5};
+  const Coord sequential = t2.Apply(t1.Apply(p));
+  const Coord composed = both.Apply(p);
+  EXPECT_NEAR(sequential.x, composed.x, 1e-12);
+  EXPECT_NEAR(sequential.y, composed.y, 1e-12);
+}
+
+TEST(AffineTest, TransformMultiGeometry) {
+  Geometry mp = Wkt("MULTIPOINT ((0 0), (1 1))");
+  Geometry moved = Transform(mp, AffineTransform::Translation(1, 1));
+  EXPECT_EQ(moved.Leaves()[0].AsPoint(), (Coord{1, 1}));
+  EXPECT_EQ(moved.Leaves()[1].AsPoint(), (Coord{2, 2}));
+}
+
+TEST(AzimuthTest, CardinalDirections) {
+  EXPECT_NEAR(*Azimuth({0, 0}, {0, 1}), 0.0, 1e-12);            // north
+  EXPECT_NEAR(*Azimuth({0, 0}, {1, 0}), M_PI / 2, 1e-12);       // east
+  EXPECT_NEAR(*Azimuth({0, 0}, {0, -1}), M_PI, 1e-12);          // south
+  EXPECT_NEAR(*Azimuth({0, 0}, {-1, 0}), 3 * M_PI / 2, 1e-12);  // west
+  EXPECT_FALSE(Azimuth({1, 1}, {1, 1}).ok());
+}
+
+TEST(AffineSqlTest, FunctionsAvailableInSql) {
+  engine::Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (geom GEOMETRY)").ok());
+  ASSERT_TRUE(
+      db.Execute("INSERT INTO t VALUES (ST_MakePoint(1, 0))").ok());
+  auto r = db.Execute(
+      "SELECT ST_AsText(ST_Translate(geom, 2, 3)), "
+      "ST_Azimuth(ST_MakePoint(0, 0), geom) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].string_value(), "POINT (3 3)");
+  EXPECT_NEAR(r->rows[0][1].double_value(), M_PI / 2, 1e-12);
+
+  auto scaled = db.Execute(
+      "SELECT ST_Area(ST_Scale(ST_MakeEnvelope(0, 0, 2, 2), 3, 1)) FROM t");
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_DOUBLE_EQ(scaled->rows[0][0].double_value(), 12.0);
+}
+
+}  // namespace
+}  // namespace jackpine::algo

@@ -1,0 +1,256 @@
+// Tests for the basic computational-geometry layer: orientation, segment
+// intersection, point location, measures, convex hull, simplification,
+// distance.
+
+#include <gtest/gtest.h>
+
+#include "algo/convex_hull.h"
+#include "algo/distance.h"
+#include "algo/measures.h"
+#include "algo/orientation.h"
+#include "algo/point_in_polygon.h"
+#include "algo/segment_intersection.h"
+#include "algo/simplify.h"
+#include "geom/wkt_reader.h"
+
+namespace jackpine::algo {
+namespace {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeometryFromWkt;
+using geom::Ring;
+
+Geometry Wkt(const std::string& s) {
+  auto r = GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(OrientationTest, TurnsAndCollinear) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, 1}), 1);   // left turn
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {1, -1}), -1); // right turn
+  EXPECT_EQ(Orientation({0, 0}, {1, 1}, {2, 2}), 0);   // collinear
+}
+
+TEST(OrientationTest, NearDegenerateIsStable) {
+  // Points nearly collinear with a tiny perturbation.
+  const Coord a{0, 0}, b{1e8, 1e8};
+  EXPECT_EQ(Orientation(a, b, {5e7, 5e7}), 0);
+  EXPECT_EQ(Orientation(a, b, {5e7, 5e7 + 1}), 1);
+  EXPECT_EQ(Orientation(a, b, {5e7, 5e7 - 1}), -1);
+}
+
+TEST(OrientationTest, PointOnSegment) {
+  EXPECT_TRUE(PointOnSegment({1, 1}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(PointOnSegment({0, 0}, {0, 0}, {2, 2}));  // endpoint
+  EXPECT_FALSE(PointOnSegment({3, 3}, {0, 0}, {2, 2})); // collinear but beyond
+  EXPECT_FALSE(PointOnSegment({1, 0}, {0, 0}, {2, 2}));
+}
+
+TEST(SegSegTest, ProperCross) {
+  const auto r = IntersectSegments({0, 0}, {2, 2}, {0, 2}, {2, 0});
+  EXPECT_EQ(r.kind, SegSegKind::kPoint);
+  EXPECT_TRUE(r.proper);
+  EXPECT_EQ(r.p0, (Coord{1, 1}));
+}
+
+TEST(SegSegTest, EndpointTouchIsNotProper) {
+  const auto r = IntersectSegments({0, 0}, {1, 1}, {1, 1}, {2, 0});
+  EXPECT_EQ(r.kind, SegSegKind::kPoint);
+  EXPECT_FALSE(r.proper);
+  EXPECT_EQ(r.p0, (Coord{1, 1}));
+}
+
+TEST(SegSegTest, TJunction) {
+  const auto r = IntersectSegments({0, 0}, {2, 0}, {1, -1}, {1, 0});
+  EXPECT_EQ(r.kind, SegSegKind::kPoint);
+  EXPECT_FALSE(r.proper);
+  EXPECT_EQ(r.p0, (Coord{1, 0}));
+}
+
+TEST(SegSegTest, CollinearOverlap) {
+  const auto r = IntersectSegments({0, 0}, {4, 0}, {2, 0}, {6, 0});
+  ASSERT_EQ(r.kind, SegSegKind::kOverlap);
+  EXPECT_EQ(r.p0, (Coord{2, 0}));
+  EXPECT_EQ(r.p1, (Coord{4, 0}));
+}
+
+TEST(SegSegTest, CollinearTouchAtSinglePoint) {
+  const auto r = IntersectSegments({0, 0}, {2, 0}, {2, 0}, {4, 0});
+  ASSERT_EQ(r.kind, SegSegKind::kPoint);
+  EXPECT_EQ(r.p0, (Coord{2, 0}));
+}
+
+TEST(SegSegTest, DisjointCases) {
+  EXPECT_EQ(IntersectSegments({0, 0}, {1, 0}, {0, 1}, {1, 1}).kind,
+            SegSegKind::kNone);
+  EXPECT_EQ(IntersectSegments({0, 0}, {1, 0}, {2, 0}, {3, 0}).kind,
+            SegSegKind::kNone);  // collinear disjoint
+}
+
+TEST(SegSegTest, Distances) {
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(DistancePointToSegment({3, 0}, {-1, 0}, {1, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(
+      DistanceSegmentToSegment({0, 0}, {1, 0}, {0, 2}, {1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(
+      DistanceSegmentToSegment({0, 0}, {2, 2}, {0, 2}, {2, 0}), 0.0);
+}
+
+TEST(LocateTest, RingInteriorBoundaryExterior) {
+  const Ring square = {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}};
+  EXPECT_EQ(LocateInRing({2, 2}, square), Location::kInterior);
+  EXPECT_EQ(LocateInRing({4, 2}, square), Location::kBoundary);
+  EXPECT_EQ(LocateInRing({0, 0}, square), Location::kBoundary);
+  EXPECT_EQ(LocateInRing({5, 2}, square), Location::kExterior);
+  EXPECT_EQ(LocateInRing({2, 5}, square), Location::kExterior);
+}
+
+TEST(LocateTest, PolygonWithHole) {
+  Geometry p = Wkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 3 7, 7 7, 7 3, 3 3))");
+  const geom::PolygonData& poly = p.AsPolygon();
+  EXPECT_EQ(LocateInPolygon({1, 1}, poly), Location::kInterior);
+  EXPECT_EQ(LocateInPolygon({5, 5}, poly), Location::kExterior);  // in hole
+  EXPECT_EQ(LocateInPolygon({3, 5}, poly), Location::kBoundary);  // hole ring
+  EXPECT_EQ(LocateInPolygon({10, 5}, poly), Location::kBoundary);
+  EXPECT_EQ(LocateInPolygon({11, 5}, poly), Location::kExterior);
+}
+
+TEST(LocateTest, OnLineString) {
+  Geometry l = Wkt("LINESTRING (0 0, 4 0, 4 4)");
+  EXPECT_EQ(Locate({2, 0}, l), Location::kInterior);
+  EXPECT_EQ(Locate({4, 0}, l), Location::kInterior);  // interior vertex
+  EXPECT_EQ(Locate({0, 0}, l), Location::kBoundary);  // endpoint
+  EXPECT_EQ(Locate({4, 4}, l), Location::kBoundary);
+  EXPECT_EQ(Locate({1, 1}, l), Location::kExterior);
+}
+
+TEST(LocateTest, ClosedLineHasNoBoundary) {
+  Geometry ring = Wkt("LINESTRING (0 0, 4 0, 4 4, 0 0)");
+  EXPECT_EQ(Locate({0, 0}, ring), Location::kInterior);
+}
+
+TEST(LocateTest, MultiLineModTwoRule) {
+  // Two lines sharing endpoint (1,1): shared endpoint is interior.
+  Geometry ml = Wkt("MULTILINESTRING ((0 0, 1 1), (1 1, 2 0))");
+  EXPECT_EQ(Locate({1, 1}, ml), Location::kInterior);
+  EXPECT_EQ(Locate({0, 0}, ml), Location::kBoundary);
+}
+
+TEST(MeasuresTest, Area) {
+  EXPECT_DOUBLE_EQ(Area(Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")), 16.0);
+  EXPECT_DOUBLE_EQ(
+      Area(Wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+               "(2 2, 2 4, 4 4, 4 2, 2 2))")),
+      96.0);
+  EXPECT_DOUBLE_EQ(Area(Wkt("LINESTRING (0 0, 5 5)")), 0.0);
+  EXPECT_DOUBLE_EQ(
+      Area(Wkt("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), "
+               "((5 5, 7 5, 7 7, 5 7, 5 5)))")),
+      5.0);
+}
+
+TEST(MeasuresTest, LengthAndPerimeter) {
+  EXPECT_DOUBLE_EQ(Length(Wkt("LINESTRING (0 0, 3 0, 3 4)")), 7.0);
+  EXPECT_DOUBLE_EQ(Length(Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")), 0.0);
+  EXPECT_DOUBLE_EQ(Perimeter(Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")),
+                   16.0);
+}
+
+TEST(MeasuresTest, Centroid) {
+  Geometry c = Centroid(Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"));
+  EXPECT_EQ(c.AsPoint(), (Coord{2, 2}));
+  Geometry lc = Centroid(Wkt("LINESTRING (0 0, 4 0)"));
+  EXPECT_EQ(lc.AsPoint(), (Coord{2, 0}));
+  Geometry pc = Centroid(Wkt("MULTIPOINT ((0 0), (2 0), (1 3))"));
+  EXPECT_EQ(pc.AsPoint(), (Coord{1, 1}));
+  EXPECT_TRUE(Centroid(Geometry()).IsEmpty());
+}
+
+TEST(MeasuresTest, CentroidUsesHighestDimension) {
+  Geometry mixed = Wkt(
+      "GEOMETRYCOLLECTION (POINT (100 100), "
+      "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0)))");
+  EXPECT_EQ(Centroid(mixed).AsPoint(), (Coord{1, 1}));
+}
+
+TEST(ConvexHullTest, SquarePlusInteriorPoints) {
+  Geometry g = Wkt("MULTIPOINT ((0 0), (4 0), (4 4), (0 4), (2 2), (1 3))");
+  Geometry hull = ConvexHull(g);
+  ASSERT_EQ(hull.type(), geom::GeometryType::kPolygon);
+  EXPECT_DOUBLE_EQ(Area(hull), 16.0);
+  EXPECT_EQ(hull.AsPolygon().shell.size(), 5u);  // 4 corners + closure
+}
+
+TEST(ConvexHullTest, DegenerateInputs) {
+  EXPECT_EQ(ConvexHull(Wkt("POINT (1 2)")).type(),
+            geom::GeometryType::kPoint);
+  Geometry collinear = ConvexHull(Wkt("MULTIPOINT ((0 0), (1 1), (2 2))"));
+  EXPECT_EQ(collinear.type(), geom::GeometryType::kLineString);
+  EXPECT_TRUE(ConvexHull(Geometry()).IsEmpty());
+}
+
+TEST(ConvexHullTest, HullOfPolygonCoversIt) {
+  Geometry star = Wkt(
+      "POLYGON ((0 0, 4 1, 8 0, 7 4, 8 8, 4 7, 0 8, 1 4, 0 0))");
+  Geometry hull = ConvexHull(star);
+  EXPECT_GE(Area(hull), Area(star));
+}
+
+TEST(SimplifyTest, RemovesInlierVertices) {
+  Geometry l = Wkt("LINESTRING (0 0, 1 0.01, 2 0, 3 0.01, 4 0)");
+  Geometry s = Simplify(l, 0.1);
+  EXPECT_EQ(s.AsLineString().size(), 2u);
+  EXPECT_EQ(s.AsLineString().front(), (Coord{0, 0}));
+  EXPECT_EQ(s.AsLineString().back(), (Coord{4, 0}));
+}
+
+TEST(SimplifyTest, KeepsSignificantVertices) {
+  Geometry l = Wkt("LINESTRING (0 0, 2 3, 4 0)");
+  Geometry s = Simplify(l, 0.1);
+  EXPECT_EQ(s.AsLineString().size(), 3u);
+}
+
+TEST(SimplifyTest, PolygonCollapseYieldsEmpty) {
+  Geometry p = Wkt("POLYGON ((0 0, 1 0.001, 2 0, 1 0.002, 0 0))");
+  Geometry s = Simplify(p, 1.0);
+  EXPECT_TRUE(s.IsEmpty());
+}
+
+TEST(DistanceTest, PointCombinations) {
+  EXPECT_DOUBLE_EQ(Distance(Wkt("POINT (0 0)"), Wkt("POINT (3 4)")), 5.0);
+  EXPECT_DOUBLE_EQ(
+      Distance(Wkt("POINT (0 5)"), Wkt("LINESTRING (-10 0, 10 0)")), 5.0);
+  EXPECT_DOUBLE_EQ(
+      Distance(Wkt("POINT (5 5)"), Wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")),
+      0.0);  // inside
+  EXPECT_DOUBLE_EQ(
+      Distance(Wkt("POINT (12 5)"),
+               Wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")),
+      2.0);
+}
+
+TEST(DistanceTest, PolygonContainment) {
+  Geometry outer = Wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  Geometry inner = Wkt("POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))");
+  EXPECT_DOUBLE_EQ(Distance(outer, inner), 0.0);
+  EXPECT_DOUBLE_EQ(Distance(inner, outer), 0.0);
+}
+
+TEST(DistanceTest, SeparatedPolygons) {
+  Geometry a = Wkt("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  Geometry b = Wkt("POLYGON ((4 0, 5 0, 5 1, 4 1, 4 0))");
+  EXPECT_DOUBLE_EQ(Distance(a, b), 3.0);
+  EXPECT_TRUE(WithinDistance(a, b, 3.0));
+  EXPECT_FALSE(WithinDistance(a, b, 2.9));
+}
+
+TEST(DistanceTest, EmptyGivesInfinity) {
+  EXPECT_TRUE(std::isinf(Distance(Geometry(), Wkt("POINT (0 0)"))));
+  EXPECT_FALSE(WithinDistance(Geometry(), Wkt("POINT (0 0)"), 1e18));
+}
+
+}  // namespace
+}  // namespace jackpine::algo

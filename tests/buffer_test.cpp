@@ -1,0 +1,116 @@
+// Tests for ST_Buffer: dilation of points, lines and polygons.
+
+#include <gtest/gtest.h>
+
+#include "algo/buffer.h"
+#include "algo/distance.h"
+#include "algo/measures.h"
+#include "algo/point_in_polygon.h"
+#include "geom/wkt_reader.h"
+
+namespace jackpine::algo {
+namespace {
+
+using geom::Coord;
+using geom::Geometry;
+using geom::GeometryType;
+
+Geometry Wkt(const std::string& s) {
+  auto r = geom::GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+Geometry Buf(const Geometry& g, double r, int qs = 8) {
+  auto result = Buffer(g, r, qs);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : Geometry();
+}
+
+TEST(BufferTest, PointBufferIsDisc) {
+  Geometry b = Buf(Geometry::MakePoint(0, 0), 2.0);
+  EXPECT_EQ(b.Dimension(), 2);
+  // Inscribed polygon area approaches pi*r^2 from below.
+  EXPECT_GT(Area(b), M_PI * 4.0 * 0.95);
+  EXPECT_LE(Area(b), M_PI * 4.0 + 1e-9);
+  EXPECT_EQ(Locate({0, 0}, b), Location::kInterior);
+  EXPECT_EQ(Locate({1.9, 0}, b), Location::kInterior);
+  EXPECT_EQ(Locate({2.5, 0}, b), Location::kExterior);
+}
+
+TEST(BufferTest, MoreQuadrantSegmentsTightensTheDisc) {
+  const double coarse = Area(Buf(Geometry::MakePoint(0, 0), 1.0, 2));
+  const double fine = Area(Buf(Geometry::MakePoint(0, 0), 1.0, 16));
+  EXPECT_LT(coarse, fine);
+  EXPECT_LT(fine, M_PI);
+}
+
+TEST(BufferTest, LineBufferIsCapsule) {
+  Geometry line = Wkt("LINESTRING (0 0, 10 0)");
+  Geometry b = Buf(line, 1.0);
+  EXPECT_EQ(b.Dimension(), 2);
+  // Capsule area = 2*r*len + pi*r^2 (sampled slightly below).
+  const double expected = 2.0 * 10.0 + M_PI;
+  EXPECT_NEAR(Area(b), expected, expected * 0.05);
+  EXPECT_EQ(Locate({5, 0.9}, b), Location::kInterior);
+  EXPECT_EQ(Locate({5, 1.5}, b), Location::kExterior);
+  EXPECT_EQ(Locate({-0.9, 0}, b), Location::kInterior);  // round cap
+}
+
+TEST(BufferTest, BentLineBufferCoversJoint) {
+  Geometry line = Wkt("LINESTRING (0 0, 5 0, 5 5)");
+  Geometry b = Buf(line, 0.5);
+  EXPECT_EQ(Locate({5, 0}, b), Location::kInterior);
+  EXPECT_EQ(Locate({5.4, 0.4}, b), Location::kInterior);  // outside corner
+  EXPECT_EQ(Locate({2.5, 0.4}, b), Location::kInterior);
+  EXPECT_EQ(Locate({2.5, 2.5}, b), Location::kExterior);
+}
+
+TEST(BufferTest, PolygonBufferGrows) {
+  Geometry square = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry b = Buf(square, 1.0);
+  // Dilated square area = 16 + perimeter*r + pi*r^2.
+  const double expected = 16.0 + 16.0 + M_PI;
+  EXPECT_NEAR(Area(b), expected, expected * 0.05);
+  EXPECT_EQ(Locate({2, 2}, b), Location::kInterior);    // original interior
+  EXPECT_EQ(Locate({-0.9, 2}, b), Location::kInterior); // dilated margin
+  EXPECT_EQ(Locate({-1.5, 2}, b), Location::kExterior);
+}
+
+TEST(BufferTest, BufferContainsOriginal) {
+  Geometry line = Wkt("LINESTRING (0 0, 3 1, 6 0, 9 2)");
+  Geometry b = Buf(line, 0.25);
+  EXPECT_DOUBLE_EQ(Distance(b, line), 0.0);
+  for (const Coord& c : line.AsLineString()) {
+    EXPECT_NE(Locate(c, b), Location::kExterior);
+  }
+}
+
+TEST(BufferTest, MultiGeometryBuffer) {
+  Geometry mp = Wkt("MULTIPOINT ((0 0), (10 0))");
+  Geometry b = Buf(mp, 1.0);
+  EXPECT_EQ(b.type(), GeometryType::kMultiPolygon);
+  EXPECT_NEAR(Area(b), 2.0 * M_PI, 2.0 * M_PI * 0.05);
+}
+
+TEST(BufferTest, OverlappingDiscsDissolve) {
+  Geometry mp = Wkt("MULTIPOINT ((0 0), (1 0))");
+  Geometry b = Buf(mp, 1.0);
+  EXPECT_EQ(b.type(), GeometryType::kPolygon);  // dissolved into one
+  EXPECT_LT(Area(b), 2.0 * M_PI);               // minus the lens overlap
+  EXPECT_GT(Area(b), M_PI);
+}
+
+TEST(BufferTest, ZeroAndNegativeRadius) {
+  EXPECT_TRUE(Buf(Geometry::MakePoint(0, 0), 0.0).IsEmpty());
+  EXPECT_TRUE(Buf(Wkt("LINESTRING (0 0, 1 1)"), -1.0).IsEmpty());
+  // Polygon erosion is a documented unsupported case.
+  EXPECT_FALSE(Buffer(Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"), -1.0).ok());
+}
+
+TEST(BufferTest, EmptyInput) {
+  EXPECT_TRUE(Buf(Geometry(), 1.0).IsEmpty());
+}
+
+}  // namespace
+}  // namespace jackpine::algo

@@ -1,0 +1,122 @@
+// Tests for the JDBC-like client layer and the SUT registry.
+
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+
+namespace jackpine::client {
+namespace {
+
+TEST(SutRegistryTest, FourStandardSuts) {
+  const auto& suts = StandardSuts();
+  ASSERT_EQ(suts.size(), 4u);
+  EXPECT_EQ(suts[0].name, "pine-rtree");
+  EXPECT_EQ(suts[1].name, "pine-mbr");
+  EXPECT_EQ(suts[1].predicate_mode, topo::PredicateMode::kMbrOnly);
+  EXPECT_EQ(suts[2].index_kind, index::IndexKind::kGrid);
+  EXPECT_EQ(suts[3].index_kind, index::IndexKind::kNone);
+}
+
+TEST(SutRegistryTest, LookupByName) {
+  EXPECT_TRUE(SutByName("pine-grid").ok());
+  EXPECT_TRUE(SutByName("PINE-GRID").ok());
+  EXPECT_FALSE(SutByName("oracle").ok());
+}
+
+TEST(ConnectionTest, OpenByUrl) {
+  auto conn = Connection::Open("jackpine:pine-rtree");
+  ASSERT_TRUE(conn.ok());
+  EXPECT_EQ(conn->config().name, "pine-rtree");
+  EXPECT_FALSE(Connection::Open("jdbc:postgresql://x").ok());
+  EXPECT_FALSE(Connection::Open("jackpine:nonexistent").ok());
+}
+
+TEST(ConnectionTest, ConnectionsAreIsolated) {
+  Connection a = Connection::Open(StandardSuts()[0]);
+  Connection b = Connection::Open(StandardSuts()[0]);
+  Statement sa = a.CreateStatement();
+  ASSERT_TRUE(sa.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  Statement sb = b.CreateStatement();
+  EXPECT_FALSE(sb.ExecuteQuery("SELECT * FROM t").ok());
+}
+
+class ResultSetTest : public ::testing::Test {
+ protected:
+  ResultSetTest() : conn_(Connection::Open(StandardSuts()[0])) {
+    Statement stmt = conn_.CreateStatement();
+    EXPECT_TRUE(stmt.ExecuteUpdate(
+                        "CREATE TABLE t (id BIGINT, score DOUBLE, "
+                        "name VARCHAR, flag BOOL, geom GEOMETRY)")
+                    .ok());
+    EXPECT_TRUE(
+        stmt.ExecuteUpdate(
+                "INSERT INTO t VALUES "
+                "(1, 0.5, 'one', TRUE, ST_MakePoint(1, 1)), "
+                "(2, 1.5, 'two', FALSE, NULL)")
+            .ok());
+  }
+  Connection conn_;
+};
+
+TEST_F(ResultSetTest, CursorProtocol) {
+  Statement stmt = conn_.CreateStatement();
+  auto rs = stmt.ExecuteQuery("SELECT id, name FROM t ORDER BY id");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->ColumnCount(), 2u);
+  EXPECT_EQ(rs->ColumnName(0), "id");
+  EXPECT_EQ(rs->RowCount(), 2u);
+  // Before Next() there is no current row.
+  EXPECT_FALSE(rs->GetInt64(0).ok());
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(*rs->GetInt64(0), 1);
+  EXPECT_EQ(*rs->GetString(1), "one");
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(*rs->GetInt64(0), 2);
+  EXPECT_FALSE(rs->Next());
+}
+
+TEST_F(ResultSetTest, TypedGettersAndNulls) {
+  Statement stmt = conn_.CreateStatement();
+  auto rs = stmt.ExecuteQuery(
+      "SELECT id, score, name, flag, geom FROM t ORDER BY id");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(*rs->GetInt64(0), 1);
+  EXPECT_DOUBLE_EQ(*rs->GetDouble(1), 0.5);
+  EXPECT_EQ(*rs->GetString(2), "one");
+  EXPECT_TRUE(*rs->GetBool(3));
+  auto g = rs->GetGeometry(4);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->ToWkt(), "POINT (1 1)");
+  EXPECT_FALSE(rs->IsNull(4));
+  ASSERT_TRUE(rs->Next());
+  EXPECT_TRUE(rs->IsNull(4));
+  EXPECT_FALSE(rs->GetGeometry(4).ok());
+}
+
+TEST_F(ResultSetTest, ExecuteUpdateReturnsAffectedRows) {
+  Statement stmt = conn_.CreateStatement();
+  auto n = stmt.ExecuteUpdate(
+      "INSERT INTO t VALUES (3, 0.0, 'three', TRUE, NULL)");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+}
+
+TEST_F(ResultSetTest, ChecksumIsOrderIndependent) {
+  Statement stmt = conn_.CreateStatement();
+  auto asc = stmt.ExecuteQuery("SELECT id, name FROM t ORDER BY id");
+  auto desc = stmt.ExecuteQuery("SELECT id, name FROM t ORDER BY id DESC");
+  ASSERT_TRUE(asc.ok() && desc.ok());
+  EXPECT_EQ(asc->Checksum(), desc->Checksum());
+  auto subset = stmt.ExecuteQuery("SELECT id, name FROM t WHERE id = 1");
+  EXPECT_NE(asc->Checksum(), subset->Checksum());
+}
+
+TEST_F(ResultSetTest, SqlErrorsPropagate) {
+  Statement stmt = conn_.CreateStatement();
+  EXPECT_FALSE(stmt.ExecuteQuery("SELECT broken FROM t").ok());
+  EXPECT_FALSE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+}
+
+}  // namespace
+}  // namespace jackpine::client

@@ -1,0 +1,190 @@
+// Tests for the common substrate: Status/Result, Rng determinism, string
+// helpers, stopwatch monotonicity.
+
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace jackpine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad ring");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad ring");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad ring");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::OutOfRange("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  JACKPINE_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return 2 * x;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = Doubled(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, ErrorPropagates) {
+  Result<int> r = Doubled(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(ParsePositive(-5).value_or(7), 7);
+  EXPECT_EQ(ParsePositive(5).value_or(7), 5);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, IntRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values should appear
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(11);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    counts[rng.NextWeighted({1.0, 0.0, 3.0})]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 2);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  EXPECT_EQ(fa.NextUint64(), fb.NextUint64());
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLowerAscii("Hello WORLD"), "hello world");
+  EXPECT_EQ(ToUpperAscii("polygon (1 2)"), "POLYGON (1 2)");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("ST_Area", "st_area"));
+  EXPECT_FALSE(EqualsIgnoreCase("ST_Area", "st_areas"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, Strip) {
+  EXPECT_EQ(StripAscii("  x y \t\n"), "x y");
+  EXPECT_EQ(StripAscii(""), "");
+  EXPECT_EQ(StripAscii("   "), "");
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "-"), "a-b--c");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d/%s", 3, "x"), "3/x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("jackpine:pine-rtree", "jackpine:"));
+  EXPECT_FALSE(StartsWith("jack", "jackpine"));
+  EXPECT_TRUE(EndsWith("query.sql", ".sql"));
+  EXPECT_FALSE(EndsWith("sql", ".sql"));
+}
+
+TEST(StopwatchTest, Monotonic) {
+  Stopwatch w;
+  const double t0 = w.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double t1 = w.ElapsedSeconds();
+  EXPECT_GE(t1, t0);
+  EXPECT_GT(w.ElapsedNanos(), 0);
+  w.Restart();
+  EXPECT_LT(w.ElapsedSeconds(), t1);
+}
+
+}  // namespace
+}  // namespace jackpine

@@ -1,0 +1,148 @@
+// Cross-module consistency properties: the topological predicates, the
+// overlay operations, and the distance computation are three independent
+// code paths that must tell one coherent story about the same geometries.
+// Random convex polygons (hulls of random point clouds) drive the sweep.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algo/buffer.h"
+#include "algo/convex_hull.h"
+#include "algo/distance.h"
+#include "algo/measures.h"
+#include "algo/overlay.h"
+#include "algo/point_in_polygon.h"
+#include "common/random.h"
+#include "topo/predicates.h"
+
+namespace jackpine {
+namespace {
+
+using algo::Area;
+using algo::Distance;
+using algo::Overlay;
+using algo::OverlayOp;
+using geom::Coord;
+using geom::Geometry;
+
+Geometry RandomConvexPolygon(Rng* rng, double cx, double cy, double radius) {
+  std::vector<Coord> cloud;
+  const int n = static_cast<int>(rng->NextInt(5, 14));
+  for (int i = 0; i < n; ++i) {
+    cloud.push_back({cx + rng->NextDouble(-radius, radius),
+                     cy + rng->NextDouble(-radius, radius)});
+  }
+  Geometry hull = algo::ConvexHull(
+      *Geometry::MakeMultiPoint([&] {
+        std::vector<Geometry> pts;
+        for (const Coord& c : cloud) pts.push_back(Geometry::MakePoint(c));
+        return pts;
+      }()));
+  if (hull.type() == geom::GeometryType::kPolygon) return hull;
+  // Degenerate cloud: fall back to a box.
+  return Geometry::MakeRectangle(
+      geom::Envelope(cx - radius, cy - radius, cx + radius, cy + radius));
+}
+
+class ConsistencySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConsistencySweep, PredicatesOverlayDistanceAgree) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    Geometry a = RandomConvexPolygon(&rng, rng.NextDouble(0, 10),
+                                     rng.NextDouble(0, 10), 3);
+    Geometry b = RandomConvexPolygon(&rng, rng.NextDouble(0, 10),
+                                     rng.NextDouble(0, 10), 3);
+    const bool intersects = topo::Intersects(a, b);
+    const double dist = Distance(a, b);
+    auto inter = Overlay(a, b, OverlayOp::kIntersection);
+    ASSERT_TRUE(inter.ok()) << inter.status().ToString();
+    const double inter_area = Area(*inter);
+
+    // Distance is zero exactly when the point sets intersect.
+    EXPECT_EQ(intersects, dist == 0.0)
+        << a.ToWkt() << " vs " << b.ToWkt() << " dist=" << dist;
+
+    // A positive intersection area certainly means intersecting; random
+    // convex polygons that intersect do so with interior overlap (touching
+    // configurations have measure zero), so the converse holds up to the
+    // overlay's perturbation epsilon.
+    if (inter_area > 1e-6) {
+      EXPECT_TRUE(intersects);
+      EXPECT_TRUE(topo::Overlaps(a, b) || topo::Within(a, b) ||
+                  topo::Contains(a, b) || topo::Equals(a, b))
+          << a.ToWkt() << " vs " << b.ToWkt();
+    }
+    if (intersects) {
+      EXPECT_GT(inter_area, 0.0);
+    } else {
+      EXPECT_TRUE(inter->IsEmpty());
+      EXPECT_GT(dist, 0.0);
+    }
+
+    // Containment and clipping agree on areas.
+    if (topo::Within(a, b)) {
+      EXPECT_NEAR(inter_area, Area(a), Area(a) * 1e-6);
+      auto diff = Overlay(a, b, OverlayOp::kDifference);
+      ASSERT_TRUE(diff.ok());
+      EXPECT_NEAR(Area(*diff), 0.0, Area(a) * 1e-6);
+    }
+  }
+}
+
+TEST_P(ConsistencySweep, BufferCoversAndGrowsMonotonically) {
+  Rng rng(GetParam() ^ 0x9e37);
+  for (int iter = 0; iter < 8; ++iter) {
+    // Random polyline.
+    std::vector<Coord> pts;
+    const int n = static_cast<int>(rng.NextInt(2, 6));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.NextDouble(0, 10), rng.NextDouble(0, 10)});
+    }
+    auto line = Geometry::MakeLineString(pts);
+    ASSERT_TRUE(line.ok());
+    auto small = algo::Buffer(*line, 0.3);
+    auto big = algo::Buffer(*line, 0.9);
+    ASSERT_TRUE(small.ok() && big.ok());
+    // The buffer covers the input...
+    EXPECT_EQ(Distance(*small, *line), 0.0);
+    for (const Coord& c : line->AsLineString()) {
+      EXPECT_NE(algo::Locate(c, *small), algo::Location::kExterior);
+    }
+    // ...and a bigger radius yields a bigger region containing the smaller.
+    EXPECT_GT(Area(*big), Area(*small));
+    auto leftover = Overlay(*small, *big, OverlayOp::kDifference);
+    ASSERT_TRUE(leftover.ok());
+    EXPECT_NEAR(Area(*leftover), 0.0, Area(*small) * 1e-3);
+  }
+}
+
+TEST_P(ConsistencySweep, HullCoversInputAndIsConvex) {
+  Rng rng(GetParam() ^ 0x51);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<Geometry> pts;
+    const int n = static_cast<int>(rng.NextInt(3, 30));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(Geometry::MakePoint(rng.NextDouble(0, 100),
+                                        rng.NextDouble(0, 100)));
+    }
+    auto mp = Geometry::MakeMultiPoint(pts);
+    ASSERT_TRUE(mp.ok());
+    const Geometry hull = algo::ConvexHull(*mp);
+    for (const Geometry& p : pts) {
+      EXPECT_NE(algo::Locate(p.AsPoint(), hull), algo::Location::kExterior);
+    }
+    if (hull.type() == geom::GeometryType::kPolygon) {
+      // Convexity: hull of the hull is (area-)identical.
+      const Geometry hull2 = algo::ConvexHull(hull);
+      EXPECT_NEAR(Area(hull2), Area(hull), Area(hull) * 1e-12 + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencySweep,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace jackpine

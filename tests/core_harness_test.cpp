@@ -1,0 +1,240 @@
+// Unit tests for the benchmark harness itself: suite construction,
+// scenarios, timing statistics, report rendering, the loader, and the
+// throughput runner.
+
+#include <gtest/gtest.h>
+
+#include "core/loader.h"
+#include "core/micro_suite.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "core/scenarios.h"
+#include "core/stats.h"
+
+namespace jackpine::core {
+namespace {
+
+tigergen::TigerDataset SmallDataset() {
+  tigergen::TigerGenOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 7;
+  return tigergen::GenerateTiger(gen);
+}
+
+TEST(StatsTest, SummarizeBasics) {
+  TimingStats s = Summarize({0.004, 0.001, 0.002, 0.003, 0.010});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.total_s, 0.020);
+  EXPECT_DOUBLE_EQ(s.mean_s, 0.004);
+  EXPECT_DOUBLE_EQ(s.min_s, 0.001);
+  EXPECT_DOUBLE_EQ(s.max_s, 0.010);
+  EXPECT_DOUBLE_EQ(s.p50_s, 0.003);
+  EXPECT_GT(s.p95_s, 0.003);
+  EXPECT_LE(s.p95_s, 0.010);
+  EXPECT_GT(s.stddev_s, 0.0);
+}
+
+TEST(StatsTest, EmptyAndSingle) {
+  EXPECT_EQ(Summarize({}).count, 0u);
+  TimingStats s = Summarize({0.5});
+  EXPECT_DOUBLE_EQ(s.mean_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.p95_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.stddev_s, 0.0);
+}
+
+TEST(StatsTest, ToStringMentionsMeanAndCount) {
+  const std::string s = Summarize({0.001, 0.002}).ToString();
+  EXPECT_NE(s.find("mean"), std::string::npos);
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+}
+
+TEST(MicroSuiteTest, SuitesHaveStableShape) {
+  const auto ds = SmallDataset();
+  const auto topo = BuildTopologicalSuite(ds);
+  ASSERT_EQ(topo.size(), 22u);
+  EXPECT_EQ(topo.front().id, "T1");
+  EXPECT_EQ(topo.back().id, "T22");
+  for (const auto& q : topo) {
+    EXPECT_EQ(q.category, QueryCategory::kTopoRelation);
+    EXPECT_FALSE(q.sql.empty());
+    EXPECT_FALSE(q.name.empty());
+  }
+  const auto analysis = BuildAnalysisSuite(ds);
+  ASSERT_EQ(analysis.size(), 14u);
+  for (const auto& q : analysis) {
+    EXPECT_EQ(q.category, QueryCategory::kAnalysis);
+  }
+}
+
+TEST(MicroSuiteTest, QueriesAreDeterministicInDataset) {
+  const auto a = BuildTopologicalSuite(SmallDataset());
+  const auto b = BuildTopologicalSuite(SmallDataset());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].sql, b[i].sql);
+}
+
+TEST(ScenariosTest, SixScenariosWithQueries) {
+  const auto ds = SmallDataset();
+  const auto scenarios = BuildScenarios(ds, 7);
+  ASSERT_EQ(scenarios.size(), 6u);
+  const std::vector<std::string> expected_ids = {"map",   "geocode", "revgeo",
+                                                 "flood", "land",    "spill"};
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(scenarios[i].id, expected_ids[i]);
+    EXPECT_FALSE(scenarios[i].queries.empty()) << scenarios[i].id;
+    EXPECT_FALSE(scenarios[i].description.empty());
+  }
+  // Lookup by id.
+  EXPECT_EQ(BuildScenario(ds, "flood", 7).id, "flood");
+  EXPECT_TRUE(BuildScenario(ds, "nope", 7).queries.empty());
+}
+
+TEST(ScenariosTest, SeedChangesProbesButNotStructure) {
+  const auto ds = SmallDataset();
+  const auto a = BuildScenarios(ds, 1);
+  const auto b = BuildScenarios(ds, 2);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[2].queries.size(), b[2].queries.size());
+  // Probe points differ between seeds.
+  EXPECT_NE(a[2].queries[0].sql, b[2].queries[0].sql);
+  // And are identical for equal seeds.
+  const auto c = BuildScenarios(ds, 1);
+  EXPECT_EQ(a[2].queries[0].sql, c[2].queries[0].sql);
+}
+
+TEST(LoaderTest, RejectsDoubleLoad) {
+  const auto ds = SmallDataset();
+  client::Connection conn = client::Connection::Open(
+      *client::SutByName("pine-rtree"));
+  ASSERT_TRUE(LoadDataset(ds, &conn).ok());
+  // Tables already exist.
+  EXPECT_FALSE(LoadDataset(ds, &conn).ok());
+}
+
+TEST(LoaderTest, SkippingIndexesLeavesScanPlans) {
+  const auto ds = SmallDataset();
+  client::Connection conn = client::Connection::Open(
+      *client::SutByName("pine-rtree"));
+  ASSERT_TRUE(LoadDataset(ds, &conn, /*build_indexes=*/false).ok());
+  auto stmt = conn.CreateStatement();
+  auto rs = stmt.ExecuteQuery(
+      "EXPLAIN SELECT COUNT(*) FROM edges WHERE ST_Intersects(geom, "
+      "ST_MakeEnvelope(0, 0, 1, 1))");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->Next());
+  EXPECT_NE(rs->GetString(0)->find("SeqScan"), std::string::npos);
+}
+
+TEST(RunnerTest, RecordsErrorsWithoutThrowing) {
+  client::Connection conn = client::Connection::Open(
+      *client::SutByName("pine-rtree"));
+  QuerySpec bad;
+  bad.id = "bad";
+  bad.sql = "SELECT * FROM missing_table";
+  const RunResult r = RunQuery(&conn, bad, RunConfig{});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("NotFound"), std::string::npos);
+}
+
+TEST(RunnerTest, TimingAndChecksumPopulated) {
+  const auto ds = SmallDataset();
+  client::Connection conn = client::Connection::Open(
+      *client::SutByName("pine-rtree"));
+  ASSERT_TRUE(LoadDataset(ds, &conn).ok());
+  QuerySpec q;
+  q.id = "count";
+  q.sql = "SELECT COUNT(*) FROM edges";
+  RunConfig config;
+  config.warmup = 1;
+  config.repetitions = 4;
+  const RunResult r = RunQuery(&conn, q, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.timing.count, 4u);
+  EXPECT_GT(r.timing.mean_s, 0.0);
+  EXPECT_EQ(r.result_rows, 1u);
+  EXPECT_NE(r.checksum, 0u);
+}
+
+TEST(RunnerTest, ThroughputCountsQueriesAndErrors) {
+  const auto ds = SmallDataset();
+  client::Connection conn = client::Connection::Open(
+      *client::SutByName("pine-rtree"));
+  ASSERT_TRUE(LoadDataset(ds, &conn).ok());
+  std::vector<QuerySpec> workload(2);
+  workload[0].sql = "SELECT COUNT(*) FROM edges";
+  workload[1].sql = "SELECT broken FROM edges";
+  const ThroughputResult t = RunThroughput(&conn, workload, /*rounds=*/5);
+  EXPECT_EQ(t.queries_executed, 5u);
+  EXPECT_EQ(t.errors, 5u);
+  EXPECT_GT(t.elapsed_s, 0.0);
+  EXPECT_GT(t.QueriesPerSecond(), 0.0);
+}
+
+TEST(RunnerTest, ConcurrentThroughputMatchesSequentialResults) {
+  const auto ds = SmallDataset();
+  client::Connection conn = client::Connection::Open(
+      *client::SutByName("pine-rtree"));
+  ASSERT_TRUE(LoadDataset(ds, &conn).ok());
+  std::vector<QuerySpec> workload(3);
+  workload[0].sql = "SELECT COUNT(*) FROM edges";
+  workload[1].sql =
+      "SELECT COUNT(*) FROM pointlm WHERE ST_DWithin(geom, "
+      "ST_MakePoint(50, 50), 20)";
+  workload[2].sql = "SELECT SUM(ST_Length(geom)) FROM edges";
+  const ThroughputResult t =
+      RunConcurrentThroughput(&conn, workload, /*clients=*/4, /*rounds=*/5);
+  EXPECT_EQ(t.queries_executed, 4u * 5u * 3u);
+  EXPECT_EQ(t.errors, 0u);
+  EXPECT_GT(t.QueriesPerSecond(), 0.0);
+  // The shared database must still answer correctly afterwards.
+  auto stmt = conn.CreateStatement();
+  auto rs = stmt.ExecuteQuery(workload[0].sql);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(*rs->GetInt64(0), static_cast<int64_t>(ds.edges.size()));
+}
+
+TEST(ReportTest, KeyValueTableRenders) {
+  const std::string s = RenderKeyValueTable(
+      "demo", {{"alpha", "1"}, {"a-much-longer-key", "2"}});
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-key"), std::string::npos);
+}
+
+TEST(ReportTest, ComparisonTableFlagsErrorsAndDisagreement) {
+  RunResult ok_a;
+  ok_a.query_id = "Q1";
+  ok_a.query_name = "demo";
+  ok_a.sut = "sut-a";
+  ok_a.ok = true;
+  ok_a.checksum = 1;
+  ok_a.result_rows = 1;
+  RunResult bad_b = ok_a;
+  bad_b.sut = "sut-b";
+  bad_b.ok = false;
+  const std::string with_err =
+      RenderComparisonTable("t", {{ok_a}, {bad_b}});
+  EXPECT_NE(with_err.find("ERR"), std::string::npos);
+
+  RunResult diff_b = ok_a;
+  diff_b.sut = "sut-b";
+  diff_b.checksum = 2;
+  const std::string with_diff =
+      RenderComparisonTable("t", {{ok_a}, {diff_b}});
+  EXPECT_NE(with_diff.find("NO"), std::string::npos);
+
+  RunResult mbr = ok_a;
+  mbr.sut = "pine-mbr";
+  mbr.checksum = 3;
+  const std::string with_mbr = RenderComparisonTable("t", {{ok_a}, {mbr}});
+  EXPECT_NE(with_mbr.find("~mbr"), std::string::npos);
+}
+
+TEST(QueryCategoryTest, Names) {
+  EXPECT_STREQ(QueryCategoryName(QueryCategory::kTopoRelation),
+               "topological");
+  EXPECT_STREQ(QueryCategoryName(QueryCategory::kAnalysis), "analysis");
+  EXPECT_STREQ(QueryCategoryName(QueryCategory::kMacro), "macro");
+}
+
+}  // namespace
+}  // namespace jackpine::core

@@ -1,0 +1,122 @@
+// Tests for CSV dataset persistence: round-trip fidelity and error paths.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/loader.h"
+#include "tigergen/csv_io.h"
+
+namespace jackpine::tigergen {
+namespace {
+
+class CsvIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("jackpine_csv_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvIoTest, RoundTripPreservesEverything) {
+  TigerGenOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 5;
+  const TigerDataset original = GenerateTiger(gen);
+  ASSERT_TRUE(SaveDatasetCsv(original, dir_.string()).ok());
+
+  auto loaded = LoadDatasetCsv(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->counties.size(), original.counties.size());
+  ASSERT_EQ(loaded->edges.size(), original.edges.size());
+  ASSERT_EQ(loaded->pointlm.size(), original.pointlm.size());
+  ASSERT_EQ(loaded->arealm.size(), original.arealm.size());
+  ASSERT_EQ(loaded->areawater.size(), original.areawater.size());
+
+  for (size_t i = 0; i < original.edges.size(); ++i) {
+    const Edge& a = original.edges[i];
+    const Edge& b = loaded->edges[i];
+    EXPECT_EQ(a.tlid, b.tlid);
+    EXPECT_EQ(a.fullname, b.fullname);
+    EXPECT_EQ(a.mtfcc, b.mtfcc);
+    EXPECT_EQ(a.lfromadd, b.lfromadd);
+    EXPECT_EQ(a.rtoadd, b.rtoadd);
+    EXPECT_TRUE(a.geom.ExactlyEquals(b.geom)) << i;
+  }
+  for (size_t i = 0; i < original.counties.size(); ++i) {
+    EXPECT_TRUE(
+        original.counties[i].geom.ExactlyEquals(loaded->counties[i].geom));
+  }
+  // Extent reconstructed and urban anchors available for scenarios.
+  EXPECT_FALSE(loaded->extent.IsNull());
+  EXPECT_FALSE(loaded->urban_centers.empty());
+  EXPECT_TRUE(loaded->extent.Contains(original.extent) ||
+              original.extent.Contains(loaded->extent));
+}
+
+TEST_F(CsvIoTest, LoadedDatasetRunsThroughTheBenchmark) {
+  TigerGenOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 6;
+  ASSERT_TRUE(SaveDatasetCsv(GenerateTiger(gen), dir_.string()).ok());
+  auto loaded = LoadDatasetCsv(dir_.string());
+  ASSERT_TRUE(loaded.ok());
+
+  client::Connection conn =
+      client::Connection::Open(*client::SutByName("pine-rtree"));
+  auto timing = core::LoadDataset(*loaded, &conn);
+  ASSERT_TRUE(timing.ok()) << timing.status().ToString();
+  auto stmt = conn.CreateStatement();
+  auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM edges");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(*rs->GetInt64(0), static_cast<int64_t>(loaded->edges.size()));
+}
+
+TEST_F(CsvIoTest, QuotedFieldsSurvive) {
+  TigerDataset ds;
+  County c;
+  c.fips = 1;
+  c.name = "O'Brien, \"The\" County";
+  c.geom = geom::Geometry::MakeRectangle(geom::Envelope(0, 0, 1, 1));
+  ds.counties.push_back(c);
+  ASSERT_TRUE(SaveDatasetCsv(ds, dir_.string()).ok());
+  auto loaded = LoadDatasetCsv(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->counties.size(), 1u);
+  EXPECT_EQ(loaded->counties[0].name, "O'Brien, \"The\" County");
+}
+
+TEST_F(CsvIoTest, MissingDirectoryFails) {
+  EXPECT_FALSE(LoadDatasetCsv((dir_ / "nope").string()).ok());
+}
+
+TEST_F(CsvIoTest, MalformedRowsAreRejected) {
+  TigerDataset ds;
+  ASSERT_TRUE(SaveDatasetCsv(ds, dir_.string()).ok());
+  std::ofstream bad(dir_ / "county.csv", std::ios::trunc);
+  bad << "fips,name,geom\nnot-a-number,x,POINT (0 0)\n";
+  bad.close();
+  EXPECT_FALSE(LoadDatasetCsv(dir_.string()).ok());
+
+  std::ofstream wrong_arity(dir_ / "county.csv", std::ios::trunc);
+  wrong_arity << "fips,name,geom\n1,x\n";
+  wrong_arity.close();
+  EXPECT_FALSE(LoadDatasetCsv(dir_.string()).ok());
+
+  std::ofstream bad_wkt(dir_ / "county.csv", std::ios::trunc);
+  bad_wkt << "fips,name,geom\n1,x,NOT WKT\n";
+  bad_wkt.close();
+  EXPECT_FALSE(LoadDatasetCsv(dir_.string()).ok());
+}
+
+}  // namespace
+}  // namespace jackpine::tigergen

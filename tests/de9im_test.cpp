@@ -1,0 +1,75 @@
+// Tests for the DE-9IM matrix type and pattern matching.
+
+#include <gtest/gtest.h>
+
+#include "topo/de9im.h"
+
+namespace jackpine::topo {
+namespace {
+
+TEST(De9imMatrixTest, StartsAllFalse) {
+  De9imMatrix m;
+  EXPECT_EQ(m.ToString(), "FFFFFFFFF");
+  EXPECT_TRUE(m.Matches("FFFFFFFFF"));
+  EXPECT_TRUE(m.Matches("*********"));
+  EXPECT_FALSE(m.Matches("T********"));
+}
+
+TEST(De9imMatrixTest, SetAndToString) {
+  De9imMatrix m;
+  m.Set(kInterior, kInterior, 2);
+  m.Set(kInterior, kBoundary, 1);
+  m.Set(kBoundary, kBoundary, 0);
+  m.Set(kExterior, kExterior, 2);
+  EXPECT_EQ(m.ToString(), "21FF0FFF2");
+}
+
+TEST(De9imMatrixTest, SetAtLeastOnlyGrows) {
+  De9imMatrix m;
+  m.SetAtLeast(kInterior, kInterior, 1);
+  m.SetAtLeast(kInterior, kInterior, 0);
+  EXPECT_EQ(m.At(kInterior, kInterior), 1);
+  m.SetAtLeast(kInterior, kInterior, 2);
+  EXPECT_EQ(m.At(kInterior, kInterior), 2);
+}
+
+TEST(De9imMatrixTest, PatternSemantics) {
+  De9imMatrix m;
+  m.Set(kInterior, kInterior, 2);
+  m.Set(kExterior, kExterior, 2);
+  EXPECT_TRUE(m.Matches("T*******2"));
+  EXPECT_TRUE(m.Matches("2*F******"));
+  EXPECT_FALSE(m.Matches("1********"));
+  EXPECT_FALSE(m.Matches("F********"));
+  EXPECT_TRUE(m.Matches("t********"));  // lowercase accepted
+  EXPECT_TRUE(m.Matches("*fffffff*"));
+}
+
+TEST(De9imMatrixTest, PatternRejectsBadInput) {
+  De9imMatrix m;
+  EXPECT_FALSE(m.Matches(""));
+  EXPECT_FALSE(m.Matches("FFFF"));
+  EXPECT_FALSE(m.Matches("FFFFFFFFFF"));
+  EXPECT_FALSE(m.Matches("XFFFFFFFF"));
+}
+
+TEST(De9imMatrixTest, Transposed) {
+  De9imMatrix m;
+  m.Set(kInterior, kBoundary, 1);
+  m.Set(kBoundary, kExterior, 0);
+  De9imMatrix t = m.Transposed();
+  EXPECT_EQ(t.At(kBoundary, kInterior), 1);
+  EXPECT_EQ(t.At(kExterior, kBoundary), 0);
+  EXPECT_EQ(t.At(kInterior, kBoundary), De9imMatrix::kDimFalse);
+  EXPECT_EQ(m, t.Transposed());
+}
+
+TEST(De9imMatrixTest, Equality) {
+  De9imMatrix a, b;
+  EXPECT_EQ(a, b);
+  a.Set(kInterior, kInterior, 0);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace jackpine::topo

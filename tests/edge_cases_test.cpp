@@ -1,0 +1,165 @@
+// Edge-case battery across modules: degenerate SQL, holes-and-lines
+// topology, non-convex overlays, multipolygon operands.
+
+#include <gtest/gtest.h>
+
+#include "algo/measures.h"
+#include "algo/overlay.h"
+#include "engine/database.h"
+#include "geom/wkt_reader.h"
+#include "topo/predicates.h"
+
+namespace jackpine {
+namespace {
+
+using geom::Geometry;
+
+Geometry Wkt(const std::string& s) {
+  auto r = geom::GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+// --- Topology with holes -----------------------------------------------------
+
+TEST(HoleTopologyTest, LineThroughHoleIsPartlyOutside) {
+  Geometry donut = Wkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 3 7, 7 7, 7 3, 3 3))");
+  Geometry through = Wkt("LINESTRING (1 5, 9 5)");  // crosses the hole
+  EXPECT_TRUE(topo::Intersects(through, donut));
+  EXPECT_TRUE(topo::Crosses(through, donut));
+  EXPECT_FALSE(topo::Within(through, donut));
+  Geometry inside_ring = Wkt("LINESTRING (1 1, 2 1)");  // solid part
+  EXPECT_TRUE(topo::Within(inside_ring, donut));
+  Geometry in_hole = Wkt("LINESTRING (4 5, 6 5)");  // entirely in the hole
+  EXPECT_TRUE(topo::Disjoint(in_hole, donut));
+}
+
+TEST(HoleTopologyTest, PolygonFillingHoleTouches) {
+  Geometry donut = Wkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 3 7, 7 7, 7 3, 3 3))");
+  Geometry plug = Wkt("POLYGON ((3 3, 7 3, 7 7, 3 7, 3 3))");
+  // The plug exactly fills the hole: boundary contact only.
+  EXPECT_TRUE(topo::Touches(plug, donut));
+  EXPECT_FALSE(topo::Overlaps(plug, donut));
+}
+
+// --- Non-convex and multi-part overlays ---------------------------------------
+
+TEST(NonConvexOverlayTest, UShapeUnionCreatesHole) {
+  // A "U" plus a lid encloses a cavity.
+  Geometry u = Wkt(
+      "POLYGON ((0 0, 6 0, 6 4, 4 4, 4 1.5, 2 1.5, 2 4, 0 4, 0 0))");
+  Geometry lid = Wkt("POLYGON ((0 3, 6 3, 6 4, 0 4, 0 3))");
+  auto result = algo::Union(u, lid);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->type(), geom::GeometryType::kPolygon);
+  EXPECT_EQ(result->AsPolygon().holes.size(), 1u);
+  // Area: union = area(u) + area(lid) - area(overlap).
+  const double expected =
+      algo::Area(u) + algo::Area(lid) - algo::Area(*algo::Intersection(u, lid));
+  EXPECT_NEAR(algo::Area(*result), expected, 1e-3);
+}
+
+TEST(NonConvexOverlayTest, MultiPolygonOperands) {
+  Geometry two = Wkt(
+      "MULTIPOLYGON (((0 0, 2 0, 2 2, 0 2, 0 0)), "
+      "((6 0, 8 0, 8 2, 6 2, 6 0)))");
+  Geometry band = Wkt("POLYGON ((1 0.5, 7 0.5, 7 1.5, 1 1.5, 1 0.5))");
+  auto inter = algo::Intersection(two, band);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_NEAR(algo::Area(*inter), 2.0, 1e-6);  // 1x1 in each square
+  auto diff = algo::Difference(two, band);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_NEAR(algo::Area(*diff), 8.0 - 2.0, 1e-6);
+}
+
+TEST(NonConvexOverlayTest, IntersectionSplittingIntoParts) {
+  // A band crossing a U intersects in two disconnected pieces.
+  Geometry u = Wkt(
+      "POLYGON ((0 0, 6 0, 6 4, 4 4, 4 1, 2 1, 2 4, 0 4, 0 0))");
+  Geometry band = Wkt("POLYGON ((0 2, 6 2, 6 3, 0 3, 0 2))");
+  auto inter = algo::Intersection(u, band);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_EQ(inter->type(), geom::GeometryType::kMultiPolygon);
+  EXPECT_NEAR(algo::Area(*inter), 4.0, 1e-6);  // two 2x1 rectangles
+}
+
+// --- SQL edge cases -------------------------------------------------------------
+
+class SqlEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE t (id BIGINT, name VARCHAR, geom GEOMETRY)")
+            .ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES "
+                            "(1, 'b', ST_MakePoint(1, 1)), "
+                            "(2, 'a', ST_MakePoint(2, 2)), "
+                            "(3, NULL, NULL)")
+                    .ok());
+  }
+  engine::Database db_;
+};
+
+TEST_F(SqlEdgeTest, LimitZeroAndOversizedLimit) {
+  auto zero = db_.Execute("SELECT * FROM t LIMIT 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->rows.empty());
+  auto big = db_.Execute("SELECT * FROM t LIMIT 999");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->rows.size(), 3u);
+}
+
+TEST_F(SqlEdgeTest, OrderByStringPutsNullFirst) {
+  auto r = db_.Execute("SELECT id FROM t ORDER BY name");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0][0].int_value(), 3);  // NULL name sorts first
+  EXPECT_EQ(r->rows[1][0].int_value(), 2);  // 'a'
+  EXPECT_EQ(r->rows[2][0].int_value(), 1);  // 'b'
+}
+
+TEST_F(SqlEdgeTest, GeometryEqualityOperator) {
+  auto r = db_.Execute(
+      "SELECT COUNT(*) FROM t WHERE geom = ST_MakePoint(1, 1)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].int_value(), 1);
+}
+
+TEST_F(SqlEdgeTest, NullGroupKeyFormsItsOwnGroup) {
+  auto r = db_.Execute(
+      "SELECT COUNT(*) FROM t GROUP BY name ORDER BY COUNT(*) DESC");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);  // 'a', 'b', NULL
+}
+
+TEST_F(SqlEdgeTest, ExplainShowsDWithinExpansion) {
+  ASSERT_TRUE(db_.Execute("CREATE SPATIAL INDEX ON t (geom)").ok());
+  auto r = db_.Execute(
+      "EXPLAIN SELECT * FROM t WHERE ST_DWithin(geom, "
+      "ST_MakePoint(0, 0), 5)");
+  ASSERT_TRUE(r.ok());
+  const std::string& line = r->rows[0][0].string_value();
+  EXPECT_NE(line.find("IndexWindowScan"), std::string::npos);
+  EXPECT_NE(line.find("-5"), std::string::npos) << line;  // expanded window
+}
+
+TEST_F(SqlEdgeTest, AggregateOfSpatialOverNullGeometry) {
+  // NULL geometry rows drop out of spatial aggregates (COUNT(expr)).
+  auto r = db_.Execute("SELECT COUNT(ST_X(geom)), COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].int_value(), 2);
+  EXPECT_EQ(r->rows[0][1].int_value(), 3);
+}
+
+TEST_F(SqlEdgeTest, SelfJoinWithAliases) {
+  auto r = db_.Execute(
+      "SELECT COUNT(*) FROM t a, t b WHERE a.id < b.id AND "
+      "ST_DWithin(a.geom, b.geom, 10)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].int_value(), 1);  // only (1,2); NULL rows drop
+}
+
+}  // namespace
+}  // namespace jackpine

@@ -1,0 +1,235 @@
+// End-to-end tests for the pinedb engine: DDL, DML, scalar and spatial SQL
+// evaluation, aggregates, joins, ordering and limits.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace jackpine::engine {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE cities (id BIGINT, name VARCHAR, pop DOUBLE, "
+         "geom GEOMETRY)");
+    Exec("INSERT INTO cities VALUES "
+         "(1, 'alpha', 10.5, ST_GeomFromText('POINT (0 0)')), "
+         "(2, 'beta', 20.0, ST_GeomFromText('POINT (10 0)')), "
+         "(3, 'gamma', 5.25, ST_GeomFromText('POINT (0 10)')), "
+         "(4, 'delta', 40.0, ST_GeomFromText('POINT (10 10)'))");
+    Exec("CREATE TABLE zones (zid BIGINT, zname VARCHAR, geom GEOMETRY)");
+    Exec("INSERT INTO zones VALUES "
+         "(100, 'west', ST_GeomFromText("
+         "'POLYGON ((-1 -1, 5 -1, 5 11, -1 11, -1 -1))')), "
+         "(200, 'east', ST_GeomFromText("
+         "'POLYGON ((5 -1, 11 -1, 11 11, 5 11, 5 -1))'))");
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  int64_t Scalar(const std::string& sql) {
+    QueryResult r = Exec(sql);
+    EXPECT_EQ(r.rows.size(), 1u);
+    EXPECT_GE(r.rows[0].size(), 1u);
+    return r.rows[0][0].AsInt64().value_or(-999);
+  }
+
+  Database db_;
+};
+
+TEST_F(EngineTest, SelectStarProjectsAllColumns) {
+  QueryResult r = Exec("SELECT * FROM cities");
+  EXPECT_EQ(r.columns,
+            (std::vector<std::string>{"id", "name", "pop", "geom"}));
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(EngineTest, AttributeFilter) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM cities WHERE pop > 10"), 3);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM cities WHERE name = 'beta'"), 1);
+  EXPECT_EQ(
+      Scalar("SELECT COUNT(*) FROM cities WHERE pop > 10 AND pop < 25"), 2);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM cities WHERE NOT pop > 10"), 1);
+}
+
+TEST_F(EngineTest, Arithmetic) {
+  QueryResult r = Exec("SELECT pop * 2 + 1 FROM cities WHERE id = 1");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].double_value(), 22.0);
+  r = Exec("SELECT 7 / 2 FROM cities WHERE id = 1");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].double_value(), 3.5);
+  r = Exec("SELECT 7 % 3 FROM cities WHERE id = 1");
+  EXPECT_EQ(r.rows[0][0].int_value(), 1);
+}
+
+TEST_F(EngineTest, DivisionByZeroIsNull) {
+  QueryResult r = Exec("SELECT 1 / 0 FROM cities WHERE id = 1");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+}
+
+TEST_F(EngineTest, Aggregates) {
+  QueryResult r = Exec(
+      "SELECT COUNT(*), SUM(pop), MIN(pop), MAX(pop), AVG(pop) FROM cities");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].int_value(), 4);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].double_value(), 75.75);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].double_value(), 5.25);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].double_value(), 40.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][4].double_value(), 75.75 / 4);
+}
+
+TEST_F(EngineTest, AggregateOverEmptyInput) {
+  QueryResult r =
+      Exec("SELECT COUNT(*), SUM(pop) FROM cities WHERE pop > 1000");
+  EXPECT_EQ(r.rows[0][0].int_value(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(EngineTest, AggregateArithmetic) {
+  QueryResult r = Exec("SELECT SUM(pop) / COUNT(*) FROM cities");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].double_value(), 75.75 / 4);
+}
+
+TEST_F(EngineTest, MixingAggregatesAndColumnsFails) {
+  EXPECT_FALSE(db_.Execute("SELECT name, COUNT(*) FROM cities").ok());
+}
+
+TEST_F(EngineTest, OrderByAndLimit) {
+  QueryResult r = Exec("SELECT name FROM cities ORDER BY pop DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "delta");
+  EXPECT_EQ(r.rows[1][0].string_value(), "beta");
+}
+
+TEST_F(EngineTest, OrderByMultipleKeys) {
+  Exec("INSERT INTO cities VALUES "
+       "(5, 'alpha', 99.0, ST_GeomFromText('POINT (5 5)'))");
+  QueryResult r = Exec("SELECT id FROM cities ORDER BY name, pop DESC");
+  EXPECT_EQ(r.rows[0][0].int_value(), 5);  // alpha/99 before alpha/10.5
+  EXPECT_EQ(r.rows[1][0].int_value(), 1);
+}
+
+TEST_F(EngineTest, SpatialPredicateFilter) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM cities WHERE ST_Within(geom, "
+                   "ST_GeomFromText('POLYGON ((-1 -1, 5 -1, 5 11, -1 11, "
+                   "-1 -1))'))"),
+            2);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM cities WHERE ST_DWithin(geom, "
+                   "ST_MakePoint(0, 0), 10.5)"),
+            3);
+}
+
+TEST_F(EngineTest, SpatialJoin) {
+  QueryResult r = Exec(
+      "SELECT name, zname FROM cities c, zones z "
+      "WHERE ST_Within(c.geom, z.geom) ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "alpha");
+  EXPECT_EQ(r.rows[0][1].string_value(), "west");
+  EXPECT_EQ(r.rows[1][1].string_value(), "east");  // beta at (10,0)
+}
+
+TEST_F(EngineTest, SpatialJoinWithAttributeResidual) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM cities c, zones z WHERE "
+                   "ST_Within(c.geom, z.geom) AND z.zname = 'west'"),
+            2);
+}
+
+TEST_F(EngineTest, SpatialFunctionsInProjection) {
+  QueryResult r = Exec(
+      "SELECT ST_AsText(ST_Centroid(geom)), ST_Area(geom) FROM zones "
+      "WHERE zid = 100");
+  EXPECT_EQ(r.rows[0][0].string_value(), "POINT (2 5)");
+  EXPECT_DOUBLE_EQ(r.rows[0][1].double_value(), 72.0);
+}
+
+TEST_F(EngineTest, KnnOrderByDistance) {
+  QueryResult r = Exec(
+      "SELECT name FROM cities ORDER BY ST_Distance(geom, "
+      "ST_MakePoint(9, 2)) LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "beta");
+  EXPECT_EQ(r.rows[1][0].string_value(), "delta");
+}
+
+TEST_F(EngineTest, IndexDdlAndEquivalence) {
+  // Build an index, re-run a window query, results must not change.
+  const char* q =
+      "SELECT COUNT(*) FROM cities WHERE ST_Intersects(geom, "
+      "ST_MakeEnvelope(-1, -1, 5, 11))";
+  const int64_t before = Scalar(q);
+  Exec("CREATE SPATIAL INDEX ON cities (geom)");
+  EXPECT_EQ(Scalar(q), before);
+  Exec("DROP SPATIAL INDEX ON cities (geom)");
+  EXPECT_EQ(Scalar(q), before);
+}
+
+TEST_F(EngineTest, NullHandlingInWhere) {
+  Exec("INSERT INTO cities VALUES (9, 'nowhere', 1.0, NULL)");
+  // NULL geometry never matches a spatial predicate.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM cities WHERE ST_Intersects(geom, "
+                   "ST_MakeEnvelope(-100, -100, 100, 100))"),
+            4);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM cities"), 5);
+}
+
+TEST_F(EngineTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(db_.Execute("SELECT * FROM missing").ok());
+  EXPECT_FALSE(db_.Execute("SELECT nocolumn FROM cities").ok());
+  EXPECT_FALSE(db_.Execute("SELECT ST_NoSuchFn(geom) FROM cities").ok());
+  EXPECT_FALSE(db_.Execute("SELECT ST_Area() FROM cities").ok());
+  EXPECT_FALSE(
+      db_.Execute("INSERT INTO cities VALUES (1, 'x', 'notanumber', NULL)")
+          .ok());
+  EXPECT_FALSE(db_.Execute("CREATE TABLE cities (a BIGINT)").ok());
+  // Three-table joins are out of scope.
+  EXPECT_FALSE(
+      db_.Execute("SELECT * FROM cities a, cities b, cities c").ok());
+}
+
+TEST_F(EngineTest, GeomFromTextErrorPropagates) {
+  EXPECT_FALSE(
+      db_.Execute("SELECT ST_GeomFromText('NOT WKT') FROM cities").ok());
+}
+
+TEST_F(EngineTest, StatsCountRefinements) {
+  db_.ResetStats();
+  Exec("SELECT COUNT(*) FROM cities WHERE pop > 10");
+  EXPECT_EQ(db_.stats().rows_scanned, 4u);
+  EXPECT_EQ(db_.stats().refine_checks, 4u);
+  EXPECT_EQ(db_.stats().index_probes, 0u);
+}
+
+TEST_F(EngineTest, MbrModeChangesAnswers) {
+  DatabaseOptions options;
+  options.predicate_mode = topo::PredicateMode::kMbrOnly;
+  Database mbr(options);
+  ASSERT_TRUE(mbr.Execute("CREATE TABLE t (geom GEOMETRY)").ok());
+  // A diagonal line whose MBR covers the probe box, but which misses it.
+  ASSERT_TRUE(mbr.Execute("INSERT INTO t VALUES (ST_GeomFromText("
+                          "'LINESTRING (0 0, 10 10)'))")
+                  .ok());
+  const char* q =
+      "SELECT COUNT(*) FROM t WHERE ST_Intersects(geom, "
+      "ST_MakeEnvelope(6, 0, 8, 2))";
+  auto mbr_result = mbr.Execute(q);
+  ASSERT_TRUE(mbr_result.ok());
+  EXPECT_EQ(mbr_result->rows[0][0].int_value(), 1);  // MBR hit
+
+  Database exact;
+  ASSERT_TRUE(exact.Execute("CREATE TABLE t (geom GEOMETRY)").ok());
+  ASSERT_TRUE(exact
+                  .Execute("INSERT INTO t VALUES (ST_GeomFromText("
+                           "'LINESTRING (0 0, 10 10)'))")
+                  .ok());
+  auto exact_result = exact.Execute(q);
+  ASSERT_TRUE(exact_result.ok());
+  EXPECT_EQ(exact_result->rows[0][0].int_value(), 0);  // true miss
+}
+
+}  // namespace
+}  // namespace jackpine::engine

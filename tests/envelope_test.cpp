@@ -1,0 +1,101 @@
+// Tests for the Envelope (MBR) type.
+
+#include <gtest/gtest.h>
+
+#include "geom/envelope.h"
+
+namespace jackpine::geom {
+namespace {
+
+TEST(EnvelopeTest, NullByDefault) {
+  Envelope e;
+  EXPECT_TRUE(e.IsNull());
+  EXPECT_EQ(e.Width(), 0.0);
+  EXPECT_EQ(e.Area(), 0.0);
+  EXPECT_FALSE(e.Contains(Coord{0, 0}));
+}
+
+TEST(EnvelopeTest, NormalizesCorners) {
+  Envelope e(10, 8, 2, 4);  // deliberately swapped
+  EXPECT_EQ(e.min_x(), 2);
+  EXPECT_EQ(e.max_x(), 10);
+  EXPECT_EQ(e.min_y(), 4);
+  EXPECT_EQ(e.max_y(), 8);
+}
+
+TEST(EnvelopeTest, ExpandToIncludePoint) {
+  Envelope e;
+  e.ExpandToInclude(Coord{1, 2});
+  EXPECT_FALSE(e.IsNull());
+  EXPECT_EQ(e.Area(), 0.0);
+  e.ExpandToInclude(Coord{-1, 5});
+  EXPECT_EQ(e.min_x(), -1);
+  EXPECT_EQ(e.max_y(), 5);
+}
+
+TEST(EnvelopeTest, ExpandToIncludeNullIsNoop) {
+  Envelope e(0, 0, 1, 1);
+  e.ExpandToInclude(Envelope());
+  EXPECT_EQ(e, Envelope(0, 0, 1, 1));
+}
+
+TEST(EnvelopeTest, ContainsAndIntersects) {
+  Envelope big(0, 0, 10, 10);
+  Envelope inner(2, 2, 3, 3);
+  Envelope overlapping(8, 8, 12, 12);
+  Envelope outside(20, 20, 30, 30);
+  EXPECT_TRUE(big.Contains(inner));
+  EXPECT_FALSE(inner.Contains(big));
+  EXPECT_TRUE(big.Intersects(inner));
+  EXPECT_TRUE(big.Intersects(overlapping));
+  EXPECT_FALSE(big.Contains(overlapping));
+  EXPECT_FALSE(big.Intersects(outside));
+}
+
+TEST(EnvelopeTest, BoundaryContactCountsAsIntersecting) {
+  Envelope a(0, 0, 1, 1);
+  Envelope b(1, 0, 2, 1);  // shares the x=1 edge
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(a.Touches(b));
+  Envelope c(0.5, 0, 2, 1);  // proper overlap
+  EXPECT_TRUE(a.Intersects(c));
+  EXPECT_FALSE(a.Touches(c));
+}
+
+TEST(EnvelopeTest, IntersectionAndUnion) {
+  Envelope a(0, 0, 4, 4);
+  Envelope b(2, 2, 6, 6);
+  EXPECT_EQ(a.Intersection(b), Envelope(2, 2, 4, 4));
+  EXPECT_EQ(a.Union(b), Envelope(0, 0, 6, 6));
+  EXPECT_TRUE(a.Intersection(Envelope(5, 5, 6, 6)).IsNull());
+}
+
+TEST(EnvelopeTest, Enlargement) {
+  Envelope a(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(a.EnlargementToInclude(Envelope(0, 0, 1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(a.EnlargementToInclude(Envelope(0, 0, 4, 2)), 4.0);
+}
+
+TEST(EnvelopeTest, Distance) {
+  Envelope a(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(Envelope(2, 0, 3, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(Envelope(0.5, 0.5, 2, 2)), 0.0);
+  // Diagonal separation: 3-4-5 triangle.
+  EXPECT_DOUBLE_EQ(a.DistanceTo(Envelope(4, 5, 6, 7)), 5.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(Coord{1, 3}), 2.0);
+}
+
+TEST(EnvelopeTest, Expanded) {
+  Envelope a(2, 2, 4, 4);
+  EXPECT_EQ(a.Expanded(1), Envelope(1, 1, 5, 5));
+  EXPECT_TRUE(a.Expanded(-2).IsNull());
+}
+
+TEST(EnvelopeTest, CenterAndPerimeter) {
+  Envelope a(0, 0, 4, 2);
+  EXPECT_EQ(a.Center(), (Coord{2, 1}));
+  EXPECT_DOUBLE_EQ(a.Perimeter(), 12.0);
+}
+
+}  // namespace
+}  // namespace jackpine::geom

@@ -1,0 +1,149 @@
+// Tests for the SQL function registry surface: GeoJSON output, boundary,
+// accessor functions, and registry metadata.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "geom/geojson.h"
+#include "geom/wkt_reader.h"
+#include "topo/relate.h"
+
+namespace jackpine::engine {
+namespace {
+
+geom::Geometry Wkt(const std::string& s) {
+  auto r = geom::GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(GeoJsonTest, AllTypes) {
+  EXPECT_EQ(geom::ToGeoJson(Wkt("POINT (1 2)")),
+            R"({"type":"Point","coordinates":[1,2]})");
+  EXPECT_EQ(geom::ToGeoJson(Wkt("LINESTRING (0 0, 1 1)")),
+            R"({"type":"LineString","coordinates":[[0,0],[1,1]]})");
+  EXPECT_EQ(
+      geom::ToGeoJson(Wkt("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))")),
+      R"({"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1],[0,1],[0,0]]]})");
+  EXPECT_EQ(geom::ToGeoJson(Wkt("MULTIPOINT ((1 2), (3 4))")),
+            R"({"type":"MultiPoint","coordinates":[[1,2],[3,4]]})");
+  EXPECT_EQ(
+      geom::ToGeoJson(Wkt("GEOMETRYCOLLECTION (POINT (1 2))")),
+      R"({"type":"GeometryCollection","geometries":[{"type":"Point","coordinates":[1,2]}]})");
+}
+
+TEST(GeoJsonTest, EmptyAndPrecision) {
+  EXPECT_EQ(geom::ToGeoJson(Wkt("POINT EMPTY")),
+            R"({"type":"GeometryCollection","geometries":[]})");
+  EXPECT_EQ(geom::ToGeoJson(Wkt("POLYGON EMPTY")),
+            R"({"type":"Polygon","coordinates":[]})");
+  EXPECT_EQ(geom::ToGeoJson(geom::Geometry::MakePoint(1.23456789, 0), 3),
+            R"({"type":"Point","coordinates":[1.23,0]})");
+}
+
+TEST(BoundaryTest, PerType) {
+  using topo::Boundary;
+  EXPECT_TRUE(Boundary(Wkt("POINT (1 1)")).IsEmpty());
+  // Open line: the two endpoints.
+  EXPECT_EQ(Boundary(Wkt("LINESTRING (0 0, 1 1)")).NumPoints(), 2u);
+  // Closed line: empty boundary.
+  EXPECT_TRUE(Boundary(Wkt("LINESTRING (0 0, 1 0, 1 1, 0 0)")).IsEmpty());
+  // Polygon with hole: two rings.
+  const geom::Geometry b = Boundary(Wkt(
+      "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 1 2, 2 2, 2 1, 1 1))"));
+  EXPECT_EQ(b.type(), geom::GeometryType::kMultiLineString);
+  EXPECT_EQ(b.Parts().size(), 2u);
+  EXPECT_EQ(b.Dimension(), 1);
+}
+
+class SqlFunctionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (id BIGINT, geom GEOMETRY)").ok());
+    ASSERT_TRUE(db_.Execute(
+                       "INSERT INTO t VALUES "
+                       "(1, ST_GeomFromText('LINESTRING (0 0, 3 0, 3 4)')), "
+                       "(2, ST_GeomFromText('POLYGON ((0 0, 2 0, 2 2, 0 2, "
+                       "0 0))'))")
+                    .ok());
+  }
+
+  Value Scalar(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    if (!r.ok() || r->rows.empty()) return Value();
+    return r->rows[0][0];
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlFunctionsTest, AsGeoJson) {
+  EXPECT_EQ(Scalar("SELECT ST_AsGeoJSON(ST_MakePoint(1, 2)) FROM t LIMIT 1")
+                .string_value(),
+            R"({"type":"Point","coordinates":[1,2]})");
+}
+
+TEST_F(SqlFunctionsTest, BoundaryOfLineAndPolygon) {
+  EXPECT_EQ(Scalar("SELECT ST_AsText(ST_Boundary(geom)) FROM t WHERE id = 1")
+                .string_value(),
+            "MULTIPOINT ((0 0), (3 4))");
+  EXPECT_EQ(Scalar("SELECT ST_AsText(ST_Boundary(geom)) FROM t WHERE id = 2")
+                .string_value(),
+            "LINESTRING (0 0, 2 0, 2 2, 0 2, 0 0)");
+}
+
+TEST_F(SqlFunctionsTest, LineAccessors) {
+  EXPECT_EQ(Scalar("SELECT ST_AsText(ST_StartPoint(geom)) FROM t WHERE id = 1")
+                .string_value(),
+            "POINT (0 0)");
+  EXPECT_EQ(Scalar("SELECT ST_AsText(ST_EndPoint(geom)) FROM t WHERE id = 1")
+                .string_value(),
+            "POINT (3 4)");
+  EXPECT_EQ(Scalar("SELECT ST_AsText(ST_PointN(geom, 2)) FROM t WHERE id = 1")
+                .string_value(),
+            "POINT (3 0)");
+  EXPECT_TRUE(
+      Scalar("SELECT ST_PointN(geom, 9) FROM t WHERE id = 1").is_null());
+  EXPECT_TRUE(
+      Scalar("SELECT ST_StartPoint(geom) FROM t WHERE id = 2").is_null());
+}
+
+TEST_F(SqlFunctionsTest, ReverseRoundTrips) {
+  EXPECT_EQ(
+      Scalar("SELECT ST_AsText(ST_Reverse(geom)) FROM t WHERE id = 1")
+          .string_value(),
+      "LINESTRING (3 4, 3 0, 0 0)");
+  EXPECT_EQ(
+      Scalar(
+          "SELECT ST_AsText(ST_Reverse(ST_Reverse(geom))) FROM t WHERE id = 1")
+          .string_value(),
+      "LINESTRING (0 0, 3 0, 3 4)");
+}
+
+TEST_F(SqlFunctionsTest, NumGeometries) {
+  EXPECT_EQ(Scalar("SELECT ST_NumGeometries(geom) FROM t WHERE id = 1")
+                .int_value(),
+            1);
+  EXPECT_EQ(
+      Scalar("SELECT ST_NumGeometries(ST_GeomFromText("
+             "'MULTIPOINT ((0 0), (1 1), (2 2))')) FROM t LIMIT 1")
+          .int_value(),
+      3);
+}
+
+TEST(FunctionRegistryTest, MetadataIsSane) {
+  EXPECT_NE(FindFunction("st_intersects"), nullptr);
+  EXPECT_NE(FindFunction("ST_INTERSECTS"), nullptr);
+  EXPECT_EQ(FindFunction("st_intersects")->indexable_predicate, true);
+  EXPECT_EQ(FindFunction("st_disjoint")->indexable_predicate, false);
+  EXPECT_EQ(FindFunction("st_area")->indexable_predicate, false);
+  EXPECT_EQ(FindFunction("no_such_function"), nullptr);
+  EXPECT_GE(AllFunctionNames().size(), 40u);
+  EXPECT_TRUE(IsAggregateFunction("count"));
+  EXPECT_TRUE(IsAggregateFunction("SUM"));
+  EXPECT_FALSE(IsAggregateFunction("ST_Area"));
+}
+
+}  // namespace
+}  // namespace jackpine::engine

@@ -1,0 +1,175 @@
+// Tests for the geometry object model: factories, validation, inspection.
+
+#include <gtest/gtest.h>
+
+#include "geom/geometry.h"
+
+namespace jackpine::geom {
+namespace {
+
+Geometry Line(std::vector<Coord> pts) {
+  auto r = Geometry::MakeLineString(std::move(pts));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+Geometry Poly(Ring shell, std::vector<Ring> holes = {}) {
+  auto r = Geometry::MakePolygon(std::move(shell), std::move(holes));
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(GeometryTest, DefaultIsEmptyCollection) {
+  Geometry g;
+  EXPECT_EQ(g.type(), GeometryType::kGeometryCollection);
+  EXPECT_TRUE(g.IsEmpty());
+  EXPECT_EQ(g.Dimension(), -1);
+  EXPECT_TRUE(g.envelope().IsNull());
+}
+
+TEST(GeometryTest, PointBasics) {
+  Geometry p = Geometry::MakePoint(3, 4);
+  EXPECT_EQ(p.type(), GeometryType::kPoint);
+  EXPECT_FALSE(p.IsEmpty());
+  EXPECT_EQ(p.Dimension(), 0);
+  EXPECT_EQ(p.NumPoints(), 1u);
+  EXPECT_EQ(p.AsPoint(), (Coord{3, 4}));
+  EXPECT_EQ(p.envelope(), Envelope(3, 4, 3, 4));
+}
+
+TEST(GeometryTest, EmptyTypedGeometries) {
+  for (auto type : {GeometryType::kPoint, GeometryType::kLineString,
+                    GeometryType::kPolygon, GeometryType::kMultiPolygon}) {
+    Geometry g = Geometry::MakeEmpty(type);
+    EXPECT_EQ(g.type(), type);
+    EXPECT_TRUE(g.IsEmpty());
+    EXPECT_EQ(g.Dimension(), -1);
+    EXPECT_EQ(g.NumPoints(), 0u);
+  }
+}
+
+TEST(GeometryTest, LineStringRejectsDegenerate) {
+  EXPECT_FALSE(Geometry::MakeLineString({}).ok());
+  EXPECT_FALSE(Geometry::MakeLineString({{1, 1}}).ok());
+  EXPECT_FALSE(
+      Geometry::MakeLineString({{0, 0}, {std::nan(""), 1}}).ok());
+}
+
+TEST(GeometryTest, LineStringBasics) {
+  Geometry l = Line({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_EQ(l.Dimension(), 1);
+  EXPECT_EQ(l.NumPoints(), 3u);
+  EXPECT_EQ(l.envelope(), Envelope(0, 0, 3, 4));
+}
+
+TEST(GeometryTest, PolygonAutoClosesAndOrients) {
+  // Unclosed clockwise shell: factory must close it and flip to CCW.
+  Geometry p = Poly({{0, 0}, {0, 2}, {2, 2}, {2, 0}});
+  const PolygonData& data = p.AsPolygon();
+  EXPECT_EQ(data.shell.size(), 5u);
+  EXPECT_EQ(data.shell.front(), data.shell.back());
+  EXPECT_TRUE(IsCcw(data.shell));
+}
+
+TEST(GeometryTest, PolygonHoleOrientedClockwise) {
+  Geometry p = Poly({{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+                    {{{2, 2}, {4, 2}, {4, 4}, {2, 4}}});
+  ASSERT_EQ(p.AsPolygon().holes.size(), 1u);
+  EXPECT_FALSE(IsCcw(p.AsPolygon().holes[0]));
+}
+
+TEST(GeometryTest, PolygonRejectsTinyRing) {
+  EXPECT_FALSE(Geometry::MakePolygon({{0, 0}, {1, 1}}).ok());
+}
+
+TEST(GeometryTest, RectangleFactory) {
+  Geometry r = Geometry::MakeRectangle(Envelope(1, 2, 3, 5));
+  EXPECT_EQ(r.type(), GeometryType::kPolygon);
+  EXPECT_EQ(r.envelope(), Envelope(1, 2, 3, 5));
+  EXPECT_TRUE(
+      Geometry::MakeRectangle(Envelope()).IsEmpty());
+}
+
+TEST(GeometryTest, MultiFactoriesEnforceElementTypes) {
+  auto bad = Geometry::MakeMultiPoint({Line({{0, 0}, {1, 1}})});
+  EXPECT_FALSE(bad.ok());
+  auto good = Geometry::MakeMultiPoint(
+      {Geometry::MakePoint(0, 0), Geometry::MakePoint(1, 1)});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->type(), GeometryType::kMultiPoint);
+  EXPECT_EQ(good->NumPoints(), 2u);
+  EXPECT_EQ(good->Dimension(), 0);
+}
+
+TEST(GeometryTest, CollectionDimensionIsMax) {
+  Geometry c = Geometry::MakeCollection(
+      {Geometry::MakePoint(0, 0), Line({{0, 0}, {1, 1}}),
+       Poly({{0, 0}, {1, 0}, {1, 1}, {0, 1}})});
+  EXPECT_EQ(c.Dimension(), 2);
+  EXPECT_EQ(c.Parts().size(), 3u);
+}
+
+TEST(GeometryTest, LeavesFlattensNested) {
+  Geometry inner = Geometry::MakeCollection(
+      {Geometry::MakePoint(1, 1), Geometry::MakeEmpty(GeometryType::kPoint)});
+  Geometry outer =
+      Geometry::MakeCollection({inner, Line({{0, 0}, {2, 2}})});
+  const auto leaves = outer.Leaves();
+  ASSERT_EQ(leaves.size(), 2u);  // empty point dropped
+  EXPECT_EQ(leaves[0].type(), GeometryType::kPoint);
+  EXPECT_EQ(leaves[1].type(), GeometryType::kLineString);
+}
+
+TEST(GeometryTest, ExactlyEquals) {
+  Geometry a = Poly({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Geometry b = Poly({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Geometry c = Poly({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_TRUE(a.ExactlyEquals(b));
+  EXPECT_FALSE(a.ExactlyEquals(c));
+  EXPECT_FALSE(a.ExactlyEquals(Geometry::MakePoint(0, 0)));
+  EXPECT_TRUE(Geometry().ExactlyEquals(Geometry()));
+}
+
+TEST(GeometryTest, HashDistinguishesAndAgrees) {
+  Geometry a = Line({{0, 0}, {1, 1}});
+  Geometry b = Line({{0, 0}, {1, 1}});
+  Geometry c = Line({{0, 0}, {1, 2}});
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+  EXPECT_NE(a.Hash(), Geometry::MakePoint(0, 0).Hash());
+}
+
+TEST(GeometryTest, ValidateAcceptsSimplePolygon) {
+  EXPECT_TRUE(Poly({{0, 0}, {4, 0}, {4, 4}, {0, 4}}).Validate().ok());
+}
+
+TEST(GeometryTest, ValidateRejectsBowtie) {
+  // Self-crossing "bowtie" ring.
+  auto bowtie = Geometry::MakePolygon({{0, 0}, {2, 2}, {2, 0}, {0, 2}});
+  ASSERT_TRUE(bowtie.ok());  // construction does not check crossings
+  EXPECT_FALSE(bowtie->Validate().ok());
+}
+
+TEST(GeometryTest, ValidateRejectsEscapedHole) {
+  auto p = Geometry::MakePolygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}},
+                                 {{{3, 3}, {6, 3}, {6, 6}, {3, 6}}});
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->Validate().ok());
+}
+
+TEST(GeometryTest, SignedRingArea) {
+  Ring ccw = {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(SignedRingArea(ccw), 16.0);
+  Ring cw(ccw.rbegin(), ccw.rend());
+  EXPECT_DOUBLE_EQ(SignedRingArea(cw), -16.0);
+}
+
+TEST(GeometryTest, CopyIsCheapAndShared) {
+  Geometry a = Poly({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Geometry b = a;  // shared payload
+  EXPECT_TRUE(a.ExactlyEquals(b));
+  EXPECT_EQ(&a.AsPolygon(), &b.AsPolygon());
+}
+
+}  // namespace
+}  // namespace jackpine::geom

@@ -1,0 +1,117 @@
+// Tests for the uniform grid index.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/grid_index.h"
+
+namespace jackpine::index {
+namespace {
+
+using geom::Coord;
+using geom::Envelope;
+
+TEST(GridIndexTest, Empty) {
+  GridIndex grid;
+  std::vector<int64_t> out;
+  grid.Query(Envelope(0, 0, 10, 10), &out);
+  EXPECT_TRUE(out.empty());
+  grid.Nearest({0, 0}, 3, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+TEST(GridIndexTest, BulkLoadAndQuery) {
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 100; ++i) {
+    const double x = (i % 10) * 10.0;
+    const double y = (i / 10) * 10.0;
+    entries.push_back({Envelope(x, y, x + 5, y + 5), i});
+  }
+  GridIndex grid;
+  grid.BulkLoad(entries);
+  EXPECT_EQ(grid.size(), 100u);
+  EXPECT_GE(grid.CellsX() * grid.CellsY(), 1u);
+
+  std::vector<int64_t> out;
+  grid.Query(Envelope(0, 0, 14, 14), &out);
+  std::set<int64_t> got(out.begin(), out.end());
+  EXPECT_EQ(got, (std::set<int64_t>{0, 1, 10, 11}));
+}
+
+TEST(GridIndexTest, NoDuplicatesForSpanningEntries) {
+  // One huge entry covering everything must be reported exactly once.
+  std::vector<IndexEntry> entries = {{Envelope(0, 0, 100, 100), 7}};
+  for (int i = 0; i < 50; ++i) {
+    entries.push_back({Envelope(i, i, i + 1, i + 1), 100 + i});
+  }
+  GridIndex grid;
+  grid.BulkLoad(entries);
+  std::vector<int64_t> out;
+  grid.Query(Envelope(10, 10, 40, 40), &out);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 7), 1);
+}
+
+TEST(GridIndexTest, IncrementalInsertRebuildsWhenOutgrown) {
+  GridIndex grid;
+  grid.Insert(Envelope(0, 0, 1, 1), 0);
+  // Insert far outside the initial extent to force a rebuild.
+  grid.Insert(Envelope(1000, 1000, 1001, 1001), 1);
+  std::vector<int64_t> out;
+  grid.Query(Envelope(999, 999, 1002, 1002), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1);
+  out.clear();
+  grid.Query(Envelope(-1, -1, 2, 2), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0);
+}
+
+TEST(GridIndexTest, AgreesWithBruteForceOnRandomData) {
+  jackpine::Rng rng(5);
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.NextDouble(0, 200);
+    const double y = rng.NextDouble(0, 200);
+    entries.push_back(
+        {Envelope(x, y, x + rng.NextDouble(0, 8), y + rng.NextDouble(0, 8)),
+         i});
+  }
+  GridIndex grid;
+  grid.BulkLoad(entries);
+  for (int q = 0; q < 40; ++q) {
+    const double x = rng.NextDouble(-10, 200);
+    const double y = rng.NextDouble(-10, 200);
+    const Envelope w(x, y, x + rng.NextDouble(0, 30), y + rng.NextDouble(0, 30));
+    std::vector<int64_t> got;
+    grid.Query(w, &got);
+    std::vector<int64_t> expected;
+    for (const IndexEntry& e : entries) {
+      if (e.box.Intersects(w)) expected.push_back(e.id);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(GridIndexTest, NearestOrdersByMbrDistance) {
+  GridIndex grid;
+  std::vector<IndexEntry> entries = {
+      {Envelope(0, 0, 1, 1), 1},
+      {Envelope(10, 0, 11, 1), 2},
+      {Envelope(20, 0, 21, 1), 3},
+  };
+  grid.BulkLoad(entries);
+  std::vector<int64_t> out;
+  grid.Nearest({12, 0.5}, 2, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[1], 3);
+}
+
+}  // namespace
+}  // namespace jackpine::index

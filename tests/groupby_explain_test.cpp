@@ -1,0 +1,159 @@
+// Tests for GROUP BY aggregation and the EXPLAIN statement.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace jackpine::engine {
+namespace {
+
+class GroupByTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Exec("CREATE TABLE parcels (county BIGINT, kind VARCHAR, area DOUBLE, "
+         "geom GEOMETRY)");
+    Exec("INSERT INTO parcels VALUES "
+         "(1, 'park', 10.0, ST_MakeEnvelope(0, 0, 1, 1)), "
+         "(1, 'park', 20.0, ST_MakeEnvelope(2, 0, 3, 1)), "
+         "(1, 'farm', 5.0,  ST_MakeEnvelope(4, 0, 5, 1)), "
+         "(2, 'park', 7.0,  ST_MakeEnvelope(0, 5, 1, 6)), "
+         "(2, 'farm', 3.0,  ST_MakeEnvelope(2, 5, 3, 6)), "
+         "(3, 'farm', 1.0,  ST_MakeEnvelope(4, 5, 5, 6))");
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(GroupByTest, CountPerGroup) {
+  QueryResult r = Exec(
+      "SELECT county, COUNT(*) FROM parcels GROUP BY county ORDER BY county");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].int_value(), 1);
+  EXPECT_EQ(r.rows[0][1].int_value(), 3);
+  EXPECT_EQ(r.rows[1][1].int_value(), 2);
+  EXPECT_EQ(r.rows[2][1].int_value(), 1);
+}
+
+TEST_F(GroupByTest, MultipleAggregatesAndKeys) {
+  QueryResult r = Exec(
+      "SELECT county, kind, SUM(area), AVG(area) FROM parcels "
+      "GROUP BY county, kind ORDER BY county, kind");
+  ASSERT_EQ(r.rows.size(), 5u);
+  // county 1 / farm.
+  EXPECT_EQ(r.rows[0][1].string_value(), "farm");
+  EXPECT_DOUBLE_EQ(r.rows[0][2].double_value(), 5.0);
+  // county 1 / park: 10 + 20.
+  EXPECT_DOUBLE_EQ(r.rows[1][2].double_value(), 30.0);
+  EXPECT_DOUBLE_EQ(r.rows[1][3].double_value(), 15.0);
+}
+
+TEST_F(GroupByTest, SpatialAggregatesPerGroup) {
+  QueryResult r = Exec(
+      "SELECT county, SUM(ST_Area(geom)) FROM parcels "
+      "GROUP BY county ORDER BY county");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].double_value(), 3.0);
+  EXPECT_DOUBLE_EQ(r.rows[1][1].double_value(), 2.0);
+}
+
+TEST_F(GroupByTest, OrderByAggregate) {
+  QueryResult r = Exec(
+      "SELECT kind, SUM(area) FROM parcels GROUP BY kind "
+      "ORDER BY SUM(area) DESC");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "park");  // 37 > 9
+}
+
+TEST_F(GroupByTest, GroupByExpression) {
+  QueryResult r = Exec(
+      "SELECT county % 2, COUNT(*) FROM parcels GROUP BY county % 2 "
+      "ORDER BY county % 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].int_value(), 2);  // county 2
+  EXPECT_EQ(r.rows[1][1].int_value(), 4);  // counties 1 and 3
+}
+
+TEST_F(GroupByTest, LimitAppliesAfterGrouping) {
+  QueryResult r = Exec(
+      "SELECT county, COUNT(*) FROM parcels GROUP BY county "
+      "ORDER BY county LIMIT 2");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(GroupByTest, GroupOnFilteredRows) {
+  QueryResult r = Exec(
+      "SELECT county, COUNT(*) FROM parcels WHERE kind = 'park' "
+      "GROUP BY county ORDER BY county");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].int_value(), 2);
+  EXPECT_EQ(r.rows[1][1].int_value(), 1);
+}
+
+TEST_F(GroupByTest, EmptyInputYieldsNoGroups) {
+  QueryResult r = Exec(
+      "SELECT county, COUNT(*) FROM parcels WHERE area > 1000 "
+      "GROUP BY county");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST(ExplainTest, DescribesAccessPaths) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT, geom GEOMETRY)").ok());
+  ASSERT_TRUE(
+      db.Execute("INSERT INTO t VALUES (1, ST_MakePoint(0, 0))").ok());
+
+  auto seq = db.Execute("EXPLAIN SELECT * FROM t");
+  ASSERT_TRUE(seq.ok());
+  ASSERT_FALSE(seq->rows.empty());
+  EXPECT_NE(seq->rows[0][0].string_value().find("SeqScan"),
+            std::string::npos);
+
+  ASSERT_TRUE(db.Execute("CREATE SPATIAL INDEX ON t (geom)").ok());
+  auto window = db.Execute(
+      "EXPLAIN SELECT * FROM t WHERE ST_Intersects(geom, "
+      "ST_MakeEnvelope(0, 0, 1, 1))");
+  ASSERT_TRUE(window.ok());
+  EXPECT_NE(window->rows[0][0].string_value().find("IndexWindowScan"),
+            std::string::npos);
+
+  auto knn = db.Execute(
+      "EXPLAIN SELECT * FROM t ORDER BY ST_Distance(geom, "
+      "ST_MakePoint(1, 1)) LIMIT 1");
+  ASSERT_TRUE(knn.ok());
+  EXPECT_NE(knn->rows[0][0].string_value().find("KnnIndexScan"),
+            std::string::npos);
+
+  ASSERT_TRUE(db.Execute("CREATE TABLE u (id BIGINT, geom GEOMETRY)").ok());
+  auto join = db.Execute(
+      "EXPLAIN SELECT COUNT(*) FROM t, u WHERE ST_Intersects(t.geom, "
+      "u.geom)");
+  ASSERT_TRUE(join.ok());
+  EXPECT_NE(join->rows[0][0].string_value().find("Join"), std::string::npos);
+}
+
+TEST(ExplainTest, ShowsPipelineStages) {
+  Database db;
+  ASSERT_TRUE(
+      db.Execute("CREATE TABLE t (id BIGINT, k BIGINT)").ok());
+  auto r = db.Execute(
+      "EXPLAIN SELECT k, COUNT(*) FROM t WHERE id > 0 GROUP BY k "
+      "ORDER BY k LIMIT 5");
+  ASSERT_TRUE(r.ok());
+  std::string all;
+  for (const auto& row : r->rows) all += row[0].string_value() + "\n";
+  EXPECT_NE(all.find("Filter"), std::string::npos);
+  EXPECT_NE(all.find("GroupBy"), std::string::npos);
+  EXPECT_NE(all.find("Aggregate"), std::string::npos);
+  EXPECT_NE(all.find("Sort"), std::string::npos);
+  EXPECT_NE(all.find("Limit 5"), std::string::npos);
+  EXPECT_NE(all.find("Output: k, count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jackpine::engine

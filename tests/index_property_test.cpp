@@ -1,0 +1,121 @@
+// Property sweep across all index implementations: every structure must
+// return exactly the brute-force answer for window queries, and k-NN results
+// must be distance-sound. This is the invariant that makes the SUTs
+// comparable — they may differ in speed, never in (filtered) answers.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/spatial_index.h"
+
+namespace jackpine::index {
+namespace {
+
+using geom::Coord;
+using geom::Envelope;
+
+struct Workload {
+  IndexKind kind;
+  uint64_t seed;
+  size_t n;
+};
+
+class IndexEquivalence : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(IndexEquivalence, WindowQueriesMatchBruteForce) {
+  const Workload w = GetParam();
+  jackpine::Rng rng(w.seed);
+  std::vector<IndexEntry> entries;
+  for (size_t i = 0; i < w.n; ++i) {
+    // Mix of clustered and uniform placement, points and boxes.
+    double x, y;
+    if (rng.NextBool(0.5)) {
+      x = 50 + rng.NextGaussian() * 5;
+      y = 50 + rng.NextGaussian() * 5;
+    } else {
+      x = rng.NextDouble(0, 100);
+      y = rng.NextDouble(0, 100);
+    }
+    const double sz = rng.NextBool(0.3) ? 0.0 : rng.NextDouble(0, 4);
+    entries.push_back(
+        {Envelope(x, y, x + sz, y + sz), static_cast<int64_t>(i)});
+  }
+  auto index = MakeSpatialIndex(w.kind);
+  // Half bulk-loaded, half inserted, to exercise both paths.
+  std::vector<IndexEntry> first_half(entries.begin(),
+                                     entries.begin() + entries.size() / 2);
+  index->BulkLoad(first_half);
+  for (size_t i = entries.size() / 2; i < entries.size(); ++i) {
+    index->Insert(entries[i].box, entries[i].id);
+  }
+  ASSERT_EQ(index->size(), entries.size());
+
+  for (int q = 0; q < 30; ++q) {
+    const double x = rng.NextDouble(-5, 100);
+    const double y = rng.NextDouble(-5, 100);
+    const Envelope window(x, y, x + rng.NextDouble(0, 40),
+                          y + rng.NextDouble(0, 40));
+    std::vector<int64_t> got;
+    index->Query(window, &got);
+    std::vector<int64_t> expected;
+    for (const IndexEntry& e : entries) {
+      if (e.box.Intersects(window)) expected.push_back(e.id);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected) << IndexKindName(w.kind) << " window "
+                             << window.ToString();
+  }
+}
+
+TEST_P(IndexEquivalence, NearestIsDistanceSound) {
+  const Workload w = GetParam();
+  jackpine::Rng rng(w.seed ^ 0xabcd);
+  std::vector<IndexEntry> entries;
+  for (size_t i = 0; i < w.n; ++i) {
+    const double x = rng.NextDouble(0, 100);
+    const double y = rng.NextDouble(0, 100);
+    entries.push_back({Envelope(x, y, x, y), static_cast<int64_t>(i)});
+  }
+  auto index = MakeSpatialIndex(w.kind);
+  index->BulkLoad(entries);
+
+  for (int q = 0; q < 10; ++q) {
+    const Coord p{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    std::vector<int64_t> got;
+    index->Nearest(p, 5, &got);
+    ASSERT_EQ(got.size(), 5u);
+    // The k-th reported distance must equal the true k-th smallest.
+    std::vector<double> all;
+    for (const IndexEntry& e : entries) all.push_back(e.box.DistanceTo(p));
+    std::sort(all.begin(), all.end());
+    for (size_t k = 0; k < got.size(); ++k) {
+      const auto& e = entries[static_cast<size_t>(got[k])];
+      EXPECT_NEAR(e.box.DistanceTo(p), all[k], 1e-12)
+          << IndexKindName(w.kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, IndexEquivalence,
+    ::testing::Values(Workload{IndexKind::kRtree, 1, 600},
+                      Workload{IndexKind::kRtree, 2, 60},
+                      Workload{IndexKind::kGrid, 1, 600},
+                      Workload{IndexKind::kGrid, 2, 60},
+                      Workload{IndexKind::kNone, 1, 600},
+                      Workload{IndexKind::kNone, 2, 60}));
+
+TEST(IndexFactoryTest, NamesAndKinds) {
+  EXPECT_EQ(MakeSpatialIndex(IndexKind::kRtree)->Name(), "rtree");
+  EXPECT_EQ(MakeSpatialIndex(IndexKind::kGrid)->Name(), "grid");
+  EXPECT_EQ(MakeSpatialIndex(IndexKind::kNone)->Name(), "scan");
+  EXPECT_STREQ(IndexKindName(IndexKind::kRtree), "rtree");
+  EXPECT_STREQ(IndexKindName(IndexKind::kGrid), "grid");
+  EXPECT_STREQ(IndexKindName(IndexKind::kNone), "none");
+}
+
+}  // namespace
+}  // namespace jackpine::index

@@ -1,0 +1,231 @@
+// Integration tests: the full benchmark pipeline — generate data, load into
+// every SUT through the client API, run the micro suites and macro scenarios,
+// and check the cross-SUT invariants that make the benchmark meaningful:
+//  - all exact SUTs return identical results for every query;
+//  - pine-mbr returns supersets on COUNT queries;
+//  - index-accelerated plans return exactly what full scans return.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/loader.h"
+#include "core/micro_suite.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "core/scenarios.h"
+
+namespace jackpine::core {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tigergen::TigerGenOptions gen;
+    gen.scale = 0.1;
+    gen.seed = 42;
+    dataset_ = new tigergen::TigerDataset(tigergen::GenerateTiger(gen));
+  }
+
+  static client::Connection LoadedConnection(const std::string& sut) {
+    auto config = client::SutByName(sut);
+    EXPECT_TRUE(config.ok());
+    client::Connection conn = client::Connection::Open(*config);
+    auto timing = LoadDataset(*dataset_, &conn);
+    EXPECT_TRUE(timing.ok()) << timing.status().ToString();
+    EXPECT_EQ(timing->rows, dataset_->TotalRows());
+    return conn;
+  }
+
+  static tigergen::TigerDataset* dataset_;
+};
+
+tigergen::TigerDataset* IntegrationTest::dataset_ = nullptr;
+
+TEST_F(IntegrationTest, LoaderPopulatesAllTables) {
+  client::Connection conn = LoadedConnection("pine-rtree");
+  client::Statement stmt = conn.CreateStatement();
+  const std::map<std::string, size_t> expected = {
+      {"county", dataset_->counties.size()},
+      {"edges", dataset_->edges.size()},
+      {"pointlm", dataset_->pointlm.size()},
+      {"arealm", dataset_->arealm.size()},
+      {"areawater", dataset_->areawater.size()},
+  };
+  for (const auto& [table, rows] : expected) {
+    auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM " + table);
+    ASSERT_TRUE(rs.ok()) << table;
+    ASSERT_TRUE(rs->Next());
+    EXPECT_EQ(*rs->GetInt64(0), static_cast<int64_t>(rows)) << table;
+  }
+}
+
+TEST_F(IntegrationTest, ExactSutsAgreeOnEverything) {
+  const auto topo = BuildTopologicalSuite(*dataset_);
+  const auto analysis = BuildAnalysisSuite(*dataset_);
+  std::vector<QuerySpec> all = topo;
+  all.insert(all.end(), analysis.begin(), analysis.end());
+
+  RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  std::map<std::string, std::vector<RunResult>> results;
+  for (const char* sut : {"pine-rtree", "pine-grid", "pine-scan"}) {
+    client::Connection conn = LoadedConnection(sut);
+    results[sut] = RunSuite(&conn, all, config);
+  }
+  for (size_t q = 0; q < all.size(); ++q) {
+    const RunResult& a = results["pine-rtree"][q];
+    const RunResult& b = results["pine-grid"][q];
+    const RunResult& c = results["pine-scan"][q];
+    ASSERT_TRUE(a.ok) << all[q].id << ": " << a.error;
+    ASSERT_TRUE(b.ok) << all[q].id << ": " << b.error;
+    ASSERT_TRUE(c.ok) << all[q].id << ": " << c.error;
+    EXPECT_EQ(a.result_rows, c.result_rows) << all[q].id;
+    EXPECT_EQ(a.checksum, c.checksum) << all[q].id << " rtree vs scan";
+    EXPECT_EQ(b.checksum, c.checksum) << all[q].id << " grid vs scan";
+  }
+}
+
+TEST_F(IntegrationTest, MbrSemanticsDivergeInTheDocumentedDirections) {
+  // MBR-only evaluation is a superset for the envelope-monotone predicates
+  // (exact intersects/within/contains/dwithin imply the MBR relation), and
+  // merely *different* for contact predicates (touches, crosses, overlaps),
+  // where envelope geometry can both over- and under-report. Both effects
+  // must be visible on the benchmark data.
+  client::Connection exact = LoadedConnection("pine-rtree");
+  client::Connection mbr = LoadedConnection("pine-mbr");
+  client::Statement se = exact.CreateStatement();
+  client::Statement sm = mbr.CreateStatement();
+  const std::vector<std::string> monotone = {
+      "ST_Intersects", "ST_DWithin", "ST_Within", "ST_Contains",
+      "ST_CoveredBy"};
+  int divergent = 0;
+  for (const QuerySpec& spec : BuildTopologicalSuite(*dataset_)) {
+    auto re = se.ExecuteQuery(spec.sql);
+    auto rm = sm.ExecuteQuery(spec.sql);
+    ASSERT_TRUE(re.ok() && rm.ok()) << spec.id;
+    if (!re->Next() || !rm->Next()) continue;
+    const auto ce = re->GetInt64(0);
+    const auto cm = rm->GetInt64(0);
+    if (!ce.ok() || !cm.ok()) continue;  // non-COUNT query
+    if (*ce != *cm) ++divergent;
+    bool is_monotone = false;
+    for (const std::string& fn : monotone) {
+      if (spec.sql.find(fn + "(") != std::string::npos) is_monotone = true;
+    }
+    if (is_monotone) {
+      EXPECT_GE(*cm, *ce) << spec.id << " (superset property)";
+    }
+  }
+  // The benchmark data must actually expose the semantic difference.
+  EXPECT_GE(divergent, 5);
+}
+
+TEST_F(IntegrationTest, ScenariosRunCleanlyOnAllSuts) {
+  RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  const auto scenarios = BuildScenarios(*dataset_, 42);
+  ASSERT_EQ(scenarios.size(), 6u);
+  for (const char* sut : {"pine-rtree", "pine-grid", "pine-scan"}) {
+    client::Connection conn = LoadedConnection(sut);
+    for (const Scenario& scenario : scenarios) {
+      const ScenarioResult result = RunScenario(&conn, scenario, config);
+      EXPECT_EQ(result.failed, 0u)
+          << sut << " scenario " << scenario.id << " had failures";
+      EXPECT_GT(result.queries.size(), 0u);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, ScenarioResultsMatchAcrossExactSuts) {
+  RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  const auto scenarios = BuildScenarios(*dataset_, 42);
+  client::Connection a = LoadedConnection("pine-rtree");
+  client::Connection b = LoadedConnection("pine-scan");
+  for (const Scenario& scenario : scenarios) {
+    const ScenarioResult ra = RunScenario(&a, scenario, config);
+    const ScenarioResult rb = RunScenario(&b, scenario, config);
+    ASSERT_EQ(ra.queries.size(), rb.queries.size());
+    for (size_t i = 0; i < ra.queries.size(); ++i) {
+      EXPECT_EQ(ra.queries[i].checksum, rb.queries[i].checksum)
+          << scenario.id << " query " << ra.queries[i].query_id;
+    }
+  }
+}
+
+TEST_F(IntegrationTest, IndexedSutsActuallyUseTheirIndexes) {
+  client::Connection conn = LoadedConnection("pine-rtree");
+  conn.database().ResetStats();
+  client::Statement stmt = conn.CreateStatement();
+  auto rs = stmt.ExecuteQuery(
+      "SELECT COUNT(*) FROM edges WHERE ST_Intersects(geom, "
+      "ST_MakeEnvelope(45, 45, 55, 55))");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GT(conn.database().stats().index_probes, 0u);
+  EXPECT_EQ(conn.database().stats().rows_scanned, 0u);
+
+  client::Connection scan = LoadedConnection("pine-scan");
+  scan.database().ResetStats();
+  client::Statement stmt2 = scan.CreateStatement();
+  rs = stmt2.ExecuteQuery(
+      "SELECT COUNT(*) FROM edges WHERE ST_Intersects(geom, "
+      "ST_MakeEnvelope(45, 45, 55, 55))");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(scan.database().stats().index_probes, 0u);
+  EXPECT_EQ(scan.database().stats().rows_scanned, dataset_->edges.size());
+}
+
+TEST_F(IntegrationTest, GeocodeRoundTrip) {
+  // Geocode an address, then reverse-geocode the resulting point; the
+  // nearest road must be the original one.
+  client::Connection conn = LoadedConnection("pine-rtree");
+  client::Statement stmt = conn.CreateStatement();
+  const tigergen::Edge* road = nullptr;
+  for (const auto& e : dataset_->edges) {
+    if (e.ltoadd > e.lfromadd) {
+      road = &e;
+      break;
+    }
+  }
+  ASSERT_NE(road, nullptr);
+  auto rs = stmt.ExecuteQuery(
+      "SELECT ST_X(ST_LineInterpolatePoint(geom, 0.5)), "
+      "ST_Y(ST_LineInterpolatePoint(geom, 0.5)) FROM edges WHERE tlid = " +
+      std::to_string(road->tlid));
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->Next());
+  const double x = *rs->GetDouble(0);
+  const double y = *rs->GetDouble(1);
+
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "SELECT tlid FROM edges ORDER BY ST_Distance(geom, "
+                "ST_MakePoint(%.9f, %.9f)) LIMIT 1",
+                x, y);
+  auto nearest = stmt.ExecuteQuery(buf);
+  ASSERT_TRUE(nearest.ok());
+  ASSERT_TRUE(nearest->Next());
+  EXPECT_EQ(*nearest->GetInt64(0), road->tlid);
+}
+
+TEST_F(IntegrationTest, ReportRendersWithoutBlowingUp) {
+  RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  const auto suite = BuildTopologicalSuite(*dataset_);
+  client::Connection a = LoadedConnection("pine-rtree");
+  client::Connection b = LoadedConnection("pine-scan");
+  std::vector<std::vector<RunResult>> by_sut = {
+      RunSuite(&a, suite, config), RunSuite(&b, suite, config)};
+  const std::string table = RenderComparisonTable("test", by_sut);
+  EXPECT_NE(table.find("pine-rtree"), std::string::npos);
+  EXPECT_NE(table.find("T22"), std::string::npos);
+  EXPECT_NE(table.find("yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jackpine::core

@@ -1,0 +1,125 @@
+// Tests for linear referencing: interpolation, location, closest point,
+// substrings — the geocoding substrate.
+
+#include <gtest/gtest.h>
+
+#include "algo/linear_reference.h"
+#include "algo/measures.h"
+#include "geom/wkt_reader.h"
+
+namespace jackpine::algo {
+namespace {
+
+using geom::Coord;
+using geom::Geometry;
+
+Geometry Wkt(const std::string& s) {
+  auto r = geom::GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(LinearRefTest, InterpolateEndpointsAndMid) {
+  Geometry line = Wkt("LINESTRING (0 0, 10 0)");
+  EXPECT_EQ(LineInterpolatePoint(line, 0.0)->AsPoint(), (Coord{0, 0}));
+  EXPECT_EQ(LineInterpolatePoint(line, 1.0)->AsPoint(), (Coord{10, 0}));
+  EXPECT_EQ(LineInterpolatePoint(line, 0.5)->AsPoint(), (Coord{5, 0}));
+}
+
+TEST(LinearRefTest, InterpolateIsArcLengthNotVertexCount) {
+  // Two segments with very different lengths.
+  Geometry line = Wkt("LINESTRING (0 0, 1 0, 10 0)");
+  EXPECT_EQ(LineInterpolatePoint(line, 0.5)->AsPoint(), (Coord{5, 0}));
+}
+
+TEST(LinearRefTest, InterpolateClampsFraction) {
+  Geometry line = Wkt("LINESTRING (0 0, 10 0)");
+  EXPECT_EQ(LineInterpolatePoint(line, -0.5)->AsPoint(), (Coord{0, 0}));
+  EXPECT_EQ(LineInterpolatePoint(line, 1.5)->AsPoint(), (Coord{10, 0}));
+}
+
+TEST(LinearRefTest, InterpolateRejectsNonLine) {
+  EXPECT_FALSE(LineInterpolatePoint(Geometry::MakePoint(0, 0), 0.5).ok());
+  EXPECT_FALSE(
+      LineInterpolatePoint(Geometry::MakeEmpty(geom::GeometryType::kLineString),
+                           0.5)
+          .ok());
+}
+
+TEST(LinearRefTest, LocatePointBasics) {
+  Geometry line = Wkt("LINESTRING (0 0, 10 0)");
+  EXPECT_DOUBLE_EQ(*LineLocatePoint(line, {5, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(*LineLocatePoint(line, {-4, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(*LineLocatePoint(line, {14, 2}), 1.0);
+}
+
+TEST(LinearRefTest, LocateRoundTripsInterpolate) {
+  Geometry line = Wkt("LINESTRING (0 0, 4 3, 8 0, 12 3)");
+  for (double f : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    auto p = LineInterpolatePoint(line, f);
+    ASSERT_TRUE(p.ok());
+    auto back = LineLocatePoint(line, p->AsPoint());
+    ASSERT_TRUE(back.ok());
+    EXPECT_NEAR(*back, f, 1e-9);
+  }
+}
+
+TEST(LinearRefTest, ClosestPointOnPolygonInterior) {
+  Geometry poly = Wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  EXPECT_EQ(ClosestPoint(poly, {5, 5}).AsPoint(), (Coord{5, 5}));
+  EXPECT_EQ(ClosestPoint(poly, {15, 5}).AsPoint(), (Coord{10, 5}));
+}
+
+TEST(LinearRefTest, ClosestPointOnLine) {
+  Geometry line = Wkt("LINESTRING (0 0, 10 0)");
+  EXPECT_EQ(ClosestPoint(line, {3, 4}).AsPoint(), (Coord{3, 0}));
+}
+
+TEST(LinearRefTest, ClosestPointEmpty) {
+  EXPECT_TRUE(ClosestPoint(Geometry(), {0, 0}).IsEmpty());
+}
+
+TEST(LinearRefTest, SubstringBasics) {
+  Geometry line = Wkt("LINESTRING (0 0, 10 0)");
+  auto mid = LineSubstring(line, 0.25, 0.75);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_NEAR(Length(*mid), 5.0, 1e-9);
+  EXPECT_EQ(mid->AsLineString().front(), (Coord{2.5, 0}));
+  EXPECT_EQ(mid->AsLineString().back(), (Coord{7.5, 0}));
+}
+
+TEST(LinearRefTest, SubstringKeepsInteriorVertices) {
+  Geometry line = Wkt("LINESTRING (0 0, 5 5, 10 0)");
+  auto sub = LineSubstring(line, 0.1, 0.9);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->AsLineString().size(), 3u);  // includes the bend
+}
+
+TEST(LinearRefTest, SubstringCollapsesToPoint) {
+  Geometry line = Wkt("LINESTRING (0 0, 10 0)");
+  auto pt = LineSubstring(line, 0.5, 0.5);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(pt->type(), geom::GeometryType::kPoint);
+  EXPECT_EQ(pt->AsPoint(), (Coord{5, 0}));
+}
+
+TEST(LinearRefTest, SubstringSwapsReversedRange) {
+  Geometry line = Wkt("LINESTRING (0 0, 10 0)");
+  auto sub = LineSubstring(line, 0.8, 0.2);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_NEAR(Length(*sub), 6.0, 1e-9);
+}
+
+// Address interpolation, the way the geocoding scenario uses it: house
+// number -> fraction -> point.
+TEST(LinearRefTest, AddressInterpolation) {
+  Geometry road = Wkt("LINESTRING (100 0, 200 0)");
+  const int64_t from = 100, to = 198, house = 149;
+  const double frac = static_cast<double>(house - from) / (to - from);
+  auto p = LineInterpolatePoint(road, frac);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->AsPoint().x, 100 + 100.0 * 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace jackpine::algo

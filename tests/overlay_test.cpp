@@ -1,0 +1,245 @@
+// Tests for the overlay (boolean) operations: polygon clipping via
+// Greiner-Hormann, line/area clipping, point-set ops, and the area-
+// conservation properties that pin down correctness.
+
+#include <gtest/gtest.h>
+
+#include "algo/measures.h"
+#include "algo/overlay.h"
+#include "common/random.h"
+#include "geom/wkt_reader.h"
+
+namespace jackpine::algo {
+namespace {
+
+using geom::Geometry;
+using geom::GeometryFromWkt;
+using geom::GeometryType;
+
+Geometry Wkt(const std::string& s) {
+  auto r = GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+Geometry Op(const Geometry& a, const Geometry& b, OverlayOp op) {
+  auto r = Overlay(a, b, op);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Geometry();
+}
+
+constexpr double kAreaTol = 1e-6;
+
+TEST(OverlayTest, RectangleIntersection) {
+  Geometry a = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry b = Wkt("POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))");
+  Geometry i = Op(a, b, OverlayOp::kIntersection);
+  EXPECT_NEAR(Area(i), 4.0, kAreaTol);
+  EXPECT_EQ(i.Dimension(), 2);
+}
+
+TEST(OverlayTest, RectangleUnionDissolves) {
+  Geometry a = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry b = Wkt("POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))");
+  Geometry u = Op(a, b, OverlayOp::kUnion);
+  EXPECT_NEAR(Area(u), 16 + 16 - 4, kAreaTol);
+  EXPECT_EQ(u.type(), GeometryType::kPolygon);  // one dissolved piece
+}
+
+TEST(OverlayTest, Difference) {
+  Geometry a = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry b = Wkt("POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))");
+  EXPECT_NEAR(Area(Op(a, b, OverlayOp::kDifference)), 12.0, kAreaTol);
+  EXPECT_NEAR(Area(Op(b, a, OverlayOp::kDifference)), 12.0, kAreaTol);
+}
+
+TEST(OverlayTest, SymDifference) {
+  Geometry a = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry b = Wkt("POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))");
+  EXPECT_NEAR(Area(Op(a, b, OverlayOp::kSymDifference)), 24.0, kAreaTol);
+}
+
+TEST(OverlayTest, DisjointPolygons) {
+  Geometry a = Wkt("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  Geometry b = Wkt("POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))");
+  EXPECT_TRUE(Op(a, b, OverlayOp::kIntersection).IsEmpty());
+  Geometry u = Op(a, b, OverlayOp::kUnion);
+  EXPECT_EQ(u.type(), GeometryType::kMultiPolygon);
+  EXPECT_NEAR(Area(u), 2.0, kAreaTol);
+  EXPECT_NEAR(Area(Op(a, b, OverlayOp::kDifference)), 1.0, kAreaTol);
+}
+
+TEST(OverlayTest, ContainedPolygonDifferenceMakesHole) {
+  Geometry outer = Wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  Geometry inner = Wkt("POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))");
+  Geometry d = Op(outer, inner, OverlayOp::kDifference);
+  EXPECT_NEAR(Area(d), 96.0, kAreaTol);
+  ASSERT_EQ(d.type(), GeometryType::kPolygon);
+  EXPECT_EQ(d.AsPolygon().holes.size(), 1u);
+  // And the fully-consumed direction.
+  EXPECT_TRUE(Op(inner, outer, OverlayOp::kDifference).IsEmpty());
+  // Intersection with containment.
+  EXPECT_NEAR(Area(Op(outer, inner, OverlayOp::kIntersection)), 4.0,
+              kAreaTol);
+  // Union with containment.
+  EXPECT_NEAR(Area(Op(outer, inner, OverlayOp::kUnion)), 100.0, kAreaTol);
+}
+
+TEST(OverlayTest, SharedEdgeDegenerateHandledByPerturbation) {
+  // Two squares sharing the x=2 edge: classic Greiner-Hormann killer.
+  Geometry a = Wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))");
+  Geometry b = Wkt("POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))");
+  Geometry u = Op(a, b, OverlayOp::kUnion);
+  EXPECT_NEAR(Area(u), 8.0, 1e-3);
+  Geometry i = Op(a, b, OverlayOp::kIntersection);
+  EXPECT_NEAR(Area(i), 0.0, 1e-3);
+}
+
+TEST(OverlayTest, IdenticalPolygons) {
+  Geometry a = Wkt("POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))");
+  EXPECT_NEAR(Area(Op(a, a, OverlayOp::kIntersection)), 9.0, 1e-3);
+  EXPECT_NEAR(Area(Op(a, a, OverlayOp::kUnion)), 9.0, 1e-3);
+  EXPECT_NEAR(Area(Op(a, a, OverlayOp::kDifference)), 0.0, 1e-3);
+}
+
+TEST(OverlayTest, NonConvexIntersection) {
+  // L-shape clipped by a square spanning the notch.
+  Geometry l = Wkt("POLYGON ((0 0, 4 0, 4 2, 2 2, 2 4, 0 4, 0 0))");
+  Geometry s = Wkt("POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))");
+  Geometry i = Op(l, s, OverlayOp::kIntersection);
+  EXPECT_NEAR(Area(i), 3.0, kAreaTol);  // square minus the notch quarter
+}
+
+TEST(OverlayTest, HoleInOperand) {
+  Geometry donut = Wkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 3 7, 7 7, 7 3, 3 3))");
+  Geometry clip = Wkt("POLYGON ((2 2, 8 2, 8 8, 2 8, 2 2))");
+  Geometry i = Op(donut, clip, OverlayOp::kIntersection);
+  EXPECT_NEAR(Area(i), 36.0 - 16.0, 1e-3);
+}
+
+TEST(OverlayTest, EmptyOperands) {
+  Geometry a = Wkt("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  Geometry empty = Geometry::MakeEmpty(GeometryType::kPolygon);
+  EXPECT_TRUE(Op(a, empty, OverlayOp::kIntersection).IsEmpty());
+  EXPECT_NEAR(Area(Op(a, empty, OverlayOp::kUnion)), 1.0, kAreaTol);
+  EXPECT_NEAR(Area(Op(a, empty, OverlayOp::kDifference)), 1.0, kAreaTol);
+  EXPECT_NEAR(Area(Op(empty, a, OverlayOp::kDifference)), 0.0, kAreaTol);
+}
+
+TEST(OverlayTest, LineClippedToArea) {
+  Geometry line = Wkt("LINESTRING (-2 1, 6 1)");
+  Geometry box = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry inside = Op(line, box, OverlayOp::kIntersection);
+  EXPECT_NEAR(Length(inside), 4.0, kAreaTol);
+  Geometry outside = Op(line, box, OverlayOp::kDifference);
+  EXPECT_NEAR(Length(outside), 4.0, kAreaTol);
+  // Conservation: inside + outside = whole line.
+  EXPECT_NEAR(Length(inside) + Length(outside), Length(line), kAreaTol);
+}
+
+TEST(OverlayTest, LineAreaUnionIsCollection) {
+  Geometry line = Wkt("LINESTRING (-2 1, 6 1)");
+  Geometry box = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry u = Op(line, box, OverlayOp::kUnion);
+  EXPECT_EQ(u.type(), GeometryType::kGeometryCollection);
+  EXPECT_NEAR(Area(u), 16.0, kAreaTol);
+  EXPECT_NEAR(Length(u), 4.0, kAreaTol);  // only the part outside the box
+}
+
+TEST(OverlayTest, PolygonMinusLineIsUnchanged) {
+  Geometry line = Wkt("LINESTRING (-2 1, 6 1)");
+  Geometry box = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry d = Op(box, line, OverlayOp::kDifference);
+  EXPECT_NEAR(Area(d), 16.0, kAreaTol);
+}
+
+TEST(OverlayTest, LineLineIntersectionPointsAndOverlaps) {
+  Geometry a = Wkt("LINESTRING (0 0, 4 4)");
+  Geometry b = Wkt("LINESTRING (0 4, 4 0)");
+  Geometry i = Op(a, b, OverlayOp::kIntersection);
+  EXPECT_EQ(i.Dimension(), 0);  // single crossing point
+  Geometry c = Wkt("LINESTRING (1 1, 6 6)");
+  Geometry overlap = Op(a, c, OverlayOp::kIntersection);
+  EXPECT_EQ(overlap.Dimension(), 1);
+  EXPECT_NEAR(Length(overlap), std::sqrt(18.0), 1e-6);
+}
+
+TEST(OverlayTest, LineLineDifference) {
+  Geometry a = Wkt("LINESTRING (0 0, 4 0)");
+  Geometry b = Wkt("LINESTRING (1 0, 2 0)");
+  Geometry d = Op(a, b, OverlayOp::kDifference);
+  EXPECT_NEAR(Length(d), 3.0, 1e-9);
+}
+
+TEST(OverlayTest, PointOps) {
+  Geometry pts = Wkt("MULTIPOINT ((1 1), (5 5))");
+  Geometry box = Wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))");
+  Geometry i = Op(pts, box, OverlayOp::kIntersection);
+  EXPECT_EQ(i.NumPoints(), 1u);
+  Geometry d = Op(pts, box, OverlayOp::kDifference);
+  EXPECT_EQ(d.NumPoints(), 1u);
+  EXPECT_EQ(d.Leaves()[0].AsPoint(), (geom::Coord{5, 5}));
+}
+
+TEST(OverlayTest, UnionAllDissolvesChain) {
+  // Three overlapping unit squares in a row.
+  std::vector<Geometry> squares;
+  for (int i = 0; i < 3; ++i) {
+    squares.push_back(Geometry::MakeRectangle(
+        geom::Envelope(i * 0.5, 0, i * 0.5 + 1, 1)));
+  }
+  auto u = UnionAll(squares);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_NEAR(Area(*u), 2.0, 1e-3);
+  EXPECT_EQ(u->type(), GeometryType::kPolygon);
+}
+
+TEST(OverlayTest, UnionAllKeepsDisjointParts) {
+  std::vector<Geometry> squares = {
+      Geometry::MakeRectangle(geom::Envelope(0, 0, 1, 1)),
+      Geometry::MakeRectangle(geom::Envelope(5, 5, 6, 6)),
+  };
+  auto u = UnionAll(squares);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->type(), GeometryType::kMultiPolygon);
+  EXPECT_NEAR(Area(*u), 2.0, 1e-9);
+}
+
+TEST(OverlayTest, CollectionOperandsRejected) {
+  Geometry c = Geometry::MakeCollection({Geometry::MakePoint(0, 0)});
+  Geometry box = Geometry::MakeRectangle(geom::Envelope(0, 0, 1, 1));
+  EXPECT_FALSE(Overlay(c, box, OverlayOp::kIntersection).ok());
+}
+
+// --- Property sweep: area conservation on random rectangles ----------------
+
+class OverlayConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverlayConservation, PartitionIdentity) {
+  jackpine::Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int iter = 0; iter < 20; ++iter) {
+    auto random_box = [&rng]() {
+      const double x = rng.NextDouble(0, 10);
+      const double y = rng.NextDouble(0, 10);
+      return Geometry::MakeRectangle(geom::Envelope(
+          x, y, x + rng.NextDouble(0.5, 6), y + rng.NextDouble(0.5, 6)));
+    };
+    Geometry a = random_box();
+    Geometry b = random_box();
+    auto i = Overlay(a, b, OverlayOp::kIntersection);
+    auto d = Overlay(a, b, OverlayOp::kDifference);
+    auto u = Overlay(a, b, OverlayOp::kUnion);
+    ASSERT_TRUE(i.ok() && d.ok() && u.ok());
+    // area(A) = area(A n B) + area(A - B)
+    EXPECT_NEAR(Area(a), Area(*i) + Area(*d), 1e-4);
+    // area(A u B) = area(A) + area(B) - area(A n B)
+    EXPECT_NEAR(Area(*u), Area(a) + Area(b) - Area(*i), 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlayConservation,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace jackpine::algo

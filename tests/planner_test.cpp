@@ -1,0 +1,183 @@
+// Tests for the planner's access-path selection: index windows, index
+// nested-loop joins, k-NN detection, and constant folding.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/planner.h"
+#include "engine/sql_parser.h"
+
+namespace jackpine::engine {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE pts (id BIGINT, geom GEOMETRY)")
+                    .ok());
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE areas (id BIGINT, geom GEOMETRY)").ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(db_.Execute("INSERT INTO pts VALUES (" +
+                              std::to_string(i) + ", ST_MakePoint(" +
+                              std::to_string(i) + ", 0))")
+                      .ok());
+    }
+    ASSERT_TRUE(db_.Execute(
+                       "INSERT INTO areas VALUES (1, ST_MakeEnvelope(0, -1, "
+                       "5, 1)), (2, ST_MakeEnvelope(10, -1, 15, 1))")
+                    .ok());
+    ASSERT_TRUE(db_.Execute("CREATE SPATIAL INDEX ON pts (geom)").ok());
+    ASSERT_TRUE(db_.Execute("CREATE SPATIAL INDEX ON areas (geom)").ok());
+  }
+
+  PhysicalPlan Plan(const std::string& sql) {
+    auto stmt = ParseSql(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto plan = PlanSelect(std::get<SelectStatement>(*stmt), db_.catalog(),
+                           EvalContext{});
+    EXPECT_TRUE(plan.ok()) << sql << " -> " << plan.status().ToString();
+    return plan.ok() ? std::move(plan).value() : PhysicalPlan{};
+  }
+
+  Database db_;
+};
+
+TEST_F(PlannerTest, WindowFromIntersectsConstant) {
+  PhysicalPlan p = Plan(
+      "SELECT * FROM pts WHERE ST_Intersects(geom, "
+      "ST_MakeEnvelope(2, -1, 4, 1))");
+  EXPECT_TRUE(p.use_window);
+  EXPECT_EQ(p.window, geom::Envelope(2, -1, 4, 1));
+  EXPECT_FALSE(p.use_knn);
+  EXPECT_FALSE(p.use_join_index);
+}
+
+TEST_F(PlannerTest, WindowFromReversedArguments) {
+  PhysicalPlan p = Plan(
+      "SELECT * FROM pts WHERE ST_Contains("
+      "ST_MakeEnvelope(2, -1, 4, 1), geom)");
+  EXPECT_TRUE(p.use_window);
+}
+
+TEST_F(PlannerTest, WindowFromDWithinExpandsEnvelope) {
+  PhysicalPlan p = Plan(
+      "SELECT * FROM pts WHERE ST_DWithin(geom, ST_MakePoint(5, 0), 2)");
+  ASSERT_TRUE(p.use_window);
+  EXPECT_EQ(p.window, geom::Envelope(3, -2, 7, 2));
+}
+
+TEST_F(PlannerTest, WindowFoundInsideConjunction) {
+  PhysicalPlan p = Plan(
+      "SELECT * FROM pts WHERE id > 3 AND ST_Intersects(geom, "
+      "ST_MakeEnvelope(0, 0, 1, 1)) AND id < 10");
+  EXPECT_TRUE(p.use_window);
+}
+
+TEST_F(PlannerTest, DisjointIsNeverIndexAssisted) {
+  PhysicalPlan p = Plan(
+      "SELECT * FROM pts WHERE ST_Disjoint(geom, "
+      "ST_MakeEnvelope(2, -1, 4, 1))");
+  EXPECT_FALSE(p.use_window);
+}
+
+TEST_F(PlannerTest, NoIndexNoWindow) {
+  ASSERT_TRUE(db_.Execute("DROP SPATIAL INDEX ON pts (geom)").ok());
+  PhysicalPlan p = Plan(
+      "SELECT * FROM pts WHERE ST_Intersects(geom, "
+      "ST_MakeEnvelope(2, -1, 4, 1))");
+  EXPECT_FALSE(p.use_window);
+}
+
+TEST_F(PlannerTest, PredicateUnderOrIsNotIndexed) {
+  PhysicalPlan p = Plan(
+      "SELECT * FROM pts WHERE id = 1 OR ST_Intersects(geom, "
+      "ST_MakeEnvelope(2, -1, 4, 1))");
+  EXPECT_FALSE(p.use_window);  // not a top-level conjunct
+}
+
+TEST_F(PlannerTest, JoinUsesIndexOnLargerSide) {
+  PhysicalPlan p = Plan(
+      "SELECT COUNT(*) FROM pts p, areas a "
+      "WHERE ST_Within(p.geom, a.geom)");
+  ASSERT_TRUE(p.use_join_index);
+  // pts (20 rows) is larger than areas (2 rows): probe pts, loop areas.
+  EXPECT_EQ(p.tables[p.inner_table]->name(), "pts");
+  EXPECT_EQ(p.tables[p.outer_table]->name(), "areas");
+}
+
+TEST_F(PlannerTest, JoinDWithinCarriesExpansion) {
+  PhysicalPlan p = Plan(
+      "SELECT COUNT(*) FROM pts p, areas a "
+      "WHERE ST_DWithin(p.geom, a.geom, 3.5)");
+  ASSERT_TRUE(p.use_join_index);
+  EXPECT_DOUBLE_EQ(p.join_expand, 3.5);
+}
+
+TEST_F(PlannerTest, JoinFallsBackToNestedLoop) {
+  ASSERT_TRUE(db_.Execute("DROP SPATIAL INDEX ON pts (geom)").ok());
+  ASSERT_TRUE(db_.Execute("DROP SPATIAL INDEX ON areas (geom)").ok());
+  PhysicalPlan p = Plan(
+      "SELECT COUNT(*) FROM pts p, areas a "
+      "WHERE ST_Within(p.geom, a.geom)");
+  EXPECT_FALSE(p.use_join_index);
+}
+
+TEST_F(PlannerTest, KnnDetected) {
+  PhysicalPlan p = Plan(
+      "SELECT id FROM pts ORDER BY ST_Distance(geom, ST_MakePoint(7, 0)) "
+      "LIMIT 3");
+  ASSERT_TRUE(p.use_knn);
+  EXPECT_EQ(p.knn_center, (geom::Coord{7, 0}));
+  EXPECT_EQ(*p.limit, 3);
+}
+
+TEST_F(PlannerTest, KnnNotUsedWithWhereOrDescOrNoLimit) {
+  EXPECT_FALSE(Plan("SELECT id FROM pts WHERE id > 1 ORDER BY "
+                    "ST_Distance(geom, ST_MakePoint(7, 0)) LIMIT 3")
+                   .use_knn);
+  EXPECT_FALSE(Plan("SELECT id FROM pts ORDER BY "
+                    "ST_Distance(geom, ST_MakePoint(7, 0)) DESC LIMIT 3")
+                   .use_knn);
+  EXPECT_FALSE(Plan("SELECT id FROM pts ORDER BY "
+                    "ST_Distance(geom, ST_MakePoint(7, 0))")
+                   .use_knn);
+}
+
+TEST_F(PlannerTest, ConstantsAreFoldedOncePerQuery) {
+  PhysicalPlan p = Plan(
+      "SELECT * FROM pts WHERE ST_Intersects(geom, "
+      "ST_GeomFromText('POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))'))");
+  ASSERT_TRUE(p.where.has_value());
+  // The ST_GeomFromText subtree must have been folded to a literal.
+  const BoundExpr& call = *p.where;
+  ASSERT_EQ(call.kind, BoundExpr::Kind::kCall);
+  bool found_literal_geometry = false;
+  for (const BoundExpr& arg : call.children) {
+    if (arg.kind == BoundExpr::Kind::kLiteral &&
+        arg.literal.type() == DataType::kGeometry) {
+      found_literal_geometry = true;
+    }
+  }
+  EXPECT_TRUE(found_literal_geometry);
+}
+
+TEST_F(PlannerTest, OutputNaming) {
+  PhysicalPlan p = Plan(
+      "SELECT id, ST_Area(geom) AS a, ST_Length(geom) FROM areas");
+  ASSERT_EQ(p.outputs.size(), 3u);
+  EXPECT_EQ(p.outputs[0].name, "id");
+  EXPECT_EQ(p.outputs[1].name, "a");
+  EXPECT_EQ(p.outputs[2].name, "st_length");
+}
+
+TEST_F(PlannerTest, AmbiguousColumnRejected) {
+  auto stmt = ParseSql("SELECT geom FROM pts p, areas a");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = PlanSelect(std::get<SelectStatement>(*stmt), db_.catalog(),
+                         EvalContext{});
+  EXPECT_FALSE(plan.ok());
+}
+
+}  // namespace
+}  // namespace jackpine::engine

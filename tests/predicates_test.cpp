@@ -1,0 +1,233 @@
+// Tests for the named OGC predicates, their axioms (property sweeps), and
+// the MBR-only evaluation mode.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/wkt_reader.h"
+#include "topo/predicates.h"
+
+namespace jackpine::topo {
+namespace {
+
+using geom::Envelope;
+using geom::Geometry;
+
+Geometry Wkt(const std::string& s) {
+  auto r = geom::GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(PredicatesTest, NamesRoundTrip) {
+  for (auto kind :
+       {PredicateKind::kEquals, PredicateKind::kDisjoint,
+        PredicateKind::kIntersects, PredicateKind::kTouches,
+        PredicateKind::kCrosses, PredicateKind::kWithin,
+        PredicateKind::kContains, PredicateKind::kOverlaps,
+        PredicateKind::kCovers, PredicateKind::kCoveredBy}) {
+    const auto back = PredicateFromName(PredicateName(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_TRUE(PredicateFromName("intersects").has_value());
+  EXPECT_TRUE(PredicateFromName("ST_INTERSECTS").has_value());
+  EXPECT_FALSE(PredicateFromName("st_frobnicates").has_value());
+}
+
+TEST(PredicatesTest, BasicTruths) {
+  Geometry box = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry inner = Wkt("POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))");
+  Geometry far = Wkt("POLYGON ((10 10, 11 10, 11 11, 10 11, 10 10))");
+  Geometry overlapping = Wkt("POLYGON ((3 3, 6 3, 6 6, 3 6, 3 3))");
+
+  EXPECT_TRUE(Within(inner, box));
+  EXPECT_TRUE(Contains(box, inner));
+  EXPECT_FALSE(Within(box, inner));
+  EXPECT_TRUE(Intersects(box, inner));
+  EXPECT_TRUE(Disjoint(box, far));
+  EXPECT_FALSE(Intersects(box, far));
+  EXPECT_TRUE(Overlaps(box, overlapping));
+  EXPECT_FALSE(Overlaps(box, inner));  // containment is not overlap
+  EXPECT_TRUE(Equals(box, box));
+  EXPECT_FALSE(Equals(box, inner));
+}
+
+TEST(PredicatesTest, TouchesVariants) {
+  Geometry a = Wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))");
+  Geometry edge_neighbor = Wkt("POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))");
+  Geometry corner_neighbor = Wkt("POLYGON ((2 2, 3 2, 3 3, 2 3, 2 2))");
+  EXPECT_TRUE(Touches(a, edge_neighbor));
+  EXPECT_TRUE(Touches(a, corner_neighbor));
+  EXPECT_FALSE(Touches(a, a));  // interiors intersect
+  // A line ending on the boundary touches the polygon.
+  EXPECT_TRUE(Touches(Wkt("LINESTRING (2 1, 5 1)"), a));
+  // A line passing through does not.
+  EXPECT_FALSE(Touches(Wkt("LINESTRING (-1 1, 5 1)"), a));
+}
+
+TEST(PredicatesTest, CrossesVariants) {
+  Geometry box = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  EXPECT_TRUE(Crosses(Wkt("LINESTRING (-1 2, 5 2)"), box));
+  EXPECT_TRUE(Crosses(box, Wkt("LINESTRING (-1 2, 5 2)")));  // reversed dims
+  EXPECT_FALSE(Crosses(Wkt("LINESTRING (1 1, 2 2)"), box));  // within
+  // Line/line crossing requires a 0-dim interior intersection.
+  EXPECT_TRUE(Crosses(Wkt("LINESTRING (0 0, 2 2)"),
+                      Wkt("LINESTRING (0 2, 2 0)")));
+  EXPECT_FALSE(Crosses(Wkt("LINESTRING (0 0, 2 0)"),
+                       Wkt("LINESTRING (1 0, 3 0)")));  // 1-dim overlap
+  // Same-dimension areas never cross.
+  EXPECT_FALSE(Crosses(box, box));
+}
+
+TEST(PredicatesTest, CoversIsLaxerThanContains) {
+  Geometry box = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry boundary_point = Wkt("POINT (4 2)");
+  // The boundary point is covered but not contained (no interior contact).
+  EXPECT_TRUE(Covers(box, boundary_point));
+  EXPECT_FALSE(Contains(box, boundary_point));
+  EXPECT_TRUE(CoveredBy(boundary_point, box));
+  // An interior point is both.
+  EXPECT_TRUE(Covers(box, Wkt("POINT (2 2)")));
+  EXPECT_TRUE(Contains(box, Wkt("POINT (2 2)")));
+}
+
+TEST(PredicatesTest, EqualsIsTopologicalNotStructural) {
+  // Same ring, different starting vertex.
+  Geometry a = Wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  Geometry b = Wkt("POLYGON ((4 0, 4 4, 0 4, 0 0, 4 0))");
+  EXPECT_TRUE(Equals(a, b));
+}
+
+TEST(PredicatesTest, EmptyBehaviour) {
+  Geometry empty = Geometry::MakeEmpty(geom::GeometryType::kPolygon);
+  Geometry box = Wkt("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  EXPECT_TRUE(Disjoint(empty, box));
+  EXPECT_FALSE(Intersects(empty, box));
+  EXPECT_FALSE(Within(empty, box));
+  EXPECT_TRUE(Equals(empty, Geometry::MakeEmpty(geom::GeometryType::kPoint)));
+}
+
+// --- Axiom sweeps on random rectangles -------------------------------------
+
+class PredicateAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredicateAxioms, HoldOnRandomBoxes) {
+  jackpine::Rng rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    auto random_geometry = [&rng]() -> Geometry {
+      const double x = rng.NextDouble(0, 8);
+      const double y = rng.NextDouble(0, 8);
+      switch (rng.NextBounded(3)) {
+        case 0:
+          return Geometry::MakePoint(x, y);
+        case 1: {
+          auto line = Geometry::MakeLineString(
+              {{x, y}, {x + rng.NextDouble(0.1, 3), y + rng.NextDouble(0.1, 3)}});
+          return std::move(line).value();
+        }
+        default:
+          return Geometry::MakeRectangle(Envelope(
+              x, y, x + rng.NextDouble(0.5, 4), y + rng.NextDouble(0.5, 4)));
+      }
+    };
+    const Geometry a = random_geometry();
+    const Geometry b = random_geometry();
+
+    // Disjoint is the negation of Intersects.
+    EXPECT_NE(Disjoint(a, b), Intersects(a, b));
+    // Symmetry of the symmetric predicates.
+    EXPECT_EQ(Intersects(a, b), Intersects(b, a));
+    EXPECT_EQ(Disjoint(a, b), Disjoint(b, a));
+    EXPECT_EQ(Touches(a, b), Touches(b, a));
+    EXPECT_EQ(Equals(a, b), Equals(b, a));
+    EXPECT_EQ(Overlaps(a, b), Overlaps(b, a));
+    // Duality.
+    EXPECT_EQ(Within(a, b), Contains(b, a));
+    EXPECT_EQ(CoveredBy(a, b), Covers(b, a));
+    // Within implies intersects and coveredby.
+    if (Within(a, b)) {
+      EXPECT_TRUE(Intersects(a, b));
+      EXPECT_TRUE(CoveredBy(a, b));
+    }
+    // Touches implies intersects but not overlap.
+    if (Touches(a, b)) {
+      EXPECT_TRUE(Intersects(a, b));
+      EXPECT_FALSE(Overlaps(a, b));
+    }
+    // Everything equals itself and is within/covered by itself.
+    EXPECT_TRUE(Equals(a, a));
+    EXPECT_TRUE(Within(a, a));
+    EXPECT_TRUE(Covers(a, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateAxioms,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- MBR-only mode -----------------------------------------------------------
+
+TEST(MbrModeTest, IntersectsDegradesToEnvelopeOverlap) {
+  // Two diagonal "staircase" lines whose envelopes overlap but which never
+  // meet.
+  Geometry a = Wkt("LINESTRING (0 0, 1 3)");
+  Geometry b = Wkt("LINESTRING (1 0, 2 1)");
+  EXPECT_FALSE(
+      EvalPredicate(PredicateKind::kIntersects, a, b, PredicateMode::kExact));
+  EXPECT_TRUE(EvalPredicate(PredicateKind::kIntersects, a, b,
+                            PredicateMode::kMbrOnly));
+}
+
+TEST(MbrModeTest, MbrResultsAreSupersets) {
+  jackpine::Rng rng(123);
+  for (int iter = 0; iter < 60; ++iter) {
+    const double x = rng.NextDouble(0, 8);
+    const double y = rng.NextDouble(0, 8);
+    Geometry a = Geometry::MakeRectangle(
+        Envelope(x, y, x + rng.NextDouble(0.5, 4), y + rng.NextDouble(0.5, 4)));
+    auto line = Geometry::MakeLineString(
+        {{rng.NextDouble(0, 8), rng.NextDouble(0, 8)},
+         {rng.NextDouble(0, 8), rng.NextDouble(0, 8)}});
+    Geometry b = std::move(line).value();
+    // For rectangles vs arbitrary geometry, exact-intersects implies
+    // MBR-intersects (the filter step is sound).
+    if (EvalPredicate(PredicateKind::kIntersects, a, b,
+                      PredicateMode::kExact)) {
+      EXPECT_TRUE(EvalPredicate(PredicateKind::kIntersects, a, b,
+                                PredicateMode::kMbrOnly));
+    }
+    if (EvalPredicate(PredicateKind::kWithin, b, a, PredicateMode::kExact)) {
+      EXPECT_TRUE(
+          EvalPredicate(PredicateKind::kWithin, b, a, PredicateMode::kMbrOnly));
+    }
+  }
+}
+
+TEST(MbrModeTest, RectanglesAgreeBetweenModes) {
+  // For axis-aligned rectangles the MBR is the geometry, so the two modes
+  // must agree on every predicate.
+  Geometry a = Geometry::MakeRectangle(Envelope(0, 0, 4, 4));
+  Geometry b = Geometry::MakeRectangle(Envelope(2, 2, 6, 6));
+  Geometry c = Geometry::MakeRectangle(Envelope(3, 0, 8, 4));
+  for (auto kind : {PredicateKind::kEquals, PredicateKind::kIntersects,
+                    PredicateKind::kWithin, PredicateKind::kContains,
+                    PredicateKind::kOverlaps, PredicateKind::kDisjoint}) {
+    EXPECT_EQ(EvalPredicate(kind, a, b, PredicateMode::kExact),
+              EvalPredicate(kind, a, b, PredicateMode::kMbrOnly))
+        << PredicateName(kind);
+    EXPECT_EQ(EvalPredicate(kind, a, c, PredicateMode::kExact),
+              EvalPredicate(kind, a, c, PredicateMode::kMbrOnly))
+        << PredicateName(kind);
+  }
+  // Edge-touching rectangles are the one rectangle case where the modes
+  // diverge: exact Touches/not-Overlaps vs MBR-Overlaps (MySQL's MBROverlaps
+  // counts boundary contact).
+  Geometry t = Geometry::MakeRectangle(Envelope(4, 0, 8, 4));
+  EXPECT_FALSE(
+      EvalPredicate(PredicateKind::kOverlaps, a, t, PredicateMode::kExact));
+  EXPECT_TRUE(
+      EvalPredicate(PredicateKind::kOverlaps, a, t, PredicateMode::kMbrOnly));
+}
+
+}  // namespace
+}  // namespace jackpine::topo

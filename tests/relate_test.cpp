@@ -1,0 +1,228 @@
+// Tests for the Relate engine: full DE-9IM matrices for representative
+// geometry configurations of every dimension pair.
+
+#include <gtest/gtest.h>
+
+#include "geom/wkt_reader.h"
+#include "topo/relate.h"
+
+namespace jackpine::topo {
+namespace {
+
+using geom::Geometry;
+
+Geometry Wkt(const std::string& s) {
+  auto r = geom::GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.status().ToString();
+  return std::move(r).value();
+}
+
+std::string M(const std::string& a, const std::string& b) {
+  return Relate(Wkt(a), Wkt(b)).ToString();
+}
+
+// --- point / point ----------------------------------------------------------
+
+TEST(RelateTest, PointPointEqual) {
+  EXPECT_EQ(M("POINT (1 1)", "POINT (1 1)"), "0FFFFFFF2");
+}
+
+TEST(RelateTest, PointPointDistinct) {
+  EXPECT_EQ(M("POINT (1 1)", "POINT (2 2)"), "FF0FFF0F2");
+}
+
+// --- point / line ------------------------------------------------------------
+
+TEST(RelateTest, PointOnLineInterior) {
+  EXPECT_EQ(M("POINT (1 0)", "LINESTRING (0 0, 2 0)"), "0FFFFF102");
+}
+
+TEST(RelateTest, PointOnLineEndpoint) {
+  EXPECT_EQ(M("POINT (0 0)", "LINESTRING (0 0, 2 0)"), "F0FFFF102");
+}
+
+TEST(RelateTest, PointOffLine) {
+  EXPECT_EQ(M("POINT (5 5)", "LINESTRING (0 0, 2 0)"), "FF0FFF102");
+}
+
+// --- point / polygon -----------------------------------------------------------
+
+TEST(RelateTest, PointInPolygon) {
+  EXPECT_EQ(M("POINT (1 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "0FFFFF212");
+}
+
+TEST(RelateTest, PointOnPolygonBoundary) {
+  EXPECT_EQ(M("POINT (2 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "F0FFFF212");
+}
+
+TEST(RelateTest, PointOutsidePolygon) {
+  EXPECT_EQ(M("POINT (9 9)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "FF0FFF212");
+}
+
+// --- line / line -----------------------------------------------------------------
+
+TEST(RelateTest, LinesCrossProperly) {
+  EXPECT_EQ(M("LINESTRING (0 0, 2 2)", "LINESTRING (0 2, 2 0)"),
+            "0F1FF0102");
+}
+
+TEST(RelateTest, LinesTouchAtEndpoints) {
+  EXPECT_EQ(M("LINESTRING (0 0, 1 1)", "LINESTRING (1 1, 2 0)"),
+            "FF1F00102");
+}
+
+TEST(RelateTest, LineEndpointTouchesInterior) {
+  // B's endpoint is interior to A and vice versa? Here A's endpoint (1,0)
+  // lies in the middle of B.
+  EXPECT_EQ(M("LINESTRING (1 0, 1 5)", "LINESTRING (0 0, 2 0)"),
+            "FF10F0102");
+}
+
+TEST(RelateTest, EqualLines) {
+  EXPECT_EQ(M("LINESTRING (0 0, 2 0)", "LINESTRING (0 0, 2 0)"),
+            "1FFF0FFF2");
+}
+
+TEST(RelateTest, LineWithinLongerLine) {
+  EXPECT_EQ(M("LINESTRING (1 0, 2 0)", "LINESTRING (0 0, 4 0)"),
+            "1FF0FF102");
+}
+
+TEST(RelateTest, PartialCollinearOverlap) {
+  EXPECT_EQ(M("LINESTRING (0 0, 2 0)", "LINESTRING (1 0, 3 0)"),
+            "1010F0102");
+}
+
+TEST(RelateTest, DisjointLines) {
+  EXPECT_EQ(M("LINESTRING (0 0, 1 0)", "LINESTRING (0 5, 1 5)"),
+            "FF1FF0102");
+}
+
+// --- line / polygon ----------------------------------------------------------------
+
+TEST(RelateTest, LineCrossesPolygon) {
+  EXPECT_EQ(
+      M("LINESTRING (-1 1, 3 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+      "101FF0212");
+}
+
+TEST(RelateTest, LineWithinPolygon) {
+  EXPECT_EQ(
+      M("LINESTRING (0.5 1, 1.5 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+      "1FF0FF212");
+}
+
+TEST(RelateTest, LineTouchesPolygonBoundaryAlongEdge) {
+  EXPECT_EQ(
+      M("LINESTRING (0 0, 2 0)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+      "F1FF0F212");
+}
+
+TEST(RelateTest, LineTouchesPolygonAtPoint) {
+  EXPECT_EQ(
+      M("LINESTRING (2 1, 4 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+      "FF1F00212");
+}
+
+TEST(RelateTest, LineDisjointFromPolygon) {
+  EXPECT_EQ(
+      M("LINESTRING (5 5, 6 6)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+      "FF1FF0212");
+}
+
+TEST(RelateTest, LineEnteringThroughBoundaryEndingInside) {
+  EXPECT_EQ(
+      M("LINESTRING (-1 1, 1 1)", "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+      "1010F0212");
+}
+
+// --- polygon / polygon -------------------------------------------------------------
+
+TEST(RelateTest, OverlappingPolygons) {
+  EXPECT_EQ(M("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+              "POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))"),
+            "212101212");
+}
+
+TEST(RelateTest, EqualPolygons) {
+  EXPECT_EQ(M("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+              "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "2FFF1FFF2");
+}
+
+TEST(RelateTest, PolygonProperlyInside) {
+  EXPECT_EQ(M("POLYGON ((1 1, 2 1, 2 2, 1 2, 1 1))",
+              "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"),
+            "2FF1FF212");
+}
+
+TEST(RelateTest, PolygonsShareEdgeOnly) {
+  EXPECT_EQ(M("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+              "POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))"),
+            "FF2F11212");
+}
+
+TEST(RelateTest, PolygonsShareCornerOnly) {
+  EXPECT_EQ(M("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+              "POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))"),
+            "FF2F01212");
+}
+
+TEST(RelateTest, DisjointPolygons) {
+  EXPECT_EQ(M("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))",
+              "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))"),
+            "FF2FF1212");
+}
+
+TEST(RelateTest, PolygonInsideHoleIsDisjoint) {
+  EXPECT_EQ(M("POLYGON ((4 4, 6 4, 6 6, 4 6, 4 4))",
+              "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+              "(3 3, 3 7, 7 7, 7 3, 3 3))"),
+            "FF2FF1212");
+}
+
+TEST(RelateTest, InnerPolygonTouchingBoundaryFromInside) {
+  EXPECT_EQ(M("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+              "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"),
+            "2FF11F212");
+}
+
+// --- empties --------------------------------------------------------------------
+
+TEST(RelateTest, EmptyVersusPolygon) {
+  EXPECT_EQ(M("POLYGON EMPTY", "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"),
+            "FFFFFF212");
+  EXPECT_EQ(M("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))", "POLYGON EMPTY"),
+            "FF2FF1FF2");
+  EXPECT_EQ(M("POINT EMPTY", "POINT EMPTY"), "FFFFFFFF2");
+}
+
+// --- multi geometries -------------------------------------------------------------
+
+TEST(RelateTest, MultiPointAgainstPolygon) {
+  EXPECT_EQ(M("MULTIPOINT ((1 1), (9 9))",
+              "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+            "0F0FFF212");
+}
+
+TEST(RelateTest, MultiLineStringBoundaryModTwo) {
+  // Two segments joined at (1,0): the join is interior, outer ends are
+  // boundary; relate against a point at the join must report interior.
+  EXPECT_EQ(M("MULTILINESTRING ((0 0, 1 0), (1 0, 2 0))", "POINT (1 0)"),
+            "0F1FF0FF2");
+}
+
+TEST(RelateTest, RelateMatchesHelper) {
+  EXPECT_TRUE(RelateMatches(Wkt("POINT (1 1)"),
+                            Wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+                            "T*F**F***"));  // within
+  EXPECT_FALSE(RelateMatches(Wkt("POINT (5 5)"),
+                             Wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))"),
+                             "T*F**F***"));
+}
+
+}  // namespace
+}  // namespace jackpine::topo

@@ -1,0 +1,167 @@
+// Robustness battery: adversarially degenerate overlay inputs that defeat
+// textbook Greiner-Hormann (shared vertices, vertex-on-edge contact,
+// collinear partial edge overlaps, grid-aligned lattices). The perturbation
+// ladder must resolve every one of them with bounded area error.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "algo/measures.h"
+#include "algo/overlay.h"
+#include "common/random.h"
+#include "geom/wkt_reader.h"
+#include "topo/predicates.h"
+
+namespace jackpine::algo {
+namespace {
+
+using geom::Envelope;
+using geom::Geometry;
+
+Geometry Wkt(const std::string& s) {
+  auto r = geom::GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+struct DegenerateCase {
+  const char* name;
+  const char* a;
+  const char* b;
+  double expected_intersection_area;
+  double expected_union_area;
+};
+
+class DegenerateOverlay : public ::testing::TestWithParam<DegenerateCase> {};
+
+TEST_P(DegenerateOverlay, LadderResolvesWithBoundedError) {
+  const DegenerateCase& tc = GetParam();
+  Geometry a = Wkt(tc.a);
+  Geometry b = Wkt(tc.b);
+  auto inter = Intersection(a, b);
+  auto uni = Union(a, b);
+  auto diff = Difference(a, b);
+  ASSERT_TRUE(inter.ok()) << tc.name << ": " << inter.status().ToString();
+  ASSERT_TRUE(uni.ok()) << tc.name << ": " << uni.status().ToString();
+  ASSERT_TRUE(diff.ok()) << tc.name << ": " << diff.status().ToString();
+  // Perturbation moves vertices by <= ~1e-6 of the extent, so areas must be
+  // correct to a loose absolute tolerance.
+  constexpr double kTol = 1e-3;
+  EXPECT_NEAR(Area(*inter), tc.expected_intersection_area, kTol) << tc.name;
+  EXPECT_NEAR(Area(*uni), tc.expected_union_area, kTol) << tc.name;
+  // Partition identity survives degeneracy.
+  EXPECT_NEAR(Area(a), Area(*inter) + Area(*diff), kTol) << tc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DegenerateOverlay,
+    ::testing::Values(
+        DegenerateCase{"shared-edge",
+                       "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                       "POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))", 0.0, 8.0},
+        DegenerateCase{"shared-corner",
+                       "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+                       "POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))", 0.0, 8.0},
+        DegenerateCase{"identical",
+                       "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+                       "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))", 9.0, 9.0},
+        DegenerateCase{"same-ring-different-start",
+                       "POLYGON ((0 0, 3 0, 3 3, 0 3, 0 0))",
+                       "POLYGON ((3 3, 0 3, 0 0, 3 0, 3 3))", 9.0, 9.0},
+        DegenerateCase{"vertex-on-edge",
+                       "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+                       "POLYGON ((2 4, 6 4, 6 8, 2 8, 2 4))", 0.0, 32.0},
+        DegenerateCase{"collinear-partial-edge",
+                       "POLYGON ((0 0, 4 0, 4 2, 0 2, 0 0))",
+                       "POLYGON ((1 2, 3 2, 3 4, 1 4, 1 2))", 0.0, 12.0},
+        DegenerateCase{"half-overlap-shared-edges",
+                       "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+                       "POLYGON ((0 0, 4 0, 4 2, 0 2, 0 0))", 8.0, 16.0},
+        DegenerateCase{"contained-touching-boundary",
+                       "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+                       "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))", 4.0, 16.0},
+        DegenerateCase{"cross-shape",
+                       "POLYGON ((1 0, 3 0, 3 4, 1 4, 1 0))",
+                       "POLYGON ((0 1, 4 1, 4 3, 0 3, 0 1))", 4.0, 12.0}));
+
+TEST(RobustnessTest, GridAlignedLatticeUnionAll) {
+  // A 4x4 checkerboard of exactly touching unit squares: every pairwise
+  // contact is degenerate. UnionAll must cover the full area.
+  std::vector<Geometry> squares;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      squares.push_back(
+          Geometry::MakeRectangle(Envelope(x, y, x + 1, y + 1)));
+    }
+  }
+  auto u = UnionAll(squares);
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_NEAR(Area(*u), 16.0, 1e-2);
+}
+
+TEST(RobustnessTest, RepeatedSelfUnionIsStable) {
+  Geometry g = Wkt("POLYGON ((0 0, 5 0, 5 5, 0 5, 0 0))");
+  for (int i = 0; i < 5; ++i) {
+    auto u = Union(g, g);
+    ASSERT_TRUE(u.ok());
+    g = std::move(u).value();
+    EXPECT_NEAR(Area(g), 25.0, 1e-2) << "iteration " << i;
+  }
+}
+
+TEST(RobustnessTest, RandomTouchingStripsPartition) {
+  // Vertical strips sharing edges tile a square; intersect each with a
+  // rotated-ish probe polygon and check the pieces sum to the probe's area
+  // clipped to the square.
+  jackpine::Rng rng(77);
+  std::vector<Geometry> strips;
+  for (int i = 0; i < 5; ++i) {
+    strips.push_back(
+        Geometry::MakeRectangle(Envelope(i * 2.0, 0, i * 2.0 + 2.0, 10)));
+  }
+  for (int iter = 0; iter < 10; ++iter) {
+    const double cx = rng.NextDouble(1, 9);
+    const double cy = rng.NextDouble(1, 9);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "POLYGON ((%f %f, %f %f, %f %f, %f %f, %f %f))", cx - 1.5,
+                  cy - 1.0, cx + 1.5, cy - 1.3, cx + 1.8, cy + 1.1, cx - 1.1,
+                  cy + 1.6, cx - 1.5, cy - 1.0);
+    Geometry probe = Wkt(buf);
+    double pieces = 0.0;
+    for (const Geometry& strip : strips) {
+      auto inter = Intersection(probe, strip);
+      ASSERT_TRUE(inter.ok());
+      pieces += Area(*inter);
+    }
+    auto whole = Intersection(
+        probe, Geometry::MakeRectangle(Envelope(0, 0, 10, 10)));
+    ASSERT_TRUE(whole.ok());
+    EXPECT_NEAR(pieces, Area(*whole), 1e-3);
+  }
+}
+
+TEST(RobustnessTest, DegenerateContactsKeepPredicatesConsistent) {
+  // For every degenerate pair above, Touches and Overlaps stay mutually
+  // exclusive and Intersects agrees with a nonempty (closed) intersection.
+  const char* pairs[][2] = {
+      {"POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+       "POLYGON ((2 0, 4 0, 4 2, 2 2, 2 0))"},
+      {"POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))",
+       "POLYGON ((2 2, 4 2, 4 4, 2 4, 2 2))"},
+      {"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+       "POLYGON ((2 4, 6 4, 6 8, 2 8, 2 4))"},
+  };
+  for (const auto& p : pairs) {
+    Geometry a = Wkt(p[0]);
+    Geometry b = Wkt(p[1]);
+    EXPECT_TRUE(topo::Intersects(a, b)) << p[0];
+    EXPECT_TRUE(topo::Touches(a, b)) << p[0];
+    EXPECT_FALSE(topo::Overlaps(a, b)) << p[0];
+    EXPECT_FALSE(topo::Within(a, b)) << p[0];
+  }
+}
+
+}  // namespace
+}  // namespace jackpine::algo

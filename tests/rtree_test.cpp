@@ -1,0 +1,177 @@
+// Tests for the R-tree: insertion, STR bulk load, window queries, k-NN,
+// structural invariants.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/rtree.h"
+
+namespace jackpine::index {
+namespace {
+
+using geom::Coord;
+using geom::Envelope;
+
+std::vector<IndexEntry> GridEntries(int n_per_side) {
+  std::vector<IndexEntry> entries;
+  int64_t id = 0;
+  for (int y = 0; y < n_per_side; ++y) {
+    for (int x = 0; x < n_per_side; ++x) {
+      entries.push_back(
+          {Envelope(x, y, x + 0.5, y + 0.5), id++});
+    }
+  }
+  return entries;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  std::vector<int64_t> out;
+  tree.Query(Envelope(0, 0, 100, 100), &out);
+  EXPECT_TRUE(out.empty());
+  tree.Nearest({0, 0}, 5, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Insert(Envelope(1, 1, 2, 2), 42);
+  std::vector<int64_t> out;
+  tree.Query(Envelope(0, 0, 3, 3), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42);
+  out.clear();
+  tree.Query(Envelope(5, 5, 6, 6), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, WindowQueryExactness) {
+  RTree tree;
+  for (const IndexEntry& e : GridEntries(20)) tree.Insert(e.box, e.id);
+  EXPECT_EQ(tree.size(), 400u);
+  std::vector<int64_t> out;
+  // Window covering cells (2..4) x (2..4) fully and partially.
+  tree.Query(Envelope(2.1, 2.1, 4.4, 4.4), &out);
+  std::set<int64_t> got(out.begin(), out.end());
+  std::set<int64_t> expected;
+  for (int y = 2; y <= 4; ++y) {
+    for (int x = 2; x <= 4; ++x) expected.insert(y * 20 + x);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(RTreeTest, BulkLoadMatchesInsertResults) {
+  const auto entries = GridEntries(15);
+  RTree inserted;
+  for (const IndexEntry& e : entries) inserted.Insert(e.box, e.id);
+  RTree bulk;
+  bulk.BulkLoad(entries);
+  EXPECT_EQ(bulk.size(), inserted.size());
+
+  jackpine::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.NextDouble(0, 15);
+    const double y = rng.NextDouble(0, 15);
+    Envelope w(x, y, x + rng.NextDouble(0, 5), y + rng.NextDouble(0, 5));
+    std::vector<int64_t> a, b;
+    inserted.Query(w, &a);
+    bulk.Query(w, &b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(RTreeTest, StrBulkLoadIsShallow) {
+  RTree tree(16);
+  tree.BulkLoad(GridEntries(40));  // 1600 entries
+  EXPECT_EQ(tree.size(), 1600u);
+  // 1600 entries at fanout 16: leaves=100, level2=7, root -> height 3.
+  EXPECT_LE(tree.Height(), 4);
+  EXPECT_GE(tree.Height(), 3);
+  EXPECT_GT(tree.NodeCount(), 100u);
+}
+
+TEST(RTreeTest, NearestBasics) {
+  RTree tree;
+  tree.Insert(Envelope(0, 0, 0, 0), 1);
+  tree.Insert(Envelope(5, 0, 5, 0), 2);
+  tree.Insert(Envelope(10, 0, 10, 0), 3);
+  std::vector<int64_t> out;
+  tree.Nearest({6, 0}, 2, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 2);  // distance 1
+  EXPECT_EQ(out[1], 3);  // distance 4
+}
+
+TEST(RTreeTest, NearestKLargerThanSize) {
+  RTree tree;
+  tree.Insert(Envelope(0, 0, 1, 1), 1);
+  tree.Insert(Envelope(2, 2, 3, 3), 2);
+  std::vector<int64_t> out;
+  tree.Nearest({0, 0}, 10, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(RTreeTest, NearestMatchesBruteForce) {
+  jackpine::Rng rng(7);
+  RTree tree;
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble(0, 100);
+    const double y = rng.NextDouble(0, 100);
+    Envelope box(x, y, x + rng.NextDouble(0, 2), y + rng.NextDouble(0, 2));
+    entries.push_back({box, i});
+    tree.Insert(box, i);
+  }
+  for (int probe = 0; probe < 20; ++probe) {
+    const Coord p{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    std::vector<int64_t> got;
+    tree.Nearest(p, 10, &got);
+    ASSERT_EQ(got.size(), 10u);
+    // Brute-force reference.
+    std::vector<std::pair<double, int64_t>> ref;
+    for (const IndexEntry& e : entries) {
+      ref.emplace_back(e.box.DistanceTo(p), e.id);
+    }
+    std::sort(ref.begin(), ref.end());
+    // Distances must match (ids may tie-swap).
+    for (size_t k = 0; k < got.size(); ++k) {
+      double got_dist = 0.0;
+      for (const IndexEntry& e : entries) {
+        if (e.id == got[k]) got_dist = e.box.DistanceTo(p);
+      }
+      EXPECT_NEAR(got_dist, ref[k].first, 1e-12);
+    }
+  }
+}
+
+TEST(RTreeTest, DuplicateBoxesAllRetrievable) {
+  RTree tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(Envelope(1, 1, 2, 2), i);
+  std::vector<int64_t> out;
+  tree.Query(Envelope(0, 0, 3, 3), &out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(RTreeTest, HugeInsertLoadStaysBalanced) {
+  jackpine::Rng rng(11);
+  RTree tree;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.NextDouble(0, 1000);
+    const double y = rng.NextDouble(0, 1000);
+    tree.Insert(Envelope(x, y, x + 1, y + 1), i);
+  }
+  EXPECT_EQ(tree.size(), 5000u);
+  EXPECT_LE(tree.Height(), 6);
+  std::vector<int64_t> out;
+  tree.Query(Envelope(0, 0, 1000, 1000), &out);
+  EXPECT_EQ(out.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace jackpine::index

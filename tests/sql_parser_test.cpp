@@ -1,0 +1,178 @@
+// Tests for the SQL lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "engine/sql_lexer.h"
+#include "engine/sql_parser.h"
+
+namespace jackpine::engine {
+namespace {
+
+Statement Parse(const std::string& sql) {
+  auto r = ParseSql(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return std::move(r).value();
+}
+
+SelectStatement ParseSelect(const std::string& sql) {
+  Statement stmt = Parse(sql);
+  return std::move(std::get<SelectStatement>(stmt));
+}
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a.b, 'it''s', 3.5e2 FROM t WHERE x <= 1;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->front().text, "SELECT");
+  bool found_string = false, found_number = false, found_le = false;
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kString) {
+      EXPECT_EQ(t.text, "it's");
+      found_string = true;
+    }
+    if (t.kind == TokenKind::kNumber && t.text == "3.5e2") found_number = true;
+    if (t.IsSymbol("<=")) found_le = true;
+  }
+  EXPECT_TRUE(found_string);
+  EXPECT_TRUE(found_number);
+  EXPECT_TRUE(found_le);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("SELECT 1 -- trailing comment\nFROM t");
+  ASSERT_TRUE(tokens.ok());
+  for (const Token& t : *tokens) EXPECT_NE(t.text, "--");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("SELECT @foo").ok());
+}
+
+TEST(ParserTest, MinimalSelect) {
+  const auto s = ParseSelect(("SELECT * FROM edges"));
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_TRUE(s.items[0].star);
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "edges");
+  EXPECT_EQ(s.from[0].alias, "edges");
+  EXPECT_EQ(s.where, nullptr);
+}
+
+TEST(ParserTest, AliasesAndQualifiedColumns) {
+  const auto s = ParseSelect(("SELECT e.tlid AS id, fullname name FROM edges e, county AS c"));
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].alias, "id");
+  EXPECT_EQ(s.items[0].expr->table_qualifier, "e");
+  EXPECT_EQ(s.items[0].expr->column, "tlid");
+  EXPECT_EQ(s.items[1].alias, "name");
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "e");
+  EXPECT_EQ(s.from[1].alias, "c");
+}
+
+TEST(ParserTest, WhereExpressionPrecedence) {
+  const auto s = ParseSelect(("SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT c = 3"));
+  // OR at the top, AND below it on the right.
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(s.where->binary_op, BinaryOp::kOr);
+  EXPECT_EQ(s.where->children[1]->binary_op, BinaryOp::kAnd);
+  EXPECT_EQ(s.where->children[1]->children[1]->kind, Expr::Kind::kUnary);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  const auto s = ParseSelect(("SELECT 1 + 2 * 3 FROM t"));
+  const Expr& e = *s.items[0].expr;
+  EXPECT_EQ(e.binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(e.children[1]->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, FunctionCallsNested) {
+  const auto s = ParseSelect(("SELECT SUM(ST_Area(ST_Buffer(geom, 2.5, 8))) FROM arealm"));
+  const Expr& sum = *s.items[0].expr;
+  EXPECT_EQ(sum.kind, Expr::Kind::kFunctionCall);
+  EXPECT_EQ(sum.function, "SUM");
+  const Expr& area = *sum.children[0];
+  EXPECT_EQ(area.function, "ST_Area");
+  const Expr& buffer = *area.children[0];
+  EXPECT_EQ(buffer.function, "ST_Buffer");
+  EXPECT_EQ(buffer.children.size(), 3u);
+}
+
+TEST(ParserTest, CountStar) {
+  const auto s = ParseSelect(("SELECT COUNT(*) FROM t"));
+  const Expr& count = *s.items[0].expr;
+  EXPECT_EQ(count.function, "COUNT");
+  ASSERT_EQ(count.children.size(), 1u);
+  EXPECT_EQ(count.children[0]->kind, Expr::Kind::kStar);
+}
+
+TEST(ParserTest, OrderByLimit) {
+  const auto s = ParseSelect((
+      "SELECT * FROM t ORDER BY a DESC, b ASC, c LIMIT 10"));
+  ASSERT_EQ(s.order_by.size(), 3u);
+  EXPECT_FALSE(s.order_by[0].ascending);
+  EXPECT_TRUE(s.order_by[1].ascending);
+  EXPECT_TRUE(s.order_by[2].ascending);
+  EXPECT_EQ(*s.limit, 10);
+}
+
+TEST(ParserTest, Literals) {
+  const auto s = ParseSelect(("SELECT 1, -2.5, 'text', TRUE, FALSE, NULL FROM t"));
+  EXPECT_EQ(s.items[0].expr->literal.int_value(), 1);
+  EXPECT_EQ(s.items[1].expr->kind, Expr::Kind::kUnary);  // unary minus
+  EXPECT_EQ(s.items[2].expr->literal.string_value(), "text");
+  EXPECT_TRUE(s.items[3].expr->literal.bool_value());
+  EXPECT_FALSE(s.items[4].expr->literal.bool_value());
+  EXPECT_TRUE(s.items[5].expr->literal.is_null());
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = Parse(
+      "CREATE TABLE edges (tlid BIGINT, name VARCHAR, geom GEOMETRY)");
+  const auto& c = std::get<CreateTableStatement>(stmt);
+  EXPECT_EQ(c.name, "edges");
+  ASSERT_EQ(c.columns.size(), 3u);
+  EXPECT_EQ(c.columns[2].first, "geom");
+  EXPECT_EQ(c.columns[2].second, "GEOMETRY");
+}
+
+TEST(ParserTest, InsertMultiRow) {
+  auto stmt = Parse(
+      "INSERT INTO t VALUES (1, 'a'), (2, ST_GeomFromText('POINT (0 0)'))");
+  const auto& i = std::get<InsertStatement>(stmt);
+  EXPECT_EQ(i.table, "t");
+  ASSERT_EQ(i.rows.size(), 2u);
+  EXPECT_EQ(i.rows[0].size(), 2u);
+  EXPECT_EQ(i.rows[1][1]->function, "ST_GeomFromText");
+}
+
+TEST(ParserTest, SpatialIndexDdl) {
+  auto c = Parse("CREATE SPATIAL INDEX ON edges (geom)");
+  EXPECT_EQ(std::get<CreateIndexStatement>(c).table, "edges");
+  EXPECT_EQ(std::get<CreateIndexStatement>(c).column, "geom");
+  auto d = Parse("DROP SPATIAL INDEX ON edges (geom)");
+  EXPECT_EQ(std::get<DropIndexStatement>(d).table, "edges");
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_NO_FATAL_FAILURE(Parse("SELECT * FROM t;"));
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("SELEC * FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t LIMIT x").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM t extra garbage").ok());
+  EXPECT_FALSE(ParseSql("CREATE TABLE t (a)").ok());
+  EXPECT_FALSE(ParseSql("INSERT INTO t VALUES 1, 2").ok());
+  EXPECT_FALSE(ParseSql("UPDATE t SET a = 1").ok());
+  EXPECT_FALSE(ParseSql("SELECT f(1, FROM t").ok());
+}
+
+}  // namespace
+}  // namespace jackpine::engine

@@ -1,0 +1,151 @@
+// Tests for the synthetic TIGER-like dataset generator: determinism, schema
+// properties, spatial structure (county tiling, urban skew, address ranges).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algo/measures.h"
+#include "topo/predicates.h"
+#include "tigergen/tigergen.h"
+
+namespace jackpine::tigergen {
+namespace {
+
+TigerGenOptions SmallOptions() {
+  TigerGenOptions options;
+  options.scale = 0.1;
+  options.seed = 42;
+  return options;
+}
+
+TEST(TigerGenTest, DeterministicInSeed) {
+  const TigerDataset a = GenerateTiger(SmallOptions());
+  const TigerDataset b = GenerateTiger(SmallOptions());
+  ASSERT_EQ(a.TotalRows(), b.TotalRows());
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_TRUE(a.edges[i].geom.ExactlyEquals(b.edges[i].geom));
+    EXPECT_EQ(a.edges[i].fullname, b.edges[i].fullname);
+  }
+  TigerGenOptions other = SmallOptions();
+  other.seed = 43;
+  const TigerDataset c = GenerateTiger(other);
+  EXPECT_FALSE(a.edges[0].geom.ExactlyEquals(c.edges[0].geom));
+}
+
+TEST(TigerGenTest, ScaleControlsCardinalities) {
+  TigerGenOptions small = SmallOptions();
+  TigerGenOptions big = SmallOptions();
+  big.scale = 0.4;
+  const TigerDataset s = GenerateTiger(small);
+  const TigerDataset b = GenerateTiger(big);
+  EXPECT_NEAR(static_cast<double>(b.edges.size()) / s.edges.size(), 4.0, 0.5);
+  EXPECT_GT(b.pointlm.size(), s.pointlm.size());
+  // TIGER-like ratios: edges dominate everything.
+  EXPECT_GT(s.edges.size(), s.pointlm.size());
+  EXPECT_GT(s.pointlm.size(), s.counties.size());
+}
+
+TEST(TigerGenTest, CountiesTileTheExtentWithSharedBoundaries) {
+  const TigerDataset ds = GenerateTiger(SmallOptions());
+  ASSERT_GE(ds.counties.size(), 4u);
+  // Total county area == extent area (a partition).
+  double total = 0.0;
+  for (const County& c : ds.counties) total += algo::Area(c.geom);
+  EXPECT_NEAR(total, ds.extent.Area(), ds.extent.Area() * 1e-9);
+  // Adjacent counties touch; at least one touching pair must exist, and no
+  // two counties overlap.
+  int touching = 0;
+  for (size_t i = 0; i < ds.counties.size(); ++i) {
+    for (size_t j = i + 1; j < ds.counties.size(); ++j) {
+      if (topo::Touches(ds.counties[i].geom, ds.counties[j].geom)) ++touching;
+      EXPECT_FALSE(topo::Overlaps(ds.counties[i].geom, ds.counties[j].geom));
+    }
+  }
+  EXPECT_GT(touching, 0);
+  // Distinct FIPS codes.
+  std::set<int64_t> fips;
+  for (const County& c : ds.counties) fips.insert(c.fips);
+  EXPECT_EQ(fips.size(), ds.counties.size());
+}
+
+TEST(TigerGenTest, EdgesHaveValidGeometryAndAddresses) {
+  const TigerDataset ds = GenerateTiger(SmallOptions());
+  ASSERT_FALSE(ds.edges.empty());
+  size_t addressable = 0;
+  for (const Edge& e : ds.edges) {
+    EXPECT_EQ(e.geom.type(), geom::GeometryType::kLineString);
+    EXPECT_GE(e.geom.NumPoints(), 2u);
+    EXPECT_TRUE(e.geom.Validate().ok());
+    EXPECT_TRUE(ds.extent.Contains(e.geom.envelope()));
+    EXPECT_TRUE(e.mtfcc == "S1100" || e.mtfcc == "S1200" ||
+                e.mtfcc == "S1400");
+    if (e.ltoadd > e.lfromadd) {
+      ++addressable;
+      // Left side even, right side odd (the TIGER convention).
+      EXPECT_EQ(e.lfromadd % 2, 0);
+      EXPECT_EQ(e.rfromadd % 2, 1);
+      EXPECT_LT(e.rfromadd, e.rtoadd);
+    }
+  }
+  EXPECT_GT(addressable, ds.edges.size() / 2);
+}
+
+TEST(TigerGenTest, UrbanSkewConcentratesLocalRoads) {
+  TigerGenOptions options = SmallOptions();
+  options.scale = 0.3;
+  const TigerDataset ds = GenerateTiger(options);
+  // Count local roads within 10% of the extent of any urban centre vs a
+  // same-total-area set of control discs; skew means urban wins clearly.
+  const double radius = ds.extent.Width() * 0.1;
+  size_t near_urban = 0;
+  for (const Edge& e : ds.edges) {
+    if (e.mtfcc != "S1400") continue;
+    const geom::Coord c = e.geom.envelope().Center();
+    for (const geom::Coord& u : ds.urban_centers) {
+      if (geom::DistanceBetween(c, u) < radius) {
+        ++near_urban;
+        break;
+      }
+    }
+  }
+  size_t total_local = 0;
+  for (const Edge& e : ds.edges) {
+    if (e.mtfcc == "S1400") ++total_local;
+  }
+  // Urban discs cover ~ pi r^2 * centers / extent^2 of the area; with 4ish
+  // centers and r = 10% that is ~13% of the area. Local roads should be far
+  // more concentrated than uniform.
+  EXPECT_GT(static_cast<double>(near_urban) / total_local, 0.35);
+}
+
+TEST(TigerGenTest, LandmarksAndWaterAreValidPolygons) {
+  const TigerDataset ds = GenerateTiger(SmallOptions());
+  for (const AreaLandmark& a : ds.arealm) {
+    EXPECT_EQ(a.geom.type(), geom::GeometryType::kPolygon);
+    EXPECT_TRUE(a.geom.Validate().ok()) << a.fullname;
+    EXPECT_GT(algo::Area(a.geom), 0.0);
+  }
+  for (const AreaWater& w : ds.areawater) {
+    EXPECT_TRUE(w.geom.Validate().ok()) << w.fullname;
+    EXPECT_NEAR(w.areasqm, algo::Area(w.geom) * 1e6,
+                std::abs(w.areasqm) * 1e-9);
+  }
+  for (const PointLandmark& p : ds.pointlm) {
+    EXPECT_EQ(p.geom.type(), geom::GeometryType::kPoint);
+    EXPECT_TRUE(ds.extent.Contains(p.geom.AsPoint()));
+  }
+}
+
+TEST(TigerGenTest, CountyAssignmentsAreRealFips) {
+  const TigerDataset ds = GenerateTiger(SmallOptions());
+  std::set<int64_t> fips;
+  for (const County& c : ds.counties) fips.insert(c.fips);
+  for (const Edge& e : ds.edges) EXPECT_TRUE(fips.count(e.county_fips));
+  for (const PointLandmark& p : ds.pointlm) {
+    EXPECT_TRUE(fips.count(p.county_fips));
+  }
+}
+
+}  // namespace
+}  // namespace jackpine::tigergen

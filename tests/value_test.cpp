@@ -1,0 +1,119 @@
+// Tests for the engine's Value model and schema validation.
+
+#include <gtest/gtest.h>
+
+#include "engine/schema.h"
+#include "engine/value.h"
+#include "geom/wkt_reader.h"
+
+namespace jackpine::engine {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), DataType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int(5).int_value(), 5);
+  EXPECT_EQ(Value::Real(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::Str("x").string_value(), "x");
+  auto g = geom::GeometryFromWkt("POINT (1 2)");
+  EXPECT_EQ(Value::Geo(*g).type(), DataType::kGeometry);
+}
+
+TEST(ValueTest, NumericCoercions) {
+  EXPECT_EQ(*Value::Int(7).AsDouble(), 7.0);
+  EXPECT_EQ(*Value::Real(7.9).AsInt64(), 7);
+  EXPECT_FALSE(Value::Str("7").AsDouble().ok());
+  EXPECT_TRUE(*Value::Int(1).AsBool());
+  EXPECT_FALSE(*Value::Int(0).AsBool());
+  EXPECT_FALSE(Value::Str("true").AsBool().ok());
+}
+
+TEST(ValueTest, CompareNumericCrossType) {
+  EXPECT_LT(*Value::Int(1).Compare(Value::Real(1.5)), 0);
+  EXPECT_EQ(*Value::Int(2).Compare(Value::Real(2.0)), 0);
+  EXPECT_GT(*Value::Real(3.0).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CompareStringsAndBools) {
+  EXPECT_LT(*Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(*Value::Bool(true).Compare(Value::Bool(true)), 0);
+  EXPECT_FALSE(Value::Str("a").Compare(Value::Int(1)).ok());
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(*Value().Compare(Value::Int(0)), 0);
+  EXPECT_GT(*Value::Int(0).Compare(Value()), 0);
+  EXPECT_EQ(*Value().Compare(Value()), 0);
+}
+
+TEST(ValueTest, GeometryHasNoOrdering) {
+  auto g = geom::GeometryFromWkt("POINT (1 2)");
+  EXPECT_FALSE(Value::Geo(*g).Compare(Value::Geo(*g)).ok());
+}
+
+TEST(ValueTest, SqlEquals) {
+  EXPECT_TRUE(Value::Int(2).SqlEquals(Value::Real(2.0)));
+  EXPECT_FALSE(Value().SqlEquals(Value()));  // NULL != NULL
+  auto g1 = geom::GeometryFromWkt("POINT (1 2)");
+  auto g2 = geom::GeometryFromWkt("POINT (1 2)");
+  EXPECT_TRUE(Value::Geo(*g1).SqlEquals(Value::Geo(*g2)));
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value().ToDisplayString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToDisplayString(), "-3");
+  EXPECT_EQ(Value::Bool(false).ToDisplayString(), "false");
+  auto g = geom::GeometryFromWkt("POINT (1 2)");
+  EXPECT_EQ(Value::Geo(*g).ToDisplayString(), "POINT (1 2)");
+}
+
+TEST(ValueTest, HashesDistinguishValues) {
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+  EXPECT_NE(Value::Str("a").Hash(), Value::Str("b").Hash());
+  EXPECT_EQ(Value::Str("spatial").Hash(), Value::Str("spatial").Hash());
+  EXPECT_NE(Value().Hash(), Value::Int(0).Hash());
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema schema({{"fips", DataType::kInt64}, {"GEOM", DataType::kGeometry}});
+  EXPECT_EQ(*schema.FindColumn("FIPS"), 0u);
+  EXPECT_EQ(*schema.FindColumn("geom"), 1u);
+  EXPECT_FALSE(schema.FindColumn("nope").has_value());
+}
+
+TEST(SchemaTest, ValidateRow) {
+  Schema schema({{"id", DataType::kInt64},
+                 {"score", DataType::kDouble},
+                 {"name", DataType::kString}});
+  EXPECT_TRUE(
+      schema.ValidateRow({Value::Int(1), Value::Real(0.5), Value::Str("x")})
+          .ok());
+  // Int widens into double columns; NULL fits anywhere.
+  EXPECT_TRUE(
+      schema.ValidateRow({Value::Int(1), Value::Int(2), Value()}).ok());
+  // Arity mismatch.
+  EXPECT_FALSE(schema.ValidateRow({Value::Int(1)}).ok());
+  // Type mismatch.
+  EXPECT_FALSE(
+      schema.ValidateRow({Value::Str("1"), Value::Real(0.5), Value::Str("x")})
+          .ok());
+}
+
+TEST(SchemaTest, TypeNamesParse) {
+  EXPECT_EQ(*DataTypeFromName("BIGINT"), DataType::kInt64);
+  EXPECT_EQ(*DataTypeFromName("integer"), DataType::kInt64);
+  EXPECT_EQ(*DataTypeFromName("Double"), DataType::kDouble);
+  EXPECT_EQ(*DataTypeFromName("VARCHAR"), DataType::kString);
+  EXPECT_EQ(*DataTypeFromName("GEOMETRY"), DataType::kGeometry);
+  EXPECT_EQ(*DataTypeFromName("bool"), DataType::kBool);
+  EXPECT_FALSE(DataTypeFromName("BLOB").ok());
+}
+
+TEST(SchemaTest, ToString) {
+  Schema schema({{"id", DataType::kInt64}, {"geom", DataType::kGeometry}});
+  EXPECT_EQ(schema.ToString(), "(id BIGINT, geom GEOMETRY)");
+}
+
+}  // namespace
+}  // namespace jackpine::engine

@@ -1,0 +1,134 @@
+// WKB serialisation tests: format details and round trips.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/wkb.h"
+#include "geom/wkt_reader.h"
+
+namespace jackpine::geom {
+namespace {
+
+Geometry Wkt(const std::string& s) {
+  auto r = GeometryFromWkt(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+Geometry RoundTrip(const Geometry& g) {
+  const std::string wkb = ToWkb(g);
+  auto back = FromWkb(wkb);
+  EXPECT_TRUE(back.ok()) << back.status().ToString();
+  return back.ok() ? std::move(back).value() : Geometry();
+}
+
+TEST(WkbTest, PointLayout) {
+  const std::string wkb = ToWkb(Geometry::MakePoint(1, 2));
+  ASSERT_EQ(wkb.size(), 1 + 4 + 16u);
+  EXPECT_EQ(wkb[0], 1);                          // little endian
+  EXPECT_EQ(static_cast<uint8_t>(wkb[1]), 1u);   // type code POINT
+}
+
+TEST(WkbTest, EmptyPointUsesNan) {
+  Geometry empty = Geometry::MakeEmpty(GeometryType::kPoint);
+  Geometry back = RoundTrip(empty);
+  EXPECT_TRUE(back.IsEmpty());
+  EXPECT_EQ(back.type(), GeometryType::kPoint);
+}
+
+TEST(WkbTest, RejectsTruncated) {
+  const std::string wkb = ToWkb(Geometry::MakePoint(1, 2));
+  EXPECT_FALSE(FromWkb(wkb.substr(0, wkb.size() - 1)).ok());
+  EXPECT_FALSE(FromWkb("").ok());
+}
+
+TEST(WkbTest, RejectsTrailingBytes) {
+  std::string wkb = ToWkb(Geometry::MakePoint(1, 2));
+  wkb += '\0';
+  EXPECT_FALSE(FromWkb(wkb).ok());
+}
+
+TEST(WkbTest, RejectsBadTypeCode) {
+  std::string wkb = ToWkb(Geometry::MakePoint(1, 2));
+  wkb[1] = 42;
+  EXPECT_FALSE(FromWkb(wkb).ok());
+}
+
+TEST(WkbTest, RejectsAbsurdCounts) {
+  // LINESTRING header claiming 2^31 points on a tiny buffer.
+  std::string wkb;
+  wkb.push_back(1);
+  const uint32_t type = 2, n = 0x7fffffff;
+  wkb.append(reinterpret_cast<const char*>(&type), 4);
+  wkb.append(reinterpret_cast<const char*>(&n), 4);
+  EXPECT_FALSE(FromWkb(wkb).ok());
+}
+
+TEST(WkbTest, BigEndianInputAccepted) {
+  // Hand-built big-endian POINT (1 2).
+  std::string wkb;
+  wkb.push_back(0);  // big endian marker
+  auto put_be32 = [&wkb](uint32_t v) {
+    for (int i = 3; i >= 0; --i) wkb.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  auto put_be64 = [&wkb](uint64_t v) {
+    for (int i = 7; i >= 0; --i) wkb.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  put_be32(1);  // POINT
+  uint64_t bits;
+  double d = 1.0;
+  memcpy(&bits, &d, 8);
+  put_be64(bits);
+  d = 2.0;
+  memcpy(&bits, &d, 8);
+  put_be64(bits);
+  auto g = FromWkb(wkb);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->AsPoint(), (Coord{1, 2}));
+}
+
+struct WkbCase {
+  const char* wkt;
+};
+
+class WkbRoundTrip : public ::testing::TestWithParam<WkbCase> {};
+
+TEST_P(WkbRoundTrip, Stable) {
+  Geometry g = Wkt(GetParam().wkt);
+  Geometry back = RoundTrip(g);
+  EXPECT_TRUE(g.ExactlyEquals(back)) << GetParam().wkt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, WkbRoundTrip,
+    ::testing::Values(
+        WkbCase{"POINT (1 2)"}, WkbCase{"LINESTRING (0 0, 1 1, 2 0)"},
+        WkbCase{"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"},
+        WkbCase{"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+                "(2 2, 2 4, 4 4, 4 2, 2 2))"},
+        WkbCase{"MULTIPOINT ((1 2), (3 4))"},
+        WkbCase{"MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))"},
+        WkbCase{"MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)))"},
+        WkbCase{"GEOMETRYCOLLECTION (POINT (1 2), "
+                "LINESTRING (0 0, 1 1))"},
+        WkbCase{"LINESTRING EMPTY"}, WkbCase{"POLYGON EMPTY"}));
+
+TEST(WkbRoundTripRandom, RandomGeometries) {
+  jackpine::Rng rng(99);
+  for (int iter = 0; iter < 40; ++iter) {
+    // Random multipoint of random size.
+    std::vector<Geometry> pts;
+    const int n = static_cast<int>(rng.NextInt(1, 12));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(Geometry::MakePoint(rng.NextDouble(-1e6, 1e6),
+                                        rng.NextDouble(-1e6, 1e6)));
+    }
+    auto mp = Geometry::MakeMultiPoint(pts);
+    ASSERT_TRUE(mp.ok());
+    Geometry back = RoundTrip(*mp);
+    EXPECT_TRUE(mp->ExactlyEquals(back));
+  }
+}
+
+}  // namespace
+}  // namespace jackpine::geom

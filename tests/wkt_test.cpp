@@ -1,0 +1,150 @@
+// WKT reader/writer tests, including round-trip properties.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geom/wkt_reader.h"
+#include "geom/wkt_writer.h"
+
+namespace jackpine::geom {
+namespace {
+
+Geometry Parse(const std::string& wkt) {
+  auto r = GeometryFromWkt(wkt);
+  EXPECT_TRUE(r.ok()) << wkt << " -> " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Geometry();
+}
+
+TEST(WktReaderTest, Point) {
+  Geometry g = Parse("POINT (3 4)");
+  EXPECT_EQ(g.type(), GeometryType::kPoint);
+  EXPECT_EQ(g.AsPoint(), (Coord{3, 4}));
+}
+
+TEST(WktReaderTest, PointWithNegativesAndExponents) {
+  Geometry g = Parse("point(-1.5e2 +0.25)");
+  EXPECT_EQ(g.AsPoint(), (Coord{-150, 0.25}));
+}
+
+TEST(WktReaderTest, EmptyForms) {
+  EXPECT_TRUE(Parse("POINT EMPTY").IsEmpty());
+  EXPECT_TRUE(Parse("LINESTRING EMPTY").IsEmpty());
+  EXPECT_TRUE(Parse("POLYGON EMPTY").IsEmpty());
+  EXPECT_TRUE(Parse("MULTIPOLYGON EMPTY").IsEmpty());
+  EXPECT_TRUE(Parse("GEOMETRYCOLLECTION EMPTY").IsEmpty());
+  EXPECT_EQ(Parse("POINT EMPTY").type(), GeometryType::kPoint);
+}
+
+TEST(WktReaderTest, LineString) {
+  Geometry g = Parse("LINESTRING (0 0, 1 1, 2 0)");
+  EXPECT_EQ(g.AsLineString().size(), 3u);
+}
+
+TEST(WktReaderTest, PolygonWithHole) {
+  Geometry g = Parse(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))");
+  EXPECT_EQ(g.AsPolygon().holes.size(), 1u);
+}
+
+TEST(WktReaderTest, MultiPointBothSpellings) {
+  Geometry a = Parse("MULTIPOINT ((1 2), (3 4))");
+  Geometry b = Parse("MULTIPOINT (1 2, 3 4)");
+  EXPECT_TRUE(a.ExactlyEquals(b));
+}
+
+TEST(WktReaderTest, MultiLineString) {
+  Geometry g = Parse("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))");
+  EXPECT_EQ(g.Parts().size(), 2u);
+  EXPECT_EQ(g.NumPoints(), 5u);
+}
+
+TEST(WktReaderTest, MultiPolygon) {
+  Geometry g = Parse(
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), "
+      "((5 5, 6 5, 6 6, 5 6, 5 5)))");
+  EXPECT_EQ(g.Parts().size(), 2u);
+  EXPECT_EQ(g.Dimension(), 2);
+}
+
+TEST(WktReaderTest, GeometryCollection) {
+  Geometry g = Parse(
+      "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))");
+  EXPECT_EQ(g.Parts().size(), 2u);
+}
+
+TEST(WktReaderTest, RejectsGarbage) {
+  EXPECT_FALSE(GeometryFromWkt("").ok());
+  EXPECT_FALSE(GeometryFromWkt("CIRCLE (0 0, 5)").ok());
+  EXPECT_FALSE(GeometryFromWkt("POINT (1)").ok());
+  EXPECT_FALSE(GeometryFromWkt("POINT (1 2").ok());
+  EXPECT_FALSE(GeometryFromWkt("POINT (1 2) extra").ok());
+  EXPECT_FALSE(GeometryFromWkt("LINESTRING (0 0)").ok());
+  EXPECT_FALSE(GeometryFromWkt("POLYGON ((0 0, 1 1))").ok());
+}
+
+TEST(WktWriterTest, WritesCanonicalForms) {
+  EXPECT_EQ(Geometry::MakePoint(1, 2).ToWkt(), "POINT (1 2)");
+  EXPECT_EQ(Geometry::MakeEmpty(GeometryType::kPolygon).ToWkt(),
+            "POLYGON EMPTY");
+  EXPECT_EQ(Parse("LINESTRING (0 0, 1.5 2)").ToWkt(),
+            "LINESTRING (0 0, 1.5 2)");
+}
+
+TEST(WktWriterTest, PrecisionControl) {
+  WktWriter coarse(3);
+  EXPECT_EQ(coarse.Write(Geometry::MakePoint(1.23456, 2)), "POINT (1.23 2)");
+}
+
+// --- Round-trip property sweep --------------------------------------------
+
+struct RoundTripCase {
+  const char* wkt;
+};
+
+class WktRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(WktRoundTrip, ParseWriteParseIsStable) {
+  Geometry g1 = Parse(GetParam().wkt);
+  const std::string w1 = g1.ToWkt();
+  Geometry g2 = Parse(w1);
+  EXPECT_TRUE(g1.ExactlyEquals(g2)) << w1;
+  EXPECT_EQ(w1, g2.ToWkt());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, WktRoundTrip,
+    ::testing::Values(
+        RoundTripCase{"POINT (1 2)"}, RoundTripCase{"POINT EMPTY"},
+        RoundTripCase{"POINT (-1.25 3.5e3)"},
+        RoundTripCase{"LINESTRING (0 0, 1 1, 2 0, 3 9.75)"},
+        RoundTripCase{"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"},
+        RoundTripCase{
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), "
+            "(2 2, 2 4, 4 4, 4 2, 2 2))"},
+        RoundTripCase{"MULTIPOINT ((1 2), (3 4), (5 6))"},
+        RoundTripCase{"MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))"},
+        RoundTripCase{
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), "
+            "((5 5, 6 5, 6 6, 5 6, 5 5)))"},
+        RoundTripCase{
+            "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1), "
+            "POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0)))"}));
+
+// Randomised round trips: random geometries survive WKT serialisation.
+TEST(WktRoundTripRandom, RandomLineStrings) {
+  jackpine::Rng rng(2024);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<Coord> pts;
+    const int n = static_cast<int>(rng.NextInt(2, 20));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({rng.NextDouble(-1e3, 1e3), rng.NextDouble(-1e3, 1e3)});
+    }
+    auto line = Geometry::MakeLineString(pts);
+    ASSERT_TRUE(line.ok());
+    Geometry again = Parse(line->ToWkt());
+    EXPECT_TRUE(line->ExactlyEquals(again));
+  }
+}
+
+}  // namespace
+}  // namespace jackpine::geom
