@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_effect.dir/bench_index_effect.cpp.o"
+  "CMakeFiles/bench_index_effect.dir/bench_index_effect.cpp.o.d"
+  "bench_index_effect"
+  "bench_index_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

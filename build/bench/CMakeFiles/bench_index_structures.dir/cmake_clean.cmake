@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_structures.dir/bench_index_structures.cpp.o"
+  "CMakeFiles/bench_index_structures.dir/bench_index_structures.cpp.o.d"
+  "bench_index_structures"
+  "bench_index_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

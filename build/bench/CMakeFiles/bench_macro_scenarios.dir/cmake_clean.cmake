@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_macro_scenarios.dir/bench_macro_scenarios.cpp.o"
+  "CMakeFiles/bench_macro_scenarios.dir/bench_macro_scenarios.cpp.o.d"
+  "bench_macro_scenarios"
+  "bench_macro_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_macro_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

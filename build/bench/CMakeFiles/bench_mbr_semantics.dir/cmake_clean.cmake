@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mbr_semantics.dir/bench_mbr_semantics.cpp.o"
+  "CMakeFiles/bench_mbr_semantics.dir/bench_mbr_semantics.cpp.o.d"
+  "bench_mbr_semantics"
+  "bench_mbr_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mbr_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

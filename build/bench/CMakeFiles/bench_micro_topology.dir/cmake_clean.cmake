@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_topology.dir/bench_micro_topology.cpp.o"
+  "CMakeFiles/bench_micro_topology.dir/bench_micro_topology.cpp.o.d"
+  "bench_micro_topology"
+  "bench_micro_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

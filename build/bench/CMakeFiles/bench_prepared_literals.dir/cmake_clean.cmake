@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prepared_literals.dir/bench_prepared_literals.cpp.o"
+  "CMakeFiles/bench_prepared_literals.dir/bench_prepared_literals.cpp.o.d"
+  "bench_prepared_literals"
+  "bench_prepared_literals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prepared_literals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

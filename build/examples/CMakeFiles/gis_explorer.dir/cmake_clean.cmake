@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_explorer.dir/gis_explorer.cpp.o"
+  "CMakeFiles/gis_explorer.dir/gis_explorer.cpp.o.d"
+  "gis_explorer"
+  "gis_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

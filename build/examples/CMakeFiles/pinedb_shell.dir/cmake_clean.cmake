@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinedb_shell.dir/pinedb_shell.cpp.o"
+  "CMakeFiles/pinedb_shell.dir/pinedb_shell.cpp.o.d"
+  "pinedb_shell"
+  "pinedb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinedb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

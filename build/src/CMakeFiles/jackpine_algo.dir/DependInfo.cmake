@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/affine.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/affine.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/affine.cpp.o.d"
+  "/root/repo/src/algo/buffer.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/buffer.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/buffer.cpp.o.d"
+  "/root/repo/src/algo/convex_hull.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/convex_hull.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/convex_hull.cpp.o.d"
+  "/root/repo/src/algo/distance.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/distance.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/distance.cpp.o.d"
+  "/root/repo/src/algo/linear_reference.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/linear_reference.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/linear_reference.cpp.o.d"
+  "/root/repo/src/algo/measures.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/measures.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/measures.cpp.o.d"
+  "/root/repo/src/algo/orientation.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/orientation.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/orientation.cpp.o.d"
+  "/root/repo/src/algo/overlay.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/overlay.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/overlay.cpp.o.d"
+  "/root/repo/src/algo/point_in_polygon.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/point_in_polygon.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/point_in_polygon.cpp.o.d"
+  "/root/repo/src/algo/segment_intersection.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/segment_intersection.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/segment_intersection.cpp.o.d"
+  "/root/repo/src/algo/simplify.cpp" "src/CMakeFiles/jackpine_algo.dir/algo/simplify.cpp.o" "gcc" "src/CMakeFiles/jackpine_algo.dir/algo/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jackpine_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

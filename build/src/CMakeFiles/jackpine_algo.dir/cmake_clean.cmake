@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackpine_algo.dir/algo/affine.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/affine.cpp.o.d"
+  "CMakeFiles/jackpine_algo.dir/algo/buffer.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/buffer.cpp.o.d"
+  "CMakeFiles/jackpine_algo.dir/algo/convex_hull.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/convex_hull.cpp.o.d"
+  "CMakeFiles/jackpine_algo.dir/algo/distance.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/distance.cpp.o.d"
+  "CMakeFiles/jackpine_algo.dir/algo/linear_reference.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/linear_reference.cpp.o.d"
+  "CMakeFiles/jackpine_algo.dir/algo/measures.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/measures.cpp.o.d"
+  "CMakeFiles/jackpine_algo.dir/algo/orientation.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/orientation.cpp.o.d"
+  "CMakeFiles/jackpine_algo.dir/algo/overlay.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/overlay.cpp.o.d"
+  "CMakeFiles/jackpine_algo.dir/algo/point_in_polygon.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/point_in_polygon.cpp.o.d"
+  "CMakeFiles/jackpine_algo.dir/algo/segment_intersection.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/segment_intersection.cpp.o.d"
+  "CMakeFiles/jackpine_algo.dir/algo/simplify.cpp.o"
+  "CMakeFiles/jackpine_algo.dir/algo/simplify.cpp.o.d"
+  "libjackpine_algo.a"
+  "libjackpine_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackpine_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

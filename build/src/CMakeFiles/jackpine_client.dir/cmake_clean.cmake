@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackpine_client.dir/client/client.cpp.o"
+  "CMakeFiles/jackpine_client.dir/client/client.cpp.o.d"
+  "libjackpine_client.a"
+  "libjackpine_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackpine_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

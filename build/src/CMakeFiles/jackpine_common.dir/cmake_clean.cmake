@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackpine_common.dir/common/random.cpp.o"
+  "CMakeFiles/jackpine_common.dir/common/random.cpp.o.d"
+  "CMakeFiles/jackpine_common.dir/common/status.cpp.o"
+  "CMakeFiles/jackpine_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/jackpine_common.dir/common/stopwatch.cpp.o"
+  "CMakeFiles/jackpine_common.dir/common/stopwatch.cpp.o.d"
+  "CMakeFiles/jackpine_common.dir/common/string_util.cpp.o"
+  "CMakeFiles/jackpine_common.dir/common/string_util.cpp.o.d"
+  "libjackpine_common.a"
+  "libjackpine_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackpine_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jackpine_common.
+# This may be replaced when dependencies are built.

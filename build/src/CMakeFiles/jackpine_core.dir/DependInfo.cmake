@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/loader.cpp" "src/CMakeFiles/jackpine_core.dir/core/loader.cpp.o" "gcc" "src/CMakeFiles/jackpine_core.dir/core/loader.cpp.o.d"
+  "/root/repo/src/core/micro_suite.cpp" "src/CMakeFiles/jackpine_core.dir/core/micro_suite.cpp.o" "gcc" "src/CMakeFiles/jackpine_core.dir/core/micro_suite.cpp.o.d"
+  "/root/repo/src/core/query_spec.cpp" "src/CMakeFiles/jackpine_core.dir/core/query_spec.cpp.o" "gcc" "src/CMakeFiles/jackpine_core.dir/core/query_spec.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/jackpine_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/jackpine_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/jackpine_core.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/jackpine_core.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/scenarios.cpp" "src/CMakeFiles/jackpine_core.dir/core/scenarios.cpp.o" "gcc" "src/CMakeFiles/jackpine_core.dir/core/scenarios.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/jackpine_core.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/jackpine_core.dir/core/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jackpine_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_tigergen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackpine_core.dir/core/loader.cpp.o"
+  "CMakeFiles/jackpine_core.dir/core/loader.cpp.o.d"
+  "CMakeFiles/jackpine_core.dir/core/micro_suite.cpp.o"
+  "CMakeFiles/jackpine_core.dir/core/micro_suite.cpp.o.d"
+  "CMakeFiles/jackpine_core.dir/core/query_spec.cpp.o"
+  "CMakeFiles/jackpine_core.dir/core/query_spec.cpp.o.d"
+  "CMakeFiles/jackpine_core.dir/core/report.cpp.o"
+  "CMakeFiles/jackpine_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/jackpine_core.dir/core/runner.cpp.o"
+  "CMakeFiles/jackpine_core.dir/core/runner.cpp.o.d"
+  "CMakeFiles/jackpine_core.dir/core/scenarios.cpp.o"
+  "CMakeFiles/jackpine_core.dir/core/scenarios.cpp.o.d"
+  "CMakeFiles/jackpine_core.dir/core/stats.cpp.o"
+  "CMakeFiles/jackpine_core.dir/core/stats.cpp.o.d"
+  "libjackpine_core.a"
+  "libjackpine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackpine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

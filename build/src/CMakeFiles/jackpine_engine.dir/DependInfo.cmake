@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/catalog.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/catalog.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/catalog.cpp.o.d"
+  "/root/repo/src/engine/database.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/database.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/database.cpp.o.d"
+  "/root/repo/src/engine/executor.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/executor.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/executor.cpp.o.d"
+  "/root/repo/src/engine/expression.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/expression.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/expression.cpp.o.d"
+  "/root/repo/src/engine/functions.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/functions.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/functions.cpp.o.d"
+  "/root/repo/src/engine/planner.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/planner.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/planner.cpp.o.d"
+  "/root/repo/src/engine/schema.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/schema.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/schema.cpp.o.d"
+  "/root/repo/src/engine/sql_lexer.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/sql_lexer.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/sql_lexer.cpp.o.d"
+  "/root/repo/src/engine/sql_parser.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/sql_parser.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/sql_parser.cpp.o.d"
+  "/root/repo/src/engine/table.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/table.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/table.cpp.o.d"
+  "/root/repo/src/engine/value.cpp" "src/CMakeFiles/jackpine_engine.dir/engine/value.cpp.o" "gcc" "src/CMakeFiles/jackpine_engine.dir/engine/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jackpine_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

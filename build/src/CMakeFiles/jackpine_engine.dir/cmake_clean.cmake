@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackpine_engine.dir/engine/catalog.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/catalog.cpp.o.d"
+  "CMakeFiles/jackpine_engine.dir/engine/database.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/database.cpp.o.d"
+  "CMakeFiles/jackpine_engine.dir/engine/executor.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/executor.cpp.o.d"
+  "CMakeFiles/jackpine_engine.dir/engine/expression.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/expression.cpp.o.d"
+  "CMakeFiles/jackpine_engine.dir/engine/functions.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/functions.cpp.o.d"
+  "CMakeFiles/jackpine_engine.dir/engine/planner.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/planner.cpp.o.d"
+  "CMakeFiles/jackpine_engine.dir/engine/schema.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/schema.cpp.o.d"
+  "CMakeFiles/jackpine_engine.dir/engine/sql_lexer.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/sql_lexer.cpp.o.d"
+  "CMakeFiles/jackpine_engine.dir/engine/sql_parser.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/sql_parser.cpp.o.d"
+  "CMakeFiles/jackpine_engine.dir/engine/table.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/table.cpp.o.d"
+  "CMakeFiles/jackpine_engine.dir/engine/value.cpp.o"
+  "CMakeFiles/jackpine_engine.dir/engine/value.cpp.o.d"
+  "libjackpine_engine.a"
+  "libjackpine_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackpine_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/envelope.cpp" "src/CMakeFiles/jackpine_geom.dir/geom/envelope.cpp.o" "gcc" "src/CMakeFiles/jackpine_geom.dir/geom/envelope.cpp.o.d"
+  "/root/repo/src/geom/geojson.cpp" "src/CMakeFiles/jackpine_geom.dir/geom/geojson.cpp.o" "gcc" "src/CMakeFiles/jackpine_geom.dir/geom/geojson.cpp.o.d"
+  "/root/repo/src/geom/geometry.cpp" "src/CMakeFiles/jackpine_geom.dir/geom/geometry.cpp.o" "gcc" "src/CMakeFiles/jackpine_geom.dir/geom/geometry.cpp.o.d"
+  "/root/repo/src/geom/wkb.cpp" "src/CMakeFiles/jackpine_geom.dir/geom/wkb.cpp.o" "gcc" "src/CMakeFiles/jackpine_geom.dir/geom/wkb.cpp.o.d"
+  "/root/repo/src/geom/wkt_reader.cpp" "src/CMakeFiles/jackpine_geom.dir/geom/wkt_reader.cpp.o" "gcc" "src/CMakeFiles/jackpine_geom.dir/geom/wkt_reader.cpp.o.d"
+  "/root/repo/src/geom/wkt_writer.cpp" "src/CMakeFiles/jackpine_geom.dir/geom/wkt_writer.cpp.o" "gcc" "src/CMakeFiles/jackpine_geom.dir/geom/wkt_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jackpine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackpine_geom.dir/geom/envelope.cpp.o"
+  "CMakeFiles/jackpine_geom.dir/geom/envelope.cpp.o.d"
+  "CMakeFiles/jackpine_geom.dir/geom/geojson.cpp.o"
+  "CMakeFiles/jackpine_geom.dir/geom/geojson.cpp.o.d"
+  "CMakeFiles/jackpine_geom.dir/geom/geometry.cpp.o"
+  "CMakeFiles/jackpine_geom.dir/geom/geometry.cpp.o.d"
+  "CMakeFiles/jackpine_geom.dir/geom/wkb.cpp.o"
+  "CMakeFiles/jackpine_geom.dir/geom/wkb.cpp.o.d"
+  "CMakeFiles/jackpine_geom.dir/geom/wkt_reader.cpp.o"
+  "CMakeFiles/jackpine_geom.dir/geom/wkt_reader.cpp.o.d"
+  "CMakeFiles/jackpine_geom.dir/geom/wkt_writer.cpp.o"
+  "CMakeFiles/jackpine_geom.dir/geom/wkt_writer.cpp.o.d"
+  "libjackpine_geom.a"
+  "libjackpine_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackpine_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackpine_index.dir/index/grid_index.cpp.o"
+  "CMakeFiles/jackpine_index.dir/index/grid_index.cpp.o.d"
+  "CMakeFiles/jackpine_index.dir/index/linear_scan.cpp.o"
+  "CMakeFiles/jackpine_index.dir/index/linear_scan.cpp.o.d"
+  "CMakeFiles/jackpine_index.dir/index/rtree.cpp.o"
+  "CMakeFiles/jackpine_index.dir/index/rtree.cpp.o.d"
+  "libjackpine_index.a"
+  "libjackpine_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackpine_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jackpine_index.
+# This may be replaced when dependencies are built.

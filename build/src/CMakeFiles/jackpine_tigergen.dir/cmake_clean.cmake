@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackpine_tigergen.dir/tigergen/csv_io.cpp.o"
+  "CMakeFiles/jackpine_tigergen.dir/tigergen/csv_io.cpp.o.d"
+  "CMakeFiles/jackpine_tigergen.dir/tigergen/tigergen.cpp.o"
+  "CMakeFiles/jackpine_tigergen.dir/tigergen/tigergen.cpp.o.d"
+  "libjackpine_tigergen.a"
+  "libjackpine_tigergen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackpine_tigergen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

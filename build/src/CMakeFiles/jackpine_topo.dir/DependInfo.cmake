@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/de9im.cpp" "src/CMakeFiles/jackpine_topo.dir/topo/de9im.cpp.o" "gcc" "src/CMakeFiles/jackpine_topo.dir/topo/de9im.cpp.o.d"
+  "/root/repo/src/topo/predicates.cpp" "src/CMakeFiles/jackpine_topo.dir/topo/predicates.cpp.o" "gcc" "src/CMakeFiles/jackpine_topo.dir/topo/predicates.cpp.o.d"
+  "/root/repo/src/topo/relate.cpp" "src/CMakeFiles/jackpine_topo.dir/topo/relate.cpp.o" "gcc" "src/CMakeFiles/jackpine_topo.dir/topo/relate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jackpine_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackpine_topo.dir/topo/de9im.cpp.o"
+  "CMakeFiles/jackpine_topo.dir/topo/de9im.cpp.o.d"
+  "CMakeFiles/jackpine_topo.dir/topo/predicates.cpp.o"
+  "CMakeFiles/jackpine_topo.dir/topo/predicates.cpp.o.d"
+  "CMakeFiles/jackpine_topo.dir/topo/relate.cpp.o"
+  "CMakeFiles/jackpine_topo.dir/topo/relate.cpp.o.d"
+  "libjackpine_topo.a"
+  "libjackpine_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackpine_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjackpine_topo.a"
+)

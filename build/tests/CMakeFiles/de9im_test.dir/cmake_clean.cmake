@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de9im_test.dir/de9im_test.cpp.o"
+  "CMakeFiles/de9im_test.dir/de9im_test.cpp.o.d"
+  "de9im_test"
+  "de9im_test.pdb"
+  "de9im_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de9im_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_explain_test.dir/groupby_explain_test.cpp.o"
+  "CMakeFiles/groupby_explain_test.dir/groupby_explain_test.cpp.o.d"
+  "groupby_explain_test"
+  "groupby_explain_test.pdb"
+  "groupby_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_reference_test.dir/linear_reference_test.cpp.o"
+  "CMakeFiles/linear_reference_test.dir/linear_reference_test.cpp.o.d"
+  "linear_reference_test"
+  "linear_reference_test.pdb"
+  "linear_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tigergen_test.cpp" "tests/CMakeFiles/tigergen_test.dir/tigergen_test.cpp.o" "gcc" "tests/CMakeFiles/tigergen_test.dir/tigergen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jackpine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_tigergen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jackpine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tigergen_test.dir/tigergen_test.cpp.o"
+  "CMakeFiles/tigergen_test.dir/tigergen_test.cpp.o.d"
+  "tigergen_test"
+  "tigergen_test.pdb"
+  "tigergen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tigergen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wkb_test.dir/wkb_test.cpp.o"
+  "CMakeFiles/wkb_test.dir/wkb_test.cpp.o.d"
+  "wkb_test"
+  "wkb_test.pdb"
+  "wkb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wkb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
