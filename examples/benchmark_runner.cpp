@@ -3,7 +3,12 @@
 // paper-style comparison tables.
 //
 //   ./build/examples/benchmark_runner [--scale S] [--seed N] [--reps R]
-//                                     [--suts a,b,c]
+//                                     [--suts a,b,c] [--deadline SECONDS]
+//                                     [--chaos seed,rate,latency_ms]
+//
+// --deadline bounds every query attempt; --chaos wraps each SUT in the
+// fault-injecting driver. Either one makes the final error-taxonomy table
+// interesting.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +28,7 @@ int main(int argc, char** argv) {
   double scale = 0.5;
   uint64_t seed = 42;
   core::RunConfig config;
+  std::string chaos_spec;
   std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
                                         "pine-scan"};
   for (int i = 1; i < argc; ++i) {
@@ -34,9 +40,14 @@ int main(int argc, char** argv) {
       config.repetitions = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--suts") && i + 1 < argc) {
       sut_names = Split(argv[++i], ',');
+    } else if (!std::strcmp(argv[i], "--deadline") && i + 1 < argc) {
+      config.limits.deadline_s = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc) {
+      chaos_spec = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b]\n",
+                   "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b] "
+                   "[--deadline SEC] [--chaos seed,rate,latency_ms]\n",
                    argv[0]);
       return 2;
     }
@@ -58,12 +69,16 @@ int main(int argc, char** argv) {
   std::vector<std::vector<core::ScenarioResult>> scenarios_by_sut;
 
   for (const std::string& name : sut_names) {
-    auto sut = client::SutByName(name);
-    if (!sut.ok()) {
-      std::fprintf(stderr, "%s\n", sut.status().ToString().c_str());
+    std::string url = "jackpine:" + name;
+    if (!chaos_spec.empty()) {
+      url = "jackpine:chaos(" + chaos_spec + "):" + name;
+    }
+    auto conn_or = client::Connection::Open(url);
+    if (!conn_or.ok()) {
+      std::fprintf(stderr, "%s\n", conn_or.status().ToString().c_str());
       return 1;
     }
-    client::Connection conn = client::Connection::Open(*sut);
+    client::Connection conn = std::move(conn_or).value();
     auto load = core::LoadDataset(dataset, &conn);
     if (!load.ok()) {
       std::fprintf(stderr, "load into %s failed: %s\n", name.c_str(),
@@ -92,6 +107,18 @@ int main(int argc, char** argv) {
                           .c_str());
   std::printf("%s\n", core::RenderScenarioTable("E3: macro scenarios",
                                                 scenarios_by_sut)
+                          .c_str());
+  // Per-SUT fault breakdown over every micro query that ran: all zeros on a
+  // clean run, and the place to look when --deadline or --chaos is active.
+  std::vector<std::vector<core::RunResult>> all_runs_by_sut;
+  for (size_t i = 0; i < topo_by_sut.size(); ++i) {
+    std::vector<core::RunResult> merged = topo_by_sut[i];
+    merged.insert(merged.end(), analysis_by_sut[i].begin(),
+                  analysis_by_sut[i].end());
+    all_runs_by_sut.push_back(std::move(merged));
+  }
+  std::printf("%s\n", core::RenderErrorTaxonomyTable("error taxonomy",
+                                                     all_runs_by_sut)
                           .c_str());
   return 0;
 }

@@ -1,5 +1,9 @@
 #include "client/client.h"
 
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
 #include "common/string_util.h"
 
 namespace jackpine::client {
@@ -28,10 +32,66 @@ Result<SutConfig> SutByName(std::string_view name) {
       StrFormat("unknown SUT '%s'", std::string(name).c_str()));
 }
 
+ChaosState::Fault ChaosState::NextFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Fault fault;
+  fault.sequence = ++draws_;
+  // Both draws happen unconditionally so the stream position is a pure
+  // function of the draw count, regardless of the configured rates.
+  const double fail_roll = rng_.NextDouble();
+  const double delay_roll = rng_.NextDouble();
+  fault.fail = fail_roll < config_.error_rate;
+  fault.delay_ms = delay_roll * config_.latency_ms;
+  return fault;
+}
+
+Result<ChaosConfig> ParseChaosSpec(std::string_view spec) {
+  constexpr std::string_view kHead = "chaos(";
+  if (!StartsWith(spec, kHead) || !EndsWith(spec, ")")) {
+    return Status::InvalidArgument(StrFormat(
+        "bad chaos spec '%s': expected chaos(<seed>,<error-rate>,<latency-ms>)",
+        std::string(spec).c_str()));
+  }
+  const std::string body(
+      spec.substr(kHead.size(), spec.size() - kHead.size() - 1));
+  const std::vector<std::string> parts = Split(body, ',');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(StrFormat(
+        "bad chaos spec '%s': expected 3 comma-separated fields, got %zu",
+        std::string(spec).c_str(), parts.size()));
+  }
+  ChaosConfig config;
+  char* end = nullptr;
+  config.seed = std::strtoull(parts[0].c_str(), &end, 10);
+  if (end == parts[0].c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("bad chaos seed '%s'", parts[0].c_str()));
+  }
+  config.error_rate = std::strtod(parts[1].c_str(), &end);
+  if (end == parts[1].c_str() || *end != '\0' || config.error_rate < 0.0 ||
+      config.error_rate > 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "bad chaos error-rate '%s': expected a number in [0, 1]",
+        parts[1].c_str()));
+  }
+  config.latency_ms = std::strtod(parts[2].c_str(), &end);
+  if (end == parts[2].c_str() || *end != '\0' || config.latency_ms < 0.0) {
+    return Status::InvalidArgument(StrFormat(
+        "bad chaos latency-ms '%s': expected a non-negative number",
+        parts[2].c_str()));
+  }
+  return config;
+}
+
 ResultSet::ResultSet(engine::QueryResult result) : result_(std::move(result)) {}
 
 bool ResultSet::Next() {
-  if (cursor_ >= result_.rows.size()) return false;
+  if (cursor_ >= result_.rows.size()) {
+    // Latch in the after-last position: there is no current row any more,
+    // and further Next() calls keep returning false (JDBC semantics).
+    cursor_ = result_.rows.size() + 1;
+    return false;
+  }
   ++cursor_;
   return true;
 }
@@ -44,8 +104,7 @@ Status NoRow() { return Status::OutOfRange("ResultSet: no current row"); }
 
 const engine::Value& ResultSet::GetValue(size_t col) const {
   static const engine::Value& null_value = *new engine::Value();
-  if (cursor_ == 0 || cursor_ > result_.rows.size() ||
-      col >= result_.rows[cursor_ - 1].size()) {
+  if (!HasRow() || col >= result_.rows[cursor_ - 1].size()) {
     return null_value;
   }
   return result_.rows[cursor_ - 1][col];
@@ -54,17 +113,17 @@ const engine::Value& ResultSet::GetValue(size_t col) const {
 bool ResultSet::IsNull(size_t col) const { return GetValue(col).is_null(); }
 
 Result<int64_t> ResultSet::GetInt64(size_t col) const {
-  if (cursor_ == 0) return NoRow();
+  if (!HasRow()) return NoRow();
   return GetValue(col).AsInt64();
 }
 
 Result<double> ResultSet::GetDouble(size_t col) const {
-  if (cursor_ == 0) return NoRow();
+  if (!HasRow()) return NoRow();
   return GetValue(col).AsDouble();
 }
 
 Result<std::string> ResultSet::GetString(size_t col) const {
-  if (cursor_ == 0) return NoRow();
+  if (!HasRow()) return NoRow();
   const engine::Value& v = GetValue(col);
   if (v.type() != engine::DataType::kString) {
     return Status::InvalidArgument("not a string column");
@@ -73,22 +132,40 @@ Result<std::string> ResultSet::GetString(size_t col) const {
 }
 
 Result<bool> ResultSet::GetBool(size_t col) const {
-  if (cursor_ == 0) return NoRow();
+  if (!HasRow()) return NoRow();
   return GetValue(col).AsBool();
 }
 
 Result<geom::Geometry> ResultSet::GetGeometry(size_t col) const {
-  if (cursor_ == 0) return NoRow();
+  if (!HasRow()) return NoRow();
   return GetValue(col).AsGeometry();
 }
 
 Result<ResultSet> Statement::ExecuteQuery(std::string_view sql) {
-  JACKPINE_ASSIGN_OR_RETURN(engine::QueryResult result, db_->Execute(sql));
+  if (chaos_ != nullptr) {
+    const ChaosState::Fault fault = chaos_->NextFault();
+    if (fault.delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(fault.delay_ms));
+    }
+    if (fault.fail) {
+      return Status::Unavailable(StrFormat(
+          "chaos: injected transient failure (draw #%llu)",
+          static_cast<unsigned long long>(fault.sequence)));
+    }
+  }
+  ExecContext exec(limits_);
+  JACKPINE_ASSIGN_OR_RETURN(
+      engine::QueryResult result,
+      db_->Execute(sql, limits_.Unlimited() ? nullptr : &exec));
   return ResultSet(std::move(result));
 }
 
 Result<int64_t> Statement::ExecuteUpdate(std::string_view sql) {
-  JACKPINE_ASSIGN_OR_RETURN(engine::QueryResult result, db_->Execute(sql));
+  ExecContext exec(limits_);
+  JACKPINE_ASSIGN_OR_RETURN(
+      engine::QueryResult result,
+      db_->Execute(sql, limits_.Unlimited() ? nullptr : &exec));
   if (result.rows.size() == 1 && result.columns.size() == 1 &&
       result.columns[0] == "rows_affected") {
     return result.rows[0][0].AsInt64();
@@ -103,8 +180,25 @@ Result<Connection> Connection::Open(std::string_view url) {
         StrFormat("bad URL '%s': expected jackpine:<sut-name>",
                   std::string(url).c_str()));
   }
-  JACKPINE_ASSIGN_OR_RETURN(SutConfig config,
-                            SutByName(url.substr(kPrefix.size())));
+  std::string_view rest = url.substr(kPrefix.size());
+  if (StartsWith(rest, "chaos(")) {
+    // jackpine:chaos(<seed>,<error-rate>,<latency-ms>):<sut-name>
+    const size_t close = rest.find(')');
+    if (close == std::string_view::npos || close + 1 >= rest.size() ||
+        rest[close + 1] != ':') {
+      return Status::InvalidArgument(StrFormat(
+          "bad URL '%s': expected jackpine:chaos(...):<sut-name>",
+          std::string(url).c_str()));
+    }
+    JACKPINE_ASSIGN_OR_RETURN(ChaosConfig chaos,
+                              ParseChaosSpec(rest.substr(0, close + 1)));
+    JACKPINE_ASSIGN_OR_RETURN(SutConfig config,
+                              SutByName(rest.substr(close + 2)));
+    Connection conn = Open(config);
+    conn.chaos_ = std::make_shared<ChaosState>(chaos);
+    return conn;
+  }
+  JACKPINE_ASSIGN_OR_RETURN(SutConfig config, SutByName(rest));
   return Open(config);
 }
 

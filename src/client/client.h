@@ -10,10 +10,13 @@
 #define JACKPINE_CLIENT_CLIENT_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/exec_context.h"
+#include "common/random.h"
 #include "engine/database.h"
 
 namespace jackpine::client {
@@ -35,14 +38,71 @@ const std::vector<SutConfig>& StandardSuts();
 // Lookup by name ("pine-rtree", ...).
 Result<SutConfig> SutByName(std::string_view name);
 
+// Deterministic fault injection wrapped around a real SUT (DESIGN.md "Fault
+// model"), parsed from the chaos URL form
+//
+//   jackpine:chaos(<seed>,<error-rate>,<latency-ms>):<sut-name>
+//
+// e.g. "jackpine:chaos(7,0.1,2):pine-rtree". The chaos layer sits at the
+// Statement seam — exactly where a networked JDBC driver fails — so each
+// ExecuteQuery first draws from a seeded per-connection stream: with
+// probability error-rate the call returns kUnavailable before touching the
+// engine (a dropped connection), and it sleeps uniformly in [0, latency-ms)
+// to model network jitter. ExecuteUpdate (the bulk-load seam) is never
+// injected, so fixtures always load. The stream is a pure function of the
+// seed and the draw sequence: replaying the same workload with the same URL
+// yields byte-identical error sequences.
+struct ChaosConfig {
+  uint64_t seed = 0;
+  double error_rate = 0.0;  // in [0, 1]
+  double latency_ms = 0.0;  // max injected delay per query
+};
+
+// Parses "chaos(<seed>,<error-rate>,<latency-ms>)" (no trailing ':<sut>').
+Result<ChaosConfig> ParseChaosSpec(std::string_view spec);
+
+// Mutable chaos state shared by every Statement of a connection. The mutex
+// serialises draws, so concurrent clients are data-race-free and the global
+// draw sequence stays deterministic even though its assignment to threads
+// is scheduler-dependent.
+class ChaosState {
+ public:
+  explicit ChaosState(const ChaosConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  struct Fault {
+    bool fail = false;
+    double delay_ms = 0.0;
+    uint64_t sequence = 0;  // 1-based draw index, for replay diagnostics
+  };
+  Fault NextFault();
+
+  const ChaosConfig& config() const { return config_; }
+
+ private:
+  ChaosConfig config_;
+  std::mutex mu_;
+  Rng rng_;
+  uint64_t draws_ = 0;
+};
+
 // Cursor over a query result, in the JDBC style: starts before the first
-// row; Next() advances and reports whether a row is available. Column
-// indexes are 0-based (a deliberate departure from JDBC's 1-based columns).
+// row; Next() advances and reports whether a row is available (false once
+// the cursor moves past the last row, and on every call after that).
+// Column indexes are 0-based (a deliberate departure from JDBC's 1-based
+// columns); only the internal row cursor counts from 1 (0 = before the
+// first row), mirroring JDBC's getRow(). Accessors with no current row
+// return an error (typed getters) or NULL (GetValue/IsNull).
 class ResultSet {
  public:
   explicit ResultSet(engine::QueryResult result);
 
   bool Next();
+  // True while the cursor is positioned on a row (after a successful
+  // Next(), before the cursor falls off the end).
+  bool HasRow() const {
+    return cursor_ >= 1 && cursor_ <= result_.rows.size();
+  }
   size_t ColumnCount() const { return result_.columns.size(); }
   const std::string& ColumnName(size_t i) const { return result_.columns[i]; }
   size_t RowCount() const { return result_.rows.size(); }
@@ -61,34 +121,54 @@ class ResultSet {
 
  private:
   engine::QueryResult result_;
-  size_t cursor_ = 0;   // 1-based position of the current row
+  // Number of Next() calls that returned true so far == the 1-based index
+  // of the current row; 0 means "before the first row" (no current row).
+  size_t cursor_ = 0;
 };
 
 class Connection;
 
-// Executes SQL on a connection's database.
+// Executes SQL on a connection's database. When the connection was opened
+// through a chaos URL, every ExecuteQuery passes through the fault-injection
+// seam first (see ChaosConfig above).
 class Statement {
  public:
   Result<ResultSet> ExecuteQuery(std::string_view sql);
-  // Returns rows_affected for DDL/DML.
+  // Returns rows_affected for DDL/DML. Never chaos-injected (bulk loading
+  // must stay deterministic), but still honours the exec limits.
   Result<int64_t> ExecuteUpdate(std::string_view sql);
+
+  // Per-execution fault limits: every subsequent Execute* builds a fresh
+  // ExecContext from these, so the deadline clock restarts per query. The
+  // JDBC analogue is Statement.setQueryTimeout().
+  void SetExecLimits(ExecLimits limits) { limits_ = std::move(limits); }
+  const ExecLimits& exec_limits() const { return limits_; }
 
  private:
   friend class Connection;
-  explicit Statement(std::shared_ptr<engine::Database> db)
-      : db_(std::move(db)) {}
+  Statement(std::shared_ptr<engine::Database> db,
+            std::shared_ptr<ChaosState> chaos)
+      : db_(std::move(db)), chaos_(std::move(chaos)) {}
   std::shared_ptr<engine::Database> db_;
+  std::shared_ptr<ChaosState> chaos_;  // null unless opened via chaos URL
+  ExecLimits limits_;
 };
 
 // A connection to a (freshly created, in-process) pinedb instance.
 class Connection {
  public:
-  // URL form: "jackpine:<sut-name>", e.g. "jackpine:pine-rtree".
+  // URL forms:
+  //   "jackpine:<sut-name>"                              plain connection
+  //   "jackpine:chaos(<seed>,<rate>,<latency-ms>):<sut>" fault-injecting
+  // e.g. "jackpine:pine-rtree" or "jackpine:chaos(7,0.1,2):pine-rtree".
   static Result<Connection> Open(std::string_view url);
   static Connection Open(const SutConfig& config);
 
-  Statement CreateStatement() { return Statement(db_); }
+  Statement CreateStatement() { return Statement(db_, chaos_); }
   const SutConfig& config() const { return config_; }
+
+  // Null unless the connection was opened through a chaos URL.
+  const ChaosState* chaos() const { return chaos_.get(); }
 
   // Escape hatch for the bulk loader and tests; a real driver would not
   // expose this.
@@ -99,6 +179,7 @@ class Connection {
       : config_(std::move(config)), db_(std::move(db)) {}
   SutConfig config_;
   std::shared_ptr<engine::Database> db_;
+  std::shared_ptr<ChaosState> chaos_;  // shared with every Statement
 };
 
 }  // namespace jackpine::client

@@ -1,0 +1,64 @@
+#include "common/exec_context.h"
+
+#include "common/string_util.h"
+
+namespace jackpine {
+
+ExecContext::ExecContext(const ExecLimits& limits)
+    : unlimited_(limits.Unlimited()),
+      max_rows_(limits.max_rows),
+      max_result_bytes_(limits.max_result_bytes),
+      cancel_(limits.cancel) {
+  if (limits.deadline_s > 0.0) {
+    has_deadline_ = true;
+    deadline_s_ = limits.deadline_s;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(limits.deadline_s));
+  }
+}
+
+Status ExecContext::Fail(Status status) {
+  failed_ = true;
+  failure_ = status;
+  return status;
+}
+
+Status ExecContext::Check() {
+  if (unlimited_) return Status::Ok();
+  if (failed_) return failure_;
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    return Fail(Status::Cancelled("query cancelled"));
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Fail(Status::DeadlineExceeded(
+        StrFormat("query exceeded %.3fs deadline", deadline_s_)));
+  }
+  return Status::Ok();
+}
+
+Status ExecContext::ChargeRows(uint64_t n) {
+  if (unlimited_) return Status::Ok();
+  if (failed_) return failure_;
+  rows_charged_ += n;
+  if (max_rows_ > 0 && rows_charged_ > max_rows_) {
+    return Fail(Status::ResourceExhausted(
+        StrFormat("query materialised more than %llu rows",
+                  static_cast<unsigned long long>(max_rows_))));
+  }
+  return Status::Ok();
+}
+
+Status ExecContext::ChargeBytes(uint64_t n) {
+  if (unlimited_) return Status::Ok();
+  if (failed_) return failure_;
+  bytes_charged_ += n;
+  if (max_result_bytes_ > 0 && bytes_charged_ > max_result_bytes_) {
+    return Fail(Status::ResourceExhausted(
+        StrFormat("query result exceeded %llu byte budget",
+                  static_cast<unsigned long long>(max_result_bytes_))));
+  }
+  return Status::Ok();
+}
+
+}  // namespace jackpine

@@ -1,0 +1,100 @@
+// Per-query execution context: deadline, cooperative cancellation, and
+// row/memory budgets (DESIGN.md "Fault model").
+//
+// One ExecContext is created per query execution and threaded from the
+// runner's RunConfig through client::Statement into the engine, where the
+// executor's row loops call CheckTick() at row granularity. A query that
+// overruns returns kDeadlineExceeded / kCancelled / kResourceExhausted
+// instead of running unbounded, so a single hung query (an unindexed spatial
+// cross join, say) cannot take the whole suite down.
+//
+// The context is NOT thread-safe for concurrent charging: each executing
+// query owns its own ExecContext. The cancellation flag is the one shared
+// piece — it is an atomic owned outside the context so that another thread
+// (a watchdog, a Ctrl-C handler) can flip it while the query runs.
+
+#ifndef JACKPINE_COMMON_EXEC_CONTEXT_H_
+#define JACKPINE_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace jackpine {
+
+// The immutable knobs an ExecContext is built from; lives in RunConfig and
+// client::Statement so every execution gets a fresh context with the same
+// limits. Zero means "unlimited" for every field.
+struct ExecLimits {
+  double deadline_s = 0.0;       // wall-clock budget per execution
+  uint64_t max_rows = 0;         // materialised (matched) row budget
+  uint64_t max_result_bytes = 0; // approximate result memory budget
+  // Shared cooperative cancellation flag; may be null. Setting it to true
+  // aborts every execution holding a context built from these limits.
+  std::shared_ptr<std::atomic<bool>> cancel;
+
+  bool Unlimited() const {
+    return deadline_s <= 0.0 && max_rows == 0 && max_result_bytes == 0 &&
+           cancel == nullptr;
+  }
+};
+
+class ExecContext {
+ public:
+  // An unlimited context: every check passes and nothing is charged.
+  ExecContext() = default;
+
+  // Starts the deadline clock now.
+  explicit ExecContext(const ExecLimits& limits);
+
+  // Full check: cancellation flag first (cheapest, and the most urgent
+  // signal), then the deadline. Budgets are checked by the Charge* calls.
+  Status Check();
+
+  // Counter-gated Check(): samples the clock only every kCheckInterval
+  // calls, so per-row checking in tight scan loops costs an increment and a
+  // branch, not a clock_gettime. A cancelled/expired context keeps failing
+  // on every subsequent call (the state latches).
+  Status CheckTick() {
+    if (unlimited_) return Status::Ok();
+    if (++tick_ % kCheckInterval != 0 && !failed_) return Status::Ok();
+    return Check();
+  }
+
+  // Charges `n` materialised rows against the row budget.
+  Status ChargeRows(uint64_t n);
+
+  // Charges approximate bytes against the memory budget.
+  Status ChargeBytes(uint64_t n);
+
+  uint64_t rows_charged() const { return rows_charged_; }
+  uint64_t bytes_charged() const { return bytes_charged_; }
+
+  // How many clock samples CheckTick() skips between real deadline checks.
+  // 256 keeps the overhead invisible next to predicate evaluation while
+  // bounding deadline overshoot to 256 row evaluations.
+  static constexpr uint64_t kCheckInterval = 256;
+
+ private:
+  Status Fail(Status status);
+
+  bool unlimited_ = true;
+  bool failed_ = false;
+  Status failure_;  // latched first failure, re-returned on every check
+  uint64_t tick_ = 0;
+  uint64_t rows_charged_ = 0;
+  uint64_t bytes_charged_ = 0;
+  uint64_t max_rows_ = 0;
+  uint64_t max_result_bytes_ = 0;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  double deadline_s_ = 0.0;
+  std::shared_ptr<std::atomic<bool>> cancel_;
+};
+
+}  // namespace jackpine
+
+#endif  // JACKPINE_COMMON_EXEC_CONTEXT_H_

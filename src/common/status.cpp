@@ -20,8 +20,20 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable;
 }
 
 std::string Status::ToString() const {

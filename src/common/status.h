@@ -23,7 +23,19 @@ enum class StatusCode : uint8_t {
   kUnimplemented,
   kInternal,
   kParseError,
+  // Fault-tolerant execution (see DESIGN.md "Fault model"): a query ran past
+  // its deadline, was cancelled cooperatively, blew a row/memory budget, or
+  // hit a transient infrastructure failure (the only retryable code).
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
+  kUnavailable,
 };
+
+// True for errors that a retry with backoff can plausibly fix (kUnavailable).
+// Deadline/budget violations are deterministic for a given query and config,
+// so retrying them only wastes the remaining suite time.
+bool IsTransient(StatusCode code);
 
 // Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
 const char* StatusCodeName(StatusCode code);
@@ -56,6 +68,18 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -90,8 +114,13 @@ class Result {
   const T* operator->() const { return &*value_; }
   T* operator->() { return &*value_; }
 
-  // Returns the contained value or `fallback` on error.
+  // Returns the contained value or `fallback` on error. The rvalue overload
+  // moves out of the Result, so `std::move(r).value_or(x)` does not copy a
+  // large contained value (geometry blobs, whole result sets).
   T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+  T value_or(T fallback) && {
+    return ok() ? *std::move(value_) : std::move(fallback);
+  }
 
  private:
   Status status_;

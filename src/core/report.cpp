@@ -125,6 +125,47 @@ std::string RenderScenarioTable(
   return RenderGrid(title, grid);
 }
 
+std::string RenderErrorTaxonomyTable(
+    const std::string& title,
+    const std::vector<std::vector<RunResult>>& runs_by_sut) {
+  std::vector<std::vector<std::string>> grid;
+  grid.push_back({"sut", "queries", "ok", "failed", "timeouts", "transient",
+                  "attempts", "final errors"});
+  for (const auto& runs : runs_by_sut) {
+    size_t ok = 0, failed = 0, timeouts = 0, transients = 0, attempts = 0;
+    // Distinct final error codes, in first-seen order, with counts.
+    std::vector<std::pair<StatusCode, size_t>> codes;
+    for (const RunResult& r : runs) {
+      (r.ok ? ok : failed)++;
+      timeouts += r.timeouts;
+      transients += r.transient_errors;
+      attempts += r.attempts;
+      if (!r.ok) {
+        auto it = std::find_if(codes.begin(), codes.end(), [&](const auto& p) {
+          return p.first == r.error_code;
+        });
+        if (it == codes.end()) {
+          codes.emplace_back(r.error_code, 1);
+        } else {
+          ++it->second;
+        }
+      }
+    }
+    std::string code_summary = "-";
+    for (const auto& [code, count] : codes) {
+      if (code_summary == "-") code_summary.clear();
+      if (!code_summary.empty()) code_summary += ", ";
+      code_summary += StrFormat("%s x%zu", StatusCodeName(code), count);
+    }
+    grid.push_back({runs.empty() ? "?" : runs.front().sut,
+                    StrFormat("%zu", runs.size()), StrFormat("%zu", ok),
+                    StrFormat("%zu", failed), StrFormat("%zu", timeouts),
+                    StrFormat("%zu", transients), StrFormat("%zu", attempts),
+                    code_summary});
+  }
+  return RenderGrid(title, grid);
+}
+
 std::string RenderKeyValueTable(
     const std::string& title,
     const std::vector<std::pair<std::string, std::string>>& rows) {

@@ -30,6 +30,15 @@ std::string RenderKeyValueTable(
     const std::string& title,
     const std::vector<std::pair<std::string, std::string>>& rows);
 
+// Error taxonomy per SUT (DESIGN.md "Fault model"): one row per SUT with
+// counts of succeeded/failed queries, observed timeouts and transient
+// errors, total attempts (retries included), and the distinct final error
+// codes seen, so a reader can tell a flaky SUT from a deterministic failure
+// at a glance.
+std::string RenderErrorTaxonomyTable(
+    const std::string& title,
+    const std::vector<std::vector<RunResult>>& runs_by_sut);
+
 }  // namespace jackpine::core
 
 #endif  // JACKPINE_CORE_REPORT_H_

@@ -2,11 +2,71 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <thread>
 
+#include "common/random.h"
 #include "common/stopwatch.h"
 
 namespace jackpine::core {
+
+namespace {
+
+// Stable per-query offset into the jitter stream so each query retries on
+// its own deterministic schedule (FNV-1a over the query id).
+uint64_t JitterStream(const RetryPolicy& policy, const std::string& query_id) {
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : query_id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return policy.jitter_seed ^ h;
+}
+
+// Attempt-level fault accounting for one retried execution.
+struct RetryOutcome {
+  size_t attempts = 0;
+  size_t timeouts = 0;
+  size_t transient_errors = 0;
+  double last_attempt_s = 0.0;  // wall time of the final attempt, no backoff
+};
+
+// One execution slot under the retry policy: transient (kUnavailable)
+// failures back off exponentially with deterministic jitter and try again,
+// up to max_attempts total tries; every other error is final immediately.
+Result<client::ResultSet> ExecuteWithRetry(client::Statement* stmt,
+                                           const std::string& sql,
+                                           const RetryPolicy& policy, Rng* rng,
+                                           RetryOutcome* outcome) {
+  const int allowed = std::max(policy.max_attempts, 1);
+  for (int attempt = 1;; ++attempt) {
+    ++outcome->attempts;
+    Stopwatch watch;
+    Result<client::ResultSet> rs = stmt->ExecuteQuery(sql);
+    outcome->last_attempt_s = watch.ElapsedSeconds();
+    if (rs.ok()) return rs;
+    const StatusCode code = rs.status().code();
+    if (code == StatusCode::kDeadlineExceeded) ++outcome->timeouts;
+    if (IsTransient(code)) ++outcome->transient_errors;
+    if (!IsTransient(code) || attempt >= allowed) return rs;
+    const double backoff =
+        policy.backoff_base_s *
+        std::pow(policy.backoff_multiplier, attempt - 1);
+    const double jittered = backoff * (0.5 + 0.5 * rng->NextDouble());
+    if (jittered > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(jittered));
+    }
+  }
+}
+
+void Accumulate(const RetryOutcome& outcome, RunResult* out) {
+  out->attempts += outcome.attempts;
+  out->timeouts += outcome.timeouts;
+  out->transient_errors += outcome.transient_errors;
+}
+
+}  // namespace
 
 RunResult RunQuery(client::Connection* connection, const QuerySpec& spec,
                    const RunConfig& config) {
@@ -17,28 +77,39 @@ RunResult RunQuery(client::Connection* connection, const QuerySpec& spec,
   out.sut = connection->config().name;
 
   client::Statement stmt = connection->CreateStatement();
+  stmt.SetExecLimits(config.limits);
+  Rng rng(JitterStream(config.retry, spec.id));
+
   for (int w = 0; w < config.warmup; ++w) {
-    auto rs = stmt.ExecuteQuery(spec.sql);
+    RetryOutcome outcome;
+    auto rs = ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
+    Accumulate(outcome, &out);
     if (!rs.ok()) {
       out.error = rs.status().ToString();
+      out.error_code = rs.status().code();
       return out;
     }
   }
   std::vector<double> seconds;
+  bool failed = false;
   for (int r = 0; r < config.repetitions; ++r) {
-    Stopwatch watch;
-    auto rs = stmt.ExecuteQuery(spec.sql);
-    const double elapsed = watch.ElapsedSeconds();
+    RetryOutcome outcome;
+    auto rs = ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
+    Accumulate(outcome, &out);
     if (!rs.ok()) {
+      // Keep the timings already gathered: partial stats are still useful
+      // and the caller sees `ok == false` plus the error taxonomy.
       out.error = rs.status().ToString();
-      return out;
+      out.error_code = rs.status().code();
+      failed = true;
+      break;
     }
-    seconds.push_back(elapsed);
+    seconds.push_back(outcome.last_attempt_s);
     out.result_rows = rs->RowCount();
     out.checksum = rs->Checksum();
   }
   out.timing = Summarize(std::move(seconds));
-  out.ok = true;
+  out.ok = !failed;
   return out;
 }
 
@@ -55,14 +126,20 @@ std::vector<RunResult> RunSuite(client::Connection* connection,
 
 ThroughputResult RunThroughput(client::Connection* connection,
                                const std::vector<QuerySpec>& workload,
-                               int rounds) {
+                               int rounds, const RunConfig& config) {
   ThroughputResult out;
   out.sut = connection->config().name;
   client::Statement stmt = connection->CreateStatement();
+  stmt.SetExecLimits(config.limits);
+  Rng rng(config.retry.jitter_seed);
   Stopwatch watch;
   for (int round = 0; round < rounds; ++round) {
     for (const QuerySpec& spec : workload) {
-      auto rs = stmt.ExecuteQuery(spec.sql);
+      RetryOutcome outcome;
+      auto rs =
+          ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
+      out.timeouts += outcome.timeouts;
+      out.transient_errors += outcome.transient_errors;
       if (rs.ok()) {
         ++out.queries_executed;
       } else {
@@ -76,23 +153,35 @@ ThroughputResult RunThroughput(client::Connection* connection,
 
 ThroughputResult RunConcurrentThroughput(client::Connection* connection,
                                          const std::vector<QuerySpec>& workload,
-                                         int clients, int rounds) {
+                                         int clients, int rounds,
+                                         const RunConfig& config) {
   ThroughputResult out;
   out.sut = connection->config().name;
   std::atomic<uint64_t> executed{0};
   std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> timeouts{0};
+  std::atomic<uint64_t> transients{0};
   Stopwatch watch;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(std::max(clients, 1)));
   for (int t = 0; t < std::max(clients, 1); ++t) {
     threads.emplace_back([&, t]() {
       client::Statement stmt = connection->CreateStatement();
+      stmt.SetExecLimits(config.limits);
+      // Per-client jitter stream: deterministic, but not shared, so one
+      // client's retries never perturb another's backoff schedule.
+      Rng rng(config.retry.jitter_seed + static_cast<uint64_t>(t));
       for (int round = 0; round < rounds; ++round) {
         // Stagger start offsets so clients don't run in lockstep.
         for (size_t q = 0; q < workload.size(); ++q) {
           const QuerySpec& spec =
               workload[(q + static_cast<size_t>(t)) % workload.size()];
-          auto rs = stmt.ExecuteQuery(spec.sql);
+          RetryOutcome outcome;
+          auto rs =
+              ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
+          timeouts.fetch_add(outcome.timeouts, std::memory_order_relaxed);
+          transients.fetch_add(outcome.transient_errors,
+                               std::memory_order_relaxed);
           if (rs.ok()) {
             executed.fetch_add(1, std::memory_order_relaxed);
           } else {
@@ -106,6 +195,8 @@ ThroughputResult RunConcurrentThroughput(client::Connection* connection,
   out.elapsed_s = watch.ElapsedSeconds();
   out.queries_executed = executed.load();
   out.errors = errors.load();
+  out.timeouts = timeouts.load();
+  out.transient_errors = transients.load();
   return out;
 }
 
@@ -122,6 +213,8 @@ ScenarioResult RunScenario(client::Connection* connection,
     } else {
       ++out.failed;
     }
+    out.timeouts += r.timeouts;
+    out.transient_errors += r.transient_errors;
     out.queries.push_back(std::move(r));
   }
   return out;

@@ -9,15 +9,32 @@
 #include <vector>
 
 #include "client/client.h"
+#include "common/exec_context.h"
 #include "core/query_spec.h"
 #include "core/scenarios.h"
 #include "core/stats.h"
 
 namespace jackpine::core {
 
+// Bounded retry with exponential backoff for transient failures (DESIGN.md
+// "Fault model"). Only kUnavailable retries: deadline and budget violations
+// are deterministic for a given query, so retrying them wastes suite time.
+// Jitter is drawn from common/random's Rng, so a (jitter_seed, workload)
+// pair fully determines every backoff delay — benchmark runs stay
+// reproducible even when they exercise the retry path.
+struct RetryPolicy {
+  int max_attempts = 3;           // total tries per execution; 1 = no retry
+  double backoff_base_s = 0.01;   // first retry delay before jitter
+  double backoff_multiplier = 2.0;
+  uint64_t jitter_seed = 0x6a61636b70696e65;  // "jackpine"
+};
+
 struct RunConfig {
   int warmup = 1;       // unmeasured executions per query
   int repetitions = 3;  // measured executions per query
+  // Per-execution deadline / cancellation / budgets; default unlimited.
+  ExecLimits limits;
+  RetryPolicy retry;
 };
 
 struct RunResult {
@@ -27,9 +44,14 @@ struct RunResult {
   std::string sut;
   bool ok = false;
   std::string error;  // when !ok
-  TimingStats timing;
+  StatusCode error_code = StatusCode::kOk;  // final status of the last try
+  TimingStats timing;  // on failure: partial stats of the reps that passed
   size_t result_rows = 0;
   uint64_t checksum = 0;
+  // Fault accounting across warmup + repetitions of this query.
+  size_t attempts = 0;          // ExecuteQuery calls issued (incl. retries)
+  size_t timeouts = 0;          // kDeadlineExceeded observed
+  size_t transient_errors = 0;  // kUnavailable observed (retried or final)
 };
 
 // Runs one query with the protocol; never fails hard (errors are recorded).
@@ -45,9 +67,13 @@ struct ScenarioResult {
   std::string scenario_id;
   std::string scenario_name;
   std::string sut;
-  double total_s = 0.0;  // sum of per-query means
+  // Sum of per-query means over the queries that succeeded: a failed query
+  // degrades the scenario (counted in `failed`) without poisoning the total.
+  double total_s = 0.0;
   std::vector<RunResult> queries;
   size_t failed = 0;
+  size_t timeouts = 0;          // aggregated from queries
+  size_t transient_errors = 0;  // aggregated from queries
 };
 
 // Runs every query of a scenario in sequence.
@@ -59,26 +85,36 @@ ScenarioResult RunScenario(client::Connection* connection,
 // comparing SUTs on a whole workload rather than a single query.
 struct ThroughputResult {
   std::string sut;
-  size_t queries_executed = 0;
-  size_t errors = 0;
+  size_t queries_executed = 0;  // query slots that ultimately succeeded
+  size_t errors = 0;            // query slots that ultimately failed
   double elapsed_s = 0.0;
+  // Fault accounting: every query slot lands in exactly one of
+  // queries_executed / errors, while timeouts / transient_errors count
+  // individual failed attempts (a retried-then-successful slot contributes
+  // to both transient_errors and queries_executed).
+  size_t timeouts = 0;
+  size_t transient_errors = 0;
   double QueriesPerSecond() const {
     return elapsed_s > 0 ? static_cast<double>(queries_executed) / elapsed_s
                          : 0.0;
   }
 };
 
+// `config` contributes the exec limits and retry policy; warmup/repetitions
+// do not apply in throughput mode.
 ThroughputResult RunThroughput(client::Connection* connection,
                                const std::vector<QuerySpec>& workload,
-                               int rounds);
+                               int rounds, const RunConfig& config = {});
 
 // Multi-client throughput: `clients` threads share the connection's
 // database (each with its own Statement) and round-robin the workload
 // concurrently, the paper's multiuser dimension. queries_executed/errors
-// aggregate across clients; elapsed_s is wall-clock.
+// aggregate across clients; elapsed_s is wall-clock. Each client retries
+// from its own deterministic jitter stream (jitter_seed + client index).
 ThroughputResult RunConcurrentThroughput(client::Connection* connection,
                                          const std::vector<QuerySpec>& workload,
-                                         int clients, int rounds);
+                                         int clients, int rounds,
+                                         const RunConfig& config = {});
 
 }  // namespace jackpine::core
 

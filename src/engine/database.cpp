@@ -19,9 +19,12 @@ QueryResult AffectedRows(int64_t n) {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
-Result<QueryResult> Database::Execute(std::string_view sql) {
+Result<QueryResult> Database::Execute(std::string_view sql,
+                                      ExecContext* exec) {
   JACKPINE_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
-  if (auto* s = std::get_if<SelectStatement>(&stmt)) return ExecuteSelect(*s);
+  if (auto* s = std::get_if<SelectStatement>(&stmt)) {
+    return ExecuteSelect(*s, exec);
+  }
   if (auto* s = std::get_if<ExplainStatement>(&stmt)) {
     EvalContext ctx;
     ctx.predicate_mode = options_.predicate_mode;
@@ -48,10 +51,12 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
   return Status::Internal("unhandled statement kind");
 }
 
-Result<QueryResult> Database::ExecuteSelect(const SelectStatement& stmt) {
+Result<QueryResult> Database::ExecuteSelect(const SelectStatement& stmt,
+                                            ExecContext* exec) {
   EvalContext ctx;
   ctx.predicate_mode = options_.predicate_mode;
   ctx.fold_constants = options_.fold_constants;
+  ctx.exec = exec;
   JACKPINE_ASSIGN_OR_RETURN(PhysicalPlan plan,
                             PlanSelect(stmt, catalog_, ctx));
   return ExecutePlan(plan, &stats_);

@@ -36,15 +36,20 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
 
   // Parses and executes one statement. DDL/DML return an empty result with a
-  // "rows_affected" column.
-  Result<QueryResult> Execute(std::string_view sql);
+  // "rows_affected" column. `exec` (optional, non-owning) carries the
+  // deadline / cancellation / budget guard; SELECT row loops check it at row
+  // granularity and fail with kDeadlineExceeded / kCancelled /
+  // kResourceExhausted instead of running unbounded.
+  Result<QueryResult> Execute(std::string_view sql,
+                              ExecContext* exec = nullptr);
 
   // Statistics accumulated since the last ResetStats().
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
  private:
-  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt);
+  Result<QueryResult> ExecuteSelect(const SelectStatement& stmt,
+                                    ExecContext* exec);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
   Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
   Result<QueryResult> ExecuteCreateIndex(const CreateIndexStatement& stmt);

@@ -10,6 +10,19 @@ namespace jackpine::engine {
 
 namespace {
 
+// Per-row fault guards (DESIGN.md "Fault model"). Every gather loop ticks
+// the query's ExecContext once per row visited, and charges one row against
+// the budget per match it materialises, so an unbounded scan or cross join
+// fails with kDeadlineExceeded / kCancelled / kResourceExhausted instead of
+// running away. Null context (no limits configured) short-circuits to OK.
+Status TickRow(ExecContext* exec) {
+  return exec == nullptr ? Status::Ok() : exec->CheckTick();
+}
+
+Status ChargeMatch(ExecContext* exec) {
+  return exec == nullptr ? Status::Ok() : exec->ChargeRows(1);
+}
+
 // True when the WHERE (if any) evaluates to TRUE for the rows in view.
 Result<bool> PassesWhere(const PhysicalPlan& plan, const RowView& view,
                          ExecStats* stats) {
@@ -26,6 +39,7 @@ using Match = RowView;
 Result<std::vector<Match>> GatherSingleTable(const PhysicalPlan& plan,
                                              ExecStats* stats) {
   const Table* table = plan.tables[0];
+  ExecContext* exec = plan.ctx.exec;
   std::vector<Match> matches;
 
   if (plan.use_knn) {
@@ -53,9 +67,11 @@ Result<std::vector<Match>> GatherSingleTable(const PhysicalPlan& plan,
       // Not enough indexable rows (NULL geometries etc.): fall back to the
       // full scan; the sort phase handles ordering.
       for (size_t i = 0; i < table->NumRows(); ++i) {
+        JACKPINE_RETURN_IF_ERROR(TickRow(exec));
         if (stats != nullptr) ++stats->rows_scanned;
         Match m;
         m.rows[0] = &table->row(i);
+        JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
         matches.push_back(m);
       }
       return matches;
@@ -72,8 +88,10 @@ Result<std::vector<Match>> GatherSingleTable(const PhysicalPlan& plan,
       stats->index_candidates += ids.size();
     }
     for (int64_t id : ids) {
+      JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       Match m;
       m.rows[0] = &table->row(static_cast<size_t>(id));
+      JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
       matches.push_back(m);
     }
     return matches;
@@ -88,26 +106,35 @@ Result<std::vector<Match>> GatherSingleTable(const PhysicalPlan& plan,
       stats->index_candidates += ids.size();
     }
     for (int64_t id : ids) {
+      JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       Match m;
       m.rows[0] = &table->row(static_cast<size_t>(id));
       JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
-      if (keep) matches.push_back(m);
+      if (keep) {
+        JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
+        matches.push_back(m);
+      }
     }
     return matches;
   }
 
   for (size_t i = 0; i < table->NumRows(); ++i) {
+    JACKPINE_RETURN_IF_ERROR(TickRow(exec));
     if (stats != nullptr) ++stats->rows_scanned;
     Match m;
     m.rows[0] = &table->row(i);
     JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
-    if (keep) matches.push_back(m);
+    if (keep) {
+      JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
+      matches.push_back(m);
+    }
   }
   return matches;
 }
 
 Result<std::vector<Match>> GatherJoin(const PhysicalPlan& plan,
                                       ExecStats* stats) {
+  ExecContext* exec = plan.ctx.exec;
   std::vector<Match> matches;
 
   if (plan.use_join_index) {
@@ -116,6 +143,7 @@ Result<std::vector<Match>> GatherJoin(const PhysicalPlan& plan,
     const index::SpatialIndex* idx =
         inner->GetSpatialIndex(plan.inner_geom_column);
     for (size_t i = 0; i < outer->NumRows(); ++i) {
+      JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       if (stats != nullptr) ++stats->rows_scanned;
       Match m;
       m.rows[plan.outer_table] = &outer->row(i);
@@ -132,9 +160,13 @@ Result<std::vector<Match>> GatherJoin(const PhysicalPlan& plan,
         stats->index_candidates += ids.size();
       }
       for (int64_t id : ids) {
+        JACKPINE_RETURN_IF_ERROR(TickRow(exec));
         m.rows[plan.inner_table] = &inner->row(static_cast<size_t>(id));
         JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
-        if (keep) matches.push_back(m);
+        if (keep) {
+          JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
+          matches.push_back(m);
+        }
       }
     }
     return matches;
@@ -145,12 +177,16 @@ Result<std::vector<Match>> GatherJoin(const PhysicalPlan& plan,
   const Table* t1 = plan.tables[1];
   for (size_t i = 0; i < t0->NumRows(); ++i) {
     for (size_t j = 0; j < t1->NumRows(); ++j) {
+      JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       if (stats != nullptr) ++stats->rows_scanned;
       Match m;
       m.rows[0] = &t0->row(i);
       m.rows[1] = &t1->row(j);
       JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
-      if (keep) matches.push_back(m);
+      if (keep) {
+        JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
+        matches.push_back(m);
+      }
     }
   }
   return matches;
@@ -301,6 +337,7 @@ std::string QueryResult::ToString(size_t max_rows) const {
 }
 
 Result<QueryResult> ExecutePlan(const PhysicalPlan& plan, ExecStats* stats) {
+  ExecContext* exec = plan.ctx.exec;
   QueryResult result;
   for (const auto& out : plan.outputs) result.columns.push_back(out.name);
 
@@ -325,6 +362,7 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan, ExecStats* stats) {
     };
     std::map<std::string, Group> groups;
     for (const Match& m : matches) {
+      JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       std::string key;
       for (const BoundExpr& g : plan.group_by) {
         JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(g, m, plan.ctx));
@@ -423,6 +461,7 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan, ExecStats* stats) {
       }
     }
     for (const Match& m : matches) {
+      JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       for (AggState& st : states) {
         JACKPINE_RETURN_IF_ERROR(AccumulateAggregate(&st, m, plan.ctx));
       }
@@ -450,6 +489,7 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan, ExecStats* stats) {
   if (!plan.order_by.empty()) {
     std::vector<std::vector<Value>> keys(matches.size());
     for (size_t i = 0; i < matches.size(); ++i) {
+      JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       for (const auto& order : plan.order_by) {
         JACKPINE_ASSIGN_OR_RETURN(Value v,
                                   EvalBound(order.expr, matches[i], plan.ctx));
@@ -486,11 +526,17 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan, ExecStats* stats) {
   }
 
   for (const Match& m : matches) {
+    JACKPINE_RETURN_IF_ERROR(TickRow(exec));
     Row row;
     row.reserve(plan.outputs.size());
     for (const auto& out : plan.outputs) {
       JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(out.expr, m, plan.ctx));
       row.push_back(std::move(v));
+    }
+    if (exec != nullptr) {
+      uint64_t bytes = 0;
+      for (const Value& v : row) bytes += v.ApproxBytes();
+      JACKPINE_RETURN_IF_ERROR(exec->ChargeBytes(bytes));
     }
     result.rows.push_back(std::move(row));
   }

@@ -204,6 +204,13 @@ Result<Value> EvalBound(const BoundExpr& expr, const RowView& rows,
             StrFormat("aggregate %s evaluated as scalar",
                       expr.call_name.c_str()));
       }
+      // Scalar calls are where per-row work concentrates (ST_Buffer,
+      // ST_Intersection, ...), so the deadline tick lives here as well as in
+      // the executor's row loops: a single row with a pathological geometry
+      // still observes the deadline between calls.
+      if (ctx.exec != nullptr) {
+        JACKPINE_RETURN_IF_ERROR(ctx.exec->CheckTick());
+      }
       std::vector<Value> args;
       args.reserve(expr.children.size());
       for (const BoundExpr& c : expr.children) {

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "engine/value.h"
 #include "topo/predicates.h"
 
@@ -22,6 +23,10 @@ struct EvalContext {
   // (e.g. ST_GeomFromText literals) re-evaluate on every row. Exists only
   // for the prepared-literals ablation (DESIGN.md decision #3).
   bool fold_constants = true;
+  // Deadline / cancellation / budget guard for the executing query; null
+  // means unlimited. Non-owning: the ExecContext outlives the query (it is
+  // created in client::Statement::ExecuteQuery or supplied by the caller).
+  ExecContext* exec = nullptr;
 };
 
 using ScalarFn =

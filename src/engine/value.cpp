@@ -188,4 +188,19 @@ uint64_t Value::Hash() const {
   return h;
 }
 
+uint64_t Value::ApproxBytes() const {
+  uint64_t bytes = sizeof(Value);
+  switch (type()) {
+    case DataType::kString:
+      bytes += string_value().size();
+      break;
+    case DataType::kGeometry:
+      bytes += static_cast<uint64_t>(geometry_value().NumPoints()) * 16;
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
 }  // namespace jackpine::engine

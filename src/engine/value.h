@@ -71,6 +71,11 @@ class Value {
   // Structural hash for result checksums.
   uint64_t Hash() const;
 
+  // Approximate in-memory footprint, used to charge result rows against an
+  // ExecContext memory budget. Deliberately cheap: strings count their
+  // length, geometries count 16 bytes per coordinate.
+  uint64_t ApproxBytes() const;
+
  private:
   struct Null {};
   using Payload =

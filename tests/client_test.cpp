@@ -66,13 +66,47 @@ TEST_F(ResultSetTest, CursorProtocol) {
   EXPECT_EQ(rs->ColumnName(0), "id");
   EXPECT_EQ(rs->RowCount(), 2u);
   // Before Next() there is no current row.
+  EXPECT_FALSE(rs->HasRow());
   EXPECT_FALSE(rs->GetInt64(0).ok());
   ASSERT_TRUE(rs->Next());
+  EXPECT_TRUE(rs->HasRow());
   EXPECT_EQ(*rs->GetInt64(0), 1);
   EXPECT_EQ(*rs->GetString(1), "one");
   ASSERT_TRUE(rs->Next());
   EXPECT_EQ(*rs->GetInt64(0), 2);
   EXPECT_FALSE(rs->Next());
+}
+
+TEST_F(ResultSetTest, CursorAfterLastRowHasNoCurrentRow) {
+  Statement stmt = conn_.CreateStatement();
+  auto rs = stmt.ExecuteQuery("SELECT id FROM t ORDER BY id");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->Next());
+  ASSERT_TRUE(rs->Next());
+  EXPECT_TRUE(rs->HasRow());  // on the last row
+  ASSERT_FALSE(rs->Next());   // falls off the end ...
+  // ... after which there is no current row any more (JDBC semantics): the
+  // typed getters error out rather than silently re-reading the last row.
+  EXPECT_FALSE(rs->HasRow());
+  EXPECT_FALSE(rs->GetInt64(0).ok());
+  EXPECT_TRUE(rs->IsNull(0));  // GetValue yields NULL with no current row
+  // Next() keeps returning false; it does not wrap around.
+  EXPECT_FALSE(rs->Next());
+  EXPECT_FALSE(rs->HasRow());
+}
+
+TEST_F(ResultSetTest, EmptyResultCursorAndIsNull) {
+  Statement stmt = conn_.CreateStatement();
+  auto rs = stmt.ExecuteQuery("SELECT id FROM t WHERE id = 99");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->RowCount(), 0u);
+  EXPECT_FALSE(rs->HasRow());
+  // IsNull with no rows at all reports NULL instead of crashing, both
+  // before and after the (immediately exhausted) Next().
+  EXPECT_TRUE(rs->IsNull(0));
+  EXPECT_FALSE(rs->Next());
+  EXPECT_TRUE(rs->IsNull(0));
+  EXPECT_FALSE(rs->GetInt64(0).ok());
 }
 
 TEST_F(ResultSetTest, TypedGettersAndNulls) {

@@ -1,7 +1,9 @@
 // Tests for the common substrate: Status/Result, Rng determinism, string
 // helpers, stopwatch monotonicity.
 
+#include <memory>
 #include <set>
+#include <string>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -33,6 +35,30 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, FaultCodeFactoriesAndTransience) {
+  EXPECT_EQ(Status::DeadlineExceeded("d").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("c").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("r").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("u").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("u").ToString(), "Unavailable: u");
+  // Only kUnavailable is retryable; deadline/budget failures repeat
+  // deterministically, so the runner must not retry them.
+  EXPECT_TRUE(IsTransient(StatusCode::kUnavailable));
+  EXPECT_FALSE(IsTransient(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsTransient(StatusCode::kCancelled));
+  EXPECT_FALSE(IsTransient(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsTransient(StatusCode::kOk));
+  EXPECT_FALSE(IsTransient(StatusCode::kInternal));
 }
 
 Result<int> ParsePositive(int v) {
@@ -60,6 +86,77 @@ TEST(ResultTest, ErrorPropagates) {
 TEST(ResultTest, ValueOr) {
   EXPECT_EQ(ParsePositive(-5).value_or(7), 7);
   EXPECT_EQ(ParsePositive(5).value_or(7), 5);
+}
+
+TEST(ResultTest, ValueOrRvalueMovesOutOfResult) {
+  // The && overload must move the contained value out instead of copying.
+  Result<std::unique_ptr<int>> err =
+      Status::NotFound("gone");  // move-only payloads compile
+  std::unique_ptr<int> fallback = std::make_unique<int>(9);
+  std::unique_ptr<int> got = std::move(err).value_or(std::move(fallback));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 9);
+
+  Result<std::unique_ptr<int>> okr = std::make_unique<int>(4);
+  std::unique_ptr<int> v = std::move(okr).value_or(nullptr);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 4);
+
+  // Large payloads: the rvalue path leaves the source empty (moved-from),
+  // proving no copy was taken.
+  Result<std::string> s = std::string(1000, 'x');
+  const std::string taken = std::move(s).value_or("fallback");
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+Status FailsWhenNegative(int v) {
+  if (v < 0) return Status::Unavailable("transient dip");
+  return Status::Ok();
+}
+
+Status ChainTwoChecks(int a, int b, int* reached) {
+  JACKPINE_RETURN_IF_ERROR(FailsWhenNegative(a));
+  *reached = 1;
+  JACKPINE_RETURN_IF_ERROR(FailsWhenNegative(b));
+  *reached = 2;
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagatesFirstFailure) {
+  int reached = 0;
+  EXPECT_TRUE(ChainTwoChecks(1, 1, &reached).ok());
+  EXPECT_EQ(reached, 2);
+
+  reached = 0;
+  Status first = ChainTwoChecks(-1, 1, &reached);
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(reached, 0);  // short-circuits before the first checkpoint
+
+  reached = 0;
+  Status second = ChainTwoChecks(1, -1, &reached);
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(second.message(), "transient dip");
+  EXPECT_EQ(reached, 1);  // stopped between the checkpoints
+}
+
+Result<int> HalveTransient(int v) {
+  if (v % 2 != 0) return Status::Unavailable("odd");
+  return v / 2;
+}
+
+Result<int> QuarterViaAssignOrReturn(int v) {
+  JACKPINE_ASSIGN_OR_RETURN(int half, HalveTransient(v));
+  JACKPINE_ASSIGN_OR_RETURN(int quarter, HalveTransient(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesNewCodes) {
+  Result<int> ok = QuarterViaAssignOrReturn(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  Result<int> bad = QuarterViaAssignOrReturn(6);  // second halving hits 3
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnavailable);
 }
 
 TEST(RngTest, DeterministicAcrossInstances) {

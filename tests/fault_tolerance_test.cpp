@@ -1,0 +1,445 @@
+// Tests for the fault-tolerant execution layer (DESIGN.md "Fault model"):
+// ExecContext deadlines / budgets / cancellation threaded through the
+// engine, the chaos driver's deterministic fault injection at the Statement
+// seam, the runner's retry policy and error taxonomy, and graceful
+// degradation at suite and scenario level.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "common/exec_context.h"
+#include "common/stopwatch.h"
+#include "core/loader.h"
+#include "core/report.h"
+#include "core/runner.h"
+#include "tigergen/tigergen.h"
+
+namespace jackpine {
+namespace {
+
+tigergen::TigerDataset SmallDataset() {
+  tigergen::TigerGenOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 7;
+  return tigergen::GenerateTiger(gen);
+}
+
+client::Connection LoadedConnection(const std::string& url) {
+  auto conn = client::Connection::Open(url);
+  EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+  EXPECT_TRUE(core::LoadDataset(SmallDataset(), &*conn).ok());
+  return *std::move(conn);
+}
+
+// A connection whose cross join is genuinely slow (~2000 edges, so the
+// unindexed exact join faces millions of candidate pairs): deadline and
+// cancellation tests need a query that would run for seconds if the fault
+// model failed to stop it.
+client::Connection SlowScanConnection() {
+  tigergen::TigerGenOptions gen;
+  gen.scale = 0.5;
+  gen.seed = 7;
+  auto conn = client::Connection::Open("jackpine:pine-scan");
+  EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+  EXPECT_TRUE(core::LoadDataset(tigergen::GenerateTiger(gen), &*conn).ok());
+  return *std::move(conn);
+}
+
+// An unindexed exact-predicate cross join: the pathological query class the
+// fault model exists for. On pine-scan this runs far longer than any
+// deadline used below.
+constexpr char kCrossJoinSql[] =
+    "SELECT COUNT(*) FROM edges a, edges b "
+    "WHERE ST_Intersects(a.geom, b.geom)";
+
+// ---------------------------------------------------------------------------
+// ExecContext unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(ExecContextTest, UnlimitedContextAlwaysPasses) {
+  ExecContext ctx;
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_TRUE(ctx.CheckTick().ok());
+  }
+  EXPECT_TRUE(ctx.ChargeRows(1 << 30).ok());
+  EXPECT_TRUE(ctx.ChargeBytes(uint64_t{1} << 40).ok());
+}
+
+TEST(ExecContextTest, RowBudgetLatchesResourceExhausted) {
+  ExecLimits limits;
+  limits.max_rows = 10;
+  ExecContext ctx(limits);
+  EXPECT_TRUE(ctx.ChargeRows(10).ok());
+  const Status first = ctx.ChargeRows(1);
+  EXPECT_EQ(first.code(), StatusCode::kResourceExhausted);
+  // The failure latches: every later check reports the same error.
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.CheckTick().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.ChargeRows(0).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, ByteBudgetExhausts) {
+  ExecLimits limits;
+  limits.max_result_bytes = 100;
+  ExecContext ctx(limits);
+  EXPECT_TRUE(ctx.ChargeBytes(60).ok());
+  EXPECT_EQ(ctx.ChargeBytes(60).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, DeadlineExpires) {
+  ExecLimits limits;
+  limits.deadline_s = 0.005;
+  ExecContext ctx(limits);
+  EXPECT_TRUE(ctx.Check().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ExecContextTest, CancellationWinsOverDeadline) {
+  ExecLimits limits;
+  limits.deadline_s = 3600.0;
+  limits.cancel = std::make_shared<std::atomic<bool>>(false);
+  ExecContext ctx(limits);
+  EXPECT_TRUE(ctx.Check().ok());
+  limits.cancel->store(true);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline / budget enforcement through the whole stack.
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, CrossJoinStopsWithinTwiceTheDeadline) {
+  client::Connection conn = SlowScanConnection();
+  client::Statement stmt = conn.CreateStatement();
+  constexpr double kDeadline = 0.05;
+  ExecLimits limits;
+  limits.deadline_s = kDeadline;
+  stmt.SetExecLimits(limits);
+  Stopwatch watch;
+  auto rs = stmt.ExecuteQuery(kCrossJoinSql);
+  const double elapsed = watch.ElapsedSeconds();
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded);
+  // Acceptance bound: the row-granular ticks must notice the deadline well
+  // within 2x of the configured budget.
+  EXPECT_LT(elapsed, 2 * kDeadline);
+  // The connection stays usable after the timeout.
+  auto ok_rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM edges");
+  EXPECT_TRUE(ok_rs.ok()) << ok_rs.status().ToString();
+}
+
+TEST(DeadlineTest, RowBudgetReturnsResourceExhausted) {
+  client::Connection conn = LoadedConnection("jackpine:pine-rtree");
+  client::Statement stmt = conn.CreateStatement();
+  ExecLimits limits;
+  limits.max_rows = 5;
+  stmt.SetExecLimits(limits);
+  auto rs = stmt.ExecuteQuery("SELECT tlid FROM edges");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DeadlineTest, MemoryBudgetReturnsResourceExhausted) {
+  client::Connection conn = LoadedConnection("jackpine:pine-rtree");
+  client::Statement stmt = conn.CreateStatement();
+  ExecLimits limits;
+  limits.max_result_bytes = 256;
+  stmt.SetExecLimits(limits);
+  auto rs = stmt.ExecuteQuery("SELECT geom FROM edges");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DeadlineTest, PresetCancelFlagAbortsQuery) {
+  client::Connection conn = LoadedConnection("jackpine:pine-scan");
+  client::Statement stmt = conn.CreateStatement();
+  ExecLimits limits;
+  limits.cancel = std::make_shared<std::atomic<bool>>(true);
+  stmt.SetExecLimits(limits);
+  auto rs = stmt.ExecuteQuery(kCrossJoinSql);
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kCancelled);
+}
+
+TEST(DeadlineTest, ConcurrentCancellationStopsRunningQuery) {
+  client::Connection conn = SlowScanConnection();
+  client::Statement stmt = conn.CreateStatement();
+  ExecLimits limits;
+  limits.cancel = std::make_shared<std::atomic<bool>>(false);
+  stmt.SetExecLimits(limits);
+  std::thread canceller([flag = limits.cancel]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    flag->store(true);
+  });
+  Stopwatch watch;
+  auto rs = stmt.ExecuteQuery(kCrossJoinSql);
+  canceller.join();
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kCancelled);
+  EXPECT_LT(watch.ElapsedSeconds(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos driver.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, ParsesUrlForm) {
+  auto conn = client::Connection::Open("jackpine:chaos(42,0.25,3):pine-rtree");
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  EXPECT_EQ(conn->config().name, "pine-rtree");
+  ASSERT_NE(conn->chaos(), nullptr);
+  EXPECT_EQ(conn->chaos()->config().seed, 42u);
+  EXPECT_DOUBLE_EQ(conn->chaos()->config().error_rate, 0.25);
+  EXPECT_DOUBLE_EQ(conn->chaos()->config().latency_ms, 3.0);
+  // A plain URL carries no chaos state.
+  auto plain = client::Connection::Open("jackpine:pine-rtree");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->chaos(), nullptr);
+}
+
+TEST(ChaosTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(client::Connection::Open("jackpine:chaos(42):pine-rtree").ok());
+  EXPECT_FALSE(
+      client::Connection::Open("jackpine:chaos(42,2.0,0):pine-rtree").ok());
+  EXPECT_FALSE(
+      client::Connection::Open("jackpine:chaos(42,0.1,-1):pine-rtree").ok());
+  EXPECT_FALSE(
+      client::Connection::Open("jackpine:chaos(x,0.1,0):pine-rtree").ok());
+  EXPECT_FALSE(client::Connection::Open("jackpine:chaos(42,0.1,0)").ok());
+  EXPECT_FALSE(
+      client::Connection::Open("jackpine:chaos(42,0.1,0):oracle").ok());
+  EXPECT_FALSE(client::ParseChaosSpec("chaos(1,2,3").ok());
+}
+
+// Runs `n` identical queries through a fresh chaos connection and renders
+// the outcome sequence as a string: "." for success, "[<status>]" for each
+// failure (the status text includes the draw index).
+std::string ChaosTrace(const std::string& url, int n) {
+  auto conn = client::Connection::Open(url);
+  EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  EXPECT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  std::string trace;
+  for (int i = 0; i < n; ++i) {
+    auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+    trace += rs.ok() ? "." : "[" + rs.status().ToString() + "]";
+  }
+  return trace;
+}
+
+TEST(ChaosTest, SameSeedProducesByteIdenticalErrorSequence) {
+  const std::string url = "jackpine:chaos(1234,0.3,0):pine-rtree";
+  const std::string a = ChaosTrace(url, 60);
+  const std::string b = ChaosTrace(url, 60);
+  EXPECT_EQ(a, b);  // deterministic replay, byte for byte
+  // The trace must actually mix successes and injected failures.
+  EXPECT_NE(a.find('.'), std::string::npos);
+  EXPECT_NE(a.find("Unavailable"), std::string::npos);
+  // A different seed permutes the sequence.
+  EXPECT_NE(a, ChaosTrace("jackpine:chaos(77,0.3,0):pine-rtree", 60));
+}
+
+TEST(ChaosTest, ZeroRateInjectsNothingAndBulkLoadIsNeverInjected) {
+  // error-rate 1.0 would fail every query; the loader must still succeed
+  // because ExecuteUpdate bypasses injection.
+  client::Connection conn =
+      LoadedConnection("jackpine:chaos(9,1.0,0):pine-rtree");
+  client::Statement stmt = conn.CreateStatement();
+  auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM edges");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kUnavailable);
+  // Zero rate: nothing injected even over many draws.
+  auto quiet = client::Connection::Open("jackpine:chaos(9,0.0,0):pine-rtree");
+  ASSERT_TRUE(quiet.ok());
+  client::Statement qstmt = quiet->CreateStatement();
+  ASSERT_TRUE(qstmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(qstmt.ExecuteQuery("SELECT COUNT(*) FROM t").ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Retrying runner.
+// ---------------------------------------------------------------------------
+
+core::QuerySpec CountEdgesSpec() {
+  core::QuerySpec q;
+  q.id = "count-edges";
+  q.sql = "SELECT COUNT(*) FROM edges";
+  return q;
+}
+
+TEST(RetryRunnerTest, TransientFailuresAreRetriedToSuccess) {
+  client::Connection conn =
+      LoadedConnection("jackpine:chaos(5,0.3,0):pine-rtree");
+  core::RunConfig config;
+  config.warmup = 1;
+  config.repetitions = 3;
+  config.retry.max_attempts = 10;
+  config.retry.backoff_base_s = 1e-4;  // keep the test fast
+  const core::RunResult r = core::RunQuery(&conn, CountEdgesSpec(), config);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Every extra attempt beyond the 4 execution slots was a retried
+  // transient, so the accounting identity must hold exactly.
+  EXPECT_EQ(r.attempts, 4u + r.transient_errors);
+  // Seeded stream: chaos(5, 0.3) injects at least one failure in the first
+  // handful of draws, so the retry path genuinely ran.
+  EXPECT_GT(r.transient_errors, 0u);
+  EXPECT_EQ(r.timeouts, 0u);
+  EXPECT_EQ(r.error_code, StatusCode::kOk);
+}
+
+TEST(RetryRunnerTest, NonTransientErrorsAreNotRetried) {
+  client::Connection conn = LoadedConnection("jackpine:pine-rtree");
+  core::QuerySpec bad;
+  bad.id = "bad";
+  bad.sql = "SELECT * FROM missing_table";
+  core::RunConfig config;
+  config.warmup = 1;
+  config.retry.max_attempts = 5;
+  const core::RunResult r = core::RunQuery(&conn, bad, config);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 1u);  // NotFound is deterministic: one try only
+  EXPECT_EQ(r.error_code, StatusCode::kNotFound);
+}
+
+TEST(RetryRunnerTest, DeadlineRecordedAsTimeoutAndSuiteContinues) {
+  client::Connection conn = SlowScanConnection();
+  core::RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  config.limits.deadline_s = 0.03;
+  core::QuerySpec slow;
+  slow.id = "slow";
+  slow.sql = kCrossJoinSql;
+  std::vector<core::QuerySpec> suite = {slow, CountEdgesSpec()};
+  Stopwatch watch;
+  const std::vector<core::RunResult> results =
+      core::RunSuite(&conn, suite, config);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].error_code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(results[0].timeouts, 1u);
+  EXPECT_EQ(results[0].attempts, 1u);  // timeouts never retry
+  // The suite keeps going: the fast query after the hung one still runs.
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+  // Both deadline-bounded, so the whole suite is fast.
+  EXPECT_LT(watch.ElapsedSeconds(), 2.0);
+}
+
+TEST(RetryRunnerTest, ScenarioDegradesGracefully) {
+  client::Connection conn = LoadedConnection("jackpine:pine-rtree");
+  core::Scenario scenario;
+  scenario.id = "mixed";
+  scenario.name = "mixed demo";
+  core::QuerySpec bad;
+  bad.id = "bad";
+  bad.sql = "SELECT * FROM missing_table";
+  scenario.queries = {CountEdgesSpec(), bad, CountEdgesSpec()};
+  core::RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 2;
+  const core::ScenarioResult r = core::RunScenario(&conn, scenario, config);
+  EXPECT_EQ(r.failed, 1u);
+  ASSERT_EQ(r.queries.size(), 3u);
+  EXPECT_TRUE(r.queries[0].ok);
+  EXPECT_FALSE(r.queries[1].ok);
+  EXPECT_TRUE(r.queries[2].ok);
+  // total_s sums exactly the successful queries' means.
+  EXPECT_DOUBLE_EQ(
+      r.total_s, r.queries[0].timing.mean_s + r.queries[2].timing.mean_s);
+}
+
+TEST(RetryRunnerTest, ConcurrentThroughputUnderChaosAccountsExactly) {
+  client::Connection conn =
+      LoadedConnection("jackpine:chaos(11,0.2,0):pine-rtree");
+  std::vector<core::QuerySpec> workload(2);
+  workload[0].sql = "SELECT COUNT(*) FROM edges";
+  workload[1].sql =
+      "SELECT COUNT(*) FROM pointlm WHERE ST_DWithin(geom, "
+      "ST_MakePoint(50, 50), 20)";
+  core::RunConfig config;
+  config.retry.max_attempts = 2;
+  config.retry.backoff_base_s = 1e-4;
+  constexpr int kClients = 4;
+  constexpr int kRounds = 10;
+  const core::ThroughputResult t = core::RunConcurrentThroughput(
+      &conn, workload, kClients, kRounds, config);
+  // Every query slot lands in exactly one bucket: no slot is lost or double
+  // counted even with seeded faults and retries racing across threads.
+  EXPECT_EQ(t.queries_executed + t.errors,
+            static_cast<size_t>(kClients) * kRounds * workload.size());
+  EXPECT_GT(t.transient_errors, 0u);  // the 20% fault rate actually fired
+  EXPECT_GT(t.QueriesPerSecond(), 0.0);
+}
+
+TEST(RetryRunnerTest, SequentialThroughputRecordsFaultCounters) {
+  client::Connection conn =
+      LoadedConnection("jackpine:chaos(3,0.5,0):pine-rtree");
+  std::vector<core::QuerySpec> workload(1);
+  workload[0].sql = "SELECT COUNT(*) FROM edges";
+  core::RunConfig config;
+  config.retry.max_attempts = 1;  // no retry: every injection is an error
+  const core::ThroughputResult t =
+      core::RunThroughput(&conn, workload, /*rounds=*/40, config);
+  EXPECT_EQ(t.queries_executed + t.errors, 40u);
+  EXPECT_EQ(t.errors, t.transient_errors);  // all failures were injections
+  EXPECT_GT(t.errors, 0u);
+  EXPECT_LT(t.errors, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Error-taxonomy report.
+// ---------------------------------------------------------------------------
+
+TEST(ErrorTaxonomyTest, RendersPerSutCounts) {
+  core::RunResult ok;
+  ok.sut = "pine-rtree";
+  ok.ok = true;
+  ok.attempts = 1;
+  core::RunResult timeout = ok;
+  timeout.ok = false;
+  timeout.error_code = StatusCode::kDeadlineExceeded;
+  timeout.timeouts = 1;
+  core::RunResult flaky = ok;
+  flaky.sut = "pine-scan";
+  flaky.ok = false;
+  flaky.error_code = StatusCode::kUnavailable;
+  flaky.transient_errors = 3;
+  flaky.attempts = 3;
+  const std::string table = core::RenderErrorTaxonomyTable(
+      "fault taxonomy", {{ok, timeout}, {flaky}});
+  EXPECT_NE(table.find("== fault taxonomy =="), std::string::npos);
+  EXPECT_NE(table.find("pine-rtree"), std::string::npos);
+  EXPECT_NE(table.find("DeadlineExceeded x1"), std::string::npos);
+  EXPECT_NE(table.find("Unavailable x1"), std::string::npos);
+  // Clean SUT rows show "-" in the final-errors column.
+  const std::string clean =
+      core::RenderErrorTaxonomyTable("clean", {{ok}});
+  EXPECT_NE(clean.find("-"), std::string::npos);
+}
+
+TEST(ErrorTaxonomyTest, EndToEndChaosRunFeedsTaxonomy) {
+  client::Connection conn =
+      LoadedConnection("jackpine:chaos(21,0.4,0):pine-rtree");
+  core::RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 2;
+  config.retry.max_attempts = 1;  // surface the injections as final errors
+  std::vector<core::QuerySpec> suite = {CountEdgesSpec()};
+  const auto runs = core::RunSuite(&conn, suite, config);
+  const std::string table =
+      core::RenderErrorTaxonomyTable("chaos run", {runs});
+  EXPECT_NE(table.find("chaos run"), std::string::npos);
+  EXPECT_NE(table.find("pine-rtree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jackpine
