@@ -5,10 +5,18 @@
 //   ./build/examples/benchmark_runner [--scale S] [--seed N] [--reps R]
 //                                     [--suts a,b,c] [--deadline SECONDS]
 //                                     [--chaos seed,rate,latency_ms]
+//                                     [--throughput-clients N]
+//                                     [--throughput-rounds R] [--no-load]
 //
-// --deadline bounds every query attempt; --chaos wraps each SUT in the
-// fault-injecting driver. Either one makes the final error-taxonomy table
-// interesting.
+// --suts entries are either local SUT names (pine-rtree, ...) or remote
+// endpoints of a running pinedb server (tcp://host:port/sut); remote entries
+// drive the whole benchmark through the wire protocol, the true
+// client/server round-trip the paper measured over JDBC. --deadline bounds
+// every query attempt; --chaos wraps each SUT (local or remote) in the
+// fault-injecting driver. --throughput-clients N adds a concurrent
+// throughput run (N client threads, --throughput-rounds passes over the
+// topological suite) after the micro/macro suites. --no-load skips dataset
+// loading for servers started with `pinedb serve --preload`.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,14 +29,20 @@
 #include "core/micro_suite.h"
 #include "core/report.h"
 #include "core/runner.h"
+#include "net/remote_driver.h"
 
 using namespace jackpine;  // example code; the library itself never does this
 
 int main(int argc, char** argv) {
+  net::RegisterRemoteDriver();
+
   double scale = 0.5;
   uint64_t seed = 42;
   core::RunConfig config;
   std::string chaos_spec;
+  int throughput_clients = 0;
+  int throughput_rounds = 3;
+  bool no_load = false;
   std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
                                         "pine-scan"};
   for (int i = 1; i < argc; ++i) {
@@ -44,10 +58,19 @@ int main(int argc, char** argv) {
       config.limits.deadline_s = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc) {
       chaos_spec = argv[++i];
+    } else if (!std::strcmp(argv[i], "--throughput-clients") && i + 1 < argc) {
+      throughput_clients = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--throughput-rounds") && i + 1 < argc) {
+      throughput_rounds = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--no-load")) {
+      no_load = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b] "
-                   "[--deadline SEC] [--chaos seed,rate,latency_ms]\n",
+                   "[--deadline SEC] [--chaos seed,rate,latency_ms] "
+                   "[--throughput-clients N] [--throughput-rounds R] "
+                   "[--no-load]\n"
+                   "  --suts entries: local SUT names or tcp://host:port/sut\n",
                    argv[0]);
       return 2;
     }
@@ -67,6 +90,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<core::RunResult>> topo_by_sut, analysis_by_sut;
   std::vector<std::vector<core::ScenarioResult>> scenarios_by_sut;
+  std::vector<core::ThroughputResult> throughput_by_sut;
 
   for (const std::string& name : sut_names) {
     std::string url = "jackpine:" + name;
@@ -79,14 +103,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     client::Connection conn = std::move(conn_or).value();
-    auto load = core::LoadDataset(dataset, &conn);
-    if (!load.ok()) {
-      std::fprintf(stderr, "load into %s failed: %s\n", name.c_str(),
-                   load.status().ToString().c_str());
-      return 1;
+    if (!no_load) {
+      auto load = core::LoadDataset(dataset, &conn);
+      if (!load.ok()) {
+        std::fprintf(stderr, "load into %s failed: %s\n", name.c_str(),
+                     load.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("loaded %s: insert %.1fms, index %.1fms\n", name.c_str(),
+                  load->insert_s * 1e3, load->index_s * 1e3);
     }
-    std::printf("loaded %s: insert %.1fms, index %.1fms\n", name.c_str(),
-                load->insert_s * 1e3, load->index_s * 1e3);
 
     topo_by_sut.push_back(core::RunSuite(&conn, topo_suite, config));
     analysis_by_sut.push_back(core::RunSuite(&conn, analysis_suite, config));
@@ -95,6 +121,13 @@ int main(int argc, char** argv) {
       scenario_results.push_back(core::RunScenario(&conn, s, config));
     }
     scenarios_by_sut.push_back(std::move(scenario_results));
+
+    if (throughput_clients > 0) {
+      core::ThroughputResult tp = core::RunConcurrentThroughput(
+          &conn, topo_suite, throughput_clients, throughput_rounds, config);
+      tp.sut = name;
+      throughput_by_sut.push_back(std::move(tp));
+    }
   }
 
   std::printf("\n%s\n",
@@ -108,6 +141,23 @@ int main(int argc, char** argv) {
   std::printf("%s\n", core::RenderScenarioTable("E3: macro scenarios",
                                                 scenarios_by_sut)
                           .c_str());
+  if (!throughput_by_sut.empty()) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    for (const core::ThroughputResult& tp : throughput_by_sut) {
+      rows.emplace_back(
+          tp.sut,
+          StrFormat("%.0f q/s (%zu ok, %zu err, %zu timeouts, %.2fs wall)",
+                    tp.QueriesPerSecond(), tp.queries_executed, tp.errors,
+                    tp.timeouts, tp.elapsed_s));
+    }
+    std::printf("%s\n",
+                core::RenderKeyValueTable(
+                    StrFormat("E4: concurrent throughput (%d clients, "
+                              "%d rounds of the topological suite)",
+                              throughput_clients, throughput_rounds),
+                    rows)
+                    .c_str());
+  }
   // Per-SUT fault breakdown over every micro query that ran: all zeros on a
   // clean run, and the place to look when --deadline or --chaos is active.
   std::vector<std::vector<core::RunResult>> all_runs_by_sut;

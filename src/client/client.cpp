@@ -1,12 +1,127 @@
 #include "client/client.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <map>
 #include <thread>
 
 #include "common/string_util.h"
 
 namespace jackpine::client {
+
+namespace {
+
+// The in-process backend: every session shares the one engine, so a session
+// is just a handle on the Database plus the ExecContext plumbing that
+// Statement used to own directly.
+class LocalSession : public DriverSession {
+ public:
+  explicit LocalSession(std::shared_ptr<engine::Database> db)
+      : db_(std::move(db)) {}
+
+  Result<engine::QueryResult> ExecuteQuery(std::string_view sql,
+                                           const ExecLimits& limits) override {
+    ExecContext exec(limits);
+    return db_->Execute(sql, limits.Unlimited() ? nullptr : &exec);
+  }
+
+  Result<engine::QueryResult> ExecuteUpdate(std::string_view sql,
+                                            const ExecLimits& limits) override {
+    return ExecuteQuery(sql, limits);
+  }
+
+ private:
+  std::shared_ptr<engine::Database> db_;
+};
+
+class LocalDriver : public Driver {
+ public:
+  explicit LocalDriver(std::shared_ptr<engine::Database> db)
+      : session_(std::make_shared<LocalSession>(std::move(db))) {}
+
+  Result<std::shared_ptr<DriverSession>> NewSession() override {
+    // Local sessions are stateless, so all Statements share one.
+    return std::shared_ptr<DriverSession>(session_);
+  }
+
+ private:
+  std::shared_ptr<LocalSession> session_;
+};
+
+struct DriverRegistry {
+  std::mutex mu;
+  std::map<std::string, DriverFactory> factories;
+};
+
+DriverRegistry& Registry() {
+  static DriverRegistry& registry = *new DriverRegistry();
+  return registry;
+}
+
+}  // namespace
+
+void RegisterDriverScheme(const std::string& scheme, DriverFactory factory) {
+  DriverRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.factories[ToLowerAscii(scheme)] = std::move(factory);
+}
+
+bool HasDriverScheme(const std::string& scheme) {
+  DriverRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.factories.count(ToLowerAscii(scheme)) > 0;
+}
+
+bool LooksLikeRemoteUrl(std::string_view rest) {
+  return rest.find("://") != std::string_view::npos;
+}
+
+Result<RemoteEndpoint> ParseRemoteUrl(std::string_view rest) {
+  const std::string url(rest);
+  const size_t scheme_end = rest.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return Status::InvalidArgument(StrFormat(
+        "bad remote URL '%s': scheme: expected <scheme>://<host>:<port>/<sut>",
+        url.c_str()));
+  }
+  RemoteEndpoint ep;
+  ep.scheme = ToLowerAscii(rest.substr(0, scheme_end));
+  std::string_view authority = rest.substr(scheme_end + 3);
+  const size_t slash = authority.find('/');
+  if (slash == std::string_view::npos) {
+    return Status::InvalidArgument(StrFormat(
+        "bad remote URL '%s': SUT: missing '/<sut-name>' after the port",
+        url.c_str()));
+  }
+  ep.sut = std::string(authority.substr(slash + 1));
+  authority = authority.substr(0, slash);
+  const size_t colon = authority.rfind(':');
+  if (colon == std::string_view::npos) {
+    return Status::InvalidArgument(StrFormat(
+        "bad remote URL '%s': port: expected <host>:<port>", url.c_str()));
+  }
+  ep.host = std::string(authority.substr(0, colon));
+  if (ep.host.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("bad remote URL '%s': host: empty", url.c_str()));
+  }
+  const std::string port_str(authority.substr(colon + 1));
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+  if (port_str.empty() || end == port_str.c_str() || *end != '\0' ||
+      port == 0 || port > 65535) {
+    return Status::InvalidArgument(StrFormat(
+        "bad remote URL '%s': port: '%s' is not a TCP port in [1, 65535]",
+        url.c_str(), port_str.c_str()));
+  }
+  ep.port = static_cast<uint16_t>(port);
+  if (ep.sut.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("bad remote URL '%s': SUT: empty name", url.c_str()));
+  }
+  return ep;
+}
 
 const std::vector<SutConfig>& StandardSuts() {
   static const std::vector<SutConfig>& suts = *new std::vector<SutConfig>{
@@ -141,12 +256,34 @@ Result<geom::Geometry> ResultSet::GetGeometry(size_t col) const {
   return GetValue(col).AsGeometry();
 }
 
+Status Statement::EnsureSession() {
+  if (session_ != nullptr && session_->healthy()) return Status::Ok();
+  JACKPINE_ASSIGN_OR_RETURN(session_, driver_->NewSession());
+  return Status::Ok();
+}
+
 Result<ResultSet> Statement::ExecuteQuery(std::string_view sql) {
   if (chaos_ != nullptr) {
     const ChaosState::Fault fault = chaos_->NextFault();
-    if (fault.delay_ms > 0.0) {
+    // The injected delay counts against the query's deadline: sleeping past
+    // it would let chaos latency defeat the fault-tolerance contract, so the
+    // sleep is clamped to the remaining budget and the query times out the
+    // way a real driver's socket timeout would. The draw itself always
+    // happens, so the deterministic chaos stream is unperturbed.
+    double delay_ms = fault.delay_ms;
+    const bool deadline_mid_sleep =
+        limits_.deadline_s > 0.0 && delay_ms >= limits_.deadline_s * 1e3;
+    if (deadline_mid_sleep) delay_ms = limits_.deadline_s * 1e3;
+    if (delay_ms > 0.0) {
       std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(fault.delay_ms));
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    if (deadline_mid_sleep) {
+      return Status::DeadlineExceeded(StrFormat(
+          "chaos: injected %.3f ms delay exceeded the %.3f s deadline "
+          "(draw #%llu)",
+          fault.delay_ms, limits_.deadline_s,
+          static_cast<unsigned long long>(fault.sequence)));
     }
     if (fault.fail) {
       return Status::Unavailable(StrFormat(
@@ -154,18 +291,16 @@ Result<ResultSet> Statement::ExecuteQuery(std::string_view sql) {
           static_cast<unsigned long long>(fault.sequence)));
     }
   }
-  ExecContext exec(limits_);
-  JACKPINE_ASSIGN_OR_RETURN(
-      engine::QueryResult result,
-      db_->Execute(sql, limits_.Unlimited() ? nullptr : &exec));
+  JACKPINE_RETURN_IF_ERROR(EnsureSession());
+  JACKPINE_ASSIGN_OR_RETURN(engine::QueryResult result,
+                            session_->ExecuteQuery(sql, limits_));
   return ResultSet(std::move(result));
 }
 
 Result<int64_t> Statement::ExecuteUpdate(std::string_view sql) {
-  ExecContext exec(limits_);
-  JACKPINE_ASSIGN_OR_RETURN(
-      engine::QueryResult result,
-      db_->Execute(sql, limits_.Unlimited() ? nullptr : &exec));
+  JACKPINE_RETURN_IF_ERROR(EnsureSession());
+  JACKPINE_ASSIGN_OR_RETURN(engine::QueryResult result,
+                            session_->ExecuteUpdate(sql, limits_));
   if (result.rows.size() == 1 && result.columns.size() == 1 &&
       result.columns[0] == "rows_affected") {
     return result.rows[0][0].AsInt64();
@@ -173,33 +308,69 @@ Result<int64_t> Statement::ExecuteUpdate(std::string_view sql) {
   return static_cast<int64_t>(result.rows.size());
 }
 
+Result<Connection> Connection::OpenTarget(std::string_view rest) {
+  if (LooksLikeRemoteUrl(rest)) {
+    JACKPINE_ASSIGN_OR_RETURN(RemoteEndpoint ep, ParseRemoteUrl(rest));
+    // The client-side SutConfig mirrors the server's standard SUT so the
+    // runner's reports stay labelled; the engine configuration itself lives
+    // server-side.
+    auto config_or = SutByName(ep.sut);
+    if (!config_or.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("bad remote URL '%s': SUT: unknown name '%s'",
+                    std::string(rest).c_str(), ep.sut.c_str()));
+    }
+    DriverFactory factory;
+    {
+      DriverRegistry& registry = Registry();
+      std::lock_guard<std::mutex> lock(registry.mu);
+      auto it = registry.factories.find(ep.scheme);
+      if (it != registry.factories.end()) factory = it->second;
+    }
+    if (!factory) {
+      return Status::InvalidArgument(StrFormat(
+          "bad remote URL '%s': scheme: no driver registered for '%s' "
+          "(link jackpine_net and call net::RegisterRemoteDriver())",
+          std::string(rest).c_str(), ep.scheme.c_str()));
+    }
+    JACKPINE_ASSIGN_OR_RETURN(std::shared_ptr<Driver> driver, factory(ep));
+    return Connection(*std::move(config_or), nullptr, std::move(driver));
+  }
+  auto config_or = SutByName(rest);
+  if (!config_or.ok()) {
+    return Status::InvalidArgument(StrFormat(
+        "bad URL '%s': SUT: unknown name (expected one of the standard SUTs "
+        "or <scheme>://<host>:<port>/<sut>): %s",
+        std::string(rest).c_str(), config_or.status().message().c_str()));
+  }
+  return Connection::Open(*std::move(config_or));
+}
+
 Result<Connection> Connection::Open(std::string_view url) {
   constexpr std::string_view kPrefix = "jackpine:";
   if (!StartsWith(url, kPrefix)) {
-    return Status::InvalidArgument(
-        StrFormat("bad URL '%s': expected jackpine:<sut-name>",
-                  std::string(url).c_str()));
+    return Status::InvalidArgument(StrFormat(
+        "bad URL '%s': scheme: expected the 'jackpine:' prefix",
+        std::string(url).c_str()));
   }
   std::string_view rest = url.substr(kPrefix.size());
   if (StartsWith(rest, "chaos(")) {
-    // jackpine:chaos(<seed>,<error-rate>,<latency-ms>):<sut-name>
+    // jackpine:chaos(<seed>,<error-rate>,<latency-ms>):<target>
     const size_t close = rest.find(')');
     if (close == std::string_view::npos || close + 1 >= rest.size() ||
         rest[close + 1] != ':') {
       return Status::InvalidArgument(StrFormat(
-          "bad URL '%s': expected jackpine:chaos(...):<sut-name>",
+          "bad URL '%s': expected jackpine:chaos(...):<target>",
           std::string(url).c_str()));
     }
     JACKPINE_ASSIGN_OR_RETURN(ChaosConfig chaos,
                               ParseChaosSpec(rest.substr(0, close + 1)));
-    JACKPINE_ASSIGN_OR_RETURN(SutConfig config,
-                              SutByName(rest.substr(close + 2)));
-    Connection conn = Open(config);
+    JACKPINE_ASSIGN_OR_RETURN(Connection conn,
+                              OpenTarget(rest.substr(close + 2)));
     conn.chaos_ = std::make_shared<ChaosState>(chaos);
     return conn;
   }
-  JACKPINE_ASSIGN_OR_RETURN(SutConfig config, SutByName(rest));
-  return Open(config);
+  return OpenTarget(rest);
 }
 
 Connection Connection::Open(const SutConfig& config) {
@@ -209,7 +380,9 @@ Connection Connection::Open(const SutConfig& config) {
   options.predicate_mode = config.predicate_mode;
   options.incremental_index_build = config.incremental_index_build;
   options.fold_constants = config.fold_constants;
-  return Connection(config, std::make_shared<engine::Database>(options));
+  auto db = std::make_shared<engine::Database>(options);
+  auto driver = std::make_shared<LocalDriver>(db);
+  return Connection(config, std::move(db), std::move(driver));
 }
 
 }  // namespace jackpine::client

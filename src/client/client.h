@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "client/driver.h"
 #include "common/exec_context.h"
 #include "common/random.h"
 #include "engine/database.h"
@@ -118,6 +119,9 @@ class ResultSet {
   // Order-independent checksum of the whole result (cross-SUT validation).
   uint64_t Checksum() const { return result_.Checksum(); }
   const engine::QueryResult& raw() const { return result_; }
+  // Moves the result out (the cursor is dead afterwards); used by the wire
+  // server to re-serialise results without copying them.
+  engine::QueryResult ReleaseRaw() { return std::move(result_); }
 
  private:
   engine::QueryResult result_;
@@ -128,9 +132,12 @@ class ResultSet {
 
 class Connection;
 
-// Executes SQL on a connection's database. When the connection was opened
+// Executes SQL through a connection's driver. When the connection was opened
 // through a chaos URL, every ExecuteQuery passes through the fault-injection
-// seam first (see ChaosConfig above).
+// seam first (see ChaosConfig above). Each Statement executes on its own
+// DriverSession (opened lazily on first use): against the in-process engine
+// that is free, against a remote pinedb server it is one TCP session, so
+// concurrent Statements become concurrent server sessions.
 class Statement {
  public:
   Result<ResultSet> ExecuteQuery(std::string_view sql);
@@ -146,39 +153,66 @@ class Statement {
 
  private:
   friend class Connection;
-  Statement(std::shared_ptr<engine::Database> db,
-            std::shared_ptr<ChaosState> chaos)
-      : db_(std::move(db)), chaos_(std::move(chaos)) {}
-  std::shared_ptr<engine::Database> db_;
+  Statement(std::shared_ptr<Driver> driver, std::shared_ptr<ChaosState> chaos)
+      : driver_(std::move(driver)), chaos_(std::move(chaos)) {}
+
+  // Opens the session on first use and reopens it after a transport
+  // failure; returns the error when the backend is unreachable.
+  Status EnsureSession();
+
+  std::shared_ptr<Driver> driver_;
+  std::shared_ptr<DriverSession> session_;
   std::shared_ptr<ChaosState> chaos_;  // null unless opened via chaos URL
   ExecLimits limits_;
 };
 
-// A connection to a (freshly created, in-process) pinedb instance.
+// A connection to a pinedb instance: in-process (freshly created) or remote
+// (a pinedb server reached over the wire protocol).
 class Connection {
  public:
   // URL forms:
-  //   "jackpine:<sut-name>"                              plain connection
-  //   "jackpine:chaos(<seed>,<rate>,<latency-ms>):<sut>" fault-injecting
-  // e.g. "jackpine:pine-rtree" or "jackpine:chaos(7,0.1,2):pine-rtree".
+  //   "jackpine:<sut-name>"                    in-process connection
+  //   "jackpine:<scheme>://<host>:<port>/<sut>" remote pinedb server
+  //   "jackpine:chaos(<seed>,<rate>,<latency-ms>):<target>" fault-injecting
+  //     wrapper around either target form
+  // e.g. "jackpine:pine-rtree", "jackpine:tcp://127.0.0.1:7744/pine-rtree"
+  // or "jackpine:chaos(7,0.1,2):tcp://127.0.0.1:7744/pine-rtree". Remote
+  // schemes come from the driver registry (client/driver.h); the chaos layer
+  // composes unchanged because it sits at the Statement seam, above the
+  // driver.
   static Result<Connection> Open(std::string_view url);
   static Connection Open(const SutConfig& config);
 
-  Statement CreateStatement() { return Statement(db_, chaos_); }
+  Statement CreateStatement() { return Statement(driver_, chaos_); }
   const SutConfig& config() const { return config_; }
 
   // Null unless the connection was opened through a chaos URL.
   const ChaosState* chaos() const { return chaos_.get(); }
 
+  // True when the engine runs in this process (no wire protocol involved).
+  bool is_local() const { return db_ != nullptr; }
+
+  // The in-process engine, or null for remote connections. The bulk loader
+  // uses this to pick the fast Append path over row-by-row INSERT SQL.
+  engine::Database* local_database() { return db_.get(); }
+
   // Escape hatch for the bulk loader and tests; a real driver would not
-  // expose this.
+  // expose this. Only valid for local connections (is_local()).
   engine::Database& database() { return *db_; }
 
  private:
-  Connection(SutConfig config, std::shared_ptr<engine::Database> db)
-      : config_(std::move(config)), db_(std::move(db)) {}
+  // Opens the URL tail after "jackpine:" and any chaos prefix: an
+  // in-process SUT name or a registered remote endpoint.
+  static Result<Connection> OpenTarget(std::string_view rest);
+
+  Connection(SutConfig config, std::shared_ptr<engine::Database> db,
+             std::shared_ptr<Driver> driver)
+      : config_(std::move(config)),
+        db_(std::move(db)),
+        driver_(std::move(driver)) {}
   SutConfig config_;
-  std::shared_ptr<engine::Database> db_;
+  std::shared_ptr<engine::Database> db_;  // null for remote connections
+  std::shared_ptr<Driver> driver_;
   std::shared_ptr<ChaosState> chaos_;  // shared with every Statement
 };
 

@@ -1,0 +1,90 @@
+// The driver seam behind client::Connection.
+//
+// The original Jackpine harness is backend-agnostic because it speaks JDBC:
+// the same benchmark code drives PostGIS, MySQL and Informix through one
+// Connection/Statement interface, and the driver decides whether SQL runs in
+// process or crosses a network. This header reproduces that seam: a Driver
+// produces DriverSessions, a Statement executes through exactly one session,
+// and Connection::Open picks the driver from the URL. The in-process engine
+// is one driver; jackpine::net registers another ("tcp") that speaks the
+// pinedb wire protocol, so remote benchmarking needs no changes above this
+// line.
+
+#ifndef JACKPINE_CLIENT_DRIVER_H_
+#define JACKPINE_CLIENT_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "engine/executor.h"
+
+namespace jackpine::client {
+
+// One execution session against a backend — the unit a Statement talks to.
+// Local sessions share the in-process engine and are trivially healthy; a
+// remote session owns one TCP connection to a pinedb server and turns
+// unhealthy when the transport breaks (the Statement then opens a fresh
+// session on the next execution, the way a JDBC driver reconnects).
+class DriverSession {
+ public:
+  virtual ~DriverSession() = default;
+
+  // Executes one SELECT. `limits` carries the per-query deadline and
+  // budgets; local sessions enforce them via ExecContext, remote sessions
+  // ship them in the Query frame so the server enforces them.
+  virtual Result<engine::QueryResult> ExecuteQuery(std::string_view sql,
+                                                   const ExecLimits& limits) = 0;
+
+  // Executes DDL/DML. Same result shape as the engine: a single
+  // "rows_affected" cell.
+  virtual Result<engine::QueryResult> ExecuteUpdate(
+      std::string_view sql, const ExecLimits& limits) = 0;
+
+  // False once the session can no longer execute (broken transport).
+  virtual bool healthy() const { return true; }
+};
+
+// A connection backend: hands out sessions for Statements.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+  virtual Result<std::shared_ptr<DriverSession>> NewSession() = 0;
+};
+
+// A parsed remote endpoint, from the URL tail "<scheme>://<host>:<port>/<sut>"
+// (e.g. "tcp://127.0.0.1:7744/pine-rtree" in
+// "jackpine:tcp://127.0.0.1:7744/pine-rtree").
+struct RemoteEndpoint {
+  std::string scheme;
+  std::string host;
+  uint16_t port = 0;
+  std::string sut;
+};
+
+// True when the URL tail after "jackpine:" (and any chaos prefix) names a
+// remote endpoint rather than an in-process SUT.
+bool LooksLikeRemoteUrl(std::string_view rest);
+
+// Parses "<scheme>://<host>:<port>/<sut>". Errors are structured
+// kInvalidArgument naming the offending component (scheme / host / port /
+// SUT) so a misconfigured URL is diagnosable from the runner's
+// error-taxonomy table alone.
+Result<RemoteEndpoint> ParseRemoteUrl(std::string_view rest);
+
+// Remote-driver registry, keyed by URL scheme. jackpine::net installs the
+// "tcp" factory via net::RegisterRemoteDriver(); Connection::Open consults
+// the registry whenever the URL tail looks remote. Registration is
+// idempotent and thread-safe.
+using DriverFactory =
+    std::function<Result<std::shared_ptr<Driver>>(const RemoteEndpoint&)>;
+void RegisterDriverScheme(const std::string& scheme, DriverFactory factory);
+bool HasDriverScheme(const std::string& scheme);
+
+}  // namespace jackpine::client
+
+#endif  // JACKPINE_CLIENT_DRIVER_H_

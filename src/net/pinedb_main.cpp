@@ -1,0 +1,135 @@
+// The pinedb server binary: serves any SUT over the wire protocol.
+//
+//   pinedb serve [--host H] [--port P] [--sut NAME] [--batch-rows N]
+//                [--preload] [--scale S] [--seed N]
+//
+// --preload generates the TIGER-like dataset (same generator and defaults as
+// benchmark_runner, so a given --scale/--seed pair yields the identical
+// dataset) and loads it before the server accepts connections; without it,
+// remote clients load through the wire the way the paper's harness loaded
+// over JDBC. On SIGINT/SIGTERM the server drains its sessions, prints the
+// per-session counters as a report table, and exits non-zero if any session
+// leaked — CI's client/server smoke job asserts on exactly that.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/string_util.h"
+#include "core/loader.h"
+#include "core/report.h"
+#include "net/server.h"
+
+using namespace jackpine;  // binary code; the library itself never does this
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s serve [--host H] [--port P] [--sut NAME]\n"
+               "                [--batch-rows N] [--preload] [--scale S] "
+               "[--seed N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "serve") != 0) return Usage(argv[0]);
+
+  net::ServerOptions options;
+  bool preload = false;
+  double scale = 0.5;
+  uint64_t seed = 42;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--sut") && i + 1 < argc) {
+      options.sut = argv[++i];
+    } else if (!std::strcmp(argv[i], "--batch-rows") && i + 1 < argc) {
+      options.batch_rows = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--preload")) {
+      preload = true;
+    } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  auto server_or = net::Server::Create(options);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "pinedb: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Server> server = std::move(server_or).value();
+
+  if (preload) {
+    tigergen::TigerGenOptions gen;
+    gen.seed = seed;
+    gen.scale = scale;
+    auto load = core::GenerateAndLoad(gen, &server->connection());
+    if (!load.ok()) {
+      std::fprintf(stderr, "pinedb: preload failed: %s\n",
+                   load.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("pinedb: preloaded %zu rows (scale %.2f, seed %llu)\n",
+                load->rows, scale, static_cast<unsigned long long>(seed));
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  server->StartServing();
+  std::printf("pinedb: serving SUT '%s' on %s:%u\n", options.sut.c_str(),
+              options.host.c_str(), static_cast<unsigned>(server->port()));
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("pinedb: shutting down\n");
+  server->Shutdown();
+  const net::ServerCounters c = server->counters();
+  std::printf("%s\n",
+              core::RenderKeyValueTable(
+                  "pinedb session counters",
+                  {{"sessions opened", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.sessions_opened))},
+                   {"sessions closed", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.sessions_closed))},
+                   {"queries", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.queries))},
+                   {"updates", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.updates))},
+                   {"rows returned", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.rows_returned))},
+                   {"bytes sent", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.bytes_sent))},
+                   {"errors", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.errors))}})
+                  .c_str());
+  if (c.sessions_opened != c.sessions_closed) {
+    std::fprintf(stderr, "pinedb: leaked %llu session(s)\n",
+                 static_cast<unsigned long long>(c.sessions_opened -
+                                                 c.sessions_closed));
+    return 1;
+  }
+  return 0;
+}

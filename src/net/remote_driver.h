@@ -1,0 +1,55 @@
+// The client side of the wire protocol: a client::Driver that talks to a
+// pinedb server.
+//
+// Each DriverSession is one TCP connection with its own Hello handshake, so
+// every client::Statement of a remote Connection becomes one server session
+// — the multi-client throughput mode turns into genuinely concurrent
+// client/server traffic, which is the round-trip the paper measured over
+// JDBC. Transport failures surface as kUnavailable (retryable; the
+// Statement opens a fresh session on the next execution) and receive
+// timeouts as kDeadlineExceeded, mirroring a JDBC socket timeout.
+
+#ifndef JACKPINE_NET_REMOTE_DRIVER_H_
+#define JACKPINE_NET_REMOTE_DRIVER_H_
+
+#include <memory>
+#include <mutex>
+
+#include "client/driver.h"
+
+namespace jackpine::net {
+
+class RemoteDriver : public client::Driver {
+ public:
+  explicit RemoteDriver(client::RemoteEndpoint endpoint)
+      : endpoint_(std::move(endpoint)) {}
+
+  // Connects and handshakes; kUnavailable when the server is unreachable,
+  // kInvalidArgument when it hosts a different SUT.
+  Result<std::shared_ptr<client::DriverSession>> NewSession() override;
+
+  const client::RemoteEndpoint& endpoint() const { return endpoint_; }
+
+ private:
+  friend Result<std::shared_ptr<client::Driver>> OpenRemoteDriver(
+      const client::RemoteEndpoint& endpoint);
+
+  client::RemoteEndpoint endpoint_;
+  std::mutex mu_;  // guards probe_
+  // The session opened to validate the endpoint at Connection::Open time,
+  // handed to the first Statement instead of reconnecting.
+  std::shared_ptr<client::DriverSession> probe_;
+};
+
+// Connects eagerly (one probe session) so a bad host/port/SUT fails at
+// Connection::Open rather than at the first query.
+Result<std::shared_ptr<client::Driver>> OpenRemoteDriver(
+    const client::RemoteEndpoint& endpoint);
+
+// Installs the "tcp" scheme in the client driver registry, enabling
+// jackpine:tcp://host:port/sut URLs. Idempotent; call once at startup.
+void RegisterRemoteDriver();
+
+}  // namespace jackpine::net
+
+#endif  // JACKPINE_NET_REMOTE_DRIVER_H_

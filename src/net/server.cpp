@@ -1,0 +1,281 @@
+#include "net/server.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "net/wire.h"
+
+namespace jackpine::net {
+
+namespace {
+
+constexpr size_t kRecvChunk = 64 * 1024;
+
+}  // namespace
+
+Server::Server(ServerOptions options, client::Connection connection,
+               Listener listener)
+    : options_(std::move(options)),
+      connection_(std::make_unique<client::Connection>(std::move(connection))),
+      listener_(std::move(listener)) {}
+
+Result<std::unique_ptr<Server>> Server::Create(const ServerOptions& options) {
+  JACKPINE_ASSIGN_OR_RETURN(client::SutConfig sut,
+                            client::SutByName(options.sut));
+  client::Connection connection = client::Connection::Open(sut);
+  JACKPINE_ASSIGN_OR_RETURN(Listener listener,
+                            Listener::Listen(options.host, options.port));
+  // make_unique needs a public constructor; the server's is private.
+  return std::unique_ptr<Server>(
+      new Server(options, std::move(connection), std::move(listener)));
+}
+
+void Server::StartServing() {
+  if (serving_) return;
+  serving_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
+  JACKPINE_ASSIGN_OR_RETURN(std::unique_ptr<Server> server, Create(options));
+  server->StartServing();
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.sessions_opened = sessions_opened_.load();
+  c.sessions_closed = sessions_closed_.load();
+  c.queries = queries_.load();
+  c.updates = updates_.load();
+  c.rows_returned = rows_returned_.load();
+  c.bytes_sent = bytes_sent_.load();
+  c.errors = errors_.load();
+  return c;
+}
+
+size_t Server::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t active = 0;
+  for (const auto& s : sessions_) {
+    if (!s->done.load()) ++active;
+  }
+  return active;
+}
+
+void Server::ReapFinishedSessions() {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& s : finished) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      // Transient accept failure (e.g. EMFILE): keep serving.
+      continue;
+    }
+    ReapFinishedSessions();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) return;
+    if (sessions_.size() >= options_.max_sessions) {
+      Socket refused = std::move(accepted).value();
+      const std::string frame = EncodeFrame(
+          FrameType::kError,
+          EncodeError(Status::ResourceExhausted(StrFormat(
+              "server at its %zu-session limit", options_.max_sessions))));
+      (void)refused.SendAll(frame);
+      continue;  // refused socket closes on scope exit
+    }
+    auto session = std::make_unique<Session>();
+    session->socket = std::move(accepted).value();
+    Session* raw = session.get();
+    sessions_opened_.fetch_add(1);
+    session->thread = std::thread([this, raw] { ServeSession(raw); });
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void Server::ServeSession(Session* session) {
+  Socket& sock = session->socket;
+  FrameDecoder decoder;
+  client::Statement stmt = connection_->CreateStatement();
+  char buf[kRecvChunk];
+
+  // Sends one frame, charging the byte counter; false on transport failure.
+  auto send_frame = [&](FrameType type, const std::string& payload) {
+    const std::string frame = EncodeFrame(type, payload);
+    if (!sock.SendAll(frame).ok()) return false;
+    bytes_sent_.fetch_add(frame.size());
+    return true;
+  };
+  auto send_error = [&](const Status& status) {
+    errors_.fetch_add(1);
+    return send_frame(FrameType::kError, EncodeError(status));
+  };
+
+  // Reads the next complete frame; nullopt ends the session (EOF, transport
+  // failure, or a framing error the peer cannot recover from).
+  auto next_frame = [&]() -> std::optional<Frame> {
+    for (;;) {
+      Result<std::optional<Frame>> frame = decoder.Next();
+      if (!frame.ok()) {
+        (void)send_error(frame.status());
+        return std::nullopt;
+      }
+      if (frame->has_value()) return std::move(**frame);
+      Result<size_t> n = sock.Recv(buf, sizeof(buf));
+      if (!n.ok() || *n == 0) return std::nullopt;
+      decoder.Feed(std::string_view(buf, *n));
+    }
+  };
+
+  // Handshake: the session speaks nothing before a valid Hello.
+  bool handshake_ok = false;
+  if (std::optional<Frame> frame = next_frame()) {
+    if (frame->type != FrameType::kHello) {
+      (void)send_error(Status::InvalidArgument(
+          "protocol: expected a Hello frame before anything else"));
+    } else if (Result<HelloMsg> hello = DecodeHello(frame->payload);
+               !hello.ok()) {
+      (void)send_error(hello.status());
+    } else if (hello->protocol_version != kProtocolVersion) {
+      (void)send_error(Status::InvalidArgument(StrFormat(
+          "protocol: version %u not supported (server speaks %u)",
+          hello->protocol_version, kProtocolVersion)));
+    } else if (!hello->sut.empty() &&
+               !EqualsIgnoreCase(hello->sut, options_.sut)) {
+      (void)send_error(Status::InvalidArgument(StrFormat(
+          "SUT: this server hosts '%s', not '%s'", options_.sut.c_str(),
+          hello->sut.c_str())));
+    } else {
+      HelloMsg reply;
+      reply.sut = options_.sut;
+      reply.peer_info = "pinedb/1";
+      handshake_ok = send_frame(FrameType::kHello, EncodeHello(reply));
+    }
+  }
+
+  while (handshake_ok && !stopping_.load()) {
+    std::optional<Frame> frame = next_frame();
+    if (!frame.has_value()) break;
+    if (frame->type == FrameType::kClose) break;
+
+    if (frame->type != FrameType::kQuery &&
+        frame->type != FrameType::kUpdate) {
+      if (!send_error(Status::InvalidArgument(StrFormat(
+              "protocol: unexpected frame type %u mid-session",
+              static_cast<unsigned>(frame->type))))) {
+        break;
+      }
+      continue;
+    }
+
+    Result<QueryMsg> msg = DecodeQuery(frame->payload);
+    if (!msg.ok()) {
+      (void)send_error(msg.status());
+      break;  // framing is suspect; isolate by ending this session only
+    }
+
+    // Deadline propagation: rebuild the client's limits so ExecContext
+    // enforces them server-side, next to the data.
+    ExecLimits limits;
+    limits.deadline_s = msg->deadline_s;
+    limits.max_rows = msg->max_rows;
+    limits.max_result_bytes = msg->max_result_bytes;
+    stmt.SetExecLimits(limits);
+
+    const bool is_query = frame->type == FrameType::kQuery;
+    (is_query ? queries_ : updates_).fetch_add(1);
+
+    engine::QueryResult result;
+    Status exec_status;
+    if (is_query) {
+      Result<client::ResultSet> rs = stmt.ExecuteQuery(msg->sql);
+      if (rs.ok()) {
+        result = rs->ReleaseRaw();
+      } else {
+        exec_status = rs.status();
+      }
+    } else {
+      Result<int64_t> affected = stmt.ExecuteUpdate(msg->sql);
+      if (affected.ok()) {
+        // Same shape the engine gives DDL/DML locally, so the remote
+        // driver's rows_affected parsing is uniform.
+        result.columns = {"rows_affected"};
+        result.rows = {{engine::Value::Int(*affected)}};
+      } else {
+        exec_status = affected.status();
+      }
+    }
+
+    if (!exec_status.ok()) {
+      // Engine-level failure: answer and keep serving — one bad query must
+      // not take the session (let alone the server) down.
+      if (!send_error(exec_status)) break;
+      continue;
+    }
+
+    rows_returned_.fetch_add(result.rows.size());
+    const size_t batch_rows =
+        msg->batch_rows > 0 ? msg->batch_rows : options_.batch_rows;
+    bool sent_ok = true;
+    for (const std::string& out : EncodeResultFrames(result, batch_rows)) {
+      // Backpressure: SendAll blocks while the client drains earlier
+      // batches, so result memory on both sides stays bounded by the batch
+      // size, not the result size.
+      if (!sock.SendAll(out).ok()) {
+        sent_ok = false;
+        break;
+      }
+      bytes_sent_.fetch_add(out.size());
+    }
+    if (!sent_ok) break;
+  }
+
+  // Only shut down here: the fd itself is closed by the Session destructor
+  // after the thread is joined, so Shutdown()'s concurrent ShutdownBoth on
+  // this socket never races a close.
+  session->socket.ShutdownBoth();
+  sessions_closed_.fetch_add(1);
+  session->done.store(true);
+}
+
+void Server::Shutdown() {
+  stopping_.store(true);
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  // With the acceptor gone no new session can appear; unblock the live ones
+  // and join them all.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& s : sessions_) s->socket.ShutdownBoth();
+  }
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.swap(sessions_);
+  }
+  for (auto& s : sessions) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  listener_.Close();
+}
+
+}  // namespace jackpine::net

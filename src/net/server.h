@@ -1,0 +1,112 @@
+// The pinedb server: any SUT behind the wire protocol.
+//
+// One engine instance (a local client::Connection for the configured SUT) is
+// shared across all sessions; each accepted TCP connection gets its own
+// session thread with its own client::Statement, mirroring how the paper's
+// DBMSs multiplex JDBC connections onto one database. Sessions are
+// error-isolated: an engine error is answered with an Error frame and the
+// session keeps serving; a protocol violation or transport failure ends
+// only that session. Shutdown() is graceful — it stops the acceptor,
+// unblocks every session, and joins all threads before returning.
+
+#ifndef JACKPINE_NET_SERVER_H_
+#define JACKPINE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "net/socket.h"
+
+namespace jackpine::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = pick an ephemeral port, see Server::port()
+  std::string sut = "pine-rtree";
+  // Rows per ResultBatch when the client does not ask for a size.
+  size_t batch_rows = 512;
+  // Sessions beyond this are refused with an Error frame at the handshake.
+  size_t max_sessions = 256;
+};
+
+// Aggregate per-session counters, surfaced into the benchmark report tables
+// by the pinedb binary. Monotonic over the server's lifetime.
+struct ServerCounters {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t queries = 0;         // Query frames answered (ok or error)
+  uint64_t updates = 0;         // Update frames answered (ok or error)
+  uint64_t rows_returned = 0;   // result rows shipped
+  uint64_t bytes_sent = 0;      // frame bytes shipped (results + errors)
+  uint64_t errors = 0;          // Error frames sent
+};
+
+class Server {
+ public:
+  // Opens the SUT and binds the listener, but does not accept yet: the
+  // caller may preload the engine through connection() first.
+  static Result<std::unique_ptr<Server>> Create(const ServerOptions& options);
+
+  // Spawns the acceptor. Idempotent.
+  void StartServing();
+
+  // Create + StartServing in one step.
+  static Result<std::unique_ptr<Server>> Start(const ServerOptions& options);
+
+  ~Server();
+
+  uint16_t port() const { return listener_.port(); }
+  const ServerOptions& options() const { return options_; }
+
+  // The wrapped local SUT, e.g. for server-side dataset preloading.
+  client::Connection& connection() { return *connection_; }
+
+  ServerCounters counters() const;
+  size_t active_sessions() const;
+
+  // Graceful shutdown: stop accepting, unblock and join every session.
+  // Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  struct Session {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  Server(ServerOptions options, client::Connection connection,
+         Listener listener);
+
+  void AcceptLoop();
+  void ServeSession(Session* session);
+  // Joins and drops sessions whose threads have finished.
+  void ReapFinishedSessions();
+
+  ServerOptions options_;
+  std::unique_ptr<client::Connection> connection_;
+  Listener listener_;
+  std::thread acceptor_;
+  bool serving_ = false;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mu_;  // guards sessions_
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> rows_returned_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace jackpine::net
+
+#endif  // JACKPINE_NET_SERVER_H_

@@ -1,0 +1,192 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace jackpine::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(
+      StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+// Resolves host:port to the first usable IPv4/IPv6 address.
+Result<int> OpenAndBindOrConnect(const std::string& host, uint16_t port,
+                                 bool listen_mode) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (listen_mode) hints.ai_flags = AI_PASSIVE;
+  addrinfo* addrs = nullptr;
+  const std::string port_str = StrFormat("%u", static_cast<unsigned>(port));
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_str.c_str(), &hints, &addrs);
+  if (rc != 0) {
+    return Status::Unavailable(StrFormat("resolve '%s': %s", host.c_str(),
+                                         gai_strerror(rc)));
+  }
+  Status last = Status::Unavailable(
+      StrFormat("no usable address for '%s'", host.c_str()));
+  for (addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
+    const int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (listen_mode) {
+      const int one = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      if (::bind(fd, a->ai_addr, a->ai_addrlen) == 0) {
+        ::freeaddrinfo(addrs);
+        return fd;
+      }
+      last = Errno("bind");
+    } else {
+      if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0) {
+        ::freeaddrinfo(addrs);
+        return fd;
+      }
+      last = Errno("connect");
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  JACKPINE_ASSIGN_OR_RETURN(int fd,
+                            OpenAndBindOrConnect(host, port, false));
+  // The protocol is strict request/response; disabling Nagle keeps small
+  // Query frames from waiting behind delayed ACKs.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(fd);
+}
+
+Status Socket::SendAll(std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-send yields EPIPE, not a
+    // process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> Socket::Recv(char* buf, size_t max) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, max, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv: timed out waiting for the peer");
+    }
+    return Errno("recv");
+  }
+}
+
+Status Socket::SetRecvTimeout(double seconds) {
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - std::floor(seconds)) * 1e6);
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::Ok();
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Listener> Listener::Listen(const std::string& host, uint16_t port,
+                                  int backlog) {
+  JACKPINE_ASSIGN_OR_RETURN(int fd, OpenAndBindOrConnect(host, port, true));
+  if (::listen(fd, backlog) != 0) {
+    const Status err = Errno("listen");
+    ::close(fd);
+    return err;
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  // Read back the bound port (meaningful when asked for port 0).
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    if (addr.ss_family == AF_INET) {
+      listener.port_ =
+          ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+    } else if (addr.ss_family == AF_INET6) {
+      listener.port_ =
+          ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+    }
+  }
+  if (listener.port_ == 0) listener.port_ = port;
+  return listener;
+}
+
+Result<Socket> Listener::Accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+void Listener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace jackpine::net

@@ -1,0 +1,92 @@
+// Minimal POSIX TCP wrappers for the pinedb wire protocol.
+//
+// Only what the client driver and server need: connect, listen/accept,
+// full-buffer send, chunk receive with an optional timeout. Transport
+// failures map onto the fault-model status codes — kUnavailable for broken
+// or refused connections (retryable, like a dropped JDBC connection) and
+// kDeadlineExceeded for receive timeouts — so the retrying runner composes
+// with remote SUTs without knowing sockets exist.
+
+#ifndef JACKPINE_NET_SOCKET_H_
+#define JACKPINE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace jackpine::net {
+
+// An owned, connected TCP socket. Movable, non-copyable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Sends the whole buffer, looping over partial writes. kUnavailable on a
+  // broken connection.
+  Status SendAll(std::string_view data);
+
+  // Receives up to `max` bytes into `buf`. Returns 0 on orderly EOF,
+  // kDeadlineExceeded when the receive timeout expires, kUnavailable on any
+  // other transport failure.
+  Result<size_t> Recv(char* buf, size_t max);
+
+  // Receive timeout for subsequent Recv calls; <= 0 means block forever.
+  Status SetRecvTimeout(double seconds);
+
+  // Half-close both directions; unblocks a peer (or own thread) stuck in
+  // Recv. Safe to call concurrently with Recv, unlike Close.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// A listening TCP socket.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds and listens. `port` 0 picks an ephemeral port, readable from
+  // port() afterwards.
+  static Result<Listener> Listen(const std::string& host, uint16_t port,
+                                 int backlog = 64);
+
+  // Blocks for the next connection. Fails with kUnavailable after
+  // Shutdown() — the server's acceptor loop uses that as its exit signal.
+  Result<Socket> Accept();
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  // Unblocks a pending Accept and makes all future ones fail.
+  void Shutdown();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace jackpine::net
+
+#endif  // JACKPINE_NET_SOCKET_H_

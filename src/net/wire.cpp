@@ -1,0 +1,401 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+#include "geom/wkb.h"
+
+namespace jackpine::net {
+
+namespace {
+
+using engine::Value;
+
+// --- Primitive writers ------------------------------------------------
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  AppendU64(out, bits);
+}
+
+void AppendStr(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// --- Bounded reader ---------------------------------------------------
+
+// Every Read* checks the remaining byte count before touching memory, and
+// length-prefixed fields are validated against the remaining input before
+// any allocation, so corrupted lengths cannot trigger OOM or overread.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8() {
+    if (remaining() < 1) return Err("truncated (u8)");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() {
+    if (remaining() < 4) return Err("truncated (u32)");
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (remaining() < 8) return Err("truncated (u64)");
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<double> ReadF64() {
+    JACKPINE_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  Result<std::string> ReadStr() {
+    JACKPINE_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (n > remaining()) return Err("string length exceeds input");
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status ExpectEnd() const {
+    if (remaining() != 0) {
+      return Status::ParseError(StrFormat(
+          "wire: %zu trailing bytes in frame payload", remaining()));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Err(const char* what) const {
+    return Status::ParseError(
+        StrFormat("wire: at offset %zu: %s", pos_, what));
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// --- Values -----------------------------------------------------------
+
+enum class ValueTag : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+  kGeometry = 5,
+};
+
+void AppendValue(std::string* out, const Value& v) {
+  switch (v.type()) {
+    case engine::DataType::kNull:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kNull));
+      return;
+    case engine::DataType::kBool:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kBool));
+      AppendU8(out, v.bool_value() ? 1 : 0);
+      return;
+    case engine::DataType::kInt64:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kInt64));
+      AppendU64(out, static_cast<uint64_t>(v.int_value()));
+      return;
+    case engine::DataType::kDouble:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kDouble));
+      AppendF64(out, v.double_value());
+      return;
+    case engine::DataType::kString:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kString));
+      AppendStr(out, v.string_value());
+      return;
+    case engine::DataType::kGeometry:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kGeometry));
+      AppendStr(out, geom::ToWkb(v.geometry_value()));
+      return;
+  }
+  AppendU8(out, static_cast<uint8_t>(ValueTag::kNull));
+}
+
+Result<Value> ReadValue(Reader* r) {
+  JACKPINE_ASSIGN_OR_RETURN(uint8_t tag, r->ReadU8());
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::kNull:
+      return Value::MakeNull();
+    case ValueTag::kBool: {
+      JACKPINE_ASSIGN_OR_RETURN(uint8_t b, r->ReadU8());
+      if (b > 1) return Status::ParseError("wire: bad bool value");
+      return Value::Bool(b == 1);
+    }
+    case ValueTag::kInt64: {
+      JACKPINE_ASSIGN_OR_RETURN(uint64_t v, r->ReadU64());
+      return Value::Int(static_cast<int64_t>(v));
+    }
+    case ValueTag::kDouble: {
+      JACKPINE_ASSIGN_OR_RETURN(double v, r->ReadF64());
+      return Value::Real(v);
+    }
+    case ValueTag::kString: {
+      JACKPINE_ASSIGN_OR_RETURN(std::string s, r->ReadStr());
+      return Value::Str(std::move(s));
+    }
+    case ValueTag::kGeometry: {
+      JACKPINE_ASSIGN_OR_RETURN(std::string wkb, r->ReadStr());
+      JACKPINE_ASSIGN_OR_RETURN(geom::Geometry g, geom::FromWkb(wkb));
+      return Value::Geo(std::move(g));
+    }
+  }
+  return Status::ParseError(StrFormat("wire: unknown value tag %u", tag));
+}
+
+bool KnownFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kHello) &&
+         t <= static_cast<uint8_t>(FrameType::kClose);
+}
+
+bool KnownStatusCode(uint8_t c) {
+  return c <= static_cast<uint8_t>(StatusCode::kUnavailable);
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  AppendU8(&out, static_cast<uint8_t>(type));
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (!failure_.ok()) return failure_;
+  if (buffer_.size() < 5) return std::optional<Frame>(std::nullopt);
+  const uint8_t type = static_cast<uint8_t>(buffer_[0]);
+  uint32_t length;
+  std::memcpy(&length, buffer_.data() + 1, 4);
+  if (!KnownFrameType(type)) {
+    failure_ = Status::ParseError(
+        StrFormat("wire: unknown frame type %u", type));
+    return failure_;
+  }
+  if (length > max_payload_) {
+    failure_ = Status::ParseError(StrFormat(
+        "wire: frame payload of %u bytes exceeds the %zu-byte limit",
+        length, max_payload_));
+    return failure_;
+  }
+  if (buffer_.size() < 5 + static_cast<size_t>(length)) {
+    return std::optional<Frame>(std::nullopt);
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload = buffer_.substr(5, length);
+  buffer_.erase(0, 5 + static_cast<size_t>(length));
+  return std::optional<Frame>(std::move(frame));
+}
+
+std::string EncodeHello(const HelloMsg& msg) {
+  std::string out;
+  AppendU32(&out, msg.protocol_version);
+  AppendStr(&out, msg.sut);
+  AppendStr(&out, msg.peer_info);
+  return out;
+}
+
+Result<HelloMsg> DecodeHello(std::string_view payload) {
+  Reader r(payload);
+  HelloMsg msg;
+  JACKPINE_ASSIGN_OR_RETURN(msg.protocol_version, r.ReadU32());
+  JACKPINE_ASSIGN_OR_RETURN(msg.sut, r.ReadStr());
+  JACKPINE_ASSIGN_OR_RETURN(msg.peer_info, r.ReadStr());
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::string EncodeQuery(const QueryMsg& msg) {
+  std::string out;
+  AppendStr(&out, msg.sql);
+  AppendF64(&out, msg.deadline_s);
+  AppendU64(&out, msg.max_rows);
+  AppendU64(&out, msg.max_result_bytes);
+  AppendU32(&out, msg.batch_rows);
+  return out;
+}
+
+Result<QueryMsg> DecodeQuery(std::string_view payload) {
+  Reader r(payload);
+  QueryMsg msg;
+  JACKPINE_ASSIGN_OR_RETURN(msg.sql, r.ReadStr());
+  JACKPINE_ASSIGN_OR_RETURN(msg.deadline_s, r.ReadF64());
+  JACKPINE_ASSIGN_OR_RETURN(msg.max_rows, r.ReadU64());
+  JACKPINE_ASSIGN_OR_RETURN(msg.max_result_bytes, r.ReadU64());
+  JACKPINE_ASSIGN_OR_RETURN(msg.batch_rows, r.ReadU32());
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  AppendU8(&out, static_cast<uint8_t>(status.code()));
+  AppendStr(&out, status.message());
+  return out;
+}
+
+Result<ErrorMsg> DecodeError(std::string_view payload) {
+  Reader r(payload);
+  JACKPINE_ASSIGN_OR_RETURN(uint8_t code, r.ReadU8());
+  ErrorMsg msg;
+  // An unknown code from a newer peer degrades to kInternal instead of
+  // failing the decode: the message text still tells the operator what
+  // happened.
+  msg.code = KnownStatusCode(code) ? static_cast<StatusCode>(code)
+                                   : StatusCode::kInternal;
+  if (msg.code == StatusCode::kOk) {
+    return Status::ParseError("wire: Error frame carrying OK status");
+  }
+  JACKPINE_ASSIGN_OR_RETURN(msg.message, r.ReadStr());
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::string EncodeResultBatch(const ResultBatchMsg& msg) {
+  std::string out;
+  uint8_t flags = 0;
+  if (msg.last) flags |= ResultBatchMsg::kLast;
+  if (msg.has_header) flags |= ResultBatchMsg::kHasHeader;
+  AppendU8(&out, flags);
+  if (msg.has_header) {
+    AppendU32(&out, static_cast<uint32_t>(msg.columns.size()));
+    for (const std::string& c : msg.columns) AppendStr(&out, c);
+  }
+  AppendU32(&out, static_cast<uint32_t>(msg.rows.size()));
+  for (const engine::Row& row : msg.rows) {
+    AppendU32(&out, static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) AppendValue(&out, v);
+  }
+  return out;
+}
+
+Result<ResultBatchMsg> DecodeResultBatch(std::string_view payload) {
+  Reader r(payload);
+  JACKPINE_ASSIGN_OR_RETURN(uint8_t flags, r.ReadU8());
+  if ((flags & ~(ResultBatchMsg::kLast | ResultBatchMsg::kHasHeader)) != 0) {
+    return Status::ParseError(
+        StrFormat("wire: unknown ResultBatch flags 0x%02x", flags));
+  }
+  ResultBatchMsg msg;
+  msg.last = (flags & ResultBatchMsg::kLast) != 0;
+  msg.has_header = (flags & ResultBatchMsg::kHasHeader) != 0;
+  if (msg.has_header) {
+    JACKPINE_ASSIGN_OR_RETURN(uint32_t ncols, r.ReadU32());
+    // A column name takes at least 4 bytes on the wire.
+    if (static_cast<uint64_t>(ncols) * 4 > r.remaining()) {
+      return Status::ParseError("wire: column count exceeds input");
+    }
+    msg.columns.reserve(ncols);
+    for (uint32_t i = 0; i < ncols; ++i) {
+      JACKPINE_ASSIGN_OR_RETURN(std::string name, r.ReadStr());
+      msg.columns.push_back(std::move(name));
+    }
+  }
+  JACKPINE_ASSIGN_OR_RETURN(uint32_t nrows, r.ReadU32());
+  // A row takes at least 4 bytes (its value count) on the wire.
+  if (static_cast<uint64_t>(nrows) * 4 > r.remaining()) {
+    return Status::ParseError("wire: row count exceeds input");
+  }
+  msg.rows.reserve(nrows);
+  for (uint32_t i = 0; i < nrows; ++i) {
+    JACKPINE_ASSIGN_OR_RETURN(uint32_t nvals, r.ReadU32());
+    // A value takes at least 1 byte (its tag) on the wire.
+    if (static_cast<uint64_t>(nvals) > r.remaining()) {
+      return Status::ParseError("wire: value count exceeds input");
+    }
+    engine::Row row;
+    row.reserve(nvals);
+    for (uint32_t v = 0; v < nvals; ++v) {
+      JACKPINE_ASSIGN_OR_RETURN(Value value, ReadValue(&r));
+      row.push_back(std::move(value));
+    }
+    msg.rows.push_back(std::move(row));
+  }
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::vector<std::string> EncodeResultFrames(const engine::QueryResult& result,
+                                            size_t batch_rows) {
+  if (batch_rows == 0) batch_rows = kDefaultBatchRows;
+  std::vector<std::string> frames;
+  size_t next_row = 0;
+  bool first = true;
+  do {
+    ResultBatchMsg batch;
+    batch.has_header = first;
+    if (first) batch.columns = result.columns;
+    // Rows per batch: capped by count, and flushed early once the encoded
+    // payload would pass the byte target so one batch of huge geometries
+    // cannot balloon toward the frame limit.
+    std::string payload_probe;
+    while (next_row < result.rows.size() && batch.rows.size() < batch_rows) {
+      batch.rows.push_back(result.rows[next_row++]);
+      if (batch.rows.size() % 16 == 0) {
+        payload_probe = EncodeResultBatch(batch);
+        if (payload_probe.size() >= kBatchByteTarget) break;
+      }
+    }
+    batch.last = next_row >= result.rows.size();
+    frames.push_back(EncodeFrame(FrameType::kResultBatch,
+                                 EncodeResultBatch(batch)));
+    first = false;
+  } while (next_row < result.rows.size());
+  return frames;
+}
+
+Status ResultAssembler::Add(ResultBatchMsg batch) {
+  if (done_) {
+    return Status::ParseError("wire: ResultBatch after the last batch");
+  }
+  if (!saw_header_) {
+    if (!batch.has_header) {
+      return Status::ParseError("wire: first ResultBatch carries no header");
+    }
+    result_.columns = std::move(batch.columns);
+    saw_header_ = true;
+  }
+  for (engine::Row& row : batch.rows) {
+    result_.rows.push_back(std::move(row));
+  }
+  done_ = batch.last;
+  return Status::Ok();
+}
+
+}  // namespace jackpine::net

@@ -1,0 +1,166 @@
+// The pinedb wire protocol: length-prefixed binary frames.
+//
+// This is the layer the paper's JDBC drivers occupy: everything a remote
+// benchmark measures beyond raw query time — result serialisation, batching,
+// connection handling — happens here. The format is deliberately simple and
+// fully little-endian:
+//
+//   frame   := type:u8 length:u32 payload[length]
+//   Hello       (1)  version:u32 sut:str info:str      both directions
+//   Query       (2)  sql:str deadline_s:f64 max_rows:u64
+//                    max_result_bytes:u64 batch_rows:u32
+//   Update      (3)  same payload as Query (DDL/DML; never chaos-injected)
+//   ResultBatch (4)  flags:u8 [columns] rows            server -> client
+//   Error       (5)  code:u8 message:str                server -> client
+//   Close       (6)  (empty)                            client -> server
+//
+// str is u32 length + bytes. A query response is a sequence of ResultBatch
+// frames — the column header rides in the first, the kLast flag marks the
+// final one — so large results stream in bounded batches and backpressure is
+// simply the server blocking on send while the client drains. Geometry
+// values cross the wire as WKB (geom/wkb.h), every other value as its
+// natural fixed-width or length-prefixed encoding.
+//
+// Deadlines propagate as a field in the Query frame: the server rebuilds
+// ExecLimits from it, so ExecContext budgets are enforced server-side and a
+// remote query times out exactly like a local one.
+//
+// Every decode path is defensive: truncated, oversized or corrupted input
+// yields a clean Status (kParseError / kInvalidArgument), never a crash, an
+// unbounded allocation, or a hang (tests/wire_test.cpp feeds it garbage
+// under asan/ubsan to keep that true).
+
+#ifndef JACKPINE_NET_WIRE_H_
+#define JACKPINE_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/executor.h"
+
+namespace jackpine::net {
+
+// Bumped on any incompatible format change; the Hello exchange rejects
+// mismatched peers.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+// Upper bound on a single frame payload. Large results are split into
+// batches well below this; a length field above it is treated as corruption
+// rather than an allocation request.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kQuery = 2,
+  kUpdate = 3,
+  kResultBatch = 4,
+  kError = 5,
+  kClose = 6,
+};
+
+struct Frame {
+  FrameType type = FrameType::kClose;
+  std::string payload;
+};
+
+// Serialises one frame (header + payload).
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+// Incremental decoder over a byte stream. Feed() appends received bytes;
+// Next() yields complete frames. A malformed header (unknown type,
+// oversized length) latches an error that every subsequent Next() repeats,
+// because nothing after a framing error can be trusted.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  // A complete frame, std::nullopt when more bytes are needed, or an error
+  // on malformed input.
+  Result<std::optional<Frame>> Next();
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  Status failure_;  // latched framing error
+};
+
+// --- Frame payloads ---------------------------------------------------
+
+struct HelloMsg {
+  uint32_t protocol_version = kProtocolVersion;
+  std::string sut;        // requested (client) / served (server) SUT name
+  std::string peer_info;  // free-form software identifier
+};
+
+struct QueryMsg {
+  std::string sql;
+  // ExecLimits fields, zero meaning unlimited (common/exec_context.h).
+  double deadline_s = 0.0;
+  uint64_t max_rows = 0;
+  uint64_t max_result_bytes = 0;
+  // Client hint for rows per ResultBatch; 0 = server default.
+  uint32_t batch_rows = 0;
+};
+
+struct ErrorMsg {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+struct ResultBatchMsg {
+  static constexpr uint8_t kLast = 1;       // final batch of this result
+  static constexpr uint8_t kHasHeader = 2;  // carries the column names
+  bool last = true;
+  std::vector<std::string> columns;  // only meaningful with kHasHeader
+  bool has_header = false;
+  std::vector<engine::Row> rows;
+};
+
+std::string EncodeHello(const HelloMsg& msg);
+Result<HelloMsg> DecodeHello(std::string_view payload);
+
+std::string EncodeQuery(const QueryMsg& msg);
+Result<QueryMsg> DecodeQuery(std::string_view payload);
+
+std::string EncodeError(const Status& status);
+Result<ErrorMsg> DecodeError(std::string_view payload);
+
+std::string EncodeResultBatch(const ResultBatchMsg& msg);
+Result<ResultBatchMsg> DecodeResultBatch(std::string_view payload);
+
+// Splits a query result into ready-to-send ResultBatch frames of at most
+// `batch_rows` rows (and roughly kBatchByteTarget payload bytes, whichever
+// limit hits first). Always yields at least one frame — an empty result is
+// one header-carrying kLast batch.
+inline constexpr size_t kDefaultBatchRows = 512;
+inline constexpr size_t kBatchByteTarget = 1u << 20;  // 1 MiB
+std::vector<std::string> EncodeResultFrames(const engine::QueryResult& result,
+                                            size_t batch_rows);
+
+// Client-side accumulator for a streamed result.
+class ResultAssembler {
+ public:
+  // Folds one batch in; rejects a headerless first batch or rows after the
+  // last batch.
+  Status Add(ResultBatchMsg batch);
+  bool done() const { return done_; }
+  engine::QueryResult Take() { return std::move(result_); }
+
+ private:
+  engine::QueryResult result_;
+  bool saw_header_ = false;
+  bool done_ = false;
+};
+
+}  // namespace jackpine::net
+
+#endif  // JACKPINE_NET_WIRE_H_

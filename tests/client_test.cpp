@@ -152,5 +152,78 @@ TEST_F(ResultSetTest, SqlErrorsPropagate) {
   EXPECT_FALSE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
 }
 
+// Remote URL parsing: every rejection is kInvalidArgument and names the bad
+// component (scheme / host / port / SUT) so the operator can fix the URL
+// without reading the grammar.
+TEST(RemoteUrlTest, ParsesWellFormedUrl) {
+  auto ep = ParseRemoteUrl("tcp://db.example.com:7433/pine-rtree");
+  ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+  EXPECT_EQ(ep->scheme, "tcp");
+  EXPECT_EQ(ep->host, "db.example.com");
+  EXPECT_EQ(ep->port, 7433);
+  EXPECT_EQ(ep->sut, "pine-rtree");
+}
+
+TEST(RemoteUrlTest, ErrorsNameTheBadComponent) {
+  struct Case {
+    const char* url;
+    const char* component;
+  };
+  const Case cases[] = {
+      {"db.example.com:7433/pine-rtree", "scheme"},  // no "://"
+      {"tcp://:7433/pine-rtree", "host"},
+      {"tcp://db.example.com/pine-rtree", "port"},   // no ":port"
+      {"tcp://db.example.com:0/pine-rtree", "port"},
+      {"tcp://db.example.com:65536/pine-rtree", "port"},
+      {"tcp://db.example.com:abc/pine-rtree", "port"},
+      {"tcp://db.example.com:7433", "SUT"},          // no "/sut"
+      {"tcp://db.example.com:7433/", "SUT"},         // empty sut
+  };
+  for (const Case& c : cases) {
+    auto ep = ParseRemoteUrl(c.url);
+    ASSERT_FALSE(ep.ok()) << c.url;
+    EXPECT_EQ(ep.status().code(), StatusCode::kInvalidArgument) << c.url;
+    EXPECT_NE(ep.status().message().find(c.component), std::string::npos)
+        << c.url << " -> " << ep.status().message();
+    EXPECT_NE(ep.status().message().find(c.url), std::string::npos)
+        << "message must quote the URL: " << ep.status().message();
+  }
+}
+
+TEST(RemoteUrlTest, OpenRejectsUnregisteredScheme) {
+  // No driver factory installed for "quic" — the error says so rather than
+  // failing with a generic parse message.
+  auto conn = Connection::Open("jackpine:quic://localhost:7433/pine-rtree");
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(conn.status().message().find("scheme"), std::string::npos);
+  EXPECT_NE(conn.status().message().find("no driver registered"),
+            std::string::npos)
+      << conn.status().message();
+}
+
+TEST(RemoteUrlTest, OpenRejectsUnknownRemoteSut) {
+  auto conn = Connection::Open("jackpine:tcp://localhost:7433/oracle");
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(conn.status().message().find("SUT"), std::string::npos)
+      << conn.status().message();
+}
+
+TEST(RemoteUrlTest, OpenRejectsMissingJackpinePrefix) {
+  auto conn = Connection::Open("jdbc:postgresql://x");
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(conn.status().message().find("scheme"), std::string::npos);
+  EXPECT_NE(conn.status().message().find("jackpine:"), std::string::npos)
+      << conn.status().message();
+}
+
+TEST(RemoteUrlTest, LooksLikeRemoteUrl) {
+  EXPECT_TRUE(LooksLikeRemoteUrl("tcp://h:1/s"));
+  EXPECT_FALSE(LooksLikeRemoteUrl("pine-rtree"));
+  EXPECT_FALSE(LooksLikeRemoteUrl("chaos(1,0.5,2):pine-rtree"));
+}
+
 }  // namespace
 }  // namespace jackpine::client

@@ -218,6 +218,38 @@ TEST(ChaosTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(client::ParseChaosSpec("chaos(1,2,3").ok());
 }
 
+TEST(ChaosTest, InjectedLatencyClampsToDeadline) {
+  // 60 s of injected latency against a 50 ms deadline: the sleep must be
+  // clamped to the remaining budget and surface as kDeadlineExceeded, not
+  // stall the client for the full injected delay.
+  auto conn = client::Connection::Open("jackpine:chaos(5,0.0,60000):pine-rtree");
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  ExecLimits limits;
+  limits.deadline_s = 0.05;
+  stmt.SetExecLimits(limits);
+  Stopwatch watch;
+  auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(rs.status().message().find("chaos"), std::string::npos)
+      << rs.status().message();
+  EXPECT_LT(watch.ElapsedSeconds(), 2.0);  // nowhere near the 60 s delay
+}
+
+TEST(ChaosTest, ShortLatencyStillRunsUnderDeadline) {
+  // Injected latency below the deadline delays but does not fail the query.
+  auto conn = client::Connection::Open("jackpine:chaos(5,0.0,5):pine-rtree");
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  ExecLimits limits;
+  limits.deadline_s = 30.0;
+  stmt.SetExecLimits(limits);
+  EXPECT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM t").ok());
+}
+
 // Runs `n` identical queries through a fresh chaos connection and renders
 // the outcome sequence as a string: "." for success, "[<status>]" for each
 // failure (the status text includes the draw index).

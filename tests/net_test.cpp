@@ -1,0 +1,354 @@
+// End-to-end client/server tests: a real pinedb Server on a loopback
+// ephemeral port, driven through the public client API with
+// jackpine:tcp://... URLs. These are the tentpole guarantees: remote results
+// identical to in-process, server-side deadline enforcement, per-session
+// error isolation, chaos composition, and leak-free graceful shutdown.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "common/stopwatch.h"
+#include "core/loader.h"
+#include "core/micro_suite.h"
+#include "core/runner.h"
+#include "net/remote_driver.h"
+#include "net/server.h"
+#include "tigergen/tigergen.h"
+
+namespace jackpine {
+namespace {
+
+class NetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { net::RegisterRemoteDriver(); }
+};
+
+tigergen::TigerDataset SmallDataset() {
+  tigergen::TigerGenOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 7;
+  return tigergen::GenerateTiger(gen);
+}
+
+std::unique_ptr<net::Server> StartServer(const std::string& sut) {
+  net::ServerOptions options;
+  options.sut = sut;
+  options.port = 0;  // ephemeral
+  auto server = net::Server::Start(options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return std::move(server).value();
+}
+
+std::string RemoteUrl(const net::Server& server, const std::string& sut,
+                      const std::string& chaos = "") {
+  std::string url = "jackpine:";
+  if (!chaos.empty()) url += "chaos(" + chaos + "):";
+  url += "tcp://127.0.0.1:" + std::to_string(server.port()) + "/" + sut;
+  return url;
+}
+
+TEST_F(NetTest, DdlInsertSelectWithGeometryRoundTrip) {
+  auto server = StartServer("pine-rtree");
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  EXPECT_FALSE(conn->is_local());
+
+  client::Statement stmt = conn->CreateStatement();
+  auto created =
+      stmt.ExecuteUpdate("CREATE TABLE pts (id BIGINT, geom GEOMETRY)");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto inserted = stmt.ExecuteUpdate(
+      "INSERT INTO pts VALUES (1, ST_GeomFromText('POINT (3 4)')), "
+      "(2, ST_GeomFromText('LINESTRING (0 0, 1 1)'))");
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  EXPECT_EQ(*inserted, 2);
+
+  auto rs = stmt.ExecuteQuery(
+      "SELECT id, ST_AsText(geom) FROM pts ORDER BY id");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->RowCount(), 2u);
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(rs->GetInt64(0).value(), 1);
+  EXPECT_EQ(rs->GetString(1).value(), "POINT (3 4)");
+
+  // A geometry-typed column crosses the wire as WKB and comes back whole.
+  auto geo_rs =
+      stmt.ExecuteQuery("SELECT geom FROM pts WHERE id = 1");
+  ASSERT_TRUE(geo_rs.ok()) << geo_rs.status().ToString();
+  ASSERT_TRUE(geo_rs->Next());
+  EXPECT_EQ(geo_rs->GetGeometry(0)->ToWkt(), "POINT (3 4)");
+}
+
+// The acceptance bar: the full micro-topology suite returns identical row
+// counts and checksums whether the SUT is in-process or behind the server,
+// with the dataset itself loaded through the wire (INSERT SQL path).
+TEST_F(NetTest, MicroSuiteMatchesInProcessExactly) {
+  const tigergen::TigerDataset dataset = SmallDataset();
+
+  auto local = client::Connection::Open("jackpine:pine-rtree");
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(core::LoadDataset(dataset, &*local).ok());
+
+  auto server = StartServer("pine-rtree");
+  auto remote = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  auto load = core::LoadDataset(dataset, &*remote);
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+  EXPECT_EQ(load->rows, dataset.TotalRows());
+
+  core::RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  const auto suite = core::BuildTopologicalSuite(dataset);
+  const auto local_runs = core::RunSuite(&*local, suite, config);
+  const auto remote_runs = core::RunSuite(&*remote, suite, config);
+  ASSERT_EQ(local_runs.size(), remote_runs.size());
+  for (size_t i = 0; i < local_runs.size(); ++i) {
+    EXPECT_TRUE(remote_runs[i].ok) << remote_runs[i].query_id << ": "
+                                   << remote_runs[i].error;
+    EXPECT_EQ(local_runs[i].result_rows, remote_runs[i].result_rows)
+        << local_runs[i].query_id;
+    EXPECT_EQ(local_runs[i].checksum, remote_runs[i].checksum)
+        << local_runs[i].query_id;
+  }
+}
+
+// Deadlines ride in the Query frame and are enforced by ExecContext next to
+// the data: a pathological cross join on an unindexed SUT stops server-side
+// within a small multiple of the budget instead of hanging the client.
+TEST_F(NetTest, DeadlineIsEnforcedServerSide) {
+  auto server = StartServer("pine-scan");
+  {
+    tigergen::TigerGenOptions gen;
+    gen.scale = 0.5;
+    gen.seed = 7;
+    ASSERT_TRUE(core::GenerateAndLoad(gen, &server->connection()).ok());
+  }
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-scan"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+
+  ExecLimits limits;
+  limits.deadline_s = 0.05;
+  stmt.SetExecLimits(limits);
+  Stopwatch watch;
+  auto rs = stmt.ExecuteQuery(
+      "SELECT COUNT(*) FROM edges a, edges b "
+      "WHERE ST_Intersects(a.geom, b.geom)");
+  const double elapsed = watch.ElapsedSeconds();
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded);
+  // Far below the seconds the join needs, though looser than the in-process
+  // bound because the verdict makes a network round trip.
+  EXPECT_LT(elapsed, 1.0);
+
+  // The session survives its own timeout.
+  auto ok_rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM edges");
+  EXPECT_TRUE(ok_rs.ok()) << ok_rs.status().ToString();
+}
+
+TEST_F(NetTest, RowAndByteBudgetsPropagate) {
+  auto server = StartServer("pine-rtree");
+  ASSERT_TRUE(
+      core::LoadDataset(SmallDataset(), &server->connection()).ok());
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok());
+  client::Statement stmt = conn->CreateStatement();
+
+  ExecLimits limits;
+  limits.max_rows = 5;
+  stmt.SetExecLimits(limits);
+  auto rs = stmt.ExecuteQuery("SELECT tlid FROM edges");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kResourceExhausted);
+
+  limits = ExecLimits();
+  limits.max_result_bytes = 256;
+  stmt.SetExecLimits(limits);
+  auto geom_rs = stmt.ExecuteQuery("SELECT geom FROM edges");
+  ASSERT_FALSE(geom_rs.ok());
+  EXPECT_EQ(geom_rs.status().code(), StatusCode::kResourceExhausted);
+}
+
+// An engine error is an Error frame, not a dead connection: the same
+// statement (same TCP session) keeps working afterwards.
+TEST_F(NetTest, EngineErrorsLeaveTheSessionHealthy) {
+  auto server = StartServer("pine-rtree");
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok());
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+
+  auto bad = stmt.ExecuteQuery("SELECT nope FROM t");
+  ASSERT_FALSE(bad.ok());
+  auto worse = stmt.ExecuteQuery("THIS IS NOT SQL");
+  ASSERT_FALSE(worse.ok());
+
+  auto good = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+  // Three queries, one session: errors were answered in-band.
+  EXPECT_EQ(server->counters().sessions_opened, 1u);
+  EXPECT_EQ(server->active_sessions(), 1u);
+}
+
+TEST_F(NetTest, HandshakeRejectsMismatchedSut) {
+  auto server = StartServer("pine-rtree");
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-grid"));
+  ASSERT_FALSE(conn.ok());
+  EXPECT_NE(conn.status().message().find("handshake"), std::string::npos)
+      << conn.status().message();
+  EXPECT_NE(conn.status().message().find("pine-rtree"), std::string::npos)
+      << conn.status().message();
+}
+
+TEST_F(NetTest, ConnectingToADeadPortFailsFastAsUnavailable) {
+  // Bind-then-close to get a port with nothing behind it.
+  uint16_t dead_port;
+  {
+    auto server = StartServer("pine-rtree");
+    dead_port = server->port();
+  }
+  auto conn = client::Connection::Open(
+      "jackpine:tcp://127.0.0.1:" + std::to_string(dead_port) + "/pine-rtree");
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kUnavailable);
+}
+
+// Four client threads with their own Statements = four genuine server
+// sessions executing concurrently over one shared engine.
+TEST_F(NetTest, ConcurrentStatementsAreConcurrentSessions) {
+  auto server = StartServer("pine-rtree");
+  ASSERT_TRUE(
+      core::LoadDataset(SmallDataset(), &server->connection()).ok());
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok());
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&conn, &failures] {
+      client::Statement stmt = conn->CreateStatement();
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM edges");
+        if (!rs.ok() || rs->RowCount() != 1) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The probe session plus one per client thread.
+  EXPECT_GE(server->counters().sessions_opened,
+            static_cast<uint64_t>(kClients));
+  EXPECT_EQ(server->counters().queries,
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+}
+
+// The multi-client throughput harness runs unchanged against a remote SUT.
+TEST_F(NetTest, ConcurrentThroughputHarnessRunsRemotely) {
+  const tigergen::TigerDataset dataset = SmallDataset();
+  auto server = StartServer("pine-rtree");
+  ASSERT_TRUE(core::LoadDataset(dataset, &server->connection()).ok());
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok());
+
+  const auto suite = core::BuildTopologicalSuite(dataset);
+  const core::ThroughputResult tp =
+      core::RunConcurrentThroughput(&*conn, suite, /*clients=*/4,
+                                    /*rounds=*/1);
+  EXPECT_EQ(tp.errors, 0u);
+  EXPECT_EQ(tp.queries_executed, 4u * suite.size());
+  EXPECT_GT(tp.QueriesPerSecond(), 0.0);
+}
+
+// Chaos is drawn client-side at the Statement seam, so wrapping a remote URL
+// replays the exact same deterministic fault sequence as wrapping the local
+// SUT — byte-identical outcome traces, as ISSUE.md requires.
+std::string OutcomeTrace(client::Connection* conn, int n) {
+  client::Statement stmt = conn->CreateStatement();
+  EXPECT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  std::string trace;
+  for (int i = 0; i < n; ++i) {
+    auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+    trace += rs.ok() ? "." : "[" + rs.status().ToString() + "]";
+  }
+  return trace;
+}
+
+TEST_F(NetTest, ChaosComposedRemoteReplaysTheInProcessSequence) {
+  constexpr char kSpec[] = "1234,0.3,0";
+  auto local = client::Connection::Open(
+      std::string("jackpine:chaos(") + kSpec + "):pine-rtree");
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  auto server = StartServer("pine-rtree");
+  auto remote = client::Connection::Open(
+      RemoteUrl(*server, "pine-rtree", kSpec));
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  const std::string local_trace = OutcomeTrace(&*local, 60);
+  const std::string remote_trace = OutcomeTrace(&*remote, 60);
+  EXPECT_EQ(local_trace, remote_trace);
+  // The trace genuinely mixes successes and injected faults.
+  EXPECT_NE(local_trace.find('.'), std::string::npos);
+  EXPECT_NE(local_trace.find("Unavailable"), std::string::npos);
+}
+
+TEST_F(NetTest, GracefulShutdownLeaksNoSessions) {
+  auto server = StartServer("pine-rtree");
+  {
+    auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+    ASSERT_TRUE(conn.ok());
+    client::Statement stmt = conn->CreateStatement();
+    ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+    ASSERT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM t").ok());
+    // conn (and its sessions) close here with best-effort Close frames.
+  }
+  // Second client still mid-session when Shutdown lands: the server must
+  // unblock and drain it rather than deadlock.
+  auto lingering = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(lingering.ok());
+  client::Statement lingering_stmt = lingering->CreateStatement();
+  ASSERT_TRUE(lingering_stmt.ExecuteQuery("SELECT COUNT(*) FROM t").ok());
+
+  server->Shutdown();
+  const net::ServerCounters c = server->counters();
+  EXPECT_EQ(c.sessions_opened, c.sessions_closed);
+  EXPECT_GT(c.queries, 0u);
+  EXPECT_EQ(server->active_sessions(), 0u);
+
+  // After shutdown the lingering client sees kUnavailable, the retryable
+  // code the benchmark's retry policy understands.
+  auto rs = lingering_stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(NetTest, SessionLimitRefusesPolitely) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  options.max_sessions = 1;
+  auto server = net::Server::Start(options);
+  ASSERT_TRUE(server.ok());
+
+  // The probe session of the first connection occupies the single slot.
+  auto first = client::Connection::Open(RemoteUrl(**server, "pine-rtree"));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  client::Statement stmt = first->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+
+  auto second = client::Connection::Open(RemoteUrl(**server, "pine-rtree"));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  // The refused connection did not disturb the admitted one.
+  EXPECT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM t").ok());
+}
+
+}  // namespace
+}  // namespace jackpine

@@ -113,6 +113,55 @@ INSTANTIATE_TEST_SUITE_P(
                 "LINESTRING (0 0, 1 1))"},
         WkbCase{"LINESTRING EMPTY"}, WkbCase{"POLYGON EMPTY"}));
 
+// Empty geometries of every type survive the trip with their type intact —
+// the wire protocol ships every geometry column as WKB, so an empty result
+// of ST_Intersection must come back as the same kind of emptiness.
+class WkbEmptyRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WkbEmptyRoundTrip, TypePreserved) {
+  Geometry g = Wkt(GetParam());
+  ASSERT_TRUE(g.IsEmpty()) << GetParam();
+  Geometry back = RoundTrip(g);
+  EXPECT_TRUE(back.IsEmpty()) << GetParam();
+  EXPECT_EQ(back.type(), g.type()) << GetParam();
+  EXPECT_TRUE(g.ExactlyEquals(back)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WkbEmptyRoundTrip,
+                         ::testing::Values("POINT EMPTY", "LINESTRING EMPTY",
+                                           "POLYGON EMPTY",
+                                           "MULTIPOINT EMPTY",
+                                           "MULTILINESTRING EMPTY",
+                                           "MULTIPOLYGON EMPTY",
+                                           "GEOMETRYCOLLECTION EMPTY"));
+
+TEST(WkbTest, CollectionOfEveryType) {
+  Geometry g = Wkt(
+      "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1, 2 0), "
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 2 4, 4 4, 4 2, 2 2)), "
+      "MULTIPOINT ((5 6), (7 8)), "
+      "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3)), "
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0))))");
+  Geometry back = RoundTrip(g);
+  EXPECT_TRUE(g.ExactlyEquals(back));
+}
+
+TEST(WkbTest, NestedCollections) {
+  Geometry g = Wkt(
+      "GEOMETRYCOLLECTION (GEOMETRYCOLLECTION (POINT (1 2), "
+      "GEOMETRYCOLLECTION (LINESTRING (0 0, 1 1))), POINT (9 9))");
+  Geometry back = RoundTrip(g);
+  EXPECT_TRUE(g.ExactlyEquals(back));
+}
+
+TEST(WkbTest, CollectionWithEmptyMembers) {
+  Geometry g = Wkt(
+      "GEOMETRYCOLLECTION (POINT EMPTY, LINESTRING (0 0, 1 1), "
+      "POLYGON EMPTY, GEOMETRYCOLLECTION EMPTY)");
+  Geometry back = RoundTrip(g);
+  EXPECT_TRUE(g.ExactlyEquals(back));
+}
+
 TEST(WkbRoundTripRandom, RandomGeometries) {
   jackpine::Rng rng(99);
   for (int iter = 0; iter < 40; ++iter) {
