@@ -7,6 +7,9 @@
 //                                     [--chaos seed,rate,latency_ms]
 //                                     [--throughput-clients N]
 //                                     [--throughput-rounds R] [--no-load]
+//                                     [--overload-clients N]
+//                                     [--overload-rounds R]
+//                                     [--retry-budget TOKENS]
 //
 // --suts entries are either local SUT names (pine-rtree, ...) or remote
 // endpoints of a running pinedb server (tcp://host:port/sut); remote entries
@@ -17,10 +20,19 @@
 // throughput run (N client threads, --throughput-rounds passes over the
 // topological suite) after the micro/macro suites. --no-load skips dataset
 // loading for servers started with `pinedb serve --preload`.
+//
+// --overload-clients N runs the overload benchmark: N saturating client
+// threads hammer the topological suite for --overload-rounds passes and the
+// report shows goodput, shed rate and tail latency — point it at a pinedb
+// server with a small --max-sessions to watch graceful degradation instead
+// of collapse. --retry-budget T (0 = unlimited) caps the run's aggregate
+// retries with a shared token bucket: each retry spends a token, each
+// success earns back a tenth, so retry traffic cannot amplify an overload.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +54,9 @@ int main(int argc, char** argv) {
   std::string chaos_spec;
   int throughput_clients = 0;
   int throughput_rounds = 3;
+  int overload_clients = 0;
+  int overload_rounds = 3;
+  double retry_budget = 0.0;
   bool no_load = false;
   std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
                                         "pine-scan"};
@@ -62,6 +77,12 @@ int main(int argc, char** argv) {
       throughput_clients = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--throughput-rounds") && i + 1 < argc) {
       throughput_rounds = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--overload-clients") && i + 1 < argc) {
+      overload_clients = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--overload-rounds") && i + 1 < argc) {
+      overload_rounds = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--retry-budget") && i + 1 < argc) {
+      retry_budget = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--no-load")) {
       no_load = true;
     } else {
@@ -69,7 +90,8 @@ int main(int argc, char** argv) {
                    "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b] "
                    "[--deadline SEC] [--chaos seed,rate,latency_ms] "
                    "[--throughput-clients N] [--throughput-rounds R] "
-                   "[--no-load]\n"
+                   "[--overload-clients N] [--overload-rounds R] "
+                   "[--retry-budget TOKENS] [--no-load]\n"
                    "  --suts entries: local SUT names or tcp://host:port/sut\n",
                    argv[0]);
       return 2;
@@ -91,8 +113,15 @@ int main(int argc, char** argv) {
   std::vector<std::vector<core::RunResult>> topo_by_sut, analysis_by_sut;
   std::vector<std::vector<core::ScenarioResult>> scenarios_by_sut;
   std::vector<core::ThroughputResult> throughput_by_sut;
+  std::vector<core::OverloadResult> overload_by_sut;
 
   for (const std::string& name : sut_names) {
+    // A fresh bucket per SUT run, shared by all of that SUT's client
+    // threads, so one SUT's retry storm cannot starve the next one's run.
+    if (retry_budget > 0.0) {
+      config.retry.budget = std::make_shared<core::RetryBudget>(
+          retry_budget, retry_budget, 0.1);
+    }
     std::string url = "jackpine:" + name;
     if (!chaos_spec.empty()) {
       url = "jackpine:chaos(" + chaos_spec + "):" + name;
@@ -127,6 +156,13 @@ int main(int argc, char** argv) {
           &conn, topo_suite, throughput_clients, throughput_rounds, config);
       tp.sut = name;
       throughput_by_sut.push_back(std::move(tp));
+    }
+
+    if (overload_clients > 0) {
+      core::OverloadResult ov = core::RunOverload(
+          &conn, topo_suite, overload_clients, overload_rounds, config);
+      ov.sut = name;
+      overload_by_sut.push_back(std::move(ov));
     }
   }
 
@@ -170,5 +206,14 @@ int main(int argc, char** argv) {
   std::printf("%s\n", core::RenderErrorTaxonomyTable("error taxonomy",
                                                      all_runs_by_sut)
                           .c_str());
+  if (!overload_by_sut.empty()) {
+    std::printf("%s\n",
+                core::RenderOverloadTable(
+                    StrFormat("E5: overload benchmark (%d clients, %d rounds "
+                              "of the topological suite)",
+                              overload_clients, overload_rounds),
+                    overload_by_sut)
+                    .c_str());
+  }
   return 0;
 }

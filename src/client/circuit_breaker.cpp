@@ -1,0 +1,85 @@
+#include "client/circuit_breaker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace jackpine::client {
+
+Status CircuitBreaker::Admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kClosed) return Status::Ok();
+
+  const auto now = Clock::now();
+  const auto cooldown = std::chrono::duration<double>(options_.open_duration_s);
+  if (state_ == State::kOpen && now - opened_at_ >= cooldown) {
+    state_ = State::kHalfOpen;
+    probe_in_flight_ = false;
+  }
+  if (state_ == State::kHalfOpen && !probe_in_flight_) {
+    probe_in_flight_ = true;  // this caller is the probe
+    return Status::Ok();
+  }
+
+  ++fast_fails_;
+  double remaining_s = options_.open_duration_s;
+  if (state_ == State::kOpen) {
+    remaining_s = std::chrono::duration<double>(cooldown - (now - opened_at_))
+                      .count();
+  }
+  // At least 1 ms so the hint stays distinguishable from "no hint".
+  const uint32_t retry_after_ms = static_cast<uint32_t>(
+      std::max(1.0, std::ceil(remaining_s * 1e3)));
+  Status status = Status::Unavailable(StrFormat(
+      "circuit breaker open after %d consecutive transport failures",
+      std::max(consecutive_failures_, options_.failure_threshold)));
+  status.set_retry_after_ms(retry_after_ms);
+  return status;
+}
+
+void CircuitBreaker::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::OnFailure(const Status& status) {
+  // Only transport failures count: a shed or any deterministic error proves
+  // the peer (or the request) is answering, and our own fast-fails must not
+  // feed back into the streak.
+  if (!IsTransient(status.code()) || IsBreakerFastFail(status)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      (state_ == State::kClosed &&
+       consecutive_failures_ >= options_.failure_threshold)) {
+    state_ = State::kOpen;
+    opened_at_ = Clock::now();
+    probe_in_flight_ = false;
+    ++opens_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+uint64_t CircuitBreaker::fast_fails() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fast_fails_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+}  // namespace jackpine::client

@@ -1,0 +1,81 @@
+// Per-connection circuit breaker (DESIGN.md "Fault model", overload
+// semantics).
+//
+// A remote connection that keeps failing at the transport level is almost
+// certainly talking to a dead or drowning server; hammering it with fresh
+// TCP connects from every retry multiplies the very load that killed it.
+// The breaker sits in front of every new transport attempt of a
+// client::Connection (all Statements of a connection share one breaker):
+//
+//   closed     every attempt is admitted; consecutive transport failures
+//              are counted, any success resets the streak
+//   open       after `failure_threshold` consecutive failures: attempts
+//              fast-fail locally with kUnavailable carrying a
+//              retry_after_ms hint (IsBreakerFastFail), no syscall made
+//   half-open  after `open_duration_s`: exactly one probe attempt is
+//              admitted; success closes the breaker, failure re-opens it
+//              for another full cooldown
+//
+// Only *transport* failures (kUnavailable without a retry hint) feed the
+// streak. A shed (kResourceExhausted + retry_after_ms) proves the server is
+// alive and answering, so it never trips the breaker.
+
+#ifndef JACKPINE_CLIENT_CIRCUIT_BREAKER_H_
+#define JACKPINE_CLIENT_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <chrono>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace jackpine::client {
+
+struct CircuitBreakerOptions {
+  // Consecutive transport failures that open the breaker.
+  int failure_threshold = 4;
+  // Cooldown before the half-open probe is admitted.
+  double open_duration_s = 0.25;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {})
+      : options_(options) {}
+
+  // Gate before a new transport attempt: OK when closed; OK exactly once
+  // per cooldown when the breaker transitions to half-open (that call is
+  // the probe); otherwise kUnavailable with retry_after_ms set to the
+  // remaining cooldown (IsBreakerFastFail matches it).
+  Status Admit();
+
+  // Report the attempt's outcome. OnSuccess closes the breaker and resets
+  // the failure streak. OnFailure feeds the streak only for transport
+  // failures (plain kUnavailable); a half-open probe failure re-opens for a
+  // fresh cooldown.
+  void OnSuccess();
+  void OnFailure(const Status& status);
+
+  State state() const;
+  int consecutive_failures() const;
+  uint64_t fast_fails() const;  // attempts refused while open
+  uint64_t opens() const;       // closed/half-open -> open transitions
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  bool probe_in_flight_ = false;
+  Clock::time_point opened_at_{};
+  uint64_t fast_fails_ = 0;
+  uint64_t opens_ = 0;
+};
+
+}  // namespace jackpine::client
+
+#endif  // JACKPINE_CLIENT_CIRCUIT_BREAKER_H_

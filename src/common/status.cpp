@@ -36,11 +36,30 @@ bool IsTransient(StatusCode code) {
   return code == StatusCode::kUnavailable;
 }
 
+bool IsShed(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.retry_after_ms() > 0;
+}
+
+bool IsBreakerFastFail(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.retry_after_ms() > 0;
+}
+
+bool IsRetryable(const Status& status) {
+  return IsTransient(status.code()) || IsShed(status);
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);
   out += ": ";
   out += message_;
+  if (retry_after_ms_ > 0) {
+    out += " [retry after ";
+    out += std::to_string(retry_after_ms_);
+    out += "ms]";
+  }
   return out;
 }
 

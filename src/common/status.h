@@ -37,6 +37,22 @@ enum class StatusCode : uint8_t {
 // so retrying them only wastes the remaining suite time.
 bool IsTransient(StatusCode code);
 
+class Status;
+
+// Overload taxonomy (DESIGN.md "Fault model", overload semantics). Both
+// shapes carry a retry-after hint, which is what distinguishes them from
+// their plain counterparts:
+//  - a *shed* is kResourceExhausted + retry_after_ms: a server's admission
+//    control refused the work but explicitly invites a later retry;
+//  - a *breaker fast-fail* is kUnavailable + retry_after_ms: the client's
+//    own circuit breaker refused to touch the transport at all.
+bool IsShed(const Status& status);
+bool IsBreakerFastFail(const Status& status);
+
+// What the retry loop may retry: transient transport failures and explicit
+// sheds. Everything else is deterministic for the given query and config.
+bool IsRetryable(const Status& status);
+
 // Returns a stable human-readable name for `code` ("OK", "ParseError", ...).
 const char* StatusCodeName(StatusCode code);
 
@@ -86,12 +102,23 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  // "OK" or "<CodeName>: <message>".
+  // Retry pacing hint: "do not retry sooner than this many milliseconds".
+  // Zero means no hint. Attached by load-shedding servers (the wire Error
+  // frame carries it) and by client-side circuit breakers; honoured by the
+  // runner's retry backoff so shed clients spread out instead of stampeding.
+  uint32_t retry_after_ms() const { return retry_after_ms_; }
+  Status& set_retry_after_ms(uint32_t ms) {
+    retry_after_ms_ = ms;
+    return *this;
+  }
+
+  // "OK" or "<CodeName>: <message>", plus the retry hint when one is set.
   std::string ToString() const;
 
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
+  uint32_t retry_after_ms_ = 0;
 };
 
 // A value or an error. Access to value() requires ok().

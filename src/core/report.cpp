@@ -130,15 +130,19 @@ std::string RenderErrorTaxonomyTable(
     const std::vector<std::vector<RunResult>>& runs_by_sut) {
   std::vector<std::vector<std::string>> grid;
   grid.push_back({"sut", "queries", "ok", "failed", "timeouts", "transient",
-                  "attempts", "final errors"});
+                  "sheds", "breaker", "budget", "attempts", "final errors"});
   for (const auto& runs : runs_by_sut) {
     size_t ok = 0, failed = 0, timeouts = 0, transients = 0, attempts = 0;
+    size_t sheds = 0, fast_fails = 0, denied = 0;
     // Distinct final error codes, in first-seen order, with counts.
     std::vector<std::pair<StatusCode, size_t>> codes;
     for (const RunResult& r : runs) {
       (r.ok ? ok : failed)++;
       timeouts += r.timeouts;
       transients += r.transient_errors;
+      sheds += r.sheds;
+      fast_fails += r.breaker_fast_fails;
+      denied += r.budget_denied;
       attempts += r.attempts;
       if (!r.ok) {
         auto it = std::find_if(codes.begin(), codes.end(), [&](const auto& p) {
@@ -160,8 +164,31 @@ std::string RenderErrorTaxonomyTable(
     grid.push_back({runs.empty() ? "?" : runs.front().sut,
                     StrFormat("%zu", runs.size()), StrFormat("%zu", ok),
                     StrFormat("%zu", failed), StrFormat("%zu", timeouts),
-                    StrFormat("%zu", transients), StrFormat("%zu", attempts),
-                    code_summary});
+                    StrFormat("%zu", transients), StrFormat("%zu", sheds),
+                    StrFormat("%zu", fast_fails), StrFormat("%zu", denied),
+                    StrFormat("%zu", attempts), code_summary});
+  }
+  return RenderGrid(title, grid);
+}
+
+std::string RenderOverloadTable(const std::string& title,
+                                const std::vector<OverloadResult>& results) {
+  std::vector<std::vector<std::string>> grid;
+  grid.push_back({"sut", "clients", "ok", "failed", "goodput (q/s)",
+                  "shed rate", "sheds", "breaker", "budget", "timeouts",
+                  "p50 (ms)", "p95 (ms)", "max (ms)"});
+  for (const OverloadResult& r : results) {
+    grid.push_back({r.sut, StrFormat("%d", r.clients),
+                    StrFormat("%zu", r.queries_ok),
+                    StrFormat("%zu", r.failures),
+                    StrFormat("%.1f", r.GoodputQps()),
+                    StrFormat("%.1f%%", r.ShedRate() * 100.0),
+                    StrFormat("%zu", r.sheds),
+                    StrFormat("%zu", r.breaker_fast_fails),
+                    StrFormat("%zu", r.budget_denied),
+                    StrFormat("%zu", r.timeouts),
+                    FormatMs(r.latency.p50_s), FormatMs(r.latency.p95_s),
+                    FormatMs(r.latency.max_s)});
   }
   return RenderGrid(title, grid);
 }

@@ -31,13 +31,18 @@ std::string RenderKeyValueTable(
     const std::vector<std::pair<std::string, std::string>>& rows);
 
 // Error taxonomy per SUT (DESIGN.md "Fault model"): one row per SUT with
-// counts of succeeded/failed queries, observed timeouts and transient
-// errors, total attempts (retries included), and the distinct final error
-// codes seen, so a reader can tell a flaky SUT from a deterministic failure
-// at a glance.
+// counts of succeeded/failed queries, observed timeouts, transient errors,
+// server sheds, breaker fast-fails and budget-denied retries, total
+// attempts (retries included), and the distinct final error codes seen, so
+// a reader can tell a flaky SUT from a deterministic failure at a glance.
 std::string RenderErrorTaxonomyTable(
     const std::string& title,
     const std::vector<std::vector<RunResult>>& runs_by_sut);
+
+// Overload benchmark results: one row per SUT run with goodput, shed rate
+// and the latency tail under saturation.
+std::string RenderOverloadTable(const std::string& title,
+                                const std::vector<OverloadResult>& results);
 
 }  // namespace jackpine::core
 

@@ -11,6 +11,31 @@
 
 namespace jackpine::core {
 
+bool RetryBudget::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tokens_ < 1.0) {
+    ++denied_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  return true;
+}
+
+void RetryBudget::OnSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = std::min(max_tokens_, tokens_ + fill_per_success_);
+}
+
+uint64_t RetryBudget::denied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denied_;
+}
+
+double RetryBudget::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
 namespace {
 
 // Stable per-query offset into the jitter stream so each query retries on
@@ -29,12 +54,19 @@ struct RetryOutcome {
   size_t attempts = 0;
   size_t timeouts = 0;
   size_t transient_errors = 0;
+  size_t sheds = 0;
+  size_t breaker_fast_fails = 0;
+  size_t budget_denied = 0;
   double last_attempt_s = 0.0;  // wall time of the final attempt, no backoff
 };
 
-// One execution slot under the retry policy: transient (kUnavailable)
-// failures back off exponentially with deterministic jitter and try again,
-// up to max_attempts total tries; every other error is final immediately.
+// One execution slot under the retry policy: retryable failures — transient
+// (kUnavailable) or shed (kResourceExhausted + retry_after_ms) — back off
+// exponentially with deterministic jitter and try again, up to max_attempts
+// total tries; every other error is final immediately. A server retry_after
+// hint raises the sleep to at least the hinted duration, and the optional
+// shared RetryBudget can cut the retry sequence short when the whole run is
+// already retrying too much.
 Result<client::ResultSet> ExecuteWithRetry(client::Statement* stmt,
                                            const std::string& sql,
                                            const RetryPolicy& policy, Rng* rng,
@@ -45,15 +77,34 @@ Result<client::ResultSet> ExecuteWithRetry(client::Statement* stmt,
     Stopwatch watch;
     Result<client::ResultSet> rs = stmt->ExecuteQuery(sql);
     outcome->last_attempt_s = watch.ElapsedSeconds();
-    if (rs.ok()) return rs;
-    const StatusCode code = rs.status().code();
+    if (rs.ok()) {
+      if (policy.budget) policy.budget->OnSuccess();
+      return rs;
+    }
+    const Status& status = rs.status();
+    const StatusCode code = status.code();
+    // Mutually exclusive taxonomy buckets, so the report columns add up.
     if (code == StatusCode::kDeadlineExceeded) ++outcome->timeouts;
-    if (IsTransient(code)) ++outcome->transient_errors;
-    if (!IsTransient(code) || attempt >= allowed) return rs;
-    const double backoff =
+    if (IsShed(status)) {
+      ++outcome->sheds;
+    } else if (IsBreakerFastFail(status)) {
+      ++outcome->breaker_fast_fails;
+    } else if (IsTransient(code)) {
+      ++outcome->transient_errors;
+    }
+    if (!IsRetryable(status) || attempt >= allowed) return rs;
+    if (policy.budget && !policy.budget->TryAcquire()) {
+      ++outcome->budget_denied;
+      return rs;
+    }
+    const double backoff = std::min(
         policy.backoff_base_s *
-        std::pow(policy.backoff_multiplier, attempt - 1);
-    const double jittered = backoff * (0.5 + 0.5 * rng->NextDouble());
+            std::pow(policy.backoff_multiplier, attempt - 1),
+        policy.backoff_max_s);
+    double jittered = backoff * (0.5 + 0.5 * rng->NextDouble());
+    if (policy.honor_retry_after && status.retry_after_ms() > 0) {
+      jittered = std::max(jittered, status.retry_after_ms() / 1e3);
+    }
     if (jittered > 0.0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(jittered));
     }
@@ -64,6 +115,9 @@ void Accumulate(const RetryOutcome& outcome, RunResult* out) {
   out->attempts += outcome.attempts;
   out->timeouts += outcome.timeouts;
   out->transient_errors += outcome.transient_errors;
+  out->sheds += outcome.sheds;
+  out->breaker_fast_fails += outcome.breaker_fast_fails;
+  out->budget_denied += outcome.budget_denied;
 }
 
 }  // namespace
@@ -140,6 +194,9 @@ ThroughputResult RunThroughput(client::Connection* connection,
           ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
       out.timeouts += outcome.timeouts;
       out.transient_errors += outcome.transient_errors;
+      out.sheds += outcome.sheds;
+      out.breaker_fast_fails += outcome.breaker_fast_fails;
+      out.budget_denied += outcome.budget_denied;
       if (rs.ok()) {
         ++out.queries_executed;
       } else {
@@ -161,6 +218,9 @@ ThroughputResult RunConcurrentThroughput(client::Connection* connection,
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> timeouts{0};
   std::atomic<uint64_t> transients{0};
+  std::atomic<uint64_t> sheds{0};
+  std::atomic<uint64_t> fast_fails{0};
+  std::atomic<uint64_t> denied{0};
   Stopwatch watch;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(std::max(clients, 1)));
@@ -182,6 +242,10 @@ ThroughputResult RunConcurrentThroughput(client::Connection* connection,
           timeouts.fetch_add(outcome.timeouts, std::memory_order_relaxed);
           transients.fetch_add(outcome.transient_errors,
                                std::memory_order_relaxed);
+          sheds.fetch_add(outcome.sheds, std::memory_order_relaxed);
+          fast_fails.fetch_add(outcome.breaker_fast_fails,
+                               std::memory_order_relaxed);
+          denied.fetch_add(outcome.budget_denied, std::memory_order_relaxed);
           if (rs.ok()) {
             executed.fetch_add(1, std::memory_order_relaxed);
           } else {
@@ -197,6 +261,70 @@ ThroughputResult RunConcurrentThroughput(client::Connection* connection,
   out.errors = errors.load();
   out.timeouts = timeouts.load();
   out.transient_errors = transients.load();
+  out.sheds = sheds.load();
+  out.breaker_fast_fails = fast_fails.load();
+  out.budget_denied = denied.load();
+  return out;
+}
+
+OverloadResult RunOverload(client::Connection* connection,
+                           const std::vector<QuerySpec>& workload, int clients,
+                           int rounds, const RunConfig& config) {
+  OverloadResult out;
+  out.sut = connection->config().name;
+  out.clients = std::max(clients, 1);
+  out.rounds = std::max(rounds, 1);
+
+  std::mutex mu;  // guards latencies and the counter rollup
+  std::vector<double> latencies;
+  std::vector<std::thread> threads;
+  Stopwatch watch;
+  threads.reserve(static_cast<size_t>(out.clients));
+  for (int t = 0; t < out.clients; ++t) {
+    threads.emplace_back([&, t]() {
+      client::Statement stmt = connection->CreateStatement();
+      stmt.SetExecLimits(config.limits);
+      Rng rng(config.retry.jitter_seed + static_cast<uint64_t>(t));
+      std::vector<double> local_latencies;
+      RetryOutcome total;
+      size_t ok = 0, failed = 0;
+      for (int round = 0; round < out.rounds; ++round) {
+        for (size_t q = 0; q < workload.size(); ++q) {
+          const QuerySpec& spec =
+              workload[(q + static_cast<size_t>(t)) % workload.size()];
+          RetryOutcome outcome;
+          auto rs =
+              ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
+          total.attempts += outcome.attempts;
+          total.timeouts += outcome.timeouts;
+          total.transient_errors += outcome.transient_errors;
+          total.sheds += outcome.sheds;
+          total.breaker_fast_fails += outcome.breaker_fast_fails;
+          total.budget_denied += outcome.budget_denied;
+          if (rs.ok()) {
+            ++ok;
+            local_latencies.push_back(outcome.last_attempt_s);
+          } else {
+            ++failed;
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      out.queries_ok += ok;
+      out.failures += failed;
+      out.attempts += total.attempts;
+      out.timeouts += total.timeouts;
+      out.transient_errors += total.transient_errors;
+      out.sheds += total.sheds;
+      out.breaker_fast_fails += total.breaker_fast_fails;
+      out.budget_denied += total.budget_denied;
+      latencies.insert(latencies.end(), local_latencies.begin(),
+                       local_latencies.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  out.elapsed_s = watch.ElapsedSeconds();
+  out.latency = Summarize(std::move(latencies));
   return out;
 }
 
@@ -215,6 +343,9 @@ ScenarioResult RunScenario(client::Connection* connection,
     }
     out.timeouts += r.timeouts;
     out.transient_errors += r.transient_errors;
+    out.sheds += r.sheds;
+    out.breaker_fast_fails += r.breaker_fast_fails;
+    out.budget_denied += r.budget_denied;
     out.queries.push_back(std::move(r));
   }
   return out;

@@ -5,6 +5,8 @@
 #ifndef JACKPINE_CORE_RUNNER_H_
 #define JACKPINE_CORE_RUNNER_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,17 +18,56 @@
 
 namespace jackpine::core {
 
+// A global token bucket bounding retries across a whole run: each retry
+// spends one token, each success earns back fill_per_success (capped at
+// max_tokens). Under sustained overload the bucket drains and further
+// retries are denied — the client's aggregate retry traffic stays a small
+// multiple of its success rate instead of amplifying the overload
+// (retry-storm protection). Thread-safe; share one bucket across all
+// clients of a run via RetryPolicy::budget.
+class RetryBudget {
+ public:
+  explicit RetryBudget(double initial_tokens = 10.0, double max_tokens = 10.0,
+                       double fill_per_success = 0.1)
+      : tokens_(initial_tokens),
+        max_tokens_(max_tokens),
+        fill_per_success_(fill_per_success) {}
+
+  // Spends one token; false (and counted in denied()) when the bucket is
+  // dry, in which case the caller must give up instead of retrying.
+  bool TryAcquire();
+  void OnSuccess();
+
+  uint64_t denied() const;
+  double tokens() const;
+
+ private:
+  mutable std::mutex mu_;
+  double tokens_;
+  double max_tokens_;
+  double fill_per_success_;
+  uint64_t denied_ = 0;
+};
+
 // Bounded retry with exponential backoff for transient failures (DESIGN.md
-// "Fault model"). Only kUnavailable retries: deadline and budget violations
-// are deterministic for a given query, so retrying them wastes suite time.
-// Jitter is drawn from common/random's Rng, so a (jitter_seed, workload)
-// pair fully determines every backoff delay — benchmark runs stay
+// "Fault model"). Retryable means transient (kUnavailable) or a server shed
+// (kResourceExhausted with a retry_after_ms hint): deadline and budget
+// violations are deterministic for a given query, so retrying them wastes
+// suite time. Jitter is drawn from common/random's Rng, so a (jitter_seed,
+// workload) pair fully determines every backoff delay — benchmark runs stay
 // reproducible even when they exercise the retry path.
 struct RetryPolicy {
   int max_attempts = 3;           // total tries per execution; 1 = no retry
   double backoff_base_s = 0.01;   // first retry delay before jitter
   double backoff_multiplier = 2.0;
+  double backoff_max_s = 1.0;     // cap on the pre-jitter backoff
   uint64_t jitter_seed = 0x6a61636b70696e65;  // "jackpine"
+  // When the failure carries a server retry_after_ms hint (a shed or a
+  // breaker fast-fail), sleep at least that long before the next attempt.
+  bool honor_retry_after = true;
+  // Optional shared retry budget; null = unlimited retries (within
+  // max_attempts).
+  std::shared_ptr<RetryBudget> budget;
 };
 
 struct RunConfig {
@@ -52,6 +93,9 @@ struct RunResult {
   size_t attempts = 0;          // ExecuteQuery calls issued (incl. retries)
   size_t timeouts = 0;          // kDeadlineExceeded observed
   size_t transient_errors = 0;  // kUnavailable observed (retried or final)
+  size_t sheds = 0;             // server sheds (kResourceExhausted + hint)
+  size_t breaker_fast_fails = 0;  // local circuit-breaker refusals
+  size_t budget_denied = 0;     // retries denied by the shared RetryBudget
 };
 
 // Runs one query with the protocol; never fails hard (errors are recorded).
@@ -74,6 +118,9 @@ struct ScenarioResult {
   size_t failed = 0;
   size_t timeouts = 0;          // aggregated from queries
   size_t transient_errors = 0;  // aggregated from queries
+  size_t sheds = 0;             // aggregated from queries
+  size_t breaker_fast_fails = 0;
+  size_t budget_denied = 0;
 };
 
 // Runs every query of a scenario in sequence.
@@ -94,6 +141,9 @@ struct ThroughputResult {
   // to both transient_errors and queries_executed).
   size_t timeouts = 0;
   size_t transient_errors = 0;
+  size_t sheds = 0;
+  size_t breaker_fast_fails = 0;
+  size_t budget_denied = 0;
   double QueriesPerSecond() const {
     return elapsed_s > 0 ? static_cast<double>(queries_executed) / elapsed_s
                          : 0.0;
@@ -115,6 +165,40 @@ ThroughputResult RunConcurrentThroughput(client::Connection* connection,
                                          const std::vector<QuerySpec>& workload,
                                          int clients, int rounds,
                                          const RunConfig& config = {});
+
+// Overload benchmark: how much goodput survives, and how politely the rest
+// degrades, when `clients` saturating threads outnumber the server's
+// capacity. Like RunConcurrentThroughput but additionally collects the
+// per-success latency distribution (tail latency under load is the paper's
+// missing robustness axis) and the full degradation taxonomy.
+struct OverloadResult {
+  std::string sut;
+  int clients = 0;
+  int rounds = 0;
+  size_t queries_ok = 0;   // query slots that ultimately succeeded
+  size_t failures = 0;     // query slots that ultimately failed
+  size_t attempts = 0;     // executions issued, including retries
+  size_t sheds = 0;
+  size_t timeouts = 0;
+  size_t transient_errors = 0;
+  size_t breaker_fast_fails = 0;
+  size_t budget_denied = 0;
+  double elapsed_s = 0.0;
+  TimingStats latency;  // successful final attempts only
+
+  double GoodputQps() const {
+    return elapsed_s > 0 ? static_cast<double>(queries_ok) / elapsed_s : 0.0;
+  }
+  // Sheds per issued attempt: the fraction of offered load the server
+  // turned away rather than served or crashed under.
+  double ShedRate() const {
+    return attempts > 0 ? static_cast<double>(sheds) / attempts : 0.0;
+  }
+};
+
+OverloadResult RunOverload(client::Connection* connection,
+                           const std::vector<QuerySpec>& workload, int clients,
+                           int rounds, const RunConfig& config = {});
 
 }  // namespace jackpine::core
 

@@ -2,14 +2,25 @@
 //
 //   pinedb serve [--host H] [--port P] [--sut NAME] [--batch-rows N]
 //                [--preload] [--scale S] [--seed N]
+//                [--max-sessions N] [--max-wait-queue N]
+//                [--queue-timeout-ms N] [--retry-after-ms N]
+//                [--idle-timeout-s S] [--send-timeout-s S]
+//                [--chaos SEED,RATE,LATENCY_MS]
 //
 // --preload generates the TIGER-like dataset (same generator and defaults as
 // benchmark_runner, so a given --scale/--seed pair yields the identical
 // dataset) and loads it before the server accepts connections; without it,
 // remote clients load through the wire the way the paper's harness loaded
-// over JDBC. On SIGINT/SIGTERM the server drains its sessions, prints the
-// per-session counters as a report table, and exits non-zero if any session
-// leaked — CI's client/server smoke job asserts on exactly that.
+// over JDBC. Once serving, the binary prints the machine-parseable line
+// `LISTENING <port>` on stdout — with --port 0 that is the only way a
+// harness learns the ephemeral port. On SIGINT/SIGTERM the server drains
+// its sessions, prints the per-session counters as a report table, and
+// exits non-zero if any session leaked — CI's client/server smoke job
+// asserts on exactly that.
+//
+// The overload knobs map 1:1 onto ServerOptions (see net/server.h): the
+// admission queue in front of --max-sessions, the shed retry hint, idle
+// reaping, slow-client send timeouts, and server-side chaos injection.
 
 #include <atomic>
 #include <chrono>
@@ -20,6 +31,7 @@
 #include <string>
 #include <thread>
 
+#include "client/client.h"
 #include "common/string_util.h"
 #include "core/loader.h"
 #include "core/report.h"
@@ -37,7 +49,11 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s serve [--host H] [--port P] [--sut NAME]\n"
                "                [--batch-rows N] [--preload] [--scale S] "
-               "[--seed N]\n",
+               "[--seed N]\n"
+               "                [--max-sessions N] [--max-wait-queue N]\n"
+               "                [--queue-timeout-ms N] [--retry-after-ms N]\n"
+               "                [--idle-timeout-s S] [--send-timeout-s S]\n"
+               "                [--chaos SEED,RATE,LATENCY_MS]\n",
                argv0);
   return 2;
 }
@@ -66,6 +82,28 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--max-sessions") && i + 1 < argc) {
+      options.max_sessions = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--max-wait-queue") && i + 1 < argc) {
+      options.max_wait_queue = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--queue-timeout-ms") && i + 1 < argc) {
+      options.queue_timeout_s = std::atof(argv[++i]) / 1e3;
+    } else if (!std::strcmp(argv[i], "--retry-after-ms") && i + 1 < argc) {
+      options.retry_after_ms = static_cast<uint32_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--idle-timeout-s") && i + 1 < argc) {
+      options.idle_timeout_s = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--send-timeout-s") && i + 1 < argc) {
+      options.send_timeout_s = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc) {
+      // Same spec grammar as the chaos URL scheme, minus the wrapper.
+      auto chaos = client::ParseChaosSpec(
+          StrFormat("chaos(%s)", argv[++i]));
+      if (!chaos.ok()) {
+        std::fprintf(stderr, "pinedb: %s\n",
+                     chaos.status().ToString().c_str());
+        return 2;
+      }
+      options.chaos = *chaos;
     } else {
       return Usage(argv[0]);
     }
@@ -98,6 +136,9 @@ int main(int argc, char** argv) {
   server->StartServing();
   std::printf("pinedb: serving SUT '%s' on %s:%u\n", options.sut.c_str(),
               options.host.c_str(), static_cast<unsigned>(server->port()));
+  // Machine-parseable readiness line; with --port 0 this is the only way a
+  // harness learns which ephemeral port the kernel picked.
+  std::printf("LISTENING %u\n", static_cast<unsigned>(server->port()));
   std::fflush(stdout);
 
   while (!g_stop.load()) {
@@ -123,7 +164,17 @@ int main(int argc, char** argv) {
                    {"bytes sent", StrFormat("%llu",
                         static_cast<unsigned long long>(c.bytes_sent))},
                    {"errors", StrFormat("%llu",
-                        static_cast<unsigned long long>(c.errors))}})
+                        static_cast<unsigned long long>(c.errors))},
+                   {"sessions queued", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.sessions_queued))},
+                   {"sessions shed", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.sessions_shed))},
+                   {"idle reaped", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.idle_reaped))},
+                   {"send timeouts", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.send_timeouts))},
+                   {"chaos injected", StrFormat("%llu",
+                        static_cast<unsigned long long>(c.chaos_injected))}})
                   .c_str());
   if (c.sessions_opened != c.sessions_closed) {
     std::fprintf(stderr, "pinedb: leaked %llu session(s)\n",

@@ -20,14 +20,18 @@ constexpr double kDeadlineGraceS = 2.0;
 
 class RemoteSession : public client::DriverSession {
  public:
-  explicit RemoteSession(Socket socket) : socket_(std::move(socket)) {}
+  RemoteSession(Socket socket,
+                std::shared_ptr<client::CircuitBreaker> breaker)
+      : socket_(std::move(socket)), breaker_(std::move(breaker)) {}
 
   // Connect + Hello/Hello handshake.
   static Result<std::shared_ptr<client::DriverSession>> Open(
-      const client::RemoteEndpoint& endpoint) {
+      const client::RemoteEndpoint& endpoint,
+      std::shared_ptr<client::CircuitBreaker> breaker) {
     JACKPINE_ASSIGN_OR_RETURN(Socket socket,
                               Socket::Connect(endpoint.host, endpoint.port));
-    auto session = std::make_shared<RemoteSession>(std::move(socket));
+    auto session =
+        std::make_shared<RemoteSession>(std::move(socket), std::move(breaker));
     HelloMsg hello;
     hello.sut = endpoint.sut;
     hello.peer_info = "jackpine-client/1";
@@ -37,8 +41,12 @@ class RemoteSession : public client::DriverSession {
         session->RoundTripFrame(FrameType::kHello, EncodeHello(hello)));
     if (reply.type == FrameType::kError) {
       JACKPINE_ASSIGN_OR_RETURN(ErrorMsg err, DecodeError(reply.payload));
-      return Status(err.code, StrFormat("server rejected the handshake: %s",
+      // Re-wrap with context but keep the retry hint: a shed at handshake
+      // time carries the server's retry_after_ms.
+      Status status(err.code, StrFormat("server rejected the handshake: %s",
                                         err.message.c_str()));
+      status.set_retry_after_ms(err.retry_after_ms);
+      return status;
     }
     if (reply.type != FrameType::kHello) {
       return Status::Unavailable("protocol: handshake reply is not a Hello");
@@ -87,8 +95,14 @@ class RemoteSession : public client::DriverSession {
     Result<engine::QueryResult> result = RoundTripQuery(type, msg);
     // Transport-level failures poison the session: the stream position is
     // unknown, so the only safe recovery is a fresh connection. Server-side
-    // engine errors (delivered as Error frames) leave it healthy.
-    if (transport_failed_) healthy_ = false;
+    // engine errors (delivered as Error frames) leave it healthy — and prove
+    // the transport is alive, which feeds the breaker's success side.
+    if (transport_failed_) {
+      healthy_ = false;
+      if (breaker_) breaker_->OnFailure(result.status());
+    } else if (breaker_) {
+      breaker_->OnSuccess();
+    }
     return result;
   }
 
@@ -104,7 +118,7 @@ class RemoteSession : public client::DriverSession {
       JACKPINE_ASSIGN_OR_RETURN(Frame frame, NextFrame());
       if (frame.type == FrameType::kError) {
         JACKPINE_ASSIGN_OR_RETURN(ErrorMsg err, DecodeError(frame.payload));
-        return Status(err.code, err.message);
+        return ErrorToStatus(err);
       }
       if (frame.type != FrameType::kResultBatch) {
         transport_failed_ = true;
@@ -152,6 +166,7 @@ class RemoteSession : public client::DriverSession {
   }
 
   Socket socket_;
+  std::shared_ptr<client::CircuitBreaker> breaker_;
   FrameDecoder decoder_;
   std::mutex mu_;  // one in-flight request per session
   bool healthy_ = true;
@@ -169,7 +184,17 @@ Result<std::shared_ptr<client::DriverSession>> RemoteDriver::NewSession() {
       return probe;
     }
   }
-  return RemoteSession::Open(endpoint_);
+  // Every fresh transport attempt passes the shared breaker: while it is
+  // open, reconnects fast-fail locally instead of dialing a dead server.
+  JACKPINE_RETURN_IF_ERROR(breaker_->Admit());
+  Result<std::shared_ptr<client::DriverSession>> session =
+      RemoteSession::Open(endpoint_, breaker_);
+  if (session.ok()) {
+    breaker_->OnSuccess();
+  } else {
+    breaker_->OnFailure(session.status());
+  }
+  return session;
 }
 
 Result<std::shared_ptr<client::Driver>> OpenRemoteDriver(

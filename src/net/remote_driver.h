@@ -8,6 +8,12 @@
 // JDBC. Transport failures surface as kUnavailable (retryable; the
 // Statement opens a fresh session on the next execution) and receive
 // timeouts as kDeadlineExceeded, mirroring a JDBC socket timeout.
+//
+// All sessions of one RemoteDriver share a CircuitBreaker: consecutive
+// transport failures open it, and while open every new connect attempt
+// fast-fails locally with kUnavailable + retry_after_ms instead of dialing
+// a server that is likely down or drowning. Server sheds (kResourceExhausted
+// with a retry hint) never trip the breaker — they prove the server is up.
 
 #ifndef JACKPINE_NET_REMOTE_DRIVER_H_
 #define JACKPINE_NET_REMOTE_DRIVER_H_
@@ -15,6 +21,7 @@
 #include <memory>
 #include <mutex>
 
+#include "client/circuit_breaker.h"
 #include "client/driver.h"
 
 namespace jackpine::net {
@@ -30,11 +37,19 @@ class RemoteDriver : public client::Driver {
 
   const client::RemoteEndpoint& endpoint() const { return endpoint_; }
 
+  // Shared across all sessions of this driver; exposed so runners and tests
+  // can inspect fast-fail/open counts.
+  const std::shared_ptr<client::CircuitBreaker>& breaker() const {
+    return breaker_;
+  }
+
  private:
   friend Result<std::shared_ptr<client::Driver>> OpenRemoteDriver(
       const client::RemoteEndpoint& endpoint);
 
   client::RemoteEndpoint endpoint_;
+  std::shared_ptr<client::CircuitBreaker> breaker_ =
+      std::make_shared<client::CircuitBreaker>();
   std::mutex mu_;  // guards probe_
   // The session opened to validate the endpoint at Connection::Open time,
   // handed to the first Statement instead of reconnecting.

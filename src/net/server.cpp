@@ -1,5 +1,7 @@
 #include "net/server.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/string_util.h"
@@ -11,13 +13,21 @@ namespace {
 
 constexpr size_t kRecvChunk = 64 * 1024;
 
+// Send timeout for shed notifications: an overloaded server must not let a
+// dead peer pin the thread that is trying to turn it away.
+constexpr double kShedSendTimeoutS = 1.0;
+
 }  // namespace
 
 Server::Server(ServerOptions options, client::Connection connection,
                Listener listener)
     : options_(std::move(options)),
       connection_(std::make_unique<client::Connection>(std::move(connection))),
-      listener_(std::move(listener)) {}
+      listener_(std::move(listener)) {
+  if (options_.chaos.error_rate > 0.0 || options_.chaos.latency_ms > 0.0) {
+    chaos_state_ = std::make_unique<client::ChaosState>(options_.chaos);
+  }
+}
 
 Result<std::unique_ptr<Server>> Server::Create(const ServerOptions& options) {
   JACKPINE_ASSIGN_OR_RETURN(client::SutConfig sut,
@@ -34,6 +44,7 @@ void Server::StartServing() {
   if (serving_) return;
   serving_ = true;
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
 Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
@@ -53,17 +64,15 @@ ServerCounters Server::counters() const {
   c.rows_returned = rows_returned_.load();
   c.bytes_sent = bytes_sent_.load();
   c.errors = errors_.load();
+  c.sessions_queued = sessions_queued_.load();
+  c.sessions_shed = sessions_shed_.load();
+  c.idle_reaped = idle_reaped_.load();
+  c.send_timeouts = send_timeouts_.load();
+  c.chaos_injected = chaos_injected_.load();
   return c;
 }
 
-size_t Server::active_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t active = 0;
-  for (const auto& s : sessions_) {
-    if (!s->done.load()) ++active;
-  }
-  return active;
-}
+size_t Server::active_sessions() const { return active_.load(); }
 
 void Server::ReapFinishedSessions() {
   std::vector<std::unique_ptr<Session>> finished;
@@ -92,24 +101,93 @@ void Server::AcceptLoop() {
       continue;
     }
     ReapFinishedSessions();
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_.load()) return;
-    if (sessions_.size() >= options_.max_sessions) {
-      Socket refused = std::move(accepted).value();
-      const std::string frame = EncodeFrame(
-          FrameType::kError,
-          EncodeError(Status::ResourceExhausted(StrFormat(
-              "server at its %zu-session limit", options_.max_sessions))));
-      (void)refused.SendAll(frame);
-      continue;  // refused socket closes on scope exit
+    Socket socket = std::move(accepted).value();
+    bool enqueued = false;
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_.load()) return;
+      if (pending_.empty() && active_.load() < options_.max_sessions) {
+        // Fast path; pending_ must be empty so queued connections keep
+        // their FIFO position.
+        SpawnSessionLocked(std::move(socket));
+      } else if (pending_.size() < options_.max_wait_queue) {
+        // Admission queue: hold the connection until a slot frees instead
+        // of bouncing it, so short bursts ride out with no shed at all.
+        sessions_queued_.fetch_add(1);
+        pending_.push_back(
+            Pending{std::move(socket), std::chrono::steady_clock::now()});
+        enqueued = true;
+      } else {
+        shed = true;
+      }
     }
-    auto session = std::make_unique<Session>();
-    session->socket = std::move(accepted).value();
-    Session* raw = session.get();
-    sessions_opened_.fetch_add(1);
-    session->thread = std::thread([this, raw] { ServeSession(raw); });
-    sessions_.push_back(std::move(session));
+    if (enqueued) cv_.notify_all();
+    if (shed) Shed(std::move(socket));
   }
+}
+
+void Server::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_.load()) {
+    // Shed queue heads that outwaited their budget (FIFO: nobody behind
+    // the head has waited longer).
+    while (!pending_.empty() && options_.queue_timeout_s > 0.0) {
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        pending_.front().enqueued)
+              .count();
+      if (waited < options_.queue_timeout_s) break;
+      Socket victim = std::move(pending_.front().socket);
+      pending_.pop_front();
+      lock.unlock();
+      Shed(std::move(victim));
+      lock.lock();
+      if (stopping_.load()) return;
+    }
+    // Promote while there is room.
+    while (!pending_.empty() && active_.load() < options_.max_sessions) {
+      Socket socket = std::move(pending_.front().socket);
+      pending_.pop_front();
+      SpawnSessionLocked(std::move(socket));
+    }
+    if (stopping_.load()) return;
+    if (pending_.empty() || options_.queue_timeout_s <= 0.0) {
+      // Nothing to time out: sleep until a connection is queued or a
+      // session ends.
+      cv_.wait(lock);
+    } else {
+      const auto deadline =
+          pending_.front().enqueued +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options_.queue_timeout_s));
+      cv_.wait_until(lock, deadline);
+    }
+  }
+}
+
+void Server::Shed(Socket socket) {
+  sessions_shed_.fetch_add(1);
+  Status status = Status::ResourceExhausted(StrFormat(
+      "server overloaded: at its %zu-session limit and the wait queue "
+      "cannot hold the connection",
+      options_.max_sessions));
+  status.set_retry_after_ms(options_.retry_after_ms);
+  const std::string frame =
+      EncodeFrame(FrameType::kError, EncodeError(status));
+  (void)socket.SetSendTimeout(kShedSendTimeoutS);
+  if (socket.SendAll(frame).ok()) bytes_sent_.fetch_add(frame.size());
+  // The socket closes on scope exit.
+}
+
+void Server::SpawnSessionLocked(Socket socket) {
+  auto session = std::make_unique<Session>();
+  session->socket = std::move(socket);
+  Session* raw = session.get();
+  sessions_opened_.fetch_add(1);
+  active_.fetch_add(1);
+  session->thread = std::thread([this, raw] { ServeSession(raw); });
+  sessions_.push_back(std::move(session));
 }
 
 void Server::ServeSession(Session* session) {
@@ -118,10 +196,30 @@ void Server::ServeSession(Session* session) {
   client::Statement stmt = connection_->CreateStatement();
   char buf[kRecvChunk];
 
+  if (options_.idle_timeout_s > 0.0) {
+    (void)sock.SetRecvTimeout(options_.idle_timeout_s);
+  }
+  if (options_.send_timeout_s > 0.0) {
+    (void)sock.SetSendTimeout(options_.send_timeout_s);
+  }
+
+  // Charges the send-timeout counter when a blocked send expired; the
+  // session ends either way, freeing the thread a non-draining client was
+  // pinning.
+  auto note_send_failure = [&](const Status& status) {
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      send_timeouts_.fetch_add(1);
+    }
+  };
+
   // Sends one frame, charging the byte counter; false on transport failure.
   auto send_frame = [&](FrameType type, const std::string& payload) {
     const std::string frame = EncodeFrame(type, payload);
-    if (!sock.SendAll(frame).ok()) return false;
+    const Status sent = sock.SendAll(frame);
+    if (!sent.ok()) {
+      note_send_failure(sent);
+      return false;
+    }
     bytes_sent_.fetch_add(frame.size());
     return true;
   };
@@ -141,7 +239,17 @@ void Server::ServeSession(Session* session) {
       }
       if (frame->has_value()) return std::move(**frame);
       Result<size_t> n = sock.Recv(buf, sizeof(buf));
-      if (!n.ok() || *n == 0) return std::nullopt;
+      if (!n.ok()) {
+        if (n.status().code() == StatusCode::kDeadlineExceeded) {
+          // Idle reap: close silently, no Error frame. The client's next
+          // query sees EOF, maps it to kUnavailable, and reconnects in a
+          // single step — an "idle" error frame would cost a round trip to
+          // say the same thing.
+          idle_reaped_.fetch_add(1);
+        }
+        return std::nullopt;
+      }
+      if (*n == 0) return std::nullopt;
       decoder.Feed(std::string_view(buf, *n));
     }
   };
@@ -204,6 +312,43 @@ void Server::ServeSession(Session* session) {
     const bool is_query = frame->type == FrameType::kQuery;
     (is_query ? queries_ : updates_).fetch_add(1);
 
+    // Server-side chaos, mirroring the client layer's semantics: queries
+    // only (updates are the fixture-load seam and must always land), the
+    // injected delay is clamped to the query deadline, and failures go out
+    // in-band as Error frames so the transport — and the session — stay
+    // healthy. This models a flaky backend, not a flaky network.
+    if (is_query && chaos_state_ != nullptr) {
+      const client::ChaosState::Fault fault = chaos_state_->NextFault();
+      double delay_ms = fault.delay_ms;
+      const bool deadline_mid_sleep =
+          msg->deadline_s > 0.0 && delay_ms >= msg->deadline_s * 1e3;
+      if (deadline_mid_sleep) delay_ms = msg->deadline_s * 1e3;
+      if (delay_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+      if (deadline_mid_sleep) {
+        chaos_injected_.fetch_add(1);
+        if (!send_error(Status::DeadlineExceeded(StrFormat(
+                "chaos: injected %.3f ms server delay exceeded the %.3f s "
+                "deadline (draw #%llu)",
+                fault.delay_ms, msg->deadline_s,
+                static_cast<unsigned long long>(fault.sequence))))) {
+          break;
+        }
+        continue;
+      }
+      if (fault.fail) {
+        chaos_injected_.fetch_add(1);
+        if (!send_error(Status::Unavailable(StrFormat(
+                "chaos: injected server-side transient failure (draw #%llu)",
+                static_cast<unsigned long long>(fault.sequence))))) {
+          break;
+        }
+        continue;
+      }
+    }
+
     engine::QueryResult result;
     Status exec_status;
     if (is_query) {
@@ -240,7 +385,9 @@ void Server::ServeSession(Session* session) {
       // Backpressure: SendAll blocks while the client drains earlier
       // batches, so result memory on both sides stays bounded by the batch
       // size, not the result size.
-      if (!sock.SendAll(out).ok()) {
+      const Status sent = sock.SendAll(out);
+      if (!sent.ok()) {
+        note_send_failure(sent);
         sent_ok = false;
         break;
       }
@@ -254,13 +401,28 @@ void Server::ServeSession(Session* session) {
   // this socket never races a close.
   session->socket.ShutdownBoth();
   sessions_closed_.fetch_add(1);
+  active_.fetch_sub(1);
   session->done.store(true);
+  // Lock-then-notify so the dispatcher cannot check active_ and block
+  // between our decrement and the wakeup (it holds mu_ across that window).
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
 }
 
 void Server::Shutdown() {
   stopping_.store(true);
   listener_.Shutdown();
   if (acceptor_.joinable()) acceptor_.join();
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Queued connections never became sessions; close them without an
+  // answer. The peer sees EOF -> kUnavailable -> retry, which is the
+  // accurate story while the server is going away.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();
+  }
   // With the acceptor gone no new session can appear; unblock the live ones
   // and join them all.
   {

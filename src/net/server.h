@@ -8,13 +8,27 @@
 // session keeps serving; a protocol violation or transport failure ends
 // only that session. Shutdown() is graceful — it stops the acceptor,
 // unblocks every session, and joins all threads before returning.
+//
+// Overload protection (DESIGN.md "Fault model"): connections beyond
+// max_sessions first wait in a bounded queue; when the queue is full or a
+// queued connection waits past queue_timeout_s it is *shed* — answered with
+// a structured kResourceExhausted Error frame carrying retry_after_ms so
+// well-behaved clients back off instead of hammering the accept loop.
+// Sessions idle past idle_timeout_s are reaped, and send_timeout_s bounds
+// how long a slow client that stops draining results can pin a session
+// thread. The optional chaos config injects the PR-1 deterministic fault
+// model at the server's execution seam.
 
 #ifndef JACKPINE_NET_SERVER_H_
 #define JACKPINE_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,8 +44,29 @@ struct ServerOptions {
   std::string sut = "pine-rtree";
   // Rows per ResultBatch when the client does not ask for a size.
   size_t batch_rows = 512;
-  // Sessions beyond this are refused with an Error frame at the handshake.
+  // Concurrent session threads. Connections beyond this wait in the
+  // admission queue (below) instead of being refused outright.
   size_t max_sessions = 256;
+  // Bounded admission queue in front of max_sessions. A connection arriving
+  // with the queue full is shed immediately; 0 disables queueing (over-limit
+  // connections shed at once, the pre-overload behaviour).
+  size_t max_wait_queue = 64;
+  // A queued connection waiting longer than this is shed. <= 0 waits
+  // forever (until a slot frees or the server shuts down).
+  double queue_timeout_s = 2.0;
+  // Retry hint stamped on every shed's Error frame.
+  uint32_t retry_after_ms = 250;
+  // A session receiving no frame for this long is reaped (closed silently;
+  // the client's next query sees EOF and reconnects). <= 0 disables.
+  double idle_timeout_s = 0.0;
+  // Bound on how long one blocked send to a non-draining client can pin a
+  // session thread; on expiry the session ends. <= 0 disables.
+  double send_timeout_s = 0.0;
+  // Server-side deterministic fault injection at the execution seam, active
+  // when error_rate > 0 or latency_ms > 0. Failures are delivered in-band
+  // as kUnavailable Error frames — the transport stays healthy, modelling a
+  // flaky backend rather than a flaky network.
+  client::ChaosConfig chaos;
 };
 
 // Aggregate per-session counters, surfaced into the benchmark report tables
@@ -43,7 +78,12 @@ struct ServerCounters {
   uint64_t updates = 0;         // Update frames answered (ok or error)
   uint64_t rows_returned = 0;   // result rows shipped
   uint64_t bytes_sent = 0;      // frame bytes shipped (results + errors)
-  uint64_t errors = 0;          // Error frames sent
+  uint64_t errors = 0;          // Error frames sent (engine/protocol)
+  uint64_t sessions_queued = 0; // connections that waited in the queue
+  uint64_t sessions_shed = 0;   // connections refused with retry_after_ms
+  uint64_t idle_reaped = 0;     // sessions closed by the idle timeout
+  uint64_t send_timeouts = 0;   // sessions ended by a blocked send
+  uint64_t chaos_injected = 0;  // server-side chaos faults delivered
 };
 
 class Server {
@@ -79,11 +119,25 @@ class Server {
     std::thread thread;
     std::atomic<bool> done{false};
   };
+  // A connection admitted past the accept() but not yet given a session
+  // thread: it sits in the wait queue until a slot frees or it times out.
+  struct Pending {
+    Socket socket;
+    std::chrono::steady_clock::time_point enqueued;
+  };
 
   Server(ServerOptions options, client::Connection connection,
          Listener listener);
 
   void AcceptLoop();
+  // Promotes queued connections into sessions as slots free up, shedding
+  // the ones that outwait queue_timeout_s.
+  void DispatchLoop();
+  // Answers with a structured shed (kResourceExhausted + retry_after_ms)
+  // and closes. The one polite thing an overloaded server can still afford.
+  void Shed(Socket socket);
+  // Starts a session thread for the socket. Caller holds mu_.
+  void SpawnSessionLocked(Socket socket);
   void ServeSession(Session* session);
   // Joins and drops sessions whose threads have finished.
   void ReapFinishedSessions();
@@ -92,11 +146,17 @@ class Server {
   std::unique_ptr<client::Connection> connection_;
   Listener listener_;
   std::thread acceptor_;
+  std::thread dispatcher_;
   bool serving_ = false;
   std::atomic<bool> stopping_{false};
+  std::unique_ptr<client::ChaosState> chaos_state_;  // null when disabled
 
-  mutable std::mutex mu_;  // guards sessions_
+  mutable std::mutex mu_;  // guards sessions_ and pending_
   std::vector<std::unique_ptr<Session>> sessions_;
+  std::deque<Pending> pending_;
+  // Signalled when a session ends (a slot freed) or pending_ grows.
+  std::condition_variable cv_;
+  std::atomic<size_t> active_{0};
 
   std::atomic<uint64_t> sessions_opened_{0};
   std::atomic<uint64_t> sessions_closed_{0};
@@ -105,6 +165,11 @@ class Server {
   std::atomic<uint64_t> rows_returned_{0};
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> sessions_queued_{0};
+  std::atomic<uint64_t> sessions_shed_{0};
+  std::atomic<uint64_t> idle_reaped_{0};
+  std::atomic<uint64_t> send_timeouts_{0};
+  std::atomic<uint64_t> chaos_injected_{0};
 };
 
 }  // namespace jackpine::net

@@ -7,6 +7,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -20,6 +21,27 @@ namespace {
 Status Errno(const char* what) {
   return Status::Unavailable(
       StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+// EINTR handling for connect: unlike send/recv/accept, an interrupted
+// connect must NOT be re-issued — POSIX says the connection attempt keeps
+// running in the background and a second connect() yields EALREADY. The
+// correct resolution is to wait for writability and read the verdict from
+// SO_ERROR. Returns 0 on an established connection, the failure errno
+// otherwise.
+int FinishInterruptedConnect(int fd) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, /*timeout_ms=*/-1);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return errno;
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return errno;
+  return err;
 }
 
 // Resolves host:port to the first usable IPv4/IPv6 address.
@@ -54,7 +76,12 @@ Result<int> OpenAndBindOrConnect(const std::string& host, uint16_t port,
       }
       last = Errno("bind");
     } else {
-      if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0) {
+      int rc = ::connect(fd, a->ai_addr, a->ai_addrlen);
+      if (rc != 0 && errno == EINTR) {
+        errno = FinishInterruptedConnect(fd);
+        rc = errno == 0 ? 0 : -1;
+      }
+      if (rc == 0) {
         ::freeaddrinfo(addrs);
         return fd;
       }
@@ -96,6 +123,12 @@ Status Socket::SendAll(std::string_view data) {
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired with the peer's window still closed: a slow
+        // or stuck client, not a broken transport.
+        return Status::DeadlineExceeded(
+            "send: timed out waiting for the peer to drain");
+      }
       return Errno("send");
     }
     sent += static_cast<size_t>(n);
@@ -115,15 +148,32 @@ Result<size_t> Socket::Recv(char* buf, size_t max) {
   }
 }
 
-Status Socket::SetRecvTimeout(double seconds) {
+namespace {
+
+timeval ToTimeval(double seconds) {
   timeval tv{};
   if (seconds > 0.0) {
     tv.tv_sec = static_cast<time_t>(seconds);
     tv.tv_usec = static_cast<suseconds_t>(
         (seconds - std::floor(seconds)) * 1e6);
   }
+  return tv;
+}
+
+}  // namespace
+
+Status Socket::SetRecvTimeout(double seconds) {
+  const timeval tv = ToTimeval(seconds);
   if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
     return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::Ok();
+}
+
+Status Socket::SetSendTimeout(double seconds) {
+  const timeval tv = ToTimeval(seconds);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
   }
   return Status::Ok();
 }

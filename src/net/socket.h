@@ -4,8 +4,13 @@
 // full-buffer send, chunk receive with an optional timeout. Transport
 // failures map onto the fault-model status codes — kUnavailable for broken
 // or refused connections (retryable, like a dropped JDBC connection) and
-// kDeadlineExceeded for receive timeouts — so the retrying runner composes
-// with remote SUTs without knowing sockets exist.
+// kDeadlineExceeded for receive/send timeouts — so the retrying runner
+// composes with remote SUTs without knowing sockets exist.
+//
+// Every blocking syscall here (connect, accept, send, recv) retries or
+// resolves EINTR instead of surfacing it as a spurious kUnavailable: a
+// signal landing mid-benchmark (SIGINT forwarded by a harness, a profiler's
+// SIGPROF) must not masquerade as a transport fault.
 
 #ifndef JACKPINE_NET_SOCKET_H_
 #define JACKPINE_NET_SOCKET_H_
@@ -34,7 +39,8 @@ class Socket {
   int fd() const { return fd_; }
 
   // Sends the whole buffer, looping over partial writes. kUnavailable on a
-  // broken connection.
+  // broken connection, kDeadlineExceeded when a send timeout (see
+  // SetSendTimeout) expires with the peer not draining.
   Status SendAll(std::string_view data);
 
   // Receives up to `max` bytes into `buf`. Returns 0 on orderly EOF,
@@ -44,6 +50,11 @@ class Socket {
 
   // Receive timeout for subsequent Recv calls; <= 0 means block forever.
   Status SetRecvTimeout(double seconds);
+
+  // Send timeout for subsequent SendAll calls; <= 0 means block forever.
+  // With a timeout set, a peer that stops draining its receive buffer turns
+  // a blocked send into kDeadlineExceeded instead of pinning the sender.
+  Status SetSendTimeout(double seconds);
 
   // Half-close both directions; unblocks a peer (or own thread) stuck in
   // Recv. Safe to call concurrently with Recv, unlike Close.

@@ -267,6 +267,7 @@ std::string EncodeError(const Status& status) {
   std::string out;
   AppendU8(&out, static_cast<uint8_t>(status.code()));
   AppendStr(&out, status.message());
+  AppendU32(&out, status.retry_after_ms());
   return out;
 }
 
@@ -283,8 +284,19 @@ Result<ErrorMsg> DecodeError(std::string_view payload) {
     return Status::ParseError("wire: Error frame carrying OK status");
   }
   JACKPINE_ASSIGN_OR_RETURN(msg.message, r.ReadStr());
+  // The retry hint is a trailing field: a payload ending after the message
+  // is a pre-overload peer's frame and means "no hint".
+  if (r.remaining() > 0) {
+    JACKPINE_ASSIGN_OR_RETURN(msg.retry_after_ms, r.ReadU32());
+  }
   JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
   return msg;
+}
+
+Status ErrorToStatus(const ErrorMsg& msg) {
+  Status status(msg.code, msg.message);
+  status.set_retry_after_ms(msg.retry_after_ms);
+  return status;
 }
 
 std::string EncodeResultBatch(const ResultBatchMsg& msg) {

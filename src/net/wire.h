@@ -11,7 +11,7 @@
 //                    max_result_bytes:u64 batch_rows:u32
 //   Update      (3)  same payload as Query (DDL/DML; never chaos-injected)
 //   ResultBatch (4)  flags:u8 [columns] rows            server -> client
-//   Error       (5)  code:u8 message:str                server -> client
+//   Error       (5)  code:u8 message:str retry_after_ms:u32  server -> client
 //   Close       (6)  (empty)                            client -> server
 //
 // str is u32 length + bytes. A query response is a sequence of ResultBatch
@@ -114,6 +114,11 @@ struct QueryMsg {
 struct ErrorMsg {
   StatusCode code = StatusCode::kInternal;
   std::string message;
+  // Overload pacing hint (0 = none): the server shed this request and the
+  // client should wait at least this long before retrying. Encoded as a
+  // trailing u32; absent in frames from pre-overload peers, so the decoder
+  // treats a payload ending after the message as hint 0.
+  uint32_t retry_after_ms = 0;
 };
 
 struct ResultBatchMsg {
@@ -131,8 +136,13 @@ Result<HelloMsg> DecodeHello(std::string_view payload);
 std::string EncodeQuery(const QueryMsg& msg);
 Result<QueryMsg> DecodeQuery(std::string_view payload);
 
+// The Status's retry_after_ms() rides along in the frame.
 std::string EncodeError(const Status& status);
 Result<ErrorMsg> DecodeError(std::string_view payload);
+
+// Rebuilds the client-visible Status from a decoded Error frame, retry
+// hint included.
+Status ErrorToStatus(const ErrorMsg& msg);
 
 std::string EncodeResultBatch(const ResultBatchMsg& msg);
 Result<ResultBatchMsg> DecodeResultBatch(std::string_view payload);

@@ -1,11 +1,104 @@
 // Tests for the JDBC-like client layer and the SUT registry.
 
+#include <chrono>
+#include <thread>
+
 #include <gtest/gtest.h>
 
+#include "client/circuit_breaker.h"
 #include "client/client.h"
 
 namespace jackpine::client {
 namespace {
+
+// --- Circuit breaker ---------------------------------------------------
+
+Status TransportFailure() { return Status::Unavailable("connect refused"); }
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveTransportFailures) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_duration_s = 60.0;  // long enough to never half-open here
+  CircuitBreaker breaker(options);
+
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.OnFailure(TransportFailure());
+  breaker.OnFailure(TransportFailure());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Admit().ok());
+  breaker.OnFailure(TransportFailure());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+
+  const Status refused = breaker.Admit();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(IsBreakerFastFail(refused)) << refused.ToString();
+  EXPECT_GT(refused.retry_after_ms(), 0u);
+  EXPECT_EQ(breaker.fast_fails(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheStreak) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker(options);
+  breaker.OnFailure(TransportFailure());
+  breaker.OnFailure(TransportFailure());
+  breaker.OnSuccess();
+  breaker.OnFailure(TransportFailure());
+  breaker.OnFailure(TransportFailure());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 2);
+}
+
+TEST(CircuitBreakerTest, ShedsAndDeterministicErrorsDoNotTrip) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 2;
+  CircuitBreaker breaker(options);
+  Status shed = Status::ResourceExhausted("server overloaded");
+  shed.set_retry_after_ms(250);
+  for (int i = 0; i < 5; ++i) breaker.OnFailure(shed);
+  for (int i = 0; i < 5; ++i) {
+    breaker.OnFailure(Status::InvalidArgument("bad sql"));
+  }
+  // Nor do the breaker's own fast-fails feed back into the streak.
+  Status fast_fail = Status::Unavailable("circuit breaker open");
+  fast_fail.set_retry_after_ms(100);
+  for (int i = 0; i < 5; ++i) breaker.OnFailure(fast_fail);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbeAndClosesOnSuccess) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_duration_s = 0.05;
+  CircuitBreaker breaker(options);
+  breaker.OnFailure(TransportFailure());
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  ASSERT_FALSE(breaker.Admit().ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(breaker.Admit().ok());  // the probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Admit().ok());  // one probe at a time
+  breaker.OnSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Admit().ok());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForAFreshCooldown) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_duration_s = 0.05;
+  CircuitBreaker breaker(options);
+  breaker.OnFailure(TransportFailure());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ASSERT_TRUE(breaker.Admit().ok());
+  breaker.OnFailure(TransportFailure());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.Admit().ok());
+}
 
 TEST(SutRegistryTest, FourStandardSuts) {
   const auto& suts = StandardSuts();

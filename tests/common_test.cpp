@@ -61,6 +61,38 @@ TEST(StatusTest, FaultCodeFactoriesAndTransience) {
   EXPECT_FALSE(IsTransient(StatusCode::kInternal));
 }
 
+TEST(StatusTest, RetryAfterHintDiscriminatesOverloadTaxonomy) {
+  // Plain kResourceExhausted (a row/byte budget violation) is final.
+  const Status budget = Status::ResourceExhausted("too many rows");
+  EXPECT_EQ(budget.retry_after_ms(), 0u);
+  EXPECT_FALSE(IsShed(budget));
+  EXPECT_FALSE(IsRetryable(budget));
+
+  // The same code plus a retry hint is a server shed: retryable, but not
+  // "transient" in the transport sense (it must not trip the breaker).
+  Status shed = Status::ResourceExhausted("server overloaded");
+  shed.set_retry_after_ms(250);
+  EXPECT_TRUE(IsShed(shed));
+  EXPECT_TRUE(IsRetryable(shed));
+  EXPECT_FALSE(IsBreakerFastFail(shed));
+  EXPECT_NE(shed.ToString().find("retry after 250ms"), std::string::npos)
+      << shed.ToString();
+
+  // kUnavailable plus a hint is a local circuit-breaker fast-fail; without
+  // the hint it is an ordinary transport failure.
+  Status fast_fail = Status::Unavailable("circuit breaker open");
+  fast_fail.set_retry_after_ms(100);
+  EXPECT_TRUE(IsBreakerFastFail(fast_fail));
+  EXPECT_FALSE(IsShed(fast_fail));
+  EXPECT_TRUE(IsRetryable(fast_fail));
+  EXPECT_FALSE(IsBreakerFastFail(Status::Unavailable("plain")));
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("plain")));
+
+  // The hint survives Status copies, the way it rides inside Result<T>.
+  const Status copy = shed;
+  EXPECT_EQ(copy.retry_after_ms(), 250u);
+}
+
 Result<int> ParsePositive(int v) {
   if (v <= 0) return Status::OutOfRange("not positive");
   return v;

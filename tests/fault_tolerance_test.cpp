@@ -427,6 +427,42 @@ TEST(RetryRunnerTest, SequentialThroughputRecordsFaultCounters) {
   EXPECT_LT(t.errors, 40u);
 }
 
+TEST(RetryRunnerTest, RetryBudgetCapsTheRetrySequence) {
+  // error-rate 1.0: every attempt fails with a transient injection, so only
+  // the budget decides how many retries happen. Two tokens with no refill
+  // allow exactly two retries: 3 attempts total, then one denial ends it
+  // even though max_attempts would have allowed five.
+  client::Connection conn =
+      LoadedConnection("jackpine:chaos(5,1.0,0):pine-rtree");
+  core::RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  config.retry.max_attempts = 5;
+  config.retry.backoff_base_s = 1e-4;
+  config.retry.budget = std::make_shared<core::RetryBudget>(
+      /*initial_tokens=*/2.0, /*max_tokens=*/2.0, /*fill_per_success=*/0.0);
+  const core::RunResult r = core::RunQuery(&conn, CountEdgesSpec(), config);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(r.budget_denied, 1u);
+  EXPECT_EQ(r.transient_errors, 3u);
+  EXPECT_EQ(config.retry.budget->denied(), 1u);
+  EXPECT_DOUBLE_EQ(config.retry.budget->tokens(), 0.0);
+}
+
+TEST(RetryRunnerTest, SuccessesRefillTheRetryBudget) {
+  core::RetryBudget budget(/*initial_tokens=*/1.0, /*max_tokens=*/2.0,
+                           /*fill_per_success=*/0.5);
+  EXPECT_TRUE(budget.TryAcquire());   // 1.0 -> 0.0
+  EXPECT_FALSE(budget.TryAcquire());  // empty: denied
+  EXPECT_EQ(budget.denied(), 1u);
+  budget.OnSuccess();
+  budget.OnSuccess();                // 0.0 -> 1.0
+  EXPECT_TRUE(budget.TryAcquire());
+  for (int i = 0; i < 10; ++i) budget.OnSuccess();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 2.0);  // capped at max_tokens
+}
+
 // ---------------------------------------------------------------------------
 // Error-taxonomy report.
 // ---------------------------------------------------------------------------

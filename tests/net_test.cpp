@@ -4,7 +4,12 @@
 // identical to in-process, server-side deadline enforcement, per-session
 // error isolation, chaos composition, and leak-free graceful shutdown.
 
+#include <sys/socket.h>
+
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +23,8 @@
 #include "core/runner.h"
 #include "net/remote_driver.h"
 #include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
 #include "tigergen/tigergen.h"
 
 namespace jackpine {
@@ -334,6 +341,7 @@ TEST_F(NetTest, SessionLimitRefusesPolitely) {
   options.sut = "pine-rtree";
   options.port = 0;
   options.max_sessions = 1;
+  options.max_wait_queue = 0;  // no queue: over-limit connections shed at once
   auto server = net::Server::Start(options);
   ASSERT_TRUE(server.ok());
 
@@ -346,8 +354,362 @@ TEST_F(NetTest, SessionLimitRefusesPolitely) {
   auto second = client::Connection::Open(RemoteUrl(**server, "pine-rtree"));
   ASSERT_FALSE(second.ok());
   EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  // The shed is structured: the retry-after hint survives the handshake
+  // wrapper, so a retrying client knows to back off rather than hammer.
+  EXPECT_GT(second.status().retry_after_ms(), 0u);
+  EXPECT_TRUE(IsShed(second.status())) << second.status().ToString();
+  EXPECT_GE((*server)->counters().sessions_shed, 1u);
   // The refused connection did not disturb the admitted one.
   EXPECT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM t").ok());
+}
+
+// A connection that arrives while the server is saturated parks in the wait
+// queue and is admitted (not shed) once a slot frees.
+TEST_F(NetTest, QueuedConnectionAdmittedWhenSlotFrees) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  options.max_sessions = 1;
+  options.max_wait_queue = 4;
+  options.queue_timeout_s = 30.0;  // plenty: the test frees the slot itself
+  auto server_or = net::Server::Start(options);
+  ASSERT_TRUE(server_or.ok());
+  auto& server = *server_or;
+
+  std::optional<client::Connection> first;
+  {
+    auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    first.emplace(*std::move(conn));
+  }
+  // The Statement owns the server session occupying the single slot, so it
+  // must be destroyed along with the connection to free it.
+  std::optional<client::Statement> stmt(first->CreateStatement());
+  ASSERT_TRUE(stmt->ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+
+  // The second connection blocks in the queue until `first` closes.
+  Status second_status;
+  std::thread waiter([&] {
+    auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+    if (conn.ok()) {
+      client::Statement s = conn->CreateStatement();
+      second_status = s.ExecuteQuery("SELECT COUNT(*) FROM t").status();
+    } else {
+      second_status = conn.status();
+    }
+  });
+  // Wait until the server has actually parked it, bounded at ~5 s.
+  for (int i = 0; i < 500 && server->counters().sessions_queued == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server->counters().sessions_queued, 1u);
+  stmt.reset();   // closes the occupying session...
+  first.reset();  // ...and the dispatcher promotes the waiter into the slot
+  waiter.join();
+  EXPECT_TRUE(second_status.ok()) << second_status.ToString();
+  EXPECT_EQ(server->counters().sessions_shed, 0u);
+}
+
+// The tentpole end-to-end: saturating clients against a tiny session budget.
+// Sheds come back as structured retryable errors, the retry budget caps the
+// amplification, real work still completes, and the server survives.
+TEST_F(NetTest, OverloadRunDegradesGracefullyEndToEnd) {
+  const tigergen::TigerDataset dataset = SmallDataset();
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  options.max_sessions = 2;
+  options.max_wait_queue = 1;
+  options.queue_timeout_s = 0.2;
+  options.retry_after_ms = 50;
+  auto server_or = net::Server::Start(options);
+  ASSERT_TRUE(server_or.ok());
+  auto& server = *server_or;
+  ASSERT_TRUE(core::LoadDataset(dataset, &server->connection()).ok());
+
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  core::RunConfig config;
+  config.retry.max_attempts = 3;
+  config.retry.backoff_base_s = 1e-3;
+  config.retry.budget =
+      std::make_shared<core::RetryBudget>(20.0, 20.0, 0.1);
+  const auto suite = core::BuildTopologicalSuite(dataset);
+  const core::OverloadResult ov = core::RunOverload(
+      &*conn, suite, /*clients=*/6, /*rounds=*/1, config);
+
+  // Real work completed despite the overload...
+  EXPECT_GT(ov.queries_ok, 0u);
+  EXPECT_GT(ov.GoodputQps(), 0.0);
+  // ...and the excess was shed with structure, not dropped connections.
+  EXPECT_GT(ov.sheds, 0u);
+  EXPECT_GE(server->counters().sessions_shed, 1u);
+  // Every query slot lands in exactly one bucket.
+  EXPECT_EQ(ov.queries_ok + ov.failures,
+            6u * suite.size());
+
+  // The server is still healthy afterwards: existing sessions answer.
+  client::Statement stmt = conn->CreateStatement();
+  EXPECT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM edges").ok());
+  server->Shutdown();
+  const net::ServerCounters c = server->counters();
+  EXPECT_EQ(c.sessions_opened, c.sessions_closed);
+  EXPECT_EQ(server->active_sessions(), 0u);
+}
+
+// The whole overload pipeline is deterministic when the fault source is the
+// seeded chaos model: same seed + same budget -> identical counters.
+TEST_F(NetTest, OverloadCountersAreDeterministicUnderSeededChaos) {
+  const tigergen::TigerDataset dataset = SmallDataset();
+  const auto suite = core::BuildTopologicalSuite(dataset);
+  auto run_once = [&]() {
+    auto conn =
+        client::Connection::Open("jackpine:chaos(9,0.4,0):pine-rtree");
+    EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+    EXPECT_TRUE(core::LoadDataset(dataset, &*conn).ok());
+    core::RunConfig config;
+    config.retry.max_attempts = 2;
+    config.retry.backoff_base_s = 1e-4;
+    config.retry.budget = std::make_shared<core::RetryBudget>(3.0, 3.0, 0.0);
+    return core::RunOverload(&*conn, suite, /*clients=*/1, /*rounds=*/1,
+                             config);
+  };
+  const core::OverloadResult a = run_once();
+  const core::OverloadResult b = run_once();
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.queries_ok, b.queries_ok);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.transient_errors, b.transient_errors);
+  EXPECT_EQ(a.budget_denied, b.budget_denied);
+}
+
+// Crash recovery: the suite keeps running when the server dies mid-stream,
+// the failures surface as retryable kUnavailable, and a restarted server on
+// the same port picks the client back up through EnsureSession's reconnect.
+TEST_F(NetTest, CrashRecoveryAcrossServerRestart) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  auto server_or = net::Server::Start(options);
+  ASSERT_TRUE(server_or.ok());
+  auto server = std::move(server_or).value();
+  const uint16_t port = server->port();
+  {
+    tigergen::TigerGenOptions gen;
+    gen.scale = 0.05;
+    gen.seed = 7;
+    ASSERT_TRUE(core::GenerateAndLoad(gen, &server->connection()).ok());
+  }
+  auto conn = client::Connection::Open(
+      "jackpine:tcp://127.0.0.1:" + std::to_string(port) + "/pine-rtree");
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM edges").ok());
+
+  // Kill the server mid-suite.
+  server->Shutdown();
+  server.reset();
+
+  // The runner records the outage as a retryable failure and the suite
+  // moves on instead of aborting (two transport failures stay below the
+  // breaker's threshold of four).
+  core::RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  config.retry.max_attempts = 2;
+  config.retry.backoff_base_s = 1e-3;
+  core::QuerySpec q;
+  q.id = "count-edges";
+  q.sql = "SELECT COUNT(*) FROM edges";
+  const core::RunResult down = core::RunQuery(&*conn, q, config);
+  EXPECT_FALSE(down.ok);
+  EXPECT_EQ(down.error_code, StatusCode::kUnavailable);
+  EXPECT_EQ(down.attempts, 2u);
+  EXPECT_EQ(down.transient_errors, 2u);
+
+  // Restart on the same port (SO_REUSEADDR) and reload the data.
+  options.port = port;
+  auto restarted = net::Server::Start(options);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  {
+    tigergen::TigerGenOptions gen;
+    gen.scale = 0.05;
+    gen.seed = 7;
+    ASSERT_TRUE(
+        core::GenerateAndLoad(gen, &(*restarted)->connection()).ok());
+  }
+  // The very same client object reconnects and the suite continues.
+  const core::RunResult back = core::RunQuery(&*conn, q, config);
+  EXPECT_TRUE(back.ok) << back.error;
+}
+
+// With the server gone, repeated transport failures trip the per-connection
+// breaker: later queries fail instantly with a structured fast-fail instead
+// of burning a connect timeout each, and a restart heals it via the
+// half-open probe.
+TEST_F(NetTest, BreakerFastFailsWhileDownThenRecovers) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  auto server_or = net::Server::Start(options);
+  ASSERT_TRUE(server_or.ok());
+  auto server = std::move(server_or).value();
+  const uint16_t port = server->port();
+  auto conn = client::Connection::Open(
+      "jackpine:tcp://127.0.0.1:" + std::to_string(port) + "/pine-rtree");
+  ASSERT_TRUE(conn.ok());
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+
+  server->Shutdown();
+  server.reset();
+
+  // Each failed query is one transport failure; the breaker (threshold 4)
+  // opens, after which failures are fast-fails carrying a retry hint.
+  bool saw_fast_fail = false;
+  for (int i = 0; i < 8 && !saw_fast_fail; ++i) {
+    auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+    ASSERT_FALSE(rs.ok());
+    EXPECT_EQ(rs.status().code(), StatusCode::kUnavailable);
+    if (IsBreakerFastFail(rs.status())) {
+      saw_fast_fail = true;
+      EXPECT_NE(rs.status().message().find("circuit breaker"),
+                std::string::npos)
+          << rs.status().message();
+    }
+  }
+  EXPECT_TRUE(saw_fast_fail);
+
+  // Restart on the same port; once the cooldown lapses, the half-open probe
+  // reconnects and the connection is healthy again.
+  options.port = port;
+  auto restarted = net::Server::Start(options);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  client::Statement cstmt =
+      (*restarted)->connection().CreateStatement();
+  ASSERT_TRUE(cstmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  bool recovered = false;
+  for (int i = 0; i < 20 && !recovered; ++i) {
+    recovered = stmt.ExecuteQuery("SELECT COUNT(*) FROM t").ok();
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  EXPECT_TRUE(recovered);
+}
+
+// Sessions idle past --idle-timeout-s are reaped server-side; the client's
+// next query sees the EOF as one retryable failure and reconnects.
+TEST_F(NetTest, IdleSessionsAreReaped) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  options.idle_timeout_s = 0.15;
+  auto server_or = net::Server::Start(options);
+  ASSERT_TRUE(server_or.ok());
+  auto& server = *server_or;
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+
+  // Go idle well past the timeout; the server should close the session.
+  for (int i = 0; i < 100 && server->active_sessions() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(server->active_sessions(), 0u);
+  EXPECT_GE(server->counters().idle_reaped, 1u);
+
+  // The reap was silent (no Error frame): the next query turns the EOF into
+  // a single retryable kUnavailable, and the one after reconnects cleanly.
+  auto first = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+  auto second = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+  EXPECT_TRUE(second.ok()) << second.status().ToString();
+}
+
+// A client that requests a huge result and then never reads it must not pin
+// a server session forever: with --send-timeout-s set, the blocked send
+// times out and the session is torn down.
+TEST_F(NetTest, SlowClientSendTimesOutInsteadOfPinningTheServer) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  options.send_timeout_s = 0.5;
+  auto server_or = net::Server::Start(options);
+  ASSERT_TRUE(server_or.ok());
+  auto& server = *server_or;
+  ASSERT_TRUE(core::LoadDataset(SmallDataset(), &server->connection()).ok());
+
+  // A raw wire-level client, so the test controls (refuses) the reads.
+  auto sock_or = net::Socket::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(sock_or.ok()) << sock_or.status().ToString();
+  net::Socket sock = std::move(sock_or).value();
+  // Shrink our receive buffer so the server's blocked send trips the
+  // timeout regardless of how large the kernel would otherwise auto-tune.
+  const int rcvbuf = 4096;
+  setsockopt(sock.fd(), SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+
+  net::HelloMsg hello;
+  hello.sut = "pine-rtree";
+  hello.peer_info = "slow-client-test";
+  ASSERT_TRUE(sock.SendAll(net::EncodeFrame(net::FrameType::kHello,
+                                            net::EncodeHello(hello)))
+                  .ok());
+  // A ~40k-row cross join with two geometry columns: far more bytes than
+  // the socket buffers hold. Never read a single reply byte.
+  net::QueryMsg query;
+  query.sql = "SELECT a.geom, b.geom FROM edges a, edges b";
+  ASSERT_TRUE(sock.SendAll(net::EncodeFrame(net::FrameType::kQuery,
+                                            net::EncodeQuery(query)))
+                  .ok());
+
+  // The server must record a send timeout and reap the session within a
+  // small multiple of --send-timeout-s, with the socket still open here.
+  bool timed_out = false;
+  for (int i = 0; i < 200 && !timed_out; ++i) {
+    timed_out = server->counters().send_timeouts >= 1;
+    if (!timed_out) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(timed_out);
+  for (int i = 0; i < 100 && server->active_sessions() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(server->active_sessions(), 0u);
+}
+
+// Server-side chaos injects faults in-band at the execution seam: queries
+// fail with structured Error frames, updates are never injected, and the
+// session itself stays healthy.
+TEST_F(NetTest, ServerChaosInjectsInBandErrors) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  options.chaos.seed = 5;
+  options.chaos.error_rate = 1.0;
+  options.chaos.latency_ms = 0.0;
+  auto server_or = net::Server::Start(options);
+  ASSERT_TRUE(server_or.ok());
+  auto& server = *server_or;
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+
+  // Updates bypass injection even at rate 1.0 (mirrors the client driver).
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(rs.status().message().find("chaos"), std::string::npos)
+      << rs.status().message();
+  // In-band: the TCP session survived its own injected failure.
+  auto again = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(server->counters().sessions_opened, 1u);
+  EXPECT_GE(server->counters().chaos_injected, 2u);
 }
 
 }  // namespace

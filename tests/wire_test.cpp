@@ -211,6 +211,34 @@ TEST(PayloadTest, ErrorRoundTripPreservesCode) {
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back->code, StatusCode::kDeadlineExceeded);
   EXPECT_EQ(back->message, "too slow");
+  EXPECT_EQ(back->retry_after_ms, 0u);
+}
+
+TEST(PayloadTest, ErrorRoundTripPreservesRetryAfterHint) {
+  Status shed = Status::ResourceExhausted("server overloaded");
+  shed.set_retry_after_ms(250);
+  auto back = DecodeError(EncodeError(shed));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(back->retry_after_ms, 250u);
+  // ErrorToStatus rebuilds the structured shed the retry layer keys on.
+  const Status status = ErrorToStatus(*back);
+  EXPECT_TRUE(IsShed(status));
+  EXPECT_EQ(status.retry_after_ms(), 250u);
+}
+
+TEST(PayloadTest, LegacyErrorWithoutHintDecodesAsHintZero) {
+  // A peer that predates the overload work encodes Error frames without the
+  // trailing retry_after_ms u32; stripping those 4 bytes reproduces its
+  // encoding exactly, and the decoder must accept it as "no hint".
+  std::string legacy = EncodeError(Status::Unavailable("gone"));
+  legacy.resize(legacy.size() - 4);
+  auto back = DecodeError(legacy);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->code, StatusCode::kUnavailable);
+  EXPECT_EQ(back->message, "gone");
+  EXPECT_EQ(back->retry_after_ms, 0u);
+  EXPECT_FALSE(IsShed(ErrorToStatus(*back)));
 }
 
 TEST(PayloadTest, ResultBatchRoundTripsEveryValueType) {
@@ -268,6 +296,15 @@ TEST(PayloadTest, TruncatedPayloadsFailCleanly) {
         DecodeQuery(std::string_view(query_payload.data(), len)).ok());
   }
   for (size_t len = 0; len < error_payload.size(); ++len) {
+    // One deliberate exception: cutting exactly the trailing retry_after_ms
+    // u32 reproduces the pre-overload Error encoding, which must keep
+    // decoding (as hint 0) for cross-version compatibility.
+    if (len == error_payload.size() - 4) {
+      auto legacy = DecodeError(std::string_view(error_payload.data(), len));
+      ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+      EXPECT_EQ(legacy->retry_after_ms, 0u);
+      continue;
+    }
     EXPECT_FALSE(
         DecodeError(std::string_view(error_payload.data(), len)).ok());
   }
