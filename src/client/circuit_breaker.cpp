@@ -27,6 +27,11 @@ Status CircuitBreaker::Admit() {
   if (state_ == State::kOpen) {
     remaining_s = std::chrono::duration<double>(cooldown - (now - opened_at_))
                       .count();
+  } else {
+    // Half-open with the probe still in flight: its verdict is imminent, so
+    // hinting a whole fresh cooldown would overstate the wait. A small
+    // fraction keeps honor_retry_after callers close behind the probe.
+    remaining_s = options_.open_duration_s / 16.0;
   }
   // At least 1 ms so the hint stays distinguishable from "no hint".
   const uint32_t retry_after_ms = static_cast<uint32_t>(
@@ -46,11 +51,34 @@ void CircuitBreaker::OnSuccess() {
 }
 
 void CircuitBreaker::OnFailure(const Status& status) {
-  // Only transport failures count: a shed or any deterministic error proves
-  // the peer (or the request) is answering, and our own fast-fails must not
-  // feed back into the streak.
-  if (!IsTransient(status.code()) || IsBreakerFastFail(status)) return;
+  // Our own fast-fail never touched the transport; it carries no signal and
+  // must not feed back into the streak.
+  if (IsBreakerFastFail(status)) return;
   std::lock_guard<std::mutex> lock(mu_);
+  if (IsShed(status)) {
+    // A shed is a live server's admission control answering: the transport
+    // works, so a shed settles a half-open probe by closing the breaker and
+    // never feeds the streak.
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+    return;
+  }
+  if (!IsTransient(status.code())) {
+    // Deterministic outcomes (handshake rejection, recv timeout) don't feed
+    // the streak, but they must still settle a half-open probe: an early
+    // return with probe_in_flight_ set would wedge the breaker half-open
+    // forever, every Admit() fast-failing with nothing left to clear it.
+    // Such a probe outcome is not health either, so re-open conservatively
+    // for a fresh cooldown.
+    if (state_ == State::kHalfOpen) {
+      state_ = State::kOpen;
+      opened_at_ = Clock::now();
+      probe_in_flight_ = false;
+      ++opens_;
+    }
+    return;
+  }
   ++consecutive_failures_;
   if (state_ == State::kHalfOpen ||
       (state_ == State::kClosed &&

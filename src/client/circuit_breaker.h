@@ -18,7 +18,11 @@
 //
 // Only *transport* failures (kUnavailable without a retry hint) feed the
 // streak. A shed (kResourceExhausted + retry_after_ms) proves the server is
-// alive and answering, so it never trips the breaker.
+// alive and answering, so it never trips the breaker — and when the shed
+// outcome belongs to the half-open probe it *closes* the breaker. Any other
+// non-transport probe outcome re-opens for a fresh cooldown: every probe
+// verdict settles the half-open state, so the breaker can never wedge with
+// a probe marked in flight that no caller will ever resolve.
 
 #ifndef JACKPINE_CLIENT_CIRCUIT_BREAKER_H_
 #define JACKPINE_CLIENT_CIRCUIT_BREAKER_H_
@@ -48,13 +52,15 @@ class CircuitBreaker {
   // Gate before a new transport attempt: OK when closed; OK exactly once
   // per cooldown when the breaker transitions to half-open (that call is
   // the probe); otherwise kUnavailable with retry_after_ms set to the
-  // remaining cooldown (IsBreakerFastFail matches it).
+  // remaining cooldown — or a small fraction of it while a probe is in
+  // flight, since its verdict is imminent (IsBreakerFastFail matches both).
   Status Admit();
 
   // Report the attempt's outcome. OnSuccess closes the breaker and resets
   // the failure streak. OnFailure feeds the streak only for transport
-  // failures (plain kUnavailable); a half-open probe failure re-opens for a
-  // fresh cooldown.
+  // failures (plain kUnavailable). Every probe outcome settles the
+  // half-open state: a shed closes the breaker (the peer answered), any
+  // other failure re-opens it for a fresh cooldown.
   void OnSuccess();
   void OnFailure(const Status& status);
 

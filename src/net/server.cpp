@@ -74,18 +74,24 @@ ServerCounters Server::counters() const {
 
 size_t Server::active_sessions() const { return active_.load(); }
 
+std::vector<std::unique_ptr<Server::Session>> Server::CollectFinishedLocked() {
+  std::vector<std::unique_ptr<Session>> finished;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load()) {
+      finished.push_back(std::move(*it));
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return finished;
+}
+
 void Server::ReapFinishedSessions() {
   std::vector<std::unique_ptr<Session>> finished;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = sessions_.begin(); it != sessions_.end();) {
-      if ((*it)->done.load()) {
-        finished.push_back(std::move(*it));
-        it = sessions_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    finished = CollectFinishedLocked();
   }
   for (auto& s : finished) {
     if (s->thread.joinable()) s->thread.join();
@@ -130,6 +136,21 @@ void Server::AcceptLoop() {
 void Server::DispatchLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stopping_.load()) {
+    // Reclaim sessions that ended on their own (idle reap, send timeout,
+    // client close): the acceptor only reaps on the next incoming
+    // connection, which may never come, and finished Session objects and
+    // their joined thread handles must not accumulate until then.
+    if (std::vector<std::unique_ptr<Session>> finished =
+            CollectFinishedLocked();
+        !finished.empty()) {
+      lock.unlock();
+      for (auto& s : finished) {
+        if (s->thread.joinable()) s->thread.join();
+      }
+      finished.clear();
+      lock.lock();
+      continue;  // re-evaluate queue and stop state after dropping the lock
+    }
     // Shed queue heads that outwaited their budget (FIFO: nobody behind
     // the head has waited longer).
     while (!pending_.empty() && options_.queue_timeout_s > 0.0) {

@@ -141,6 +141,9 @@ class Server {
   void ServeSession(Session* session);
   // Joins and drops sessions whose threads have finished.
   void ReapFinishedSessions();
+  // Extracts the finished sessions from sessions_ for the caller to join
+  // outside the lock. Caller holds mu_.
+  std::vector<std::unique_ptr<Session>> CollectFinishedLocked();
 
   ServerOptions options_;
   std::unique_ptr<client::Connection> connection_;

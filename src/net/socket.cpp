@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <netdb.h>
@@ -99,6 +100,7 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    send_timeout_s_ = other.send_timeout_s_;
     other.fd_ = -1;
   }
   return *this;
@@ -115,6 +117,17 @@ Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
 }
 
 Status Socket::SendAll(std::string_view data) {
+  // SO_SNDTIMEO only bounds each individual send(); a peer that drains one
+  // byte per timeout window would reset that clock forever. The wall-clock
+  // deadline below bounds the whole call, so send_timeout_s caps the total
+  // time one buffer can pin the sending thread.
+  const bool bounded = send_timeout_s_ > 0.0;
+  std::chrono::steady_clock::time_point deadline;
+  if (bounded) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(send_timeout_s_));
+  }
   size_t sent = 0;
   while (sent < data.size()) {
     // MSG_NOSIGNAL: a peer that vanished mid-send yields EPIPE, not a
@@ -132,6 +145,11 @@ Status Socket::SendAll(std::string_view data) {
       return Errno("send");
     }
     sent += static_cast<size_t>(n);
+    if (bounded && sent < data.size() &&
+        std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "send: peer drained too slowly; buffer exceeded the send timeout");
+    }
   }
   return Status::Ok();
 }
@@ -175,6 +193,7 @@ Status Socket::SetSendTimeout(double seconds) {
   if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
     return Errno("setsockopt(SO_SNDTIMEO)");
   }
+  send_timeout_s_ = seconds > 0.0 ? seconds : 0.0;
   return Status::Ok();
 }
 

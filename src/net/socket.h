@@ -28,7 +28,10 @@ class Socket {
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { Close(); }
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept
+      : fd_(other.fd_), send_timeout_s_(other.send_timeout_s_) {
+    other.fd_ = -1;
+  }
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -54,6 +57,9 @@ class Socket {
   // Send timeout for subsequent SendAll calls; <= 0 means block forever.
   // With a timeout set, a peer that stops draining its receive buffer turns
   // a blocked send into kDeadlineExceeded instead of pinning the sender.
+  // The timeout bounds each blocked send() *and*, wall-clock, the whole
+  // SendAll call, so a peer trickling one byte per window cannot keep
+  // resetting the clock.
   Status SetSendTimeout(double seconds);
 
   // Half-close both directions; unblocks a peer (or own thread) stuck in
@@ -64,6 +70,9 @@ class Socket {
 
  private:
   int fd_ = -1;
+  // Wall-clock bound on one SendAll, mirroring the SO_SNDTIMEO value; 0
+  // means unbounded.
+  double send_timeout_s_ = 0.0;
 };
 
 // A listening TCP socket.

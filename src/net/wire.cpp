@@ -267,7 +267,11 @@ std::string EncodeError(const Status& status) {
   std::string out;
   AppendU8(&out, static_cast<uint8_t>(status.code()));
   AppendStr(&out, status.message());
-  AppendU32(&out, status.retry_after_ms());
+  // The retry hint is an optional trailing field, emitted only when set:
+  // a hintless frame is byte-identical to the pre-overload encoding, whose
+  // strict decoder rejects trailing bytes — so an old peer keeps decoding
+  // every Error except an actual shed, without a protocol version bump.
+  if (status.retry_after_ms() != 0) AppendU32(&out, status.retry_after_ms());
   return out;
 }
 

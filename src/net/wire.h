@@ -11,7 +11,7 @@
 //                    max_result_bytes:u64 batch_rows:u32
 //   Update      (3)  same payload as Query (DDL/DML; never chaos-injected)
 //   ResultBatch (4)  flags:u8 [columns] rows            server -> client
-//   Error       (5)  code:u8 message:str retry_after_ms:u32  server -> client
+//   Error       (5)  code:u8 message:str [retry_after_ms:u32]  server -> client
 //   Close       (6)  (empty)                            client -> server
 //
 // str is u32 length + bytes. A query response is a sequence of ResultBatch
@@ -115,9 +115,11 @@ struct ErrorMsg {
   StatusCode code = StatusCode::kInternal;
   std::string message;
   // Overload pacing hint (0 = none): the server shed this request and the
-  // client should wait at least this long before retrying. Encoded as a
-  // trailing u32; absent in frames from pre-overload peers, so the decoder
-  // treats a payload ending after the message as hint 0.
+  // client should wait at least this long before retrying. Encoded as an
+  // optional trailing u32, emitted only when nonzero — a hintless frame
+  // keeps the pre-overload encoding, so old peers (whose strict decoder
+  // rejects trailing bytes) still parse every Error except an actual shed,
+  // and the decoder treats a payload ending after the message as hint 0.
   uint32_t retry_after_ms = 0;
 };
 
@@ -136,7 +138,7 @@ Result<HelloMsg> DecodeHello(std::string_view payload);
 std::string EncodeQuery(const QueryMsg& msg);
 Result<QueryMsg> DecodeQuery(std::string_view payload);
 
-// The Status's retry_after_ms() rides along in the frame.
+// The Status's retry_after_ms() rides along in the frame when nonzero.
 std::string EncodeError(const Status& status);
 Result<ErrorMsg> DecodeError(std::string_view payload);
 

@@ -100,6 +100,61 @@ TEST(CircuitBreakerTest, ProbeFailureReopensForAFreshCooldown) {
   EXPECT_FALSE(breaker.Admit().ok());
 }
 
+TEST(CircuitBreakerTest, ShedProbeClosesInsteadOfWedging) {
+  // Regression: a probe answered with a shed (likely during
+  // recovery-under-load) used to early-return with probe_in_flight_ still
+  // set, wedging the breaker half-open forever. A shed proves the peer is
+  // alive, so it must close the breaker.
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_duration_s = 0.05;
+  CircuitBreaker breaker(options);
+  breaker.OnFailure(TransportFailure());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ASSERT_TRUE(breaker.Admit().ok());  // the probe
+  Status shed = Status::ResourceExhausted("server overloaded");
+  shed.set_retry_after_ms(50);
+  breaker.OnFailure(shed);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Admit().ok());
+}
+
+TEST(CircuitBreakerTest, DeterministicProbeFailureReopensInsteadOfWedging) {
+  // Regression, the other flavour: any deterministic probe outcome (a
+  // handshake rejection, a recv timeout) must settle the half-open state
+  // rather than leave the probe marked in flight with no one to clear it.
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_duration_s = 0.05;
+  CircuitBreaker breaker(options);
+  breaker.OnFailure(TransportFailure());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ASSERT_TRUE(breaker.Admit().ok());  // the probe
+  breaker.OnFailure(Status::DeadlineExceeded("handshake recv timed out"));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  // Not wedged: after the fresh cooldown the next probe is admitted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(breaker.Admit().ok());
+}
+
+TEST(CircuitBreakerTest, HalfOpenFastFailHintsAFractionOfTheCooldown) {
+  // While a probe is in flight its verdict is imminent; the fast-fail hint
+  // must not tell honor_retry_after callers to sleep a whole fresh cooldown.
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_duration_s = 0.4;
+  CircuitBreaker breaker(options);
+  breaker.OnFailure(TransportFailure());
+  std::this_thread::sleep_for(std::chrono::milliseconds(450));
+  ASSERT_TRUE(breaker.Admit().ok());  // the probe
+  const Status refused = breaker.Admit();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_GT(refused.retry_after_ms(), 0u);
+  EXPECT_LT(refused.retry_after_ms(),
+            static_cast<uint32_t>(options.open_duration_s * 1e3) / 2);
+}
+
 TEST(SutRegistryTest, FourStandardSuts) {
   const auto& suts = StandardSuts();
   ASSERT_EQ(suts.size(), 4u);

@@ -227,13 +227,19 @@ TEST(PayloadTest, ErrorRoundTripPreservesRetryAfterHint) {
   EXPECT_EQ(status.retry_after_ms(), 250u);
 }
 
-TEST(PayloadTest, LegacyErrorWithoutHintDecodesAsHintZero) {
-  // A peer that predates the overload work encodes Error frames without the
-  // trailing retry_after_ms u32; stripping those 4 bytes reproduces its
-  // encoding exactly, and the decoder must accept it as "no hint".
-  std::string legacy = EncodeError(Status::Unavailable("gone"));
-  legacy.resize(legacy.size() - 4);
-  auto back = DecodeError(legacy);
+TEST(PayloadTest, HintlessErrorKeepsThePreOverloadEncoding) {
+  // The trailing retry_after_ms u32 is emitted only when a hint is set: a
+  // hintless Error frame must stay byte-identical to the pre-overload
+  // encoding (code + message, nothing after), because old peers reject
+  // trailing bytes — that is the cross-version compatibility contract.
+  const std::string hintless = EncodeError(Status::Unavailable("gone"));
+  Status shed = Status::Unavailable("gone");
+  shed.set_retry_after_ms(250);
+  const std::string hinted = EncodeError(shed);
+  ASSERT_EQ(hinted.size(), hintless.size() + 4);
+  EXPECT_EQ(hinted.compare(0, hintless.size(), hintless), 0);
+
+  auto back = DecodeError(hintless);
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back->code, StatusCode::kUnavailable);
   EXPECT_EQ(back->message, "gone");
@@ -286,7 +292,10 @@ TEST(PayloadTest, TruncatedPayloadsFailCleanly) {
   batch.rows = {engine::Row{engine::Value::Int(7)}};
   const std::string hello = EncodeHello({});
   const std::string query_payload = EncodeQuery(query);
-  const std::string error_payload = EncodeError(Status::Internal("x"));
+  // A hinted error, so the trailing-u32 truncation case below is exercised.
+  Status hinted_error = Status::Internal("x");
+  hinted_error.set_retry_after_ms(99);
+  const std::string error_payload = EncodeError(hinted_error);
   const std::string batch_payload = EncodeResultBatch(batch);
   for (size_t len = 0; len < hello.size(); ++len) {
     EXPECT_FALSE(DecodeHello(std::string_view(hello.data(), len)).ok());
