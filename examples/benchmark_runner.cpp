@@ -10,6 +10,7 @@
 //                                     [--overload-clients N]
 //                                     [--overload-rounds R]
 //                                     [--retry-budget TOKENS]
+//                                     [--json PATH]
 //
 // --suts entries are either local SUT names (pine-rtree, ...) or remote
 // endpoints of a running pinedb server (tcp://host:port/sut); remote entries
@@ -28,6 +29,11 @@
 // of collapse. --retry-budget T (0 = unlimited) caps the run's aggregate
 // retries with a shared token bucket: each retry spends a token, each
 // success earns back a tenth, so retry traffic cannot amplify an overload.
+//
+// --json PATH additionally writes the whole run — every per-query timing,
+// trace, scenario and overload result — as a schema_version-1 JSON document
+// (see DESIGN.md "Observability"), the machine-readable companion to the
+// printed tables.
 
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
   int overload_rounds = 3;
   double retry_budget = 0.0;
   bool no_load = false;
+  std::string json_path;
   std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
                                         "pine-scan"};
   for (int i = 1; i < argc; ++i) {
@@ -85,13 +92,15 @@ int main(int argc, char** argv) {
       retry_budget = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--no-load")) {
       no_load = true;
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b] "
                    "[--deadline SEC] [--chaos seed,rate,latency_ms] "
                    "[--throughput-clients N] [--throughput-rounds R] "
                    "[--overload-clients N] [--overload-rounds R] "
-                   "[--retry-budget TOKENS] [--no-load]\n"
+                   "[--retry-budget TOKENS] [--no-load] [--json PATH]\n"
                    "  --suts entries: local SUT names or tcp://host:port/sut\n",
                    argv[0]);
       return 2;
@@ -206,6 +215,16 @@ int main(int argc, char** argv) {
   std::printf("%s\n", core::RenderErrorTaxonomyTable("error taxonomy",
                                                      all_runs_by_sut)
                           .c_str());
+  // Per-SUT execution-stage breakdown: where the time goes and how selective
+  // the filter-and-refine pipeline was, per query category.
+  for (const auto& runs : all_runs_by_sut) {
+    if (runs.empty()) continue;
+    std::printf("%s\n",
+                core::RenderStageBreakdownTable(
+                    StrFormat("stage breakdown: %s", runs.front().sut.c_str()),
+                    runs)
+                    .c_str());
+  }
   if (!overload_by_sut.empty()) {
     std::printf("%s\n",
                 core::RenderOverloadTable(
@@ -214,6 +233,24 @@ int main(int argc, char** argv) {
                               overload_clients, overload_rounds),
                     overload_by_sut)
                     .c_str());
+  }
+  if (!json_path.empty()) {
+    core::JsonReportInput report;
+    report.title = StrFormat("jackpine benchmark (scale %.2f, seed %llu)",
+                             scale, static_cast<unsigned long long>(seed));
+    report.runs_by_sut = std::move(all_runs_by_sut);
+    report.scenarios_by_sut = std::move(scenarios_by_sut);
+    report.overloads = std::move(overload_by_sut);
+    const std::string doc = core::RenderJsonReport(report);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote JSON report to %s\n", json_path.c_str());
   }
   return 0;
 }

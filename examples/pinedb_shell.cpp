@@ -4,9 +4,11 @@
 //
 //   ./build/examples/pinedb_shell [sut-name] [--scale S] [--csv DIR]
 //
-// Reads one SQL statement per line (EXPLAIN works too). Meta commands:
+// Reads one SQL statement per line (EXPLAIN and EXPLAIN ANALYZE work too).
+// Meta commands:
 //   \tables          list tables
-//   \stats           engine counters since the last \stats
+//   \stats           session trace + engine counters since the last \stats,
+//                    then the process-wide metrics registry
 //   \timing on|off   toggle per-query timing (default on)
 //   \quit            exit
 
@@ -19,6 +21,8 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/loader.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tigergen/csv_io.h"
 
 using namespace jackpine;  // example code; the library itself never does this
@@ -71,6 +75,9 @@ int main(int argc, char** argv) {
   std::printf("type SQL, or \\tables \\stats \\timing \\quit\n");
 
   client::Statement stmt = conn.CreateStatement();
+  // Accumulates across queries; \stats prints and resets it.
+  obs::QueryTrace session_trace;
+  stmt.SetTrace(&session_trace);
   bool timing = true;
   std::string line;
   while (true) {
@@ -89,6 +96,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (input == "\\stats") {
+      std::printf("  session trace: %s\n", session_trace.ToString().c_str());
       const engine::ExecStats& s = conn.database().stats();
       std::printf(
           "  index probes %llu, candidates %llu, refine checks %llu, "
@@ -97,6 +105,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.index_candidates),
           static_cast<unsigned long long>(s.refine_checks),
           static_cast<unsigned long long>(s.rows_scanned));
+      std::printf("%s", obs::GlobalRegistry().Render().c_str());
+      session_trace.Reset();
       conn.database().ResetStats();
       continue;
     }

@@ -23,7 +23,10 @@ class LocalSession : public DriverSession {
   Result<engine::QueryResult> ExecuteQuery(std::string_view sql,
                                            const ExecLimits& limits) override {
     ExecContext exec(limits);
-    return db_->Execute(sql, limits.Unlimited() ? nullptr : &exec);
+    // A trace sink forces a real context even with no limits set, so the
+    // engine has somewhere to record the stage times.
+    const bool need_context = !limits.Unlimited() || limits.trace != nullptr;
+    return db_->Execute(sql, need_context ? &exec : nullptr);
   }
 
   Result<engine::QueryResult> ExecuteUpdate(std::string_view sql,

@@ -116,6 +116,11 @@ class ResultSet {
   Result<geom::Geometry> GetGeometry(size_t col) const;
   const engine::Value& GetValue(size_t col) const;
 
+  // Rows the engine materialised while producing this result (candidates +
+  // scanned rows, before refinement/limit). The gap to RowCount() is the
+  // filter-and-refine overhead; propagated over the wire for remote results.
+  uint64_t RowsExamined() const { return result_.rows_examined; }
+
   // Order-independent checksum of the whole result (cross-SUT validation).
   uint64_t Checksum() const { return result_.Checksum(); }
   const engine::QueryResult& raw() const { return result_; }
@@ -150,6 +155,13 @@ class Statement {
   // JDBC analogue is Statement.setQueryTimeout().
   void SetExecLimits(ExecLimits limits) { limits_ = std::move(limits); }
   const ExecLimits& exec_limits() const { return limits_; }
+
+  // Attaches a per-query trace sink (obs/trace.h): every subsequent
+  // ExecuteQuery accumulates its stage times and filter-and-refine counters
+  // into `trace`. Local sessions record directly; remote sessions fetch the
+  // server-side session trace after each query. Pass nullptr to detach.
+  // `trace` must outlive the statement's executions.
+  void SetTrace(obs::QueryTrace* trace) { limits_.trace = trace; }
 
  private:
   friend class Connection;

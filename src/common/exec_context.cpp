@@ -8,7 +8,8 @@ ExecContext::ExecContext(const ExecLimits& limits)
     : unlimited_(limits.Unlimited()),
       max_rows_(limits.max_rows),
       max_result_bytes_(limits.max_result_bytes),
-      cancel_(limits.cancel) {
+      cancel_(limits.cancel),
+      trace_(limits.trace) {
   if (limits.deadline_s > 0.0) {
     has_deadline_ = true;
     deadline_s_ = limits.deadline_s;

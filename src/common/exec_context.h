@@ -23,6 +23,10 @@
 
 #include "common/status.h"
 
+namespace jackpine::obs {
+struct QueryTrace;
+}  // namespace jackpine::obs
+
 namespace jackpine {
 
 // The immutable knobs an ExecContext is built from; lives in RunConfig and
@@ -35,6 +39,9 @@ struct ExecLimits {
   // Shared cooperative cancellation flag; may be null. Setting it to true
   // aborts every execution holding a context built from these limits.
   std::shared_ptr<std::atomic<bool>> cancel;
+  // Optional stage/pipeline trace sink (obs/trace.h); not a limit, so it
+  // does not affect Unlimited(). The pointee must outlive the execution.
+  obs::QueryTrace* trace = nullptr;
 
   bool Unlimited() const {
     return deadline_s <= 0.0 && max_rows == 0 && max_result_bytes == 0 &&
@@ -73,6 +80,10 @@ class ExecContext {
   uint64_t rows_charged() const { return rows_charged_; }
   uint64_t bytes_charged() const { return bytes_charged_; }
 
+  // The trace sink carried in from ExecLimits (null when tracing is off).
+  obs::QueryTrace* trace() const { return trace_; }
+  void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
+
   // How many clock samples CheckTick() skips between real deadline checks.
   // 256 keeps the overhead invisible next to predicate evaluation while
   // bounding deadline overshoot to 256 row evaluations.
@@ -93,6 +104,7 @@ class ExecContext {
   std::chrono::steady_clock::time_point deadline_{};
   double deadline_s_ = 0.0;
   std::shared_ptr<std::atomic<bool>> cancel_;
+  obs::QueryTrace* trace_ = nullptr;
 };
 
 }  // namespace jackpine

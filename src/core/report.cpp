@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/json.h"
 
 namespace jackpine::core {
 
@@ -176,7 +177,7 @@ std::string RenderOverloadTable(const std::string& title,
   std::vector<std::vector<std::string>> grid;
   grid.push_back({"sut", "clients", "ok", "failed", "goodput (q/s)",
                   "shed rate", "sheds", "breaker", "budget", "timeouts",
-                  "p50 (ms)", "p95 (ms)", "max (ms)"});
+                  "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"});
   for (const OverloadResult& r : results) {
     grid.push_back({r.sut, StrFormat("%d", r.clients),
                     StrFormat("%zu", r.queries_ok),
@@ -188,7 +189,7 @@ std::string RenderOverloadTable(const std::string& title,
                     StrFormat("%zu", r.budget_denied),
                     StrFormat("%zu", r.timeouts),
                     FormatMs(r.latency.p50_s), FormatMs(r.latency.p95_s),
-                    FormatMs(r.latency.max_s)});
+                    FormatMs(r.latency.p99_s), FormatMs(r.latency.max_s)});
   }
   return RenderGrid(title, grid);
 }
@@ -200,6 +201,153 @@ std::string RenderKeyValueTable(
   grid.push_back({"metric", "value"});
   for (const auto& [key, value] : rows) grid.push_back({key, value});
   return RenderGrid(title, grid);
+}
+
+std::string RenderStageBreakdownTable(const std::string& title,
+                                      const std::vector<RunResult>& runs) {
+  // Aggregate per category, in enum order, skipping empty categories.
+  struct Bucket {
+    size_t queries = 0;
+    obs::QueryTrace trace;
+  };
+  constexpr QueryCategory kCategories[] = {QueryCategory::kTopoRelation,
+                                           QueryCategory::kAnalysis,
+                                           QueryCategory::kMacro};
+  Bucket buckets[3];
+  for (const RunResult& r : runs) {
+    Bucket& b = buckets[static_cast<size_t>(r.category)];
+    ++b.queries;
+    b.trace += r.trace;
+  }
+  std::vector<std::vector<std::string>> grid;
+  grid.push_back({"category", "queries", "candidates", "refined", "survivors",
+                  "filter", "refine", "parse (ms)", "plan (ms)", "exec (ms)"});
+  for (QueryCategory category : kCategories) {
+    const Bucket& b = buckets[static_cast<size_t>(category)];
+    if (b.queries == 0) continue;
+    const obs::QueryTrace& t = b.trace;
+    grid.push_back(
+        {QueryCategoryName(category), StrFormat("%zu", b.queries),
+         StrFormat("%llu", static_cast<unsigned long long>(t.index_candidates)),
+         StrFormat("%llu", static_cast<unsigned long long>(t.refine_checks)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(t.refine_survivors)),
+         StrFormat("%.1f%%", t.FilterRatio() * 100.0),
+         StrFormat("%.1f%%", t.RefineRatio() * 100.0), FormatMs(t.parse_s),
+         FormatMs(t.plan_s), FormatMs(t.exec_s)});
+  }
+  return RenderGrid(title, grid);
+}
+
+namespace {
+
+obs::Json TimingToJson(const TimingStats& t) {
+  obs::Json o = obs::Json::Object();
+  o.Set("count", obs::Json::Int(static_cast<int64_t>(t.count)));
+  o.Set("total_s", obs::Json::Number(t.total_s));
+  o.Set("mean_s", obs::Json::Number(t.mean_s));
+  o.Set("min_s", obs::Json::Number(t.min_s));
+  o.Set("max_s", obs::Json::Number(t.max_s));
+  o.Set("p50_s", obs::Json::Number(t.p50_s));
+  o.Set("p95_s", obs::Json::Number(t.p95_s));
+  o.Set("p99_s", obs::Json::Number(t.p99_s));
+  o.Set("stddev_s", obs::Json::Number(t.stddev_s));
+  return o;
+}
+
+obs::Json TraceToJson(const obs::QueryTrace& trace) {
+  obs::Json o = obs::Json::Object();
+  for (const auto& [name, value] : trace.ToEntries()) {
+    o.Set(name, obs::Json::Number(value));
+  }
+  return o;
+}
+
+obs::Json RunResultToJson(const RunResult& r) {
+  obs::Json o = obs::Json::Object();
+  o.Set("id", obs::Json::Str(r.query_id));
+  o.Set("name", obs::Json::Str(r.query_name));
+  o.Set("category", obs::Json::Str(QueryCategoryName(r.category)));
+  o.Set("ok", obs::Json::Bool(r.ok));
+  if (!r.ok) {
+    o.Set("error", obs::Json::Str(r.error));
+    o.Set("error_code", obs::Json::Str(StatusCodeName(r.error_code)));
+  }
+  o.Set("rows", obs::Json::Int(static_cast<int64_t>(r.result_rows)));
+  // Hex string: checksums use the full 64-bit range, beyond double-exact.
+  o.Set("checksum", obs::Json::Str(StrFormat(
+                        "%016llx", static_cast<unsigned long long>(r.checksum))));
+  o.Set("timing", TimingToJson(r.timing));
+  o.Set("attempts", obs::Json::Int(static_cast<int64_t>(r.attempts)));
+  o.Set("timeouts", obs::Json::Int(static_cast<int64_t>(r.timeouts)));
+  o.Set("transient_errors",
+        obs::Json::Int(static_cast<int64_t>(r.transient_errors)));
+  o.Set("sheds", obs::Json::Int(static_cast<int64_t>(r.sheds)));
+  o.Set("breaker_fast_fails",
+        obs::Json::Int(static_cast<int64_t>(r.breaker_fast_fails)));
+  o.Set("budget_denied", obs::Json::Int(static_cast<int64_t>(r.budget_denied)));
+  o.Set("trace", TraceToJson(r.trace));
+  return o;
+}
+
+obs::Json ScenarioResultToJson(const ScenarioResult& s) {
+  obs::Json o = obs::Json::Object();
+  o.Set("id", obs::Json::Str(s.scenario_id));
+  o.Set("name", obs::Json::Str(s.scenario_name));
+  o.Set("total_s", obs::Json::Number(s.total_s));
+  o.Set("failed", obs::Json::Int(static_cast<int64_t>(s.failed)));
+  obs::Json& queries = o.Set("queries", obs::Json::Array());
+  for (const RunResult& r : s.queries) queries.Append(RunResultToJson(r));
+  return o;
+}
+
+obs::Json OverloadResultToJson(const OverloadResult& r) {
+  obs::Json o = obs::Json::Object();
+  o.Set("sut", obs::Json::Str(r.sut));
+  o.Set("clients", obs::Json::Int(r.clients));
+  o.Set("rounds", obs::Json::Int(r.rounds));
+  o.Set("queries_ok", obs::Json::Int(static_cast<int64_t>(r.queries_ok)));
+  o.Set("failures", obs::Json::Int(static_cast<int64_t>(r.failures)));
+  o.Set("attempts", obs::Json::Int(static_cast<int64_t>(r.attempts)));
+  o.Set("sheds", obs::Json::Int(static_cast<int64_t>(r.sheds)));
+  o.Set("timeouts", obs::Json::Int(static_cast<int64_t>(r.timeouts)));
+  o.Set("transient_errors",
+        obs::Json::Int(static_cast<int64_t>(r.transient_errors)));
+  o.Set("breaker_fast_fails",
+        obs::Json::Int(static_cast<int64_t>(r.breaker_fast_fails)));
+  o.Set("budget_denied", obs::Json::Int(static_cast<int64_t>(r.budget_denied)));
+  o.Set("elapsed_s", obs::Json::Number(r.elapsed_s));
+  o.Set("goodput_qps", obs::Json::Number(r.GoodputQps()));
+  o.Set("shed_rate", obs::Json::Number(r.ShedRate()));
+  o.Set("latency", TimingToJson(r.latency));
+  return o;
+}
+
+}  // namespace
+
+std::string RenderJsonReport(const JsonReportInput& input) {
+  obs::Json root = obs::Json::Object();
+  root.Set("schema_version", obs::Json::Int(1));
+  root.Set("title", obs::Json::Str(input.title));
+  obs::Json& suts = root.Set("suts", obs::Json::Array());
+  for (const auto& runs : input.runs_by_sut) {
+    obs::Json& sut = suts.Append(obs::Json::Object());
+    sut.Set("name", obs::Json::Str(runs.empty() ? "?" : runs.front().sut));
+    obs::Json& queries = sut.Set("queries", obs::Json::Array());
+    for (const RunResult& r : runs) queries.Append(RunResultToJson(r));
+  }
+  obs::Json& scenarios = root.Set("scenarios", obs::Json::Array());
+  for (const auto& list : input.scenarios_by_sut) {
+    obs::Json& sut = scenarios.Append(obs::Json::Object());
+    sut.Set("name", obs::Json::Str(list.empty() ? "?" : list.front().sut));
+    obs::Json& entries = sut.Set("scenarios", obs::Json::Array());
+    for (const ScenarioResult& s : list) entries.Append(ScenarioResultToJson(s));
+  }
+  obs::Json& overload = root.Set("overload", obs::Json::Array());
+  for (const OverloadResult& r : input.overloads) {
+    overload.Append(OverloadResultToJson(r));
+  }
+  return root.Dump(/*pretty=*/true);
 }
 
 }  // namespace jackpine::core

@@ -44,6 +44,29 @@ std::string RenderErrorTaxonomyTable(
 std::string RenderOverloadTable(const std::string& title,
                                 const std::vector<OverloadResult>& results);
 
+// Execution-stage breakdown from the per-query traces, aggregated per query
+// category: where the time goes (parse/plan/exec) and how selective the
+// filter-and-refine pipeline is (filter ratio = refine survivors per index
+// candidate, refine ratio = survivors per refinement test). Queries whose
+// trace recorded nothing (e.g. every repetition failed) still count in the
+// `queries` column but contribute zeros.
+std::string RenderStageBreakdownTable(const std::string& title,
+                                      const std::vector<RunResult>& runs);
+
+// Machine-readable run report. The emitted JSON has a stable schema
+// (`schema_version` 1): see DESIGN.md "Observability" for the field-by-field
+// contract. Checksums are emitted as hex strings since they exceed the
+// double-exact integer range.
+struct JsonReportInput {
+  std::string title;
+  // One entry per SUT, same shape as the table renderers above. Any of the
+  // three sections may be empty; empty sections are emitted as [].
+  std::vector<std::vector<RunResult>> runs_by_sut;
+  std::vector<std::vector<ScenarioResult>> scenarios_by_sut;
+  std::vector<OverloadResult> overloads;
+};
+std::string RenderJsonReport(const JsonReportInput& input);
+
 }  // namespace jackpine::core
 
 #endif  // JACKPINE_CORE_REPORT_H_

@@ -144,6 +144,9 @@ RunResult RunQuery(client::Connection* connection, const QuerySpec& spec,
       return out;
     }
   }
+  // Trace the measured repetitions only: attaching after warmup keeps the
+  // warm-up executions out of the stage/ratio accounting.
+  stmt.SetTrace(&out.trace);
   std::vector<double> seconds;
   bool failed = false;
   for (int r = 0; r < config.repetitions; ++r) {

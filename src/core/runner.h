@@ -15,6 +15,7 @@
 #include "core/query_spec.h"
 #include "core/scenarios.h"
 #include "core/stats.h"
+#include "obs/trace.h"
 
 namespace jackpine::core {
 
@@ -89,6 +90,11 @@ struct RunResult {
   TimingStats timing;  // on failure: partial stats of the reps that passed
   size_t result_rows = 0;
   uint64_t checksum = 0;
+  // Accumulated execution trace over the *measured* repetitions (warmup is
+  // excluded so stage ratios reflect steady state). For remote SUTs the
+  // counters come from the server's per-session trace; the time fields are
+  // then server-side engine time, not the client's round-trip latency.
+  obs::QueryTrace trace;
   // Fault accounting across warmup + repetitions of this query.
   size_t attempts = 0;          // ExecuteQuery calls issued (incl. retries)
   size_t timeouts = 0;          // kDeadlineExceeded observed

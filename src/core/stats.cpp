@@ -25,6 +25,7 @@ TimingStats Summarize(std::vector<double> seconds) {
   };
   s.p50_s = quantile(0.50);
   s.p95_s = quantile(0.95);
+  s.p99_s = quantile(0.99);
   double var = 0.0;
   for (double v : seconds) var += (v - s.mean_s) * (v - s.mean_s);
   s.stddev_s = std::sqrt(var / static_cast<double>(s.count));
@@ -32,8 +33,8 @@ TimingStats Summarize(std::vector<double> seconds) {
 }
 
 std::string TimingStats::ToString() const {
-  return StrFormat("mean %.3fms (p50 %.3f, p95 %.3f, n=%zu)", mean_s * 1e3,
-                   p50_s * 1e3, p95_s * 1e3, count);
+  return StrFormat("mean %.3fms (p50 %.3f, p95 %.3f, p99 %.3f, n=%zu)",
+                   mean_s * 1e3, p50_s * 1e3, p95_s * 1e3, p99_s * 1e3, count);
 }
 
 }  // namespace jackpine::core

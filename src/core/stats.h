@@ -16,9 +16,10 @@ struct TimingStats {
   double max_s = 0.0;
   double p50_s = 0.0;
   double p95_s = 0.0;
+  double p99_s = 0.0;
   double stddev_s = 0.0;
 
-  std::string ToString() const;  // "mean 1.23ms (p50 1.1, p95 2.0)"
+  std::string ToString() const;  // "mean 1.23ms (p50 1.1, p95 2.0, p99 2.4)"
 };
 
 // Computes stats over raw per-repetition seconds. Empty input yields zeros.

@@ -1,8 +1,11 @@
 #include "engine/database.h"
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "engine/planner.h"
 #include "engine/sql_parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jackpine::engine {
 
@@ -17,18 +20,27 @@ QueryResult AffectedRows(int64_t n) {
 
 }  // namespace
 
-Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  // Registry instruments resolve once here (the only synchronised metrics
+  // operation); the per-query path is a relaxed Add/Observe.
+  obs::Registry& registry = obs::GlobalRegistry();
+  queries_metric_ = registry.GetCounter("engine.queries");
+  latency_metric_ = registry.GetHistogram("engine.query_latency_s");
+}
 
 Result<QueryResult> Database::Execute(std::string_view sql,
                                       ExecContext* exec) {
+  Stopwatch parse_sw;
   JACKPINE_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
+  const double parse_s = parse_sw.ElapsedSeconds();
   if (auto* s = std::get_if<SelectStatement>(&stmt)) {
-    return ExecuteSelect(*s, exec);
+    return ExecuteSelect(*s, exec, parse_s);
   }
   if (auto* s = std::get_if<ExplainStatement>(&stmt)) {
     EvalContext ctx;
     ctx.predicate_mode = options_.predicate_mode;
     ctx.fold_constants = options_.fold_constants;
+    if (s->analyze) return ExecuteExplainAnalyze(*s, exec, parse_s);
     JACKPINE_ASSIGN_OR_RETURN(PhysicalPlan plan,
                               PlanSelect(s->select, catalog_, ctx));
     QueryResult r;
@@ -52,14 +64,75 @@ Result<QueryResult> Database::Execute(std::string_view sql,
 }
 
 Result<QueryResult> Database::ExecuteSelect(const SelectStatement& stmt,
-                                            ExecContext* exec) {
+                                            ExecContext* exec,
+                                            double parse_s) {
+  obs::QueryTrace* trace = exec != nullptr ? exec->trace() : nullptr;
   EvalContext ctx;
   ctx.predicate_mode = options_.predicate_mode;
   ctx.fold_constants = options_.fold_constants;
   ctx.exec = exec;
+  Stopwatch sw;
   JACKPINE_ASSIGN_OR_RETURN(PhysicalPlan plan,
                             PlanSelect(stmt, catalog_, ctx));
-  return ExecutePlan(plan, &stats_);
+  const double plan_s = sw.ElapsedSeconds();
+  sw.Restart();
+  // ExecutePlan merges the pipeline counters into `trace` itself; the stage
+  // times and per-statement instruments are recorded here.
+  Result<QueryResult> result = ExecutePlan(plan, &stats_);
+  const double exec_s = sw.ElapsedSeconds();
+  if (trace != nullptr) {
+    trace->parse_s += parse_s;
+    trace->plan_s += plan_s;
+    trace->exec_s += exec_s;
+    trace->total_s += parse_s + plan_s + exec_s;
+    ++trace->queries;
+  }
+  queries_metric_->Add();
+  latency_metric_->Observe(parse_s + plan_s + exec_s);
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteExplainAnalyze(
+    const ExplainStatement& stmt, ExecContext* exec, double parse_s) {
+  // Run the select for real with a dedicated trace attached, then render the
+  // plan annotated with what actually happened. The caller's own trace (if
+  // any) still sees the execution: the dedicated trace merges into it.
+  ExecContext local_exec;
+  ExecContext* e = exec != nullptr ? exec : &local_exec;
+  obs::QueryTrace* caller_trace = e->trace();
+  obs::QueryTrace analyze;
+  analyze.parse_s = parse_s;
+  e->set_trace(&analyze);
+
+  EvalContext ctx;
+  ctx.predicate_mode = options_.predicate_mode;
+  ctx.fold_constants = options_.fold_constants;
+  ctx.exec = e;
+  Stopwatch sw;
+  Result<PhysicalPlan> plan = PlanSelect(stmt.select, catalog_, ctx);
+  if (!plan.ok()) {
+    e->set_trace(caller_trace);
+    return plan.status();
+  }
+  analyze.plan_s = sw.ElapsedSeconds();
+  sw.Restart();
+  Result<QueryResult> executed = ExecutePlan(*plan, &stats_);
+  analyze.exec_s = sw.ElapsedSeconds();
+  e->set_trace(caller_trace);
+  if (!executed.ok()) return executed.status();
+  analyze.total_s = analyze.parse_s + analyze.plan_s + analyze.exec_s;
+  analyze.queries = 1;
+  if (caller_trace != nullptr) *caller_trace += analyze;
+  queries_metric_->Add();
+  latency_metric_->Observe(analyze.total_s);
+
+  QueryResult r;
+  r.columns = {"plan"};
+  for (const std::string& line :
+       Split(DescribePlanAnalyze(*plan, analyze), '\n')) {
+    r.rows.push_back({Value::Str(line)});
+  }
+  return r;
 }
 
 Result<QueryResult> Database::ExecuteCreateTable(

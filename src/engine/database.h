@@ -13,6 +13,11 @@
 #include "engine/catalog.h"
 #include "engine/executor.h"
 
+namespace jackpine::obs {
+class Counter;
+class Histogram;
+}  // namespace jackpine::obs
+
 namespace jackpine::engine {
 
 struct DatabaseOptions {
@@ -49,7 +54,9 @@ class Database {
 
  private:
   Result<QueryResult> ExecuteSelect(const SelectStatement& stmt,
-                                    ExecContext* exec);
+                                    ExecContext* exec, double parse_s);
+  Result<QueryResult> ExecuteExplainAnalyze(const ExplainStatement& stmt,
+                                            ExecContext* exec, double parse_s);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
   Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
   Result<QueryResult> ExecuteCreateIndex(const CreateIndexStatement& stmt);
@@ -58,6 +65,10 @@ class Database {
   DatabaseOptions options_;
   Catalog catalog_;
   ExecStats stats_;
+  // Process-wide registry instruments (obs/metrics.h), resolved once in the
+  // constructor; never null.
+  obs::Counter* queries_metric_ = nullptr;
+  obs::Histogram* latency_metric_ = nullptr;
 };
 
 }  // namespace jackpine::engine

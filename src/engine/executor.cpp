@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace jackpine::engine {
 
@@ -24,22 +25,29 @@ Status ChargeMatch(ExecContext* exec) {
 }
 
 // True when the WHERE (if any) evaluates to TRUE for the rows in view.
+// `trace` is the per-execution pipeline trace (always non-null inside
+// ExecutePlan; plain increments, no atomics on the hot path).
 Result<bool> PassesWhere(const PhysicalPlan& plan, const RowView& view,
-                         ExecStats* stats) {
+                         ExecStats* stats, obs::QueryTrace* trace) {
   if (!plan.where.has_value()) return true;
   if (stats != nullptr) ++stats->refine_checks;
+  ++trace->refine_checks;
   JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(*plan.where, view, plan.ctx));
   if (v.is_null()) return false;
-  return v.AsBool();
+  JACKPINE_ASSIGN_OR_RETURN(bool keep, v.AsBool());
+  if (keep) ++trace->refine_survivors;
+  return keep;
 }
 
 // Materialised match: one row pointer per FROM table.
 using Match = RowView;
 
 Result<std::vector<Match>> GatherSingleTable(const PhysicalPlan& plan,
-                                             ExecStats* stats) {
+                                             ExecStats* stats,
+                                             obs::QueryTrace* trace) {
   const Table* table = plan.tables[0];
   ExecContext* exec = plan.ctx.exec;
+  index::ProbeStats probe;
   std::vector<Match> matches;
 
   if (plan.use_knn) {
@@ -54,10 +62,12 @@ Result<std::vector<Match>> GatherSingleTable(const PhysicalPlan& plan,
     std::vector<int64_t> seed_ids;
     idx->Nearest(plan.knn_center, k, &seed_ids);
     if (stats != nullptr) ++stats->index_probes;
+    ++trace->index_probes;
     std::vector<double> exact;
     for (int64_t id : seed_ids) {
       Match m;
       m.rows[0] = &table->row(static_cast<size_t>(id));
+      ++trace->rows_examined;
       JACKPINE_ASSIGN_OR_RETURN(
           Value key, EvalBound(plan.order_by[0].expr, m, plan.ctx));
       const auto d = key.AsDouble();
@@ -69,6 +79,8 @@ Result<std::vector<Match>> GatherSingleTable(const PhysicalPlan& plan,
       for (size_t i = 0; i < table->NumRows(); ++i) {
         JACKPINE_RETURN_IF_ERROR(TickRow(exec));
         if (stats != nullptr) ++stats->rows_scanned;
+        ++trace->rows_scanned;
+        ++trace->rows_examined;
         Match m;
         m.rows[0] = &table->row(i);
         JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
@@ -82,48 +94,58 @@ Result<std::vector<Match>> GatherSingleTable(const PhysicalPlan& plan,
                                 plan.knn_center.x + dk,
                                 plan.knn_center.y + dk);
     std::vector<int64_t> ids;
-    idx->Query(window, &ids);
+    idx->Query(window, &ids, &probe);
     if (stats != nullptr) {
       ++stats->index_probes;
       stats->index_candidates += ids.size();
     }
+    ++trace->index_probes;
+    trace->index_candidates += ids.size();
     for (int64_t id : ids) {
       JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       Match m;
       m.rows[0] = &table->row(static_cast<size_t>(id));
+      ++trace->rows_examined;
       JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
       matches.push_back(m);
     }
+    trace->index_nodes_visited += probe.nodes_visited;
     return matches;
   }
 
   if (plan.use_window) {
     const index::SpatialIndex* idx = table->GetSpatialIndex(plan.window_column);
     std::vector<int64_t> ids;
-    idx->Query(plan.window, &ids);
+    idx->Query(plan.window, &ids, &probe);
     if (stats != nullptr) {
       ++stats->index_probes;
       stats->index_candidates += ids.size();
     }
+    ++trace->index_probes;
+    trace->index_candidates += ids.size();
     for (int64_t id : ids) {
       JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       Match m;
       m.rows[0] = &table->row(static_cast<size_t>(id));
-      JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
+      ++trace->rows_examined;
+      JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats, trace));
       if (keep) {
         JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
         matches.push_back(m);
       }
     }
+    trace->index_nodes_visited += probe.nodes_visited;
     return matches;
   }
 
   for (size_t i = 0; i < table->NumRows(); ++i) {
     JACKPINE_RETURN_IF_ERROR(TickRow(exec));
     if (stats != nullptr) ++stats->rows_scanned;
+    ++trace->rows_scanned;
+    ++trace->rows_examined;
     Match m;
     m.rows[0] = &table->row(i);
-    JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
+    JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats, trace));
     if (keep) {
       JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
       matches.push_back(m);
@@ -133,7 +155,8 @@ Result<std::vector<Match>> GatherSingleTable(const PhysicalPlan& plan,
 }
 
 Result<std::vector<Match>> GatherJoin(const PhysicalPlan& plan,
-                                      ExecStats* stats) {
+                                      ExecStats* stats,
+                                      obs::QueryTrace* trace) {
   ExecContext* exec = plan.ctx.exec;
   std::vector<Match> matches;
 
@@ -142,9 +165,11 @@ Result<std::vector<Match>> GatherJoin(const PhysicalPlan& plan,
     const Table* inner = plan.tables[plan.inner_table];
     const index::SpatialIndex* idx =
         inner->GetSpatialIndex(plan.inner_geom_column);
+    index::ProbeStats probe;
     for (size_t i = 0; i < outer->NumRows(); ++i) {
       JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       if (stats != nullptr) ++stats->rows_scanned;
+      ++trace->rows_scanned;
       Match m;
       m.rows[plan.outer_table] = &outer->row(i);
       JACKPINE_ASSIGN_OR_RETURN(Value key,
@@ -154,21 +179,26 @@ Result<std::vector<Match>> GatherJoin(const PhysicalPlan& plan,
       if (window.IsNull()) continue;
       if (plan.join_expand > 0) window = window.Expanded(plan.join_expand);
       std::vector<int64_t> ids;
-      idx->Query(window, &ids);
+      idx->Query(window, &ids, &probe);
       if (stats != nullptr) {
         ++stats->index_probes;
         stats->index_candidates += ids.size();
       }
+      ++trace->index_probes;
+      trace->index_candidates += ids.size();
       for (int64_t id : ids) {
         JACKPINE_RETURN_IF_ERROR(TickRow(exec));
         m.rows[plan.inner_table] = &inner->row(static_cast<size_t>(id));
-        JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
+        ++trace->rows_examined;
+        JACKPINE_ASSIGN_OR_RETURN(bool keep,
+                                  PassesWhere(plan, m, stats, trace));
         if (keep) {
           JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
           matches.push_back(m);
         }
       }
     }
+    trace->index_nodes_visited += probe.nodes_visited;
     return matches;
   }
 
@@ -179,10 +209,12 @@ Result<std::vector<Match>> GatherJoin(const PhysicalPlan& plan,
     for (size_t j = 0; j < t1->NumRows(); ++j) {
       JACKPINE_RETURN_IF_ERROR(TickRow(exec));
       if (stats != nullptr) ++stats->rows_scanned;
+      ++trace->rows_scanned;
+      ++trace->rows_examined;
       Match m;
       m.rows[0] = &t0->row(i);
       m.rows[1] = &t1->row(j);
-      JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats));
+      JACKPINE_ASSIGN_OR_RETURN(bool keep, PassesWhere(plan, m, stats, trace));
       if (keep) {
         JACKPINE_RETURN_IF_ERROR(ChargeMatch(exec));
         matches.push_back(m);
@@ -336,16 +368,20 @@ std::string QueryResult::ToString(size_t max_rows) const {
   return out;
 }
 
-Result<QueryResult> ExecutePlan(const PhysicalPlan& plan, ExecStats* stats) {
+// The plan pipeline proper; `trace` is always non-null (a stack-local of the
+// ExecutePlan wrapper), so the gather loops increment it unconditionally.
+static Result<QueryResult> ExecutePlanImpl(const PhysicalPlan& plan,
+                                           ExecStats* stats,
+                                           obs::QueryTrace* trace) {
   ExecContext* exec = plan.ctx.exec;
   QueryResult result;
   for (const auto& out : plan.outputs) result.columns.push_back(out.name);
 
   std::vector<Match> matches;
   if (plan.tables.size() == 1) {
-    JACKPINE_ASSIGN_OR_RETURN(matches, GatherSingleTable(plan, stats));
+    JACKPINE_ASSIGN_OR_RETURN(matches, GatherSingleTable(plan, stats, trace));
   } else {
-    JACKPINE_ASSIGN_OR_RETURN(matches, GatherJoin(plan, stats));
+    JACKPINE_ASSIGN_OR_RETURN(matches, GatherJoin(plan, stats, trace));
   }
 
   if (!plan.group_by.empty()) {
@@ -540,6 +576,21 @@ Result<QueryResult> ExecutePlan(const PhysicalPlan& plan, ExecStats* stats) {
     }
     result.rows.push_back(std::move(row));
   }
+  return result;
+}
+
+Result<QueryResult> ExecutePlan(const PhysicalPlan& plan, ExecStats* stats) {
+  // The pipeline counts into a stack-local trace (plain increments; the
+  // caller's sink may be shared across executions) and merges once at the
+  // end — tracing never adds an atomic or a branch-per-row to the hot path.
+  obs::QueryTrace local;
+  Result<QueryResult> result = ExecutePlanImpl(plan, stats, &local);
+  if (result.ok()) {
+    local.rows_returned = result->rows.size();
+    result->rows_examined = local.rows_examined;
+  }
+  ExecContext* exec = plan.ctx.exec;
+  if (exec != nullptr && exec->trace() != nullptr) *exec->trace() += local;
   return result;
 }
 

@@ -13,6 +13,10 @@ namespace jackpine::engine {
 struct QueryResult {
   std::vector<std::string> columns;
   std::vector<Row> rows;
+  // Rows the executor materialised a view of while producing this result
+  // (candidates + scanned rows), before refinement/limit. The rows-examined
+  // vs rows-returned gap is the filter-and-refine overhead a client sees.
+  uint64_t rows_examined = 0;
 
   size_t NumRows() const { return rows.size(); }
 

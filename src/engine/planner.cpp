@@ -1,6 +1,7 @@
 #include "engine/planner.h"
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace jackpine::engine {
 
@@ -350,6 +351,50 @@ std::string DescribePlan(const PhysicalPlan& plan) {
     columns += o.name;
   }
   out += "Output: " + columns;
+  return out;
+}
+
+std::string DescribePlanAnalyze(const PhysicalPlan& plan,
+                                const obs::QueryTrace& trace) {
+  // Annotate each DescribePlan line with the measured numbers that belong to
+  // that operator, then append the stage-time and row-total footer lines.
+  const auto u64 = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::string out;
+  std::string scan_annot;
+  const bool indexed =
+      plan.use_knn || plan.use_window || plan.use_join_index;
+  if (indexed) {
+    scan_annot = StrFormat(" (actual: probes=%llu nodes=%llu candidates=%llu)",
+                           u64(trace.index_probes),
+                           u64(trace.index_nodes_visited),
+                           u64(trace.index_candidates));
+  } else {
+    scan_annot =
+        StrFormat(" (actual: rows_scanned=%llu)", u64(trace.rows_scanned));
+  }
+  for (const std::string& line : Split(DescribePlan(plan), '\n')) {
+    if (line.rfind("KnnIndexScan", 0) == 0 ||
+        line.rfind("IndexWindowScan", 0) == 0 ||
+        line.rfind("SeqScan", 0) == 0 ||
+        line.rfind("IndexNestedLoopJoin", 0) == 0 ||
+        line.rfind("NestedLoopJoin", 0) == 0) {
+      out += line + scan_annot + "\n";
+    } else if (line.rfind("Filter", 0) == 0) {
+      out += line + StrFormat(" (actual: checks=%llu survivors=%llu kept=%.1f%%)",
+                              u64(trace.refine_checks),
+                              u64(trace.refine_survivors),
+                              trace.RefineRatio() * 100.0);
+      out += "\n";
+    } else {
+      out += line + "\n";
+    }
+  }
+  out += StrFormat(
+      "Execution: parse %.3fms plan %.3fms exec %.3fms total %.3fms\n",
+      trace.parse_s * 1e3, trace.plan_s * 1e3, trace.exec_s * 1e3,
+      trace.total_s * 1e3);
+  out += StrFormat("Rows: examined=%llu returned=%llu",
+                   u64(trace.rows_examined), u64(trace.rows_returned));
   return out;
 }
 

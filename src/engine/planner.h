@@ -12,6 +12,10 @@
 #include "engine/catalog.h"
 #include "engine/expression.h"
 
+namespace jackpine::obs {
+struct QueryTrace;
+}  // namespace jackpine::obs
+
 namespace jackpine::engine {
 
 // Counters surfaced to the benchmark harness and tests: they make the
@@ -83,6 +87,14 @@ Result<PhysicalPlan> PlanSelect(const SelectStatement& stmt,
 // Human-readable plan description (the EXPLAIN output): access path, index
 // usage, grouping/ordering and output columns, one property per line.
 std::string DescribePlan(const PhysicalPlan& plan);
+
+// The EXPLAIN ANALYZE output: DescribePlan's operators annotated with the
+// measured execution — per-stage times, index nodes visited, MBR candidates
+// from the filter step, refinement checks/survivors, and the rows
+// examined/returned totals — from a trace recorded by actually running the
+// plan.
+std::string DescribePlanAnalyze(const PhysicalPlan& plan,
+                                const obs::QueryTrace& trace);
 
 }  // namespace jackpine::engine
 

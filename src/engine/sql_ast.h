@@ -104,6 +104,9 @@ struct SelectStatement {
 
 struct ExplainStatement {
   SelectStatement select;
+  // EXPLAIN ANALYZE: execute the select and annotate the plan with the
+  // measured trace instead of describing the plan alone.
+  bool analyze = false;
 };
 
 struct CreateTableStatement {

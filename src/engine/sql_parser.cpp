@@ -99,9 +99,14 @@ class Parser {
     }
     if (Peek().IsWord("EXPLAIN")) {
       Advance();
+      bool analyze = false;
+      if (Peek().IsWord("ANALYZE")) {
+        Advance();
+        analyze = true;
+      }
       JACKPINE_ASSIGN_OR_RETURN(SelectStatement s, ParseSelect());
       JACKPINE_RETURN_IF_ERROR(ExpectEnd());
-      return Statement(ExplainStatement{std::move(s)});
+      return Statement(ExplainStatement{std::move(s), analyze});
     }
     if (Peek().IsWord("CREATE")) {
       Advance();

@@ -82,12 +82,16 @@ void GridIndex::BulkLoad(std::vector<IndexEntry> entries) {
   Rebuild();
 }
 
-void GridIndex::Query(const Envelope& window, std::vector<int64_t>* out) const {
+void GridIndex::Query(const Envelope& window, std::vector<int64_t>* out,
+                      ProbeStats* probe) const {
   if (cells_.empty()) return;
   if (!window.Intersects(extent_)) return;
   size_t x0, y0, x1, y1;
   CellRange(window, &x0, &y0, &x1, &y1);
   ++stamp_gen_;
+  if (probe != nullptr) {
+    probe->nodes_visited += static_cast<uint64_t>(x1 - x0 + 1) * (y1 - y0 + 1);
+  }
   for (size_t y = y0; y <= y1; ++y) {
     for (size_t x = x0; x <= x1; ++x) {
       for (uint32_t idx : cells_[y * nx_ + x]) {

@@ -8,7 +8,9 @@
 namespace jackpine::index {
 
 void LinearScanIndex::Query(const geom::Envelope& window,
-                            std::vector<int64_t>* out) const {
+                            std::vector<int64_t>* out,
+                            ProbeStats* probe) const {
+  if (probe != nullptr) probe->nodes_visited += entries_.size();
   for (const IndexEntry& e : entries_) {
     if (e.box.Intersects(window)) out->push_back(e.id);
   }

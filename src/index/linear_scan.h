@@ -17,8 +17,8 @@ class LinearScanIndex final : public SpatialIndex {
   void BulkLoad(std::vector<IndexEntry> entries) override {
     entries_ = std::move(entries);
   }
-  void Query(const geom::Envelope& window,
-             std::vector<int64_t>* out) const override;
+  void Query(const geom::Envelope& window, std::vector<int64_t>* out,
+             ProbeStats* probe = nullptr) const override;
   void Nearest(const geom::Coord& p, size_t k,
                std::vector<int64_t>* out) const override;
   size_t size() const override { return entries_.size(); }

@@ -274,11 +274,13 @@ void RTree::BulkLoad(std::vector<IndexEntry> entries) {
   root_->parent = nullptr;
 }
 
-void RTree::Query(const Envelope& window, std::vector<int64_t>* out) const {
+void RTree::Query(const Envelope& window, std::vector<int64_t>* out,
+                  ProbeStats* probe) const {
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
+    if (probe != nullptr) ++probe->nodes_visited;
     if (!node->box.Intersects(window)) continue;
     if (node->leaf) {
       for (const IndexEntry& e : node->entries) {

@@ -21,8 +21,8 @@ class RTree final : public SpatialIndex {
 
   void Insert(const geom::Envelope& box, int64_t id) override;
   void BulkLoad(std::vector<IndexEntry> entries) override;
-  void Query(const geom::Envelope& window,
-             std::vector<int64_t>* out) const override;
+  void Query(const geom::Envelope& window, std::vector<int64_t>* out,
+             ProbeStats* probe = nullptr) const override;
   void Nearest(const geom::Coord& p, size_t k,
                std::vector<int64_t>* out) const override;
   size_t size() const override { return size_; }

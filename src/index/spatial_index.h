@@ -23,6 +23,14 @@ struct IndexEntry {
   int64_t id = 0;
 };
 
+// Per-probe instrumentation (obs tracing). "Nodes" is the structure's own
+// unit of traversal work: R-tree nodes popped, grid cells inspected, or
+// entries scanned for the linear fallback — the comparable cost axis across
+// the systems under test.
+struct ProbeStats {
+  uint64_t nodes_visited = 0;
+};
+
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
@@ -35,9 +43,10 @@ class SpatialIndex {
   virtual void BulkLoad(std::vector<IndexEntry> entries) = 0;
 
   // Appends the ids of all entries whose box intersects `window`.
-  // Order is unspecified.
-  virtual void Query(const geom::Envelope& window,
-                     std::vector<int64_t>* out) const = 0;
+  // Order is unspecified. When `probe` is non-null the implementation
+  // accumulates (never resets) its traversal counters there.
+  virtual void Query(const geom::Envelope& window, std::vector<int64_t>* out,
+                     ProbeStats* probe = nullptr) const = 0;
 
   // Appends up to `k` entry ids in ascending order of MBR distance to `p`.
   virtual void Nearest(const geom::Coord& p, size_t k,

@@ -6,6 +6,7 @@
 //                [--queue-timeout-ms N] [--retry-after-ms N]
 //                [--idle-timeout-s S] [--send-timeout-s S]
 //                [--chaos SEED,RATE,LATENCY_MS]
+//   pinedb stats [--host H] [--port P] [--session]
 //
 // --preload generates the TIGER-like dataset (same generator and defaults as
 // benchmark_runner, so a given --scale/--seed pair yields the identical
@@ -21,6 +22,14 @@
 // The overload knobs map 1:1 onto ServerOptions (see net/server.h): the
 // admission queue in front of --max-sessions, the shed retry hint, idle
 // reaping, slow-client send timeouts, and server-side chaos injection.
+//
+// `pinedb stats` is the observability scrape: it connects to a running
+// server, requests a Stats frame, and prints the (name, value) entries —
+// server.* counters, engine.* ExecStats, and the process-wide metrics
+// registry. --session scrapes the scraper's own (empty) session trace,
+// which is mostly useful for protocol debugging. CI greps this output
+// after the overload smoke run to assert sheds and queue depth were
+// actually exercised.
 
 #include <atomic>
 #include <chrono>
@@ -35,6 +44,7 @@
 #include "common/string_util.h"
 #include "core/loader.h"
 #include "core/report.h"
+#include "net/remote_driver.h"
 #include "net/server.h"
 
 using namespace jackpine;  // binary code; the library itself never does this
@@ -53,15 +63,51 @@ int Usage(const char* argv0) {
                "                [--max-sessions N] [--max-wait-queue N]\n"
                "                [--queue-timeout-ms N] [--retry-after-ms N]\n"
                "                [--idle-timeout-s S] [--send-timeout-s S]\n"
-               "                [--chaos SEED,RATE,LATENCY_MS]\n",
-               argv0);
+               "                [--chaos SEED,RATE,LATENCY_MS]\n"
+               "       %s stats [--host H] [--port P] [--session]\n",
+               argv0, argv0);
   return 2;
+}
+
+// `pinedb stats`: scrape a running server and print its stats entries in
+// `name value` lines, machine-greppable for the CI smoke step.
+int RunStats(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  net::StatsScope scope = net::StatsScope::kGlobal;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
+      host = argv[++i];
+    } else if (!std::strcmp(argv[i], "--port") && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--session")) {
+      scope = net::StatsScope::kSession;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "pinedb stats: --port is required\n");
+    return 2;
+  }
+  auto entries = net::QueryServerStats(host, port, scope);
+  if (!entries.ok()) {
+    std::fprintf(stderr, "pinedb stats: %s\n",
+                 entries.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [name, value] : *entries) {
+    std::printf("%s %.9g\n", name.c_str(), value);
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || std::strcmp(argv[1], "serve") != 0) return Usage(argv[0]);
+  if (argc < 2) return Usage(argv[0]);
+  if (!std::strcmp(argv[1], "stats")) return RunStats(argc, argv);
+  if (std::strcmp(argv[1], "serve") != 0) return Usage(argv[0]);
 
   net::ServerOptions options;
   bool preload = false;

@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 
 namespace jackpine::net {
 
@@ -93,6 +94,26 @@ class RemoteSession : public client::DriverSession {
     msg.max_rows = limits.max_rows;
     msg.max_result_bytes = limits.max_result_bytes;
     Result<engine::QueryResult> result = RoundTripQuery(type, msg);
+    // Trace propagation: the server recorded this query's trace session-side
+    // (pipeline counters and stage times next to the data); one follow-up
+    // Stats round trip folds it into the caller's sink, so SetTrace behaves
+    // identically against a local engine and a remote one. Only the times
+    // differ (they are server wall-clock, excluding the network).
+    if (result.ok() && limits.trace != nullptr && !transport_failed_ &&
+        type == FrameType::kQuery) {
+      Result<Frame> reply = RoundTripFrame(
+          FrameType::kStats,
+          EncodeStatsRequest(StatsRequestMsg{StatsScope::kSession}));
+      if (reply.ok() && reply->type == FrameType::kStats) {
+        if (Result<StatsReplyMsg> stats = DecodeStatsReply(reply->payload);
+            stats.ok()) {
+          *limits.trace += obs::QueryTrace::FromEntries(stats->entries);
+        }
+      }
+      // A failed stats fetch costs the trace, not the query: the result
+      // stands, and transport_failed_ (set by RoundTripFrame on a dead
+      // stream) still routes through the breaker below.
+    }
     // Transport-level failures poison the session: the stream position is
     // unknown, so the only safe recovery is a fresh connection. Server-side
     // engine errors (delivered as Error frames) leave it healthy — and prove
@@ -204,6 +225,56 @@ Result<std::shared_ptr<client::Driver>> OpenRemoteDriver(
   // session for the first Statement.
   JACKPINE_ASSIGN_OR_RETURN(driver->probe_, driver->NewSession());
   return std::shared_ptr<client::Driver>(std::move(driver));
+}
+
+Result<std::vector<std::pair<std::string, double>>> QueryServerStats(
+    const std::string& host, uint16_t port, StatsScope scope) {
+  JACKPINE_ASSIGN_OR_RETURN(Socket socket, Socket::Connect(host, port));
+  JACKPINE_RETURN_IF_ERROR(socket.SetRecvTimeout(10.0));
+  FrameDecoder decoder;
+  char buf[kRecvChunk];
+  const auto next_frame = [&]() -> Result<Frame> {
+    for (;;) {
+      JACKPINE_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder.Next());
+      if (frame.has_value()) return std::move(*frame);
+      JACKPINE_ASSIGN_OR_RETURN(size_t n, socket.Recv(buf, sizeof(buf)));
+      if (n == 0) return Status::Unavailable("server closed the connection");
+      decoder.Feed(std::string_view(buf, n));
+    }
+  };
+  const auto fail_on_error = [](const Frame& frame) -> Status {
+    if (frame.type != FrameType::kError) return Status::Ok();
+    JACKPINE_ASSIGN_OR_RETURN(ErrorMsg err, DecodeError(frame.payload));
+    return ErrorToStatus(err);
+  };
+
+  // Handshake with an empty SUT name: the scrape works against whatever the
+  // server hosts.
+  HelloMsg hello;
+  hello.peer_info = "jackpine-stats/1";
+  JACKPINE_RETURN_IF_ERROR(
+      socket.SendAll(EncodeFrame(FrameType::kHello, EncodeHello(hello))));
+  JACKPINE_ASSIGN_OR_RETURN(Frame ack, next_frame());
+  JACKPINE_RETURN_IF_ERROR(fail_on_error(ack));
+  if (ack.type != FrameType::kHello) {
+    return Status::Unavailable("protocol: handshake reply is not a Hello");
+  }
+
+  StatsRequestMsg request;
+  request.scope = scope;
+  JACKPINE_RETURN_IF_ERROR(socket.SendAll(
+      EncodeFrame(FrameType::kStats, EncodeStatsRequest(request))));
+  JACKPINE_ASSIGN_OR_RETURN(Frame reply, next_frame());
+  JACKPINE_RETURN_IF_ERROR(fail_on_error(reply));
+  if (reply.type != FrameType::kStats) {
+    return Status::Unavailable(StrFormat(
+        "protocol: unexpected frame type %u in a stats reply",
+        static_cast<unsigned>(reply.type)));
+  }
+  JACKPINE_ASSIGN_OR_RETURN(StatsReplyMsg stats,
+                            DecodeStatsReply(reply.payload));
+  (void)socket.SendAll(EncodeFrame(FrameType::kClose, ""));
+  return stats.entries;
 }
 
 void RegisterRemoteDriver() {

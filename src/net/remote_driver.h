@@ -18,11 +18,16 @@
 #ifndef JACKPINE_NET_REMOTE_DRIVER_H_
 #define JACKPINE_NET_REMOTE_DRIVER_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "client/circuit_breaker.h"
 #include "client/driver.h"
+#include "net/wire.h"
 
 namespace jackpine::net {
 
@@ -64,6 +69,14 @@ Result<std::shared_ptr<client::Driver>> OpenRemoteDriver(
 // Installs the "tcp" scheme in the client driver registry, enabling
 // jackpine:tcp://host:port/sut URLs. Idempotent; call once at startup.
 void RegisterRemoteDriver();
+
+// One-shot stats scrape: connect, handshake (any SUT), send a Stats request
+// for `scope`, return the reply's (name, value) entries. The observability
+// equivalent of a curl against a metrics endpoint — used by `pinedb stats`,
+// tests, and the CI smoke step.
+Result<std::vector<std::pair<std::string, double>>> QueryServerStats(
+    const std::string& host, uint16_t port,
+    StatsScope scope = StatsScope::kGlobal);
 
 }  // namespace jackpine::net
 

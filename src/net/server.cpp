@@ -4,8 +4,12 @@
 #include <thread>
 #include <utility>
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace jackpine::net {
 
@@ -73,6 +77,40 @@ ServerCounters Server::counters() const {
 }
 
 size_t Server::active_sessions() const { return active_.load(); }
+
+std::vector<std::pair<std::string, double>> Server::GlobalStatsEntries()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  const ServerCounters c = counters();
+  const auto put = [&out](const char* name, uint64_t v) {
+    out.emplace_back(name, static_cast<double>(v));
+  };
+  put("server.sessions_opened", c.sessions_opened);
+  put("server.sessions_closed", c.sessions_closed);
+  put("server.sessions_active", active_.load());
+  put("server.queries", c.queries);
+  put("server.updates", c.updates);
+  put("server.rows_returned", c.rows_returned);
+  put("server.bytes_sent", c.bytes_sent);
+  put("server.errors", c.errors);
+  put("server.sessions_queued", c.sessions_queued);
+  put("server.sessions_shed", c.sessions_shed);
+  put("server.idle_reaped", c.idle_reaped);
+  put("server.send_timeouts", c.send_timeouts);
+  put("server.chaos_injected", c.chaos_injected);
+  if (engine::Database* db = connection_->local_database()) {
+    const engine::ExecStats& s = db->stats();
+    put("engine.rows_scanned", s.rows_scanned.load());
+    put("engine.index_probes", s.index_probes.load());
+    put("engine.index_candidates", s.index_candidates.load());
+    put("engine.refine_checks", s.refine_checks.load());
+  }
+  for (auto& entry : obs::GlobalRegistry().Snapshot()) {
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 std::vector<std::unique_ptr<Server::Session>> Server::CollectFinishedLocked() {
   std::vector<std::unique_ptr<Session>> finished;
@@ -215,6 +253,10 @@ void Server::ServeSession(Session* session) {
   Socket& sock = session->socket;
   FrameDecoder decoder;
   client::Statement stmt = connection_->CreateStatement();
+  // Per-session trace, reset before every query: a Stats(kSession) request
+  // reads the most recent query's stage/pipeline trace, which is what the
+  // remote driver fetches to mirror a local SetTrace.
+  obs::QueryTrace session_trace;
   char buf[kRecvChunk];
 
   if (options_.idle_timeout_s > 0.0) {
@@ -306,6 +348,20 @@ void Server::ServeSession(Session* session) {
     if (!frame.has_value()) break;
     if (frame->type == FrameType::kClose) break;
 
+    if (frame->type == FrameType::kStats) {
+      Result<StatsRequestMsg> req = DecodeStatsRequest(frame->payload);
+      if (!req.ok()) {
+        (void)send_error(req.status());
+        break;  // framing is suspect; isolate by ending this session only
+      }
+      StatsReplyMsg reply;
+      reply.entries = req->scope == StatsScope::kSession
+                          ? session_trace.ToEntries()
+                          : GlobalStatsEntries();
+      if (!send_frame(FrameType::kStats, EncodeStatsReply(reply))) break;
+      continue;
+    }
+
     if (frame->type != FrameType::kQuery &&
         frame->type != FrameType::kUpdate) {
       if (!send_error(Status::InvalidArgument(StrFormat(
@@ -323,11 +379,15 @@ void Server::ServeSession(Session* session) {
     }
 
     // Deadline propagation: rebuild the client's limits so ExecContext
-    // enforces them server-side, next to the data.
+    // enforces them server-side, next to the data. Every query also records
+    // into the session trace (fresh per query) so a follow-up
+    // Stats(kSession) round trip can hand it to the client.
+    session_trace.Reset();
     ExecLimits limits;
     limits.deadline_s = msg->deadline_s;
     limits.max_rows = msg->max_rows;
     limits.max_result_bytes = msg->max_result_bytes;
+    limits.trace = &session_trace;
     stmt.SetExecLimits(limits);
 
     const bool is_query = frame->type == FrameType::kQuery;

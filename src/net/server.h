@@ -31,6 +31,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "client/client.h"
@@ -108,6 +109,12 @@ class Server {
 
   ServerCounters counters() const;
   size_t active_sessions() const;
+
+  // The global stats scrape: every ServerCounters field ("server.*"), the
+  // engine's ExecStats ("engine.*") and the process-wide metrics registry,
+  // flattened into sorted (name, value) entries — the payload of a
+  // StatsScope::kGlobal reply and of `pinedb stats`.
+  std::vector<std::pair<std::string, double>> GlobalStatsEntries() const;
 
   // Graceful shutdown: stop accepting, unblock and join every session.
   // Idempotent; also run by the destructor.

@@ -178,7 +178,7 @@ Result<Value> ReadValue(Reader* r) {
 
 bool KnownFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kClose);
+         t <= static_cast<uint8_t>(FrameType::kStats);
 }
 
 bool KnownStatusCode(uint8_t c) {
@@ -318,6 +318,10 @@ std::string EncodeResultBatch(const ResultBatchMsg& msg) {
     AppendU32(&out, static_cast<uint32_t>(row.size()));
     for (const Value& v : row) AppendValue(&out, v);
   }
+  // Optional trailing field, header batch only (see the struct comment).
+  if (msg.has_header && msg.rows_examined != 0) {
+    AppendU64(&out, msg.rows_examined);
+  }
   return out;
 }
 
@@ -363,6 +367,56 @@ Result<ResultBatchMsg> DecodeResultBatch(std::string_view payload) {
     }
     msg.rows.push_back(std::move(row));
   }
+  if (msg.has_header && r.remaining() > 0) {
+    JACKPINE_ASSIGN_OR_RETURN(msg.rows_examined, r.ReadU64());
+  }
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::string EncodeStatsRequest(const StatsRequestMsg& msg) {
+  std::string out;
+  AppendU8(&out, static_cast<uint8_t>(msg.scope));
+  return out;
+}
+
+Result<StatsRequestMsg> DecodeStatsRequest(std::string_view payload) {
+  Reader r(payload);
+  JACKPINE_ASSIGN_OR_RETURN(uint8_t scope, r.ReadU8());
+  if (scope > static_cast<uint8_t>(StatsScope::kSession)) {
+    return Status::ParseError(
+        StrFormat("wire: unknown stats scope %u", scope));
+  }
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  StatsRequestMsg msg;
+  msg.scope = static_cast<StatsScope>(scope);
+  return msg;
+}
+
+std::string EncodeStatsReply(const StatsReplyMsg& msg) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(msg.entries.size()));
+  for (const auto& [name, value] : msg.entries) {
+    AppendStr(&out, name);
+    AppendF64(&out, value);
+  }
+  return out;
+}
+
+Result<StatsReplyMsg> DecodeStatsReply(std::string_view payload) {
+  Reader r(payload);
+  JACKPINE_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  // An entry takes at least 12 bytes (name length + f64) on the wire.
+  if (static_cast<uint64_t>(count) * 12 > r.remaining()) {
+    return Status::ParseError("wire: stats entry count exceeds input");
+  }
+  StatsReplyMsg msg;
+  msg.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    JACKPINE_ASSIGN_OR_RETURN(std::string name, r.ReadStr());
+    JACKPINE_ASSIGN_OR_RETURN(double value, r.ReadF64());
+    msg.entries.emplace_back(std::move(name), value);
+  }
   JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
   return msg;
 }
@@ -376,7 +430,10 @@ std::vector<std::string> EncodeResultFrames(const engine::QueryResult& result,
   do {
     ResultBatchMsg batch;
     batch.has_header = first;
-    if (first) batch.columns = result.columns;
+    if (first) {
+      batch.columns = result.columns;
+      batch.rows_examined = result.rows_examined;
+    }
     // Rows per batch: capped by count, and flushed early once the encoded
     // payload would pass the byte target so one batch of huge geometries
     // cannot balloon toward the frame limit.
@@ -405,6 +462,7 @@ Status ResultAssembler::Add(ResultBatchMsg batch) {
       return Status::ParseError("wire: first ResultBatch carries no header");
     }
     result_.columns = std::move(batch.columns);
+    result_.rows_examined = batch.rows_examined;
     saw_header_ = true;
   }
   for (engine::Row& row : batch.rows) {

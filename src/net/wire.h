@@ -10,9 +10,12 @@
 //   Query       (2)  sql:str deadline_s:f64 max_rows:u64
 //                    max_result_bytes:u64 batch_rows:u32
 //   Update      (3)  same payload as Query (DDL/DML; never chaos-injected)
-//   ResultBatch (4)  flags:u8 [columns] rows            server -> client
+//   ResultBatch (4)  flags:u8 [columns] rows [rows_examined:u64]
+//                                                       server -> client
 //   Error       (5)  code:u8 message:str [retry_after_ms:u32]  server -> client
 //   Close       (6)  (empty)                            client -> server
+//   Stats       (7)  request: scope:u8 (0=global 1=session)
+//                    reply:   count:u32 (name:str value:f64)*   both forms
 //
 // str is u32 length + bytes. A query response is a sequence of ResultBatch
 // frames — the column header rides in the first, the kLast flag marks the
@@ -60,6 +63,11 @@ enum class FrameType : uint8_t {
   kResultBatch = 4,
   kError = 5,
   kClose = 6,
+  // Observability scrape (obs/): request carries a scope byte, reply the
+  // flat (name, value) entry list. A pre-stats peer treats type 7 as a
+  // framing error and drops the connection, so clients only send it to
+  // servers that completed a version-matched Hello.
+  kStats = 7,
 };
 
 struct Frame {
@@ -130,6 +138,28 @@ struct ResultBatchMsg {
   std::vector<std::string> columns;  // only meaningful with kHasHeader
   bool has_header = false;
   std::vector<engine::Row> rows;
+  // Server-side QueryResult::rows_examined, riding in the header batch as an
+  // optional trailing u64 — emitted only when nonzero, the same
+  // legacy-compatible scheme as Error's retry_after_ms: a payload ending
+  // after the rows decodes as zero, so frames from a pre-stats server still
+  // parse, and a zero-count frame still parses on a pre-stats client.
+  uint64_t rows_examined = 0;
+};
+
+// Stats scrape request: which registry to read.
+enum class StatsScope : uint8_t {
+  kGlobal = 0,   // process-wide: server counters + engine stats + registry
+  kSession = 1,  // this session's per-query trace since its last query
+};
+
+struct StatsRequestMsg {
+  StatsScope scope = StatsScope::kGlobal;
+};
+
+// Flat (name, value) entries — the shape Registry::Snapshot() and
+// QueryTrace::ToEntries() already produce.
+struct StatsReplyMsg {
+  std::vector<std::pair<std::string, double>> entries;
 };
 
 std::string EncodeHello(const HelloMsg& msg);
@@ -148,6 +178,12 @@ Status ErrorToStatus(const ErrorMsg& msg);
 
 std::string EncodeResultBatch(const ResultBatchMsg& msg);
 Result<ResultBatchMsg> DecodeResultBatch(std::string_view payload);
+
+std::string EncodeStatsRequest(const StatsRequestMsg& msg);
+Result<StatsRequestMsg> DecodeStatsRequest(std::string_view payload);
+
+std::string EncodeStatsReply(const StatsReplyMsg& msg);
+Result<StatsReplyMsg> DecodeStatsReply(std::string_view payload);
 
 // Splits a query result into ready-to-send ResultBatch frames of at most
 // `batch_rows` rows (and roughly kBatchByteTarget payload bytes, whichever

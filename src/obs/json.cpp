@@ -1,0 +1,353 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace jackpine::obs {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+const Json& SharedNull() {
+  static const Json* null = new Json();
+  return *null;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; null is the least-surprising degradation.
+    *out += "null";
+    return;
+  }
+  // Integers (the common case: counters) print without a fraction so the
+  // export is stable and readable; everything else gets round-trip precision.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    *out += StrFormat("%.0f", v);
+  } else {
+    *out += StrFormat("%.17g", v);
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> Parse() {
+    JACKPINE_ASSIGN_OR_RETURN(Json v, ParseValue(0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::ParseError(
+        StrFormat("json: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      JACKPINE_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json::Str(std::move(s));
+    }
+    if (ConsumeWord("true")) return Json::Bool(true);
+    if (ConsumeWord("false")) return Json::Bool(false);
+    if (ConsumeWord("null")) return Json::Null();
+    return ParseNumber();
+  }
+
+  Result<Json> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Json obj = Json::Object();
+    SkipSpace();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key string");
+      }
+      JACKPINE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JACKPINE_ASSIGN_OR_RETURN(Json v, ParseValue(depth + 1));
+      obj.Set(std::move(key), std::move(v));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray(int depth) {
+    ++pos_;  // '['
+    Json arr = Json::Array();
+    SkipSpace();
+    if (Consume(']')) return arr;
+    for (;;) {
+      JACKPINE_ASSIGN_OR_RETURN(Json v, ParseValue(depth + 1));
+      arr.Append(std::move(v));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+          // beyond what the benchmark's exports ever contain).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("malformed number");
+    return Json::Number(v);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::Bool(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::Number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::Str(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+Json& Json::Append(Json v) {
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+const Json& Json::Get(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  return SharedNull();
+}
+
+bool Json::Has(std::string_view key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Json& Json::Set(std::string key, Json v) {
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+  return object_.back().second;
+}
+
+void Json::DumpTo(std::string* out, bool pretty, int depth) const {
+  const auto indent = [&](int d) {
+    if (pretty) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(d) * 2, ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      break;
+    case Type::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        indent(depth + 1);
+        array_[i].DumpTo(out, pretty, depth + 1);
+      }
+      if (!array_.empty()) indent(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        indent(depth + 1);
+        AppendEscaped(out, object_[i].first);
+        *out += pretty ? ": " : ":";
+        object_[i].second.DumpTo(out, pretty, depth + 1);
+      }
+      if (!object_.empty()) indent(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(bool pretty) const {
+  std::string out;
+  DumpTo(&out, pretty, 0);
+  if (pretty) out.push_back('\n');
+  return out;
+}
+
+Result<Json> Json::Parse(std::string_view text) {
+  Parser p(text);
+  return p.Parse();
+}
+
+}  // namespace jackpine::obs

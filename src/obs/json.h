@@ -1,0 +1,79 @@
+// A minimal JSON value tree: writer + strict recursive-descent parser.
+//
+// Exists so the benchmark can export machine-readable reports
+// (benchmark_runner --json) and validate them in tests without any external
+// dependency. Deliberately small: UTF-8 pass-through (no \uXXXX synthesis
+// beyond what the input carries), doubles for all numbers (exact for
+// integers up to 2^53 — every counter the harness exports), and objects that
+// preserve insertion order so emitted documents are stable and diffable.
+//
+// The parser is defensive in the same way the wire decoders are: malformed
+// input yields a clean kParseError naming the offset, never a crash or an
+// unbounded recursion (depth is capped).
+
+#ifndef JACKPINE_OBS_JSON_H_
+#define JACKPINE_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jackpine::obs {
+
+class Json {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  static Json Null() { return Json(); }
+  static Json Bool(bool v);
+  static Json Number(double v);
+  static Json Int(int64_t v) { return Number(static_cast<double>(v)); }
+  static Json Str(std::string v);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  // Array access.
+  size_t size() const { return array_.size(); }
+  const Json& at(size_t i) const { return array_[i]; }
+  Json& Append(Json v);  // returns the appended element
+
+  // Object access. Get() returns null (a shared static) for missing keys.
+  const std::vector<std::pair<std::string, Json>>& items() const {
+    return object_;
+  }
+  const Json& Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+  Json& Set(std::string key, Json v);  // returns the inserted value
+
+  // Serialises compactly (no whitespace) or with 2-space indentation.
+  std::string Dump(bool pretty = false) const;
+
+  // Strict parse of exactly one JSON document (trailing non-space rejected).
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, bool pretty, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace jackpine::obs
+
+#endif  // JACKPINE_OBS_JSON_H_

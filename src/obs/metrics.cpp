@@ -1,0 +1,172 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace jackpine::obs {
+
+Histogram::Histogram(std::vector<double> bounds) {
+  bounds_ = bounds.empty() ? DefaultLatencyBounds() : std::move(bounds);
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  std::vector<double> bounds;
+  for (double b = 1e-6; b < 100.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double sum;
+    __builtin_memcpy(&sum, &old_bits, sizeof(sum));
+    sum += v;
+    uint64_t new_bits;
+    __builtin_memcpy(&new_bits, &sum, sizeof(new_bits));
+    if (sum_bits_.compare_exchange_weak(old_bits, new_bits,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.buckets.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  const uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  __builtin_memcpy(&s.sum, &bits, sizeof(s.sum));
+  return s;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target observation (1-based), then walk buckets.
+  const double rank = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = seen + buckets[i];
+    if (static_cast<double>(next) >= rank) {
+      // Interpolate within [lower, upper) of this bucket. The overflow
+      // bucket has no upper bound; report its lower bound (the histogram
+      // cannot resolve further).
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      if (i >= bounds.size()) return lower;
+      const double upper = bounds[i];
+      const double into =
+          (rank - static_cast<double>(seen)) / static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * std::min(std::max(into, 0.0), 1.0);
+    }
+    seen = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Registry::Entry* Registry::FindLocked(const std::string& name) {
+  for (auto& [n, e] : entries_) {
+    if (n == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindLocked(name)) {
+    return e->kind == Kind::kCounter ? e->counter.get() : nullptr;
+  }
+  Entry e;
+  e.kind = Kind::kCounter;
+  e.counter = std::make_unique<Counter>();
+  Counter* out = e.counter.get();
+  entries_.emplace_back(name, std::move(e));
+  return out;
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindLocked(name)) {
+    return e->kind == Kind::kGauge ? e->gauge.get() : nullptr;
+  }
+  Entry e;
+  e.kind = Kind::kGauge;
+  e.gauge = std::make_unique<Gauge>();
+  Gauge* out = e.gauge.get();
+  entries_.emplace_back(name, std::move(e));
+  return out;
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindLocked(name)) {
+    return e->kind == Kind::kHistogram ? e->histogram.get() : nullptr;
+  }
+  Entry e;
+  e.kind = Kind::kHistogram;
+  e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* out = e.histogram.get();
+  entries_.emplace_back(name, std::move(e));
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::Snapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, e] : entries_) {
+      switch (e.kind) {
+        case Kind::kCounter:
+          out.emplace_back(name, static_cast<double>(e.counter->value()));
+          break;
+        case Kind::kGauge:
+          out.emplace_back(name, e.gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram::Snapshot s = e.histogram->snapshot();
+          out.emplace_back(name + ".count", static_cast<double>(s.count));
+          out.emplace_back(name + ".mean_s", s.mean());
+          out.emplace_back(name + ".p50_s", s.p50());
+          out.emplace_back(name + ".p95_s", s.p95());
+          out.emplace_back(name + ".p99_s", s.p99());
+          break;
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Registry::Render() const {
+  const auto entries = Snapshot();
+  size_t width = 0;
+  for (const auto& [name, value] : entries) {
+    width = std::max(width, name.size());
+  }
+  std::string out;
+  for (const auto& [name, value] : entries) {
+    out += StrFormat("%-*s  %.9g\n", static_cast<int>(width), name.c_str(),
+                     value);
+  }
+  return out;
+}
+
+Registry& GlobalRegistry() {
+  static Registry& registry = *new Registry();
+  return registry;
+}
+
+}  // namespace jackpine::obs

@@ -1,0 +1,153 @@
+// The metrics registry: lock-cheap counters, gauges and fixed-bucket latency
+// histograms (DESIGN.md "Observability").
+//
+// Design constraints, in order:
+//   1. The query hot path may touch a metric at most as an atomic add —
+//      never a mutex, never an allocation. Registration (name lookup) is the
+//      only synchronised operation, and callers do it once, caching the
+//      returned pointer.
+//   2. Pointers handed out by a Registry are stable for the registry's
+//      lifetime, so a Database or Server can resolve its instruments in its
+//      constructor and increment them freely from any thread.
+//   3. Snapshots are linearisation-free: readers see each atomic's current
+//      value, which is exactly as consistent as Prometheus-style scraping
+//      needs to be.
+//
+// Histograms use fixed bucket upper bounds (geometric by default, 1 us to
+// ~100 s for latencies) and extract percentiles by linear interpolation
+// within the winning bucket — the same trade every fixed-bucket metrics
+// system makes: O(1) record cost, bounded memory, percentile error bounded
+// by bucket width.
+
+#ifndef JACKPINE_OBS_METRICS_H_
+#define JACKPINE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jackpine::obs {
+
+// Monotonic counter. All operations are relaxed atomics: callers only ever
+// aggregate totals, never synchronise through a counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written-value gauge (stored as double bits so Set/value stay a single
+// atomic word operation).
+class Gauge {
+ public:
+  void Set(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double value() const {
+    const uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+// Fixed-bucket histogram. Observe() is one binary search over the immutable
+// bounds plus two relaxed adds — no lock, no allocation.
+class Histogram {
+ public:
+  // `bounds` are inclusive upper bounds of the finite buckets, strictly
+  // increasing; one implicit overflow bucket catches everything above the
+  // last bound. An empty `bounds` falls back to DefaultLatencyBounds().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  // Geometric bounds from 1 us to ~100 s (x2 per bucket), the span a spatial
+  // query latency plausibly occupies.
+  static std::vector<double> DefaultLatencyBounds();
+
+  void Observe(double v);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<double> bounds;       // finite bucket upper bounds
+    std::vector<uint64_t> buckets;    // bounds.size() + 1 (overflow last)
+    double mean() const {
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+    // Percentile by linear interpolation inside the winning bucket;
+    // q in [0, 1]. Empty histogram yields 0.
+    double Quantile(double q) const;
+    double p50() const { return Quantile(0.50); }
+    double p95() const { return Quantile(0.95); }
+    double p99() const { return Quantile(0.99); }
+  };
+  Snapshot snapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  // Sum accumulates as double bits under CAS; contention is per-histogram
+  // and the benchmark observes latencies per query, not per row.
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+// Name -> instrument registry. GetCounter/GetGauge/GetHistogram take a mutex
+// once per distinct name per caller (callers cache the pointer); the
+// instruments themselves are lock-free. A name keeps its first-registered
+// kind: asking for the same name as a different kind returns nullptr, which
+// is a programming error surfaced loudly in tests rather than a silent
+// aliasing bug.
+class Registry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // `bounds` applies only when the histogram is first created.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  // Numeric snapshot of every instrument, sorted by name. Counters and
+  // gauges yield one entry; a histogram yields <name>.count / .mean_s /
+  // .p50_s / .p95_s / .p99_s so the whole registry flattens into the same
+  // (name, double) entry list the wire STATS frame and the JSON export use.
+  std::vector<std::pair<std::string, double>> Snapshot() const;
+
+  // Aligned "name value" text rendering of Snapshot(), for \stats and logs.
+  std::string Render() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, Entry>> entries_;  // registration order
+
+  Entry* FindLocked(const std::string& name);
+};
+
+// The process-wide registry. Engine and server instruments live here so one
+// STATS scrape sees every subsystem.
+Registry& GlobalRegistry();
+
+}  // namespace jackpine::obs
+
+#endif  // JACKPINE_OBS_METRICS_H_

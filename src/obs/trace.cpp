@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include "common/string_util.h"
+
+namespace jackpine::obs {
+
+QueryTrace& QueryTrace::operator+=(const QueryTrace& other) {
+  parse_s += other.parse_s;
+  plan_s += other.plan_s;
+  exec_s += other.exec_s;
+  total_s += other.total_s;
+  queries += other.queries;
+  rows_scanned += other.rows_scanned;
+  index_probes += other.index_probes;
+  index_nodes_visited += other.index_nodes_visited;
+  index_candidates += other.index_candidates;
+  refine_checks += other.refine_checks;
+  refine_survivors += other.refine_survivors;
+  rows_examined += other.rows_examined;
+  rows_returned += other.rows_returned;
+  return *this;
+}
+
+double QueryTrace::RefineRatio() const {
+  return refine_checks > 0 ? static_cast<double>(refine_survivors) /
+                                 static_cast<double>(refine_checks)
+                           : 0.0;
+}
+
+double QueryTrace::FilterRatio() const {
+  return index_candidates > 0 ? static_cast<double>(refine_survivors) /
+                                    static_cast<double>(index_candidates)
+                              : 0.0;
+}
+
+std::vector<std::pair<std::string, double>> QueryTrace::ToEntries() const {
+  return {
+      {"parse_s", parse_s},
+      {"plan_s", plan_s},
+      {"exec_s", exec_s},
+      {"total_s", total_s},
+      {"queries", static_cast<double>(queries)},
+      {"rows_scanned", static_cast<double>(rows_scanned)},
+      {"index_probes", static_cast<double>(index_probes)},
+      {"index_nodes_visited", static_cast<double>(index_nodes_visited)},
+      {"index_candidates", static_cast<double>(index_candidates)},
+      {"refine_checks", static_cast<double>(refine_checks)},
+      {"refine_survivors", static_cast<double>(refine_survivors)},
+      {"rows_examined", static_cast<double>(rows_examined)},
+      {"rows_returned", static_cast<double>(rows_returned)},
+  };
+}
+
+QueryTrace QueryTrace::FromEntries(
+    const std::vector<std::pair<std::string, double>>& entries) {
+  QueryTrace t;
+  for (const auto& [name, value] : entries) {
+    const auto u64 = [&] { return static_cast<uint64_t>(value); };
+    if (name == "parse_s") t.parse_s = value;
+    else if (name == "plan_s") t.plan_s = value;
+    else if (name == "exec_s") t.exec_s = value;
+    else if (name == "total_s") t.total_s = value;
+    else if (name == "queries") t.queries = u64();
+    else if (name == "rows_scanned") t.rows_scanned = u64();
+    else if (name == "index_probes") t.index_probes = u64();
+    else if (name == "index_nodes_visited") t.index_nodes_visited = u64();
+    else if (name == "index_candidates") t.index_candidates = u64();
+    else if (name == "refine_checks") t.refine_checks = u64();
+    else if (name == "refine_survivors") t.refine_survivors = u64();
+    else if (name == "rows_examined") t.rows_examined = u64();
+    else if (name == "rows_returned") t.rows_returned = u64();
+  }
+  return t;
+}
+
+std::string QueryTrace::ToString() const {
+  return StrFormat(
+      "parse %.3fms plan %.3fms exec %.3fms | probes %llu nodes %llu "
+      "candidates %llu refine %llu survivors %llu | scanned %llu "
+      "examined %llu returned %llu",
+      parse_s * 1e3, plan_s * 1e3, exec_s * 1e3,
+      static_cast<unsigned long long>(index_probes),
+      static_cast<unsigned long long>(index_nodes_visited),
+      static_cast<unsigned long long>(index_candidates),
+      static_cast<unsigned long long>(refine_checks),
+      static_cast<unsigned long long>(refine_survivors),
+      static_cast<unsigned long long>(rows_scanned),
+      static_cast<unsigned long long>(rows_examined),
+      static_cast<unsigned long long>(rows_returned));
+}
+
+}  // namespace jackpine::obs

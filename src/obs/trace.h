@@ -1,0 +1,68 @@
+// Per-query stage tracing (DESIGN.md "Observability").
+//
+// A QueryTrace rides through ExecContext (as a non-owning pointer inside
+// ExecLimits) into the engine, where the parse / plan / execute stages time
+// themselves and the gather loops count the filter-and-refine pipeline:
+// index probes, R-tree/grid nodes visited, MBR candidates from the filter
+// step, exact-predicate refinement tests, and the survivors the refine step
+// kept. The same struct crosses the wire as flat (name, double) entries —
+// the STATS frame's payload — so a remote query's server-side trace merges
+// into the client's trace with the same operator+= a local query uses.
+//
+// The trace is plain (non-atomic) state: exactly one executing query writes
+// it at a time, the same ownership rule ExecContext already follows.
+
+#ifndef JACKPINE_OBS_TRACE_H_
+#define JACKPINE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jackpine::obs {
+
+struct QueryTrace {
+  // Stage wall-clock spans, accumulated over the executions this trace saw.
+  double parse_s = 0.0;
+  double plan_s = 0.0;
+  double exec_s = 0.0;
+  double total_s = 0.0;  // parse + plan + exec
+
+  // Filter-and-refine pipeline counters (see src/index/spatial_index.h).
+  uint64_t queries = 0;             // executions folded into this trace
+  uint64_t rows_scanned = 0;        // heap rows visited without index help
+  uint64_t index_probes = 0;        // window / k-NN probes issued
+  uint64_t index_nodes_visited = 0; // index nodes/cells inspected per probe
+  uint64_t index_candidates = 0;    // ids the MBR filter step produced
+  uint64_t refine_checks = 0;       // exact WHERE evaluations (refine step)
+  uint64_t refine_survivors = 0;    // refine checks that kept the row
+  uint64_t rows_examined = 0;       // rows the executor materialised a view of
+  uint64_t rows_returned = 0;       // rows in the final result
+
+  void Reset() { *this = QueryTrace(); }
+
+  // Additive merge: warmups/repetitions of a runner, or a server-side trace
+  // folded into a client-side one.
+  QueryTrace& operator+=(const QueryTrace& other);
+
+  // Refine selectivity: survivors per exact check. 0 when nothing refined.
+  double RefineRatio() const;
+  // Filter quality: survivors per MBR candidate — how much of the filter
+  // step's output the exact predicates kept. 0 when the index was unused.
+  double FilterRatio() const;
+
+  // Flat numeric form, stable field names — the STATS wire payload and the
+  // JSON export both speak this. u64 counters are exact up to 2^53.
+  std::vector<std::pair<std::string, double>> ToEntries() const;
+  // Inverse of ToEntries(); unknown names are ignored (forward compat).
+  static QueryTrace FromEntries(
+      const std::vector<std::pair<std::string, double>>& entries);
+
+  // One-line human rendering for shells and logs.
+  std::string ToString() const;
+};
+
+}  // namespace jackpine::obs
+
+#endif  // JACKPINE_OBS_TRACE_H_

@@ -10,6 +10,7 @@
 #include "core/runner.h"
 #include "core/scenarios.h"
 #include "core/stats.h"
+#include "obs/json.h"
 
 namespace jackpine::core {
 namespace {
@@ -32,6 +33,29 @@ TEST(StatsTest, SummarizeBasics) {
   EXPECT_GT(s.p95_s, 0.003);
   EXPECT_LE(s.p95_s, 0.010);
   EXPECT_GT(s.stddev_s, 0.0);
+}
+
+TEST(StatsTest, PercentilesAndStddev) {
+  // 100 evenly spaced samples: quantiles and stddev have closed forms.
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i * 1e-3);
+  TimingStats s = Summarize(samples);
+  EXPECT_EQ(s.count, 100u);
+  // Linear interpolation over the sorted samples: q * (n - 1) positions in.
+  EXPECT_NEAR(s.p50_s, 0.0505, 1e-9);
+  EXPECT_NEAR(s.p95_s, 0.09505, 1e-9);
+  EXPECT_NEAR(s.p99_s, 0.09901, 1e-9);
+  EXPECT_GE(s.p99_s, s.p95_s);
+  EXPECT_GE(s.p95_s, s.p50_s);
+  EXPECT_LE(s.p99_s, s.max_s);
+  // Population stddev of 1..100 is sqrt((100^2 - 1) / 12), scaled by 1e-3.
+  EXPECT_NEAR(s.stddev_s, 0.028866070, 1e-7);
+}
+
+TEST(StatsTest, P99OfSmallSampleDegradesToMax) {
+  TimingStats s = Summarize({0.001, 0.002, 0.003});
+  EXPECT_GT(s.p99_s, s.p50_s);
+  EXPECT_LE(s.p99_s, s.max_s);
 }
 
 TEST(StatsTest, EmptyAndSingle) {
@@ -227,6 +251,145 @@ TEST(ReportTest, ComparisonTableFlagsErrorsAndDisagreement) {
   mbr.checksum = 3;
   const std::string with_mbr = RenderComparisonTable("t", {{ok_a}, {mbr}});
   EXPECT_NE(with_mbr.find("~mbr"), std::string::npos);
+}
+
+TEST(RunnerTest, CollectsTraceOverMeasuredRepetitions) {
+  const auto ds = SmallDataset();
+  client::Connection conn = client::Connection::Open(
+      *client::SutByName("pine-rtree"));
+  ASSERT_TRUE(LoadDataset(ds, &conn).ok());
+  QuerySpec q;
+  q.id = "window";
+  q.category = QueryCategory::kAnalysis;
+  q.sql =
+      "SELECT COUNT(*) FROM pointlm WHERE ST_DWithin(geom, "
+      "ST_MakePoint(50, 50), 20)";
+  RunConfig config;
+  config.warmup = 2;
+  config.repetitions = 3;
+  const RunResult r = RunQuery(&conn, q, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Exactly the measured repetitions fold into the trace; warmup stays out.
+  EXPECT_EQ(r.trace.queries, 3u);
+  EXPECT_GT(r.trace.total_s, 0.0);
+  EXPECT_GT(r.trace.index_probes, 0u);
+  EXPECT_GT(r.trace.rows_examined, 0u);
+}
+
+TEST(ReportTest, StageBreakdownAggregatesPerCategory) {
+  RunResult topo;
+  topo.category = QueryCategory::kTopoRelation;
+  topo.trace.queries = 2;
+  topo.trace.index_candidates = 100;
+  topo.trace.refine_checks = 100;
+  topo.trace.refine_survivors = 25;
+  topo.trace.plan_s = 0.004;
+  RunResult topo2 = topo;
+  topo2.trace.index_candidates = 100;  // same shape, summed below
+  RunResult macro;
+  macro.category = QueryCategory::kMacro;
+  macro.trace.queries = 1;
+  const std::string table =
+      RenderStageBreakdownTable("stages", {topo, topo2, macro});
+  EXPECT_NE(table.find("== stages =="), std::string::npos);
+  EXPECT_NE(table.find("topological"), std::string::npos);
+  EXPECT_NE(table.find("macro"), std::string::npos);
+  // No analysis queries ran: no analysis row.
+  EXPECT_EQ(table.find("analysis"), std::string::npos);
+  // Summed candidates (200) and the 25% filter/refine ratios appear.
+  EXPECT_NE(table.find("200"), std::string::npos);
+  EXPECT_NE(table.find("25.0%"), std::string::npos);
+}
+
+// The machine-readable report round-trips through the JSON parser and keeps
+// its documented schema: this is the stability contract behind
+// `benchmark_runner --json`.
+TEST(ReportTest, JsonReportRoundTripsWithStableSchema) {
+  RunResult r;
+  r.query_id = "T1";
+  r.query_name = "demo";
+  r.category = QueryCategory::kTopoRelation;
+  r.sut = "pine-rtree";
+  r.ok = true;
+  r.result_rows = 7;
+  r.checksum = 0xdeadbeefcafef00dULL;
+  r.timing = Summarize({0.001, 0.002, 0.003});
+  r.attempts = 3;
+  r.trace.queries = 3;
+  r.trace.index_candidates = 11;
+
+  RunResult failed = r;
+  failed.query_id = "T2";
+  failed.ok = false;
+  failed.error = "boom";
+  failed.error_code = StatusCode::kNotFound;
+
+  ScenarioResult scenario;
+  scenario.scenario_id = "S1";
+  scenario.scenario_name = "geocode";
+  scenario.sut = "pine-rtree";
+  scenario.total_s = 0.5;
+  scenario.queries = {r};
+
+  OverloadResult overload;
+  overload.sut = "pine-rtree";
+  overload.clients = 8;
+  overload.queries_ok = 100;
+  overload.sheds = 5;
+  overload.attempts = 120;
+  overload.elapsed_s = 2.0;
+  overload.latency = Summarize({0.01, 0.02});
+
+  JsonReportInput input;
+  input.title = "round trip";
+  input.runs_by_sut = {{r, failed}};
+  input.scenarios_by_sut = {{scenario}};
+  input.overloads = {overload};
+
+  auto doc = obs::Json::Parse(RenderJsonReport(input));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Get("schema_version").number_value(), 1.0);
+  EXPECT_EQ(doc->Get("title").string_value(), "round trip");
+
+  const obs::Json& suts = doc->Get("suts");
+  ASSERT_EQ(suts.size(), 1u);
+  EXPECT_EQ(suts.at(0).Get("name").string_value(), "pine-rtree");
+  const obs::Json& queries = suts.at(0).Get("queries");
+  ASSERT_EQ(queries.size(), 2u);
+  const obs::Json& q0 = queries.at(0);
+  EXPECT_EQ(q0.Get("id").string_value(), "T1");
+  EXPECT_EQ(q0.Get("category").string_value(), "topological");
+  EXPECT_TRUE(q0.Get("ok").bool_value());
+  EXPECT_FALSE(q0.Has("error"));
+  EXPECT_EQ(q0.Get("rows").number_value(), 7.0);
+  EXPECT_EQ(q0.Get("checksum").string_value(), "deadbeefcafef00d");
+  EXPECT_EQ(q0.Get("timing").Get("count").number_value(), 3.0);
+  EXPECT_GT(q0.Get("timing").Get("p99_s").number_value(), 0.0);
+  EXPECT_EQ(q0.Get("trace").Get("index_candidates").number_value(), 11.0);
+  const obs::Json& q1 = queries.at(1);
+  EXPECT_FALSE(q1.Get("ok").bool_value());
+  EXPECT_EQ(q1.Get("error").string_value(), "boom");
+  EXPECT_EQ(q1.Get("error_code").string_value(), "NotFound");
+
+  const obs::Json& scenarios = doc->Get("scenarios");
+  ASSERT_EQ(scenarios.size(), 1u);
+  const obs::Json& sc = scenarios.at(0).Get("scenarios").at(0);
+  EXPECT_EQ(sc.Get("id").string_value(), "S1");
+  EXPECT_EQ(sc.Get("queries").size(), 1u);
+
+  const obs::Json& ov = doc->Get("overload");
+  ASSERT_EQ(ov.size(), 1u);
+  EXPECT_EQ(ov.at(0).Get("queries_ok").number_value(), 100.0);
+  EXPECT_EQ(ov.at(0).Get("goodput_qps").number_value(), 50.0);
+  EXPECT_GT(ov.at(0).Get("latency").Get("p95_s").number_value(), 0.0);
+}
+
+TEST(ReportTest, OverloadTableHasP99Column) {
+  OverloadResult r;
+  r.sut = "pine-rtree";
+  r.latency = Summarize({0.001, 0.002, 0.100});
+  const std::string table = RenderOverloadTable("overload", {r});
+  EXPECT_NE(table.find("p99 (ms)"), std::string::npos);
 }
 
 TEST(QueryCategoryTest, Names) {

@@ -25,6 +25,7 @@
 #include "net/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "tigergen/tigergen.h"
 
 namespace jackpine {
@@ -710,6 +711,133 @@ TEST_F(NetTest, ServerChaosInjectsInBandErrors) {
   EXPECT_FALSE(again.ok());
   EXPECT_EQ(server->counters().sessions_opened, 1u);
   EXPECT_GE(server->counters().chaos_injected, 2u);
+}
+
+// --- Observability over the wire ----------------------------------------
+
+// The same query through jackpine:tcp:// yields the same execution trace
+// counters as in-process: the server records a per-session trace and the
+// remote driver fetches it with a Stats(kSession) round trip after each
+// query. Times differ (they are server-side wall clock), counters must not.
+TEST_F(NetTest, RemoteTraceMatchesLocalCounters) {
+  const tigergen::TigerDataset dataset = SmallDataset();
+
+  auto local = client::Connection::Open("jackpine:pine-rtree");
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(core::LoadDataset(dataset, &*local).ok());
+
+  auto server = StartServer("pine-rtree");
+  ASSERT_TRUE(core::LoadDataset(dataset, &server->connection()).ok());
+  auto remote = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  const std::string sql =
+      "SELECT COUNT(*) FROM edges a, arealm b "
+      "WHERE ST_Intersects(a.geom, b.geom)";
+
+  obs::QueryTrace local_trace;
+  {
+    client::Statement stmt = local->CreateStatement();
+    stmt.SetTrace(&local_trace);
+    auto rs = stmt.ExecuteQuery(sql);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  }
+  obs::QueryTrace remote_trace;
+  {
+    client::Statement stmt = remote->CreateStatement();
+    stmt.SetTrace(&remote_trace);
+    auto rs = stmt.ExecuteQuery(sql);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  }
+
+  // The indexed spatial join exercises the whole pipeline.
+  EXPECT_GT(local_trace.index_probes, 0u);
+  EXPECT_GT(local_trace.index_nodes_visited, 0u);
+  EXPECT_GT(local_trace.index_candidates, 0u);
+  EXPECT_GT(local_trace.refine_checks, 0u);
+
+  EXPECT_EQ(remote_trace.queries, local_trace.queries);
+  EXPECT_EQ(remote_trace.rows_scanned, local_trace.rows_scanned);
+  EXPECT_EQ(remote_trace.index_probes, local_trace.index_probes);
+  EXPECT_EQ(remote_trace.index_nodes_visited,
+            local_trace.index_nodes_visited);
+  EXPECT_EQ(remote_trace.index_candidates, local_trace.index_candidates);
+  EXPECT_EQ(remote_trace.refine_checks, local_trace.refine_checks);
+  EXPECT_EQ(remote_trace.refine_survivors, local_trace.refine_survivors);
+  EXPECT_EQ(remote_trace.rows_examined, local_trace.rows_examined);
+  EXPECT_EQ(remote_trace.rows_returned, local_trace.rows_returned);
+  EXPECT_GT(remote_trace.total_s, 0.0);
+}
+
+TEST_F(NetTest, RowsExaminedCrossesTheWire) {
+  const tigergen::TigerDataset dataset = SmallDataset();
+
+  auto local = client::Connection::Open("jackpine:pine-rtree");
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(core::LoadDataset(dataset, &*local).ok());
+
+  auto server = StartServer("pine-rtree");
+  ASSERT_TRUE(core::LoadDataset(dataset, &server->connection()).ok());
+  auto remote = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+
+  // A filtering query examines more rows than it returns.
+  const std::string sql = "SELECT * FROM pointlm WHERE ST_X(geom) < 10";
+  client::Statement local_stmt = local->CreateStatement();
+  auto local_rs = local_stmt.ExecuteQuery(sql);
+  ASSERT_TRUE(local_rs.ok());
+  client::Statement remote_stmt = remote->CreateStatement();
+  auto remote_rs = remote_stmt.ExecuteQuery(sql);
+  ASSERT_TRUE(remote_rs.ok()) << remote_rs.status().ToString();
+
+  EXPECT_GT(local_rs->RowsExamined(), 0u);
+  EXPECT_GT(local_rs->RowsExamined(), local_rs->RowCount());
+  EXPECT_EQ(remote_rs->RowsExamined(), local_rs->RowsExamined());
+  EXPECT_EQ(remote_rs->RowCount(), local_rs->RowCount());
+}
+
+TEST_F(NetTest, QueryServerStatsScrapesGlobalCounters) {
+  auto server = StartServer("pine-rtree");
+  ASSERT_TRUE(core::LoadDataset(SmallDataset(), &server->connection()).ok());
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM edges").ok());
+  }
+
+  auto entries =
+      net::QueryServerStats("127.0.0.1", server->port(), net::StatsScope::kGlobal);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  auto value = [&](const std::string& name) -> double {
+    for (const auto& [n, v] : *entries) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing stats entry " << name;
+    return -1.0;
+  };
+  EXPECT_GE(value("server.queries"), 3.0);
+  // The stats connection itself counts as an opened session.
+  EXPECT_GE(value("server.sessions_opened"), 2.0);
+  EXPECT_GE(value("server.sessions_opened"), value("server.sessions_closed"));
+  EXPECT_EQ(value("server.sessions_shed"), 0.0);
+  EXPECT_GT(value("engine.rows_scanned") + value("engine.index_probes"), 0.0);
+  // Entries arrive sorted by name — the contract `pinedb stats` prints.
+  for (size_t i = 1; i < entries->size(); ++i) {
+    EXPECT_LE((*entries)[i - 1].first, (*entries)[i].first);
+  }
+}
+
+TEST_F(NetTest, QueryServerStatsSessionScopeStartsEmpty) {
+  auto server = StartServer("pine-rtree");
+  // The scrape's own session never ran a query: every counter reads zero.
+  auto entries = net::QueryServerStats("127.0.0.1", server->port(),
+                                       net::StatsScope::kSession);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  const obs::QueryTrace t = obs::QueryTrace::FromEntries(*entries);
+  EXPECT_EQ(t.queries, 0u);
+  EXPECT_EQ(t.rows_scanned, 0u);
+  EXPECT_EQ(t.total_s, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,388 @@
+// Unit tests for jackpine::obs — the metrics registry (counters, gauges,
+// fixed-bucket histograms), per-query traces, and the minimal JSON
+// reader/writer behind the benchmark's machine-readable reports.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace jackpine::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+
+TEST(CounterTest, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, StoresLastWrittenDouble) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.25);
+  EXPECT_EQ(g.value(), 3.25);
+  g.Set(-1e-9);
+  EXPECT_EQ(g.value(), -1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram h;
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsAreInclusiveUpper) {
+  // Buckets: (-inf, 1], (1, 2], (2, 4], overflow (4, +inf).
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.0);  // lands in bucket 0 (inclusive upper bound)
+  h.Observe(1.5);  // bucket 1
+  h.Observe(4.0);  // bucket 2
+  h.Observe(9.0);  // overflow
+  const Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 15.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 15.5 / 4.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.Observe(15.0);  // all in (10, 20]
+  const Histogram::Snapshot s = h.snapshot();
+  // The whole mass sits in one bucket: any quantile must land inside it.
+  for (double q : {0.01, 0.5, 0.99}) {
+    const double v = s.Quantile(q);
+    EXPECT_GE(v, 10.0) << "q=" << q;
+    EXPECT_LE(v, 20.0) << "q=" << q;
+  }
+  // Interpolation is monotone in q.
+  EXPECT_LE(s.Quantile(0.25), s.Quantile(0.75));
+}
+
+TEST(HistogramTest, OverflowQuantileReportsLastBound) {
+  Histogram h({1.0});
+  h.Observe(100.0);
+  // Overflow bucket has no upper bound: the quantile degrades to the
+  // largest finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(h.snapshot().Quantile(0.99), 1.0);
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsSpanMicrosToSeconds) {
+  const std::vector<double> bounds = Histogram::DefaultLatencyBounds();
+  ASSERT_GE(bounds.size(), 10u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  // Doubling from 1 us stops just short of 100 s (2^26 us ~= 67 s).
+  EXPECT_GE(bounds.back(), 50.0);
+  EXPECT_LT(bounds.back(), 100.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(HistogramTest, PercentileAccuracyBoundedByBucketWidth) {
+  Histogram h;  // default latency bounds, x2 geometric
+  for (int i = 0; i < 1000; ++i) h.Observe(0.010);  // 10 ms
+  const double p50 = h.snapshot().p50();
+  // 10 ms falls in the (8.192ms, 16.384ms] bucket; the estimate must too.
+  EXPECT_GE(p50, 0.008192);
+  EXPECT_LE(p50, 0.016384);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(RegistryTest, SameNameYieldsSameInstrument) {
+  Registry r;
+  Counter* a = r.GetCounter("x");
+  Counter* b = r.GetCounter("x");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3u);
+}
+
+TEST(RegistryTest, KindMismatchReturnsNull) {
+  Registry r;
+  ASSERT_NE(r.GetCounter("c"), nullptr);
+  EXPECT_EQ(r.GetGauge("c"), nullptr);
+  EXPECT_EQ(r.GetHistogram("c"), nullptr);
+  ASSERT_NE(r.GetHistogram("h"), nullptr);
+  EXPECT_EQ(r.GetCounter("h"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotFlattensAndSorts) {
+  Registry r;
+  r.GetCounter("z.count")->Add(5);
+  r.GetGauge("a.gauge")->Set(1.5);
+  Histogram* h = r.GetHistogram("m.lat");
+  h->Observe(0.001);
+  h->Observe(0.002);
+  const auto snap = r.Snapshot();
+  // Sorted by name: a.gauge, m.lat.*, z.count.
+  ASSERT_GE(snap.size(), 7u);
+  EXPECT_EQ(snap.front().first, "a.gauge");
+  EXPECT_EQ(snap.back().first, "z.count");
+  EXPECT_EQ(snap.back().second, 5.0);
+  bool saw_count = false, saw_p99 = false;
+  for (const auto& [name, value] : snap) {
+    if (name == "m.lat.count") {
+      saw_count = true;
+      EXPECT_EQ(value, 2.0);
+    }
+    if (name == "m.lat.p99_s") saw_p99 = true;
+  }
+  EXPECT_TRUE(saw_count);
+  EXPECT_TRUE(saw_p99);
+}
+
+TEST(RegistryTest, RenderMentionsEveryName) {
+  Registry r;
+  r.GetCounter("alpha")->Add();
+  r.GetGauge("beta")->Set(2.0);
+  const std::string text = r.Render();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+}
+
+// Concurrency: registration races and hot-path increments from many threads.
+// Run under TSan (ctest preset tsan) to verify the lock discipline.
+TEST(RegistryTest, ConcurrentRegistrationAndIncrements) {
+  Registry r;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r] {
+      Counter* c = r.GetCounter("shared.counter");
+      Histogram* h = r.GetHistogram("shared.hist");
+      ASSERT_NE(c, nullptr);
+      ASSERT_NE(h, nullptr);
+      for (int i = 0; i < kIncrements; ++i) {
+        c->Add();
+        h->Observe(1e-3);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(r.GetCounter("shared.counter")->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  const Histogram::Snapshot s = r.GetHistogram("shared.hist")->snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_NEAR(s.sum, kThreads * kIncrements * 1e-3, 1e-6);
+}
+
+TEST(RegistryTest, GlobalRegistryIsAProcessSingleton) {
+  EXPECT_EQ(&GlobalRegistry(), &GlobalRegistry());
+}
+
+// ---------------------------------------------------------------------------
+// QueryTrace
+
+TEST(QueryTraceTest, MergeIsAdditive) {
+  QueryTrace a, b;
+  a.parse_s = 0.001;
+  a.index_candidates = 10;
+  a.refine_checks = 10;
+  a.refine_survivors = 4;
+  a.queries = 1;
+  b.parse_s = 0.002;
+  b.index_candidates = 5;
+  b.queries = 1;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.parse_s, 0.003);
+  EXPECT_EQ(a.index_candidates, 15u);
+  EXPECT_EQ(a.queries, 2u);
+}
+
+TEST(QueryTraceTest, Ratios) {
+  QueryTrace t;
+  EXPECT_EQ(t.RefineRatio(), 0.0);
+  EXPECT_EQ(t.FilterRatio(), 0.0);
+  t.index_candidates = 100;
+  t.refine_checks = 80;
+  t.refine_survivors = 20;
+  EXPECT_DOUBLE_EQ(t.RefineRatio(), 0.25);
+  EXPECT_DOUBLE_EQ(t.FilterRatio(), 0.20);
+}
+
+TEST(QueryTraceTest, EntriesRoundTrip) {
+  QueryTrace t;
+  t.parse_s = 0.5;
+  t.plan_s = 0.25;
+  t.exec_s = 1.0;
+  t.total_s = 1.75;
+  t.queries = 3;
+  t.rows_scanned = 11;
+  t.index_probes = 2;
+  t.index_nodes_visited = 7;
+  t.index_candidates = 40;
+  t.refine_checks = 40;
+  t.refine_survivors = 13;
+  t.rows_examined = 41;
+  t.rows_returned = 13;
+  const QueryTrace back = QueryTrace::FromEntries(t.ToEntries());
+  EXPECT_DOUBLE_EQ(back.parse_s, t.parse_s);
+  EXPECT_DOUBLE_EQ(back.total_s, t.total_s);
+  EXPECT_EQ(back.queries, t.queries);
+  EXPECT_EQ(back.rows_scanned, t.rows_scanned);
+  EXPECT_EQ(back.index_probes, t.index_probes);
+  EXPECT_EQ(back.index_nodes_visited, t.index_nodes_visited);
+  EXPECT_EQ(back.index_candidates, t.index_candidates);
+  EXPECT_EQ(back.refine_checks, t.refine_checks);
+  EXPECT_EQ(back.refine_survivors, t.refine_survivors);
+  EXPECT_EQ(back.rows_examined, t.rows_examined);
+  EXPECT_EQ(back.rows_returned, t.rows_returned);
+}
+
+TEST(QueryTraceTest, FromEntriesIgnoresUnknownNames) {
+  const QueryTrace t = QueryTrace::FromEntries(
+      {{"queries", 2.0}, {"some.future.field", 99.0}});
+  EXPECT_EQ(t.queries, 2u);
+  EXPECT_EQ(t.rows_scanned, 0u);
+}
+
+TEST(QueryTraceTest, ResetZeroesEverything) {
+  QueryTrace t;
+  t.queries = 5;
+  t.exec_s = 1.0;
+  t.Reset();
+  EXPECT_EQ(t.queries, 0u);
+  EXPECT_EQ(t.exec_s, 0.0);
+}
+
+TEST(QueryTraceTest, ToStringMentionsCoreCounters) {
+  QueryTrace t;
+  t.queries = 1;
+  t.index_candidates = 7;
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("candidates"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Json
+
+TEST(JsonTest, ScalarRoundTrips) {
+  EXPECT_EQ(Json::Null().Dump(), "null");
+  EXPECT_EQ(Json::Bool(true).Dump(), "true");
+  EXPECT_EQ(Json::Bool(false).Dump(), "false");
+  EXPECT_EQ(Json::Int(42).Dump(), "42");
+  EXPECT_EQ(Json::Int(-7).Dump(), "-7");
+  EXPECT_EQ(Json::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, IntegersStayExact) {
+  // 2^53 - 1: the largest integer every double represents exactly, and
+  // larger than any counter the harness realistically exports.
+  const int64_t big = (int64_t{1} << 53) - 1;
+  auto parsed = Json::Parse(Json::Int(big).Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(static_cast<int64_t>(parsed->number_value()), big);
+}
+
+TEST(JsonTest, StringEscapes) {
+  const Json v = Json::Str("a\"b\\c\nd\te");
+  auto parsed = Json::Parse(v.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonTest, UnicodeEscapeDecodes) {
+  auto parsed = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "A\xc3\xa9");  // "Aé" in UTF-8
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json o = Json::Object();
+  o.Set("zebra", Json::Int(1));
+  o.Set("apple", Json::Int(2));
+  EXPECT_EQ(o.Dump(), "{\"zebra\":1,\"apple\":2}");
+  // Set on an existing key replaces in place, keeping position.
+  o.Set("zebra", Json::Int(3));
+  EXPECT_EQ(o.Dump(), "{\"zebra\":3,\"apple\":2}");
+}
+
+TEST(JsonTest, ObjectAccessors) {
+  Json o = Json::Object();
+  o.Set("k", Json::Str("v"));
+  EXPECT_TRUE(o.Has("k"));
+  EXPECT_FALSE(o.Has("missing"));
+  EXPECT_EQ(o.Get("k").string_value(), "v");
+  EXPECT_TRUE(o.Get("missing").is_null());
+}
+
+TEST(JsonTest, NestedDocumentRoundTrips) {
+  Json root = Json::Object();
+  root.Set("title", Json::Str("report"));
+  Json& arr = root.Set("values", Json::Array());
+  for (int i = 0; i < 3; ++i) {
+    Json& item = arr.Append(Json::Object());
+    item.Set("i", Json::Int(i));
+    item.Set("half", Json::Number(i / 2.0));
+  }
+  const std::string compact = root.Dump();
+  const std::string pretty = root.Dump(/*pretty=*/true);
+  for (const std::string& text : {compact, pretty}) {
+    auto parsed = Json::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->Get("title").string_value(), "report");
+    const Json& values = parsed->Get("values");
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_EQ(values.at(2).Get("i").number_value(), 2.0);
+    EXPECT_EQ(values.at(1).Get("half").number_value(), 0.5);
+  }
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  const char* bad[] = {
+      "",           "{",        "[1,]",       "{\"a\":}",  "tru",
+      "\"unterminated", "1 2",  "{\"a\" 1}",  "[1 2]",     "\"\\x\"",
+      "nullx",      "1.2.3",
+  };
+  for (const char* text : bad) {
+    auto parsed = Json::Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << text;
+    }
+  }
+}
+
+TEST(JsonTest, ParseCapsNestingDepth) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  auto parsed = Json::Parse(deep);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(JsonTest, ParseAcceptsSurroundingWhitespace) {
+  auto parsed = Json::Parse("  {\"a\": [1, 2.5, true, null]}  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("a").size(), 4u);
+}
+
+}  // namespace
+}  // namespace jackpine::obs

@@ -329,6 +329,130 @@ TEST(PayloadTest, TrailingBytesAreRejected) {
   EXPECT_FALSE(DecodeHello(payload).ok());
 }
 
+// --- Stats frames -------------------------------------------------------
+
+TEST(PayloadTest, StatsRequestRoundTripsBothScopes) {
+  for (StatsScope scope : {StatsScope::kGlobal, StatsScope::kSession}) {
+    auto back = DecodeStatsRequest(EncodeStatsRequest({scope}));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->scope, scope);
+  }
+}
+
+TEST(PayloadTest, StatsRequestRejectsUnknownScope) {
+  std::string payload(1, '\x07');
+  EXPECT_FALSE(DecodeStatsRequest(payload).ok());
+  EXPECT_FALSE(DecodeStatsRequest("").ok());
+  // Trailing bytes after the scope byte are a protocol violation too.
+  EXPECT_FALSE(DecodeStatsRequest(std::string("\x00\x00", 2)).ok());
+}
+
+TEST(PayloadTest, StatsReplyRoundTrip) {
+  StatsReplyMsg msg;
+  msg.entries = {{"server.queries", 42.0},
+                 {"engine.query_latency_s.p99_s", 0.0125},
+                 {"", -1.0}};  // empty names and negatives survive
+  auto back = DecodeStatsReply(EncodeStatsReply(msg));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->entries.size(), 3u);
+  EXPECT_EQ(back->entries[0].first, "server.queries");
+  EXPECT_EQ(back->entries[0].second, 42.0);
+  EXPECT_EQ(back->entries[1].second, 0.0125);
+  EXPECT_EQ(back->entries[2].second, -1.0);
+}
+
+TEST(PayloadTest, StatsReplyBoundsCountAgainstPayload) {
+  // A reply claiming more entries than its bytes could hold must fail before
+  // any allocation sized from the hostile count.
+  std::string payload;
+  payload += '\xff';
+  payload += '\xff';
+  payload += '\xff';
+  payload += '\xff';  // count = 2^32 - 1
+  EXPECT_FALSE(DecodeStatsReply(payload).ok());
+}
+
+TEST(PayloadTest, StatsReplyTruncationFailsCleanly) {
+  StatsReplyMsg msg;
+  msg.entries = {{"a", 1.0}, {"bb", 2.0}};
+  const std::string payload = EncodeStatsReply(msg);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeStatsReply(std::string_view(payload.data(), len)).ok())
+        << "accepted prefix of length " << len;
+  }
+}
+
+TEST(PayloadTest, StatsFrameTypePassesTheDecoder) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(FrameType::kStats,
+                           EncodeStatsRequest({StatsScope::kGlobal})));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->type, FrameType::kStats);
+}
+
+// --- rows_examined: the optional trailing field on the header batch ------
+
+TEST(PayloadTest, RowsExaminedRoundTripsOnHeaderBatch) {
+  ResultBatchMsg msg;
+  msg.last = true;
+  msg.has_header = true;
+  msg.columns = {"a"};
+  msg.rows = {engine::Row{engine::Value::Int(7)}};
+  msg.rows_examined = 12345;
+  auto back = DecodeResultBatch(EncodeResultBatch(msg));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->rows_examined, 12345u);
+}
+
+TEST(PayloadTest, ZeroRowsExaminedKeepsLegacyEncoding) {
+  // rows_examined == 0 is not emitted, so the frame is byte-identical to the
+  // pre-stats encoding and a pre-stats peer still decodes it.
+  ResultBatchMsg legacy;
+  legacy.last = true;
+  legacy.has_header = true;
+  legacy.columns = {"a"};
+  const std::string with_zero = EncodeResultBatch(legacy);
+  ResultBatchMsg explicit_zero = legacy;
+  explicit_zero.rows_examined = 0;
+  EXPECT_EQ(EncodeResultBatch(explicit_zero), with_zero);
+  auto back = DecodeResultBatch(with_zero);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows_examined, 0u);
+}
+
+TEST(PayloadTest, RowsExaminedIgnoredOnContinuationBatches) {
+  // Only the header batch carries the count; continuation batches never
+  // grow a trailing field, so old peers keep parsing them.
+  ResultBatchMsg msg;
+  msg.last = true;
+  msg.has_header = false;
+  msg.rows_examined = 99;
+  auto back = DecodeResultBatch(EncodeResultBatch(msg));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows_examined, 0u);
+}
+
+TEST(StreamTest, RowsExaminedSurvivesReassembly) {
+  engine::QueryResult result = SampleResult(10);
+  result.rows_examined = 777;
+  const std::vector<std::string> frames = EncodeResultFrames(result, 4);
+  FrameDecoder decoder;
+  ResultAssembler assembler;
+  for (const std::string& wire : frames) decoder.Feed(wire);
+  while (!assembler.done()) {
+    auto frame = decoder.Next();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(frame->has_value());
+    auto batch = DecodeResultBatch((*frame)->payload);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(assembler.Add(std::move(*batch)).ok());
+  }
+  EXPECT_EQ(assembler.Take().rows_examined, 777u);
+}
+
 // --- Result streaming --------------------------------------------------
 
 TEST(StreamTest, BatchesAndReassemblesLosslessly) {
