@@ -10,7 +10,7 @@
 //                                     [--overload-clients N]
 //                                     [--overload-rounds R]
 //                                     [--retry-budget TOKENS]
-//                                     [--json PATH]
+//                                     [--json PATH] [--trace-out PATH]
 //
 // --suts entries are either local SUT names (pine-rtree, ...) or remote
 // endpoints of a running pinedb server (tcp://host:port/sut); remote entries
@@ -34,6 +34,12 @@
 // trace, scenario and overload result — as a schema_version-1 JSON document
 // (see DESIGN.md "Observability"), the machine-readable companion to the
 // printed tables.
+//
+// --trace-out PATH turns on span tracing and writes the merged client+server
+// timeline as Chrome trace-event JSON — open it in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Against a remote SUT the
+// server-side spans arrive over the wire and are clock-offset-corrected
+// onto the client timeline (DESIGN.md "Observability").
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +54,7 @@
 #include "core/report.h"
 #include "core/runner.h"
 #include "net/remote_driver.h"
+#include "obs/span.h"
 
 using namespace jackpine;  // example code; the library itself never does this
 
@@ -65,6 +72,7 @@ int main(int argc, char** argv) {
   double retry_budget = 0.0;
   bool no_load = false;
   std::string json_path;
+  std::string trace_path;
   std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
                                         "pine-scan"};
   for (int i = 1; i < argc; ++i) {
@@ -94,17 +102,27 @@ int main(int argc, char** argv) {
       no_load = true;
     } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b] "
                    "[--deadline SEC] [--chaos seed,rate,latency_ms] "
                    "[--throughput-clients N] [--throughput-rounds R] "
                    "[--overload-clients N] [--overload-rounds R] "
-                   "[--retry-budget TOKENS] [--no-load] [--json PATH]\n"
+                   "[--retry-budget TOKENS] [--no-load] [--json PATH] "
+                   "[--trace-out PATH]\n"
                    "  --suts entries: local SUT names or tcp://host:port/sut\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  if (!trace_path.empty()) {
+    // Enable before any connection opens so client.connect spans and the
+    // Hello trace negotiation (against remote SUTs) are captured too.
+    obs::GlobalSpanRecorder().set_enabled(true);
+    config.limits.spans = &obs::GlobalSpanRecorder();
   }
 
   tigergen::TigerGenOptions gen;
@@ -251,6 +269,23 @@ int main(int argc, char** argv) {
     std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote JSON report to %s\n", json_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::SpanRecorder& recorder = obs::GlobalSpanRecorder();
+    const std::vector<obs::SpanRecord> spans = recorder.Drain();
+    const std::string doc = obs::SpansToChromeTrace(spans).Dump(true);
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote Chrome trace (%zu spans, %llu dropped) to %s\n",
+                spans.size(),
+                static_cast<unsigned long long>(recorder.dropped()),
+                trace_path.c_str());
   }
   return 0;
 }

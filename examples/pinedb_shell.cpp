@@ -9,6 +9,8 @@
 //   \tables          list tables
 //   \stats           session trace + engine counters since the last \stats,
 //                    then the process-wide metrics registry
+//   \prom            the metrics registry in Prometheus text exposition
+//                    format (counters, gauges, histogram buckets)
 //   \timing on|off   toggle per-query timing (default on)
 //   \quit            exit
 
@@ -72,7 +74,7 @@ int main(int argc, char** argv) {
                 sut.c_str());
   }
   std::printf("tables: county, edges, pointlm, arealm, areawater\n");
-  std::printf("type SQL, or \\tables \\stats \\timing \\quit\n");
+  std::printf("type SQL, or \\tables \\stats \\prom \\timing \\quit\n");
 
   client::Statement stmt = conn.CreateStatement();
   // Accumulates across queries; \stats prints and resets it.
@@ -108,6 +110,12 @@ int main(int argc, char** argv) {
       std::printf("%s", obs::GlobalRegistry().Render().c_str());
       session_trace.Reset();
       conn.database().ResetStats();
+      continue;
+    }
+    if (input == "\\prom") {
+      // In-process exposition: full histogram bucket structure, unlike the
+      // flattened `pinedb stats --prom` wire scrape.
+      std::printf("%s", obs::GlobalRegistry().RenderProm().c_str());
       continue;
     }
     if (StartsWith(input, "\\timing")) {

@@ -4,8 +4,33 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "obs/span.h"
 
 namespace jackpine::client {
+
+namespace {
+
+// Breaker flips become instant spans on the global recorder (trace 0: they
+// belong to the connection, not to any one query) so a trace export shows
+// when the breaker changed state relative to the query timeline. The
+// recorder's shard mutex is a leaf lock, safe to take under the breaker's.
+void RecordTransition(const char* from, const char* to, int failures) {
+  obs::SpanRecorder& recorder = obs::GlobalSpanRecorder();
+  if (!recorder.enabled()) return;
+  obs::SpanRecord span;
+  span.span_id = recorder.NewSpanId();
+  span.thread = obs::CurrentThreadLane();
+  span.start_s = obs::SpanNowS();
+  span.end_s = span.start_s;
+  span.name = "client.breaker";
+  span.annotations.emplace_back("from", from);
+  span.annotations.emplace_back("to", to);
+  span.annotations.emplace_back("consecutive_failures",
+                                StrFormat("%d", failures));
+  recorder.Record(std::move(span));
+}
+
+}  // namespace
 
 Status CircuitBreaker::Admit() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -16,6 +41,7 @@ Status CircuitBreaker::Admit() {
   if (state_ == State::kOpen && now - opened_at_ >= cooldown) {
     state_ = State::kHalfOpen;
     probe_in_flight_ = false;
+    RecordTransition("open", "half_open", consecutive_failures_);
   }
   if (state_ == State::kHalfOpen && !probe_in_flight_) {
     probe_in_flight_ = true;  // this caller is the probe
@@ -45,6 +71,10 @@ Status CircuitBreaker::Admit() {
 
 void CircuitBreaker::OnSuccess() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kClosed) {
+    RecordTransition(state_ == State::kOpen ? "open" : "half_open", "closed",
+                     consecutive_failures_);
+  }
   state_ = State::kClosed;
   consecutive_failures_ = 0;
   probe_in_flight_ = false;
@@ -59,6 +89,10 @@ void CircuitBreaker::OnFailure(const Status& status) {
     // A shed is a live server's admission control answering: the transport
     // works, so a shed settles a half-open probe by closing the breaker and
     // never feeds the streak.
+    if (state_ != State::kClosed) {
+      RecordTransition(state_ == State::kOpen ? "open" : "half_open",
+                       "closed", consecutive_failures_);
+    }
     state_ = State::kClosed;
     consecutive_failures_ = 0;
     probe_in_flight_ = false;
@@ -76,6 +110,7 @@ void CircuitBreaker::OnFailure(const Status& status) {
       opened_at_ = Clock::now();
       probe_in_flight_ = false;
       ++opens_;
+      RecordTransition("half_open", "open", consecutive_failures_);
     }
     return;
   }
@@ -83,6 +118,8 @@ void CircuitBreaker::OnFailure(const Status& status) {
   if (state_ == State::kHalfOpen ||
       (state_ == State::kClosed &&
        consecutive_failures_ >= options_.failure_threshold)) {
+    RecordTransition(state_ == State::kHalfOpen ? "half_open" : "closed",
+                     "open", consecutive_failures_);
     state_ = State::kOpen;
     opened_at_ = Clock::now();
     probe_in_flight_ = false;

@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 
 namespace jackpine::client {
 
@@ -22,6 +24,26 @@ class LocalSession : public DriverSession {
 
   Result<engine::QueryResult> ExecuteQuery(std::string_view sql,
                                            const ExecLimits& limits) override {
+    const bool span_traced = limits.spans != nullptr &&
+                             limits.spans->enabled() && limits.trace_id != 0;
+    if (span_traced) {
+      // Local engines trace too: the execution becomes an engine.exec span
+      // whose parse/plan/exec children come from the stage clock, so a
+      // local run and a remote run yield the same span shapes (minus the
+      // wire spans). The stage times land in a scratch trace first so they
+      // can feed both the span timeline and the caller's trace sink.
+      obs::QueryTrace scratch;
+      ExecLimits span_limits = limits;
+      span_limits.trace = &scratch;
+      ExecContext exec(span_limits);
+      obs::Span span = limits.spans->StartSpan(
+          "engine.exec", limits.trace_id, limits.parent_span_id);
+      Result<engine::QueryResult> result = db_->Execute(sql, &exec);
+      obs::RecordStageSpans(limits.spans, limits.trace_id, span.span_id(),
+                            span.start_s(), scratch);
+      if (limits.trace != nullptr) *limits.trace += scratch;
+      return result;
+    }
     ExecContext exec(limits);
     // A trace sink forces a real context even with no limits set, so the
     // engine has somewhere to record the stage times.

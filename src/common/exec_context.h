@@ -25,6 +25,7 @@
 
 namespace jackpine::obs {
 struct QueryTrace;
+class SpanRecorder;
 }  // namespace jackpine::obs
 
 namespace jackpine {
@@ -42,6 +43,14 @@ struct ExecLimits {
   // Optional stage/pipeline trace sink (obs/trace.h); not a limit, so it
   // does not affect Unlimited(). The pointee must outlive the execution.
   obs::QueryTrace* trace = nullptr;
+  // Optional span sink plus propagated trace context (obs/span.h): when
+  // `spans` is set and trace_id is nonzero, the driver layers record
+  // send/recv/attempt/engine-stage spans under parent_span_id, all sharing
+  // trace_id. Like `trace`, not limits — Unlimited() ignores them. The
+  // recorder must outlive the execution.
+  obs::SpanRecorder* spans = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 
   bool Unlimited() const {
     return deadline_s <= 0.0 && max_rows == 0 && max_result_bytes == 0 &&

@@ -252,6 +252,19 @@ obs::Json TimingToJson(const TimingStats& t) {
   o.Set("p95_s", obs::Json::Number(t.p95_s));
   o.Set("p99_s", obs::Json::Number(t.p99_s));
   o.Set("stddev_s", obs::Json::Number(t.stddev_s));
+  // Additive within schema_version 1 (DESIGN.md "Observability"): bucket
+  // upper bounds plus per-bucket counts, with one overflow slot beyond the
+  // last bound. Absent (empty arrays) when the timing had no samples.
+  if (!t.hist_bounds_s.empty()) {
+    obs::Json bounds = obs::Json::Array();
+    for (double b : t.hist_bounds_s) bounds.Append(obs::Json::Number(b));
+    obs::Json counts = obs::Json::Array();
+    for (uint64_t c : t.hist_counts) {
+      counts.Append(obs::Json::Int(static_cast<int64_t>(c)));
+    }
+    o.Set("hist_bounds_s", std::move(bounds));
+    o.Set("hist_counts", std::move(counts));
+  }
   return o;
 }
 

@@ -8,6 +8,8 @@
 
 #include "common/random.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "obs/span.h"
 
 namespace jackpine::core {
 
@@ -72,11 +74,29 @@ Result<client::ResultSet> ExecuteWithRetry(client::Statement* stmt,
                                            const RetryPolicy& policy, Rng* rng,
                                            RetryOutcome* outcome) {
   const int allowed = std::max(policy.max_attempts, 1);
+  // When the statement carries trace context, each try becomes a
+  // client.attempt span under the caller's root span, and the driver layers
+  // below parent their rpc/send/recv spans under the attempt. Backoff sleeps
+  // fall between attempt spans, so retries show up as gaps in the timeline.
+  const ExecLimits base_limits = stmt->exec_limits();
+  const bool traced = base_limits.spans != nullptr &&
+                      base_limits.spans->enabled() &&
+                      base_limits.trace_id != 0;
   for (int attempt = 1;; ++attempt) {
     ++outcome->attempts;
+    obs::Span attempt_span;
+    if (traced) {
+      attempt_span = base_limits.spans->StartSpan(
+          "client.attempt", base_limits.trace_id, base_limits.parent_span_id);
+      attempt_span.Annotate("attempt", StrFormat("%d", attempt));
+      ExecLimits attempt_limits = base_limits;
+      attempt_limits.parent_span_id = attempt_span.span_id();
+      stmt->SetExecLimits(attempt_limits);
+    }
     Stopwatch watch;
     Result<client::ResultSet> rs = stmt->ExecuteQuery(sql);
     outcome->last_attempt_s = watch.ElapsedSeconds();
+    attempt_span.End();
     if (rs.ok()) {
       if (policy.budget) policy.budget->OnSuccess();
       return rs;
@@ -145,11 +165,29 @@ RunResult RunQuery(client::Connection* connection, const QuerySpec& spec,
     }
   }
   // Trace the measured repetitions only: attaching after warmup keeps the
-  // warm-up executions out of the stage/ratio accounting.
+  // warm-up executions out of the stage/ratio accounting. The same applies
+  // to spans — each measured repetition becomes one trace, rooted at a
+  // client.query span that the attempt/rpc/server spans all hang under.
   stmt.SetTrace(&out.trace);
+  obs::SpanRecorder* recorder =
+      config.limits.spans != nullptr && config.limits.spans->enabled()
+          ? config.limits.spans
+          : nullptr;
   std::vector<double> seconds;
   bool failed = false;
   for (int r = 0; r < config.repetitions; ++r) {
+    obs::Span root;
+    if (recorder != nullptr) {
+      ExecLimits rep_limits = config.limits;
+      rep_limits.trace = &out.trace;
+      rep_limits.trace_id = recorder->NewTraceId();
+      root = recorder->StartSpan("client.query", rep_limits.trace_id);
+      root.Annotate("query", spec.id);
+      root.Annotate("sut", out.sut);
+      root.Annotate("rep", StrFormat("%d", r));
+      rep_limits.parent_span_id = root.span_id();
+      stmt.SetExecLimits(rep_limits);
+    }
     RetryOutcome outcome;
     auto rs = ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
     Accumulate(outcome, &out);

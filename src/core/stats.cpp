@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace jackpine::core {
 
@@ -29,6 +30,18 @@ TimingStats Summarize(std::vector<double> seconds) {
   double var = 0.0;
   for (double v : seconds) var += (v - s.mean_s) * (v - s.mean_s);
   s.stddev_s = std::sqrt(var / static_cast<double>(s.count));
+  // Bin into the registry's standard latency buckets (le semantics: a
+  // sample lands in the first bucket whose bound is >= it; the overflow
+  // slot catches the rest). The samples are sorted, so upper_bound walks
+  // monotonically.
+  s.hist_bounds_s = obs::Histogram::DefaultLatencyBounds();
+  s.hist_counts.assign(s.hist_bounds_s.size() + 1, 0);
+  for (double v : seconds) {
+    const size_t bucket = static_cast<size_t>(
+        std::lower_bound(s.hist_bounds_s.begin(), s.hist_bounds_s.end(), v) -
+        s.hist_bounds_s.begin());
+    ++s.hist_counts[bucket];
+  }
   return s;
 }
 

@@ -3,6 +3,7 @@
 #ifndef JACKPINE_CORE_STATS_H_
 #define JACKPINE_CORE_STATS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,14 @@ struct TimingStats {
   double p95_s = 0.0;
   double p99_s = 0.0;
   double stddev_s = 0.0;
+  // Latency histogram over the same samples, binned into the registry's
+  // standard latency buckets (obs::Histogram::DefaultLatencyBounds) so a
+  // report histogram and a scraped metrics histogram line up bucket for
+  // bucket. hist_counts has one extra slot for samples above the last
+  // bound; counts are per-bucket, not cumulative. Empty input leaves both
+  // empty.
+  std::vector<double> hist_bounds_s;
+  std::vector<uint64_t> hist_counts;
 
   std::string ToString() const;  // "mean 1.23ms (p50 1.1, p95 2.0, p99 2.4)"
 };

@@ -6,7 +6,7 @@
 //                [--queue-timeout-ms N] [--retry-after-ms N]
 //                [--idle-timeout-s S] [--send-timeout-s S]
 //                [--chaos SEED,RATE,LATENCY_MS]
-//   pinedb stats [--host H] [--port P] [--session]
+//   pinedb stats [--host H] [--port P] [--session] [--prom]
 //
 // --preload generates the TIGER-like dataset (same generator and defaults as
 // benchmark_runner, so a given --scale/--seed pair yields the identical
@@ -29,7 +29,10 @@
 // registry. --session scrapes the scraper's own (empty) session trace,
 // which is mostly useful for protocol debugging. CI greps this output
 // after the overload smoke run to assert sheds and queue depth were
-// actually exercised.
+// actually exercised. --prom renders the same scrape in Prometheus text
+// exposition format (`# TYPE` lines, jackpine_-prefixed sanitized names)
+// so `pinedb stats --prom | curl`-style pipelines and node_exporter's
+// textfile collector can ingest it directly.
 
 #include <atomic>
 #include <chrono>
@@ -46,6 +49,7 @@
 #include "core/report.h"
 #include "net/remote_driver.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 
 using namespace jackpine;  // binary code; the library itself never does this
 
@@ -64,7 +68,7 @@ int Usage(const char* argv0) {
                "                [--queue-timeout-ms N] [--retry-after-ms N]\n"
                "                [--idle-timeout-s S] [--send-timeout-s S]\n"
                "                [--chaos SEED,RATE,LATENCY_MS]\n"
-               "       %s stats [--host H] [--port P] [--session]\n",
+               "       %s stats [--host H] [--port P] [--session] [--prom]\n",
                argv0, argv0);
   return 2;
 }
@@ -75,6 +79,7 @@ int RunStats(int argc, char** argv) {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
   net::StatsScope scope = net::StatsScope::kGlobal;
+  bool prom = false;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
       host = argv[++i];
@@ -82,6 +87,8 @@ int RunStats(int argc, char** argv) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
     } else if (!std::strcmp(argv[i], "--session")) {
       scope = net::StatsScope::kSession;
+    } else if (!std::strcmp(argv[i], "--prom")) {
+      prom = true;
     } else {
       return Usage(argv[0]);
     }
@@ -95,6 +102,13 @@ int RunStats(int argc, char** argv) {
     std::fprintf(stderr, "pinedb stats: %s\n",
                  entries.status().ToString().c_str());
     return 1;
+  }
+  if (prom) {
+    // The scrape crosses the wire as flat entries, so every sample renders
+    // as a gauge — histogram bucket structure is exact only in-process
+    // (pinedb_shell's \prom); the bucket entries still carry their counts.
+    std::fputs(obs::RenderPromEntries(*entries).c_str(), stdout);
+    return 0;
   }
   for (const auto& [name, value] : *entries) {
     std::printf("%s %.9g\n", name.c_str(), value);

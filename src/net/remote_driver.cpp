@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace jackpine::net {
@@ -25,10 +26,34 @@ class RemoteSession : public client::DriverSession {
                 std::shared_ptr<client::CircuitBreaker> breaker)
       : socket_(std::move(socket)), breaker_(std::move(breaker)) {}
 
-  // Connect + Hello/Hello handshake.
+  // Connect + Hello/Hello handshake. When span tracing is on globally the
+  // Hello asks the server for tracing; a pre-span server rejects the
+  // trailing flags byte as a parse error, so the client falls back once to
+  // a legacy Hello and keeps its spans client-side only.
   static Result<std::shared_ptr<client::DriverSession>> Open(
       const client::RemoteEndpoint& endpoint,
       std::shared_ptr<client::CircuitBreaker> breaker) {
+    obs::SpanRecorder& recorder = obs::GlobalSpanRecorder();
+    obs::Span connect;
+    if (recorder.enabled()) {
+      connect = recorder.StartSpan("client.connect");
+      connect.Annotate("host", endpoint.host);
+      connect.Annotate("port", StrFormat("%u", unsigned{endpoint.port}));
+    }
+    const bool want_trace = recorder.enabled();
+    Result<std::shared_ptr<client::DriverSession>> session =
+        OpenOnce(endpoint, breaker, want_trace);
+    if (!session.ok() && want_trace &&
+        session.status().code() == StatusCode::kParseError) {
+      connect.Annotate("trace_fallback", "1");
+      session = OpenOnce(endpoint, breaker, /*want_trace=*/false);
+    }
+    return session;
+  }
+
+  static Result<std::shared_ptr<client::DriverSession>> OpenOnce(
+      const client::RemoteEndpoint& endpoint,
+      std::shared_ptr<client::CircuitBreaker> breaker, bool want_trace) {
     JACKPINE_ASSIGN_OR_RETURN(Socket socket,
                               Socket::Connect(endpoint.host, endpoint.port));
     auto session =
@@ -36,10 +61,17 @@ class RemoteSession : public client::DriverSession {
     HelloMsg hello;
     hello.sut = endpoint.sut;
     hello.peer_info = "jackpine-client/1";
+    if (want_trace) hello.trace_flags = HelloMsg::kWantTrace;
     JACKPINE_RETURN_IF_ERROR(session->socket_.SetRecvTimeout(10.0));
+    // NTP-style clock sample around the handshake round trip: the server
+    // stamps its span clock into the ack, which this client pairs with the
+    // send/receive midpoint to estimate the per-connection offset used to
+    // shift server spans onto the client timeline (obs::ShiftSpans).
+    const double t0 = obs::SpanNowS();
     JACKPINE_ASSIGN_OR_RETURN(
         Frame reply,
         session->RoundTripFrame(FrameType::kHello, EncodeHello(hello)));
+    const double t1 = obs::SpanNowS();
     if (reply.type == FrameType::kError) {
       JACKPINE_ASSIGN_OR_RETURN(ErrorMsg err, DecodeError(reply.payload));
       // Re-wrap with context but keep the retry hint: a shed at handshake
@@ -57,6 +89,10 @@ class RemoteSession : public client::DriverSession {
       return Status::InvalidArgument(StrFormat(
           "protocol: server speaks version %u, client speaks %u",
           ack.protocol_version, kProtocolVersion));
+    }
+    if (want_trace && (ack.trace_flags & HelloMsg::kHasServerTime) != 0) {
+      session->peer_traces_ = true;
+      session->clock_offset_s_ = ack.server_time_s - (t0 + t1) / 2.0;
     }
     return std::shared_ptr<client::DriverSession>(std::move(session));
   }
@@ -93,7 +129,25 @@ class RemoteSession : public client::DriverSession {
     msg.deadline_s = limits.deadline_s;
     msg.max_rows = limits.max_rows;
     msg.max_result_bytes = limits.max_result_bytes;
-    Result<engine::QueryResult> result = RoundTripQuery(type, msg);
+    // Span tracing: the rpc span covers the whole round trip; the trace
+    // context rides in the Query frame only when this session's Hello
+    // negotiated tracing, so a pre-span server never sees the trailing
+    // fields. Updates stay untraced — they are the fixture-load seam.
+    const bool traced = limits.spans != nullptr && limits.spans->enabled() &&
+                        limits.trace_id != 0 && type == FrameType::kQuery;
+    obs::Span rpc;
+    if (traced) {
+      rpc = limits.spans->StartSpan("client.rpc", limits.trace_id,
+                                    limits.parent_span_id);
+      if (peer_traces_) {
+        msg.trace_id = limits.trace_id;
+        msg.parent_span_id = rpc.span_id();
+      }
+    }
+    Result<engine::QueryResult> result =
+        RoundTripQuery(type, msg, traced ? limits.spans : nullptr,
+                       limits.trace_id, rpc.span_id());
+    rpc.End();
     // Trace propagation: the server recorded this query's trace session-side
     // (pipeline counters and stage times next to the data); one follow-up
     // Stats round trip folds it into the caller's sink, so SetTrace behaves
@@ -114,6 +168,23 @@ class RemoteSession : public client::DriverSession {
       // stands, and transport_failed_ (set by RoundTripFrame on a dead
       // stream) still routes through the breaker below.
     }
+    // Span shipping: drain the server session's spans and shift them onto
+    // the client timeline with the handshake-estimated clock offset. Same
+    // failure policy as the trace fetch — a lost fetch costs spans only.
+    if (result.ok() && traced && peer_traces_ && !transport_failed_) {
+      Result<Frame> reply = RoundTripFrame(
+          FrameType::kStats,
+          EncodeStatsRequest(StatsRequestMsg{StatsScope::kSpans}));
+      if (reply.ok() && reply->type == FrameType::kStats) {
+        if (Result<SpanListMsg> list = DecodeSpanList(reply->payload);
+            list.ok()) {
+          obs::ShiftSpans(&list->spans, clock_offset_s_, /*process=*/1);
+          for (obs::SpanRecord& span : list->spans) {
+            limits.spans->Record(std::move(span));
+          }
+        }
+      }
+    }
     // Transport-level failures poison the session: the stream position is
     // unknown, so the only safe recovery is a fresh connection. Server-side
     // engine errors (delivered as Error frames) leave it healthy — and prove
@@ -127,13 +198,27 @@ class RemoteSession : public client::DriverSession {
     return result;
   }
 
+  // `recorder` (nullable) receives client.send / client.recv child spans
+  // under `parent_span_id` when the caller is tracing this round trip.
   Result<engine::QueryResult> RoundTripQuery(FrameType type,
-                                             const QueryMsg& msg) {
+                                             const QueryMsg& msg,
+                                             obs::SpanRecorder* recorder,
+                                             uint64_t trace_id,
+                                             uint64_t parent_span_id) {
     const double timeout_s =
         msg.deadline_s > 0.0 ? msg.deadline_s + kDeadlineGraceS : 0.0;
     JACKPINE_RETURN_IF_ERROR(MarkTransport(socket_.SetRecvTimeout(timeout_s)));
+    obs::Span send;
+    if (recorder != nullptr) {
+      send = recorder->StartSpan("client.send", trace_id, parent_span_id);
+    }
     JACKPINE_RETURN_IF_ERROR(MarkTransport(
         socket_.SendAll(EncodeFrame(type, EncodeQuery(msg)))));
+    send.End();
+    obs::Span recv;
+    if (recorder != nullptr) {
+      recv = recorder->StartSpan("client.recv", trace_id, parent_span_id);
+    }
     ResultAssembler assembler;
     while (!assembler.done()) {
       JACKPINE_ASSIGN_OR_RETURN(Frame frame, NextFrame());
@@ -192,6 +277,10 @@ class RemoteSession : public client::DriverSession {
   std::mutex mu_;  // one in-flight request per session
   bool healthy_ = true;
   bool transport_failed_ = false;
+  // Hello-negotiated tracing capability and the clock offset estimated from
+  // that handshake: client_time = server_time - clock_offset_s_.
+  bool peer_traces_ = false;
+  double clock_offset_s_ = 0.0;
 };
 
 }  // namespace

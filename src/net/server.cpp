@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace jackpine::net {
@@ -31,9 +32,15 @@ Server::Server(ServerOptions options, client::Connection connection,
   if (options_.chaos.error_rate > 0.0 || options_.chaos.latency_ms > 0.0) {
     chaos_state_ = std::make_unique<client::ChaosState>(options_.chaos);
   }
+  query_latency_ =
+      obs::GlobalRegistry().GetHistogram("server.query_latency_s");
 }
 
 Result<std::unique_ptr<Server>> Server::Create(const ServerOptions& options) {
+  // Touch the global span recorder so obs.spans_dropped is registered from
+  // the start: `pinedb stats` shows the drop counter at zero instead of
+  // omitting it until the first overflowing session (no silent caps).
+  (void)obs::GlobalSpanRecorder();
   JACKPINE_ASSIGN_OR_RETURN(client::SutConfig sut,
                             client::SutByName(options.sut));
   client::Connection connection = client::Connection::Open(sut);
@@ -146,6 +153,7 @@ void Server::AcceptLoop() {
     }
     ReapFinishedSessions();
     Socket socket = std::move(accepted).value();
+    const auto accepted_at = std::chrono::steady_clock::now();
     bool enqueued = false;
     bool shed = false;
     {
@@ -154,7 +162,7 @@ void Server::AcceptLoop() {
       if (pending_.empty() && active_.load() < options_.max_sessions) {
         // Fast path; pending_ must be empty so queued connections keep
         // their FIFO position.
-        SpawnSessionLocked(std::move(socket));
+        SpawnSessionLocked(std::move(socket), accepted_at, /*queued=*/false);
       } else if (pending_.size() < options_.max_wait_queue) {
         // Admission queue: hold the connection until a slot frees instead
         // of bouncing it, so short bursts ride out with no shed at all.
@@ -207,8 +215,9 @@ void Server::DispatchLoop() {
     // Promote while there is room.
     while (!pending_.empty() && active_.load() < options_.max_sessions) {
       Socket socket = std::move(pending_.front().socket);
+      const auto enqueued_at = pending_.front().enqueued;
       pending_.pop_front();
-      SpawnSessionLocked(std::move(socket));
+      SpawnSessionLocked(std::move(socket), enqueued_at, /*queued=*/true);
     }
     if (stopping_.load()) return;
     if (pending_.empty() || options_.queue_timeout_s <= 0.0) {
@@ -239,9 +248,14 @@ void Server::Shed(Socket socket) {
   // The socket closes on scope exit.
 }
 
-void Server::SpawnSessionLocked(Socket socket) {
+void Server::SpawnSessionLocked(
+    Socket socket, std::chrono::steady_clock::time_point accepted_at,
+    bool queued) {
   auto session = std::make_unique<Session>();
   session->socket = std::move(socket);
+  session->accepted_at = accepted_at;
+  session->dispatched_at = std::chrono::steady_clock::now();
+  session->queued = queued;
   Session* raw = session.get();
   sessions_opened_.fetch_add(1);
   active_.fetch_add(1);
@@ -257,6 +271,13 @@ void Server::ServeSession(Session* session) {
   // reads the most recent query's stage/pipeline trace, which is what the
   // remote driver fetches to mirror a local SetTrace.
   obs::QueryTrace session_trace;
+  // Per-session span sink, enabled only when the client's Hello negotiated
+  // tracing; drained by a Stats(kSpans) request. Bounded: past capacity the
+  // recorder drops spans and charges obs.spans_dropped rather than growing.
+  obs::SpanRecorder spans(4096);
+  // The queue-wait span is attributed to the first traced query: the wait
+  // happened once, before the session existed, so it parents there.
+  bool queue_wait_reported = false;
   char buf[kRecvChunk];
 
   if (options_.idle_timeout_s > 0.0) {
@@ -339,6 +360,14 @@ void Server::ServeSession(Session* session) {
       HelloMsg reply;
       reply.sut = options_.sut;
       reply.peer_info = "pinedb/1";
+      if ((hello->trace_flags & HelloMsg::kWantTrace) != 0) {
+        // Capability ack plus one clock sample: the client combines this
+        // reading with its own send/receive times to estimate the per-
+        // connection clock offset (NTP-style midpoint; see obs/span.h).
+        reply.trace_flags = HelloMsg::kHasServerTime;
+        reply.server_time_s = obs::SpanNowS();
+        spans.set_enabled(true);
+      }
       handshake_ok = send_frame(FrameType::kHello, EncodeHello(reply));
     }
   }
@@ -353,6 +382,14 @@ void Server::ServeSession(Session* session) {
       if (!req.ok()) {
         (void)send_error(req.status());
         break;  // framing is suspect; isolate by ending this session only
+      }
+      if (req->scope == StatsScope::kSpans) {
+        // Ship-and-drain: the reply empties the session's span buffer, so
+        // repeated scrapes never resend a span.
+        SpanListMsg span_reply;
+        span_reply.spans = spans.Drain();
+        if (!send_frame(FrameType::kStats, EncodeSpanList(span_reply))) break;
+        continue;
       }
       StatsReplyMsg reply;
       reply.entries = req->scope == StatsScope::kSession
@@ -372,7 +409,10 @@ void Server::ServeSession(Session* session) {
       continue;
     }
 
+    const bool session_traced = spans.enabled();
+    const double decode_start_s = session_traced ? obs::SpanNowS() : 0.0;
     Result<QueryMsg> msg = DecodeQuery(frame->payload);
+    const double decode_end_s = session_traced ? obs::SpanNowS() : 0.0;
     if (!msg.ok()) {
       (void)send_error(msg.status());
       break;  // framing is suspect; isolate by ending this session only
@@ -392,6 +432,55 @@ void Server::ServeSession(Session* session) {
 
     const bool is_query = frame->type == FrameType::kQuery;
     (is_query ? queries_ : updates_).fetch_add(1);
+
+    // Root span of this query's server-side work, parented under the
+    // client's rpc span via the propagated trace context. A scope guard so
+    // every exit from this iteration — chaos shed, engine error, transport
+    // failure — still closes and records it.
+    const bool traced = session_traced && msg->trace_id != 0;
+    struct RootSpanGuard {
+      obs::SpanRecorder* rec = nullptr;
+      obs::SpanRecord span;
+      ~RootSpanGuard() {
+        if (rec == nullptr) return;
+        span.end_s = obs::SpanNowS();
+        rec->Record(std::move(span));
+      }
+    } root;
+    if (traced) {
+      root.span.trace_id = msg->trace_id;
+      root.span.span_id = spans.NewSpanId();
+      root.span.parent_id = msg->parent_span_id;
+      root.span.thread = obs::CurrentThreadLane();
+      root.span.start_s = decode_start_s;
+      root.span.name = is_query ? "server.query" : "server.update";
+      root.rec = &spans;
+
+      obs::SpanRecord decode;
+      decode.trace_id = msg->trace_id;
+      decode.span_id = spans.NewSpanId();
+      decode.parent_id = root.span.span_id;
+      decode.thread = root.span.thread;
+      decode.start_s = decode_start_s;
+      decode.end_s = decode_end_s;
+      decode.name = "server.decode";
+      spans.Record(std::move(decode));
+
+      if (!queue_wait_reported) {
+        queue_wait_reported = true;
+        obs::SpanRecord wait;
+        wait.trace_id = msg->trace_id;
+        wait.span_id = spans.NewSpanId();
+        wait.parent_id = root.span.span_id;
+        wait.thread = root.span.thread;
+        wait.start_s = obs::ToSpanSeconds(session->accepted_at);
+        wait.end_s = obs::ToSpanSeconds(session->dispatched_at);
+        wait.name = "server.queue_wait";
+        wait.annotations.emplace_back("queued",
+                                      session->queued ? "1" : "0");
+        spans.Record(std::move(wait));
+      }
+    }
 
     // Server-side chaos, mirroring the client layer's semantics: queries
     // only (updates are the fixture-load seam and must always land), the
@@ -432,6 +521,8 @@ void Server::ServeSession(Session* session) {
 
     engine::QueryResult result;
     Status exec_status;
+    const double exec_start_s = session_traced ? obs::SpanNowS() : 0.0;
+    const auto exec_started = std::chrono::steady_clock::now();
     if (is_query) {
       Result<client::ResultSet> rs = stmt.ExecuteQuery(msg->sql);
       if (rs.ok()) {
@@ -450,6 +541,31 @@ void Server::ServeSession(Session* session) {
         exec_status = affected.status();
       }
     }
+    if (is_query) {
+      query_latency_->Observe(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  exec_started)
+                                  .count());
+    }
+    if (traced) {
+      obs::SpanRecord exec;
+      exec.trace_id = msg->trace_id;
+      exec.span_id = spans.NewSpanId();
+      exec.parent_id = root.span.span_id;
+      exec.thread = root.span.thread;
+      exec.start_s = exec_start_s;
+      exec.end_s = obs::SpanNowS();
+      exec.name = "server.exec";
+      if (!exec_status.ok()) {
+        exec.annotations.emplace_back("error",
+                                      StatusCodeName(exec_status.code()));
+      }
+      // The engine's stage clock (parse/plan/exec) becomes child spans of
+      // the execution span, so the merged timeline reaches engine depth.
+      obs::RecordStageSpans(&spans, msg->trace_id, exec.span_id, exec_start_s,
+                            session_trace);
+      spans.Record(std::move(exec));
+    }
 
     if (!exec_status.ok()) {
       // Engine-level failure: answer and keep serving — one bad query must
@@ -461,7 +577,9 @@ void Server::ServeSession(Session* session) {
     rows_returned_.fetch_add(result.rows.size());
     const size_t batch_rows =
         msg->batch_rows > 0 ? msg->batch_rows : options_.batch_rows;
+    const double send_start_s = traced ? obs::SpanNowS() : 0.0;
     bool sent_ok = true;
+    size_t frames_sent = 0;
     for (const std::string& out : EncodeResultFrames(result, batch_rows)) {
       // Backpressure: SendAll blocks while the client drains earlier
       // batches, so result memory on both sides stays bounded by the batch
@@ -473,6 +591,23 @@ void Server::ServeSession(Session* session) {
         break;
       }
       bytes_sent_.fetch_add(out.size());
+      ++frames_sent;
+    }
+    if (traced) {
+      // Encode + send of the result stream; with backpressure this is where
+      // a slow client shows up in the trace.
+      obs::SpanRecord send;
+      send.trace_id = msg->trace_id;
+      send.span_id = spans.NewSpanId();
+      send.parent_id = root.span.span_id;
+      send.thread = root.span.thread;
+      send.start_s = send_start_s;
+      send.end_s = obs::SpanNowS();
+      send.name = "server.send";
+      send.annotations.emplace_back("frames", StrFormat("%zu", frames_sent));
+      send.annotations.emplace_back(
+          "rows", StrFormat("%zu", result.rows.size()));
+      spans.Record(std::move(send));
     }
     if (!sent_ok) break;
   }

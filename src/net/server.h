@@ -36,6 +36,7 @@
 
 #include "client/client.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace jackpine::net {
 
@@ -125,6 +126,12 @@ class Server {
     Socket socket;
     std::thread thread;
     std::atomic<bool> done{false};
+    // Admission timeline for the server.queue_wait span: when the acceptor
+    // took the connection, whether it sat in the wait queue, and when a
+    // session thread finally picked it up.
+    std::chrono::steady_clock::time_point accepted_at{};
+    std::chrono::steady_clock::time_point dispatched_at{};
+    bool queued = false;
   };
   // A connection admitted past the accept() but not yet given a session
   // thread: it sits in the wait queue until a slot frees or it times out.
@@ -143,8 +150,12 @@ class Server {
   // Answers with a structured shed (kResourceExhausted + retry_after_ms)
   // and closes. The one polite thing an overloaded server can still afford.
   void Shed(Socket socket);
-  // Starts a session thread for the socket. Caller holds mu_.
-  void SpawnSessionLocked(Socket socket);
+  // Starts a session thread for the socket. Caller holds mu_. `accepted_at`
+  // is when the acceptor first saw the connection (= enqueue time for
+  // connections promoted out of the wait queue).
+  void SpawnSessionLocked(Socket socket,
+                          std::chrono::steady_clock::time_point accepted_at,
+                          bool queued);
   void ServeSession(Session* session);
   // Joins and drops sessions whose threads have finished.
   void ReapFinishedSessions();
@@ -160,6 +171,9 @@ class Server {
   bool serving_ = false;
   std::atomic<bool> stopping_{false};
   std::unique_ptr<client::ChaosState> chaos_state_;  // null when disabled
+  // Per-query server-side execution latency, in the global registry so the
+  // Stats scrape and the Prometheus exposition both see its buckets.
+  obs::Histogram* query_latency_ = nullptr;
 
   mutable std::mutex mu_;  // guards sessions_ and pending_
   std::vector<std::unique_ptr<Session>> sessions_;

@@ -228,6 +228,15 @@ std::string EncodeHello(const HelloMsg& msg) {
   AppendU32(&out, msg.protocol_version);
   AppendStr(&out, msg.sut);
   AppendStr(&out, msg.peer_info);
+  // Trace negotiation is an optional trailing field: with tracing off the
+  // frame stays byte-identical to the pre-span encoding, so old strict
+  // decoders keep accepting it (see the struct comment).
+  if (msg.trace_flags != 0) {
+    AppendU8(&out, msg.trace_flags);
+    if ((msg.trace_flags & HelloMsg::kHasServerTime) != 0) {
+      AppendF64(&out, msg.server_time_s);
+    }
+  }
   return out;
 }
 
@@ -237,6 +246,18 @@ Result<HelloMsg> DecodeHello(std::string_view payload) {
   JACKPINE_ASSIGN_OR_RETURN(msg.protocol_version, r.ReadU32());
   JACKPINE_ASSIGN_OR_RETURN(msg.sut, r.ReadStr());
   JACKPINE_ASSIGN_OR_RETURN(msg.peer_info, r.ReadStr());
+  // Trailing trace negotiation: a payload ending here is a pre-span peer.
+  if (r.remaining() > 0) {
+    JACKPINE_ASSIGN_OR_RETURN(msg.trace_flags, r.ReadU8());
+    const uint8_t known = HelloMsg::kWantTrace | HelloMsg::kHasServerTime;
+    if ((msg.trace_flags & ~known) != 0 || msg.trace_flags == 0) {
+      return Status::ParseError(StrFormat(
+          "wire: bad Hello trace flags 0x%02x", msg.trace_flags));
+    }
+    if ((msg.trace_flags & HelloMsg::kHasServerTime) != 0) {
+      JACKPINE_ASSIGN_OR_RETURN(msg.server_time_s, r.ReadF64());
+    }
+  }
   JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
   return msg;
 }
@@ -248,6 +269,13 @@ std::string EncodeQuery(const QueryMsg& msg) {
   AppendU64(&out, msg.max_rows);
   AppendU64(&out, msg.max_result_bytes);
   AppendU32(&out, msg.batch_rows);
+  // Trace context is an optional trailing pair, emitted only for traced
+  // queries on trace-negotiated sessions — an untraced frame keeps the
+  // pre-span encoding old strict decoders accept.
+  if (msg.trace_id != 0) {
+    AppendU64(&out, msg.trace_id);
+    AppendU64(&out, msg.parent_span_id);
+  }
   return out;
 }
 
@@ -259,6 +287,11 @@ Result<QueryMsg> DecodeQuery(std::string_view payload) {
   JACKPINE_ASSIGN_OR_RETURN(msg.max_rows, r.ReadU64());
   JACKPINE_ASSIGN_OR_RETURN(msg.max_result_bytes, r.ReadU64());
   JACKPINE_ASSIGN_OR_RETURN(msg.batch_rows, r.ReadU32());
+  // Trailing trace context: a payload ending here is an untraced query.
+  if (r.remaining() > 0) {
+    JACKPINE_ASSIGN_OR_RETURN(msg.trace_id, r.ReadU64());
+    JACKPINE_ASSIGN_OR_RETURN(msg.parent_span_id, r.ReadU64());
+  }
   JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
   return msg;
 }
@@ -383,7 +416,7 @@ std::string EncodeStatsRequest(const StatsRequestMsg& msg) {
 Result<StatsRequestMsg> DecodeStatsRequest(std::string_view payload) {
   Reader r(payload);
   JACKPINE_ASSIGN_OR_RETURN(uint8_t scope, r.ReadU8());
-  if (scope > static_cast<uint8_t>(StatsScope::kSession)) {
+  if (scope > static_cast<uint8_t>(StatsScope::kSpans)) {
     return Status::ParseError(
         StrFormat("wire: unknown stats scope %u", scope));
   }
@@ -416,6 +449,64 @@ Result<StatsReplyMsg> DecodeStatsReply(std::string_view payload) {
     JACKPINE_ASSIGN_OR_RETURN(std::string name, r.ReadStr());
     JACKPINE_ASSIGN_OR_RETURN(double value, r.ReadF64());
     msg.entries.emplace_back(std::move(name), value);
+  }
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::string EncodeSpanList(const SpanListMsg& msg) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(msg.spans.size()));
+  for (const obs::SpanRecord& s : msg.spans) {
+    AppendU64(&out, s.trace_id);
+    AppendU64(&out, s.span_id);
+    AppendU64(&out, s.parent_id);
+    AppendU32(&out, s.thread);
+    AppendF64(&out, s.start_s);
+    AppendF64(&out, s.end_s);
+    AppendStr(&out, s.name);
+    AppendU32(&out, static_cast<uint32_t>(s.annotations.size()));
+    for (const auto& [key, value] : s.annotations) {
+      AppendStr(&out, key);
+      AppendStr(&out, value);
+    }
+  }
+  return out;
+}
+
+Result<SpanListMsg> DecodeSpanList(std::string_view payload) {
+  Reader r(payload);
+  JACKPINE_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  // A span takes at least 52 bytes (three u64 ids, thread, two f64 times,
+  // two u32 lengths) on the wire.
+  if (static_cast<uint64_t>(count) * 52 > r.remaining()) {
+    return Status::ParseError("wire: span count exceeds input");
+  }
+  SpanListMsg msg;
+  msg.spans.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::SpanRecord s;
+    JACKPINE_ASSIGN_OR_RETURN(s.trace_id, r.ReadU64());
+    JACKPINE_ASSIGN_OR_RETURN(s.span_id, r.ReadU64());
+    JACKPINE_ASSIGN_OR_RETURN(s.parent_id, r.ReadU64());
+    JACKPINE_ASSIGN_OR_RETURN(s.thread, r.ReadU32());
+    JACKPINE_ASSIGN_OR_RETURN(s.start_s, r.ReadF64());
+    JACKPINE_ASSIGN_OR_RETURN(s.end_s, r.ReadF64());
+    JACKPINE_ASSIGN_OR_RETURN(s.name, r.ReadStr());
+    JACKPINE_ASSIGN_OR_RETURN(uint32_t nann, r.ReadU32());
+    // An annotation takes at least 8 bytes (two string lengths); the
+    // recorder also never emits more than kMaxSpanAnnotations per span.
+    if (nann > obs::kMaxSpanAnnotations ||
+        static_cast<uint64_t>(nann) * 8 > r.remaining()) {
+      return Status::ParseError("wire: span annotation count exceeds limit");
+    }
+    s.annotations.reserve(nann);
+    for (uint32_t a = 0; a < nann; ++a) {
+      JACKPINE_ASSIGN_OR_RETURN(std::string key, r.ReadStr());
+      JACKPINE_ASSIGN_OR_RETURN(std::string value, r.ReadStr());
+      s.annotations.emplace_back(std::move(key), std::move(value));
+    }
+    msg.spans.push_back(std::move(s));
   }
   JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
   return msg;

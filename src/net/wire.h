@@ -6,16 +6,19 @@
 // fully little-endian:
 //
 //   frame   := type:u8 length:u32 payload[length]
-//   Hello       (1)  version:u32 sut:str info:str      both directions
+//   Hello       (1)  version:u32 sut:str info:str
+//                    [trace_flags:u8 [server_time_s:f64]]  both directions
 //   Query       (2)  sql:str deadline_s:f64 max_rows:u64
 //                    max_result_bytes:u64 batch_rows:u32
+//                    [trace_id:u64 parent_span_id:u64]
 //   Update      (3)  same payload as Query (DDL/DML; never chaos-injected)
 //   ResultBatch (4)  flags:u8 [columns] rows [rows_examined:u64]
 //                                                       server -> client
 //   Error       (5)  code:u8 message:str [retry_after_ms:u32]  server -> client
 //   Close       (6)  (empty)                            client -> server
-//   Stats       (7)  request: scope:u8 (0=global 1=session)
-//                    reply:   count:u32 (name:str value:f64)*   both forms
+//   Stats       (7)  request: scope:u8 (0=global 1=session 2=spans)
+//                    reply:   count:u32 (name:str value:f64)*
+//                             — or a SpanList for scope 2
 //
 // str is u32 length + bytes. A query response is a sequence of ResultBatch
 // frames — the column header rides in the first, the kLast flag marks the
@@ -44,6 +47,7 @@
 
 #include "common/status.h"
 #include "engine/executor.h"
+#include "obs/span.h"
 
 namespace jackpine::net {
 
@@ -107,6 +111,18 @@ struct HelloMsg {
   uint32_t protocol_version = kProtocolVersion;
   std::string sut;        // requested (client) / served (server) SUT name
   std::string peer_info;  // free-form software identifier
+  // Span-tracing capability negotiation (optional trailing fields, same
+  // legacy-compatible scheme as Error's retry_after_ms): a tracing client
+  // appends a flags byte with kWantTrace; a capable server answers with
+  // kHasServerTime plus its span-clock reading, from which the client
+  // estimates the clock offset (DESIGN.md "Observability"). With tracing
+  // off nothing is appended, so the frame stays byte-identical to the
+  // pre-span encoding and old strict decoders still accept it. A payload
+  // ending after peer_info decodes as flags 0 (a pre-span peer).
+  static constexpr uint8_t kWantTrace = 1;      // client requests tracing
+  static constexpr uint8_t kHasServerTime = 2;  // server_time_s follows
+  uint8_t trace_flags = 0;
+  double server_time_s = 0.0;  // server's SpanNowS() while answering Hello
 };
 
 struct QueryMsg {
@@ -117,6 +133,15 @@ struct QueryMsg {
   uint64_t max_result_bytes = 0;
   // Client hint for rows per ResultBatch; 0 = server default.
   uint32_t batch_rows = 0;
+  // Propagated trace context (optional trailing fields): the trace id every
+  // server-side span of this query joins, and the client span to parent the
+  // server's root span under. Emitted only when trace_id is nonzero — an
+  // untraced frame keeps the pre-span encoding, so old strict decoders
+  // still parse it, and a payload ending after batch_rows decodes as
+  // untraced. Clients only set these on sessions whose Hello negotiated
+  // tracing, so an old server never sees the trailing bytes.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 struct ErrorMsg {
@@ -150,6 +175,10 @@ struct ResultBatchMsg {
 enum class StatsScope : uint8_t {
   kGlobal = 0,   // process-wide: server counters + engine stats + registry
   kSession = 1,  // this session's per-query trace since its last query
+  // Drains the session's span buffer; the kStats reply carries a SpanList
+  // payload instead of flat entries. Only sent on sessions whose Hello
+  // negotiated tracing (an old server rejects scope 2 as a parse error).
+  kSpans = 2,
 };
 
 struct StatsRequestMsg {
@@ -184,6 +213,17 @@ Result<StatsRequestMsg> DecodeStatsRequest(std::string_view payload);
 
 std::string EncodeStatsReply(const StatsReplyMsg& msg);
 Result<StatsReplyMsg> DecodeStatsReply(std::string_view payload);
+
+// The kStats reply payload for a StatsScope::kSpans request: the server
+// session's drained spans, times on the *server's* span clock (the client
+// offset-corrects them; see obs::ShiftSpans). The `process` lane does not
+// cross the wire — the receiver assigns it.
+struct SpanListMsg {
+  std::vector<obs::SpanRecord> spans;
+};
+
+std::string EncodeSpanList(const SpanListMsg& msg);
+Result<SpanListMsg> DecodeSpanList(std::string_view payload);
 
 // Splits a query result into ready-to-send ResultBatch frames of at most
 // `batch_rows` rows (and roughly kBatchByteTarget payload bytes, whichever

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/string_util.h"
 
@@ -25,11 +26,8 @@ void Histogram::Observe(double v) {
   count_.fetch_add(1, std::memory_order_relaxed);
   uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
   for (;;) {
-    double sum;
-    __builtin_memcpy(&sum, &old_bits, sizeof(sum));
-    sum += v;
-    uint64_t new_bits;
-    __builtin_memcpy(&new_bits, &sum, sizeof(new_bits));
+    const uint64_t new_bits =
+        std::bit_cast<uint64_t>(std::bit_cast<double>(old_bits) + v);
     if (sum_bits_.compare_exchange_weak(old_bits, new_bits,
                                         std::memory_order_relaxed)) {
       return;
@@ -45,8 +43,7 @@ Histogram::Snapshot Histogram::snapshot() const {
     s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
     s.count += s.buckets[i];
   }
-  const uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
-  __builtin_memcpy(&s.sum, &bits, sizeof(s.sum));
+  s.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
   return s;
 }
 
@@ -159,6 +156,83 @@ std::string Registry::Render() const {
   std::string out;
   for (const auto& [name, value] : entries) {
     out += StrFormat("%-*s  %.9g\n", static_cast<int>(width), name.c_str(),
+                     value);
+  }
+  return out;
+}
+
+std::string Registry::RenderProm(std::string_view prefix) const {
+  // Copy the instrument pointers under the lock, render outside it: the
+  // instruments are lock-free and live for the registry's lifetime.
+  struct Row {
+    std::string name;
+    Kind kind;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, e] : entries_) {
+      rows.push_back(Row{PromName(name, prefix), e.kind, e.counter.get(),
+                         e.gauge.get(), e.histogram.get()});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  std::string out;
+  for (const Row& row : rows) {
+    switch (row.kind) {
+      case Kind::kCounter:
+        out += StrFormat("# TYPE %s counter\n%s %llu\n", row.name.c_str(),
+                         row.name.c_str(),
+                         static_cast<unsigned long long>(row.counter->value()));
+        break;
+      case Kind::kGauge:
+        out += StrFormat("# TYPE %s gauge\n%s %.9g\n", row.name.c_str(),
+                         row.name.c_str(), row.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot s = row.histogram->snapshot();
+        out += StrFormat("# TYPE %s histogram\n", row.name.c_str());
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < s.bounds.size(); ++i) {
+          cumulative += s.buckets[i];
+          out += StrFormat("%s_bucket{le=\"%.9g\"} %llu\n", row.name.c_str(),
+                           s.bounds[i],
+                           static_cast<unsigned long long>(cumulative));
+        }
+        out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", row.name.c_str(),
+                         static_cast<unsigned long long>(s.count));
+        out += StrFormat("%s_sum %.9g\n", row.name.c_str(), s.sum);
+        out += StrFormat("%s_count %llu\n", row.name.c_str(),
+                         static_cast<unsigned long long>(s.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string PromName(std::string_view name, std::string_view prefix) {
+  std::string out(prefix);
+  out.reserve(prefix.size() + name.size());
+  for (char c : name) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderPromEntries(
+    const std::vector<std::pair<std::string, double>>& entries,
+    std::string_view prefix) {
+  std::string out;
+  for (const auto& [name, value] : entries) {
+    const std::string prom = PromName(name, prefix);
+    out += StrFormat("# TYPE %s gauge\n%s %.9g\n", prom.c_str(), prom.c_str(),
                      value);
   }
   return out;

@@ -23,7 +23,9 @@
 #define JACKPINE_OBS_METRICS_H_
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
+#include <string_view>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -48,16 +50,10 @@ class Counter {
 class Gauge {
  public:
   void Set(double v) {
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(v));
-    __builtin_memcpy(&bits, &v, sizeof(bits));
-    bits_.store(bits, std::memory_order_relaxed);
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
   }
   double value() const {
-    const uint64_t bits = bits_.load(std::memory_order_relaxed);
-    double v;
-    __builtin_memcpy(&v, &bits, sizeof(v));
-    return v;
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
   }
 
  private:
@@ -130,6 +126,12 @@ class Registry {
   // Aligned "name value" text rendering of Snapshot(), for \stats and logs.
   std::string Render() const;
 
+  // Prometheus text exposition (version 0.0.4) with full instrument
+  // fidelity: counters as `counter`, gauges as `gauge`, histograms as
+  // `histogram` with cumulative `_bucket{le="..."}` series plus `_sum` and
+  // `_count`. Names are sanitized (dots become underscores) and prefixed.
+  std::string RenderProm(std::string_view prefix = "jackpine_") const;
+
  private:
   enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
   struct Entry {
@@ -147,6 +149,20 @@ class Registry {
 // The process-wide registry. Engine and server instruments live here so one
 // STATS scrape sees every subsystem.
 Registry& GlobalRegistry();
+
+// A metric name made Prometheus-legal: `prefix` prepended, every character
+// outside [a-zA-Z0-9_:] replaced by '_' (so "server.queries" becomes
+// "jackpine_server_queries").
+std::string PromName(std::string_view name, std::string_view prefix);
+
+// Prometheus exposition of a flat (name, value) entry list — the shape a
+// wire Stats scrape yields, where instrument kinds are already flattened
+// away, so every entry exposes as an untyped-but-annotated gauge. Used by
+// `pinedb stats --prom`; for a local registry prefer Registry::RenderProm,
+// which keeps counter/histogram typing.
+std::string RenderPromEntries(
+    const std::vector<std::pair<std::string, double>>& entries,
+    std::string_view prefix = "jackpine_");
 
 }  // namespace jackpine::obs
 

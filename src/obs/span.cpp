@@ -1,0 +1,239 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace jackpine::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point SpanEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// splitmix64: turns the sequential id counter into well-spread 64-bit ids.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string HexId(uint64_t id) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(id));
+}
+
+}  // namespace
+
+double SpanNowS() { return ToSpanSeconds(std::chrono::steady_clock::now()); }
+
+double ToSpanSeconds(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration<double>(tp - SpanEpoch()).count();
+}
+
+uint32_t CurrentThreadLane() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t lane =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    recorder_ = other.recorder_;
+    record_ = std::move(other.record_);
+    other.recorder_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::Annotate(std::string_view key, std::string_view value) {
+  if (recorder_ == nullptr) return;
+  if (record_.annotations.size() >= kMaxSpanAnnotations) return;
+  record_.annotations.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::End() {
+  if (recorder_ == nullptr) return;
+  SpanRecorder* recorder = recorder_;
+  recorder_ = nullptr;
+  record_.end_s = SpanNowS();
+  recorder->Record(std::move(record_));
+}
+
+SpanRecorder::SpanRecorder(size_t capacity)
+    : shard_capacity_(std::max<size_t>(1, capacity / kShards)),
+      dropped_counter_(GlobalRegistry().GetCounter("obs.spans_dropped")) {
+  // Salt the id sequence per recorder so the client's and a server
+  // session's ids stay distinct in one merged timeline.
+  id_salt_ = Mix64(reinterpret_cast<uintptr_t>(this)) ^
+             Mix64(static_cast<uint64_t>(
+                 std::chrono::steady_clock::now().time_since_epoch().count()));
+}
+
+uint64_t SpanRecorder::NewSpanId() {
+  uint64_t id =
+      Mix64(id_salt_ ^ next_id_.fetch_add(1, std::memory_order_relaxed));
+  // 0 is the "no id" sentinel (untraced / no parent); skip it.
+  if (id == 0) id = 1;
+  return id;
+}
+
+Span SpanRecorder::StartSpan(std::string_view name, uint64_t trace_id,
+                             uint64_t parent_id) {
+  Span span;
+  if (!enabled()) return span;
+  span.recorder_ = this;
+  span.record_.trace_id = trace_id;
+  span.record_.span_id = NewSpanId();
+  span.record_.parent_id = parent_id;
+  span.record_.thread = CurrentThreadLane();
+  span.record_.start_s = SpanNowS();
+  span.record_.name = std::string(name);
+  return span;
+}
+
+void SpanRecorder::Record(SpanRecord record) {
+  if (!enabled()) return;
+  if (record.thread == 0) record.thread = CurrentThreadLane();
+  if (record.annotations.size() > kMaxSpanAnnotations) {
+    record.annotations.resize(kMaxSpanAnnotations);
+  }
+  Shard& shard = shards_[std::hash<std::thread::id>{}(
+                             std::this_thread::get_id()) %
+                         kShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.buf.size() < shard_capacity_) {
+      shard.buf.push_back(std::move(record));
+      return;
+    }
+  }
+  // Full shard: drop loudly — the counter is in the global registry, so
+  // `pinedb stats` and the Prometheus exposition both surface it.
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  dropped_counter_->Add();
+}
+
+std::vector<SpanRecord> SpanRecorder::Drain() {
+  std::vector<SpanRecord> out;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (SpanRecord& r : shard.buf) out.push_back(std::move(r));
+    shard.buf.clear();
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_s < b.start_s;
+            });
+  return out;
+}
+
+size_t SpanRecorder::buffered() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    n += shard.buf.size();
+  }
+  return n;
+}
+
+SpanRecorder& GlobalSpanRecorder() {
+  static SpanRecorder& recorder = *new SpanRecorder();
+  return recorder;
+}
+
+void ShiftSpans(std::vector<SpanRecord>* spans, double offset_s,
+                uint32_t process) {
+  for (SpanRecord& s : *spans) {
+    s.start_s -= offset_s;
+    s.end_s -= offset_s;
+    s.process = process;
+  }
+}
+
+void RecordStageSpans(SpanRecorder* recorder, uint64_t trace_id,
+                      uint64_t parent_id, double anchor_s,
+                      const QueryTrace& trace) {
+  if (recorder == nullptr || !recorder->enabled()) return;
+  const std::pair<const char*, double> stages[] = {
+      {"engine.parse", trace.parse_s},
+      {"engine.plan", trace.plan_s},
+      {"engine.exec", trace.exec_s},
+  };
+  double t = anchor_s;
+  for (const auto& [name, seconds] : stages) {
+    if (seconds <= 0.0) continue;
+    SpanRecord r;
+    r.trace_id = trace_id;
+    r.span_id = recorder->NewSpanId();
+    r.parent_id = parent_id;
+    r.start_s = t;
+    r.end_s = t + seconds;
+    r.name = name;
+    recorder->Record(std::move(r));
+    t += seconds;
+  }
+}
+
+Json SpansToChromeTrace(const std::vector<SpanRecord>& spans) {
+  Json doc = Json::Object();
+  doc.Set("displayTimeUnit", Json::Str("ms"));
+  Json& events = doc.Set("traceEvents", Json::Array());
+
+  // Normalize to the earliest span so the viewer opens at t=0 and
+  // offset-corrected times (which may be tiny or negative relative to the
+  // span epoch) stay well-formed.
+  double t0 = 0.0;
+  bool first = true;
+  std::vector<uint32_t> processes;
+  for (const SpanRecord& s : spans) {
+    if (first || s.start_s < t0) t0 = s.start_s;
+    first = false;
+    if (std::find(processes.begin(), processes.end(), s.process) ==
+        processes.end()) {
+      processes.push_back(s.process);
+    }
+  }
+  std::sort(processes.begin(), processes.end());
+
+  for (uint32_t p : processes) {
+    Json& meta = events.Append(Json::Object());
+    meta.Set("name", Json::Str("process_name"));
+    meta.Set("ph", Json::Str("M"));
+    meta.Set("pid", Json::Int(static_cast<int64_t>(p)));
+    meta.Set("tid", Json::Int(0));
+    Json& args = meta.Set("args", Json::Object());
+    args.Set("name", Json::Str(p == 0 ? "client" : "server"));
+  }
+
+  for (const SpanRecord& s : spans) {
+    Json& ev = events.Append(Json::Object());
+    ev.Set("name", Json::Str(s.name));
+    ev.Set("ph", Json::Str("X"));
+    ev.Set("ts", Json::Number((s.start_s - t0) * 1e6));
+    ev.Set("dur", Json::Number(std::max(0.0, s.end_s - s.start_s) * 1e6));
+    ev.Set("pid", Json::Int(static_cast<int64_t>(s.process)));
+    ev.Set("tid", Json::Int(static_cast<int64_t>(s.thread)));
+    Json& args = ev.Set("args", Json::Object());
+    args.Set("trace_id", Json::Str(HexId(s.trace_id)));
+    args.Set("span_id", Json::Str(HexId(s.span_id)));
+    if (s.parent_id != 0) {
+      args.Set("parent_id", Json::Str(HexId(s.parent_id)));
+    }
+    for (const auto& [key, value] : s.annotations) {
+      args.Set(key, Json::Str(value));
+    }
+  }
+  return doc;
+}
+
+}  // namespace jackpine::obs

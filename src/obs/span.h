@@ -1,0 +1,190 @@
+// Distributed span tracing (DESIGN.md "Observability", span model).
+//
+// A Span is one timed operation on a causally-linked tree: every span
+// carries a trace_id (shared by all spans of one traced query, across
+// processes), its own span_id, and its parent's span_id. Timestamps are
+// double seconds on the *process* timeline (SpanNowS: steady clock, epoch =
+// first use in the process), so spans from two processes merge onto one
+// timeline only after the clock offset between them has been estimated and
+// subtracted (ShiftSpans; the remote driver estimates the offset from the
+// Hello handshake timestamps).
+//
+// Design constraints, mirroring the metrics registry:
+//   1. Recording must be cheap enough to leave on in a benchmark: starting
+//      and ending a span costs two clock reads plus one short critical
+//      section on a thread-sharded buffer — no allocation beyond the span's
+//      own strings, no global lock.
+//   2. Buffers are bounded. When a shard fills, the span is dropped and the
+//      `obs.spans_dropped` counter in the global registry is incremented —
+//      never a silent cap (`pinedb stats` surfaces the loss).
+//   3. A disabled recorder is inert: StartSpan returns an inactive handle
+//      and the only cost on the query path is one relaxed atomic load.
+//
+// The merged timeline exports as Chrome trace-event JSON
+// (SpansToChromeTrace), loadable in chrome://tracing or https://ui.perfetto.dev.
+
+#ifndef JACKPINE_OBS_SPAN_H_
+#define JACKPINE_OBS_SPAN_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace jackpine::obs {
+
+class Counter;
+struct QueryTrace;
+
+// Seconds since this process's span epoch (the first SpanNowS call),
+// steady-clock monotonic. All SpanRecord times are on this timeline.
+double SpanNowS();
+
+// The same timeline for a time point captured elsewhere (e.g. a server's
+// accept timestamp), so externally-timed phases become spans too.
+double ToSpanSeconds(std::chrono::steady_clock::time_point tp);
+
+// Small dense id for the calling thread, stable for the thread's lifetime.
+// Used as the Chrome trace "tid" so per-thread lanes render separately.
+uint32_t CurrentThreadLane();
+
+// Annotations beyond this per span are dropped (bounded memory per span;
+// the count is generous for key=value breadcrumbs, not a logging channel).
+inline constexpr size_t kMaxSpanAnnotations = 8;
+
+// Default recorder capacity in spans, across all shards.
+inline constexpr size_t kDefaultSpanCapacity = 1 << 16;
+
+// One finished (or synthesized) span. `process` is the logical process lane
+// in the merged timeline — 0 is the recording process, the remote driver
+// stamps spans shipped from the server with 1. It does not cross the wire;
+// the receiver assigns it.
+struct SpanRecord {
+  uint64_t trace_id = 0;   // 0 = process-scoped (connect, breaker, ...)
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  uint32_t process = 0;
+  uint32_t thread = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+class SpanRecorder;
+
+// RAII handle over an in-flight span. Default-constructed (or one started on
+// a disabled recorder) it is inert: every member call is a no-op. End()
+// stamps the end time and hands the record to the recorder; the destructor
+// calls End() so early returns never lose a span.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { End(); }
+
+  bool active() const { return recorder_ != nullptr; }
+  uint64_t trace_id() const { return record_.trace_id; }
+  uint64_t span_id() const { return record_.span_id; }
+  double start_s() const { return record_.start_s; }
+
+  // Attaches a key=value breadcrumb (bounded by kMaxSpanAnnotations).
+  void Annotate(std::string_view key, std::string_view value);
+
+  // Finishes the span now and records it. Idempotent.
+  void End();
+
+ private:
+  friend class SpanRecorder;
+  SpanRecorder* recorder_ = nullptr;
+  SpanRecord record_;
+};
+
+// Bounded, thread-sharded span sink. One recorder per scope that drains
+// independently: the process-wide GlobalSpanRecorder() for client-side
+// spans, one per server session for the spans shipped back over the wire.
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(size_t capacity = kDefaultSpanCapacity);
+
+  // Recording gate, checked by StartSpan and Record. Off by default: an
+  // untraced run pays one relaxed load per instrumentation point.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Fresh ids. Trace and span ids come from the same per-recorder sequence,
+  // mixed so ids from distinct recorders (and processes) don't collide in
+  // a merged timeline.
+  uint64_t NewTraceId() { return NewSpanId(); }
+  uint64_t NewSpanId();
+
+  // Starts a span now. trace_id 0 marks a process-scoped span (connection
+  // lifecycle, breaker transitions) rather than a per-query one.
+  Span StartSpan(std::string_view name, uint64_t trace_id = 0,
+                 uint64_t parent_id = 0);
+
+  // Records an already-built span (a synthesized engine stage, a span
+  // shipped from the server). Drops — and counts the drop — when the
+  // shard is full; no-op while disabled.
+  void Record(SpanRecord record);
+
+  // Removes and returns everything buffered, sorted by start time.
+  std::vector<SpanRecord> Drain();
+
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t buffered() const;
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct Shard {
+    std::mutex mu;
+    std::vector<SpanRecord> buf;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  uint64_t id_salt_;
+  size_t shard_capacity_;
+  std::atomic<uint64_t> dropped_{0};
+  Counter* dropped_counter_;  // obs.spans_dropped in the global registry
+  std::array<Shard, kShards> shards_;
+};
+
+// The process-wide recorder (client instrumentation, breaker transitions,
+// benchmark_runner --trace-out). Disabled until someone turns it on.
+SpanRecorder& GlobalSpanRecorder();
+
+// Shifts every span onto the receiver's timeline (t -= offset_s, the offset
+// estimated from the Hello handshake) and stamps the process lane.
+void ShiftSpans(std::vector<SpanRecord>* spans, double offset_s,
+                uint32_t process);
+
+// Synthesizes sequential engine-stage child spans (engine.parse / plan /
+// exec) from a query's stage times, anchored at `anchor_s` under
+// `parent_id`. Stages with zero recorded time are omitted. This is how the
+// executor's QueryTrace stage clock becomes spans without re-instrumenting
+// the engine.
+void RecordStageSpans(SpanRecorder* recorder, uint64_t trace_id,
+                      uint64_t parent_id, double anchor_s,
+                      const QueryTrace& trace);
+
+// Chrome trace-event JSON document ({"traceEvents": [...]}) of a merged
+// span list: one "X" (complete) event per span in microseconds relative to
+// the earliest span, pid = process lane, tid = thread lane, trace/span ids
+// and annotations under "args", plus process_name metadata so the viewer
+// labels the client and server tracks.
+Json SpansToChromeTrace(const std::vector<SpanRecord>& spans);
+
+}  // namespace jackpine::obs
+
+#endif  // JACKPINE_OBS_SPAN_H_

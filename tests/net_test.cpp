@@ -25,6 +25,7 @@
 #include "net/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "tigergen/tigergen.h"
 
@@ -838,6 +839,155 @@ TEST_F(NetTest, QueryServerStatsSessionScopeStartsEmpty) {
   EXPECT_EQ(t.queries, 0u);
   EXPECT_EQ(t.rows_scanned, 0u);
   EXPECT_EQ(t.total_s, 0.0);
+}
+
+// The distributed-tracing acceptance bar: one traced remote query yields
+// client spans (process 0) and server spans (process 1) sharing a single
+// trace_id, stitched parent->child across the wire, with the server's root
+// span offset-corrected into the client's rpc window.
+TEST_F(NetTest, TracedRemoteQueryMergesClientAndServerSpans) {
+  obs::SpanRecorder& rec = obs::GlobalSpanRecorder();
+  rec.Drain();  // discard spans other tests may have left behind
+  rec.set_enabled(true);
+
+  auto server = StartServer("pine-rtree");
+  // Tracing negotiates in the Hello, so the recorder must already be on
+  // when the connection opens.
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(
+      stmt.ExecuteUpdate("CREATE TABLE pts (id BIGINT, geom GEOMETRY)").ok());
+  ASSERT_TRUE(stmt.ExecuteUpdate(
+                      "INSERT INTO pts VALUES "
+                      "(1, ST_GeomFromText('POINT (3 4)'))")
+                  .ok());
+
+  ExecLimits limits;
+  limits.spans = &rec;
+  limits.trace_id = rec.NewTraceId();
+  stmt.SetExecLimits(limits);
+  ASSERT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM pts").ok());
+
+  rec.set_enabled(false);
+  const std::vector<obs::SpanRecord> spans = rec.Drain();
+  auto find = [&](const char* name) -> const obs::SpanRecord* {
+    for (const obs::SpanRecord& s : spans) {
+      if (s.name == name && s.trace_id == limits.trace_id) return &s;
+    }
+    return nullptr;
+  };
+  const obs::SpanRecord* rpc = find("client.rpc");
+  const obs::SpanRecord* send = find("client.send");
+  const obs::SpanRecord* recv = find("client.recv");
+  const obs::SpanRecord* server_root = find("server.query");
+  const obs::SpanRecord* server_exec = find("server.exec");
+  const obs::SpanRecord* engine_exec = find("engine.exec");
+  ASSERT_NE(rpc, nullptr);
+  ASSERT_NE(send, nullptr);
+  ASSERT_NE(recv, nullptr);
+  ASSERT_NE(server_root, nullptr);
+  ASSERT_NE(server_exec, nullptr);
+  ASSERT_NE(engine_exec, nullptr);
+
+  // Process lanes: client spans local, shipped server spans stamped 1.
+  EXPECT_EQ(rpc->process, 0u);
+  EXPECT_EQ(send->process, 0u);
+  EXPECT_EQ(server_root->process, 1u);
+  EXPECT_EQ(server_exec->process, 1u);
+  EXPECT_EQ(engine_exec->process, 1u);
+
+  // The tree stitches across the wire: the Query frame carried the rpc
+  // span's id, so the server's root span parents under it.
+  EXPECT_EQ(send->parent_id, rpc->span_id);
+  EXPECT_EQ(recv->parent_id, rpc->span_id);
+  EXPECT_EQ(server_root->parent_id, rpc->span_id);
+  EXPECT_EQ(server_exec->parent_id, server_root->span_id);
+  EXPECT_EQ(engine_exec->parent_id, server_exec->span_id);
+
+  // Offset correction: the Hello-handshake estimate carries up to half the
+  // handshake RTT of error, so containment in the rpc window is asserted
+  // with a matching tolerance — on loopback well under a millisecond. The
+  // nesting *within* the server process is exact (one clock).
+  constexpr double kOffsetSlack = 1e-3;
+  EXPECT_GE(server_root->start_s, rpc->start_s - kOffsetSlack);
+  EXPECT_LE(server_root->end_s, rpc->end_s + kOffsetSlack);
+  EXPECT_LE(server_root->start_s, server_exec->start_s);
+  EXPECT_GE(server_root->end_s, server_exec->end_s);
+}
+
+// Cross-version interop, new client -> old server: a strict pre-span
+// decoder rejects the Hello's trailing capability byte, and the client must
+// fall back to a traceless handshake instead of failing the connection.
+TEST_F(NetTest, TracingClientFallsBackAgainstPreSpanServer) {
+  auto listener = net::Listener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const uint16_t port = listener->port();
+
+  // A minimal fake server speaking the pre-span handshake: any Hello with
+  // bytes after peer_info is a parse error (what an old decoder reports),
+  // a clean legacy Hello gets a legacy ack.
+  std::thread old_server([&listener] {
+    for (int i = 0; i < 2; ++i) {
+      auto sock = listener->Accept();
+      ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+      net::FrameDecoder decoder;
+      std::optional<net::Frame> hello;
+      char buf[512];
+      while (!hello.has_value()) {
+        auto n = sock->Recv(buf, sizeof(buf));
+        ASSERT_TRUE(n.ok() && *n > 0);
+        decoder.Feed(std::string_view(buf, *n));
+        auto next = decoder.Next();
+        ASSERT_TRUE(next.ok());
+        hello = *next;
+      }
+      ASSERT_EQ(hello->type, net::FrameType::kHello);
+      auto msg = net::DecodeHello(hello->payload);
+      ASSERT_TRUE(msg.ok());
+      if (msg->trace_flags != 0) {
+        // Old strict decoder: trailing bytes are a protocol violation.
+        ASSERT_TRUE(sock->SendAll(net::EncodeFrame(
+                            net::FrameType::kError,
+                            net::EncodeError(Status::ParseError(
+                                "wire: 8 bytes left after payload"))))
+                        .ok());
+        continue;
+      }
+      net::HelloMsg ack;
+      ack.sut = msg->sut;
+      ack.peer_info = "old-pinedb/1";
+      ASSERT_TRUE(sock->SendAll(net::EncodeFrame(net::FrameType::kHello,
+                                                 net::EncodeHello(ack)))
+                      .ok());
+      // Drain until the client hangs up so its Close frame is consumed.
+      while (true) {
+        auto n = sock->Recv(buf, sizeof(buf));
+        if (!n.ok() || *n == 0) break;
+      }
+      return;
+    }
+  });
+
+  obs::SpanRecorder& rec = obs::GlobalSpanRecorder();
+  rec.Drain();
+  rec.set_enabled(true);  // makes the client request tracing in its Hello
+  {
+    auto conn = client::Connection::Open(
+        "jackpine:tcp://127.0.0.1:" + std::to_string(port) + "/pine-rtree");
+    EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+  }
+  rec.set_enabled(false);
+  // The fallback leaves its breadcrumb on the connect span.
+  bool saw_fallback = false;
+  for (const obs::SpanRecord& s : rec.Drain()) {
+    if (s.name != "client.connect") continue;
+    for (const auto& [key, value] : s.annotations) {
+      saw_fallback |= (key == "trace_fallback" && value == "1");
+    }
+  }
+  EXPECT_TRUE(saw_fallback);
+  old_server.join();
 }
 
 }  // namespace

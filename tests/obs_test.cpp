@@ -4,13 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace jackpine::obs {
@@ -382,6 +385,284 @@ TEST(JsonTest, ParseAcceptsSurroundingWhitespace) {
   auto parsed = Json::Parse("  {\"a\": [1, 2.5, true, null]}  ");
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->Get("a").size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Span recorder
+
+TEST(SpanTest, RecordsParentChildWithMonotoneTimes) {
+  SpanRecorder rec(/*capacity=*/64);
+  rec.set_enabled(true);
+  const uint64_t trace_id = rec.NewTraceId();
+  Span root = rec.StartSpan("client.query", trace_id);
+  ASSERT_TRUE(root.active());
+  const uint64_t root_id = root.span_id();
+  {
+    Span child = rec.StartSpan("client.send", trace_id, root_id);
+    child.Annotate("frames", "1");
+  }  // destructor ends and records
+  root.End();
+
+  std::vector<SpanRecord> spans = rec.Drain();
+  ASSERT_EQ(spans.size(), 2u);
+  // Drain sorts by start time: the root started first.
+  EXPECT_EQ(spans[0].name, "client.query");
+  EXPECT_EQ(spans[1].name, "client.send");
+  EXPECT_EQ(spans[0].trace_id, trace_id);
+  EXPECT_EQ(spans[1].trace_id, trace_id);
+  EXPECT_EQ(spans[1].parent_id, spans[0].span_id);
+  EXPECT_NE(spans[0].span_id, spans[1].span_id);
+  for (const SpanRecord& s : spans) {
+    EXPECT_LE(s.start_s, s.end_s) << s.name;
+  }
+  ASSERT_EQ(spans[1].annotations.size(), 1u);
+  EXPECT_EQ(spans[1].annotations[0].first, "frames");
+  EXPECT_EQ(spans[1].annotations[0].second, "1");
+  // Drain removed everything.
+  EXPECT_EQ(rec.buffered(), 0u);
+}
+
+TEST(SpanTest, DisabledRecorderIsInert) {
+  SpanRecorder rec(/*capacity=*/64);
+  ASSERT_FALSE(rec.enabled());
+  Span span = rec.StartSpan("client.query", /*trace_id=*/7);
+  EXPECT_FALSE(span.active());
+  span.Annotate("k", "v");  // must be a no-op, not a crash
+  span.End();
+  EXPECT_TRUE(rec.Drain().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(SpanTest, AnnotationsAreBounded) {
+  SpanRecorder rec(/*capacity=*/64);
+  rec.set_enabled(true);
+  Span span = rec.StartSpan("noisy", /*trace_id=*/1);
+  for (size_t i = 0; i < kMaxSpanAnnotations + 5; ++i) {
+    span.Annotate("k", "v");
+  }
+  span.End();
+  std::vector<SpanRecord> spans = rec.Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].annotations.size(), kMaxSpanAnnotations);
+}
+
+TEST(SpanTest, OverflowDropsAndCountsNeverGrowsUnbounded) {
+  // Tiny capacity: the recorder rounds shard capacity down but always
+  // admits at least one span per shard; everything past the cap is dropped
+  // and counted, both on the recorder and in the global registry.
+  Counter* global_drops = GlobalRegistry().GetCounter("obs.spans_dropped");
+  ASSERT_NE(global_drops, nullptr);
+  const uint64_t global_before = global_drops->value();
+
+  SpanRecorder rec(/*capacity=*/8);
+  rec.set_enabled(true);
+  constexpr size_t kAttempts = 256;
+  for (size_t i = 0; i < kAttempts; ++i) {
+    rec.StartSpan("flood", /*trace_id=*/1).End();
+  }
+  const size_t kept = rec.Drain().size();
+  EXPECT_GT(kept, 0u);
+  EXPECT_LT(kept, kAttempts);
+  EXPECT_EQ(rec.dropped(), kAttempts - kept);
+  EXPECT_EQ(global_drops->value() - global_before, kAttempts - kept);
+}
+
+TEST(SpanTest, IdsAreUniqueAcrossThreads) {
+  SpanRecorder rec;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, &ids, t] {
+      for (int i = 0; i < kPerThread; ++i) ids[t].push_back(rec.NewSpanId());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<uint64_t> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+// The clock-offset merge: spans recorded on a "server" clock that runs a
+// known amount ahead must land inside their client parent once ShiftSpans
+// subtracts the offset — this is the correctness core of the cross-process
+// timeline (DESIGN.md "Observability", clock-offset estimation).
+TEST(SpanTest, ShiftSpansMergesRemoteClockOntoLocalTimeline) {
+  constexpr double kOffset = 123.456;  // server clock ahead by this much
+
+  // Client-side parent on the local timeline.
+  SpanRecord rpc;
+  rpc.trace_id = 42;
+  rpc.span_id = 1;
+  rpc.name = "client.rpc";
+  rpc.start_s = 10.0;
+  rpc.end_s = 10.9;
+
+  // Server-side spans timed on the server's clock (local + offset), as the
+  // wire ships them: nested inside the rpc window once corrected.
+  std::vector<SpanRecord> remote(2);
+  remote[0].trace_id = 42;
+  remote[0].span_id = 2;
+  remote[0].parent_id = 1;
+  remote[0].name = "server.query";
+  remote[0].start_s = 10.2 + kOffset;
+  remote[0].end_s = 10.7 + kOffset;
+  remote[1].trace_id = 42;
+  remote[1].span_id = 3;
+  remote[1].parent_id = 2;
+  remote[1].name = "server.exec";
+  remote[1].start_s = 10.3 + kOffset;
+  remote[1].end_s = 10.6 + kOffset;
+
+  ShiftSpans(&remote, kOffset, /*process=*/1);
+
+  for (const SpanRecord& s : remote) {
+    EXPECT_EQ(s.process, 1u) << s.name;
+    // Offset-corrected containment in the client rpc window.
+    EXPECT_GE(s.start_s, rpc.start_s) << s.name;
+    EXPECT_LE(s.end_s, rpc.end_s) << s.name;
+  }
+  // Durations survive the shift exactly.
+  EXPECT_DOUBLE_EQ(remote[0].end_s - remote[0].start_s, 0.5);
+  // Nesting order survives too.
+  EXPECT_GE(remote[1].start_s, remote[0].start_s);
+  EXPECT_LE(remote[1].end_s, remote[0].end_s);
+}
+
+TEST(SpanTest, RecordStageSpansSynthesizesSequentialChildren) {
+  SpanRecorder rec;
+  rec.set_enabled(true);
+  QueryTrace trace;
+  trace.parse_s = 0.001;
+  trace.plan_s = 0.002;
+  trace.exec_s = 0.003;
+  RecordStageSpans(&rec, /*trace_id=*/9, /*parent_id=*/5, /*anchor_s=*/100.0,
+                   trace);
+  std::vector<SpanRecord> spans = rec.Drain();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "engine.parse");
+  EXPECT_EQ(spans[1].name, "engine.plan");
+  EXPECT_EQ(spans[2].name, "engine.exec");
+  double cursor = 100.0;
+  for (const SpanRecord& s : spans) {
+    EXPECT_EQ(s.trace_id, 9u);
+    EXPECT_EQ(s.parent_id, 5u);
+    EXPECT_DOUBLE_EQ(s.start_s, cursor);
+    cursor = s.end_s;
+  }
+  EXPECT_NEAR(cursor, 100.0 + 0.006, 1e-12);
+
+  // Zero-time stages are omitted, not emitted as zero-width spans.
+  QueryTrace sparse;
+  sparse.exec_s = 0.0005;
+  RecordStageSpans(&rec, 9, 5, 0.0, sparse);
+  spans = rec.Drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "engine.exec");
+}
+
+// Golden Chrome-trace export: a fixed two-process timeline must serialise
+// to trace-event JSON that parses back (via the same obs::Json the runner
+// uses to write it) with exact ts/dur/pid/args values.
+TEST(SpanTest, ChromeTraceExportRoundTripsThroughJson) {
+  std::vector<SpanRecord> spans(2);
+  spans[0].trace_id = 0xabcd;
+  spans[0].span_id = 1;
+  spans[0].name = "client.rpc";
+  spans[0].process = 0;
+  spans[0].thread = 3;
+  spans[0].start_s = 5.0;
+  spans[0].end_s = 5.010;  // 10 ms
+  spans[1].trace_id = 0xabcd;
+  spans[1].span_id = 2;
+  spans[1].parent_id = 1;
+  spans[1].name = "server.query";
+  spans[1].process = 1;
+  spans[1].thread = 7;
+  spans[1].start_s = 5.002;
+  spans[1].end_s = 5.008;
+  spans[1].annotations.emplace_back("rows", "12");
+
+  auto parsed = Json::Parse(SpansToChromeTrace(spans).Dump(true));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& events = parsed->Get("traceEvents");
+  // Two metadata events (one per process lane) + two span events.
+  ASSERT_EQ(events.size(), 4u);
+
+  EXPECT_EQ(events.at(0).Get("ph").string_value(), "M");
+  EXPECT_EQ(events.at(0).Get("args").Get("name").string_value(), "client");
+  EXPECT_EQ(events.at(1).Get("ph").string_value(), "M");
+  EXPECT_EQ(events.at(1).Get("pid").number_value(), 1.0);
+  EXPECT_EQ(events.at(1).Get("args").Get("name").string_value(), "server");
+
+  const Json& rpc = events.at(2);
+  EXPECT_EQ(rpc.Get("name").string_value(), "client.rpc");
+  EXPECT_EQ(rpc.Get("ph").string_value(), "X");
+  // Times normalise to the earliest span and export in microseconds.
+  EXPECT_NEAR(rpc.Get("ts").number_value(), 0.0, 1e-6);
+  EXPECT_NEAR(rpc.Get("dur").number_value(), 10'000.0, 1e-6);
+  EXPECT_EQ(rpc.Get("pid").number_value(), 0.0);
+  EXPECT_EQ(rpc.Get("tid").number_value(), 3.0);
+  EXPECT_EQ(rpc.Get("args").Get("trace_id").string_value(),
+            "000000000000abcd");
+  EXPECT_FALSE(rpc.Get("args").Has("parent_id"));  // root span
+
+  const Json& server = events.at(3);
+  EXPECT_EQ(server.Get("name").string_value(), "server.query");
+  EXPECT_NEAR(server.Get("ts").number_value(), 2'000.0, 1e-6);
+  EXPECT_NEAR(server.Get("dur").number_value(), 6'000.0, 1e-6);
+  EXPECT_EQ(server.Get("pid").number_value(), 1.0);
+  EXPECT_EQ(server.Get("args").Get("parent_id").string_value(),
+            "0000000000000001");
+  EXPECT_EQ(server.Get("args").Get("rows").string_value(), "12");
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(PromTest, NameSanitizationAndPrefix) {
+  EXPECT_EQ(PromName("server.queries", "jackpine_"),
+            "jackpine_server_queries");
+  EXPECT_EQ(PromName("a-b c.d", "x_"), "x_a_b_c_d");
+}
+
+TEST(PromTest, RenderPromTypesEveryInstrument) {
+  Registry r;
+  r.GetCounter("srv.requests")->Add(3);
+  r.GetGauge("srv.queue_depth")->Set(2.5);
+  Histogram* h = r.GetHistogram("srv.latency_s", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(10.0);  // overflow bucket
+
+  const std::string prom = r.RenderProm();
+  EXPECT_NE(prom.find("# TYPE jackpine_srv_requests counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("jackpine_srv_requests 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE jackpine_srv_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE jackpine_srv_latency_s histogram"),
+            std::string::npos);
+  // Cumulative buckets: 1 at le=0.1, 2 at le=1, all 3 at le=+Inf.
+  EXPECT_NE(prom.find("jackpine_srv_latency_s_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("jackpine_srv_latency_s_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("jackpine_srv_latency_s_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("jackpine_srv_latency_s_count 3"), std::string::npos);
+  EXPECT_NE(prom.find("jackpine_srv_latency_s_sum"), std::string::npos);
+}
+
+TEST(PromTest, RenderPromEntriesFlattensToGauges) {
+  const std::string prom = RenderPromEntries(
+      {{"server.queries", 12.0}, {"engine.rows_scanned", 345.0}});
+  EXPECT_NE(prom.find("# TYPE jackpine_server_queries gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("jackpine_server_queries 12"), std::string::npos);
+  EXPECT_NE(prom.find("jackpine_engine_rows_scanned 345"), std::string::npos);
 }
 
 }  // namespace

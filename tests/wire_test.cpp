@@ -155,6 +155,13 @@ TEST(FrameTest, BitFlipSweepNeverCrashes) {
   }
   stream += EncodeFrame(FrameType::kError,
                         EncodeError(Status::Unavailable("gone")));
+  SpanListMsg spans;
+  spans.spans.resize(1);
+  spans.spans[0].trace_id = 7;
+  spans.spans[0].span_id = 8;
+  spans.spans[0].name = "server.exec";
+  spans.spans[0].annotations = {{"rows", "5"}};
+  stream += EncodeFrame(FrameType::kStats, EncodeSpanList(spans));
 
   for (size_t bit = 0; bit < stream.size() * 8; ++bit) {
     std::string mutant = stream;
@@ -172,6 +179,9 @@ TEST(FrameTest, BitFlipSweepNeverCrashes) {
       (void)DecodeQuery((*frame)->payload);
       (void)DecodeError((*frame)->payload);
       (void)DecodeResultBatch((*frame)->payload);
+      (void)DecodeStatsRequest((*frame)->payload);
+      (void)DecodeStatsReply((*frame)->payload);
+      (void)DecodeSpanList((*frame)->payload);
     }
   }
 }
@@ -327,6 +337,195 @@ TEST(PayloadTest, TrailingBytesAreRejected) {
   std::string payload = EncodeHello({});
   payload += '\0';
   EXPECT_FALSE(DecodeHello(payload).ok());
+}
+
+// --- Trace context ------------------------------------------------------
+
+TEST(TraceContextTest, HelloFlagsRoundTripBothDirections) {
+  // Client side: wants tracing, no timestamp.
+  HelloMsg client;
+  client.sut = "pine-rtree";
+  client.trace_flags = HelloMsg::kWantTrace;
+  auto back = DecodeHello(EncodeHello(client));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->trace_flags, HelloMsg::kWantTrace);
+  EXPECT_EQ(back->server_time_s, 0.0);
+
+  // Server side: grants tracing and carries its span-clock reading, from
+  // which the client estimates the clock offset.
+  HelloMsg server;
+  server.sut = "pine-rtree";
+  server.trace_flags = HelloMsg::kHasServerTime;
+  server.server_time_s = 1234.5678;
+  back = DecodeHello(EncodeHello(server));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->trace_flags, HelloMsg::kHasServerTime);
+  EXPECT_DOUBLE_EQ(back->server_time_s, 1234.5678);
+}
+
+TEST(TraceContextTest, TracelessHelloKeepsThePreSpanEncoding) {
+  // The trailing flags byte is emitted only when nonzero: a traceless Hello
+  // must stay byte-identical to the pre-span encoding (old strict decoders
+  // reject trailing bytes), and a flagged frame is the traceless frame plus
+  // the trailing fields — that is the cross-version compatibility contract.
+  HelloMsg plain;
+  plain.sut = "pine-rtree";
+  const std::string traceless = EncodeHello(plain);
+
+  HelloMsg flagged = plain;
+  flagged.trace_flags = HelloMsg::kWantTrace;
+  const std::string with_flags = EncodeHello(flagged);
+  ASSERT_EQ(with_flags.size(), traceless.size() + 1);
+  EXPECT_EQ(with_flags.compare(0, traceless.size(), traceless), 0);
+
+  flagged.trace_flags = HelloMsg::kHasServerTime;
+  flagged.server_time_s = 7.0;
+  const std::string with_time = EncodeHello(flagged);
+  ASSERT_EQ(with_time.size(), traceless.size() + 1 + 8);
+  EXPECT_EQ(with_time.compare(0, traceless.size(), traceless), 0);
+
+  // A payload ending after peer_info decodes as a pre-span peer (flags 0).
+  auto legacy = DecodeHello(traceless);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->trace_flags, 0u);
+  EXPECT_EQ(legacy->server_time_s, 0.0);
+}
+
+TEST(TraceContextTest, HelloRejectsBadTraceFlags) {
+  const std::string base = EncodeHello({});
+  // A zero flags byte is never emitted (zero means "omit the field"), so
+  // its presence is corruption, not a capability.
+  std::string zero_flag = base;
+  zero_flag += '\0';
+  EXPECT_FALSE(DecodeHello(zero_flag).ok());
+  // Unknown capability bits from the future are rejected, not ignored:
+  // silently dropping them would let two peers disagree on the encoding of
+  // the bytes that follow.
+  std::string unknown_bit = base;
+  unknown_bit += '\x04';
+  EXPECT_FALSE(DecodeHello(unknown_bit).ok());
+  // kHasServerTime promises a trailing f64; a frame that cuts it is torn.
+  std::string torn = base;
+  torn += static_cast<char>(HelloMsg::kHasServerTime);
+  EXPECT_FALSE(DecodeHello(torn).ok());
+}
+
+TEST(TraceContextTest, QueryTraceContextRoundTrips) {
+  QueryMsg msg;
+  msg.sql = "SELECT COUNT(*) FROM arealm";
+  msg.deadline_s = 2.5;
+  msg.batch_rows = 128;
+  msg.trace_id = 0x1122334455667788ull;
+  msg.parent_span_id = 0x99aabbccddeeff00ull;
+  auto back = DecodeQuery(EncodeQuery(msg));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->sql, msg.sql);
+  EXPECT_DOUBLE_EQ(back->deadline_s, 2.5);
+  EXPECT_EQ(back->batch_rows, 128u);
+  EXPECT_EQ(back->trace_id, msg.trace_id);
+  EXPECT_EQ(back->parent_span_id, msg.parent_span_id);
+}
+
+TEST(TraceContextTest, UntracedQueryKeepsThePreSpanEncoding) {
+  // Trace context is emitted only when trace_id is nonzero: an untraced
+  // Query frame must stay byte-identical to the pre-span encoding, and the
+  // traced frame is the untraced one plus the two trailing u64s.
+  QueryMsg msg;
+  msg.sql = "SELECT 1";
+  const std::string untraced = EncodeQuery(msg);
+  msg.trace_id = 77;
+  msg.parent_span_id = 78;
+  const std::string traced = EncodeQuery(msg);
+  ASSERT_EQ(traced.size(), untraced.size() + 16);
+  EXPECT_EQ(traced.compare(0, untraced.size(), untraced), 0);
+
+  // Cutting exactly the trailing pair reproduces the legacy encoding, which
+  // must keep decoding (as untraced) — that is what a pre-span client sends.
+  auto legacy =
+      DecodeQuery(std::string_view(traced.data(), untraced.size()));
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->sql, "SELECT 1");
+  EXPECT_EQ(legacy->trace_id, 0u);
+  EXPECT_EQ(legacy->parent_span_id, 0u);
+
+  // Every other strict prefix of the traced payload is rejected.
+  for (size_t len = 0; len < traced.size(); ++len) {
+    if (len == untraced.size()) continue;
+    EXPECT_FALSE(DecodeQuery(std::string_view(traced.data(), len)).ok())
+        << "accepted prefix of length " << len;
+  }
+}
+
+TEST(TraceContextTest, SpanListRoundTripsSpansAndAnnotations) {
+  SpanListMsg msg;
+  msg.spans.resize(2);
+  msg.spans[0].trace_id = 42;
+  msg.spans[0].span_id = 1;
+  msg.spans[0].name = "server.query";
+  msg.spans[0].thread = 5;
+  msg.spans[0].start_s = 10.25;
+  msg.spans[0].end_s = 10.75;
+  msg.spans[0].process = 1;  // receiver-assigned; must NOT cross the wire
+  msg.spans[1].trace_id = 42;
+  msg.spans[1].span_id = 2;
+  msg.spans[1].parent_id = 1;
+  msg.spans[1].name = "server.exec";
+  msg.spans[1].start_s = 10.3;
+  msg.spans[1].end_s = 10.6;
+  msg.spans[1].annotations = {{"rows", "12"}, {"error", ""}};
+
+  auto back = DecodeSpanList(EncodeSpanList(msg));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->spans.size(), 2u);
+  EXPECT_EQ(back->spans[0].trace_id, 42u);
+  EXPECT_EQ(back->spans[0].span_id, 1u);
+  EXPECT_EQ(back->spans[0].parent_id, 0u);
+  EXPECT_EQ(back->spans[0].name, "server.query");
+  EXPECT_EQ(back->spans[0].thread, 5u);
+  EXPECT_DOUBLE_EQ(back->spans[0].start_s, 10.25);
+  EXPECT_DOUBLE_EQ(back->spans[0].end_s, 10.75);
+  EXPECT_EQ(back->spans[0].process, 0u);  // lane is local to each process
+  EXPECT_EQ(back->spans[1].parent_id, 1u);
+  ASSERT_EQ(back->spans[1].annotations.size(), 2u);
+  EXPECT_EQ(back->spans[1].annotations[0].first, "rows");
+  EXPECT_EQ(back->spans[1].annotations[0].second, "12");
+  EXPECT_EQ(back->spans[1].annotations[1].second, "");
+}
+
+TEST(TraceContextTest, SpanListRejectsHostileCounts) {
+  // A span count the payload cannot hold must fail before any allocation
+  // sized from it.
+  std::string payload("\xff\xff\xff\xff", 4);
+  EXPECT_FALSE(DecodeSpanList(payload).ok());
+  // Same for a per-span annotation count beyond the recorder's hard bound.
+  SpanListMsg msg;
+  msg.spans.resize(1);
+  msg.spans[0].name = "s";
+  std::string encoded = EncodeSpanList(msg);
+  // The annotation count is the last u32; forge it to an absurd value.
+  encoded[encoded.size() - 4] = '\x7f';
+  EXPECT_FALSE(DecodeSpanList(encoded).ok());
+}
+
+TEST(TraceContextTest, SpanListTruncationFailsCleanly) {
+  SpanListMsg msg;
+  msg.spans.resize(1);
+  msg.spans[0].trace_id = 1;
+  msg.spans[0].span_id = 2;
+  msg.spans[0].name = "server.send";
+  msg.spans[0].annotations = {{"frames", "3"}};
+  const std::string payload = EncodeSpanList(msg);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeSpanList(std::string_view(payload.data(), len)).ok())
+        << "accepted prefix of length " << len;
+  }
+}
+
+TEST(TraceContextTest, StatsRequestRoundTripsSpanScope) {
+  auto back = DecodeStatsRequest(
+      EncodeStatsRequest({StatsScope::kSpans}));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->scope, StatsScope::kSpans);
 }
 
 // --- Stats frames -------------------------------------------------------
