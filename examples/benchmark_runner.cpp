@@ -35,6 +35,14 @@
 // (see DESIGN.md "Observability"), the machine-readable companion to the
 // printed tables.
 //
+// --data-dir DIR attaches durable storage (jackpine::storage, DESIGN.md
+// "Durability") to every *local* SUT, each in its own DIR/<sut> subdirectory:
+// startup recovers whatever the directory holds, the bulk load is folded
+// into a checkpoint, DML during the run goes through the WAL, and the report
+// gains a durability section (wal_bytes, wal_appends, wal_fsyncs,
+// checkpoints, recovery_ms). Remote SUTs manage their own durability via
+// `pinedb serve --data-dir`.
+//
 // --trace-out PATH turns on span tracing and writes the merged client+server
 // timeline as Chrome trace-event JSON — open it in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing. Against a remote SUT the
@@ -44,6 +52,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +64,7 @@
 #include "core/runner.h"
 #include "net/remote_driver.h"
 #include "obs/span.h"
+#include "storage/storage.h"
 
 using namespace jackpine;  // example code; the library itself never does this
 
@@ -73,6 +83,7 @@ int main(int argc, char** argv) {
   bool no_load = false;
   std::string json_path;
   std::string trace_path;
+  std::string data_dir;
   std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
                                         "pine-scan"};
   for (int i = 1; i < argc; ++i) {
@@ -104,6 +115,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--trace-out") && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--data-dir") && i + 1 < argc) {
+      data_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b] "
@@ -111,7 +124,7 @@ int main(int argc, char** argv) {
                    "[--throughput-clients N] [--throughput-rounds R] "
                    "[--overload-clients N] [--overload-rounds R] "
                    "[--retry-budget TOKENS] [--no-load] [--json PATH] "
-                   "[--trace-out PATH]\n"
+                   "[--trace-out PATH] [--data-dir DIR]\n"
                    "  --suts entries: local SUT names or tcp://host:port/sut\n",
                    argv[0]);
       return 2;
@@ -141,6 +154,7 @@ int main(int argc, char** argv) {
   std::vector<std::vector<core::ScenarioResult>> scenarios_by_sut;
   std::vector<core::ThroughputResult> throughput_by_sut;
   std::vector<core::OverloadResult> overload_by_sut;
+  std::vector<core::DurabilityResult> durability_by_sut;
 
   for (const std::string& name : sut_names) {
     // A fresh bucket per SUT run, shared by all of that SUT's client
@@ -159,7 +173,33 @@ int main(int argc, char** argv) {
       return 1;
     }
     client::Connection conn = std::move(conn_or).value();
-    if (!no_load) {
+
+    bool skip_load = no_load;
+    std::unique_ptr<storage::StorageManager> store;
+    if (!data_dir.empty() && conn.is_local()) {
+      std::error_code ec;
+      std::filesystem::create_directories(data_dir, ec);
+      storage::StorageOptions sopts;
+      sopts.dir = data_dir + "/" + name;
+      auto opened = storage::StorageManager::Open(sopts, &conn.database());
+      if (!opened.ok()) {
+        std::fprintf(stderr, "storage recovery for %s failed: %s\n",
+                     name.c_str(), opened.status().ToString().c_str());
+        return 1;
+      }
+      store = std::move(opened).value();
+      const storage::RecoveryInfo& r = store->recovery_info();
+      if (r.snapshot_rows > 0 || r.wal_records_applied > 0) {
+        std::printf("recovered %s in %.2fms (%llu snapshot rows, %llu WAL "
+                    "records); skipping dataset load\n",
+                    sopts.dir.c_str(), r.recovery_s * 1e3,
+                    static_cast<unsigned long long>(r.snapshot_rows),
+                    static_cast<unsigned long long>(r.wal_records_applied));
+        skip_load = true;  // the directory already holds the dataset
+      }
+    }
+
+    if (!skip_load) {
       auto load = core::LoadDataset(dataset, &conn);
       if (!load.ok()) {
         std::fprintf(stderr, "load into %s failed: %s\n", name.c_str(),
@@ -168,6 +208,15 @@ int main(int argc, char** argv) {
       }
       std::printf("loaded %s: insert %.1fms, index %.1fms\n", name.c_str(),
                   load->insert_s * 1e3, load->index_s * 1e3);
+      if (store != nullptr) {
+        // The bulk loader runs below the WAL seam; fold the loaded dataset
+        // into a checkpoint so the directory is durable before measuring.
+        if (auto ckpt = store->Checkpoint(); !ckpt.ok()) {
+          std::fprintf(stderr, "post-load checkpoint for %s failed: %s\n",
+                       name.c_str(), ckpt.ToString().c_str());
+          return 1;
+        }
+      }
     }
 
     topo_by_sut.push_back(core::RunSuite(&conn, topo_suite, config));
@@ -190,6 +239,22 @@ int main(int argc, char** argv) {
           &conn, topo_suite, overload_clients, overload_rounds, config);
       ov.sut = name;
       overload_by_sut.push_back(std::move(ov));
+    }
+
+    if (store != nullptr) {
+      core::DurabilityResult d;
+      d.sut = name;
+      d.wal_bytes = store->wal_bytes();
+      d.wal_appends = store->wal_appends();
+      d.wal_fsyncs = store->wal_fsyncs();
+      d.checkpoints = store->checkpoints();
+      d.recovery_s = store->recovery_info().recovery_s;
+      durability_by_sut.push_back(std::move(d));
+      if (auto closed = store->Close(); !closed.ok()) {
+        std::fprintf(stderr, "final checkpoint for %s failed: %s\n",
+                     name.c_str(), closed.ToString().c_str());
+        return 1;
+      }
     }
   }
 
@@ -252,6 +317,25 @@ int main(int argc, char** argv) {
                     overload_by_sut)
                     .c_str());
   }
+  if (!durability_by_sut.empty()) {
+    std::vector<std::pair<std::string, std::string>> rows;
+    for (const core::DurabilityResult& d : durability_by_sut) {
+      rows.emplace_back(
+          d.sut,
+          StrFormat("wal %llu B, %llu appends, %llu fsyncs, %llu "
+                    "checkpoints, recovery %.2fms",
+                    static_cast<unsigned long long>(d.wal_bytes),
+                    static_cast<unsigned long long>(d.wal_appends),
+                    static_cast<unsigned long long>(d.wal_fsyncs),
+                    static_cast<unsigned long long>(d.checkpoints),
+                    d.recovery_s * 1e3));
+    }
+    std::printf("%s\n", core::RenderKeyValueTable(
+                            StrFormat("durability (--data-dir %s)",
+                                      data_dir.c_str()),
+                            rows)
+                            .c_str());
+  }
   if (!json_path.empty()) {
     core::JsonReportInput report;
     report.title = StrFormat("jackpine benchmark (scale %.2f, seed %llu)",
@@ -259,6 +343,7 @@ int main(int argc, char** argv) {
     report.runs_by_sut = std::move(all_runs_by_sut);
     report.scenarios_by_sut = std::move(scenarios_by_sut);
     report.overloads = std::move(overload_by_sut);
+    report.durability = std::move(durability_by_sut);
     const std::string doc = core::RenderJsonReport(report);
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {

@@ -3,6 +3,10 @@
 // introduction.
 //
 //   ./build/examples/pinedb_shell [sut-name] [--scale S] [--csv DIR]
+//                                 [--no-load]
+//
+// --no-load skips the startup dataset load — for poking a remote pinedb
+// that already holds state (e.g. one recovered from --data-dir).
 //
 // Reads one SQL statement per line (EXPLAIN and EXPLAIN ANALYZE work too).
 // Meta commands:
@@ -25,19 +29,27 @@
 #include "core/loader.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "net/remote_driver.h"
 #include "tigergen/csv_io.h"
 
 using namespace jackpine;  // example code; the library itself never does this
 
 int main(int argc, char** argv) {
+  // Explicit registration: the linker may drop the remote driver's
+  // self-registering static when nothing else references that TU, and the
+  // shell is the tool of choice for poking a remote pinedb.
+  net::RegisterRemoteDriver();
   std::string sut = "pine-rtree";
   double scale = 0.25;
   std::string csv_dir;
+  bool no_load = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
       scale = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--csv") && i + 1 < argc) {
       csv_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--no-load")) {
+      no_load = true;
     } else {
       sut = argv[i];
     }
@@ -50,7 +62,9 @@ int main(int argc, char** argv) {
   }
   client::Connection conn = std::move(conn_result).value();
 
-  if (!csv_dir.empty()) {
+  if (no_load) {
+    std::printf("connected to %s without loading a dataset\n", sut.c_str());
+  } else if (!csv_dir.empty()) {
     auto dataset = tigergen::LoadDatasetCsv(csv_dir);
     if (!dataset.ok()) {
       std::fprintf(stderr, "CSV load failed: %s\n",

@@ -30,6 +30,12 @@ enum class StatusCode : uint8_t {
   kCancelled,
   kResourceExhausted,
   kUnavailable,
+  // Durable storage (see DESIGN.md "Durability"): recovery found the on-disk
+  // state unrecoverable (mid-log corruption, an unreadable snapshot), or the
+  // storage layer latched fail-stop after a write/fsync failure. Never
+  // retryable — silent partial recovery is the one outcome this code exists
+  // to prevent.
+  kDataLoss,
 };
 
 // True for errors that a retry with backoff can plausibly fix (kUnavailable).
@@ -96,6 +102,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -360,6 +360,20 @@ std::string RenderJsonReport(const JsonReportInput& input) {
   for (const OverloadResult& r : input.overloads) {
     overload.Append(OverloadResultToJson(r));
   }
+  // Additive within schema_version 1: present only for --data-dir runs.
+  obs::Json& durability = root.Set("durability", obs::Json::Array());
+  for (const DurabilityResult& d : input.durability) {
+    obs::Json& entry = durability.Append(obs::Json::Object());
+    entry.Set("sut", obs::Json::Str(d.sut));
+    entry.Set("wal_bytes", obs::Json::Int(static_cast<int64_t>(d.wal_bytes)));
+    entry.Set("wal_appends",
+              obs::Json::Int(static_cast<int64_t>(d.wal_appends)));
+    entry.Set("wal_fsyncs",
+              obs::Json::Int(static_cast<int64_t>(d.wal_fsyncs)));
+    entry.Set("checkpoints",
+              obs::Json::Int(static_cast<int64_t>(d.checkpoints)));
+    entry.Set("recovery_ms", obs::Json::Number(d.recovery_s * 1e3));
+  }
   return root.Dump(/*pretty=*/true);
 }
 

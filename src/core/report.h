@@ -57,13 +57,26 @@ std::string RenderStageBreakdownTable(const std::string& title,
 // (`schema_version` 1): see DESIGN.md "Observability" for the field-by-field
 // contract. Checksums are emitted as hex strings since they exceed the
 // double-exact integer range.
+// Durability counters for a SUT that ran with a data directory attached
+// (benchmark_runner --data-dir): what recovery cost at open and what the
+// WAL did during the run. Additive within schema_version 1.
+struct DurabilityResult {
+  std::string sut;
+  uint64_t wal_bytes = 0;    // WAL file size at the end of the run
+  uint64_t wal_appends = 0;  // records logged (DML on the durable path)
+  uint64_t wal_fsyncs = 0;
+  uint64_t checkpoints = 0;
+  double recovery_s = 0.0;   // startup recovery (0 on a fresh directory)
+};
+
 struct JsonReportInput {
   std::string title;
   // One entry per SUT, same shape as the table renderers above. Any of the
-  // three sections may be empty; empty sections are emitted as [].
+  // sections may be empty; empty sections are emitted as [].
   std::vector<std::vector<RunResult>> runs_by_sut;
   std::vector<std::vector<ScenarioResult>> scenarios_by_sut;
   std::vector<OverloadResult> overloads;
+  std::vector<DurabilityResult> durability;
 };
 std::string RenderJsonReport(const JsonReportInput& input);
 

@@ -142,13 +142,35 @@ Result<QueryResult> Database::ExecuteCreateTable(
     JACKPINE_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(type_name));
     columns.push_back(Column{name, type});
   }
+  Schema schema(std::move(columns));
+  // Write-ahead order when a durability observer is attached: validate (the
+  // duplicate check), log, apply, then wait for durability off the mutation
+  // mutex (MutationObserver contract in database.h).
+  std::unique_lock<std::mutex> lock;
+  uint64_t ticket = 0;
+  if (observer_ != nullptr) {
+    lock = std::unique_lock<std::mutex>(observer_->mutation_mutex());
+    if (catalog_.GetTable(stmt.name) != nullptr) {
+      return Status::AlreadyExists(StrFormat("table '%s'", stmt.name.c_str()));
+    }
+    JACKPINE_ASSIGN_OR_RETURN(ticket,
+                              observer_->OnCreateTable(stmt.name, schema));
+  }
   JACKPINE_ASSIGN_OR_RETURN(Table * table,
-                            catalog_.CreateTable(stmt.name, Schema(columns)));
+                            catalog_.CreateTable(stmt.name, std::move(schema)));
   (void)table;
+  if (observer_ != nullptr) {
+    lock.unlock();
+    JACKPINE_RETURN_IF_ERROR(observer_->WaitDurable(ticket));
+  }
   return AffectedRows(0);
 }
 
 Result<QueryResult> Database::ExecuteInsert(const InsertStatement& stmt) {
+  std::unique_lock<std::mutex> lock;
+  if (observer_ != nullptr) {
+    lock = std::unique_lock<std::mutex>(observer_->mutation_mutex());
+  }
   Table* table = catalog_.GetTable(stmt.table);
   if (table == nullptr) {
     return Status::NotFound(StrFormat("table '%s'", stmt.table.c_str()));
@@ -156,9 +178,14 @@ Result<QueryResult> Database::ExecuteInsert(const InsertStatement& stmt) {
   EvalContext ctx;
   ctx.predicate_mode = options_.predicate_mode;
   Binder empty_binder({}, {});
-  int64_t inserted = 0;
+  // Evaluate and validate every row before logging or applying anything, so
+  // the WAL only ever carries rows whose apply cannot fail and a mid-batch
+  // evaluation error leaves both log and heap untouched.
+  std::vector<Row> rows;
+  rows.reserve(stmt.rows.size());
   for (const auto& row_exprs : stmt.rows) {
     Row row;
+    row.reserve(row_exprs.size());
     for (const ExprPtr& e : row_exprs) {
       JACKPINE_ASSIGN_OR_RETURN(
           BoundExpr bound,
@@ -167,14 +194,30 @@ Result<QueryResult> Database::ExecuteInsert(const InsertStatement& stmt) {
       JACKPINE_ASSIGN_OR_RETURN(Value v, EvalBound(bound, no_rows, ctx));
       row.push_back(std::move(v));
     }
+    JACKPINE_RETURN_IF_ERROR(table->schema().ValidateRow(row));
+    rows.push_back(std::move(row));
+  }
+  uint64_t ticket = 0;
+  if (observer_ != nullptr) {
+    JACKPINE_ASSIGN_OR_RETURN(ticket, observer_->OnInsert(stmt.table, rows));
+  }
+  const int64_t inserted = static_cast<int64_t>(rows.size());
+  for (Row& row : rows) {
     JACKPINE_RETURN_IF_ERROR(table->Append(std::move(row)));
-    ++inserted;
+  }
+  if (observer_ != nullptr) {
+    lock.unlock();
+    JACKPINE_RETURN_IF_ERROR(observer_->WaitDurable(ticket));
   }
   return AffectedRows(inserted);
 }
 
 Result<QueryResult> Database::ExecuteCreateIndex(
     const CreateIndexStatement& stmt) {
+  std::unique_lock<std::mutex> lock;
+  if (observer_ != nullptr) {
+    lock = std::unique_lock<std::mutex>(observer_->mutation_mutex());
+  }
   Table* table = catalog_.GetTable(stmt.table);
   if (table == nullptr) {
     return Status::NotFound(StrFormat("table '%s'", stmt.table.c_str()));
@@ -184,16 +227,29 @@ Result<QueryResult> Database::ExecuteCreateIndex(
     return Status::NotFound(StrFormat("column '%s'", stmt.column.c_str()));
   }
   // A SUT configured without an index honours the DDL as a no-op, the same
-  // way the paper ran DBMSs "without spatial index".
+  // way the paper ran DBMSs "without spatial index". No-ops are not logged.
   if (options_.index_kind == index::IndexKind::kNone) {
     return AffectedRows(0);
   }
+  uint64_t ticket = 0;
+  if (observer_ != nullptr) {
+    JACKPINE_ASSIGN_OR_RETURN(ticket,
+                              observer_->OnCreateIndex(stmt.table, *col));
+  }
   JACKPINE_RETURN_IF_ERROR(table->BuildSpatialIndex(
       *col, options_.index_kind, options_.incremental_index_build));
+  if (observer_ != nullptr) {
+    lock.unlock();
+    JACKPINE_RETURN_IF_ERROR(observer_->WaitDurable(ticket));
+  }
   return AffectedRows(static_cast<int64_t>(table->NumRows()));
 }
 
 Result<QueryResult> Database::ExecuteDropIndex(const DropIndexStatement& stmt) {
+  std::unique_lock<std::mutex> lock;
+  if (observer_ != nullptr) {
+    lock = std::unique_lock<std::mutex>(observer_->mutation_mutex());
+  }
   Table* table = catalog_.GetTable(stmt.table);
   if (table == nullptr) {
     return Status::NotFound(StrFormat("table '%s'", stmt.table.c_str()));
@@ -202,7 +258,19 @@ Result<QueryResult> Database::ExecuteDropIndex(const DropIndexStatement& stmt) {
   if (!col.has_value()) {
     return Status::NotFound(StrFormat("column '%s'", stmt.column.c_str()));
   }
+  uint64_t ticket = 0;
+  if (observer_ != nullptr) {
+    // Dropping an index that is not there is a no-op; only log real drops.
+    if (table->GetSpatialIndex(*col) != nullptr) {
+      JACKPINE_ASSIGN_OR_RETURN(ticket,
+                                observer_->OnDropIndex(stmt.table, *col));
+    }
+  }
   table->DropSpatialIndex(*col);
+  if (observer_ != nullptr) {
+    lock.unlock();
+    JACKPINE_RETURN_IF_ERROR(observer_->WaitDurable(ticket));
+  }
   return AffectedRows(0);
 }
 

@@ -7,8 +7,10 @@
 #ifndef JACKPINE_ENGINE_DATABASE_H_
 #define JACKPINE_ENGINE_DATABASE_H_
 
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "engine/catalog.h"
 #include "engine/executor.h"
@@ -32,6 +34,42 @@ struct DatabaseOptions {
   bool fold_constants = true;
 };
 
+// The durability seam (implemented by storage::StorageManager): the engine
+// calls the matching On* hook for every mutating statement *before* applying
+// it in memory — write-ahead order — and WaitDurable with the returned
+// ticket after the apply, so the statement only acks once the mutation is
+// on disk. The engine holds mutation_mutex() from just before the hook
+// until the in-memory apply completes; the observer takes the same mutex
+// while checkpointing, which is what keeps a snapshot from capturing a
+// logged-but-unapplied (or applied-but-about-to-be-truncated) statement.
+// Hooks run with statement arguments already validated, so a hook error
+// (e.g. the log device is full) fails the statement before any in-memory
+// change. A null observer (the default) makes all of this vanish: pinedb
+// without --data-dir is the same in-memory engine as before.
+class MutationObserver {
+ public:
+  virtual ~MutationObserver() = default;
+
+  // Serialises mutating statements against each other and against
+  // checkpoints. Held by the engine across hook + apply.
+  virtual std::mutex& mutation_mutex() = 0;
+
+  // Each returns a durability ticket for WaitDurable (0 = already durable).
+  virtual Result<uint64_t> OnCreateTable(const std::string& name,
+                                         const Schema& schema) = 0;
+  virtual Result<uint64_t> OnInsert(const std::string& table,
+                                    const std::vector<Row>& rows) = 0;
+  virtual Result<uint64_t> OnCreateIndex(const std::string& table,
+                                         size_t column) = 0;
+  virtual Result<uint64_t> OnDropIndex(const std::string& table,
+                                       size_t column) = 0;
+
+  // Blocks until the ticket's mutation is durable (group-commit fsync or a
+  // covering checkpoint). Called after mutation_mutex() is released so
+  // concurrent statements share one fsync.
+  virtual Status WaitDurable(uint64_t ticket) = 0;
+};
+
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
@@ -52,6 +90,14 @@ class Database {
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  // Attaches (or detaches, with nullptr) the durability observer. The
+  // observer must outlive every Execute() call; recovery replay attaches it
+  // only after the replayed state is rebuilt, so replay never re-logs.
+  void set_mutation_observer(MutationObserver* observer) {
+    observer_ = observer;
+  }
+  MutationObserver* mutation_observer() const { return observer_; }
+
  private:
   Result<QueryResult> ExecuteSelect(const SelectStatement& stmt,
                                     ExecContext* exec, double parse_s);
@@ -65,6 +111,7 @@ class Database {
   DatabaseOptions options_;
   Catalog catalog_;
   ExecStats stats_;
+  MutationObserver* observer_ = nullptr;  // non-owning; null = no durability
   // Process-wide registry instruments (obs/metrics.h), resolved once in the
   // constructor; never null.
   obs::Counter* queries_metric_ = nullptr;

@@ -1,5 +1,8 @@
 #include "engine/table.h"
 
+#include <cstddef>
+#include <utility>
+
 #include "common/string_util.h"
 
 namespace jackpine::engine {
@@ -17,6 +20,36 @@ Status Table::Append(Row row) {
     }
   }
   rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Status Table::UpdateRow(size_t i, Row row) {
+  if (i >= rows_.size()) {
+    return Status::OutOfRange(
+        StrFormat("row %zu of %zu in '%s'", i, rows_.size(), name_.c_str()));
+  }
+  JACKPINE_RETURN_IF_ERROR(schema_.ValidateRow(row));
+  rows_[i] = std::move(row);
+  return RebuildIndexesAfterMutation();
+}
+
+Status Table::DeleteRow(size_t i) {
+  if (i >= rows_.size()) {
+    return Status::OutOfRange(
+        StrFormat("row %zu of %zu in '%s'", i, rows_.size(), name_.c_str()));
+  }
+  rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(i));
+  return RebuildIndexesAfterMutation();
+}
+
+Status Table::RebuildIndexesAfterMutation() {
+  // Row ids are positional, so in-place mutation invalidates every spatial
+  // index on the table; rebuild them bulk with their existing kinds.
+  std::vector<std::pair<size_t, index::IndexKind>> rebuilds;
+  for (const auto& [col, idx] : indexes_) rebuilds.emplace_back(col, idx->kind());
+  for (const auto& [col, kind] : rebuilds) {
+    JACKPINE_RETURN_IF_ERROR(BuildSpatialIndex(col, kind));
+  }
   return Status::Ok();
 }
 
@@ -59,6 +92,13 @@ void Table::DropSpatialIndex(size_t column) { indexes_.erase(column); }
 const index::SpatialIndex* Table::GetSpatialIndex(size_t column) const {
   auto it = indexes_.find(column);
   return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<size_t> Table::IndexedColumns() const {
+  std::vector<size_t> columns;
+  columns.reserve(indexes_.size());
+  for (const auto& [col, idx] : indexes_) columns.push_back(col);
+  return columns;
 }
 
 }  // namespace jackpine::engine

@@ -28,6 +28,16 @@ class Table {
   // indexes incrementally.
   Status Append(Row row);
 
+  // Replaces row `i` after schema validation. Spatial indexes on the table
+  // are rebuilt (bulk) since the old envelope must leave the index; today
+  // only WAL replay (storage/) reaches this, where indexes are rebuilt once
+  // at the end anyway.
+  Status UpdateRow(size_t i, Row row);
+
+  // Removes row `i`. Row ids above `i` shift down, so every spatial index
+  // on the table is rebuilt (bulk).
+  Status DeleteRow(size_t i);
+
   // Builds (or rebuilds, bulk-loading) a spatial index on `column`; the
   // column must be GEOMETRY. `incremental` = true exercises one-at-a-time
   // insertion instead of bulk load (the E6 fill-policy ablation).
@@ -39,7 +49,15 @@ class Table {
   // The index on `column`, or nullptr.
   const index::SpatialIndex* GetSpatialIndex(size_t column) const;
 
+  // Columns carrying a spatial index, ascending — what a checkpoint
+  // snapshot persists so recovery can rebuild the same indexes.
+  std::vector<size_t> IndexedColumns() const;
+
  private:
+  // Bulk-rebuilds every index with its existing kind after an in-place row
+  // mutation invalidated the positional row ids.
+  Status RebuildIndexesAfterMutation();
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;

@@ -26,6 +26,7 @@ class GridIndex final : public SpatialIndex {
                std::vector<int64_t>* out) const override;
   size_t size() const override { return entries_.size(); }
   std::string Name() const override { return "grid"; }
+  IndexKind kind() const override { return IndexKind::kGrid; }
 
   size_t CellsX() const { return nx_; }
   size_t CellsY() const { return ny_; }

@@ -23,6 +23,7 @@ class LinearScanIndex final : public SpatialIndex {
                std::vector<int64_t>* out) const override;
   size_t size() const override { return entries_.size(); }
   std::string Name() const override { return "scan"; }
+  IndexKind kind() const override { return IndexKind::kNone; }
 
  private:
   std::vector<IndexEntry> entries_;

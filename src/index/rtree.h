@@ -27,6 +27,7 @@ class RTree final : public SpatialIndex {
                std::vector<int64_t>* out) const override;
   size_t size() const override { return size_; }
   std::string Name() const override { return "rtree"; }
+  IndexKind kind() const override { return IndexKind::kRtree; }
 
   // Structural statistics for the index-structure benchmarks (E8).
   int Height() const;

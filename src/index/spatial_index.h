@@ -23,6 +23,9 @@ struct IndexEntry {
   int64_t id = 0;
 };
 
+// The kinds the engine can be configured with.
+enum class IndexKind : uint8_t { kNone, kRtree, kGrid };
+
 // Per-probe instrumentation (obs tracing). "Nodes" is the structure's own
 // unit of traversal work: R-tree nodes popped, grid cells inspected, or
 // entries scanned for the linear fallback — the comparable cost axis across
@@ -56,10 +59,11 @@ class SpatialIndex {
 
   // Diagnostic name ("rtree", "grid", "scan").
   virtual std::string Name() const = 0;
-};
 
-// The kinds the engine can be configured with.
-enum class IndexKind : uint8_t { kNone, kRtree, kGrid };
+  // The configuration kind that builds this structure — what a rebuild
+  // after in-place row mutation or a recovery must recreate.
+  virtual IndexKind kind() const = 0;
+};
 
 const char* IndexKindName(IndexKind kind);
 

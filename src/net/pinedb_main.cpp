@@ -2,11 +2,27 @@
 //
 //   pinedb serve [--host H] [--port P] [--sut NAME] [--batch-rows N]
 //                [--preload] [--scale S] [--seed N]
+//                [--data-dir DIR] [--group-commit-ms MS]
+//                [--checkpoint-interval-s S]
 //                [--max-sessions N] [--max-wait-queue N]
 //                [--queue-timeout-ms N] [--retry-after-ms N]
 //                [--idle-timeout-s S] [--send-timeout-s S]
 //                [--chaos SEED,RATE,LATENCY_MS]
+//   pinedb checkpoint --data-dir DIR [--sut NAME]
 //   pinedb stats [--host H] [--port P] [--session] [--prom]
+//
+// --data-dir makes the SUT durable (DESIGN.md "Durability"): on startup the
+// directory's newest snapshot is loaded and the write-ahead log replayed
+// (recovering whatever a previous process acked before it died, kill -9
+// included); while serving, every mutating statement is WAL-logged and
+// group-commit fsynced before its ack; on graceful shutdown the state is
+// folded into a fresh checkpoint snapshot. If the directory is
+// unrecoverable (mid-log corruption, snapshot CRC failure) the server
+// refuses to start rather than serve a partial state — that is the
+// kDataLoss contract. `pinedb checkpoint` runs the same recovery offline
+// and compacts the directory to a snapshot + empty log (exit 1 on
+// kDataLoss), which is both the repair tool and the CI crash-recovery
+// smoke's integrity check.
 //
 // --preload generates the TIGER-like dataset (same generator and defaults as
 // benchmark_runner, so a given --scale/--seed pair yields the identical
@@ -50,27 +66,104 @@
 #include "net/remote_driver.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "storage/storage.h"
 
 using namespace jackpine;  // binary code; the library itself never does this
 
 namespace {
 
-std::atomic<bool> g_stop{false};
+std::atomic<int> g_signals{0};
 
-void HandleSignal(int) { g_stop.store(true); }
+void HandleSignal(int) {
+  // First signal: graceful drain + final checkpoint. Second: the operator
+  // means it — exit now (the data dir recovers on the next start, which is
+  // the whole point of the WAL).
+  if (g_signals.fetch_add(1) >= 1) std::_Exit(130);
+}
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s serve [--host H] [--port P] [--sut NAME]\n"
                "                [--batch-rows N] [--preload] [--scale S] "
                "[--seed N]\n"
+               "                [--data-dir DIR] [--group-commit-ms MS]\n"
+               "                [--checkpoint-interval-s S]\n"
                "                [--max-sessions N] [--max-wait-queue N]\n"
                "                [--queue-timeout-ms N] [--retry-after-ms N]\n"
                "                [--idle-timeout-s S] [--send-timeout-s S]\n"
                "                [--chaos SEED,RATE,LATENCY_MS]\n"
+               "       %s checkpoint --data-dir DIR [--sut NAME]\n"
                "       %s stats [--host H] [--port P] [--session] [--prom]\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 2;
+}
+
+void PrintRecoveryTable(const storage::RecoveryInfo& r) {
+  std::printf(
+      "%s\n",
+      core::RenderKeyValueTable(
+          "pinedb recovery",
+          {{"snapshot loaded", r.snapshot_loaded ? "yes" : "no"},
+           {"snapshot tables",
+            StrFormat("%llu", static_cast<unsigned long long>(r.snapshot_tables))},
+           {"snapshot rows",
+            StrFormat("%llu", static_cast<unsigned long long>(r.snapshot_rows))},
+           {"wal records applied",
+            StrFormat("%llu",
+                      static_cast<unsigned long long>(r.wal_records_applied))},
+           {"wal records skipped",
+            StrFormat("%llu",
+                      static_cast<unsigned long long>(r.wal_records_skipped))},
+           {"wal torn bytes truncated",
+            StrFormat("%llu",
+                      static_cast<unsigned long long>(r.wal_truncated_bytes))},
+           {"recovery time", StrFormat("%.3f ms", r.recovery_s * 1e3)}})
+          .c_str());
+}
+
+// `pinedb checkpoint`: offline recover-and-compact. Exit 0 means the data
+// dir recovered cleanly and now holds a fresh snapshot + empty log; exit 1
+// means kDataLoss (or any other failure) — CI's crash-recovery smoke
+// asserts on this.
+int RunCheckpoint(int argc, char** argv) {
+  std::string data_dir;
+  std::string sut = "pine-rtree";
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--data-dir") && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--sut") && i + 1 < argc) {
+      sut = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (data_dir.empty()) {
+    std::fprintf(stderr, "pinedb checkpoint: --data-dir is required\n");
+    return 2;
+  }
+  auto config = client::SutByName(sut);
+  if (!config.ok()) {
+    std::fprintf(stderr, "pinedb checkpoint: %s\n",
+                 config.status().ToString().c_str());
+    return 2;
+  }
+  client::Connection conn = client::Connection::Open(*config);
+  storage::StorageOptions sopts;
+  sopts.dir = data_dir;
+  auto manager = storage::StorageManager::Open(sopts, &conn.database());
+  if (!manager.ok()) {
+    std::fprintf(stderr, "pinedb checkpoint: %s\n",
+                 manager.status().ToString().c_str());
+    return 1;
+  }
+  PrintRecoveryTable((*manager)->recovery_info());
+  const Status closed = (*manager)->Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "pinedb checkpoint: %s\n", closed.ToString().c_str());
+    return 1;
+  }
+  std::printf("pinedb checkpoint: ok\n");
+  return 0;
 }
 
 // `pinedb stats`: scrape a running server and print its stats entries in
@@ -121,12 +214,16 @@ int RunStats(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   if (!std::strcmp(argv[1], "stats")) return RunStats(argc, argv);
+  if (!std::strcmp(argv[1], "checkpoint")) return RunCheckpoint(argc, argv);
   if (std::strcmp(argv[1], "serve") != 0) return Usage(argv[0]);
 
   net::ServerOptions options;
   bool preload = false;
   double scale = 0.5;
   uint64_t seed = 42;
+  std::string data_dir;
+  double group_commit_ms = 1.0;
+  double checkpoint_interval_s = 60.0;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
       options.host = argv[++i];
@@ -142,6 +239,13 @@ int main(int argc, char** argv) {
       scale = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--data-dir") && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--group-commit-ms") && i + 1 < argc) {
+      group_commit_ms = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--checkpoint-interval-s") &&
+               i + 1 < argc) {
+      checkpoint_interval_s = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--max-sessions") && i + 1 < argc) {
       options.max_sessions = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (!std::strcmp(argv[i], "--max-wait-queue") && i + 1 < argc) {
@@ -177,6 +281,32 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<net::Server> server = std::move(server_or).value();
 
+  std::unique_ptr<storage::StorageManager> store;
+  if (!data_dir.empty()) {
+    storage::StorageOptions sopts;
+    sopts.dir = data_dir;
+    sopts.group_commit_window_s = group_commit_ms / 1e3;
+    sopts.checkpoint_interval_s = checkpoint_interval_s;
+    auto opened =
+        storage::StorageManager::Open(sopts, &server->connection().database());
+    if (!opened.ok()) {
+      // kDataLoss here means the directory is unrecoverable; refusing to
+      // serve beats serving a silently partial database.
+      std::fprintf(stderr, "pinedb: storage recovery failed: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(opened).value();
+    PrintRecoveryTable(store->recovery_info());
+    const storage::RecoveryInfo& r = store->recovery_info();
+    if (preload && (r.snapshot_rows > 0 || r.wal_records_applied > 0)) {
+      std::printf(
+          "pinedb: data dir already holds recovered state; skipping "
+          "--preload\n");
+      preload = false;
+    }
+  }
+
   if (preload) {
     tigergen::TigerGenOptions gen;
     gen.seed = seed;
@@ -189,6 +319,17 @@ int main(int argc, char** argv) {
     }
     std::printf("pinedb: preloaded %zu rows (scale %.2f, seed %llu)\n",
                 load->rows, scale, static_cast<unsigned long long>(seed));
+    if (store != nullptr) {
+      // The bulk loader appends through the engine's fast path, below the
+      // WAL seam; a checkpoint makes the preloaded dataset durable.
+      const Status ckpt = store->Checkpoint();
+      if (!ckpt.ok()) {
+        std::fprintf(stderr, "pinedb: post-preload checkpoint failed: %s\n",
+                     ckpt.ToString().c_str());
+        return 1;
+      }
+      std::printf("pinedb: preload checkpointed to %s\n", data_dir.c_str());
+    }
   }
 
   std::signal(SIGINT, HandleSignal);
@@ -201,12 +342,26 @@ int main(int argc, char** argv) {
   std::printf("LISTENING %u\n", static_cast<unsigned>(server->port()));
   std::fflush(stdout);
 
-  while (!g_stop.load()) {
+  while (g_signals.load() == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
   std::printf("pinedb: shutting down\n");
   server->Shutdown();
+  int exit_code = 0;
+  if (store != nullptr) {
+    // Sessions are drained; fold everything into a final checkpoint so the
+    // next start recovers from the snapshot without replaying the log.
+    const Status closed = store->Close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "pinedb: final checkpoint failed: %s\n",
+                   closed.ToString().c_str());
+      exit_code = 1;
+    } else {
+      std::printf("pinedb: final checkpoint written to %s\n",
+                  data_dir.c_str());
+    }
+  }
   const net::ServerCounters c = server->counters();
   std::printf("%s\n",
               core::RenderKeyValueTable(
@@ -242,5 +397,5 @@ int main(int argc, char** argv) {
                                                  c.sessions_closed));
     return 1;
   }
-  return 0;
+  return exit_code;
 }

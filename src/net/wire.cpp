@@ -182,7 +182,7 @@ bool KnownFrameType(uint8_t t) {
 }
 
 bool KnownStatusCode(uint8_t c) {
-  return c <= static_cast<uint8_t>(StatusCode::kUnavailable);
+  return c <= static_cast<uint8_t>(StatusCode::kDataLoss);
 }
 
 }  // namespace

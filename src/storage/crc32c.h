@@ -1,0 +1,30 @@
+// CRC32C (Castagnoli) — the checksum framing every durable byte of
+// jackpine::storage carries. Chosen over CRC32 for its better error
+// detection on short records and because it is what most storage systems
+// (ext4, LevelDB, iSCSI) standardised on, so test vectors abound.
+
+#ifndef JACKPINE_STORAGE_CRC32C_H_
+#define JACKPINE_STORAGE_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace jackpine::storage {
+
+// One-shot CRC32C of `data` (initial CRC 0, standard reflected polynomial
+// 0x1EDC6F41, final XOR). Crc32c("123456789") == 0xE3069283.
+uint32_t Crc32c(std::string_view data);
+
+// Streaming form: `crc` is the value returned by a previous call (or 0 to
+// start); equivalent to Crc32c over the concatenation.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+// Masked CRC, LevelDB-style: storing a CRC of data that itself contains
+// CRCs is error-prone, so the stored form is rotated and offset. Recovery
+// unmasks before comparing.
+uint32_t MaskCrc(uint32_t crc);
+uint32_t UnmaskCrc(uint32_t masked);
+
+}  // namespace jackpine::storage
+
+#endif  // JACKPINE_STORAGE_CRC32C_H_

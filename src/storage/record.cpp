@@ -1,0 +1,441 @@
+#include "storage/record.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+#include "geom/wkb.h"
+#include "storage/crc32c.h"
+
+namespace jackpine::storage {
+
+namespace {
+
+using engine::DataType;
+using engine::Row;
+using engine::Value;
+
+// --- Primitive writers (same layout discipline as net/wire.cpp) -------
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  AppendU64(out, bits);
+}
+
+void AppendStr(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// --- Bounded reader ---------------------------------------------------
+
+// Every Read* checks the remaining byte count before touching memory;
+// length-prefixed fields and element counts are validated against the
+// remaining input before any allocation, so a corrupted length can neither
+// overread nor trigger OOM.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8() {
+    if (remaining() < 1) return Err("truncated (u8)");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() {
+    if (remaining() < 4) return Err("truncated (u32)");
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    if (remaining() < 8) return Err("truncated (u64)");
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<double> ReadF64() {
+    JACKPINE_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  Result<std::string> ReadStr() {
+    JACKPINE_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (n > remaining()) return Err("string length exceeds input");
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  // Validates an element count against the minimum bytes each element
+  // needs, so reserve() below never allocates more than the input could
+  // possibly describe.
+  Result<uint64_t> ReadCount(uint64_t min_bytes_per_elem, const char* what) {
+    JACKPINE_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+    if (min_bytes_per_elem > 0 && n > remaining() / min_bytes_per_elem) {
+      return Err(what);
+    }
+    return n;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status ExpectEnd() const {
+    if (remaining() != 0) {
+      return Status::DataLoss(StrFormat(
+          "storage: %zu trailing bytes in record", remaining()));
+    }
+    return Status::Ok();
+  }
+
+  Status Err(const char* what) const {
+    return Status::DataLoss(
+        StrFormat("storage: at offset %zu: %s", pos_, what));
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// --- Values -----------------------------------------------------------
+
+enum class ValueTag : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+  kGeometry = 5,
+};
+
+void AppendValue(std::string* out, const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kNull));
+      return;
+    case DataType::kBool:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kBool));
+      AppendU8(out, v.bool_value() ? 1 : 0);
+      return;
+    case DataType::kInt64:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kInt64));
+      AppendU64(out, static_cast<uint64_t>(v.int_value()));
+      return;
+    case DataType::kDouble:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kDouble));
+      AppendF64(out, v.double_value());
+      return;
+    case DataType::kString:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kString));
+      AppendStr(out, v.string_value());
+      return;
+    case DataType::kGeometry:
+      AppendU8(out, static_cast<uint8_t>(ValueTag::kGeometry));
+      AppendStr(out, geom::ToWkb(v.geometry_value()));
+      return;
+  }
+}
+
+Result<Value> ReadValue(Reader* r) {
+  JACKPINE_ASSIGN_OR_RETURN(uint8_t tag, r->ReadU8());
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::kNull:
+      return Value::MakeNull();
+    case ValueTag::kBool: {
+      JACKPINE_ASSIGN_OR_RETURN(uint8_t b, r->ReadU8());
+      return Value::Bool(b != 0);
+    }
+    case ValueTag::kInt64: {
+      JACKPINE_ASSIGN_OR_RETURN(uint64_t v, r->ReadU64());
+      return Value::Int(static_cast<int64_t>(v));
+    }
+    case ValueTag::kDouble: {
+      JACKPINE_ASSIGN_OR_RETURN(double v, r->ReadF64());
+      return Value::Real(v);
+    }
+    case ValueTag::kString: {
+      JACKPINE_ASSIGN_OR_RETURN(std::string s, r->ReadStr());
+      return Value::Str(std::move(s));
+    }
+    case ValueTag::kGeometry: {
+      JACKPINE_ASSIGN_OR_RETURN(std::string wkb, r->ReadStr());
+      auto geometry = geom::FromWkb(wkb);
+      if (!geometry.ok()) {
+        // The frame CRC passed, so this is a codec bug or version skew —
+        // structured data loss either way, never a partial load.
+        return Status::DataLoss(
+            StrFormat("storage: bad WKB in record: %s",
+                      geometry.status().message().c_str()));
+      }
+      return Value::Geo(*std::move(geometry));
+    }
+  }
+  return r->Err("unknown value tag");
+}
+
+// --- Rows and schemas -------------------------------------------------
+
+void AppendRow(std::string* out, const Row& row) {
+  AppendU32(out, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) AppendValue(out, v);
+}
+
+Result<Row> ReadRow(Reader* r) {
+  JACKPINE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  // Each value is at least a 1-byte tag.
+  if (n > r->remaining()) return r->Err("row value count exceeds input");
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    JACKPINE_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+void AppendRows(std::string* out, const std::vector<Row>& rows) {
+  AppendU64(out, rows.size());
+  for (const Row& row : rows) AppendRow(out, row);
+}
+
+Result<std::vector<Row>> ReadRows(Reader* r) {
+  // Each row is at least its 4-byte value count.
+  JACKPINE_ASSIGN_OR_RETURN(uint64_t n,
+                            r->ReadCount(4, "row count exceeds input"));
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    JACKPINE_ASSIGN_OR_RETURN(Row row, ReadRow(r));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void AppendSchema(std::string* out, const engine::Schema& schema) {
+  AppendU32(out, static_cast<uint32_t>(schema.NumColumns()));
+  for (const engine::Column& col : schema.columns()) {
+    AppendStr(out, col.name);
+    AppendU8(out, static_cast<uint8_t>(col.type));
+  }
+}
+
+Result<engine::Schema> ReadSchema(Reader* r) {
+  JACKPINE_ASSIGN_OR_RETURN(uint32_t n, r->ReadU32());
+  // Each column is at least a 4-byte name length plus the type byte.
+  if (n > r->remaining() / 5) return r->Err("column count exceeds input");
+  std::vector<engine::Column> columns;
+  columns.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    JACKPINE_ASSIGN_OR_RETURN(std::string name, r->ReadStr());
+    JACKPINE_ASSIGN_OR_RETURN(uint8_t type, r->ReadU8());
+    if (type > static_cast<uint8_t>(DataType::kGeometry)) {
+      return r->Err("unknown column type");
+    }
+    columns.push_back(
+        engine::Column{std::move(name), static_cast<DataType>(type)});
+  }
+  return engine::Schema(std::move(columns));
+}
+
+}  // namespace
+
+const char* WalRecordKindName(WalRecordKind kind) {
+  switch (kind) {
+    case WalRecordKind::kCreateTable:
+      return "CreateTable";
+    case WalRecordKind::kInsert:
+      return "Insert";
+    case WalRecordKind::kUpdate:
+      return "Update";
+    case WalRecordKind::kDelete:
+      return "Delete";
+    case WalRecordKind::kCreateIndex:
+      return "CreateIndex";
+    case WalRecordKind::kDropIndex:
+      return "DropIndex";
+    case WalRecordKind::kCheckpoint:
+      return "Checkpoint";
+  }
+  return "Unknown";
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string out;
+  AppendU8(&out, static_cast<uint8_t>(record.kind));
+  AppendU64(&out, record.lsn);
+  switch (record.kind) {
+    case WalRecordKind::kCreateTable:
+      AppendStr(&out, record.table);
+      AppendSchema(&out, record.schema);
+      break;
+    case WalRecordKind::kInsert:
+      AppendStr(&out, record.table);
+      AppendRows(&out, record.rows);
+      break;
+    case WalRecordKind::kUpdate:
+      AppendStr(&out, record.table);
+      AppendU64(&out, record.row_index);
+      AppendRow(&out, record.rows.empty() ? Row{} : record.rows.front());
+      break;
+    case WalRecordKind::kDelete:
+      AppendStr(&out, record.table);
+      AppendU64(&out, record.row_index);
+      break;
+    case WalRecordKind::kCreateIndex:
+    case WalRecordKind::kDropIndex:
+      AppendStr(&out, record.table);
+      AppendU32(&out, record.column);
+      break;
+    case WalRecordKind::kCheckpoint:
+      break;
+  }
+  return out;
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload) {
+  Reader r(payload);
+  WalRecord record;
+  JACKPINE_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+  if (kind < static_cast<uint8_t>(WalRecordKind::kCreateTable) ||
+      kind > static_cast<uint8_t>(WalRecordKind::kCheckpoint)) {
+    return r.Err("unknown WAL record kind");
+  }
+  record.kind = static_cast<WalRecordKind>(kind);
+  JACKPINE_ASSIGN_OR_RETURN(record.lsn, r.ReadU64());
+  switch (record.kind) {
+    case WalRecordKind::kCreateTable: {
+      JACKPINE_ASSIGN_OR_RETURN(record.table, r.ReadStr());
+      JACKPINE_ASSIGN_OR_RETURN(record.schema, ReadSchema(&r));
+      break;
+    }
+    case WalRecordKind::kInsert: {
+      JACKPINE_ASSIGN_OR_RETURN(record.table, r.ReadStr());
+      JACKPINE_ASSIGN_OR_RETURN(record.rows, ReadRows(&r));
+      break;
+    }
+    case WalRecordKind::kUpdate: {
+      JACKPINE_ASSIGN_OR_RETURN(record.table, r.ReadStr());
+      JACKPINE_ASSIGN_OR_RETURN(record.row_index, r.ReadU64());
+      JACKPINE_ASSIGN_OR_RETURN(Row row, ReadRow(&r));
+      record.rows.push_back(std::move(row));
+      break;
+    }
+    case WalRecordKind::kDelete: {
+      JACKPINE_ASSIGN_OR_RETURN(record.table, r.ReadStr());
+      JACKPINE_ASSIGN_OR_RETURN(record.row_index, r.ReadU64());
+      break;
+    }
+    case WalRecordKind::kCreateIndex:
+    case WalRecordKind::kDropIndex: {
+      JACKPINE_ASSIGN_OR_RETURN(record.table, r.ReadStr());
+      JACKPINE_ASSIGN_OR_RETURN(record.column, r.ReadU32());
+      break;
+    }
+    case WalRecordKind::kCheckpoint:
+      break;
+  }
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  return record;
+}
+
+std::string FrameWalRecord(std::string_view payload) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  AppendU32(&out, MaskCrc(Crc32c(payload)));
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeSnapshot(const Snapshot& snapshot) {
+  std::string body;
+  AppendU64(&body, snapshot.last_lsn);
+  AppendU32(&body, static_cast<uint32_t>(snapshot.tables.size()));
+  for (const SnapshotTable& table : snapshot.tables) {
+    AppendStr(&body, table.name);
+    AppendSchema(&body, table.schema);
+    AppendRows(&body, table.rows);
+    AppendU32(&body, static_cast<uint32_t>(table.indexed_columns.size()));
+    for (const uint32_t col : table.indexed_columns) AppendU32(&body, col);
+  }
+  std::string out;
+  out.append(kSnapshotMagic, kMagicLen);
+  AppendU32(&out, MaskCrc(Crc32c(body)));
+  AppendU64(&out, body.size());
+  out.append(body);
+  return out;
+}
+
+Result<Snapshot> DecodeSnapshot(std::string_view file_bytes) {
+  if (file_bytes.size() < kMagicLen + 12) {
+    return Status::DataLoss("storage: snapshot file too short");
+  }
+  if (file_bytes.substr(0, kMagicLen) !=
+      std::string_view(kSnapshotMagic, kMagicLen)) {
+    return Status::DataLoss("storage: bad snapshot magic");
+  }
+  Reader header(file_bytes.substr(kMagicLen));
+  JACKPINE_ASSIGN_OR_RETURN(uint32_t masked_crc, header.ReadU32());
+  JACKPINE_ASSIGN_OR_RETURN(uint64_t length, header.ReadU64());
+  const std::string_view body = file_bytes.substr(kMagicLen + 12);
+  if (length != body.size()) {
+    return Status::DataLoss(
+        StrFormat("storage: snapshot body length %llu != file remainder %zu",
+                  static_cast<unsigned long long>(length), body.size()));
+  }
+  if (UnmaskCrc(masked_crc) != Crc32c(body)) {
+    return Status::DataLoss("storage: snapshot CRC mismatch");
+  }
+  Reader r(body);
+  Snapshot snapshot;
+  JACKPINE_ASSIGN_OR_RETURN(snapshot.last_lsn, r.ReadU64());
+  JACKPINE_ASSIGN_OR_RETURN(uint32_t table_count, r.ReadU32());
+  // Each table needs at least a name length, an empty schema, an empty row
+  // list and an empty index list: 4 + 4 + 8 + 4 bytes.
+  if (table_count > r.remaining() / 20) {
+    return r.Err("table count exceeds input");
+  }
+  snapshot.tables.reserve(table_count);
+  for (uint32_t i = 0; i < table_count; ++i) {
+    SnapshotTable table;
+    JACKPINE_ASSIGN_OR_RETURN(table.name, r.ReadStr());
+    JACKPINE_ASSIGN_OR_RETURN(table.schema, ReadSchema(&r));
+    JACKPINE_ASSIGN_OR_RETURN(table.rows, ReadRows(&r));
+    JACKPINE_ASSIGN_OR_RETURN(uint32_t idx_count, r.ReadU32());
+    if (idx_count > r.remaining() / 4) {
+      return r.Err("index count exceeds input");
+    }
+    table.indexed_columns.reserve(idx_count);
+    for (uint32_t k = 0; k < idx_count; ++k) {
+      JACKPINE_ASSIGN_OR_RETURN(uint32_t col, r.ReadU32());
+      table.indexed_columns.push_back(col);
+    }
+    snapshot.tables.push_back(std::move(table));
+  }
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  return snapshot;
+}
+
+}  // namespace jackpine::storage

@@ -1,0 +1,99 @@
+// On-disk record formats of jackpine::storage (DESIGN.md "Durability").
+//
+// Two artefacts share one value codec (geometry as WKB via geom/wkb.h, every
+// other value as its tagged natural encoding, all little-endian):
+//
+//   WAL record  frame := length:u32 crc:u32(masked CRC32C of payload)
+//               payload := kind:u8 lsn:u64 body
+//   Snapshot    file := magic:"PSNP0001" crc:u32(masked, of body)
+//               length:u64 body
+//               body := last_lsn:u64 table_count:u32 table*
+//               table := name:str schema rows indexed_columns
+//
+// Both decoders are as defensive as the wire protocol's: every length is
+// validated against the remaining input before any allocation, every read
+// is bounds-checked, and corrupted input yields a clean Status — the
+// bit-flip and truncation sweeps in tests/storage_test.cpp feed them
+// garbage under asan/ubsan to keep that true. The CRC is masked
+// (LevelDB-style) so a log of records that themselves contain CRCs never
+// stores the fixpoint of its own checksum.
+
+#ifndef JACKPINE_STORAGE_RECORD_H_
+#define JACKPINE_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/schema.h"
+#include "engine/table.h"
+
+namespace jackpine::storage {
+
+// A WAL frame larger than this is treated as corruption, not an allocation
+// request (the same defence as net::kMaxFramePayload).
+inline constexpr uint32_t kMaxWalPayload = 64u << 20;  // 64 MiB
+
+// 8-byte magic prefixes; the trailing digits version the format.
+inline constexpr char kWalMagic[] = "PWAL0001";
+inline constexpr char kSnapshotMagic[] = "PSNP0001";
+inline constexpr size_t kMagicLen = 8;
+
+enum class WalRecordKind : uint8_t {
+  kCreateTable = 1,  // table + schema
+  kInsert = 2,       // table + rows (one acked DML batch)
+  kUpdate = 3,       // table + row_index + rows[0] (the replacement row)
+  kDelete = 4,       // table + row_index
+  kCreateIndex = 5,  // table + column
+  kDropIndex = 6,    // table + column
+  kCheckpoint = 7,   // barrier: a snapshot through `lsn` completed
+};
+
+const char* WalRecordKindName(WalRecordKind kind);
+
+// One logical mutation. Which fields are meaningful depends on `kind` (see
+// the enum); unused fields stay default.
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kInsert;
+  uint64_t lsn = 0;
+  std::string table;
+  engine::Schema schema;            // kCreateTable
+  std::vector<engine::Row> rows;    // kInsert (batch), kUpdate (one row)
+  uint64_t row_index = 0;           // kUpdate / kDelete
+  uint32_t column = 0;              // kCreateIndex / kDropIndex
+};
+
+// Payload codec (no frame). DecodeWalRecord rejects trailing bytes.
+std::string EncodeWalRecord(const WalRecord& record);
+Result<WalRecord> DecodeWalRecord(std::string_view payload);
+
+// Adds the length + masked-CRC frame around an encoded payload.
+std::string FrameWalRecord(std::string_view payload);
+
+// One table's persistent state inside a snapshot.
+struct SnapshotTable {
+  std::string name;
+  engine::Schema schema;
+  std::vector<engine::Row> rows;
+  // Columns that had a spatial index when the snapshot was taken; recovery
+  // rebuilds them with the recovering database's own index kind.
+  std::vector<uint32_t> indexed_columns;
+};
+
+struct Snapshot {
+  // Every WAL record with lsn <= last_lsn is already folded into the
+  // tables; replay skips them (the crash window between snapshot rename
+  // and WAL reset would otherwise double-apply).
+  uint64_t last_lsn = 0;
+  std::vector<SnapshotTable> tables;
+};
+
+// Whole-file codec, magic + CRC frame included.
+std::string EncodeSnapshot(const Snapshot& snapshot);
+Result<Snapshot> DecodeSnapshot(std::string_view file_bytes);
+
+}  // namespace jackpine::storage
+
+#endif  // JACKPINE_STORAGE_RECORD_H_

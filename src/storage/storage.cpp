@@ -1,0 +1,501 @@
+#include "storage/storage.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "storage/record.h"
+
+namespace jackpine::storage {
+
+namespace {
+
+constexpr char kSnapshotTmpName[] = "snapshot.tmp";
+
+std::string LowerName(std::string_view name) {
+  std::string out(name);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+Status DataLossFrom(const char* what, const Status& cause) {
+  return Status::DataLoss(
+      StrFormat("storage: %s: %s", what, cause.ToString().c_str()));
+}
+
+// Index membership tracked across the replay instead of built record by
+// record: UpdateRow/DeleteRow would otherwise bulk-rebuild every index per
+// replayed record, and a kDropIndex must cancel a snapshotted index without
+// ever paying to build it.
+struct RecoveryScratch {
+  // lower-cased table name -> columns that should carry an index when the
+  // replay finishes.
+  std::map<std::string, std::set<size_t>> indexes;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    StorageOptions options, engine::Database* db) {
+  std::unique_ptr<StorageManager> manager(
+      new StorageManager(std::move(options), db));
+  JACKPINE_RETURN_IF_ERROR(manager->Recover());
+  db->set_mutation_observer(manager.get());
+  if (manager->options_.checkpoint_interval_s > 0) {
+    manager->checkpointer_ = std::thread([m = manager.get()] {
+      m->CheckpointLoop();
+    });
+  }
+  return manager;
+}
+
+StorageManager::StorageManager(StorageOptions options, engine::Database* db)
+    : options_(std::move(options)),
+      vfs_(options_.vfs != nullptr ? options_.vfs : RealVfs()),
+      db_(db) {
+  obs::Registry& registry = obs::GlobalRegistry();
+  checkpoints_metric_ = registry.GetCounter("storage.checkpoints");
+  checkpoint_latency_metric_ = registry.GetHistogram("storage.checkpoint_s");
+  recoveries_metric_ = registry.GetCounter("storage.recoveries");
+  recovery_latency_metric_ = registry.GetGauge("storage.recovery_s");
+}
+
+StorageManager::~StorageManager() {
+  // Deliberately NOT Close(): only an explicit Close() is a graceful
+  // shutdown (final checkpoint + WAL reset). Destruction without it models
+  // a crash — every acked mutation is already fsynced in the WAL, so
+  // recovery restores exactly the acked state, and the crash tests rely on
+  // abandonment leaving the WAL behind. Just stop the background
+  // checkpointer and detach from the database.
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+    bg_cv_.notify_all();
+  }
+  if (checkpointer_.joinable()) checkpointer_.join();
+  if (db_ != nullptr && db_->mutation_observer() == this) {
+    db_->set_mutation_observer(nullptr);
+  }
+}
+
+uint64_t StorageManager::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_ != nullptr ? wal_->bytes() : 0;
+}
+
+uint64_t StorageManager::wal_appends() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return retired_appends_ + (wal_ != nullptr ? wal_->appends() : 0);
+}
+
+uint64_t StorageManager::wal_fsyncs() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return retired_fsyncs_ + (wal_ != nullptr ? wal_->fsyncs() : 0);
+}
+
+Status StorageManager::Recover() {
+  Stopwatch sw;
+  JACKPINE_RETURN_IF_ERROR(vfs_->CreateDir(options_.dir));
+  obs::SpanRecorder& recorder = obs::GlobalSpanRecorder();
+  const uint64_t trace_id = recorder.NewTraceId();
+  obs::Span root = recorder.StartSpan("storage.recover", trace_id);
+  root.Annotate("dir", options_.dir);
+
+  RecoveryScratch scratch;
+
+  // Phase 1: the newest complete checkpoint, if any. A snapshot that fails
+  // its CRC is unrecoverable — there is no older state to fall back to, and
+  // serving a guess would be worse than refusing.
+  const std::string snapshot_path = SnapshotPath(options_.dir);
+  uint64_t snapshot_last_lsn = 0;
+  {
+    obs::Span span =
+        recorder.StartSpan("storage.snapshot_load", trace_id, root.span_id());
+    Result<std::string> bytes = vfs_->ReadFile(snapshot_path);
+    if (bytes.ok()) {
+      JACKPINE_ASSIGN_OR_RETURN(Snapshot snapshot, DecodeSnapshot(*bytes));
+      snapshot_last_lsn = snapshot.last_lsn;
+      JACKPINE_RETURN_IF_ERROR(LoadSnapshot(snapshot));
+      for (const SnapshotTable& table : snapshot.tables) {
+        auto& cols = scratch.indexes[LowerName(table.name)];
+        for (uint32_t c : table.indexed_columns) cols.insert(c);
+      }
+      recovery_.snapshot_loaded = true;
+      recovery_.snapshot_tables = snapshot.tables.size();
+      for (const SnapshotTable& t : snapshot.tables) {
+        recovery_.snapshot_rows += t.rows.size();
+      }
+    } else if (bytes.status().code() != StatusCode::kNotFound) {
+      return DataLossFrom("snapshot unreadable", bytes.status());
+    }
+    span.Annotate("tables", StrFormat("%llu", (unsigned long long)
+                                                  recovery_.snapshot_tables));
+    span.Annotate(
+        "rows", StrFormat("%llu", (unsigned long long)recovery_.snapshot_rows));
+  }
+
+  // Phase 2: replay the log's valid prefix over the snapshot, chopping a
+  // torn tail off the file so the next append starts on a clean boundary.
+  const std::string wal_path = WalPath(options_.dir);
+  uint64_t next_lsn = snapshot_last_lsn + 1;
+  {
+    obs::Span span =
+        recorder.StartSpan("storage.wal_replay", trace_id, root.span_id());
+    Result<WalReplay> replayed = ReadWal(vfs_, wal_path);
+    if (replayed.ok()) {
+      const WalReplay& replay = *replayed;
+      if (replay.truncated_bytes > 0) {
+        JACKPINE_RETURN_IF_ERROR(
+            vfs_->Truncate(wal_path, replay.valid_bytes));
+        recovery_.wal_truncated_bytes = replay.truncated_bytes;
+      }
+      for (const WalRecord& record : replay.records) {
+        if (record.lsn <= snapshot_last_lsn) {
+          // Already folded into the snapshot: the crash window between
+          // snapshot rename and WAL reset leaves these behind.
+          ++recovery_.wal_records_skipped;
+          continue;
+        }
+        Status applied = ApplyWalRecordDuringRecovery(record, &scratch);
+        if (!applied.ok()) return DataLossFrom("WAL replay apply", applied);
+        ++recovery_.wal_records_applied;
+      }
+      next_lsn = std::max(next_lsn, replay.next_lsn);
+    } else if (replayed.status().code() != StatusCode::kNotFound) {
+      return replayed.status();
+    }
+    span.Annotate("applied", StrFormat("%llu", (unsigned long long)
+                                                   recovery_.wal_records_applied));
+    span.Annotate("truncated_bytes",
+                  StrFormat("%llu",
+                            (unsigned long long)recovery_.wal_truncated_bytes));
+  }
+
+  // Phase 3: rebuild spatial indexes (bulk) with this database's configured
+  // kind — the index structure is the SUT's configuration, not part of the
+  // durable state, so a data dir moves cleanly between pine-rtree and
+  // pine-grid.
+  if (db_->options().index_kind != index::IndexKind::kNone) {
+    for (const auto& [table_name, columns] : scratch.indexes) {
+      engine::Table* table = db_->catalog().GetTable(table_name);
+      if (table == nullptr) continue;  // created then never inserted? defensive
+      for (size_t column : columns) {
+        Status built =
+            table->BuildSpatialIndex(column, db_->options().index_kind);
+        if (!built.ok()) return DataLossFrom("index rebuild", built);
+      }
+    }
+  }
+
+  JACKPINE_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalWriter> wal,
+      WalWriter::Open(vfs_, wal_path, options_.group_commit_window_s,
+                      next_lsn));
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal_ = std::move(wal);
+  }
+
+  recovery_.recovery_s = sw.ElapsedSeconds();
+  recoveries_metric_->Add();
+  recovery_latency_metric_->Set(recovery_.recovery_s);
+  return Status::Ok();
+}
+
+Status StorageManager::LoadSnapshot(const Snapshot& snapshot) {
+  for (const SnapshotTable& st : snapshot.tables) {
+    JACKPINE_ASSIGN_OR_RETURN(engine::Table * table,
+                              db_->catalog().CreateTable(st.name, st.schema));
+    for (const engine::Row& row : st.rows) {
+      JACKPINE_RETURN_IF_ERROR(table->Append(row));
+    }
+  }
+  return Status::Ok();
+}
+
+Status StorageManager::ApplyWalRecordDuringRecovery(const WalRecord& record,
+                                                    void* scratch_opaque) {
+  auto* scratch = static_cast<RecoveryScratch*>(scratch_opaque);
+  switch (record.kind) {
+    case WalRecordKind::kCreateTable: {
+      JACKPINE_ASSIGN_OR_RETURN(
+          engine::Table * table,
+          db_->catalog().CreateTable(record.table, record.schema));
+      (void)table;
+      return Status::Ok();
+    }
+    case WalRecordKind::kInsert: {
+      engine::Table* table = db_->catalog().GetTable(record.table);
+      if (table == nullptr) {
+        return Status::DataLoss(StrFormat(
+            "WAL insert into unknown table '%s'", record.table.c_str()));
+      }
+      for (const engine::Row& row : record.rows) {
+        JACKPINE_RETURN_IF_ERROR(table->Append(row));
+      }
+      return Status::Ok();
+    }
+    case WalRecordKind::kUpdate: {
+      engine::Table* table = db_->catalog().GetTable(record.table);
+      if (table == nullptr || record.rows.size() != 1) {
+        return Status::DataLoss(StrFormat(
+            "WAL update malformed for table '%s'", record.table.c_str()));
+      }
+      return table->UpdateRow(static_cast<size_t>(record.row_index),
+                              record.rows[0]);
+    }
+    case WalRecordKind::kDelete: {
+      engine::Table* table = db_->catalog().GetTable(record.table);
+      if (table == nullptr) {
+        return Status::DataLoss(StrFormat(
+            "WAL delete from unknown table '%s'", record.table.c_str()));
+      }
+      return table->DeleteRow(static_cast<size_t>(record.row_index));
+    }
+    case WalRecordKind::kCreateIndex:
+      scratch->indexes[LowerName(record.table)].insert(record.column);
+      return Status::Ok();
+    case WalRecordKind::kDropIndex:
+      scratch->indexes[LowerName(record.table)].erase(record.column);
+      return Status::Ok();
+    case WalRecordKind::kCheckpoint:
+      return Status::Ok();  // barrier: informational
+  }
+  return Status::DataLoss(
+      StrFormat("WAL record with unknown kind %u",
+                static_cast<unsigned>(record.kind)));
+}
+
+Result<uint64_t> StorageManager::AppendRecord(WalRecord record) {
+  if (!failed_.ok()) return failed_;
+  std::shared_ptr<WalWriter> wal;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal = wal_;
+  }
+  if (wal == nullptr) {
+    return Status::Internal("storage: append after Close()");
+  }
+  Result<uint64_t> lsn = wal->Append(std::move(record));
+  if (!lsn.ok()) failed_ = lsn.status();  // fail-stop (mutation_mu_ held)
+  return lsn;
+}
+
+Result<uint64_t> StorageManager::OnCreateTable(const std::string& name,
+                                               const engine::Schema& schema) {
+  WalRecord record;
+  record.kind = WalRecordKind::kCreateTable;
+  record.table = name;
+  record.schema = schema;
+  return AppendRecord(std::move(record));
+}
+
+Result<uint64_t> StorageManager::OnInsert(const std::string& table,
+                                          const std::vector<engine::Row>& rows) {
+  WalRecord record;
+  record.kind = WalRecordKind::kInsert;
+  record.table = table;
+  record.rows = rows;
+  return AppendRecord(std::move(record));
+}
+
+Result<uint64_t> StorageManager::OnCreateIndex(const std::string& table,
+                                               size_t column) {
+  WalRecord record;
+  record.kind = WalRecordKind::kCreateIndex;
+  record.table = table;
+  record.column = static_cast<uint32_t>(column);
+  return AppendRecord(std::move(record));
+}
+
+Result<uint64_t> StorageManager::OnDropIndex(const std::string& table,
+                                             size_t column) {
+  WalRecord record;
+  record.kind = WalRecordKind::kDropIndex;
+  record.table = table;
+  record.column = static_cast<uint32_t>(column);
+  return AppendRecord(std::move(record));
+}
+
+Status StorageManager::WaitDurable(uint64_t ticket) {
+  if (ticket == 0) return Status::Ok();
+  std::shared_ptr<WalWriter> wal;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal = wal_;
+  }
+  if (wal == nullptr) {
+    return Status::Internal("storage: WaitDurable after Close()");
+  }
+  return wal->WaitSynced(ticket);
+}
+
+Status StorageManager::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  return CheckpointLocked();
+}
+
+Status StorageManager::CheckpointLocked() {
+  std::shared_ptr<WalWriter> wal;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal = wal_;
+  }
+  if (wal == nullptr) {
+    return Status::Internal("storage: checkpoint after Close()");
+  }
+  Stopwatch sw;
+  // The mutation mutex is held, so the in-memory catalog is exactly the
+  // state of every successfully appended record — including when the writer
+  // has fail-stopped (the failing statement never applied). A checkpoint is
+  // therefore always safe, and doubles as the recovery path from a full or
+  // failing log device: on success the WAL resets and the latch clears.
+  const uint64_t last_lsn = wal->appended_lsn();
+
+  Snapshot snapshot;
+  snapshot.last_lsn = last_lsn;
+  for (const std::string& name : db_->catalog().TableNames()) {
+    const engine::Table* table = db_->catalog().GetTable(name);
+    if (table == nullptr) continue;
+    SnapshotTable st;
+    st.name = table->name();
+    st.schema = table->schema();
+    st.rows.reserve(table->NumRows());
+    for (size_t i = 0; i < table->NumRows(); ++i) st.rows.push_back(table->row(i));
+    for (size_t col : table->IndexedColumns()) {
+      st.indexed_columns.push_back(static_cast<uint32_t>(col));
+    }
+    snapshot.tables.push_back(std::move(st));
+  }
+  const std::string encoded = EncodeSnapshot(snapshot);
+
+  // Temp file + fsync + atomic rename + directory fsync: a crash at any
+  // point leaves either the old snapshot or the new one, never a mix.
+  const std::string tmp_path = JoinPath(options_.dir, kSnapshotTmpName);
+  if (vfs_->FileExists(tmp_path)) {
+    JACKPINE_RETURN_IF_ERROR(vfs_->Remove(tmp_path));
+  }
+  {
+    JACKPINE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                              vfs_->OpenAppend(tmp_path));
+    JACKPINE_RETURN_IF_ERROR(file->Append(encoded));
+    JACKPINE_RETURN_IF_ERROR(file->Sync());
+    JACKPINE_RETURN_IF_ERROR(file->Close());
+  }
+  JACKPINE_RETURN_IF_ERROR(
+      vfs_->Rename(tmp_path, SnapshotPath(options_.dir)));
+  JACKPINE_RETURN_IF_ERROR(vfs_->SyncDir(options_.dir));
+
+  // The snapshot now covers every appended record; wake their waiters
+  // without an fsync, then reset the log. A crash before the truncate
+  // re-reads the old records and skips them (lsn <= snapshot.last_lsn).
+  wal->MarkDurableThrough(last_lsn);
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    retired_appends_ += wal->appends();
+    retired_fsyncs_ += wal->fsyncs();
+  }
+  wal->Close().code();  // folded into the snapshot; a failed final sync is moot
+  const std::string wal_path = WalPath(options_.dir);
+  Status reset = vfs_->Truncate(wal_path, 0);
+  Result<std::unique_ptr<WalWriter>> reopened =
+      reset.ok() ? WalWriter::Open(vfs_, wal_path,
+                                   options_.group_commit_window_s, last_lsn + 1)
+                 : Result<std::unique_ptr<WalWriter>>(reset);
+  if (!reopened.ok()) {
+    // Snapshot is durable but the log cannot accept new mutations: latch.
+    failed_ = DataLossFrom("WAL reset after checkpoint", reopened.status());
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal_.reset();
+    return failed_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal_ = std::move(*reopened);
+    wal = wal_;
+  }
+  failed_ = Status::Ok();
+
+  // Barrier record: marks in the log itself that a snapshot through
+  // last_lsn completed (diagnostics; replay treats it as a no-op).
+  WalRecord barrier;
+  barrier.kind = WalRecordKind::kCheckpoint;
+  wal->Append(std::move(barrier)).status().code();
+
+  ++checkpoints_done_;
+  checkpoints_metric_->Add();
+  checkpoint_latency_metric_->Observe(sw.ElapsedSeconds());
+  return Status::Ok();
+}
+
+void StorageManager::CheckpointLoop() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  const double interval_s = options_.checkpoint_interval_s;
+  // Poll faster than the interval so the WAL-size trigger reacts promptly.
+  const auto poll = std::chrono::duration<double>(
+      std::min(interval_s, 0.2));
+  double since_last_s = 0.0;
+  while (!bg_stop_) {
+    bg_cv_.wait_for(lock, poll);
+    if (bg_stop_) break;
+    since_last_s += poll.count();
+    const bool interval_due = since_last_s >= interval_s;
+    const bool size_due = options_.checkpoint_wal_bytes > 0 &&
+                          wal_bytes() >= options_.checkpoint_wal_bytes;
+    if (!interval_due && !size_due) continue;
+    if (wal_bytes() <= kMagicLen) {  // nothing logged since the last reset
+      since_last_s = 0.0;
+      continue;
+    }
+    lock.unlock();
+    Checkpoint().code();  // a latched failure surfaces on the next mutation
+    lock.lock();
+    since_last_s = 0.0;
+  }
+}
+
+Status StorageManager::Close() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    if (closed_) return Status::Ok();
+    bg_stop_ = true;
+    bg_cv_.notify_all();
+  }
+  if (checkpointer_.joinable()) checkpointer_.join();
+
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  Status result = Status::Ok();
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    if (wal_ == nullptr) {
+      closed_ = true;
+      if (db_->mutation_observer() == this) db_->set_mutation_observer(nullptr);
+      return failed_;
+    }
+  }
+  result = CheckpointLocked();
+  std::shared_ptr<WalWriter> wal;
+  {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    wal = std::move(wal_);
+    wal_.reset();
+  }
+  if (wal != nullptr) {
+    const Status closed = wal->Close();
+    if (result.ok()) result = closed;
+  }
+  if (db_->mutation_observer() == this) db_->set_mutation_observer(nullptr);
+  closed_ = true;
+  return result;
+}
+
+}  // namespace jackpine::storage

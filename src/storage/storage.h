@@ -1,0 +1,176 @@
+// jackpine::storage: crash-safe persistence for a pinedb database
+// (DESIGN.md "Durability").
+//
+// A StorageManager owns one data directory holding two artefacts:
+//
+//   snapshot.pine   newest complete checkpoint (temp-then-rename atomic)
+//   wal.pinelog     every acked mutation since that checkpoint
+//
+// and is the engine's MutationObserver: mutating statements log to the WAL
+// before they apply in memory and only ack once the record is fsynced
+// (group commit, storage/wal.h). Checkpoints fold the log into a fresh
+// snapshot and reset it; recovery is "load the newest valid snapshot, then
+// replay the log's valid prefix", with the torn-tail policy documented in
+// wal.h deciding what "valid prefix" means. Recovery is all-or-nothing:
+// anything unrecoverable (mid-log corruption, a snapshot that fails its
+// CRC, a replay that does not apply) surfaces as kDataLoss from Open — a
+// durable pinedb never silently serves a partial state.
+
+#ifndef JACKPINE_STORAGE_STORAGE_H_
+#define JACKPINE_STORAGE_STORAGE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "storage/vfs.h"
+#include "storage/wal.h"
+
+namespace jackpine::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace jackpine::obs
+
+namespace jackpine::storage {
+
+struct StorageOptions {
+  std::string dir;
+  // Group-commit fsync window (storage/wal.h); <= 0 fsyncs every append.
+  double group_commit_window_s = 0.0;
+  // Background checkpoint cadence; <= 0 disables the thread (checkpoints
+  // then happen only via Checkpoint() / Close()).
+  double checkpoint_interval_s = 0.0;
+  // WAL size that triggers a background checkpoint early; 0 = no trigger.
+  // Only consulted while the background thread runs.
+  uint64_t checkpoint_wal_bytes = 64ull << 20;
+  // The filesystem seam; null = RealVfs(). Tests inject a FaultVfs here.
+  Vfs* vfs = nullptr;
+};
+
+// What Open's recovery pass found, for operator logs and the durability
+// section of the benchmark report.
+struct RecoveryInfo {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_tables = 0;
+  uint64_t snapshot_rows = 0;
+  uint64_t wal_records_applied = 0;
+  uint64_t wal_records_skipped = 0;  // lsn <= snapshot.last_lsn
+  uint64_t wal_truncated_bytes = 0;  // torn tail chopped off
+  double recovery_s = 0.0;
+};
+
+class StorageManager : public engine::MutationObserver {
+ public:
+  // Recovers `options.dir` into `db` (which must be empty), then attaches
+  // itself as the database's mutation observer. On kDataLoss the database
+  // contents are unspecified and must not be served.
+  static Result<std::unique_ptr<StorageManager>> Open(StorageOptions options,
+                                                      engine::Database* db);
+
+  ~StorageManager() override;
+
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  const StorageOptions& options() const { return options_; }
+
+  // Current WAL file size (header included) and checkpoint count.
+  uint64_t wal_bytes() const;
+  uint64_t checkpoints() const { return checkpoints_done_; }
+  // Lifetime record-append and fsync counts, accumulated across the WAL
+  // writer swaps a checkpoint performs (the benchmark report's durability
+  // section reads these).
+  uint64_t wal_appends() const;
+  uint64_t wal_fsyncs() const;
+
+  // Snapshots the full database (temp file + fsync + atomic rename +
+  // directory fsync) and resets the WAL. Serialises against mutations via
+  // the mutation mutex. Safe to call at any time; a failure leaves the
+  // previous snapshot and the WAL intact.
+  Status Checkpoint();
+
+  // Graceful shutdown: final checkpoint, then detach from the database and
+  // close the WAL. Idempotent. The destructor deliberately does NOT call
+  // it — destruction without Close() models a crash (acked mutations are
+  // already fsynced, so nothing acked is lost), which is exactly what the
+  // crash-recovery tests exercise.
+  Status Close();
+
+  // engine::MutationObserver. Hooks append the matching WAL record and
+  // return its LSN as the durability ticket.
+  std::mutex& mutation_mutex() override { return mutation_mu_; }
+  Result<uint64_t> OnCreateTable(const std::string& name,
+                                 const engine::Schema& schema) override;
+  Result<uint64_t> OnInsert(const std::string& table,
+                            const std::vector<engine::Row>& rows) override;
+  Result<uint64_t> OnCreateIndex(const std::string& table,
+                                 size_t column) override;
+  Result<uint64_t> OnDropIndex(const std::string& table,
+                               size_t column) override;
+  Status WaitDurable(uint64_t ticket) override;
+
+  static std::string WalPath(const std::string& dir) {
+    return JoinPath(dir, "wal.pinelog");
+  }
+  static std::string SnapshotPath(const std::string& dir) {
+    return JoinPath(dir, "snapshot.pine");
+  }
+
+ private:
+  StorageManager(StorageOptions options, engine::Database* db);
+
+  // The recovery pass (snapshot load + WAL replay + index rebuild); fills
+  // recovery_ and leaves wal_ open at the resume LSN.
+  Status Recover();
+  Status LoadSnapshot(const Snapshot& snapshot);
+  // `scratch_opaque` is the recovery pass's index-membership ledger (a
+  // file-local type in storage.cpp).
+  Status ApplyWalRecordDuringRecovery(const WalRecord& record,
+                                      void* scratch_opaque);
+
+  // Appends one record, propagating the writer's fail-stop latch.
+  Result<uint64_t> AppendRecord(WalRecord record);
+
+  Status CheckpointLocked();  // caller holds mutation_mu_
+  void CheckpointLoop();
+
+  StorageOptions options_;
+  Vfs* vfs_;  // options_.vfs resolved (never null)
+  engine::Database* db_;
+  RecoveryInfo recovery_;
+
+  // Serialises mutations against checkpoints (MutationObserver contract).
+  std::mutex mutation_mu_;
+  // Guards the wal_ pointer swap at checkpoint; WaitDurable holds it only
+  // long enough to copy the shared_ptr, so a checkpoint never destroys a
+  // writer out from under a waiter.
+  mutable std::mutex wal_mu_;
+  std::shared_ptr<WalWriter> wal_;
+  Status failed_;  // latched: storage is unusable (fail-stop)
+  uint64_t checkpoints_done_ = 0;
+  // Counts carried over from WAL writers retired by checkpoints, so the
+  // wal_appends()/wal_fsyncs() totals are monotonic across resets.
+  uint64_t retired_appends_ = 0;
+  uint64_t retired_fsyncs_ = 0;
+
+  std::thread checkpointer_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+
+  bool closed_ = false;
+
+  // Registry instruments (obs/metrics.h), resolved once; never null.
+  obs::Counter* checkpoints_metric_;
+  obs::Histogram* checkpoint_latency_metric_;
+  obs::Counter* recoveries_metric_;
+  obs::Gauge* recovery_latency_metric_;
+};
+
+}  // namespace jackpine::storage
+
+#endif  // JACKPINE_STORAGE_STORAGE_H_

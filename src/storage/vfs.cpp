@@ -1,0 +1,282 @@
+#include "storage/vfs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace jackpine::storage {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  const std::string msg =
+      StrFormat("storage: %s '%s': %s", op, path.c_str(), std::strerror(err));
+  if (err == ENOSPC || err == EDQUOT) return Status::ResourceExhausted(msg);
+  if (err == ENOENT) return Status::NotFound(msg);
+  return Status::Unavailable(msg);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+
+  ~PosixWritableFile() override { Close().code(); }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::Internal("storage: append on closed file");
+    size_t written = 0;
+    while (written < data.size()) {
+      const ssize_t n =
+          ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // A short write may have landed before the failure; size_ tracks
+        // only what succeeded, the torn tail is recovery's problem.
+        size_ += written;
+        return ErrnoStatus("write", path_, errno);
+      }
+      written += static_cast<size_t>(n);
+    }
+    size_ += written;
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::Internal("storage: sync on closed file");
+#if defined(__APPLE__)
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+#else
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_, errno);
+#endif
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::Ok();
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
+
+class PosixVfs : public Vfs {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("fstat", path, err);
+    }
+    return std::unique_ptr<WritableFile>(std::make_unique<PosixWritableFile>(
+        fd, path, static_cast<uint64_t>(st.st_size)));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("unlink", path, errno);
+    }
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", path, errno);
+    }
+    return Status::Ok();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("opendir", path, errno);
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync dir", path, err);
+    return Status::Ok();
+  }
+};
+
+// Fault-injecting wrapper around a base WritableFile: consults the owning
+// FaultVfs before every Append/Sync and delivers the scripted failure.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultVfs* owner, std::unique_ptr<WritableFile> base)
+      : owner_(owner), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    const FaultVfs::AppendFault fault = owner_->NextAppend();
+    if (!fault.fail) return base_->Append(data);
+    // Torn write: the prefix lands, the call fails. A crash-at-offset test
+    // stops using the file here; a live ENOSPC caller sees the error.
+    const uint64_t keep =
+        fault.torn_bytes < data.size() ? fault.torn_bytes : data.size();
+    if (keep > 0) {
+      JACKPINE_RETURN_IF_ERROR(base_->Append(data.substr(0, keep)));
+    }
+    return Status(fault.code,
+                  StrFormat("storage: injected write fault (%llu of %zu "
+                            "bytes landed)",
+                            static_cast<unsigned long long>(keep),
+                            data.size()));
+  }
+
+  Status Sync() override {
+    if (owner_->NextSyncFails()) {
+      return Status::Unavailable("storage: injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  FaultVfs* owner_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+}  // namespace
+
+Vfs* RealVfs() {
+  static PosixVfs* vfs = new PosixVfs();
+  return vfs;
+}
+
+FaultVfs::AppendFault FaultVfs::NextAppend() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++appends_;
+  AppendFault fault;
+  if (append_armed_) {
+    if (append_fail_after_ == 0) {
+      append_armed_ = false;  // one-shot
+      fault.fail = true;
+      fault.torn_bytes = torn_bytes_;
+      fault.code = append_code_;
+    } else {
+      --append_fail_after_;
+    }
+  }
+  return fault;
+}
+
+bool FaultVfs::NextSyncFails() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++syncs_;
+  if (!sync_armed_) return false;
+  if (sync_fail_after_ == 0) return true;  // latched: every later sync fails
+  --sync_fail_after_;
+  return false;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultVfs::OpenAppend(
+    const std::string& path) {
+  JACKPINE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                            base_->OpenAppend(path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, std::move(base)));
+}
+
+Result<std::string> FaultVfs::ReadFile(const std::string& path) {
+  JACKPINE_ASSIGN_OR_RETURN(std::string data, base_->ReadFile(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!corrupt_substr_.empty() &&
+      path.find(corrupt_substr_) != std::string::npos &&
+      corrupt_offset_ < data.size()) {
+    data[corrupt_offset_] =
+        static_cast<char>(static_cast<uint8_t>(data[corrupt_offset_]) ^
+                          corrupt_mask_);
+  }
+  return data;
+}
+
+Status FaultVfs::Rename(const std::string& from, const std::string& to) {
+  return base_->Rename(from, to);
+}
+
+Status FaultVfs::Remove(const std::string& path) {
+  return base_->Remove(path);
+}
+
+bool FaultVfs::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultVfs::Truncate(const std::string& path, uint64_t size) {
+  return base_->Truncate(path, size);
+}
+
+Status FaultVfs::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+Status FaultVfs::SyncDir(const std::string& path) {
+  return base_->SyncDir(path);
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (!out.empty() && out.back() != '/') out.push_back('/');
+  out.append(name);
+  return out;
+}
+
+}  // namespace jackpine::storage

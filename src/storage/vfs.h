@@ -1,0 +1,165 @@
+// The filesystem seam under jackpine::storage (DESIGN.md "Durability").
+//
+// Every byte the durability layer reads or writes goes through a Vfs, for
+// the same reason every network byte goes through the chaos driver: the
+// recovery paths are only trustworthy if they are tested against the
+// failures a real disk produces — short writes, torn tails, ENOSPC, fsync
+// errors, bit rot — and those failures must be injectable deterministically.
+// RealVfs() is thin POSIX; FaultVfs wraps any Vfs and injects scripted
+// failures at exact call counts and byte offsets, so a recovery test replays
+// the identical fault sequence on every run.
+
+#ifndef JACKPINE_STORAGE_VFS_H_
+#define JACKPINE_STORAGE_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jackpine::storage {
+
+// An append-only file handle. Append() buffers in the OS (a write syscall);
+// Sync() makes everything appended so far durable (fdatasync). Close() is
+// idempotent and implied by the destructor (without a final Sync — an
+// unsynced tail is exactly the torn-tail case recovery must handle).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+
+  // Bytes in the file: the pre-existing size at open plus every byte
+  // successfully appended since.
+  virtual uint64_t size() const = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  // Opens for appending, creating the file when absent.
+  virtual Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) = 0;
+
+  // Whole-file read; kNotFound when absent.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  // Atomic replace (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+
+  // Shrinks the file to `size` bytes (recovery chops torn tails with this).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  // Creates the directory (not recursively); ok when it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  // fsyncs the directory itself so a rename/create survives a crash.
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+// Process-wide POSIX Vfs.
+Vfs* RealVfs();
+
+// Deterministic fault injection over a base Vfs. All knobs are scripted
+// before the code under test runs; counters are global across files opened
+// through this instance, so "fail the 3rd fsync" means the 3rd fsync this
+// FaultVfs sees. A torn write models power loss mid-append: the configured
+// prefix of the payload reaches the base file and the call still reports an
+// error (the caller must treat the tail as untrustworthy — fail-stop).
+class FaultVfs : public Vfs {
+ public:
+  explicit FaultVfs(Vfs* base) : base_(base) {}
+
+  // After `after` more successful Append calls, one Append writes only
+  // `torn_bytes` of its payload and fails with `code` (kResourceExhausted
+  // models ENOSPC, kUnavailable a generic I/O error).
+  void FailAppend(uint64_t after, uint64_t torn_bytes,
+                  StatusCode code = StatusCode::kResourceExhausted) {
+    std::lock_guard<std::mutex> lock(mu_);
+    append_fail_after_ = after;
+    append_armed_ = true;
+    torn_bytes_ = torn_bytes;
+    append_code_ = code;
+  }
+
+  // After `after` more successful Sync calls, every subsequent Sync fails
+  // (a dying disk does not come back; fsync failure semantics are
+  // fail-stop, see DESIGN.md).
+  void FailSync(uint64_t after) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sync_fail_after_ = after;
+    sync_armed_ = true;
+  }
+
+  // Every ReadFile of a path containing `path_substr` XORs the byte at
+  // `offset` with `mask` (injected read corruption / bit rot).
+  void CorruptRead(std::string path_substr, uint64_t offset,
+                   uint8_t mask = 0xff) {
+    std::lock_guard<std::mutex> lock(mu_);
+    corrupt_substr_ = std::move(path_substr);
+    corrupt_offset_ = offset;
+    corrupt_mask_ = mask;
+  }
+
+  void ClearFaults() {
+    std::lock_guard<std::mutex> lock(mu_);
+    append_armed_ = sync_armed_ = false;
+    corrupt_substr_.clear();
+  }
+
+  uint64_t appends() const { return appends_; }
+  uint64_t syncs() const { return syncs_; }
+
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+  // Consulted by the wrapper file handle on every Append/Sync; returns the
+  // fault to deliver now, if any. Internal to vfs.cpp, public only because
+  // the handle type lives in an anonymous namespace there.
+  struct AppendFault {
+    bool fail = false;
+    uint64_t torn_bytes = 0;
+    StatusCode code = StatusCode::kResourceExhausted;
+  };
+  AppendFault NextAppend();
+  bool NextSyncFails();
+
+ private:
+  Vfs* base_;
+  std::mutex mu_;
+  bool append_armed_ = false;
+  uint64_t append_fail_after_ = 0;
+  uint64_t torn_bytes_ = 0;
+  StatusCode append_code_ = StatusCode::kResourceExhausted;
+  bool sync_armed_ = false;
+  uint64_t sync_fail_after_ = 0;
+  std::string corrupt_substr_;
+  uint64_t corrupt_offset_ = 0;
+  uint8_t corrupt_mask_ = 0xff;
+  uint64_t appends_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+// Joins a directory and a file name with '/'.
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+}  // namespace jackpine::storage
+
+#endif  // JACKPINE_STORAGE_VFS_H_

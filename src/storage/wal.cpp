@@ -1,0 +1,256 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "storage/crc32c.h"
+
+namespace jackpine::storage {
+
+namespace {
+
+// Converts any write/sync failure into the latched fail-stop form: after a
+// storage error the file tail is untrustworthy, so the whole writer is.
+Status FailStop(const Status& cause) {
+  return Status::DataLoss(
+      StrFormat("storage: WAL fail-stop after %s", cause.ToString().c_str()));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Vfs* vfs, std::string path,
+                                                   double group_commit_window_s,
+                                                   uint64_t next_lsn) {
+  JACKPINE_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                            vfs->OpenAppend(path));
+  if (file->size() < kMagicLen) {
+    // Fresh (or torn-header) log: recovery already truncated it; stamp the
+    // magic so the file self-identifies.
+    if (file->size() != 0) {
+      return Status::DataLoss(
+          StrFormat("storage: WAL '%s' has a torn header", path.c_str()));
+    }
+    JACKPINE_RETURN_IF_ERROR(file->Append({kWalMagic, kMagicLen}));
+    JACKPINE_RETURN_IF_ERROR(file->Sync());
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(vfs, std::move(path), std::move(file),
+                    group_commit_window_s, next_lsn));
+}
+
+WalWriter::WalWriter(Vfs* vfs, std::string path,
+                     std::unique_ptr<WritableFile> file, double window_s,
+                     uint64_t next_lsn)
+    : vfs_(vfs),
+      path_(std::move(path)),
+      window_s_(window_s),
+      file_(std::move(file)),
+      next_lsn_(next_lsn == 0 ? 1 : next_lsn) {
+  // Everything below the resume point is durable by definition (it is in a
+  // snapshot or a replayed log), so WaitSynced on an older LSN returns
+  // immediately — a writer reopened after a checkpoint must not strand the
+  // checkpointed records' waiters.
+  appended_lsn_ = next_lsn_ - 1;
+  durable_lsn_ = next_lsn_ - 1;
+  obs::Registry& registry = obs::GlobalRegistry();
+  appends_metric_ = registry.GetCounter("storage.wal_appends");
+  bytes_metric_ = registry.GetCounter("storage.wal_bytes");
+  fsyncs_metric_ = registry.GetCounter("storage.wal_fsyncs");
+  fsync_latency_metric_ = registry.GetHistogram("storage.wal_fsync_s");
+  if (window_s_ > 0) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+WalWriter::~WalWriter() { Close().code(); }
+
+Result<uint64_t> WalWriter::Append(WalRecord record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!failed_.ok()) return failed_;
+  if (file_ == nullptr) {
+    return Status::Internal("storage: append on closed WAL");
+  }
+  record.lsn = next_lsn_++;
+  const uint64_t lsn = record.lsn;
+  const std::string framed = FrameWalRecord(EncodeWalRecord(record));
+  const Status append = file_->Append(framed);
+  if (!append.ok()) {
+    // A prefix of the frame may have landed; nothing after it can be
+    // trusted, so latch fail-stop (recovery truncates the torn tail).
+    failed_ = FailStop(append);
+    cv_.notify_all();
+    return failed_;
+  }
+  appended_lsn_ = lsn;
+  ++appends_count_;
+  appends_metric_->Add();
+  bytes_metric_->Add(framed.size());
+  if (window_s_ <= 0) {
+    JACKPINE_RETURN_IF_ERROR(SyncLocked());
+  } else {
+    flush_cv_.notify_one();
+  }
+  return lsn;
+}
+
+Status WalWriter::WaitSynced(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return durable_lsn_ >= lsn || !failed_.ok(); });
+  if (durable_lsn_ >= lsn) return Status::Ok();
+  return failed_;
+}
+
+void WalWriter::MarkDurableThrough(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lsn > durable_lsn_) {
+    durable_lsn_ = lsn;
+    cv_.notify_all();
+  }
+}
+
+uint64_t WalWriter::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+uint64_t WalWriter::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr ? file_->size() : 0;
+}
+
+uint64_t WalWriter::appended_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_lsn_;
+}
+
+uint64_t WalWriter::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_count_;
+}
+
+uint64_t WalWriter::fsyncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fsyncs_count_;
+}
+
+Status WalWriter::SyncLocked() {
+  Stopwatch sw;
+  const Status sync = file_->Sync();
+  if (!sync.ok()) {
+    failed_ = FailStop(sync);
+    cv_.notify_all();
+    return failed_;
+  }
+  ++fsyncs_count_;
+  fsyncs_metric_->Add();
+  fsync_latency_metric_->Observe(sw.ElapsedSeconds());
+  durable_lsn_ = appended_lsn_;
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+void WalWriter::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto window = std::chrono::duration<double>(window_s_);
+  while (!closing_) {
+    flush_cv_.wait_for(lock, window);
+    if (closing_) break;
+    if (failed_.ok() && file_ != nullptr && appended_lsn_ > durable_lsn_) {
+      SyncLocked().code();  // latches on failure; waiters see failed_
+    }
+  }
+}
+
+Status WalWriter::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closing_ && file_ == nullptr) return failed_;
+    closing_ = true;
+    flush_cv_.notify_all();
+  }
+  if (flusher_.joinable()) flusher_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return failed_;
+  Status result = failed_;
+  if (failed_.ok() && appended_lsn_ > durable_lsn_) {
+    result = SyncLocked();
+  }
+  const Status close = file_->Close();
+  if (result.ok() && !close.ok()) result = close;
+  file_.reset();
+  return result;
+}
+
+Result<WalReplay> ReadWal(Vfs* vfs, const std::string& path) {
+  JACKPINE_ASSIGN_OR_RETURN(std::string data, vfs->ReadFile(path));
+  WalReplay replay;
+  if (data.empty()) return replay;  // created but never written: empty log
+  if (data.size() < kMagicLen) {
+    // Torn header: nothing readable, everything past offset 0 is tail.
+    replay.truncated_bytes = data.size();
+    return replay;
+  }
+  if (std::string_view(data).substr(0, kMagicLen) !=
+      std::string_view(kWalMagic, kMagicLen)) {
+    return Status::DataLoss(
+        StrFormat("storage: bad WAL magic in '%s'", path.c_str()));
+  }
+  size_t pos = kMagicLen;
+  replay.valid_bytes = pos;
+  uint64_t prev_lsn = 0;
+  while (pos < data.size()) {
+    const size_t remaining = data.size() - pos;
+    if (remaining < 8) {
+      // Incomplete frame header at EOF: torn write.
+      replay.truncated_bytes = remaining;
+      break;
+    }
+    uint32_t length;
+    uint32_t masked_crc;
+    std::memcpy(&length, data.data() + pos, 4);
+    std::memcpy(&masked_crc, data.data() + pos + 4, 4);
+    const uint64_t frame_end =
+        static_cast<uint64_t>(pos) + 8 + static_cast<uint64_t>(length);
+    if (frame_end > data.size()) {
+      // The frame runs past EOF. Either the payload was torn, or the
+      // length field itself is the torn bytes — indistinguishable, and
+      // both only happen at a real tail, so truncate.
+      replay.truncated_bytes = remaining;
+      break;
+    }
+    if (length > kMaxWalPayload) {
+      // An implausible length whose frame still fits in the file cannot
+      // come from a torn append: mid-log corruption.
+      return Status::DataLoss(StrFormat(
+          "storage: WAL record at offset %zu claims %u bytes (cap %u)", pos,
+          length, kMaxWalPayload));
+    }
+    const std::string_view payload(data.data() + pos + 8, length);
+    if (UnmaskCrc(masked_crc) != Crc32c(payload)) {
+      if (frame_end == data.size()) {
+        // Bad CRC on the final record: a torn write inside the payload.
+        replay.truncated_bytes = remaining;
+        break;
+      }
+      return Status::DataLoss(StrFormat(
+          "storage: WAL CRC mismatch at offset %zu (not at tail)", pos));
+    }
+    JACKPINE_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
+    if (record.lsn <= prev_lsn) {
+      return Status::DataLoss(StrFormat(
+          "storage: WAL LSN went backwards at offset %zu (%llu after %llu)",
+          pos, static_cast<unsigned long long>(record.lsn),
+          static_cast<unsigned long long>(prev_lsn)));
+    }
+    prev_lsn = record.lsn;
+    replay.records.push_back(std::move(record));
+    pos = static_cast<size_t>(frame_end);
+    replay.valid_bytes = pos;
+  }
+  replay.next_lsn = prev_lsn + 1;
+  return replay;
+}
+
+}  // namespace jackpine::storage

@@ -1,0 +1,124 @@
+// The write-ahead log (DESIGN.md "Durability").
+//
+// Append path: a mutating statement logs its WalRecord *before* the
+// in-memory apply and the client ack. Append() assigns the LSN and hands
+// the framed record to the OS; WaitSynced(lsn) blocks until an fsync covers
+// it. With a zero group-commit window every Append fsyncs inline (strict
+// per-statement durability); with a window a background flusher fsyncs the
+// accumulated tail every `window` seconds and wakes all waiters at once, so
+// concurrent DML shares one fsync — the classic group-commit trade measured
+// by bench/bench_wal_append.cpp.
+//
+// Failure model is fail-stop: the first write or fsync error latches, every
+// subsequent Append/WaitSynced returns the latched kDataLoss, and the file
+// tail is treated as untrustworthy (a partial frame may have landed).
+// Recovery handles exactly that tail: an incomplete frame at EOF is a torn
+// write and is truncated; a complete frame with a bad CRC *followed by more
+// bytes* is mid-log corruption and latches kDataLoss instead of silently
+// loading a prefix.
+
+#ifndef JACKPINE_STORAGE_WAL_H_
+#define JACKPINE_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/record.h"
+#include "storage/vfs.h"
+
+namespace jackpine::obs {
+class Counter;
+class Histogram;
+}  // namespace jackpine::obs
+
+namespace jackpine::storage {
+
+class WalWriter {
+ public:
+  // Opens (creating with the magic header if empty) for appending.
+  // `next_lsn` is where the LSN sequence resumes after recovery;
+  // `group_commit_window_s` <= 0 means fsync per append.
+  static Result<std::unique_ptr<WalWriter>> Open(Vfs* vfs, std::string path,
+                                                 double group_commit_window_s,
+                                                 uint64_t next_lsn);
+
+  ~WalWriter();
+
+  // Assigns the next LSN, stamps it into `record`, frames and writes it.
+  // With a zero window the record is durable on return; otherwise call
+  // WaitSynced before acking. Returns the assigned LSN.
+  Result<uint64_t> Append(WalRecord record);
+
+  // Blocks until every record up to `lsn` is durable (fsynced, or folded
+  // into a snapshot via MarkDurableThrough). Returns the latched failure
+  // if the writer has fail-stopped.
+  Status WaitSynced(uint64_t lsn);
+
+  // A checkpoint that snapshotted state through `lsn` makes those records
+  // durable by other means; wakes their waiters without an fsync.
+  void MarkDurableThrough(uint64_t lsn);
+
+  uint64_t next_lsn() const;
+  uint64_t bytes() const;        // current file size, header included
+  uint64_t appended_lsn() const;
+  uint64_t appends() const;      // records written by this writer
+  uint64_t fsyncs() const;       // fsyncs issued by this writer
+
+  // Flushes, syncs and closes. The writer is unusable afterwards.
+  Status Close();
+
+ private:
+  WalWriter(Vfs* vfs, std::string path, std::unique_ptr<WritableFile> file,
+            double window_s, uint64_t next_lsn);
+
+  // Syncs everything appended so far; caller holds mu_. Latches failure.
+  Status SyncLocked();
+  void FlusherLoop();
+
+  Vfs* vfs_;
+  std::string path_;
+  double window_s_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // waiters on durable_lsn_
+  std::condition_variable flush_cv_;  // flusher wakeup / shutdown
+  std::unique_ptr<WritableFile> file_;
+  uint64_t next_lsn_;
+  uint64_t appended_lsn_ = 0;  // highest LSN written to the OS
+  uint64_t durable_lsn_ = 0;   // highest LSN known durable
+  uint64_t appends_count_ = 0;
+  uint64_t fsyncs_count_ = 0;
+  Status failed_;              // latched fail-stop error
+  bool closing_ = false;
+  std::thread flusher_;        // only with a positive window
+
+  // Registry instruments (obs/metrics.h), resolved once in the
+  // constructor; never null.
+  obs::Counter* appends_metric_;
+  obs::Counter* bytes_metric_;
+  obs::Counter* fsyncs_metric_;
+  obs::Histogram* fsync_latency_metric_;
+};
+
+// One pass over a WAL file, enforcing the torn-tail policy above.
+struct WalReplay {
+  std::vector<WalRecord> records;  // every CRC-valid decoded record
+  uint64_t valid_bytes = 0;        // prefix length covering `records`
+  uint64_t truncated_bytes = 0;    // torn tail dropped past valid_bytes
+  uint64_t next_lsn = 1;           // 1 + highest LSN seen
+};
+
+// Reads and validates `path` (kNotFound when absent — callers treat that as
+// an empty log). Mid-log corruption returns kDataLoss; a torn tail is
+// reported, not an error. Does not modify the file — the caller truncates
+// to valid_bytes before re-opening for append.
+Result<WalReplay> ReadWal(Vfs* vfs, const std::string& path);
+
+}  // namespace jackpine::storage
+
+#endif  // JACKPINE_STORAGE_WAL_H_
