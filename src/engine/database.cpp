@@ -226,6 +226,15 @@ Result<QueryResult> Database::ExecuteCreateIndex(
   if (!col.has_value()) {
     return Status::NotFound(StrFormat("column '%s'", stmt.column.c_str()));
   }
+  // Reject a non-geometry column here, before the observer hook: a logged
+  // kCreateIndex must always rebuild during recovery, so a statement
+  // BuildSpatialIndex would refuse must never reach the WAL (the same
+  // validate-before-log discipline as the insert path). Checked ahead of
+  // the kNone no-op so the DDL's outcome does not depend on SUT config.
+  if (table->schema().column(*col).type != DataType::kGeometry) {
+    return Status::InvalidArgument(
+        StrFormat("column '%s' is not GEOMETRY", stmt.column.c_str()));
+  }
   // A SUT configured without an index honours the DDL as a no-op, the same
   // way the paper ran DBMSs "without spatial index". No-ops are not logged.
   if (options_.index_kind == index::IndexKind::kNone) {

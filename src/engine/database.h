@@ -67,6 +67,18 @@ class MutationObserver {
   // Blocks until the ticket's mutation is durable (group-commit fsync or a
   // covering checkpoint). Called after mutation_mutex() is released so
   // concurrent statements share one fsync.
+  //
+  // Durability gray zone: a WaitDurable error means "not known durable",
+  // NOT "not applied". The mutation was already logged and applied in
+  // memory (the hook succeeded), so reads observe it even though the
+  // client got an error, and a later successful checkpoint — which
+  // snapshots the in-memory state and clears the storage fail-stop latch —
+  // quietly makes it durable after all. This is the same ambiguity as a
+  // commit whose ack is lost in flight: the statement is not rolled back,
+  // because in-memory state must keep matching the log for the checkpoint
+  // un-latch path to be sound (DESIGN.md "Fail-stop and un-latching").
+  // Clients treating the error as "not applied" must re-check, not retry
+  // blindly.
   virtual Status WaitDurable(uint64_t ticket) = 0;
 };
 

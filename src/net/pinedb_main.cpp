@@ -117,6 +117,9 @@ void PrintRecoveryTable(const storage::RecoveryInfo& r) {
            {"wal torn bytes truncated",
             StrFormat("%llu",
                       static_cast<unsigned long long>(r.wal_truncated_bytes))},
+           {"indexes dropped",
+            StrFormat("%llu",
+                      static_cast<unsigned long long>(r.indexes_dropped))},
            {"recovery time", StrFormat("%.3f ms", r.recovery_s * 1e3)}})
           .c_str());
 }

@@ -1,7 +1,10 @@
 // On-disk record formats of jackpine::storage (DESIGN.md "Durability").
 //
-// Two artefacts share one value codec (geometry as WKB via geom/wkb.h, every
-// other value as its tagged natural encoding, all little-endian):
+// Two artefacts share one value codec (geometry as WKB via geom/wkb.h,
+// every other value as its tagged natural encoding). Fixed-width integers
+// and doubles are memcpy'd in host byte order — the same discipline as
+// net/wire.cpp — so a data dir is not portable between hosts of different
+// endianness (in practice: every supported target is little-endian):
 //
 //   WAL record  frame := length:u32 crc:u32(masked CRC32C of payload)
 //               payload := kind:u8 lsn:u64 body

@@ -191,7 +191,12 @@ Status StorageManager::Recover() {
       for (size_t column : columns) {
         Status built =
             table->BuildSpatialIndex(column, db_->options().index_kind);
-        if (!built.ok()) return DataLossFrom("index rebuild", built);
+        // An unbuildable index (e.g. a poison kCreateIndex from a foreign
+        // or buggy writer) is not data loss: every row is intact and the
+        // index is SUT configuration, not durable state. Drop it, loudly —
+        // the count surfaces in the recovery table — rather than refusing
+        // to start on a dir whose acked data is fully recoverable.
+        if (!built.ok()) ++recovery_.indexes_dropped;
       }
     }
   }

@@ -62,6 +62,7 @@ struct RecoveryInfo {
   uint64_t wal_records_applied = 0;
   uint64_t wal_records_skipped = 0;  // lsn <= snapshot.last_lsn
   uint64_t wal_truncated_bytes = 0;  // torn tail chopped off
+  uint64_t indexes_dropped = 0;      // spatial indexes that failed to rebuild
   double recovery_s = 0.0;
 };
 

@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/stopwatch.h"
@@ -90,7 +91,17 @@ Result<uint64_t> WalWriter::Append(WalRecord record) {
   if (window_s_ <= 0) {
     JACKPINE_RETURN_IF_ERROR(SyncLocked());
   } else {
-    flush_cv_.notify_one();
+    // The window opens at the *first* append after a sync and closes
+    // `window_s_` later; later appends ride the open window so a burst —
+    // concurrent or sequential — shares one fsync.
+    if (!window_open_) {
+      window_open_ = true;
+      window_deadline_ = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(window_s_));
+      flush_cv_.notify_one();
+    }
   }
   return lsn;
 }
@@ -153,10 +164,17 @@ Status WalWriter::SyncLocked() {
 
 void WalWriter::FlusherLoop() {
   std::unique_lock<std::mutex> lock(mu_);
-  const auto window = std::chrono::duration<double>(window_s_);
   while (!closing_) {
-    flush_cv_.wait_for(lock, window);
+    // Sleep until an append opens a window, then hold the sync until the
+    // window's deadline — syncing on every wakeup would degenerate to
+    // per-append fsyncs whenever appends arrive slower than an fsync.
+    flush_cv_.wait(lock, [&] { return closing_ || window_open_; });
+    while (!closing_ && window_open_ &&
+           std::chrono::steady_clock::now() < window_deadline_) {
+      flush_cv_.wait_until(lock, window_deadline_);
+    }
     if (closing_) break;
+    window_open_ = false;
     if (failed_.ok() && file_ != nullptr && appended_lsn_ > durable_lsn_) {
       SyncLocked().code();  // latches on failure; waiters see failed_
     }

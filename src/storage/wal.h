@@ -4,10 +4,12 @@
 // in-memory apply and the client ack. Append() assigns the LSN and hands
 // the framed record to the OS; WaitSynced(lsn) blocks until an fsync covers
 // it. With a zero group-commit window every Append fsyncs inline (strict
-// per-statement durability); with a window a background flusher fsyncs the
-// accumulated tail every `window` seconds and wakes all waiters at once, so
-// concurrent DML shares one fsync — the classic group-commit trade measured
-// by bench/bench_wal_append.cpp.
+// per-statement durability); with a window, the first unsynced append opens
+// a `window`-seconds commit window and a background flusher fsyncs the
+// accumulated tail when it closes, waking all waiters at once — every
+// append inside the window (concurrent or merely nearby in time) shares one
+// fsync, at the cost of up to one window of ack latency: the classic
+// group-commit trade measured by bench/bench_wal_append.cpp.
 //
 // Failure model is fail-stop: the first write or fsync error latches, every
 // subsequent Append/WaitSynced returns the latched kDataLoss, and the file
@@ -20,6 +22,7 @@
 #ifndef JACKPINE_STORAGE_WAL_H_
 #define JACKPINE_STORAGE_WAL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -93,6 +96,11 @@ class WalWriter {
   uint64_t durable_lsn_ = 0;   // highest LSN known durable
   uint64_t appends_count_ = 0;
   uint64_t fsyncs_count_ = 0;
+  // Group-commit state: the first append after a sync opens the window and
+  // fixes its deadline; the flusher syncs only once the deadline passes, so
+  // appends inside the window batch into one fsync.
+  bool window_open_ = false;
+  std::chrono::steady_clock::time_point window_deadline_{};
   Status failed_;              // latched fail-stop error
   bool closing_ = false;
   std::thread flusher_;        // only with a positive window

@@ -745,5 +745,90 @@ TEST_F(RecoveryTest, CheckpointResetsWalAndClearsNothingAcked) {
   EXPECT_EQ(CountRows(&recovered, "pts"), 11);
 }
 
+TEST_F(RecoveryTest, RejectedCreateIndexIsNeverLogged) {
+  // CREATE INDEX on a non-geometry column must fail *before* the observer
+  // hook: a kCreateIndex record for a column the rebuild would refuse is a
+  // poison pill that turns the next recovery into kDataLoss.
+  {
+    engine::Database db(RtreeOptions());
+    auto manager = StorageManager::Open(DurableOptions(dir_, RealVfs()), &db);
+    ASSERT_TRUE(manager.ok());
+    ASSERT_TRUE(db.Execute("CREATE TABLE pts (id BIGINT, g GEOMETRY)").ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO pts VALUES (1, "
+                           "ST_GeomFromText('POINT(1 2)'))")
+                    .ok());
+    auto rejected = db.Execute("CREATE SPATIAL INDEX ON pts (id)");
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+    // Storage is still healthy (no fail-stop latch from the refusal)...
+    ASSERT_TRUE(db.Execute("INSERT INTO pts VALUES (2, "
+                           "ST_GeomFromText('POINT(3 4)'))")
+                    .ok());
+    // ...and a crash-abandon leaves the poison-free WAL behind.
+    db.set_mutation_observer(nullptr);
+  }
+  engine::Database recovered(RtreeOptions());
+  auto reopened =
+      StorageManager::Open(DurableOptions(dir_, RealVfs()), &recovered);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->recovery_info().indexes_dropped, 0u);
+  EXPECT_EQ(CountRows(&recovered, "pts"), 2);
+}
+
+TEST_F(RecoveryTest, PoisonCreateIndexRecordDropsIndexNotData) {
+  // A kCreateIndex for a non-geometry column (a foreign or pre-fix writer)
+  // must not make the whole dir unrecoverable: every row is intact, and the
+  // index is SUT configuration. Recovery drops it and reports the count.
+  ASSERT_TRUE(RealVfs()->CreateDir(dir_).ok());
+  const std::string path = StorageManager::WalPath(dir_);
+  {
+    auto writer = WalWriter::Open(RealVfs(), path, 0.0, 1);
+    ASSERT_TRUE(writer.ok());
+    WalRecord create;
+    create.kind = WalRecordKind::kCreateTable;
+    create.table = "pts";
+    create.schema = PointSchema();
+    ASSERT_TRUE((*writer)->Append(std::move(create)).ok());
+    ASSERT_TRUE((*writer)->Append(SampleInsert(0)).ok());
+    WalRecord poison;
+    poison.kind = WalRecordKind::kCreateIndex;
+    poison.table = "pts";
+    poison.column = 0;  // BIGINT: BuildSpatialIndex will refuse
+    ASSERT_TRUE((*writer)->Append(std::move(poison)).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  engine::Database db(RtreeOptions());
+  auto manager = StorageManager::Open(DurableOptions(dir_, RealVfs()), &db);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  EXPECT_EQ((*manager)->recovery_info().indexes_dropped, 1u);
+  EXPECT_EQ(CountRows(&db, "pts"), 2);
+  const engine::Table* table = db.catalog().GetTable("pts");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->GetSpatialIndex(0), nullptr);
+}
+
+TEST_F(WalFileTest, GroupCommitWindowBatchesSequentialAppends) {
+  // The window is a real deadline, not a hint: appends that land inside it
+  // — even from a single sequential writer — share one fsync instead of
+  // degenerating to fsync-per-append.
+  ASSERT_TRUE(RealVfs()->CreateDir(dir_).ok());
+  const std::string path = JoinPath(dir_, "wal.pinelog");
+  auto writer = WalWriter::Open(RealVfs(), path, /*window=*/0.5,
+                                /*next_lsn=*/1);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  const uint64_t header_fsyncs = (*writer)->fsyncs();  // magic stamp
+  uint64_t last = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto lsn = (*writer)->Append(SampleInsert(0));
+    ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+    last = *lsn;
+  }
+  ASSERT_TRUE((*writer)->WaitSynced(last).ok());
+  // All five appends fit one 500 ms window; allow one extra fsync in case
+  // a scheduler stall pushed a straggler into a second window.
+  EXPECT_LE((*writer)->fsyncs() - header_fsyncs, 2u);
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
 }  // namespace
 }  // namespace jackpine::storage
