@@ -63,13 +63,136 @@
 #include "core/report.h"
 #include "core/runner.h"
 #include "net/remote_driver.h"
+#include "net/server.h"
 #include "obs/span.h"
+#include "shard/shard_router.h"
 #include "storage/storage.h"
 
 using namespace jackpine;  // example code; the library itself never does this
 
+namespace {
+
+// --suts split that respects parentheses, so a shard(ep1,ep2,...)/sut entry
+// survives with its internal commas intact.
+std::vector<std::string> SplitSutList(std::string_view list) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i] == '(') ++depth;
+    if (list[i] == ')') --depth;
+    if (list[i] == ',' && depth == 0) {
+      out.emplace_back(list.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.emplace_back(list.substr(start));
+  return out;
+}
+
+// Folds per-query checksums into one order-sensitive digest (the suite's
+// query order is fixed, so equal digests mean every query agreed).
+uint64_t FoldChecksums(const std::vector<core::RunResult>& runs) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const core::RunResult& r : runs) {
+    h = (h ^ r.checksum) * 1099511628211ull;
+  }
+  return h;
+}
+
+// The shard-scaling experiment: for each N, start N in-process pinedb
+// servers hosting `sut`, drive load + the topological suite through one
+// jackpine:shard(...) router URL, and record suite time plus the folded
+// result checksum. The first N is the baseline every later row's speedup
+// and checksum verdict compare against.
+Result<std::vector<core::ShardScalingResult>> RunShardScaling(
+    const std::vector<int>& shard_counts, const std::string& sut,
+    const tigergen::TigerDataset& dataset, const core::RunConfig& config,
+    int throughput_clients, int throughput_rounds,
+    const std::string& data_dir) {
+  const auto topo_suite = core::BuildTopologicalSuite(dataset);
+  std::vector<core::ShardScalingResult> results;
+  for (int n : shard_counts) {
+    if (n < 1) return Status::InvalidArgument("--shard-scaling counts must be >= 1");
+    std::vector<std::unique_ptr<net::Server>> servers;
+    std::vector<std::unique_ptr<storage::StorageManager>> stores;
+    std::vector<std::string> endpoints;
+    for (int i = 0; i < n; ++i) {
+      net::ServerOptions sopts;
+      sopts.sut = sut;
+      JACKPINE_ASSIGN_OR_RETURN(std::unique_ptr<net::Server> server,
+                                net::Server::Create(sopts));
+      if (!data_dir.empty()) {
+        // Per-shard durable directory, so each server recovers its own
+        // slice: DIR/shard<N>-<i>.
+        storage::StorageOptions store_opts;
+        store_opts.dir = StrFormat("%s/shard%d-%d", data_dir.c_str(), n, i);
+        std::error_code ec;
+        std::filesystem::create_directories(store_opts.dir, ec);
+        JACKPINE_ASSIGN_OR_RETURN(
+            std::unique_ptr<storage::StorageManager> store,
+            storage::StorageManager::Open(store_opts,
+                                          &server->connection().database()));
+        stores.push_back(std::move(store));
+      }
+      server->StartServing();
+      endpoints.push_back(StrFormat("127.0.0.1:%u", unsigned{server->port()}));
+      servers.push_back(std::move(server));
+    }
+    const std::string url =
+        StrFormat("jackpine:shard(%s)/%s", Join(endpoints, ",").c_str(),
+                  sut.c_str());
+    JACKPINE_ASSIGN_OR_RETURN(client::Connection conn,
+                              client::Connection::Open(url));
+
+    core::ShardScalingResult row;
+    row.sut = conn.config().name;
+    row.shards = static_cast<size_t>(n);
+
+    JACKPINE_ASSIGN_OR_RETURN(core::LoadTiming load,
+                              core::LoadDataset(dataset, &conn));
+    row.load_s = load.create_s + load.insert_s + load.index_s;
+    for (auto& store : stores) {
+      JACKPINE_RETURN_IF_ERROR(store->Checkpoint());
+    }
+
+    const std::vector<core::RunResult> runs =
+        core::RunSuite(&conn, topo_suite, config);
+    for (const core::RunResult& r : runs) {
+      if (!r.ok) {
+        return Status::Internal(StrFormat("shard-scaling %d: query %s failed: %s",
+                                          n, r.query_id.c_str(),
+                                          r.error.c_str()));
+      }
+      row.suite_s += r.timing.total_s;
+    }
+    row.checksum = FoldChecksums(runs);
+
+    if (throughput_clients > 0) {
+      const core::ThroughputResult tp = core::RunConcurrentThroughput(
+          &conn, topo_suite, throughput_clients, throughput_rounds, config);
+      row.throughput_qps = tp.QueriesPerSecond();
+    }
+
+    for (auto& store : stores) {
+      JACKPINE_RETURN_IF_ERROR(store->Close());
+    }
+    for (auto& server : servers) server->Shutdown();
+    results.push_back(std::move(row));
+  }
+  for (core::ShardScalingResult& row : results) {
+    row.checksum_match = row.checksum == results.front().checksum;
+    row.speedup =
+        row.suite_s > 0.0 ? results.front().suite_s / row.suite_s : 1.0;
+  }
+  return results;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   net::RegisterRemoteDriver();
+  shard::RegisterShardDriver();
 
   double scale = 0.5;
   uint64_t seed = 42;
@@ -84,6 +207,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
   std::string data_dir;
+  std::vector<int> shard_scaling;
+  std::string shard_sut = "pine-rtree";
   std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
                                         "pine-scan"};
   for (int i = 1; i < argc; ++i) {
@@ -94,7 +219,7 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
       config.repetitions = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--suts") && i + 1 < argc) {
-      sut_names = Split(argv[++i], ',');
+      sut_names = SplitSutList(argv[++i]);
     } else if (!std::strcmp(argv[i], "--deadline") && i + 1 < argc) {
       config.limits.deadline_s = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc) {
@@ -117,6 +242,12 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--data-dir") && i + 1 < argc) {
       data_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--shard-scaling") && i + 1 < argc) {
+      for (const std::string& c : Split(argv[++i], ',')) {
+        shard_scaling.push_back(std::atoi(c.c_str()));
+      }
+    } else if (!std::strcmp(argv[i], "--shard-sut") && i + 1 < argc) {
+      shard_sut = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b] "
@@ -124,8 +255,13 @@ int main(int argc, char** argv) {
                    "[--throughput-clients N] [--throughput-rounds R] "
                    "[--overload-clients N] [--overload-rounds R] "
                    "[--retry-budget TOKENS] [--no-load] [--json PATH] "
-                   "[--trace-out PATH] [--data-dir DIR]\n"
-                   "  --suts entries: local SUT names or tcp://host:port/sut\n",
+                   "[--trace-out PATH] [--data-dir DIR] "
+                   "[--shard-scaling N1,N2,...] [--shard-sut NAME]\n"
+                   "  --suts entries: local SUT names, tcp://host:port/sut, "
+                   "or shard(host:port,...)/sut cluster routers\n"
+                   "  --shard-scaling: run the topological suite through an "
+                   "in-process N-shard cluster per N and print the scaling "
+                   "table\n",
                    argv[0]);
       return 2;
     }
@@ -145,6 +281,49 @@ int main(int argc, char** argv) {
   std::printf("dataset: scale %.2f -> %zu rows (%zu edges, %zu counties)\n\n",
               scale, dataset.TotalRows(), dataset.edges.size(),
               dataset.counties.size());
+
+  if (!shard_scaling.empty()) {
+    auto results =
+        RunShardScaling(shard_scaling, shard_sut, dataset, config,
+                        throughput_clients, throughput_rounds, data_dir);
+    if (!results.ok()) {
+      std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n",
+                core::RenderShardScalingTable(
+                    StrFormat("E6: shard scaling (%s, topological suite)",
+                              shard_sut.c_str()),
+                    *results)
+                    .c_str());
+    bool all_match = true;
+    for (const core::ShardScalingResult& r : *results) {
+      all_match = all_match && r.checksum_match;
+    }
+    if (!json_path.empty()) {
+      core::JsonReportInput report;
+      report.title =
+          StrFormat("jackpine shard scaling (scale %.2f, seed %llu, %s)",
+                    scale, static_cast<unsigned long long>(seed),
+                    shard_sut.c_str());
+      report.shard_scaling = std::move(*results);
+      const std::string doc = core::RenderJsonReport(report);
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote JSON report to %s\n", json_path.c_str());
+    }
+    if (!all_match) {
+      std::fprintf(stderr, "shard scaling: checksum mismatch vs baseline\n");
+      return 1;
+    }
+    return 0;
+  }
 
   const auto topo_suite = core::BuildTopologicalSuite(dataset);
   const auto analysis_suite = core::BuildAnalysisSuite(dataset);

@@ -84,6 +84,23 @@ DriverRegistry& Registry() {
   return registry;
 }
 
+struct TargetOpenerRegistry {
+  std::mutex mu;
+  std::map<std::string, TargetOpener> openers;
+};
+
+TargetOpenerRegistry& OpenerRegistry() {
+  static TargetOpenerRegistry& registry = *new TargetOpenerRegistry();
+  return registry;
+}
+
+TargetOpener FindTargetOpener(const std::string& name) {
+  TargetOpenerRegistry& registry = OpenerRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.openers.find(ToLowerAscii(name));
+  return it != registry.openers.end() ? it->second : TargetOpener();
+}
+
 }  // namespace
 
 void RegisterDriverScheme(const std::string& scheme, DriverFactory factory) {
@@ -96,6 +113,18 @@ bool HasDriverScheme(const std::string& scheme) {
   DriverRegistry& registry = Registry();
   std::lock_guard<std::mutex> lock(registry.mu);
   return registry.factories.count(ToLowerAscii(scheme)) > 0;
+}
+
+void RegisterTargetOpener(const std::string& name, TargetOpener opener) {
+  TargetOpenerRegistry& registry = OpenerRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.openers[ToLowerAscii(name)] = std::move(opener);
+}
+
+bool HasTargetOpener(const std::string& name) {
+  TargetOpenerRegistry& registry = OpenerRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.openers.count(ToLowerAscii(name)) > 0;
 }
 
 bool LooksLikeRemoteUrl(std::string_view rest) {
@@ -334,6 +363,20 @@ Result<int64_t> Statement::ExecuteUpdate(std::string_view sql) {
 }
 
 Result<Connection> Connection::OpenTarget(std::string_view rest) {
+  // Composite targets ("shard(...)/sut", ...) resolve through the opener
+  // registry. The name ends at the first '('; real remote URLs never match
+  // because "://" sorts them into the branch below.
+  if (const size_t paren = rest.find('(');
+      paren != std::string_view::npos && paren > 0 &&
+      !LooksLikeRemoteUrl(rest)) {
+    if (TargetOpener opener =
+            FindTargetOpener(std::string(rest.substr(0, paren)))) {
+      JACKPINE_ASSIGN_OR_RETURN(OpenedTarget opened, opener(rest));
+      Connection conn(std::move(opened.config), nullptr,
+                      std::move(opened.driver));
+      return conn;
+    }
+  }
   if (LooksLikeRemoteUrl(rest)) {
     JACKPINE_ASSIGN_OR_RETURN(RemoteEndpoint ep, ParseRemoteUrl(rest));
     // The client-side SutConfig mirrors the server's standard SUT so the

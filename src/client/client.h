@@ -9,6 +9,7 @@
 #ifndef JACKPINE_CLIENT_CLIENT_H_
 #define JACKPINE_CLIENT_CLIENT_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,6 +36,23 @@ struct SutConfig {
 
 // The four standard SUTs: pine-rtree, pine-mbr, pine-grid, pine-scan.
 const std::vector<SutConfig>& StandardSuts();
+
+// Composite-target openers: a URL tail of the form "<name>(...)<suffix>"
+// (e.g. "shard(ep1,ep2)/pine-rtree") resolves through this registry before
+// the plain SUT-name lookup, which is how subsystems like jackpine::shard
+// plug whole-cluster drivers into the jackpine: URL namespace without the
+// client layer knowing them. The opener receives the full tail, including
+// the "<name>(" prefix, and returns the driver plus the SutConfig label the
+// Connection should carry. "chaos" is reserved (handled by Connection::Open
+// itself); later registrations for a name replace earlier ones.
+struct OpenedTarget {
+  SutConfig config;
+  std::shared_ptr<Driver> driver;
+};
+using TargetOpener =
+    std::function<Result<OpenedTarget>(std::string_view rest)>;
+void RegisterTargetOpener(const std::string& name, TargetOpener opener);
+bool HasTargetOpener(const std::string& name);
 
 // Lookup by name ("pine-rtree", ...).
 Result<SutConfig> SutByName(std::string_view name);

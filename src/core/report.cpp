@@ -239,6 +239,22 @@ std::string RenderStageBreakdownTable(const std::string& title,
   return RenderGrid(title, grid);
 }
 
+std::string RenderShardScalingTable(
+    const std::string& title, const std::vector<ShardScalingResult>& results) {
+  std::vector<std::vector<std::string>> grid;
+  grid.push_back({"sut", "shards", "load (ms)", "suite (ms)", "speedup",
+                  "throughput (q/s)", "checksum", "match"});
+  for (const ShardScalingResult& r : results) {
+    grid.push_back(
+        {r.sut, StrFormat("%zu", r.shards), FormatMs(r.load_s),
+         FormatMs(r.suite_s), StrFormat("%.2fx", r.speedup),
+         r.throughput_qps > 0.0 ? StrFormat("%.0f", r.throughput_qps) : "-",
+         StrFormat("%016llx", static_cast<unsigned long long>(r.checksum)),
+         r.checksum_match ? "yes" : "MISMATCH"});
+  }
+  return RenderGrid(title, grid);
+}
+
 namespace {
 
 obs::Json TimingToJson(const TimingStats& t) {
@@ -373,6 +389,20 @@ std::string RenderJsonReport(const JsonReportInput& input) {
     entry.Set("checkpoints",
               obs::Json::Int(static_cast<int64_t>(d.checkpoints)));
     entry.Set("recovery_ms", obs::Json::Number(d.recovery_s * 1e3));
+  }
+  // Additive within schema_version 1: present only for --shard-scaling runs.
+  obs::Json& scaling = root.Set("shard_scaling", obs::Json::Array());
+  for (const ShardScalingResult& r : input.shard_scaling) {
+    obs::Json& entry = scaling.Append(obs::Json::Object());
+    entry.Set("sut", obs::Json::Str(r.sut));
+    entry.Set("shards", obs::Json::Int(static_cast<int64_t>(r.shards)));
+    entry.Set("load_s", obs::Json::Number(r.load_s));
+    entry.Set("suite_s", obs::Json::Number(r.suite_s));
+    entry.Set("throughput_qps", obs::Json::Number(r.throughput_qps));
+    entry.Set("checksum", obs::Json::Str(StrFormat(
+                  "%016llx", static_cast<unsigned long long>(r.checksum))));
+    entry.Set("checksum_match", obs::Json::Bool(r.checksum_match));
+    entry.Set("speedup", obs::Json::Number(r.speedup));
   }
   return root.Dump(/*pretty=*/true);
 }

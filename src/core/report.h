@@ -69,6 +69,27 @@ struct DurabilityResult {
   double recovery_s = 0.0;   // startup recovery (0 on a fresh directory)
 };
 
+// One row of the shard-scaling experiment (benchmark_runner
+// --shard-scaling): the same suite driven through a jackpine:shard(...)
+// router over N pinedb servers. `checksum` folds every query's
+// order-independent result checksum, so checksum_match proves the N-shard
+// scatter-gather returned byte-equivalent results to the baseline entry.
+struct ShardScalingResult {
+  std::string sut;          // router label, e.g. "shard2/pine-rtree"
+  size_t shards = 0;
+  double load_s = 0.0;      // dataset load through the router
+  double suite_s = 0.0;     // summed suite query time
+  double throughput_qps = 0.0;  // concurrent-throughput run (0 = not run)
+  uint64_t checksum = 0;    // folded per-query checksums
+  bool checksum_match = true;   // vs the first (baseline) entry
+  double speedup = 1.0;     // baseline suite_s / this suite_s
+};
+
+// One row per shard count: suite time, speedup vs the first row, load time,
+// throughput, and the checksum-equality verdict.
+std::string RenderShardScalingTable(const std::string& title,
+                                    const std::vector<ShardScalingResult>& results);
+
 struct JsonReportInput {
   std::string title;
   // One entry per SUT, same shape as the table renderers above. Any of the
@@ -77,6 +98,7 @@ struct JsonReportInput {
   std::vector<std::vector<ScenarioResult>> scenarios_by_sut;
   std::vector<OverloadResult> overloads;
   std::vector<DurabilityResult> durability;
+  std::vector<ShardScalingResult> shard_scaling;
 };
 std::string RenderJsonReport(const JsonReportInput& input);
 

@@ -384,6 +384,25 @@ static Result<QueryResult> ExecutePlanImpl(const PhysicalPlan& plan,
     JACKPINE_ASSIGN_OR_RETURN(matches, GatherJoin(plan, stats, trace));
   }
 
+  if (plan.has_aggregates || !plan.group_by.empty() || !plan.order_by.empty()) {
+    // Canonical match order. Index gathers return candidates in an
+    // unspecified order and the join planner may swap outer/inner, but
+    // float aggregate accumulation, GROUP BY representative rows and
+    // ORDER BY tie-breaking are all sensitive to input order. Sorting by
+    // row address (rows are stored in per-table vectors, so address order
+    // is insertion order, outer table first) pins these results to the
+    // FROM-order nested-loop semantics regardless of the access path —
+    // which is also what lets a scatter-gather router reproduce them
+    // bit-for-bit. Plain SELECTs skip this: their output is an unordered
+    // set and LIMIT-without-ORDER is documented as arbitrary.
+    std::stable_sort(matches.begin(), matches.end(),
+                     [](const Match& a, const Match& b) {
+                       std::less<const Row*> lt;
+                       if (a.rows[0] != b.rows[0]) return lt(a.rows[0], b.rows[0]);
+                       return lt(a.rows[1], b.rows[1]);
+                     });
+  }
+
   if (!plan.group_by.empty()) {
     // Hash aggregation: one output row per distinct group-key tuple.
     // Non-aggregate outputs evaluate against the group's first row.

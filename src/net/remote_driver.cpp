@@ -20,11 +20,31 @@ constexpr size_t kRecvChunk = 64 * 1024;
 // result shipping legitimately run past the deadline by a little.
 constexpr double kDeadlineGraceS = 2.0;
 
+std::string EndpointLabel(const client::RemoteEndpoint& endpoint) {
+  return StrFormat("%s:%u", endpoint.host.c_str(), unsigned{endpoint.port});
+}
+
+// Prefixes `host:port` onto connect/transport failures so a scatter-gather
+// caller fanning out over many endpoints can tell which shard failed.
+// Idempotent (the label is never added twice) and hint-preserving (a shed's
+// retry_after_ms survives the rewrap).
+Status NameEndpoint(Status status, const std::string& label) {
+  if (status.ok() || status.message().find(label) != std::string::npos) {
+    return status;
+  }
+  Status named(status.code(),
+               StrFormat("%s: %s", label.c_str(), status.message().c_str()));
+  named.set_retry_after_ms(status.retry_after_ms());
+  return named;
+}
+
 class RemoteSession : public client::DriverSession {
  public:
-  RemoteSession(Socket socket,
+  RemoteSession(Socket socket, std::string endpoint_label,
                 std::shared_ptr<client::CircuitBreaker> breaker)
-      : socket_(std::move(socket)), breaker_(std::move(breaker)) {}
+      : socket_(std::move(socket)),
+        endpoint_label_(std::move(endpoint_label)),
+        breaker_(std::move(breaker)) {}
 
   // Connect + Hello/Hello handshake. When span tracing is on globally the
   // Hello asks the server for tracing; a pre-span server rejects the
@@ -48,6 +68,9 @@ class RemoteSession : public client::DriverSession {
       connect.Annotate("trace_fallback", "1");
       session = OpenOnce(endpoint, breaker, /*want_trace=*/false);
     }
+    if (!session.ok()) {
+      return NameEndpoint(session.status(), EndpointLabel(endpoint));
+    }
     return session;
   }
 
@@ -56,8 +79,8 @@ class RemoteSession : public client::DriverSession {
       std::shared_ptr<client::CircuitBreaker> breaker, bool want_trace) {
     JACKPINE_ASSIGN_OR_RETURN(Socket socket,
                               Socket::Connect(endpoint.host, endpoint.port));
-    auto session =
-        std::make_shared<RemoteSession>(std::move(socket), std::move(breaker));
+    auto session = std::make_shared<RemoteSession>(
+        std::move(socket), EndpointLabel(endpoint), std::move(breaker));
     HelloMsg hello;
     hello.sut = endpoint.sut;
     hello.peer_info = "jackpine-client/1";
@@ -191,6 +214,11 @@ class RemoteSession : public client::DriverSession {
     // the transport is alive, which feeds the breaker's success side.
     if (transport_failed_) {
       healthy_ = false;
+      // Transport errors come from the endpoint-blind socket layer; name
+      // the peer so a multi-shard caller can attribute the failure.
+      if (!result.ok()) {
+        result = NameEndpoint(result.status(), endpoint_label_);
+      }
       if (breaker_) breaker_->OnFailure(result.status());
     } else if (breaker_) {
       breaker_->OnSuccess();
@@ -272,6 +300,7 @@ class RemoteSession : public client::DriverSession {
   }
 
   Socket socket_;
+  std::string endpoint_label_;
   std::shared_ptr<client::CircuitBreaker> breaker_;
   FrameDecoder decoder_;
   std::mutex mu_;  // one in-flight request per session
@@ -296,7 +325,9 @@ Result<std::shared_ptr<client::DriverSession>> RemoteDriver::NewSession() {
   }
   // Every fresh transport attempt passes the shared breaker: while it is
   // open, reconnects fast-fail locally instead of dialing a dead server.
-  JACKPINE_RETURN_IF_ERROR(breaker_->Admit());
+  if (Status admit = breaker_->Admit(); !admit.ok()) {
+    return NameEndpoint(std::move(admit), EndpointLabel(endpoint_));
+  }
   Result<std::shared_ptr<client::DriverSession>> session =
       RemoteSession::Open(endpoint_, breaker_);
   if (session.ok()) {

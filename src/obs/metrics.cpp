@@ -19,6 +19,13 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
   return bounds;
 }
 
+std::vector<double> Histogram::PowerOfTwoBounds(size_t buckets) {
+  std::vector<double> bounds;
+  double b = 1.0;
+  for (size_t i = 0; i < buckets; ++i, b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
 void Histogram::Observe(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const size_t idx = static_cast<size_t>(it - bounds_.begin());

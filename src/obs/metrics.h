@@ -73,6 +73,10 @@ class Histogram {
   // query latency plausibly occupies.
   static std::vector<double> DefaultLatencyBounds();
 
+  // Power-of-two bounds 1, 2, 4, ..., 2^(buckets-1): the natural shape for
+  // small-integer distributions like the shard router's per-query fanout.
+  static std::vector<double> PowerOfTwoBounds(size_t buckets);
+
   void Observe(double v);
 
   struct Snapshot {

@@ -1,0 +1,27 @@
+#include "shard/hilbert.h"
+
+namespace jackpine::shard {
+
+// The classic iterative xy -> d conversion: walk from the top-level quadrant
+// down, rotating the frame at each level so the curve's U-shape nests.
+uint64_t HilbertIndex(uint32_t order, uint32_t x, uint32_t y) {
+  uint64_t d = 0;
+  for (uint32_t s = (order == 0) ? 0 : (1u << (order - 1)); s > 0; s >>= 1) {
+    const uint32_t rx = (x & s) ? 1 : 0;
+    const uint32_t ry = (y & s) ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant so the sub-curve orientation matches.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      const uint32_t t = x;
+      x = y;
+      y = t;
+    }
+  }
+  return d;
+}
+
+}  // namespace jackpine::shard

@@ -1,0 +1,22 @@
+// Hilbert curve index for the shard partitioner's grid cells.
+//
+// The consistent-hash ring keys cells by their Hilbert index rather than a
+// hash of the cell id: the curve maps 2-D adjacency to 1-D adjacency, so
+// spatially neighbouring cells land on contiguous ring arcs and usually on
+// the same shard. A window query then touches few shards, which is what
+// makes predicate-window pruning pay off (DESIGN.md § Sharding).
+
+#ifndef JACKPINE_SHARD_HILBERT_H_
+#define JACKPINE_SHARD_HILBERT_H_
+
+#include <cstdint>
+
+namespace jackpine::shard {
+
+// Index of cell (x, y) on the Hilbert curve over a 2^order x 2^order grid.
+// x and y must be < 2^order; order must be <= 31.
+uint64_t HilbertIndex(uint32_t order, uint32_t x, uint32_t y);
+
+}  // namespace jackpine::shard
+
+#endif  // JACKPINE_SHARD_HILBERT_H_

@@ -1,0 +1,176 @@
+#include "shard/merge.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+
+namespace jackpine::shard {
+
+namespace {
+
+geom::Envelope RowEnvelope(const engine::Row& row, int col) {
+  const engine::Value& v = row[static_cast<size_t>(col)];
+  if (v.type() != engine::DataType::kGeometry) return geom::Envelope();
+  return v.geometry_value().envelope();
+}
+
+// Canonical owner of a join match: the lowest cell shared by both rows'
+// margin-expanded cell sets and the contacted set. The co-location check at
+// plan time guarantees the shared cell exists for every true match.
+size_t CanonicalShardPair(const Partitioner& part, const geom::Envelope& a,
+                          const geom::Envelope& b,
+                          const std::vector<uint32_t>& contacted) {
+  const std::vector<uint32_t> ca = part.CellsFor(a, part.margin());
+  const std::vector<uint32_t> cb = part.CellsFor(b, part.margin());
+  size_t ia = 0, ib = 0, ic = 0;
+  while (ia < ca.size() && ib < cb.size() && ic < contacted.size()) {
+    const uint32_t m = std::max(ca[ia], std::max(cb[ib], contacted[ic]));
+    if (ca[ia] == m && cb[ib] == m && contacted[ic] == m) {
+      return part.OwnerShard(m);
+    }
+    if (ca[ia] < m) ++ia;
+    if (cb[ib] < m) ++ib;
+    if (contacted[ic] < m) ++ic;
+  }
+  return part.num_shards();
+}
+
+Result<int> CompareRows(const engine::Row& a, const engine::Row& b,
+                        const std::vector<int>& cols) {
+  for (int c : cols) {
+    JACKPINE_ASSIGN_OR_RETURN(int cmp,
+                              a[static_cast<size_t>(c)].Compare(
+                                  b[static_cast<size_t>(c)]));
+    if (cmp != 0) return cmp;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<std::vector<engine::Row>> DedupRows(
+    const ScatterPlan& plan, const Partitioner& partitioner,
+    const std::vector<ShardBatch>& batches) {
+  // Partitioned tables drive the dedup; replicated tables are everywhere
+  // and follow their partitioned join partner (all-replicated queries never
+  // scatter, so at least one partitioned table exists here).
+  std::vector<const TableDedup*> parts;
+  for (const TableDedup& t : plan.tables) {
+    if (!t.replicated) parts.push_back(&t);
+  }
+  std::vector<engine::Row> rows;
+  for (const ShardBatch& batch : batches) {
+    if (!batch.result.rows.empty() &&
+        batch.result.columns.size() != plan.subquery_width) {
+      return Status::Internal(StrFormat(
+          "shard: subquery returned %zu columns, plan expects %zu",
+          batch.result.columns.size(), plan.subquery_width));
+    }
+    for (const engine::Row& row : batch.result.rows) {
+      size_t owner = partitioner.num_shards();
+      if (parts.size() == 1) {
+        owner = partitioner.CanonicalShard(
+            RowEnvelope(row, parts[0]->envelope_col), plan.contacted_cells);
+      } else if (parts.size() == 2) {
+        owner = CanonicalShardPair(
+            partitioner, RowEnvelope(row, parts[0]->envelope_col),
+            RowEnvelope(row, parts[1]->envelope_col), plan.contacted_cells);
+      }
+      if (owner == batch.shard) rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+Result<engine::QueryResult> MergeResults(const ScatterPlan& plan,
+                                         const Partitioner& partitioner,
+                                         const std::vector<ShardBatch>& batches) {
+  JACKPINE_ASSIGN_OR_RETURN(std::vector<engine::Row> rows,
+                            DedupRows(plan, partitioner, batches));
+  engine::QueryResult merged;
+  for (const ShardBatch& b : batches) {
+    merged.rows_examined += b.result.rows_examined;
+  }
+  merged.columns = plan.result_columns;
+
+  if (plan.mode == MergeMode::kConcat) {
+    const size_t keep = plan.result_columns.size();
+    size_t limit = rows.size();
+    if (plan.limit.has_value() && *plan.limit >= 0 &&
+        static_cast<size_t>(*plan.limit) < limit) {
+      limit = static_cast<size_t>(*plan.limit);
+    }
+    merged.rows.reserve(limit);
+    for (size_t i = 0; i < limit; ++i) {
+      engine::Row& row = rows[i];
+      row.resize(keep);  // strip trailing helper columns
+      merged.rows.push_back(std::move(row));
+    }
+    return merged;
+  }
+
+  // kEngine: canonical (row id) order first, so the fold sees rows in the
+  // same order a single node's executor would.
+  Status sort_error = Status::Ok();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&](const engine::Row& a, const engine::Row& b) {
+                     Result<int> cmp = CompareRows(a, b, plan.sort_cols);
+                     if (!cmp.ok()) {
+                       if (sort_error.ok()) sort_error = cmp.status();
+                       return false;
+                     }
+                     return *cmp < 0;
+                   });
+  JACKPINE_RETURN_IF_ERROR(sort_error);
+
+  // Column types inferred from the values (ints widen to double when both
+  // appear); an all-NULL column defaults to BIGINT, which ValidateRow
+  // accepts NULLs into.
+  std::vector<engine::Column> columns(plan.subquery_width);
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns[c].name = StrFormat("c%zu", c);
+    columns[c].type = engine::DataType::kInt64;
+    engine::DataType seen = engine::DataType::kNull;
+    for (const engine::Row& row : rows) {
+      const engine::DataType t = row[c].type();
+      if (t == engine::DataType::kNull) continue;
+      if (seen == engine::DataType::kNull) {
+        seen = t;
+      } else if (seen != t) {
+        const bool numeric =
+            (seen == engine::DataType::kInt64 ||
+             seen == engine::DataType::kDouble) &&
+            (t == engine::DataType::kInt64 || t == engine::DataType::kDouble);
+        if (!numeric) {
+          return Status::Internal(StrFormat(
+              "shard: merge column %zu mixes %s and %s", c,
+              engine::DataTypeName(seen), engine::DataTypeName(t)));
+        }
+        seen = engine::DataType::kDouble;
+      }
+    }
+    if (seen != engine::DataType::kNull) columns[c].type = seen;
+  }
+
+  engine::DatabaseOptions options;
+  options.name = "shard-merge";
+  engine::Database merge_db(options);
+  JACKPINE_ASSIGN_OR_RETURN(
+      engine::Table * table,
+      merge_db.catalog().CreateTable("__merge", engine::Schema(columns)));
+  for (engine::Row& row : rows) {
+    JACKPINE_RETURN_IF_ERROR(table->Append(std::move(row)));
+  }
+  JACKPINE_ASSIGN_OR_RETURN(engine::QueryResult folded,
+                            merge_db.Execute(plan.merge_sql));
+  if (folded.columns.size() != plan.result_columns.size()) {
+    return Status::Internal(StrFormat(
+        "shard: merge query returned %zu columns, plan expects %zu",
+        folded.columns.size(), plan.result_columns.size()));
+  }
+  merged.rows = std::move(folded.rows);
+  return merged;
+}
+
+}  // namespace jackpine::shard

@@ -1,0 +1,41 @@
+// Scatter-gather result merging: owner-cell dedup of the per-shard row
+// streams, then either a plain union (kConcat) or an exact re-fold of the
+// aggregate/GROUP BY/ORDER BY semantics in a private in-process engine
+// (kEngine). Pure functions over QueryResults — unit-testable with
+// synthetic per-shard batches.
+
+#ifndef JACKPINE_SHARD_MERGE_H_
+#define JACKPINE_SHARD_MERGE_H_
+
+#include <vector>
+
+#include "engine/executor.h"
+#include "shard/partitioner.h"
+#include "shard/sql_rewrite.h"
+
+namespace jackpine::shard {
+
+struct ShardBatch {
+  size_t shard = 0;  // shard index the rows came from
+  engine::QueryResult result;
+};
+
+// Applies the owner-cell dedup rule to the concatenated batches: a row
+// survives iff the shard it came from is the canonical owner of its
+// geometry (pair of geometries for a join) within the plan's contacted
+// cells. Returns surviving rows, still carrying helper columns, in
+// (batch order, row order) — deterministic given deterministic inputs.
+Result<std::vector<engine::Row>> DedupRows(const ScatterPlan& plan,
+                                           const Partitioner& partitioner,
+                                           const std::vector<ShardBatch>& batches);
+
+// Full merge: dedup + strip helpers (kConcat) or dedup + canonical-order
+// re-fold through `plan.merge_sql` (kEngine). The result carries the
+// plan's result_columns and the summed rows_examined of all batches.
+Result<engine::QueryResult> MergeResults(const ScatterPlan& plan,
+                                         const Partitioner& partitioner,
+                                         const std::vector<ShardBatch>& batches);
+
+}  // namespace jackpine::shard
+
+#endif  // JACKPINE_SHARD_MERGE_H_

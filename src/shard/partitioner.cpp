@@ -1,0 +1,133 @@
+#include "shard/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "shard/hilbert.h"
+
+namespace jackpine::shard {
+
+namespace {
+
+// FNV-1a 64 over bytes: stable across platforms and builds, which the ring
+// needs — ownership must be a pure function of shard names and config.
+uint64_t Hash64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+double PartitionConfig::ResolvedMargin() const {
+  if (margin >= 0.0) return margin;
+  const double extent = std::max(bounds.Width(), bounds.Height());
+  return extent * 0.01;
+}
+
+Partitioner::Partitioner(PartitionConfig config,
+                         std::vector<std::string> shard_names)
+    : config_(config),
+      shard_names_(std::move(shard_names)),
+      margin_(config.ResolvedMargin()) {
+  // Ring points: `virtual_nodes` per shard, hashed from "<name>#<replica>".
+  struct Point {
+    uint64_t key;
+    size_t shard;
+  };
+  std::vector<Point> ring;
+  ring.reserve(shard_names_.size() * config_.virtual_nodes);
+  for (size_t s = 0; s < shard_names_.size(); ++s) {
+    for (uint32_t r = 0; r < config_.virtual_nodes; ++r) {
+      ring.push_back(
+          {Hash64(shard_names_[s] + '#' + std::to_string(r)), s});
+    }
+  }
+  std::sort(ring.begin(), ring.end(), [](const Point& a, const Point& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.shard < b.shard;  // deterministic on (vanishingly rare) ties
+  });
+
+  // Each cell keys onto the ring at its Hilbert index scaled to the full
+  // 64-bit space (NOT hashed: the curve's locality is the point), and is
+  // owned by the clockwise-successor ring point.
+  const uint32_t shift = 64 - 2 * config_.grid_order;
+  const uint32_t side = config_.GridSide();
+  cell_owner_.resize(config_.NumCells());
+  for (uint32_t y = 0; y < side; ++y) {
+    for (uint32_t x = 0; x < side; ++x) {
+      const uint64_t key = HilbertIndex(config_.grid_order, x, y) << shift;
+      auto it = std::lower_bound(
+          ring.begin(), ring.end(), key,
+          [](const Point& p, uint64_t k) { return p.key < k; });
+      if (it == ring.end()) it = ring.begin();  // wrap around
+      cell_owner_[y * side + x] = it->shard;
+    }
+  }
+}
+
+std::vector<uint32_t> Partitioner::CellsFor(const geom::Envelope& box,
+                                            double expand) const {
+  if (box.IsNull()) return {0};
+  const geom::Envelope b = box.Expanded(expand);
+  const geom::Envelope& w = config_.bounds;
+  const uint32_t side = config_.GridSide();
+  const double cell_w = w.Width() / side;
+  const double cell_h = w.Height() / side;
+  const auto clamp_cell = [side](double offset, double cell_extent) {
+    if (cell_extent <= 0.0) return uint32_t{0};
+    const double c = std::floor(offset / cell_extent);
+    if (c < 0.0) return uint32_t{0};
+    if (c >= side) return side - 1;
+    return static_cast<uint32_t>(c);
+  };
+  const uint32_t x0 = clamp_cell(b.min_x() - w.min_x(), cell_w);
+  const uint32_t x1 = clamp_cell(b.max_x() - w.min_x(), cell_w);
+  const uint32_t y0 = clamp_cell(b.min_y() - w.min_y(), cell_h);
+  const uint32_t y1 = clamp_cell(b.max_y() - w.min_y(), cell_h);
+  std::vector<uint32_t> cells;
+  cells.reserve(static_cast<size_t>(x1 - x0 + 1) * (y1 - y0 + 1));
+  for (uint32_t y = y0; y <= y1; ++y) {
+    for (uint32_t x = x0; x <= x1; ++x) cells.push_back(y * side + x);
+  }
+  return cells;  // ascending by construction (row-major scan)
+}
+
+std::vector<uint32_t> Partitioner::AllCells() const {
+  std::vector<uint32_t> cells(num_cells());
+  for (uint32_t i = 0; i < num_cells(); ++i) cells[i] = i;
+  return cells;
+}
+
+std::vector<size_t> Partitioner::ShardsFor(
+    const std::vector<uint32_t>& cells) const {
+  std::vector<bool> hit(num_shards(), false);
+  for (uint32_t c : cells) hit[cell_owner_[c]] = true;
+  std::vector<size_t> shards;
+  for (size_t s = 0; s < hit.size(); ++s) {
+    if (hit[s]) shards.push_back(s);
+  }
+  return shards;
+}
+
+size_t Partitioner::CanonicalShard(
+    const geom::Envelope& box,
+    const std::vector<uint32_t>& contacted_cells) const {
+  const std::vector<uint32_t> mine = CellsFor(box, margin_);
+  auto a = mine.begin();
+  auto b = contacted_cells.begin();
+  while (a != mine.end() && b != contacted_cells.end()) {
+    if (*a == *b) return cell_owner_[*a];
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return num_shards();
+}
+
+}  // namespace jackpine::shard

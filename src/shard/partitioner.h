@@ -1,0 +1,87 @@
+// Spatial partitioning for a pinedb cluster: a fixed grid over the dataset
+// bounds, cells assigned to shards through a consistent-hash ring keyed by
+// Hilbert index.
+//
+// Ownership model (DESIGN.md § Sharding):
+//   - The world is a 2^order x 2^order grid over `bounds`; geometry that
+//     falls outside is clamped to the border cells, and geometry-less rows
+//     live in cell 0, so every row has at least one cell.
+//   - A row is STORED on every shard owning a cell its MBR (expanded by the
+//     storage margin) overlaps — border-straddling rows are duplicated.
+//   - A row is REPORTED by exactly one shard per query: the owner of the
+//     lowest cell in cells(row) ∩ cells(query). Both sides compute that set
+//     from the same grid, so the dedup needs no cross-shard coordination.
+//   - Cells map to shards via a consistent-hash ring (vnodes per shard, cell
+//     key = Hilbert index scaled onto the ring): adding a shard re-homes
+//     only the cells on the arcs its vnodes claim, everything else stays.
+
+#ifndef JACKPINE_SHARD_PARTITIONER_H_
+#define JACKPINE_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/envelope.h"
+
+namespace jackpine::shard {
+
+struct PartitionConfig {
+  geom::Envelope bounds{0.0, 0.0, 100.0, 100.0};
+  // Grid is 2^grid_order cells per side (default 16x16).
+  uint32_t grid_order = 4;
+  // Storage margin: rows are replicated to shards whose cells their MBR
+  // expanded by this much overlaps, which is what lets a join shard prove
+  // locally that it sees every partner within `margin` of its own cells.
+  // Negative (the default) resolves to 1% of the larger bounds extent.
+  double margin = -1.0;
+  // Virtual nodes per shard on the consistent-hash ring.
+  uint32_t virtual_nodes = 64;
+
+  uint32_t GridSide() const { return 1u << grid_order; }
+  uint32_t NumCells() const { return GridSide() * GridSide(); }
+  double ResolvedMargin() const;
+};
+
+class Partitioner {
+ public:
+  // `shard_names` are the ring identities (endpoint labels): assignment is a
+  // pure function of the names and the config, so every router instance over
+  // the same cluster computes the same ownership.
+  Partitioner(PartitionConfig config, std::vector<std::string> shard_names);
+
+  const PartitionConfig& config() const { return config_; }
+  size_t num_shards() const { return shard_names_.size(); }
+  uint32_t num_cells() const { return config_.NumCells(); }
+  double margin() const { return margin_; }
+
+  // Cells (row-major ids, ascending) overlapping `box` expanded by `expand`.
+  // Out-of-bounds geometry clamps to the border cells; a null box yields
+  // {0} so geometry-less rows are routable.
+  std::vector<uint32_t> CellsFor(const geom::Envelope& box,
+                                 double expand) const;
+  std::vector<uint32_t> AllCells() const;
+
+  // Ring owner of one cell.
+  size_t OwnerShard(uint32_t cell) const { return cell_owner_[cell]; }
+
+  // Shards owning at least one of `cells` (ascending, deduped).
+  std::vector<size_t> ShardsFor(const std::vector<uint32_t>& cells) const;
+
+  // The one shard that must report a row whose (margin-expanded) MBR is
+  // `box`, given the ascending cell set a query contacted: the owner of the
+  // lowest cell in CellsFor(box, margin) ∩ contacted. Returns num_shards()
+  // when the intersection is empty (the row is out of the query's scope).
+  size_t CanonicalShard(const geom::Envelope& box,
+                        const std::vector<uint32_t>& contacted_cells) const;
+
+ private:
+  PartitionConfig config_;
+  std::vector<std::string> shard_names_;
+  double margin_ = 0.0;
+  std::vector<size_t> cell_owner_;  // cell id -> shard index
+};
+
+}  // namespace jackpine::shard
+
+#endif  // JACKPINE_SHARD_PARTITIONER_H_

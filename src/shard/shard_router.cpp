@@ -1,0 +1,725 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <variant>
+
+#include "common/string_util.h"
+#include "engine/expression.h"
+#include "engine/sql_parser.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "shard/merge.h"
+
+namespace jackpine::shard {
+
+namespace {
+
+std::string EndpointLabel(const client::RemoteEndpoint& endpoint) {
+  return StrFormat("%s:%u", endpoint.host.c_str(), unsigned{endpoint.port});
+}
+
+Result<double> ParseDoubleOption(std::string_view key, std::string_view text) {
+  const std::string s(StripAscii(text));
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size()) {
+    return Status::InvalidArgument(
+        StrFormat("shard URL: %s= expects a number, got '%s'",
+                  std::string(key).c_str(), s.c_str()));
+  }
+  return v;
+}
+
+Result<long> ParseIntOption(std::string_view key, std::string_view text) {
+  JACKPINE_ASSIGN_OR_RETURN(double v, ParseDoubleOption(key, text));
+  const long n = static_cast<long>(v);
+  if (static_cast<double>(n) != v) {
+    return Status::InvalidArgument(
+        StrFormat("shard URL: %s= expects an integer",
+                  std::string(key).c_str()));
+  }
+  return n;
+}
+
+// Splits on `sep` at parenthesis depth zero, so chaos(...) endpoint wrappers
+// survive the endpoint-list split.
+std::vector<std::string_view> SplitTopLevel(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    if (s[i] == ')') --depth;
+    if (s[i] == sep && depth == 0) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(s.substr(start));
+  return out;
+}
+
+Status ParseEndpointSpec(std::string_view spec,
+                         client::RemoteEndpoint* endpoint,
+                         std::optional<client::ChaosConfig>* chaos) {
+  spec = StripAscii(spec);
+  if (StartsWith(spec, "chaos(")) {
+    const size_t close = spec.find(')');
+    if (close == std::string_view::npos || close + 1 >= spec.size() ||
+        spec[close + 1] != '@') {
+      return Status::InvalidArgument(StrFormat(
+          "shard URL: endpoint '%s' has a malformed chaos(...)@ prefix",
+          std::string(spec).c_str()));
+    }
+    JACKPINE_ASSIGN_OR_RETURN(client::ChaosConfig config,
+                              client::ParseChaosSpec(spec.substr(0, close + 1)));
+    *chaos = config;
+    spec = spec.substr(close + 2);
+  }
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Status::InvalidArgument(
+        StrFormat("shard URL: endpoint '%s' is not host:port",
+                  std::string(spec).c_str()));
+  }
+  const std::string port_text(spec.substr(colon + 1));
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (port_text.empty() || end != port_text.c_str() + port_text.size() ||
+      port == 0 || port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("shard URL: endpoint '%s' has an invalid port",
+                  std::string(spec).c_str()));
+  }
+  endpoint->scheme = "tcp";
+  endpoint->host = std::string(spec.substr(0, colon));
+  endpoint->port = static_cast<uint16_t>(port);
+  return Status::Ok();
+}
+
+// Evaluates a column-free expression (an INSERT value) to a constant via the
+// engine's binder, so geometry literals route exactly as the shard servers
+// will store them.
+Result<engine::Value> EvalConstant(const engine::Expr& expr) {
+  engine::Binder binder({}, {});
+  engine::EvalContext ctx;
+  JACKPINE_ASSIGN_OR_RETURN(
+      engine::BoundExpr bound,
+      engine::BindExpr(expr, binder, ctx, /*allow_aggregates=*/false));
+  if (bound.kind != engine::BoundExpr::Kind::kLiteral) {
+    return Status::InvalidArgument("expression is not constant");
+  }
+  return bound.literal;
+}
+
+engine::QueryResult RowsAffectedResult(int64_t rows) {
+  engine::QueryResult result;
+  result.columns = {"rows_affected"};
+  result.rows.push_back({engine::Value::Int(rows)});
+  return result;
+}
+
+// Error-combination priority for a scatter: a deterministic failure beats
+// retry advice (retrying cannot fix it), an explicit shed beats a breaker
+// fast-fail (the shed proves a server is up and names a wait), and within a
+// class the largest retry hint wins so the runner's pacing covers the
+// slowest shard.
+Status CombineStatuses(const std::vector<Status>& errors) {
+  const Status* shed = nullptr;
+  const Status* fast_fail = nullptr;
+  const Status* first = nullptr;
+  for (const Status& s : errors) {
+    if (s.ok()) continue;
+    if (!first) first = &s;
+    if (!IsRetryable(s)) return s;
+    if (IsShed(s)) {
+      if (!shed || s.retry_after_ms() > shed->retry_after_ms()) shed = &s;
+    } else if (IsBreakerFastFail(s)) {
+      if (!fast_fail || s.retry_after_ms() > fast_fail->retry_after_ms()) {
+        fast_fail = &s;
+      }
+    }
+  }
+  if (shed) return *shed;
+  if (fast_fail) return *fast_fail;
+  if (first) return *first;
+  return Status::Ok();
+}
+
+struct ShardMetrics {
+  obs::Counter* queries;
+  obs::Counter* subqueries;
+  obs::Counter* dedup_dropped;
+  obs::Counter* merge_rows_in;
+  obs::Counter* merge_rows_out;
+  obs::Histogram* fanout;
+  obs::Gauge* last_fanout;
+};
+
+ShardMetrics& Metrics() {
+  static ShardMetrics metrics = [] {
+    obs::Registry& reg = obs::GlobalRegistry();
+    ShardMetrics m;
+    m.queries = reg.GetCounter("shard.queries");
+    m.subqueries = reg.GetCounter("shard.subqueries");
+    m.dedup_dropped = reg.GetCounter("shard.dedup_dropped");
+    m.merge_rows_in = reg.GetCounter("shard.merge.rows_in");
+    m.merge_rows_out = reg.GetCounter("shard.merge.rows_out");
+    m.fanout = reg.GetHistogram("shard.fanout",
+                                obs::Histogram::PowerOfTwoBounds(9));
+    m.last_fanout = reg.GetGauge("shard.last_fanout");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+struct ShardDriver::CatalogState {
+  std::mutex mu;
+  ShardCatalog catalog;
+  // Per-endpoint error counters, resolved once (index = shard).
+  std::vector<obs::Counter*> errors;
+};
+
+Result<ShardOptions> ParseShardUrl(std::string_view rest) {
+  const std::string_view prefix = "shard(";
+  if (!StartsWith(rest, prefix)) {
+    return Status::InvalidArgument(
+        StrFormat("shard URL must start with 'shard(': '%s'",
+                  std::string(rest).c_str()));
+  }
+  // Matching close paren (chaos specs nest parens inside).
+  int depth = 0;
+  size_t close = std::string_view::npos;
+  for (size_t i = prefix.size() - 1; i < rest.size(); ++i) {
+    if (rest[i] == '(') ++depth;
+    if (rest[i] == ')' && --depth == 0) {
+      close = i;
+      break;
+    }
+  }
+  if (close == std::string_view::npos) {
+    return Status::InvalidArgument("shard URL: unbalanced parentheses");
+  }
+  const std::string_view tail = rest.substr(close + 1);
+  if (tail.size() < 2 || tail[0] != '/') {
+    return Status::InvalidArgument(
+        "shard URL: expected '/<sut>' after the endpoint list, e.g. "
+        "jackpine:shard(127.0.0.1:7701,127.0.0.1:7702)/pine-rtree");
+  }
+
+  ShardOptions options;
+  options.sut = std::string(tail.substr(1));
+
+  const std::string_view body = rest.substr(prefix.size(), close - prefix.size());
+  const std::vector<std::string_view> segments = SplitTopLevel(body, ';');
+  for (std::string_view ep : SplitTopLevel(segments[0], ',')) {
+    client::RemoteEndpoint endpoint;
+    std::optional<client::ChaosConfig> chaos;
+    JACKPINE_RETURN_IF_ERROR(ParseEndpointSpec(ep, &endpoint, &chaos));
+    endpoint.sut = options.sut;
+    options.endpoints.push_back(std::move(endpoint));
+    options.chaos.push_back(chaos);
+  }
+  if (options.endpoints.empty()) {
+    return Status::InvalidArgument("shard URL: no endpoints");
+  }
+
+  for (size_t i = 1; i < segments.size(); ++i) {
+    const std::string_view seg = StripAscii(segments[i]);
+    if (seg.empty()) continue;
+    const size_t eq = seg.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("shard URL: option '%s' is not key=value",
+                    std::string(seg).c_str()));
+    }
+    const std::string key = ToLowerAscii(StripAscii(seg.substr(0, eq)));
+    const std::string_view value = seg.substr(eq + 1);
+    if (key == "grid") {
+      JACKPINE_ASSIGN_OR_RETURN(long side, ParseIntOption(key, value));
+      if (side < 2 || side > 256 || (side & (side - 1)) != 0) {
+        return Status::InvalidArgument(
+            "shard URL: grid= must be a power of two in [2, 256]");
+      }
+      uint32_t order = 0;
+      while ((1L << order) < side) ++order;
+      options.partition.grid_order = order;
+    } else if (key == "margin") {
+      JACKPINE_ASSIGN_OR_RETURN(double margin, ParseDoubleOption(key, value));
+      if (margin < 0.0) {
+        return Status::InvalidArgument("shard URL: margin= must be >= 0");
+      }
+      options.partition.margin = margin;
+    } else if (key == "vnodes") {
+      JACKPINE_ASSIGN_OR_RETURN(long vnodes, ParseIntOption(key, value));
+      if (vnodes < 1 || vnodes > 4096) {
+        return Status::InvalidArgument(
+            "shard URL: vnodes= must be in [1, 4096]");
+      }
+      options.partition.virtual_nodes = static_cast<uint32_t>(vnodes);
+    } else if (key == "bounds") {
+      const std::vector<std::string> parts = Split(std::string(value), ':');
+      if (parts.size() != 4) {
+        return Status::InvalidArgument(
+            "shard URL: bounds= expects minx:miny:maxx:maxy");
+      }
+      double v[4];
+      for (size_t p = 0; p < 4; ++p) {
+        JACKPINE_ASSIGN_OR_RETURN(v[p], ParseDoubleOption(key, parts[p]));
+      }
+      if (v[0] >= v[2] || v[1] >= v[3]) {
+        return Status::InvalidArgument(
+            "shard URL: bounds= must satisfy minx < maxx and miny < maxy");
+      }
+      options.partition.bounds = geom::Envelope(v[0], v[1], v[2], v[3]);
+    } else if (key == "replicate") {
+      for (std::string_view t : SplitTopLevel(value, '|')) {
+        const std::string name = ToLowerAscii(StripAscii(t));
+        if (!name.empty()) options.replicated_tables.push_back(name);
+      }
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "shard URL: unknown option '%s' (expected grid/margin/vnodes/"
+          "bounds/replicate)", key.c_str()));
+    }
+  }
+  return options;
+}
+
+ShardDriver::ShardDriver(ShardOptions options, Partitioner partitioner)
+    : options_(std::move(options)), partitioner_(std::move(partitioner)) {}
+
+Result<std::shared_ptr<ShardDriver>> ShardDriver::Create(ShardOptions options) {
+  if (options.endpoints.empty()) {
+    return Status::InvalidArgument("shard driver: no endpoints");
+  }
+  std::vector<std::string> names;
+  names.reserve(options.endpoints.size());
+  for (const client::RemoteEndpoint& ep : options.endpoints) {
+    names.push_back(EndpointLabel(ep));
+  }
+  Partitioner partitioner(options.partition, names);
+  auto driver = std::shared_ptr<ShardDriver>(
+      new ShardDriver(std::move(options), std::move(partitioner)));
+  driver->catalog_ = std::make_shared<CatalogState>();
+  for (size_t i = 0; i < driver->options_.endpoints.size(); ++i) {
+    // Lazy transport: construct the per-shard driver without the eager
+    // probe OpenRemoteDriver does, so a dead shard fails (and trips its
+    // breaker) at the first query that needs it, not at Open.
+    driver->drivers_.push_back(
+        std::make_shared<net::RemoteDriver>(driver->options_.endpoints[i]));
+    driver->chaos_.push_back(
+        driver->options_.chaos[i]
+            ? std::make_shared<client::ChaosState>(*driver->options_.chaos[i])
+            : nullptr);
+    driver->catalog_->errors.push_back(obs::GlobalRegistry().GetCounter(
+        StrFormat("shard.errors.%s", names[i].c_str())));
+  }
+  return driver;
+}
+
+// One router session: the DriverSession a client::Statement executes on.
+// Holds one cached DriverSession per shard (opened on demand, reopened when
+// a transport failure marks it unhealthy, exactly like Statement's own
+// reconnect loop one level up).
+class ShardSession : public client::DriverSession {
+ public:
+  explicit ShardSession(std::shared_ptr<ShardDriver> driver)
+      : driver_(std::move(driver)),
+        sessions_(driver_->options_.endpoints.size()) {}
+
+  Result<engine::QueryResult> ExecuteQuery(std::string_view sql,
+                                           const ExecLimits& limits) override {
+    return Dispatch(sql, limits);
+  }
+
+  Result<engine::QueryResult> ExecuteUpdate(std::string_view sql,
+                                            const ExecLimits& limits) override {
+    return Dispatch(sql, limits);
+  }
+
+  bool healthy() const override {
+    // The router reconnects per shard internally; the session object itself
+    // never wears out.
+    return true;
+  }
+
+ private:
+  struct ShardCall {
+    size_t shard = 0;
+    std::string sql;
+  };
+
+  const Partitioner& partitioner() const { return driver_->partitioner_; }
+
+  Result<std::shared_ptr<client::DriverSession>> EnsureShardSession(size_t i) {
+    if (sessions_[i] && sessions_[i]->healthy()) return sessions_[i];
+    JACKPINE_ASSIGN_OR_RETURN(sessions_[i], driver_->drivers_[i]->NewSession());
+    return sessions_[i];
+  }
+
+  // Runs one sub-call against one shard, applying that shard's chaos wrap
+  // (queries only — loads must stay deterministic, matching the chaos
+  // driver's own rule).
+  Result<engine::QueryResult> CallShard(size_t shard, const std::string& sql,
+                                        const ExecLimits& limits,
+                                        bool is_query) {
+    if (is_query && driver_->chaos_[shard]) {
+      const client::ChaosState::Fault fault =
+          driver_->chaos_[shard]->NextFault();
+      if (fault.delay_ms > 0.0) {
+        double delay_ms = fault.delay_ms;
+        if (limits.deadline_s > 0.0) {
+          delay_ms = std::min(delay_ms, limits.deadline_s * 1000.0);
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+      }
+      if (fault.fail) {
+        return Status::Unavailable(StrFormat(
+            "%s: chaos: injected transient failure (draw #%llu)",
+            EndpointLabel(driver_->options_.endpoints[shard]).c_str(),
+            static_cast<unsigned long long>(fault.sequence)));
+      }
+    }
+    JACKPINE_ASSIGN_OR_RETURN(std::shared_ptr<client::DriverSession> session,
+                              EnsureShardSession(shard));
+    Result<engine::QueryResult> result =
+        is_query ? session->ExecuteQuery(sql, limits)
+                 : session->ExecuteUpdate(sql, limits);
+    if (!result.ok()) driver_->catalog_->errors[shard]->Add();
+    return result;
+  }
+
+  // Concurrent fan-out: one thread per call, per-slot scratch traces merged
+  // after the join (the shared trace sink is not thread-safe), per-subquery
+  // spans recorded under `scatter_span_id`.
+  Result<std::vector<ShardBatch>> Scatter(const std::vector<ShardCall>& calls,
+                                          const ExecLimits& limits,
+                                          bool is_query,
+                                          uint64_t scatter_span_id) {
+    Metrics().subqueries->Add(calls.size());
+    std::vector<std::optional<Result<engine::QueryResult>>> slots(calls.size());
+    std::vector<obs::QueryTrace> scratch(calls.size());
+    const bool spans_on = limits.spans && limits.spans->enabled() &&
+                          limits.trace_id != 0;
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(calls.size());
+      for (size_t i = 0; i < calls.size(); ++i) {
+        threads.emplace_back([&, i] {
+          ExecLimits sub = limits;
+          sub.trace = limits.trace ? &scratch[i] : nullptr;
+          obs::Span span;
+          if (spans_on) {
+            span = limits.spans->StartSpan("shard.subquery", limits.trace_id,
+                                           scatter_span_id);
+            span.Annotate("endpoint",
+                          EndpointLabel(
+                              driver_->options_.endpoints[calls[i].shard]));
+            sub.parent_span_id = span.span_id();
+          }
+          slots[i] = CallShard(calls[i].shard, calls[i].sql, sub, is_query);
+          if (spans_on && !slots[i]->ok()) {
+            span.Annotate("error",
+                          StatusCodeName(slots[i]->status().code()));
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    if (limits.trace) {
+      for (const obs::QueryTrace& t : scratch) *limits.trace += t;
+    }
+    std::vector<Status> errors;
+    for (const auto& slot : slots) errors.push_back(slot->status());
+    JACKPINE_RETURN_IF_ERROR(CombineStatuses(errors));
+    std::vector<ShardBatch> batches;
+    batches.reserve(calls.size());
+    for (size_t i = 0; i < calls.size(); ++i) {
+      batches.push_back(
+          ShardBatch{calls[i].shard, std::move(*slots[i]).value()});
+    }
+    return batches;
+  }
+
+  // Sends `sql` to every shard (DDL). All shards must succeed; the reply is
+  // shard 0's (they are identical for DDL).
+  Result<engine::QueryResult> Broadcast(std::string_view sql,
+                                        const ExecLimits& limits) {
+    std::vector<ShardCall> calls;
+    for (size_t i = 0; i < driver_->drivers_.size(); ++i) {
+      calls.push_back(ShardCall{i, std::string(sql)});
+    }
+    JACKPINE_ASSIGN_OR_RETURN(std::vector<ShardBatch> batches,
+                              Scatter(calls, limits, /*is_query=*/false, 0));
+    return std::move(batches[0].result);
+  }
+
+  // Lazy catalog discovery for tables that predate this router instance:
+  // probe the shards for one row and reconstruct the schema from it. A
+  // rowless (or unknown) table stays undiscovered — the planner then fails
+  // with its canonical "unknown table" error, or DDL through the router
+  // fills the catalog properly. A probe that fails *retryably* (shed, shard
+  // down, chaos) blocks discovery instead: that error propagates, so a
+  // saturated shard does not masquerade as missing data.
+  Status DiscoverTable(const std::string& table, const ExecLimits& limits) {
+    Status blocked;  // first retryable probe failure, if any
+    for (size_t i = 0; i < driver_->drivers_.size(); ++i) {
+      Result<engine::QueryResult> probe = CallShard(
+          i, StrFormat("SELECT * FROM %s LIMIT 1", table.c_str()), limits,
+          /*is_query=*/true);
+      if (!probe.ok()) {
+        if (blocked.ok() && IsRetryable(probe.status())) {
+          blocked = probe.status();
+        }
+        continue;
+      }
+      ShardTableInfo info;
+      info.name = table;
+      info.columns = probe->columns;
+      if (!probe->rows.empty()) {
+        for (size_t c = 0; c < probe->rows[0].size(); ++c) {
+          if (probe->rows[0][c].type() == engine::DataType::kGeometry) {
+            info.geometry_col = static_cast<int>(c);
+            break;
+          }
+        }
+      }
+      const std::string lower = ToLowerAscii(table);
+      const auto& repl = driver_->options_.replicated_tables;
+      info.replicated =
+          info.geometry_col < 0 ||
+          std::find(repl.begin(), repl.end(), lower) != repl.end();
+      if (info.geometry_col >= 0 || !probe->rows.empty()) {
+        driver_->catalog_->catalog.Add(std::move(info));
+        return Status::Ok();
+      }
+    }
+    return blocked;
+  }
+
+  Result<engine::QueryResult> Dispatch(std::string_view sql,
+                                       const ExecLimits& limits) {
+    Metrics().queries->Add();
+    Result<engine::Statement> parsed = engine::ParseSql(sql);
+    if (!parsed.ok()) {
+      // Ship the original text to shard 0 so the client sees the server's
+      // canonical parse error, identical to a single-node run.
+      return CallShard(0, std::string(sql), limits, /*is_query=*/true);
+    }
+    engine::Statement& stmt = *parsed;
+    if (auto* select = std::get_if<engine::SelectStatement>(&stmt)) {
+      return ExecuteSelect(*select, limits);
+    }
+    if (std::get_if<engine::ExplainStatement>(&stmt)) {
+      // EXPLAIN describes one engine's plan; shard 0's stands in for the
+      // cluster (documented in DESIGN.md § Sharding).
+      return CallShard(0, std::string(sql), limits, /*is_query=*/true);
+    }
+    if (auto* create = std::get_if<engine::CreateTableStatement>(&stmt)) {
+      const std::string lower = ToLowerAscii(create->name);
+      const auto& repl = driver_->options_.replicated_tables;
+      const bool replicated =
+          std::find(repl.begin(), repl.end(), lower) != repl.end();
+      {
+        std::lock_guard<std::mutex> lock(driver_->catalog_->mu);
+        driver_->catalog_->catalog.AddFromDdl(*create, replicated);
+      }
+      return Broadcast(sql, limits);
+    }
+    if (auto* insert = std::get_if<engine::InsertStatement>(&stmt)) {
+      return ExecuteInsert(*insert, limits);
+    }
+    // CREATE INDEX / DROP INDEX: every shard indexes its slice.
+    return Broadcast(sql, limits);
+  }
+
+  Result<engine::QueryResult> ExecuteInsert(
+      const engine::InsertStatement& stmt, const ExecLimits& limits) {
+    const ShardTableInfo* info = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(driver_->catalog_->mu);
+      info = driver_->catalog_->catalog.Find(stmt.table);
+      if (!info) {
+        JACKPINE_RETURN_IF_ERROR(DiscoverTable(stmt.table, limits));
+        info = driver_->catalog_->catalog.Find(stmt.table);
+      }
+    }
+    if (!info) {
+      return Status::NotFound(StrFormat(
+          "unknown table '%s' (not created through this router)",
+          stmt.table.c_str()));
+    }
+
+    // Serialize each row once; shards receive the subset of rows whose
+    // margin-expanded MBR touches a cell they own (replicated tables get
+    // every row on every shard).
+    std::vector<std::string> row_text;
+    std::vector<std::vector<size_t>> shard_rows(driver_->drivers_.size());
+    for (size_t r = 0; r < stmt.rows.size(); ++r) {
+      const std::vector<engine::ExprPtr>& row = stmt.rows[r];
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      for (const engine::ExprPtr& e : row) cells.push_back(SerializeExpr(*e));
+      row_text.push_back(StrFormat("(%s)", Join(cells, ", ").c_str()));
+
+      if (info->replicated) {
+        for (size_t s = 0; s < shard_rows.size(); ++s) {
+          shard_rows[s].push_back(r);
+        }
+        continue;
+      }
+      geom::Envelope box;  // null => cell 0 (geometry-less / NULL geometry)
+      if (info->geometry_col >= 0 &&
+          static_cast<size_t>(info->geometry_col) < row.size()) {
+        Result<engine::Value> v =
+            EvalConstant(*row[static_cast<size_t>(info->geometry_col)]);
+        if (v.ok() && v->type() == engine::DataType::kGeometry) {
+          box = v->geometry_value().envelope();
+        }
+      }
+      const std::vector<uint32_t> cells_for =
+          partitioner().CellsFor(box, partitioner().margin());
+      for (size_t s : partitioner().ShardsFor(cells_for)) {
+        shard_rows[s].push_back(r);
+      }
+    }
+
+    std::vector<ShardCall> calls;
+    for (size_t s = 0; s < shard_rows.size(); ++s) {
+      if (shard_rows[s].empty()) continue;
+      std::vector<std::string> rows;
+      rows.reserve(shard_rows[s].size());
+      for (size_t r : shard_rows[s]) rows.push_back(row_text[r]);
+      calls.push_back(ShardCall{
+          s, StrFormat("INSERT INTO %s VALUES %s", stmt.table.c_str(),
+                       Join(rows, ", ").c_str())});
+    }
+    if (!calls.empty()) {
+      JACKPINE_RETURN_IF_ERROR(
+          Scatter(calls, limits, /*is_query=*/false, 0).status());
+    }
+    // Logical row count: what a single node would report, not the physical
+    // count inflated by border duplicates.
+    return RowsAffectedResult(static_cast<int64_t>(stmt.rows.size()));
+  }
+
+  Result<engine::QueryResult> ExecuteSelect(
+      const engine::SelectStatement& stmt, const ExecLimits& limits) {
+    ScatterPlan plan;
+    {
+      std::lock_guard<std::mutex> lock(driver_->catalog_->mu);
+      for (const engine::TableRef& ref : stmt.from) {
+        if (!driver_->catalog_->catalog.Find(ref.table)) {
+          JACKPINE_RETURN_IF_ERROR(DiscoverTable(ref.table, limits));
+        }
+      }
+      JACKPINE_ASSIGN_OR_RETURN(
+          plan, PlanSelect(stmt, driver_->catalog_->catalog, partitioner()));
+    }
+
+    Metrics().fanout->Observe(static_cast<double>(plan.targets.size()));
+    Metrics().last_fanout->Set(static_cast<double>(plan.targets.size()));
+
+    if (plan.targets.empty()) {
+      // Provably empty (the predicate window misses the grid entirely).
+      engine::QueryResult empty;
+      empty.columns = plan.result_columns;
+      return empty;
+    }
+
+    const bool spans_on = limits.spans && limits.spans->enabled() &&
+                          limits.trace_id != 0;
+    obs::Span scatter_span;
+    uint64_t scatter_span_id = limits.parent_span_id;
+    if (spans_on) {
+      scatter_span = limits.spans->StartSpan("shard.scatter", limits.trace_id,
+                                             limits.parent_span_id);
+      scatter_span.Annotate(
+          "fanout", StrFormat("%zu", plan.targets.size()));
+      scatter_span.Annotate(
+          "cells", StrFormat("%zu", plan.contacted_cells.size()));
+      if (plan.pruned) scatter_span.Annotate("pruned", "true");
+      scatter_span_id = scatter_span.span_id();
+    }
+
+    std::vector<ShardCall> calls;
+    for (size_t s : plan.targets) {
+      calls.push_back(ShardCall{s, plan.subquery});
+    }
+    JACKPINE_ASSIGN_OR_RETURN(
+        std::vector<ShardBatch> batches,
+        Scatter(calls, limits, /*is_query=*/true, scatter_span_id));
+
+    if (plan.single_target) {
+      return std::move(batches[0].result);
+    }
+
+    size_t rows_in = 0;
+    for (const ShardBatch& b : batches) rows_in += b.result.rows.size();
+
+    obs::Span merge_span;
+    if (spans_on) {
+      merge_span = limits.spans->StartSpan("shard.merge", limits.trace_id,
+                                           limits.parent_span_id);
+    }
+    JACKPINE_ASSIGN_OR_RETURN(engine::QueryResult merged,
+                              MergeResults(plan, partitioner(), batches));
+    Metrics().merge_rows_in->Add(rows_in);
+    Metrics().merge_rows_out->Add(merged.rows.size());
+    if (rows_in > merged.rows.size()) {
+      Metrics().dedup_dropped->Add(rows_in - merged.rows.size());
+    }
+    if (spans_on) {
+      merge_span.Annotate("rows_in", StrFormat("%zu", rows_in));
+      merge_span.Annotate("rows_out", StrFormat("%zu", merged.rows.size()));
+    }
+    if (limits.trace) limits.trace->rows_returned += merged.rows.size();
+    return merged;
+  }
+
+  std::shared_ptr<ShardDriver> driver_;
+  std::vector<std::shared_ptr<client::DriverSession>> sessions_;
+};
+
+Result<std::shared_ptr<client::DriverSession>> ShardDriver::NewSession() {
+  return std::static_pointer_cast<client::DriverSession>(
+      std::make_shared<ShardSession>(shared_from_this()));
+}
+
+void RegisterShardDriver() {
+  client::RegisterTargetOpener(
+      "shard",
+      [](std::string_view rest) -> Result<client::OpenedTarget> {
+        JACKPINE_ASSIGN_OR_RETURN(ShardOptions options, ParseShardUrl(rest));
+        JACKPINE_ASSIGN_OR_RETURN(client::SutConfig config,
+                                  client::SutByName(options.sut));
+        JACKPINE_ASSIGN_OR_RETURN(std::shared_ptr<ShardDriver> driver,
+                                  ShardDriver::Create(std::move(options)));
+        client::OpenedTarget target;
+        target.config = std::move(config);
+        target.config.name =
+            StrFormat("shard%zu/%s", driver->num_shards(),
+                      driver->options().sut.c_str());
+        target.driver = driver;
+        return target;
+      });
+}
+
+namespace {
+[[maybe_unused]] const bool kRegistered = [] {
+  RegisterShardDriver();
+  return true;
+}();
+}  // namespace
+
+}  // namespace jackpine::shard

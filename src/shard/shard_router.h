@@ -1,0 +1,92 @@
+// jackpine::shard — the cluster router. A client::Driver that spreads
+// tables across N pinedb servers by spatial partition and presents them as
+// one SUT behind the URL form
+//
+//   jackpine:shard(<ep>[,<ep>...][;opt=value...])/<sut>
+//
+//   <ep>     host:port, optionally prefixed "chaos(seed,rate,latency)@" to
+//            compose the deterministic chaos driver around one shard.
+//   grid=N       grid side (power of two in [2, 256]; default 16)
+//   bounds=a:b:c:d   dataset bounds minx:miny:maxx:maxy (default 0:0:100:100)
+//   margin=M     storage margin (default 1% of the larger bounds extent)
+//   vnodes=V     ring virtual nodes per shard (default 64)
+//   replicate=t1|t2  tables replicated to every shard (for joins that have
+//            no co-locating spatial predicate, e.g. attribute joins)
+//
+// e.g. jackpine:shard(127.0.0.1:7701,127.0.0.1:7702;replicate=county)/pine-rtree
+//
+// DDL broadcasts; INSERT routes each row by its geometry MBR (duplicating
+// border-straddlers within the storage margin); SELECTs scatter to the
+// shards owning the query's cells and merge exactly (owner-cell dedup +
+// engine-replayed folds; see sql_rewrite.h / merge.h). Per-shard resilience
+// reuses the remote driver's CircuitBreaker and the server's retry_after_ms
+// shed pacing; scatter/merge record spans under the query's trace_id and
+// feed shard.* metrics in the global registry.
+
+#ifndef JACKPINE_SHARD_SHARD_ROUTER_H_
+#define JACKPINE_SHARD_SHARD_ROUTER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "client/client.h"
+#include "net/remote_driver.h"
+#include "shard/partitioner.h"
+#include "shard/sql_rewrite.h"
+
+namespace jackpine::shard {
+
+struct ShardOptions {
+  std::vector<client::RemoteEndpoint> endpoints;
+  // Per-endpoint chaos wrap; nullopt = no injection for that shard.
+  std::vector<std::optional<client::ChaosConfig>> chaos;
+  PartitionConfig partition;
+  std::vector<std::string> replicated_tables;  // lower-case
+  std::string sut;
+};
+
+// Parses the URL tail "shard(...)/<sut>" (the part after "jackpine:").
+Result<ShardOptions> ParseShardUrl(std::string_view rest);
+
+class ShardDriver : public client::Driver,
+                    public std::enable_shared_from_this<ShardDriver> {
+ public:
+  // Validates options and builds the ring; connections to the shards are
+  // lazy (first use), so a dead shard fails the first query that needs it
+  // — and trips that shard's breaker — rather than failing Open.
+  static Result<std::shared_ptr<ShardDriver>> Create(ShardOptions options);
+
+  Result<std::shared_ptr<client::DriverSession>> NewSession() override;
+
+  const ShardOptions& options() const { return options_; }
+  const Partitioner& partitioner() const { return partitioner_; }
+  size_t num_shards() const { return options_.endpoints.size(); }
+  // Per-shard remote driver (shared breaker across sessions); for tests
+  // and diagnostics.
+  net::RemoteDriver* shard_driver(size_t i) { return drivers_[i].get(); }
+
+ private:
+  friend class ShardSession;
+  ShardDriver(ShardOptions options, Partitioner partitioner);
+
+  ShardOptions options_;
+  Partitioner partitioner_;
+  std::vector<std::shared_ptr<net::RemoteDriver>> drivers_;
+  std::vector<std::shared_ptr<client::ChaosState>> chaos_;  // null = none
+  // Router-side catalog, shared by every session so DDL through one
+  // connection is visible to all.
+  struct CatalogState;
+  std::shared_ptr<CatalogState> catalog_;
+};
+
+// Installs the "shard" composite target in the client opener registry,
+// enabling jackpine:shard(...)/sut URLs. Idempotent; call once at startup
+// (binaries linking this library get it via static self-registration).
+void RegisterShardDriver();
+
+}  // namespace jackpine::shard
+
+#endif  // JACKPINE_SHARD_SHARD_ROUTER_H_

@@ -1,0 +1,669 @@
+#include "shard/sql_rewrite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "engine/expression.h"
+#include "engine/functions.h"
+
+namespace jackpine::shard {
+
+namespace {
+
+using engine::Expr;
+using engine::SelectStatement;
+
+// ---------------------------------------------------------------------------
+// Serializer
+
+std::string SerializeLiteral(const engine::Value& v) {
+  switch (v.type()) {
+    case engine::DataType::kNull:
+      return "NULL";
+    case engine::DataType::kBool:
+      return v.bool_value() ? "TRUE" : "FALSE";
+    case engine::DataType::kInt64:
+      return StrFormat("%lld",
+                       static_cast<long long>(v.int_value()));
+    case engine::DataType::kDouble: {
+      std::string s = StrFormat("%.17g", v.double_value());
+      // Keep the literal a double on re-parse: "5" would lex as an int.
+      if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+      return s;
+    }
+    case engine::DataType::kString: {
+      std::string out = "'";
+      for (char c : v.string_value()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += '\'';
+      return out;
+    }
+    case engine::DataType::kGeometry:
+      // The parser never produces geometry literals, but a synthesized
+      // expression might carry one; WKT round-trips through the constructor.
+      return StrFormat("ST_GeomFromText('%s')",
+                       v.ToDisplayString().c_str());
+  }
+  return "NULL";
+}
+
+}  // namespace
+
+std::string SerializeExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return SerializeLiteral(expr.literal);
+    case Expr::Kind::kColumnRef:
+      return expr.table_qualifier.empty()
+                 ? expr.column
+                 : expr.table_qualifier + "." + expr.column;
+    case Expr::Kind::kStar:
+      return "*";
+    case Expr::Kind::kFunctionCall: {
+      std::string out = expr.function + "(";
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += SerializeExpr(*expr.children[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case Expr::Kind::kBinary:
+      // Fully parenthesized: precedence never depends on the printer.
+      return StrFormat("(%s %s %s)", SerializeExpr(*expr.children[0]).c_str(),
+                       engine::BinaryOpName(expr.binary_op),
+                       SerializeExpr(*expr.children[1]).c_str());
+    case Expr::Kind::kUnary:
+      return StrFormat("(%s %s)",
+                       expr.unary_op == engine::UnaryOp::kNot ? "NOT" : "-",
+                       SerializeExpr(*expr.children[0]).c_str());
+  }
+  return "NULL";
+}
+
+std::string SerializeSelect(const SelectStatement& stmt) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const engine::SelectItem& item = stmt.items[i];
+    if (item.star) {
+      out += "*";
+    } else {
+      out += SerializeExpr(*item.expr);
+      if (!item.alias.empty()) out += " AS " + item.alias;
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += stmt.from[i].table;
+    if (!stmt.from[i].alias.empty() &&
+        !EqualsIgnoreCase(stmt.from[i].alias, stmt.from[i].table)) {
+      out += " " + stmt.from[i].alias;
+    }
+  }
+  if (stmt.where != nullptr) out += " WHERE " + SerializeExpr(*stmt.where);
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += SerializeExpr(*stmt.group_by[i]);
+    }
+  }
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += SerializeExpr(*stmt.order_by[i].expr);
+      out += stmt.order_by[i].ascending ? " ASC" : " DESC";
+    }
+  }
+  if (stmt.limit.has_value()) {
+    out += StrFormat(" LIMIT %lld", static_cast<long long>(*stmt.limit));
+  }
+  return out;
+}
+
+std::string SerializeStatement(const engine::Statement& stmt) {
+  struct Visitor {
+    std::string operator()(const SelectStatement& s) {
+      return SerializeSelect(s);
+    }
+    std::string operator()(const engine::ExplainStatement& s) {
+      return std::string("EXPLAIN ") + (s.analyze ? "ANALYZE " : "") +
+             SerializeSelect(s.select);
+    }
+    std::string operator()(const engine::CreateTableStatement& s) {
+      std::string out = "CREATE TABLE " + s.name + " (";
+      for (size_t i = 0; i < s.columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.columns[i].first + " " + s.columns[i].second;
+      }
+      return out + ")";
+    }
+    std::string operator()(const engine::InsertStatement& s) {
+      std::string out = "INSERT INTO " + s.table + " VALUES ";
+      for (size_t r = 0; r < s.rows.size(); ++r) {
+        if (r > 0) out += ", ";
+        out += "(";
+        for (size_t c = 0; c < s.rows[r].size(); ++c) {
+          if (c > 0) out += ", ";
+          out += SerializeExpr(*s.rows[r][c]);
+        }
+        out += ")";
+      }
+      return out;
+    }
+    std::string operator()(const engine::CreateIndexStatement& s) {
+      return "CREATE SPATIAL INDEX ON " + s.table + " (" + s.column + ")";
+    }
+    std::string operator()(const engine::DropIndexStatement& s) {
+      return "DROP SPATIAL INDEX ON " + s.table + " (" + s.column + ")";
+    }
+  };
+  return std::visit(Visitor{}, stmt);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+
+void ShardCatalog::AddFromDdl(const engine::CreateTableStatement& ddl,
+                              bool replicated) {
+  ShardTableInfo info;
+  info.name = ddl.name;
+  for (const auto& [col, type] : ddl.columns) {
+    if (info.geometry_col < 0 && EqualsIgnoreCase(type, "GEOMETRY")) {
+      info.geometry_col = static_cast<int>(info.columns.size());
+    }
+    info.columns.push_back(col);
+  }
+  info.replicated = replicated || info.geometry_col < 0;
+  Add(std::move(info));
+}
+
+void ShardCatalog::Add(ShardTableInfo info) {
+  tables_[ToLowerAscii(info.name)] = std::move(info);
+}
+
+const ShardTableInfo* ShardCatalog::Find(std::string_view table) const {
+  auto it = tables_.find(ToLowerAscii(std::string(table)));
+  return it != tables_.end() ? &it->second : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+
+namespace {
+
+// Spatial predicates whose truth implies the row's MBR overlaps the constant
+// argument's envelope (expanded by d for ST_DWithin) — the prunable set.
+// ST_Disjoint is deliberately absent.
+bool IsPositiveSpatialPredicate(std::string_view name) {
+  static const char* kNames[] = {
+      "st_intersects", "st_contains", "st_within",   "st_equals",
+      "st_touches",    "st_crosses",  "st_overlaps", "st_covers",
+      "st_coveredby",  "st_dwithin"};
+  for (const char* n : kNames) {
+    if (EqualsIgnoreCase(name, n)) return true;
+  }
+  return false;
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kFunctionCall &&
+      engine::IsAggregateFunction(expr.function)) {
+    return true;
+  }
+  for (const auto& child : expr.children) {
+    if (ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+bool ReferencesColumn(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kColumnRef ||
+      expr.kind == Expr::Kind::kStar) {
+    return true;
+  }
+  for (const auto& child : expr.children) {
+    if (ReferencesColumn(*child)) return true;
+  }
+  return false;
+}
+
+// Evaluates a column-free subtree to a constant via the engine's own binder
+// (so ST_GeomFromText etc. fold exactly as the server would fold them).
+Result<engine::Value> EvalConstant(const Expr& expr) {
+  engine::Binder binder({}, {});
+  engine::EvalContext ctx;
+  JACKPINE_ASSIGN_OR_RETURN(
+      engine::BoundExpr bound,
+      engine::BindExpr(expr, binder, ctx, /*allow_aggregates=*/false));
+  if (bound.kind != engine::BoundExpr::Kind::kLiteral) {
+    return Status::InvalidArgument("expression is not constant");
+  }
+  return bound.literal;
+}
+
+void CollectConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == Expr::Kind::kBinary &&
+      expr.binary_op == engine::BinaryOp::kAnd) {
+    CollectConjuncts(*expr.children[0], out);
+    CollectConjuncts(*expr.children[1], out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+struct FromTable {
+  const ShardTableInfo* info = nullptr;
+  std::string alias;  // as written (defaults to the table name)
+};
+
+// Resolves a column ref to the FROM-table index it belongs to, or -1.
+int ResolveTable(const Expr& ref, const std::vector<FromTable>& from) {
+  if (ref.kind != Expr::Kind::kColumnRef) return -1;
+  if (!ref.table_qualifier.empty()) {
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (EqualsIgnoreCase(ref.table_qualifier, from[i].alias) ||
+          EqualsIgnoreCase(ref.table_qualifier, from[i].info->name)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+  int found = -1;
+  for (size_t i = 0; i < from.size(); ++i) {
+    for (const std::string& col : from[i].info->columns) {
+      if (EqualsIgnoreCase(col, ref.column)) {
+        if (found >= 0) return -1;  // ambiguous
+        found = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  return found;
+}
+
+// True when `ref` names table `t`'s geometry column.
+bool IsGeometryColumn(const Expr& ref, const std::vector<FromTable>& from,
+                      int t) {
+  if (t < 0 || from[t].info->geometry_col < 0) return false;
+  return EqualsIgnoreCase(
+      ref.column, from[t].info->columns[from[t].info->geometry_col]);
+}
+
+// Registry of subquery helper expressions, deduplicated by serialized text
+// (so `county` used in SELECT, GROUP BY and ORDER BY ships once).
+struct HelperSet {
+  std::vector<std::string> exprs;            // serialized, in position order
+  std::map<std::string, size_t> positions;
+
+  size_t Register(const std::string& serialized) {
+    auto [it, inserted] = positions.try_emplace(serialized, exprs.size());
+    if (inserted) exprs.push_back(serialized);
+    return it->second;
+  }
+};
+
+std::string MergeCol(size_t pos) { return StrFormat("c%zu", pos); }
+
+// Rewrites a select/order expression for the merge query: aggregate calls
+// keep their aggregate over a helper-column argument, maximal column-bearing
+// non-aggregate subtrees collapse to their helper column, constants pass
+// through. The result references only __merge columns.
+std::string RewriteForMerge(const Expr& expr, HelperSet* helpers) {
+  if (expr.kind == Expr::Kind::kFunctionCall &&
+      engine::IsAggregateFunction(expr.function)) {
+    const Expr& arg = *expr.children[0];
+    if (arg.kind == Expr::Kind::kStar) return expr.function + "(*)";
+    return expr.function + "(" +
+           MergeCol(helpers->Register(SerializeExpr(arg))) + ")";
+  }
+  if (ContainsAggregate(expr)) {
+    // An expression over aggregates (e.g. SUM(x) / COUNT(*)): rebuild the
+    // structure, rewriting each child.
+    switch (expr.kind) {
+      case Expr::Kind::kBinary:
+        return StrFormat("(%s %s %s)",
+                         RewriteForMerge(*expr.children[0], helpers).c_str(),
+                         engine::BinaryOpName(expr.binary_op),
+                         RewriteForMerge(*expr.children[1], helpers).c_str());
+      case Expr::Kind::kUnary:
+        return StrFormat(
+            "(%s %s)",
+            expr.unary_op == engine::UnaryOp::kNot ? "NOT" : "-",
+            RewriteForMerge(*expr.children[0], helpers).c_str());
+      case Expr::Kind::kFunctionCall: {
+        std::string out = expr.function + "(";
+        for (size_t i = 0; i < expr.children.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += RewriteForMerge(*expr.children[i], helpers);
+        }
+        return out + ")";
+      }
+      default:
+        break;  // unreachable: leaves contain no aggregates
+    }
+  }
+  if (ReferencesColumn(expr)) {
+    return MergeCol(helpers->Register(SerializeExpr(expr)));
+  }
+  return SerializeExpr(expr);  // pure constant
+}
+
+// Final result column names, computed router-side with the engine's own
+// naming rules so renamed merge results match a single-node run exactly.
+std::vector<std::string> ComputeResultColumns(
+    const SelectStatement& stmt, const std::vector<FromTable>& from) {
+  std::vector<std::string> names;
+  for (const engine::SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (const FromTable& t : from) {
+        for (const std::string& col : t.info->columns) names.push_back(col);
+      }
+    } else if (!item.alias.empty()) {
+      names.push_back(item.alias);
+    } else {
+      names.push_back(engine::DisplayName(*item.expr));
+    }
+  }
+  return names;
+}
+
+// Intersection window of every prunable WHERE conjunct against table 0's
+// geometry column; sets `any` when at least one conjunct pruned.
+Result<geom::Envelope> PruneWindow(const Expr* where,
+                                  const std::vector<FromTable>& from,
+                                  bool* any) {
+  *any = false;
+  geom::Envelope window;
+  bool first = true;
+  if (where == nullptr) return window;
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(*where, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind != Expr::Kind::kFunctionCall ||
+        !IsPositiveSpatialPredicate(c->function) || c->children.size() < 2) {
+      continue;
+    }
+    const Expr* col = c->children[0].get();
+    const Expr* constant = c->children[1].get();
+    if (!IsGeometryColumn(*col, from, ResolveTable(*col, from))) {
+      std::swap(col, constant);
+    }
+    if (!IsGeometryColumn(*col, from, ResolveTable(*col, from))) continue;
+    if (ReferencesColumn(*constant)) continue;
+    Result<engine::Value> value = EvalConstant(*constant);
+    if (!value.ok() || value->type() != engine::DataType::kGeometry) continue;
+    geom::Envelope w = value->geometry_value().envelope();
+    if (EqualsIgnoreCase(c->function, "st_dwithin")) {
+      if (c->children.size() < 3 || ReferencesColumn(*c->children[2])) {
+        continue;
+      }
+      Result<engine::Value> d = EvalConstant(*c->children[2]);
+      if (!d.ok()) continue;
+      Result<double> dist = d->AsDouble();
+      if (!dist.ok() || *dist < 0.0) continue;
+      w = w.Expanded(*dist);
+    }
+    *any = true;
+    window = first ? w : window.Intersection(w);
+    first = false;
+  }
+  return window;
+}
+
+// For a partitioned-partitioned join: checks that some top-level conjunct
+// spatially co-locates the two tables within what the storage margin can
+// prove local (DESIGN.md § Sharding, "join locality").
+Status CheckJoinColocation(const SelectStatement& stmt,
+                           const std::vector<FromTable>& from,
+                           double margin) {
+  std::vector<const Expr*> conjuncts;
+  if (stmt.where != nullptr) CollectConjuncts(*stmt.where, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind != Expr::Kind::kFunctionCall ||
+        !IsPositiveSpatialPredicate(c->function) || c->children.size() < 2) {
+      continue;
+    }
+    const int t0 = ResolveTable(*c->children[0], from);
+    const int t1 = ResolveTable(*c->children[1], from);
+    if (t0 < 0 || t1 < 0 || t0 == t1) continue;
+    if (!IsGeometryColumn(*c->children[0], from, t0) ||
+        !IsGeometryColumn(*c->children[1], from, t1)) {
+      continue;
+    }
+    if (EqualsIgnoreCase(c->function, "st_dwithin")) {
+      if (c->children.size() < 3) continue;
+      Result<engine::Value> d = EvalConstant(*c->children[2]);
+      if (!d.ok()) continue;
+      Result<double> dist = d->AsDouble();
+      if (!dist.ok()) continue;
+      if (*dist > 2.0 * margin) {
+        return Status::InvalidArgument(StrFormat(
+            "shard: ST_DWithin distance %g exceeds twice the storage margin "
+            "(%g); matches could span non-adjacent shards — raise the "
+            "margin= URL option or replicate one table",
+            *dist, margin));
+      }
+    }
+    return Status::Ok();
+  }
+  return Status::InvalidArgument(StrFormat(
+      "shard: join between partitioned tables '%s' and '%s' has no "
+      "co-locating spatial predicate; matches could span shards — add a "
+      "positive spatial join predicate or list one table in the replicate= "
+      "URL option",
+      from[0].info->name.c_str(), from[1].info->name.c_str()));
+}
+
+}  // namespace
+
+Result<ScatterPlan> PlanSelect(const SelectStatement& stmt,
+                               const ShardCatalog& catalog,
+                               const Partitioner& partitioner) {
+  if (stmt.from.empty() || stmt.from.size() > 2) {
+    return Status::InvalidArgument(
+        "shard: only 1- and 2-table SELECTs are supported");
+  }
+  std::vector<FromTable> from;
+  for (const engine::TableRef& tr : stmt.from) {
+    const ShardTableInfo* info = catalog.Find(tr.table);
+    if (info == nullptr) {
+      return Status::NotFound(StrFormat(
+          "shard: unknown table '%s' (not created through this router)",
+          tr.table.c_str()));
+    }
+    from.push_back({info, tr.alias.empty() ? tr.table : tr.alias});
+  }
+
+  ScatterPlan plan;
+  plan.result_columns = ComputeResultColumns(stmt, from);
+
+  const bool all_replicated =
+      std::all_of(from.begin(), from.end(),
+                  [](const FromTable& t) { return t.info->replicated; });
+
+  // Contacted cells: a prunable window on a single partitioned table
+  // shrinks the scatter; joins and unprunable queries touch everything.
+  if (all_replicated) {
+    plan.contacted_cells.clear();
+    plan.targets = {0};
+  } else if (stmt.from.size() == 1) {
+    bool pruned = false;
+    JACKPINE_ASSIGN_OR_RETURN(geom::Envelope window,
+                              PruneWindow(stmt.where.get(), from, &pruned));
+    if (pruned && window.IsNull()) {
+      // Contradictory windows: provably empty.
+      plan.targets.clear();
+      return plan;
+    }
+    plan.pruned = pruned;
+    plan.contacted_cells = pruned ? partitioner.CellsFor(window, 0.0)
+                                  : partitioner.AllCells();
+    plan.targets = partitioner.ShardsFor(plan.contacted_cells);
+  } else {
+    if (!from[0].info->replicated && !from[1].info->replicated) {
+      JACKPINE_RETURN_IF_ERROR(
+          CheckJoinColocation(stmt, from, partitioner.margin()));
+    }
+    plan.contacted_cells = partitioner.AllCells();
+    plan.targets = partitioner.ShardsFor(plan.contacted_cells);
+  }
+
+  if (plan.targets.size() == 1) {
+    plan.single_target = true;
+    plan.subquery = SerializeSelect(stmt);
+    return plan;
+  }
+
+  const bool has_agg =
+      std::any_of(stmt.items.begin(), stmt.items.end(),
+                  [](const engine::SelectItem& i) {
+                    return !i.star && ContainsAggregate(*i.expr);
+                  }) ||
+      std::any_of(stmt.order_by.begin(), stmt.order_by.end(),
+                  [](const engine::OrderItem& o) {
+                    return ContainsAggregate(*o.expr);
+                  });
+  plan.mode = (has_agg || !stmt.group_by.empty() || !stmt.order_by.empty())
+                  ? MergeMode::kEngine
+                  : MergeMode::kConcat;
+
+  if (plan.mode == MergeMode::kConcat) {
+    // Subquery = original select list + one ST_Envelope helper per
+    // partitioned table; WHERE as-is; no ORDER/LIMIT (a shard cannot know
+    // which of its rows survive dedup, so LIMIT applies post-merge).
+    std::string select_list;
+    size_t width = 0;
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      if (i > 0) select_list += ", ";
+      if (stmt.items[i].star) {
+        select_list += "*";
+        for (const FromTable& t : from) width += t.info->columns.size();
+      } else {
+        select_list += SerializeExpr(*stmt.items[i].expr);
+        ++width;
+      }
+    }
+    for (const FromTable& t : from) {
+      TableDedup dedup;
+      dedup.replicated = t.info->replicated;
+      if (!t.info->replicated) {
+        select_list += StrFormat(
+            ", ST_Envelope(%s.%s)", t.alias.c_str(),
+            t.info->columns[t.info->geometry_col].c_str());
+        dedup.envelope_col = static_cast<int>(width++);
+      }
+      plan.tables.push_back(dedup);
+    }
+    plan.subquery_width = width;
+    plan.limit = stmt.limit;
+    plan.subquery = "SELECT " + select_list + " FROM ";
+    for (size_t i = 0; i < stmt.from.size(); ++i) {
+      if (i > 0) plan.subquery += ", ";
+      plan.subquery += stmt.from[i].table;
+      if (!EqualsIgnoreCase(from[i].alias, stmt.from[i].table)) {
+        plan.subquery += " " + from[i].alias;
+      }
+    }
+    if (stmt.where != nullptr) {
+      plan.subquery += " WHERE " + SerializeExpr(*stmt.where);
+    }
+    return plan;
+  }
+
+  // kEngine: the subquery fetches raw rows (ids + envelopes + every value
+  // the fold needs); the merge query re-runs the fold over their deduped,
+  // id-ordered union.
+  HelperSet helpers;
+  for (const FromTable& t : from) {
+    TableDedup dedup;
+    dedup.replicated = t.info->replicated;
+    dedup.id_col = static_cast<int>(
+        helpers.Register(t.alias + "." + t.info->columns[0]));
+    plan.sort_cols.push_back(dedup.id_col);
+    if (!t.info->replicated) {
+      dedup.envelope_col = static_cast<int>(helpers.Register(StrFormat(
+          "ST_Envelope(%s.%s)", t.alias.c_str(),
+          t.info->columns[t.info->geometry_col].c_str())));
+    }
+    plan.tables.push_back(dedup);
+  }
+  std::string merge_items;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) merge_items += ", ";
+    if (stmt.items[i].star) {
+      std::string cols;
+      for (const FromTable& t : from) {
+        for (const std::string& col : t.info->columns) {
+          if (!cols.empty()) cols += ", ";
+          cols += MergeCol(helpers.Register(t.alias + "." + col));
+        }
+      }
+      merge_items += cols;
+    } else {
+      merge_items += RewriteForMerge(*stmt.items[i].expr, &helpers);
+    }
+  }
+  std::string merge_tail;
+  if (!stmt.group_by.empty()) {
+    merge_tail += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) merge_tail += ", ";
+      merge_tail += MergeCol(helpers.Register(SerializeExpr(*stmt.group_by[i])));
+    }
+  }
+  if (!stmt.order_by.empty()) {
+    merge_tail += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) merge_tail += ", ";
+      merge_tail += RewriteForMerge(*stmt.order_by[i].expr, &helpers);
+      merge_tail += stmt.order_by[i].ascending ? " ASC" : " DESC";
+    }
+  }
+  if (stmt.limit.has_value()) {
+    merge_tail += StrFormat(" LIMIT %lld", static_cast<long long>(*stmt.limit));
+  }
+  plan.merge_sql = "SELECT " + merge_items + " FROM __merge" + merge_tail;
+
+  plan.subquery = "SELECT ";
+  for (size_t i = 0; i < helpers.exprs.size(); ++i) {
+    if (i > 0) plan.subquery += ", ";
+    plan.subquery += helpers.exprs[i];
+  }
+  plan.subquery_width = helpers.exprs.size();
+  plan.subquery += " FROM ";
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    if (i > 0) plan.subquery += ", ";
+    plan.subquery += stmt.from[i].table;
+    if (!EqualsIgnoreCase(from[i].alias, stmt.from[i].table)) {
+      plan.subquery += " " + from[i].alias;
+    }
+  }
+  if (stmt.where != nullptr) {
+    plan.subquery += " WHERE " + SerializeExpr(*stmt.where);
+  }
+  // Top-k pushdown: with ORDER BY + LIMIT and no aggregation, each shard's
+  // top k under the total order (keys, row id) is a superset of its
+  // contribution to the global top k, so the subquery can carry them. Any
+  // aggregation needs every row, so the fold's ORDER/LIMIT stay merge-side.
+  if (!has_agg && stmt.group_by.empty() && !stmt.order_by.empty() &&
+      stmt.limit.has_value()) {
+    plan.subquery += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) plan.subquery += ", ";
+      plan.subquery += SerializeExpr(*stmt.order_by[i].expr);
+      plan.subquery += stmt.order_by[i].ascending ? " ASC" : " DESC";
+    }
+    plan.subquery +=
+        StrFormat(" LIMIT %lld", static_cast<long long>(*stmt.limit));
+  }
+  return plan;
+}
+
+}  // namespace jackpine::shard

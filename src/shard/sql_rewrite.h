@@ -1,0 +1,117 @@
+// Query planning for the shard router: AST serialization, the cluster-side
+// table catalog, and the scatter plan (which shards to contact, what SQL to
+// send them, and how to merge what comes back).
+//
+// Everything here is pure — no sockets, no engine instances — so the plans
+// are unit-testable: parse a query, plan it against a catalog and a
+// partitioner, and inspect targets / subquery / merge SQL directly.
+
+#ifndef JACKPINE_SHARD_SQL_REWRITE_H_
+#define JACKPINE_SHARD_SQL_REWRITE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/sql_ast.h"
+#include "shard/partitioner.h"
+
+namespace jackpine::shard {
+
+// AST -> SQL text. The output re-parses to a structurally identical
+// statement (fully parenthesized; double literals keep their type via a
+// forced decimal point or exponent), which is what lets the router ship
+// rewritten queries to shard servers over the existing wire protocol.
+std::string SerializeExpr(const engine::Expr& expr);
+std::string SerializeSelect(const engine::SelectStatement& stmt);
+std::string SerializeStatement(const engine::Statement& stmt);
+
+// What the router knows about one cluster table.
+struct ShardTableInfo {
+  std::string name;                  // original spelling
+  std::vector<std::string> columns;  // original spelling, schema order
+  int geometry_col = -1;             // first GEOMETRY column; -1 = none
+  // Replicated tables live in full on every shard (broadcast INSERT, no
+  // dedup): geometry-less tables, plus any table named in the shard URL's
+  // replicate= option (for non-spatial joins that cannot be co-located).
+  bool replicated = false;
+};
+
+// The router-side catalog, built from the CREATE TABLE DDL that flows
+// through the router (plus lazy discovery for pre-existing tables).
+class ShardCatalog {
+ public:
+  void AddFromDdl(const engine::CreateTableStatement& ddl, bool replicated);
+  void Add(ShardTableInfo info);
+  const ShardTableInfo* Find(std::string_view table) const;
+
+ private:
+  std::map<std::string, ShardTableInfo> tables_;  // keyed by lower-case name
+};
+
+// Per-FROM-table dedup bookkeeping: where in the subquery's select list the
+// helper columns landed.
+struct TableDedup {
+  bool replicated = false;
+  int envelope_col = -1;  // ST_Envelope(geom) helper; -1 for replicated
+  int id_col = -1;        // first-column helper (kEngine plans only)
+};
+
+enum class MergeMode : uint8_t {
+  // Union the deduped per-shard rows and strip the helper columns: exact
+  // for plain SELECTs, whose output is an unordered row set.
+  kConcat,
+  // Replay the aggregate/GROUP BY/ORDER BY fold over the deduped row union
+  // in a private in-process engine: the subquery fetches raw per-row values
+  // (aggregate arguments, group keys, order keys) instead of computing
+  // anything shard-side, the merge loads them in canonical (row id) order
+  // and runs `merge_sql`, so the engine's own accumulation/tie-breaking
+  // code reproduces single-node results bit for bit.
+  kEngine,
+};
+
+struct ScatterPlan {
+  // Shard indexes to contact (ascending) and the grid cells the query
+  // covers. `pruned` marks a predicate-window plan (the fanout metric's
+  // interesting case). Empty targets = provably empty result.
+  std::vector<size_t> targets;
+  std::vector<uint32_t> contacted_cells;
+  bool pruned = false;
+
+  // One reachable shard (single-owner window, 1-shard cluster, or an
+  // all-replicated FROM): the original statement goes to targets[0]
+  // verbatim and the reply passes through untouched — trivially exact.
+  bool single_target = false;
+
+  std::string subquery;        // SQL sent to every target
+  size_t subquery_width = 0;   // expected subquery column count
+  MergeMode mode = MergeMode::kConcat;
+  std::vector<std::string> result_columns;  // final column names
+  std::vector<TableDedup> tables;           // FROM order
+
+  // kConcat: LIMIT applied after dedup (not pushed down — a shard cannot
+  // know how many of its first N rows survive dedup).
+  std::optional<int64_t> limit;
+
+  // kEngine: the fold to run over the merge table (named __merge, columns
+  // c0..cN mirroring the subquery select list positionally), and the id
+  // helper columns to pre-sort the deduped union by (canonical row order).
+  std::string merge_sql;
+  std::vector<int> sort_cols;
+};
+
+// Plans one SELECT. Fails with kNotFound for tables missing from the
+// catalog and kInvalidArgument for partitioned-partitioned joins without a
+// co-locating spatial predicate (or with an ST_DWithin distance beyond what
+// the storage margin can prove local).
+Result<ScatterPlan> PlanSelect(const engine::SelectStatement& stmt,
+                               const ShardCatalog& catalog,
+                               const Partitioner& partitioner);
+
+}  // namespace jackpine::shard
+
+#endif  // JACKPINE_SHARD_SQL_REWRITE_H_

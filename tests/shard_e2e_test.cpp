@@ -1,0 +1,350 @@
+// End-to-end tests for the shard router: real pinedb servers on loopback
+// ephemeral ports behind a jackpine:shard(...) URL. The tentpole guarantees:
+// scatter-gather results identical to a single node for the whole suite,
+// window pruning visible in the fanout metric, and per-shard resilience
+// (breaker on a dead shard, shed pacing, deterministic per-shard chaos)
+// with failures that name the endpoint.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/circuit_breaker.h"
+#include "client/client.h"
+#include "core/loader.h"
+#include "core/micro_suite.h"
+#include "core/runner.h"
+#include "net/remote_driver.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "shard/shard_router.h"
+#include "tigergen/tigergen.h"
+
+namespace jackpine {
+namespace {
+
+class ShardE2eTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::RegisterRemoteDriver();
+    shard::RegisterShardDriver();
+  }
+};
+
+tigergen::TigerDataset SmallDataset() {
+  tigergen::TigerGenOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 7;
+  return tigergen::GenerateTiger(gen);
+}
+
+std::unique_ptr<net::Server> StartServer(const std::string& sut) {
+  net::ServerOptions options;
+  options.sut = sut;
+  options.port = 0;
+  auto server = net::Server::Start(options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return std::move(server).value();
+}
+
+std::string Endpoint(const net::Server& server) {
+  return "127.0.0.1:" + std::to_string(server.port());
+}
+
+std::string ShardUrl(const std::vector<const net::Server*>& servers,
+                     const std::string& sut, const std::string& opts = "") {
+  std::string url = "jackpine:shard(";
+  for (size_t i = 0; i < servers.size(); ++i) {
+    if (i > 0) url += ',';
+    url += Endpoint(*servers[i]);
+  }
+  if (!opts.empty()) url += ";" + opts;
+  return url + ")/" + sut;
+}
+
+TEST_F(ShardE2eTest, DdlInsertSelectDistributesRows) {
+  auto s0 = StartServer("pine-rtree");
+  auto s1 = StartServer("pine-rtree");
+  auto conn = client::Connection::Open(ShardUrl({s0.get(), s1.get()},
+                                                "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(
+      stmt.ExecuteUpdate("CREATE TABLE pts (id BIGINT, geom GEOMETRY)").ok());
+  // Sixteen points spread over the whole extent: with the default 16x16
+  // grid and two shards, both shards end up owning some of them.
+  std::string values;
+  for (int i = 0; i < 16; ++i) {
+    if (i > 0) values += ", ";
+    const double x = 3.0 + 6.0 * (i % 4) * 4.0, y = 3.0 + 6.0 * (i / 4) * 4.0;
+    values += "(" + std::to_string(i) + ", ST_GeomFromText('POINT(" +
+              std::to_string(x) + " " + std::to_string(y) + ")'))";
+  }
+  auto inserted = stmt.ExecuteUpdate("INSERT INTO pts VALUES " + values);
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  EXPECT_EQ(*inserted, 16);  // logical rows, not per-shard copies
+
+  // The router reports each row exactly once, in engine-canonical order.
+  auto rs = stmt.ExecuteQuery("SELECT p.id FROM pts AS p ORDER BY p.id");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->RowCount(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(rs->Next());
+    EXPECT_EQ(rs->GetInt64(0).value(), i);
+  }
+
+  // The rows are genuinely partitioned: each server holds a strict subset
+  // (the shards split the grid) and together they cover everything.
+  auto count_on = [](net::Server* server) -> int64_t {
+    client::Statement local = server->connection().CreateStatement();
+    auto local_rs = local.ExecuteQuery("SELECT COUNT(*) FROM pts");
+    EXPECT_TRUE(local_rs.ok()) << local_rs.status().ToString();
+    EXPECT_TRUE(local_rs->Next());
+    return local_rs->GetInt64(0).value();
+  };
+  const int64_t on0 = count_on(s0.get()), on1 = count_on(s1.get());
+  EXPECT_GT(on0, 0);
+  EXPECT_GT(on1, 0);
+  EXPECT_LT(on0, 16);
+  EXPECT_LT(on1, 16);
+  EXPECT_GE(on0 + on1, 16);  // >= : border-straddlers are duplicated
+}
+
+// The acceptance bar: the full micro-topology suite through a 2-shard
+// cluster returns identical row counts and checksums to a single in-process
+// node, with the dataset itself loaded through the router.
+TEST_F(ShardE2eTest, TwoShardSuiteMatchesSingleNodeExactly) {
+  const tigergen::TigerDataset dataset = SmallDataset();
+
+  auto local = client::Connection::Open("jackpine:pine-rtree");
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(core::LoadDataset(dataset, &*local).ok());
+
+  auto s0 = StartServer("pine-rtree");
+  auto s1 = StartServer("pine-rtree");
+  auto sharded = client::Connection::Open(
+      ShardUrl({s0.get(), s1.get()}, "pine-rtree", "replicate=county"));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  auto load = core::LoadDataset(dataset, &*sharded);
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+  EXPECT_EQ(load->rows, dataset.TotalRows());
+
+  core::RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  const auto suite = core::BuildTopologicalSuite(dataset);
+  const auto local_runs = core::RunSuite(&*local, suite, config);
+  const auto shard_runs = core::RunSuite(&*sharded, suite, config);
+  ASSERT_EQ(local_runs.size(), shard_runs.size());
+  for (size_t i = 0; i < local_runs.size(); ++i) {
+    EXPECT_TRUE(shard_runs[i].ok)
+        << shard_runs[i].query_id << ": " << shard_runs[i].error;
+    EXPECT_EQ(local_runs[i].result_rows, shard_runs[i].result_rows)
+        << local_runs[i].query_id;
+    EXPECT_EQ(local_runs[i].checksum, shard_runs[i].checksum)
+        << local_runs[i].query_id;
+  }
+}
+
+// Window pruning is observable: a query whose predicate window lies inside
+// one shard's cells contacts only that shard (shard.last_fanout == 1),
+// while an unprunable scan fans out to the whole cluster.
+TEST_F(ShardE2eTest, PrunedWindowContactsOnlyOwningShards) {
+  auto s0 = StartServer("pine-rtree");
+  auto s1 = StartServer("pine-rtree");
+  auto conn = client::Connection::Open(ShardUrl({s0.get(), s1.get()},
+                                                "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(
+      stmt.ExecuteUpdate("CREATE TABLE pts (id BIGINT, geom GEOMETRY)").ok());
+  ASSERT_TRUE(stmt.ExecuteUpdate(
+                      "INSERT INTO pts VALUES "
+                      "(1, ST_GeomFromText('POINT(1 1)')), "
+                      "(2, ST_GeomFromText('POINT(98 98)'))")
+                  .ok());
+
+  obs::Gauge* last_fanout =
+      obs::GlobalRegistry().GetGauge("shard.last_fanout");
+  ASSERT_NE(last_fanout, nullptr);
+
+  // Window wholly inside grid cell (0, 0): one owning shard.
+  auto rs = stmt.ExecuteQuery(
+      "SELECT p.id FROM pts AS p WHERE ST_Intersects(p.geom, "
+      "ST_GeomFromText('POLYGON((0 0, 2 0, 2 2, 0 2, 0 0))'))");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->RowCount(), 1u);
+  EXPECT_EQ(last_fanout->value(), 1.0);
+
+  // Unprunable scan: both shards.
+  auto all = stmt.ExecuteQuery("SELECT COUNT(*) FROM pts");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(last_fanout->value(), 2.0);
+}
+
+// A dead shard: every statement that touches it fails with kUnavailable
+// naming the endpoint, four consecutive transport failures open that
+// shard's breaker, and further attempts fast-fail with a retry hint while
+// the healthy shard keeps answering.
+TEST_F(ShardE2eTest, DeadShardTripsBreakerAndNamesEndpoint) {
+  // Bind-then-close for a port with nothing behind it.
+  uint16_t dead_port;
+  {
+    auto doomed = StartServer("pine-rtree");
+    dead_port = doomed->port();
+  }
+  auto live = StartServer("pine-rtree");
+
+  shard::ShardOptions options;
+  auto parsed = shard::ParseShardUrl(
+      "shard(" + Endpoint(*live) + ",127.0.0.1:" +
+      std::to_string(dead_port) + ")/pine-rtree");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto driver = shard::ShardDriver::Create(std::move(*parsed));
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+  auto session = (*driver)->NewSession();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  const std::string dead_label = "127.0.0.1:" + std::to_string(dead_port);
+  ExecLimits limits;
+  bool saw_fast_fail = false;
+  for (int i = 0; i < 8 && !saw_fast_fail; ++i) {
+    // Broadcast DDL touches every shard; fresh names keep the live shard
+    // error-free so the dead shard's failure is the one reported.
+    auto result = (*session)->ExecuteUpdate(
+        "CREATE TABLE t" + std::to_string(i) + " (x BIGINT)", limits);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+    if (IsBreakerFastFail(result.status())) {
+      saw_fast_fail = true;
+      EXPECT_GT(result.status().retry_after_ms(), 0u);
+    } else {
+      // Pre-breaker transport failures name the dead endpoint.
+      EXPECT_NE(result.status().message().find(dead_label),
+                std::string::npos)
+          << result.status().message();
+    }
+  }
+  EXPECT_TRUE(saw_fast_fail);
+  EXPECT_EQ((*driver)->shard_driver(1)->breaker()->state(),
+            client::CircuitBreaker::State::kOpen);
+  EXPECT_EQ((*driver)->shard_driver(0)->breaker()->state(),
+            client::CircuitBreaker::State::kClosed);
+
+  // The live shard answered every broadcast despite its dead peer.
+  client::Statement live_stmt = live->connection().CreateStatement();
+  auto on_live = live_stmt.ExecuteQuery("SELECT COUNT(*) FROM t0");
+  EXPECT_TRUE(on_live.ok()) << on_live.status().ToString();
+}
+
+// A saturated shard sheds with a structured retry hint; the benchmark
+// runner's retry policy paces from it (shared RetryBudget) and the query
+// succeeds once the shard frees up.
+TEST_F(ShardE2eTest, ShedShardPacesRetryFromSharedBudget) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  options.max_sessions = 1;
+  options.max_wait_queue = 0;
+  options.retry_after_ms = 30;
+  auto server_or = net::Server::Start(options);
+  ASSERT_TRUE(server_or.ok());
+  auto& server = *server_or;
+  {
+    client::Statement preload = server->connection().CreateStatement();
+    ASSERT_TRUE(preload.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+    ASSERT_TRUE(preload.ExecuteUpdate("INSERT INTO t VALUES (1)").ok());
+  }
+
+  // Occupy the single session slot with a direct connection.
+  std::optional<client::Connection> occupier;
+  {
+    auto conn = client::Connection::Open(
+        "jackpine:tcp://" + Endpoint(*server) + "/pine-rtree");
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    occupier.emplace(*std::move(conn));
+  }
+  std::optional<client::Statement> occupier_stmt(
+      occupier->CreateStatement());
+  ASSERT_TRUE(occupier_stmt->ExecuteQuery("SELECT COUNT(*) FROM t").ok());
+
+  auto sharded = client::Connection::Open(
+      ShardUrl({server.get()}, "pine-rtree"));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  // Without retries the shed surfaces structurally: retryable, hinted, and
+  // naming the saturated endpoint.
+  {
+    client::Statement stmt = sharded->CreateStatement();
+    auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+    ASSERT_FALSE(rs.ok());
+    EXPECT_TRUE(IsShed(rs.status())) << rs.status().ToString();
+    EXPECT_GE(rs.status().retry_after_ms(), 30u);
+    EXPECT_NE(rs.status().message().find(Endpoint(*server)),
+              std::string::npos)
+        << rs.status().message();
+  }
+
+  // The runner retries against the hint from a shared budget and records
+  // the sheds; while the slot stays occupied it runs out of attempts...
+  core::RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  config.retry.max_attempts = 2;
+  config.retry.backoff_base_s = 1e-3;
+  config.retry.honor_retry_after = true;
+  config.retry.budget = std::make_shared<core::RetryBudget>(10.0, 10.0, 0.1);
+  core::QuerySpec q;
+  q.id = "count";
+  q.sql = "SELECT COUNT(*) FROM t";
+  const core::RunResult blocked = core::RunQuery(&*sharded, q, config);
+  EXPECT_FALSE(blocked.ok);
+  EXPECT_GE(blocked.sheds, 2u);  // every attempt shed, each paced by the hint
+
+  // ...and once the occupier leaves, the same connection recovers.
+  occupier_stmt.reset();
+  occupier.reset();
+  const core::RunResult after = core::RunQuery(&*sharded, q, config);
+  EXPECT_TRUE(after.ok) << after.error;
+}
+
+// Chaos composes per-shard and stays deterministic: two routers built from
+// the same URL (same per-endpoint seed) observe byte-identical outcome
+// sequences, and the injected failures name the wrapped shard.
+TEST_F(ShardE2eTest, PerShardChaosIsDeterministic) {
+  auto server = StartServer("pine-rtree");
+  {
+    client::Statement preload = server->connection().CreateStatement();
+    ASSERT_TRUE(preload.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  }
+  const std::string url = "jackpine:shard(chaos(42,0.5,0)@" +
+                          Endpoint(*server) + ")/pine-rtree";
+
+  auto outcome_trace = [&](int n) {
+    auto conn = client::Connection::Open(url);
+    EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+    client::Statement stmt = conn->CreateStatement();
+    std::string trace;
+    for (int i = 0; i < n; ++i) {
+      auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+      trace += rs.ok() ? "." : "[" + rs.status().ToString() + "]";
+    }
+    return trace;
+  };
+
+  const std::string first = outcome_trace(40);
+  const std::string second = outcome_trace(40);
+  EXPECT_EQ(first, second);
+  // The trace genuinely mixes successes and injected shard faults, and the
+  // faults say which shard they hit.
+  EXPECT_NE(first.find('.'), std::string::npos);
+  EXPECT_NE(first.find("chaos"), std::string::npos);
+  EXPECT_NE(first.find(Endpoint(*server)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jackpine

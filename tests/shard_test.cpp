@@ -1,0 +1,532 @@
+// Unit tests for jackpine::shard: the Hilbert curve, the consistent-hash
+// partitioner, the shard URL grammar, SQL serialization, scatter planning,
+// and — via a socket-free mini cluster of in-process engines — the exactness
+// of the owner-cell dedup and merge semantics against a single-node
+// reference database.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "engine/sql_parser.h"
+#include "shard/hilbert.h"
+#include "shard/merge.h"
+#include "shard/partitioner.h"
+#include "shard/shard_router.h"
+#include "shard/sql_rewrite.h"
+
+namespace jackpine::shard {
+namespace {
+
+engine::Statement MustParse(const std::string& sql) {
+  Result<engine::Statement> parsed = engine::ParseSql(sql);
+  EXPECT_TRUE(parsed.ok()) << sql << ": " << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+std::vector<std::string> Names(size_t n) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back(StrFormat("127.0.0.1:%zu", 7700 + i));
+  }
+  return names;
+}
+
+TEST(HilbertTest, BijectionOverTheGrid) {
+  const uint32_t order = 4, side = 1u << order;
+  std::set<uint64_t> seen;
+  for (uint32_t y = 0; y < side; ++y) {
+    for (uint32_t x = 0; x < side; ++x) {
+      const uint64_t d = HilbertIndex(order, x, y);
+      EXPECT_LT(d, uint64_t{side} * side);
+      EXPECT_TRUE(seen.insert(d).second) << "duplicate index " << d;
+    }
+  }
+  EXPECT_EQ(seen.size(), size_t{side} * side);
+}
+
+TEST(HilbertTest, ConsecutiveIndexesAreGridAdjacent) {
+  // The locality property the ring key relies on: walking the curve moves
+  // one grid step at a time, so nearby cells get nearby ring positions.
+  const uint32_t order = 4, side = 1u << order;
+  std::map<uint64_t, std::pair<uint32_t, uint32_t>> by_index;
+  for (uint32_t y = 0; y < side; ++y) {
+    for (uint32_t x = 0; x < side; ++x) {
+      by_index[HilbertIndex(order, x, y)] = {x, y};
+    }
+  }
+  for (uint64_t d = 0; d + 1 < uint64_t{side} * side; ++d) {
+    const auto [x0, y0] = by_index[d];
+    const auto [x1, y1] = by_index[d + 1];
+    const uint32_t manhattan = (x0 > x1 ? x0 - x1 : x1 - x0) +
+                               (y0 > y1 ? y0 - y1 : y1 - y0);
+    EXPECT_EQ(manhattan, 1u) << "jump at curve position " << d;
+  }
+}
+
+TEST(PartitionerTest, CellsForSingleCellAndStraddle) {
+  Partitioner part(PartitionConfig{}, Names(2));  // 16x16 over 0..100
+  // Wholly inside cell (0, 0): extent 6.25 per cell.
+  EXPECT_EQ(part.CellsFor(geom::Envelope(1, 1, 2, 2), 0.0),
+            (std::vector<uint32_t>{0}));
+  // Straddles the first vertical cell border at x = 6.25.
+  EXPECT_EQ(part.CellsFor(geom::Envelope(6, 1, 7, 2), 0.0),
+            (std::vector<uint32_t>{0, 1}));
+  // Null envelope (geometry-less row) lives in cell 0.
+  EXPECT_EQ(part.CellsFor(geom::Envelope(), 0.0),
+            (std::vector<uint32_t>{0}));
+  // Out-of-bounds clamps to the border cell instead of vanishing.
+  EXPECT_EQ(part.CellsFor(geom::Envelope(-50, -50, -40, -40), 0.0),
+            (std::vector<uint32_t>{0}));
+  EXPECT_EQ(part.CellsFor(geom::Envelope(500, 500, 501, 501), 0.0),
+            (std::vector<uint32_t>{255}));
+}
+
+TEST(PartitionerTest, EveryShardOwnsCells) {
+  Partitioner part(PartitionConfig{}, Names(4));
+  std::vector<size_t> owned(4, 0);
+  for (uint32_t c = 0; c < part.num_cells(); ++c) {
+    ASSERT_LT(part.OwnerShard(c), 4u);
+    ++owned[part.OwnerShard(c)];
+  }
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(owned[s], 0u) << "shard " << s << " owns nothing";
+  }
+}
+
+TEST(PartitionerTest, AddingShardMovesOnlyItsArc) {
+  // The consistent-hash property: growing the cluster from 3 to 4 shards
+  // re-homes cells only onto the new shard; no cell moves between the
+  // surviving shards.
+  Partitioner before(PartitionConfig{}, Names(3));
+  Partitioner after(PartitionConfig{}, Names(4));
+  uint32_t moved = 0;
+  for (uint32_t c = 0; c < before.num_cells(); ++c) {
+    if (after.OwnerShard(c) != before.OwnerShard(c)) {
+      EXPECT_EQ(after.OwnerShard(c), 3u)
+          << "cell " << c << " moved between surviving shards";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);                         // the new shard got an arc
+  EXPECT_LT(moved, before.num_cells());         // but not everything
+}
+
+TEST(PartitionerTest, CanonicalShardIsOwnerOfLowestSharedCell) {
+  Partitioner part(PartitionConfig{}, Names(3));
+  const geom::Envelope box(6, 1, 7, 2);
+  const std::vector<uint32_t> cells = part.CellsFor(box, part.margin());
+  EXPECT_EQ(part.CanonicalShard(box, part.AllCells()),
+            part.OwnerShard(cells.front()));
+  // A contacted set that misses every cell of the row: out of scope.
+  EXPECT_EQ(part.CanonicalShard(box, {200, 201}), part.num_shards());
+}
+
+TEST(ShardUrlTest, ParsesEndpointsAndOptions) {
+  auto parsed = ParseShardUrl(
+      "shard(127.0.0.1:7701,127.0.0.1:7702;grid=32;margin=2.5;vnodes=16;"
+      "bounds=-10:-10:10:10;replicate=county|lookup)/pine-rtree");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->sut, "pine-rtree");
+  ASSERT_EQ(parsed->endpoints.size(), 2u);
+  EXPECT_EQ(parsed->endpoints[0].host, "127.0.0.1");
+  EXPECT_EQ(parsed->endpoints[0].port, 7701);
+  EXPECT_EQ(parsed->endpoints[0].scheme, "tcp");
+  EXPECT_EQ(parsed->endpoints[0].sut, "pine-rtree");
+  EXPECT_EQ(parsed->endpoints[1].port, 7702);
+  EXPECT_EQ(parsed->partition.grid_order, 5u);  // 2^5 = 32
+  EXPECT_DOUBLE_EQ(parsed->partition.margin, 2.5);
+  EXPECT_EQ(parsed->partition.virtual_nodes, 16u);
+  EXPECT_DOUBLE_EQ(parsed->partition.bounds.min_x(), -10.0);
+  EXPECT_DOUBLE_EQ(parsed->partition.bounds.max_y(), 10.0);
+  EXPECT_EQ(parsed->replicated_tables,
+            (std::vector<std::string>{"county", "lookup"}));
+  EXPECT_FALSE(parsed->chaos[0].has_value());
+}
+
+TEST(ShardUrlTest, ParsesPerEndpointChaosWrap) {
+  auto parsed = ParseShardUrl(
+      "shard(chaos(7,0.5,0)@127.0.0.1:7701,127.0.0.1:7702)/pine-grid");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->endpoints.size(), 2u);
+  ASSERT_TRUE(parsed->chaos[0].has_value());
+  EXPECT_EQ(parsed->chaos[0]->seed, 7u);
+  EXPECT_DOUBLE_EQ(parsed->chaos[0]->error_rate, 0.5);
+  EXPECT_FALSE(parsed->chaos[1].has_value());
+  EXPECT_EQ(parsed->endpoints[0].port, 7701);
+}
+
+TEST(ShardUrlTest, RejectsMalformedUrls) {
+  EXPECT_FALSE(ParseShardUrl("shard()/pine-rtree").ok());
+  EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701)").ok());        // no /sut
+  EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:notaport)/x").ok());
+  EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701;grid=17)/x").ok());
+  EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701;margin=-1)/x").ok());
+  EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701;bounds=1:2:3)/x").ok());
+  EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701;wat=1)/x").ok());
+  EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701/x").ok());  // unbalanced
+}
+
+TEST(SerializeTest, RoundTripsThroughTheParser) {
+  const std::vector<std::string> queries = {
+      "SELECT * FROM edges",
+      "SELECT e.tlid AS id, ST_Length(e.geom) FROM edges AS e "
+      "WHERE ST_Intersects(e.geom, ST_GeomFromText('POINT(1 2)')) "
+      "ORDER BY ST_Length(e.geom) DESC LIMIT 10",
+      "SELECT COUNT(*), SUM(a.val + 1) FROM areas AS a "
+      "WHERE a.val > 3.5 AND NOT a.flag GROUP BY a.kind",
+      "SELECT c.name FROM county AS c, edges AS e "
+      "WHERE ST_Crosses(e.geom, c.geom) AND e.mtfcc = 'S1100'",
+      "INSERT INTO t VALUES (1, 'it''s', ST_GeomFromText('POINT(0 0)')), "
+      "(2, NULL, NULL)",
+      "CREATE TABLE t (id BIGINT, name VARCHAR, geom GEOMETRY)",
+  };
+  for (const std::string& sql : queries) {
+    const std::string once = SerializeStatement(MustParse(sql));
+    const std::string twice = SerializeStatement(MustParse(once));
+    EXPECT_EQ(once, twice) << "not a fixpoint for: " << sql;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mini cluster: N in-process engine databases standing in for N pinedb
+// servers, plus a single-node reference database holding every row. Rows are
+// routed exactly like ShardSession routes INSERTs; queries run through
+// PlanSelect + MergeResults. Exactness = every merged result matches the
+// reference database's answer for the original SQL.
+
+class MiniCluster {
+ public:
+  explicit MiniCluster(size_t shards, PartitionConfig config = {})
+      : part_(config, Names(shards)) {
+    for (size_t i = 0; i < shards; ++i) {
+      dbs_.push_back(std::make_unique<engine::Database>(
+          engine::DatabaseOptions{}));
+    }
+    reference_ = std::make_unique<engine::Database>(engine::DatabaseOptions{});
+  }
+
+  const Partitioner& part() const { return part_; }
+  const ShardCatalog& catalog() const { return catalog_; }
+
+  void Ddl(const std::string& sql) {
+    engine::Statement stmt = MustParse(sql);
+    if (auto* ct = std::get_if<engine::CreateTableStatement>(&stmt)) {
+      catalog_.AddFromDdl(*ct, /*replicated=*/false);
+    }
+    for (auto& db : dbs_) Exec(db.get(), sql);
+    Exec(reference_.get(), sql);
+  }
+
+  // Routes one INSERT to every shard whose margin-expanded cells `env`
+  // touches (the storage rule), and to the reference unconditionally.
+  void Insert(const std::string& sql, const geom::Envelope& env) {
+    const std::vector<uint32_t> cells = part_.CellsFor(env, part_.margin());
+    for (size_t s : part_.ShardsFor(cells)) Exec(dbs_[s].get(), sql);
+    Exec(reference_.get(), sql);
+  }
+
+  struct Outcome {
+    ScatterPlan plan;
+    engine::QueryResult sharded;
+    engine::QueryResult reference;
+  };
+
+  Outcome Run(const std::string& sql) {
+    Outcome out;
+    engine::Statement stmt = MustParse(sql);
+    auto* select = std::get_if<engine::SelectStatement>(&stmt);
+    EXPECT_NE(select, nullptr) << sql;
+    Result<ScatterPlan> plan = PlanSelect(*select, catalog_, part_);
+    EXPECT_TRUE(plan.ok()) << sql << ": " << plan.status().ToString();
+    if (!plan.ok()) return out;
+    out.plan = std::move(*plan);
+    std::vector<ShardBatch> batches;
+    for (size_t s : out.plan.targets) {
+      batches.push_back(ShardBatch{s, Exec(dbs_[s].get(), out.plan.subquery)});
+    }
+    if (out.plan.single_target) {
+      out.sharded = std::move(batches[0].result);
+    } else {
+      Result<engine::QueryResult> merged =
+          MergeResults(out.plan, part_, batches);
+      EXPECT_TRUE(merged.ok()) << sql << ": " << merged.status().ToString();
+      if (merged.ok()) out.sharded = std::move(*merged);
+    }
+    out.reference = Exec(reference_.get(), sql);
+    return out;
+  }
+
+ private:
+  static engine::QueryResult Exec(engine::Database* db,
+                                  const std::string& sql) {
+    Result<engine::QueryResult> result = db->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? std::move(*result) : engine::QueryResult{};
+  }
+
+  Partitioner part_;
+  ShardCatalog catalog_;
+  std::vector<std::unique_ptr<engine::Database>> dbs_;
+  std::unique_ptr<engine::Database> reference_;
+};
+
+std::vector<std::string> RowStrings(const engine::QueryResult& r) {
+  std::vector<std::string> out;
+  for (const engine::Row& row : r.rows) {
+    std::string s;
+    for (const engine::Value& v : row) {
+      s += v.ToDisplayString();
+      s += '|';
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// Finds a rectangle (1 unit tall/wide around a border) straddling two cells
+// owned by *different* shards, so dedup genuinely has duplicates to kill.
+geom::Envelope StraddlingBox(const Partitioner& part) {
+  const uint32_t side = part.config().GridSide();
+  const double extent =
+      (part.config().bounds.max_x() - part.config().bounds.min_x()) /
+      static_cast<double>(side);
+  for (uint32_t cy = 0; cy < side; ++cy) {
+    for (uint32_t cx = 0; cx + 1 < side; ++cx) {
+      if (part.OwnerShard(cy * side + cx) !=
+          part.OwnerShard(cy * side + cx + 1)) {
+        const double bx = part.config().bounds.min_x() +
+                          static_cast<double>(cx + 1) * extent;
+        const double by =
+            part.config().bounds.min_y() + static_cast<double>(cy) * extent;
+        return geom::Envelope(bx - 1.0, by + 1.0, bx + 1.0, by + 2.0);
+      }
+    }
+  }
+  ADD_FAILURE() << "no owner boundary found";
+  return geom::Envelope(0, 0, 1, 1);
+}
+
+std::string RectWkt(const geom::Envelope& e) {
+  return StrFormat(
+      "POLYGON((%.3f %.3f, %.3f %.3f, %.3f %.3f, %.3f %.3f, %.3f %.3f))",
+      e.min_x(), e.min_y(), e.max_x(), e.min_y(), e.max_x(), e.max_y(),
+      e.min_x(), e.max_y(), e.min_x(), e.min_y());
+}
+
+constexpr const char* kItemsDdl =
+    "CREATE TABLE items (id BIGINT, score BIGINT, geom GEOMETRY)";
+
+void InsertPoint(MiniCluster* cluster, int64_t id, int64_t score, double x,
+                 double y) {
+  cluster->Insert(
+      StrFormat("INSERT INTO items VALUES (%lld, %lld, "
+                "ST_GeomFromText('POINT(%.3f %.3f)'))",
+                static_cast<long long>(id), static_cast<long long>(score), x,
+                y),
+      geom::Envelope(x, y, x, y));
+}
+
+TEST(MergeTest, BorderStraddlersReportedOnce) {
+  MiniCluster cluster(3);
+  cluster.Ddl(kItemsDdl);
+  const geom::Envelope box = StraddlingBox(cluster.part());
+  // The straddler is stored on at least two shards; scattered points fill
+  // the rest of the grid.
+  cluster.Insert(StrFormat("INSERT INTO items VALUES (1, 10, "
+                           "ST_GeomFromText('%s'))",
+                           RectWkt(box).c_str()),
+                 box);
+  InsertPoint(&cluster, 2, 20, 3.0, 3.0);
+  InsertPoint(&cluster, 3, 30, 50.0, 50.0);
+  InsertPoint(&cluster, 4, 40, 97.0, 97.0);
+
+  MiniCluster::Outcome out = cluster.Run("SELECT * FROM items");
+  EXPECT_EQ(out.plan.mode, MergeMode::kConcat);
+  EXPECT_FALSE(out.plan.pruned);
+  EXPECT_EQ(out.sharded.rows.size(), 4u);  // the straddler only once
+  EXPECT_EQ(out.sharded.Checksum(), out.reference.Checksum());
+  EXPECT_EQ(out.sharded.columns, out.reference.columns);
+}
+
+TEST(MergeTest, ZeroRowShardContributesNothing) {
+  MiniCluster cluster(2);
+  cluster.Ddl(kItemsDdl);
+  // Every row lands in cell (0,0)'s corner — one shard almost certainly
+  // holds nothing, and the scatter still merges cleanly.
+  for (int i = 0; i < 5; ++i) {
+    InsertPoint(&cluster, i, i * 10, 1.0 + 0.1 * i, 1.0);
+  }
+  MiniCluster::Outcome out = cluster.Run("SELECT * FROM items");
+  EXPECT_EQ(out.sharded.rows.size(), 5u);
+  EXPECT_EQ(out.sharded.Checksum(), out.reference.Checksum());
+}
+
+TEST(MergeTest, OrderByTiesMatchSingleNodeOrder) {
+  MiniCluster cluster(3);
+  cluster.Ddl(kItemsDdl);
+  // Tied scores on different shards: the merge must reproduce the single
+  // node's deterministic tie order (canonical row order), not interleave
+  // arbitrarily.
+  InsertPoint(&cluster, 1, 7, 2.0, 2.0);
+  InsertPoint(&cluster, 2, 7, 93.0, 7.0);
+  InsertPoint(&cluster, 3, 7, 50.0, 93.0);
+  InsertPoint(&cluster, 4, 1, 20.0, 80.0);
+  InsertPoint(&cluster, 5, 9, 80.0, 20.0);
+
+  MiniCluster::Outcome out =
+      cluster.Run("SELECT i.id, i.score FROM items AS i ORDER BY i.score");
+  EXPECT_EQ(out.plan.mode, MergeMode::kEngine);
+  EXPECT_EQ(RowStrings(out.sharded), RowStrings(out.reference));
+}
+
+TEST(MergeTest, LimitCutoffAtShardBoundary) {
+  MiniCluster cluster(3);
+  cluster.Ddl(kItemsDdl);
+  for (int i = 0; i < 12; ++i) {
+    InsertPoint(&cluster, i, 100 - i, 3.0 + 8.0 * i, 3.0 + 8.0 * i);
+  }
+  // Top-k whose cutoff lands mid-shard: per-shard top-k pushdown plus the
+  // global re-fold must agree with the reference exactly.
+  MiniCluster::Outcome out = cluster.Run(
+      "SELECT i.id FROM items AS i ORDER BY i.score DESC LIMIT 5");
+  EXPECT_EQ(out.plan.mode, MergeMode::kEngine);
+  // The pushdown: every subquery ships at most LIMIT rows per shard.
+  EXPECT_NE(out.plan.subquery.find("LIMIT 5"), std::string::npos)
+      << out.plan.subquery;
+  EXPECT_EQ(out.sharded.rows.size(), 5u);
+  EXPECT_EQ(RowStrings(out.sharded), RowStrings(out.reference));
+}
+
+TEST(MergeTest, PlainLimitCountsExactly) {
+  MiniCluster cluster(2);
+  cluster.Ddl(kItemsDdl);
+  for (int i = 0; i < 10; ++i) {
+    InsertPoint(&cluster, i, i, 5.0 + 9.0 * i, 50.0);
+  }
+  // LIMIT without ORDER BY: which rows is unspecified, but the count is
+  // exact — and must not be eaten by dedup (LIMIT applies post-dedup).
+  MiniCluster::Outcome out = cluster.Run("SELECT * FROM items LIMIT 7");
+  EXPECT_EQ(out.sharded.rows.size(), 7u);
+  // And the subquery must NOT push the limit down (a shard's first 7 rows
+  // may include border duplicates destined for dedup).
+  EXPECT_EQ(out.plan.subquery.find("LIMIT"), std::string::npos)
+      << out.plan.subquery;
+}
+
+TEST(MergeTest, AggregatesAndGroupByAreExact) {
+  MiniCluster cluster(3);
+  cluster.Ddl(kItemsDdl);
+  const geom::Envelope box = StraddlingBox(cluster.part());
+  cluster.Insert(StrFormat("INSERT INTO items VALUES (100, 5, "
+                           "ST_GeomFromText('%s'))",
+                           RectWkt(box).c_str()),
+                 box);
+  for (int i = 0; i < 9; ++i) {
+    InsertPoint(&cluster, i, i % 3, 4.0 + 10.0 * i, 60.0);
+  }
+  for (const char* sql : {
+           "SELECT COUNT(*) FROM items",
+           "SELECT SUM(i.score), MIN(i.id), MAX(i.id) FROM items AS i",
+           "SELECT i.score, COUNT(*) FROM items AS i GROUP BY i.score "
+           "ORDER BY i.score",
+           "SELECT AVG(i.score) FROM items AS i WHERE i.id < 50",
+       }) {
+    MiniCluster::Outcome out = cluster.Run(sql);
+    EXPECT_EQ(out.plan.mode, MergeMode::kEngine) << sql;
+    EXPECT_EQ(RowStrings(out.sharded), RowStrings(out.reference)) << sql;
+  }
+}
+
+TEST(MergeTest, PrunedWindowQueryIsExact) {
+  MiniCluster cluster(4);
+  cluster.Ddl(kItemsDdl);
+  for (int i = 0; i < 16; ++i) {
+    InsertPoint(&cluster, i, i, 3.0 + 6.0 * (i % 4), 3.0 + 6.0 * (i / 4));
+  }
+  MiniCluster::Outcome out = cluster.Run(
+      "SELECT i.id FROM items AS i WHERE ST_Intersects(i.geom, "
+      "ST_GeomFromText('POLYGON((0 0, 5 0, 5 5, 0 5, 0 0))'))");
+  EXPECT_TRUE(out.plan.pruned);
+  EXPECT_LT(out.plan.targets.size(), 4u);  // the window prunes shards
+  EXPECT_EQ(out.sharded.Checksum(), out.reference.Checksum());
+  EXPECT_EQ(out.sharded.rows.size(), out.reference.rows.size());
+}
+
+TEST(MergeTest, ColocatedSpatialJoinIsExact) {
+  MiniCluster cluster(3);
+  cluster.Ddl(kItemsDdl);
+  cluster.Ddl("CREATE TABLE zones (zid BIGINT, geom GEOMETRY)");
+  const geom::Envelope z1(0, 0, 30, 30), z2(40, 40, 90, 90);
+  cluster.Insert(StrFormat("INSERT INTO zones VALUES (1, "
+                           "ST_GeomFromText('%s'))",
+                           RectWkt(z1).c_str()),
+                 z1);
+  cluster.Insert(StrFormat("INSERT INTO zones VALUES (2, "
+                           "ST_GeomFromText('%s'))",
+                           RectWkt(z2).c_str()),
+                 z2);
+  for (int i = 0; i < 10; ++i) {
+    InsertPoint(&cluster, i, i, 5.0 + 9.0 * i, 5.0 + 9.0 * i);
+  }
+  MiniCluster::Outcome out = cluster.Run(
+      "SELECT z.zid, i.id FROM zones AS z, items AS i "
+      "WHERE ST_Contains(z.geom, i.geom)");
+  EXPECT_EQ(out.sharded.Checksum(), out.reference.Checksum());
+  EXPECT_EQ(out.sharded.rows.size(), out.reference.rows.size());
+}
+
+TEST(PlanTest, ClassificationAndErrors) {
+  MiniCluster cluster(2);
+  cluster.Ddl(kItemsDdl);
+  cluster.Ddl("CREATE TABLE zones (zid BIGINT, geom GEOMETRY)");
+
+  // Unknown table: the router's canonical error.
+  engine::Statement stmt = MustParse("SELECT * FROM nope");
+  Result<ScatterPlan> plan = PlanSelect(
+      *std::get_if<engine::SelectStatement>(&stmt), cluster.catalog(),
+      cluster.part());
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+
+  // Partitioned-partitioned join without a co-locating spatial predicate.
+  stmt = MustParse("SELECT * FROM items AS i, zones AS z WHERE i.id = z.zid");
+  plan = PlanSelect(*std::get_if<engine::SelectStatement>(&stmt),
+                    cluster.catalog(), cluster.part());
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+
+  // ST_DWithin beyond what the storage margin proves local.
+  stmt = MustParse(
+      "SELECT * FROM items AS i, zones AS z "
+      "WHERE ST_DWithin(i.geom, z.geom, 50.0)");
+  plan = PlanSelect(*std::get_if<engine::SelectStatement>(&stmt),
+                    cluster.catalog(), cluster.part());
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("margin"), std::string::npos);
+}
+
+TEST(PlanTest, SingleShardClusterPassesThrough) {
+  MiniCluster cluster(1);
+  cluster.Ddl(kItemsDdl);
+  engine::Statement stmt =
+      MustParse("SELECT COUNT(*) FROM items ORDER BY COUNT(*)");
+  Result<ScatterPlan> plan = PlanSelect(
+      *std::get_if<engine::SelectStatement>(&stmt), cluster.catalog(),
+      cluster.part());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(plan->single_target);
+  EXPECT_EQ(plan->targets, (std::vector<size_t>{0}));
+}
+
+}  // namespace
+}  // namespace jackpine::shard
