@@ -48,13 +48,29 @@
 // (https://ui.perfetto.dev) or chrome://tracing. Against a remote SUT the
 // server-side spans arrive over the wire and are clock-offset-corrected
 // onto the client timeline (DESIGN.md "Observability").
+//
+// --shard-replicas R gives every shard of a --shard-scaling or
+// --shard-degraded cluster R replicas (R in-process servers per slot,
+// joined with '|' in the router URL).
+//
+// --shard-degraded runs the high-availability experiment: a 2-shard cluster
+// with --shard-replicas (>= 2) replicas each runs the topological suite and
+// an overload round healthy, then one replica is shut down *while the
+// degraded overload round is in flight* and the suite repeats against the
+// crippled cluster. The run fails unless every degraded query succeeded and
+// the folded suite checksum is bit-identical to the healthy baseline; the
+// report (table, --json, and a one-line `shard HA:` summary for CI greps)
+// records healthy vs degraded goodput/p95 plus the failover/hedge/stale
+// counters. See DESIGN.md § Sharding, "High availability".
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
@@ -64,6 +80,7 @@
 #include "core/runner.h"
 #include "net/remote_driver.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "shard/shard_router.h"
 #include "storage/storage.h"
@@ -107,40 +124,46 @@ uint64_t FoldChecksums(const std::vector<core::RunResult>& runs) {
 // and checksum verdict compare against.
 Result<std::vector<core::ShardScalingResult>> RunShardScaling(
     const std::vector<int>& shard_counts, const std::string& sut,
-    const tigergen::TigerDataset& dataset, const core::RunConfig& config,
-    int throughput_clients, int throughput_rounds,
-    const std::string& data_dir) {
+    int replicas, const tigergen::TigerDataset& dataset,
+    const core::RunConfig& config, int throughput_clients,
+    int throughput_rounds, const std::string& data_dir) {
   const auto topo_suite = core::BuildTopologicalSuite(dataset);
   std::vector<core::ShardScalingResult> results;
   for (int n : shard_counts) {
     if (n < 1) return Status::InvalidArgument("--shard-scaling counts must be >= 1");
     std::vector<std::unique_ptr<net::Server>> servers;
     std::vector<std::unique_ptr<storage::StorageManager>> stores;
-    std::vector<std::string> endpoints;
+    std::vector<std::string> slots;
     for (int i = 0; i < n; ++i) {
-      net::ServerOptions sopts;
-      sopts.sut = sut;
-      JACKPINE_ASSIGN_OR_RETURN(std::unique_ptr<net::Server> server,
-                                net::Server::Create(sopts));
-      if (!data_dir.empty()) {
-        // Per-shard durable directory, so each server recovers its own
-        // slice: DIR/shard<N>-<i>.
-        storage::StorageOptions store_opts;
-        store_opts.dir = StrFormat("%s/shard%d-%d", data_dir.c_str(), n, i);
-        std::error_code ec;
-        std::filesystem::create_directories(store_opts.dir, ec);
-        JACKPINE_ASSIGN_OR_RETURN(
-            std::unique_ptr<storage::StorageManager> store,
-            storage::StorageManager::Open(store_opts,
-                                          &server->connection().database()));
-        stores.push_back(std::move(store));
+      std::vector<std::string> group;
+      for (int r = 0; r < replicas; ++r) {
+        net::ServerOptions sopts;
+        sopts.sut = sut;
+        JACKPINE_ASSIGN_OR_RETURN(std::unique_ptr<net::Server> server,
+                                  net::Server::Create(sopts));
+        if (!data_dir.empty()) {
+          // Per-replica durable directory, so each server recovers its own
+          // slice: DIR/shard<N>-<i> (replicas append -r<R>).
+          storage::StorageOptions store_opts;
+          store_opts.dir =
+              r == 0 ? StrFormat("%s/shard%d-%d", data_dir.c_str(), n, i)
+                     : StrFormat("%s/shard%d-%d-r%d", data_dir.c_str(), n, i, r);
+          std::error_code ec;
+          std::filesystem::create_directories(store_opts.dir, ec);
+          JACKPINE_ASSIGN_OR_RETURN(
+              std::unique_ptr<storage::StorageManager> store,
+              storage::StorageManager::Open(store_opts,
+                                            &server->connection().database()));
+          stores.push_back(std::move(store));
+        }
+        server->StartServing();
+        group.push_back(StrFormat("127.0.0.1:%u", unsigned{server->port()}));
+        servers.push_back(std::move(server));
       }
-      server->StartServing();
-      endpoints.push_back(StrFormat("127.0.0.1:%u", unsigned{server->port()}));
-      servers.push_back(std::move(server));
+      slots.push_back(Join(group, "|"));
     }
     const std::string url =
-        StrFormat("jackpine:shard(%s)/%s", Join(endpoints, ",").c_str(),
+        StrFormat("jackpine:shard(%s)/%s", Join(slots, ",").c_str(),
                   sut.c_str());
     JACKPINE_ASSIGN_OR_RETURN(client::Connection conn,
                               client::Connection::Open(url));
@@ -188,6 +211,120 @@ Result<std::vector<core::ShardScalingResult>> RunShardScaling(
   return results;
 }
 
+uint64_t HaCounter(const char* name) {
+  return obs::GlobalRegistry().GetCounter(name)->value();
+}
+
+// The degraded-mode HA experiment (--shard-degraded): healthy baseline
+// (suite checksums + overload goodput), then one replica dies mid-overload
+// and both measurements repeat. health_ms=0 keeps the run deterministic —
+// with probing off the router cannot steer reads away before the kill is
+// observed, so the first post-kill read on the crippled shard *must* fail
+// over (shard.failover provably moves); hedge_ms=0 arms hedging so the
+// hedge counters are exercised and reported. Caveat for reading the
+// numbers: the servers are in-process and share one machine, so killing a
+// replica also frees its CPU — degraded goodput can *exceed* healthy here,
+// unlike a real fleet. The load-bearing signals are the checksum verdict
+// and the failover/hedge counters; the goodput pair becomes meaningful
+// when the endpoints are real remote servers.
+Result<core::DegradedRunResult> RunShardDegraded(
+    const std::string& sut, int shards, int replicas,
+    const tigergen::TigerDataset& dataset, const core::RunConfig& config,
+    int overload_clients, int overload_rounds) {
+  if (shards < 1 || replicas < 2) {
+    return Status::InvalidArgument(
+        "--shard-degraded needs >= 1 shard and --shard-replicas >= 2 "
+        "(killing the only copy of a slice cannot degrade gracefully)");
+  }
+  const auto topo_suite = core::BuildTopologicalSuite(dataset);
+  std::vector<std::unique_ptr<net::Server>> servers;
+  std::vector<std::string> slots;
+  for (int i = 0; i < shards; ++i) {
+    std::vector<std::string> group;
+    for (int r = 0; r < replicas; ++r) {
+      net::ServerOptions sopts;
+      sopts.sut = sut;
+      JACKPINE_ASSIGN_OR_RETURN(std::unique_ptr<net::Server> server,
+                                net::Server::Create(sopts));
+      server->StartServing();
+      group.push_back(StrFormat("127.0.0.1:%u", unsigned{server->port()}));
+      servers.push_back(std::move(server));
+    }
+    slots.push_back(Join(group, "|"));
+  }
+  const std::string url =
+      StrFormat("jackpine:shard(%s;health_ms=0;hedge_ms=0)/%s",
+                Join(slots, ",").c_str(), sut.c_str());
+  JACKPINE_ASSIGN_OR_RETURN(client::Connection conn,
+                            client::Connection::Open(url));
+
+  core::DegradedRunResult row;
+  row.sut = conn.config().name;
+  row.shards = static_cast<size_t>(shards);
+  row.replicas = static_cast<size_t>(replicas);
+
+  const uint64_t failover0 = HaCounter("shard.failover");
+  const uint64_t hedges0 = HaCounter("shard.hedges");
+  const uint64_t hedge_wins0 = HaCounter("shard.hedge_wins");
+  const uint64_t stale0 = HaCounter("shard.replica_stale");
+
+  JACKPINE_RETURN_IF_ERROR(core::LoadDataset(dataset, &conn).status());
+
+  const std::vector<core::RunResult> healthy_runs =
+      core::RunSuite(&conn, topo_suite, config);
+  for (const core::RunResult& r : healthy_runs) {
+    if (!r.ok) {
+      return Status::Internal(StrFormat("healthy run: query %s failed: %s",
+                                        r.query_id.c_str(), r.error.c_str()));
+    }
+  }
+  row.healthy_checksum = FoldChecksums(healthy_runs);
+
+  // One unmeasured round first: the healthy baseline must not eat the cold
+  // caches (server-side plans, session dials) that the degraded round —
+  // running second — would otherwise get for free.
+  (void)core::RunOverload(&conn, topo_suite, overload_clients, 1, config);
+  const core::OverloadResult healthy_ov = core::RunOverload(
+      &conn, topo_suite, overload_clients, overload_rounds, config);
+  row.healthy_goodput_qps = healthy_ov.GoodputQps();
+  row.healthy_p95_ms = healthy_ov.latency.p95_s * 1e3;
+
+  // Kill the primary replica of shard 0 while the degraded overload round
+  // is in flight: with probing off the URL order stands, so every shard-0
+  // read from here on must fail over to the sibling.
+  row.killed_endpoint = Split(slots[0], '|')[0];
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    servers[0]->Shutdown();
+  });
+  const core::OverloadResult degraded_ov = core::RunOverload(
+      &conn, topo_suite, overload_clients, overload_rounds, config);
+  killer.join();
+  row.degraded_goodput_qps = degraded_ov.GoodputQps();
+  row.degraded_p95_ms = degraded_ov.latency.p95_s * 1e3;
+
+  // The fully-degraded suite: every query must still succeed (failover is
+  // transparent) and fold to the healthy checksum bit-for-bit.
+  const std::vector<core::RunResult> degraded_runs =
+      core::RunSuite(&conn, topo_suite, config);
+  for (const core::RunResult& r : degraded_runs) {
+    if (!r.ok) {
+      return Status::Internal(StrFormat("degraded run: query %s failed: %s",
+                                        r.query_id.c_str(), r.error.c_str()));
+    }
+  }
+  row.degraded_checksum = FoldChecksums(degraded_runs);
+  row.checksum_match = row.degraded_checksum == row.healthy_checksum;
+
+  row.failovers = HaCounter("shard.failover") - failover0;
+  row.hedges = HaCounter("shard.hedges") - hedges0;
+  row.hedge_wins = HaCounter("shard.hedge_wins") - hedge_wins0;
+  row.replicas_stale = HaCounter("shard.replica_stale") - stale0;
+
+  for (auto& server : servers) server->Shutdown();
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,6 +346,8 @@ int main(int argc, char** argv) {
   std::string data_dir;
   std::vector<int> shard_scaling;
   std::string shard_sut = "pine-rtree";
+  int shard_replicas = 1;
+  bool shard_degraded = false;
   std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
                                         "pine-scan"};
   for (int i = 1; i < argc; ++i) {
@@ -248,6 +387,14 @@ int main(int argc, char** argv) {
       }
     } else if (!std::strcmp(argv[i], "--shard-sut") && i + 1 < argc) {
       shard_sut = argv[++i];
+    } else if (!std::strcmp(argv[i], "--shard-replicas") && i + 1 < argc) {
+      shard_replicas = std::atoi(argv[++i]);
+      if (shard_replicas < 1) {
+        std::fprintf(stderr, "--shard-replicas must be >= 1\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--shard-degraded")) {
+      shard_degraded = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b] "
@@ -256,12 +403,16 @@ int main(int argc, char** argv) {
                    "[--overload-clients N] [--overload-rounds R] "
                    "[--retry-budget TOKENS] [--no-load] [--json PATH] "
                    "[--trace-out PATH] [--data-dir DIR] "
-                   "[--shard-scaling N1,N2,...] [--shard-sut NAME]\n"
+                   "[--shard-scaling N1,N2,...] [--shard-sut NAME] "
+                   "[--shard-replicas R] [--shard-degraded]\n"
                    "  --suts entries: local SUT names, tcp://host:port/sut, "
                    "or shard(host:port,...)/sut cluster routers\n"
                    "  --shard-scaling: run the topological suite through an "
                    "in-process N-shard cluster per N and print the scaling "
-                   "table\n",
+                   "table\n"
+                   "  --shard-degraded: kill one replica of a replicated "
+                   "2-shard cluster mid-run and compare degraded goodput, "
+                   "p95 and suite checksums against the healthy baseline\n",
                    argv[0]);
       return 2;
     }
@@ -282,10 +433,62 @@ int main(int argc, char** argv) {
               scale, dataset.TotalRows(), dataset.edges.size(),
               dataset.counties.size());
 
+  if (shard_degraded) {
+    const int replicas = std::max(shard_replicas, 2);
+    const int shards = shard_scaling.empty() ? 2 : shard_scaling.front();
+    const int clients = overload_clients > 0 ? overload_clients : 4;
+    auto result = RunShardDegraded(shard_sut, shards, replicas, dataset,
+                                   config, clients, overload_rounds);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n",
+                core::RenderDegradedTable(
+                    StrFormat("E7: degraded-mode goodput (%s, kill one "
+                              "replica mid-run)",
+                              shard_sut.c_str()),
+                    {*result})
+                    .c_str());
+    // One grep-able line for the CI kill-a-shard smoke step.
+    std::printf("shard HA: failover=%llu hedges=%llu hedge_wins=%llu "
+                "stale=%llu\n",
+                static_cast<unsigned long long>(result->failovers),
+                static_cast<unsigned long long>(result->hedges),
+                static_cast<unsigned long long>(result->hedge_wins),
+                static_cast<unsigned long long>(result->replicas_stale));
+    if (!json_path.empty()) {
+      core::JsonReportInput report;
+      report.title =
+          StrFormat("jackpine degraded-mode goodput (scale %.2f, seed %llu, "
+                    "%s)",
+                    scale, static_cast<unsigned long long>(seed),
+                    shard_sut.c_str());
+      report.degraded.push_back(*result);
+      const std::string doc = core::RenderJsonReport(report);
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote JSON report to %s\n", json_path.c_str());
+    }
+    if (!result->checksum_match) {
+      std::fprintf(stderr,
+                   "shard degraded: checksum mismatch vs healthy baseline\n");
+      return 1;
+    }
+    return 0;
+  }
+
   if (!shard_scaling.empty()) {
     auto results =
-        RunShardScaling(shard_scaling, shard_sut, dataset, config,
-                        throughput_clients, throughput_rounds, data_dir);
+        RunShardScaling(shard_scaling, shard_sut, shard_replicas, dataset,
+                        config, throughput_clients, throughput_rounds,
+                        data_dir);
     if (!results.ok()) {
       std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
       return 1;

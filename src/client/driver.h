@@ -47,6 +47,13 @@ class DriverSession {
 
   // False once the session can no longer execute (broken transport).
   virtual bool healthy() const { return true; }
+
+  // Best-effort cancellation of the in-flight call from another thread —
+  // the hedged-scatter loser path. A remote session shuts its socket down
+  // (the blocked recv fails, the session turns unhealthy, and the failure
+  // is charged to the abort, not the endpoint's circuit breaker); the
+  // default is a no-op for backends with nothing to interrupt.
+  virtual void Abort() {}
 };
 
 // A connection backend: hands out sessions for Statements.

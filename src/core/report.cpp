@@ -255,6 +255,28 @@ std::string RenderShardScalingTable(
   return RenderGrid(title, grid);
 }
 
+std::string RenderDegradedTable(const std::string& title,
+                                const std::vector<DegradedRunResult>& results) {
+  std::vector<std::vector<std::string>> grid;
+  grid.push_back({"sut", "shards", "replicas", "killed", "goodput (q/s)",
+                  "degraded (q/s)", "p95 (ms)", "degraded p95 (ms)",
+                  "failovers", "hedges", "match"});
+  for (const DegradedRunResult& r : results) {
+    grid.push_back(
+        {r.sut, StrFormat("%zu", r.shards), StrFormat("%zu", r.replicas),
+         r.killed_endpoint, StrFormat("%.0f", r.healthy_goodput_qps),
+         StrFormat("%.0f", r.degraded_goodput_qps),
+         StrFormat("%.2f", r.healthy_p95_ms),
+         StrFormat("%.2f", r.degraded_p95_ms),
+         StrFormat("%llu", static_cast<unsigned long long>(r.failovers)),
+         StrFormat("%llu/%llu won",
+                   static_cast<unsigned long long>(r.hedges),
+                   static_cast<unsigned long long>(r.hedge_wins)),
+         r.checksum_match ? "yes" : "MISMATCH"});
+  }
+  return RenderGrid(title, grid);
+}
+
 namespace {
 
 obs::Json TimingToJson(const TimingStats& t) {
@@ -403,6 +425,36 @@ std::string RenderJsonReport(const JsonReportInput& input) {
                   "%016llx", static_cast<unsigned long long>(r.checksum))));
     entry.Set("checksum_match", obs::Json::Bool(r.checksum_match));
     entry.Set("speedup", obs::Json::Number(r.speedup));
+  }
+  // Additive within schema_version 1: present only for --shard-degraded runs.
+  obs::Json& degraded = root.Set("degraded", obs::Json::Array());
+  for (const DegradedRunResult& r : input.degraded) {
+    obs::Json& entry = degraded.Append(obs::Json::Object());
+    entry.Set("sut", obs::Json::Str(r.sut));
+    entry.Set("shards", obs::Json::Int(static_cast<int64_t>(r.shards)));
+    entry.Set("replicas", obs::Json::Int(static_cast<int64_t>(r.replicas)));
+    entry.Set("killed_endpoint", obs::Json::Str(r.killed_endpoint));
+    entry.Set("healthy_goodput_qps",
+              obs::Json::Number(r.healthy_goodput_qps));
+    entry.Set("degraded_goodput_qps",
+              obs::Json::Number(r.degraded_goodput_qps));
+    entry.Set("healthy_p95_ms", obs::Json::Number(r.healthy_p95_ms));
+    entry.Set("degraded_p95_ms", obs::Json::Number(r.degraded_p95_ms));
+    entry.Set("healthy_checksum",
+              obs::Json::Str(StrFormat(
+                  "%016llx",
+                  static_cast<unsigned long long>(r.healthy_checksum))));
+    entry.Set("degraded_checksum",
+              obs::Json::Str(StrFormat(
+                  "%016llx",
+                  static_cast<unsigned long long>(r.degraded_checksum))));
+    entry.Set("checksum_match", obs::Json::Bool(r.checksum_match));
+    entry.Set("failovers", obs::Json::Int(static_cast<int64_t>(r.failovers)));
+    entry.Set("hedges", obs::Json::Int(static_cast<int64_t>(r.hedges)));
+    entry.Set("hedge_wins",
+              obs::Json::Int(static_cast<int64_t>(r.hedge_wins)));
+    entry.Set("replicas_stale",
+              obs::Json::Int(static_cast<int64_t>(r.replicas_stale)));
   }
   return root.Dump(/*pretty=*/true);
 }

@@ -90,6 +90,36 @@ struct ShardScalingResult {
 std::string RenderShardScalingTable(const std::string& title,
                                     const std::vector<ShardScalingResult>& results);
 
+// One degraded-mode HA experiment (benchmark_runner --shard-degraded): a
+// replicated shard cluster runs the suite plus an overload round healthy,
+// then one replica is SIGKILLed and both repeat against the crippled
+// cluster. checksum_match proves the failover scatter still returned
+// byte-identical suite results; the goodput/p95 pairs quantify what the
+// lost replica cost; the counters show how the router survived (failovers
+// re-issued, hedges launched/won, replicas marked stale).
+struct DegradedRunResult {
+  std::string sut;               // router label, e.g. "shard2/pine-rtree"
+  size_t shards = 0;
+  size_t replicas = 0;           // replicas per shard
+  std::string killed_endpoint;   // host:port that was killed mid-run
+  double healthy_goodput_qps = 0.0;
+  double degraded_goodput_qps = 0.0;
+  double healthy_p95_ms = 0.0;
+  double degraded_p95_ms = 0.0;
+  uint64_t healthy_checksum = 0;   // folded per-query suite checksums
+  uint64_t degraded_checksum = 0;
+  bool checksum_match = true;
+  uint64_t failovers = 0;
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t replicas_stale = 0;
+};
+
+// One row per experiment: healthy vs degraded goodput and latency tail,
+// the checksum verdict, and the HA counters.
+std::string RenderDegradedTable(const std::string& title,
+                                const std::vector<DegradedRunResult>& results);
+
 struct JsonReportInput {
   std::string title;
   // One entry per SUT, same shape as the table renderers above. Any of the
@@ -99,6 +129,7 @@ struct JsonReportInput {
   std::vector<OverloadResult> overloads;
   std::vector<DurabilityResult> durability;
   std::vector<ShardScalingResult> shard_scaling;
+  std::vector<DegradedRunResult> degraded;
 };
 std::string RenderJsonReport(const JsonReportInput& input);
 

@@ -140,6 +140,17 @@ class RemoteSession : public client::DriverSession {
 
   bool healthy() const override { return healthy_; }
 
+  // Hedge-loser cancellation: shuts the socket down so a blocked recv in
+  // Execute fails immediately. Deliberately lock-free — Execute holds mu_
+  // for the whole round trip, so taking it here would defeat the point.
+  // The resulting transport failure poisons this session (the caller
+  // re-dials) but is NOT charged to the endpoint's breaker: the endpoint
+  // did nothing wrong, we hung up on it.
+  void Abort() override {
+    aborted_.store(true, std::memory_order_release);
+    socket_.ShutdownBoth();
+  }
+
  private:
   Result<engine::QueryResult> Execute(FrameType type, std::string_view sql,
                                       const ExecLimits& limits) {
@@ -219,7 +230,11 @@ class RemoteSession : public client::DriverSession {
       if (!result.ok()) {
         result = NameEndpoint(result.status(), endpoint_label_);
       }
-      if (breaker_) breaker_->OnFailure(result.status());
+      // An aborted call failed because *we* shut the socket (hedge loser);
+      // charging the endpoint's breaker would poison a healthy replica.
+      if (breaker_ && !aborted_.load(std::memory_order_acquire)) {
+        breaker_->OnFailure(result.status());
+      }
     } else if (breaker_) {
       breaker_->OnSuccess();
     }
@@ -306,6 +321,8 @@ class RemoteSession : public client::DriverSession {
   std::mutex mu_;  // one in-flight request per session
   bool healthy_ = true;
   bool transport_failed_ = false;
+  // Set by Abort() from another thread while Execute holds mu_.
+  std::atomic<bool> aborted_{false};
   // Hello-negotiated tracing capability and the clock offset estimated from
   // that handshake: client_time = server_time - clock_offset_s_.
   bool peer_traces_ = false;
@@ -395,6 +412,74 @@ Result<std::vector<std::pair<std::string, double>>> QueryServerStats(
                             DecodeStatsReply(reply.payload));
   (void)socket.SendAll(EncodeFrame(FrameType::kClose, ""));
   return stats.entries;
+}
+
+Result<PingProbe> PingEndpoint(const std::string& host, uint16_t port,
+                               double timeout_s) {
+  const double t0 = obs::SpanNowS();
+  JACKPINE_ASSIGN_OR_RETURN(Socket socket, Socket::Connect(host, port));
+  JACKPINE_RETURN_IF_ERROR(socket.SetRecvTimeout(timeout_s));
+  FrameDecoder decoder;
+  char buf[kRecvChunk];
+  const auto next_frame = [&]() -> Result<Frame> {
+    for (;;) {
+      JACKPINE_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder.Next());
+      if (frame.has_value()) return std::move(*frame);
+      JACKPINE_ASSIGN_OR_RETURN(size_t n, socket.Recv(buf, sizeof(buf)));
+      if (n == 0) return Status::Unavailable("server closed the connection");
+      decoder.Feed(std::string_view(buf, n));
+    }
+  };
+
+  // Handshake with an empty SUT name, like the stats scrape: health is a
+  // property of the process, not of what it hosts. A handshake-time Error
+  // (version mismatch, shed) fails the probe — a server that cannot admit a
+  // trivial session should not take scatter traffic either.
+  HelloMsg hello;
+  hello.peer_info = "jackpine-health/1";
+  JACKPINE_RETURN_IF_ERROR(
+      socket.SendAll(EncodeFrame(FrameType::kHello, EncodeHello(hello))));
+  JACKPINE_ASSIGN_OR_RETURN(Frame ack, next_frame());
+  if (ack.type == FrameType::kError) {
+    JACKPINE_ASSIGN_OR_RETURN(ErrorMsg err, DecodeError(ack.payload));
+    return ErrorToStatus(err);
+  }
+  if (ack.type != FrameType::kHello) {
+    return Status::Unavailable("protocol: handshake reply is not a Hello");
+  }
+
+  PingMsg ping;
+  ping.seq = 1;
+  JACKPINE_RETURN_IF_ERROR(
+      socket.SendAll(EncodeFrame(FrameType::kPing, EncodePing(ping))));
+  JACKPINE_ASSIGN_OR_RETURN(Frame reply, next_frame());
+  PingProbe probe;
+  if (reply.type == FrameType::kError) {
+    JACKPINE_ASSIGN_OR_RETURN(ErrorMsg err, DecodeError(reply.payload));
+    if (err.code == StatusCode::kParseError ||
+        err.code == StatusCode::kInvalidArgument) {
+      // A pre-ping server: its decoder (kParseError) or its session loop
+      // (kInvalidArgument) rejected the frame. It completed the handshake,
+      // so it is alive — report up with the handshake-bounded RTT. Do not
+      // send a Close: a decoder-level rejection already latched its stream.
+      probe.legacy = true;
+      probe.rtt_s = obs::SpanNowS() - t0;
+      return probe;
+    }
+    return ErrorToStatus(err);
+  }
+  if (reply.type != FrameType::kPing) {
+    return Status::Unavailable(StrFormat(
+        "protocol: unexpected frame type %u in a ping reply",
+        static_cast<unsigned>(reply.type)));
+  }
+  JACKPINE_ASSIGN_OR_RETURN(PingMsg pong, DecodePing(reply.payload));
+  if (pong.seq != ping.seq) {
+    return Status::Unavailable("protocol: ping reply echoed the wrong seq");
+  }
+  probe.rtt_s = obs::SpanNowS() - t0;
+  (void)socket.SendAll(EncodeFrame(FrameType::kClose, ""));
+  return probe;
 }
 
 void RegisterRemoteDriver() {

@@ -78,6 +78,24 @@ Result<std::vector<std::pair<std::string, double>>> QueryServerStats(
     const std::string& host, uint16_t port,
     StatsScope scope = StatsScope::kGlobal);
 
+// One successful health probe: what it measured and what it learned about
+// the peer.
+struct PingProbe {
+  double rtt_s = 0.0;  // connect + Hello + Ping round trip, client clock
+  // True when the server predates the Ping frame: it answered the probe
+  // with a kParseError Error frame (its decoder rejects type 8). The
+  // endpoint is alive — the handshake succeeded — it just cannot be
+  // latency-probed beyond the handshake itself.
+  bool legacy = false;
+};
+
+// One-shot liveness/latency probe: connect, handshake (any SUT), send one
+// Ping, time the round trip. An error Status means the endpoint is down or
+// unreachable; a legacy server that rejects the Ping frame still counts as
+// up (see PingProbe::legacy). `timeout_s` bounds the receive wait.
+Result<PingProbe> PingEndpoint(const std::string& host, uint16_t port,
+                               double timeout_s = 2.0);
+
 }  // namespace jackpine::net
 
 #endif  // JACKPINE_NET_REMOTE_DRIVER_H_

@@ -80,6 +80,7 @@ ServerCounters Server::counters() const {
   c.idle_reaped = idle_reaped_.load();
   c.send_timeouts = send_timeouts_.load();
   c.chaos_injected = chaos_injected_.load();
+  c.pings = pings_.load();
   return c;
 }
 
@@ -105,6 +106,7 @@ std::vector<std::pair<std::string, double>> Server::GlobalStatsEntries()
   put("server.idle_reaped", c.idle_reaped);
   put("server.send_timeouts", c.send_timeouts);
   put("server.chaos_injected", c.chaos_injected);
+  put("server.pings", c.pings);
   if (engine::Database* db = connection_->local_database()) {
     const engine::ExecStats& s = db->stats();
     put("engine.rows_scanned", s.rows_scanned.load());
@@ -396,6 +398,23 @@ void Server::ServeSession(Session* session) {
                           ? session_trace.ToEntries()
                           : GlobalStatsEntries();
       if (!send_frame(FrameType::kStats, EncodeStatsReply(reply))) break;
+      continue;
+    }
+
+    if (frame->type == FrameType::kPing) {
+      // Health-probe echo: same seq back, our clock in the trailing field.
+      // Cheap by design — no engine work, no session state — so probe RTT
+      // approximates queueing + wire latency, not query cost.
+      Result<PingMsg> ping = DecodePing(frame->payload);
+      if (!ping.ok()) {
+        (void)send_error(ping.status());
+        break;  // framing is suspect; isolate by ending this session only
+      }
+      pings_.fetch_add(1);
+      PingMsg pong;
+      pong.seq = ping->seq;
+      pong.sender_time_s = obs::SpanNowS();
+      if (!send_frame(FrameType::kPing, EncodePing(pong))) break;
       continue;
     }
 

@@ -86,6 +86,7 @@ struct ServerCounters {
   uint64_t idle_reaped = 0;     // sessions closed by the idle timeout
   uint64_t send_timeouts = 0;   // sessions ended by a blocked send
   uint64_t chaos_injected = 0;  // server-side chaos faults delivered
+  uint64_t pings = 0;           // health-probe Ping frames echoed
 };
 
 class Server {
@@ -194,6 +195,7 @@ class Server {
   std::atomic<uint64_t> idle_reaped_{0};
   std::atomic<uint64_t> send_timeouts_{0};
   std::atomic<uint64_t> chaos_injected_{0};
+  std::atomic<uint64_t> pings_{0};
 };
 
 }  // namespace jackpine::net

@@ -178,7 +178,7 @@ Result<Value> ReadValue(Reader* r) {
 
 bool KnownFrameType(uint8_t t) {
   return t >= static_cast<uint8_t>(FrameType::kHello) &&
-         t <= static_cast<uint8_t>(FrameType::kStats);
+         t <= static_cast<uint8_t>(FrameType::kPing);
 }
 
 bool KnownStatusCode(uint8_t c) {
@@ -402,6 +402,26 @@ Result<ResultBatchMsg> DecodeResultBatch(std::string_view payload) {
   }
   if (msg.has_header && r.remaining() > 0) {
     JACKPINE_ASSIGN_OR_RETURN(msg.rows_examined, r.ReadU64());
+  }
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::string EncodePing(const PingMsg& msg) {
+  std::string out;
+  AppendU64(&out, msg.seq);
+  // Optional trailing clock reading, emitted only when nonzero so a plain
+  // ping keeps the minimal encoding (same scheme as Error's retry hint).
+  if (msg.sender_time_s != 0.0) AppendF64(&out, msg.sender_time_s);
+  return out;
+}
+
+Result<PingMsg> DecodePing(std::string_view payload) {
+  Reader r(payload);
+  PingMsg msg;
+  JACKPINE_ASSIGN_OR_RETURN(msg.seq, r.ReadU64());
+  if (r.remaining() > 0) {
+    JACKPINE_ASSIGN_OR_RETURN(msg.sender_time_s, r.ReadF64());
   }
   JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
   return msg;

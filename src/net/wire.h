@@ -19,6 +19,10 @@
 //   Stats       (7)  request: scope:u8 (0=global 1=session 2=spans)
 //                    reply:   count:u32 (name:str value:f64)*
 //                             — or a SpanList for scope 2
+//   Ping        (8)  seq:u64 [sender_time_s:f64]  both directions; the
+//                    server echoes the seq, stamping its own clock in the
+//                    optional trailing field (health probes measure RTT
+//                    client-side either way)
 //
 // str is u32 length + bytes. A query response is a sequence of ResultBatch
 // frames — the column header rides in the first, the kLast flag marks the
@@ -72,6 +76,13 @@ enum class FrameType : uint8_t {
   // framing error and drops the connection, so clients only send it to
   // servers that completed a version-matched Hello.
   kStats = 7,
+  // Liveness/latency probe (shard health checking): the server echoes the
+  // frame back with the same seq. A pre-ping server rejects type 8 as a
+  // framing error and answers with a kParseError Error frame before closing
+  // — the prober treats that reply as "alive, legacy" rather than down, so
+  // mixed-version clusters keep health-checking (the same fallback contract
+  // as the Hello trace negotiation).
+  kPing = 8,
 };
 
 struct Frame {
@@ -207,6 +218,18 @@ Status ErrorToStatus(const ErrorMsg& msg);
 
 std::string EncodeResultBatch(const ResultBatchMsg& msg);
 Result<ResultBatchMsg> DecodeResultBatch(std::string_view payload);
+
+// Health probe payload. `sender_time_s` is an optional trailing field in
+// the Error/Hello style: emitted only when nonzero, so a plain ping keeps
+// the minimal seq-only encoding, and a payload ending after the seq decodes
+// as 0.0 (a peer without a clock reading).
+struct PingMsg {
+  uint64_t seq = 0;
+  double sender_time_s = 0.0;
+};
+
+std::string EncodePing(const PingMsg& msg);
+Result<PingMsg> DecodePing(std::string_view payload);
 
 std::string EncodeStatsRequest(const StatsRequestMsg& msg);
 Result<StatsRequestMsg> DecodeStatsRequest(std::string_view payload);

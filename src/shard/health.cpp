@@ -1,0 +1,138 @@
+#include "shard/health.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+#include "net/remote_driver.h"
+
+namespace jackpine::shard {
+
+namespace {
+
+std::string HealthLabel(const client::RemoteEndpoint& endpoint) {
+  return StrFormat("%s:%u", endpoint.host.c_str(), unsigned{endpoint.port});
+}
+
+}  // namespace
+
+HealthChecker::HealthChecker(std::vector<client::RemoteEndpoint> endpoints,
+                             HealthOptions options)
+    : endpoints_(std::move(endpoints)),
+      options_(options),
+      probes_total_(obs::GlobalRegistry().GetCounter("shard.health.probes")),
+      probe_failures_(obs::GlobalRegistry().GetCounter("shard.health.probe_failures")),
+      states_(endpoints_.size()) {
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    const std::string label = HealthLabel(endpoints_[i]);
+    states_[i].up_gauge = obs::GlobalRegistry().GetGauge("shard.health.up." + label);
+    states_[i].ewma_gauge = obs::GlobalRegistry().GetGauge("shard.health.ewma_ms." + label);
+    states_[i].up_gauge->Set(1.0);  // optimistic until a probe says otherwise
+    states_[i].ewma_gauge->Set(0.0);
+  }
+}
+
+HealthChecker::~HealthChecker() { Stop(); }
+
+void HealthChecker::Start() {
+  if (options_.interval_ms <= 0 || thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] {
+    const auto period = std::chrono::duration<double, std::milli>(
+        options_.interval_ms);
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      lock.unlock();
+      ProbeAllOnce();
+      lock.lock();
+      // wait_for (not sleep) so Stop() interrupts a long period promptly.
+      cv_.wait_for(lock, period, [this] { return stop_; });
+    }
+  });
+}
+
+void HealthChecker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthChecker::ProbeAllOnce() {
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    const auto& ep = endpoints_[i];
+    Result<net::PingProbe> probe =
+        net::PingEndpoint(ep.host, ep.port, options_.timeout_s);
+    std::lock_guard<std::mutex> lock(mu_);
+    State& state = states_[i];
+    state.probes += 1;
+    probes_total_->Add(1);
+    if (probe.ok()) {
+      state.legacy = probe->legacy;
+      // A legacy peer proves liveness but its "rtt" includes a handshake it
+      // rejected; count it up without polluting the latency estimate.
+      UpdateLocked(&state, /*ok=*/true,
+                   probe->legacy ? -1.0 : probe->rtt_s);
+    } else {
+      state.failures += 1;
+      probe_failures_->Add(1);
+      UpdateLocked(&state, /*ok=*/false, -1.0);
+    }
+  }
+}
+
+void HealthChecker::Report(size_t i, bool ok, double latency_s) {
+  if (i >= states_.size()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  UpdateLocked(&states_[i], ok, ok ? latency_s : -1.0);
+}
+
+void HealthChecker::UpdateLocked(State* state, bool ok, double latency_s) {
+  if (ok) {
+    state->consecutive_failures = 0;
+    state->up = true;
+    if (latency_s >= 0.0) {
+      const double ms = latency_s * 1000.0;
+      if (!state->has_sample) {
+        state->has_sample = true;
+        state->ewma_ms = ms;
+        state->var_ms2 = 0.0;
+      } else {
+        // Joint EWMA of mean and variance (West 1979 incremental form):
+        // the deviation from the *old* mean feeds the variance estimate.
+        const double a = options_.ewma_alpha;
+        const double d = ms - state->ewma_ms;
+        state->ewma_ms += a * d;
+        state->var_ms2 = (1.0 - a) * (state->var_ms2 + a * d * d);
+      }
+      state->ewma_gauge->Set(state->ewma_ms);
+    }
+  } else {
+    state->consecutive_failures += 1;
+    if (state->consecutive_failures >= options_.down_after) state->up = false;
+  }
+  state->up_gauge->Set(state->up ? 1.0 : 0.0);
+}
+
+HealthChecker::Snapshot HealthChecker::snapshot(size_t i) const {
+  Snapshot snap;
+  if (i >= states_.size()) return snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  const State& state = states_[i];
+  snap.up = state.up;
+  snap.legacy = state.legacy;
+  snap.ewma_ms = state.ewma_ms;
+  snap.p95_ms = state.ewma_ms + 1.645 * std::sqrt(state.var_ms2);
+  snap.probes = state.probes;
+  snap.failures = state.failures;
+  return snap;
+}
+
+}  // namespace jackpine::shard

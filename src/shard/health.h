@@ -1,0 +1,109 @@
+// Active health checking for the shard router (DESIGN.md § Sharding,
+// "High availability"): a background thread per router pings every endpoint
+// of the cluster on a fixed period using the lightweight wire Ping frame
+// (net/wire.h) and maintains, per endpoint:
+//
+//   - up/down: down after `down_after` consecutive probe failures, up again
+//     on the first success. Optimistic start (everything is up until a probe
+//     says otherwise), so a router is usable before its first sweep.
+//   - an EWMA of the probe round-trip time plus an EWMA variance, from
+//     which p95_ms estimates the latency tail (mean + 1.645 sigma) — the
+//     hedge-delay input for the scatter path.
+//
+// The read path consults snapshot() to order replicas (healthy and fast
+// first) *before* any circuit breaker trips: the breaker reacts to real
+// query failures, the checker predicts them. Probes bypass the per-shard
+// chaos wrap and the breakers entirely — they are measurement, not traffic,
+// so deterministic chaos sequences and breaker state stay unperturbed.
+//
+// Exposition: shard.health.up.<endpoint> and shard.health.ewma_ms.<endpoint>
+// gauges, plus shard.health.probes / shard.health.probe_failures counters,
+// all in the global registry (visible to --json reports and Prometheus
+// exposition on the client side of the wire).
+
+#ifndef JACKPINE_SHARD_HEALTH_H_
+#define JACKPINE_SHARD_HEALTH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "client/driver.h"
+#include "obs/metrics.h"
+
+namespace jackpine::shard {
+
+struct HealthOptions {
+  double interval_ms = 100.0;  // probe period; Start() is a no-op when <= 0
+  double timeout_s = 1.0;      // per-probe receive timeout
+  double ewma_alpha = 0.3;     // smoothing for rtt mean and variance
+  int down_after = 1;          // consecutive failures before down
+};
+
+class HealthChecker {
+ public:
+  struct Snapshot {
+    bool up = true;
+    bool legacy = false;   // peer predates the Ping frame (still up)
+    double ewma_ms = 0.0;  // smoothed probe RTT (0 until the first sample)
+    double p95_ms = 0.0;   // EWMA mean + 1.645 * EWMA stddev
+    uint64_t probes = 0;
+    uint64_t failures = 0;
+  };
+
+  HealthChecker(std::vector<client::RemoteEndpoint> endpoints,
+                HealthOptions options = {});
+  ~HealthChecker();  // stops the thread
+
+  // Spawns the probe thread (idempotent; no-op when interval_ms <= 0).
+  void Start();
+  void Stop();
+
+  // One synchronous sweep over every endpoint — what the thread runs each
+  // period. Exposed for tests and for callers that want fresh state now.
+  void ProbeAllOnce();
+
+  size_t size() const { return endpoints_.size(); }
+  Snapshot snapshot(size_t i) const;
+
+  // Piggyback the outcome of a real call, so scatter traffic keeps health
+  // fresh between probes: a success proves the endpoint up and contributes
+  // a latency sample; a transport-class failure marks it down immediately.
+  // The caller decides what counts — engine errors prove liveness and
+  // should be reported ok.
+  void Report(size_t i, bool ok, double latency_s);
+
+ private:
+  struct State {
+    bool up = true;
+    bool legacy = false;
+    int consecutive_failures = 0;
+    bool has_sample = false;
+    double ewma_ms = 0.0;
+    double var_ms2 = 0.0;  // EWMA of squared deviation
+    uint64_t probes = 0;
+    uint64_t failures = 0;
+    obs::Gauge* up_gauge = nullptr;
+    obs::Gauge* ewma_gauge = nullptr;
+  };
+
+  // Folds one observation in. Caller holds mu_.
+  void UpdateLocked(State* state, bool ok, double latency_s);
+
+  const std::vector<client::RemoteEndpoint> endpoints_;
+  const HealthOptions options_;
+  obs::Counter* probes_total_;
+  obs::Counter* probe_failures_;
+
+  mutable std::mutex mu_;  // guards states_ and stop_
+  std::vector<State> states_;
+  bool stop_ = false;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace jackpine::shard
+
+#endif  // JACKPINE_SHARD_HEALTH_H_

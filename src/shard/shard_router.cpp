@@ -11,9 +11,13 @@
 #include "common/string_util.h"
 #include "engine/expression.h"
 #include "engine/sql_parser.h"
+#include <condition_variable>
+#include <functional>
+
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "shard/health.h"
 #include "shard/merge.h"
 
 namespace jackpine::shard {
@@ -125,11 +129,45 @@ engine::QueryResult RowsAffectedResult(int64_t rows) {
   return result;
 }
 
-// Error-combination priority for a scatter: a deterministic failure beats
-// retry advice (retrying cannot fix it), an explicit shed beats a breaker
-// fast-fail (the shed proves a server is up and names a wait), and within a
-// class the largest retry hint wins so the runner's pacing covers the
-// slowest shard.
+struct ShardMetrics {
+  obs::Counter* queries;
+  obs::Counter* subqueries;
+  obs::Counter* dedup_dropped;
+  obs::Counter* merge_rows_in;
+  obs::Counter* merge_rows_out;
+  obs::Counter* failover;       // sub-calls re-issued on a sibling replica
+  obs::Counter* hedges;         // hedge duplicates launched
+  obs::Counter* hedge_wins;     // hedges whose reply beat the primary's
+  obs::Counter* replica_stale;  // replicas marked stale after a missed write
+  obs::Histogram* fanout;
+  obs::Gauge* last_fanout;
+};
+
+ShardMetrics& Metrics() {
+  static ShardMetrics metrics = [] {
+    obs::Registry& reg = obs::GlobalRegistry();
+    ShardMetrics m;
+    m.queries = reg.GetCounter("shard.queries");
+    m.subqueries = reg.GetCounter("shard.subqueries");
+    m.dedup_dropped = reg.GetCounter("shard.dedup_dropped");
+    m.merge_rows_in = reg.GetCounter("shard.merge.rows_in");
+    m.merge_rows_out = reg.GetCounter("shard.merge.rows_out");
+    m.failover = reg.GetCounter("shard.failover");
+    m.hedges = reg.GetCounter("shard.hedges");
+    m.hedge_wins = reg.GetCounter("shard.hedge_wins");
+    m.replica_stale = reg.GetCounter("shard.replica_stale");
+    m.fanout = reg.GetHistogram("shard.fanout",
+                                obs::Histogram::PowerOfTwoBounds(9));
+    m.last_fanout = reg.GetGauge("shard.last_fanout");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+// See the header for the priority lattice. Lives outside the session so it
+// is unit-testable against hand-built status vectors.
 Status CombineStatuses(const std::vector<Status>& errors) {
   const Status* shed = nullptr;
   const Status* fast_fail = nullptr;
@@ -152,40 +190,9 @@ Status CombineStatuses(const std::vector<Status>& errors) {
   return Status::Ok();
 }
 
-struct ShardMetrics {
-  obs::Counter* queries;
-  obs::Counter* subqueries;
-  obs::Counter* dedup_dropped;
-  obs::Counter* merge_rows_in;
-  obs::Counter* merge_rows_out;
-  obs::Histogram* fanout;
-  obs::Gauge* last_fanout;
-};
-
-ShardMetrics& Metrics() {
-  static ShardMetrics metrics = [] {
-    obs::Registry& reg = obs::GlobalRegistry();
-    ShardMetrics m;
-    m.queries = reg.GetCounter("shard.queries");
-    m.subqueries = reg.GetCounter("shard.subqueries");
-    m.dedup_dropped = reg.GetCounter("shard.dedup_dropped");
-    m.merge_rows_in = reg.GetCounter("shard.merge.rows_in");
-    m.merge_rows_out = reg.GetCounter("shard.merge.rows_out");
-    m.fanout = reg.GetHistogram("shard.fanout",
-                                obs::Histogram::PowerOfTwoBounds(9));
-    m.last_fanout = reg.GetGauge("shard.last_fanout");
-    return m;
-  }();
-  return metrics;
-}
-
-}  // namespace
-
 struct ShardDriver::CatalogState {
   std::mutex mu;
   ShardCatalog catalog;
-  // Per-endpoint error counters, resolved once (index = shard).
-  std::vector<obs::Counter*> errors;
 };
 
 Result<ShardOptions> ParseShardUrl(std::string_view rest) {
@@ -220,15 +227,20 @@ Result<ShardOptions> ParseShardUrl(std::string_view rest) {
 
   const std::string_view body = rest.substr(prefix.size(), close - prefix.size());
   const std::vector<std::string_view> segments = SplitTopLevel(body, ';');
-  for (std::string_view ep : SplitTopLevel(segments[0], ',')) {
-    client::RemoteEndpoint endpoint;
-    std::optional<client::ChaosConfig> chaos;
-    JACKPINE_RETURN_IF_ERROR(ParseEndpointSpec(ep, &endpoint, &chaos));
-    endpoint.sut = options.sut;
-    options.endpoints.push_back(std::move(endpoint));
-    options.chaos.push_back(chaos);
+  // Each comma-separated slot is one shard; '|' inside a slot separates its
+  // replicas (paren-aware, so chaos(...)@ prefixes survive both splits).
+  for (std::string_view slot : SplitTopLevel(segments[0], ',')) {
+    std::vector<ReplicaSpec> group;
+    for (std::string_view ep : SplitTopLevel(slot, '|')) {
+      ReplicaSpec replica;
+      JACKPINE_RETURN_IF_ERROR(
+          ParseEndpointSpec(ep, &replica.endpoint, &replica.chaos));
+      replica.endpoint.sut = options.sut;
+      group.push_back(std::move(replica));
+    }
+    options.shards.push_back(std::move(group));
   }
-  if (options.endpoints.empty()) {
+  if (options.shards.empty()) {
     return Status::InvalidArgument("shard URL: no endpoints");
   }
 
@@ -285,10 +297,25 @@ Result<ShardOptions> ParseShardUrl(std::string_view rest) {
         const std::string name = ToLowerAscii(StripAscii(t));
         if (!name.empty()) options.replicated_tables.push_back(name);
       }
+    } else if (key == "health_ms") {
+      JACKPINE_ASSIGN_OR_RETURN(double ms, ParseDoubleOption(key, value));
+      if (ms < 0.0) {
+        return Status::InvalidArgument(
+            "shard URL: health_ms= must be >= 0 (0 disables probing)");
+      }
+      options.health_ms = ms;
+    } else if (key == "hedge_ms") {
+      JACKPINE_ASSIGN_OR_RETURN(double ms, ParseDoubleOption(key, value));
+      if (ms < 0.0) {
+        return Status::InvalidArgument(
+            "shard URL: hedge_ms= must be >= 0 (0 derives the delay from "
+            "health EWMA p95)");
+      }
+      options.hedge_ms = ms;
     } else {
       return Status::InvalidArgument(StrFormat(
           "shard URL: unknown option '%s' (expected grid/margin/vnodes/"
-          "bounds/replicate)", key.c_str()));
+          "bounds/replicate/health_ms/hedge_ms)", key.c_str()));
     }
   }
   return options;
@@ -297,44 +324,78 @@ Result<ShardOptions> ParseShardUrl(std::string_view rest) {
 ShardDriver::ShardDriver(ShardOptions options, Partitioner partitioner)
     : options_(std::move(options)), partitioner_(std::move(partitioner)) {}
 
+ShardDriver::~ShardDriver() = default;  // here so HealthChecker is complete
+
 Result<std::shared_ptr<ShardDriver>> ShardDriver::Create(ShardOptions options) {
-  if (options.endpoints.empty()) {
+  if (options.shards.empty()) {
     return Status::InvalidArgument("shard driver: no endpoints");
   }
+  for (const std::vector<ReplicaSpec>& group : options.shards) {
+    if (group.empty()) {
+      return Status::InvalidArgument("shard driver: empty replica group");
+    }
+  }
+  // Ring identity = the primary replica's label, so adding replicas to a
+  // slot never moves data between shards.
   std::vector<std::string> names;
-  names.reserve(options.endpoints.size());
-  for (const client::RemoteEndpoint& ep : options.endpoints) {
-    names.push_back(EndpointLabel(ep));
+  names.reserve(options.shards.size());
+  for (const std::vector<ReplicaSpec>& group : options.shards) {
+    names.push_back(EndpointLabel(group[0].endpoint));
   }
   Partitioner partitioner(options.partition, names);
   auto driver = std::shared_ptr<ShardDriver>(
       new ShardDriver(std::move(options), std::move(partitioner)));
   driver->catalog_ = std::make_shared<CatalogState>();
-  for (size_t i = 0; i < driver->options_.endpoints.size(); ++i) {
-    // Lazy transport: construct the per-shard driver without the eager
-    // probe OpenRemoteDriver does, so a dead shard fails (and trips its
-    // breaker) at the first query that needs it, not at Open.
-    driver->drivers_.push_back(
-        std::make_shared<net::RemoteDriver>(driver->options_.endpoints[i]));
-    driver->chaos_.push_back(
-        driver->options_.chaos[i]
-            ? std::make_shared<client::ChaosState>(*driver->options_.chaos[i])
-            : nullptr);
-    driver->catalog_->errors.push_back(obs::GlobalRegistry().GetCounter(
-        StrFormat("shard.errors.%s", names[i].c_str())));
+  std::vector<client::RemoteEndpoint> probe_targets;
+  bool any_replicated_slot = false;
+  driver->replicas_.resize(driver->options_.shards.size());
+  for (size_t i = 0; i < driver->options_.shards.size(); ++i) {
+    const std::vector<ReplicaSpec>& group = driver->options_.shards[i];
+    if (group.size() > 1) any_replicated_slot = true;
+    for (const ReplicaSpec& spec : group) {
+      // Lazy transport: construct the per-replica driver without the eager
+      // probe OpenRemoteDriver does, so a dead endpoint fails (and trips
+      // its breaker) at the first query that needs it, not at Open.
+      Replica replica;
+      replica.driver = std::make_shared<net::RemoteDriver>(spec.endpoint);
+      replica.chaos = spec.chaos
+                          ? std::make_shared<client::ChaosState>(*spec.chaos)
+                          : nullptr;
+      replica.stale = std::make_shared<std::atomic<bool>>(false);
+      replica.errors = obs::GlobalRegistry().GetCounter(StrFormat(
+          "shard.errors.%s", EndpointLabel(spec.endpoint).c_str()));
+      replica.health_index = probe_targets.size();
+      probe_targets.push_back(spec.endpoint);
+      driver->replicas_[i].push_back(std::move(replica));
+    }
+  }
+  // Health checking defaults on only when some shard actually has a sibling
+  // to steer towards; a plain single-replica cluster keeps its pre-HA
+  // behavior (no probe connections perturbing max_sessions budgets).
+  double health_ms = driver->options_.health_ms;
+  if (health_ms < 0.0) health_ms = any_replicated_slot ? 100.0 : 0.0;
+  if (health_ms > 0.0) {
+    HealthOptions health_options;
+    health_options.interval_ms = health_ms;
+    driver->health_ = std::make_unique<HealthChecker>(
+        std::move(probe_targets), health_options);
+    driver->health_->Start();
   }
   return driver;
 }
 
 // One router session: the DriverSession a client::Statement executes on.
-// Holds one cached DriverSession per shard (opened on demand, reopened when
-// a transport failure marks it unhealthy, exactly like Statement's own
+// Holds one cached DriverSession per replica (opened on demand, reopened
+// when a transport failure marks it unhealthy, exactly like Statement's own
 // reconnect loop one level up).
 class ShardSession : public client::DriverSession {
  public:
   explicit ShardSession(std::shared_ptr<ShardDriver> driver)
-      : driver_(std::move(driver)),
-        sessions_(driver_->options_.endpoints.size()) {}
+      : driver_(std::move(driver)), sessions_(driver_->replicas_.size()) {
+    for (size_t i = 0; i < sessions_.size(); ++i) {
+      sessions_[i].resize(driver_->replicas_[i].size());
+    }
+  }
 
   Result<engine::QueryResult> ExecuteQuery(std::string_view sql,
                                            const ExecLimits& limits) override {
@@ -356,25 +417,46 @@ class ShardSession : public client::DriverSession {
   struct ShardCall {
     size_t shard = 0;
     std::string sql;
+    // DDL that re-establishes a stale replica: a successful CREATE TABLE
+    // there clears its stale flag (the loader path recreates tables before
+    // re-inserting, so this is the re-sync entry point).
+    bool resync = false;
   };
 
   const Partitioner& partitioner() const { return driver_->partitioner_; }
 
-  Result<std::shared_ptr<client::DriverSession>> EnsureShardSession(size_t i) {
-    if (sessions_[i] && sessions_[i]->healthy()) return sessions_[i];
-    JACKPINE_ASSIGN_OR_RETURN(sessions_[i], driver_->drivers_[i]->NewSession());
-    return sessions_[i];
+  const client::RemoteEndpoint& ReplicaEndpoint(size_t shard,
+                                                size_t replica) const {
+    return driver_->options_.shards[shard][replica].endpoint;
   }
 
-  // Runs one sub-call against one shard, applying that shard's chaos wrap
-  // (queries only — loads must stay deterministic, matching the chaos
-  // driver's own rule).
-  Result<engine::QueryResult> CallShard(size_t shard, const std::string& sql,
-                                        const ExecLimits& limits,
-                                        bool is_query) {
-    if (is_query && driver_->chaos_[shard]) {
-      const client::ChaosState::Fault fault =
-          driver_->chaos_[shard]->NextFault();
+  // Returns the cached session for (shard, replica), dialing a fresh one
+  // when the slot is empty or latched unhealthy. The dead session object is
+  // dropped *before* the dial: a failed redial must not leave a corpse (and
+  // its half-closed socket) wedged in the slot, or a restarted server could
+  // never rejoin without a new router.
+  Result<std::shared_ptr<client::DriverSession>> AcquireSession(
+      size_t shard, size_t replica) {
+    std::shared_ptr<client::DriverSession>& slot = sessions_[shard][replica];
+    if (slot && slot->healthy()) return slot;
+    slot.reset();
+    JACKPINE_ASSIGN_OR_RETURN(
+        slot, driver_->replicas_[shard][replica].driver->NewSession());
+    return slot;
+  }
+
+  // Runs one sub-call against one replica, applying that replica's chaos
+  // wrap (queries only — loads must stay deterministic, matching the chaos
+  // driver's own rule). `session_sink`, when set, receives the live session
+  // before the call blocks, so a hedging peer can Abort it.
+  Result<engine::QueryResult> CallReplica(
+      size_t shard, size_t replica, const std::string& sql,
+      const ExecLimits& limits, bool is_query,
+      const std::function<void(const std::shared_ptr<client::DriverSession>&)>&
+          session_sink = nullptr) {
+    ShardDriver::Replica& state = driver_->replicas_[shard][replica];
+    if (is_query && state.chaos) {
+      const client::ChaosState::Fault fault = state.chaos->NextFault();
       if (fault.delay_ms > 0.0) {
         double delay_ms = fault.delay_ms;
         if (limits.deadline_s > 0.0) {
@@ -386,17 +468,237 @@ class ShardSession : public client::DriverSession {
       if (fault.fail) {
         return Status::Unavailable(StrFormat(
             "%s: chaos: injected transient failure (draw #%llu)",
-            EndpointLabel(driver_->options_.endpoints[shard]).c_str(),
+            EndpointLabel(ReplicaEndpoint(shard, replica)).c_str(),
             static_cast<unsigned long long>(fault.sequence)));
       }
     }
     JACKPINE_ASSIGN_OR_RETURN(std::shared_ptr<client::DriverSession> session,
-                              EnsureShardSession(shard));
+                              AcquireSession(shard, replica));
+    if (session_sink) session_sink(session);
     Result<engine::QueryResult> result =
         is_query ? session->ExecuteQuery(sql, limits)
                  : session->ExecuteUpdate(sql, limits);
-    if (!result.ok()) driver_->catalog_->errors[shard]->Add();
+    if (!result.ok()) state.errors->Add();
     return result;
+  }
+
+  // The replica order a read should try for one shard: stale replicas are
+  // excluded (unless every replica is stale — availability beats staleness
+  // when there is nothing fresh left), then health-ranked — down endpoints
+  // last, open-breaker endpoints next-to-last, the rest by EWMA RTT. With
+  // no health checker the URL order stands.
+  std::vector<size_t> ReadOrder(size_t shard) const {
+    const std::vector<ShardDriver::Replica>& replicas =
+        driver_->replicas_[shard];
+    std::vector<size_t> order;
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      if (!replicas[r].stale->load(std::memory_order_acquire)) {
+        order.push_back(r);
+      }
+    }
+    if (order.empty()) {
+      for (size_t r = 0; r < replicas.size(); ++r) order.push_back(r);
+    }
+    if (driver_->health_ && order.size() > 1) {
+      struct Rank {
+        bool down;
+        bool breaker_open;
+        double ewma_ms;
+      };
+      std::vector<Rank> ranks(replicas.size());
+      for (size_t r : order) {
+        const HealthChecker::Snapshot snap =
+            driver_->health_->snapshot(replicas[r].health_index);
+        ranks[r].down = !snap.up;
+        ranks[r].breaker_open = replicas[r].driver->breaker()->state() ==
+                                client::CircuitBreaker::State::kOpen;
+        ranks[r].ewma_ms = snap.ewma_ms;
+      }
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (ranks[a].down != ranks[b].down) return ranks[b].down;
+        if (ranks[a].breaker_open != ranks[b].breaker_open) {
+          return ranks[b].breaker_open;
+        }
+        return ranks[a].ewma_ms < ranks[b].ewma_ms;
+      });
+    }
+    return order;
+  }
+
+  // One read against one shard with transparent failover: walk the replica
+  // order, re-issuing on the next sibling whenever a sub-call dies
+  // retryably (transport error, chaos fault, breaker fast-fail, shed). A
+  // non-retryable error propagates immediately — retrying cannot fix it and
+  // siblings hold the same data.
+  Result<engine::QueryResult> CallShardRead(size_t shard,
+                                            const std::string& sql,
+                                            const ExecLimits& limits,
+                                            bool is_query, obs::Span* span) {
+    const std::vector<size_t> order = ReadOrder(shard);
+    if (is_query && driver_->options_.hedge_ms >= 0.0 && order.size() >= 2) {
+      return HedgedCall(shard, order, sql, limits, span);
+    }
+    std::vector<Status> errors;
+    for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+      const size_t replica = order[attempt];
+      if (attempt > 0) {
+        Metrics().failover->Add();
+        if (span) {
+          span->Annotate("failover_to",
+                         EndpointLabel(ReplicaEndpoint(shard, replica)));
+        }
+      }
+      Result<engine::QueryResult> result =
+          CallReplica(shard, replica, sql, limits, is_query);
+      if (result.ok() || !IsRetryable(result.status())) return result;
+      errors.push_back(result.status());
+    }
+    return CombineStatuses(errors);
+  }
+
+  // Tail-latency hedging: run the primary replica, and if it has not
+  // answered within the hedge delay, race a duplicate on the best sibling —
+  // first success wins and the loser's in-flight call is cancelled via
+  // DriverSession::Abort (charged to the abort, not the breaker). Falls
+  // back to sequential failover over the remaining order when both legs
+  // fail retryably.
+  Result<engine::QueryResult> HedgedCall(size_t shard,
+                                         const std::vector<size_t>& order,
+                                         const std::string& sql,
+                                         const ExecLimits& limits,
+                                         obs::Span* span) {
+    double delay_ms = driver_->options_.hedge_ms;
+    if (delay_ms <= 0.0) {
+      // Auto: the primary's EWMA p95 — a reply slower than that is in the
+      // tail the hedge exists to cut. 10ms floor-default before the first
+      // sample; clamped so a cold or noisy estimate cannot disable hedging
+      // or hammer the sibling.
+      double p95 = 10.0;
+      if (driver_->health_) {
+        const HealthChecker::Snapshot snap = driver_->health_->snapshot(
+            driver_->replicas_[shard][order[0]].health_index);
+        if (snap.ewma_ms > 0.0) p95 = snap.p95_ms;
+      }
+      delay_ms = std::min(std::max(p95, 1.0), 250.0);
+    }
+
+    struct Leg {
+      std::optional<Result<engine::QueryResult>> result;
+      std::shared_ptr<client::DriverSession> session;
+      std::thread thread;
+    };
+    std::mutex mu;
+    std::condition_variable cv;
+    int finished = 0;
+    int winner = -1;
+    Leg legs[2];
+    auto run_leg = [&](int leg, size_t replica) {
+      Result<engine::QueryResult> result = CallReplica(
+          shard, replica, sql, limits, /*is_query=*/true,
+          [&](const std::shared_ptr<client::DriverSession>& session) {
+            std::lock_guard<std::mutex> lock(mu);
+            legs[leg].session = session;
+          });
+      std::lock_guard<std::mutex> lock(mu);
+      if (result.ok() && winner < 0) winner = leg;
+      legs[leg].result = std::move(result);
+      ++finished;
+      cv.notify_all();
+    };
+
+    legs[0].thread = std::thread(run_leg, 0, order[0]);
+    bool hedged = false;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait_for(lock,
+                  std::chrono::duration<double, std::milli>(delay_ms),
+                  [&] { return finished > 0; });
+      hedged = finished == 0;
+    }
+    if (hedged) {
+      Metrics().hedges->Add();
+      if (span) {
+        span->Annotate("hedged_to",
+                       EndpointLabel(ReplicaEndpoint(shard, order[1])));
+      }
+      legs[1].thread = std::thread(run_leg, 1, order[1]);
+    }
+    const int leg_count = hedged ? 2 : 1;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return winner >= 0 || finished == leg_count; });
+      // Cancel the loser so its socket recv unblocks; its failure is
+      // charged to the abort (RemoteSession skips the breaker) and the
+      // session redials on next use.
+      if (winner >= 0) {
+        for (int leg = 0; leg < leg_count; ++leg) {
+          if (leg != winner && !legs[leg].result && legs[leg].session) {
+            legs[leg].session->Abort();
+          }
+        }
+      }
+    }
+    for (int leg = 0; leg < leg_count; ++leg) {
+      if (legs[leg].thread.joinable()) legs[leg].thread.join();
+    }
+    if (winner >= 0) {
+      if (winner == 1) Metrics().hedge_wins->Add();
+      return std::move(*legs[winner].result);
+    }
+    // Both legs failed. Sequential failover over the rest of the order,
+    // counting each extra attempt.
+    std::vector<Status> errors;
+    for (int leg = 0; leg < leg_count; ++leg) {
+      errors.push_back(legs[leg].result->status());
+      if (!IsRetryable(errors.back())) return errors.back();
+    }
+    for (size_t attempt = leg_count; attempt < order.size(); ++attempt) {
+      const size_t replica = order[attempt];
+      Metrics().failover->Add();
+      if (span) {
+        span->Annotate("failover_to",
+                       EndpointLabel(ReplicaEndpoint(shard, replica)));
+      }
+      Result<engine::QueryResult> result =
+          CallReplica(shard, replica, sql, limits, /*is_query=*/true);
+      if (result.ok() || !IsRetryable(result.status())) return result;
+      errors.push_back(result.status());
+    }
+    return CombineStatuses(errors);
+  }
+
+  // One write against one shard: broadcast to every replica of the group so
+  // siblings stay identical. The write succeeds iff at least one replica
+  // acked; a replica that missed a write a sibling took is marked stale and
+  // drops out of reads until re-synced (`resync` DDL clears the flag on
+  // success). When *every* replica fails nothing diverged, so nobody is
+  // marked — the combined error propagates for the retry loop upstream.
+  Result<engine::QueryResult> CallShardWrite(size_t shard,
+                                             const std::string& sql,
+                                             const ExecLimits& limits,
+                                             bool resync) {
+    std::vector<ShardDriver::Replica>& replicas = driver_->replicas_[shard];
+    std::optional<Result<engine::QueryResult>> acked;
+    std::vector<Status> errors;
+    std::vector<size_t> missed;
+    for (size_t r = 0; r < replicas.size(); ++r) {
+      Result<engine::QueryResult> result =
+          CallReplica(shard, r, sql, limits, /*is_query=*/false);
+      if (result.ok()) {
+        if (resync) replicas[r].stale->store(false, std::memory_order_release);
+        if (!acked) acked = std::move(result);
+      } else {
+        errors.push_back(result.status());
+        missed.push_back(r);
+      }
+    }
+    if (!acked) return CombineStatuses(errors);
+    for (size_t r : missed) {
+      if (!replicas[r].stale->exchange(true, std::memory_order_acq_rel)) {
+        Metrics().replica_stale->Add();
+      }
+    }
+    return std::move(*acked);
   }
 
   // Concurrent fan-out: one thread per call, per-slot scratch traces merged
@@ -422,12 +724,17 @@ class ShardSession : public client::DriverSession {
           if (spans_on) {
             span = limits.spans->StartSpan("shard.subquery", limits.trace_id,
                                            scatter_span_id);
-            span.Annotate("endpoint",
-                          EndpointLabel(
-                              driver_->options_.endpoints[calls[i].shard]));
+            span.Annotate(
+                "endpoint",
+                EndpointLabel(ReplicaEndpoint(calls[i].shard, 0)));
             sub.parent_span_id = span.span_id();
           }
-          slots[i] = CallShard(calls[i].shard, calls[i].sql, sub, is_query);
+          slots[i] =
+              is_query
+                  ? CallShardRead(calls[i].shard, calls[i].sql, sub, is_query,
+                                  spans_on ? &span : nullptr)
+                  : CallShardWrite(calls[i].shard, calls[i].sql, sub,
+                                   calls[i].resync);
           if (spans_on && !slots[i]->ok()) {
             span.Annotate("error",
                           StatusCodeName(slots[i]->status().code()));
@@ -451,13 +758,15 @@ class ShardSession : public client::DriverSession {
     return batches;
   }
 
-  // Sends `sql` to every shard (DDL). All shards must succeed; the reply is
-  // shard 0's (they are identical for DDL).
+  // Sends `sql` to every shard (DDL). All shards must succeed (each shard
+  // needs >= 1 replica ack); the reply is shard 0's (they are identical for
+  // DDL). `resync` marks re-establishing DDL — see ShardCall.
   Result<engine::QueryResult> Broadcast(std::string_view sql,
-                                        const ExecLimits& limits) {
+                                        const ExecLimits& limits,
+                                        bool resync = false) {
     std::vector<ShardCall> calls;
-    for (size_t i = 0; i < driver_->drivers_.size(); ++i) {
-      calls.push_back(ShardCall{i, std::string(sql)});
+    for (size_t i = 0; i < driver_->replicas_.size(); ++i) {
+      calls.push_back(ShardCall{i, std::string(sql), resync});
     }
     JACKPINE_ASSIGN_OR_RETURN(std::vector<ShardBatch> batches,
                               Scatter(calls, limits, /*is_query=*/false, 0));
@@ -473,10 +782,10 @@ class ShardSession : public client::DriverSession {
   // saturated shard does not masquerade as missing data.
   Status DiscoverTable(const std::string& table, const ExecLimits& limits) {
     Status blocked;  // first retryable probe failure, if any
-    for (size_t i = 0; i < driver_->drivers_.size(); ++i) {
-      Result<engine::QueryResult> probe = CallShard(
+    for (size_t i = 0; i < driver_->replicas_.size(); ++i) {
+      Result<engine::QueryResult> probe = CallShardRead(
           i, StrFormat("SELECT * FROM %s LIMIT 1", table.c_str()), limits,
-          /*is_query=*/true);
+          /*is_query=*/true, /*span=*/nullptr);
       if (!probe.ok()) {
         if (blocked.ok() && IsRetryable(probe.status())) {
           blocked = probe.status();
@@ -514,7 +823,8 @@ class ShardSession : public client::DriverSession {
     if (!parsed.ok()) {
       // Ship the original text to shard 0 so the client sees the server's
       // canonical parse error, identical to a single-node run.
-      return CallShard(0, std::string(sql), limits, /*is_query=*/true);
+      return CallShardRead(0, std::string(sql), limits, /*is_query=*/true,
+                           /*span=*/nullptr);
     }
     engine::Statement& stmt = *parsed;
     if (auto* select = std::get_if<engine::SelectStatement>(&stmt)) {
@@ -523,7 +833,8 @@ class ShardSession : public client::DriverSession {
     if (std::get_if<engine::ExplainStatement>(&stmt)) {
       // EXPLAIN describes one engine's plan; shard 0's stands in for the
       // cluster (documented in DESIGN.md § Sharding).
-      return CallShard(0, std::string(sql), limits, /*is_query=*/true);
+      return CallShardRead(0, std::string(sql), limits, /*is_query=*/true,
+                           /*span=*/nullptr);
     }
     if (auto* create = std::get_if<engine::CreateTableStatement>(&stmt)) {
       const std::string lower = ToLowerAscii(create->name);
@@ -534,7 +845,9 @@ class ShardSession : public client::DriverSession {
         std::lock_guard<std::mutex> lock(driver_->catalog_->mu);
         driver_->catalog_->catalog.AddFromDdl(*create, replicated);
       }
-      return Broadcast(sql, limits);
+      // CREATE TABLE is the loader's first act against a re-synced replica,
+      // so success there clears the stale flag.
+      return Broadcast(sql, limits, /*resync=*/true);
     }
     if (auto* insert = std::get_if<engine::InsertStatement>(&stmt)) {
       return ExecuteInsert(*insert, limits);
@@ -564,7 +877,7 @@ class ShardSession : public client::DriverSession {
     // margin-expanded MBR touches a cell they own (replicated tables get
     // every row on every shard).
     std::vector<std::string> row_text;
-    std::vector<std::vector<size_t>> shard_rows(driver_->drivers_.size());
+    std::vector<std::vector<size_t>> shard_rows(driver_->replicas_.size());
     for (size_t r = 0; r < stmt.rows.size(); ++r) {
       const std::vector<engine::ExprPtr>& row = stmt.rows[r];
       std::vector<std::string> cells;
@@ -688,7 +1001,10 @@ class ShardSession : public client::DriverSession {
   }
 
   std::shared_ptr<ShardDriver> driver_;
-  std::vector<std::shared_ptr<client::DriverSession>> sessions_;
+  // sessions_[shard][replica]: per-replica cached sessions. Concurrent
+  // scatter threads touch disjoint shard rows; a hedge's two legs touch
+  // disjoint replica slots of one row — no slot is ever shared.
+  std::vector<std::vector<std::shared_ptr<client::DriverSession>>> sessions_;
 };
 
 Result<std::shared_ptr<client::DriverSession>> ShardDriver::NewSession() {

@@ -2,30 +2,51 @@
 // tables across N pinedb servers by spatial partition and presents them as
 // one SUT behind the URL form
 //
-//   jackpine:shard(<ep>[,<ep>...][;opt=value...])/<sut>
+//   jackpine:shard(<slot>[,<slot>...][;opt=value...])/<sut>
 //
+//   <slot>   one shard: a replica group "ep[|ep...]" — the first replica is
+//            the primary whose host:port names the shard on the hash ring;
+//            siblings hold the same slice for availability.
 //   <ep>     host:port, optionally prefixed "chaos(seed,rate,latency)@" to
-//            compose the deterministic chaos driver around one shard.
+//            compose the deterministic chaos driver around one replica.
 //   grid=N       grid side (power of two in [2, 256]; default 16)
 //   bounds=a:b:c:d   dataset bounds minx:miny:maxx:maxy (default 0:0:100:100)
 //   margin=M     storage margin (default 1% of the larger bounds extent)
 //   vnodes=V     ring virtual nodes per shard (default 64)
 //   replicate=t1|t2  tables replicated to every shard (for joins that have
 //            no co-locating spatial predicate, e.g. attribute joins)
+//   health_ms=P  active health-check period in ms. Default: 100 when any
+//            shard has >= 2 replicas, otherwise off. 0 disables probing.
+//   hedge_ms=D   tail-latency hedging for scatter reads: after D ms without
+//            a reply, duplicate the subquery on a sibling replica and take
+//            the first response. 0 derives D from the health checker's
+//            EWMA p95. Absent = hedging off.
 //
-// e.g. jackpine:shard(127.0.0.1:7701,127.0.0.1:7702;replicate=county)/pine-rtree
+// e.g. jackpine:shard(127.0.0.1:7701|127.0.0.1:7711,127.0.0.1:7702|
+//      127.0.0.1:7712;replicate=county)/pine-rtree
 //
 // DDL broadcasts; INSERT routes each row by its geometry MBR (duplicating
 // border-straddlers within the storage margin); SELECTs scatter to the
 // shards owning the query's cells and merge exactly (owner-cell dedup +
-// engine-replayed folds; see sql_rewrite.h / merge.h). Per-shard resilience
-// reuses the remote driver's CircuitBreaker and the server's retry_after_ms
-// shed pacing; scatter/merge record spans under the query's trace_id and
-// feed shard.* metrics in the global registry.
+// engine-replayed folds; see sql_rewrite.h / merge.h).
+//
+// High availability (DESIGN.md § Sharding, "High availability"): writes
+// broadcast to every replica of the owning shard — a replica that fails a
+// write while a sibling acked is marked stale and excluded from reads until
+// a CREATE TABLE through the router succeeds there again (the loader path).
+// Reads pick one replica per shard, ordered by the active health checker
+// (health.h), and transparently fail over to a sibling when a sub-call dies
+// retryably mid-flight; with hedging on, a duplicate races the slow replica
+// and the loser is cancelled via DriverSession::Abort. Per-replica
+// resilience reuses the remote driver's CircuitBreaker and the server's
+// retry_after_ms shed pacing; scatter/merge record spans under the query's
+// trace_id and feed shard.* metrics (shard.failover / shard.hedges /
+// shard.hedge_wins / shard.replica_stale among them) in the global registry.
 
 #ifndef JACKPINE_SHARD_SHARD_ROUTER_H_
 #define JACKPINE_SHARD_SHARD_ROUTER_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -34,48 +55,94 @@
 
 #include "client/client.h"
 #include "net/remote_driver.h"
+#include "obs/metrics.h"
 #include "shard/partitioner.h"
 #include "shard/sql_rewrite.h"
 
 namespace jackpine::shard {
 
+class HealthChecker;
+
+// One endpoint of a replica group, with its optional chaos wrap.
+struct ReplicaSpec {
+  client::RemoteEndpoint endpoint;
+  std::optional<client::ChaosConfig> chaos;
+};
+
 struct ShardOptions {
-  std::vector<client::RemoteEndpoint> endpoints;
-  // Per-endpoint chaos wrap; nullopt = no injection for that shard.
-  std::vector<std::optional<client::ChaosConfig>> chaos;
+  // shards[i] is shard i's replica group; shards[i][0] is the primary whose
+  // label names the shard on the ring (so a single-replica cluster hashes
+  // identically to the pre-replica URL form).
+  std::vector<std::vector<ReplicaSpec>> shards;
   PartitionConfig partition;
   std::vector<std::string> replicated_tables;  // lower-case
   std::string sut;
+  // Health-check period in ms: < 0 = auto (on at 100ms iff any shard has
+  // >= 2 replicas), 0 = off, > 0 = explicit period.
+  double health_ms = -1.0;
+  // Hedge delay in ms: < 0 = hedging off, 0 = auto (EWMA p95 of the primary
+  // replica), > 0 = fixed delay.
+  double hedge_ms = -1.0;
 };
 
 // Parses the URL tail "shard(...)/<sut>" (the part after "jackpine:").
 Result<ShardOptions> ParseShardUrl(std::string_view rest);
+
+// Error-combination priority for a scatter (or a failover sweep over one
+// shard's replicas): a deterministic failure beats retry advice (retrying
+// cannot fix it), an explicit shed beats a breaker fast-fail (the shed
+// proves a server is up and names a wait), and within a class the largest
+// retry hint wins so the runner's pacing covers the slowest shard. All-ok
+// (or empty) input combines to Ok.
+Status CombineStatuses(const std::vector<Status>& errors);
 
 class ShardDriver : public client::Driver,
                     public std::enable_shared_from_this<ShardDriver> {
  public:
   // Validates options and builds the ring; connections to the shards are
   // lazy (first use), so a dead shard fails the first query that needs it
-  // — and trips that shard's breaker — rather than failing Open.
+  // — and trips that shard's breaker — rather than failing Open. Starts the
+  // health checker when enabled (see ShardOptions::health_ms).
   static Result<std::shared_ptr<ShardDriver>> Create(ShardOptions options);
+  ~ShardDriver() override;  // stops the health checker
 
   Result<std::shared_ptr<client::DriverSession>> NewSession() override;
 
   const ShardOptions& options() const { return options_; }
   const Partitioner& partitioner() const { return partitioner_; }
-  size_t num_shards() const { return options_.endpoints.size(); }
-  // Per-shard remote driver (shared breaker across sessions); for tests
-  // and diagnostics.
-  net::RemoteDriver* shard_driver(size_t i) { return drivers_[i].get(); }
+  size_t num_shards() const { return options_.shards.size(); }
+  size_t num_replicas(size_t shard) const { return replicas_[shard].size(); }
+  // Per-endpoint remote driver (shared breaker across sessions); for tests
+  // and diagnostics. shard_driver(i) is shard i's primary replica.
+  net::RemoteDriver* shard_driver(size_t i) { return replicas_[i][0].driver.get(); }
+  net::RemoteDriver* replica_driver(size_t shard, size_t replica) {
+    return replicas_[shard][replica].driver.get();
+  }
+  // True when the replica missed a write a sibling acked and has not been
+  // re-synced (reads skip it).
+  bool replica_stale(size_t shard, size_t replica) const {
+    return replicas_[shard][replica].stale->load(std::memory_order_acquire);
+  }
+  // Null when health checking is off.
+  HealthChecker* health() const { return health_.get(); }
 
  private:
   friend class ShardSession;
   ShardDriver(ShardOptions options, Partitioner partitioner);
 
+  // Runtime state of one replica endpoint.
+  struct Replica {
+    std::shared_ptr<net::RemoteDriver> driver;
+    std::shared_ptr<client::ChaosState> chaos;  // null = none
+    std::shared_ptr<std::atomic<bool>> stale;
+    obs::Counter* errors = nullptr;  // shard.errors.<label>
+    size_t health_index = 0;         // flat index into the health checker
+  };
+
   ShardOptions options_;
   Partitioner partitioner_;
-  std::vector<std::shared_ptr<net::RemoteDriver>> drivers_;
-  std::vector<std::shared_ptr<client::ChaosState>> chaos_;  // null = none
+  std::vector<std::vector<Replica>> replicas_;
+  std::unique_ptr<HealthChecker> health_;
   // Router-side catalog, shared by every session so DDL through one
   // connection is visible to all.
   struct CatalogState;

@@ -990,5 +990,95 @@ TEST_F(NetTest, TracingClientFallsBackAgainstPreSpanServer) {
   old_server.join();
 }
 
+// The health-probe round trip against a live server: PingEndpoint dials,
+// handshakes, sends a Ping, and reads back the echo with the server's
+// clock in the trailing field.
+TEST_F(NetTest, PingEndpointProbesALiveServer) {
+  auto server = StartServer("pine-rtree");
+  auto probe =
+      net::PingEndpoint("127.0.0.1", server->port(), /*timeout_s=*/5.0);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_FALSE(probe->legacy);
+  EXPECT_GE(probe->rtt_s, 0.0);
+  EXPECT_LT(probe->rtt_s, 5.0);
+  EXPECT_EQ(server->counters().pings, 1u);
+  // A dead endpoint is an error, not a legacy success: grab an ephemeral
+  // port by closing a listener, then probe the freed port.
+  uint16_t dead_port;
+  {
+    auto listener = net::Listener::Listen("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->port();
+  }
+  EXPECT_FALSE(net::PingEndpoint("127.0.0.1", dead_port, 1.0).ok());
+}
+
+// Cross-version interop for the probe: a pre-Ping server answers the
+// unknown frame type with an error, and PingEndpoint must report that
+// endpoint as up-but-legacy rather than down — an old fleet member is
+// still a valid failover target even though it cannot be latency-profiled.
+TEST_F(NetTest, PingEndpointTreatsPrePingServerAsLegacyUp) {
+  auto listener = net::Listener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const uint16_t port = listener->port();
+
+  // Fake old server: a normal Hello ack, then every later frame — it does
+  // not know type 8 — is rejected the way the old decoder would, as a
+  // parse error on the unknown frame type.
+  std::thread old_server([&listener] {
+    auto sock = listener->Accept();
+    ASSERT_TRUE(sock.ok()) << sock.status().ToString();
+    net::FrameDecoder decoder;
+    char buf[512];
+    bool greeted = false;
+    while (true) {
+      auto n = sock->Recv(buf, sizeof(buf));
+      if (!n.ok() || *n == 0) return;
+      decoder.Feed(std::string_view(buf, *n));
+      while (true) {
+        auto next = decoder.Next();
+        if (!next.ok()) {
+          // The mutant frame type already tripped this decoder; answer as
+          // the old server's session loop would and hang up.
+          ASSERT_TRUE(sock->SendAll(net::EncodeFrame(
+                              net::FrameType::kError,
+                              net::EncodeError(Status::ParseError(
+                                  "wire: unknown frame type 8"))))
+                          .ok());
+          return;
+        }
+        if (!next->has_value()) break;
+        if ((*next)->type == net::FrameType::kHello && !greeted) {
+          greeted = true;
+          auto msg = net::DecodeHello((*next)->payload);
+          ASSERT_TRUE(msg.ok());
+          net::HelloMsg ack;
+          ack.sut = msg->sut;
+          ack.peer_info = "old-pinedb/1";
+          ASSERT_TRUE(sock->SendAll(net::EncodeFrame(net::FrameType::kHello,
+                                                     net::EncodeHello(ack)))
+                          .ok());
+          continue;
+        }
+        // Any post-handshake frame from a new client (the Ping) gets the
+        // old server's unexpected-frame rejection.
+        ASSERT_TRUE(sock->SendAll(net::EncodeFrame(
+                            net::FrameType::kError,
+                            net::EncodeError(Status::InvalidArgument(
+                                "protocol: unexpected frame type 8 "
+                                "mid-session"))))
+                        .ok());
+        return;
+      }
+    }
+  });
+
+  auto probe = net::PingEndpoint("127.0.0.1", port, /*timeout_s=*/5.0);
+  old_server.join();
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_TRUE(probe->legacy);
+  EXPECT_GE(probe->rtt_s, 0.0);
+}
+
 }  // namespace
 }  // namespace jackpine

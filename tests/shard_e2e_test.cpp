@@ -346,5 +346,163 @@ TEST_F(ShardE2eTest, PerShardChaosIsDeterministic) {
   EXPECT_NE(first.find(Endpoint(*server)), std::string::npos);
 }
 
+// --- High availability: replica groups, failover, staleness, hedging ----
+
+uint64_t HaCounter(const char* name) {
+  return obs::GlobalRegistry().GetCounter(name)->value();
+}
+
+// Writes broadcast to every replica of the owning shard, and when one
+// replica dies the read scatter fails over to its sibling: the suite keeps
+// answering with zero client-visible errors and the failover counter moves.
+TEST_F(ShardE2eTest, ReplicaFailoverServesReadsAfterShutdown) {
+  auto primary = StartServer("pine-rtree");
+  auto secondary = StartServer("pine-rtree");
+  // health_ms=0: no health steering, so reads deterministically try the
+  // URL-order primary first and the failover is forced, not dodged.
+  const std::string url = "jackpine:shard(" + Endpoint(*primary) + "|" +
+                          Endpoint(*secondary) +
+                          ";health_ms=0)/pine-rtree";
+  auto conn = client::Connection::Open(url);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(
+      stmt.ExecuteUpdate("CREATE TABLE pts (id BIGINT, geom GEOMETRY)").ok());
+  auto inserted = stmt.ExecuteUpdate(
+      "INSERT INTO pts VALUES (1, ST_GeomFromText('POINT(3 3)')), "
+      "(2, ST_GeomFromText('POINT(50 50)'))");
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  EXPECT_EQ(*inserted, 2);  // logical rows, not per-replica copies
+
+  // The broadcast landed the full row set on BOTH replicas.
+  for (net::Server* server : {primary.get(), secondary.get()}) {
+    client::Statement local = server->connection().CreateStatement();
+    auto rs = local.ExecuteQuery("SELECT COUNT(*) FROM pts");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ASSERT_TRUE(rs->Next());
+    EXPECT_EQ(rs->GetInt64(0).value(), 2);
+  }
+
+  const uint64_t failovers_before = HaCounter("shard.failover");
+  primary->Shutdown();
+  // Reads keep answering correctly through the surviving replica; the
+  // retry is transparent — no client-visible failure.
+  for (int i = 0; i < 3; ++i) {
+    auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM pts");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ASSERT_TRUE(rs->Next());
+    EXPECT_EQ(rs->GetInt64(0).value(), 2);
+  }
+  EXPECT_GT(HaCounter("shard.failover"), failovers_before);
+}
+
+// The session-latch regression: a router session whose shard died must
+// discard the dead cached session and dial fresh, so a restarted shard
+// rejoins transparently — the OLD session object keeps working.
+TEST_F(ShardE2eTest, RestartedShardRejoinsExistingRouterSession) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  auto first = net::Server::Start(options);
+  ASSERT_TRUE(first.ok());
+  const uint16_t port = (*first)->port();
+
+  auto conn = client::Connection::Open(
+      "jackpine:shard(127.0.0.1:" + std::to_string(port) +
+      ";health_ms=0)/pine-rtree");
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t1 (x BIGINT)").ok());
+
+  (*first)->Shutdown();
+  first->reset();
+  // With the shard down the session fails — transiently, not terminally.
+  EXPECT_FALSE(stmt.ExecuteUpdate("CREATE TABLE t2 (x BIGINT)").ok());
+
+  // Same port, fresh process-equivalent. The existing statement must
+  // recover on its own: the cached dead session is discarded and redialed.
+  options.port = port;
+  auto second = net::Server::Start(options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  auto rejoined = stmt.ExecuteUpdate("CREATE TABLE t3 (x BIGINT)");
+  EXPECT_TRUE(rejoined.ok()) << rejoined.status().ToString();
+}
+
+// A write that misses a replica (while a sibling acked) marks the missed
+// replica stale: it is excluded from reads until re-synced, so readers
+// never observe the missing rows.
+TEST_F(ShardE2eTest, MissedWriteMarksReplicaStaleAndReadsAvoidIt) {
+  auto primary = StartServer("pine-rtree");
+  auto secondary = StartServer("pine-rtree");
+  const std::string shard_url = "shard(" + Endpoint(*primary) + "|" +
+                                Endpoint(*secondary) +
+                                ";health_ms=0)/pine-rtree";
+  auto parsed = shard::ParseShardUrl(shard_url);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto driver = shard::ShardDriver::Create(std::move(*parsed));
+  ASSERT_TRUE(driver.ok()) << driver.status().ToString();
+  auto session = (*driver)->NewSession();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  ExecLimits limits;
+  ASSERT_TRUE((*session)
+                  ->ExecuteUpdate("CREATE TABLE t (x BIGINT)", limits)
+                  .ok());
+  EXPECT_FALSE((*driver)->replica_stale(0, 1));
+
+  const uint64_t stale_before = HaCounter("shard.replica_stale");
+  secondary->Shutdown();
+  // The write succeeds on the primary's ack alone and the dead secondary
+  // is marked stale.
+  auto wrote = (*session)->ExecuteUpdate("INSERT INTO t VALUES (7)", limits);
+  ASSERT_TRUE(wrote.ok()) << wrote.status().ToString();
+  EXPECT_TRUE((*driver)->replica_stale(0, 1));
+  EXPECT_GT(HaCounter("shard.replica_stale"), stale_before);
+
+  // Reads exclude the stale replica — they see the committed row even
+  // though the stale sibling never got it. (The secondary is also dead
+  // here; staleness alone is what removes it from the read order, so the
+  // read succeeds first try instead of burning a failover attempt.)
+  const uint64_t failovers_before = HaCounter("shard.failover");
+  auto rs = (*session)->ExecuteQuery("SELECT COUNT(*) FROM t", limits);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].int_value(), 1);
+  EXPECT_EQ(HaCounter("shard.failover"), failovers_before);
+}
+
+// Hedged reads: with a fixed hedge delay far below the primary's injected
+// chaos latency, the duplicate launched on the sibling wins the race and
+// the client sees fast, correct answers throughout.
+TEST_F(ShardE2eTest, HedgedReadWinsOnASlowPrimary) {
+  auto slow = StartServer("pine-rtree");
+  auto fast = StartServer("pine-rtree");
+  // Primary wrapped in pure-latency chaos (no failures): up to 200 ms per
+  // query, seed-deterministic. hedge_ms=5 fires the hedge long before the
+  // typical draw finishes sleeping.
+  const std::string url = "jackpine:shard(chaos(1,0,200)@" +
+                          Endpoint(*slow) + "|" + Endpoint(*fast) +
+                          ";health_ms=0;hedge_ms=5)/pine-rtree";
+  auto conn = client::Connection::Open(url);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  ASSERT_TRUE(stmt.ExecuteUpdate("INSERT INTO t VALUES (1), (2)").ok());
+
+  const uint64_t hedges_before = HaCounter("shard.hedges");
+  const uint64_t wins_before = HaCounter("shard.hedge_wins");
+  for (int i = 0; i < 10; ++i) {
+    auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM t");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ASSERT_TRUE(rs->Next());
+    EXPECT_EQ(rs->GetInt64(0).value(), 2);
+  }
+  // Ten uniform draws from [0, 200] ms: essentially impossible that none
+  // exceeded the 5 ms hedge delay, and the sibling answers in well under a
+  // draw, so at least one hedge launched and at least one won.
+  EXPECT_GT(HaCounter("shard.hedges"), hedges_before);
+  EXPECT_GT(HaCounter("shard.hedge_wins"), wins_before);
+}
+
 }  // namespace
 }  // namespace jackpine

@@ -1,0 +1,201 @@
+// End-to-end high availability against real pinedb processes: fork/exec a
+// replicated cluster (2 shards x 2 replicas) behind a jackpine:shard(...)
+// URL, SIGKILL one replica while the topology suite is running, and verify
+// the suite completes with zero client-visible failures and bit-identical
+// folded checksums to the healthy baseline — the PR's acceptance bar,
+// exercised through the same binary and wire path an operator uses.
+//
+// The pinedb binary path is injected by CMake as JACKPINE_PINEDB_BINARY.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "core/loader.h"
+#include "core/micro_suite.h"
+#include "core/runner.h"
+#include "net/remote_driver.h"
+#include "obs/metrics.h"
+#include "shard/shard_router.h"
+#include "tigergen/tigergen.h"
+
+namespace jackpine {
+namespace {
+
+struct ServerProc {
+  pid_t pid = -1;
+  int port = 0;
+  int out_fd = -1;  // server stdout; keep open so its writes never SIGPIPE
+
+  ServerProc() = default;
+  // Move-only: these live in a vector, and a copy's destructor would kill
+  // the very process its twin still manages.
+  ServerProc(ServerProc&& other) noexcept
+      : pid(other.pid), port(other.port), out_fd(other.out_fd) {
+    other.pid = -1;
+    other.out_fd = -1;
+  }
+  ServerProc& operator=(ServerProc&& other) noexcept {
+    if (this != &other) {
+      Kill();
+      pid = other.pid;
+      port = other.port;
+      out_fd = other.out_fd;
+      other.pid = -1;
+      other.out_fd = -1;
+    }
+    return *this;
+  }
+  ServerProc(const ServerProc&) = delete;
+  ServerProc& operator=(const ServerProc&) = delete;
+
+  ~ServerProc() { Kill(); }
+
+  // SIGKILL + reap. Safe to call twice; the destructor reuses it.
+  void Kill() {
+    if (out_fd >= 0) ::close(out_fd);
+    out_fd = -1;
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    pid = -1;
+  }
+};
+
+// Forks `pinedb serve --port 0` (memory-only: HA is about the cluster, not
+// durability) and blocks until the child prints its LISTENING line.
+ServerProc SpawnServe() {
+  int pipe_fds[2];
+  EXPECT_EQ(::pipe(pipe_fds), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    ::execl(JACKPINE_PINEDB_BINARY, JACKPINE_PINEDB_BINARY, "serve", "--port",
+            "0", "--sut", "pine-rtree", nullptr);
+    std::perror("execl pinedb");
+    std::_Exit(127);
+  }
+  ::close(pipe_fds[1]);
+
+  ServerProc proc;
+  proc.pid = pid;
+  proc.out_fd = pipe_fds[0];
+  std::string line;
+  char c = 0;
+  while (::read(proc.out_fd, &c, 1) == 1) {
+    if (c != '\n') {
+      line.push_back(c);
+      continue;
+    }
+    if (line.rfind("LISTENING ", 0) == 0) {
+      proc.port = std::atoi(line.c_str() + 10);
+      break;
+    }
+    line.clear();
+  }
+  EXPECT_GT(proc.port, 0) << "server never printed LISTENING";
+  return proc;
+}
+
+uint64_t FoldChecksums(const std::vector<core::RunResult>& runs) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const core::RunResult& r : runs) {
+    h = (h ^ r.checksum) * 1099511628211ull;
+  }
+  return h;
+}
+
+class ShardHaE2eTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net::RegisterRemoteDriver();
+    shard::RegisterShardDriver();
+  }
+};
+
+TEST_F(ShardHaE2eTest, SigkillMidSuiteKeepsResultsBitIdentical) {
+  // 2 shards x 2 replicas, four real server processes.
+  std::vector<ServerProc> servers;
+  for (int i = 0; i < 4; ++i) servers.push_back(SpawnServe());
+  auto ep = [&](int i) {
+    return "127.0.0.1:" + std::to_string(servers[i].port);
+  };
+  // health_ms=0: no health steering, so post-kill reads must discover the
+  // death the hard way — via a failed sub-call that fails over — which is
+  // exactly the path this test exists to pin down.
+  const std::string url = "jackpine:shard(" + ep(0) + "|" + ep(1) + "," +
+                          ep(2) + "|" + ep(3) + ";health_ms=0)/pine-rtree";
+  auto conn = client::Connection::Open(url);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  tigergen::TigerGenOptions gen;
+  gen.scale = 0.05;
+  gen.seed = 7;
+  const tigergen::TigerDataset dataset = tigergen::GenerateTiger(gen);
+  auto load = core::LoadDataset(dataset, &*conn);
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+
+  core::RunConfig config;
+  config.warmup = 0;
+  config.repetitions = 1;
+  // A modest client-side retry allowance: the sub-call that is mid-flight
+  // on the killed replica at SIGKILL time surfaces transiently; the router
+  // fails the scatter over, and the runner may re-issue the query once.
+  config.retry.max_attempts = 3;
+  config.retry.backoff_base_s = 1e-3;
+  const auto suite = core::BuildTopologicalSuite(dataset);
+
+  // Healthy baseline.
+  const auto healthy = core::RunSuite(&*conn, suite, config);
+  for (const core::RunResult& r : healthy) {
+    ASSERT_TRUE(r.ok) << r.query_id << ": " << r.error;
+  }
+  const uint64_t healthy_checksum = FoldChecksums(healthy);
+
+  // SIGKILL shard 0's primary replica mid-suite: the killer fires while
+  // the degraded run is in flight, so some queries run healthy, some
+  // against the crippled cluster, and at least one crosses the death.
+  const uint64_t failovers_before =
+      obs::GlobalRegistry().GetCounter("shard.failover")->value();
+  std::thread killer([&servers] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    servers[0].Kill();
+  });
+  const auto degraded = core::RunSuite(&*conn, suite, config);
+  killer.join();
+
+  // The acceptance bar: every query completed (zero client-visible
+  // failures after retry) and the folded checksums are bit-identical.
+  for (const core::RunResult& r : degraded) {
+    EXPECT_TRUE(r.ok) << r.query_id << ": " << r.error;
+  }
+  EXPECT_EQ(FoldChecksums(degraded), healthy_checksum);
+
+  // The survivors still answer a fresh, post-kill full-fanout scatter
+  // correctly — this one provably runs against the crippled cluster even
+  // if the suite outran the killer thread.
+  client::Statement stmt = conn->CreateStatement();
+  auto rs = stmt.ExecuteQuery("SELECT COUNT(*) FROM arealm");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // The cluster really was crippled: reads against shard 0 failed over.
+  EXPECT_GT(obs::GlobalRegistry().GetCounter("shard.failover")->value(),
+            failovers_before);
+}
+
+}  // namespace
+}  // namespace jackpine

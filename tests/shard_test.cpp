@@ -136,12 +136,13 @@ TEST(ShardUrlTest, ParsesEndpointsAndOptions) {
       "bounds=-10:-10:10:10;replicate=county|lookup)/pine-rtree");
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->sut, "pine-rtree");
-  ASSERT_EQ(parsed->endpoints.size(), 2u);
-  EXPECT_EQ(parsed->endpoints[0].host, "127.0.0.1");
-  EXPECT_EQ(parsed->endpoints[0].port, 7701);
-  EXPECT_EQ(parsed->endpoints[0].scheme, "tcp");
-  EXPECT_EQ(parsed->endpoints[0].sut, "pine-rtree");
-  EXPECT_EQ(parsed->endpoints[1].port, 7702);
+  ASSERT_EQ(parsed->shards.size(), 2u);
+  ASSERT_EQ(parsed->shards[0].size(), 1u);
+  EXPECT_EQ(parsed->shards[0][0].endpoint.host, "127.0.0.1");
+  EXPECT_EQ(parsed->shards[0][0].endpoint.port, 7701);
+  EXPECT_EQ(parsed->shards[0][0].endpoint.scheme, "tcp");
+  EXPECT_EQ(parsed->shards[0][0].endpoint.sut, "pine-rtree");
+  EXPECT_EQ(parsed->shards[1][0].endpoint.port, 7702);
   EXPECT_EQ(parsed->partition.grid_order, 5u);  // 2^5 = 32
   EXPECT_DOUBLE_EQ(parsed->partition.margin, 2.5);
   EXPECT_EQ(parsed->partition.virtual_nodes, 16u);
@@ -149,19 +150,69 @@ TEST(ShardUrlTest, ParsesEndpointsAndOptions) {
   EXPECT_DOUBLE_EQ(parsed->partition.bounds.max_y(), 10.0);
   EXPECT_EQ(parsed->replicated_tables,
             (std::vector<std::string>{"county", "lookup"}));
-  EXPECT_FALSE(parsed->chaos[0].has_value());
+  EXPECT_FALSE(parsed->shards[0][0].chaos.has_value());
+  // HA defaults: health auto, hedging off.
+  EXPECT_LT(parsed->health_ms, 0.0);
+  EXPECT_LT(parsed->hedge_ms, 0.0);
 }
 
 TEST(ShardUrlTest, ParsesPerEndpointChaosWrap) {
   auto parsed = ParseShardUrl(
       "shard(chaos(7,0.5,0)@127.0.0.1:7701,127.0.0.1:7702)/pine-grid");
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
-  ASSERT_EQ(parsed->endpoints.size(), 2u);
-  ASSERT_TRUE(parsed->chaos[0].has_value());
-  EXPECT_EQ(parsed->chaos[0]->seed, 7u);
-  EXPECT_DOUBLE_EQ(parsed->chaos[0]->error_rate, 0.5);
-  EXPECT_FALSE(parsed->chaos[1].has_value());
-  EXPECT_EQ(parsed->endpoints[0].port, 7701);
+  ASSERT_EQ(parsed->shards.size(), 2u);
+  ASSERT_TRUE(parsed->shards[0][0].chaos.has_value());
+  EXPECT_EQ(parsed->shards[0][0].chaos->seed, 7u);
+  EXPECT_DOUBLE_EQ(parsed->shards[0][0].chaos->error_rate, 0.5);
+  EXPECT_FALSE(parsed->shards[1][0].chaos.has_value());
+  EXPECT_EQ(parsed->shards[0][0].endpoint.port, 7701);
+}
+
+TEST(ShardUrlTest, ParsesReplicaGroupsAndHaOptions) {
+  // '|' inside a slot separates replicas; chaos wraps compose per replica
+  // and survive both the ',' and '|' splits.
+  auto parsed = ParseShardUrl(
+      "shard(127.0.0.1:7701|127.0.0.1:7711|chaos(3,0.25,0)@127.0.0.1:7721,"
+      "127.0.0.1:7702|127.0.0.1:7712;health_ms=50;hedge_ms=5)/pine-rtree");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->shards.size(), 2u);
+  ASSERT_EQ(parsed->shards[0].size(), 3u);
+  ASSERT_EQ(parsed->shards[1].size(), 2u);
+  EXPECT_EQ(parsed->shards[0][0].endpoint.port, 7701);
+  EXPECT_EQ(parsed->shards[0][1].endpoint.port, 7711);
+  EXPECT_EQ(parsed->shards[0][2].endpoint.port, 7721);
+  ASSERT_TRUE(parsed->shards[0][2].chaos.has_value());
+  EXPECT_EQ(parsed->shards[0][2].chaos->seed, 3u);
+  EXPECT_EQ(parsed->shards[1][1].endpoint.port, 7712);
+  for (const auto& group : parsed->shards) {
+    for (const auto& replica : group) {
+      EXPECT_EQ(replica.endpoint.sut, "pine-rtree");
+    }
+  }
+  EXPECT_DOUBLE_EQ(parsed->health_ms, 50.0);
+  EXPECT_DOUBLE_EQ(parsed->hedge_ms, 5.0);
+}
+
+TEST(ShardUrlTest, ReplicaGroupsDoNotMoveTheRing) {
+  // Ring identity is the primary replica's label: adding replicas to a slot
+  // must not re-home any cell, or a grown cluster would read wrong shards.
+  auto bare = ParseShardUrl("shard(127.0.0.1:7701,127.0.0.1:7702)/x");
+  auto replicated = ParseShardUrl(
+      "shard(127.0.0.1:7701|127.0.0.1:7711,"
+      "127.0.0.1:7702|127.0.0.1:7712)/x");
+  ASSERT_TRUE(bare.ok());
+  ASSERT_TRUE(replicated.ok());
+  auto driver_a = ShardDriver::Create(std::move(*bare));
+  auto driver_b = ShardDriver::Create(std::move(*replicated));
+  ASSERT_TRUE(driver_a.ok()) << driver_a.status().ToString();
+  ASSERT_TRUE(driver_b.ok()) << driver_b.status().ToString();
+  const Partitioner& pa = (*driver_a)->partitioner();
+  const Partitioner& pb = (*driver_b)->partitioner();
+  for (uint32_t c = 0; c < pa.num_cells(); ++c) {
+    ASSERT_EQ(pa.OwnerShard(c), pb.OwnerShard(c)) << "cell " << c;
+  }
+  EXPECT_EQ((*driver_b)->num_replicas(0), 2u);
+  EXPECT_FALSE((*driver_b)->replica_stale(0, 1));
 }
 
 TEST(ShardUrlTest, RejectsMalformedUrls) {
@@ -173,6 +224,79 @@ TEST(ShardUrlTest, RejectsMalformedUrls) {
   EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701;bounds=1:2:3)/x").ok());
   EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701;wat=1)/x").ok());
   EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701/x").ok());  // unbalanced
+  // Replica-group malformations: a bad replica spec and negative HA knobs.
+  EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701|:bad)/x").ok());
+  EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701;health_ms=-1)/x").ok());
+  EXPECT_FALSE(ParseShardUrl("shard(127.0.0.1:7701;hedge_ms=-1)/x").ok());
+}
+
+// ---------------------------------------------------------------------------
+// CombineStatuses: the scatter/failover error-priority lattice. Exercised
+// directly because every distributed failure in the router funnels through
+// it — a wrong pick surfaces as a retry loop hammering a dead cluster or a
+// shed hint that undershoots the slowest shard.
+
+Status MakeShed(uint32_t retry_after_ms) {
+  Status s = Status::ResourceExhausted("shed");
+  s.set_retry_after_ms(retry_after_ms);
+  return s;
+}
+
+// kUnavailable + a retry hint is the breaker's fast-fail shape (status.h).
+Status MakeFastFail(uint32_t retry_after_ms) {
+  Status s = Status::Unavailable("breaker open");
+  s.set_retry_after_ms(retry_after_ms);
+  return s;
+}
+
+TEST(CombineStatusesTest, EmptyAndAllOkCombineToOk) {
+  EXPECT_TRUE(CombineStatuses({}).ok());
+  EXPECT_TRUE(CombineStatuses({Status::Ok(), Status::Ok()}).ok());
+}
+
+TEST(CombineStatusesTest, SingleErrorPassesThrough) {
+  const Status only = Status::Unavailable("shard 1 down");
+  const Status combined = CombineStatuses({Status::Ok(), only});
+  EXPECT_EQ(combined.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(combined.message(), "shard 1 down");
+}
+
+TEST(CombineStatusesTest, NonRetryableBeatsEveryRetryClass) {
+  const Status fatal = Status::InvalidArgument("bad sql");
+  const Status combined = CombineStatuses(
+      {MakeShed(500), fatal, Status::Unavailable("transient")});
+  EXPECT_EQ(combined.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(combined.message(), "bad sql");
+}
+
+TEST(CombineStatusesTest, ShedBeatsBreakerFastFailAndKeepsMaxHint) {
+  const Status combined =
+      CombineStatuses({MakeFastFail(1000), MakeShed(100), MakeShed(250)});
+  EXPECT_TRUE(IsShed(combined));
+  EXPECT_EQ(combined.retry_after_ms(), 250u);
+}
+
+TEST(CombineStatusesTest, BreakerFastFailBeatsPlainTransientAndKeepsMaxHint) {
+  const Status combined = CombineStatuses(
+      {Status::Unavailable("transient"), MakeFastFail(50), MakeFastFail(90)});
+  EXPECT_TRUE(IsBreakerFastFail(combined));
+  EXPECT_EQ(combined.retry_after_ms(), 90u);
+}
+
+TEST(CombineStatusesTest, PlainTransientsFallBackToTheFirstError) {
+  const Status combined =
+      CombineStatuses({Status::Ok(), Status::Unavailable("first"),
+                       Status::Unavailable("second")});
+  EXPECT_EQ(combined.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(combined.message(), "first");
+}
+
+TEST(CombineStatusesTest, DeadlineExceededIsNonRetryableAndShortCircuits) {
+  // A blown per-query deadline is not transient in this taxonomy — retrying
+  // (or failing over) would just blow it again — so it outranks even a shed.
+  const Status combined = CombineStatuses(
+      {MakeShed(500), Status::DeadlineExceeded("query budget exhausted")});
+  EXPECT_EQ(combined.code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(SerializeTest, RoundTripsThroughTheParser) {

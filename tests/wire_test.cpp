@@ -162,6 +162,10 @@ TEST(FrameTest, BitFlipSweepNeverCrashes) {
   spans.spans[0].name = "server.exec";
   spans.spans[0].annotations = {{"rows", "5"}};
   stream += EncodeFrame(FrameType::kStats, EncodeSpanList(spans));
+  PingMsg ping;
+  ping.seq = 3;
+  ping.sender_time_s = 12.5;
+  stream += EncodeFrame(FrameType::kPing, EncodePing(ping));
 
   for (size_t bit = 0; bit < stream.size() * 8; ++bit) {
     std::string mutant = stream;
@@ -182,6 +186,7 @@ TEST(FrameTest, BitFlipSweepNeverCrashes) {
       (void)DecodeStatsRequest((*frame)->payload);
       (void)DecodeStatsReply((*frame)->payload);
       (void)DecodeSpanList((*frame)->payload);
+      (void)DecodePing((*frame)->payload);
     }
   }
 }
@@ -255,6 +260,52 @@ TEST(PayloadTest, HintlessErrorKeepsThePreOverloadEncoding) {
   EXPECT_EQ(back->message, "gone");
   EXPECT_EQ(back->retry_after_ms, 0u);
   EXPECT_FALSE(IsShed(ErrorToStatus(*back)));
+}
+
+TEST(PayloadTest, PingRoundTrip) {
+  PingMsg msg;
+  msg.seq = 42;
+  msg.sender_time_s = 1234.5;
+  auto back = DecodePing(EncodePing(msg));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->seq, 42u);
+  EXPECT_DOUBLE_EQ(back->sender_time_s, 1234.5);
+}
+
+TEST(PayloadTest, ClocklessPingKeepsTheMinimalEncoding) {
+  // sender_time_s is a trailing optional in the Error-hint style: a ping
+  // without a clock reading is exactly the 8-byte seq, and a seq-only
+  // payload decodes with sender_time_s = 0.0. That keeps the frame
+  // forward-extensible without breaking peers that only know the seq.
+  PingMsg msg;
+  msg.seq = 7;
+  const std::string plain = EncodePing(msg);
+  EXPECT_EQ(plain.size(), 8u);
+  auto back = DecodePing(plain);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->seq, 7u);
+  EXPECT_DOUBLE_EQ(back->sender_time_s, 0.0);
+}
+
+TEST(PayloadTest, TruncatedPingFailsCleanlyExceptTheClockBoundary) {
+  PingMsg msg;
+  msg.seq = 99;
+  msg.sender_time_s = 3.25;
+  const std::string full = EncodePing(msg);
+  ASSERT_EQ(full.size(), 16u);
+  for (size_t len = 0; len < full.size(); ++len) {
+    auto back = DecodePing(std::string_view(full.data(), len));
+    if (len == 8) {
+      // Cutting exactly the trailing clock reproduces the minimal
+      // encoding, which must keep decoding (as 0.0) — same compatibility
+      // contract as the hintless Error frame.
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(back->seq, 99u);
+      EXPECT_DOUBLE_EQ(back->sender_time_s, 0.0);
+    } else {
+      EXPECT_FALSE(back.ok()) << "prefix of " << len << " bytes";
+    }
+  }
 }
 
 TEST(PayloadTest, ResultBatchRoundTripsEveryValueType) {
