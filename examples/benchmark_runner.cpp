@@ -30,6 +30,26 @@
 // retries with a shared token bucket: each retry spends a token, each
 // success earns back a tenth, so retry traffic cannot amplify an overload.
 //
+// --overload-skew zipf:S reshapes the overload mix: query slots are drawn
+// from a seeded Zipf(S) distribution over the workload (slot 0 hottest)
+// instead of round-robin — the repeat-heavy traffic shape under which a
+// result cache earns its keep. Draws are deterministic per client, so two
+// runs against differently configured servers issue identical sequences.
+//
+// --cache-overload runs the paired experiment: the same skewed overload mix
+// (so --overload-skew is required) drives a fresh in-process pinedb server
+// (--shard-sut picks the engine) once with the result cache on and once
+// with --cache-off, over the wire. The report compares goodput and p95,
+// prints the cache-on server's hit/coalesce counters, and fails unless the
+// per-slot result checksums of both passes fold to the same digest —
+// cached replies must be byte-identical to engine executions.
+//
+// --overload-only skips the sequential micro/macro suites (the dataset is
+// still loaded) and jumps straight to the concurrent overload run. Against
+// a cache-enabled pinedb server this keeps every query cold until the
+// saturating clients arrive together, which is what makes request
+// coalescing observable in the server's cache.coalesced counter.
+//
 // --json PATH additionally writes the whole run — every per-query timing,
 // trace, scenario and overload result — as a schema_version-1 JSON document
 // (see DESIGN.md "Observability"), the machine-readable companion to the
@@ -325,6 +345,83 @@ Result<core::DegradedRunResult> RunShardDegraded(
   return row;
 }
 
+// The cache on/off overload experiment (--cache-overload): the same seeded
+// Zipf-skewed overload run is driven twice against a fresh in-process pinedb
+// server hosting `sut` — once with the result cache on, once with
+// --cache-off — over the wire protocol, so the measurement includes the
+// full client/server round-trip the cache short-circuits. Because every
+// client draws its query sequence from its own seeded skew stream advanced
+// once per slot (core::RunConfig::overload_zipf_s), both passes issue
+// bit-identical workloads; the per-slot first-seen checksums must therefore
+// fold to the same digest, proving cached replies byte-equivalent to engine
+// executions. The cache counters come from the cache-on server's own
+// ResultCache tallies (exact, not the process-global registry, which both
+// passes would pollute).
+Result<core::CacheOverloadResult> RunCacheOverload(
+    const std::string& sut, const tigergen::TigerDataset& dataset,
+    const core::RunConfig& config, int clients, int rounds) {
+  if (config.overload_zipf_s <= 0.0) {
+    return Status::InvalidArgument(
+        "--cache-overload needs --overload-skew zipf:S (a uniform round-robin "
+        "mix understates repeat traffic and the comparison is uninteresting)");
+  }
+  const auto topo_suite = core::BuildTopologicalSuite(dataset);
+  core::CacheOverloadResult row;
+  row.clients = clients;
+  row.rounds = rounds;
+  row.zipf_s = config.overload_zipf_s;
+  for (const bool cache_on : {true, false}) {
+    net::ServerOptions sopts;
+    sopts.sut = sut;
+    sopts.cache_off = !cache_on;
+    JACKPINE_ASSIGN_OR_RETURN(std::unique_ptr<net::Server> server,
+                              net::Server::Create(sopts));
+    server->StartServing();
+    const std::string url = StrFormat("jackpine:tcp://127.0.0.1:%u/%s",
+                                      unsigned{server->port()}, sut.c_str());
+    JACKPINE_ASSIGN_OR_RETURN(client::Connection conn,
+                              client::Connection::Open(url));
+    if (cache_on) row.sut = conn.config().name;
+    JACKPINE_RETURN_IF_ERROR(core::LoadDataset(dataset, &conn).status());
+    // One unmeasured round eats the cold costs both passes share (plans,
+    // session dials); for the cache-on pass it also pre-warms the cache the
+    // way sustained map-tile traffic would. The warm round replays the same
+    // seeded draws as measured round 1, so warming is itself deterministic.
+    (void)core::RunOverload(&conn, topo_suite, clients, 1, config);
+    const core::OverloadResult ov =
+        core::RunOverload(&conn, topo_suite, clients, rounds, config);
+    if (ov.failures > 0 || ov.checksum_mismatches > 0) {
+      return Status::Internal(StrFormat(
+          "cache-overload (cache %s): %zu failures, %llu checksum mismatches "
+          "— the on/off comparison needs every slot served",
+          cache_on ? "on" : "off", ov.failures,
+          static_cast<unsigned long long>(ov.checksum_mismatches)));
+    }
+    if (cache_on) {
+      row.on_goodput_qps = ov.GoodputQps();
+      row.on_p95_ms = ov.latency.p95_s * 1e3;
+      row.on_checksum = ov.FoldedChecksum();
+      const cache::CacheStats cs = server->query_cache()->stats();
+      row.hits = cs.hits;
+      row.misses = cs.misses;
+      row.admissions = cs.admissions;
+      row.rejections = cs.rejections;
+      row.evictions = cs.evictions;
+      row.invalidations = cs.invalidations;
+      row.coalesced = cs.coalesced;
+      row.bytes = cs.bytes;
+      row.hit_rate = cs.HitRate();
+    } else {
+      row.off_goodput_qps = ov.GoodputQps();
+      row.off_p95_ms = ov.latency.p95_s * 1e3;
+      row.off_checksum = ov.FoldedChecksum();
+    }
+    server->Shutdown();
+  }
+  row.checksum_match = row.on_checksum == row.off_checksum;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -348,6 +445,8 @@ int main(int argc, char** argv) {
   std::string shard_sut = "pine-rtree";
   int shard_replicas = 1;
   bool shard_degraded = false;
+  bool cache_overload = false;
+  bool overload_only = false;
   std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
                                         "pine-scan"};
   for (int i = 1; i < argc; ++i) {
@@ -371,6 +470,20 @@ int main(int argc, char** argv) {
       overload_clients = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "--overload-rounds") && i + 1 < argc) {
       overload_rounds = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--overload-skew") && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      if (spec.rfind("zipf:", 0) != 0 ||
+          std::atof(spec.c_str() + 5) <= 0.0) {
+        std::fprintf(stderr,
+                     "--overload-skew wants zipf:S with S > 0 (got '%s')\n",
+                     spec.c_str());
+        return 2;
+      }
+      config.overload_zipf_s = std::atof(spec.c_str() + 5);
+    } else if (!std::strcmp(argv[i], "--cache-overload")) {
+      cache_overload = true;
+    } else if (!std::strcmp(argv[i], "--overload-only")) {
+      overload_only = true;
     } else if (!std::strcmp(argv[i], "--retry-budget") && i + 1 < argc) {
       retry_budget = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--no-load")) {
@@ -401,6 +514,8 @@ int main(int argc, char** argv) {
                    "[--deadline SEC] [--chaos seed,rate,latency_ms] "
                    "[--throughput-clients N] [--throughput-rounds R] "
                    "[--overload-clients N] [--overload-rounds R] "
+                   "[--overload-skew zipf:S] [--cache-overload] "
+                   "[--overload-only] "
                    "[--retry-budget TOKENS] [--no-load] [--json PATH] "
                    "[--trace-out PATH] [--data-dir DIR] "
                    "[--shard-scaling N1,N2,...] [--shard-sut NAME] "
@@ -412,7 +527,16 @@ int main(int argc, char** argv) {
                    "table\n"
                    "  --shard-degraded: kill one replica of a replicated "
                    "2-shard cluster mid-run and compare degraded goodput, "
-                   "p95 and suite checksums against the healthy baseline\n",
+                   "p95 and suite checksums against the healthy baseline\n"
+                   "  --overload-skew zipf:S: draw overload query slots from "
+                   "a seeded Zipf(S) distribution instead of round-robin\n"
+                   "  --cache-overload: run the skewed overload mix against "
+                   "an in-process pinedb server with the result cache on and "
+                   "again with --cache-off, compare goodput/p95 and verify "
+                   "per-slot checksums match (needs --overload-skew)\n"
+                   "  --overload-only: skip the sequential micro/macro "
+                   "suites so the concurrent overload clients are the first "
+                   "to touch every query (cold server-side caches)\n",
                    argv[0]);
       return 2;
     }
@@ -425,6 +549,11 @@ int main(int argc, char** argv) {
     config.limits.spans = &obs::GlobalSpanRecorder();
   }
 
+  if (overload_only && overload_clients <= 0) {
+    std::fprintf(stderr, "--overload-only needs --overload-clients N\n");
+    return 2;
+  }
+
   tigergen::TigerGenOptions gen;
   gen.seed = seed;
   gen.scale = scale;
@@ -432,6 +561,57 @@ int main(int argc, char** argv) {
   std::printf("dataset: scale %.2f -> %zu rows (%zu edges, %zu counties)\n\n",
               scale, dataset.TotalRows(), dataset.edges.size(),
               dataset.counties.size());
+
+  if (cache_overload) {
+    const int clients = overload_clients > 0 ? overload_clients : 8;
+    auto result = RunCacheOverload(shard_sut, dataset, config, clients,
+                                   overload_rounds);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n",
+                core::RenderCacheOverloadTable(
+                    StrFormat("E8: result cache under overload (%s, "
+                              "zipf %.2f)",
+                              shard_sut.c_str(), config.overload_zipf_s),
+                    {*result})
+                    .c_str());
+    // One grep-able line for the CI cache smoke step.
+    std::printf("cache overload: hits=%llu coalesced=%llu hit_rate=%.3f "
+                "speedup=%.2f checksum_match=%d\n",
+                static_cast<unsigned long long>(result->hits),
+                static_cast<unsigned long long>(result->coalesced),
+                result->hit_rate,
+                result->off_goodput_qps > 0.0
+                    ? result->on_goodput_qps / result->off_goodput_qps
+                    : 0.0,
+                result->checksum_match ? 1 : 0);
+    if (!json_path.empty()) {
+      core::JsonReportInput report;
+      report.title = StrFormat(
+          "jackpine result cache under overload (scale %.2f, seed %llu, %s)",
+          scale, static_cast<unsigned long long>(seed), shard_sut.c_str());
+      report.cache.push_back(*result);
+      const std::string doc = core::RenderJsonReport(report);
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote JSON report to %s\n", json_path.c_str());
+    }
+    if (!result->checksum_match) {
+      std::fprintf(stderr,
+                   "cache overload: cached replies diverged from engine "
+                   "executions (checksum mismatch)\n");
+      return 1;
+    }
+    return 0;
+  }
 
   if (shard_degraded) {
     const int replicas = std::max(shard_replicas, 2);
@@ -601,13 +781,24 @@ int main(int argc, char** argv) {
       }
     }
 
-    topo_by_sut.push_back(core::RunSuite(&conn, topo_suite, config));
-    analysis_by_sut.push_back(core::RunSuite(&conn, analysis_suite, config));
-    std::vector<core::ScenarioResult> scenario_results;
-    for (const core::Scenario& s : scenarios) {
-      scenario_results.push_back(core::RunScenario(&conn, s, config));
+    if (overload_only) {
+      // Cold-path mode for the overload harness: skip the sequential
+      // micro/macro suites so the concurrent clients below are the first
+      // to touch every query (a warmed server-side result cache would
+      // otherwise leave nothing in flight to coalesce).
+      topo_by_sut.emplace_back();
+      analysis_by_sut.emplace_back();
+      scenarios_by_sut.emplace_back();
+    } else {
+      topo_by_sut.push_back(core::RunSuite(&conn, topo_suite, config));
+      analysis_by_sut.push_back(
+          core::RunSuite(&conn, analysis_suite, config));
+      std::vector<core::ScenarioResult> scenario_results;
+      for (const core::Scenario& s : scenarios) {
+        scenario_results.push_back(core::RunScenario(&conn, s, config));
+      }
+      scenarios_by_sut.push_back(std::move(scenario_results));
     }
-    scenarios_by_sut.push_back(std::move(scenario_results));
 
     if (throughput_clients > 0) {
       core::ThroughputResult tp = core::RunConcurrentThroughput(
@@ -640,17 +831,19 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\n%s\n",
-              core::RenderComparisonTable(
-                  "E1: DE-9IM topological micro benchmark", topo_by_sut)
-                  .c_str());
-  std::printf("%s\n", core::RenderComparisonTable(
-                          "E2: spatial analysis micro benchmark",
-                          analysis_by_sut)
-                          .c_str());
-  std::printf("%s\n", core::RenderScenarioTable("E3: macro scenarios",
-                                                scenarios_by_sut)
-                          .c_str());
+  if (!overload_only) {
+    std::printf("\n%s\n",
+                core::RenderComparisonTable(
+                    "E1: DE-9IM topological micro benchmark", topo_by_sut)
+                    .c_str());
+    std::printf("%s\n", core::RenderComparisonTable(
+                            "E2: spatial analysis micro benchmark",
+                            analysis_by_sut)
+                            .c_str());
+    std::printf("%s\n", core::RenderScenarioTable("E3: macro scenarios",
+                                                  scenarios_by_sut)
+                            .c_str());
+  }
   if (!throughput_by_sut.empty()) {
     std::vector<std::pair<std::string, std::string>> rows;
     for (const core::ThroughputResult& tp : throughput_by_sut) {

@@ -1,0 +1,82 @@
+#include "cache/cache_key.h"
+
+#include <algorithm>
+#include <variant>
+
+#include "common/string_util.h"
+#include "engine/sql_ast.h"
+#include "engine/sql_lexer.h"
+#include "engine/sql_parser.h"
+
+namespace jackpine::cache {
+namespace {
+
+// Re-quotes a string literal whose quotes the lexer stripped, undoing the
+// '' unescape so the canonical text is itself valid SQL.
+void AppendQuoted(const std::string& s, std::string* out) {
+  out->push_back('\'');
+  for (char c : s) {
+    if (c == '\'') out->push_back('\'');
+    out->push_back(c);
+  }
+  out->push_back('\'');
+}
+
+}  // namespace
+
+std::optional<NormalizedSelect> NormalizeSelect(std::string_view sql) {
+  auto parsed = engine::ParseSql(sql);
+  if (!parsed.ok()) return std::nullopt;
+  const auto* select = std::get_if<engine::SelectStatement>(&*parsed);
+  if (select == nullptr) return std::nullopt;
+
+  auto tokens = engine::Tokenize(sql);
+  if (!tokens.ok()) return std::nullopt;  // unreachable once parsing passed
+
+  NormalizedSelect out;
+  for (const engine::Token& tok : *tokens) {
+    if (tok.kind == engine::TokenKind::kEnd) break;
+    if (!out.text.empty()) out.text.push_back(' ');
+    switch (tok.kind) {
+      case engine::TokenKind::kIdentifier:
+        out.text += ToLowerAscii(tok.text);
+        break;
+      case engine::TokenKind::kString:
+        AppendQuoted(tok.text, &out.text);
+        break;
+      default:
+        out.text += tok.text;
+        break;
+    }
+  }
+
+  out.tables.reserve(select->from.size());
+  for (const engine::TableRef& ref : select->from) {
+    out.tables.push_back(ToLowerAscii(ref.table));
+  }
+  std::sort(out.tables.begin(), out.tables.end());
+  out.tables.erase(std::unique(out.tables.begin(), out.tables.end()),
+                   out.tables.end());
+  return out;
+}
+
+std::string ComposeKey(const NormalizedSelect& query,
+                       const std::vector<uint64_t>& versions,
+                       uint64_t max_rows, uint64_t max_result_bytes) {
+  std::string key = query.text;
+  key.push_back('\0');
+  for (size_t i = 0; i < query.tables.size(); ++i) {
+    const uint64_t v = i < versions.size() ? versions[i] : 0;
+    key += query.tables[i];
+    key.push_back('=');
+    key += StrFormat("%llu", static_cast<unsigned long long>(v));
+    key.push_back(';');
+  }
+  key.push_back('\0');
+  key += StrFormat("rows=%llu;bytes=%llu",
+                   static_cast<unsigned long long>(max_rows),
+                   static_cast<unsigned long long>(max_result_bytes));
+  return key;
+}
+
+}  // namespace jackpine::cache

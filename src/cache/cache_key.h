@@ -1,0 +1,53 @@
+// Cache-key derivation: which statements are cacheable, and what their
+// canonical text is (DESIGN.md "Result cache & coalescing").
+//
+// Two spellings of the same SELECT must map to one cache entry, so the key
+// is built from the token stream, not the raw text: whitespace collapses,
+// `--` and `/* */` comments vanish, and identifiers/keywords are folded to
+// lower case (safe because catalog and function lookup are both
+// case-insensitive — see engine/catalog.cpp). String and numeric literals
+// are preserved verbatim: `'Main St'` and `'main st'` are different
+// predicates, and we deliberately do not canonicalise `1.0` vs `1.00`
+// (a miss there costs one redundant execution, never a wrong answer).
+//
+// Only a plain SELECT is cacheable. EXPLAIN / EXPLAIN ANALYZE must re-run
+// the engine so per-operator actuals stay truthful, and DDL/DML are
+// mutations. Statements that fail to parse are simply not cacheable — the
+// engine will produce the real error.
+
+#ifndef JACKPINE_CACHE_CACHE_KEY_H_
+#define JACKPINE_CACHE_CACHE_KEY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jackpine::cache {
+
+struct NormalizedSelect {
+  // Canonical single-line form of the statement: tokens joined by single
+  // spaces, identifiers lower-cased, literals verbatim.
+  std::string text;
+  // Tables the SELECT reads, lower-cased, deduplicated, sorted — the order
+  // the version vector is composed in.
+  std::vector<std::string> tables;
+};
+
+// nullopt = not cacheable (not a plain SELECT, or does not tokenize/parse).
+std::optional<NormalizedSelect> NormalizeSelect(std::string_view sql);
+
+// Composes the full cache key: canonical text + the table-version vector
+// (same order as `tables`) + the result-shaping execution limits. Deadlines
+// are deliberately excluded: an ExecContext budget violation is a latched
+// error, never a silently truncated result, so a successful SELECT's rows
+// do not depend on its deadline. max_rows / max_result_bytes DO shape
+// successful results and therefore key the entry.
+std::string ComposeKey(const NormalizedSelect& query,
+                       const std::vector<uint64_t>& versions,
+                       uint64_t max_rows, uint64_t max_result_bytes);
+
+}  // namespace jackpine::cache
+
+#endif  // JACKPINE_CACHE_CACHE_KEY_H_

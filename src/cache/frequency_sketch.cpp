@@ -1,0 +1,71 @@
+#include "cache/frequency_sketch.h"
+
+namespace jackpine::cache {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+size_t NextPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+uint64_t HashKey(const void* data, size_t size, uint64_t seed) {
+  // FNV-1a over the bytes, then a splitmix64 finaliser so the low bits used
+  // for slot selection are well mixed even for short, similar keys.
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+FrequencySketch::FrequencySketch(size_t width, uint64_t sample_period) {
+  width_ = NextPow2(width < 64 ? 64 : width);
+  mask_ = width_ - 1;
+  period_ = sample_period > 0 ? sample_period
+                              : static_cast<uint64_t>(width_) * 10;
+  counters_.assign(static_cast<size_t>(kRows) * width_, 0);
+}
+
+size_t FrequencySketch::Slot(uint64_t hash, int row) const {
+  // Independent per-row hashes from one 64-bit input: remix with a
+  // row-specific odd constant.
+  const uint64_t h = Mix64(hash + 0x632be59bd9b4e019ull * (row + 1));
+  return static_cast<size_t>(row) * width_ + (h & mask_);
+}
+
+void FrequencySketch::Record(uint64_t hash) {
+  for (int r = 0; r < kRows; ++r) {
+    uint8_t& c = counters_[Slot(hash, r)];
+    if (c < 255) ++c;
+  }
+  if (++samples_ >= period_) Halve();
+}
+
+uint32_t FrequencySketch::Estimate(uint64_t hash) const {
+  uint32_t est = 255;
+  for (int r = 0; r < kRows; ++r) {
+    const uint8_t c = counters_[Slot(hash, r)];
+    if (c < est) est = c;
+  }
+  return est;
+}
+
+void FrequencySketch::Halve() {
+  for (uint8_t& c : counters_) c >>= 1;
+  samples_ >>= 1;
+  ++halvings_;
+}
+
+}  // namespace jackpine::cache

@@ -1,0 +1,61 @@
+// Count–min frequency sketch for TinyLFU admission (DESIGN.md "Result
+// cache & coalescing").
+//
+// The cache needs an answer to one question at admission time: "is the
+// candidate entry accessed more often than the eviction victim?" — without
+// keeping a frequency counter per key ever seen (the key space is unbounded:
+// every distinct SQL text is a key). The classic TinyLFU answer is a
+// count–min sketch of 8-bit counters with periodic halving: Record() bumps
+// one counter per hash row, Estimate() reads the minimum across rows (an
+// upper bound on the true count, biased low-error for hot keys), and once
+// the total number of recorded accesses reaches `sample_period` every
+// counter is halved. The halving is what makes the sketch an *aging*
+// frequency estimate — a key that was hot an hour ago but is cold now decays
+// toward zero instead of squatting on its historical popularity.
+
+#ifndef JACKPINE_CACHE_FREQUENCY_SKETCH_H_
+#define JACKPINE_CACHE_FREQUENCY_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jackpine::cache {
+
+class FrequencySketch {
+ public:
+  // `width` is rounded up to a power of two (minimum 64 slots per row).
+  // `sample_period` of 0 picks the conventional 10x width.
+  explicit FrequencySketch(size_t width, uint64_t sample_period = 0);
+
+  // Records one access for `hash`. O(kRows) relaxed work under the caller's
+  // lock (the cache serialises sketch access with its own mutex).
+  void Record(uint64_t hash);
+
+  // Estimated access frequency of `hash` in the current sample window.
+  uint32_t Estimate(uint64_t hash) const;
+
+  uint64_t sample_count() const { return samples_; }
+  uint64_t halvings() const { return halvings_; }
+
+ private:
+  static constexpr int kRows = 4;
+
+  size_t Slot(uint64_t hash, int row) const;
+  void Halve();
+
+  size_t width_;       // power of two
+  uint64_t mask_;      // width_ - 1
+  uint64_t period_;    // halve after this many Record() calls
+  uint64_t samples_ = 0;
+  uint64_t halvings_ = 0;
+  std::vector<uint8_t> counters_;  // kRows * width_
+};
+
+// 64-bit mix used for cache-key hashing (splitmix64 finaliser). Exposed so
+// the cache and the sketch agree on the hash of a key string.
+uint64_t HashKey(const void* data, size_t size, uint64_t seed = 0);
+
+}  // namespace jackpine::cache
+
+#endif  // JACKPINE_CACHE_FREQUENCY_SKETCH_H_

@@ -1,0 +1,83 @@
+#include "cache/query_cache.h"
+
+#include <utility>
+
+namespace jackpine::cache {
+
+QueryCache::QueryCache(const QueryCacheConfig& config)
+    : results_(config.budget_bytes) {}
+
+void QueryCache::AttachTo(engine::Database* db) {
+  versions_.set_on_mutate(
+      [this](const std::string& table) { results_.InvalidateTable(table); });
+  versions_.AttachTo(db);
+}
+
+std::optional<QueryCache::Prepared> QueryCache::Prepare(
+    std::string_view sql, uint64_t max_rows, uint64_t max_result_bytes) const {
+  auto normalized = NormalizeSelect(sql);
+  if (!normalized.has_value()) return std::nullopt;
+  Prepared p;
+  p.query = std::move(*normalized);
+  p.versions = versions_.Snapshot(p.query.tables);
+  p.key = ComposeKey(p.query, p.versions, max_rows, max_result_bytes);
+  return p;
+}
+
+std::shared_ptr<const ResultCache::Entry> QueryCache::Lookup(
+    const Prepared& p) {
+  // An odd version in the captured vector means an apply is in flight right
+  // now; the key cannot match a (necessarily all-even) admitted entry, so
+  // the lookup is an honest miss and the query executes against the engine.
+  return results_.Lookup(p.key);
+}
+
+RequestCoalescer::Ticket QueryCache::JoinFlight(const Prepared& p) {
+  return coalescer_.Join(p.key);
+}
+
+std::shared_ptr<const ResultCache::Entry> QueryCache::RecheckAsLeader(
+    const Prepared& p) {
+  std::shared_ptr<const ResultCache::Entry> entry = results_.PeekHit(p.key);
+  if (entry != nullptr) coalescer_.Finish(p.key, entry);
+  return entry;
+}
+
+std::shared_ptr<const ResultCache::Entry> QueryCache::WaitShared(
+    const RequestCoalescer::Ticket& ticket, double timeout_s) {
+  RequestCoalescer::Flight::WaitResult waited = ticket.flight->Wait(timeout_s);
+  if (waited.entry != nullptr) results_.NoteCoalesced();
+  return waited.entry;
+}
+
+std::shared_ptr<const ResultCache::Entry> QueryCache::FinishFlight(
+    const Prepared& p, engine::QueryResult result,
+    const obs::QueryTrace& trace) {
+  auto entry = std::make_shared<ResultCache::Entry>();
+  entry->result = std::move(result);
+  entry->trace = trace;
+  entry->tables = p.query.tables;
+  entry->bytes = ResultCache::ApproxResultBytes(entry->result);
+
+  // Seqlock admission check: versions unchanged since Prepare and all even
+  // means no apply overlapped the execution.
+  const std::vector<uint64_t> after = versions_.Snapshot(p.query.tables);
+  const bool stable =
+      after == p.versions && TableVersions::Stable(after);
+  if (stable) {
+    results_.Admit(p.key, entry);
+    coalescer_.Finish(p.key, entry);
+  } else {
+    // The result may reflect a half-applied mutation: serve it to the
+    // leader's own client (the engine itself ran it, same as uncached),
+    // but neither cache it nor fan it out.
+    coalescer_.Finish(p.key, nullptr);
+  }
+  return entry;
+}
+
+void QueryCache::AbortFlight(const Prepared& p) {
+  coalescer_.Finish(p.key, nullptr);
+}
+
+}  // namespace jackpine::cache

@@ -1,0 +1,105 @@
+// The facade the server wires in front of the engine: key derivation +
+// version snapshots + result cache + coalescer in one object with a
+// race-free admission protocol (DESIGN.md "Result cache & coalescing").
+//
+// Per-query flow on the serve path:
+//
+//   auto p = cache->Prepare(sql, max_rows, max_bytes);   // null: uncacheable
+//   if (auto hit = cache->Lookup(*p)) serve(hit);        // versions matched
+//   else {
+//     auto ticket = cache->JoinFlight(*p);
+//     if (!ticket.leader) {
+//       auto shared = cache->WaitShared(&ticket, remaining_deadline);
+//       if (shared) serve(shared);                        // coalesced
+//       else execute solo (no admission, no Finish);
+//     }
+//     if (ticket.leader) {
+//       execute; entry = cache->FinishFlight(*p, result, trace);  // or Abort
+//       serve(entry->result);
+//     }
+//   }
+//
+// Admission safety is the seqlock check: FinishFlight re-snapshots the
+// table versions and admits only when they are unchanged since Prepare()
+// AND all even — a result whose execution overlapped any apply window is
+// served to its own client but never cached and never fanned out.
+
+#ifndef JACKPINE_CACHE_QUERY_CACHE_H_
+#define JACKPINE_CACHE_QUERY_CACHE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/cache_key.h"
+#include "cache/request_coalescer.h"
+#include "cache/result_cache.h"
+#include "cache/table_versions.h"
+
+namespace jackpine::cache {
+
+struct QueryCacheConfig {
+  size_t budget_bytes = 64ull << 20;
+};
+
+class QueryCache {
+ public:
+  explicit QueryCache(const QueryCacheConfig& config);
+
+  // Chains the version observer in front of db's current MutationObserver
+  // and hooks proactive purge. Call once, after any storage observer is
+  // attached and before queries are served.
+  void AttachTo(engine::Database* db);
+
+  struct Prepared {
+    NormalizedSelect query;
+    std::vector<uint64_t> versions;  // captured before Lookup
+    std::string key;
+  };
+
+  // nullopt = statement is not a cacheable plain SELECT.
+  std::optional<Prepared> Prepare(std::string_view sql, uint64_t max_rows,
+                                  uint64_t max_result_bytes) const;
+
+  std::shared_ptr<const ResultCache::Entry> Lookup(const Prepared& p);
+
+  RequestCoalescer::Ticket JoinFlight(const Prepared& p);
+
+  // Leader double-check, closing the Lookup->JoinFlight race: when another
+  // leader admitted this key between this session's miss and its Join, the
+  // new leader must serve that entry (counted as a hit) and publish it to
+  // its own followers instead of executing again. Null = still a genuine
+  // miss; execute. Only valid on a ticket that won leadership.
+  std::shared_ptr<const ResultCache::Entry> RecheckAsLeader(const Prepared& p);
+
+  // Follower wait; counts cache.coalesced when the shared entry arrives.
+  std::shared_ptr<const ResultCache::Entry> WaitShared(
+      const RequestCoalescer::Ticket& ticket, double timeout_s);
+
+  // Leader success: builds the entry (taking ownership of `result`),
+  // attempts admission under the seqlock check, publishes to followers,
+  // and returns the entry for the leader's own reply.
+  std::shared_ptr<const ResultCache::Entry> FinishFlight(
+      const Prepared& p, engine::QueryResult result,
+      const obs::QueryTrace& trace);
+
+  // Leader failure: wakes followers empty-handed (each executes solo).
+  void AbortFlight(const Prepared& p);
+
+  // Policy bypass accounting (traced sessions and EXPLAIN stay truthful).
+  void NoteBypass() { results_.NoteBypass(); }
+
+  CacheStats stats() const { return results_.stats(); }
+  TableVersions& versions() { return versions_; }
+
+ private:
+  TableVersions versions_;
+  ResultCache results_;
+  RequestCoalescer coalescer_;
+};
+
+}  // namespace jackpine::cache
+
+#endif  // JACKPINE_CACHE_QUERY_CACHE_H_

@@ -1,0 +1,68 @@
+#include "cache/request_coalescer.h"
+
+#include <chrono>
+
+namespace jackpine::cache {
+
+void RequestCoalescer::Flight::Complete(
+    std::shared_ptr<const ResultCache::Entry> entry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    entry_ = std::move(entry);
+  }
+  cv_.notify_all();
+}
+
+RequestCoalescer::Flight::WaitResult RequestCoalescer::Flight::Wait(
+    double timeout_s) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_s > 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+    cv_.wait_until(lock, deadline, [this] { return done_; });
+  } else {
+    cv_.wait(lock, [this] { return done_; });
+  }
+  WaitResult out;
+  out.leader_finished = done_;
+  out.entry = entry_;
+  return out;
+}
+
+RequestCoalescer::Ticket RequestCoalescer::Join(const std::string& key) {
+  Ticket ticket;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = flights_.find(key);
+  if (it == flights_.end()) {
+    ticket.flight = std::make_shared<Flight>();
+    ticket.leader = true;
+    flights_[key] = ticket.flight;
+  } else {
+    ticket.flight = it->second;
+    ticket.leader = false;
+  }
+  return ticket;
+}
+
+void RequestCoalescer::Finish(const std::string& key,
+                              std::shared_ptr<const ResultCache::Entry> entry) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return;
+    flight = it->second;
+    flights_.erase(it);
+  }
+  flight->Complete(std::move(entry));
+}
+
+size_t RequestCoalescer::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flights_.size();
+}
+
+}  // namespace jackpine::cache

@@ -1,0 +1,81 @@
+// Deduplication of identical in-flight cache misses (DESIGN.md "Result
+// cache & coalescing").
+//
+// Under concurrency a hot query that just missed the cache would execute
+// once per session — the thundering herd that makes cold starts and
+// invalidation storms expensive. The coalescer keys in-flight executions by
+// the same composed cache key as the result cache: the first session to
+// Join() a key becomes the leader and executes; every later session becomes
+// a follower and waits on the leader's Flight. The leader publishes the
+// built cache entry (or failure) through Finish(), which removes the flight
+// and wakes all followers.
+//
+// Deadline semantics: a follower waits at most its own remaining deadline —
+// a short-deadline follower is never held hostage by a long-running leader.
+// On timeout (and on leader failure) the follower falls back to executing
+// solo. Leader errors are deliberately not fanned out: an error may be
+// session-specific (deadline, budget), so each follower re-tries for
+// itself rather than propagating someone else's failure.
+
+#ifndef JACKPINE_CACHE_REQUEST_COALESCER_H_
+#define JACKPINE_CACHE_REQUEST_COALESCER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cache/result_cache.h"
+
+namespace jackpine::cache {
+
+class RequestCoalescer {
+ public:
+  class Flight {
+   public:
+    // Leader side: publish the outcome and wake all waiters. `entry` is
+    // null when the execution failed (followers then execute solo).
+    void Complete(std::shared_ptr<const ResultCache::Entry> entry);
+
+    struct WaitResult {
+      std::shared_ptr<const ResultCache::Entry> entry;  // null: run solo
+      bool leader_finished = false;  // false = the wait timed out
+    };
+    // Follower side: wait up to `timeout_s` (<= 0 waits without bound) for
+    // the leader to publish.
+    WaitResult Wait(double timeout_s);
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::shared_ptr<const ResultCache::Entry> entry_;
+  };
+
+  struct Ticket {
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+  };
+
+  // Registers interest in `key`: the first caller per key is the leader and
+  // MUST eventually call Finish() for that key, success or not.
+  Ticket Join(const std::string& key);
+
+  // Leader completion: removes the flight, then publishes `entry` to its
+  // followers. Callers admit to the result cache *before* Finish so a
+  // session arriving between admission and publication sees a hit instead
+  // of becoming a new leader.
+  void Finish(const std::string& key,
+              std::shared_ptr<const ResultCache::Entry> entry);
+
+  size_t in_flight() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace jackpine::cache
+
+#endif  // JACKPINE_CACHE_REQUEST_COALESCER_H_

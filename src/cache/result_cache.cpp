@@ -1,0 +1,175 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace jackpine::cache {
+namespace {
+
+size_t SketchWidthForBudget(size_t budget_bytes) {
+  const size_t slots = budget_bytes / 4096;
+  return slots < 1024 ? 1024 : slots;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t budget_bytes)
+    : budget_(budget_bytes), sketch_(SketchWidthForBudget(budget_bytes)) {
+  obs::Registry& reg = obs::GlobalRegistry();
+  hits_c_ = reg.GetCounter("cache.hits");
+  misses_c_ = reg.GetCounter("cache.misses");
+  admissions_c_ = reg.GetCounter("cache.admissions");
+  rejections_c_ = reg.GetCounter("cache.rejections");
+  evictions_c_ = reg.GetCounter("cache.evictions");
+  invalidations_c_ = reg.GetCounter("cache.invalidations");
+  coalesced_c_ = reg.GetCounter("cache.coalesced");
+  bypass_c_ = reg.GetCounter("cache.bypass");
+  bytes_g_ = reg.GetGauge("cache.bytes");
+  entries_g_ = reg.GetGauge("cache.entries");
+}
+
+uint64_t ResultCache::ApproxResultBytes(const engine::QueryResult& result) {
+  uint64_t bytes = 0;
+  for (const std::string& c : result.columns) bytes += c.size() + 16;
+  for (const engine::Row& row : result.rows) {
+    bytes += 16;  // row vector overhead
+    for (const engine::Value& v : row) bytes += v.ApproxBytes();
+  }
+  return bytes;
+}
+
+std::shared_ptr<const ResultCache::Entry> ResultCache::Lookup(
+    const std::string& key) {
+  const uint64_t hash = HashKey(key.data(), key.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  sketch_.Record(hash);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++tallies_.misses;
+    misses_c_->Add();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++tallies_.hits;
+  hits_c_->Add();
+  return it->second->entry;
+}
+
+std::shared_ptr<const ResultCache::Entry> ResultCache::PeekHit(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++tallies_.hits;
+  hits_c_->Add();
+  return it->second->entry;
+}
+
+void ResultCache::EvictNodeLocked(LruList::iterator it, obs::Counter* reason) {
+  bytes_ -= it->entry->bytes;
+  map_.erase(it->key);
+  lru_.erase(it);
+  reason->Add();
+}
+
+bool ResultCache::Admit(const std::string& key,
+                        std::shared_ptr<const Entry> entry) {
+  if (entry == nullptr) return false;
+  const uint64_t hash = HashKey(key.data(), key.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t entry_bytes =
+      entry->bytes > 0 ? entry->bytes : ApproxResultBytes(entry->result);
+  if (entry_bytes > budget_) {
+    ++tallies_.rejections;
+    rejections_c_->Add();
+    return false;
+  }
+  // Replace an existing entry for the key (a version-vector refresh lands
+  // under a *different* key, so this is re-admission after eviction or a
+  // racing duplicate; keep the newest).
+  auto existing = map_.find(key);
+  if (existing != map_.end()) {
+    bytes_ -= existing->second->entry->bytes;
+    lru_.erase(existing->second);
+    map_.erase(existing);
+  }
+  // TinyLFU: displace LRU victims only while the candidate's estimated
+  // frequency beats theirs; otherwise the candidate is refused.
+  const uint32_t candidate_freq = sketch_.Estimate(hash);
+  while (bytes_ + entry_bytes > budget_) {
+    auto victim = std::prev(lru_.end());
+    if (sketch_.Estimate(victim->hash) >= candidate_freq) {
+      ++tallies_.rejections;
+      rejections_c_->Add();
+      bytes_g_->Set(static_cast<double>(bytes_));
+      entries_g_->Set(static_cast<double>(lru_.size()));
+      return false;
+    }
+    ++tallies_.evictions;
+    EvictNodeLocked(victim, evictions_c_);
+  }
+  Node node;
+  node.key = key;
+  node.hash = hash;
+  if (entry->bytes == 0) {
+    // Entries are immutable once shared; size an unsized one via a copy.
+    auto sized = std::make_shared<Entry>(*entry);
+    sized->bytes = entry_bytes;
+    node.entry = std::move(sized);
+  } else {
+    node.entry = std::move(entry);
+  }
+  lru_.push_front(std::move(node));
+  map_[key] = lru_.begin();
+  bytes_ += entry_bytes;
+  ++tallies_.admissions;
+  admissions_c_->Add();
+  bytes_g_->Set(static_cast<double>(bytes_));
+  entries_g_->Set(static_cast<double>(lru_.size()));
+  return true;
+}
+
+size_t ResultCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t purged = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const std::vector<std::string>& tables = it->entry->tables;
+    if (std::find(tables.begin(), tables.end(), table) != tables.end()) {
+      auto next = std::next(it);
+      ++tallies_.invalidations;
+      EvictNodeLocked(it, invalidations_c_);
+      ++purged;
+      it = next;
+    } else {
+      ++it;
+    }
+  }
+  if (purged > 0) {
+    bytes_g_->Set(static_cast<double>(bytes_));
+    entries_g_->Set(static_cast<double>(lru_.size()));
+  }
+  return purged;
+}
+
+void ResultCache::NoteCoalesced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tallies_.coalesced;
+  coalesced_c_->Add();
+}
+
+void ResultCache::NoteBypass() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tallies_.bypass;
+  bypass_c_->Add();
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats out = tallies_;
+  out.bytes = bytes_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace jackpine::cache

@@ -1,0 +1,132 @@
+// Byte-budgeted LRU result cache with TinyLFU admission (DESIGN.md "Result
+// cache & coalescing").
+//
+// Entries are materialized QueryResults keyed by the composed cache key
+// (cache_key.h). Eviction is LRU over a byte budget; admission is TinyLFU:
+// when the cache is full, a candidate only displaces the LRU victim if the
+// frequency sketch estimates the candidate's key is accessed more often
+// than the victim's. That one comparison is what stops a scan of
+// one-hit-wonder queries from flushing the hot tile/geofence working set —
+// the scan's entries lose the frequency duel and are simply not admitted.
+//
+// Thread safety: one mutex around the map/LRU/sketch. The hot path does no
+// allocation beyond the shared_ptr bump; entries are immutable once
+// admitted, so readers hold a shared_ptr and never block writers.
+
+#ifndef JACKPINE_CACHE_RESULT_CACHE_H_
+#define JACKPINE_CACHE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/frequency_sketch.h"
+#include "engine/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace jackpine::cache {
+
+// Point-in-time counters. hits/misses count Lookup() outcomes; coalesced
+// counts queries served from another session's in-flight execution;
+// bypass counts queries that skipped the cache by policy (traced sessions).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t admissions = 0;
+  uint64_t rejections = 0;   // TinyLFU refused admission (or entry > budget)
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;  // entries purged by a table mutation
+  uint64_t coalesced = 0;
+  uint64_t bypass = 0;
+  uint64_t bytes = 0;    // resident entry bytes
+  uint64_t entries = 0;  // resident entry count
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class ResultCache {
+ public:
+  struct Entry {
+    engine::QueryResult result;
+    // The miss execution's engine trace, replayed into the session trace on
+    // a hit so remote per-query counters stay deterministic per entry
+    // lifetime instead of dropping to zero.
+    obs::QueryTrace trace;
+    // Lower-cased tables the result was computed from (purge index).
+    std::vector<std::string> tables;
+    uint64_t bytes = 0;  // filled by Admit from ApproxBytes if left 0
+  };
+
+  // `budget_bytes` caps resident entry bytes; the sketch width scales with
+  // the budget (one slot per ~4 KiB, min 1024).
+  explicit ResultCache(size_t budget_bytes);
+
+  // Records the access in the frequency sketch and returns the entry, or
+  // null on miss. Hits move the entry to the LRU front.
+  std::shared_ptr<const Entry> Lookup(const std::string& key);
+
+  // Re-check after a counted miss: a hit counts (and refreshes LRU) as
+  // usual, but a miss is silent — no second miss tally, no sketch record.
+  // Used by the coalescer's leader double-check, where Lookup() already
+  // accounted for this access.
+  std::shared_ptr<const Entry> PeekHit(const std::string& key);
+
+  // TinyLFU admission; true when the entry became resident. A rejected
+  // entry is still a perfectly good result — callers serve it to their own
+  // client either way.
+  bool Admit(const std::string& key, std::shared_ptr<const Entry> entry);
+
+  // Purges every entry computed from `table` (lower-cased); returns the
+  // number purged and feeds cache.invalidations. Key mismatch already makes
+  // stale entries unreachable — this reclaims their bytes promptly.
+  size_t InvalidateTable(const std::string& table);
+
+  void NoteCoalesced();
+  void NoteBypass();
+
+  CacheStats stats() const;
+
+  static uint64_t ApproxResultBytes(const engine::QueryResult& result);
+
+ private:
+  struct Node {
+    std::string key;
+    uint64_t hash = 0;
+    std::shared_ptr<const Entry> entry;
+  };
+  using LruList = std::list<Node>;
+
+  void EvictNodeLocked(LruList::iterator it, obs::Counter* reason);
+
+  const size_t budget_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> map_;
+  FrequencySketch sketch_;
+  uint64_t bytes_ = 0;
+  CacheStats tallies_;  // local to this instance (registry is process-wide)
+
+  // Process-wide instruments: Stats frame + Prometheus exposition.
+  obs::Counter* hits_c_;
+  obs::Counter* misses_c_;
+  obs::Counter* admissions_c_;
+  obs::Counter* rejections_c_;
+  obs::Counter* evictions_c_;
+  obs::Counter* invalidations_c_;
+  obs::Counter* coalesced_c_;
+  obs::Counter* bypass_c_;
+  obs::Gauge* bytes_g_;
+  obs::Gauge* entries_g_;
+};
+
+}  // namespace jackpine::cache
+
+#endif  // JACKPINE_CACHE_RESULT_CACHE_H_

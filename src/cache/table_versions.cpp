@@ -1,0 +1,95 @@
+#include "cache/table_versions.h"
+
+#include "common/string_util.h"
+
+namespace jackpine::cache {
+
+void TableVersions::AttachTo(engine::Database* db) {
+  inner_ = db->mutation_observer();
+  db->set_mutation_observer(this);
+}
+
+std::vector<uint64_t> TableVersions::Snapshot(
+    const std::vector<std::string>& tables) const {
+  std::vector<uint64_t> out;
+  out.reserve(tables.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& t : tables) {
+    auto it = versions_.find(t);
+    out.push_back(it == versions_.end() ? 0 : it->second);
+  }
+  return out;
+}
+
+std::mutex& TableVersions::mutation_mutex() {
+  return inner_ != nullptr ? inner_->mutation_mutex() : own_mutation_mutex_;
+}
+
+void TableVersions::Begin(const std::string& table) {
+  const std::string key = ToLowerAscii(table);
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t& v = versions_[key];
+  // Mutations are serialised by mutation_mutex(), so an odd version here
+  // means a previous apply failed mid-flight and never closed its bracket;
+  // staying odd keeps the table uncacheable, which is the safe reading.
+  if ((v & 1) == 0) ++v;
+  if (on_mutate_) on_mutate_(key);
+}
+
+void TableVersions::OnApplied(const std::string& table) {
+  if (inner_ != nullptr) inner_->OnApplied(table);
+  const std::string key = ToLowerAscii(table);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(key);
+  // Only close a bracket Begin() opened: the engine also reports applies
+  // that needed no hook (e.g. DROP INDEX of an absent index), and those
+  // must not desync the odd/even protocol.
+  if (it != versions_.end() && (it->second & 1)) ++it->second;
+}
+
+Result<uint64_t> TableVersions::OnCreateTable(const std::string& name,
+                                              const engine::Schema& schema) {
+  uint64_t ticket = 0;
+  if (inner_ != nullptr) {
+    JACKPINE_ASSIGN_OR_RETURN(ticket, inner_->OnCreateTable(name, schema));
+  }
+  Begin(name);
+  return ticket;
+}
+
+Result<uint64_t> TableVersions::OnInsert(const std::string& table,
+                                         const std::vector<engine::Row>& rows) {
+  uint64_t ticket = 0;
+  if (inner_ != nullptr) {
+    JACKPINE_ASSIGN_OR_RETURN(ticket, inner_->OnInsert(table, rows));
+  }
+  Begin(table);
+  return ticket;
+}
+
+Result<uint64_t> TableVersions::OnCreateIndex(const std::string& table,
+                                              size_t column) {
+  uint64_t ticket = 0;
+  if (inner_ != nullptr) {
+    JACKPINE_ASSIGN_OR_RETURN(ticket, inner_->OnCreateIndex(table, column));
+  }
+  Begin(table);
+  return ticket;
+}
+
+Result<uint64_t> TableVersions::OnDropIndex(const std::string& table,
+                                            size_t column) {
+  uint64_t ticket = 0;
+  if (inner_ != nullptr) {
+    JACKPINE_ASSIGN_OR_RETURN(ticket, inner_->OnDropIndex(table, column));
+  }
+  Begin(table);
+  return ticket;
+}
+
+Status TableVersions::WaitDurable(uint64_t ticket) {
+  if (inner_ != nullptr) return inner_->WaitDurable(ticket);
+  return Status::Ok();
+}
+
+}  // namespace jackpine::cache

@@ -1,0 +1,91 @@
+// Per-table seqlock-style version counters driven through the engine's
+// MutationObserver seam (DESIGN.md "Result cache & coalescing").
+//
+// The result cache keys entries on (normalized SQL, table-version vector),
+// so invalidation is by construction: a mutation bumps the touched table's
+// version and every entry built against the old version simply never
+// matches again. The subtlety is reads that *overlap* a mutation: a SELECT
+// that starts before an INSERT applies and finishes after it could observe
+// half-applied rows, and naive "bump once per mutation" versioning would
+// happily admit that result under the new version. Versions here are
+// therefore a seqlock: the pre-apply hook moves the version to ODD, the
+// post-apply OnApplied moves it to EVEN, and the cache only admits a result
+// whose version vector was captured equal AND all-even both before and
+// after execution — any overlap with an in-flight apply shows up as an odd
+// or changed version and the admission is refused.
+//
+// TableVersions chains in front of whatever observer the database already
+// has (the durability StorageManager, or nothing): hooks forward to the
+// inner observer first and bump only on its success, mutation_mutex() is
+// the inner observer's mutex when one exists (checkpointing must keep
+// excluding applies), and WaitDurable forwards verbatim.
+
+#ifndef JACKPINE_CACHE_TABLE_VERSIONS_H_
+#define JACKPINE_CACHE_TABLE_VERSIONS_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace jackpine::cache {
+
+class TableVersions : public engine::MutationObserver {
+ public:
+  TableVersions() = default;
+
+  // Chains this observer in front of `db`'s current one and attaches.
+  // Call at most once, before concurrent queries start.
+  void AttachTo(engine::Database* db);
+
+  // Current versions of `tables` (names already lower-cased, as produced by
+  // NormalizeSelect). Unknown tables report version 0 — which is even, so
+  // a table that has never been mutated through this observer is stable.
+  std::vector<uint64_t> Snapshot(const std::vector<std::string>& tables) const;
+
+  // All even = no apply in flight.
+  static bool Stable(const std::vector<uint64_t>& versions) {
+    for (uint64_t v : versions) {
+      if (v & 1) return false;
+    }
+    return true;
+  }
+
+  // Invoked (under the versions mutex) whenever a table moves to a new
+  // version, i.e. at the pre-apply bump. The cache uses it to proactively
+  // purge entries of the touched table — key mismatch already guarantees
+  // correctness; the purge reclaims bytes and feeds cache.invalidations.
+  void set_on_mutate(std::function<void(const std::string&)> cb) {
+    on_mutate_ = std::move(cb);
+  }
+
+  // MutationObserver:
+  std::mutex& mutation_mutex() override;
+  Result<uint64_t> OnCreateTable(const std::string& name,
+                                 const engine::Schema& schema) override;
+  Result<uint64_t> OnInsert(const std::string& table,
+                            const std::vector<engine::Row>& rows) override;
+  Result<uint64_t> OnCreateIndex(const std::string& table,
+                                 size_t column) override;
+  Result<uint64_t> OnDropIndex(const std::string& table,
+                               size_t column) override;
+  Status WaitDurable(uint64_t ticket) override;
+  void OnApplied(const std::string& table) override;
+
+ private:
+  void Begin(const std::string& table);  // -> odd
+
+  engine::MutationObserver* inner_ = nullptr;
+  std::mutex own_mutation_mutex_;  // used only when there is no inner
+
+  mutable std::mutex mu_;  // guards versions_
+  std::unordered_map<std::string, uint64_t> versions_;
+  std::function<void(const std::string&)> on_mutate_;
+};
+
+}  // namespace jackpine::cache
+
+#endif  // JACKPINE_CACHE_TABLE_VERSIONS_H_

@@ -277,6 +277,27 @@ std::string RenderDegradedTable(const std::string& title,
   return RenderGrid(title, grid);
 }
 
+std::string RenderCacheOverloadTable(
+    const std::string& title, const std::vector<CacheOverloadResult>& results) {
+  std::vector<std::vector<std::string>> grid;
+  grid.push_back({"sut", "clients", "zipf", "goodput on/off (q/s)", "speedup",
+                  "p95 on/off (ms)", "hit rate", "coalesced", "match"});
+  for (const CacheOverloadResult& r : results) {
+    const double speedup = r.off_goodput_qps > 0.0
+                               ? r.on_goodput_qps / r.off_goodput_qps
+                               : 0.0;
+    grid.push_back(
+        {r.sut, StrFormat("%d", r.clients), StrFormat("%.2f", r.zipf_s),
+         StrFormat("%.0f / %.0f", r.on_goodput_qps, r.off_goodput_qps),
+         StrFormat("%.2fx", speedup),
+         StrFormat("%.2f / %.2f", r.on_p95_ms, r.off_p95_ms),
+         StrFormat("%.1f%%", r.hit_rate * 100.0),
+         StrFormat("%llu", static_cast<unsigned long long>(r.coalesced)),
+         r.checksum_match ? "yes" : "MISMATCH"});
+  }
+  return RenderGrid(title, grid);
+}
+
 namespace {
 
 obs::Json TimingToJson(const TimingStats& t) {
@@ -455,6 +476,39 @@ std::string RenderJsonReport(const JsonReportInput& input) {
               obs::Json::Int(static_cast<int64_t>(r.hedge_wins)));
     entry.Set("replicas_stale",
               obs::Json::Int(static_cast<int64_t>(r.replicas_stale)));
+  }
+  // Additive within schema_version 1: present only for --cache-overload runs.
+  obs::Json& cache = root.Set("cache", obs::Json::Array());
+  for (const CacheOverloadResult& r : input.cache) {
+    obs::Json& entry = cache.Append(obs::Json::Object());
+    entry.Set("sut", obs::Json::Str(r.sut));
+    entry.Set("clients", obs::Json::Int(r.clients));
+    entry.Set("rounds", obs::Json::Int(r.rounds));
+    entry.Set("zipf_s", obs::Json::Number(r.zipf_s));
+    entry.Set("on_goodput_qps", obs::Json::Number(r.on_goodput_qps));
+    entry.Set("off_goodput_qps", obs::Json::Number(r.off_goodput_qps));
+    entry.Set("on_p95_ms", obs::Json::Number(r.on_p95_ms));
+    entry.Set("off_p95_ms", obs::Json::Number(r.off_p95_ms));
+    entry.Set("on_checksum",
+              obs::Json::Str(StrFormat(
+                  "%016llx", static_cast<unsigned long long>(r.on_checksum))));
+    entry.Set("off_checksum",
+              obs::Json::Str(StrFormat(
+                  "%016llx",
+                  static_cast<unsigned long long>(r.off_checksum))));
+    entry.Set("checksum_match", obs::Json::Bool(r.checksum_match));
+    entry.Set("hits", obs::Json::Int(static_cast<int64_t>(r.hits)));
+    entry.Set("misses", obs::Json::Int(static_cast<int64_t>(r.misses)));
+    entry.Set("admissions",
+              obs::Json::Int(static_cast<int64_t>(r.admissions)));
+    entry.Set("rejections",
+              obs::Json::Int(static_cast<int64_t>(r.rejections)));
+    entry.Set("evictions", obs::Json::Int(static_cast<int64_t>(r.evictions)));
+    entry.Set("invalidations",
+              obs::Json::Int(static_cast<int64_t>(r.invalidations)));
+    entry.Set("coalesced", obs::Json::Int(static_cast<int64_t>(r.coalesced)));
+    entry.Set("bytes", obs::Json::Int(static_cast<int64_t>(r.bytes)));
+    entry.Set("hit_rate", obs::Json::Number(r.hit_rate));
   }
   return root.Dump(/*pretty=*/true);
 }

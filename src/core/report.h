@@ -120,6 +120,40 @@ struct DegradedRunResult {
 std::string RenderDegradedTable(const std::string& title,
                                 const std::vector<DegradedRunResult>& results);
 
+// One cache on/off overload experiment (benchmark_runner --cache-overload):
+// the same seeded Zipf-skewed overload run against a pinedb server with the
+// result cache on and again with --cache-off. checksum_match proves cached
+// replies are bit-identical per workload slot to engine executions; the
+// goodput/p95 pairs quantify the win; the cache counters come from the
+// cache-on server (exact, per-server).
+struct CacheOverloadResult {
+  std::string sut;
+  int clients = 0;
+  int rounds = 0;
+  double zipf_s = 0.0;
+  double on_goodput_qps = 0.0;
+  double off_goodput_qps = 0.0;
+  double on_p95_ms = 0.0;
+  double off_p95_ms = 0.0;
+  uint64_t on_checksum = 0;   // folded per-slot checksums, cache on
+  uint64_t off_checksum = 0;  // folded per-slot checksums, cache off
+  bool checksum_match = true;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t admissions = 0;
+  uint64_t rejections = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+  uint64_t coalesced = 0;
+  uint64_t bytes = 0;  // resident cache bytes at the end of the run
+  double hit_rate = 0.0;
+};
+
+// One row per experiment: cache-on vs cache-off goodput and p95, speedup,
+// hit rate, coalesced count and the checksum verdict.
+std::string RenderCacheOverloadTable(
+    const std::string& title, const std::vector<CacheOverloadResult>& results);
+
 struct JsonReportInput {
   std::string title;
   // One entry per SUT, same shape as the table renderers above. Any of the
@@ -130,6 +164,7 @@ struct JsonReportInput {
   std::vector<DurabilityResult> durability;
   std::vector<ShardScalingResult> shard_scaling;
   std::vector<DegradedRunResult> degraded;
+  std::vector<CacheOverloadResult> cache;
 };
 std::string RenderJsonReport(const JsonReportInput& input);
 

@@ -308,6 +308,14 @@ ThroughputResult RunConcurrentThroughput(client::Connection* connection,
   return out;
 }
 
+uint64_t OverloadResult::FoldedChecksum() const {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (uint64_t ck : slot_checksums) {
+    h = (h ^ ck) * 1099511628211ull;
+  }
+  return h;
+}
+
 OverloadResult RunOverload(client::Connection* connection,
                            const std::vector<QuerySpec>& workload, int clients,
                            int rounds, const RunConfig& config) {
@@ -315,9 +323,27 @@ OverloadResult RunOverload(client::Connection* connection,
   out.sut = connection->config().name;
   out.clients = std::max(clients, 1);
   out.rounds = std::max(rounds, 1);
+  out.slot_checksums.assign(workload.size(), 0);
 
-  std::mutex mu;  // guards latencies and the counter rollup
+  // Skewed mix: precompute the Zipf(s) CDF over workload positions once
+  // (slot 0 is the hottest); each client thread then draws slots from its
+  // own seeded stream, so the per-thread query sequence is a pure function
+  // of (seed, thread index) — identical across runs and server configs.
+  std::vector<double> zipf_cdf;
+  if (config.overload_zipf_s > 0.0 && !workload.empty()) {
+    zipf_cdf.reserve(workload.size());
+    double sum = 0.0;
+    for (size_t r = 0; r < workload.size(); ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1),
+                            config.overload_zipf_s);
+      zipf_cdf.push_back(sum);
+    }
+    for (double& c : zipf_cdf) c /= sum;
+  }
+
+  std::mutex mu;  // guards latencies, checksums and the counter rollup
   std::vector<double> latencies;
+  std::vector<uint8_t> slot_seen(workload.size(), 0);
   std::vector<std::thread> threads;
   Stopwatch watch;
   threads.reserve(static_cast<size_t>(out.clients));
@@ -326,13 +352,24 @@ OverloadResult RunOverload(client::Connection* connection,
       client::Statement stmt = connection->CreateStatement();
       stmt.SetExecLimits(config.limits);
       Rng rng(config.retry.jitter_seed + static_cast<uint64_t>(t));
+      Rng skew_rng(config.overload_skew_seed + static_cast<uint64_t>(t));
       std::vector<double> local_latencies;
+      std::vector<uint64_t> local_checksums(workload.size(), 0);
+      std::vector<uint8_t> local_seen(workload.size(), 0);
+      uint64_t local_mismatches = 0;
       RetryOutcome total;
       size_t ok = 0, failed = 0;
       for (int round = 0; round < out.rounds; ++round) {
         for (size_t q = 0; q < workload.size(); ++q) {
-          const QuerySpec& spec =
-              workload[(q + static_cast<size_t>(t)) % workload.size()];
+          size_t slot = (q + static_cast<size_t>(t)) % workload.size();
+          if (!zipf_cdf.empty()) {
+            const double u = skew_rng.NextDouble();
+            slot = static_cast<size_t>(
+                std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u) -
+                zipf_cdf.begin());
+            if (slot >= workload.size()) slot = workload.size() - 1;
+          }
+          const QuerySpec& spec = workload[slot];
           RetryOutcome outcome;
           auto rs =
               ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
@@ -345,6 +382,13 @@ OverloadResult RunOverload(client::Connection* connection,
           if (rs.ok()) {
             ++ok;
             local_latencies.push_back(outcome.last_attempt_s);
+            const uint64_t ck = rs->Checksum();
+            if (!local_seen[slot]) {
+              local_seen[slot] = 1;
+              local_checksums[slot] = ck;
+            } else if (local_checksums[slot] != ck) {
+              ++local_mismatches;
+            }
           } else {
             ++failed;
           }
@@ -359,6 +403,16 @@ OverloadResult RunOverload(client::Connection* connection,
       out.sheds += total.sheds;
       out.breaker_fast_fails += total.breaker_fast_fails;
       out.budget_denied += total.budget_denied;
+      out.checksum_mismatches += local_mismatches;
+      for (size_t s = 0; s < workload.size(); ++s) {
+        if (!local_seen[s]) continue;
+        if (!slot_seen[s]) {
+          slot_seen[s] = 1;
+          out.slot_checksums[s] = local_checksums[s];
+        } else if (out.slot_checksums[s] != local_checksums[s]) {
+          ++out.checksum_mismatches;
+        }
+      }
       latencies.insert(latencies.end(), local_latencies.begin(),
                        local_latencies.end());
     });

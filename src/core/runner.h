@@ -77,6 +77,15 @@ struct RunConfig {
   // Per-execution deadline / cancellation / budgets; default unlimited.
   ExecLimits limits;
   RetryPolicy retry;
+  // Overload workload skew: when > 0, RunOverload draws query slots from a
+  // seeded Zipf(s) distribution over the workload (slot 0 hottest) instead
+  // of round-robin — the repeat-heavy map-tile traffic shape that makes
+  // result caching measurable. Each client draws from its own stream
+  // (overload_skew_seed + client index) advanced once per slot regardless
+  // of retries or timing, so two runs against differently configured
+  // servers issue bit-identical query sequences.
+  double overload_zipf_s = 0.0;
+  uint64_t overload_skew_seed = 0x7a697066;  // "zipf"
 };
 
 struct RunResult {
@@ -191,6 +200,15 @@ struct OverloadResult {
   size_t budget_denied = 0;
   double elapsed_s = 0.0;
   TimingStats latency;  // successful final attempts only
+  // First-seen result checksum per workload slot (0 = the slot never
+  // succeeded), for bit-identical cross-run comparison — e.g. cache on vs
+  // off. checksum_mismatches counts successes that disagreed with the
+  // slot's first checksum (always 0 on a read-only workload).
+  std::vector<uint64_t> slot_checksums;
+  uint64_t checksum_mismatches = 0;
+
+  // FNV fold of slot_checksums, order-stable across runs.
+  uint64_t FoldedChecksum() const;
 
   double GoodputQps() const {
     return elapsed_s > 0 ? static_cast<double>(queries_ok) / elapsed_s : 0.0;

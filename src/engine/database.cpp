@@ -160,6 +160,7 @@ Result<QueryResult> Database::ExecuteCreateTable(
                             catalog_.CreateTable(stmt.name, std::move(schema)));
   (void)table;
   if (observer_ != nullptr) {
+    observer_->OnApplied(stmt.name);
     lock.unlock();
     JACKPINE_RETURN_IF_ERROR(observer_->WaitDurable(ticket));
   }
@@ -206,6 +207,7 @@ Result<QueryResult> Database::ExecuteInsert(const InsertStatement& stmt) {
     JACKPINE_RETURN_IF_ERROR(table->Append(std::move(row)));
   }
   if (observer_ != nullptr) {
+    observer_->OnApplied(stmt.table);
     lock.unlock();
     JACKPINE_RETURN_IF_ERROR(observer_->WaitDurable(ticket));
   }
@@ -248,6 +250,7 @@ Result<QueryResult> Database::ExecuteCreateIndex(
   JACKPINE_RETURN_IF_ERROR(table->BuildSpatialIndex(
       *col, options_.index_kind, options_.incremental_index_build));
   if (observer_ != nullptr) {
+    observer_->OnApplied(stmt.table);
     lock.unlock();
     JACKPINE_RETURN_IF_ERROR(observer_->WaitDurable(ticket));
   }
@@ -277,6 +280,7 @@ Result<QueryResult> Database::ExecuteDropIndex(const DropIndexStatement& stmt) {
   }
   table->DropSpatialIndex(*col);
   if (observer_ != nullptr) {
+    observer_->OnApplied(stmt.table);
     lock.unlock();
     JACKPINE_RETURN_IF_ERROR(observer_->WaitDurable(ticket));
   }

@@ -80,6 +80,16 @@ class MutationObserver {
   // Clients treating the error as "not applied" must re-check, not retry
   // blindly.
   virtual Status WaitDurable(uint64_t ticket) = 0;
+
+  // Called after the in-memory apply succeeds, still under
+  // mutation_mutex(). Together with the pre-apply hook this brackets the
+  // apply window, which is what lets an observer maintain seqlock-style
+  // table versions (odd while a mutation is in flight, even when settled —
+  // see cache::TableVersions). Default no-op so durability-only observers
+  // are unaffected. Not called when the apply itself fails, leaving the
+  // bracket open — observers must treat a never-closed bracket as "table
+  // state unknown", never as "unchanged".
+  virtual void OnApplied(const std::string& table) { (void)table; }
 };
 
 class Database {

@@ -25,6 +25,19 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
       while (i < n && sql[i] != '\n') ++i;
       continue;
     }
+    // Block comments (non-nesting). An unterminated comment is a lex error:
+    // silently swallowing the tail would turn a typo into a shorter query.
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      const size_t open = i;
+      i += 2;
+      while (i + 1 < n && !(sql[i] == '*' && sql[i + 1] == '/')) ++i;
+      if (i + 1 >= n) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated /* comment at offset %zu", open));
+      }
+      i += 2;
+      continue;
+    }
     const size_t start = i;
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||

@@ -8,6 +8,7 @@
 //                [--queue-timeout-ms N] [--retry-after-ms N]
 //                [--idle-timeout-s S] [--send-timeout-s S]
 //                [--chaos SEED,RATE,LATENCY_MS]
+//                [--cache-mb N] [--cache-off]
 //   pinedb checkpoint --data-dir DIR [--sut NAME]
 //   pinedb stats [--host H] [--port P] [--session] [--prom]
 //
@@ -38,6 +39,12 @@
 // The overload knobs map 1:1 onto ServerOptions (see net/server.h): the
 // admission queue in front of --max-sessions, the shed retry hint, idle
 // reaping, slow-client send timeouts, and server-side chaos injection.
+//
+// The result cache (--cache-mb, default 64; --cache-off disables) serves
+// repeated plain SELECTs from memory with TinyLFU admission, DML-driven
+// invalidation and request coalescing (DESIGN.md "Result cache &
+// coalescing"); cache.* counters appear in `pinedb stats` and as
+// jackpine_cache_* in the --prom exposition.
 //
 // `pinedb stats` is the observability scrape: it connects to a running
 // server, requests a Stats frame, and prints the (name, value) entries —
@@ -92,6 +99,7 @@ int Usage(const char* argv0) {
                "                [--queue-timeout-ms N] [--retry-after-ms N]\n"
                "                [--idle-timeout-s S] [--send-timeout-s S]\n"
                "                [--chaos SEED,RATE,LATENCY_MS]\n"
+               "                [--cache-mb N] [--cache-off]\n"
                "       %s checkpoint --data-dir DIR [--sut NAME]\n"
                "       %s stats [--host H] [--port P] [--session] [--prom]\n",
                argv0, argv0, argv0);
@@ -257,6 +265,10 @@ int main(int argc, char** argv) {
       options.queue_timeout_s = std::atof(argv[++i]) / 1e3;
     } else if (!std::strcmp(argv[i], "--retry-after-ms") && i + 1 < argc) {
       options.retry_after_ms = static_cast<uint32_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--cache-mb") && i + 1 < argc) {
+      options.cache_mb = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--cache-off")) {
+      options.cache_off = true;
     } else if (!std::strcmp(argv[i], "--idle-timeout-s") && i + 1 < argc) {
       options.idle_timeout_s = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--send-timeout-s") && i + 1 < argc) {

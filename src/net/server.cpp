@@ -34,6 +34,12 @@ Server::Server(ServerOptions options, client::Connection connection,
   }
   query_latency_ =
       obs::GlobalRegistry().GetHistogram("server.query_latency_s");
+  if (!options_.cache_off && options_.cache_mb > 0 &&
+      connection_->local_database() != nullptr) {
+    cache::QueryCacheConfig cache_config;
+    cache_config.budget_bytes = options_.cache_mb * (1ull << 20);
+    query_cache_ = std::make_unique<cache::QueryCache>(cache_config);
+  }
 }
 
 Result<std::unique_ptr<Server>> Server::Create(const ServerOptions& options) {
@@ -53,6 +59,15 @@ Result<std::unique_ptr<Server>> Server::Create(const ServerOptions& options) {
 
 void Server::StartServing() {
   if (serving_) return;
+  // Chain the cache's table-version observer here, not in Create: the
+  // pinedb binary attaches the durability StorageManager between Create and
+  // StartServing, and version hooks must wrap whatever observer ends up
+  // innermost. Preloads before StartServing leave tables at version 0
+  // (even = stable), which is exactly right for read-mostly fixtures.
+  if (query_cache_ != nullptr && !cache_attached_) {
+    query_cache_->AttachTo(connection_->local_database());
+    cache_attached_ = true;
+  }
   serving_ = true;
   acceptor_ = std::thread([this] { AcceptLoop(); });
   dispatcher_ = std::thread([this] { DispatchLoop(); });
@@ -340,6 +355,10 @@ void Server::ServeSession(Session* session) {
     }
   };
 
+  // Latched once the session asks for Stats(kSession): from then on the
+  // session counts as trace-interested and bypasses the result cache.
+  bool session_stats_fetched = false;
+
   // Handshake: the session speaks nothing before a valid Hello.
   bool handshake_ok = false;
   if (std::optional<Frame> frame = next_frame()) {
@@ -394,9 +413,16 @@ void Server::ServeSession(Session* session) {
         continue;
       }
       StatsReplyMsg reply;
-      reply.entries = req->scope == StatsScope::kSession
-                          ? session_trace.ToEntries()
-                          : GlobalStatsEntries();
+      if (req->scope == StatsScope::kSession) {
+        // A session fetching per-query engine counters is a tracing client
+        // (the remote driver with SetTrace does this after every query):
+        // bypass the result cache from here on so those counters keep
+        // reflecting real executions, never replayed ones.
+        session_stats_fetched = true;
+        reply.entries = session_trace.ToEntries();
+      } else {
+        reply.entries = GlobalStatsEntries();
+      }
       if (!send_frame(FrameType::kStats, EncodeStatsReply(reply))) break;
       continue;
     }
@@ -538,16 +564,105 @@ void Server::ServeSession(Session* session) {
       }
     }
 
+    // Result cache in front of the engine (DESIGN.md "Result cache &
+    // coalescing"). Sessions that negotiated span tracing or fetch
+    // Stats(kSession) bypass it — a replayed hit would report the miss
+    // execution's per-operator actuals instead of freshly measured ones —
+    // and EXPLAIN/EXPLAIN ANALYZE/DDL/DML are uncacheable by Prepare.
+    // When `cache_entry` ends up non-null the reply is served from it.
+    std::shared_ptr<const cache::ResultCache::Entry> cache_entry;
+    std::optional<cache::QueryCache::Prepared> cache_prepared;
+    bool cache_leader = false;
+    if (is_query && query_cache_ != nullptr) {
+      const bool cache_bypass = session_traced || session_stats_fetched;
+      const double lookup_start_s = traced ? obs::SpanNowS() : 0.0;
+      const char* outcome = "uncacheable";
+      if (cache_bypass) {
+        query_cache_->NoteBypass();
+        outcome = "bypass";
+      } else {
+        cache_prepared = query_cache_->Prepare(msg->sql, limits.max_rows,
+                                               limits.max_result_bytes);
+        if (cache_prepared.has_value()) {
+          cache_entry = query_cache_->Lookup(*cache_prepared);
+          outcome = cache_entry != nullptr ? "hit" : "miss";
+        }
+      }
+      if (traced) {
+        obs::SpanRecord lookup;
+        lookup.trace_id = msg->trace_id;
+        lookup.span_id = spans.NewSpanId();
+        lookup.parent_id = root.span.span_id;
+        lookup.thread = root.span.thread;
+        lookup.start_s = lookup_start_s;
+        lookup.end_s = obs::SpanNowS();
+        lookup.name = "server.cache_lookup";
+        lookup.annotations.emplace_back("outcome", outcome);
+        spans.Record(std::move(lookup));
+      }
+      if (cache_prepared.has_value() && cache_entry == nullptr) {
+        // Coalesce the miss: first session in becomes the leader and
+        // executes; followers wait out at most their own deadline, then
+        // fall back to executing solo (no admission) — a short-deadline
+        // follower is never held hostage by a long-running leader.
+        cache::RequestCoalescer::Ticket ticket =
+            query_cache_->JoinFlight(*cache_prepared);
+        cache_leader = ticket.leader;
+        if (ticket.leader) {
+          // Double-check: another leader may have admitted the key between
+          // this session's miss and its Join. Serving that entry (and
+          // publishing it to this flight's followers) keeps "one execution
+          // per cold key" an invariant rather than a likelihood.
+          cache_entry = query_cache_->RecheckAsLeader(*cache_prepared);
+          if (cache_entry != nullptr) cache_leader = false;
+        } else {
+          const double wait_start_s = traced ? obs::SpanNowS() : 0.0;
+          cache_entry = query_cache_->WaitShared(ticket, msg->deadline_s);
+          if (traced) {
+            obs::SpanRecord wait;
+            wait.trace_id = msg->trace_id;
+            wait.span_id = spans.NewSpanId();
+            wait.parent_id = root.span.span_id;
+            wait.thread = root.span.thread;
+            wait.start_s = wait_start_s;
+            wait.end_s = obs::SpanNowS();
+            wait.name = "cache.coalesce_wait";
+            wait.annotations.emplace_back(
+                "shared", cache_entry != nullptr ? "1" : "0");
+            spans.Record(std::move(wait));
+          }
+        }
+      }
+    }
+
     engine::QueryResult result;
     Status exec_status;
     const double exec_start_s = session_traced ? obs::SpanNowS() : 0.0;
     const auto exec_started = std::chrono::steady_clock::now();
     if (is_query) {
-      Result<client::ResultSet> rs = stmt.ExecuteQuery(msg->sql);
-      if (rs.ok()) {
-        result = rs->ReleaseRaw();
+      if (cache_entry != nullptr) {
+        // Replay the miss execution's engine trace so a later
+        // Stats(kSession) fetch reports the counters that produced these
+        // rows — deterministic per entry lifetime — instead of zeros.
+        session_trace = cache_entry->trace;
       } else {
-        exec_status = rs.status();
+        Result<client::ResultSet> rs = stmt.ExecuteQuery(msg->sql);
+        if (rs.ok()) {
+          result = rs->ReleaseRaw();
+        } else {
+          exec_status = rs.status();
+        }
+        if (cache_leader && cache_prepared.has_value()) {
+          if (exec_status.ok()) {
+            cache_entry = query_cache_->FinishFlight(
+                *cache_prepared, std::move(result), session_trace);
+          } else {
+            // Errors are never admitted and never fanned out: a deadline
+            // or budget violation is this session's outcome, not the hot
+            // query's result. Followers re-execute for themselves.
+            query_cache_->AbortFlight(*cache_prepared);
+          }
+        }
       }
     } else {
       Result<int64_t> affected = stmt.ExecuteUpdate(msg->sql);
@@ -593,13 +708,18 @@ void Server::ServeSession(Session* session) {
       continue;
     }
 
-    rows_returned_.fetch_add(result.rows.size());
+    // Hits, coalesced followers and the admitting leader all reply from the
+    // shared immutable entry; only solo executions reply from `result`.
+    const engine::QueryResult& reply_result =
+        cache_entry != nullptr ? cache_entry->result : result;
+    rows_returned_.fetch_add(reply_result.rows.size());
     const size_t batch_rows =
         msg->batch_rows > 0 ? msg->batch_rows : options_.batch_rows;
     const double send_start_s = traced ? obs::SpanNowS() : 0.0;
     bool sent_ok = true;
     size_t frames_sent = 0;
-    for (const std::string& out : EncodeResultFrames(result, batch_rows)) {
+    for (const std::string& out :
+         EncodeResultFrames(reply_result, batch_rows)) {
       // Backpressure: SendAll blocks while the client drains earlier
       // batches, so result memory on both sides stays bounded by the batch
       // size, not the result size.

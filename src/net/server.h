@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "client/client.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -69,6 +70,12 @@ struct ServerOptions {
   // as kUnavailable Error frames — the transport stays healthy, modelling a
   // flaky backend rather than a flaky network.
   client::ChaosConfig chaos;
+  // Result cache + request coalescing in front of the engine (DESIGN.md
+  // "Result cache & coalescing"). On by default for plain SELECTs;
+  // EXPLAIN/EXPLAIN ANALYZE and sessions that negotiated tracing or fetch
+  // per-session stats bypass it so per-operator actuals stay truthful.
+  size_t cache_mb = 64;
+  bool cache_off = false;
 };
 
 // Aggregate per-session counters, surfaced into the benchmark report tables
@@ -108,6 +115,11 @@ class Server {
 
   // The wrapped local SUT, e.g. for server-side dataset preloading.
   client::Connection& connection() { return *connection_; }
+
+  // The result cache, or null when --cache-off (or no local engine to
+  // observe). Exposed for exact per-server stats in tests and benchmarks;
+  // the process-wide registry aggregates across servers.
+  cache::QueryCache* query_cache() { return query_cache_.get(); }
 
   ServerCounters counters() const;
   size_t active_sessions() const;
@@ -172,6 +184,8 @@ class Server {
   bool serving_ = false;
   std::atomic<bool> stopping_{false};
   std::unique_ptr<client::ChaosState> chaos_state_;  // null when disabled
+  std::unique_ptr<cache::QueryCache> query_cache_;   // null when disabled
+  bool cache_attached_ = false;
   // Per-query server-side execution latency, in the global registry so the
   // Stats scrape and the Prometheus exposition both see its buckets.
   obs::Histogram* query_latency_ = nullptr;

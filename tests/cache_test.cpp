@@ -1,0 +1,513 @@
+// Unit tests for jackpine::cache: the TinyLFU frequency sketch, cache-key
+// normalization, the byte-budgeted result cache, the seqlock table-version
+// observer, request coalescing, and the QueryCache admission protocol
+// (DESIGN.md "Result cache & coalescing").
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_key.h"
+#include "cache/frequency_sketch.h"
+#include "cache/query_cache.h"
+#include "cache/request_coalescer.h"
+#include "cache/result_cache.h"
+#include "cache/table_versions.h"
+#include "engine/database.h"
+
+namespace jackpine::cache {
+namespace {
+
+// ---------------------------------------------------------------- sketch --
+
+uint64_t H(const std::string& s) { return HashKey(s.data(), s.size()); }
+
+TEST(FrequencySketchTest, EstimateTracksRecordedAccesses) {
+  FrequencySketch sketch(256);
+  EXPECT_EQ(sketch.Estimate(H("hot")), 0u);
+  for (int i = 0; i < 5; ++i) sketch.Record(H("hot"));
+  // Count-min estimates are upper bounds: never below the true count.
+  EXPECT_GE(sketch.Estimate(H("hot")), 5u);
+  EXPECT_LT(sketch.Estimate(H("cold")), 5u);
+}
+
+TEST(FrequencySketchTest, HotterKeyWinsTheAdmissionDuel) {
+  FrequencySketch sketch(256);
+  for (int i = 0; i < 8; ++i) sketch.Record(H("hot"));
+  sketch.Record(H("cold"));
+  EXPECT_GT(sketch.Estimate(H("hot")), sketch.Estimate(H("cold")));
+}
+
+TEST(FrequencySketchTest, PeriodicHalvingAgesOldPopularity) {
+  FrequencySketch sketch(64, /*sample_period=*/32);
+  for (int i = 0; i < 16; ++i) sketch.Record(H("was-hot"));
+  const uint32_t before = sketch.Estimate(H("was-hot"));
+  // Fill the rest of the sample window with other traffic; the halving
+  // must decay the old key instead of letting it squat on history.
+  for (int i = 0; i < 40; ++i) sketch.Record(H("filler" + std::to_string(i)));
+  EXPECT_GE(sketch.halvings(), 1u);
+  EXPECT_LT(sketch.Estimate(H("was-hot")), before);
+}
+
+TEST(FrequencySketchTest, CountersSaturateInsteadOfWrapping) {
+  FrequencySketch sketch(64, /*sample_period=*/100000);
+  for (int i = 0; i < 1000; ++i) sketch.Record(H("k"));
+  // 8-bit counters clamp at 255; a wrap would read as a tiny estimate.
+  EXPECT_EQ(sketch.Estimate(H("k")), 255u);
+}
+
+// ------------------------------------------------------------- cache key --
+
+TEST(CacheKeyTest, SpellingVariantsNormalizeToOneKey) {
+  const auto base = NormalizeSelect("SELECT * FROM edges WHERE id = 1");
+  ASSERT_TRUE(base.has_value());
+  const char* variants[] = {
+      "select *  from EDGES   where ID = 1",
+      "SELECT * FROM edges WHERE id = 1 -- trailing comment",
+      "SELECT/* inline */ * FROM edges /* another */ WHERE id = 1",
+      "  SELECT\n\t* FROM\nedges WHERE id = 1  ",
+  };
+  for (const char* v : variants) {
+    const auto norm = NormalizeSelect(v);
+    ASSERT_TRUE(norm.has_value()) << v;
+    EXPECT_EQ(norm->text, base->text) << v;
+    EXPECT_EQ(norm->tables, base->tables) << v;
+  }
+}
+
+TEST(CacheKeyTest, LiteralsArePreservedVerbatim) {
+  const auto a = NormalizeSelect("SELECT * FROM edges WHERE id = 1");
+  const auto b = NormalizeSelect("SELECT * FROM edges WHERE id = 2");
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->text, b->text);
+
+  // String literals are case-sensitive predicates even though identifiers
+  // are not: 'Main St' and 'main st' must stay distinct.
+  const auto c = NormalizeSelect("SELECT * FROM edges WHERE name = 'Main St'");
+  const auto d = NormalizeSelect("SELECT * FROM edges WHERE name = 'main st'");
+  ASSERT_TRUE(c.has_value());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(c->text, d->text);
+}
+
+TEST(CacheKeyTest, OnlyPlainSelectsAreCacheable) {
+  EXPECT_FALSE(NormalizeSelect("EXPLAIN SELECT * FROM edges").has_value());
+  EXPECT_FALSE(
+      NormalizeSelect("EXPLAIN ANALYZE SELECT * FROM edges").has_value());
+  EXPECT_FALSE(NormalizeSelect("INSERT INTO t VALUES (1)").has_value());
+  EXPECT_FALSE(NormalizeSelect("CREATE TABLE t (id BIGINT)").has_value());
+  EXPECT_FALSE(NormalizeSelect("DROP SPATIAL INDEX ON t (g)").has_value());
+  EXPECT_FALSE(NormalizeSelect("not sql at all").has_value());
+  EXPECT_FALSE(NormalizeSelect("SELECT * FROM").has_value());
+  EXPECT_TRUE(NormalizeSelect("SELECT 1 FROM edges").has_value());
+}
+
+TEST(CacheKeyTest, TablesAreLowercasedAndSorted) {
+  const auto norm = NormalizeSelect(
+      "SELECT COUNT(*) FROM Edges, ARTERIAL WHERE "
+      "ST_Intersects(edges.geom, arterial.geom)");
+  ASSERT_TRUE(norm.has_value());
+  EXPECT_EQ(norm->tables,
+            (std::vector<std::string>{"arterial", "edges"}));
+}
+
+TEST(CacheKeyTest, ComposeKeyIsSensitiveToVersionsAndLimits) {
+  const auto norm = NormalizeSelect("SELECT * FROM edges");
+  ASSERT_TRUE(norm.has_value());
+  const std::string k = ComposeKey(*norm, {4}, 0, 0);
+  EXPECT_EQ(k, ComposeKey(*norm, {4}, 0, 0));
+  // A version bump, a different row cap, and a different byte cap each
+  // produce a distinct key: stale or differently-shaped results can never
+  // collide with fresh ones.
+  EXPECT_NE(k, ComposeKey(*norm, {6}, 0, 0));
+  EXPECT_NE(k, ComposeKey(*norm, {4}, 100, 0));
+  EXPECT_NE(k, ComposeKey(*norm, {4}, 0, 4096));
+}
+
+// ----------------------------------------------------------- result cache --
+
+std::shared_ptr<const ResultCache::Entry> MakeEntry(const std::string& table,
+                                                    uint64_t bytes) {
+  auto e = std::make_shared<ResultCache::Entry>();
+  e->result.columns = {"c"};
+  e->result.rows.push_back({engine::Value::Int(1)});
+  e->tables = {table};
+  e->bytes = bytes;
+  return e;
+}
+
+TEST(ResultCacheTest, AdmitThenHit) {
+  ResultCache cache(1 << 20);
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
+  EXPECT_TRUE(cache.Admit("k", MakeEntry("t", 100)));
+  auto hit = cache.Lookup("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->result.rows.size(), 1u);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.admissions, 1u);
+  EXPECT_EQ(s.bytes, 100u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ResultCacheTest, EntryLargerThanBudgetIsRejected) {
+  ResultCache cache(1024);
+  EXPECT_FALSE(cache.Admit("big", MakeEntry("t", 4096)));
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.rejections, 1u);
+  EXPECT_EQ(s.entries, 0u);
+}
+
+TEST(ResultCacheTest, HotEntrySurvivesAOneHitWonderScan) {
+  ResultCache cache(1000);
+  // Make "hot" genuinely hot in the sketch before it is admitted.
+  for (int i = 0; i < 10; ++i) (void)cache.Lookup("hot");
+  ASSERT_TRUE(cache.Admit("hot", MakeEntry("t", 600)));
+  // A scan of never-repeated keys wants the hot entry's bytes. Each scan
+  // key was seen once; the TinyLFU duel refuses them all.
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "scan" + std::to_string(i);
+    (void)cache.Lookup(key);
+    EXPECT_FALSE(cache.Admit(key, MakeEntry("t", 600))) << key;
+  }
+  EXPECT_NE(cache.Lookup("hot"), nullptr);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.rejections, 20u);
+}
+
+TEST(ResultCacheTest, ColdVictimIsEvictedForAHotterCandidate) {
+  ResultCache cache(1000);
+  (void)cache.Lookup("cold");
+  ASSERT_TRUE(cache.Admit("cold", MakeEntry("t", 600)));
+  for (int i = 0; i < 10; ++i) (void)cache.Lookup("hot");
+  EXPECT_TRUE(cache.Admit("hot", MakeEntry("t", 600)));
+  EXPECT_EQ(cache.Lookup("cold"), nullptr);
+  EXPECT_NE(cache.Lookup("hot"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, InvalidateTablePurgesOnlyTouchedEntries) {
+  ResultCache cache(1 << 20);
+  ASSERT_TRUE(cache.Admit("a1", MakeEntry("alpha", 100)));
+  ASSERT_TRUE(cache.Admit("a2", MakeEntry("alpha", 100)));
+  ASSERT_TRUE(cache.Admit("b1", MakeEntry("beta", 100)));
+  EXPECT_EQ(cache.InvalidateTable("alpha"), 2u);
+  EXPECT_EQ(cache.Lookup("a1"), nullptr);
+  EXPECT_EQ(cache.Lookup("a2"), nullptr);
+  EXPECT_NE(cache.Lookup("b1"), nullptr);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.invalidations, 2u);
+  EXPECT_EQ(s.bytes, 100u);
+}
+
+TEST(ResultCacheTest, ReAdmissionReplacesTheExistingEntry) {
+  ResultCache cache(1 << 20);
+  ASSERT_TRUE(cache.Admit("k", MakeEntry("t", 100)));
+  auto bigger = MakeEntry("t", 300);
+  ASSERT_TRUE(cache.Admit("k", bigger));
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 300u);
+}
+
+TEST(ResultCacheTest, ApproxBytesGrowsWithRows) {
+  engine::QueryResult small;
+  small.columns = {"c"};
+  small.rows.push_back({engine::Value::Int(1)});
+  engine::QueryResult large = small;
+  for (int i = 0; i < 100; ++i) {
+    large.rows.push_back({engine::Value::Str("some string payload")});
+  }
+  EXPECT_GT(ResultCache::ApproxResultBytes(large),
+            ResultCache::ApproxResultBytes(small));
+}
+
+// -------------------------------------------------------- table versions --
+
+TEST(TableVersionsTest, MutationsBumpToTheNextEvenVersion) {
+  engine::Database db;
+  TableVersions versions;
+  versions.AttachTo(&db);
+  EXPECT_EQ(versions.Snapshot({"t"}), (std::vector<uint64_t>{0}));
+
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT, geom GEOMETRY)").ok());
+  const auto after_create = versions.Snapshot({"t"});
+  EXPECT_GT(after_create[0], 0u);
+  EXPECT_TRUE(TableVersions::Stable(after_create));
+
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1, ST_MakePoint(0, 0))").ok());
+  const auto after_insert = versions.Snapshot({"t"});
+  EXPECT_GT(after_insert[0], after_create[0]);
+  EXPECT_TRUE(TableVersions::Stable(after_insert));
+
+  ASSERT_TRUE(db.Execute("CREATE SPATIAL INDEX ON t (geom)").ok());
+  const auto after_index = versions.Snapshot({"t"});
+  EXPECT_GT(after_index[0], after_insert[0]);
+  EXPECT_TRUE(TableVersions::Stable(after_index));
+
+  // Other tables are untouched throughout.
+  EXPECT_EQ(versions.Snapshot({"other"}), (std::vector<uint64_t>{0}));
+}
+
+TEST(TableVersionsTest, NoOpDropIndexLeavesTheVersionStable) {
+  engine::Database db;
+  TableVersions versions;
+  versions.AttachTo(&db);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT, geom GEOMETRY)").ok());
+  const auto before = versions.Snapshot({"t"});
+  ASSERT_TRUE(TableVersions::Stable(before));
+  // Dropping an index that is not there is a no-op: the engine skips the
+  // pre-apply hook but still signals OnApplied. The unpaired OnApplied must
+  // not flip the version odd (odd = permanently uncacheable).
+  ASSERT_TRUE(db.Execute("DROP SPATIAL INDEX ON t (geom)").ok());
+  const auto after = versions.Snapshot({"t"});
+  EXPECT_TRUE(TableVersions::Stable(after));
+  EXPECT_EQ(after, before);
+}
+
+TEST(TableVersionsTest, StableRejectsAnyOddComponent) {
+  EXPECT_TRUE(TableVersions::Stable({0, 2, 4}));
+  EXPECT_FALSE(TableVersions::Stable({0, 3, 4}));
+  EXPECT_TRUE(TableVersions::Stable({}));
+}
+
+TEST(TableVersionsTest, OnMutateFiresPerTouchedTable) {
+  engine::Database db;
+  TableVersions versions;
+  versions.AttachTo(&db);
+  std::vector<std::string> mutated;
+  versions.set_on_mutate(
+      [&](const std::string& table) { mutated.push_back(table); });
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_EQ(mutated, (std::vector<std::string>{"t", "t"}));
+}
+
+// ------------------------------------------------------------- coalescer --
+
+TEST(RequestCoalescerTest, FirstJoinLeadsLaterJoinsFollow) {
+  RequestCoalescer coalescer;
+  auto leader = coalescer.Join("k");
+  EXPECT_TRUE(leader.leader);
+  auto follower = coalescer.Join("k");
+  EXPECT_FALSE(follower.leader);
+  EXPECT_EQ(coalescer.in_flight(), 1u);
+  // A different key is its own flight.
+  EXPECT_TRUE(coalescer.Join("other").leader);
+  coalescer.Finish("other", nullptr);
+
+  auto entry = MakeEntry("t", 100);
+  std::thread waiter([&] {
+    auto got = follower.flight->Wait(/*timeout_s=*/0);
+    EXPECT_TRUE(got.leader_finished);
+    ASSERT_NE(got.entry, nullptr);
+    EXPECT_EQ(got.entry.get(), entry.get());
+  });
+  coalescer.Finish("k", entry);
+  waiter.join();
+  EXPECT_EQ(coalescer.in_flight(), 0u);
+}
+
+TEST(RequestCoalescerTest, FollowerTimesOutAgainstAStuckLeader) {
+  RequestCoalescer coalescer;
+  auto leader = coalescer.Join("k");
+  ASSERT_TRUE(leader.leader);
+  auto follower = coalescer.Join("k");
+  const auto got = follower.flight->Wait(/*timeout_s=*/0.02);
+  EXPECT_FALSE(got.leader_finished);
+  EXPECT_EQ(got.entry, nullptr);
+  coalescer.Finish("k", nullptr);  // leader's obligation stands
+}
+
+TEST(RequestCoalescerTest, LeaderFailurePublishesNullNotAnError) {
+  RequestCoalescer coalescer;
+  auto leader = coalescer.Join("k");
+  ASSERT_TRUE(leader.leader);
+  auto follower = coalescer.Join("k");
+  coalescer.Finish("k", nullptr);
+  const auto got = follower.flight->Wait(/*timeout_s=*/0);
+  // leader_finished with a null entry: run solo, do not propagate the
+  // leader's (possibly session-specific) failure.
+  EXPECT_TRUE(got.leader_finished);
+  EXPECT_EQ(got.entry, nullptr);
+}
+
+TEST(RequestCoalescerTest, NextJoinAfterFinishLeadsAgain) {
+  RequestCoalescer coalescer;
+  auto first = coalescer.Join("k");
+  ASSERT_TRUE(first.leader);
+  coalescer.Finish("k", MakeEntry("t", 10));
+  EXPECT_TRUE(coalescer.Join("k").leader);
+}
+
+// ----------------------------------------------------------- query cache --
+
+class QueryCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE pts (id BIGINT, geom GEOMETRY)").ok());
+    ASSERT_TRUE(
+        db_.Execute("INSERT INTO pts VALUES (1, ST_MakePoint(1, 1)), "
+                    "(2, ST_MakePoint(2, 2))")
+            .ok());
+    cache_ = std::make_unique<QueryCache>(QueryCacheConfig{});
+    cache_->AttachTo(&db_);
+  }
+
+  engine::QueryResult Exec(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : engine::QueryResult{};
+  }
+
+  engine::Database db_;
+  std::unique_ptr<QueryCache> cache_;
+};
+
+TEST_F(QueryCacheTest, MissExecuteAdmitHit) {
+  const std::string sql = "SELECT id FROM pts ORDER BY id";
+  auto p = cache_->Prepare(sql, 0, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(cache_->Lookup(*p), nullptr);
+
+  auto ticket = cache_->JoinFlight(*p);
+  ASSERT_TRUE(ticket.leader);
+  auto entry = cache_->FinishFlight(*p, Exec(sql), obs::QueryTrace{});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->result.rows.size(), 2u);
+
+  // The spelling variant maps to the same key and hits.
+  auto p2 = cache_->Prepare("select ID  from PTS order by id -- x", 0, 0);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->key, p->key);
+  auto hit = cache_->Lookup(*p2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), entry.get());
+  EXPECT_EQ(cache_->stats().admissions, 1u);
+}
+
+TEST_F(QueryCacheTest, ExplainAndDmlAreNotCacheable) {
+  EXPECT_FALSE(cache_->Prepare("EXPLAIN SELECT * FROM pts", 0, 0).has_value());
+  EXPECT_FALSE(
+      cache_->Prepare("EXPLAIN ANALYZE SELECT * FROM pts", 0, 0).has_value());
+  EXPECT_FALSE(
+      cache_->Prepare("INSERT INTO pts VALUES (3, NULL)", 0, 0).has_value());
+}
+
+TEST_F(QueryCacheTest, DmlInvalidatesByVersionAndPurges) {
+  const std::string sql = "SELECT COUNT(*) FROM pts";
+  auto p = cache_->Prepare(sql, 0, 0);
+  ASSERT_TRUE(p.has_value());
+  auto ticket = cache_->JoinFlight(*p);
+  ASSERT_TRUE(ticket.leader);
+  ASSERT_NE(cache_->FinishFlight(*p, Exec(sql), obs::QueryTrace{}), nullptr);
+
+  ASSERT_TRUE(db_.Execute("INSERT INTO pts VALUES (3, ST_MakePoint(3, 3))").ok());
+
+  // The old Prepared (old versions) no longer matches, and a fresh Prepare
+  // composes a different key; the mutation also purged the entry.
+  auto fresh = cache_->Prepare(sql, 0, 0);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_NE(fresh->key, p->key);
+  EXPECT_EQ(cache_->Lookup(*fresh), nullptr);
+  EXPECT_GE(cache_->stats().invalidations, 1u);
+
+  // The fresh key caches the new three-row answer.
+  auto t2 = cache_->JoinFlight(*fresh);
+  ASSERT_TRUE(t2.leader);
+  auto entry = cache_->FinishFlight(*fresh, Exec(sql), obs::QueryTrace{});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->result.rows[0][0].int_value(), 3);
+}
+
+TEST_F(QueryCacheTest, MutationBetweenPrepareAndFinishBlocksAdmission) {
+  const std::string sql = "SELECT COUNT(*) FROM pts";
+  auto p = cache_->Prepare(sql, 0, 0);
+  ASSERT_TRUE(p.has_value());
+  auto ticket = cache_->JoinFlight(*p);
+  ASSERT_TRUE(ticket.leader);
+  engine::QueryResult result = Exec(sql);
+  // The seqlock check: versions moved since Prepare, so the result may have
+  // observed a half-applied mutation — serve it, never cache it.
+  ASSERT_TRUE(db_.Execute("INSERT INTO pts VALUES (4, ST_MakePoint(4, 4))").ok());
+  auto entry =
+      cache_->FinishFlight(*p, std::move(result), obs::QueryTrace{});
+  ASSERT_NE(entry, nullptr);  // the leader still serves its own client
+  EXPECT_EQ(cache_->stats().admissions, 0u);
+  auto fresh = cache_->Prepare(sql, 0, 0);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(cache_->Lookup(*fresh), nullptr);
+}
+
+TEST_F(QueryCacheTest, AbortWakesFollowersEmptyHanded) {
+  const std::string sql = "SELECT id FROM pts";
+  auto p = cache_->Prepare(sql, 0, 0);
+  ASSERT_TRUE(p.has_value());
+  auto leader = cache_->JoinFlight(*p);
+  ASSERT_TRUE(leader.leader);
+  auto follower = cache_->JoinFlight(*p);
+  ASSERT_FALSE(follower.leader);
+  cache_->AbortFlight(*p);
+  EXPECT_EQ(cache_->WaitShared(follower, /*timeout_s=*/0), nullptr);
+}
+
+TEST_F(QueryCacheTest, WaitSharedCountsCoalesced) {
+  const std::string sql = "SELECT id FROM pts";
+  auto p = cache_->Prepare(sql, 0, 0);
+  ASSERT_TRUE(p.has_value());
+  auto leader = cache_->JoinFlight(*p);
+  ASSERT_TRUE(leader.leader);
+  auto follower = cache_->JoinFlight(*p);
+  auto entry = cache_->FinishFlight(*p, Exec(sql), obs::QueryTrace{});
+  ASSERT_NE(entry, nullptr);
+  auto shared = cache_->WaitShared(follower, /*timeout_s=*/0);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared.get(), entry.get());
+  EXPECT_EQ(cache_->stats().coalesced, 1u);
+}
+
+TEST_F(QueryCacheTest, RecheckAsLeaderServesARacingAdmission) {
+  const std::string sql = "SELECT id FROM pts";
+  auto p = cache_->Prepare(sql, 0, 0);
+  ASSERT_TRUE(p.has_value());
+  // Leadership is not enough to execute: a session that missed before an
+  // admission and joined after the flight closed must double-check.
+  auto t1 = cache_->JoinFlight(*p);
+  ASSERT_TRUE(t1.leader);
+  EXPECT_EQ(cache_->RecheckAsLeader(*p), nullptr);  // genuinely cold: run
+  auto entry = cache_->FinishFlight(*p, Exec(sql), obs::QueryTrace{});
+  ASSERT_NE(entry, nullptr);
+
+  auto t2 = cache_->JoinFlight(*p);
+  ASSERT_TRUE(t2.leader);
+  auto follower = cache_->JoinFlight(*p);
+  ASSERT_FALSE(follower.leader);
+  auto rechecked = cache_->RecheckAsLeader(*p);
+  ASSERT_NE(rechecked, nullptr);
+  EXPECT_EQ(rechecked.get(), entry.get());
+  // The double-check also published to the new flight's followers.
+  EXPECT_EQ(cache_->WaitShared(follower, /*timeout_s=*/0).get(), entry.get());
+  // One execution, one admission; the rechecking leader counted as a hit.
+  const CacheStats s = cache_->stats();
+  EXPECT_EQ(s.admissions, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.coalesced, 1u);
+}
+
+TEST_F(QueryCacheTest, DifferentRowCapsAreDifferentEntries) {
+  const std::string sql = "SELECT id FROM pts";
+  auto unlimited = cache_->Prepare(sql, 0, 0);
+  auto capped = cache_->Prepare(sql, 1, 0);
+  ASSERT_TRUE(unlimited.has_value());
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_NE(unlimited->key, capped->key);
+}
+
+}  // namespace
+}  // namespace jackpine::cache

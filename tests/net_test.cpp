@@ -1080,5 +1080,205 @@ TEST_F(NetTest, PingEndpointTreatsPrePingServerAsLegacyUp) {
   EXPECT_GE(probe->rtt_s, 0.0);
 }
 
+// ----------------------------------------------------------- result cache --
+
+TEST_F(NetTest, RepeatedSelectsHitTheResultCache) {
+  auto server = StartServer("pine-rtree");
+  ASSERT_NE(server->query_cache(), nullptr);
+  ASSERT_TRUE(core::LoadDataset(SmallDataset(), &server->connection()).ok());
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+
+  const std::string sql = "SELECT COUNT(*) FROM edges";
+  auto first = stmt.ExecuteQuery(sql);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const uint64_t checksum = first->Checksum();
+  // Spelling variants of the same SELECT land on the same entry.
+  auto second = stmt.ExecuteQuery("select COUNT(*)  from EDGES -- again");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->Checksum(), checksum);
+
+  const cache::CacheStats stats = server->query_cache()->stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.admissions, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST_F(NetTest, CacheOffServerServesIdenticalResults) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.cache_off = true;
+  auto off = net::Server::Start(options);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_EQ((*off)->query_cache(), nullptr);
+  ASSERT_TRUE(core::LoadDataset(SmallDataset(), &(*off)->connection()).ok());
+
+  auto on = StartServer("pine-rtree");
+  ASSERT_TRUE(core::LoadDataset(SmallDataset(), &on->connection()).ok());
+
+  auto conn_off = client::Connection::Open(RemoteUrl(**off, "pine-rtree"));
+  auto conn_on = client::Connection::Open(RemoteUrl(*on, "pine-rtree"));
+  ASSERT_TRUE(conn_off.ok());
+  ASSERT_TRUE(conn_on.ok());
+  client::Statement stmt_off = conn_off->CreateStatement();
+  client::Statement stmt_on = conn_on->CreateStatement();
+  const char* queries[] = {
+      "SELECT COUNT(*) FROM edges",
+      "SELECT plid FROM pointlm ORDER BY plid",
+      "SELECT COUNT(*) FROM edges a, arealm b "
+      "WHERE ST_Intersects(a.geom, b.geom)",
+  };
+  for (const char* sql : queries) {
+    // Twice each, so the cache-on server serves the repeat from cache; the
+    // cached reply must be byte-identical to the engine execution.
+    for (int rep = 0; rep < 2; ++rep) {
+      auto rs_off = stmt_off.ExecuteQuery(sql);
+      auto rs_on = stmt_on.ExecuteQuery(sql);
+      ASSERT_TRUE(rs_off.ok()) << sql;
+      ASSERT_TRUE(rs_on.ok()) << sql;
+      EXPECT_EQ(rs_on->Checksum(), rs_off->Checksum()) << sql;
+      EXPECT_EQ(rs_on->RowCount(), rs_off->RowCount()) << sql;
+    }
+  }
+  EXPECT_GT(on->query_cache()->stats().hits, 0u);
+}
+
+// Regression: EXPLAIN ANALYZE must re-run the engine even when the analyzed
+// SELECT is cache-hot — per-operator actuals served from a cache would all
+// read zero.
+TEST_F(NetTest, ExplainAnalyzeStaysTruthfulOnACacheHotQuery) {
+  auto server = StartServer("pine-rtree");
+  ASSERT_TRUE(core::LoadDataset(SmallDataset(), &server->connection()).ok());
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+
+  const std::string sql = "SELECT * FROM edges WHERE ST_X(ST_StartPoint(geom)) < 100";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(stmt.ExecuteQuery(sql).ok());
+  }
+  ASSERT_GT(server->query_cache()->stats().hits, 0u);
+
+  auto rs = stmt.ExecuteQuery("EXPLAIN ANALYZE " + sql);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  std::string plan;
+  while (rs->Next()) plan += rs->GetString(0).value_or("") + "\n";
+  EXPECT_NE(plan.find("actual:"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Rows: examined="), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("Rows: examined=0"), std::string::npos) << plan;
+}
+
+// A session that negotiated span tracing bypasses the cache: its spans and
+// stage timings must describe executions that really happened.
+TEST_F(NetTest, SpanTracedSessionsBypassTheCache) {
+  obs::SpanRecorder& rec = obs::GlobalSpanRecorder();
+  rec.Drain();
+  rec.set_enabled(true);
+
+  auto server = StartServer("pine-rtree");
+  ASSERT_TRUE(core::LoadDataset(SmallDataset(), &server->connection()).ok());
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM edges").ok());
+  }
+  rec.set_enabled(false);
+  rec.Drain();
+
+  const cache::CacheStats stats = server->query_cache()->stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.admissions, 0u);
+  EXPECT_GE(stats.bypass, 3u);
+}
+
+// A session whose client folds server-side traces (Statement::SetTrace
+// fetches session stats after each query) becomes bypass after the first
+// fetch, so per-query counters keep describing real executions.
+TEST_F(NetTest, TraceFetchingSessionsLatchToBypass) {
+  auto server = StartServer("pine-rtree");
+  ASSERT_TRUE(core::LoadDataset(SmallDataset(), &server->connection()).ok());
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+
+  const std::string sql = "SELECT COUNT(*) FROM pointlm";
+  client::Statement stmt = conn->CreateStatement();
+  obs::QueryTrace t1, t2;
+  stmt.SetTrace(&t1);
+  ASSERT_TRUE(stmt.ExecuteQuery(sql).ok());  // miss; stats fetch latches
+  stmt.SetTrace(&t2);
+  ASSERT_TRUE(stmt.ExecuteQuery(sql).ok());  // bypassed, engine re-runs
+  EXPECT_GT(t1.rows_examined, 0u);
+  EXPECT_EQ(t2.rows_examined, t1.rows_examined);
+
+  const cache::CacheStats stats = server->query_cache()->stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_GE(stats.bypass, 1u);
+}
+
+TEST_F(NetTest, DmlInvalidatesCachedEntriesOverTheWire) {
+  auto server = StartServer("pine-rtree");
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(
+      stmt.ExecuteUpdate("CREATE TABLE pts (id BIGINT, geom GEOMETRY)").ok());
+  ASSERT_TRUE(
+      stmt.ExecuteUpdate("INSERT INTO pts VALUES (1, ST_MakePoint(1, 1))")
+          .ok());
+
+  const std::string sql = "SELECT COUNT(*) FROM pts";
+  auto rs = stmt.ExecuteQuery(sql);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->Next());
+  EXPECT_EQ(rs->GetInt64(0).value(), 1);
+  ASSERT_TRUE(stmt.ExecuteQuery(sql).ok());  // cache the one-row answer
+  ASSERT_GE(server->query_cache()->stats().admissions, 1u);
+
+  ASSERT_TRUE(
+      stmt.ExecuteUpdate("INSERT INTO pts VALUES (2, ST_MakePoint(2, 2))")
+          .ok());
+  auto fresh = stmt.ExecuteQuery(sql);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fresh->Next());
+  EXPECT_EQ(fresh->GetInt64(0).value(), 2);
+  EXPECT_GE(server->query_cache()->stats().invalidations, 1u);
+}
+
+// The coalescing invariant: N sessions racing the same cold query produce
+// exactly one admission, and every session that did not execute was served
+// a hit or the leader's shared entry. Deterministic regardless of timing —
+// threads that overlap the flight coalesce, threads that arrive later hit.
+TEST_F(NetTest, ColdConcurrentQueriesCoalesceToOneExecution) {
+  auto server = StartServer("pine-rtree");
+  ASSERT_TRUE(core::LoadDataset(SmallDataset(), &server->connection()).ok());
+
+  constexpr int kThreads = 8;
+  const std::string sql =
+      "SELECT COUNT(*) FROM edges a, arealm b "
+      "WHERE ST_Intersects(a.geom, b.geom)";
+  std::vector<uint64_t> checksums(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+      ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+      client::Statement stmt = conn->CreateStatement();
+      auto rs = stmt.ExecuteQuery(sql);
+      ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+      checksums[t] = rs->Checksum();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(checksums[t], checksums[0]);
+
+  const cache::CacheStats stats = server->query_cache()->stats();
+  EXPECT_EQ(stats.admissions, 1u);
+  EXPECT_EQ(stats.hits + stats.coalesced, static_cast<uint64_t>(kThreads - 1));
+}
+
 }  // namespace
 }  // namespace jackpine

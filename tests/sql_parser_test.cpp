@@ -44,9 +44,35 @@ TEST(LexerTest, LineComments) {
   for (const Token& t : *tokens) EXPECT_NE(t.text, "--");
 }
 
+TEST(LexerTest, BlockComments) {
+  auto tokens = Tokenize("SELECT /* inline */ 1 FROM/* tight */t");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> texts;
+  for (const Token& t : *tokens) {
+    if (t.kind != TokenKind::kEnd) texts.push_back(t.text);
+  }
+  EXPECT_EQ(texts, (std::vector<std::string>{"SELECT", "1", "FROM", "t"}));
+
+  // Multi-line and star-heavy bodies are still one comment.
+  auto multi = Tokenize("SELECT 1 /* spans\nlines ** with stars */ FROM t");
+  ASSERT_TRUE(multi.ok());
+  // `/*` inside a string literal is just text, not a comment opener.
+  auto in_string = Tokenize("SELECT '/* not a comment */' FROM t");
+  ASSERT_TRUE(in_string.ok());
+  bool found = false;
+  for (const Token& t : *in_string) {
+    if (t.kind == TokenKind::kString) {
+      EXPECT_EQ(t.text, "/* not a comment */");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(LexerTest, Errors) {
   EXPECT_FALSE(Tokenize("SELECT 'unterminated").ok());
   EXPECT_FALSE(Tokenize("SELECT @foo").ok());
+  EXPECT_FALSE(Tokenize("SELECT 1 /* never closed").ok());
 }
 
 TEST(ParserTest, MinimalSelect) {
