@@ -82,6 +82,19 @@
 // report (table, --json, and a one-line `shard HA:` summary for CI greps)
 // records healthy vs degraded goodput/p95 plus the failover/hedge/stale
 // counters. See DESIGN.md § Sharding, "High availability".
+//
+// --metrics-port P starts the embedded HTTP telemetry endpoint (DESIGN.md
+// "Observability") on 127.0.0.1:P (0 = ephemeral; the bound port is printed
+// as `METRICS <port>`): GET /metrics exposes the harness process registry —
+// including the shard router's shard.* / ha counters when a shard(...) SUT
+// or experiment is running — in Prometheus text format, /statements the
+// harness-side fingerprint statistics as JSON, /healthz liveness.
+//
+// Every measured execution also feeds a harness-side fingerprint statistics
+// table (the client's view of pg_stat_statements, same normalized-SQL
+// identity as a server's /statements endpoint): the report prints the top
+// --statements-top rows and --json carries them in the additive
+// "statements" section.
 
 #include <chrono>
 #include <cstdio>
@@ -100,8 +113,10 @@
 #include "core/runner.h"
 #include "net/remote_driver.h"
 #include "net/server.h"
+#include "obs/http_exposition.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/statements.h"
 #include "shard/shard_router.h"
 #include "storage/storage.h"
 
@@ -447,6 +462,8 @@ int main(int argc, char** argv) {
   bool shard_degraded = false;
   bool cache_overload = false;
   bool overload_only = false;
+  int metrics_port = -1;       // -1 = telemetry endpoint disabled
+  size_t statements_top = 20;  // rows in the statement-statistics table
   std::vector<std::string> sut_names = {"pine-rtree", "pine-mbr", "pine-grid",
                                         "pine-scan"};
   for (int i = 1; i < argc; ++i) {
@@ -508,6 +525,14 @@ int main(int argc, char** argv) {
       }
     } else if (!std::strcmp(argv[i], "--shard-degraded")) {
       shard_degraded = true;
+    } else if (!std::strcmp(argv[i], "--metrics-port") && i + 1 < argc) {
+      metrics_port = std::atoi(argv[++i]);
+      if (metrics_port < 0 || metrics_port > 65535) {
+        std::fprintf(stderr, "--metrics-port must be 0..65535\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[i], "--statements-top") && i + 1 < argc) {
+      statements_top = static_cast<size_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale S] [--seed N] [--reps R] [--suts a,b] "
@@ -519,7 +544,8 @@ int main(int argc, char** argv) {
                    "[--retry-budget TOKENS] [--no-load] [--json PATH] "
                    "[--trace-out PATH] [--data-dir DIR] "
                    "[--shard-scaling N1,N2,...] [--shard-sut NAME] "
-                   "[--shard-replicas R] [--shard-degraded]\n"
+                   "[--shard-replicas R] [--shard-degraded] "
+                   "[--metrics-port P] [--statements-top K]\n"
                    "  --suts entries: local SUT names, tcp://host:port/sut, "
                    "or shard(host:port,...)/sut cluster routers\n"
                    "  --shard-scaling: run the topological suite through an "
@@ -536,7 +562,12 @@ int main(int argc, char** argv) {
                    "per-slot checksums match (needs --overload-skew)\n"
                    "  --overload-only: skip the sequential micro/macro "
                    "suites so the concurrent overload clients are the first "
-                   "to touch every query (cold server-side caches)\n",
+                   "to touch every query (cold server-side caches)\n"
+                   "  --metrics-port P: serve GET /metrics /statements "
+                   "/healthz over HTTP on 127.0.0.1:P (0 = ephemeral, "
+                   "printed as 'METRICS <port>')\n"
+                   "  --statements-top K: rows in the per-fingerprint "
+                   "statement-statistics table and JSON section (0 = all)\n",
                    argv[0]);
       return 2;
     }
@@ -552,6 +583,51 @@ int main(int argc, char** argv) {
   if (overload_only && overload_clients <= 0) {
     std::fprintf(stderr, "--overload-only needs --overload-clients N\n");
     return 2;
+  }
+
+  // Harness-side fingerprint statistics: every measured execution of every
+  // mode below (suite reps, throughput, overload slots — experiments
+  // included, since they run through the same RunConfig) records here under
+  // the shared normalized-SQL identity. The meta-counters land in the
+  // process registry so /metrics shows jackpine_statements_* moving.
+  obs::StatementStats::Options stats_options;
+  stats_options.registry = &obs::GlobalRegistry();
+  obs::StatementStats statement_stats(stats_options);
+  config.statement_stats = &statement_stats;
+
+  // The embedded telemetry endpoint over the *process* registry: against a
+  // shard(...) SUT this is where the router's shard.* and HA counters are
+  // scraped from, the same exposition a pinedb server serves.
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (metrics_port >= 0) {
+    obs::TelemetryServer::Options topt;
+    topt.port = static_cast<uint16_t>(metrics_port);
+    auto created = obs::TelemetryServer::Create(topt);
+    if (!created.ok()) {
+      std::fprintf(stderr, "telemetry endpoint: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    telemetry = std::move(created).value();
+    telemetry->Handle("/metrics", [] {
+      obs::HttpResponse resp;
+      resp.content_type = obs::kPromContentType;
+      resp.body = obs::RenderPromPreamble();
+      resp.body +=
+          obs::GlobalRegistry().RenderProm("jackpine_", /*build_info=*/false);
+      return resp;
+    });
+    telemetry->Handle("/statements", [stats = &statement_stats] {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = stats->ToJson(0).Dump();
+      return resp;
+    });
+    telemetry->StartServing();
+    // Machine-parseable, like the server's LISTENING line: CI and wrapper
+    // scripts read the bound port from here when --metrics-port 0.
+    std::printf("METRICS %u\n", telemetry->port());
+    std::fflush(stdout);
   }
 
   tigergen::TigerGenOptions gen;
@@ -593,6 +669,7 @@ int main(int argc, char** argv) {
           "jackpine result cache under overload (scale %.2f, seed %llu, %s)",
           scale, static_cast<unsigned long long>(seed), shard_sut.c_str());
       report.cache.push_back(*result);
+      report.statements = statement_stats.TopK(statements_top);
       const std::string doc = core::RenderJsonReport(report);
       std::FILE* f = std::fopen(json_path.c_str(), "w");
       if (f == nullptr) {
@@ -645,6 +722,7 @@ int main(int argc, char** argv) {
                     scale, static_cast<unsigned long long>(seed),
                     shard_sut.c_str());
       report.degraded.push_back(*result);
+      report.statements = statement_stats.TopK(statements_top);
       const std::string doc = core::RenderJsonReport(report);
       std::FILE* f = std::fopen(json_path.c_str(), "w");
       if (f == nullptr) {
@@ -690,6 +768,7 @@ int main(int argc, char** argv) {
                     scale, static_cast<unsigned long long>(seed),
                     shard_sut.c_str());
       report.shard_scaling = std::move(*results);
+      report.statements = statement_stats.TopK(statements_top);
       const std::string doc = core::RenderJsonReport(report);
       std::FILE* f = std::fopen(json_path.c_str(), "w");
       if (f == nullptr) {
@@ -892,6 +971,21 @@ int main(int argc, char** argv) {
                     overload_by_sut)
                     .c_str());
   }
+  // The harness-side pg_stat_statements view: which statement shapes the
+  // whole run issued, how often, and at what latency — same fingerprint
+  // identity as a pinedb server's /statements endpoint, so the two tables
+  // cross-check row for row.
+  {
+    const std::vector<obs::StatementStats::Row> statement_rows =
+        statement_stats.Snapshot();
+    if (!statement_rows.empty()) {
+      std::printf("%s\n", core::RenderStatementsTable(
+                              "statement statistics (all SUTs, measured "
+                              "executions)",
+                              statement_rows, statements_top)
+                              .c_str());
+    }
+  }
   if (!durability_by_sut.empty()) {
     std::vector<std::pair<std::string, std::string>> rows;
     for (const core::DurabilityResult& d : durability_by_sut) {
@@ -919,6 +1013,7 @@ int main(int argc, char** argv) {
     report.scenarios_by_sut = std::move(scenarios_by_sut);
     report.overloads = std::move(overload_by_sut);
     report.durability = std::move(durability_by_sut);
+    report.statements = statement_stats.TopK(statements_top);
     const std::string doc = core::RenderJsonReport(report);
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {

@@ -13,6 +13,9 @@
 //   \tables          list tables
 //   \stats           session trace + engine counters since the last \stats,
 //                    then the process-wide metrics registry
+//   \statements      per-fingerprint statement statistics for everything
+//                    this shell session executed (calls, errors, latency,
+//                    rows) — pg_stat_statements at the prompt
 //   \prom            the metrics registry in Prometheus text exposition
 //                    format (counters, gauges, histogram buckets)
 //   \timing on|off   toggle per-query timing (default on)
@@ -27,7 +30,9 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/loader.h"
+#include "engine/sql_normalize.h"
 #include "obs/metrics.h"
+#include "obs/statements.h"
 #include "obs/trace.h"
 #include "net/remote_driver.h"
 #include "tigergen/csv_io.h"
@@ -88,9 +93,15 @@ int main(int argc, char** argv) {
                 sut.c_str());
   }
   std::printf("tables: county, edges, pointlm, arealm, areawater\n");
-  std::printf("type SQL, or \\tables \\stats \\prom \\timing \\quit\n");
+  std::printf("type SQL, or \\tables \\stats \\statements \\prom \\timing \\quit\n");
 
   client::Statement stmt = conn.CreateStatement();
+  // Per-fingerprint tallies for everything this shell executes; \statements
+  // prints the most-called rows. Registry-less: the shell's own counts stay
+  // distinct from any server-side statistics it might be talking to.
+  obs::StatementStats::Options stmt_stats_options;
+  stmt_stats_options.capacity = 256;
+  obs::StatementStats statement_stats(stmt_stats_options);
   // Accumulates across queries; \stats prints and resets it.
   obs::QueryTrace session_trace;
   stmt.SetTrace(&session_trace);
@@ -126,6 +137,26 @@ int main(int argc, char** argv) {
       conn.database().ResetStats();
       continue;
     }
+    if (input == "\\statements") {
+      const auto rows = statement_stats.Snapshot();
+      if (rows.empty()) {
+        std::printf("  no statements recorded yet\n");
+        continue;
+      }
+      std::printf("  %-8s %-7s %-10s %-10s %-8s  %s\n", "calls", "errors",
+                  "mean_ms", "p95_ms", "rows", "fingerprint");
+      for (const auto& row : rows) {
+        const double mean_ms =
+            row.calls > 0 ? row.latency.sum / row.calls * 1e3 : 0.0;
+        std::printf("  %-8llu %-7llu %-10.3f %-10.3f %-8llu  %s\n",
+                    static_cast<unsigned long long>(row.calls),
+                    static_cast<unsigned long long>(row.errors),
+                    mean_ms, row.latency.Quantile(0.95) * 1e3,
+                    static_cast<unsigned long long>(row.rows_returned),
+                    row.fingerprint.c_str());
+      }
+      continue;
+    }
     if (input == "\\prom") {
       // In-process exposition: full histogram bucket structure, unlike the
       // flattened `pinedb stats --prom` wire scrape.
@@ -145,6 +176,11 @@ int main(int argc, char** argv) {
     Stopwatch watch;
     auto rs = stmt.ExecuteQuery(input);
     const double elapsed_ms = watch.ElapsedMillis();
+    obs::StatementUpdate stmt_update;
+    stmt_update.code = rs.ok() ? StatusCode::kOk : rs.status().code();
+    stmt_update.latency_s = elapsed_ms / 1e3;
+    stmt_update.rows_returned = rs.ok() ? rs->RowCount() : 0;
+    statement_stats.Record(engine::SqlFingerprint(input), stmt_update);
     if (!rs.ok()) {
       std::printf("ERROR: %s\n", rs.status().ToString().c_str());
       continue;

@@ -5,24 +5,10 @@
 
 #include "common/string_util.h"
 #include "engine/sql_ast.h"
-#include "engine/sql_lexer.h"
+#include "engine/sql_normalize.h"
 #include "engine/sql_parser.h"
 
 namespace jackpine::cache {
-namespace {
-
-// Re-quotes a string literal whose quotes the lexer stripped, undoing the
-// '' unescape so the canonical text is itself valid SQL.
-void AppendQuoted(const std::string& s, std::string* out) {
-  out->push_back('\'');
-  for (char c : s) {
-    if (c == '\'') out->push_back('\'');
-    out->push_back(c);
-  }
-  out->push_back('\'');
-}
-
-}  // namespace
 
 std::optional<NormalizedSelect> NormalizeSelect(std::string_view sql) {
   auto parsed = engine::ParseSql(sql);
@@ -30,26 +16,15 @@ std::optional<NormalizedSelect> NormalizeSelect(std::string_view sql) {
   const auto* select = std::get_if<engine::SelectStatement>(&*parsed);
   if (select == nullptr) return std::nullopt;
 
-  auto tokens = engine::Tokenize(sql);
-  if (!tokens.ok()) return std::nullopt;  // unreachable once parsing passed
+  // The canonical text is the shared token-stream normalization
+  // (engine/sql_normalize.h) — the same spelling the statement-statistics
+  // plane fingerprints on, so a cache hit and its stats row agree on
+  // identity by construction.
+  std::optional<std::string> text = engine::NormalizeSqlText(sql);
+  if (!text.has_value()) return std::nullopt;  // unreachable once parsed
 
   NormalizedSelect out;
-  for (const engine::Token& tok : *tokens) {
-    if (tok.kind == engine::TokenKind::kEnd) break;
-    if (!out.text.empty()) out.text.push_back(' ');
-    switch (tok.kind) {
-      case engine::TokenKind::kIdentifier:
-        out.text += ToLowerAscii(tok.text);
-        break;
-      case engine::TokenKind::kString:
-        AppendQuoted(tok.text, &out.text);
-        break;
-      default:
-        out.text += tok.text;
-        break;
-    }
-  }
-
+  out.text = *std::move(text);
   out.tables.reserve(select->from.size());
   for (const engine::TableRef& ref : select->from) {
     out.tables.push_back(ToLowerAscii(ref.table));

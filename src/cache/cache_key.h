@@ -2,13 +2,10 @@
 // canonical text is (DESIGN.md "Result cache & coalescing").
 //
 // Two spellings of the same SELECT must map to one cache entry, so the key
-// is built from the token stream, not the raw text: whitespace collapses,
-// `--` and `/* */` comments vanish, and identifiers/keywords are folded to
-// lower case (safe because catalog and function lookup are both
-// case-insensitive — see engine/catalog.cpp). String and numeric literals
-// are preserved verbatim: `'Main St'` and `'main st'` are different
-// predicates, and we deliberately do not canonicalise `1.0` vs `1.00`
-// (a miss there costs one redundant execution, never a wrong answer).
+// is built from the shared token-stream normalization in
+// engine/sql_normalize.h — the same canonical text the statement-statistics
+// plane (obs/statements.h) uses as its fingerprint, so cache identity and
+// stats identity can never drift apart.
 //
 // Only a plain SELECT is cacheable. EXPLAIN / EXPLAIN ANALYZE must re-run
 // the engine so per-operator actuals stay truthful, and DDL/DML are

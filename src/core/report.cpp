@@ -255,6 +255,37 @@ std::string RenderShardScalingTable(
   return RenderGrid(title, grid);
 }
 
+std::string RenderStatementsTable(
+    const std::string& title,
+    const std::vector<obs::StatementStats::Row>& rows, size_t top_k) {
+  std::vector<std::vector<std::string>> grid;
+  grid.push_back({"calls", "errors", "mean (ms)", "p95 (ms)", "total (ms)",
+                  "rows", "hits", "fingerprint"});
+  const size_t limit =
+      top_k == 0 ? rows.size() : std::min(top_k, rows.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const obs::StatementStats::Row& r = rows[i];
+    const double mean_s =
+        r.calls > 0 ? r.latency.sum / static_cast<double>(r.calls) : 0.0;
+    grid.push_back(
+        {StrFormat("%llu", static_cast<unsigned long long>(r.calls)),
+         StrFormat("%llu", static_cast<unsigned long long>(r.errors)),
+         StrFormat("%.3f", mean_s * 1e3),
+         StrFormat("%.3f", r.latency.Quantile(0.95) * 1e3),
+         StrFormat("%.3f", r.latency.sum * 1e3),
+         StrFormat("%llu", static_cast<unsigned long long>(r.rows_returned)),
+         StrFormat("%llu", static_cast<unsigned long long>(r.cache_hits)),
+         r.fingerprint});
+  }
+  if (limit < rows.size()) {
+    // No silent caps: say how much of the tail the cut dropped.
+    grid.push_back({"...", "", "", "", "", "", "",
+                    StrFormat("(+%zu more fingerprints)",
+                              rows.size() - limit)});
+  }
+  return RenderGrid(title, grid);
+}
+
 std::string RenderDegradedTable(const std::string& title,
                                 const std::vector<DegradedRunResult>& results) {
   std::vector<std::vector<std::string>> grid;
@@ -510,6 +541,9 @@ std::string RenderJsonReport(const JsonReportInput& input) {
     entry.Set("bytes", obs::Json::Int(static_cast<int64_t>(r.bytes)));
     entry.Set("hit_rate", obs::Json::Number(r.hit_rate));
   }
+  // Additive within schema_version 1: harness-side fingerprint statistics,
+  // same row shape as a server's /statements document.
+  root.Set("statements", obs::StatementStats::RowsToJson(input.statements));
   return root.Dump(/*pretty=*/true);
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/runner.h"
+#include "obs/statements.h"
 
 namespace jackpine::core {
 
@@ -154,6 +155,15 @@ struct CacheOverloadResult {
 std::string RenderCacheOverloadTable(
     const std::string& title, const std::vector<CacheOverloadResult>& results);
 
+// Harness-side per-fingerprint statement statistics (DESIGN.md
+// "Observability"): the runner's RunConfig::statement_stats tallies,
+// ordered most-called first, cut to the top K rows (0 = all). The same
+// fingerprint identity a pinedb server's /statements endpoint reports, so
+// the harness table and the server scrape cross-check row for row.
+std::string RenderStatementsTable(
+    const std::string& title,
+    const std::vector<obs::StatementStats::Row>& rows, size_t top_k = 0);
+
 struct JsonReportInput {
   std::string title;
   // One entry per SUT, same shape as the table renderers above. Any of the
@@ -165,6 +175,9 @@ struct JsonReportInput {
   std::vector<ShardScalingResult> shard_scaling;
   std::vector<DegradedRunResult> degraded;
   std::vector<CacheOverloadResult> cache;
+  // Additive within schema_version 1: the harness-side fingerprint
+  // statistics ("statements" section), already cut to the caller's top K.
+  std::vector<obs::StatementStats::Row> statements;
 };
 std::string RenderJsonReport(const JsonReportInput& input);
 

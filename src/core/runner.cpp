@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "engine/sql_normalize.h"
 #include "obs/span.h"
 
 namespace jackpine::core {
@@ -131,6 +132,35 @@ Result<client::ResultSet> ExecuteWithRetry(client::Statement* stmt,
   }
 }
 
+// Folds one finished execution slot into the harness-side fingerprint
+// statistics (RunConfig::statement_stats); no-op when disabled. Latency is
+// the final attempt's wall time — the same "what did this execution cost"
+// number the timing stats keep — not the retries' backoff sleeps.
+void RecordStatement(obs::StatementStats* stats,
+                     const std::string& fingerprint,
+                     const Result<client::ResultSet>& rs, double latency_s) {
+  if (stats == nullptr) return;
+  obs::StatementUpdate update;
+  update.code = rs.ok() ? StatusCode::kOk : rs.status().code();
+  update.latency_s = latency_s;
+  update.rows_returned = rs.ok() ? rs->RowCount() : 0;
+  stats->Record(fingerprint, update);
+}
+
+// Precomputed per-slot fingerprints for the workload loops: tokenizing once
+// per workload instead of once per execution keeps the stats recording off
+// the hot path's profile.
+std::vector<std::string> WorkloadFingerprints(
+    const obs::StatementStats* stats, const std::vector<QuerySpec>& workload) {
+  std::vector<std::string> out;
+  if (stats == nullptr) return out;
+  out.reserve(workload.size());
+  for (const QuerySpec& spec : workload) {
+    out.push_back(engine::SqlFingerprint(spec.sql));
+  }
+  return out;
+}
+
 void Accumulate(const RetryOutcome& outcome, RunResult* out) {
   out->attempts += outcome.attempts;
   out->timeouts += outcome.timeouts;
@@ -173,6 +203,9 @@ RunResult RunQuery(client::Connection* connection, const QuerySpec& spec,
       config.limits.spans != nullptr && config.limits.spans->enabled()
           ? config.limits.spans
           : nullptr;
+  const std::string fingerprint = config.statement_stats != nullptr
+                                      ? engine::SqlFingerprint(spec.sql)
+                                      : std::string();
   std::vector<double> seconds;
   bool failed = false;
   for (int r = 0; r < config.repetitions; ++r) {
@@ -191,6 +224,8 @@ RunResult RunQuery(client::Connection* connection, const QuerySpec& spec,
     RetryOutcome outcome;
     auto rs = ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
     Accumulate(outcome, &out);
+    RecordStatement(config.statement_stats, fingerprint, rs,
+                    outcome.last_attempt_s);
     if (!rs.ok()) {
       // Keep the timings already gathered: partial stats are still useful
       // and the caller sees `ok == false` plus the error taxonomy.
@@ -227,12 +262,18 @@ ThroughputResult RunThroughput(client::Connection* connection,
   client::Statement stmt = connection->CreateStatement();
   stmt.SetExecLimits(config.limits);
   Rng rng(config.retry.jitter_seed);
+  const std::vector<std::string> fingerprints =
+      WorkloadFingerprints(config.statement_stats, workload);
   Stopwatch watch;
   for (int round = 0; round < rounds; ++round) {
-    for (const QuerySpec& spec : workload) {
+    for (size_t q = 0; q < workload.size(); ++q) {
+      const QuerySpec& spec = workload[q];
       RetryOutcome outcome;
       auto rs =
           ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
+      RecordStatement(config.statement_stats,
+                      fingerprints.empty() ? std::string() : fingerprints[q],
+                      rs, outcome.last_attempt_s);
       out.timeouts += outcome.timeouts;
       out.transient_errors += outcome.transient_errors;
       out.sheds += outcome.sheds;
@@ -262,6 +303,8 @@ ThroughputResult RunConcurrentThroughput(client::Connection* connection,
   std::atomic<uint64_t> sheds{0};
   std::atomic<uint64_t> fast_fails{0};
   std::atomic<uint64_t> denied{0};
+  const std::vector<std::string> fingerprints =
+      WorkloadFingerprints(config.statement_stats, workload);
   Stopwatch watch;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(std::max(clients, 1)));
@@ -275,11 +318,15 @@ ThroughputResult RunConcurrentThroughput(client::Connection* connection,
       for (int round = 0; round < rounds; ++round) {
         // Stagger start offsets so clients don't run in lockstep.
         for (size_t q = 0; q < workload.size(); ++q) {
-          const QuerySpec& spec =
-              workload[(q + static_cast<size_t>(t)) % workload.size()];
+          const size_t slot = (q + static_cast<size_t>(t)) % workload.size();
+          const QuerySpec& spec = workload[slot];
           RetryOutcome outcome;
           auto rs =
               ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
+          RecordStatement(
+              config.statement_stats,
+              fingerprints.empty() ? std::string() : fingerprints[slot], rs,
+              outcome.last_attempt_s);
           timeouts.fetch_add(outcome.timeouts, std::memory_order_relaxed);
           transients.fetch_add(outcome.transient_errors,
                                std::memory_order_relaxed);
@@ -341,6 +388,8 @@ OverloadResult RunOverload(client::Connection* connection,
     for (double& c : zipf_cdf) c /= sum;
   }
 
+  const std::vector<std::string> fingerprints =
+      WorkloadFingerprints(config.statement_stats, workload);
   std::mutex mu;  // guards latencies, checksums and the counter rollup
   std::vector<double> latencies;
   std::vector<uint8_t> slot_seen(workload.size(), 0);
@@ -373,6 +422,10 @@ OverloadResult RunOverload(client::Connection* connection,
           RetryOutcome outcome;
           auto rs =
               ExecuteWithRetry(&stmt, spec.sql, config.retry, &rng, &outcome);
+          RecordStatement(
+              config.statement_stats,
+              fingerprints.empty() ? std::string() : fingerprints[slot], rs,
+              outcome.last_attempt_s);
           total.attempts += outcome.attempts;
           total.timeouts += outcome.timeouts;
           total.transient_errors += outcome.transient_errors;

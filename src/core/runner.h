@@ -15,6 +15,7 @@
 #include "core/query_spec.h"
 #include "core/scenarios.h"
 #include "core/stats.h"
+#include "obs/statements.h"
 #include "obs/trace.h"
 
 namespace jackpine::core {
@@ -86,6 +87,15 @@ struct RunConfig {
   // servers issue bit-identical query sequences.
   double overload_zipf_s = 0.0;
   uint64_t overload_skew_seed = 0x7a697066;  // "zipf"
+  // Optional harness-side fingerprint statistics (DESIGN.md
+  // "Observability"): when set, every measured execution slot — suite
+  // repetitions, throughput and overload slots, but not warmups — records
+  // (fingerprint, final status, final-attempt latency, rows) here. The
+  // fingerprint comes from the shared SQL normalizer, the same identity a
+  // pinedb server's /statements endpoint tracks, so harness tallies and
+  // server telemetry cross-check. Not owned; thread-safe to share across
+  // the concurrent runners.
+  obs::StatementStats* statement_stats = nullptr;
 };
 
 struct RunResult {

@@ -1,0 +1,79 @@
+#include "engine/sql_normalize.h"
+
+#include "common/string_util.h"
+#include "engine/sql_lexer.h"
+
+namespace jackpine::engine {
+namespace {
+
+// Re-quotes a string literal whose quotes the lexer stripped, undoing the
+// '' unescape so the canonical text is itself valid SQL.
+void AppendQuoted(const std::string& s, std::string* out) {
+  out->push_back('\'');
+  for (char c : s) {
+    if (c == '\'') out->push_back('\'');
+    out->push_back(c);
+  }
+  out->push_back('\'');
+}
+
+bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+std::optional<std::string> NormalizeSqlText(std::string_view sql) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return std::nullopt;
+  std::string out;
+  for (const Token& tok : *tokens) {
+    if (tok.kind == TokenKind::kEnd) break;
+    if (!out.empty()) out.push_back(' ');
+    switch (tok.kind) {
+      case TokenKind::kIdentifier:
+        out += ToLowerAscii(tok.text);
+        break;
+      case TokenKind::kString:
+        AppendQuoted(tok.text, &out);
+        break;
+      default:
+        out += tok.text;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string SqlFingerprint(std::string_view sql) {
+  if (std::optional<std::string> normalized = NormalizeSqlText(sql);
+      normalized.has_value() && !normalized->empty()) {
+    return *std::move(normalized);
+  }
+  // Unlexable (or comment/whitespace-only) input: collapse whitespace so at
+  // least trivially re-spelled garbage still shares one bucket.
+  std::string out;
+  bool pending_space = false;
+  for (char c : sql) {
+    if (IsAsciiSpace(c)) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+uint64_t FingerprintHash(std::string_view fingerprint) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : fingerprint) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace jackpine::engine

@@ -1,0 +1,51 @@
+// Token-stream SQL normalization: the one canonical spelling of a statement
+// that both the result cache (cache/cache_key.h) and the fingerprint
+// statistics plane (obs/statements.h) key on.
+//
+// Two spellings of the same statement must map to one fingerprint, so the
+// canonical form is built from the token stream, not the raw text:
+// whitespace collapses to single spaces, `--` and `/* */` comments vanish,
+// identifiers and keywords fold to lower case (safe because catalog and
+// function lookup are both case-insensitive — see engine/catalog.cpp), and
+// string/numeric literals are preserved verbatim (`'Main St'` and
+// `'main st'` are different predicates; we deliberately do not canonicalise
+// `1.0` vs `1.00` — a spurious distinction costs one redundant cache entry,
+// never a wrong answer).
+//
+// NormalizeSqlText works for *any* statement that tokenizes (SELECT, DML,
+// DDL, EXPLAIN — the stats plane fingerprints them all); the cache layers a
+// stricter parse-based cacheability check on top. Statements that do not
+// even tokenize still need a fingerprint — an error storm from one malformed
+// client is exactly what pg_stat_statements-style accounting must surface —
+// so SqlFingerprint falls back to a whitespace-trimmed form of the raw text.
+
+#ifndef JACKPINE_ENGINE_SQL_NORMALIZE_H_
+#define JACKPINE_ENGINE_SQL_NORMALIZE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace jackpine::engine {
+
+// Canonical single-line form of the statement: tokens joined by single
+// spaces, identifiers lower-cased, literals verbatim (string literals
+// re-quoted with '' escapes so the canonical text is itself valid SQL).
+// nullopt when the input does not tokenize.
+std::optional<std::string> NormalizeSqlText(std::string_view sql);
+
+// The statement fingerprint: NormalizeSqlText when the input tokenizes,
+// otherwise the raw text with leading/trailing ASCII whitespace stripped and
+// interior whitespace runs collapsed — never empty for non-blank input, so
+// every query (including garbage that errors) lands in exactly one
+// statistics bucket.
+std::string SqlFingerprint(std::string_view sql);
+
+// Stable 64-bit FNV-1a over the fingerprint text, for compact ids in logs
+// and flight-recorder entries.
+uint64_t FingerprintHash(std::string_view fingerprint);
+
+}  // namespace jackpine::engine
+
+#endif  // JACKPINE_ENGINE_SQL_NORMALIZE_H_

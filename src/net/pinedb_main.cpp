@@ -9,8 +9,12 @@
 //                [--idle-timeout-s S] [--send-timeout-s S]
 //                [--chaos SEED,RATE,LATENCY_MS]
 //                [--cache-mb N] [--cache-off]
+//                [--metrics-port P] [--slow-ms MS]
+//                [--statements-capacity N] [--flight-capacity N]
+//                [--log-json] [--log-level LEVEL]
 //   pinedb checkpoint --data-dir DIR [--sut NAME]
 //   pinedb stats [--host H] [--port P] [--session] [--prom]
+//                [--statements] [--slow]
 //
 // --data-dir makes the SUT durable (DESIGN.md "Durability"): on startup the
 // directory's newest snapshot is loaded and the write-ahead log replayed
@@ -53,18 +57,36 @@
 // which is mostly useful for protocol debugging. CI greps this output
 // after the overload smoke run to assert sheds and queue depth were
 // actually exercised. --prom renders the same scrape in Prometheus text
-// exposition format (`# TYPE` lines, jackpine_-prefixed sanitized names)
-// so `pinedb stats --prom | curl`-style pipelines and node_exporter's
-// textfile collector can ingest it directly.
+// exposition format (`# HELP`/`# TYPE` lines, jackpine_-prefixed sanitized
+// names, build_info and uptime gauges) so `pinedb stats --prom`-style
+// pipelines and node_exporter's textfile collector can ingest it directly.
+//
+// The query-intelligence plane (DESIGN.md "Observability"):
+//   --metrics-port starts the embedded HTTP telemetry endpoint
+//     (GET /metrics, /statements, /slow, /healthz; the readiness line
+//     `METRICS <port>` mirrors `LISTENING <port>`),
+//   --slow-ms sets the flight recorder's slow threshold (<= 0 disables
+//     slow capture; errors are always captured),
+//   `pinedb stats --statements` / `--slow` scrape the same documents over
+//     the wire protocol (StatsScope::kStatements / kSlow) for hosts where
+//     no HTTP port was opened,
+//   and the flight recorder's ring is dumped as JSON on graceful shutdown
+//     so a post-mortem never loses the last slow queries.
+// --log-json / --log-level reconfigure the process-wide structured logger
+// (obs/log.h) that the serve path narrates through.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "client/client.h"
 #include "common/string_util.h"
@@ -72,6 +94,9 @@
 #include "core/report.h"
 #include "net/remote_driver.h"
 #include "net/server.h"
+#include "obs/http_exposition.h"
+#include "obs/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "storage/storage.h"
 
@@ -100,8 +125,13 @@ int Usage(const char* argv0) {
                "                [--idle-timeout-s S] [--send-timeout-s S]\n"
                "                [--chaos SEED,RATE,LATENCY_MS]\n"
                "                [--cache-mb N] [--cache-off]\n"
+               "                [--metrics-port P] [--slow-ms MS]\n"
+               "                [--statements-capacity N] "
+               "[--flight-capacity N]\n"
+               "                [--log-json] [--log-level LEVEL]\n"
                "       %s checkpoint --data-dir DIR [--sut NAME]\n"
-               "       %s stats [--host H] [--port P] [--session] [--prom]\n",
+               "       %s stats [--host H] [--port P] [--session] [--prom]\n"
+               "                [--statements] [--slow]\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -191,6 +221,10 @@ int RunStats(int argc, char** argv) {
       port = static_cast<uint16_t>(std::atoi(argv[++i]));
     } else if (!std::strcmp(argv[i], "--session")) {
       scope = net::StatsScope::kSession;
+    } else if (!std::strcmp(argv[i], "--statements")) {
+      scope = net::StatsScope::kStatements;
+    } else if (!std::strcmp(argv[i], "--slow")) {
+      scope = net::StatsScope::kSlow;
     } else if (!std::strcmp(argv[i], "--prom")) {
       prom = true;
     } else {
@@ -200,6 +234,19 @@ int RunStats(int argc, char** argv) {
   if (port == 0) {
     std::fprintf(stderr, "pinedb stats: --port is required\n");
     return 2;
+  }
+  if (scope == net::StatsScope::kStatements ||
+      scope == net::StatsScope::kSlow) {
+    // JSON-document scopes print verbatim: the same payload /statements and
+    // /slow serve over HTTP, fetched through the wire protocol instead.
+    auto doc = net::QueryServerStatsJson(host, port, scope);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "pinedb stats: %s\n",
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", doc->c_str());
+    return 0;
   }
   auto entries = net::QueryServerStats(host, port, scope);
   if (!entries.ok()) {
@@ -235,6 +282,10 @@ int main(int argc, char** argv) {
   std::string data_dir;
   double group_commit_ms = 1.0;
   double checkpoint_interval_s = 60.0;
+  uint16_t metrics_port = 0;
+  bool metrics_enabled = false;
+  bool log_json = false;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
   for (int i = 2; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--host") && i + 1 < argc) {
       options.host = argv[++i];
@@ -273,6 +324,25 @@ int main(int argc, char** argv) {
       options.idle_timeout_s = std::atof(argv[++i]);
     } else if (!std::strcmp(argv[i], "--send-timeout-s") && i + 1 < argc) {
       options.send_timeout_s = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--metrics-port") && i + 1 < argc) {
+      metrics_port = static_cast<uint16_t>(std::atoi(argv[++i]));
+      metrics_enabled = true;  // 0 still binds, on an ephemeral port
+    } else if (!std::strcmp(argv[i], "--slow-ms") && i + 1 < argc) {
+      options.slow_ms = std::atof(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--statements-capacity") &&
+               i + 1 < argc) {
+      options.statements_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--flight-capacity") && i + 1 < argc) {
+      options.flight_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "--log-json")) {
+      log_json = true;
+    } else if (!std::strcmp(argv[i], "--log-level") && i + 1 < argc) {
+      auto parsed = obs::ParseLogLevel(argv[++i]);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "pinedb: unknown --log-level '%s'\n", argv[i]);
+        return 2;
+      }
+      log_level = *parsed;
     } else if (!std::strcmp(argv[i], "--chaos") && i + 1 < argc) {
       // Same spec grammar as the chaos URL scheme, minus the wrapper.
       auto chaos = client::ParseChaosSpec(
@@ -288,10 +358,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  obs::Logger::Global().Configure(log_level, log_json);
+
   auto server_or = net::Server::Create(options);
   if (!server_or.ok()) {
-    std::fprintf(stderr, "pinedb: %s\n",
-                 server_or.status().ToString().c_str());
+    obs::LogError("pinedb", "server startup failed",
+                  {{"error", server_or.status().ToString()}});
     return 1;
   }
   std::unique_ptr<net::Server> server = std::move(server_or).value();
@@ -307,13 +379,23 @@ int main(int argc, char** argv) {
     if (!opened.ok()) {
       // kDataLoss here means the directory is unrecoverable; refusing to
       // serve beats serving a silently partial database.
-      std::fprintf(stderr, "pinedb: storage recovery failed: %s\n",
-                   opened.status().ToString().c_str());
+      obs::LogError("storage", "recovery failed; refusing to serve",
+                    {{"dir", data_dir},
+                     {"error", opened.status().ToString()}});
       return 1;
     }
     store = std::move(opened).value();
     PrintRecoveryTable(store->recovery_info());
     const storage::RecoveryInfo& r = store->recovery_info();
+    obs::LogInfo(
+        "storage", "recovery complete",
+        {{"dir", data_dir},
+         {"snapshot_rows",
+          StrFormat("%llu", static_cast<unsigned long long>(r.snapshot_rows))},
+         {"wal_records_applied",
+          StrFormat("%llu",
+                    static_cast<unsigned long long>(r.wal_records_applied))},
+         {"recovery_ms", StrFormat("%.3f", r.recovery_s * 1e3)}});
     if (preload && (r.snapshot_rows > 0 || r.wal_records_applied > 0)) {
       std::printf(
           "pinedb: data dir already holds recovered state; skipping "
@@ -328,8 +410,8 @@ int main(int argc, char** argv) {
     gen.scale = scale;
     auto load = core::GenerateAndLoad(gen, &server->connection());
     if (!load.ok()) {
-      std::fprintf(stderr, "pinedb: preload failed: %s\n",
-                   load.status().ToString().c_str());
+      obs::LogError("pinedb", "preload failed",
+                    {{"error", load.status().ToString()}});
       return 1;
     }
     std::printf("pinedb: preloaded %zu rows (scale %.2f, seed %llu)\n",
@@ -339,22 +421,92 @@ int main(int argc, char** argv) {
       // WAL seam; a checkpoint makes the preloaded dataset durable.
       const Status ckpt = store->Checkpoint();
       if (!ckpt.ok()) {
-        std::fprintf(stderr, "pinedb: post-preload checkpoint failed: %s\n",
-                     ckpt.ToString().c_str());
+        obs::LogError("storage", "post-preload checkpoint failed",
+                      {{"error", ckpt.ToString()}});
         return 1;
       }
       std::printf("pinedb: preload checkpointed to %s\n", data_dir.c_str());
     }
   }
 
+  // The embedded HTTP telemetry endpoint (DESIGN.md "Observability").
+  // /metrics composes the typed registry exposition (counters, gauges,
+  // histograms with buckets) with the server/engine counters that live
+  // outside the registry — the same union a Stats(kGlobal) frame ships —
+  // under one build_info/uptime preamble so no family appears twice.
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (metrics_enabled) {
+    obs::TelemetryServer::Options topts;
+    topts.host = options.host;
+    topts.port = metrics_port;
+    auto created = obs::TelemetryServer::Create(topts);
+    if (!created.ok()) {
+      obs::LogError("telemetry", "metrics endpoint failed to bind",
+                    {{"port", StrFormat("%u", metrics_port)},
+                     {"error", created.status().ToString()}});
+      return 1;
+    }
+    telemetry = std::move(created).value();
+    net::Server* srv = server.get();
+    telemetry->Handle("/metrics", [srv] {
+      std::string body = obs::RenderPromPreamble();
+      body += obs::GlobalRegistry().RenderProm("jackpine_",
+                                               /*build_info=*/false);
+      // Entries the registry does not back (server.* counters, engine.*
+      // ExecStats): render the Stats-frame view minus everything the typed
+      // exposition above already covered. Matched by name — counter values
+      // race between the two snapshots, the identities do not.
+      std::vector<std::string> registry_names;
+      for (auto& [name, value] : obs::GlobalRegistry().Snapshot()) {
+        registry_names.push_back(name);
+      }
+      std::sort(registry_names.begin(), registry_names.end());
+      std::vector<std::pair<std::string, double>> extra;
+      for (auto& entry : srv->GlobalStatsEntries()) {
+        if (!std::binary_search(registry_names.begin(), registry_names.end(),
+                                entry.first)) {
+          extra.push_back(std::move(entry));
+        }
+      }
+      body += obs::RenderPromEntries(extra, "jackpine_",
+                                     /*build_info=*/false);
+      obs::HttpResponse resp;
+      resp.content_type = obs::kPromContentType;
+      resp.body = std::move(body);
+      return resp;
+    });
+    telemetry->Handle("/statements", [srv] {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = srv->statement_stats().ToJson(0).Dump();
+      return resp;
+    });
+    telemetry->Handle("/slow", [srv] {
+      obs::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = srv->flight_recorder().ToJson().Dump();
+      return resp;
+    });
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   server->StartServing();
+  if (telemetry != nullptr) telemetry->StartServing();
   std::printf("pinedb: serving SUT '%s' on %s:%u\n", options.sut.c_str(),
               options.host.c_str(), static_cast<unsigned>(server->port()));
+  obs::LogInfo("pinedb", "serving",
+               {{"sut", options.sut},
+                {"host", options.host},
+                {"port", StrFormat("%u", server->port())}});
   // Machine-parseable readiness line; with --port 0 this is the only way a
   // harness learns which ephemeral port the kernel picked.
   std::printf("LISTENING %u\n", static_cast<unsigned>(server->port()));
+  if (telemetry != nullptr) {
+    // Same contract for the telemetry port: with --metrics-port 0 the
+    // harness parses this line to find the scrape endpoint.
+    std::printf("METRICS %u\n", static_cast<unsigned>(telemetry->port()));
+  }
   std::fflush(stdout);
 
   while (g_signals.load() == 0) {
@@ -362,15 +514,22 @@ int main(int argc, char** argv) {
   }
 
   std::printf("pinedb: shutting down\n");
+  obs::LogInfo("pinedb", "shutting down");
+  if (telemetry != nullptr) telemetry->Shutdown();
   server->Shutdown();
+  // Post-mortem flight-recorder dump (DESIGN.md "Observability"): the last
+  // slow/errored queries survive the process even when nobody was scraping
+  // /slow. One JSON document, machine-parseable, empty ring included.
+  std::printf("FLIGHT_RECORDER %s\n",
+              server->flight_recorder().ToJson().Dump().c_str());
   int exit_code = 0;
   if (store != nullptr) {
     // Sessions are drained; fold everything into a final checkpoint so the
     // next start recovers from the snapshot without replaying the log.
     const Status closed = store->Close();
     if (!closed.ok()) {
-      std::fprintf(stderr, "pinedb: final checkpoint failed: %s\n",
-                   closed.ToString().c_str());
+      obs::LogError("storage", "final checkpoint failed",
+                    {{"error", closed.ToString()}});
       exit_code = 1;
     } else {
       std::printf("pinedb: final checkpoint written to %s\n",
@@ -407,9 +566,11 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(c.chaos_injected))}})
                   .c_str());
   if (c.sessions_opened != c.sessions_closed) {
-    std::fprintf(stderr, "pinedb: leaked %llu session(s)\n",
-                 static_cast<unsigned long long>(c.sessions_opened -
-                                                 c.sessions_closed));
+    obs::LogError("pinedb", "leaked sessions",
+                  {{"count", StrFormat("%llu",
+                                       static_cast<unsigned long long>(
+                                           c.sessions_opened -
+                                           c.sessions_closed))}});
     return 1;
   }
   return exit_code;

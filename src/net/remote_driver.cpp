@@ -414,6 +414,53 @@ Result<std::vector<std::pair<std::string, double>>> QueryServerStats(
   return stats.entries;
 }
 
+Result<std::string> QueryServerStatsJson(const std::string& host,
+                                         uint16_t port, StatsScope scope) {
+  JACKPINE_ASSIGN_OR_RETURN(Socket socket, Socket::Connect(host, port));
+  JACKPINE_RETURN_IF_ERROR(socket.SetRecvTimeout(10.0));
+  FrameDecoder decoder;
+  char buf[kRecvChunk];
+  const auto next_frame = [&]() -> Result<Frame> {
+    for (;;) {
+      JACKPINE_ASSIGN_OR_RETURN(std::optional<Frame> frame, decoder.Next());
+      if (frame.has_value()) return std::move(*frame);
+      JACKPINE_ASSIGN_OR_RETURN(size_t n, socket.Recv(buf, sizeof(buf)));
+      if (n == 0) return Status::Unavailable("server closed the connection");
+      decoder.Feed(std::string_view(buf, n));
+    }
+  };
+  const auto fail_on_error = [](const Frame& frame) -> Status {
+    if (frame.type != FrameType::kError) return Status::Ok();
+    JACKPINE_ASSIGN_OR_RETURN(ErrorMsg err, DecodeError(frame.payload));
+    return ErrorToStatus(err);
+  };
+
+  HelloMsg hello;
+  hello.peer_info = "jackpine-stats/1";
+  JACKPINE_RETURN_IF_ERROR(
+      socket.SendAll(EncodeFrame(FrameType::kHello, EncodeHello(hello))));
+  JACKPINE_ASSIGN_OR_RETURN(Frame ack, next_frame());
+  JACKPINE_RETURN_IF_ERROR(fail_on_error(ack));
+  if (ack.type != FrameType::kHello) {
+    return Status::Unavailable("protocol: handshake reply is not a Hello");
+  }
+
+  StatsRequestMsg request;
+  request.scope = scope;
+  JACKPINE_RETURN_IF_ERROR(socket.SendAll(
+      EncodeFrame(FrameType::kStats, EncodeStatsRequest(request))));
+  JACKPINE_ASSIGN_OR_RETURN(Frame reply, next_frame());
+  JACKPINE_RETURN_IF_ERROR(fail_on_error(reply));
+  if (reply.type != FrameType::kStats) {
+    return Status::Unavailable(StrFormat(
+        "protocol: unexpected frame type %u in a stats reply",
+        static_cast<unsigned>(reply.type)));
+  }
+  JACKPINE_ASSIGN_OR_RETURN(StatsJsonMsg doc, DecodeStatsJson(reply.payload));
+  (void)socket.SendAll(EncodeFrame(FrameType::kClose, ""));
+  return std::move(doc.json);
+}
+
 Result<PingProbe> PingEndpoint(const std::string& host, uint16_t port,
                                double timeout_s) {
   const double t0 = obs::SpanNowS();

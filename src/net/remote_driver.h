@@ -78,6 +78,13 @@ Result<std::vector<std::pair<std::string, double>>> QueryServerStats(
     const std::string& host, uint16_t port,
     StatsScope scope = StatsScope::kGlobal);
 
+// One-shot scrape of the JSON-document scopes (kStatements, kSlow):
+// returns the server's JSON text verbatim. A legacy server that predates
+// these scopes answers with a kParseError Error frame, which surfaces here
+// as that error Status — callers can distinguish "old server" from "down".
+Result<std::string> QueryServerStatsJson(const std::string& host,
+                                         uint16_t port, StatsScope scope);
+
 // One successful health probe: what it measured and what it learned about
 // the peer.
 struct PingProbe {

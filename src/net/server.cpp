@@ -7,7 +7,9 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "engine/sql_normalize.h"
 #include "net/wire.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
@@ -28,12 +30,23 @@ Server::Server(ServerOptions options, client::Connection connection,
                Listener listener)
     : options_(std::move(options)),
       connection_(std::make_unique<client::Connection>(std::move(connection))),
-      listener_(std::move(listener)) {
+      listener_(std::move(listener)),
+      started_at_(std::chrono::steady_clock::now()) {
   if (options_.chaos.error_rate > 0.0 || options_.chaos.latency_ms > 0.0) {
     chaos_state_ = std::make_unique<client::ChaosState>(options_.chaos);
   }
-  query_latency_ =
-      obs::GlobalRegistry().GetHistogram("server.query_latency_s");
+  query_latency_ = obs::GlobalRegistry().GetHistogram(
+      "server.query_latency_s", {},
+      "Server-side execution latency per query (seconds).");
+  obs::StatementStats::Options stmt_options;
+  stmt_options.capacity = options_.statements_capacity;
+  stmt_options.registry = &obs::GlobalRegistry();
+  statement_stats_ = std::make_unique<obs::StatementStats>(stmt_options);
+  obs::FlightRecorder::Options flight_options;
+  flight_options.capacity = options_.flight_capacity;
+  flight_options.slow_threshold_s = options_.slow_ms / 1e3;
+  flight_options.registry = &obs::GlobalRegistry();
+  flight_recorder_ = std::make_unique<obs::FlightRecorder>(flight_options);
   if (!options_.cache_off && options_.cache_mb > 0 &&
       connection_->local_database() != nullptr) {
     cache::QueryCacheConfig cache_config;
@@ -122,6 +135,10 @@ std::vector<std::pair<std::string, double>> Server::GlobalStatsEntries()
   put("server.send_timeouts", c.send_timeouts);
   put("server.chaos_injected", c.chaos_injected);
   put("server.pings", c.pings);
+  out.emplace_back("server.uptime_s",
+                   std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started_at_)
+                       .count());
   if (engine::Database* db = connection_->local_database()) {
     const engine::ExecStats& s = db->stats();
     put("engine.rows_scanned", s.rows_scanned.load());
@@ -295,6 +312,9 @@ void Server::ServeSession(Session* session) {
   // The queue-wait span is attributed to the first traced query: the wait
   // happened once, before the session existed, so it parents there.
   bool queue_wait_reported = false;
+  // Same rule for the flight recorder's queue_wait_s field: charged to the
+  // session's first recorded query only.
+  bool queue_wait_charged = false;
   char buf[kRecvChunk];
 
   if (options_.idle_timeout_s > 0.0) {
@@ -412,6 +432,21 @@ void Server::ServeSession(Session* session) {
         if (!send_frame(FrameType::kStats, EncodeSpanList(span_reply))) break;
         continue;
       }
+      if (req->scope == StatsScope::kStatements ||
+          req->scope == StatsScope::kSlow) {
+        // Query-intelligence scrapes ship as JSON documents, not flat
+        // entries: rows are keyed by fingerprint strings and the flight
+        // recorder carries nested wait breakdowns, neither of which fits
+        // the (name, double) shape of the other scopes.
+        StatsJsonMsg json_reply;
+        json_reply.json = req->scope == StatsScope::kStatements
+                              ? statement_stats_->ToJson(0).Dump()
+                              : flight_recorder_->ToJson().Dump();
+        if (!send_frame(FrameType::kStats, EncodeStatsJson(json_reply))) {
+          break;
+        }
+        continue;
+      }
       StatsReplyMsg reply;
       if (req->scope == StatsScope::kSession) {
         // A session fetching per-query engine counters is a tracing client
@@ -527,6 +562,75 @@ void Server::ServeSession(Session* session) {
       }
     }
 
+    // Query-intelligence state (DESIGN.md "Observability"). The cache
+    // declarations are hoisted above the chaos seam so `record_query` can
+    // reuse the cache's normalized text as the fingerprint whenever the
+    // cache already computed it — one normalizer, one identity.
+    std::shared_ptr<const cache::ResultCache::Entry> cache_entry;
+    std::optional<cache::QueryCache::Prepared> cache_prepared;
+    bool cache_leader = false;
+    bool cache_hit = false;
+    bool cache_coalesced = false;
+    const auto query_started = std::chrono::steady_clock::now();
+    double chaos_delay_s = 0.0;
+    double cache_wait_s = 0.0;
+    double exec_seconds = 0.0;
+    double send_seconds = 0.0;
+    uint64_t reply_bytes = 0;
+
+    // Lands this query in the fingerprint statistics and — when it erred or
+    // outran slow_ms — the flight recorder. Called exactly once on every
+    // exit path: chaos shed, engine error, success, even when the reply
+    // send fails (the query still happened). latency here is the full
+    // server-side residence time from decode to recording, which includes
+    // injected chaos delay and coalesce waits; the exec-only view stays in
+    // server.query_latency_s.
+    auto record_query = [&](const Status& status, uint64_t rows) {
+      const double total_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        query_started)
+              .count();
+      std::string fingerprint = cache_prepared.has_value()
+                                    ? cache_prepared->query.text
+                                    : engine::SqlFingerprint(msg->sql);
+      obs::StatementUpdate update;
+      update.code = status.code();
+      update.latency_s = total_s;
+      update.rows_examined = session_trace.rows_examined;
+      update.rows_returned = rows;
+      update.result_bytes = reply_bytes;
+      update.cache_hit = cache_hit;
+      update.coalesced = cache_coalesced;
+      statement_stats_->Record(fingerprint, update);
+
+      obs::FlightRecord rec;
+      rec.ts_s = obs::SpanNowS();
+      rec.fingerprint = std::move(fingerprint);
+      rec.sql = msg->sql;
+      rec.trace_id = traced ? msg->trace_id : 0;
+      rec.span_id = traced ? root.span.span_id : 0;
+      rec.code = status.code();
+      if (!status.ok()) rec.error = status.message();
+      rec.is_query = is_query;
+      rec.cache_hit = cache_hit;
+      rec.coalesced = cache_coalesced;
+      rec.total_s = total_s;
+      if (!queue_wait_charged) {
+        queue_wait_charged = true;
+        rec.queue_wait_s = std::chrono::duration<double>(
+                               session->dispatched_at - session->accepted_at)
+                               .count();
+      }
+      rec.chaos_delay_s = chaos_delay_s;
+      rec.cache_wait_s = cache_wait_s;
+      rec.exec_s = exec_seconds;
+      rec.send_s = send_seconds;
+      rec.rows_returned = rows;
+      rec.result_bytes = reply_bytes;
+      rec.trace = session_trace;
+      flight_recorder_->Note(std::move(rec));
+    };
+
     // Server-side chaos, mirroring the client layer's semantics: queries
     // only (updates are the fixture-load seam and must always land), the
     // injected delay is clamped to the query deadline, and failures go out
@@ -539,27 +643,28 @@ void Server::ServeSession(Session* session) {
           msg->deadline_s > 0.0 && delay_ms >= msg->deadline_s * 1e3;
       if (deadline_mid_sleep) delay_ms = msg->deadline_s * 1e3;
       if (delay_ms > 0.0) {
+        chaos_delay_s = delay_ms / 1e3;
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(delay_ms));
       }
       if (deadline_mid_sleep) {
         chaos_injected_.fetch_add(1);
-        if (!send_error(Status::DeadlineExceeded(StrFormat(
-                "chaos: injected %.3f ms server delay exceeded the %.3f s "
-                "deadline (draw #%llu)",
-                fault.delay_ms, msg->deadline_s,
-                static_cast<unsigned long long>(fault.sequence))))) {
-          break;
-        }
+        const Status shed = Status::DeadlineExceeded(StrFormat(
+            "chaos: injected %.3f ms server delay exceeded the %.3f s "
+            "deadline (draw #%llu)",
+            fault.delay_ms, msg->deadline_s,
+            static_cast<unsigned long long>(fault.sequence)));
+        record_query(shed, 0);
+        if (!send_error(shed)) break;
         continue;
       }
       if (fault.fail) {
         chaos_injected_.fetch_add(1);
-        if (!send_error(Status::Unavailable(StrFormat(
-                "chaos: injected server-side transient failure (draw #%llu)",
-                static_cast<unsigned long long>(fault.sequence))))) {
-          break;
-        }
+        const Status shed = Status::Unavailable(StrFormat(
+            "chaos: injected server-side transient failure (draw #%llu)",
+            static_cast<unsigned long long>(fault.sequence)));
+        record_query(shed, 0);
+        if (!send_error(shed)) break;
         continue;
       }
     }
@@ -570,9 +675,6 @@ void Server::ServeSession(Session* session) {
     // execution's per-operator actuals instead of freshly measured ones —
     // and EXPLAIN/EXPLAIN ANALYZE/DDL/DML are uncacheable by Prepare.
     // When `cache_entry` ends up non-null the reply is served from it.
-    std::shared_ptr<const cache::ResultCache::Entry> cache_entry;
-    std::optional<cache::QueryCache::Prepared> cache_prepared;
-    bool cache_leader = false;
     if (is_query && query_cache_ != nullptr) {
       const bool cache_bypass = session_traced || session_stats_fetched;
       const double lookup_start_s = traced ? obs::SpanNowS() : 0.0;
@@ -585,7 +687,8 @@ void Server::ServeSession(Session* session) {
                                                limits.max_result_bytes);
         if (cache_prepared.has_value()) {
           cache_entry = query_cache_->Lookup(*cache_prepared);
-          outcome = cache_entry != nullptr ? "hit" : "miss";
+          cache_hit = cache_entry != nullptr;
+          outcome = cache_hit ? "hit" : "miss";
         }
       }
       if (traced) {
@@ -614,10 +717,18 @@ void Server::ServeSession(Session* session) {
           // publishing it to this flight's followers) keeps "one execution
           // per cold key" an invariant rather than a likelihood.
           cache_entry = query_cache_->RecheckAsLeader(*cache_prepared);
-          if (cache_entry != nullptr) cache_leader = false;
+          if (cache_entry != nullptr) {
+            cache_leader = false;
+            cache_hit = true;
+          }
         } else {
           const double wait_start_s = traced ? obs::SpanNowS() : 0.0;
+          const auto wait_started = std::chrono::steady_clock::now();
           cache_entry = query_cache_->WaitShared(ticket, msg->deadline_s);
+          cache_wait_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wait_started)
+                             .count();
+          cache_coalesced = cache_entry != nullptr;
           if (traced) {
             obs::SpanRecord wait;
             wait.trace_id = msg->trace_id;
@@ -675,12 +786,10 @@ void Server::ServeSession(Session* session) {
         exec_status = affected.status();
       }
     }
-    if (is_query) {
-      query_latency_->Observe(std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() -
-                                  exec_started)
-                                  .count());
-    }
+    exec_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - exec_started)
+                       .count();
+    if (is_query) query_latency_->Observe(exec_seconds);
     if (traced) {
       obs::SpanRecord exec;
       exec.trace_id = msg->trace_id;
@@ -704,6 +813,7 @@ void Server::ServeSession(Session* session) {
     if (!exec_status.ok()) {
       // Engine-level failure: answer and keep serving — one bad query must
       // not take the session (let alone the server) down.
+      record_query(exec_status, 0);
       if (!send_error(exec_status)) break;
       continue;
     }
@@ -716,6 +826,7 @@ void Server::ServeSession(Session* session) {
     const size_t batch_rows =
         msg->batch_rows > 0 ? msg->batch_rows : options_.batch_rows;
     const double send_start_s = traced ? obs::SpanNowS() : 0.0;
+    const auto send_started = std::chrono::steady_clock::now();
     bool sent_ok = true;
     size_t frames_sent = 0;
     for (const std::string& out :
@@ -730,8 +841,13 @@ void Server::ServeSession(Session* session) {
         break;
       }
       bytes_sent_.fetch_add(out.size());
+      reply_bytes += out.size();
       ++frames_sent;
     }
+    send_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - send_started)
+                       .count();
+    record_query(Status::Ok(), reply_result.rows.size());
     if (traced) {
       // Encode + send of the result stream; with backpressure this is where
       // a slow client shows up in the trace.

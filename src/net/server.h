@@ -37,7 +37,9 @@
 #include "cache/query_cache.h"
 #include "client/client.h"
 #include "net/socket.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/statements.h"
 
 namespace jackpine::net {
 
@@ -76,6 +78,13 @@ struct ServerOptions {
   // per-session stats bypass it so per-operator actuals stay truthful.
   size_t cache_mb = 64;
   bool cache_off = false;
+  // Query-intelligence plane (DESIGN.md "Observability"): every query —
+  // including cache hits and errors — lands in the per-fingerprint
+  // statement statistics, and queries slower than slow_ms (plus all
+  // errors) are captured by the flight recorder. Both are bounded.
+  double slow_ms = 250.0;            // <= 0 disables slow capture
+  size_t statements_capacity = 512;  // distinct fingerprints tracked
+  size_t flight_capacity = 128;      // flight-recorder ring size
 };
 
 // Aggregate per-session counters, surfaced into the benchmark report tables
@@ -120,6 +129,18 @@ class Server {
   // observe). Exposed for exact per-server stats in tests and benchmarks;
   // the process-wide registry aggregates across servers.
   cache::QueryCache* query_cache() { return query_cache_.get(); }
+
+  // Per-server query intelligence (exact per-server assertions in tests,
+  // same precedent as query_cache); the process-wide registry carries the
+  // aggregated statements.* / flight.* meta-counters.
+  obs::StatementStats& statement_stats() { return *statement_stats_; }
+  const obs::StatementStats& statement_stats() const {
+    return *statement_stats_;
+  }
+  obs::FlightRecorder& flight_recorder() { return *flight_recorder_; }
+  const obs::FlightRecorder& flight_recorder() const {
+    return *flight_recorder_;
+  }
 
   ServerCounters counters() const;
   size_t active_sessions() const;
@@ -186,6 +207,9 @@ class Server {
   std::unique_ptr<client::ChaosState> chaos_state_;  // null when disabled
   std::unique_ptr<cache::QueryCache> query_cache_;   // null when disabled
   bool cache_attached_ = false;
+  std::unique_ptr<obs::StatementStats> statement_stats_;
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
+  std::chrono::steady_clock::time_point started_at_{};
   // Per-query server-side execution latency, in the global registry so the
   // Stats scrape and the Prometheus exposition both see its buckets.
   obs::Histogram* query_latency_ = nullptr;

@@ -436,7 +436,7 @@ std::string EncodeStatsRequest(const StatsRequestMsg& msg) {
 Result<StatsRequestMsg> DecodeStatsRequest(std::string_view payload) {
   Reader r(payload);
   JACKPINE_ASSIGN_OR_RETURN(uint8_t scope, r.ReadU8());
-  if (scope > static_cast<uint8_t>(StatsScope::kSpans)) {
+  if (scope > static_cast<uint8_t>(StatsScope::kSlow)) {
     return Status::ParseError(
         StrFormat("wire: unknown stats scope %u", scope));
   }
@@ -470,6 +470,20 @@ Result<StatsReplyMsg> DecodeStatsReply(std::string_view payload) {
     JACKPINE_ASSIGN_OR_RETURN(double value, r.ReadF64());
     msg.entries.emplace_back(std::move(name), value);
   }
+  JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+std::string EncodeStatsJson(const StatsJsonMsg& msg) {
+  std::string out;
+  AppendStr(&out, msg.json);
+  return out;
+}
+
+Result<StatsJsonMsg> DecodeStatsJson(std::string_view payload) {
+  Reader r(payload);
+  StatsJsonMsg msg;
+  JACKPINE_ASSIGN_OR_RETURN(msg.json, r.ReadStr());
   JACKPINE_RETURN_IF_ERROR(r.ExpectEnd());
   return msg;
 }

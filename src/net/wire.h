@@ -16,9 +16,11 @@
 //                                                       server -> client
 //   Error       (5)  code:u8 message:str [retry_after_ms:u32]  server -> client
 //   Close       (6)  (empty)                            client -> server
-//   Stats       (7)  request: scope:u8 (0=global 1=session 2=spans)
+//   Stats       (7)  request: scope:u8 (0=global 1=session 2=spans
+//                                       3=statements 4=slow)
 //                    reply:   count:u32 (name:str value:f64)*
-//                             — or a SpanList for scope 2
+//                             — or a SpanList for scope 2, or one JSON
+//                               document (json:str) for scopes 3/4
 //   Ping        (8)  seq:u64 [sender_time_s:f64]  both directions; the
 //                    server echoes the seq, stamping its own clock in the
 //                    optional trailing field (health probes measure RTT
@@ -190,6 +192,14 @@ enum class StatsScope : uint8_t {
   // payload instead of flat entries. Only sent on sessions whose Hello
   // negotiated tracing (an old server rejects scope 2 as a parse error).
   kSpans = 2,
+  // Query-intelligence scrapes (obs/statements.h, obs/flight_recorder.h):
+  // the kStats reply carries one JSON document (StatsJsonMsg) instead of
+  // flat entries — the same documents the HTTP /statements and /slow
+  // endpoints serve. Additive in the kSpans tradition: a pre-statements
+  // server rejects scopes 3/4 with a kParseError Error frame, which the
+  // scrape helper surfaces as a plain error, never a hang or a crash.
+  kStatements = 3,  // fingerprint statistics, most-called first
+  kSlow = 4,        // slow-query flight recorder dump
 };
 
 struct StatsRequestMsg {
@@ -247,6 +257,18 @@ struct SpanListMsg {
 
 std::string EncodeSpanList(const SpanListMsg& msg);
 Result<SpanListMsg> DecodeSpanList(std::string_view payload);
+
+// The kStats reply payload for StatsScope::kStatements / kSlow: one JSON
+// document, produced by StatementStats::ToJson / FlightRecorder::ToJson.
+// JSON rather than a bespoke binary shape because these are operator-facing
+// diagnostic dumps — the same bytes the HTTP endpoint serves — and their
+// schema will grow; the strict obs::Json parser validates them on receipt.
+struct StatsJsonMsg {
+  std::string json;
+};
+
+std::string EncodeStatsJson(const StatsJsonMsg& msg);
+Result<StatsJsonMsg> DecodeStatsJson(std::string_view payload);
 
 // Splits a query result into ready-to-send ResultBatch frames of at most
 // `batch_rows` rows (and roughly kBatchByteTarget payload bytes, whichever

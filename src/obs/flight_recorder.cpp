@@ -1,0 +1,95 @@
+#include "obs/flight_recorder.h"
+
+#include <utility>
+
+namespace jackpine::obs {
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Options()) {}
+
+FlightRecorder::FlightRecorder(Options options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.reserve(options_.capacity);
+  if (options_.registry != nullptr) {
+    slow_counter_ = options_.registry->GetCounter("flight.captured_slow");
+    error_counter_ = options_.registry->GetCounter("flight.captured_errors");
+  }
+}
+
+bool FlightRecorder::Note(FlightRecord record) {
+  const bool is_error = record.code != StatusCode::kOk;
+  const bool is_slow = options_.slow_threshold_s > 0.0 &&
+                       record.total_s >= options_.slow_threshold_s;
+  if (!is_error && !is_slow) return false;
+  if (record.sql.size() > kMaxSqlBytes) {
+    record.sql.resize(kMaxSqlBytes);
+    record.sql += "...";
+  }
+  if (is_error) {
+    captured_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (error_counter_ != nullptr) error_counter_->Add();
+  }
+  if (is_slow) {
+    captured_slow_.fetch_add(1, std::memory_order_relaxed);
+    if (slow_counter_ != nullptr) slow_counter_->Add();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+    next_ = (next_ + 1) % options_.capacity;
+  }
+  return true;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  // Once full, next_ points at the oldest entry; before that the ring is in
+  // insertion order from index 0.
+  const size_t start = ring_.size() < options_.capacity ? 0 : next_;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+Json FlightRecorder::ToJson() const {
+  Json out = Json::Object();
+  out.Set("capacity", Json::Int(static_cast<int64_t>(options_.capacity)));
+  out.Set("slow_threshold_s", Json::Number(options_.slow_threshold_s));
+  out.Set("captured_slow", Json::Int(static_cast<int64_t>(captured_slow())));
+  out.Set("captured_errors",
+          Json::Int(static_cast<int64_t>(captured_errors())));
+  Json& entries = out.Set("entries", Json::Array());
+  for (const FlightRecord& rec : Snapshot()) {
+    Json& e = entries.Append(Json::Object());
+    e.Set("ts_s", Json::Number(rec.ts_s));
+    e.Set("fingerprint", Json::Str(rec.fingerprint));
+    e.Set("sql", Json::Str(rec.sql));
+    e.Set("trace_id", Json::Int(static_cast<int64_t>(rec.trace_id)));
+    e.Set("span_id", Json::Int(static_cast<int64_t>(rec.span_id)));
+    e.Set("status", Json::Str(StatusCodeName(rec.code)));
+    if (!rec.error.empty()) e.Set("error", Json::Str(rec.error));
+    e.Set("kind", Json::Str(rec.is_query ? "query" : "update"));
+    e.Set("cache_hit", Json::Bool(rec.cache_hit));
+    e.Set("coalesced", Json::Bool(rec.coalesced));
+    Json& wait = e.Set("wait_s", Json::Object());
+    wait.Set("total", Json::Number(rec.total_s));
+    wait.Set("queue", Json::Number(rec.queue_wait_s));
+    wait.Set("chaos_delay", Json::Number(rec.chaos_delay_s));
+    wait.Set("cache_coalesce", Json::Number(rec.cache_wait_s));
+    wait.Set("exec", Json::Number(rec.exec_s));
+    wait.Set("send", Json::Number(rec.send_s));
+    e.Set("rows_returned", Json::Int(static_cast<int64_t>(rec.rows_returned)));
+    e.Set("result_bytes", Json::Int(static_cast<int64_t>(rec.result_bytes)));
+    Json& trace = e.Set("trace", Json::Object());
+    for (const auto& [name, value] : rec.trace.ToEntries()) {
+      trace.Set(name, Json::Number(value));
+    }
+  }
+  return out;
+}
+
+}  // namespace jackpine::obs

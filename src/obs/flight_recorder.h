@@ -1,0 +1,99 @@
+// Slow-query flight recorder: a bounded ring of the last N interesting
+// queries (DESIGN.md "Observability").
+//
+// "Interesting" means slower than the configured threshold (`--slow-ms` on
+// the pinedb binary) or errored — the two populations an operator pages
+// through after an incident. Each captured entry carries enough to
+// reconstruct the query's story without a re-run: fingerprint, trace/span
+// ids (joinable against the span timeline), the engine's QueryTrace
+// counters, and the server-side wait breakdown (queue, chaos delay, cache
+// coalesce wait, execution, send).
+//
+// Lock discipline: Note() is called for *every* query but takes the mutex
+// only for captured ones — the common fast query pays one branch. The ring
+// overwrites oldest-first; Snapshot()/ToJson() return oldest-to-newest.
+
+#ifndef JACKPINE_OBS_FLIGHT_RECORDER_H_
+#define JACKPINE_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace jackpine::obs {
+
+struct FlightRecord {
+  double ts_s = 0.0;  // SpanNowS() when the query finished (span clock)
+  std::string fingerprint;
+  std::string sql;  // raw text as received (truncated to kMaxSqlBytes)
+  uint64_t trace_id = 0;  // 0 = the session did not negotiate tracing
+  uint64_t span_id = 0;   // the server root span of this query
+  StatusCode code = StatusCode::kOk;
+  std::string error;  // status message when code != kOk
+  bool is_query = true;  // false = Update (DDL/DML) frame
+  bool cache_hit = false;
+  bool coalesced = false;
+  // Wait breakdown, all in seconds. total_s spans decode-done to
+  // reply-sent and is what the slow threshold compares against.
+  double total_s = 0.0;
+  double queue_wait_s = 0.0;  // admission wait before the session existed
+  double chaos_delay_s = 0.0;
+  double cache_wait_s = 0.0;  // coalesced-follower wait
+  double exec_s = 0.0;
+  double send_s = 0.0;
+  uint64_t rows_returned = 0;
+  uint64_t result_bytes = 0;
+  QueryTrace trace;  // engine counters for this query
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kMaxSqlBytes = 512;
+
+  struct Options {
+    size_t capacity = 128;
+    double slow_threshold_s = 0.25;  // pinedb --slow-ms, converted
+    // Meta-counters (flight.captured_slow / flight.captured_errors) land
+    // here; null disables them.
+    Registry* registry = nullptr;
+  };
+
+  FlightRecorder();  // = FlightRecorder(Options())
+  explicit FlightRecorder(Options options);
+
+  // Captures `record` when it is an error or total_s crosses the slow
+  // threshold; otherwise a cheap no-op. Returns whether it was captured.
+  bool Note(FlightRecord record);
+
+  // Oldest-to-newest copy of the ring.
+  std::vector<FlightRecord> Snapshot() const;
+
+  // {"capacity": N, "slow_threshold_s": S, "captured_slow": N,
+  //  "captured_errors": N, "entries": [...]} — the /slow endpoint, the
+  //  Stats(kSlow) wire reply, and the graceful-shutdown dump.
+  Json ToJson() const;
+
+  double slow_threshold_s() const { return options_.slow_threshold_s; }
+  uint64_t captured_slow() const { return captured_slow_.load(); }
+  uint64_t captured_errors() const { return captured_errors_.load(); }
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<FlightRecord> ring_;  // grows to capacity, then wraps
+  size_t next_ = 0;                 // overwrite position once full
+  std::atomic<uint64_t> captured_slow_{0};
+  std::atomic<uint64_t> captured_errors_{0};
+  Counter* slow_counter_ = nullptr;    // flight.captured_slow
+  Counter* error_counter_ = nullptr;   // flight.captured_errors
+};
+
+}  // namespace jackpine::obs
+
+#endif  // JACKPINE_OBS_FLIGHT_RECORDER_H_

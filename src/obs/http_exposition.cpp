@@ -1,0 +1,165 @@
+#include "obs/http_exposition.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "net/socket.h"
+
+namespace jackpine::obs {
+
+namespace {
+
+// A request head (request line + headers) larger than this is hostile, not
+// a telemetry scrape.
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  return StrFormat(
+             "HTTP/1.0 %d %s\r\n"
+             "Content-Type: %s\r\n"
+             "Content-Length: %zu\r\n"
+             "Connection: close\r\n"
+             "\r\n",
+             response.status, StatusText(response.status),
+             response.content_type.c_str(), response.body.size()) +
+         response.body;
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(const Options& options) : options_(options) {
+  Handle("/healthz", [] {
+    HttpResponse r;
+    r.body = "ok\n";
+    return r;
+  });
+}
+
+Result<std::unique_ptr<TelemetryServer>> TelemetryServer::Create(
+    const Options& options) {
+  JACKPINE_ASSIGN_OR_RETURN(
+      net::Listener listener,
+      net::Listener::Listen(options.host, options.port));
+  std::unique_ptr<TelemetryServer> server(new TelemetryServer(options));
+  server->listener_ = std::make_unique<net::Listener>(std::move(listener));
+  return server;
+}
+
+Result<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
+    const Options& options) {
+  JACKPINE_ASSIGN_OR_RETURN(std::unique_ptr<TelemetryServer> server,
+                            Create(options));
+  server->StartServing();
+  return server;
+}
+
+void TelemetryServer::Handle(std::string path, Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [p, h] : handlers_) {
+    if (p == path) {
+      h = std::move(handler);
+      return;
+    }
+  }
+  handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+void TelemetryServer::StartServing() {
+  if (serving_) return;
+  serving_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+}
+
+uint16_t TelemetryServer::port() const { return listener_->port(); }
+
+TelemetryServer::~TelemetryServer() { Shutdown(); }
+
+void TelemetryServer::Shutdown() {
+  stopping_.store(true);
+  if (listener_ != nullptr) listener_->Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listener_ != nullptr) listener_->Close();
+}
+
+void TelemetryServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    Result<net::Socket> accepted = listener_->Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      continue;  // transient accept failure (e.g. EMFILE): keep serving
+    }
+    ServeOne(std::move(accepted).value());
+  }
+}
+
+void TelemetryServer::ServeOne(net::Socket socket) {
+  (void)socket.SetRecvTimeout(options_.io_timeout_s);
+  (void)socket.SetSendTimeout(options_.io_timeout_s);
+
+  // Read until the blank line ending the request head. Telemetry GETs have
+  // no body, so everything after it is ignored.
+  std::string head;
+  char buf[2048];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    if (head.size() > kMaxRequestBytes) return;
+    Result<size_t> n = socket.Recv(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) {
+      if (head.empty()) return;  // peer connected and said nothing
+      break;  // EOF mid-head: try to parse what arrived
+    }
+    head.append(buf, *n);
+  }
+
+  // Request line: METHOD SP target SP version. Everything else in the head
+  // (headers) is irrelevant to a fixed-route GET endpoint.
+  const size_t line_end = head.find_first_of("\r\n");
+  const std::string line =
+      head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  HttpResponse response;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+  } else if (line.substr(0, sp1) != "GET") {
+    response.status = 405;
+    response.body = "only GET is served here\n";
+  } else {
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const size_t query = target.find('?'); query != std::string::npos) {
+      target.resize(query);
+    }
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [path, h] : handlers_) {
+        if (path == target) {
+          handler = h;
+          break;
+        }
+      }
+    }
+    if (handler) {
+      response = handler();
+    } else {
+      response.status = 404;
+      response.body = StrFormat("no route for %s\n", target.c_str());
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  (void)socket.SendAll(RenderResponse(response));
+  // Socket closes on scope exit; HTTP/1.0 close-delimited semantics.
+}
+
+}  // namespace jackpine::obs

@@ -1,0 +1,114 @@
+// Embedded HTTP telemetry endpoint: GET-only, dependency-free, built on
+// net::Socket (DESIGN.md "Observability").
+//
+// This is how a real Prometheus scrapes every pinedb (and every shard
+// replica) directly instead of going through the Stats wire frame:
+//
+//   pinedb serve --metrics-port 9090      # or benchmark_runner --metrics-port
+//   curl :9090/metrics                    # Prometheus text exposition
+//   curl :9090/statements                 # fingerprint statistics (JSON)
+//   curl :9090/slow                       # flight-recorder dump (JSON)
+//   curl :9090/healthz                    # "ok" liveness probe
+//
+// Deliberately minimal: HTTP/1.0 semantics (one request per connection,
+// Connection: close), GET only, no TLS, path-only routing (query strings
+// ignored). Handlers are std::functions registered before StartServing and
+// invoked on the acceptor thread — a telemetry scrape every few seconds is
+// nowhere near needing concurrency, and serial handling means the handlers
+// can read shared state with ordinary locks. I/O timeouts bound how long a
+// stuck scraper can stall the endpoint (it cannot stall the query plane at
+// all: the telemetry server shares nothing with session threads).
+//
+// The header lives in obs/ because this is observability surface; the
+// translation unit is compiled into the jackpine_net library (see
+// src/CMakeLists.txt) because it needs net::Socket, which sits above obs in
+// the library graph.
+
+#ifndef JACKPINE_OBS_HTTP_EXPOSITION_H_
+#define JACKPINE_OBS_HTTP_EXPOSITION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jackpine::net {
+class Listener;
+class Socket;
+}  // namespace jackpine::net
+
+namespace jackpine::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Prometheus' registered content type for the 0.0.4 text format.
+inline constexpr const char* kPromContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+class TelemetryServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral, see port()
+    // Per-connection receive/send bound; a wedged scraper costs at most
+    // this long before the acceptor moves on.
+    double io_timeout_s = 5.0;
+  };
+
+  using Handler = std::function<HttpResponse()>;
+
+  // Binds the listener but does not accept yet: register handlers first,
+  // then StartServing. /healthz is pre-registered.
+  static Result<std::unique_ptr<TelemetryServer>> Create(
+      const Options& options);
+
+  // Registers `handler` for GET <path> (exact match after stripping any
+  // query string). Last registration wins.
+  void Handle(std::string path, Handler handler);
+
+  void StartServing();  // spawns the acceptor; idempotent
+
+  // Create + Handle(/healthz built in) + StartServing for callers with no
+  // extra routes to add before accepting.
+  static Result<std::unique_ptr<TelemetryServer>> Start(
+      const Options& options);
+
+  ~TelemetryServer();
+  void Shutdown();  // stop accepting, join; idempotent
+
+  uint16_t port() const;
+
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit TelemetryServer(const Options& options);
+
+  void AcceptLoop();
+  void ServeOne(net::Socket socket);
+
+  Options options_;
+  std::unique_ptr<net::Listener> listener_;
+  std::thread acceptor_;
+  bool serving_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_{0};
+  mutable std::mutex mu_;  // guards handlers_
+  std::vector<std::pair<std::string, Handler>> handlers_;
+};
+
+}  // namespace jackpine::obs
+
+#endif  // JACKPINE_OBS_HTTP_EXPOSITION_H_

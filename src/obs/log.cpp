@@ -1,0 +1,142 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <ctime>
+
+#include "common/string_util.h"
+
+namespace jackpine::obs {
+namespace {
+
+// UTC wall-clock timestamp with millisecond resolution, RFC 3339 shape.
+std::string NowTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  return StrFormat("%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", tm.tm_year + 1900,
+                   tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                   tm.tm_sec, static_cast<int>(ms));
+}
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  const std::string lower = ToLowerAscii(name);
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+Logger& Logger::Global() {
+  static Logger& logger = *new Logger();
+  return logger;
+}
+
+void Logger::Configure(LogLevel min_level, bool json, std::FILE* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_level_.store(static_cast<uint8_t>(min_level),
+                   std::memory_order_relaxed);
+  json_.store(json, std::memory_order_relaxed);
+  sink_ = sink != nullptr ? sink : stderr;
+}
+
+std::string Logger::Format(LogLevel level, std::string_view component,
+                           std::string_view msg,
+                           std::initializer_list<LogField> fields) const {
+  std::string out;
+  const std::string ts = NowTimestamp();
+  if (json()) {
+    out += "{\"ts\":\"";
+    out += ts;
+    out += "\",\"level\":\"";
+    out += LogLevelName(level);
+    out += "\",\"component\":\"";
+    AppendJsonEscaped(component, &out);
+    out += "\",\"msg\":\"";
+    AppendJsonEscaped(msg, &out);
+    out += '"';
+    for (const LogField& f : fields) {
+      out += ",\"";
+      AppendJsonEscaped(f.key, &out);
+      out += "\":\"";
+      AppendJsonEscaped(f.value, &out);
+      out += '"';
+    }
+    out += "}\n";
+  } else {
+    out += StrFormat("[%s] %-5s %.*s: %.*s", ts.c_str(),
+                     LogLevelName(level), static_cast<int>(component.size()),
+                     component.data(), static_cast<int>(msg.size()),
+                     msg.data());
+    for (const LogField& f : fields) {
+      out += StrFormat(" %.*s=%s", static_cast<int>(f.key.size()),
+                       f.key.data(), f.value.c_str());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Logger::Log(LogLevel level, std::string_view component,
+                 std::string_view msg,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+  const std::string line = Format(level, component, msg, fields);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), sink_);
+  std::fflush(sink_);
+}
+
+void LogDebug(std::string_view component, std::string_view msg,
+              std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kDebug, component, msg, fields);
+}
+void LogInfo(std::string_view component, std::string_view msg,
+             std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kInfo, component, msg, fields);
+}
+void LogWarn(std::string_view component, std::string_view msg,
+             std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kWarn, component, msg, fields);
+}
+void LogError(std::string_view component, std::string_view msg,
+              std::initializer_list<LogField> fields) {
+  Logger::Global().Log(LogLevel::kError, component, msg, fields);
+}
+
+}  // namespace jackpine::obs

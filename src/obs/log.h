@@ -1,0 +1,92 @@
+// Leveled structured logging: one line per event, text or JSON-lines
+// (DESIGN.md "Observability").
+//
+// The pinedb binary and the shard router used to narrate through scattered
+// fprintf(stderr, ...); this gives those call sites a shared sink with a
+// level gate, a component tag, and machine-parseable key/value fields:
+//
+//   text:  [2026-08-09T12:00:00.123Z] WARN  server: shedding connection
+//          retry_after_ms=250
+//   json:  {"ts":"2026-08-09T12:00:00.123Z","level":"warn",
+//          "component":"server","msg":"shedding connection",
+//          "retry_after_ms":"250"}
+//
+// Levels gate cheaply (one relaxed atomic load before any formatting); the
+// line itself is assembled off to the side and written with a single
+// fwrite, so concurrent sessions never interleave partial lines. The
+// global logger defaults to text at kInfo on stderr; `pinedb serve
+// --log-json --log-level debug` reconfigures it at startup.
+
+#ifndef JACKPINE_OBS_LOG_H_
+#define JACKPINE_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace jackpine::obs {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// "debug" / "info" / "warn" / "error" (case-insensitive); nullopt otherwise.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
+const char* LogLevelName(LogLevel level);  // lower-case, stable
+
+// One key/value field on a log line. Values are strings — callers format
+// numbers with StrFormat, which keeps this layer allocation-simple and the
+// JSON emission trivially correct.
+struct LogField {
+  std::string_view key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  // The process-wide logger (text, kInfo, stderr until reconfigured).
+  static Logger& Global();
+
+  void Configure(LogLevel min_level, bool json, std::FILE* sink = stderr);
+
+  bool enabled(LogLevel level) const {
+    return static_cast<uint8_t>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  bool json() const { return json_.load(std::memory_order_relaxed); }
+
+  void Log(LogLevel level, std::string_view component, std::string_view msg,
+           std::initializer_list<LogField> fields = {});
+
+  // Renders the line without writing it (tests assert on exact output).
+  std::string Format(LogLevel level, std::string_view component,
+                     std::string_view msg,
+                     std::initializer_list<LogField> fields = {}) const;
+
+ private:
+  std::atomic<uint8_t> min_level_{static_cast<uint8_t>(LogLevel::kInfo)};
+  std::atomic<bool> json_{false};
+  std::mutex mu_;  // serialises sink writes only
+  std::FILE* sink_ = stderr;
+};
+
+// Convenience wrappers over Logger::Global().
+void LogDebug(std::string_view component, std::string_view msg,
+              std::initializer_list<LogField> fields = {});
+void LogInfo(std::string_view component, std::string_view msg,
+             std::initializer_list<LogField> fields = {});
+void LogWarn(std::string_view component, std::string_view msg,
+             std::initializer_list<LogField> fields = {});
+void LogError(std::string_view component, std::string_view msg,
+              std::initializer_list<LogField> fields = {});
+
+}  // namespace jackpine::obs
+
+#endif  // JACKPINE_OBS_LOG_H_

@@ -2,10 +2,92 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 
 #include "common/string_util.h"
 
+#ifndef JACKPINE_VERSION
+#define JACKPINE_VERSION "unknown"
+#endif
+#ifndef JACKPINE_GIT_SHA
+#define JACKPINE_GIT_SHA "unknown"
+#endif
+
 namespace jackpine::obs {
+
+namespace {
+
+// Captured at static init, which is as close to process start as a library
+// can observe without main() cooperation.
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+// HELP text is free-form but backslashes and newlines must be escaped in
+// the 0.0.4 text format.
+std::string EscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Deterministic de-dup of sanitized names: `rows` must already be sorted by
+// (sanitized name, source-name tiebreak). Walking in that order, the first
+// holder of each sanitized form keeps the family and every later collider
+// gets the lowest free _2, _3, ... suffix — the output depends only on the
+// set of source names, never on registration order.
+template <typename Row>
+void DedupPromNames(std::vector<Row>* rows) {
+  std::vector<std::string> taken;
+  taken.reserve(rows->size());
+  for (Row& row : *rows) {
+    std::string candidate = row.name;
+    size_t suffix = 2;
+    while (std::find(taken.begin(), taken.end(), candidate) != taken.end()) {
+      candidate = row.name + StrFormat("_%zu", suffix++);
+    }
+    row.name = std::move(candidate);
+    taken.push_back(row.name);
+  }
+}
+
+}  // namespace
+
+std::string_view BuildVersion() { return JACKPINE_VERSION; }
+std::string_view BuildGitSha() { return JACKPINE_GIT_SHA; }
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       kProcessStart)
+      .count();
+}
+
+std::string RenderPromPreamble(std::string_view prefix) {
+  std::string out;
+  const std::string build = PromName("build_info", prefix);
+  const std::string uptime = PromName("uptime_seconds", prefix);
+  out += StrFormat(
+      "# HELP %s Build identity of this jackpine process (constant 1).\n"
+      "# TYPE %s gauge\n"
+      "%s{version=\"%.*s\",git_sha=\"%.*s\"} 1\n",
+      build.c_str(), build.c_str(), build.c_str(),
+      static_cast<int>(BuildVersion().size()), BuildVersion().data(),
+      static_cast<int>(BuildGitSha().size()), BuildGitSha().data());
+  out += StrFormat(
+      "# HELP %s Seconds since this process started.\n"
+      "# TYPE %s gauge\n"
+      "%s %.9g\n",
+      uptime.c_str(), uptime.c_str(), uptime.c_str(), ProcessUptimeSeconds());
+  return out;
+}
 
 Histogram::Histogram(std::vector<double> bounds) {
   bounds_ = bounds.empty() ? DefaultLatencyBounds() : std::move(bounds);
@@ -86,26 +168,29 @@ Registry::Entry* Registry::FindLocked(const std::string& name) {
   return nullptr;
 }
 
-Counter* Registry::GetCounter(const std::string& name) {
+Counter* Registry::GetCounter(const std::string& name,
+                              std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
   if (Entry* e = FindLocked(name)) {
     return e->kind == Kind::kCounter ? e->counter.get() : nullptr;
   }
   Entry e;
   e.kind = Kind::kCounter;
+  e.help = std::string(help);
   e.counter = std::make_unique<Counter>();
   Counter* out = e.counter.get();
   entries_.emplace_back(name, std::move(e));
   return out;
 }
 
-Gauge* Registry::GetGauge(const std::string& name) {
+Gauge* Registry::GetGauge(const std::string& name, std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
   if (Entry* e = FindLocked(name)) {
     return e->kind == Kind::kGauge ? e->gauge.get() : nullptr;
   }
   Entry e;
   e.kind = Kind::kGauge;
+  e.help = std::string(help);
   e.gauge = std::make_unique<Gauge>();
   Gauge* out = e.gauge.get();
   entries_.emplace_back(name, std::move(e));
@@ -113,13 +198,15 @@ Gauge* Registry::GetGauge(const std::string& name) {
 }
 
 Histogram* Registry::GetHistogram(const std::string& name,
-                                  std::vector<double> bounds) {
+                                  std::vector<double> bounds,
+                                  std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
   if (Entry* e = FindLocked(name)) {
     return e->kind == Kind::kHistogram ? e->histogram.get() : nullptr;
   }
   Entry e;
   e.kind = Kind::kHistogram;
+  e.help = std::string(help);
   e.histogram = std::make_unique<Histogram>(std::move(bounds));
   Histogram* out = e.histogram.get();
   entries_.emplace_back(name, std::move(e));
@@ -168,11 +255,14 @@ std::string Registry::Render() const {
   return out;
 }
 
-std::string Registry::RenderProm(std::string_view prefix) const {
+std::string Registry::RenderProm(std::string_view prefix,
+                                 bool build_info) const {
   // Copy the instrument pointers under the lock, render outside it: the
   // instruments are lock-free and live for the registry's lifetime.
   struct Row {
     std::string name;
+    std::string source;  // the registry name, for HELP and dedup tiebreak
+    std::string help;
     Kind kind;
     const Counter* counter = nullptr;
     const Gauge* gauge = nullptr;
@@ -182,14 +272,22 @@ std::string Registry::RenderProm(std::string_view prefix) const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, e] : entries_) {
-      rows.push_back(Row{PromName(name, prefix), e.kind, e.counter.get(),
-                         e.gauge.get(), e.histogram.get()});
+      rows.push_back(Row{PromName(name, prefix), name, e.help, e.kind,
+                         e.counter.get(), e.gauge.get(), e.histogram.get()});
     }
   }
-  std::sort(rows.begin(), rows.end(),
-            [](const Row& a, const Row& b) { return a.name < b.name; });
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.source < b.source;
+  });
+  DedupPromNames(&rows);
   std::string out;
+  if (build_info) out += RenderPromPreamble(prefix);
   for (const Row& row : rows) {
+    const std::string help = EscapeHelp(
+        row.help.empty() ? StrFormat("jackpine metric %s", row.source.c_str())
+                         : row.help);
+    out += StrFormat("# HELP %s %s\n", row.name.c_str(), help.c_str());
     switch (row.kind) {
       case Kind::kCounter:
         out += StrFormat("# TYPE %s counter\n%s %llu\n", row.name.c_str(),
@@ -235,12 +333,29 @@ std::string PromName(std::string_view name, std::string_view prefix) {
 
 std::string RenderPromEntries(
     const std::vector<std::pair<std::string, double>>& entries,
-    std::string_view prefix) {
-  std::string out;
+    std::string_view prefix, bool build_info) {
+  struct Row {
+    std::string name;
+    std::string source;
+    double value;
+  };
+  std::vector<Row> rows;
+  rows.reserve(entries.size());
   for (const auto& [name, value] : entries) {
-    const std::string prom = PromName(name, prefix);
-    out += StrFormat("# TYPE %s gauge\n%s %.9g\n", prom.c_str(), prom.c_str(),
-                     value);
+    rows.push_back(Row{PromName(name, prefix), name, value});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.source < b.source;
+  });
+  DedupPromNames(&rows);
+  std::string out;
+  if (build_info) out += RenderPromPreamble(prefix);
+  for (const Row& row : rows) {
+    out += StrFormat("# HELP %s jackpine stats entry %s\n", row.name.c_str(),
+                     EscapeHelp(row.source).c_str());
+    out += StrFormat("# TYPE %s gauge\n%s %.9g\n", row.name.c_str(),
+                     row.name.c_str(), row.value);
   }
   return out;
 }

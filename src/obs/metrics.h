@@ -115,11 +115,15 @@ class Histogram {
 // aliasing bug.
 class Registry {
  public:
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  // `help` becomes the Prometheus `# HELP` text; it applies only when the
+  // instrument is first created (like `bounds`) and an empty help falls
+  // back to a generated line naming the registry entry.
+  Counter* GetCounter(const std::string& name, std::string_view help = "");
+  Gauge* GetGauge(const std::string& name, std::string_view help = "");
   // `bounds` applies only when the histogram is first created.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> bounds = {});
+                          std::vector<double> bounds = {},
+                          std::string_view help = "");
 
   // Numeric snapshot of every instrument, sorted by name. Counters and
   // gauges yield one entry; a histogram yields <name>.count / .mean_s /
@@ -133,13 +137,22 @@ class Registry {
   // Prometheus text exposition (version 0.0.4) with full instrument
   // fidelity: counters as `counter`, gauges as `gauge`, histograms as
   // `histogram` with cumulative `_bucket{le="..."}` series plus `_sum` and
-  // `_count`. Names are sanitized (dots become underscores) and prefixed.
-  std::string RenderProm(std::string_view prefix = "jackpine_") const;
+  // `_count`. Every family gets a `# HELP` line before its `# TYPE`. Names
+  // are sanitized (dots become underscores) and prefixed; two registry
+  // names whose sanitized forms collide are de-duplicated deterministically
+  // (the first in registration-name order keeps the family, later ones get
+  // a numeric `_2`, `_3`, ... suffix) so the exposition never emits one
+  // family twice. `build_info` prepends the jackpine_build_info /
+  // jackpine_uptime_seconds preamble (RenderPromPreamble); pass false when
+  // concatenating several renderings into one exposition.
+  std::string RenderProm(std::string_view prefix = "jackpine_",
+                         bool build_info = true) const;
 
  private:
   enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
   struct Entry {
     Kind kind;
+    std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
@@ -161,12 +174,30 @@ std::string PromName(std::string_view name, std::string_view prefix);
 
 // Prometheus exposition of a flat (name, value) entry list — the shape a
 // wire Stats scrape yields, where instrument kinds are already flattened
-// away, so every entry exposes as an untyped-but-annotated gauge. Used by
-// `pinedb stats --prom`; for a local registry prefer Registry::RenderProm,
-// which keeps counter/histogram typing.
+// away, so every entry exposes as an untyped-but-annotated gauge (with a
+// `# HELP` line, colliding sanitized names de-duplicated the same way
+// Registry::RenderProm does). Used by `pinedb stats --prom`; for a local
+// registry prefer Registry::RenderProm, which keeps counter/histogram
+// typing. `build_info` as in RenderProm.
 std::string RenderPromEntries(
     const std::vector<std::pair<std::string, double>>& entries,
-    std::string_view prefix = "jackpine_");
+    std::string_view prefix = "jackpine_", bool build_info = true);
+
+// Build identity, baked in at configure time (root CMakeLists.txt passes
+// JACKPINE_VERSION / JACKPINE_GIT_SHA; "unknown" outside a git checkout).
+std::string_view BuildVersion();
+std::string_view BuildGitSha();
+
+// Seconds since this process initialised the obs library (static init), the
+// value behind jackpine_uptime_seconds.
+double ProcessUptimeSeconds();
+
+// The exposition preamble both Render paths emit: jackpine_build_info
+// {version,git_sha} (constant 1) and jackpine_uptime_seconds, each with
+// HELP/TYPE lines. Exposed so composed expositions (the HTTP /metrics
+// endpoint concatenates a typed registry rendering with flat server
+// entries) can emit it exactly once.
+std::string RenderPromPreamble(std::string_view prefix = "jackpine_");
 
 }  // namespace jackpine::obs
 

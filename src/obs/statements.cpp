@@ -1,0 +1,208 @@
+#include "obs/statements.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace jackpine::obs {
+
+static_assert(static_cast<size_t>(StatusCode::kDataLoss) <
+                  StatementStats::kStatusCodes,
+              "errors_by_code array is smaller than the StatusCode enum");
+
+namespace {
+
+// Same FNV-1a the engine's FingerprintHash uses; duplicated here because
+// jackpine_obs sits below jackpine_engine in the library graph and a shard
+// choice only needs *a* stable hash, not *the* fingerprint hash.
+uint64_t ShardHash(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+struct StatementStats::Entry {
+  uint64_t calls = 0;
+  uint64_t errors = 0;
+  std::array<uint64_t, kStatusCodes> errors_by_code{};
+  Histogram latency;  // default geometric latency bounds
+  uint64_t rows_examined = 0;
+  uint64_t rows_returned = 0;
+  uint64_t result_bytes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t coalesced = 0;
+};
+
+struct StatementStats::Shard {
+  mutable std::mutex mu;
+  // Sorted-by-fingerprint vector: shards are small (capacity/shards entries)
+  // and the deterministic-eviction scan wants ordered iteration anyway.
+  std::vector<std::pair<std::string, std::unique_ptr<Entry>>> entries;
+};
+
+StatementStats::StatementStats() : StatementStats(Options()) {}
+
+StatementStats::~StatementStats() = default;
+
+StatementStats::StatementStats(Options options) : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (options_.shards > options_.capacity) options_.shards = options_.capacity;
+  per_shard_capacity_ =
+      (options_.capacity + options_.shards - 1) / options_.shards;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.registry != nullptr) {
+    recorded_counter_ = options_.registry->GetCounter("statements.recorded");
+    evicted_counter_ = options_.registry->GetCounter("statements.evicted");
+    tracked_gauge_ = options_.registry->GetGauge("statements.tracked");
+  }
+}
+
+StatementStats::Shard& StatementStats::ShardFor(
+    std::string_view fingerprint) const {
+  return *shards_[ShardHash(fingerprint) % shards_.size()];
+}
+
+void StatementStats::Record(std::string_view fingerprint,
+                            const StatementUpdate& update) {
+  if (fingerprint.empty()) return;
+  Shard& shard = ShardFor(fingerprint);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    size_t pos = static_cast<size_t>(
+        std::lower_bound(
+            shard.entries.begin(), shard.entries.end(), fingerprint,
+            [](const auto& e, std::string_view fp) { return e.first < fp; }) -
+        shard.entries.begin());
+    if (pos == shard.entries.size() || shard.entries[pos].first != fingerprint) {
+      if (shard.entries.size() >= per_shard_capacity_) {
+        // Deterministic eviction: fewest calls loses; among equals the
+        // lexicographically-largest fingerprint goes, so the survivor set
+        // depends only on the update sequence.
+        size_t victim = 0;
+        for (size_t i = 1; i < shard.entries.size(); ++i) {
+          if (shard.entries[i].second->calls <
+                  shard.entries[victim].second->calls ||
+              (shard.entries[i].second->calls ==
+                   shard.entries[victim].second->calls &&
+               shard.entries[i].first > shard.entries[victim].first)) {
+            victim = i;
+          }
+        }
+        shard.entries.erase(shard.entries.begin() +
+                            static_cast<ptrdiff_t>(victim));
+        if (victim < pos) --pos;
+        evicted_.fetch_add(1, std::memory_order_relaxed);
+        if (evicted_counter_ != nullptr) evicted_counter_->Add();
+      }
+      shard.entries.emplace(shard.entries.begin() + static_cast<ptrdiff_t>(pos),
+                            std::string(fingerprint),
+                            std::make_unique<Entry>());
+    }
+    Entry& e = *shard.entries[pos].second;
+    e.calls += 1;
+    if (update.code != StatusCode::kOk) {
+      e.errors += 1;
+      const size_t idx = static_cast<size_t>(update.code);
+      if (idx < kStatusCodes) e.errors_by_code[idx] += 1;
+    }
+    e.latency.Observe(update.latency_s);
+    e.rows_examined += update.rows_examined;
+    e.rows_returned += update.rows_returned;
+    e.result_bytes += update.result_bytes;
+    if (update.cache_hit) e.cache_hits += 1;
+    if (update.coalesced) e.coalesced += 1;
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (recorded_counter_ != nullptr) recorded_counter_->Add();
+  if (tracked_gauge_ != nullptr) {
+    tracked_gauge_->Set(static_cast<double>(tracked()));
+  }
+}
+
+std::vector<StatementStats::Row> StatementStats::Snapshot() const {
+  std::vector<Row> rows;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [fingerprint, entry] : shard->entries) {
+      Row row;
+      row.fingerprint = fingerprint;
+      row.calls = entry->calls;
+      row.errors = entry->errors;
+      row.errors_by_code = entry->errors_by_code;
+      row.latency = entry->latency.snapshot();
+      row.rows_examined = entry->rows_examined;
+      row.rows_returned = entry->rows_returned;
+      row.result_bytes = entry->result_bytes;
+      row.cache_hits = entry->cache_hits;
+      row.coalesced = entry->coalesced;
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.calls != b.calls) return a.calls > b.calls;
+    return a.fingerprint < b.fingerprint;
+  });
+  return rows;
+}
+
+std::vector<StatementStats::Row> StatementStats::TopK(size_t k) const {
+  std::vector<Row> rows = Snapshot();
+  if (k > 0 && rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+size_t StatementStats::tracked() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->entries.size();
+  }
+  return n;
+}
+
+Json StatementStats::RowsToJson(const std::vector<Row>& rows) {
+  Json array = Json::Array();
+  for (const Row& row : rows) {
+    Json& r = array.Append(Json::Object());
+    r.Set("fingerprint", Json::Str(row.fingerprint));
+    r.Set("calls", Json::Int(static_cast<int64_t>(row.calls)));
+    r.Set("errors", Json::Int(static_cast<int64_t>(row.errors)));
+    Json by_code = Json::Object();
+    for (size_t i = 0; i < kStatusCodes; ++i) {
+      if (row.errors_by_code[i] == 0) continue;
+      by_code.Set(StatusCodeName(static_cast<StatusCode>(i)),
+                  Json::Int(static_cast<int64_t>(row.errors_by_code[i])));
+    }
+    r.Set("errors_by_code", std::move(by_code));
+    r.Set("total_latency_s", Json::Number(row.latency.sum));
+    r.Set("mean_latency_s", Json::Number(row.latency.mean()));
+    r.Set("p50_latency_s", Json::Number(row.latency.p50()));
+    r.Set("p95_latency_s", Json::Number(row.latency.p95()));
+    r.Set("rows_examined", Json::Int(static_cast<int64_t>(row.rows_examined)));
+    r.Set("rows_returned", Json::Int(static_cast<int64_t>(row.rows_returned)));
+    r.Set("result_bytes", Json::Int(static_cast<int64_t>(row.result_bytes)));
+    r.Set("cache_hits", Json::Int(static_cast<int64_t>(row.cache_hits)));
+    r.Set("coalesced", Json::Int(static_cast<int64_t>(row.coalesced)));
+  }
+  return array;
+}
+
+Json StatementStats::ToJson(size_t top_k) const {
+  Json out = Json::Object();
+  out.Set("capacity", Json::Int(static_cast<int64_t>(options_.capacity)));
+  out.Set("tracked", Json::Int(static_cast<int64_t>(tracked())));
+  out.Set("recorded", Json::Int(static_cast<int64_t>(recorded())));
+  out.Set("evicted", Json::Int(static_cast<int64_t>(evicted())));
+  out.Set("statements", RowsToJson(TopK(top_k)));
+  return out;
+}
+
+}  // namespace jackpine::obs

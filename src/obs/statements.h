@@ -1,0 +1,121 @@
+// Fingerprint statistics: pg_stat_statements for pinedb (DESIGN.md
+// "Observability").
+//
+// A sharded, fixed-capacity map keyed by the normalized-SQL fingerprint
+// (engine/sql_normalize.h — the *caller* computes it, this layer never sees
+// SQL, which keeps jackpine_obs below the engine in the library graph).
+// Every query — success, error, cache hit, coalesced follower — records
+// exactly one update, so the per-fingerprint calls/latency/rows/bytes
+// tallies answer "which statement shape is slow, how often, and why"
+// without re-running the harness.
+//
+// Lock discipline: one mutex per shard, taken for a handful of integer adds
+// plus one histogram Observe. The map is bounded: when a shard is at
+// capacity, inserting a new fingerprint evicts the entry with the fewest
+// calls (ties broken by lexicographically-largest fingerprint, so eviction
+// is deterministic for a given update sequence — reproducible benchmarks
+// must not depend on map iteration order).
+
+#ifndef JACKPINE_OBS_STATEMENTS_H_
+#define JACKPINE_OBS_STATEMENTS_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace jackpine::obs {
+
+// One query's contribution to its fingerprint row.
+struct StatementUpdate {
+  StatusCode code = StatusCode::kOk;  // != kOk counts as an error
+  double latency_s = 0.0;             // server-side total (decode -> sent)
+  uint64_t rows_examined = 0;
+  uint64_t rows_returned = 0;
+  uint64_t result_bytes = 0;  // reply frame bytes shipped for this query
+  bool cache_hit = false;
+  bool coalesced = false;  // served as a coalesced follower
+};
+
+class StatementStats {
+ public:
+  // StatusCode is a dense uint8 enum; size the per-code error array once
+  // here so a new code only needs this constant bumped (static_asserted
+  // against kDataLoss in statements.cpp).
+  static constexpr size_t kStatusCodes = 16;
+
+  struct Options {
+    size_t capacity = 512;  // distinct fingerprints tracked, across shards
+    size_t shards = 8;
+    // Meta-counters (statements.recorded / statements.evicted) land here;
+    // null disables them (exact-count unit tests).
+    Registry* registry = nullptr;
+  };
+
+  StatementStats();  // = StatementStats(Options())
+  explicit StatementStats(Options options);
+  ~StatementStats();  // out-of-line: Shard is incomplete here
+
+  // Folds one query into its fingerprint row, creating (and possibly
+  // evicting) as needed. Empty fingerprints are dropped.
+  void Record(std::string_view fingerprint, const StatementUpdate& update);
+
+  struct Row {
+    std::string fingerprint;
+    uint64_t calls = 0;
+    uint64_t errors = 0;
+    std::array<uint64_t, kStatusCodes> errors_by_code{};
+    Histogram::Snapshot latency;  // total_s = .sum, p50/p95 via Quantile
+    uint64_t rows_examined = 0;
+    uint64_t rows_returned = 0;
+    uint64_t result_bytes = 0;
+    uint64_t cache_hits = 0;
+    uint64_t coalesced = 0;
+  };
+
+  // Every tracked row, most-called first (ties by fingerprint, ascending) —
+  // the pg_stat_statements ORDER BY calls DESC view.
+  std::vector<Row> Snapshot() const;
+
+  // The first k rows of Snapshot() (all of them when k == 0).
+  std::vector<Row> TopK(size_t k) const;
+
+  // {"capacity": N, "tracked": N, "recorded": N, "evicted": N,
+  //  "statements": [row...]} — the /statements endpoint and the
+  //  Stats(kStatements) wire reply. k == 0 means all rows.
+  Json ToJson(size_t top_k = 0) const;
+
+  uint64_t recorded() const { return recorded_.load(); }
+  uint64_t evicted() const { return evicted_.load(); }
+  size_t tracked() const;
+
+  // Renders one Row list as a Json array (shared by ToJson and the
+  // harness-side report path, which aggregates its own rows).
+  static Json RowsToJson(const std::vector<Row>& rows);
+
+ private:
+  struct Entry;
+  struct Shard;
+
+  Shard& ShardFor(std::string_view fingerprint) const;
+
+  Options options_;
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> evicted_{0};
+  Counter* recorded_counter_ = nullptr;  // statements.recorded
+  Counter* evicted_counter_ = nullptr;   // statements.evicted
+  Gauge* tracked_gauge_ = nullptr;       // statements.tracked
+};
+
+}  // namespace jackpine::obs
+
+#endif  // JACKPINE_OBS_STATEMENTS_H_

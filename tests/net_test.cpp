@@ -6,10 +6,13 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +21,7 @@
 
 #include "client/client.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/loader.h"
 #include "core/micro_suite.h"
 #include "core/runner.h"
@@ -25,6 +29,8 @@
 #include "net/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "tigergen/tigergen.h"
@@ -1278,6 +1284,177 @@ TEST_F(NetTest, ColdConcurrentQueriesCoalesceToOneExecution) {
   const cache::CacheStats stats = server->query_cache()->stats();
   EXPECT_EQ(stats.admissions, 1u);
   EXPECT_EQ(stats.hits + stats.coalesced, static_cast<uint64_t>(kThreads - 1));
+}
+
+// --- Query intelligence plane over the wire ------------------------------
+
+// Two spellings of one statement land in one /statements row; an errored
+// query lands in its own row with the status code tallied. The scrape rides
+// the Stats frame with scope kStatements (protocol rev 3).
+TEST_F(NetTest, StatementsScopeAggregatesByFingerprintOverTheWire) {
+  auto server = StartServer("pine-rtree");
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  ASSERT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM t").ok());
+  ASSERT_TRUE(
+      stmt.ExecuteQuery("select   count(*)\nfrom T -- same statement").ok());
+  ASSERT_FALSE(stmt.ExecuteQuery("SELECT * FROM missing_table").ok());
+
+  auto json = net::QueryServerStatsJson("127.0.0.1", server->port(),
+                                        net::StatsScope::kStatements);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  auto doc = obs::Json::Parse(*json);
+  ASSERT_TRUE(doc.ok()) << *json;
+  // CREATE TABLE + 3 queries, every one recorded exactly once.
+  EXPECT_EQ(doc->Get("recorded").number_value(), 4.0);
+
+  const obs::Json& rows = doc->Get("statements");
+  double count_calls = -1.0, missing_errors = -1.0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const obs::Json& row = rows.at(i);
+    const std::string& fp = row.Get("fingerprint").string_value();
+    if (fp == "select count ( * ) from t") {
+      count_calls = row.Get("calls").number_value();
+      EXPECT_EQ(row.Get("errors").number_value(), 0.0);
+    } else if (fp == "select * from missing_table") {
+      missing_errors = row.Get("errors").number_value();
+    }
+  }
+  EXPECT_EQ(count_calls, 2.0);  // both spellings, one fingerprint
+  EXPECT_EQ(missing_errors, 1.0);
+}
+
+// Chaos-injected server latency crosses the slow threshold, so the flight
+// recorder must capture those queries — with the injected delay charged to
+// wait_s.chaos_delay, not to execution — and every errored query besides.
+// The chaos stream is seeded, so the capture is deterministic.
+TEST_F(NetTest, FlightRecorderCapturesChaosDelayedQueriesOverSlowMs) {
+  net::ServerOptions options;
+  options.sut = "pine-rtree";
+  options.port = 0;
+  options.chaos.seed = 11;
+  options.chaos.latency_ms = 60.0;  // uniform seeded draws per query
+  options.slow_ms = 1.0;            // far below the injected delays
+  auto server_or = net::Server::Start(options);
+  ASSERT_TRUE(server_or.ok()) << server_or.status().ToString();
+  auto& server = *server_or;
+
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  // Updates are never chaos-injected and finish in microseconds: not slow.
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM t").ok());
+  }
+  ASSERT_FALSE(stmt.ExecuteQuery("SELECT * FROM missing_table").ok());
+
+  EXPECT_GE(server->flight_recorder().captured_slow(), 1u);
+  EXPECT_GE(server->flight_recorder().captured_errors(), 1u);
+
+  auto json = net::QueryServerStatsJson("127.0.0.1", server->port(),
+                                        net::StatsScope::kSlow);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  auto doc = obs::Json::Parse(*json);
+  ASSERT_TRUE(doc.ok()) << *json;
+  EXPECT_NEAR(doc->Get("slow_threshold_s").number_value(), 0.001, 1e-9);
+
+  const obs::Json& entries = doc->Get("entries");
+  ASSERT_GE(entries.size(), 2u);
+  size_t slow_ok = 0, errored = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const obs::Json& e = entries.at(i);
+    const obs::Json& wait = e.Get("wait_s");
+    if (e.Get("status").string_value() == "OK") {
+      ++slow_ok;
+      EXPECT_EQ(e.Get("fingerprint").string_value(),
+                "select count ( * ) from t");
+      // The injected delay is what made it slow, and it is charged to the
+      // chaos bucket inside a total that spans decode -> reply-sent.
+      EXPECT_GT(wait.Get("chaos_delay").number_value(), 0.001);
+      EXPECT_GE(wait.Get("total").number_value(),
+                wait.Get("chaos_delay").number_value());
+    } else {
+      ++errored;
+      EXPECT_EQ(e.Get("fingerprint").string_value(),
+                "select * from missing_table");
+      EXPECT_FALSE(e.Get("error").string_value().empty());
+    }
+  }
+  EXPECT_GE(slow_ok, 1u);
+  EXPECT_EQ(errored, 1u);
+}
+
+// The /metrics exposition a pinedb binary serves is the composition of the
+// typed registry rendering with the Stats-frame entries that have no
+// registry backing (matched by name so racing values cannot duplicate a
+// family). Reproduce that composition here and require it to be consistent
+// with a wire Stats(kGlobal) snapshot: every entry surfaces exactly once.
+TEST_F(NetTest, MetricsCompositionCoversStatsFrameWithoutDuplicates) {
+  auto server = StartServer("pine-rtree");
+  auto conn = client::Connection::Open(RemoteUrl(*server, "pine-rtree"));
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  client::Statement stmt = conn->CreateStatement();
+  ASSERT_TRUE(stmt.ExecuteUpdate("CREATE TABLE t (x BIGINT)").ok());
+  ASSERT_TRUE(stmt.ExecuteQuery("SELECT COUNT(*) FROM t").ok());
+
+  auto entries = net::QueryServerStats("127.0.0.1", server->port(),
+                                       net::StatsScope::kGlobal);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+
+  // The same composition pinedb's /metrics handler performs.
+  std::vector<std::string> registry_names;
+  for (const auto& [name, value] : obs::GlobalRegistry().Snapshot()) {
+    registry_names.push_back(name);
+  }
+  std::sort(registry_names.begin(), registry_names.end());
+  std::vector<std::pair<std::string, double>> extra;
+  for (const auto& entry : *entries) {
+    if (!std::binary_search(registry_names.begin(), registry_names.end(),
+                            entry.first)) {
+      extra.push_back(entry);
+    }
+  }
+  std::string exposition = obs::RenderPromPreamble();
+  exposition +=
+      obs::GlobalRegistry().RenderProm("jackpine_", /*build_info=*/false);
+  exposition += obs::RenderPromEntries(extra, "jackpine_",
+                                       /*build_info=*/false);
+
+  // Every non-registry Stats-frame entry appears under its sanitized name.
+  // Registry-backed entries surface with full typing instead (a histogram's
+  // flattened .p95_s wire entry becomes _bucket/_sum/_count series), so for
+  // those assert the typed family is present.
+  for (const auto& [name, value] : extra) {
+    EXPECT_NE(exposition.find(obs::PromName(name, "jackpine_")),
+              std::string::npos)
+        << name;
+  }
+  EXPECT_NE(
+      exposition.find("# TYPE jackpine_engine_query_latency_s histogram"),
+      std::string::npos);
+  std::set<std::string> families;
+  std::istringstream in(exposition);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    const std::string family = line.substr(7, line.find(' ', 7) - 7);
+    EXPECT_TRUE(families.insert(family).second)
+        << "duplicate family: " << family;
+  }
+  // Spot-check a value that cannot move between the scrape and the render:
+  // no queries run in between, so the typed counter agrees exactly.
+  double wire_queries = -1.0;
+  for (const auto& [name, value] : *entries) {
+    if (name == "server.queries") wire_queries = value;
+  }
+  ASSERT_GE(wire_queries, 1.0);
+  EXPECT_NE(exposition.find(
+                StrFormat("jackpine_server_queries %.9g\n", wire_queries)),
+            std::string::npos)
+      << exposition;
 }
 
 }  // namespace

@@ -1,0 +1,532 @@
+// Unit tests for the query intelligence plane (DESIGN.md "Observability"):
+// the shared SQL normalizer and its agreement with the cache key, the
+// fingerprint statistics map, the slow-query flight recorder, the structured
+// logger, the Prometheus exposition details (HELP/TYPE pairing, build info,
+// sanitization-collision dedup), and the embedded HTTP telemetry endpoint.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/cache_key.h"
+#include "common/status.h"
+#include "engine/sql_normalize.h"
+#include "net/socket.h"
+#include "obs/flight_recorder.h"
+#include "obs/http_exposition.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/statements.h"
+
+namespace jackpine {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared SQL normalizer
+
+TEST(SqlNormalizeTest, WhitespaceCaseAndCommentsCollapse) {
+  const std::string a = engine::SqlFingerprint(
+      "SELECT   COUNT(*)\n\tFROM Arealm -- trailing comment\n");
+  const std::string b = engine::SqlFingerprint(
+      "/* leading */ select count ( * ) from AREALM");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, "select count ( * ) from arealm");
+}
+
+TEST(SqlNormalizeTest, StringLiteralsStayCaseSensitive) {
+  const std::string upper =
+      engine::SqlFingerprint("select * from t where name = 'Main St'");
+  const std::string lower =
+      engine::SqlFingerprint("select * from t where name = 'main st'");
+  EXPECT_NE(upper, lower);
+  EXPECT_NE(upper.find("'Main St'"), std::string::npos);
+}
+
+TEST(SqlNormalizeTest, EscapedQuoteLiteralRoundTrips) {
+  // The lexer unescapes '' inside a literal; the canonical form must
+  // re-escape it so the fingerprint is itself valid SQL (idempotence).
+  const std::string fp =
+      engine::SqlFingerprint("SELECT * FROM t WHERE name = 'it''s'");
+  EXPECT_NE(fp.find("'it''s'"), std::string::npos);
+  EXPECT_EQ(engine::SqlFingerprint(fp), fp);
+}
+
+TEST(SqlNormalizeTest, BlockCommentInsideLiteralIsPreserved) {
+  // A /* */ sequence inside a string literal is data, not a comment; only
+  // the real comment outside the literal vanishes.
+  const std::string fp = engine::SqlFingerprint(
+      "select /* real comment */ '/* not a comment */' from t");
+  EXPECT_NE(fp.find("'/* not a comment */'"), std::string::npos);
+  EXPECT_EQ(fp.find("real comment"), std::string::npos);
+  EXPECT_EQ(engine::SqlFingerprint(fp), fp);
+}
+
+TEST(SqlNormalizeTest, QuotedIdentifierFallsBackToCollapsedRawText) {
+  // The lexer has no double-quoted-identifier support, so this statement
+  // does not tokenize; the fingerprint falls back to whitespace-collapsed
+  // raw text — still deterministic across re-spacings, never empty.
+  EXPECT_FALSE(engine::NormalizeSqlText("select \"Name\" from t").has_value());
+  const std::string a = engine::SqlFingerprint("select  \"Name\"   from t");
+  const std::string b = engine::SqlFingerprint("select \"Name\" from t\n");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, "select \"Name\" from t");
+  // Case is NOT folded on the fallback path (we cannot tell identifiers
+  // from quoted data without tokens), so it differs from the lexable form.
+  EXPECT_NE(a, engine::SqlFingerprint("select name from t"));
+}
+
+TEST(SqlNormalizeTest, UnlexableInputStillGetsANonEmptyBucket) {
+  const std::string fp = engine::SqlFingerprint("  ??? \t ??? ");
+  EXPECT_EQ(fp, "??? ???");
+  EXPECT_EQ(engine::SqlFingerprint("???\n???"), fp);
+}
+
+TEST(SqlNormalizeTest, FingerprintHashIsStableAndDiscriminates) {
+  const uint64_t h1 = engine::FingerprintHash("select 1");
+  EXPECT_EQ(h1, engine::FingerprintHash("select 1"));
+  EXPECT_NE(h1, engine::FingerprintHash("select 2"));
+  // FNV-1a offset basis for the empty string.
+  EXPECT_EQ(engine::FingerprintHash(""), 1469598103934665603ull);
+}
+
+// The load-bearing property of the whole plane: cache identity and stats
+// identity are the same string, so a /statements row and a cache entry for
+// the same SELECT can never drift apart.
+TEST(SqlNormalizeTest, CacheKeyTextEqualsFingerprintForCacheableSelects) {
+  const std::vector<std::string> variants = {
+      "SELECT COUNT(*) FROM Arealm WHERE ST_Area(geom) > 1.5",
+      "select count(*)\nfrom arealm  where st_area(geom) > 1.5 -- c",
+      "select * from t where name = 'it''s'",
+      "select '/* kept */' from t /* dropped */",
+  };
+  for (const std::string& sql : variants) {
+    auto normalized = cache::NormalizeSelect(sql);
+    ASSERT_TRUE(normalized.has_value()) << sql;
+    EXPECT_EQ(normalized->text, engine::SqlFingerprint(sql)) << sql;
+  }
+}
+
+TEST(SqlNormalizeTest, NonSelectsFingerprintButDoNotCache) {
+  const std::string sql = "INSERT INTO t VALUES (1, 'x')";
+  EXPECT_FALSE(cache::NormalizeSelect(sql).has_value());
+  EXPECT_EQ(engine::SqlFingerprint(sql), "insert into t values ( 1 , 'x' )");
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint statistics
+
+TEST(StatementStatsTest, RecordAggregatesOneRowPerFingerprint) {
+  obs::StatementStats stats;
+  obs::StatementUpdate ok;
+  ok.latency_s = 0.010;
+  ok.rows_examined = 100;
+  ok.rows_returned = 5;
+  ok.result_bytes = 640;
+  stats.Record("select 1", ok);
+  ok.cache_hit = true;
+  stats.Record("select 1", ok);
+  obs::StatementUpdate err;
+  err.code = StatusCode::kNotFound;
+  err.latency_s = 0.002;
+  err.coalesced = true;
+  stats.Record("select 1", err);
+
+  const auto rows = stats.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  const obs::StatementStats::Row& row = rows[0];
+  EXPECT_EQ(row.fingerprint, "select 1");
+  EXPECT_EQ(row.calls, 3u);
+  EXPECT_EQ(row.errors, 1u);
+  EXPECT_EQ(row.errors_by_code[static_cast<size_t>(StatusCode::kNotFound)],
+            1u);
+  EXPECT_EQ(row.latency.count, 3u);
+  EXPECT_NEAR(row.latency.sum, 0.022, 1e-9);
+  EXPECT_EQ(row.rows_examined, 200u);
+  EXPECT_EQ(row.rows_returned, 10u);
+  EXPECT_EQ(row.result_bytes, 1280u);
+  EXPECT_EQ(row.cache_hits, 1u);
+  EXPECT_EQ(row.coalesced, 1u);
+  EXPECT_EQ(stats.recorded(), 3u);
+  EXPECT_EQ(stats.tracked(), 1u);
+}
+
+TEST(StatementStatsTest, EmptyFingerprintIsDropped) {
+  obs::StatementStats stats;
+  stats.Record("", obs::StatementUpdate{});
+  EXPECT_EQ(stats.recorded(), 0u);
+  EXPECT_EQ(stats.tracked(), 0u);
+}
+
+TEST(StatementStatsTest, SnapshotOrdersMostCalledFirstAndTopKCuts) {
+  obs::StatementStats stats;
+  for (int i = 0; i < 3; ++i) stats.Record("hot", obs::StatementUpdate{});
+  stats.Record("cold_b", obs::StatementUpdate{});
+  stats.Record("cold_a", obs::StatementUpdate{});
+
+  const auto rows = stats.Snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].fingerprint, "hot");
+  // Ties by fingerprint, ascending.
+  EXPECT_EQ(rows[1].fingerprint, "cold_a");
+  EXPECT_EQ(rows[2].fingerprint, "cold_b");
+
+  EXPECT_EQ(stats.TopK(1).size(), 1u);
+  EXPECT_EQ(stats.TopK(1)[0].fingerprint, "hot");
+  EXPECT_EQ(stats.TopK(0).size(), 3u);  // 0 = all
+}
+
+TEST(StatementStatsTest, EvictionIsDeterministicLowestCallsLargestText) {
+  obs::StatementStats::Options options;
+  options.capacity = 3;
+  options.shards = 1;  // single shard so capacity applies to one map
+  obs::StatementStats stats(options);
+  for (int i = 0; i < 3; ++i) stats.Record("aaa", obs::StatementUpdate{});
+  stats.Record("bbb", obs::StatementUpdate{});
+  stats.Record("ccc", obs::StatementUpdate{});
+  // At capacity. Inserting "ddd" must evict among the fewest-called
+  // ({bbb: 1, ccc: 1}); the tie breaks to the lexicographically-largest
+  // fingerprint, so "ccc" goes.
+  stats.Record("ddd", obs::StatementUpdate{});
+  EXPECT_EQ(stats.evicted(), 1u);
+
+  std::set<std::string> tracked;
+  for (const auto& row : stats.Snapshot()) tracked.insert(row.fingerprint);
+  EXPECT_EQ(tracked, (std::set<std::string>{"aaa", "bbb", "ddd"}));
+}
+
+TEST(StatementStatsTest, ToJsonCarriesMetaAndRows) {
+  obs::StatementStats stats;
+  obs::StatementUpdate err;
+  err.code = StatusCode::kInvalidArgument;
+  err.latency_s = 0.5;
+  stats.Record("select broken", err);
+
+  auto doc = obs::Json::Parse(stats.ToJson(0).Dump());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("tracked").number_value(), 1.0);
+  EXPECT_EQ(doc->Get("recorded").number_value(), 1.0);
+  EXPECT_EQ(doc->Get("evicted").number_value(), 0.0);
+  const obs::Json& rows = doc->Get("statements");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.at(0).Get("fingerprint").string_value(), "select broken");
+  EXPECT_EQ(rows.at(0).Get("calls").number_value(), 1.0);
+  EXPECT_EQ(rows.at(0).Get("errors").number_value(), 1.0);
+  // errors_by_code keys are status-code names, values exact counts.
+  EXPECT_EQ(
+      rows.at(0).Get("errors_by_code").Get("InvalidArgument").number_value(),
+      1.0);
+}
+
+TEST(StatementStatsTest, MetaCountersLandInTheRegistry) {
+  obs::Registry registry;
+  obs::StatementStats::Options options;
+  options.registry = &registry;
+  obs::StatementStats stats(options);
+  stats.Record("select 1", obs::StatementUpdate{});
+  stats.Record("select 2", obs::StatementUpdate{});
+
+  double recorded = -1.0, tracked = -1.0;
+  for (const auto& [name, value] : registry.Snapshot()) {
+    if (name == "statements.recorded") recorded = value;
+    if (name == "statements.tracked") tracked = value;
+  }
+  EXPECT_EQ(recorded, 2.0);
+  EXPECT_EQ(tracked, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+obs::FlightRecord MakeRecord(std::string fingerprint, double total_s,
+                             StatusCode code = StatusCode::kOk) {
+  obs::FlightRecord rec;
+  rec.fingerprint = std::move(fingerprint);
+  rec.sql = rec.fingerprint;
+  rec.total_s = total_s;
+  rec.code = code;
+  return rec;
+}
+
+TEST(FlightRecorderTest, FastSuccessesAreNotCaptured) {
+  obs::FlightRecorder recorder;  // slow_threshold_s = 0.25
+  EXPECT_FALSE(recorder.Note(MakeRecord("select 1", 0.001)));
+  EXPECT_EQ(recorder.Snapshot().size(), 0u);
+  EXPECT_EQ(recorder.captured_slow(), 0u);
+  EXPECT_EQ(recorder.captured_errors(), 0u);
+}
+
+TEST(FlightRecorderTest, SlowAndErroredQueriesAreCaptured) {
+  obs::FlightRecorder::Options options;
+  options.slow_threshold_s = 0.1;
+  obs::FlightRecorder recorder(options);
+  EXPECT_TRUE(recorder.Note(MakeRecord("slow", 0.2)));
+  EXPECT_TRUE(
+      recorder.Note(MakeRecord("bad", 0.001, StatusCode::kInvalidArgument)));
+  EXPECT_EQ(recorder.captured_slow(), 1u);
+  EXPECT_EQ(recorder.captured_errors(), 1u);
+
+  const auto entries = recorder.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].fingerprint, "slow");
+  EXPECT_EQ(entries[1].fingerprint, "bad");
+  EXPECT_EQ(entries[1].code, StatusCode::kInvalidArgument);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestFirst) {
+  obs::FlightRecorder::Options options;
+  options.capacity = 2;
+  options.slow_threshold_s = 0.1;
+  obs::FlightRecorder recorder(options);
+  recorder.Note(MakeRecord("first", 0.2));
+  recorder.Note(MakeRecord("second", 0.2));
+  recorder.Note(MakeRecord("third", 0.2));
+
+  const auto entries = recorder.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].fingerprint, "second");  // oldest surviving
+  EXPECT_EQ(entries[1].fingerprint, "third");
+  EXPECT_EQ(recorder.captured_slow(), 3u);  // counts are not ring-bounded
+}
+
+TEST(FlightRecorderTest, ToJsonCarriesWaitBreakdown) {
+  obs::FlightRecorder::Options options;
+  options.slow_threshold_s = 0.1;
+  obs::FlightRecorder recorder(options);
+  obs::FlightRecord rec = MakeRecord("slow one", 0.3);
+  rec.exec_s = 0.25;
+  rec.chaos_delay_s = 0.04;
+  rec.rows_returned = 7;
+  recorder.Note(std::move(rec));
+
+  auto doc = obs::Json::Parse(recorder.ToJson().Dump());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NEAR(doc->Get("slow_threshold_s").number_value(), 0.1, 1e-12);
+  EXPECT_EQ(doc->Get("captured_slow").number_value(), 1.0);
+  const obs::Json& entries = doc->Get("entries");
+  ASSERT_EQ(entries.size(), 1u);
+  const obs::Json& entry = entries.at(0);
+  EXPECT_EQ(entry.Get("fingerprint").string_value(), "slow one");
+  EXPECT_NEAR(entry.Get("wait_s").Get("total").number_value(), 0.3, 1e-12);
+  EXPECT_NEAR(entry.Get("wait_s").Get("exec").number_value(), 0.25, 1e-12);
+  EXPECT_NEAR(entry.Get("wait_s").Get("chaos_delay").number_value(), 0.04,
+              1e-12);
+  EXPECT_EQ(entry.Get("rows_returned").number_value(), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging
+
+TEST(LogTest, ParseLogLevelAcceptsNamesCaseInsensitively) {
+  EXPECT_EQ(obs::ParseLogLevel("debug"), obs::LogLevel::kDebug);
+  EXPECT_EQ(obs::ParseLogLevel("INFO"), obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::ParseLogLevel("Warning"), obs::LogLevel::kWarn);
+  EXPECT_EQ(obs::ParseLogLevel("error"), obs::LogLevel::kError);
+  EXPECT_FALSE(obs::ParseLogLevel("verbose").has_value());
+}
+
+TEST(LogTest, TextFormatCarriesLevelComponentAndFields) {
+  obs::Logger logger;
+  const std::string line = logger.Format(
+      obs::LogLevel::kWarn, "server", "shedding connection",
+      {{"retry_after_ms", "250"}});
+  EXPECT_NE(line.find("warn"), std::string::npos);
+  EXPECT_NE(line.find("server: shedding connection"), std::string::npos);
+  EXPECT_NE(line.find(" retry_after_ms=250"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+  // RFC 3339 timestamp shape: [YYYY-MM-DDTHH:MM:SS.mmmZ].
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_EQ(line[11], 'T');
+  EXPECT_EQ(line[24], 'Z');
+}
+
+TEST(LogTest, JsonFormatIsOneParsableObjectPerLine) {
+  obs::Logger logger;
+  logger.Configure(obs::LogLevel::kDebug, /*json=*/true, stderr);
+  const std::string line = logger.Format(
+      obs::LogLevel::kError, "shard", "replica \"down\"",
+      {{"endpoint", "127.0.0.1:7777"}});
+  auto doc = obs::Json::Parse(line);
+  ASSERT_TRUE(doc.ok()) << line;
+  EXPECT_EQ(doc->Get("level").string_value(), "error");
+  EXPECT_EQ(doc->Get("component").string_value(), "shard");
+  // The quote escape survives the round trip.
+  EXPECT_EQ(doc->Get("msg").string_value(), "replica \"down\"");
+  EXPECT_EQ(doc->Get("endpoint").string_value(), "127.0.0.1:7777");
+  EXPECT_FALSE(doc->Get("ts").string_value().empty());
+}
+
+TEST(LogTest, LevelGateFiltersBelowMinimum) {
+  obs::Logger logger;
+  logger.Configure(obs::LogLevel::kWarn, /*json=*/false, stderr);
+  EXPECT_FALSE(logger.enabled(obs::LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(obs::LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(obs::LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(obs::LogLevel::kError));
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition: HELP/TYPE pairing, build info, collision dedup
+
+// Asserts the 0.0.4 text-format invariants the CI lint also checks: every
+// family declares # HELP then # TYPE (in that order) exactly once, and every
+// sample line belongs to the family it follows.
+void CheckExpositionFormat(const std::string& prom) {
+  std::istringstream in(prom);
+  std::string line;
+  std::set<std::string> families;
+  std::string pending_help;  // family name from the last unmatched HELP
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string name = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(pending_help.empty()) << "HELP without TYPE: " << line;
+      EXPECT_EQ(families.count(name), 0u) << "duplicate family: " << name;
+      pending_help = name;
+    } else if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string name = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_EQ(name, pending_help) << "TYPE not paired with HELP: " << line;
+      families.insert(name);
+      pending_help.clear();
+    }
+  }
+  EXPECT_TRUE(pending_help.empty()) << "trailing HELP without TYPE";
+}
+
+TEST(PromExpositionTest, PreambleCarriesBuildInfoAndUptime) {
+  const std::string preamble = obs::RenderPromPreamble();
+  CheckExpositionFormat(preamble);
+  EXPECT_NE(preamble.find("# TYPE jackpine_build_info gauge"),
+            std::string::npos);
+  EXPECT_NE(preamble.find("jackpine_build_info{version=\""),
+            std::string::npos);
+  EXPECT_NE(preamble.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(preamble.find("# TYPE jackpine_uptime_seconds gauge"),
+            std::string::npos);
+}
+
+TEST(PromExpositionTest, RenderPromPairsHelpBeforeTypeAndHonorsHelpText) {
+  obs::Registry r;
+  r.GetCounter("srv.requests", "Requests accepted.")->Add(1);
+  r.GetGauge("srv.depth")->Set(1.0);
+  r.GetHistogram("srv.latency_s", {0.1, 1.0}, "Latency.")->Observe(0.5);
+
+  const std::string prom = r.RenderProm("jackpine_", /*build_info=*/true);
+  CheckExpositionFormat(prom);
+  EXPECT_NE(prom.find("# HELP jackpine_srv_requests Requests accepted.\n"
+                      "# TYPE jackpine_srv_requests counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# HELP jackpine_srv_latency_s Latency.\n"
+                      "# TYPE jackpine_srv_latency_s histogram"),
+            std::string::npos);
+  // build_info=true prepends the preamble exactly once, at the top.
+  EXPECT_EQ(prom.rfind("# HELP jackpine_build_info", 0), 0u);
+  EXPECT_EQ(prom.find("jackpine_build_info{",
+                      prom.find("jackpine_build_info{") + 1),
+            std::string::npos);
+  // build_info=false omits it, for composed expositions.
+  EXPECT_EQ(r.RenderProm("jackpine_", false).find("jackpine_build_info"),
+            std::string::npos);
+}
+
+TEST(PromExpositionTest, SanitizationCollisionsDedupDeterministically) {
+  // "srv-hit", "srv.hit" and "srv_hit" all sanitize to jackpine_srv_hit.
+  // The dedup is deterministic in the *registry names*: the first in name
+  // order keeps the plain family ('-' < '.' < '_' in ASCII), later ones get
+  // a numeric _2, _3 suffix — registration order must not matter.
+  obs::Registry r;
+  r.GetCounter("srv.hit")->Add(1);
+  r.GetCounter("srv_hit")->Add(2);
+  r.GetCounter("srv-hit")->Add(3);
+
+  const std::string prom = r.RenderProm("jackpine_", /*build_info=*/false);
+  CheckExpositionFormat(prom);  // rejects duplicate families
+  EXPECT_NE(prom.find("jackpine_srv_hit 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("jackpine_srv_hit_2 1"), std::string::npos);
+  EXPECT_NE(prom.find("jackpine_srv_hit_3 2"), std::string::npos);
+}
+
+TEST(PromExpositionTest, RenderPromEntriesDedupsLikeTheRegistry) {
+  const std::string prom = obs::RenderPromEntries(
+      {{"a.b", 1.0}, {"a_b", 2.0}}, "jackpine_", /*build_info=*/false);
+  CheckExpositionFormat(prom);
+  EXPECT_NE(prom.find("jackpine_a_b 1"), std::string::npos);
+  EXPECT_NE(prom.find("jackpine_a_b_2 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Embedded HTTP telemetry endpoint
+
+// Minimal HTTP/1.0 GET against the telemetry server; returns the full
+// response (status line + headers + body).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  auto sock = net::Socket::Connect("127.0.0.1", port);
+  if (!sock.ok()) return "connect failed: " + sock.status().ToString();
+  EXPECT_TRUE(sock->SetRecvTimeout(10.0).ok());
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (auto sent = sock->SendAll(request); !sent.ok()) {
+    return "send failed: " + sent.ToString();
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    auto n = sock->Recv(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;  // Connection: close ends the response
+    response.append(buf, *n);
+  }
+  return response;
+}
+
+TEST(TelemetryServerTest, ServesRegisteredRoutesAnd404s) {
+  obs::TelemetryServer::Options options;  // port 0 = ephemeral
+  auto server = obs::TelemetryServer::Create(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  (*server)->Handle("/metrics", [] {
+    obs::HttpResponse resp;
+    resp.content_type = obs::kPromContentType;
+    resp.body = "# HELP jackpine_x test\n# TYPE jackpine_x gauge\n"
+                "jackpine_x 1\n";
+    return resp;
+  });
+  (*server)->StartServing();
+  const uint16_t port = (*server)->port();
+  ASSERT_NE(port, 0);
+
+  // /healthz is pre-registered.
+  const std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("200"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_NE(metrics.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("jackpine_x 1"), std::string::npos);
+
+  // Query strings are stripped before routing.
+  EXPECT_NE(HttpGet(port, "/metrics?debug=1").find("jackpine_x 1"),
+            std::string::npos);
+
+  const std::string missing = HttpGet(port, "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+
+  EXPECT_GE((*server)->requests_served(), 4u);
+  (*server)->Shutdown();
+}
+
+TEST(TelemetryServerTest, ShutdownIsIdempotentAndStopsServing) {
+  auto server = obs::TelemetryServer::Start(obs::TelemetryServer::Options{});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+  EXPECT_NE(HttpGet(port, "/healthz").find("200"), std::string::npos);
+  (*server)->Shutdown();
+  (*server)->Shutdown();  // no-op
+  const std::string after = HttpGet(port, "/healthz");
+  EXPECT_EQ(after.find("200 OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jackpine

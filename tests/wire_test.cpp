@@ -597,6 +597,38 @@ TEST(PayloadTest, StatsRequestRejectsUnknownScope) {
   EXPECT_FALSE(DecodeStatsRequest(std::string("\x00\x00", 2)).ok());
 }
 
+TEST(PayloadTest, StatsRequestRoundTripsJsonDocumentScopes) {
+  // The query-intelligence scopes added in protocol rev 3 ride the same
+  // one-byte request; a legacy server that predates them rejects the
+  // unknown byte with kParseError (see the previous test), which the
+  // client surfaces as "scope unsupported" rather than a hang.
+  for (StatsScope scope : {StatsScope::kStatements, StatsScope::kSlow}) {
+    auto back = DecodeStatsRequest(EncodeStatsRequest({scope}));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->scope, scope);
+  }
+}
+
+TEST(PayloadTest, StatsJsonRoundTripsArbitraryDocuments) {
+  StatsJsonMsg msg;
+  msg.json = "{\"statements\":[{\"fingerprint\":\"select 1\",\"calls\":3}]}";
+  auto back = DecodeStatsJson(EncodeStatsJson(msg));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->json, msg.json);
+
+  // Empty documents survive too (a fresh server has nothing to report).
+  EXPECT_EQ(DecodeStatsJson(EncodeStatsJson({""}))->json, "");
+}
+
+TEST(PayloadTest, StatsJsonTruncationFailsCleanly) {
+  const std::string payload =
+      EncodeStatsJson({"{\"capacity\":128,\"entries\":[]}"});
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeStatsJson(std::string_view(payload.data(), len)).ok())
+        << "accepted prefix of length " << len;
+  }
+}
+
 TEST(PayloadTest, StatsReplyRoundTrip) {
   StatsReplyMsg msg;
   msg.entries = {{"server.queries", 42.0},
